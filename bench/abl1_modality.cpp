@@ -1,0 +1,30 @@
+// Ablation A1 — the integration claim. The paper's thesis is that
+// combining mocap and EMG beats either alone ("they definitely give more
+// information when they are analyzed together"). This bench runs the
+// identical pipeline with EMG-only, mocap-only, and combined features.
+
+#include "abl_util.h"
+
+using namespace mocemg;
+using namespace mocemg::bench;
+
+int main() {
+  std::vector<Variant> variants;
+  {
+    Variant v{"combined", DefaultPipeline()};
+    variants.push_back(v);
+  }
+  {
+    Variant v{"mocap_only", DefaultPipeline()};
+    v.options.features.use_emg = false;
+    variants.push_back(v);
+  }
+  {
+    Variant v{"emg_only", DefaultPipeline()};
+    v.options.features.use_mocap = false;
+    variants.push_back(v);
+  }
+  RunAblation("Ablation A1 — modality: combined vs mocap-only vs emg-only",
+              variants);
+  return 0;
+}

@@ -1,0 +1,30 @@
+// Ablation A3 — the weighted-SVD mocap feature (Eq. 2-3) against naive
+// per-window summaries (mean position, net displacement). Tests whether
+// the paper's geometric feature earns its SVD.
+
+#include "abl_util.h"
+
+using namespace mocemg;
+using namespace mocemg::bench;
+
+int main() {
+  std::vector<Variant> variants;
+  {
+    Variant v{"weighted_svd", DefaultPipeline()};
+    variants.push_back(v);
+  }
+  {
+    Variant v{"mean_position", DefaultPipeline()};
+    v.options.features.mocap_feature = MocapFeatureKind::kMeanPosition;
+    variants.push_back(v);
+  }
+  {
+    Variant v{"displacement", DefaultPipeline()};
+    v.options.features.mocap_feature = MocapFeatureKind::kDisplacement;
+    variants.push_back(v);
+  }
+  RunAblation(
+      "Ablation A3 — weighted-SVD mocap feature vs naive baselines",
+      variants);
+  return 0;
+}

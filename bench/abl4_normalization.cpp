@@ -1,0 +1,40 @@
+// Ablation A4 — feature normalization. The paper appends volt-scale IAV
+// (~1e-5) to unit-scale SVD components and clusters with Euclidean FCM;
+// without per-dimension z-scoring the EMG dimensions are numerically
+// invisible. This bench quantifies the step the paper leaves implicit.
+// Expected: without normalization, combined ≈ mocap-only (EMG ignored).
+
+#include "abl_util.h"
+
+using namespace mocemg;
+using namespace mocemg::bench;
+
+int main() {
+  std::vector<Variant> variants;
+  {
+    Variant v{"zscore_balanced", DefaultPipeline()};
+    variants.push_back(v);
+  }
+  {
+    Variant v{"zscore_only", DefaultPipeline()};
+    v.options.balance_modalities = false;
+    variants.push_back(v);
+  }
+  {
+    Variant v{"raw_scales", DefaultPipeline()};
+    v.options.normalize_features = false;
+    v.options.balance_modalities = false;
+    variants.push_back(v);
+  }
+  {
+    Variant v{"raw_mocap_only", DefaultPipeline()};
+    v.options.normalize_features = false;
+    v.options.balance_modalities = false;
+    v.options.features.use_emg = false;
+    variants.push_back(v);
+  }
+  RunAblation(
+      "Ablation A4 — feature scaling: z-score + modality balance vs off",
+      variants);
+  return 0;
+}

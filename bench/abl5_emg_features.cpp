@@ -1,0 +1,23 @@
+// Ablation A5 — the paper's IAV (Eq. 1) against the classic EMG features
+// its related-work section surveys: MAV, RMS, waveform length, zero
+// crossings, and AR(4) coefficients. Everything else held fixed.
+
+#include "abl_util.h"
+
+using namespace mocemg;
+using namespace mocemg::bench;
+
+int main() {
+  std::vector<Variant> variants;
+  for (EmgFeatureKind kind :
+       {EmgFeatureKind::kIav, EmgFeatureKind::kMav, EmgFeatureKind::kRms,
+        EmgFeatureKind::kWaveformLength, EmgFeatureKind::kZeroCrossings,
+        EmgFeatureKind::kAr4}) {
+    Variant v{EmgFeatureKindName(kind), DefaultPipeline()};
+    v.options.features.emg_feature = kind;
+    variants.push_back(v);
+  }
+  RunAblation("Ablation A5 — EMG feature family (IAV vs alternatives)",
+              variants);
+  return 0;
+}

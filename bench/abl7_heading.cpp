@@ -1,0 +1,52 @@
+// Ablation A7 — facing-direction invariance (extension beyond the
+// paper). The paper's local transform only *translates* to the pelvis;
+// if participants face arbitrary directions, every mocap feature rotates
+// with them. This bench sweeps the heading randomization of the
+// simulated lab and compares the paper's transform against the library's
+// heading-normalizing extension (LocalTransformOptions).
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace mocemg;
+using namespace mocemg::bench;
+
+int main() {
+  std::printf("# Ablation A7 — heading randomization vs normalization\n");
+  std::printf(
+      "# seed=%llu trials_per_class=%zu folds=%zu window=100ms c=15\n",
+      static_cast<unsigned long long>(EnvSeed()), EnvTrials(),
+      EnvFolds());
+  std::printf(
+      "limb\theading_range_rad\ttransform\tmisclass_%%\tknn5_%%\n");
+
+  const double ranges[] = {0.2, 1.0, 3.14159};
+  for (Limb limb : {Limb::kRightHand, Limb::kRightLeg}) {
+    for (double range : ranges) {
+      DatasetOptions lab;
+      lab.limb = limb;
+      lab.trials_per_class = EnvTrials();
+      lab.seed = EnvSeed();
+      lab.heading_range_rad = range;
+      auto data = GenerateDataset(lab);
+      MOCEMG_CHECK_OK(data.status());
+      std::vector<LabeledMotion> motions =
+          ToLabeledMotions(std::move(*data));
+      for (bool normalize : {false, true}) {
+        ClassifierOptions opts = DefaultPipeline();
+        opts.features.local_transform.normalize_heading = normalize;
+        auto result =
+            CrossValidate(motions, NumClassesForLimb(limb), opts,
+                          DefaultProtocol());
+        MOCEMG_CHECK_OK(result.status());
+        std::printf("%s\t%.2f\t%s\t%.1f\t%.1f\n", LimbName(limb), range,
+                    normalize ? "translate+heading" : "translate_only",
+                    result->misclassification_percent,
+                    result->knn_percent);
+        std::fflush(stdout);
+      }
+    }
+  }
+  return 0;
+}

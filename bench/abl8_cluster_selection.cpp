@@ -1,0 +1,70 @@
+// Ablation A8 — unsupervised choice of the "pre-determined number of
+// clusters". The paper sweeps c against labelled queries; this bench
+// checks how close the label-free validity indices (Xie–Beni, partition
+// coefficient/entropy) come to the supervised optimum: it prints each
+// candidate's indices next to its cross-validated error, plus what each
+// criterion would have picked.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "cluster/selection.h"
+#include "core/codebook.h"
+#include "core/normalizer.h"
+#include "core/window_features.h"
+#include "emg/acquisition.h"
+
+using namespace mocemg;
+using namespace mocemg::bench;
+
+int main() {
+  std::printf("# Ablation A8 — validity-index cluster-count selection\n");
+  std::printf("# seed=%llu trials_per_class=%zu folds=%zu window=100ms\n",
+              static_cast<unsigned long long>(EnvSeed()), EnvTrials(),
+              EnvFolds());
+
+  for (Limb limb : {Limb::kRightHand, Limb::kRightLeg}) {
+    std::vector<LabeledMotion> motions = MakeBenchDataset(limb);
+
+    // Pool + normalize the window points once (exactly what Train does).
+    ClassifierOptions base = DefaultPipeline();
+    Matrix pooled;
+    for (const auto& m : motions) {
+      AcquisitionOptions acq = base.acquisition;
+      acq.output_rate_hz = m.mocap.frame_rate_hz();
+      auto cond = ConditionRecording(m.emg, acq);
+      MOCEMG_CHECK_OK(cond.status());
+      auto f = ExtractWindowFeatures(m.mocap, *cond, base.features);
+      MOCEMG_CHECK_OK(f.status());
+      MOCEMG_CHECK_OK(pooled.AppendRows(f->points));
+    }
+    auto norm = Normalizer::Fit(pooled);
+    MOCEMG_CHECK_OK(norm.status());
+    auto npooled = norm->Transform(pooled);
+    MOCEMG_CHECK_OK(npooled.status());
+
+    SelectionOptions sel;
+    sel.candidates = {5, 10, 15, 20, 25, 30};
+    sel.fcm = base.fcm;
+    auto selection = SelectClusterCount(*npooled, sel);
+    MOCEMG_CHECK_OK(selection.status());
+
+    std::printf("\nlimb\tclusters\txie_beni\tpart_coef\tpart_entropy\t"
+                "misclass_%%\n");
+    for (const auto& score : selection->scores) {
+      ClassifierOptions opts = base;
+      opts.fcm.num_clusters = score.clusters;
+      auto cv = CrossValidate(motions, NumClassesForLimb(limb), opts,
+                              DefaultProtocol());
+      MOCEMG_CHECK_OK(cv.status());
+      std::printf("%s\t%zu\t%.3f\t%.3f\t%.3f\t%.1f\n", LimbName(limb),
+                  score.clusters, score.xie_beni,
+                  score.partition_coefficient, score.partition_entropy,
+                  cv->misclassification_percent);
+      std::fflush(stdout);
+    }
+    std::printf("%s: xie_beni recommends c=%zu\n", LimbName(limb),
+                selection->recommended_clusters);
+  }
+  return 0;
+}

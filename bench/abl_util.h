@@ -1,0 +1,49 @@
+/// \file abl_util.h
+/// \brief Shared driver for the ablation benches: evaluate a list of
+/// named pipeline variants on both limbs and print a compact table.
+
+#ifndef MOCEMG_BENCH_ABL_UTIL_H_
+#define MOCEMG_BENCH_ABL_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+
+namespace mocemg {
+namespace bench {
+
+struct Variant {
+  std::string name;
+  ClassifierOptions options;
+};
+
+/// Cross-validates each variant on each limb and prints
+/// variant × (mis%, knn%) rows.
+inline void RunAblation(const char* title,
+                        const std::vector<Variant>& variants) {
+  std::printf("# %s\n", title);
+  std::printf(
+      "# seed=%llu trials_per_class=%zu folds=%zu window=100ms c=15\n",
+      static_cast<unsigned long long>(EnvSeed()), EnvTrials(),
+      EnvFolds());
+  std::printf("limb\tvariant\tmisclass_%%\tknn5_%%\n");
+  for (Limb limb : {Limb::kRightHand, Limb::kRightLeg}) {
+    std::vector<LabeledMotion> motions = MakeBenchDataset(limb);
+    for (const Variant& v : variants) {
+      auto result = CrossValidate(motions, NumClassesForLimb(limb),
+                                  v.options, DefaultProtocol());
+      MOCEMG_CHECK_OK(result.status());
+      std::printf("%s\t%s\t%.1f\t%.1f\n", LimbName(limb),
+                  v.name.c_str(), result->misclassification_percent,
+                  result->knn_percent);
+      std::fflush(stdout);
+    }
+  }
+}
+
+}  // namespace bench
+}  // namespace mocemg
+
+#endif  // MOCEMG_BENCH_ABL_UTIL_H_

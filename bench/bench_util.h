@@ -1,0 +1,149 @@
+/// \file bench_util.h
+/// \brief Shared plumbing for the figure/ablation harnesses: dataset
+/// generation with env-var size overrides, default pipeline options, and
+/// table printing. Every harness prints its seed and parameters so any
+/// row can be regenerated.
+///
+/// Env overrides:
+///   MOCEMG_BENCH_TRIALS  trials per class   (default 10)
+///   MOCEMG_BENCH_FOLDS   CV folds           (default 5)
+///   MOCEMG_BENCH_SEED    dataset seed       (default 20070415)
+
+#ifndef MOCEMG_BENCH_BENCH_UTIL_H_
+#define MOCEMG_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/classifier.h"
+#include "eval/protocols.h"
+#include "eval/sweep.h"
+#include "synth/dataset.h"
+#include "util/logging.h"
+
+namespace mocemg {
+namespace bench {
+
+inline size_t EnvSize(const char* name, size_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  return static_cast<size_t>(std::strtoull(v, nullptr, 10));
+}
+
+inline uint64_t EnvSeed() {
+  return EnvSize("MOCEMG_BENCH_SEED", 20070415ULL);
+}
+
+inline size_t EnvTrials() { return EnvSize("MOCEMG_BENCH_TRIALS", 10); }
+inline size_t EnvFolds() { return EnvSize("MOCEMG_BENCH_FOLDS", 5); }
+
+/// Generates the standard bench dataset for a limb.
+inline std::vector<LabeledMotion> MakeBenchDataset(Limb limb) {
+  DatasetOptions opts;
+  opts.limb = limb;
+  opts.trials_per_class = EnvTrials();
+  opts.seed = EnvSeed();
+  auto data = GenerateDataset(opts);
+  MOCEMG_CHECK_OK(data.status());
+  return ToLabeledMotions(std::move(*data));
+}
+
+/// The default pipeline configuration used across benches (window size
+/// and cluster count are swept per bench).
+inline ClassifierOptions DefaultPipeline() {
+  ClassifierOptions opts;
+  opts.features.window_ms = 100.0;
+  opts.features.hop_ms = 50.0;  // sliding windows, 50 ms stride
+  opts.fcm.num_clusters = 15;
+  opts.fcm.seed = EnvSeed() ^ 0xC0FFEE;
+  opts.fcm.max_iterations = 80;
+  opts.fcm.epsilon = 1e-4;
+  return opts;
+}
+
+inline ProtocolOptions DefaultProtocol() {
+  ProtocolOptions protocol;
+  protocol.num_folds = EnvFolds();
+  protocol.knn_k = 5;
+  protocol.seed = EnvSeed() ^ 0xBEEF;
+  return protocol;
+}
+
+inline SweepOptions PaperSweep() {
+  SweepOptions sweep;
+  sweep.window_sizes_ms = {50.0, 100.0, 150.0, 200.0};
+  sweep.cluster_counts = {2, 5, 10, 15, 20, 25, 30, 35, 40};
+  sweep.protocol = DefaultProtocol();
+  return sweep;
+}
+
+inline void PrintHeader(const char* figure, const char* metric,
+                        Limb limb) {
+  std::printf("# %s — %s, %s\n", figure, metric, LimbName(limb));
+  std::printf(
+      "# seed=%llu trials_per_class=%zu folds=%zu (override via "
+      "MOCEMG_BENCH_SEED/_TRIALS/_FOLDS)\n",
+      static_cast<unsigned long long>(EnvSeed()), EnvTrials(),
+      EnvFolds());
+}
+
+/// Prints a paper-style series table: one row per cluster count, one
+/// column per window size.
+inline void PrintSweepTable(const std::vector<SweepPoint>& points,
+                            bool misclassification) {
+  std::vector<double> windows;
+  std::vector<size_t> clusters;
+  for (const auto& p : points) {
+    if (windows.empty() || windows.back() != p.window_ms) {
+      bool seen = false;
+      for (double w : windows) seen |= (w == p.window_ms);
+      if (!seen) windows.push_back(p.window_ms);
+    }
+    bool seen = false;
+    for (size_t c : clusters) seen |= (c == p.clusters);
+    if (!seen) clusters.push_back(p.clusters);
+  }
+  std::printf("clusters");
+  for (double w : windows) std::printf("\tw=%.0fms", w);
+  std::printf("\n");
+  for (size_t c : clusters) {
+    std::printf("%zu", c);
+    for (double w : windows) {
+      for (const auto& p : points) {
+        if (p.clusters == c && p.window_ms == w) {
+          std::printf("\t%.1f", misclassification
+                                    ? p.misclassification_percent
+                                    : p.knn_percent);
+        }
+      }
+    }
+    std::printf("\n");
+  }
+}
+
+/// Runs the full Fig. 6-9 style sweep for one limb and prints it.
+inline void RunFigureSweep(const char* figure, Limb limb,
+                           bool misclassification) {
+  PrintHeader(figure,
+              misclassification ? "mis-classification rate (%)"
+                                : "kNN(5) classified percent (%)",
+              limb);
+  std::vector<LabeledMotion> motions = MakeBenchDataset(limb);
+  auto points = RunParameterSweep(
+      motions, NumClassesForLimb(limb), DefaultPipeline(), PaperSweep(),
+      [](size_t done, size_t total, const SweepPoint& p) {
+        std::fprintf(stderr,
+                     "  [%zu/%zu] w=%.0fms c=%zu mis=%.1f%% knn=%.1f%%\n",
+                     done, total, p.window_ms, p.clusters,
+                     p.misclassification_percent, p.knn_percent);
+      });
+  MOCEMG_CHECK_OK(points.status());
+  PrintSweepTable(*points, misclassification);
+}
+
+}  // namespace bench
+}  // namespace mocemg
+
+#endif  // MOCEMG_BENCH_BENCH_UTIL_H_

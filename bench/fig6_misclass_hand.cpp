@@ -1,0 +1,12 @@
+// Figure 6: percent of trials mis-classified for the right hand, versus
+// the number of FCM clusters (2-40), one series per window size
+// (50/100/150/200 ms). Expected shape (paper): error falls with more
+// clusters, sitting around 10-20 % for c in [10, 25].
+
+#include "bench_util.h"
+
+int main() {
+  mocemg::bench::RunFigureSweep("Figure 6", mocemg::Limb::kRightHand,
+                                /*misclassification=*/true);
+  return 0;
+}

@@ -1,0 +1,10 @@
+// Figure 7: percent of trials mis-classified for the right leg, versus
+// the number of FCM clusters, one series per window size.
+
+#include "bench_util.h"
+
+int main() {
+  mocemg::bench::RunFigureSweep("Figure 7", mocemg::Limb::kRightLeg,
+                                /*misclassification=*/true);
+  return 0;
+}

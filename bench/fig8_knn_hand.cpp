@@ -1,0 +1,11 @@
+// Figure 8: percent of correctly classified right-hand motions among the
+// k = 5 nearest neighbours retrieved per query, versus clusters and
+// window size. Expected shape: rises with clusters, ~80 % at large c.
+
+#include "bench_util.h"
+
+int main() {
+  mocemg::bench::RunFigureSweep("Figure 8", mocemg::Limb::kRightHand,
+                                /*misclassification=*/false);
+  return 0;
+}

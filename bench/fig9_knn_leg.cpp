@@ -1,0 +1,11 @@
+// Figure 9: percent of correctly classified right-leg motions among the
+// k = 5 retrieved, versus clusters and window size. The paper notes the
+// window-size effect is most visible here.
+
+#include "bench_util.h"
+
+int main() {
+  mocemg::bench::RunFigureSweep("Figure 9", mocemg::Limb::kRightLeg,
+                                /*misclassification=*/false);
+  return 0;
+}

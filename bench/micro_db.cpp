@@ -1,0 +1,85 @@
+// Microbenchmarks: retrieval scaling — linear kNN scan vs the
+// cluster-pruned index over growing database sizes, at the final-feature
+// dimensionality of the paper's configuration (2c = 30 for c = 15).
+
+#include <benchmark/benchmark.h>
+
+#include "db/feature_index.h"
+#include "db/motion_database.h"
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace mocemg {
+namespace {
+
+// Clustered final-feature-like records (sparse non-negative blocks).
+MotionDatabase MakeDb(size_t n, size_t dim, uint64_t seed) {
+  Rng rng(seed);
+  MotionDatabase db;
+  for (size_t i = 0; i < n; ++i) {
+    MotionRecord r;
+    r.name = "m" + std::to_string(i);
+    r.label = i % 8;
+    std::vector<double> f(dim, 0.0);
+    // Each class activates its own few clusters, like real final
+    // features.
+    Rng cls(seed ^ (r.label * 0x9E37ULL));
+    for (int k = 0; k < 4; ++k) {
+      const size_t at = static_cast<size_t>(cls.NextBelow(dim));
+      f[at] = 0.4 + 0.5 * rng.NextDouble();
+    }
+    r.feature = std::move(f);
+    MOCEMG_CHECK_OK(db.Insert(std::move(r)));
+  }
+  return db;
+}
+
+std::vector<double> MakeQuery(size_t dim, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> q(dim, 0.0);
+  for (int k = 0; k < 4; ++k) {
+    q[rng.NextBelow(dim)] = rng.NextDouble();
+  }
+  return q;
+}
+
+void BM_LinearKnn(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  MotionDatabase db = MakeDb(n, 30, 3);
+  const auto query = MakeQuery(30, 4);
+  for (auto _ : state) {
+    auto hits = db.NearestNeighbors(query, 5);
+    benchmark::DoNotOptimize(hits);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * n));
+}
+BENCHMARK(BM_LinearKnn)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_IndexedKnn(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  MotionDatabase db = MakeDb(n, 30, 3);
+  auto index = FeatureIndex::Build(&db);
+  MOCEMG_CHECK_OK(index.status());
+  const auto query = MakeQuery(30, 4);
+  for (auto _ : state) {
+    auto hits = index->NearestNeighbors(query, 5);
+    benchmark::DoNotOptimize(hits);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * n));
+}
+BENCHMARK(BM_IndexedKnn)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_IndexBuild(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  MotionDatabase db = MakeDb(n, 30, 3);
+  for (auto _ : state) {
+    auto index = FeatureIndex::Build(&db);
+    benchmark::DoNotOptimize(index);
+  }
+}
+BENCHMARK(BM_IndexBuild)->Arg(1000);
+
+}  // namespace
+}  // namespace mocemg
+
+BENCHMARK_MAIN();

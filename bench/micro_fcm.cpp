@@ -1,0 +1,60 @@
+// Microbenchmarks: fuzzy c-means training and Eq. 9 membership
+// evaluation at the problem sizes the figure sweeps hit (a few thousand
+// 11-16-d window points, c up to 40).
+
+#include <benchmark/benchmark.h>
+
+#include "cluster/fcm.h"
+#include "util/random.h"
+
+namespace mocemg {
+namespace {
+
+Matrix RandomPoints(size_t n, size_t d, uint64_t seed) {
+  Rng rng(seed);
+  Matrix m(n, d);
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t c = 0; c < d; ++c) m(r, c) = rng.Gaussian(0.0, 1.0);
+  }
+  return m;
+}
+
+void BM_FcmFit(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  const size_t c = static_cast<size_t>(state.range(1));
+  Matrix points = RandomPoints(n, 16, n + c);
+  FcmOptions opts;
+  opts.num_clusters = c;
+  opts.max_iterations = 25;  // fixed work per fit
+  opts.epsilon = 0.0;
+  for (auto _ : state) {
+    auto model = FitFcm(points, opts);
+    benchmark::DoNotOptimize(model);
+  }
+  state.SetItemsProcessed(
+      static_cast<int64_t>(state.iterations() * n * c * 25));
+}
+BENCHMARK(BM_FcmFit)
+    ->Args({500, 6})
+    ->Args({500, 40})
+    ->Args({2000, 15})
+    ->Args({2000, 40});
+
+void BM_MembershipEval(benchmark::State& state) {
+  const size_t c = static_cast<size_t>(state.range(0));
+  Matrix centers = RandomPoints(c, 16, c);
+  Rng rng(9);
+  std::vector<double> point(16);
+  for (double& v : point) v = rng.Gaussian(0.0, 1.0);
+  for (auto _ : state) {
+    auto u = EvaluateMembership(centers, point);
+    benchmark::DoNotOptimize(u);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_MembershipEval)->Arg(6)->Arg(15)->Arg(40);
+
+}  // namespace
+}  // namespace mocemg
+
+BENCHMARK_MAIN();

@@ -1,0 +1,70 @@
+// Microbenchmarks: the acquisition chain (band-pass + rectify +
+// resample), window-feature extraction, and end-to-end featurization of
+// one motion — the per-capture costs an online application pays.
+
+#include <benchmark/benchmark.h>
+
+#include "core/window_features.h"
+#include "emg/acquisition.h"
+#include "synth/dataset.h"
+#include "util/logging.h"
+
+namespace mocemg {
+namespace {
+
+const CapturedMotion& SharedTrial() {
+  static const CapturedMotion* trial = [] {
+    DatasetOptions lab;
+    lab.limb = Limb::kRightHand;
+    lab.seed = 55;
+    auto t = GenerateTrial(lab, 1, 0, 99);
+    MOCEMG_CHECK_OK(t.status());
+    return new CapturedMotion(std::move(*t));
+  }();
+  return *trial;
+}
+
+void BM_ConditionRecording(benchmark::State& state) {
+  const CapturedMotion& trial = SharedTrial();
+  for (auto _ : state) {
+    auto out = ConditionRecording(trial.emg_raw);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(
+      state.iterations() * trial.emg_raw.num_samples() *
+      trial.emg_raw.num_channels()));
+}
+BENCHMARK(BM_ConditionRecording);
+
+void BM_WindowFeatureExtraction(benchmark::State& state) {
+  const CapturedMotion& trial = SharedTrial();
+  auto conditioned = ConditionRecording(trial.emg_raw);
+  MOCEMG_CHECK_OK(conditioned.status());
+  WindowFeatureOptions opts;
+  opts.window_ms = static_cast<double>(state.range(0));
+  for (auto _ : state) {
+    auto features =
+        ExtractWindowFeatures(trial.mocap, *conditioned, opts);
+    benchmark::DoNotOptimize(features);
+  }
+}
+BENCHMARK(BM_WindowFeatureExtraction)->Arg(50)->Arg(100)->Arg(200);
+
+void BM_TrialSynthesis(benchmark::State& state) {
+  DatasetOptions lab;
+  lab.limb = Limb::kRightHand;
+  lab.seed = 77;
+  uint64_t salt = 0;
+  for (auto _ : state) {
+    auto t = GenerateTrial(lab, salt % 6, 0, 1000 + salt);
+    ++salt;
+    benchmark::DoNotOptimize(t);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_TrialSynthesis);
+
+}  // namespace
+}  // namespace mocemg
+
+BENCHMARK_MAIN();

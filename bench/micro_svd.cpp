@@ -1,0 +1,58 @@
+// Microbenchmarks: one-sided Jacobi SVD on the window shapes the
+// pipeline actually decomposes (w×3 joint windows, 50-200 ms at 120 Hz)
+// plus larger shapes for scaling, and the weighted-SVD feature itself.
+
+#include <benchmark/benchmark.h>
+
+#include "core/mocap_features.h"
+#include "linalg/svd.h"
+#include "util/random.h"
+
+namespace mocemg {
+namespace {
+
+Matrix RandomMatrix(size_t rows, size_t cols, uint64_t seed) {
+  Rng rng(seed);
+  Matrix m(rows, cols);
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < cols; ++c) m(r, c) = rng.Gaussian(0.0, 50.0);
+  }
+  return m;
+}
+
+void BM_SvdJointWindow(benchmark::State& state) {
+  const size_t frames = static_cast<size_t>(state.range(0));
+  Matrix window = RandomMatrix(frames, 3, frames);
+  for (auto _ : state) {
+    auto svd = ComputeSvd(window);
+    benchmark::DoNotOptimize(svd);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+// 6/12/18/24 frames = the paper's 50/100/150/200 ms windows at 120 Hz.
+BENCHMARK(BM_SvdJointWindow)->Arg(6)->Arg(12)->Arg(18)->Arg(24);
+
+void BM_SvdSquare(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Matrix m = RandomMatrix(n, n, n);
+  for (auto _ : state) {
+    auto svd = ComputeSvd(m);
+    benchmark::DoNotOptimize(svd);
+  }
+}
+BENCHMARK(BM_SvdSquare)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_WeightedSvdFeature(benchmark::State& state) {
+  Matrix window = RandomMatrix(static_cast<size_t>(state.range(0)), 3, 7);
+  for (auto _ : state) {
+    auto f = WeightedSvdFeature(window);
+    benchmark::DoNotOptimize(f);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_WeightedSvdFeature)->Arg(6)->Arg(24);
+
+}  // namespace
+}  // namespace mocemg
+
+BENCHMARK_MAIN();

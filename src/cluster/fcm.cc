@@ -1,0 +1,221 @@
+#include "cluster/fcm.h"
+
+#include <cmath>
+#include <limits>
+
+#include "cluster/kmeans.h"
+#include "linalg/vector_ops.h"
+#include "util/macros.h"
+#include "util/random.h"
+
+namespace mocemg {
+namespace {
+
+Status ValidateOptions(const Matrix& points, const FcmOptions& options) {
+  if (points.rows() == 0 || points.cols() == 0) {
+    return Status::InvalidArgument("FCM on empty point set");
+  }
+  if (options.num_clusters == 0) {
+    return Status::InvalidArgument("FCM needs at least one cluster");
+  }
+  if (points.rows() < options.num_clusters) {
+    return Status::InvalidArgument(
+        "FCM with c=" + std::to_string(options.num_clusters) +
+        " clusters needs at least that many points, got " +
+        std::to_string(points.rows()));
+  }
+  if (options.fuzziness <= 1.0) {
+    return Status::InvalidArgument("fuzzifier m must be > 1");
+  }
+  if (options.max_iterations == 0 || options.restarts <= 0) {
+    return Status::InvalidArgument("iterations and restarts must be >= 1");
+  }
+  return Status::OK();
+}
+
+// Membership update for one point given squared distances to all
+// centers: u_i = 1 / Σ_j (d_i/d_j)^(2/(m−1)) computed stably via the
+// reciprocal-power form. Points coinciding with centers get crisp rows.
+void MembershipRow(const std::vector<double>& sq_dists, double exponent,
+                   double* row) {
+  const size_t c = sq_dists.size();
+  // Exact hits: distribute crisp membership over coincident centers.
+  size_t zero_count = 0;
+  for (size_t i = 0; i < c; ++i) {
+    if (sq_dists[i] <= 0.0) ++zero_count;
+  }
+  if (zero_count > 0) {
+    for (size_t i = 0; i < c; ++i) {
+      row[i] = sq_dists[i] <= 0.0 ? 1.0 / static_cast<double>(zero_count)
+                                  : 0.0;
+    }
+    return;
+  }
+  // u_i ∝ d_i^(−1/(m−1)) on squared distances (so exponent = 1/(m−1)).
+  double sum = 0.0;
+  for (size_t i = 0; i < c; ++i) {
+    row[i] = std::pow(1.0 / sq_dists[i], exponent);
+    sum += row[i];
+  }
+  for (size_t i = 0; i < c; ++i) row[i] /= sum;
+}
+
+struct Fit {
+  FcmModel model;
+  double objective = std::numeric_limits<double>::infinity();
+};
+
+Result<Fit> FitOnce(const Matrix& points, const FcmOptions& options,
+                    uint64_t seed) {
+  const size_t n = points.rows();
+  const size_t d = points.cols();
+  const size_t c = options.num_clusters;
+  const double m = options.fuzziness;
+  const double exponent = 1.0 / (m - 1.0);
+
+  Rng rng(seed);
+  Matrix u(n, c);
+  Matrix centers(c, d);
+
+  // Both inits pick distinct data points as the initial centers and
+  // derive U from them via the membership formula (see FcmInit docs for
+  // why a random membership matrix is not an option).
+  Matrix init_centers(c, d);
+  if (options.init == FcmInit::kRandomPoints) {
+    // Partial Fisher–Yates over indices for c distinct draws.
+    std::vector<size_t> idx(n);
+    for (size_t i = 0; i < n; ++i) idx[i] = i;
+    for (size_t i = 0; i < c; ++i) {
+      const size_t j = i + static_cast<size_t>(rng.NextBelow(n - i));
+      std::swap(idx[i], idx[j]);
+      init_centers.SetRow(i, points.Row(idx[i]));
+    }
+  } else {
+    KmeansOptions km;
+    km.num_clusters = c;
+    km.seed = seed;
+    km.max_iterations = 1;  // seeding only: k-means++ centers
+    MOCEMG_ASSIGN_OR_RETURN(KmeansModel seeded, FitKmeans(points, km));
+    init_centers = std::move(seeded.centers);
+  }
+  {
+    std::vector<double> sq(c);
+    for (size_t k = 0; k < n; ++k) {
+      const std::vector<double> p = points.Row(k);
+      for (size_t i = 0; i < c; ++i) {
+        sq[i] = SquaredDistance(p, init_centers.Row(i));
+      }
+      MembershipRow(sq, exponent, u.RowPtr(k));
+    }
+  }
+
+  FcmModel model;
+  std::vector<double> sq(c);
+  double prev_objective = std::numeric_limits<double>::infinity();
+  size_t iter = 0;
+  for (; iter < options.max_iterations; ++iter) {
+    // Center update: c_i = Σ_k u_ik^m x_k / Σ_k u_ik^m.
+    centers = Matrix(c, d);
+    std::vector<double> weight(c, 0.0);
+    for (size_t k = 0; k < n; ++k) {
+      const double* urow = u.RowPtr(k);
+      const double* prow = points.RowPtr(k);
+      for (size_t i = 0; i < c; ++i) {
+        const double w = std::pow(urow[i], m);
+        weight[i] += w;
+        double* crow = centers.RowPtr(i);
+        for (size_t j = 0; j < d; ++j) crow[j] += w * prow[j];
+      }
+    }
+    for (size_t i = 0; i < c; ++i) {
+      if (weight[i] <= 0.0) {
+        // Degenerate cluster: re-seed its center at a random point.
+        const size_t pick = static_cast<size_t>(rng.NextBelow(n));
+        centers.SetRow(i, points.Row(pick));
+      } else {
+        double* crow = centers.RowPtr(i);
+        for (size_t j = 0; j < d; ++j) crow[j] /= weight[i];
+      }
+    }
+
+    // Membership update + objective + convergence check.
+    double objective = 0.0;
+    double max_delta = 0.0;
+    for (size_t k = 0; k < n; ++k) {
+      const std::vector<double> p = points.Row(k);
+      for (size_t i = 0; i < c; ++i) {
+        sq[i] = SquaredDistance(p, centers.Row(i));
+      }
+      std::vector<double> new_row(c);
+      MembershipRow(sq, exponent, new_row.data());
+      double* urow = u.RowPtr(k);
+      for (size_t i = 0; i < c; ++i) {
+        max_delta = std::max(max_delta, std::fabs(new_row[i] - urow[i]));
+        urow[i] = new_row[i];
+        objective += std::pow(new_row[i], m) * sq[i];
+      }
+    }
+    model.objective_history.push_back(objective);
+    if (max_delta < options.epsilon) {
+      ++iter;
+      break;
+    }
+    prev_objective = objective;
+  }
+  (void)prev_objective;
+
+  model.centers = std::move(centers);
+  model.memberships = std::move(u);
+  model.iterations = iter;
+  Fit fit;
+  fit.objective = model.objective_history.empty()
+                      ? std::numeric_limits<double>::infinity()
+                      : model.objective_history.back();
+  fit.model = std::move(model);
+  return fit;
+}
+
+}  // namespace
+
+Result<FcmModel> FitFcm(const Matrix& points, const FcmOptions& options) {
+  MOCEMG_RETURN_NOT_OK(ValidateOptions(points, options));
+  Rng seeder(options.seed);
+  Fit best;
+  bool have_best = false;
+  for (int r = 0; r < options.restarts; ++r) {
+    MOCEMG_ASSIGN_OR_RETURN(Fit fit,
+                            FitOnce(points, options, seeder.NextUint64()));
+    if (!have_best || fit.objective < best.objective) {
+      best = std::move(fit);
+      have_best = true;
+    }
+  }
+  return std::move(best.model);
+}
+
+Result<std::vector<double>> EvaluateMembership(
+    const Matrix& centers, const std::vector<double>& point,
+    double fuzziness) {
+  if (centers.rows() == 0) {
+    return Status::InvalidArgument("no cluster centers");
+  }
+  if (point.size() != centers.cols()) {
+    return Status::InvalidArgument(
+        "point dimension " + std::to_string(point.size()) +
+        " does not match center dimension " +
+        std::to_string(centers.cols()));
+  }
+  if (fuzziness <= 1.0) {
+    return Status::InvalidArgument("fuzzifier m must be > 1");
+  }
+  const size_t c = centers.rows();
+  std::vector<double> sq(c);
+  for (size_t i = 0; i < c; ++i) {
+    sq[i] = SquaredDistance(point, centers.Row(i));
+  }
+  std::vector<double> row(c);
+  MembershipRow(sq, 1.0 / (fuzziness - 1.0), row.data());
+  return row;
+}
+
+}  // namespace mocemg

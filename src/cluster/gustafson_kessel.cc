@@ -1,0 +1,243 @@
+#include "cluster/gustafson_kessel.h"
+
+#include <cmath>
+#include <limits>
+
+#include "cluster/kmeans.h"
+#include "linalg/lu.h"
+#include "linalg/vector_ops.h"
+#include "util/macros.h"
+#include "util/random.h"
+
+namespace mocemg {
+namespace {
+
+// u_i ∝ d_i^(−1/(m−1)) on squared distances; crisp on exact hits.
+void MembershipRow(const std::vector<double>& sq, double exponent,
+                   double* row) {
+  const size_t c = sq.size();
+  size_t zeros = 0;
+  for (size_t i = 0; i < c; ++i) {
+    if (sq[i] <= 0.0) ++zeros;
+  }
+  if (zeros > 0) {
+    for (size_t i = 0; i < c; ++i) {
+      row[i] = sq[i] <= 0.0 ? 1.0 / static_cast<double>(zeros) : 0.0;
+    }
+    return;
+  }
+  double sum = 0.0;
+  for (size_t i = 0; i < c; ++i) {
+    row[i] = std::pow(1.0 / sq[i], exponent);
+    sum += row[i];
+  }
+  for (size_t i = 0; i < c; ++i) row[i] /= sum;
+}
+
+double QuadraticForm(const Matrix& a, const std::vector<double>& delta) {
+  const size_t d = delta.size();
+  double sum = 0.0;
+  for (size_t r = 0; r < d; ++r) {
+    double inner = 0.0;
+    const double* row = a.RowPtr(r);
+    for (size_t c = 0; c < d; ++c) inner += row[c] * delta[c];
+    sum += delta[r] * inner;
+  }
+  return sum;
+}
+
+}  // namespace
+
+Matrix GkModel::NormMatrix(size_t i) const {
+  const size_t d = dimension();
+  return norm_matrices.RowSlice(i * d, (i + 1) * d);
+}
+
+Result<double> GkModel::SquaredDistanceTo(
+    size_t i, const std::vector<double>& point) const {
+  if (i >= num_clusters()) {
+    return Status::OutOfRange("cluster index out of range");
+  }
+  if (point.size() != dimension()) {
+    return Status::InvalidArgument("point dimension mismatch");
+  }
+  const std::vector<double> delta = SubtractVectors(point, centers.Row(i));
+  return QuadraticForm(NormMatrix(i), delta);
+}
+
+Result<std::vector<double>> GkModel::Membership(
+    const std::vector<double>& point, double fuzziness) const {
+  if (fuzziness <= 1.0) {
+    return Status::InvalidArgument("fuzzifier m must be > 1");
+  }
+  const size_t c = num_clusters();
+  std::vector<double> sq(c);
+  for (size_t i = 0; i < c; ++i) {
+    MOCEMG_ASSIGN_OR_RETURN(sq[i], SquaredDistanceTo(i, point));
+  }
+  std::vector<double> row(c);
+  MembershipRow(sq, 1.0 / (fuzziness - 1.0), row.data());
+  return row;
+}
+
+Result<GkModel> FitGustafsonKessel(const Matrix& points,
+                                   const GkOptions& options) {
+  const size_t n = points.rows();
+  const size_t d = points.cols();
+  const size_t c = options.num_clusters;
+  if (n == 0 || d == 0) {
+    return Status::InvalidArgument("GK on empty point set");
+  }
+  if (c == 0 || n < c) {
+    return Status::InvalidArgument("GK needs 1 <= c <= n");
+  }
+  if (options.fuzziness <= 1.0) {
+    return Status::InvalidArgument("fuzzifier m must be > 1");
+  }
+  if (options.regularization < 0.0 || options.regularization > 1.0) {
+    return Status::InvalidArgument("regularization must be in [0, 1]");
+  }
+  const double m = options.fuzziness;
+  const double exponent = 1.0 / (m - 1.0);
+
+  // Init: k-means++ centers, Euclidean memberships.
+  KmeansOptions km;
+  km.num_clusters = c;
+  km.seed = options.seed;
+  km.max_iterations = 1;
+  MOCEMG_ASSIGN_OR_RETURN(KmeansModel seeded, FitKmeans(points, km));
+  Matrix centers = std::move(seeded.centers);
+  Matrix u(n, c);
+  {
+    std::vector<double> sq(c);
+    for (size_t k = 0; k < n; ++k) {
+      const std::vector<double> p = points.Row(k);
+      for (size_t i = 0; i < c; ++i) {
+        sq[i] = SquaredDistance(p, centers.Row(i));
+      }
+      MembershipRow(sq, exponent, u.RowPtr(k));
+    }
+  }
+
+  // Total data variance for covariance regularization.
+  double total_var = 0.0;
+  {
+    std::vector<double> mean(d, 0.0);
+    for (size_t k = 0; k < n; ++k) Axpy(1.0, points.Row(k), &mean);
+    for (double& v : mean) v /= static_cast<double>(n);
+    for (size_t k = 0; k < n; ++k) {
+      total_var += SquaredDistance(points.Row(k), mean);
+    }
+    total_var /= static_cast<double>(n) * static_cast<double>(d);
+    if (total_var <= 0.0) total_var = 1.0;
+  }
+
+  GkModel model;
+  model.norm_matrices = Matrix(c * d, d);
+  Rng rng(options.seed ^ 0xD1CEULL);
+  size_t iter = 0;
+  for (; iter < options.max_iterations; ++iter) {
+    // Centers from memberships.
+    centers = Matrix(c, d);
+    std::vector<double> weight(c, 0.0);
+    for (size_t k = 0; k < n; ++k) {
+      const double* urow = u.RowPtr(k);
+      const double* prow = points.RowPtr(k);
+      for (size_t i = 0; i < c; ++i) {
+        const double w = std::pow(urow[i], m);
+        weight[i] += w;
+        double* crow = centers.RowPtr(i);
+        for (size_t j = 0; j < d; ++j) crow[j] += w * prow[j];
+      }
+    }
+    for (size_t i = 0; i < c; ++i) {
+      if (weight[i] <= 0.0) {
+        centers.SetRow(i,
+                       points.Row(static_cast<size_t>(rng.NextBelow(n))));
+        weight[i] = 1.0;
+      } else {
+        double* crow = centers.RowPtr(i);
+        for (size_t j = 0; j < d; ++j) crow[j] /= weight[i];
+      }
+    }
+
+    // Fuzzy covariances → norm matrices A_i = (ρ det F)^(1/d) F⁻¹.
+    for (size_t i = 0; i < c; ++i) {
+      Matrix f(d, d);
+      for (size_t k = 0; k < n; ++k) {
+        const double w = std::pow(u(k, i), m);
+        const std::vector<double> delta =
+            SubtractVectors(points.Row(k), centers.Row(i));
+        for (size_t r = 0; r < d; ++r) {
+          for (size_t s2 = r; s2 < d; ++s2) {
+            f(r, s2) += w * delta[r] * delta[s2];
+          }
+        }
+      }
+      for (size_t r = 0; r < d; ++r) {
+        for (size_t s2 = r; s2 < d; ++s2) {
+          f(r, s2) /= weight[i];
+          f(s2, r) = f(r, s2);
+        }
+      }
+      // Regularize toward the scaled identity so F stays invertible.
+      if (options.regularization > 0.0) {
+        const double g = options.regularization;
+        for (size_t r = 0; r < d; ++r) {
+          for (size_t s2 = 0; s2 < d; ++s2) f(r, s2) *= (1.0 - g);
+          f(r, r) += g * total_var;
+        }
+      }
+      auto lu = LuDecomposition::Compute(f);
+      if (!lu.ok()) {
+        return Status::NumericalError(
+            "cluster covariance singular; raise GkOptions::regularization");
+      }
+      const double det = lu->Determinant();
+      if (det <= 0.0) {
+        return Status::NumericalError("non-positive covariance determinant");
+      }
+      MOCEMG_ASSIGN_OR_RETURN(Matrix f_inv, lu->Inverse());
+      const double scale =
+          std::pow(options.volume * det, 1.0 / static_cast<double>(d));
+      for (size_t r = 0; r < d; ++r) {
+        for (size_t s2 = 0; s2 < d; ++s2) {
+          model.norm_matrices(i * d + r, s2) = scale * f_inv(r, s2);
+        }
+      }
+    }
+
+    // Membership update with the adapted norms.
+    model.centers = centers;
+    double objective = 0.0;
+    double max_delta = 0.0;
+    std::vector<double> sq(c);
+    for (size_t k = 0; k < n; ++k) {
+      const std::vector<double> p = points.Row(k);
+      for (size_t i = 0; i < c; ++i) {
+        const std::vector<double> delta =
+            SubtractVectors(p, centers.Row(i));
+        sq[i] = QuadraticForm(model.NormMatrix(i), delta);
+        if (sq[i] < 0.0) sq[i] = 0.0;  // numerical guard
+      }
+      std::vector<double> row(c);
+      MembershipRow(sq, exponent, row.data());
+      double* urow = u.RowPtr(k);
+      for (size_t i = 0; i < c; ++i) {
+        max_delta = std::max(max_delta, std::fabs(row[i] - urow[i]));
+        urow[i] = row[i];
+        objective += std::pow(row[i], m) * sq[i];
+      }
+    }
+    model.objective_history.push_back(objective);
+    if (max_delta < options.epsilon) {
+      ++iter;
+      break;
+    }
+  }
+  model.memberships = std::move(u);
+  model.iterations = iter;
+  return model;
+}
+
+}  // namespace mocemg

@@ -1,0 +1,67 @@
+/// \file gustafson_kessel.h
+/// \brief Gustafson–Kessel fuzzy clustering: FCM with a per-cluster
+/// adaptive Mahalanobis norm, so clusters can be ellipsoidal instead of
+/// spherical. A natural "future work" extension of the paper: window
+/// features of one motion phase form elongated clouds (EMG amplitude
+/// varies along the movement) that spherical FCM must shatter.
+///
+/// Per cluster i, the norm matrix is A_i = (ρ_i · det F_i)^(1/d) F_i⁻¹
+/// where F_i is the fuzzy covariance of the cluster; distances are
+/// d²(x, c_i) = (x−c_i)ᵀ A_i (x−c_i). Covariances are regularized toward
+/// the identity to stay invertible on degenerate data.
+
+#ifndef MOCEMG_CLUSTER_GUSTAFSON_KESSEL_H_
+#define MOCEMG_CLUSTER_GUSTAFSON_KESSEL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "util/result.h"
+
+namespace mocemg {
+
+/// \brief GK hyper-parameters.
+struct GkOptions {
+  size_t num_clusters = 6;
+  double fuzziness = 2.0;
+  size_t max_iterations = 150;
+  double epsilon = 1e-5;
+  uint64_t seed = 42;
+  /// Covariance regularization: F ← (1−γ)F + γ·σ²I. 0 disables.
+  double regularization = 0.05;
+  /// Cluster volumes ρ_i (all 1 by convention).
+  double volume = 1.0;
+};
+
+/// \brief A fitted GK model.
+struct GkModel {
+  Matrix centers;      ///< c × d
+  Matrix memberships;  ///< n × c, rows sum to 1
+  /// Per-cluster norm matrices A_i, stored stacked (c·d × d).
+  Matrix norm_matrices;
+  std::vector<double> objective_history;
+  size_t iterations = 0;
+
+  size_t num_clusters() const { return centers.rows(); }
+  size_t dimension() const { return centers.cols(); }
+
+  /// \brief The d×d norm matrix of cluster i.
+  Matrix NormMatrix(size_t i) const;
+
+  /// \brief Squared GK distance of a point to cluster i.
+  Result<double> SquaredDistanceTo(size_t i,
+                                   const std::vector<double>& point) const;
+
+  /// \brief Out-of-sample membership row (GK analogue of Eq. 9).
+  Result<std::vector<double>> Membership(
+      const std::vector<double>& point, double fuzziness = 2.0) const;
+};
+
+/// \brief Fits Gustafson–Kessel clustering to row-points.
+Result<GkModel> FitGustafsonKessel(const Matrix& points,
+                                   const GkOptions& options);
+
+}  // namespace mocemg
+
+#endif  // MOCEMG_CLUSTER_GUSTAFSON_KESSEL_H_

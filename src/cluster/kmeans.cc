@@ -1,0 +1,168 @@
+#include "cluster/kmeans.h"
+
+#include <cmath>
+#include <limits>
+
+#include "linalg/vector_ops.h"
+#include "util/macros.h"
+#include "util/random.h"
+
+namespace mocemg {
+namespace {
+
+// k-means++ seeding: first center uniform, subsequent centers sampled
+// proportionally to squared distance from the nearest chosen center.
+Matrix SeedCenters(const Matrix& points, size_t c, Rng* rng) {
+  const size_t n = points.rows();
+  const size_t d = points.cols();
+  Matrix centers(c, d);
+  std::vector<double> min_sq(n, std::numeric_limits<double>::infinity());
+  size_t first = static_cast<size_t>(rng->NextBelow(n));
+  centers.SetRow(0, points.Row(first));
+  for (size_t i = 1; i < c; ++i) {
+    double total = 0.0;
+    const std::vector<double> prev = centers.Row(i - 1);
+    for (size_t k = 0; k < n; ++k) {
+      const double sq = SquaredDistance(points.Row(k), prev);
+      if (sq < min_sq[k]) min_sq[k] = sq;
+      total += min_sq[k];
+    }
+    size_t pick = 0;
+    if (total > 0.0) {
+      double target = rng->NextDouble() * total;
+      double acc = 0.0;
+      for (size_t k = 0; k < n; ++k) {
+        acc += min_sq[k];
+        if (acc >= target) {
+          pick = k;
+          break;
+        }
+      }
+    } else {
+      pick = static_cast<size_t>(rng->NextBelow(n));
+    }
+    centers.SetRow(i, points.Row(pick));
+  }
+  return centers;
+}
+
+struct Fit {
+  KmeansModel model;
+};
+
+Fit FitOnce(const Matrix& points, const KmeansOptions& options,
+            uint64_t seed) {
+  const size_t n = points.rows();
+  const size_t d = points.cols();
+  const size_t c = options.num_clusters;
+  Rng rng(seed);
+  Matrix centers = SeedCenters(points, c, &rng);
+  std::vector<size_t> assign(n, 0);
+
+  size_t iter = 0;
+  double inertia = 0.0;
+  for (; iter < options.max_iterations; ++iter) {
+    // Assignment step.
+    inertia = 0.0;
+    for (size_t k = 0; k < n; ++k) {
+      const std::vector<double> p = points.Row(k);
+      double best = std::numeric_limits<double>::infinity();
+      size_t arg = 0;
+      for (size_t i = 0; i < c; ++i) {
+        const double sq = SquaredDistance(p, centers.Row(i));
+        if (sq < best) {
+          best = sq;
+          arg = i;
+        }
+      }
+      assign[k] = arg;
+      inertia += best;
+    }
+    // Update step.
+    Matrix next(c, d);
+    std::vector<size_t> counts(c, 0);
+    for (size_t k = 0; k < n; ++k) {
+      const double* prow = points.RowPtr(k);
+      double* crow = next.RowPtr(assign[k]);
+      for (size_t j = 0; j < d; ++j) crow[j] += prow[j];
+      ++counts[assign[k]];
+    }
+    double movement = 0.0;
+    for (size_t i = 0; i < c; ++i) {
+      if (counts[i] == 0) {
+        // Empty cluster: re-seed at a random point.
+        next.SetRow(i, points.Row(static_cast<size_t>(rng.NextBelow(n))));
+      } else {
+        double* crow = next.RowPtr(i);
+        for (size_t j = 0; j < d; ++j) {
+          crow[j] /= static_cast<double>(counts[i]);
+        }
+      }
+      movement += EuclideanDistance(next.Row(i), centers.Row(i));
+    }
+    centers = std::move(next);
+    if (movement < options.tolerance) {
+      ++iter;
+      break;
+    }
+  }
+
+  Fit fit;
+  fit.model.centers = std::move(centers);
+  fit.model.assignments = std::move(assign);
+  fit.model.inertia = inertia;
+  fit.model.iterations = iter;
+  return fit;
+}
+
+}  // namespace
+
+Result<KmeansModel> FitKmeans(const Matrix& points,
+                              const KmeansOptions& options) {
+  if (points.rows() == 0 || points.cols() == 0) {
+    return Status::InvalidArgument("k-means on empty point set");
+  }
+  if (options.num_clusters == 0 ||
+      points.rows() < options.num_clusters) {
+    return Status::InvalidArgument(
+        "k-means needs 1 <= c <= n, got c=" +
+        std::to_string(options.num_clusters) + " n=" +
+        std::to_string(points.rows()));
+  }
+  if (options.restarts <= 0 || options.max_iterations == 0) {
+    return Status::InvalidArgument("iterations and restarts must be >= 1");
+  }
+  Rng seeder(options.seed);
+  KmeansModel best;
+  double best_inertia = std::numeric_limits<double>::infinity();
+  for (int r = 0; r < options.restarts; ++r) {
+    Fit fit = FitOnce(points, options, seeder.NextUint64());
+    if (fit.model.inertia < best_inertia) {
+      best_inertia = fit.model.inertia;
+      best = std::move(fit.model);
+    }
+  }
+  return best;
+}
+
+Result<size_t> NearestCenter(const Matrix& centers,
+                             const std::vector<double>& point) {
+  if (centers.rows() == 0) {
+    return Status::InvalidArgument("no centers");
+  }
+  if (point.size() != centers.cols()) {
+    return Status::InvalidArgument("dimension mismatch");
+  }
+  double best = std::numeric_limits<double>::infinity();
+  size_t arg = 0;
+  for (size_t i = 0; i < centers.rows(); ++i) {
+    const double sq = SquaredDistance(point, centers.Row(i));
+    if (sq < best) {
+      best = sq;
+      arg = i;
+    }
+  }
+  return arg;
+}
+
+}  // namespace mocemg

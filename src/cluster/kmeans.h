@@ -1,0 +1,50 @@
+/// \file kmeans.h
+/// \brief Hard k-means (Lloyd's algorithm with k-means++ seeding). Serves
+/// two roles: baseline for the fuzzy-vs-hard ablation (the paper argues
+/// fuzzy clustering suits non-stationary biomedical data better than
+/// "traditional clustering techniques"), and optional FCM initialization.
+
+#ifndef MOCEMG_CLUSTER_KMEANS_H_
+#define MOCEMG_CLUSTER_KMEANS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "util/result.h"
+
+namespace mocemg {
+
+/// \brief k-means hyper-parameters.
+struct KmeansOptions {
+  size_t num_clusters = 6;
+  size_t max_iterations = 200;
+  /// Stop when total center movement falls below this.
+  double tolerance = 1e-8;
+  uint64_t seed = 42;
+  int restarts = 1;
+};
+
+/// \brief A fitted k-means model.
+struct KmeansModel {
+  /// Centers, c × d.
+  Matrix centers;
+  /// Hard assignment per point.
+  std::vector<size_t> assignments;
+  /// Sum of squared distances to assigned centers.
+  double inertia = 0.0;
+  size_t iterations = 0;
+};
+
+/// \brief Fits k-means to row-points; same preconditions as FCM.
+Result<KmeansModel> FitKmeans(const Matrix& points,
+                              const KmeansOptions& options);
+
+/// \brief Index of the nearest center to `point` (hard assignment of an
+/// out-of-sample point).
+Result<size_t> NearestCenter(const Matrix& centers,
+                             const std::vector<double>& point);
+
+}  // namespace mocemg
+
+#endif  // MOCEMG_CLUSTER_KMEANS_H_

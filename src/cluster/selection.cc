@@ -1,0 +1,78 @@
+#include "cluster/selection.h"
+
+#include <limits>
+
+#include "util/macros.h"
+
+namespace mocemg {
+
+const char* SelectionCriterionName(SelectionCriterion criterion) {
+  switch (criterion) {
+    case SelectionCriterion::kXieBeni:
+      return "xie_beni";
+    case SelectionCriterion::kPartitionCoefficient:
+      return "partition_coefficient";
+    case SelectionCriterion::kPartitionEntropy:
+      return "partition_entropy";
+  }
+  return "?";
+}
+
+Result<SelectionResult> SelectClusterCount(
+    const Matrix& points, const SelectionOptions& options) {
+  if (points.rows() == 0) {
+    return Status::InvalidArgument("no points to cluster");
+  }
+  if (options.candidates.empty()) {
+    return Status::InvalidArgument("no candidate cluster counts");
+  }
+  SelectionResult result;
+  double best_score = std::numeric_limits<double>::infinity();
+  for (size_t c : options.candidates) {
+    // Xie–Beni needs >= 2 clusters; every candidate needs c <= n.
+    if (c < 2 || c > points.rows()) continue;
+    FcmOptions fcm = options.fcm;
+    fcm.num_clusters = c;
+    MOCEMG_ASSIGN_OR_RETURN(FcmModel model, FitFcm(points, fcm));
+
+    ClusterCountScore score;
+    score.clusters = c;
+    score.objective = model.objective_history.empty()
+                          ? 0.0
+                          : model.objective_history.back();
+    MOCEMG_ASSIGN_OR_RETURN(score.partition_coefficient,
+                            PartitionCoefficient(model));
+    MOCEMG_ASSIGN_OR_RETURN(score.partition_entropy,
+                            PartitionEntropy(model));
+    auto xb = XieBeniIndex(model, points, fcm.fuzziness);
+    // Coincident centers (degenerate fit at this c) disqualify the
+    // candidate for Xie–Beni but keep the other scores reportable.
+    score.xie_beni = xb.ok() ? *xb : std::numeric_limits<double>::infinity();
+
+    double criterion_value = 0.0;
+    switch (options.criterion) {
+      case SelectionCriterion::kXieBeni:
+        criterion_value = score.xie_beni;
+        break;
+      case SelectionCriterion::kPartitionCoefficient:
+        criterion_value = -score.partition_coefficient;
+        break;
+      case SelectionCriterion::kPartitionEntropy:
+        criterion_value = score.partition_entropy;
+        break;
+    }
+    if (criterion_value < best_score) {
+      best_score = criterion_value;
+      result.recommended_clusters = c;
+    }
+    result.scores.push_back(score);
+  }
+  if (result.scores.empty()) {
+    return Status::InvalidArgument(
+        "no candidate cluster count is feasible for " +
+        std::to_string(points.rows()) + " points");
+  }
+  return result;
+}
+
+}  // namespace mocemg

@@ -1,0 +1,61 @@
+/// \file selection.h
+/// \brief Unsupervised cluster-count selection. The paper observes that
+/// "the performance of the classification varies on choice of cluster
+/// numbers" and simply sweeps c with labelled queries; a deployment
+/// without labels needs a criterion. This module sweeps c, fits FCM at
+/// each, scores the fits with the validity indices, and recommends a c.
+
+#ifndef MOCEMG_CLUSTER_SELECTION_H_
+#define MOCEMG_CLUSTER_SELECTION_H_
+
+#include <vector>
+
+#include "cluster/fcm.h"
+#include "cluster/validity.h"
+#include "util/result.h"
+
+namespace mocemg {
+
+/// \brief Which validity index drives the recommendation.
+enum class SelectionCriterion : int {
+  /// Minimize the Xie–Beni index (compactness over separation).
+  kXieBeni = 0,
+  /// Maximize the partition coefficient.
+  kPartitionCoefficient = 1,
+  /// Minimize the partition entropy.
+  kPartitionEntropy = 2,
+};
+
+const char* SelectionCriterionName(SelectionCriterion criterion);
+
+/// \brief One candidate's scores.
+struct ClusterCountScore {
+  size_t clusters = 0;
+  double xie_beni = 0.0;
+  double partition_coefficient = 0.0;
+  double partition_entropy = 0.0;
+  double objective = 0.0;  ///< final J_m of the fit
+};
+
+/// \brief Sweep configuration.
+struct SelectionOptions {
+  std::vector<size_t> candidates = {2, 4, 6, 8, 10, 12, 15, 20, 25, 30};
+  SelectionCriterion criterion = SelectionCriterion::kXieBeni;
+  FcmOptions fcm;  ///< num_clusters is overwritten per candidate
+};
+
+/// \brief Full sweep outcome.
+struct SelectionResult {
+  std::vector<ClusterCountScore> scores;
+  size_t recommended_clusters = 0;
+};
+
+/// \brief Fits FCM at each candidate c over the window points and picks
+/// the best per the criterion. Candidates exceeding the point count are
+/// skipped; fails if none remain.
+Result<SelectionResult> SelectClusterCount(const Matrix& points,
+                                           const SelectionOptions& options);
+
+}  // namespace mocemg
+
+#endif  // MOCEMG_CLUSTER_SELECTION_H_

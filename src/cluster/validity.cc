@@ -1,0 +1,68 @@
+#include "cluster/validity.h"
+
+#include <cmath>
+#include <limits>
+
+#include "linalg/vector_ops.h"
+
+namespace mocemg {
+
+Result<double> PartitionCoefficient(const FcmModel& model) {
+  const size_t n = model.memberships.rows();
+  const size_t c = model.memberships.cols();
+  if (n == 0 || c == 0) {
+    return Status::InvalidArgument("empty membership matrix");
+  }
+  double sum = 0.0;
+  for (double u : model.memberships.data()) sum += u * u;
+  return sum / static_cast<double>(n);
+}
+
+Result<double> PartitionEntropy(const FcmModel& model) {
+  const size_t n = model.memberships.rows();
+  const size_t c = model.memberships.cols();
+  if (n == 0 || c == 0) {
+    return Status::InvalidArgument("empty membership matrix");
+  }
+  double sum = 0.0;
+  for (double u : model.memberships.data()) {
+    if (u > 0.0) sum += u * std::log(u);
+  }
+  return -sum / static_cast<double>(n);
+}
+
+Result<double> XieBeniIndex(const FcmModel& model, const Matrix& points,
+                            double fuzziness) {
+  const size_t n = points.rows();
+  const size_t c = model.centers.rows();
+  if (n == 0 || c < 2) {
+    return Status::InvalidArgument(
+        "Xie-Beni needs points and at least two clusters");
+  }
+  if (model.memberships.rows() != n || model.memberships.cols() != c) {
+    return Status::InvalidArgument(
+        "membership matrix does not match points/centers");
+  }
+  double compactness = 0.0;
+  for (size_t k = 0; k < n; ++k) {
+    const std::vector<double> p = points.Row(k);
+    for (size_t i = 0; i < c; ++i) {
+      compactness += std::pow(model.memberships(k, i), fuzziness) *
+                     SquaredDistance(p, model.centers.Row(i));
+    }
+  }
+  double min_sep = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < c; ++i) {
+    for (size_t j = i + 1; j < c; ++j) {
+      min_sep = std::min(
+          min_sep,
+          SquaredDistance(model.centers.Row(i), model.centers.Row(j)));
+    }
+  }
+  if (min_sep <= 0.0) {
+    return Status::NumericalError("coincident cluster centers");
+  }
+  return compactness / (static_cast<double>(n) * min_sep);
+}
+
+}  // namespace mocemg

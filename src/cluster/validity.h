@@ -1,0 +1,30 @@
+/// \file validity.h
+/// \brief Cluster-validity indices for choosing the "pre-determined number
+/// of clusters" the paper sweeps: partition coefficient and partition
+/// entropy (Bezdek) and the Xie–Beni index. The figure benches report the
+/// classification metrics; these indices let a user pick c without labels.
+
+#ifndef MOCEMG_CLUSTER_VALIDITY_H_
+#define MOCEMG_CLUSTER_VALIDITY_H_
+
+#include "cluster/fcm.h"
+#include "util/result.h"
+
+namespace mocemg {
+
+/// \brief Partition coefficient PC = (1/N) Σ_k Σ_i u_ik². Ranges (1/c, 1];
+/// higher = crisper partition.
+Result<double> PartitionCoefficient(const FcmModel& model);
+
+/// \brief Partition entropy PE = −(1/N) Σ_k Σ_i u_ik ln u_ik. Ranges
+/// [0, ln c); lower = crisper partition.
+Result<double> PartitionEntropy(const FcmModel& model);
+
+/// \brief Xie–Beni index: J_m-style compactness over N·(minimum squared
+/// center separation). Lower is better. Needs the original points.
+Result<double> XieBeniIndex(const FcmModel& model, const Matrix& points,
+                            double fuzziness = 2.0);
+
+}  // namespace mocemg
+
+#endif  // MOCEMG_CLUSTER_VALIDITY_H_

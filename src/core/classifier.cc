@@ -1,0 +1,232 @@
+#include "core/classifier.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "cluster/kmeans.h"
+#include "linalg/vector_ops.h"
+#include "util/macros.h"
+
+namespace mocemg {
+namespace {
+
+// Extracts raw (un-normalized) window features, conditioning EMG first
+// when configured.
+Result<Matrix> RawWindowPoints(const MotionSequence& mocap,
+                               const EmgRecording& emg,
+                               const ClassifierOptions& options) {
+  EmgRecording conditioned;
+  const EmgRecording* emg_ptr = &emg;
+  if (options.features.use_emg && options.condition_emg) {
+    AcquisitionOptions acq = options.acquisition;
+    acq.output_rate_hz = mocap.frame_rate_hz();
+    MOCEMG_ASSIGN_OR_RETURN(conditioned, ConditionRecording(emg, acq));
+    emg_ptr = &conditioned;
+  }
+  MOCEMG_ASSIGN_OR_RETURN(
+      WindowFeatureMatrix features,
+      ExtractWindowFeatures(mocap, *emg_ptr, options.features));
+  return std::move(features.points);
+}
+
+}  // namespace
+
+Result<MotionClassifier> MotionClassifier::Train(
+    const std::vector<LabeledMotion>& motions,
+    const ClassifierOptions& options) {
+  if (motions.empty()) {
+    return Status::InvalidArgument("cannot train on an empty database");
+  }
+  MotionClassifier clf;
+  clf.options_ = options;
+
+  // 1. Window features for every motion; remember per-motion row spans.
+  Matrix all_points;
+  std::vector<std::pair<size_t, size_t>> spans;
+  spans.reserve(motions.size());
+  for (size_t i = 0; i < motions.size(); ++i) {
+    auto points =
+        RawWindowPoints(motions[i].mocap, motions[i].emg, options);
+    if (!points.ok()) {
+      return points.status().WithContext("while featurizing motion " +
+                                         std::to_string(i) + " ('" +
+                                         motions[i].label_name + "')");
+    }
+    const size_t begin = all_points.rows();
+    MOCEMG_RETURN_NOT_OK(all_points.AppendRows(*points));
+    spans.emplace_back(begin, all_points.rows());
+  }
+
+  // 2. Normalize over the pooled window points.
+  if (options.normalize_features) {
+    MOCEMG_ASSIGN_OR_RETURN(clf.normalizer_, Normalizer::Fit(all_points));
+  } else {
+    clf.normalizer_ = Normalizer::Identity(all_points.cols());
+  }
+  if (options.balance_modalities && options.features.use_emg &&
+      options.features.use_mocap) {
+    // Equalize the modalities' expected contribution to squared
+    // distances: each block scaled by 1/√(block dims). Block layout is
+    // [EMG | mocap] (Section 3.3's append order).
+    const size_t emg_channels = motions[0].emg.num_channels();
+    WindowFeatureOptions emg_only = options.features;
+    emg_only.use_mocap = false;
+    const size_t emg_dim =
+        WindowFeatureDimension(emg_only, emg_channels, 0);
+    const size_t total = all_points.cols();
+    if (emg_dim == 0 || emg_dim >= total) {
+      return Status::FailedPrecondition(
+          "modality balancing found a degenerate block split");
+    }
+    const double emg_scale = 1.0 / std::sqrt(static_cast<double>(emg_dim));
+    const double mocap_scale =
+        1.0 / std::sqrt(static_cast<double>(total - emg_dim));
+    for (size_t j = 0; j < total; ++j) {
+      MOCEMG_RETURN_NOT_OK(clf.normalizer_.ScaleOutput(
+          j, j < emg_dim ? emg_scale : mocap_scale));
+    }
+  }
+  MOCEMG_ASSIGN_OR_RETURN(Matrix normalized,
+                          clf.normalizer_.Transform(all_points));
+
+  // 3. Codebook: FCM (the paper) or k-means (ablation).
+  if (options.cluster_method == ClusterMethod::kFuzzyCMeans) {
+    MOCEMG_ASSIGN_OR_RETURN(clf.codebook_,
+                            FcmCodebook::Train(normalized, options.fcm));
+  } else {
+    KmeansOptions km;
+    km.num_clusters = options.fcm.num_clusters;
+    km.seed = options.fcm.seed;
+    km.restarts = options.fcm.restarts;
+    MOCEMG_ASSIGN_OR_RETURN(KmeansModel model, FitKmeans(normalized, km));
+    MOCEMG_ASSIGN_OR_RETURN(
+        clf.codebook_,
+        FcmCodebook::FromCenters(std::move(model.centers),
+                                 options.fcm.fuzziness));
+  }
+
+  // 4. Final feature vector per motion (Eq. 5–8 on Eq. 9 memberships).
+  const size_t feature_len =
+      options.cluster_method == ClusterMethod::kFuzzyCMeans
+          ? 2 * clf.codebook_.num_clusters()
+          : clf.codebook_.num_clusters();
+  clf.final_features_ = Matrix(motions.size(), feature_len);
+  for (size_t i = 0; i < motions.size(); ++i) {
+    const Matrix points =
+        normalized.RowSlice(spans[i].first, spans[i].second);
+    MOCEMG_ASSIGN_OR_RETURN(std::vector<double> feature,
+                            clf.FinalFeature(points));
+    clf.final_features_.SetRow(i, feature);
+    clf.labels_.push_back(motions[i].label);
+    clf.label_names_.push_back(motions[i].label_name);
+  }
+  return clf;
+}
+
+Result<MotionClassifier> MotionClassifier::FromParts(
+    const ClassifierOptions& options, Normalizer normalizer,
+    FcmCodebook codebook, Matrix final_features,
+    std::vector<size_t> labels, std::vector<std::string> label_names) {
+  if (codebook.num_clusters() == 0) {
+    return Status::InvalidArgument("codebook has no clusters");
+  }
+  if (normalizer.dimension() != codebook.dimension()) {
+    return Status::InvalidArgument(
+        "normalizer dimension " + std::to_string(normalizer.dimension()) +
+        " does not match codebook dimension " +
+        std::to_string(codebook.dimension()));
+  }
+  const size_t expected_len =
+      options.cluster_method == ClusterMethod::kFuzzyCMeans
+          ? 2 * codebook.num_clusters()
+          : codebook.num_clusters();
+  if (final_features.cols() != expected_len) {
+    return Status::InvalidArgument(
+        "final features have length " +
+        std::to_string(final_features.cols()) + ", expected " +
+        std::to_string(expected_len));
+  }
+  if (final_features.rows() != labels.size() ||
+      labels.size() != label_names.size() || labels.empty()) {
+    return Status::InvalidArgument(
+        "final features / labels / names are inconsistent or empty");
+  }
+  MotionClassifier clf;
+  clf.options_ = options;
+  // Balancing is baked into the persisted normalizer (see header note);
+  // clear the flag so nothing downstream re-applies it.
+  clf.options_.balance_modalities = false;
+  clf.normalizer_ = std::move(normalizer);
+  clf.codebook_ = std::move(codebook);
+  clf.final_features_ = std::move(final_features);
+  clf.labels_ = std::move(labels);
+  clf.label_names_ = std::move(label_names);
+  return clf;
+}
+
+Result<Matrix> MotionClassifier::WindowPoints(
+    const MotionSequence& mocap, const EmgRecording& emg) const {
+  MOCEMG_ASSIGN_OR_RETURN(Matrix points,
+                          RawWindowPoints(mocap, emg, options_));
+  return normalizer_.Transform(points);
+}
+
+Result<std::vector<double>> MotionClassifier::FinalFeature(
+    const Matrix& points) const {
+  if (options_.cluster_method == ClusterMethod::kFuzzyCMeans) {
+    MOCEMG_ASSIGN_OR_RETURN(Matrix memberships,
+                            codebook_.MembershipMatrix(points));
+    return FinalMotionFeature(memberships);
+  }
+  return HardAssignmentFeature(codebook_.centers(), points);
+}
+
+Result<std::vector<double>> MotionClassifier::Featurize(
+    const MotionSequence& mocap, const EmgRecording& emg) const {
+  if (codebook_.num_clusters() == 0) {
+    return Status::FailedPrecondition("classifier is not trained");
+  }
+  MOCEMG_ASSIGN_OR_RETURN(Matrix points, WindowPoints(mocap, emg));
+  return FinalFeature(points);
+}
+
+Result<std::vector<MotionMatch>> MotionClassifier::NearestNeighbors(
+    const std::vector<double>& final_feature, size_t k) const {
+  if (final_features_.rows() == 0) {
+    return Status::FailedPrecondition("classifier is not trained");
+  }
+  if (final_feature.size() != final_features_.cols()) {
+    return Status::InvalidArgument(
+        "final feature dimension mismatch: got " +
+        std::to_string(final_feature.size()) + ", database has " +
+        std::to_string(final_features_.cols()));
+  }
+  if (k == 0) return Status::InvalidArgument("k must be >= 1");
+  std::vector<MotionMatch> matches(final_features_.rows());
+  for (size_t i = 0; i < final_features_.rows(); ++i) {
+    matches[i].index = i;
+    matches[i].label = labels_[i];
+    matches[i].distance =
+        EuclideanDistance(final_feature, final_features_.Row(i));
+  }
+  const size_t kk = std::min(k, matches.size());
+  std::partial_sort(matches.begin(),
+                    matches.begin() + static_cast<ptrdiff_t>(kk),
+                    matches.end(),
+                    [](const MotionMatch& a, const MotionMatch& b) {
+                      return a.distance < b.distance;
+                    });
+  matches.resize(kk);
+  return matches;
+}
+
+Result<size_t> MotionClassifier::Classify(const MotionSequence& mocap,
+                                          const EmgRecording& emg) const {
+  MOCEMG_ASSIGN_OR_RETURN(std::vector<double> feature,
+                          Featurize(mocap, emg));
+  MOCEMG_ASSIGN_OR_RETURN(std::vector<MotionMatch> nn,
+                          NearestNeighbors(feature, 1));
+  return nn[0].label;
+}
+
+}  // namespace mocemg

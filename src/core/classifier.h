@@ -1,0 +1,130 @@
+/// \file classifier.h
+/// \brief End-to-end facade over the paper's pipeline: condition EMG →
+/// local-transform mocap → window features (IAV ⊕ weighted SVD) →
+/// normalize → FCM codebook → final 2c feature vectors → nearest-
+/// neighbour classification / retrieval. This is the type a downstream
+/// application holds.
+
+#ifndef MOCEMG_CORE_CLASSIFIER_H_
+#define MOCEMG_CORE_CLASSIFIER_H_
+
+#include <string>
+#include <vector>
+
+#include "core/codebook.h"
+#include "core/normalizer.h"
+#include "core/window_features.h"
+#include "emg/acquisition.h"
+#include "util/result.h"
+
+namespace mocemg {
+
+/// \brief One training motion: the synchronized capture plus its label.
+struct LabeledMotion {
+  MotionSequence mocap;  ///< global coordinates, capture frame rate
+  EmgRecording emg;      ///< raw (signed, high-rate) unless
+                         ///< ClassifierOptions::condition_emg is false
+  size_t label = 0;
+  std::string label_name;
+};
+
+/// \brief Clustering backend for the codebook.
+enum class ClusterMethod : int {
+  /// The paper's fuzzy c-means with membership min/max features.
+  kFuzzyCMeans = 0,
+  /// Hard k-means with vote-fraction features (ablation A2).
+  kKmeansHard = 1,
+};
+
+/// \brief Full pipeline configuration.
+struct ClassifierOptions {
+  WindowFeatureOptions features;
+  FcmOptions fcm;
+  AcquisitionOptions acquisition;
+  /// When true (default) LabeledMotion::emg / query EMG is raw and the
+  /// acquisition chain is applied; set false if inputs are already
+  /// conditioned to the mocap frame rate.
+  bool condition_emg = true;
+  /// z-score the window features before clustering (ablation A4).
+  bool normalize_features = true;
+  /// After z-scoring, scale each modality block by 1/√(its dimension) so
+  /// EMG and mocap contribute equal expected mass to the Euclidean
+  /// metric FCM clusters with. Without this, the hand's 12 mocap
+  /// dimensions out-vote its 4 EMG dimensions ~3:1 and the "integration"
+  /// degenerates toward mocap-only (ablation A4 quantifies it).
+  bool balance_modalities = true;
+  ClusterMethod cluster_method = ClusterMethod::kFuzzyCMeans;
+};
+
+/// \brief A retrieval hit.
+struct MotionMatch {
+  size_t index = 0;      ///< position in the training set
+  size_t label = 0;
+  double distance = 0.0;  ///< Euclidean distance in final-feature space
+};
+
+/// \brief Trained classifier: codebook + normalizer + the database's
+/// final feature vectors.
+class MotionClassifier {
+ public:
+  MotionClassifier() = default;
+
+  /// \brief Trains the full pipeline on labelled captures. All motions
+  /// must share marker set/channel layout; fails otherwise.
+  static Result<MotionClassifier> Train(
+      const std::vector<LabeledMotion>& motions,
+      const ClassifierOptions& options);
+
+  /// \brief Reassembles a classifier from persisted parts (model_io.h).
+  /// `final_features` rows must match labels/names; the feature length
+  /// must agree with the codebook under the options' cluster method.
+  /// Note: `options.balance_modalities` is already folded into the
+  /// persisted normalizer, so FromParts must not re-apply it.
+  static Result<MotionClassifier> FromParts(
+      const ClassifierOptions& options, Normalizer normalizer,
+      FcmCodebook codebook, Matrix final_features,
+      std::vector<size_t> labels, std::vector<std::string> label_names);
+
+  /// \brief Runs the feature pipeline on one (query) capture and returns
+  /// its final feature vector (length 2c for FCM, c for the hard-cluster
+  /// ablation).
+  Result<std::vector<double>> Featurize(const MotionSequence& mocap,
+                                        const EmgRecording& emg) const;
+
+  /// \brief k nearest training motions to a final feature vector,
+  /// ascending by distance.
+  Result<std::vector<MotionMatch>> NearestNeighbors(
+      const std::vector<double>& final_feature, size_t k) const;
+
+  /// \brief Classifies a capture by its nearest neighbour's label.
+  Result<size_t> Classify(const MotionSequence& mocap,
+                          const EmgRecording& emg) const;
+
+  /// \brief Training-set final features as rows (one per motion).
+  const Matrix& final_features() const { return final_features_; }
+  const std::vector<size_t>& labels() const { return labels_; }
+  const std::vector<std::string>& label_names() const {
+    return label_names_;
+  }
+  const FcmCodebook& codebook() const { return codebook_; }
+  const Normalizer& normalizer() const { return normalizer_; }
+  const ClassifierOptions& options() const { return options_; }
+  size_t num_motions() const { return labels_.size(); }
+
+ private:
+  /// Window features of one capture, normalized.
+  Result<Matrix> WindowPoints(const MotionSequence& mocap,
+                              const EmgRecording& emg) const;
+  Result<std::vector<double>> FinalFeature(const Matrix& points) const;
+
+  ClassifierOptions options_;
+  Normalizer normalizer_;
+  FcmCodebook codebook_;
+  Matrix final_features_;
+  std::vector<size_t> labels_;
+  std::vector<std::string> label_names_;
+};
+
+}  // namespace mocemg
+
+#endif  // MOCEMG_CORE_CLASSIFIER_H_

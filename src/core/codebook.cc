@@ -1,0 +1,106 @@
+#include "core/codebook.h"
+
+#include "cluster/kmeans.h"
+#include "util/macros.h"
+
+namespace mocemg {
+
+Result<FcmCodebook> FcmCodebook::Train(const Matrix& points,
+                                       const FcmOptions& options) {
+  MOCEMG_ASSIGN_OR_RETURN(FcmModel model, FitFcm(points, options));
+  FcmCodebook book;
+  book.centers_ = std::move(model.centers);
+  book.fuzziness_ = options.fuzziness;
+  return book;
+}
+
+Result<FcmCodebook> FcmCodebook::FromCenters(Matrix centers,
+                                             double fuzziness) {
+  if (centers.rows() == 0 || centers.cols() == 0) {
+    return Status::InvalidArgument("codebook needs non-empty centers");
+  }
+  if (fuzziness <= 1.0) {
+    return Status::InvalidArgument("fuzzifier m must be > 1");
+  }
+  FcmCodebook book;
+  book.centers_ = std::move(centers);
+  book.fuzziness_ = fuzziness;
+  return book;
+}
+
+Result<std::vector<double>> FcmCodebook::Membership(
+    const std::vector<double>& point) const {
+  return EvaluateMembership(centers_, point, fuzziness_);
+}
+
+Result<Matrix> FcmCodebook::MembershipMatrix(const Matrix& points) const {
+  if (points.cols() != dimension()) {
+    return Status::InvalidArgument(
+        "points dimension " + std::to_string(points.cols()) +
+        " does not match codebook dimension " +
+        std::to_string(dimension()));
+  }
+  Matrix out(points.rows(), num_clusters());
+  for (size_t i = 0; i < points.rows(); ++i) {
+    MOCEMG_ASSIGN_OR_RETURN(std::vector<double> row,
+                            Membership(points.Row(i)));
+    out.SetRow(i, row);
+  }
+  return out;
+}
+
+Result<std::vector<double>> FinalMotionFeature(const Matrix& memberships) {
+  const size_t windows = memberships.rows();
+  const size_t c = memberships.cols();
+  if (windows == 0 || c == 0) {
+    return Status::InvalidArgument("empty membership matrix");
+  }
+  // Per window: the highest membership h_t and its cluster a_t (Eq. 5–6).
+  std::vector<double> max_per_cluster(c, 0.0);
+  std::vector<double> min_per_cluster(c, 0.0);
+  std::vector<bool> seen(c, false);
+  for (size_t w = 0; w < windows; ++w) {
+    const double* row = memberships.RowPtr(w);
+    size_t arg = 0;
+    double best = row[0];
+    for (size_t i = 1; i < c; ++i) {
+      if (row[i] > best) {
+        best = row[i];
+        arg = i;
+      }
+    }
+    if (!seen[arg]) {
+      seen[arg] = true;
+      max_per_cluster[arg] = best;
+      min_per_cluster[arg] = best;
+    } else {
+      if (best > max_per_cluster[arg]) max_per_cluster[arg] = best;
+      if (best < min_per_cluster[arg]) min_per_cluster[arg] = best;
+    }
+  }
+  // Layout [min_i, max_i] per cluster (Eq. 7–8; Figure 4's x-axis).
+  std::vector<double> feature(2 * c, 0.0);
+  for (size_t i = 0; i < c; ++i) {
+    feature[2 * i] = min_per_cluster[i];
+    feature[2 * i + 1] = max_per_cluster[i];
+  }
+  return feature;
+}
+
+Result<std::vector<double>> HardAssignmentFeature(const Matrix& centers,
+                                                  const Matrix& points) {
+  if (points.rows() == 0) {
+    return Status::InvalidArgument("no window points");
+  }
+  std::vector<double> votes(centers.rows(), 0.0);
+  for (size_t i = 0; i < points.rows(); ++i) {
+    MOCEMG_ASSIGN_OR_RETURN(size_t arg,
+                            NearestCenter(centers, points.Row(i)));
+    votes[arg] += 1.0;
+  }
+  const double inv = 1.0 / static_cast<double>(points.rows());
+  for (double& v : votes) v *= inv;
+  return votes;
+}
+
+}  // namespace mocemg

@@ -1,0 +1,65 @@
+/// \file codebook.h
+/// \brief The fuzzy codebook: FCM centers trained on the database's
+/// window points (Eq. 4), membership evaluation for any window point
+/// (Eq. 9), and the final motion feature vector built from per-cluster
+/// [min, max] of the highest memberships (Eq. 5–8).
+
+#ifndef MOCEMG_CORE_CODEBOOK_H_
+#define MOCEMG_CORE_CODEBOOK_H_
+
+#include <vector>
+
+#include "cluster/fcm.h"
+#include "linalg/matrix.h"
+#include "util/result.h"
+
+namespace mocemg {
+
+/// \brief Trained FCM centers plus the fuzzifier; the object queries are
+/// scored against.
+class FcmCodebook {
+ public:
+  FcmCodebook() = default;
+
+  /// \brief Trains the codebook on (already normalized) window points.
+  static Result<FcmCodebook> Train(const Matrix& points,
+                                   const FcmOptions& options);
+
+  /// \brief Builds a codebook from externally computed centers (e.g. the
+  /// k-means ablation or deserialization).
+  static Result<FcmCodebook> FromCenters(Matrix centers, double fuzziness);
+
+  size_t num_clusters() const { return centers_.rows(); }
+  size_t dimension() const { return centers_.cols(); }
+  const Matrix& centers() const { return centers_; }
+  double fuzziness() const { return fuzziness_; }
+
+  /// \brief Degrees of membership of one window point with every cluster
+  /// (Eq. 9).
+  Result<std::vector<double>> Membership(
+      const std::vector<double>& point) const;
+
+  /// \brief Membership rows for a whole window-feature matrix.
+  Result<Matrix> MembershipMatrix(const Matrix& points) const;
+
+ private:
+  Matrix centers_;
+  double fuzziness_ = 2.0;
+};
+
+/// \brief Eq. 5–8: from a motion's windows × c membership matrix, take
+/// each window's highest membership and its cluster, then per cluster the
+/// max (Eq. 7) and min (Eq. 8) of those highest values. Clusters that win
+/// no window contribute (0, 0). Layout: [min_1, max_1, …, min_c, max_c],
+/// length 2c.
+Result<std::vector<double>> FinalMotionFeature(const Matrix& memberships);
+
+/// \brief Hard-assignment analogue for the fuzzy-vs-hard ablation: each
+/// window one-hot votes for its nearest center; the final vector is the
+/// per-cluster fraction of windows won (length c, sums to 1).
+Result<std::vector<double>> HardAssignmentFeature(const Matrix& centers,
+                                                  const Matrix& points);
+
+}  // namespace mocemg
+
+#endif  // MOCEMG_CORE_CODEBOOK_H_

@@ -1,0 +1,80 @@
+#include "core/mocap_features.h"
+
+#include "linalg/svd.h"
+#include "util/macros.h"
+
+namespace mocemg {
+
+const char* MocapFeatureKindName(MocapFeatureKind kind) {
+  switch (kind) {
+    case MocapFeatureKind::kWeightedSvd:
+      return "weighted_svd";
+    case MocapFeatureKind::kMeanPosition:
+      return "mean_position";
+    case MocapFeatureKind::kDisplacement:
+      return "displacement";
+  }
+  return "?";
+}
+
+Result<std::vector<double>> WeightedSvdFeature(const Matrix& joint_window) {
+  if (joint_window.cols() != 3) {
+    return Status::InvalidArgument(
+        "joint window must have 3 columns (x, y, z), got " +
+        std::to_string(joint_window.cols()));
+  }
+  if (joint_window.rows() == 0) {
+    return Status::InvalidArgument("empty joint window");
+  }
+  MOCEMG_ASSIGN_OR_RETURN(SvdResult svd, ComputeSvd(joint_window));
+
+  double sigma_sum = 0.0;
+  for (double s : svd.singular_values) sigma_sum += s;
+  std::vector<double> feature(3, 0.0);
+  if (sigma_sum <= 0.0) return feature;  // stationary at the origin
+
+  // f = Σ_i ŵ_i v_i with ŵ_i = σ_i / Σσ (Eq. 3). With windows shorter
+  // than 3 frames fewer singular pairs exist; the sum simply runs over
+  // the available ones.
+  for (size_t i = 0; i < svd.singular_values.size(); ++i) {
+    const double w = svd.singular_values[i] / sigma_sum;
+    for (size_t j = 0; j < 3; ++j) {
+      feature[j] += w * svd.v(j, i);
+    }
+  }
+  return feature;
+}
+
+Result<std::vector<double>> ExtractMocapFeature(MocapFeatureKind kind,
+                                                const Matrix& joint_window) {
+  if (joint_window.cols() != 3 || joint_window.rows() == 0) {
+    return Status::InvalidArgument("joint window must be w x 3, w >= 1");
+  }
+  switch (kind) {
+    case MocapFeatureKind::kWeightedSvd:
+      return WeightedSvdFeature(joint_window);
+    case MocapFeatureKind::kMeanPosition: {
+      std::vector<double> f(3, 0.0);
+      for (size_t r = 0; r < joint_window.rows(); ++r) {
+        for (size_t c = 0; c < 3; ++c) f[c] += joint_window(r, c);
+      }
+      const double inv = 1.0 / static_cast<double>(joint_window.rows());
+      for (double& v : f) v *= inv;
+      // Positions are mm-scale; bring to O(1) like the SVD feature so the
+      // ablation compares feature *content*, not numeric range.
+      for (double& v : f) v /= 1000.0;
+      return f;
+    }
+    case MocapFeatureKind::kDisplacement: {
+      const size_t last = joint_window.rows() - 1;
+      std::vector<double> f(3);
+      for (size_t c = 0; c < 3; ++c) {
+        f[c] = (joint_window(last, c) - joint_window(0, c)) / 1000.0;
+      }
+      return f;
+    }
+  }
+  return Status::InvalidArgument("unknown mocap feature kind");
+}
+
+}  // namespace mocemg

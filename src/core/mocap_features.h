@@ -1,0 +1,44 @@
+/// \file mocap_features.h
+/// \brief Mocap window features. The paper's mapping (Eq. 2–3): the w×3
+/// joint matrix of a window is decomposed with SVD and the three right
+/// singular vectors, weighted by their normalized singular values, are
+/// summed into a 3-vector that "represents the contribution of the
+/// corresponding joint to the motion … and captures the geometric
+/// similarity of motion matrices". Naive alternatives are provided for
+/// the ablation bench (abl3).
+
+#ifndef MOCEMG_CORE_MOCAP_FEATURES_H_
+#define MOCEMG_CORE_MOCAP_FEATURES_H_
+
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "util/result.h"
+
+namespace mocemg {
+
+/// \brief Which per-joint window feature to compute.
+enum class MocapFeatureKind : int {
+  /// The paper's weighted-SVD feature (Eq. 3): f = Σ_i (σ_i/Σσ)·v_i.
+  kWeightedSvd = 0,
+  /// Mean position of the window (baseline).
+  kMeanPosition,
+  /// Net displacement (last − first frame) of the window (baseline).
+  kDisplacement,
+};
+
+const char* MocapFeatureKindName(MocapFeatureKind kind);
+
+/// \brief The weighted-SVD joint feature (Eq. 2–3). `joint_window` is the
+/// w×3 slice of one joint's trajectory within one window; the result is a
+/// 3-vector. Degenerate windows (all singular values zero, i.e. the joint
+/// did not move and sits at the local origin) yield the zero vector.
+Result<std::vector<double>> WeightedSvdFeature(const Matrix& joint_window);
+
+/// \brief Computes the selected per-joint feature (always length 3).
+Result<std::vector<double>> ExtractMocapFeature(MocapFeatureKind kind,
+                                                const Matrix& joint_window);
+
+}  // namespace mocemg
+
+#endif  // MOCEMG_CORE_MOCAP_FEATURES_H_

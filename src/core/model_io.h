@@ -1,0 +1,38 @@
+/// \file model_io.h
+/// \brief Persistence for trained MotionClassifier models.
+///
+/// A deployed application (a prosthetic controller, a gait-lab station)
+/// trains once on the database and classifies for weeks; it must not
+/// re-run FCM at boot. The model file is a self-describing text format
+/// ("MOCEMGM1") holding the pipeline options that affect inference, the
+/// fitted normalizer, the FCM centers, and the database's final feature
+/// vectors with labels. Loading reconstructs a classifier that produces
+/// bit-identical Featurize()/Classify() results.
+
+#ifndef MOCEMG_CORE_MODEL_IO_H_
+#define MOCEMG_CORE_MODEL_IO_H_
+
+#include <string>
+
+#include "core/classifier.h"
+#include "util/result.h"
+
+namespace mocemg {
+
+/// \brief Serializes a trained classifier to the model text format.
+Result<std::string> SerializeClassifier(const MotionClassifier& classifier);
+
+/// \brief Reconstructs a classifier from model text. Fails on version
+/// mismatch, truncation, or any shape inconsistency.
+Result<MotionClassifier> DeserializeClassifier(const std::string& text);
+
+/// \brief Writes a trained classifier to a file.
+Status SaveClassifier(const MotionClassifier& classifier,
+                      const std::string& path);
+
+/// \brief Reads a trained classifier from a file.
+Result<MotionClassifier> LoadClassifier(const std::string& path);
+
+}  // namespace mocemg
+
+#endif  // MOCEMG_CORE_MODEL_IO_H_

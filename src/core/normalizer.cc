@@ -1,0 +1,106 @@
+#include "core/normalizer.h"
+
+#include <cmath>
+
+namespace mocemg {
+
+Result<Normalizer> Normalizer::Fit(const Matrix& points) {
+  const size_t n = points.rows();
+  const size_t d = points.cols();
+  if (n == 0 || d == 0) {
+    return Status::InvalidArgument("cannot fit normalizer on empty data");
+  }
+  Normalizer norm;
+  norm.mean_.assign(d, 0.0);
+  norm.stddev_.assign(d, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    const double* row = points.RowPtr(i);
+    for (size_t j = 0; j < d; ++j) norm.mean_[j] += row[j];
+  }
+  for (double& m : norm.mean_) m /= static_cast<double>(n);
+  for (size_t i = 0; i < n; ++i) {
+    const double* row = points.RowPtr(i);
+    for (size_t j = 0; j < d; ++j) {
+      const double delta = row[j] - norm.mean_[j];
+      norm.stddev_[j] += delta * delta;
+    }
+  }
+  for (double& s : norm.stddev_) {
+    s = std::sqrt(s / static_cast<double>(n));
+    if (s <= 0.0 || !std::isfinite(s)) s = 1.0;
+  }
+  return norm;
+}
+
+Result<Normalizer> Normalizer::FromMoments(std::vector<double> mean,
+                                           std::vector<double> stddev) {
+  if (mean.empty() || mean.size() != stddev.size()) {
+    return Status::InvalidArgument("moment vectors empty or mismatched");
+  }
+  for (double s : stddev) {
+    if (s <= 0.0 || !std::isfinite(s)) {
+      return Status::InvalidArgument("stddev entries must be positive");
+    }
+  }
+  Normalizer norm;
+  norm.mean_ = std::move(mean);
+  norm.stddev_ = std::move(stddev);
+  return norm;
+}
+
+Normalizer Normalizer::Identity(size_t dim) {
+  Normalizer norm;
+  norm.mean_.assign(dim, 0.0);
+  norm.stddev_.assign(dim, 1.0);
+  return norm;
+}
+
+Result<Matrix> Normalizer::Transform(const Matrix& points) const {
+  if (points.cols() != dimension()) {
+    return Status::InvalidArgument(
+        "normalizer dimension " + std::to_string(dimension()) +
+        " does not match points of dimension " +
+        std::to_string(points.cols()));
+  }
+  Matrix out = points;
+  for (size_t i = 0; i < out.rows(); ++i) {
+    double* row = out.RowPtr(i);
+    for (size_t j = 0; j < dimension(); ++j) {
+      row[j] = (row[j] - mean_[j]) / stddev_[j];
+    }
+  }
+  return out;
+}
+
+Status Normalizer::TransformInPlace(std::vector<double>* point) const {
+  if (point == nullptr || point->size() != dimension()) {
+    return Status::InvalidArgument("point dimension mismatch");
+  }
+  for (size_t j = 0; j < dimension(); ++j) {
+    (*point)[j] = ((*point)[j] - mean_[j]) / stddev_[j];
+  }
+  return Status::OK();
+}
+
+Status Normalizer::ScaleOutput(size_t dimension, double factor) {
+  if (dimension >= stddev_.size()) {
+    return Status::OutOfRange("dimension outside normalizer");
+  }
+  if (factor <= 0.0 || !std::isfinite(factor)) {
+    return Status::InvalidArgument("scale factor must be positive");
+  }
+  stddev_[dimension] /= factor;
+  return Status::OK();
+}
+
+Status Normalizer::InverseInPlace(std::vector<double>* point) const {
+  if (point == nullptr || point->size() != dimension()) {
+    return Status::InvalidArgument("point dimension mismatch");
+  }
+  for (size_t j = 0; j < dimension(); ++j) {
+    (*point)[j] = (*point)[j] * stddev_[j] + mean_[j];
+  }
+  return Status::OK();
+}
+
+}  // namespace mocemg

@@ -1,0 +1,66 @@
+/// \file normalizer.h
+/// \brief Per-dimension z-score normalization fitted on the database's
+/// window points and applied to queries.
+///
+/// The paper appends volt-scale IAV values (~1e−5) to unit-scale
+/// weighted-SVD components and clusters with Euclidean FCM; without
+/// rescaling, the EMG dimensions would be numerically invisible and the
+/// "integration" of the two modalities vacuous. The paper does not spell
+/// this step out; the ablation bench abl4 quantifies it.
+
+#ifndef MOCEMG_CORE_NORMALIZER_H_
+#define MOCEMG_CORE_NORMALIZER_H_
+
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "util/result.h"
+
+namespace mocemg {
+
+/// \brief Fitted affine per-dimension transform x → (x − μ) / σ.
+class Normalizer {
+ public:
+  Normalizer() = default;
+
+  /// \brief Fits means and standard deviations on row-points. Dimensions
+  /// with zero variance get σ = 1 (pass-through after centering).
+  static Result<Normalizer> Fit(const Matrix& points);
+
+  /// \brief An identity normalizer of dimension `dim` (ablation off-arm).
+  static Normalizer Identity(size_t dim);
+
+  /// \brief Reconstructs a normalizer from stored moments
+  /// (deserialization); stddev entries must be positive and finite.
+  static Result<Normalizer> FromMoments(std::vector<double> mean,
+                                        std::vector<double> stddev);
+
+  /// \brief Transforms a matrix of row-points (must match dimension).
+  Result<Matrix> Transform(const Matrix& points) const;
+
+  /// \brief Transforms one point in place.
+  Status TransformInPlace(std::vector<double>* point) const;
+
+  /// \brief Inverse transform of one point (for reporting in raw units).
+  Status InverseInPlace(std::vector<double>* point) const;
+
+  /// \brief Multiplies the *output* of dimension j by `factor` (folded
+  /// into the stored σ). Used for modality balancing: scaling each
+  /// modality's block by 1/√(block dims) makes the blocks contribute
+  /// equal expected mass to squared Euclidean distances, so the larger
+  /// block (12 mocap dims vs 4 EMG dims on the hand) cannot out-vote the
+  /// smaller one.
+  Status ScaleOutput(size_t dimension, double factor);
+
+  size_t dimension() const { return mean_.size(); }
+  const std::vector<double>& mean() const { return mean_; }
+  const std::vector<double>& stddev() const { return stddev_; }
+
+ private:
+  std::vector<double> mean_;
+  std::vector<double> stddev_;
+};
+
+}  // namespace mocemg
+
+#endif  // MOCEMG_CORE_NORMALIZER_H_

@@ -1,0 +1,220 @@
+#include "core/streaming.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "emg/features.h"
+#include "linalg/vector_ops.h"
+#include "signal/window.h"
+#include "util/macros.h"
+
+namespace mocemg {
+
+Result<StreamingClassifier> StreamingClassifier::Create(
+    const MotionClassifier* model, size_t num_markers,
+    size_t pelvis_index, size_t num_emg_channels,
+    const StreamingOptions& options) {
+  if (model == nullptr || model->num_motions() == 0) {
+    return Status::InvalidArgument("streaming needs a trained model");
+  }
+  if (num_markers == 0 || pelvis_index >= num_markers) {
+    return Status::InvalidArgument("invalid marker layout");
+  }
+  if (options.frame_rate_hz <= 0.0) {
+    return Status::InvalidArgument("frame rate must be positive");
+  }
+  const WindowFeatureOptions& f = model->options().features;
+  if (f.use_emg && num_emg_channels == 0) {
+    return Status::InvalidArgument(
+        "model uses EMG but stream has no EMG channels");
+  }
+  if (f.use_mocap && num_markers < 2) {
+    return Status::InvalidArgument(
+        "model uses mocap but stream has no non-pelvis markers");
+  }
+  // Check dimensional compatibility against the trained normalizer.
+  const size_t dim = WindowFeatureDimension(
+      f, f.use_emg ? num_emg_channels : 0,
+      f.use_mocap ? num_markers - 1 : 0);
+  if (dim != model->normalizer().dimension()) {
+    return Status::InvalidArgument(
+        "stream layout yields " + std::to_string(dim) +
+        "-d window features but the model expects " +
+        std::to_string(model->normalizer().dimension()));
+  }
+
+  StreamingClassifier s;
+  s.model_ = model;
+  s.options_ = options;
+  s.num_markers_ = num_markers;
+  s.pelvis_index_ = pelvis_index;
+  s.num_emg_channels_ = num_emg_channels;
+  s.window_frames_ = WindowMsToFrames(f.window_ms, options.frame_rate_hz);
+  s.hop_frames_ = f.hop_frames;
+  if (f.hop_ms > 0.0) {
+    s.hop_frames_ = WindowMsToFrames(f.hop_ms, options.frame_rate_hz);
+  }
+  if (s.hop_frames_ == 0) s.hop_frames_ = s.window_frames_;
+  const size_t c = model->codebook().num_clusters();
+  s.min_per_cluster_.assign(c, 0.0);
+  s.max_per_cluster_.assign(c, 0.0);
+  s.cluster_seen_.assign(c, false);
+  s.votes_.assign(c, 0.0);
+  return s;
+}
+
+Status StreamingClassifier::PushFrame(
+    const std::vector<double>& marker_positions,
+    const std::vector<double>& emg_envelope) {
+  if (marker_positions.size() != 3 * num_markers_) {
+    return Status::InvalidArgument(
+        "marker frame has " + std::to_string(marker_positions.size()) +
+        " values, expected " + std::to_string(3 * num_markers_));
+  }
+  if (emg_envelope.size() != num_emg_channels_) {
+    return Status::InvalidArgument(
+        "EMG frame has " + std::to_string(emg_envelope.size()) +
+        " channels, expected " + std::to_string(num_emg_channels_));
+  }
+  for (double v : marker_positions) {
+    if (!std::isfinite(v)) {
+      return Status::NumericalError("non-finite marker coordinate");
+    }
+  }
+  // Pelvis-local transform, applied per frame as it arrives.
+  std::vector<double> local(marker_positions);
+  const double px = local[3 * pelvis_index_];
+  const double py = local[3 * pelvis_index_ + 1];
+  const double pz = local[3 * pelvis_index_ + 2];
+  for (size_t m = 0; m < num_markers_; ++m) {
+    local[3 * m] -= px;
+    local[3 * m + 1] -= py;
+    local[3 * m + 2] -= pz;
+  }
+  mocap_buffer_.push_back(std::move(local));
+  emg_buffer_.push_back(emg_envelope);
+  ++frames_pushed_;
+
+  while (frames_pushed_ >= next_window_start_ + window_frames_) {
+    MOCEMG_RETURN_NOT_OK(CompleteWindow());
+    next_window_start_ += hop_frames_;
+    // Trim consumed prefix.
+    const size_t drop = next_window_start_ - buffer_start_frame_;
+    if (drop > 0 && drop <= mocap_buffer_.size()) {
+      mocap_buffer_.erase(mocap_buffer_.begin(),
+                          mocap_buffer_.begin() +
+                              static_cast<ptrdiff_t>(drop));
+      emg_buffer_.erase(emg_buffer_.begin(),
+                        emg_buffer_.begin() +
+                            static_cast<ptrdiff_t>(drop));
+      buffer_start_frame_ = next_window_start_;
+    }
+  }
+  return Status::OK();
+}
+
+Status StreamingClassifier::CompleteWindow() {
+  const WindowFeatureOptions& f = model_->options().features;
+  const size_t offset = next_window_start_ - buffer_start_frame_;
+  std::vector<double> feature;
+
+  if (f.use_emg) {
+    std::vector<double> channel(window_frames_);
+    for (size_t c = 0; c < num_emg_channels_; ++c) {
+      for (size_t i = 0; i < window_frames_; ++i) {
+        channel[i] = emg_buffer_[offset + i][c];
+      }
+      MOCEMG_ASSIGN_OR_RETURN(
+          std::vector<double> part,
+          ExtractEmgFeature(f.emg_feature, channel.data(),
+                            window_frames_));
+      feature.insert(feature.end(), part.begin(), part.end());
+    }
+  }
+  if (f.use_mocap) {
+    Matrix joint(window_frames_, 3);
+    for (size_t m = 0; m < num_markers_; ++m) {
+      if (m == pelvis_index_) continue;
+      for (size_t i = 0; i < window_frames_; ++i) {
+        joint(i, 0) = mocap_buffer_[offset + i][3 * m];
+        joint(i, 1) = mocap_buffer_[offset + i][3 * m + 1];
+        joint(i, 2) = mocap_buffer_[offset + i][3 * m + 2];
+      }
+      MOCEMG_ASSIGN_OR_RETURN(
+          std::vector<double> part,
+          ExtractMocapFeature(f.mocap_feature, joint));
+      feature.insert(feature.end(), part.begin(), part.end());
+    }
+  }
+
+  MOCEMG_RETURN_NOT_OK(
+      model_->normalizer().TransformInPlace(&feature));
+  MOCEMG_ASSIGN_OR_RETURN(std::vector<double> u,
+                          model_->codebook().Membership(feature));
+  MOCEMG_ASSIGN_OR_RETURN(size_t winner, ArgMax(u));
+  const double h = u[winner];
+  if (!cluster_seen_[winner]) {
+    cluster_seen_[winner] = true;
+    min_per_cluster_[winner] = h;
+    max_per_cluster_[winner] = h;
+  } else {
+    min_per_cluster_[winner] = std::min(min_per_cluster_[winner], h);
+    max_per_cluster_[winner] = std::max(max_per_cluster_[winner], h);
+  }
+  votes_[winner] += 1.0;
+  ++windows_completed_;
+  return Status::OK();
+}
+
+Result<std::vector<double>> StreamingClassifier::CurrentFinalFeature()
+    const {
+  if (windows_completed_ == 0) {
+    return Status::FailedPrecondition("no completed windows yet");
+  }
+  const size_t c = min_per_cluster_.size();
+  if (model_->options().cluster_method == ClusterMethod::kFuzzyCMeans) {
+    std::vector<double> feature(2 * c, 0.0);
+    for (size_t i = 0; i < c; ++i) {
+      feature[2 * i] = min_per_cluster_[i];
+      feature[2 * i + 1] = max_per_cluster_[i];
+    }
+    return feature;
+  }
+  std::vector<double> feature(votes_);
+  const double inv = 1.0 / static_cast<double>(windows_completed_);
+  for (double& v : feature) v *= inv;
+  return feature;
+}
+
+Result<size_t> StreamingClassifier::CurrentDecision() const {
+  if (windows_completed_ < options_.min_windows_for_decision) {
+    return Status::FailedPrecondition(
+        "only " + std::to_string(windows_completed_) +
+        " windows completed; decision needs " +
+        std::to_string(options_.min_windows_for_decision));
+  }
+  MOCEMG_ASSIGN_OR_RETURN(std::vector<MotionMatch> nn, CurrentMatches(1));
+  return nn[0].label;
+}
+
+Result<std::vector<MotionMatch>> StreamingClassifier::CurrentMatches(
+    size_t k) const {
+  MOCEMG_ASSIGN_OR_RETURN(std::vector<double> feature,
+                          CurrentFinalFeature());
+  return model_->NearestNeighbors(feature, k);
+}
+
+void StreamingClassifier::Reset() {
+  mocap_buffer_.clear();
+  emg_buffer_.clear();
+  frames_pushed_ = 0;
+  next_window_start_ = 0;
+  buffer_start_frame_ = 0;
+  windows_completed_ = 0;
+  std::fill(min_per_cluster_.begin(), min_per_cluster_.end(), 0.0);
+  std::fill(max_per_cluster_.begin(), max_per_cluster_.end(), 0.0);
+  std::fill(cluster_seen_.begin(), cluster_seen_.end(), false);
+  std::fill(votes_.begin(), votes_.end(), 0.0);
+}
+
+}  // namespace mocemg

@@ -1,0 +1,109 @@
+/// \file streaming.h
+/// \brief Online (frame-by-frame) classification on top of a trained
+/// MotionClassifier — the decision loop of a prosthetic controller.
+///
+/// The batch pipeline sees a whole capture; a controller sees frames as
+/// they arrive. StreamingClassifier consumes synchronized frame pairs
+/// (global marker positions + conditioned EMG envelope samples at the
+/// mocap frame rate), cuts them into the same windows the model was
+/// trained with, evaluates Eq. 9 memberships per completed window,
+/// maintains the running final feature vector (Eq. 5–8 over the windows
+/// so far), and exposes the current nearest-neighbour decision at any
+/// time — so the decision sharpens as the motion unfolds.
+///
+/// The EMG stream must already be conditioned to the frame rate (see
+/// ConditionRecording; a live rig runs the same band-pass/rectify chain
+/// causally). Mocap frames are global: the pelvis-local transform is
+/// applied here per frame.
+
+#ifndef MOCEMG_CORE_STREAMING_H_
+#define MOCEMG_CORE_STREAMING_H_
+
+#include <vector>
+
+#include "core/classifier.h"
+#include "util/result.h"
+
+namespace mocemg {
+
+/// \brief Streaming-session parameters.
+struct StreamingOptions {
+  /// Frame rate of the incoming synchronized streams (Hz).
+  double frame_rate_hz = 120.0;
+  /// Decisions before this many completed windows are refused.
+  size_t min_windows_for_decision = 2;
+};
+
+/// \brief Incremental featurizer + classifier over one motion stream.
+/// Create one per motion (or Reset() between motions).
+class StreamingClassifier {
+ public:
+  /// \brief Binds to a trained model. `num_markers` counts the incoming
+  /// marker set (pelvis at `pelvis_index`), `num_emg_channels` the
+  /// conditioned EMG channels; both must match what the model was
+  /// trained on. The model must outlive the streamer.
+  static Result<StreamingClassifier> Create(const MotionClassifier* model,
+                                            size_t num_markers,
+                                            size_t pelvis_index,
+                                            size_t num_emg_channels,
+                                            const StreamingOptions& options);
+
+  /// \brief Pushes one synchronized frame: `marker_positions` is
+  /// 3·num_markers global coordinates, `emg_envelope` one non-negative
+  /// envelope sample per channel. Completed windows are featurized
+  /// internally.
+  Status PushFrame(const std::vector<double>& marker_positions,
+                   const std::vector<double>& emg_envelope);
+
+  /// \brief Completed (featurized) windows so far.
+  size_t windows_completed() const { return windows_completed_; }
+  size_t frames_pushed() const { return frames_pushed_; }
+
+  /// \brief The running final feature vector (Eq. 5–8 over windows so
+  /// far). Fails before the first completed window.
+  Result<std::vector<double>> CurrentFinalFeature() const;
+
+  /// \brief Current 1-NN decision; fails until
+  /// StreamingOptions::min_windows_for_decision windows completed.
+  Result<size_t> CurrentDecision() const;
+
+  /// \brief Current k-NN matches against the model's database.
+  Result<std::vector<MotionMatch>> CurrentMatches(size_t k) const;
+
+  /// \brief Clears stream state for the next motion.
+  void Reset();
+
+ private:
+  StreamingClassifier() = default;
+
+  Status CompleteWindow();
+
+  const MotionClassifier* model_ = nullptr;
+  StreamingOptions options_;
+  size_t num_markers_ = 0;
+  size_t pelvis_index_ = 0;
+  size_t num_emg_channels_ = 0;
+  size_t window_frames_ = 0;
+  size_t hop_frames_ = 0;
+
+  /// Ring buffers of the last `window_frames_` pelvis-local marker rows
+  /// and EMG rows (stored linearly; trimmed on hop).
+  std::vector<std::vector<double>> mocap_buffer_;
+  std::vector<std::vector<double>> emg_buffer_;
+  size_t frames_pushed_ = 0;
+  size_t next_window_start_ = 0;
+  size_t buffer_start_frame_ = 0;
+  size_t windows_completed_ = 0;
+
+  /// Running Eq. 5–8 state: per cluster the min/max winning membership.
+  std::vector<double> min_per_cluster_;
+  std::vector<double> max_per_cluster_;
+  std::vector<bool> cluster_seen_;
+  /// Hard-cluster fallback (vote counts) when the model is a k-means
+  /// ablation model.
+  std::vector<double> votes_;
+};
+
+}  // namespace mocemg
+
+#endif  // MOCEMG_CORE_STREAMING_H_

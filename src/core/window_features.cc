@@ -1,0 +1,110 @@
+#include "core/window_features.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/vector_ops.h"
+#include "util/macros.h"
+
+namespace mocemg {
+
+size_t WindowFeatureDimension(const WindowFeatureOptions& options,
+                              size_t emg_channels, size_t mocap_segments) {
+  size_t dim = 0;
+  if (options.use_emg) {
+    const size_t per_channel =
+        options.emg_feature == EmgFeatureKind::kAr4 ? 4 : 1;
+    dim += per_channel * emg_channels;
+  }
+  if (options.use_mocap) dim += 3 * mocap_segments;
+  return dim;
+}
+
+Result<WindowFeatureMatrix> ExtractWindowFeatures(
+    const MotionSequence& mocap, const EmgRecording& emg,
+    const WindowFeatureOptions& options) {
+  if (!options.use_emg && !options.use_mocap) {
+    return Status::InvalidArgument(
+        "at least one modality must be enabled");
+  }
+  MOCEMG_RETURN_NOT_OK(mocap.Validate());
+  if (options.use_emg) {
+    MOCEMG_RETURN_NOT_OK(emg.Validate());
+    if (std::fabs(emg.sample_rate_hz() - mocap.frame_rate_hz()) > 1e-9) {
+      return Status::FailedPrecondition(
+          "EMG must be conditioned to the mocap frame rate before "
+          "feature extraction (got " +
+          std::to_string(emg.sample_rate_hz()) + " Hz vs " +
+          std::to_string(mocap.frame_rate_hz()) + " Hz)");
+    }
+  }
+
+  // The synchronized streams can differ by a few frames at the capture
+  // edges (resampler rounding); work on the overlap.
+  size_t frames = mocap.num_frames();
+  if (options.use_emg) frames = std::min(frames, emg.num_samples());
+
+  const size_t window_frames =
+      WindowMsToFrames(options.window_ms, mocap.frame_rate_hz());
+  size_t hop_frames = options.hop_frames;
+  if (options.hop_ms > 0.0) {
+    hop_frames = WindowMsToFrames(options.hop_ms, mocap.frame_rate_hz());
+  }
+  MOCEMG_ASSIGN_OR_RETURN(
+      WindowPlan plan,
+      MakeWindowPlan(frames, window_frames, hop_frames));
+
+  // Local transform once, then slice per window.
+  MotionSequence local;
+  std::vector<Segment> feature_segments;
+  if (options.use_mocap) {
+    MOCEMG_ASSIGN_OR_RETURN(local,
+                            ToPelvisLocal(mocap, options.local_transform));
+    for (Segment s : local.marker_set().segments()) {
+      if (s != Segment::kPelvis) feature_segments.push_back(s);
+    }
+    if (feature_segments.empty()) {
+      return Status::InvalidArgument(
+          "mocap modality enabled but capture has no non-pelvis markers");
+    }
+  }
+
+  const size_t dim = WindowFeatureDimension(
+      options, options.use_emg ? emg.num_channels() : 0,
+      feature_segments.size());
+  Matrix points(plan.num_windows(), dim);
+
+  for (size_t w = 0; w < plan.num_windows(); ++w) {
+    const WindowSpan span = plan.spans[w];
+    std::vector<double> row;
+    row.reserve(dim);
+    if (options.use_emg) {
+      for (size_t c = 0; c < emg.num_channels(); ++c) {
+        const std::vector<double>& ch = emg.channel(c);
+        MOCEMG_ASSIGN_OR_RETURN(
+            std::vector<double> f,
+            ExtractEmgFeature(options.emg_feature, ch.data() + span.begin,
+                              span.length()));
+        row.insert(row.end(), f.begin(), f.end());
+      }
+    }
+    if (options.use_mocap) {
+      for (Segment s : feature_segments) {
+        MOCEMG_ASSIGN_OR_RETURN(Matrix joint, local.JointMatrix(s));
+        const Matrix window = joint.RowSlice(span.begin, span.end);
+        MOCEMG_ASSIGN_OR_RETURN(
+            std::vector<double> f,
+            ExtractMocapFeature(options.mocap_feature, window));
+        row.insert(row.end(), f.begin(), f.end());
+      }
+    }
+    points.SetRow(w, row);
+  }
+
+  WindowFeatureMatrix out;
+  out.points = std::move(points);
+  out.plan = std::move(plan);
+  return out;
+}
+
+}  // namespace mocemg

@@ -1,0 +1,70 @@
+/// \file window_features.h
+/// \brief The combined per-window feature point (paper Section 3.3): the
+/// m-length EMG feature vector appended to the n-length mocap feature
+/// vector maps each window to a point in (m+n)-dimensional feature space.
+
+#ifndef MOCEMG_CORE_WINDOW_FEATURES_H_
+#define MOCEMG_CORE_WINDOW_FEATURES_H_
+
+#include <vector>
+
+#include "core/mocap_features.h"
+#include "emg/acquisition.h"
+#include "emg/emg_recording.h"
+#include "emg/features.h"
+#include "linalg/matrix.h"
+#include "mocap/local_transform.h"
+#include "mocap/motion_sequence.h"
+#include "signal/window.h"
+#include "util/result.h"
+
+namespace mocemg {
+
+/// \brief Window-feature extraction parameters; defaults follow the
+/// paper (IAV + weighted SVD, non-overlapping windows).
+struct WindowFeatureOptions {
+  /// Window size in ms; the paper sweeps 50–200.
+  double window_ms = 100.0;
+  /// Sliding-window hop in ms; takes precedence over hop_frames when
+  /// positive. A fixed hop (e.g. 50 ms) keeps the number of windows per
+  /// motion independent of the window size, so growing the window adds
+  /// context instead of shrinking the feature set — the "sliding window
+  /// approach" of the paper's Section 1.
+  double hop_ms = 0.0;
+  /// Hop in frames; 0 = non-overlapping (hop = window).
+  size_t hop_frames = 0;
+  /// Modality toggles (ablation A1: EMG-only / mocap-only / combined).
+  bool use_emg = true;
+  bool use_mocap = true;
+  EmgFeatureKind emg_feature = EmgFeatureKind::kIav;
+  MocapFeatureKind mocap_feature = MocapFeatureKind::kWeightedSvd;
+  /// Pelvis-local transform options (applied to the mocap stream).
+  LocalTransformOptions local_transform;
+};
+
+/// \brief One motion's window features: points × dims matrix plus the
+/// window plan that produced it.
+struct WindowFeatureMatrix {
+  Matrix points;
+  WindowPlan plan;
+};
+
+/// \brief Extracts the combined window-feature matrix for one motion.
+///
+/// `mocap` is the *global* capture (the local transform is applied
+/// here); `emg` must already be conditioned to the mocap frame rate (see
+/// ConditionRecording). Frame counts may differ by capture-edge effects;
+/// the overlap is used. Fails if the overlap is shorter than one window,
+/// if rates mismatch, or if an enabled modality is empty.
+Result<WindowFeatureMatrix> ExtractWindowFeatures(
+    const MotionSequence& mocap, const EmgRecording& emg,
+    const WindowFeatureOptions& options);
+
+/// \brief Feature dimensionality the options produce for a given number
+/// of EMG channels and (non-pelvis) mocap segments.
+size_t WindowFeatureDimension(const WindowFeatureOptions& options,
+                              size_t emg_channels, size_t mocap_segments);
+
+}  // namespace mocemg
+
+#endif  // MOCEMG_CORE_WINDOW_FEATURES_H_

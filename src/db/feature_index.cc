@@ -1,0 +1,125 @@
+#include "db/feature_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "cluster/kmeans.h"
+#include "linalg/vector_ops.h"
+#include "util/macros.h"
+
+namespace mocemg {
+
+Result<FeatureIndex> FeatureIndex::Build(
+    const MotionDatabase* database, const FeatureIndexOptions& options) {
+  if (database == nullptr) {
+    return Status::InvalidArgument("null database");
+  }
+  FeatureIndex index;
+  index.database_ = database;
+  index.options_ = options;
+  MOCEMG_RETURN_NOT_OK(index.Rebuild());
+  return index;
+}
+
+Status FeatureIndex::Rebuild() {
+  if (database_ == nullptr || database_->empty()) {
+    return Status::FailedPrecondition("database is empty");
+  }
+  const size_t n = database_->size();
+  const size_t d = database_->feature_dimension();
+  size_t p = options_.num_partitions;
+  if (p == 0) {
+    p = std::max<size_t>(
+        1, static_cast<size_t>(std::lround(std::sqrt(
+               static_cast<double>(n)))));
+  }
+  p = std::min(p, n);
+
+  Matrix points(n, d);
+  for (size_t i = 0; i < n; ++i) {
+    points.SetRow(i, database_->record(i).feature);
+  }
+  KmeansOptions km;
+  km.num_clusters = p;
+  km.seed = options_.seed;
+  MOCEMG_ASSIGN_OR_RETURN(KmeansModel model, FitKmeans(points, km));
+
+  partitions_.assign(p, Partition{});
+  for (size_t i = 0; i < p; ++i) {
+    partitions_[i].reference = model.centers.Row(i);
+  }
+  for (size_t k = 0; k < n; ++k) {
+    Partition& part = partitions_[model.assignments[k]];
+    part.record_indices.push_back(k);
+    part.radius =
+        std::max(part.radius,
+                 EuclideanDistance(database_->record(k).feature,
+                                   part.reference));
+  }
+  // Drop empty partitions (k-means can strand one on tiny databases).
+  partitions_.erase(
+      std::remove_if(partitions_.begin(), partitions_.end(),
+                     [](const Partition& part) {
+                       return part.record_indices.empty();
+                     }),
+      partitions_.end());
+  return Status::OK();
+}
+
+Result<std::vector<QueryHit>> FeatureIndex::NearestNeighbors(
+    const std::vector<double>& query, size_t k,
+    IndexQueryStats* stats) const {
+  if (database_ == nullptr || partitions_.empty()) {
+    return Status::FailedPrecondition("index is not built");
+  }
+  if (query.size() != database_->feature_dimension()) {
+    return Status::InvalidArgument("query dimension mismatch");
+  }
+  if (k == 0) return Status::InvalidArgument("k must be >= 1");
+  IndexQueryStats local;
+
+  // Distance to each partition reference; visit closest-first.
+  std::vector<std::pair<double, size_t>> order(partitions_.size());
+  for (size_t i = 0; i < partitions_.size(); ++i) {
+    order[i] = {EuclideanDistance(query, partitions_[i].reference), i};
+    ++local.distance_computations;
+  }
+  std::sort(order.begin(), order.end());
+
+  std::vector<QueryHit> best;  // kept sorted ascending, size <= k
+  auto kth_distance = [&]() {
+    return best.size() < k ? std::numeric_limits<double>::infinity()
+                           : best.back().distance;
+  };
+  for (const auto& [ref_dist, pi] : order) {
+    const Partition& part = partitions_[pi];
+    // Triangle inequality: every record r in the partition satisfies
+    // d(q, r) >= d(q, ref) − radius.
+    if (ref_dist - part.radius > kth_distance()) {
+      ++local.partitions_pruned;
+      continue;
+    }
+    ++local.partitions_visited;
+    for (size_t idx : part.record_indices) {
+      const double dist =
+          EuclideanDistance(query, database_->record(idx).feature);
+      ++local.distance_computations;
+      if (dist < kth_distance() || best.size() < k) {
+        QueryHit hit{idx, dist};
+        auto pos = std::upper_bound(
+            best.begin(), best.end(), hit,
+            [](const QueryHit& a, const QueryHit& b) {
+              return a.distance < b.distance;
+            });
+        best.insert(pos, hit);
+        if (best.size() > k) best.pop_back();
+      }
+    }
+  }
+  if (stats != nullptr) *stats = local;
+  return best;
+}
+
+}  // namespace mocemg

@@ -1,0 +1,73 @@
+/// \file feature_index.h
+/// \brief Cluster-pruned exact kNN index over final feature vectors — the
+/// iDistance-style "indexing technique to prune irrelevant motions" the
+/// paper points to for fast searching (its refs [14]/[13]).
+///
+/// Construction partitions the records with k-means; each partition keeps
+/// its reference point (centroid) and covering radius. A query visits
+/// partitions in ascending distance-to-reference order and prunes any
+/// partition whose triangle-inequality lower bound d(q, ref) − radius
+/// exceeds the current k-th best distance. Results are exact; the win is
+/// the fraction of distance computations avoided (reported for the bench).
+
+#ifndef MOCEMG_DB_FEATURE_INDEX_H_
+#define MOCEMG_DB_FEATURE_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "db/motion_database.h"
+#include "util/result.h"
+
+namespace mocemg {
+
+/// \brief Index construction parameters.
+struct FeatureIndexOptions {
+  /// Number of k-means partitions; 0 = auto (≈ √N, at least 1).
+  size_t num_partitions = 0;
+  uint64_t seed = 17;
+};
+
+/// \brief Query-time statistics (filled per query).
+struct IndexQueryStats {
+  size_t distance_computations = 0;
+  size_t partitions_visited = 0;
+  size_t partitions_pruned = 0;
+};
+
+/// \brief Exact cluster-pruned kNN index. The index references the
+/// database it was built from; rebuilding after inserts is the caller's
+/// responsibility (Rebuild()).
+class FeatureIndex {
+ public:
+  FeatureIndex() = default;
+
+  /// \brief Builds over the database's current records.
+  static Result<FeatureIndex> Build(const MotionDatabase* database,
+                                    const FeatureIndexOptions& options = {});
+
+  /// \brief Rebuilds over the database's current records.
+  Status Rebuild();
+
+  /// \brief Exact kNN; identical results to the database's linear scan.
+  Result<std::vector<QueryHit>> NearestNeighbors(
+      const std::vector<double>& query, size_t k,
+      IndexQueryStats* stats = nullptr) const;
+
+  size_t num_partitions() const { return partitions_.size(); }
+
+ private:
+  struct Partition {
+    std::vector<double> reference;
+    double radius = 0.0;
+    std::vector<size_t> record_indices;
+  };
+
+  const MotionDatabase* database_ = nullptr;
+  FeatureIndexOptions options_;
+  std::vector<Partition> partitions_;
+};
+
+}  // namespace mocemg
+
+#endif  // MOCEMG_DB_FEATURE_INDEX_H_

@@ -1,0 +1,123 @@
+#include "db/motion_database.h"
+
+#include <algorithm>
+#include <map>
+
+#include "linalg/vector_ops.h"
+#include "util/csv.h"
+#include "util/macros.h"
+#include "util/string_util.h"
+
+namespace mocemg {
+
+Status MotionDatabase::Insert(MotionRecord record) {
+  if (record.feature.empty()) {
+    return Status::InvalidArgument("record has empty feature vector");
+  }
+  if (records_.empty()) {
+    dimension_ = record.feature.size();
+  } else if (record.feature.size() != dimension_) {
+    return Status::InvalidArgument(
+        "feature dimension " + std::to_string(record.feature.size()) +
+        " does not match database dimension " +
+        std::to_string(dimension_));
+  }
+  records_.push_back(std::move(record));
+  return Status::OK();
+}
+
+Result<std::vector<QueryHit>> MotionDatabase::NearestNeighbors(
+    const std::vector<double>& query, size_t k) const {
+  if (empty()) return Status::FailedPrecondition("database is empty");
+  if (query.size() != dimension_) {
+    return Status::InvalidArgument("query dimension mismatch");
+  }
+  if (k == 0) return Status::InvalidArgument("k must be >= 1");
+  std::vector<QueryHit> hits(records_.size());
+  for (size_t i = 0; i < records_.size(); ++i) {
+    hits[i].record_index = i;
+    hits[i].distance = EuclideanDistance(query, records_[i].feature);
+  }
+  const size_t kk = std::min(k, hits.size());
+  std::partial_sort(hits.begin(), hits.begin() + static_cast<ptrdiff_t>(kk),
+                    hits.end(), [](const QueryHit& a, const QueryHit& b) {
+                      return a.distance < b.distance;
+                    });
+  hits.resize(kk);
+  return hits;
+}
+
+Result<size_t> MotionDatabase::ClassifyByVote(
+    const std::vector<double>& query, size_t k) const {
+  MOCEMG_ASSIGN_OR_RETURN(std::vector<QueryHit> hits,
+                          NearestNeighbors(query, k));
+  std::map<size_t, size_t> votes;
+  for (const QueryHit& h : hits) {
+    ++votes[records_[h.record_index].label];
+  }
+  size_t best_label = records_[hits[0].record_index].label;
+  size_t best_votes = 0;
+  for (const auto& [label, count] : votes) {
+    if (count > best_votes) {
+      best_votes = count;
+      best_label = label;
+    } else if (count == best_votes && best_label != label) {
+      // Tie: prefer the label of the closest neighbour among the tied.
+      for (const QueryHit& h : hits) {
+        const size_t l = records_[h.record_index].label;
+        if (l == label || l == best_label) {
+          best_label = l;
+          break;
+        }
+      }
+    }
+  }
+  return best_label;
+}
+
+Status MotionDatabase::SaveCsv(const std::string& path) const {
+  CsvWriter w;
+  std::vector<std::string> header = {"name", "label", "label_name"};
+  for (size_t j = 0; j < dimension_; ++j) {
+    std::string col = "f";
+    col += std::to_string(j);
+    header.push_back(std::move(col));
+  }
+  w.WriteRow(header);
+  for (const MotionRecord& r : records_) {
+    std::vector<std::string> row = {r.name, std::to_string(r.label),
+                                    r.label_name};
+    for (double v : r.feature) row.push_back(FormatDouble(v, 10));
+    w.WriteRow(row);
+  }
+  return w.ToFile(path);
+}
+
+Result<MotionDatabase> MotionDatabase::LoadCsv(const std::string& path) {
+  MOCEMG_ASSIGN_OR_RETURN(CsvTable table, CsvTable::FromFile(path));
+  if (table.header().size() < 4) {
+    return Status::ParseError(
+        "database CSV needs name,label,label_name,f0,... columns");
+  }
+  MotionDatabase db;
+  for (size_t i = 0; i < table.num_rows(); ++i) {
+    const auto& row = table.rows()[i];
+    if (row.size() != table.header().size()) {
+      return Status::ParseError("ragged row " + std::to_string(i));
+    }
+    MotionRecord rec;
+    rec.name = row[0];
+    MOCEMG_ASSIGN_OR_RETURN(int64_t label, ParseInt(row[1]));
+    rec.label = static_cast<size_t>(label);
+    rec.label_name = row[2];
+    rec.feature.reserve(row.size() - 3);
+    for (size_t j = 3; j < row.size(); ++j) {
+      MOCEMG_ASSIGN_OR_RETURN(double v, ParseDouble(row[j]));
+      rec.feature.push_back(v);
+    }
+    MOCEMG_RETURN_NOT_OK(db.Insert(std::move(rec)));
+  }
+  return db;
+}
+
+}  // namespace mocemg

@@ -1,0 +1,71 @@
+/// \file motion_database.h
+/// \brief The motion database of the paper's Section 4: labelled final
+/// feature vectors supporting content-based retrieval (kNN) of motions.
+/// Linear scan is exact and adequate at lab scale; feature_index.h adds
+/// the pruned index the paper alludes to ("our extracted feature vectors
+/// can be applied to any indexing technique to prune irrelevant
+/// motions").
+
+#ifndef MOCEMG_DB_MOTION_DATABASE_H_
+#define MOCEMG_DB_MOTION_DATABASE_H_
+
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "util/result.h"
+
+namespace mocemg {
+
+/// \brief One database entry.
+struct MotionRecord {
+  std::string name;         ///< free-form ("raise_arm/trial3")
+  size_t label = 0;         ///< class id
+  std::string label_name;   ///< class name
+  std::vector<double> feature;  ///< final feature vector
+};
+
+/// \brief A kNN query hit.
+struct QueryHit {
+  size_t record_index = 0;
+  double distance = 0.0;
+};
+
+/// \brief In-memory feature database with exact linear kNN and CSV
+/// persistence.
+class MotionDatabase {
+ public:
+  MotionDatabase() = default;
+
+  /// \brief Appends a record; the first insert fixes the feature
+  /// dimension, later mismatches fail.
+  Status Insert(MotionRecord record);
+
+  size_t size() const { return records_.size(); }
+  bool empty() const { return records_.empty(); }
+  size_t feature_dimension() const { return dimension_; }
+  const MotionRecord& record(size_t i) const { return records_[i]; }
+  const std::vector<MotionRecord>& records() const { return records_; }
+
+  /// \brief Exact k nearest neighbours by Euclidean distance in
+  /// final-feature space, ascending.
+  Result<std::vector<QueryHit>> NearestNeighbors(
+      const std::vector<double>& query, size_t k) const;
+
+  /// \brief Majority label among the k nearest neighbours (ties resolved
+  /// toward the closer neighbour's label).
+  Result<size_t> ClassifyByVote(const std::vector<double>& query,
+                                size_t k) const;
+
+  /// \brief CSV persistence: name,label,label_name,f0,f1,…
+  Status SaveCsv(const std::string& path) const;
+  static Result<MotionDatabase> LoadCsv(const std::string& path);
+
+ private:
+  std::vector<MotionRecord> records_;
+  size_t dimension_ = 0;
+};
+
+}  // namespace mocemg
+
+#endif  // MOCEMG_DB_MOTION_DATABASE_H_

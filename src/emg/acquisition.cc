@@ -1,0 +1,53 @@
+#include "emg/acquisition.h"
+
+#include "signal/butterworth.h"
+#include "signal/rectify.h"
+#include "signal/resample.h"
+#include "util/macros.h"
+
+namespace mocemg {
+
+Result<EmgRecording> ConditionRecording(const EmgRecording& raw,
+                                        const AcquisitionOptions& options) {
+  MOCEMG_RETURN_NOT_OK(raw.Validate());
+  if (options.output_rate_hz <= 0.0) {
+    return Status::InvalidArgument("output rate must be positive");
+  }
+  const double fs = raw.sample_rate_hz();
+  if (!options.skip_bandpass && options.band_high_hz >= fs / 2.0) {
+    return Status::InvalidArgument(
+        "band-pass upper edge " + std::to_string(options.band_high_hz) +
+        " Hz must be below Nyquist of the raw rate " + std::to_string(fs));
+  }
+
+  std::vector<std::vector<double>> conditioned;
+  conditioned.reserve(raw.num_channels());
+  for (size_t c = 0; c < raw.num_channels(); ++c) {
+    std::vector<double> x = raw.channel(c);
+    if (options.notch_hz > 0.0) {
+      MOCEMG_ASSIGN_OR_RETURN(
+          BiquadCascade notch,
+          DesignNotch(options.notch_hz, options.notch_q, fs));
+      x = notch.ProcessSignal(x);
+    }
+    if (!options.skip_bandpass) {
+      MOCEMG_ASSIGN_OR_RETURN(
+          BiquadCascade bp,
+          DesignBandPass(options.filter_order, options.band_low_hz,
+                         options.band_high_hz, fs));
+      x = bp.ProcessSignal(x);
+    }
+    x = FullWaveRectify(x);
+    MOCEMG_ASSIGN_OR_RETURN(x, Resample(x, fs, options.output_rate_hz));
+    // Rectified signals stay non-negative through an ideal resampler, but
+    // the anti-alias filter can ring slightly below zero; clamp.
+    for (double& v : x) {
+      if (v < 0.0) v = 0.0;
+    }
+    conditioned.push_back(std::move(x));
+  }
+  return EmgRecording::Create(raw.muscles(), std::move(conditioned),
+                              options.output_rate_hz);
+}
+
+}  // namespace mocemg

@@ -1,0 +1,44 @@
+/// \file acquisition.h
+/// \brief The Myomonitor-equivalent signal-conditioning chain (Section 5
+/// of the paper): amplified raw EMG is band-pass filtered 20–450 Hz,
+/// full-wave rectified, and down-sampled from 1000 Hz to the mocap frame
+/// rate (120 Hz) so both streams share a time base.
+
+#ifndef MOCEMG_EMG_ACQUISITION_H_
+#define MOCEMG_EMG_ACQUISITION_H_
+
+#include "emg/emg_recording.h"
+#include "util/result.h"
+
+namespace mocemg {
+
+/// \brief Parameters of the conditioning chain; defaults match the
+/// paper's Delsys configuration.
+struct AcquisitionOptions {
+  double band_low_hz = 20.0;
+  double band_high_hz = 450.0;
+  /// Butterworth order per band edge (the cascade is HP·LP).
+  int filter_order = 4;
+  /// Output rate after down-sampling; the Vicon frame rate.
+  double output_rate_hz = 120.0;
+  /// Power-line notch frequency (Hz); 0 disables. The paper's Delsys
+  /// front end suppressed mains hum in hardware; rigs without that need
+  /// 50 or 60 here.
+  double notch_hz = 0.0;
+  /// Q of the notch (bandwidth = center/Q).
+  double notch_q = 30.0;
+  /// Skip the band-pass (for already-conditioned inputs).
+  bool skip_bandpass = false;
+};
+
+/// \brief Applies band-pass → full-wave rectification → resampling to
+/// every channel of a raw recording. The result is a *conditioned*
+/// recording at `output_rate_hz` whose samples are non-negative envelope
+/// values in volts — the exact stream the paper's feature extraction
+/// (IAV) consumes.
+Result<EmgRecording> ConditionRecording(const EmgRecording& raw,
+                                        const AcquisitionOptions& options = {});
+
+}  // namespace mocemg
+
+#endif  // MOCEMG_EMG_ACQUISITION_H_

@@ -1,0 +1,97 @@
+#include "emg/emg_io.h"
+
+#include <sstream>
+
+#include "util/csv.h"
+#include "util/macros.h"
+#include "util/string_util.h"
+
+namespace mocemg {
+namespace {
+
+constexpr char kRateKey[] = "sample_rate_hz=";
+
+}  // namespace
+
+Result<EmgRecording> ParseEmgCsv(const std::string& text) {
+  // Extract the sample-rate comment before handing off to the CSV parser
+  // (which skips comments).
+  double sample_rate = -1.0;
+  {
+    std::istringstream in(text);
+    std::string line;
+    while (std::getline(in, line)) {
+      const std::string_view t = Trim(line);
+      if (t.empty()) continue;
+      if (t.front() != '#') break;
+      const size_t pos = t.find(kRateKey);
+      if (pos != std::string_view::npos) {
+        MOCEMG_ASSIGN_OR_RETURN(
+            sample_rate, ParseDouble(t.substr(pos + sizeof(kRateKey) - 1)));
+      }
+    }
+  }
+  if (sample_rate <= 0.0) {
+    return Status::ParseError(
+        "EMG CSV must carry a '# sample_rate_hz=<rate>' comment");
+  }
+
+  MOCEMG_ASSIGN_OR_RETURN(CsvTable table, CsvTable::FromString(text));
+  if (table.header().empty()) {
+    return Status::ParseError("EMG CSV missing channel header");
+  }
+  std::vector<Muscle> muscles;
+  for (const std::string& name : table.header()) {
+    MOCEMG_ASSIGN_OR_RETURN(Muscle m,
+                            MuscleFromName(std::string(Trim(name))));
+    muscles.push_back(m);
+  }
+  MOCEMG_ASSIGN_OR_RETURN(auto numeric, table.ToNumeric());
+  std::vector<std::vector<double>> channels(muscles.size());
+  for (auto& ch : channels) ch.reserve(numeric.size());
+  for (size_t r = 0; r < numeric.size(); ++r) {
+    if (numeric[r].size() != muscles.size()) {
+      return Status::ParseError("row " + std::to_string(r) +
+                                " width mismatch");
+    }
+    for (size_t c = 0; c < muscles.size(); ++c) {
+      channels[c].push_back(numeric[r][c]);
+    }
+  }
+  return EmgRecording::Create(std::move(muscles), std::move(channels),
+                              sample_rate);
+}
+
+Result<EmgRecording> ReadEmgCsvFile(const std::string& path) {
+  MOCEMG_ASSIGN_OR_RETURN(std::string text, ReadFileToString(path));
+  auto result = ParseEmgCsv(text);
+  if (!result.ok()) {
+    return result.status().WithContext("while parsing '" + path + "'");
+  }
+  return result;
+}
+
+std::string WriteEmgCsv(const EmgRecording& recording) {
+  CsvWriter w;
+  w.WriteComment(std::string(kRateKey) +
+                 FormatDouble(recording.sample_rate_hz(), 6));
+  std::vector<std::string> header;
+  for (Muscle m : recording.muscles()) header.emplace_back(MuscleName(m));
+  w.WriteRow(header);
+  const size_t n = recording.num_samples();
+  std::vector<double> row(recording.num_channels());
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t c = 0; c < recording.num_channels(); ++c) {
+      row[c] = recording.channel(c)[i];
+    }
+    w.WriteNumericRow(row, 10);
+  }
+  return w.str();
+}
+
+Status WriteEmgCsvFile(const EmgRecording& recording,
+                       const std::string& path) {
+  return WriteStringToFile(path, WriteEmgCsv(recording));
+}
+
+}  // namespace mocemg

@@ -1,0 +1,37 @@
+/// \file emg_io.h
+/// \brief CSV exchange format for EMG recordings (hand-rolled, matching
+/// the delimited-text exports of Myomonitor-class systems).
+///
+/// Layout: comment lines carry metadata, a header row names the channels
+/// by muscle, and each data row is one sample across channels:
+///   # sample_rate_hz=1000
+///   biceps,triceps,upper_forearm,lower_forearm
+///   1.2e-05,3.4e-06,...
+/// The sample-rate comment is mandatory on read.
+
+#ifndef MOCEMG_EMG_EMG_IO_H_
+#define MOCEMG_EMG_EMG_IO_H_
+
+#include <string>
+
+#include "emg/emg_recording.h"
+#include "util/result.h"
+
+namespace mocemg {
+
+/// \brief Parses the CSV exchange format into a recording.
+Result<EmgRecording> ParseEmgCsv(const std::string& text);
+
+/// \brief Reads and parses an EMG CSV file.
+Result<EmgRecording> ReadEmgCsvFile(const std::string& path);
+
+/// \brief Serializes a recording to the CSV exchange format.
+std::string WriteEmgCsv(const EmgRecording& recording);
+
+/// \brief Writes a recording to a CSV file.
+Status WriteEmgCsvFile(const EmgRecording& recording,
+                       const std::string& path);
+
+}  // namespace mocemg
+
+#endif  // MOCEMG_EMG_EMG_IO_H_

@@ -1,0 +1,80 @@
+#include "emg/emg_recording.h"
+
+#include <cmath>
+
+#include "util/macros.h"
+
+namespace mocemg {
+
+Result<EmgRecording> EmgRecording::Create(
+    std::vector<Muscle> muscles,
+    std::vector<std::vector<double>> channels, double sample_rate_hz) {
+  if (sample_rate_hz <= 0.0) {
+    return Status::InvalidArgument("sample rate must be positive");
+  }
+  if (muscles.size() != channels.size()) {
+    return Status::InvalidArgument(
+        std::to_string(muscles.size()) + " muscle labels for " +
+        std::to_string(channels.size()) + " channels");
+  }
+  for (size_t i = 1; i < channels.size(); ++i) {
+    if (channels[i].size() != channels[0].size()) {
+      return Status::InvalidArgument(
+          "channel " + std::to_string(i) + " has " +
+          std::to_string(channels[i].size()) + " samples, expected " +
+          std::to_string(channels[0].size()));
+    }
+  }
+  EmgRecording rec;
+  rec.muscles_ = std::move(muscles);
+  rec.channels_ = std::move(channels);
+  rec.sample_rate_hz_ = sample_rate_hz;
+  return rec;
+}
+
+Result<const std::vector<double>*> EmgRecording::ChannelForMuscle(
+    Muscle muscle) const {
+  MOCEMG_ASSIGN_OR_RETURN(size_t idx, IndexOf(muscle));
+  return &channels_[idx];
+}
+
+Result<size_t> EmgRecording::IndexOf(Muscle muscle) const {
+  for (size_t i = 0; i < muscles_.size(); ++i) {
+    if (muscles_[i] == muscle) return i;
+  }
+  return Status::NotFound(std::string("muscle '") + MuscleName(muscle) +
+                          "' not instrumented");
+}
+
+Result<EmgRecording> EmgRecording::SampleSlice(size_t begin,
+                                               size_t end) const {
+  if (begin > end || end > num_samples()) {
+    return Status::OutOfRange("sample slice outside recording");
+  }
+  std::vector<std::vector<double>> sliced;
+  sliced.reserve(channels_.size());
+  for (const auto& ch : channels_) {
+    sliced.emplace_back(ch.begin() + static_cast<ptrdiff_t>(begin),
+                        ch.begin() + static_cast<ptrdiff_t>(end));
+  }
+  return Create(muscles_, std::move(sliced), sample_rate_hz_);
+}
+
+Status EmgRecording::Validate() const {
+  if (num_samples() == 0) {
+    return Status::FailedPrecondition("recording has no samples");
+  }
+  for (const auto& ch : channels_) {
+    if (ch.size() != channels_[0].size()) {
+      return Status::FailedPrecondition("ragged channel lengths");
+    }
+    for (double v : ch) {
+      if (!std::isfinite(v)) {
+        return Status::NumericalError("non-finite EMG sample");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace mocemg

@@ -1,0 +1,65 @@
+/// \file emg_recording.h
+/// \brief Multi-channel EMG container. A recording is either "raw" (as
+/// sampled by the amplifier, 1000 Hz, signed volts) or "conditioned"
+/// (band-passed, full-wave rectified, resampled to the mocap frame rate)
+/// — the AcquisitionChain in acquisition.h performs that conversion.
+
+#ifndef MOCEMG_EMG_EMG_RECORDING_H_
+#define MOCEMG_EMG_EMG_RECORDING_H_
+
+#include <string>
+#include <vector>
+
+#include "emg/muscle.h"
+#include "util/result.h"
+
+namespace mocemg {
+
+/// \brief A synchronous multi-channel EMG capture.
+class EmgRecording {
+ public:
+  EmgRecording() = default;
+
+  /// \brief Wraps channel data; all channels must be equal length and
+  /// match the number of muscle labels.
+  static Result<EmgRecording> Create(std::vector<Muscle> muscles,
+                                     std::vector<std::vector<double>> channels,
+                                     double sample_rate_hz);
+
+  const std::vector<Muscle>& muscles() const { return muscles_; }
+  size_t num_channels() const { return channels_.size(); }
+  size_t num_samples() const {
+    return channels_.empty() ? 0 : channels_[0].size();
+  }
+  double sample_rate_hz() const { return sample_rate_hz_; }
+  double duration_seconds() const {
+    return num_samples() == 0
+               ? 0.0
+               : static_cast<double>(num_samples()) / sample_rate_hz_;
+  }
+
+  /// \brief Samples of channel `i` (volts).
+  const std::vector<double>& channel(size_t i) const { return channels_[i]; }
+  std::vector<double>& mutable_channel(size_t i) { return channels_[i]; }
+
+  /// \brief Channel for a given muscle; NotFound if not instrumented.
+  Result<const std::vector<double>*> ChannelForMuscle(Muscle muscle) const;
+
+  /// \brief Index of a muscle's channel; NotFound if not instrumented.
+  Result<size_t> IndexOf(Muscle muscle) const;
+
+  /// \brief Sub-recording of samples [begin, end) on all channels.
+  Result<EmgRecording> SampleSlice(size_t begin, size_t end) const;
+
+  /// \brief Sanity checks: finite samples, equal channel lengths.
+  Status Validate() const;
+
+ private:
+  std::vector<Muscle> muscles_;
+  std::vector<std::vector<double>> channels_;
+  double sample_rate_hz_ = 1000.0;
+};
+
+}  // namespace mocemg
+
+#endif  // MOCEMG_EMG_EMG_RECORDING_H_

@@ -1,0 +1,178 @@
+#include "emg/features.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mocemg {
+
+double IntegralOfAbsoluteValue(const double* samples, size_t n) {
+  double sum = 0.0;
+  for (size_t i = 0; i < n; ++i) sum += std::fabs(samples[i]);
+  return sum;
+}
+
+double IntegralOfAbsoluteValue(const std::vector<double>& samples) {
+  return IntegralOfAbsoluteValue(samples.data(), samples.size());
+}
+
+double MeanAbsoluteValue(const double* samples, size_t n) {
+  if (n == 0) return 0.0;
+  return IntegralOfAbsoluteValue(samples, n) / static_cast<double>(n);
+}
+
+double RootMeanSquare(const double* samples, size_t n) {
+  if (n == 0) return 0.0;
+  double sum = 0.0;
+  for (size_t i = 0; i < n; ++i) sum += samples[i] * samples[i];
+  return std::sqrt(sum / static_cast<double>(n));
+}
+
+double WaveformLength(const double* samples, size_t n) {
+  double sum = 0.0;
+  for (size_t i = 1; i < n; ++i) {
+    sum += std::fabs(samples[i] - samples[i - 1]);
+  }
+  return sum;
+}
+
+size_t ZeroCrossings(const double* samples, size_t n, double threshold) {
+  size_t count = 0;
+  for (size_t i = 1; i < n; ++i) {
+    const bool sign_change = (samples[i] > 0.0 && samples[i - 1] < 0.0) ||
+                             (samples[i] < 0.0 && samples[i - 1] > 0.0);
+    if (sign_change &&
+        std::fabs(samples[i] - samples[i - 1]) >= threshold) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+size_t SlopeSignChanges(const double* samples, size_t n, double threshold) {
+  size_t count = 0;
+  for (size_t i = 1; i + 1 < n; ++i) {
+    const double d1 = samples[i] - samples[i - 1];
+    const double d2 = samples[i] - samples[i + 1];
+    if (d1 * d2 > 0.0 &&
+        (std::fabs(d1) >= threshold || std::fabs(d2) >= threshold)) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+size_t WillisonAmplitude(const double* samples, size_t n,
+                         double threshold) {
+  size_t count = 0;
+  for (size_t i = 1; i < n; ++i) {
+    if (std::fabs(samples[i] - samples[i - 1]) > threshold) ++count;
+  }
+  return count;
+}
+
+Result<std::vector<double>> EmgHistogram(const double* samples, size_t n,
+                                         size_t bins, double lo,
+                                         double hi) {
+  if (bins == 0) return Status::InvalidArgument("histogram needs bins > 0");
+  if (lo >= hi) return Status::InvalidArgument("histogram needs lo < hi");
+  std::vector<double> counts(bins, 0.0);
+  const double width = (hi - lo) / static_cast<double>(bins);
+  for (size_t i = 0; i < n; ++i) {
+    double b = (samples[i] - lo) / width;
+    const ptrdiff_t idx = std::clamp<ptrdiff_t>(
+        static_cast<ptrdiff_t>(std::floor(b)), 0,
+        static_cast<ptrdiff_t>(bins) - 1);
+    counts[static_cast<size_t>(idx)] += 1.0;
+  }
+  return counts;
+}
+
+Result<std::vector<double>> BurgArCoefficients(const double* samples,
+                                               size_t n, size_t order) {
+  if (order == 0) return Status::InvalidArgument("AR order must be > 0");
+  if (n <= order) {
+    return Status::InvalidArgument(
+        "AR(" + std::to_string(order) + ") needs more than " +
+        std::to_string(order) + " samples, got " + std::to_string(n));
+  }
+  // Burg recursion. f/b are the forward/backward prediction errors.
+  std::vector<double> f(samples, samples + n);
+  std::vector<double> b(samples, samples + n);
+  std::vector<double> a(order, 0.0);
+  double dk = 0.0;
+  for (size_t i = 0; i < n; ++i) dk += 2.0 * samples[i] * samples[i];
+  dk -= samples[0] * samples[0] + samples[n - 1] * samples[n - 1];
+  if (dk <= 0.0) {
+    return Status::NumericalError("zero-energy signal in Burg AR fit");
+  }
+  std::vector<double> a_prev(order, 0.0);
+  for (size_t k = 0; k < order; ++k) {
+    double num = 0.0;
+    for (size_t i = k + 1; i < n; ++i) num += f[i] * b[i - k - 1];
+    const double mu = 2.0 * num / dk;
+    // Levinson update of the coefficient vector.
+    a_prev.assign(a.begin(), a.end());
+    a[k] = mu;
+    for (size_t i = 0; i < k; ++i) a[i] = a_prev[i] - mu * a_prev[k - 1 - i];
+    // Update prediction errors.
+    for (size_t i = n - 1; i > k; --i) {
+      const double f_old = f[i];
+      const double b_old = b[i - k - 1];
+      f[i] = f_old - mu * b_old;
+      b[i - k - 1] = b_old - mu * f_old;
+    }
+    dk = (1.0 - mu * mu) * dk - f[k + 1] * f[k + 1] -
+         b[n - 2 - k] * b[n - 2 - k];
+    if (dk <= 0.0) break;  // perfectly predicted; remaining coeffs zero
+  }
+  return a;
+}
+
+const char* EmgFeatureKindName(EmgFeatureKind kind) {
+  switch (kind) {
+    case EmgFeatureKind::kIav:
+      return "iav";
+    case EmgFeatureKind::kMav:
+      return "mav";
+    case EmgFeatureKind::kRms:
+      return "rms";
+    case EmgFeatureKind::kWaveformLength:
+      return "wl";
+    case EmgFeatureKind::kZeroCrossings:
+      return "zc";
+    case EmgFeatureKind::kAr4:
+      return "ar4";
+  }
+  return "?";
+}
+
+Result<std::vector<double>> ExtractEmgFeature(EmgFeatureKind kind,
+                                              const double* samples,
+                                              size_t n) {
+  if (n == 0) return Status::InvalidArgument("empty feature window");
+  switch (kind) {
+    case EmgFeatureKind::kIav:
+      return std::vector<double>{IntegralOfAbsoluteValue(samples, n)};
+    case EmgFeatureKind::kMav:
+      return std::vector<double>{MeanAbsoluteValue(samples, n)};
+    case EmgFeatureKind::kRms:
+      return std::vector<double>{RootMeanSquare(samples, n)};
+    case EmgFeatureKind::kWaveformLength:
+      return std::vector<double>{WaveformLength(samples, n)};
+    case EmgFeatureKind::kZeroCrossings:
+      return std::vector<double>{
+          static_cast<double>(ZeroCrossings(samples, n))};
+    case EmgFeatureKind::kAr4: {
+      auto ar = BurgArCoefficients(samples, n, 4);
+      if (!ar.ok()) {
+        // Flat windows (e.g. rest periods of rectified EMG) carry no AR
+        // structure; degrade to zeros rather than failing the pipeline.
+        return std::vector<double>(4, 0.0);
+      }
+      return ar;
+    }
+  }
+  return Status::InvalidArgument("unknown EMG feature kind");
+}
+
+}  // namespace mocemg

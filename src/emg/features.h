@@ -1,0 +1,82 @@
+/// \file features.h
+/// \brief Time-domain EMG features. The paper's primary feature is the
+/// Integral of Absolute Value (IAV, Eq. 1); the related-work section
+/// surveys the classic alternatives (zero crossings [7], EMG histogram
+/// [15], AR coefficients [5]); all are implemented here so the ablation
+/// bench (abl5) can compare them inside the same pipeline.
+///
+/// All extractors operate on one channel's samples within one window and
+/// return scalar(s); the core pipeline concatenates them per channel.
+
+#ifndef MOCEMG_EMG_FEATURES_H_
+#define MOCEMG_EMG_FEATURES_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "util/result.h"
+
+namespace mocemg {
+
+/// \brief Integral of Absolute Value (Eq. 1): Σ|x_k| over the window.
+/// On the conditioned (already rectified, non-negative) stream this is
+/// the plain sum, exactly as the paper computes it.
+double IntegralOfAbsoluteValue(const double* samples, size_t n);
+double IntegralOfAbsoluteValue(const std::vector<double>& samples);
+
+/// \brief Mean Absolute Value: IAV / n.
+double MeanAbsoluteValue(const double* samples, size_t n);
+
+/// \brief Root mean square.
+double RootMeanSquare(const double* samples, size_t n);
+
+/// \brief Waveform length: Σ|x_{k+1} − x_k|.
+double WaveformLength(const double* samples, size_t n);
+
+/// \brief Zero crossings with a noise dead-band `threshold` (Hudgins).
+/// Counts sign changes where the swing exceeds the threshold.
+size_t ZeroCrossings(const double* samples, size_t n,
+                     double threshold = 0.0);
+
+/// \brief Slope sign changes with dead-band `threshold` (Hudgins).
+size_t SlopeSignChanges(const double* samples, size_t n,
+                        double threshold = 0.0);
+
+/// \brief Willison amplitude: count of |x_{k+1} − x_k| > threshold.
+size_t WillisonAmplitude(const double* samples, size_t n, double threshold);
+
+/// \brief EMG histogram (Zardoshti-Kermani): `bins` counts of samples in
+/// equal-width bins spanning [lo, hi]; samples outside are clamped into
+/// the edge bins. Fails if bins == 0 or lo >= hi.
+Result<std::vector<double>> EmgHistogram(const double* samples, size_t n,
+                                         size_t bins, double lo, double hi);
+
+/// \brief Autoregressive model coefficients of order `order` via Burg's
+/// method (Graupe's AR feature). Returns `order` coefficients a_1..a_p of
+/// x_k ≈ Σ a_i x_{k−i}. Fails when n <= order or the signal has no
+/// energy.
+Result<std::vector<double>> BurgArCoefficients(const double* samples,
+                                               size_t n, size_t order);
+
+/// \brief Named selector used by the ablation bench to swap the EMG
+/// feature family while keeping the rest of the pipeline fixed.
+enum class EmgFeatureKind : int {
+  kIav = 0,
+  kMav,
+  kRms,
+  kWaveformLength,
+  kZeroCrossings,
+  kAr4,
+};
+
+const char* EmgFeatureKindName(EmgFeatureKind kind);
+
+/// \brief Extracts the chosen feature(s) for one channel window; scalar
+/// features return one value, AR(4) returns four.
+Result<std::vector<double>> ExtractEmgFeature(EmgFeatureKind kind,
+                                              const double* samples,
+                                              size_t n);
+
+}  // namespace mocemg
+
+#endif  // MOCEMG_EMG_FEATURES_H_

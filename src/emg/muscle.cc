@@ -1,0 +1,44 @@
+#include "emg/muscle.h"
+
+#include "util/string_util.h"
+
+namespace mocemg {
+
+const char* MuscleName(Muscle muscle) {
+  switch (muscle) {
+    case Muscle::kBiceps:
+      return "biceps";
+    case Muscle::kTriceps:
+      return "triceps";
+    case Muscle::kUpperForearm:
+      return "upper_forearm";
+    case Muscle::kLowerForearm:
+      return "lower_forearm";
+    case Muscle::kFrontShin:
+      return "front_shin";
+    case Muscle::kBackShin:
+      return "back_shin";
+    case Muscle::kNumMuscles:
+      break;
+  }
+  return "?";
+}
+
+Result<Muscle> MuscleFromName(const std::string& name) {
+  for (int i = 0; i < static_cast<int>(Muscle::kNumMuscles); ++i) {
+    const Muscle m = static_cast<Muscle>(i);
+    if (EqualsIgnoreCase(name, MuscleName(m))) return m;
+  }
+  return Status::NotFound("unknown muscle '" + name + "'");
+}
+
+const std::vector<Muscle>& LimbMuscles(Limb limb) {
+  static const std::vector<Muscle> kHandMuscles = {
+      Muscle::kBiceps, Muscle::kTriceps, Muscle::kUpperForearm,
+      Muscle::kLowerForearm};
+  static const std::vector<Muscle> kLegMuscles = {Muscle::kFrontShin,
+                                                  Muscle::kBackShin};
+  return limb == Limb::kRightHand ? kHandMuscles : kLegMuscles;
+}
+
+}  // namespace mocemg

@@ -1,0 +1,41 @@
+/// \file muscle.h
+/// \brief Electrode placement model: the muscles the paper instruments.
+/// Four electrodes per arm (biceps, triceps, upper forearm, lower
+/// forearm), two per leg (front shin / tibialis anterior, back shin /
+/// gastrocnemius).
+
+#ifndef MOCEMG_EMG_MUSCLE_H_
+#define MOCEMG_EMG_MUSCLE_H_
+
+#include <string>
+#include <vector>
+
+#include "mocap/skeleton.h"
+#include "util/result.h"
+
+namespace mocemg {
+
+/// \brief Instrumented muscle sites.
+enum class Muscle : int {
+  kBiceps = 0,
+  kTriceps,
+  kUpperForearm,
+  kLowerForearm,
+  kFrontShin,
+  kBackShin,
+  kNumMuscles,
+};
+
+/// \brief Stable lower-case name ("biceps", "front_shin", …).
+const char* MuscleName(Muscle muscle);
+
+/// \brief Parses a muscle name (case-insensitive); NotFound on miss.
+Result<Muscle> MuscleFromName(const std::string& name);
+
+/// \brief Electrode set of a limb, in the paper's order (hand: biceps,
+/// triceps, upper forearm, lower forearm; leg: front shin, back shin).
+const std::vector<Muscle>& LimbMuscles(Limb limb);
+
+}  // namespace mocemg
+
+#endif  // MOCEMG_EMG_MUSCLE_H_

@@ -1,0 +1,86 @@
+#include "eval/metrics.h"
+
+#include <sstream>
+
+#include "util/macros.h"
+#include "util/string_util.h"
+
+namespace mocemg {
+
+Status ConfusionMatrix::Record(size_t truth, size_t predicted) {
+  if (truth >= num_classes_ || predicted >= num_classes_) {
+    return Status::OutOfRange("label outside confusion matrix");
+  }
+  ++counts_[truth * num_classes_ + predicted];
+  return Status::OK();
+}
+
+size_t ConfusionMatrix::total() const {
+  size_t t = 0;
+  for (size_t c : counts_) t += c;
+  return t;
+}
+
+Result<double> ConfusionMatrix::MisclassificationPercent() const {
+  const size_t t = total();
+  if (t == 0) return Status::FailedPrecondition("no records");
+  size_t correct = 0;
+  for (size_t i = 0; i < num_classes_; ++i) correct += count(i, i);
+  return 100.0 * static_cast<double>(t - correct) /
+         static_cast<double>(t);
+}
+
+Result<double> ConfusionMatrix::Accuracy() const {
+  MOCEMG_ASSIGN_OR_RETURN(double mis, MisclassificationPercent());
+  return 1.0 - mis / 100.0;
+}
+
+std::vector<double> ConfusionMatrix::PerClassRecall() const {
+  std::vector<double> recall(num_classes_, 0.0);
+  for (size_t i = 0; i < num_classes_; ++i) {
+    size_t row_total = 0;
+    for (size_t j = 0; j < num_classes_; ++j) row_total += count(i, j);
+    if (row_total > 0) {
+      recall[i] = static_cast<double>(count(i, i)) /
+                  static_cast<double>(row_total);
+    }
+  }
+  return recall;
+}
+
+std::string ConfusionMatrix::ToString(
+    const std::vector<std::string>& class_names) const {
+  std::ostringstream os;
+  auto name = [&](size_t i) {
+    return i < class_names.size() ? class_names[i]
+                                  : "class" + std::to_string(i);
+  };
+  os << "truth \\ predicted";
+  for (size_t j = 0; j < num_classes_; ++j) os << "\t" << name(j);
+  os << "\n";
+  for (size_t i = 0; i < num_classes_; ++i) {
+    os << name(i);
+    for (size_t j = 0; j < num_classes_; ++j) os << "\t" << count(i, j);
+    os << "\n";
+  }
+  return os.str();
+}
+
+void KnnPrecision::Record(size_t truth,
+                          const std::vector<size_t>& retrieved_labels) {
+  if (retrieved_labels.empty()) return;
+  size_t same = 0;
+  for (size_t l : retrieved_labels) {
+    if (l == truth) ++same;
+  }
+  sum_precision_ += static_cast<double>(same) /
+                    static_cast<double>(retrieved_labels.size());
+  ++num_queries_;
+}
+
+Result<double> KnnPrecision::Percent() const {
+  if (num_queries_ == 0) return Status::FailedPrecondition("no queries");
+  return 100.0 * sum_precision_ / static_cast<double>(num_queries_);
+}
+
+}  // namespace mocemg

@@ -1,0 +1,74 @@
+/// \file metrics.h
+/// \brief Classification/retrieval metrics reported in the paper's
+/// evaluation: average mis-classification rate (Figures 6–7) and the
+/// k-NN correctly-classified percentage (Figures 8–9), plus confusion
+/// matrices for the examples.
+
+#ifndef MOCEMG_EVAL_METRICS_H_
+#define MOCEMG_EVAL_METRICS_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+
+namespace mocemg {
+
+/// \brief Square confusion matrix over `num_classes` labels.
+class ConfusionMatrix {
+ public:
+  explicit ConfusionMatrix(size_t num_classes)
+      : num_classes_(num_classes),
+        counts_(num_classes * num_classes, 0) {}
+
+  /// \brief Records one (truth, prediction) pair; out-of-range labels
+  /// are rejected.
+  Status Record(size_t truth, size_t predicted);
+
+  size_t num_classes() const { return num_classes_; }
+  size_t count(size_t truth, size_t predicted) const {
+    return counts_[truth * num_classes_ + predicted];
+  }
+  size_t total() const;
+
+  /// \brief Fraction of off-diagonal records, in percent (the paper's
+  /// mis-classification rate). Fails when empty.
+  Result<double> MisclassificationPercent() const;
+
+  /// \brief Overall accuracy in [0, 1]. Fails when empty.
+  Result<double> Accuracy() const;
+
+  /// \brief Per-class recall; classes with no truth records get 0.
+  std::vector<double> PerClassRecall() const;
+
+  /// \brief Pretty table with class names (names optional).
+  std::string ToString(const std::vector<std::string>& class_names = {}) const;
+
+ private:
+  size_t num_classes_;
+  std::vector<size_t> counts_;
+};
+
+/// \brief Running average of the per-query kNN precision: the fraction of
+/// the k retrieved motions belonging to the query's class (the paper's
+/// "percentage of returned motions in k which are actually present in the
+/// same group of query motion").
+class KnnPrecision {
+ public:
+  /// \brief Records one query's retrieved labels against its truth.
+  void Record(size_t truth, const std::vector<size_t>& retrieved_labels);
+
+  size_t num_queries() const { return num_queries_; }
+
+  /// \brief Mean precision in percent; fails with no queries.
+  Result<double> Percent() const;
+
+ private:
+  double sum_precision_ = 0.0;
+  size_t num_queries_ = 0;
+};
+
+}  // namespace mocemg
+
+#endif  // MOCEMG_EVAL_METRICS_H_

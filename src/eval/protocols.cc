@@ -1,0 +1,111 @@
+#include "eval/protocols.h"
+
+#include <algorithm>
+#include <map>
+
+#include "util/macros.h"
+#include "util/random.h"
+
+namespace mocemg {
+namespace {
+
+// Stratified fold assignment: within each class, trials are shuffled and
+// dealt round-robin so every fold sees every class.
+std::vector<size_t> AssignFolds(const std::vector<LabeledMotion>& motions,
+                                size_t num_folds, uint64_t seed) {
+  std::map<size_t, std::vector<size_t>> by_class;
+  for (size_t i = 0; i < motions.size(); ++i) {
+    by_class[motions[i].label].push_back(i);
+  }
+  std::vector<size_t> fold_of(motions.size(), 0);
+  Rng rng(seed);
+  for (auto& [label, indices] : by_class) {
+    rng.Shuffle(&indices);
+    for (size_t j = 0; j < indices.size(); ++j) {
+      fold_of[indices[j]] = j % num_folds;
+    }
+  }
+  return fold_of;
+}
+
+}  // namespace
+
+std::vector<LabeledMotion> ToLabeledMotions(
+    std::vector<CapturedMotion> captured) {
+  std::vector<LabeledMotion> out;
+  out.reserve(captured.size());
+  for (auto& c : captured) {
+    LabeledMotion m;
+    m.mocap = std::move(c.mocap);
+    m.emg = std::move(c.emg_raw);
+    m.label = c.class_id;
+    m.label_name = std::move(c.class_name);
+    out.push_back(std::move(m));
+  }
+  return out;
+}
+
+Result<EvaluationResult> CrossValidate(
+    const std::vector<LabeledMotion>& motions, size_t num_classes,
+    const ClassifierOptions& classifier_options,
+    const ProtocolOptions& protocol_options) {
+  if (motions.empty()) {
+    return Status::InvalidArgument("no motions to evaluate");
+  }
+  if (protocol_options.num_folds < 2) {
+    return Status::InvalidArgument("need at least 2 folds");
+  }
+  for (const auto& m : motions) {
+    if (m.label >= num_classes) {
+      return Status::InvalidArgument("label exceeds num_classes");
+    }
+  }
+
+  const std::vector<size_t> fold_of = AssignFolds(
+      motions, protocol_options.num_folds, protocol_options.seed);
+
+  EvaluationResult result(num_classes);
+  KnnPrecision knn;
+  for (size_t fold = 0; fold < protocol_options.num_folds; ++fold) {
+    std::vector<LabeledMotion> train;
+    std::vector<size_t> query_indices;
+    for (size_t i = 0; i < motions.size(); ++i) {
+      if (fold_of[i] == fold) {
+        query_indices.push_back(i);
+      } else {
+        train.push_back(motions[i]);  // copy; training mutates nothing
+      }
+    }
+    if (train.empty() || query_indices.empty()) continue;
+
+    MOCEMG_ASSIGN_OR_RETURN(MotionClassifier clf,
+                            MotionClassifier::Train(train,
+                                                    classifier_options));
+    for (size_t qi : query_indices) {
+      const LabeledMotion& q = motions[qi];
+      MOCEMG_ASSIGN_OR_RETURN(std::vector<double> feature,
+                              clf.Featurize(q.mocap, q.emg));
+      MOCEMG_ASSIGN_OR_RETURN(
+          std::vector<MotionMatch> top1,
+          clf.NearestNeighbors(feature, 1));
+      MOCEMG_RETURN_NOT_OK(result.confusion.Record(q.label, top1[0].label));
+      MOCEMG_ASSIGN_OR_RETURN(
+          std::vector<MotionMatch> topk,
+          clf.NearestNeighbors(feature, protocol_options.knn_k));
+      std::vector<size_t> retrieved;
+      retrieved.reserve(topk.size());
+      for (const MotionMatch& m : topk) retrieved.push_back(m.label);
+      knn.Record(q.label, retrieved);
+      ++result.num_queries;
+    }
+  }
+  if (result.num_queries == 0) {
+    return Status::FailedPrecondition("protocol produced no queries");
+  }
+  MOCEMG_ASSIGN_OR_RETURN(result.misclassification_percent,
+                          result.confusion.MisclassificationPercent());
+  MOCEMG_ASSIGN_OR_RETURN(result.knn_percent, knn.Percent());
+  return result;
+}
+
+}  // namespace mocemg

@@ -1,0 +1,55 @@
+/// \file protocols.h
+/// \brief Query protocols for the paper's two evaluations: stratified
+/// k-fold cross-validation where each fold's motions act as the queries
+/// against a classifier trained on the remaining folds. Per query the
+/// protocol records (a) whether the 1-NN classification is correct
+/// (mis-classification rate, Figures 6–7) and (b) the fraction of the
+/// k = 5 nearest database motions sharing the query's class (kNN percent,
+/// Figures 8–9).
+
+#ifndef MOCEMG_EVAL_PROTOCOLS_H_
+#define MOCEMG_EVAL_PROTOCOLS_H_
+
+#include <vector>
+
+#include "core/classifier.h"
+#include "eval/metrics.h"
+#include "synth/dataset.h"
+#include "util/result.h"
+
+namespace mocemg {
+
+/// \brief Protocol parameters.
+struct ProtocolOptions {
+  /// Stratified folds; each fold serves once as the query set.
+  size_t num_folds = 5;
+  /// k of the kNN-percent metric (the paper fixes 5).
+  size_t knn_k = 5;
+  /// Shuffle seed for fold assignment.
+  uint64_t seed = 99;
+};
+
+/// \brief Aggregated outcome of one evaluation run.
+struct EvaluationResult {
+  ConfusionMatrix confusion;  ///< of the 1-NN classifier
+  double misclassification_percent = 0.0;
+  double knn_percent = 0.0;
+  size_t num_queries = 0;
+
+  explicit EvaluationResult(size_t num_classes) : confusion(num_classes) {}
+};
+
+/// \brief Adapts generated captures to the classifier's training type.
+std::vector<LabeledMotion> ToLabeledMotions(
+    std::vector<CapturedMotion> captured);
+
+/// \brief Runs the full cross-validated evaluation. `num_classes` must
+/// exceed every label in `motions`.
+Result<EvaluationResult> CrossValidate(
+    const std::vector<LabeledMotion>& motions, size_t num_classes,
+    const ClassifierOptions& classifier_options,
+    const ProtocolOptions& protocol_options);
+
+}  // namespace mocemg
+
+#endif  // MOCEMG_EVAL_PROTOCOLS_H_

@@ -1,0 +1,39 @@
+#include "eval/sweep.h"
+
+#include "util/macros.h"
+
+namespace mocemg {
+
+Result<std::vector<SweepPoint>> RunParameterSweep(
+    const std::vector<LabeledMotion>& motions, size_t num_classes,
+    const ClassifierOptions& base, const SweepOptions& sweep,
+    const SweepProgress& progress) {
+  if (sweep.window_sizes_ms.empty() || sweep.cluster_counts.empty()) {
+    return Status::InvalidArgument("empty sweep grid");
+  }
+  std::vector<SweepPoint> points;
+  const size_t total =
+      sweep.window_sizes_ms.size() * sweep.cluster_counts.size();
+  points.reserve(total);
+  for (double window_ms : sweep.window_sizes_ms) {
+    for (size_t clusters : sweep.cluster_counts) {
+      ClassifierOptions options = base;
+      options.features.window_ms = window_ms;
+      options.fcm.num_clusters = clusters;
+      MOCEMG_ASSIGN_OR_RETURN(
+          EvaluationResult result,
+          CrossValidate(motions, num_classes, options, sweep.protocol));
+      SweepPoint point;
+      point.window_ms = window_ms;
+      point.clusters = clusters;
+      point.misclassification_percent = result.misclassification_percent;
+      point.knn_percent = result.knn_percent;
+      point.num_queries = result.num_queries;
+      points.push_back(point);
+      if (progress) progress(points.size(), total, point);
+    }
+  }
+  return points;
+}
+
+}  // namespace mocemg

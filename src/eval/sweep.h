@@ -1,0 +1,47 @@
+/// \file sweep.h
+/// \brief The parameter-sweep driver behind Figures 6–9: window size ∈
+/// {50, 100, 150, 200} ms × clusters ∈ [2, 40], each cell evaluated with
+/// the cross-validation protocol. Shared by the figure benches so every
+/// figure is regenerated from identical machinery.
+
+#ifndef MOCEMG_EVAL_SWEEP_H_
+#define MOCEMG_EVAL_SWEEP_H_
+
+#include <functional>
+#include <vector>
+
+#include "eval/protocols.h"
+#include "util/result.h"
+
+namespace mocemg {
+
+/// \brief One sweep cell's outcome.
+struct SweepPoint {
+  double window_ms = 0.0;
+  size_t clusters = 0;
+  double misclassification_percent = 0.0;
+  double knn_percent = 0.0;
+  size_t num_queries = 0;
+};
+
+/// \brief Sweep configuration; defaults are the paper's grids.
+struct SweepOptions {
+  std::vector<double> window_sizes_ms = {50.0, 100.0, 150.0, 200.0};
+  std::vector<size_t> cluster_counts = {2, 5, 10, 15, 20, 25, 30, 35, 40};
+  ProtocolOptions protocol;
+};
+
+/// \brief Progress callback: (completed cells, total cells, last point).
+using SweepProgress =
+    std::function<void(size_t, size_t, const SweepPoint&)>;
+
+/// \brief Runs the full grid. `base` supplies every non-swept pipeline
+/// parameter; window_ms and fcm.num_clusters are overwritten per cell.
+Result<std::vector<SweepPoint>> RunParameterSweep(
+    const std::vector<LabeledMotion>& motions, size_t num_classes,
+    const ClassifierOptions& base, const SweepOptions& sweep,
+    const SweepProgress& progress = nullptr);
+
+}  // namespace mocemg
+
+#endif  // MOCEMG_EVAL_SWEEP_H_

@@ -1,0 +1,139 @@
+#include "linalg/eigen_sym.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace mocemg {
+
+Result<SymmetricEigenResult> ComputeSymmetricEigen(const Matrix& a,
+                                                   int max_sweeps,
+                                                   double symmetry_tol) {
+  if (a.empty()) return Status::InvalidArgument("eigen of empty matrix");
+  if (a.rows() != a.cols()) {
+    return Status::InvalidArgument("eigen of non-square matrix");
+  }
+  const size_t n = a.rows();
+  const double scale = std::max(a.MaxAbs(), 1e-300);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      if (std::fabs(a(i, j) - a(j, i)) > symmetry_tol * scale) {
+        return Status::InvalidArgument(
+            "matrix is not symmetric at (" + std::to_string(i) + "," +
+            std::to_string(j) + ")");
+      }
+    }
+  }
+
+  Matrix w = a;
+  Matrix q = Matrix::Identity(n);
+  int sweeps = 0;
+  bool converged = (n <= 1);
+  for (; sweeps < max_sweeps && !converged; ++sweeps) {
+    double off = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = i + 1; j < n; ++j) off += w(i, j) * w(i, j);
+    }
+    if (std::sqrt(off) <= 1e-14 * scale * static_cast<double>(n)) {
+      converged = true;
+      break;
+    }
+    for (size_t p = 0; p + 1 < n; ++p) {
+      for (size_t r = p + 1; r < n; ++r) {
+        const double apq = w(p, r);
+        if (apq == 0.0) continue;
+        const double app = w(p, p);
+        const double aqq = w(r, r);
+        const double theta = (aqq - app) / (2.0 * apq);
+        const double t =
+            (theta >= 0.0 ? 1.0 : -1.0) /
+            (std::fabs(theta) + std::sqrt(1.0 + theta * theta));
+        const double c = 1.0 / std::sqrt(1.0 + t * t);
+        const double s = c * t;
+        // Apply Jᵀ W J where J rotates the (p, r) plane.
+        for (size_t k = 0; k < n; ++k) {
+          const double wkp = w(k, p);
+          const double wkr = w(k, r);
+          w(k, p) = c * wkp - s * wkr;
+          w(k, r) = s * wkp + c * wkr;
+        }
+        for (size_t k = 0; k < n; ++k) {
+          const double wpk = w(p, k);
+          const double wrk = w(r, k);
+          w(p, k) = c * wpk - s * wrk;
+          w(r, k) = s * wpk + c * wrk;
+        }
+        for (size_t k = 0; k < n; ++k) {
+          const double qkp = q(k, p);
+          const double qkr = q(k, r);
+          q(k, p) = c * qkp - s * qkr;
+          q(k, r) = s * qkp + c * qkr;
+        }
+      }
+    }
+  }
+  if (!converged) {
+    // One last residual check: sweeps may have driven off-diagonals down
+    // on the final pass.
+    double off = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = i + 1; j < n; ++j) off += w(i, j) * w(i, j);
+    }
+    if (std::sqrt(off) > 1e-10 * scale * static_cast<double>(n)) {
+      return Status::NumericalError("Jacobi eigensolver did not converge");
+    }
+  }
+
+  std::vector<double> evals(n);
+  for (size_t i = 0; i < n; ++i) evals[i] = w(i, i);
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](size_t x, size_t y) { return evals[x] > evals[y]; });
+
+  SymmetricEigenResult out;
+  out.sweeps = sweeps;
+  out.eigenvalues.resize(n);
+  out.eigenvectors = Matrix(n, n);
+  for (size_t k = 0; k < n; ++k) {
+    out.eigenvalues[k] = evals[order[k]];
+    for (size_t i = 0; i < n; ++i) {
+      out.eigenvectors(i, k) = q(i, order[k]);
+    }
+  }
+  return out;
+}
+
+Result<Matrix> CovarianceMatrix(const Matrix& observations) {
+  const size_t n = observations.rows();
+  const size_t d = observations.cols();
+  if (n < 2) {
+    return Status::InvalidArgument("covariance needs >= 2 observations");
+  }
+  std::vector<double> mean(d, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    const double* row = observations.RowPtr(i);
+    for (size_t j = 0; j < d; ++j) mean[j] += row[j];
+  }
+  for (double& m : mean) m /= static_cast<double>(n);
+  Matrix cov(d, d);
+  for (size_t i = 0; i < n; ++i) {
+    const double* row = observations.RowPtr(i);
+    for (size_t a = 0; a < d; ++a) {
+      const double da = row[a] - mean[a];
+      for (size_t b = a; b < d; ++b) {
+        cov(a, b) += da * (row[b] - mean[b]);
+      }
+    }
+  }
+  const double inv = 1.0 / static_cast<double>(n - 1);
+  for (size_t a = 0; a < d; ++a) {
+    for (size_t b = a; b < d; ++b) {
+      cov(a, b) *= inv;
+      cov(b, a) = cov(a, b);
+    }
+  }
+  return cov;
+}
+
+}  // namespace mocemg

@@ -1,0 +1,39 @@
+/// \file eigen_sym.h
+/// \brief Symmetric eigendecomposition via classical (two-sided) Jacobi.
+///
+/// Used by tests to cross-check the one-sided-Jacobi SVD (σ_i(A) must be
+/// sqrt(λ_i(AᵀA))) and by the PCA utilities in the cluster-validity and
+/// analysis code paths.
+
+#ifndef MOCEMG_LINALG_EIGEN_SYM_H_
+#define MOCEMG_LINALG_EIGEN_SYM_H_
+
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "util/result.h"
+
+namespace mocemg {
+
+/// \brief Eigendecomposition of a symmetric matrix: A = Q Λ Qᵀ.
+struct SymmetricEigenResult {
+  /// Eigenvalues, descending.
+  std::vector<double> eigenvalues;
+  /// Eigenvectors as columns, ordered to match `eigenvalues`.
+  Matrix eigenvectors;
+  int sweeps = 0;
+};
+
+/// \brief Computes all eigenpairs of a symmetric matrix. Fails if `a` is
+/// not square, not symmetric (beyond `symmetry_tol`), or the iteration
+/// exceeds `max_sweeps`.
+Result<SymmetricEigenResult> ComputeSymmetricEigen(
+    const Matrix& a, int max_sweeps = 60, double symmetry_tol = 1e-9);
+
+/// \brief Sample covariance matrix (n-1 denominator) of row-observations.
+/// Fails with fewer than two rows.
+Result<Matrix> CovarianceMatrix(const Matrix& observations);
+
+}  // namespace mocemg
+
+#endif  // MOCEMG_LINALG_EIGEN_SYM_H_

@@ -1,0 +1,115 @@
+#include "linalg/lu.h"
+
+#include <cmath>
+
+#include "util/macros.h"
+
+namespace mocemg {
+
+Result<LuDecomposition> LuDecomposition::Compute(const Matrix& a,
+                                                 double pivot_tol) {
+  if (a.empty() || a.rows() != a.cols()) {
+    return Status::InvalidArgument("LU needs a non-empty square matrix");
+  }
+  const size_t n = a.rows();
+  LuDecomposition lu;
+  lu.lu_ = a;
+  lu.perm_.resize(n);
+  for (size_t i = 0; i < n; ++i) lu.perm_[i] = i;
+  const double scale = std::max(a.MaxAbs(), 1e-300);
+
+  for (size_t k = 0; k < n; ++k) {
+    // Partial pivoting: largest |entry| in column k at/below the diagonal.
+    size_t pivot_row = k;
+    double pivot = std::fabs(lu.lu_(k, k));
+    for (size_t i = k + 1; i < n; ++i) {
+      const double v = std::fabs(lu.lu_(i, k));
+      if (v > pivot) {
+        pivot = v;
+        pivot_row = i;
+      }
+    }
+    if (pivot <= pivot_tol * scale) {
+      return Status::NumericalError(
+          "matrix is singular to working precision (pivot " +
+          std::to_string(pivot) + ")");
+    }
+    if (pivot_row != k) {
+      for (size_t j = 0; j < n; ++j) {
+        std::swap(lu.lu_(k, j), lu.lu_(pivot_row, j));
+      }
+      std::swap(lu.perm_[k], lu.perm_[pivot_row]);
+      lu.permutation_sign_ = -lu.permutation_sign_;
+    }
+    const double inv_pivot = 1.0 / lu.lu_(k, k);
+    for (size_t i = k + 1; i < n; ++i) {
+      const double factor = lu.lu_(i, k) * inv_pivot;
+      lu.lu_(i, k) = factor;  // L strictly-below-diagonal entry
+      for (size_t j = k + 1; j < n; ++j) {
+        lu.lu_(i, j) -= factor * lu.lu_(k, j);
+      }
+    }
+  }
+  return lu;
+}
+
+Result<std::vector<double>> LuDecomposition::Solve(
+    const std::vector<double>& b) const {
+  const size_t n = dimension();
+  if (b.size() != n) {
+    return Status::InvalidArgument("rhs dimension mismatch");
+  }
+  std::vector<double> x(n);
+  // Forward substitution on the permuted rhs (L has unit diagonal).
+  for (size_t i = 0; i < n; ++i) {
+    double sum = b[perm_[i]];
+    for (size_t j = 0; j < i; ++j) sum -= lu_(i, j) * x[j];
+    x[i] = sum;
+  }
+  // Back substitution with U.
+  for (size_t ii = n; ii > 0; --ii) {
+    const size_t i = ii - 1;
+    double sum = x[i];
+    for (size_t j = i + 1; j < n; ++j) sum -= lu_(i, j) * x[j];
+    x[i] = sum / lu_(i, i);
+  }
+  return x;
+}
+
+Result<Matrix> LuDecomposition::SolveMatrix(const Matrix& b) const {
+  if (b.rows() != dimension()) {
+    return Status::InvalidArgument("rhs row-count mismatch");
+  }
+  Matrix x(dimension(), b.cols());
+  for (size_t c = 0; c < b.cols(); ++c) {
+    MOCEMG_ASSIGN_OR_RETURN(std::vector<double> col, Solve(b.Column(c)));
+    x.SetColumn(c, col);
+  }
+  return x;
+}
+
+Result<Matrix> LuDecomposition::Inverse() const {
+  return SolveMatrix(Matrix::Identity(dimension()));
+}
+
+double LuDecomposition::Determinant() const {
+  double det = static_cast<double>(permutation_sign_);
+  for (size_t i = 0; i < dimension(); ++i) det *= lu_(i, i);
+  return det;
+}
+
+Result<double> Determinant(const Matrix& a) {
+  auto lu = LuDecomposition::Compute(a);
+  if (!lu.ok()) {
+    if (lu.status().IsNumericalError()) return 0.0;  // singular
+    return lu.status();
+  }
+  return lu->Determinant();
+}
+
+Result<Matrix> Inverse(const Matrix& a) {
+  MOCEMG_ASSIGN_OR_RETURN(LuDecomposition lu, LuDecomposition::Compute(a));
+  return lu.Inverse();
+}
+
+}  // namespace mocemg

@@ -1,0 +1,54 @@
+/// \file lu.h
+/// \brief LU decomposition with partial pivoting: linear solves,
+/// inverses, and determinants for the small dense systems the library
+/// meets (Gustafson–Kessel's per-cluster covariance inverses, tests).
+
+#ifndef MOCEMG_LINALG_LU_H_
+#define MOCEMG_LINALG_LU_H_
+
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "util/result.h"
+
+namespace mocemg {
+
+/// \brief PA = LU factorization of a square matrix.
+class LuDecomposition {
+ public:
+  /// \brief Factorizes `a`; fails if non-square or numerically singular
+  /// (pivot below `pivot_tol` · max|a|).
+  static Result<LuDecomposition> Compute(const Matrix& a,
+                                         double pivot_tol = 1e-13);
+
+  size_t dimension() const { return lu_.rows(); }
+
+  /// \brief Solves A x = b.
+  Result<std::vector<double>> Solve(const std::vector<double>& b) const;
+
+  /// \brief Solves A X = B column-wise.
+  Result<Matrix> SolveMatrix(const Matrix& b) const;
+
+  /// \brief A⁻¹.
+  Result<Matrix> Inverse() const;
+
+  /// \brief det(A) (sign-corrected for the row permutation).
+  double Determinant() const;
+
+ private:
+  LuDecomposition() = default;
+
+  Matrix lu_;                  ///< packed L (unit diag) and U
+  std::vector<size_t> perm_;   ///< row permutation
+  int permutation_sign_ = 1;
+};
+
+/// \brief Convenience: det(a) for a square matrix (0 for singular).
+Result<double> Determinant(const Matrix& a);
+
+/// \brief Convenience: a⁻¹; fails when singular.
+Result<Matrix> Inverse(const Matrix& a);
+
+}  // namespace mocemg
+
+#endif  // MOCEMG_LINALG_LU_H_

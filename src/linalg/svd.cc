@@ -1,0 +1,153 @@
+#include "linalg/svd.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace mocemg {
+
+Result<SvdResult> ComputeSvd(const Matrix& a, const SvdOptions& options) {
+  if (a.empty()) return Status::InvalidArgument("SVD of empty matrix");
+  const size_t m = a.rows();
+  const size_t n = a.cols();
+  const size_t rank_bound = std::min(m, n);
+
+  // Work matrix B starts as A; one-sided Jacobi orthogonalizes its
+  // columns while accumulating the rotations into V, so that at
+  // convergence B = U·Σ and A = B·Vᵀ.
+  Matrix b = a;
+  Matrix v = Matrix::Identity(n);
+
+  // Column squared-norms, maintained incrementally.
+  std::vector<double> sq(n, 0.0);
+  for (size_t j = 0; j < n; ++j) {
+    double s = 0.0;
+    for (size_t i = 0; i < m; ++i) s += b(i, j) * b(i, j);
+    sq[j] = s;
+  }
+
+  // Columns whose squared norm falls below this fraction of the total
+  // Frobenius mass are numerically zero: rotating against them can never
+  // converge (the relative threshold collapses with the norm), so they
+  // are frozen. This is what makes rank-deficient inputs terminate.
+  double fro2 = 0.0;
+  for (double s : sq) fro2 += s;
+  const double dead_col2 = 1e-28 * fro2;
+
+  int sweeps = 0;
+  bool converged = (fro2 == 0.0);
+  for (; sweeps < options.max_sweeps && !converged; ++sweeps) {
+    bool rotated = false;
+    for (size_t p = 0; p + 1 < n; ++p) {
+      for (size_t q = p + 1; q < n; ++q) {
+        const double alpha = sq[p];
+        const double beta = sq[q];
+        if (alpha <= dead_col2 || beta <= dead_col2) continue;
+        double gamma = 0.0;
+        for (size_t i = 0; i < m; ++i) gamma += b(i, p) * b(i, q);
+        if (std::fabs(gamma) <=
+            options.tol * std::sqrt(alpha * beta) + 1e-300) {
+          continue;
+        }
+        rotated = true;
+        // Rutishauser rotation annihilating the (p,q) inner product.
+        const double zeta = (beta - alpha) / (2.0 * gamma);
+        const double t =
+            (zeta >= 0.0 ? 1.0 : -1.0) /
+            (std::fabs(zeta) + std::sqrt(1.0 + zeta * zeta));
+        const double c = 1.0 / std::sqrt(1.0 + t * t);
+        const double s = c * t;
+        for (size_t i = 0; i < m; ++i) {
+          const double bp = b(i, p);
+          const double bq = b(i, q);
+          b(i, p) = c * bp - s * bq;
+          b(i, q) = s * bp + c * bq;
+        }
+        for (size_t i = 0; i < n; ++i) {
+          const double vp = v(i, p);
+          const double vq = v(i, q);
+          v(i, p) = c * vp - s * vq;
+          v(i, q) = s * vp + c * vq;
+        }
+        // Recompute the two column norms exactly: the O(m) cost matches
+        // the rotation itself and avoids incremental-update drift that
+        // can stall convergence near rank deficiency.
+        double np = 0.0;
+        double nq = 0.0;
+        for (size_t i = 0; i < m; ++i) {
+          np += b(i, p) * b(i, p);
+          nq += b(i, q) * b(i, q);
+        }
+        sq[p] = np;
+        sq[q] = nq;
+      }
+    }
+    if (!rotated) {
+      converged = true;
+      break;
+    }
+  }
+  if (!converged) {
+    return Status::NumericalError(
+        "Jacobi SVD did not converge within " +
+        std::to_string(options.max_sweeps) + " sweeps");
+  }
+
+  // Column norms of B are the singular values; sort descending.
+  std::vector<double> sigma(n);
+  for (size_t j = 0; j < n; ++j) {
+    double s = 0.0;
+    for (size_t i = 0; i < m; ++i) s += b(i, j) * b(i, j);
+    sigma[j] = std::sqrt(s);
+  }
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](size_t x, size_t y) { return sigma[x] > sigma[y]; });
+
+  SvdResult out;
+  out.sweeps = sweeps;
+  out.singular_values.resize(rank_bound);
+  out.v = Matrix(n, rank_bound);
+  if (options.compute_u) out.u = Matrix(m, rank_bound);
+  for (size_t k = 0; k < rank_bound; ++k) {
+    const size_t j = order[k];
+    double sign = 1.0;
+    if (options.fix_signs) {
+      // Largest-|·| component of the right singular vector made positive.
+      double best = 0.0;
+      for (size_t i = 0; i < n; ++i) {
+        if (std::fabs(v(i, j)) > std::fabs(best)) best = v(i, j);
+      }
+      if (best < 0.0) sign = -1.0;
+    }
+    out.singular_values[k] = sigma[j];
+    for (size_t i = 0; i < n; ++i) out.v(i, k) = sign * v(i, j);
+    if (options.compute_u) {
+      if (sigma[j] > 0.0) {
+        const double inv = sign / sigma[j];
+        for (size_t i = 0; i < m; ++i) out.u(i, k) = inv * b(i, j);
+      }
+      // sigma == 0: U column left as zero (undefined direction).
+    }
+  }
+  return out;
+}
+
+Result<Matrix> ReconstructFromSvd(const SvdResult& svd) {
+  if (svd.u.empty()) {
+    return Status::InvalidArgument(
+        "ReconstructFromSvd requires U (set SvdOptions::compute_u)");
+  }
+  const size_t m = svd.u.rows();
+  const size_t k = svd.singular_values.size();
+  Matrix us(m, k);
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t j = 0; j < k; ++j) {
+      us(i, j) = svd.u(i, j) * svd.singular_values[j];
+    }
+  }
+  return us.Multiply(svd.v.Transposed());
+}
+
+}  // namespace mocemg

@@ -1,0 +1,67 @@
+/// \file svd.h
+/// \brief Singular value decomposition via one-sided Jacobi rotations.
+///
+/// The paper's mocap dimensionality reduction (Eq. 2–3) needs, for every
+/// w×3 joint window A, the singular values and right singular vectors of
+/// A = U Σ Vᵀ. One-sided Jacobi is compact, numerically robust (it
+/// computes small singular values to high relative accuracy), and exact
+/// for the tall-skinny windows this library decomposes; the implementation
+/// below is general (any m×n) so it also serves tests and extensions.
+///
+/// Sign convention: each singular-vector pair (u_i, v_i) is flipped so the
+/// largest-|·| component of v_i is positive. SVD is only defined up to
+/// per-pair sign; without a fixed convention, windows with identical
+/// motion content could land at mirrored feature-space positions and
+/// scatter FCM clusters. Any consistent convention reproduces the paper.
+
+#ifndef MOCEMG_LINALG_SVD_H_
+#define MOCEMG_LINALG_SVD_H_
+
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "util/result.h"
+
+namespace mocemg {
+
+/// \brief Options controlling the Jacobi SVD iteration.
+struct SvdOptions {
+  /// Also compute left singular vectors (thin U, m×min(m,n)).
+  bool compute_u = false;
+  /// Hard cap on full Jacobi sweeps before declaring non-convergence.
+  int max_sweeps = 60;
+  /// Relative off-diagonal threshold for applying a rotation.
+  double tol = 1e-13;
+  /// Apply the deterministic sign convention documented above.
+  bool fix_signs = true;
+};
+
+/// \brief Thin SVD A = U Σ Vᵀ.
+struct SvdResult {
+  /// Singular values, descending; length min(m, n).
+  std::vector<double> singular_values;
+  /// Right singular vectors as columns, n × min(m, n).
+  Matrix v;
+  /// Left singular vectors as columns, m × min(m, n). Empty unless
+  /// SvdOptions::compute_u.
+  Matrix u;
+  /// Sweeps actually used.
+  int sweeps = 0;
+
+  /// \brief The i-th right singular vector (column i of v).
+  std::vector<double> RightSingularVector(size_t i) const {
+    return v.Column(i);
+  }
+};
+
+/// \brief Computes the thin SVD of `a`. Fails on empty input or if the
+/// iteration does not converge within max_sweeps.
+Result<SvdResult> ComputeSvd(const Matrix& a, const SvdOptions& options = {});
+
+/// \brief Reconstructs U·diag(σ)·Vᵀ from an SvdResult that carries U;
+/// test utility for round-trip verification.
+Result<Matrix> ReconstructFromSvd(const SvdResult& svd);
+
+}  // namespace mocemg
+
+#endif  // MOCEMG_LINALG_SVD_H_

@@ -1,0 +1,124 @@
+#include "linalg/vector_ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace mocemg {
+
+double Dot(const std::vector<double>& a, const std::vector<double>& b) {
+  MOCEMG_CHECK(a.size() == b.size()) << "Dot size mismatch";
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+double Norm2(const std::vector<double>& v) { return std::sqrt(Dot(v, v)); }
+
+double Norm1(const std::vector<double>& v) {
+  double sum = 0.0;
+  for (double x : v) sum += std::fabs(x);
+  return sum;
+}
+
+double EuclideanDistance(const std::vector<double>& a,
+                         const std::vector<double>& b) {
+  return std::sqrt(SquaredDistance(a, b));
+}
+
+double SquaredDistance(const std::vector<double>& a,
+                       const std::vector<double>& b) {
+  MOCEMG_CHECK(a.size() == b.size()) << "distance size mismatch";
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    sum += d * d;
+  }
+  return sum;
+}
+
+std::vector<double> AddVectors(const std::vector<double>& a,
+                               const std::vector<double>& b) {
+  MOCEMG_CHECK(a.size() == b.size());
+  std::vector<double> out(a);
+  for (size_t i = 0; i < b.size(); ++i) out[i] += b[i];
+  return out;
+}
+
+std::vector<double> SubtractVectors(const std::vector<double>& a,
+                                    const std::vector<double>& b) {
+  MOCEMG_CHECK(a.size() == b.size());
+  std::vector<double> out(a);
+  for (size_t i = 0; i < b.size(); ++i) out[i] -= b[i];
+  return out;
+}
+
+std::vector<double> ScaleVector(const std::vector<double>& v, double s) {
+  std::vector<double> out(v);
+  for (double& x : out) x *= s;
+  return out;
+}
+
+void Axpy(double s, const std::vector<double>& b, std::vector<double>* a) {
+  MOCEMG_CHECK(a != nullptr && a->size() == b.size());
+  for (size_t i = 0; i < b.size(); ++i) (*a)[i] += s * b[i];
+}
+
+std::vector<double> Normalized(const std::vector<double>& v) {
+  const double n = Norm2(v);
+  if (n == 0.0) return v;
+  return ScaleVector(v, 1.0 / n);
+}
+
+std::vector<double> Concatenate(const std::vector<double>& a,
+                                const std::vector<double>& b) {
+  std::vector<double> out;
+  out.reserve(a.size() + b.size());
+  out.insert(out.end(), a.begin(), a.end());
+  out.insert(out.end(), b.begin(), b.end());
+  return out;
+}
+
+Result<double> Mean(const std::vector<double>& v) {
+  if (v.empty()) return Status::InvalidArgument("Mean of empty vector");
+  double sum = 0.0;
+  for (double x : v) sum += x;
+  return sum / static_cast<double>(v.size());
+}
+
+Result<double> SampleVariance(const std::vector<double>& v) {
+  if (v.size() < 2) {
+    return Status::InvalidArgument("SampleVariance needs >= 2 samples");
+  }
+  const double m = *Mean(v);
+  double sum = 0.0;
+  for (double x : v) sum += (x - m) * (x - m);
+  return sum / static_cast<double>(v.size() - 1);
+}
+
+double PopulationStddev(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  const double m = *Mean(v);
+  double sum = 0.0;
+  for (double x : v) sum += (x - m) * (x - m);
+  return std::sqrt(sum / static_cast<double>(v.size()));
+}
+
+Result<double> MinElement(const std::vector<double>& v) {
+  if (v.empty()) return Status::InvalidArgument("MinElement of empty");
+  return *std::min_element(v.begin(), v.end());
+}
+
+Result<double> MaxElement(const std::vector<double>& v) {
+  if (v.empty()) return Status::InvalidArgument("MaxElement of empty");
+  return *std::max_element(v.begin(), v.end());
+}
+
+Result<size_t> ArgMax(const std::vector<double>& v) {
+  if (v.empty()) return Status::InvalidArgument("ArgMax of empty");
+  return static_cast<size_t>(
+      std::max_element(v.begin(), v.end()) - v.begin());
+}
+
+}  // namespace mocemg

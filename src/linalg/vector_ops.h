@@ -1,0 +1,75 @@
+/// \file vector_ops.h
+/// \brief Free functions on std::vector<double> used throughout feature
+/// extraction, clustering, and evaluation.
+
+#ifndef MOCEMG_LINALG_VECTOR_OPS_H_
+#define MOCEMG_LINALG_VECTOR_OPS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "util/result.h"
+
+namespace mocemg {
+
+/// \brief Dot product; vectors must be equal length (checked, aborts on
+/// programmer error since this sits in inner loops).
+double Dot(const std::vector<double>& a, const std::vector<double>& b);
+
+/// \brief Euclidean (L2) norm.
+double Norm2(const std::vector<double>& v);
+
+/// \brief L1 norm.
+double Norm1(const std::vector<double>& v);
+
+/// \brief Euclidean distance between equal-length vectors.
+double EuclideanDistance(const std::vector<double>& a,
+                         const std::vector<double>& b);
+
+/// \brief Squared Euclidean distance (no sqrt; inner-loop friendly).
+double SquaredDistance(const std::vector<double>& a,
+                       const std::vector<double>& b);
+
+/// \brief a + b element-wise.
+std::vector<double> AddVectors(const std::vector<double>& a,
+                               const std::vector<double>& b);
+
+/// \brief a - b element-wise.
+std::vector<double> SubtractVectors(const std::vector<double>& a,
+                                    const std::vector<double>& b);
+
+/// \brief s·v.
+std::vector<double> ScaleVector(const std::vector<double>& v, double s);
+
+/// \brief In-place a += s·b.
+void Axpy(double s, const std::vector<double>& b, std::vector<double>* a);
+
+/// \brief Normalizes to unit L2 norm; returns a zero vector unchanged.
+std::vector<double> Normalized(const std::vector<double>& v);
+
+/// \brief Concatenates b onto a copy of a (the paper's "appending one to
+/// other" combination of EMG and mocap feature vectors).
+std::vector<double> Concatenate(const std::vector<double>& a,
+                                const std::vector<double>& b);
+
+/// \brief Arithmetic mean; fails on empty input.
+Result<double> Mean(const std::vector<double>& v);
+
+/// \brief Sample variance (n-1 denominator); fails when size < 2.
+Result<double> SampleVariance(const std::vector<double>& v);
+
+/// \brief Population standard deviation (n denominator); 0 for empty.
+double PopulationStddev(const std::vector<double>& v);
+
+/// \brief Minimum element; fails on empty input.
+Result<double> MinElement(const std::vector<double>& v);
+
+/// \brief Maximum element; fails on empty input.
+Result<double> MaxElement(const std::vector<double>& v);
+
+/// \brief Index of the maximum element; fails on empty input.
+Result<size_t> ArgMax(const std::vector<double>& v);
+
+}  // namespace mocemg
+
+#endif  // MOCEMG_LINALG_VECTOR_OPS_H_

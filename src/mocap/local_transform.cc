@@ -1,0 +1,58 @@
+#include "mocap/local_transform.h"
+
+#include <cmath>
+
+#include "util/macros.h"
+
+namespace mocemg {
+
+Result<MotionSequence> ToPelvisLocal(
+    const MotionSequence& motion, const LocalTransformOptions& options) {
+  const MarkerSet& set = motion.marker_set();
+  MOCEMG_ASSIGN_OR_RETURN(size_t pelvis, set.IndexOf(Segment::kPelvis));
+
+  MotionSequence out = motion;
+  const size_t frames = motion.num_frames();
+  const size_t markers = set.num_markers();
+  for (size_t f = 0; f < frames; ++f) {
+    const auto origin = motion.MarkerPosition(f, pelvis);
+    for (size_t m = 0; m < markers; ++m) {
+      const auto p = motion.MarkerPosition(f, m);
+      out.SetMarkerPosition(
+          f, m, {p[0] - origin[0], p[1] - origin[1], p[2] - origin[2]});
+    }
+  }
+
+  if (options.normalize_heading && frames > 0 && markers > 1) {
+    // Estimate heading from the average pelvis→reference displacement in
+    // the first frames, then rotate all markers about Z so it points +X.
+    size_t ref = pelvis == 0 ? 1 : 0;
+    auto clav = set.IndexOf(Segment::kClavicle);
+    if (clav.ok()) ref = *clav;
+    const size_t n = std::min(options.heading_frames, frames);
+    double hx = 0.0;
+    double hy = 0.0;
+    for (size_t f = 0; f < n; ++f) {
+      const auto p = out.MarkerPosition(f, ref);
+      hx += p[0];
+      hy += p[1];
+    }
+    const double norm = std::hypot(hx, hy);
+    if (norm > 1e-9) {
+      const double c = hx / norm;
+      const double s = hy / norm;
+      // Rotate by -heading: (x, y) → (c·x + s·y, -s·x + c·y).
+      for (size_t f = 0; f < frames; ++f) {
+        for (size_t m = 0; m < markers; ++m) {
+          const auto p = out.MarkerPosition(f, m);
+          out.SetMarkerPosition(f, m,
+                                {c * p[0] + s * p[1],
+                                 -s * p[0] + c * p[1], p[2]});
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace mocemg

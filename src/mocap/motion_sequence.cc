@@ -1,0 +1,85 @@
+#include "mocap/motion_sequence.h"
+
+#include <cmath>
+
+#include "util/macros.h"
+
+namespace mocemg {
+
+Result<MotionSequence> MotionSequence::Create(MarkerSet marker_set,
+                                              Matrix positions,
+                                              double frame_rate_hz) {
+  if (frame_rate_hz <= 0.0) {
+    return Status::InvalidArgument("frame rate must be positive");
+  }
+  if (positions.cols() != 3 * marker_set.num_markers()) {
+    return Status::InvalidArgument(
+        "position matrix has " + std::to_string(positions.cols()) +
+        " columns, expected 3 x " +
+        std::to_string(marker_set.num_markers()));
+  }
+  return MotionSequence(std::move(marker_set), std::move(positions),
+                        frame_rate_hz);
+}
+
+std::array<double, 3> MotionSequence::MarkerPosition(
+    size_t frame, size_t marker_index) const {
+  const size_t c = 3 * marker_index;
+  return {positions_(frame, c), positions_(frame, c + 1),
+          positions_(frame, c + 2)};
+}
+
+void MotionSequence::SetMarkerPosition(size_t frame, size_t marker_index,
+                                       const std::array<double, 3>& xyz) {
+  const size_t c = 3 * marker_index;
+  positions_(frame, c) = xyz[0];
+  positions_(frame, c + 1) = xyz[1];
+  positions_(frame, c + 2) = xyz[2];
+}
+
+Result<Matrix> MotionSequence::JointMatrix(Segment segment) const {
+  MOCEMG_ASSIGN_OR_RETURN(size_t idx, marker_set_.IndexOf(segment));
+  return positions_.ColumnSlice(3 * idx, 3 * idx + 3);
+}
+
+Result<MotionSequence> MotionSequence::FrameSlice(size_t begin,
+                                                  size_t end) const {
+  if (begin > end || end > num_frames()) {
+    return Status::OutOfRange("frame slice [" + std::to_string(begin) +
+                              ", " + std::to_string(end) +
+                              ") outside motion of " +
+                              std::to_string(num_frames()) + " frames");
+  }
+  return MotionSequence(marker_set_, positions_.RowSlice(begin, end),
+                        frame_rate_hz_);
+}
+
+Result<MotionSequence> MotionSequence::SelectSegments(
+    const std::vector<Segment>& segments) const {
+  MarkerSet subset(segments);  // prepends pelvis if missing
+  Matrix out(num_frames(), 3 * subset.num_markers());
+  for (size_t j = 0; j < subset.num_markers(); ++j) {
+    MOCEMG_ASSIGN_OR_RETURN(size_t src,
+                            marker_set_.IndexOf(subset.segments()[j]));
+    for (size_t f = 0; f < num_frames(); ++f) {
+      out(f, 3 * j) = positions_(f, 3 * src);
+      out(f, 3 * j + 1) = positions_(f, 3 * src + 1);
+      out(f, 3 * j + 2) = positions_(f, 3 * src + 2);
+    }
+  }
+  return MotionSequence(std::move(subset), std::move(out), frame_rate_hz_);
+}
+
+Status MotionSequence::Validate() const {
+  if (num_frames() == 0) {
+    return Status::FailedPrecondition("motion has no frames");
+  }
+  for (double v : positions_.data()) {
+    if (!std::isfinite(v)) {
+      return Status::NumericalError("non-finite marker position");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace mocemg

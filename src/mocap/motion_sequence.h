@@ -1,0 +1,83 @@
+/// \file motion_sequence.h
+/// \brief The "motion matrix" of the paper: per-frame 3D positions of a
+/// marker set, three columns per joint, at a fixed frame rate (120 Hz in
+/// the lab this reproduces).
+
+#ifndef MOCEMG_MOCAP_MOTION_SEQUENCE_H_
+#define MOCEMG_MOCAP_MOTION_SEQUENCE_H_
+
+#include <array>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "mocap/skeleton.h"
+#include "util/result.h"
+
+namespace mocemg {
+
+/// \brief A captured (or synthesized) motion: frames × (3 · markers)
+/// positions in millimetres plus acquisition metadata.
+class MotionSequence {
+ public:
+  MotionSequence() : marker_set_({}), frame_rate_hz_(120.0) {}
+
+  /// \brief Wraps a joint matrix. `positions` must have 3·markers columns.
+  static Result<MotionSequence> Create(MarkerSet marker_set,
+                                       Matrix positions,
+                                       double frame_rate_hz = 120.0);
+
+  const MarkerSet& marker_set() const { return marker_set_; }
+  double frame_rate_hz() const { return frame_rate_hz_; }
+  size_t num_frames() const { return positions_.rows(); }
+  size_t num_markers() const { return marker_set_.num_markers(); }
+  double duration_seconds() const {
+    return num_frames() == 0
+               ? 0.0
+               : static_cast<double>(num_frames()) / frame_rate_hz_;
+  }
+
+  /// \brief The full motion matrix (frames × 3·markers), columns grouped
+  /// as [x,y,z] per marker in marker-set order.
+  const Matrix& positions() const { return positions_; }
+  Matrix& mutable_positions() { return positions_; }
+
+  /// \brief 3D position of one marker at one frame.
+  std::array<double, 3> MarkerPosition(size_t frame,
+                                       size_t marker_index) const;
+
+  /// \brief Sets the 3D position of one marker at one frame.
+  void SetMarkerPosition(size_t frame, size_t marker_index,
+                         const std::array<double, 3>& xyz);
+
+  /// \brief The frames × 3 "joint matrix" of a single segment — the A of
+  /// the paper's Eq. 2. NotFound if the segment is not captured.
+  Result<Matrix> JointMatrix(Segment segment) const;
+
+  /// \brief Sub-sequence of frames [begin, end).
+  Result<MotionSequence> FrameSlice(size_t begin, size_t end) const;
+
+  /// \brief Restriction to a subset of the captured segments (e.g. the
+  /// right-hand attributes); pelvis is always retained.
+  Result<MotionSequence> SelectSegments(
+      const std::vector<Segment>& segments) const;
+
+  /// \brief Sanity checks: finite values, nonzero frames.
+  Status Validate() const;
+
+ private:
+  MotionSequence(MarkerSet marker_set, Matrix positions,
+                 double frame_rate_hz)
+      : marker_set_(std::move(marker_set)),
+        positions_(std::move(positions)),
+        frame_rate_hz_(frame_rate_hz) {}
+
+  MarkerSet marker_set_;
+  Matrix positions_;
+  double frame_rate_hz_;
+};
+
+}  // namespace mocemg
+
+#endif  // MOCEMG_MOCAP_MOTION_SEQUENCE_H_

@@ -1,0 +1,115 @@
+#include "mocap/skeleton.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace mocemg {
+
+const char* SegmentName(Segment segment) {
+  switch (segment) {
+    case Segment::kPelvis:
+      return "pelvis";
+    case Segment::kClavicle:
+      return "clavicle";
+    case Segment::kHumerus:
+      return "humerus";
+    case Segment::kRadius:
+      return "radius";
+    case Segment::kHand:
+      return "hand";
+    case Segment::kFemur:
+      return "femur";
+    case Segment::kTibia:
+      return "tibia";
+    case Segment::kFoot:
+      return "foot";
+    case Segment::kToe:
+      return "toe";
+    case Segment::kNumSegments:
+      break;
+  }
+  return "?";
+}
+
+Result<Segment> SegmentFromName(const std::string& name) {
+  for (int i = 0; i < static_cast<int>(Segment::kNumSegments); ++i) {
+    const Segment s = static_cast<Segment>(i);
+    if (EqualsIgnoreCase(name, SegmentName(s))) return s;
+  }
+  return Status::NotFound("unknown segment '" + name + "'");
+}
+
+Segment SegmentParent(Segment segment) {
+  switch (segment) {
+    case Segment::kPelvis:
+      return Segment::kPelvis;
+    case Segment::kClavicle:
+      return Segment::kPelvis;
+    case Segment::kHumerus:
+      return Segment::kClavicle;
+    case Segment::kRadius:
+      return Segment::kHumerus;
+    case Segment::kHand:
+      return Segment::kRadius;
+    case Segment::kFemur:
+      return Segment::kPelvis;
+    case Segment::kTibia:
+      return Segment::kFemur;
+    case Segment::kFoot:
+      return Segment::kTibia;
+    case Segment::kToe:
+      return Segment::kFoot;
+    case Segment::kNumSegments:
+      break;
+  }
+  return Segment::kPelvis;
+}
+
+const char* LimbName(Limb limb) {
+  switch (limb) {
+    case Limb::kRightHand:
+      return "right_hand";
+    case Limb::kRightLeg:
+      return "right_leg";
+  }
+  return "?";
+}
+
+const std::vector<Segment>& LimbSegments(Limb limb) {
+  static const std::vector<Segment> kHandSegments = {
+      Segment::kClavicle, Segment::kHumerus, Segment::kRadius,
+      Segment::kHand};
+  static const std::vector<Segment> kLegSegments = {
+      Segment::kTibia, Segment::kFoot, Segment::kToe};
+  return limb == Limb::kRightHand ? kHandSegments : kLegSegments;
+}
+
+MarkerSet::MarkerSet(std::vector<Segment> segments)
+    : segments_(std::move(segments)) {
+  if (std::find(segments_.begin(), segments_.end(), Segment::kPelvis) ==
+      segments_.end()) {
+    segments_.insert(segments_.begin(), Segment::kPelvis);
+  }
+}
+
+MarkerSet MarkerSet::ForLimb(Limb limb) {
+  return MarkerSet(LimbSegments(limb));
+}
+
+Result<size_t> MarkerSet::IndexOf(Segment segment) const {
+  for (size_t i = 0; i < segments_.size(); ++i) {
+    if (segments_[i] == segment) return i;
+  }
+  return Status::NotFound(std::string("segment '") + SegmentName(segment) +
+                          "' not in marker set");
+}
+
+std::vector<std::string> MarkerSet::MarkerNames() const {
+  std::vector<std::string> names;
+  names.reserve(segments_.size());
+  for (Segment s : segments_) names.emplace_back(SegmentName(s));
+  return names;
+}
+
+}  // namespace mocemg

@@ -1,0 +1,80 @@
+/// \file skeleton.h
+/// \brief Body-segment model for the capture rig. Mirrors the paper's
+/// setup: retro-reflective markers on body segments, pelvis as the root
+/// of the hierarchy, and the two limb subsets it analyzes separately
+/// (right hand: clavicle, humerus, radius, hand — right leg: tibia,
+/// foot, toe).
+
+#ifndef MOCEMG_MOCAP_SKELETON_H_
+#define MOCEMG_MOCAP_SKELETON_H_
+
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+
+namespace mocemg {
+
+/// \brief Body segments tracked by the (real or simulated) capture rig.
+enum class Segment : int {
+  kPelvis = 0,
+  kClavicle,
+  kHumerus,
+  kRadius,
+  kHand,
+  kFemur,
+  kTibia,
+  kFoot,
+  kToe,
+  kNumSegments,
+};
+
+/// \brief Stable lower-case name of a segment ("pelvis", "clavicle", …).
+const char* SegmentName(Segment segment);
+
+/// \brief Parses a segment name (case-insensitive); NotFound on miss.
+Result<Segment> SegmentFromName(const std::string& name);
+
+/// \brief Parent of a segment in the body hierarchy; pelvis is its own
+/// parent (root).
+Segment SegmentParent(Segment segment);
+
+/// \brief The limb subsets the paper analyzes.
+enum class Limb : int {
+  kRightHand = 0,
+  kRightLeg = 1,
+};
+
+const char* LimbName(Limb limb);
+
+/// \brief Segments of a limb in proximal→distal order, exactly the
+/// attributes the paper uses (hand: 4 segments; leg: 3 segments).
+const std::vector<Segment>& LimbSegments(Limb limb);
+
+/// \brief Marker-set definition: an ordered list of segments whose 3D
+/// positions one capture session records (always includes the pelvis so
+/// the local transform is possible).
+class MarkerSet {
+ public:
+  /// Builds a marker set from segments; pelvis is prepended when absent.
+  explicit MarkerSet(std::vector<Segment> segments);
+
+  /// \brief The standard marker set for a limb: pelvis + LimbSegments.
+  static MarkerSet ForLimb(Limb limb);
+
+  const std::vector<Segment>& segments() const { return segments_; }
+  size_t num_markers() const { return segments_.size(); }
+
+  /// \brief Index of a segment within this set; NotFound on miss.
+  Result<size_t> IndexOf(Segment segment) const;
+
+  /// \brief Names of all markers in order.
+  std::vector<std::string> MarkerNames() const;
+
+ private:
+  std::vector<Segment> segments_;
+};
+
+}  // namespace mocemg
+
+#endif  // MOCEMG_MOCAP_SKELETON_H_

@@ -1,0 +1,186 @@
+#include "mocap/trc_io.h"
+
+#include <sstream>
+#include <vector>
+
+#include "util/csv.h"
+#include "util/macros.h"
+#include "util/string_util.h"
+
+namespace mocemg {
+namespace {
+
+// Splits a TRC line on tabs, collapsing nothing (TRC pads marker names
+// with empty columns).
+std::vector<std::string> TabFields(const std::string& line) {
+  return Split(line, '\t');
+}
+
+Result<std::string> NextLine(std::istringstream* in, const char* what) {
+  std::string line;
+  if (!std::getline(*in, line)) {
+    return Status::ParseError(std::string("truncated TRC: missing ") +
+                              what);
+  }
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  return line;
+}
+
+}  // namespace
+
+Result<MotionSequence> ParseTrc(const std::string& text) {
+  std::istringstream in(text);
+  MOCEMG_ASSIGN_OR_RETURN(std::string line1, NextLine(&in, "header line 1"));
+  if (!StartsWith(line1, "PathFileType")) {
+    return Status::ParseError("not a TRC file (no PathFileType header)");
+  }
+  MOCEMG_ASSIGN_OR_RETURN(std::string line2, NextLine(&in, "header line 2"));
+  MOCEMG_ASSIGN_OR_RETURN(std::string line3, NextLine(&in, "header line 3"));
+
+  // Map header fields to values.
+  const std::vector<std::string> keys = TabFields(line2);
+  const std::vector<std::string> vals = TabFields(line3);
+  double data_rate = 120.0;
+  size_t num_frames = 0;
+  size_t num_markers = 0;
+  double unit_to_mm = 1.0;
+  for (size_t i = 0; i < keys.size() && i < vals.size(); ++i) {
+    const std::string_view key = Trim(keys[i]);
+    const std::string_view val = Trim(vals[i]);
+    if (key == "DataRate") {
+      MOCEMG_ASSIGN_OR_RETURN(data_rate, ParseDouble(val));
+    } else if (key == "NumFrames") {
+      MOCEMG_ASSIGN_OR_RETURN(int64_t v, ParseInt(val));
+      num_frames = static_cast<size_t>(v);
+    } else if (key == "NumMarkers") {
+      MOCEMG_ASSIGN_OR_RETURN(int64_t v, ParseInt(val));
+      num_markers = static_cast<size_t>(v);
+    } else if (key == "Units") {
+      if (EqualsIgnoreCase(val, "m")) {
+        unit_to_mm = 1000.0;
+      } else if (!EqualsIgnoreCase(val, "mm")) {
+        return Status::ParseError("unsupported TRC units '" +
+                                  std::string(val) + "'");
+      }
+    }
+  }
+  if (num_markers == 0) {
+    return Status::ParseError("TRC header declares zero markers");
+  }
+
+  MOCEMG_ASSIGN_OR_RETURN(std::string name_line,
+                          NextLine(&in, "marker-name line"));
+  const std::vector<std::string> name_fields = TabFields(name_line);
+  if (name_fields.size() < 2 || Trim(name_fields[0]) != "Frame#") {
+    return Status::ParseError("malformed marker-name line");
+  }
+  std::vector<Segment> segments;
+  for (size_t i = 2; i < name_fields.size(); ++i) {
+    const std::string_view f = Trim(name_fields[i]);
+    if (f.empty()) continue;
+    MOCEMG_ASSIGN_OR_RETURN(Segment s, SegmentFromName(std::string(f)));
+    segments.push_back(s);
+  }
+  if (segments.size() != num_markers) {
+    return Status::ParseError(
+        "marker-name line lists " + std::to_string(segments.size()) +
+        " markers but header declares " + std::to_string(num_markers));
+  }
+
+  // Sub-header (X1 Y1 Z1 ...) — present in well-formed files; tolerate a
+  // file that jumps straight to data by peeking at the first field.
+  MOCEMG_ASSIGN_OR_RETURN(std::string subheader,
+                          NextLine(&in, "coordinate sub-header"));
+  std::vector<std::vector<double>> rows;
+  auto consume_data_line = [&](const std::string& line) -> Status {
+    const std::string_view t = Trim(line);
+    if (t.empty()) return Status::OK();
+    const std::vector<std::string> fields = TabFields(line);
+    if (fields.size() < 2 + 3 * num_markers) {
+      return Status::ParseError(
+          "data row has " + std::to_string(fields.size()) +
+          " fields, expected >= " + std::to_string(2 + 3 * num_markers));
+    }
+    std::vector<double> row(3 * num_markers);
+    for (size_t m = 0; m < 3 * num_markers; ++m) {
+      MOCEMG_ASSIGN_OR_RETURN(double v, ParseDouble(fields[2 + m]));
+      row[m] = v * unit_to_mm;
+    }
+    rows.push_back(std::move(row));
+    return Status::OK();
+  };
+
+  // Is the sub-header actually a data row (starts with a number)?
+  {
+    const std::vector<std::string> fields = TabFields(subheader);
+    if (!fields.empty() && ParseInt(fields[0]).ok()) {
+      MOCEMG_RETURN_NOT_OK(consume_data_line(subheader));
+    }
+  }
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    MOCEMG_RETURN_NOT_OK(consume_data_line(line));
+  }
+  if (num_frames != 0 && rows.size() != num_frames) {
+    return Status::ParseError("TRC header declares " +
+                              std::to_string(num_frames) +
+                              " frames but file contains " +
+                              std::to_string(rows.size()));
+  }
+
+  MOCEMG_ASSIGN_OR_RETURN(Matrix positions, Matrix::FromRows(rows));
+  return MotionSequence::Create(MarkerSet(std::move(segments)),
+                                std::move(positions), data_rate);
+}
+
+Result<MotionSequence> ReadTrcFile(const std::string& path) {
+  MOCEMG_ASSIGN_OR_RETURN(std::string text, ReadFileToString(path));
+  auto result = ParseTrc(text);
+  if (!result.ok()) {
+    return result.status().WithContext("while parsing '" + path + "'");
+  }
+  return result;
+}
+
+std::string WriteTrc(const MotionSequence& motion,
+                     const std::string& file_label) {
+  std::ostringstream out;
+  const size_t frames = motion.num_frames();
+  const size_t markers = motion.num_markers();
+  const double rate = motion.frame_rate_hz();
+  out << "PathFileType\t4\t(X/Y/Z)\t" << file_label << "\n";
+  out << "DataRate\tCameraRate\tNumFrames\tNumMarkers\tUnits\t"
+         "OrigDataRate\tOrigDataStartFrame\tOrigNumFrames\n";
+  out << FormatDouble(rate, 2) << "\t" << FormatDouble(rate, 2) << "\t"
+      << frames << "\t" << markers << "\tmm\t" << FormatDouble(rate, 2)
+      << "\t1\t" << frames << "\n";
+  out << "Frame#\tTime";
+  for (Segment s : motion.marker_set().segments()) {
+    out << "\t" << SegmentName(s) << "\t\t";
+  }
+  out << "\n";
+  out << "\t";
+  for (size_t m = 1; m <= markers; ++m) {
+    out << "\tX" << m << "\tY" << m << "\tZ" << m;
+  }
+  out << "\n";
+  for (size_t f = 0; f < frames; ++f) {
+    out << (f + 1) << "\t"
+        << FormatDouble(static_cast<double>(f) / rate, 5);
+    for (size_t m = 0; m < markers; ++m) {
+      const auto p = motion.MarkerPosition(f, m);
+      out << "\t" << FormatDouble(p[0], 5) << "\t" << FormatDouble(p[1], 5)
+          << "\t" << FormatDouble(p[2], 5);
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+Status WriteTrcFile(const MotionSequence& motion, const std::string& path,
+                    const std::string& file_label) {
+  return WriteStringToFile(path, WriteTrc(motion, file_label));
+}
+
+}  // namespace mocemg

@@ -1,0 +1,45 @@
+/// \file trc_io.h
+/// \brief Hand-rolled reader/writer for the TRC marker-trajectory format
+/// (the tab-delimited text export of Vicon-class capture systems). The
+/// paper's lab captured with Vicon iQ; TRC is the lingua franca such labs
+/// exchange, so the library speaks it natively.
+///
+/// Layout handled:
+///   line 1: PathFileType <n> (X/Y/Z) <name>
+///   line 2: DataRate CameraRate NumFrames NumMarkers Units ...
+///   line 3: the values for line 2's fields
+///   line 4: Frame# Time <Marker1> .. (marker names, tab-separated,
+///           markers followed by two blank columns each)
+///   line 5: X1 Y1 Z1 X2 ... (sub-header, ignored)
+///   data:   frame_no time x y z x y z ...
+/// Units of mm or m are accepted (m is converted to mm on read).
+
+#ifndef MOCEMG_MOCAP_TRC_IO_H_
+#define MOCEMG_MOCAP_TRC_IO_H_
+
+#include <string>
+
+#include "mocap/motion_sequence.h"
+#include "util/result.h"
+
+namespace mocemg {
+
+/// \brief Parses TRC text into a MotionSequence. Marker names must map to
+/// known segments (see SegmentFromName); the pelvis marker must be
+/// present.
+Result<MotionSequence> ParseTrc(const std::string& text);
+
+/// \brief Reads and parses a .trc file.
+Result<MotionSequence> ReadTrcFile(const std::string& path);
+
+/// \brief Serializes a motion to TRC text (units mm).
+std::string WriteTrc(const MotionSequence& motion,
+                     const std::string& file_label = "mocemg");
+
+/// \brief Writes a motion to a .trc file.
+Status WriteTrcFile(const MotionSequence& motion, const std::string& path,
+                    const std::string& file_label = "mocemg");
+
+}  // namespace mocemg
+
+#endif  // MOCEMG_MOCAP_TRC_IO_H_

@@ -1,0 +1,70 @@
+#include "signal/biquad.h"
+
+#include <algorithm>
+#include <cmath>
+#include <complex>
+
+namespace mocemg {
+
+double Biquad::MagnitudeAt(double w) const {
+  const std::complex<double> z = std::polar(1.0, -w);
+  const std::complex<double> z2 = z * z;
+  const std::complex<double> num =
+      coeffs_.b0 + coeffs_.b1 * z + coeffs_.b2 * z2;
+  const std::complex<double> den = 1.0 + coeffs_.a1 * z + coeffs_.a2 * z2;
+  return std::abs(num / den);
+}
+
+BiquadCascade::BiquadCascade(std::vector<BiquadCoefficients> sections) {
+  sections_.reserve(sections.size());
+  for (const auto& c : sections) sections_.emplace_back(c);
+}
+
+std::vector<double> BiquadCascade::ProcessSignal(
+    const std::vector<double>& input) {
+  std::vector<double> out(input.size());
+  for (size_t i = 0; i < input.size(); ++i) out[i] = Process(input[i]);
+  return out;
+}
+
+std::vector<double> BiquadCascade::FiltFilt(
+    const std::vector<double>& input) const {
+  if (input.empty()) return {};
+  // Pad with reflected edges (3 time-constants' worth, capped by length)
+  // so the filter state is warmed up before the true samples arrive.
+  const size_t pad = std::min<size_t>(input.size() - 1, 256);
+  std::vector<double> padded;
+  padded.reserve(input.size() + 2 * pad);
+  for (size_t i = pad; i > 0; --i) {
+    padded.push_back(2.0 * input.front() - input[i]);
+  }
+  padded.insert(padded.end(), input.begin(), input.end());
+  for (size_t i = 1; i <= pad; ++i) {
+    padded.push_back(2.0 * input.back() - input[input.size() - 1 - i]);
+  }
+
+  BiquadCascade forward = *this;
+  forward.Reset();
+  std::vector<double> once = forward.ProcessSignal(padded);
+  std::reverse(once.begin(), once.end());
+  BiquadCascade backward = *this;
+  backward.Reset();
+  std::vector<double> twice = backward.ProcessSignal(once);
+  std::reverse(twice.begin(), twice.end());
+
+  return std::vector<double>(twice.begin() + static_cast<ptrdiff_t>(pad),
+                             twice.begin() + static_cast<ptrdiff_t>(
+                                                 pad + input.size()));
+}
+
+void BiquadCascade::Reset() {
+  for (auto& s : sections_) s.Reset();
+}
+
+double BiquadCascade::MagnitudeAt(double w) const {
+  double mag = 1.0;
+  for (const auto& s : sections_) mag *= s.MagnitudeAt(w);
+  return mag;
+}
+
+}  // namespace mocemg

@@ -1,0 +1,44 @@
+/// \file butterworth.h
+/// \brief Butterworth IIR filter design (RBJ bilinear biquads with
+/// Butterworth pole-pair Q values).
+///
+/// The Delsys Myomonitor the paper used applies an analog 20–450 Hz
+/// band-pass before sampling; `DesignBandPass` reproduces that response
+/// digitally as a high-pass/low-pass cascade so the synthetic acquisition
+/// chain matches the published signal conditioning.
+
+#ifndef MOCEMG_SIGNAL_BUTTERWORTH_H_
+#define MOCEMG_SIGNAL_BUTTERWORTH_H_
+
+#include "signal/biquad.h"
+#include "util/result.h"
+
+namespace mocemg {
+
+/// \brief Butterworth low-pass of even order `order` with cutoff
+/// `cutoff_hz` at sample rate `sample_rate_hz`. Fails on odd/nonpositive
+/// order or a cutoff outside (0, fs/2).
+Result<BiquadCascade> DesignButterworthLowPass(int order, double cutoff_hz,
+                                               double sample_rate_hz);
+
+/// \brief Butterworth high-pass; same constraints as the low-pass.
+Result<BiquadCascade> DesignButterworthHighPass(int order, double cutoff_hz,
+                                                double sample_rate_hz);
+
+/// \brief Band-pass as high-pass(low_hz) · low-pass(high_hz), each of
+/// `order_per_edge` (even). This "pole placement by cascade" construction
+/// is the standard practical band-pass for widely separated edges such as
+/// EMG's 20–450 Hz.
+Result<BiquadCascade> DesignBandPass(int order_per_edge, double low_hz,
+                                     double high_hz, double sample_rate_hz);
+
+/// \brief Second-order notch at `center_hz` with quality factor `q`
+/// (RBJ). The standard defense against 50/60 Hz power-line interference
+/// coupling into surface-EMG leads; optional in the acquisition chain
+/// (the paper's Delsys hardware handled it upstream).
+Result<BiquadCascade> DesignNotch(double center_hz, double q,
+                                  double sample_rate_hz);
+
+}  // namespace mocemg
+
+#endif  // MOCEMG_SIGNAL_BUTTERWORTH_H_

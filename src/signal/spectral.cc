@@ -1,0 +1,109 @@
+#include "signal/spectral.h"
+
+#include <cmath>
+
+#include "util/macros.h"
+
+namespace mocemg {
+
+Result<double> GoertzelPower(const std::vector<double>& signal,
+                             double freq_hz, double sample_rate_hz) {
+  if (signal.empty()) return Status::InvalidArgument("empty signal");
+  if (freq_hz < 0.0 || freq_hz > sample_rate_hz / 2.0) {
+    return Status::InvalidArgument("frequency outside [0, fs/2]");
+  }
+  const double w = 2.0 * M_PI * freq_hz / sample_rate_hz;
+  const double coeff = 2.0 * std::cos(w);
+  double s_prev = 0.0;
+  double s_prev2 = 0.0;
+  for (double x : signal) {
+    const double s = x + coeff * s_prev - s_prev2;
+    s_prev2 = s_prev;
+    s_prev = s;
+  }
+  const double power = s_prev * s_prev + s_prev2 * s_prev2 -
+                       coeff * s_prev * s_prev2;
+  return power / static_cast<double>(signal.size());
+}
+
+Status Fft(std::vector<std::complex<double>>* data) {
+  if (data == nullptr) return Status::InvalidArgument("null data");
+  const size_t n = data->size();
+  if (n == 0 || (n & (n - 1)) != 0) {
+    return Status::InvalidArgument("FFT size must be a power of two");
+  }
+  auto& a = *data;
+  // Bit-reversal permutation.
+  for (size_t i = 1, j = 0; i < n; ++i) {
+    size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(a[i], a[j]);
+  }
+  for (size_t len = 2; len <= n; len <<= 1) {
+    const double ang = -2.0 * M_PI / static_cast<double>(len);
+    const std::complex<double> wlen(std::cos(ang), std::sin(ang));
+    for (size_t i = 0; i < n; i += len) {
+      std::complex<double> w(1.0, 0.0);
+      for (size_t k = 0; k < len / 2; ++k) {
+        const std::complex<double> u = a[i + k];
+        const std::complex<double> v = a[i + k + len / 2] * w;
+        a[i + k] = u + v;
+        a[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::vector<std::pair<double, double>>> Periodogram(
+    const std::vector<double>& signal, double sample_rate_hz) {
+  if (signal.empty()) return Status::InvalidArgument("empty signal");
+  size_t n = 1;
+  while (n < signal.size()) n <<= 1;
+  std::vector<std::complex<double>> buf(n, {0.0, 0.0});
+  for (size_t i = 0; i < signal.size(); ++i) buf[i] = signal[i];
+  MOCEMG_RETURN_NOT_OK(Fft(&buf));
+  std::vector<std::pair<double, double>> out;
+  out.reserve(n / 2 + 1);
+  const double scale =
+      1.0 / (static_cast<double>(signal.size()) * sample_rate_hz);
+  for (size_t k = 0; k <= n / 2; ++k) {
+    const double freq =
+        static_cast<double>(k) * sample_rate_hz / static_cast<double>(n);
+    double p = std::norm(buf[k]) * scale;
+    if (k != 0 && k != n / 2) p *= 2.0;  // fold negative frequencies
+    out.emplace_back(freq, p);
+  }
+  return out;
+}
+
+Result<double> MedianFrequency(const std::vector<double>& signal,
+                               double sample_rate_hz) {
+  MOCEMG_ASSIGN_OR_RETURN(auto psd, Periodogram(signal, sample_rate_hz));
+  double total = 0.0;
+  for (const auto& [f, p] : psd) total += p;
+  if (total <= 0.0) return Status::NumericalError("zero spectral power");
+  double acc = 0.0;
+  for (const auto& [f, p] : psd) {
+    acc += p;
+    if (acc >= total / 2.0) return f;
+  }
+  return psd.back().first;
+}
+
+Result<double> MeanFrequency(const std::vector<double>& signal,
+                             double sample_rate_hz) {
+  MOCEMG_ASSIGN_OR_RETURN(auto psd, Periodogram(signal, sample_rate_hz));
+  double total = 0.0;
+  double weighted = 0.0;
+  for (const auto& [f, p] : psd) {
+    total += p;
+    weighted += f * p;
+  }
+  if (total <= 0.0) return Status::NumericalError("zero spectral power");
+  return weighted / total;
+}
+
+}  // namespace mocemg

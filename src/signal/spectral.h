@@ -1,0 +1,40 @@
+/// \file spectral.h
+/// \brief Frequency-domain helpers: Goertzel single-bin power, a radix-2
+/// FFT, power spectral density, and spectral moments. Used to verify
+/// filter responses in tests and to characterize the synthetic EMG
+/// (median frequency of surface EMG sits near 70–120 Hz; the generator's
+/// carrier is validated against this).
+
+#ifndef MOCEMG_SIGNAL_SPECTRAL_H_
+#define MOCEMG_SIGNAL_SPECTRAL_H_
+
+#include <complex>
+#include <vector>
+
+#include "util/result.h"
+
+namespace mocemg {
+
+/// \brief Goertzel algorithm: power of the signal at `freq_hz`.
+Result<double> GoertzelPower(const std::vector<double>& signal,
+                             double freq_hz, double sample_rate_hz);
+
+/// \brief In-place radix-2 Cooley–Tukey FFT; size must be a power of two.
+Status Fft(std::vector<std::complex<double>>* data);
+
+/// \brief One-sided periodogram (power per bin) of a real signal,
+/// zero-padded to the next power of two. Returns pairs (freq_hz, power).
+Result<std::vector<std::pair<double, double>>> Periodogram(
+    const std::vector<double>& signal, double sample_rate_hz);
+
+/// \brief Median frequency of the one-sided power spectrum.
+Result<double> MedianFrequency(const std::vector<double>& signal,
+                               double sample_rate_hz);
+
+/// \brief Mean (centroid) frequency of the one-sided power spectrum.
+Result<double> MeanFrequency(const std::vector<double>& signal,
+                             double sample_rate_hz);
+
+}  // namespace mocemg
+
+#endif  // MOCEMG_SIGNAL_SPECTRAL_H_

@@ -1,0 +1,48 @@
+#include "signal/window.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mocemg {
+
+Result<WindowPlan> MakeWindowPlan(size_t num_frames, size_t window_frames,
+                                  size_t hop_frames,
+                                  double min_last_fraction) {
+  if (window_frames == 0) {
+    return Status::InvalidArgument("window_frames must be > 0");
+  }
+  if (num_frames < window_frames) {
+    return Status::InvalidArgument(
+        "signal of " + std::to_string(num_frames) +
+        " frames is shorter than window of " +
+        std::to_string(window_frames));
+  }
+  if (hop_frames == 0) hop_frames = window_frames;
+
+  WindowPlan plan;
+  plan.window_frames = window_frames;
+  plan.hop_frames = hop_frames;
+  size_t begin = 0;
+  while (begin + window_frames <= num_frames) {
+    plan.spans.push_back({begin, begin + window_frames});
+    begin += hop_frames;
+  }
+  // Tail handling: if a meaningful chunk remains beyond the last full
+  // window, emit one extra right-aligned window covering the signal end.
+  const size_t covered = plan.spans.empty() ? 0 : plan.spans.back().end;
+  const size_t remainder = num_frames - covered;
+  if (remainder >= static_cast<size_t>(std::ceil(
+                       min_last_fraction *
+                       static_cast<double>(window_frames))) &&
+      remainder > 0) {
+    plan.spans.push_back({num_frames - window_frames, num_frames});
+  }
+  return plan;
+}
+
+size_t WindowMsToFrames(double window_ms, double frame_rate_hz) {
+  const double frames = window_ms * frame_rate_hz / 1000.0;
+  return std::max<size_t>(1, static_cast<size_t>(std::lround(frames)));
+}
+
+}  // namespace mocemg

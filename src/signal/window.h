@@ -1,0 +1,51 @@
+/// \file window.h
+/// \brief Sliding-window segmentation shared by the EMG and mocap feature
+/// extractors. The paper divides each motion into windows of 50–200 ms;
+/// both streams run at 120 Hz after acquisition, so a window is a span of
+/// frames. WindowPlan guarantees the two extractors cut *identical* spans,
+/// which is the whole point of the synchronized acquisition.
+
+#ifndef MOCEMG_SIGNAL_WINDOW_H_
+#define MOCEMG_SIGNAL_WINDOW_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "util/result.h"
+
+namespace mocemg {
+
+/// \brief One half-open span of frames [begin, end).
+struct WindowSpan {
+  size_t begin = 0;
+  size_t end = 0;
+  size_t length() const { return end - begin; }
+};
+
+/// \brief Deterministic segmentation of `num_frames` frames into windows
+/// of `window_frames` advancing by `hop_frames`.
+struct WindowPlan {
+  std::vector<WindowSpan> spans;
+  size_t window_frames = 0;
+  size_t hop_frames = 0;
+
+  size_t num_windows() const { return spans.size(); }
+};
+
+/// \brief Builds the segmentation. `hop_frames == 0` means non-overlapping
+/// (hop = window), matching the paper's "motion of length L is divided
+/// into L/w windows". A trailing partial window shorter than
+/// `min_last_fraction`·window is dropped; otherwise it is emitted
+/// right-aligned at the signal end with full window length.
+/// Fails if window_frames == 0 or exceeds num_frames.
+Result<WindowPlan> MakeWindowPlan(size_t num_frames, size_t window_frames,
+                                  size_t hop_frames = 0,
+                                  double min_last_fraction = 0.5);
+
+/// \brief Converts a window duration in milliseconds to frames at the
+/// given rate, rounding to nearest and clamping to >= 1.
+size_t WindowMsToFrames(double window_ms, double frame_rate_hz);
+
+}  // namespace mocemg
+
+#endif  // MOCEMG_SIGNAL_WINDOW_H_

@@ -1,0 +1,131 @@
+#include "synth/dataset.h"
+
+#include <cmath>
+
+#include "synth/kinematics.h"
+#include "synth/motion_classes.h"
+#include "util/macros.h"
+
+namespace mocemg {
+
+size_t NumClassesForLimb(Limb limb) {
+  return limb == Limb::kRightHand ? NumHandClasses() : NumLegClasses();
+}
+
+const char* ClassNameForLimb(Limb limb, size_t class_id) {
+  if (limb == Limb::kRightHand) {
+    return HandMotionClassName(static_cast<HandMotionClass>(class_id));
+  }
+  return LegMotionClassName(static_cast<LegMotionClass>(class_id));
+}
+
+Result<CapturedMotion> GenerateTrial(const DatasetOptions& options,
+                                     size_t class_id, size_t trial,
+                                     uint64_t trial_seed) {
+  if (class_id >= NumClassesForLimb(options.limb)) {
+    return Status::InvalidArgument("class_id out of range");
+  }
+  Rng rng(trial_seed);
+  const size_t subject =
+      options.num_subjects == 0 ? 0 : trial % options.num_subjects;
+  // Subject stature: deterministic in (seed, subject) so all of a
+  // subject's trials share a body.
+  Rng subject_rng(options.seed ^ (0x51B9ULL + 0x9E37ULL * (subject + 1)));
+  const double scale =
+      1.0 + options.subject_scale_range * subject_rng.Uniform(-1.0, 1.0);
+  const BodyDimensions body = BodyDimensions{}.Scaled(scale);
+
+  const TrialVariation variation = SampleTrialVariation(&rng);
+
+  PlacementOptions placement;
+  placement.origin_x = rng.Uniform(-options.placement_range_mm,
+                                   options.placement_range_mm);
+  placement.origin_y = rng.Uniform(-options.placement_range_mm,
+                                   options.placement_range_mm);
+  placement.origin_z = 1000.0 * scale;
+  placement.heading_rad =
+      rng.Uniform(-options.heading_range_rad, options.heading_range_rad);
+  placement.marker_noise_mm = options.marker_noise_mm;
+  placement.frame_rate_hz = options.frame_rate_hz;
+
+  CapturedMotion captured;
+  captured.class_id = class_id;
+  captured.class_name = ClassNameForLimb(options.limb, class_id);
+  captured.trial = trial;
+  captured.subject = subject;
+
+  MotionSequence mocap;
+  std::vector<MuscleActivation> activations;
+  if (options.limb == Limb::kRightHand) {
+    MOCEMG_ASSIGN_OR_RETURN(
+        HandMotionSpec spec,
+        GenerateHandMotion(static_cast<HandMotionClass>(class_id),
+                           variation, options.frame_rate_hz, &rng));
+    MOCEMG_ASSIGN_OR_RETURN(
+        mocap,
+        SynthesizeArmCapture(spec.angles, body, placement, &rng));
+    MOCEMG_ASSIGN_OR_RETURN(
+        activations,
+        ComputeArmActivations(spec.angles, options.frame_rate_hz,
+                              options.muscle, &rng));
+  } else {
+    MOCEMG_ASSIGN_OR_RETURN(
+        LegMotionSpec spec,
+        GenerateLegMotion(static_cast<LegMotionClass>(class_id), variation,
+                          options.frame_rate_hz, &rng));
+    placement.pelvis_dx = spec.pelvis_dx;
+    placement.pelvis_dz = spec.pelvis_dz;
+    MOCEMG_ASSIGN_OR_RETURN(
+        mocap, SynthesizeLegCapture(spec.angles, body, placement, &rng));
+    MOCEMG_ASSIGN_OR_RETURN(
+        activations,
+        ComputeLegActivations(spec.angles, options.frame_rate_hz,
+                              options.muscle, &rng));
+  }
+
+  MOCEMG_ASSIGN_OR_RETURN(
+      EmgRecording emg_raw,
+      SynthesizeEmgRecording(activations, options.frame_rate_hz,
+                             options.emg, &rng));
+
+  // Trigger-module start latencies (zero in the paper's synchronized
+  // rig; configurable for the jitter ablation).
+  const TriggerEvent ev = FireTrigger(options.trigger, &rng);
+  if (ev.mocap_start_s > 0.0) {
+    MOCEMG_ASSIGN_OR_RETURN(mocap,
+                            ApplyStartLatency(mocap, ev.mocap_start_s));
+  }
+  if (ev.emg_start_s > 0.0) {
+    MOCEMG_ASSIGN_OR_RETURN(emg_raw,
+                            ApplyStartLatency(emg_raw, ev.emg_start_s));
+  }
+
+  captured.mocap = std::move(mocap);
+  captured.emg_raw = std::move(emg_raw);
+  return captured;
+}
+
+Result<std::vector<CapturedMotion>> GenerateDataset(
+    const DatasetOptions& options) {
+  if (options.trials_per_class == 0) {
+    return Status::InvalidArgument("trials_per_class must be >= 1");
+  }
+  if (options.frame_rate_hz <= 0.0) {
+    return Status::InvalidArgument("frame rate must be positive");
+  }
+  const size_t num_classes = NumClassesForLimb(options.limb);
+  Rng seeder(options.seed);
+  std::vector<CapturedMotion> dataset;
+  dataset.reserve(num_classes * options.trials_per_class);
+  for (size_t cls = 0; cls < num_classes; ++cls) {
+    for (size_t trial = 0; trial < options.trials_per_class; ++trial) {
+      MOCEMG_ASSIGN_OR_RETURN(
+          CapturedMotion m,
+          GenerateTrial(options, cls, trial, seeder.NextUint64()));
+      dataset.push_back(std::move(m));
+    }
+  }
+  return dataset;
+}
+
+}  // namespace mocemg

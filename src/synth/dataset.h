@@ -1,0 +1,82 @@
+/// \file dataset.h
+/// \brief End-to-end dataset generation: the simulated Motion Capture
+/// Laboratory. One call produces the paper's test bed — multiple
+/// participants, multiple motion classes, multiple trials each, every
+/// trial a synchronized (mocap 120 Hz, raw EMG 1000 Hz) pair.
+
+#ifndef MOCEMG_SYNTH_DATASET_H_
+#define MOCEMG_SYNTH_DATASET_H_
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "emg/emg_recording.h"
+#include "mocap/motion_sequence.h"
+#include "synth/emg_synthesizer.h"
+#include "synth/muscle_model.h"
+#include "synth/trigger.h"
+#include "util/result.h"
+
+namespace mocemg {
+
+/// \brief One captured trial: what the lab's two instruments recorded,
+/// plus its ground-truth label.
+struct CapturedMotion {
+  /// Class label ("raise_arm", "walk", …) and dense id within the limb's
+  /// class vocabulary.
+  std::string class_name;
+  size_t class_id = 0;
+  size_t trial = 0;
+  size_t subject = 0;
+  /// Global-coordinate marker trajectories at the capture frame rate.
+  MotionSequence mocap;
+  /// Raw (signed, 1000 Hz) EMG — not yet conditioned.
+  EmgRecording emg_raw;
+};
+
+/// \brief Generation parameters for one limb's dataset.
+struct DatasetOptions {
+  Limb limb = Limb::kRightHand;
+  size_t trials_per_class = 10;
+  size_t num_subjects = 4;
+  uint64_t seed = 7;
+  double frame_rate_hz = 120.0;
+  /// Global placement randomization: origin offsets (mm) and heading (rad)
+  /// drawn uniformly from ±these bounds. Translation is fully removed by
+  /// the paper's pelvis-local transform; heading is NOT (the paper only
+  /// shifts the origin), so the default models what a real capture lab
+  /// does — participants face the capture volume consistently, within a
+  /// natural ±0.2 rad stance wobble. Crank this up (with
+  /// LocalTransformOptions::normalize_heading) to study facing-direction
+  /// invariance, an extension beyond the paper.
+  double placement_range_mm = 500.0;
+  double heading_range_rad = 0.2;
+  double marker_noise_mm = 1.0;
+  /// Per-subject stature scale drawn uniformly from [1−x, 1+x].
+  double subject_scale_range = 0.07;
+  MuscleModelOptions muscle;
+  EmgSynthOptions emg;
+  TriggerOptions trigger;
+};
+
+/// \brief Generates the full labelled dataset (classes × trials).
+/// Deterministic in `options.seed`.
+Result<std::vector<CapturedMotion>> GenerateDataset(
+    const DatasetOptions& options);
+
+/// \brief Generates a single trial of the named class (used by examples
+/// and the Fig. 2 bench). `class_id` indexes the limb's vocabulary.
+Result<CapturedMotion> GenerateTrial(const DatasetOptions& options,
+                                     size_t class_id, size_t trial,
+                                     uint64_t trial_seed);
+
+/// \brief Number of classes in a limb's vocabulary.
+size_t NumClassesForLimb(Limb limb);
+
+/// \brief Name of class `class_id` in a limb's vocabulary.
+const char* ClassNameForLimb(Limb limb, size_t class_id);
+
+}  // namespace mocemg
+
+#endif  // MOCEMG_SYNTH_DATASET_H_

@@ -1,0 +1,134 @@
+#include "synth/emg_synthesizer.h"
+
+#include <cmath>
+
+#include "signal/butterworth.h"
+#include "util/macros.h"
+
+namespace mocemg {
+namespace {
+
+// Linear interpolation of the (smooth) activation envelope onto the EMG
+// time base. No anti-aliasing is needed: the envelope is band-limited by
+// the muscle model's smoothing and we are *up*-sampling.
+std::vector<double> UpsampleEnvelope(const std::vector<double>& env,
+                                     double rate_in, double rate_out) {
+  const double duration =
+      static_cast<double>(env.size()) / rate_in;  // seconds
+  const size_t n = static_cast<size_t>(std::floor(duration * rate_out));
+  std::vector<double> out(n);
+  for (size_t k = 0; k < n; ++k) {
+    const double src =
+        static_cast<double>(k) / rate_out * rate_in;  // fractional index
+    const size_t i0 = static_cast<size_t>(std::floor(src));
+    if (i0 + 1 >= env.size()) {
+      out[k] = env.back();
+      continue;
+    }
+    const double frac = src - static_cast<double>(i0);
+    out[k] = (1.0 - frac) * env[i0] + frac * env[i0 + 1];
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<std::vector<double>> SynthesizeEmgChannel(
+    const std::vector<double>& activation, double activation_rate_hz,
+    const EmgSynthOptions& options, Rng* rng) {
+  if (rng == nullptr) return Status::InvalidArgument("null rng");
+  if (activation.empty()) {
+    return Status::InvalidArgument("empty activation envelope");
+  }
+  if (activation_rate_hz <= 0.0 || options.sample_rate_hz <= 0.0) {
+    return Status::InvalidArgument("rates must be positive");
+  }
+  if (options.carrier_high_hz >= options.sample_rate_hz / 2.0) {
+    return Status::InvalidArgument(
+        "carrier band must lie below Nyquist of the EMG rate");
+  }
+
+  const std::vector<double> env = UpsampleEnvelope(
+      activation, activation_rate_hz, options.sample_rate_hz);
+  const size_t n = env.size();
+
+  // Band-limited carrier: white Gaussian noise through the EMG-band
+  // shaper, re-normalized to unit variance.
+  std::vector<double> carrier(n);
+  for (double& v : carrier) v = rng->NextGaussian();
+  MOCEMG_ASSIGN_OR_RETURN(
+      BiquadCascade shaper,
+      DesignBandPass(4, options.carrier_low_hz, options.carrier_high_hz,
+                     options.sample_rate_hz));
+  carrier = shaper.ProcessSignal(carrier);
+  double var = 0.0;
+  for (double v : carrier) var += v * v;
+  var /= static_cast<double>(n);
+  const double inv_std = var > 0.0 ? 1.0 / std::sqrt(var) : 1.0;
+
+  // Slow multiplicative gain drift: smooth random walk, exponentiated.
+  const double drift_target =
+      rng->Gaussian(0.0, options.gain_drift_sigma);
+  // Sparse motion artifacts: exponentially decaying spikes at random
+  // instants.
+  std::vector<double> artifacts(n, 0.0);
+  const double expected =
+      options.artifact_rate_hz * static_cast<double>(n) /
+      options.sample_rate_hz;
+  const size_t num_artifacts = static_cast<size_t>(expected) +
+                               (rng->NextDouble() < (expected - std::floor(expected)) ? 1 : 0);
+  for (size_t a = 0; a < num_artifacts; ++a) {
+    const size_t at = static_cast<size_t>(rng->NextBelow(n));
+    const double amp = options.artifact_amplitude_v *
+                       rng->Uniform(0.4, 1.0) *
+                       (rng->NextBool() ? 1.0 : -1.0);
+    const double tau = options.sample_rate_hz * 0.02;  // 20 ms decay
+    for (size_t i = at; i < n && i < at + static_cast<size_t>(6 * tau);
+         ++i) {
+      artifacts[i] +=
+          amp * std::exp(-static_cast<double>(i - at) / tau);
+    }
+  }
+
+  std::vector<double> out(n);
+  for (size_t i = 0; i < n; ++i) {
+    const double progress = static_cast<double>(i) / static_cast<double>(n);
+    const double gain = std::exp(drift_target * progress);
+    const double wander =
+        options.wander_amplitude_v *
+        std::sin(2.0 * M_PI * options.wander_freq_hz * progress *
+                     static_cast<double>(n) / options.sample_rate_hz +
+                 0.7);
+    out[i] = options.mvc_amplitude_v * gain * env[i] * carrier[i] * inv_std +
+             rng->Gaussian(0.0, options.noise_floor_v) + wander +
+             artifacts[i];
+  }
+  return out;
+}
+
+Result<EmgRecording> SynthesizeEmgRecording(
+    const std::vector<MuscleActivation>& activations,
+    double activation_rate_hz, const EmgSynthOptions& options, Rng* rng) {
+  if (activations.empty()) {
+    return Status::InvalidArgument("no muscle activations");
+  }
+  std::vector<Muscle> muscles;
+  std::vector<std::vector<double>> channels;
+  for (const auto& act : activations) {
+    MOCEMG_ASSIGN_OR_RETURN(
+        std::vector<double> ch,
+        SynthesizeEmgChannel(act.activation, activation_rate_hz, options,
+                             rng));
+    muscles.push_back(act.muscle);
+    channels.push_back(std::move(ch));
+  }
+  // Channel lengths can differ by one sample from floor rounding; trim to
+  // the shortest so the recording is rectangular.
+  size_t min_len = channels[0].size();
+  for (const auto& ch : channels) min_len = std::min(min_len, ch.size());
+  for (auto& ch : channels) ch.resize(min_len);
+  return EmgRecording::Create(std::move(muscles), std::move(channels),
+                              options.sample_rate_hz);
+}
+
+}  // namespace mocemg

@@ -1,0 +1,66 @@
+/// \file emg_synthesizer.h
+/// \brief Raw surface-EMG synthesis: activation envelopes → the 1000 Hz
+/// signed voltage stream a Myomonitor-class amplifier would digitize.
+///
+/// Model: surface EMG is activation-amplitude-modulated band-limited
+/// stochastic interference (motor-unit action potentials summing
+/// asynchronously). Per channel:
+///   emg(t) = gain · a(t) · carrier(t) + noise(t) + wander(t) + artifacts
+/// where the carrier is unit-variance Gaussian noise shaped to the
+/// 30–350 Hz surface-EMG band, `noise` is broadband measurement noise,
+/// `wander` is sub-Hz baseline drift, and artifacts are sparse motion
+/// spikes. All of the non-stationarity and noise-susceptibility the paper
+/// attributes to EMG is present; its acquisition chain (band-pass,
+/// rectify, down-sample — acquisition.h) then recovers the envelope.
+
+#ifndef MOCEMG_SYNTH_EMG_SYNTHESIZER_H_
+#define MOCEMG_SYNTH_EMG_SYNTHESIZER_H_
+
+#include <vector>
+
+#include "emg/emg_recording.h"
+#include "synth/muscle_model.h"
+#include "util/random.h"
+#include "util/result.h"
+
+namespace mocemg {
+
+/// \brief Synthesis parameters; defaults produce signals on the paper's
+/// observed scale (tens of microvolts, Figure 2's 1e−5 V axis).
+struct EmgSynthOptions {
+  double sample_rate_hz = 1000.0;
+  /// Peak (full-activation) EMG standard deviation, volts.
+  double mvc_amplitude_v = 6.0e-5;
+  /// Carrier shaping band (Hz) — surface-EMG energy concentration.
+  double carrier_low_hz = 30.0;
+  double carrier_high_hz = 350.0;
+  /// Broadband measurement-noise std (volts).
+  double noise_floor_v = 1.5e-6;
+  /// Baseline-wander amplitude (volts) and frequency (Hz).
+  double wander_amplitude_v = 3.0e-6;
+  double wander_freq_hz = 0.4;
+  /// Expected motion artifacts per second (sparse exponential spikes).
+  double artifact_rate_hz = 0.15;
+  double artifact_amplitude_v = 4.0e-5;
+  /// Slow multiplicative gain drift std over the whole trial (models
+  /// electrode-gel drying / electrode-skin impedance change).
+  double gain_drift_sigma = 0.10;
+};
+
+/// \brief Synthesizes one channel of raw EMG from an activation envelope
+/// sampled at `activation_rate_hz` (the mocap frame rate). The envelope
+/// is resampled internally to the EMG rate. Returns sample_rate_hz ·
+/// duration signed voltage samples.
+Result<std::vector<double>> SynthesizeEmgChannel(
+    const std::vector<double>& activation, double activation_rate_hz,
+    const EmgSynthOptions& options, Rng* rng);
+
+/// \brief Synthesizes a full raw recording from per-muscle activations
+/// (one channel per MuscleActivation, in order).
+Result<EmgRecording> SynthesizeEmgRecording(
+    const std::vector<MuscleActivation>& activations,
+    double activation_rate_hz, const EmgSynthOptions& options, Rng* rng);
+
+}  // namespace mocemg
+
+#endif  // MOCEMG_SYNTH_EMG_SYNTHESIZER_H_

@@ -1,0 +1,214 @@
+#include "synth/kinematics.h"
+
+#include <cmath>
+
+#include "util/macros.h"
+
+namespace mocemg {
+namespace {
+
+struct Vec3 {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+
+  Vec3 operator+(const Vec3& o) const { return {x + o.x, y + o.y, z + o.z}; }
+  Vec3 operator*(double s) const { return {x * s, y * s, z * s}; }
+};
+
+// Rotation about Z by `a`.
+Vec3 RotZ(const Vec3& v, double a) {
+  const double c = std::cos(a);
+  const double s = std::sin(a);
+  return {c * v.x - s * v.y, s * v.x + c * v.y, v.z};
+}
+
+Status ValidatePlacement(const PlacementOptions& placement, size_t frames) {
+  if (placement.frame_rate_hz <= 0.0) {
+    return Status::InvalidArgument("frame rate must be positive");
+  }
+  if (!placement.pelvis_dx.empty() &&
+      placement.pelvis_dx.size() != frames) {
+    return Status::InvalidArgument("pelvis_dx length mismatch");
+  }
+  if (!placement.pelvis_dz.empty() &&
+      placement.pelvis_dz.size() != frames) {
+    return Status::InvalidArgument("pelvis_dz length mismatch");
+  }
+  if (placement.marker_noise_mm < 0.0) {
+    return Status::InvalidArgument("marker noise must be >= 0");
+  }
+  return Status::OK();
+}
+
+// Writes one marker with measurement noise.
+void EmitMarker(MotionSequence* seq, size_t frame, size_t idx,
+                const Vec3& p, double noise_mm, Rng* rng) {
+  seq->SetMarkerPosition(frame, idx,
+                         {p.x + rng->Gaussian(0.0, noise_mm),
+                          p.y + rng->Gaussian(0.0, noise_mm),
+                          p.z + rng->Gaussian(0.0, noise_mm)});
+}
+
+Vec3 PelvisAt(const PlacementOptions& placement, size_t frame, double t,
+              double sway_phase_a, double sway_phase_b) {
+  Vec3 p{placement.origin_x, placement.origin_y, placement.origin_z};
+  if (!placement.pelvis_dx.empty()) p.x += placement.pelvis_dx[frame];
+  if (!placement.pelvis_dz.empty()) p.z += placement.pelvis_dz[frame];
+  // Gentle postural sway (common-mode across all markers; the local
+  // transform removes it exactly, which is part of what it exists for).
+  p.x += placement.sway_mm * std::sin(2.0 * M_PI * 0.4 * t + sway_phase_a);
+  p.y += placement.sway_mm * std::sin(2.0 * M_PI * 0.3 * t + sway_phase_b);
+  return p;
+}
+
+}  // namespace
+
+BodyDimensions BodyDimensions::Scaled(double factor) const {
+  BodyDimensions out = *this;
+  out.torso_height *= factor;
+  out.shoulder_offset_y *= factor;
+  out.upper_arm *= factor;
+  out.forearm *= factor;
+  out.hand *= factor;
+  out.hip_offset_y *= factor;
+  out.hip_drop *= factor;
+  out.thigh *= factor;
+  out.shank *= factor;
+  out.foot *= factor;
+  out.toe *= factor;
+  return out;
+}
+
+Status ArmAngleSeries::Validate() const {
+  const size_t n = shoulder_elevation.size();
+  if (n == 0) return Status::InvalidArgument("empty arm angle series");
+  if (shoulder_azimuth.size() != n || elbow_flexion.size() != n ||
+      wrist_flexion.size() != n) {
+    return Status::InvalidArgument("arm angle series length mismatch");
+  }
+  return Status::OK();
+}
+
+Status LegAngleSeries::Validate() const {
+  const size_t n = hip_flexion.size();
+  if (n == 0) return Status::InvalidArgument("empty leg angle series");
+  if (knee_flexion.size() != n || ankle_flexion.size() != n) {
+    return Status::InvalidArgument("leg angle series length mismatch");
+  }
+  return Status::OK();
+}
+
+Result<MotionSequence> SynthesizeArmCapture(
+    const ArmAngleSeries& angles, const BodyDimensions& body,
+    const PlacementOptions& placement, Rng* rng) {
+  if (rng == nullptr) return Status::InvalidArgument("null rng");
+  MOCEMG_RETURN_NOT_OK(angles.Validate());
+  const size_t frames = angles.num_frames();
+  MOCEMG_RETURN_NOT_OK(ValidatePlacement(placement, frames));
+
+  MarkerSet set({Segment::kPelvis, Segment::kClavicle, Segment::kHumerus,
+                 Segment::kRadius, Segment::kHand});
+  Matrix positions(frames, 3 * set.num_markers());
+  MOCEMG_ASSIGN_OR_RETURN(
+      MotionSequence seq,
+      MotionSequence::Create(set, std::move(positions),
+                             placement.frame_rate_hz));
+
+  const double sway_a = rng->Uniform(0.0, 2.0 * M_PI);
+  const double sway_b = rng->Uniform(0.0, 2.0 * M_PI);
+  for (size_t f = 0; f < frames; ++f) {
+    const double t = static_cast<double>(f) / placement.frame_rate_hz;
+    const Vec3 pelvis = PelvisAt(placement, f, t, sway_a, sway_b);
+
+    const double th_s = angles.shoulder_elevation[f];
+    const double phi = angles.shoulder_azimuth[f];
+    const double th_e = angles.elbow_flexion[f];
+    const double th_w = angles.wrist_flexion[f];
+
+    // Body-local (pre-heading) geometry. The arm moves in a plane
+    // azimuth-rotated about Z; segment directions are parameterized by
+    // cumulative flexion within that plane. The clavicle is not rigid:
+    // the shoulder girdle elevates ("shrugs") and protracts with arm
+    // elevation (scapulohumeral rhythm), so the clavicle marker carries
+    // real motion information rather than being glued to the pelvis.
+    const double girdle = std::max(0.0, std::sin(th_s));
+    const Vec3 clav_local{20.0 * girdle * std::cos(phi),
+                          body.shoulder_offset_y +
+                              20.0 * girdle * std::sin(phi),
+                          body.torso_height + 35.0 * girdle};
+    auto seg_dir = [&](double cum_flex) {
+      return RotZ(Vec3{std::sin(cum_flex), 0.0, -std::cos(cum_flex)}, phi);
+    };
+    const Vec3 shoulder = clav_local;
+    const Vec3 elbow = shoulder + seg_dir(th_s) * body.upper_arm;
+    const Vec3 wrist = elbow + seg_dir(th_s + th_e) * body.forearm;
+    const Vec3 hand = wrist + seg_dir(th_s + th_e + th_w) * body.hand;
+
+    // Global: heading rotation then pelvis translation.
+    auto to_world = [&](const Vec3& local) {
+      return pelvis + RotZ(local, placement.heading_rad);
+    };
+    EmitMarker(&seq, f, 0, pelvis, placement.marker_noise_mm, rng);
+    EmitMarker(&seq, f, 1, to_world(clav_local), placement.marker_noise_mm,
+               rng);
+    EmitMarker(&seq, f, 2, to_world(elbow), placement.marker_noise_mm, rng);
+    EmitMarker(&seq, f, 3, to_world(wrist), placement.marker_noise_mm, rng);
+    EmitMarker(&seq, f, 4, to_world(hand), placement.marker_noise_mm, rng);
+  }
+  return seq;
+}
+
+Result<MotionSequence> SynthesizeLegCapture(
+    const LegAngleSeries& angles, const BodyDimensions& body,
+    const PlacementOptions& placement, Rng* rng) {
+  if (rng == nullptr) return Status::InvalidArgument("null rng");
+  MOCEMG_RETURN_NOT_OK(angles.Validate());
+  const size_t frames = angles.num_frames();
+  MOCEMG_RETURN_NOT_OK(ValidatePlacement(placement, frames));
+
+  MarkerSet set({Segment::kPelvis, Segment::kTibia, Segment::kFoot,
+                 Segment::kToe});
+  Matrix positions(frames, 3 * set.num_markers());
+  MOCEMG_ASSIGN_OR_RETURN(
+      MotionSequence seq,
+      MotionSequence::Create(set, std::move(positions),
+                             placement.frame_rate_hz));
+
+  const double sway_a = rng->Uniform(0.0, 2.0 * M_PI);
+  const double sway_b = rng->Uniform(0.0, 2.0 * M_PI);
+  for (size_t f = 0; f < frames; ++f) {
+    const double t = static_cast<double>(f) / placement.frame_rate_hz;
+    const Vec3 pelvis = PelvisAt(placement, f, t, sway_a, sway_b);
+
+    const double th_h = angles.hip_flexion[f];
+    const double th_k = angles.knee_flexion[f];
+    const double th_a = angles.ankle_flexion[f];
+
+    const Vec3 hip_local{0.0, body.hip_offset_y, -body.hip_drop};
+    // Sagittal-plane chain: direction (sin θ, 0, −cos θ) of cumulative
+    // flexion; knee flexion folds the shank backward (negative).
+    auto sag_dir = [](double a) {
+      return Vec3{std::sin(a), 0.0, -std::cos(a)};
+    };
+    const Vec3 knee = hip_local + sag_dir(th_h) * body.thigh;
+    const double shank_angle = th_h - th_k;
+    const Vec3 ankle = knee + sag_dir(shank_angle) * body.shank;
+    // Foot perpendicular to the shank at θa = 0, dorsiflexion rotates
+    // toes up: direction angle = shank_angle + π/2 + θa.
+    const Vec3 foot_dir = sag_dir(shank_angle + M_PI / 2.0 + th_a);
+    const Vec3 foot = ankle + foot_dir * body.foot;
+    const Vec3 toe = foot + foot_dir * body.toe;
+
+    auto to_world = [&](const Vec3& local) {
+      return pelvis + RotZ(local, placement.heading_rad);
+    };
+    EmitMarker(&seq, f, 0, pelvis, placement.marker_noise_mm, rng);
+    EmitMarker(&seq, f, 1, to_world(ankle), placement.marker_noise_mm, rng);
+    EmitMarker(&seq, f, 2, to_world(foot), placement.marker_noise_mm, rng);
+    EmitMarker(&seq, f, 3, to_world(toe), placement.marker_noise_mm, rng);
+  }
+  return seq;
+}
+
+}  // namespace mocemg

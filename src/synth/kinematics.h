@@ -1,0 +1,108 @@
+/// \file kinematics.h
+/// \brief Forward kinematics of the two instrumented limbs. Converts
+/// per-joint angle series into the 3D marker trajectories the (simulated)
+/// Vicon rig records, including global placement, heading, body sway, and
+/// marker noise — the variability the paper's pelvis-local transform is
+/// designed to cancel.
+///
+/// Frame convention: Z up, X the subject's forward direction before the
+/// global heading rotation, Y to the subject's left. Units mm; rate 120 Hz.
+
+#ifndef MOCEMG_SYNTH_KINEMATICS_H_
+#define MOCEMG_SYNTH_KINEMATICS_H_
+
+#include <vector>
+
+#include "mocap/motion_sequence.h"
+#include "util/random.h"
+#include "util/result.h"
+
+namespace mocemg {
+
+/// \brief Subject anthropometry (mm). Randomized per simulated
+/// participant to create inter-subject variation.
+struct BodyDimensions {
+  double torso_height = 550.0;       ///< pelvis → clavicle (vertical)
+  double shoulder_offset_y = -200.0; ///< clavicle → right shoulder
+  double upper_arm = 300.0;
+  double forearm = 260.0;
+  double hand = 80.0;
+  double hip_offset_y = -100.0;      ///< pelvis → right hip
+  double hip_drop = 80.0;            ///< pelvis → hip (vertical)
+  double thigh = 420.0;
+  double shank = 400.0;
+  double foot = 150.0;
+  double toe = 80.0;
+
+  /// \brief Returns dimensions uniformly scaled by `factor` (subject
+  /// stature variation).
+  BodyDimensions Scaled(double factor) const;
+};
+
+/// \brief Per-frame arm joint angles (radians). All series must be equal
+/// length. Angle conventions:
+///  - shoulder_elevation: 0 = arm hanging down, π/2 = horizontal forward
+///  - shoulder_azimuth:   rotation of the arm plane about Z (0 = sagittal)
+///  - elbow_flexion:      0 = straight, positive folds the forearm up
+///  - wrist_flexion:      0 = aligned with forearm
+struct ArmAngleSeries {
+  std::vector<double> shoulder_elevation;
+  std::vector<double> shoulder_azimuth;
+  std::vector<double> elbow_flexion;
+  std::vector<double> wrist_flexion;
+
+  size_t num_frames() const { return shoulder_elevation.size(); }
+  Status Validate() const;
+};
+
+/// \brief Per-frame leg joint angles (radians), sagittal plane:
+///  - hip_flexion:   0 = leg vertical, positive forward
+///  - knee_flexion:  0 = straight, positive folds the shank backward
+///  - ankle_flexion: 0 = foot perpendicular to shank (standing flat);
+///                   positive = dorsiflexion (toes up)
+struct LegAngleSeries {
+  std::vector<double> hip_flexion;
+  std::vector<double> knee_flexion;
+  std::vector<double> ankle_flexion;
+
+  size_t num_frames() const { return hip_flexion.size(); }
+  Status Validate() const;
+};
+
+/// \brief Global placement and capture-noise parameters of one trial.
+struct PlacementOptions {
+  /// Pelvis world position at t=0 (mm).
+  double origin_x = 0.0;
+  double origin_y = 0.0;
+  double origin_z = 1000.0;
+  /// Heading rotation about Z applied to the whole body (radians).
+  double heading_rad = 0.0;
+  /// Per-frame pelvis translation (e.g. walking progression); empty = 0.
+  /// Lengths, when non-empty, must match the angle series.
+  std::vector<double> pelvis_dx;
+  std::vector<double> pelvis_dz;
+  /// Gaussian marker noise (per axis, mm) — Vicon-class rigs are ~0.5-2mm.
+  double marker_noise_mm = 1.0;
+  /// Small sinusoidal postural sway amplitude (mm).
+  double sway_mm = 4.0;
+  double frame_rate_hz = 120.0;
+};
+
+/// \brief Runs forward kinematics of the right arm and synthesizes the
+/// capture: markers pelvis, clavicle, humerus (elbow), radius (wrist),
+/// hand — the paper's four hand attributes plus the root.
+Result<MotionSequence> SynthesizeArmCapture(const ArmAngleSeries& angles,
+                                            const BodyDimensions& body,
+                                            const PlacementOptions& placement,
+                                            Rng* rng);
+
+/// \brief Same for the right leg: markers pelvis, tibia (ankle), foot,
+/// toe — the paper's three leg attributes plus the root.
+Result<MotionSequence> SynthesizeLegCapture(const LegAngleSeries& angles,
+                                            const BodyDimensions& body,
+                                            const PlacementOptions& placement,
+                                            Rng* rng);
+
+}  // namespace mocemg
+
+#endif  // MOCEMG_SYNTH_KINEMATICS_H_

@@ -1,0 +1,92 @@
+#include "synth/merge.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/macros.h"
+
+namespace mocemg {
+
+Result<MotionSequence> MergeMotionCaptures(const MotionSequence& a,
+                                           const MotionSequence& b) {
+  MOCEMG_RETURN_NOT_OK(a.Validate());
+  MOCEMG_RETURN_NOT_OK(b.Validate());
+  if (std::fabs(a.frame_rate_hz() - b.frame_rate_hz()) > 1e-9) {
+    return Status::InvalidArgument(
+        "frame rates differ: " + std::to_string(a.frame_rate_hz()) +
+        " vs " + std::to_string(b.frame_rate_hz()));
+  }
+  // Union marker set: all of a, then b's segments not already present.
+  // Only the pelvis may legitimately appear in both rigs.
+  std::vector<Segment> merged = a.marker_set().segments();
+  std::vector<Segment> from_b;
+  for (Segment s : b.marker_set().segments()) {
+    const bool duplicate =
+        std::find(merged.begin(), merged.end(), s) != merged.end();
+    if (duplicate) {
+      if (s != Segment::kPelvis) {
+        return Status::InvalidArgument(
+            std::string("segment '") + SegmentName(s) +
+            "' captured by both rigs; merge is ambiguous");
+      }
+      continue;
+    }
+    merged.push_back(s);
+    from_b.push_back(s);
+  }
+
+  const size_t frames = std::min(a.num_frames(), b.num_frames());
+  MarkerSet set(merged);
+  Matrix positions(frames, 3 * set.num_markers());
+  MOCEMG_ASSIGN_OR_RETURN(
+      MotionSequence out,
+      MotionSequence::Create(set, std::move(positions),
+                             a.frame_rate_hz()));
+  for (size_t m = 0; m < set.num_markers(); ++m) {
+    const Segment s = set.segments()[m];
+    const bool take_b =
+        std::find(from_b.begin(), from_b.end(), s) != from_b.end();
+    const MotionSequence& src = take_b ? b : a;
+    MOCEMG_ASSIGN_OR_RETURN(size_t src_idx,
+                            src.marker_set().IndexOf(s));
+    for (size_t f = 0; f < frames; ++f) {
+      out.SetMarkerPosition(f, m, src.MarkerPosition(f, src_idx));
+    }
+  }
+  return out;
+}
+
+Result<EmgRecording> MergeEmgRecordings(const EmgRecording& a,
+                                        const EmgRecording& b) {
+  MOCEMG_RETURN_NOT_OK(a.Validate());
+  MOCEMG_RETURN_NOT_OK(b.Validate());
+  if (std::fabs(a.sample_rate_hz() - b.sample_rate_hz()) > 1e-9) {
+    return Status::InvalidArgument("sample rates differ");
+  }
+  for (Muscle m : b.muscles()) {
+    if (a.IndexOf(m).ok()) {
+      return Status::InvalidArgument(
+          std::string("muscle '") + MuscleName(m) +
+          "' recorded by both devices; merge is ambiguous");
+    }
+  }
+  const size_t samples = std::min(a.num_samples(), b.num_samples());
+  std::vector<Muscle> muscles = a.muscles();
+  muscles.insert(muscles.end(), b.muscles().begin(), b.muscles().end());
+  std::vector<std::vector<double>> channels;
+  channels.reserve(muscles.size());
+  for (size_t c = 0; c < a.num_channels(); ++c) {
+    channels.emplace_back(a.channel(c).begin(),
+                          a.channel(c).begin() +
+                              static_cast<ptrdiff_t>(samples));
+  }
+  for (size_t c = 0; c < b.num_channels(); ++c) {
+    channels.emplace_back(b.channel(c).begin(),
+                          b.channel(c).begin() +
+                              static_cast<ptrdiff_t>(samples));
+  }
+  return EmgRecording::Create(std::move(muscles), std::move(channels),
+                              a.sample_rate_hz());
+}
+
+}  // namespace mocemg

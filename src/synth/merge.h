@@ -1,0 +1,33 @@
+/// \file merge.h
+/// \brief Merging synchronized captures from multiple device sets into a
+/// whole-body capture. The paper analyzes limbs separately but claims
+/// the approach "is flexible enough to classify the human motions for
+/// whole human body"; merging the arm and leg rigs' streams produces
+/// exactly that whole-body input, and the classifier consumes it
+/// unchanged.
+
+#ifndef MOCEMG_SYNTH_MERGE_H_
+#define MOCEMG_SYNTH_MERGE_H_
+
+#include "emg/emg_recording.h"
+#include "mocap/motion_sequence.h"
+#include "util/result.h"
+
+namespace mocemg {
+
+/// \brief Merges two synchronized mocap captures into one marker set.
+/// Frame rates must match; the output covers the frame overlap. Shared
+/// pelvis markers are taken from `a`; any other duplicated segment
+/// fails (ambiguous).
+Result<MotionSequence> MergeMotionCaptures(const MotionSequence& a,
+                                           const MotionSequence& b);
+
+/// \brief Merges two synchronized EMG recordings into one multi-channel
+/// recording. Sample rates must match; output covers the overlap;
+/// duplicate muscles fail.
+Result<EmgRecording> MergeEmgRecordings(const EmgRecording& a,
+                                        const EmgRecording& b);
+
+}  // namespace mocemg
+
+#endif  // MOCEMG_SYNTH_MERGE_H_

@@ -1,0 +1,446 @@
+#include "synth/motion_classes.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "synth/profiles.h"
+#include "util/macros.h"
+
+namespace mocemg {
+namespace {
+
+// Small helper: keyframe list → profile with per-keyframe value jitter.
+KeyframeProfile Jittered(std::vector<Keyframe> keys, double jitter_rad,
+                         Rng* rng) {
+  for (auto& k : keys) {
+    k.value += rng->Gaussian(0.0, jitter_rad);
+  }
+  return KeyframeProfile(std::move(keys));
+}
+
+// Applies the shared trial transforms to a base profile: onset delay,
+// time scaling, amplitude scaling about the first keyframe's value, and
+// posture offset.
+JointProfile Shape(KeyframeProfile base, const TrialVariation& v) {
+  const double pivot =
+      base.keyframes().empty() ? 0.0 : base.keyframes().front().value;
+  base.ScaleValues(v.amplitude_scale, pivot);
+  base.ScaleTime(v.time_scale);
+  // Onset delay: shift all keyframes right.
+  std::vector<Keyframe> keys = base.keyframes();
+  for (auto& k : keys) k.time_s += v.onset_delay_s;
+  if (!keys.empty()) {
+    keys.insert(keys.begin(), Keyframe{0.0, keys.front().value});
+  }
+  KeyframeProfile shifted(std::move(keys));
+  shifted.OffsetValues(v.posture_offset_rad);
+  return JointProfile(std::move(shifted));
+}
+
+struct ArmProfiles {
+  JointProfile shoulder_elev;
+  JointProfile shoulder_azim;
+  JointProfile elbow;
+  JointProfile wrist;
+};
+
+struct LegProfiles {
+  JointProfile hip;
+  JointProfile knee;
+  JointProfile ankle;
+  JointProfile pelvis_dx;  // mm
+  JointProfile pelvis_dz;  // mm
+};
+
+constexpr double kJit = 0.04;  // per-keyframe angle jitter (rad)
+
+ArmProfiles BuildHandProfiles(HandMotionClass cls,
+                              const TrialVariation& v, double* duration_s,
+                              Rng* rng) {
+  ArmProfiles p;
+  double base_duration = 2.5;
+  switch (cls) {
+    case HandMotionClass::kRaiseArm: {
+      base_duration = 2.6;
+      p.shoulder_elev = Shape(
+          Jittered({{0.0, 0.10}, {1.0, 1.75}, {1.8, 1.75}, {2.5, 0.35}},
+                   kJit, rng),
+          v);
+      p.shoulder_azim =
+          Shape(Jittered({{0.0, 0.0}, {2.5, 0.05}}, kJit * 0.5, rng), v);
+      p.elbow = Shape(
+          Jittered({{0.0, 0.15}, {1.0, 0.30}, {2.5, 0.20}}, kJit, rng), v);
+      p.wrist =
+          Shape(Jittered({{0.0, 0.0}, {2.5, 0.05}}, kJit * 0.5, rng), v);
+      break;
+    }
+    case HandMotionClass::kThrowBall: {
+      base_duration = 2.2;
+      // Wind-up, cock the elbow, explosive extension, follow-through.
+      p.shoulder_elev = Shape(
+          Jittered({{0.0, 0.20},
+                    {0.7, 1.60},
+                    {1.1, 1.80},
+                    {1.35, 1.10},
+                    {2.0, 0.40}},
+                   kJit, rng),
+          v);
+      p.shoulder_azim = Shape(
+          Jittered({{0.0, 0.0}, {0.7, -0.45}, {1.35, 0.35}, {2.0, 0.05}},
+                   kJit, rng),
+          v);
+      p.elbow = Shape(Jittered({{0.0, 0.25},
+                                {0.7, 1.90},
+                                {1.1, 2.00},
+                                {1.3, 0.25},
+                                {2.0, 0.30}},
+                               kJit, rng),
+                      v);
+      p.wrist = Shape(
+          Jittered({{0.0, 0.0}, {1.1, 0.55}, {1.3, -0.45}, {2.0, 0.0}},
+                   kJit, rng),
+          v);
+      break;
+    }
+    case HandMotionClass::kWave: {
+      base_duration = 3.0;
+      p.shoulder_elev = Shape(
+          Jittered({{0.0, 0.15}, {0.8, 1.55}, {2.4, 1.55}, {3.0, 0.30}},
+                   kJit, rng),
+          v);
+      p.shoulder_azim =
+          Shape(Jittered({{0.0, 0.0}, {3.0, 0.0}}, kJit * 0.5, rng), v);
+      p.elbow = Shape(
+          Jittered({{0.0, 0.20}, {0.8, 1.25}, {2.4, 1.25}, {3.0, 0.25}},
+                   kJit, rng),
+          v);
+      p.wrist =
+          Shape(Jittered({{0.0, 0.0}, {3.0, 0.0}}, kJit * 0.5, rng), v);
+      // The wave itself: wrist and forearm oscillation while the arm is up.
+      Oscillation wave;
+      wave.amplitude = 0.45 * v.amplitude_scale;
+      wave.frequency_hz = 2.2 * v.rhythm_scale / v.time_scale;
+      wave.phase_rad = rng->Uniform(0.0, 2.0 * M_PI);
+      wave.t_on_s = (0.9 + v.onset_delay_s) * v.time_scale;
+      wave.t_off_s = (2.3 + v.onset_delay_s) * v.time_scale;
+      p.wrist.AddOscillation(wave);
+      Oscillation sway = wave;
+      sway.amplitude = 0.18 * v.amplitude_scale;
+      p.shoulder_azim.AddOscillation(sway);
+      break;
+    }
+    case HandMotionClass::kPunch: {
+      base_duration = 1.9;
+      p.shoulder_elev = Shape(
+          Jittered({{0.0, 0.25}, {0.55, 0.35}, {0.85, 1.45}, {1.6, 0.35}},
+                   kJit, rng),
+          v);
+      p.shoulder_azim = Shape(
+          Jittered({{0.0, 0.10}, {0.85, -0.15}, {1.6, 0.10}}, kJit, rng),
+          v);
+      p.elbow = Shape(Jittered({{0.0, 0.90},
+                                {0.55, 2.10},
+                                {0.85, 0.15},
+                                {1.25, 0.20},
+                                {1.6, 0.90}},
+                               kJit, rng),
+                      v);
+      p.wrist =
+          Shape(Jittered({{0.0, 0.0}, {1.6, 0.0}}, kJit * 0.5, rng), v);
+      break;
+    }
+    case HandMotionClass::kDrink: {
+      base_duration = 3.2;
+      p.shoulder_elev = Shape(
+          Jittered({{0.0, 0.15}, {1.0, 0.65}, {2.2, 0.70}, {3.2, 0.20}},
+                   kJit, rng),
+          v);
+      p.shoulder_azim = Shape(
+          Jittered({{0.0, 0.0}, {1.0, 0.25}, {3.2, 0.05}}, kJit, rng), v);
+      p.elbow = Shape(Jittered({{0.0, 0.25},
+                                {1.0, 2.25},
+                                {2.2, 2.30},
+                                {3.2, 0.35}},
+                               kJit, rng),
+                      v);
+      p.wrist = Shape(
+          Jittered({{0.0, 0.0}, {1.2, 0.35}, {2.2, 0.40}, {3.2, 0.0}},
+                   kJit, rng),
+          v);
+      break;
+    }
+    case HandMotionClass::kPushDoor: {
+      base_duration = 2.8;
+      p.shoulder_elev = Shape(
+          Jittered({{0.0, 0.20}, {0.9, 1.15}, {2.0, 1.25}, {2.8, 0.30}},
+                   kJit, rng),
+          v);
+      p.shoulder_azim = Shape(
+          Jittered({{0.0, 0.0}, {0.9, -0.10}, {2.8, 0.0}}, kJit, rng), v);
+      p.elbow = Shape(Jittered({{0.0, 1.50},
+                                {0.9, 0.95},
+                                {2.0, 0.25},
+                                {2.8, 1.10}},
+                               kJit, rng),
+                      v);
+      p.wrist = Shape(
+          Jittered({{0.0, -0.30}, {2.0, -0.35}, {2.8, -0.10}}, kJit, rng),
+          v);
+      break;
+    }
+    case HandMotionClass::kNumClasses:
+      break;
+  }
+  *duration_s = base_duration * v.time_scale + v.onset_delay_s + 0.2;
+  return p;
+}
+
+LegProfiles BuildLegProfiles(LegMotionClass cls, const TrialVariation& v,
+                             double* duration_s, Rng* rng) {
+  LegProfiles p;
+  double base_duration = 2.5;
+  switch (cls) {
+    case LegMotionClass::kWalk: {
+      base_duration = 3.0;
+      const double stride_hz = 0.9 * v.rhythm_scale / v.time_scale;
+      p.hip = Shape(
+          Jittered({{0.0, 0.05}, {3.0, 0.05}}, kJit * 0.5, rng), v);
+      Oscillation hip_osc;
+      hip_osc.amplitude = 0.42 * v.amplitude_scale;
+      hip_osc.frequency_hz = stride_hz;
+      hip_osc.phase_rad = rng->Uniform(0.0, 0.6);
+      hip_osc.t_on_s = 0.1;
+      hip_osc.t_off_s = (3.0 + v.onset_delay_s) * v.time_scale;
+      p.hip.AddOscillation(hip_osc);
+      p.knee = Shape(
+          Jittered({{0.0, 0.25}, {3.0, 0.25}}, kJit * 0.5, rng), v);
+      // Knee flexes strongly during swing: same frequency, offset phase,
+      // rectified shape approximated by a biased oscillation.
+      Oscillation knee_osc = hip_osc;
+      knee_osc.amplitude = 0.55 * v.amplitude_scale;
+      knee_osc.phase_rad = hip_osc.phase_rad + 1.3;
+      p.knee.AddOscillation(knee_osc);
+      p.ankle =
+          Shape(Jittered({{0.0, 0.0}, {3.0, 0.0}}, kJit * 0.5, rng), v);
+      Oscillation ankle_osc = hip_osc;
+      ankle_osc.amplitude = 0.28 * v.amplitude_scale;
+      ankle_osc.phase_rad = hip_osc.phase_rad + 2.4;
+      p.ankle.AddOscillation(ankle_osc);
+      // Forward progression: ~1.1 m/s walking speed.
+      const double speed_mm_s = 1100.0 * v.amplitude_scale;
+      p.pelvis_dx = JointProfile(KeyframeProfile(
+          {{0.0, 0.0}, {3.0 * v.time_scale, speed_mm_s * 3.0 * v.time_scale}}));
+      // Vertical bob at twice the stride frequency.
+      Oscillation bob;
+      bob.amplitude = 18.0;
+      bob.frequency_hz = 2.0 * stride_hz;
+      bob.t_off_s = 3.0 * v.time_scale;
+      p.pelvis_dz = JointProfile(KeyframeProfile({{0.0, 0.0}}));
+      p.pelvis_dz.AddOscillation(bob);
+      break;
+    }
+    case LegMotionClass::kKick: {
+      base_duration = 2.0;
+      p.hip = Shape(Jittered({{0.0, 0.05},
+                              {0.55, -0.30},
+                              {0.95, 1.15},
+                              {1.5, 0.20},
+                              {2.0, 0.05}},
+                             kJit, rng),
+                    v);
+      p.knee = Shape(Jittered({{0.0, 0.15},
+                               {0.55, 1.55},
+                               {0.95, 0.10},
+                               {1.5, 0.40},
+                               {2.0, 0.15}},
+                              kJit, rng),
+                     v);
+      p.ankle = Shape(
+          Jittered({{0.0, 0.0}, {0.95, -0.35}, {2.0, 0.0}}, kJit, rng), v);
+      p.pelvis_dx = JointProfile(KeyframeProfile({{0.0, 0.0}}));
+      p.pelvis_dz = JointProfile(KeyframeProfile({{0.0, 0.0}}));
+      break;
+    }
+    case LegMotionClass::kSquat: {
+      base_duration = 3.2;
+      p.hip = Shape(Jittered({{0.0, 0.05},
+                              {1.1, 1.35},
+                              {1.9, 1.40},
+                              {3.2, 0.10}},
+                             kJit, rng),
+                    v);
+      p.knee = Shape(Jittered({{0.0, 0.10},
+                               {1.1, 1.90},
+                               {1.9, 1.95},
+                               {3.2, 0.15}},
+                              kJit, rng),
+                     v);
+      p.ankle = Shape(
+          Jittered({{0.0, 0.0}, {1.1, 0.40}, {1.9, 0.40}, {3.2, 0.0}},
+                   kJit, rng),
+          v);
+      p.pelvis_dx = JointProfile(KeyframeProfile({{0.0, 0.0}}));
+      // The body drops as the knees bend.
+      p.pelvis_dz = JointProfile(KeyframeProfile({{0.0, 0.0},
+                                                  {1.1 * v.time_scale, -320.0 * v.amplitude_scale},
+                                                  {1.9 * v.time_scale, -330.0 * v.amplitude_scale},
+                                                  {3.2 * v.time_scale, 0.0}}));
+      break;
+    }
+    case LegMotionClass::kStepUp: {
+      base_duration = 2.6;
+      p.hip = Shape(Jittered({{0.0, 0.05},
+                              {0.8, 1.05},
+                              {1.7, 0.15},
+                              {2.6, 0.05}},
+                             kJit, rng),
+                    v);
+      p.knee = Shape(Jittered({{0.0, 0.10},
+                               {0.8, 1.35},
+                               {1.7, 0.10},
+                               {2.6, 0.10}},
+                              kJit, rng),
+                     v);
+      p.ankle = Shape(
+          Jittered({{0.0, 0.0}, {0.8, 0.25}, {1.4, -0.30}, {2.6, 0.0}},
+                   kJit, rng),
+          v);
+      p.pelvis_dx = JointProfile(KeyframeProfile(
+          {{0.0, 0.0}, {1.7 * v.time_scale, 260.0}, {2.6 * v.time_scale, 300.0}}));
+      p.pelvis_dz = JointProfile(KeyframeProfile(
+          {{0.0, 0.0}, {0.8 * v.time_scale, 40.0}, {1.7 * v.time_scale, 200.0}, {2.6 * v.time_scale, 210.0}}));
+      break;
+    }
+    case LegMotionClass::kToeTap: {
+      base_duration = 2.8;
+      p.hip = Shape(
+          Jittered({{0.0, 0.05}, {2.8, 0.05}}, kJit * 0.5, rng), v);
+      p.knee = Shape(
+          Jittered({{0.0, 0.20}, {2.8, 0.20}}, kJit * 0.5, rng), v);
+      p.ankle =
+          Shape(Jittered({{0.0, 0.05}, {2.8, 0.05}}, kJit * 0.5, rng), v);
+      Oscillation tap;
+      tap.amplitude = 0.40 * v.amplitude_scale;
+      tap.frequency_hz = 2.6 * v.rhythm_scale / v.time_scale;
+      tap.phase_rad = rng->Uniform(0.0, 2.0 * M_PI);
+      tap.t_on_s = 0.3;
+      tap.t_off_s = (2.5 + v.onset_delay_s) * v.time_scale;
+      p.ankle.AddOscillation(tap);
+      p.pelvis_dx = JointProfile(KeyframeProfile({{0.0, 0.0}}));
+      p.pelvis_dz = JointProfile(KeyframeProfile({{0.0, 0.0}}));
+      break;
+    }
+    case LegMotionClass::kNumClasses:
+      break;
+  }
+  *duration_s = base_duration * v.time_scale + v.onset_delay_s + 0.2;
+  return p;
+}
+
+}  // namespace
+
+const char* HandMotionClassName(HandMotionClass cls) {
+  switch (cls) {
+    case HandMotionClass::kRaiseArm:
+      return "raise_arm";
+    case HandMotionClass::kThrowBall:
+      return "throw_ball";
+    case HandMotionClass::kWave:
+      return "wave";
+    case HandMotionClass::kPunch:
+      return "punch";
+    case HandMotionClass::kDrink:
+      return "drink";
+    case HandMotionClass::kPushDoor:
+      return "push_door";
+    case HandMotionClass::kNumClasses:
+      break;
+  }
+  return "?";
+}
+
+const char* LegMotionClassName(LegMotionClass cls) {
+  switch (cls) {
+    case LegMotionClass::kWalk:
+      return "walk";
+    case LegMotionClass::kKick:
+      return "kick";
+    case LegMotionClass::kSquat:
+      return "squat";
+    case LegMotionClass::kStepUp:
+      return "step_up";
+    case LegMotionClass::kToeTap:
+      return "toe_tap";
+    case LegMotionClass::kNumClasses:
+      break;
+  }
+  return "?";
+}
+
+size_t NumHandClasses() {
+  return static_cast<size_t>(HandMotionClass::kNumClasses);
+}
+size_t NumLegClasses() {
+  return static_cast<size_t>(LegMotionClass::kNumClasses);
+}
+
+TrialVariation SampleTrialVariation(Rng* rng) {
+  TrialVariation v;
+  v.amplitude_scale = std::clamp(rng->Gaussian(1.0, 0.12), 0.7, 1.3);
+  v.time_scale = std::clamp(rng->Gaussian(1.0, 0.12), 0.7, 1.35);
+  v.onset_delay_s = rng->Uniform(0.0, 0.25);
+  v.posture_offset_rad = rng->Gaussian(0.0, 0.05);
+  v.rhythm_scale = std::clamp(rng->Gaussian(1.0, 0.10), 0.75, 1.25);
+  return v;
+}
+
+Result<HandMotionSpec> GenerateHandMotion(HandMotionClass cls,
+                                          const TrialVariation& variation,
+                                          double frame_rate_hz, Rng* rng) {
+  if (rng == nullptr) return Status::InvalidArgument("null rng");
+  if (cls >= HandMotionClass::kNumClasses) {
+    return Status::InvalidArgument("invalid hand motion class");
+  }
+  if (frame_rate_hz <= 0.0) {
+    return Status::InvalidArgument("frame rate must be positive");
+  }
+  HandMotionSpec spec;
+  ArmProfiles p =
+      BuildHandProfiles(cls, variation, &spec.duration_s, rng);
+  spec.angles.shoulder_elevation =
+      p.shoulder_elev.SampleSeries(spec.duration_s, frame_rate_hz);
+  spec.angles.shoulder_azimuth =
+      p.shoulder_azim.SampleSeries(spec.duration_s, frame_rate_hz);
+  spec.angles.elbow_flexion =
+      p.elbow.SampleSeries(spec.duration_s, frame_rate_hz);
+  spec.angles.wrist_flexion =
+      p.wrist.SampleSeries(spec.duration_s, frame_rate_hz);
+  MOCEMG_RETURN_NOT_OK(spec.angles.Validate());
+  return spec;
+}
+
+Result<LegMotionSpec> GenerateLegMotion(LegMotionClass cls,
+                                        const TrialVariation& variation,
+                                        double frame_rate_hz, Rng* rng) {
+  if (rng == nullptr) return Status::InvalidArgument("null rng");
+  if (cls >= LegMotionClass::kNumClasses) {
+    return Status::InvalidArgument("invalid leg motion class");
+  }
+  if (frame_rate_hz <= 0.0) {
+    return Status::InvalidArgument("frame rate must be positive");
+  }
+  LegMotionSpec spec;
+  LegProfiles p = BuildLegProfiles(cls, variation, &spec.duration_s, rng);
+  spec.angles.hip_flexion =
+      p.hip.SampleSeries(spec.duration_s, frame_rate_hz);
+  spec.angles.knee_flexion =
+      p.knee.SampleSeries(spec.duration_s, frame_rate_hz);
+  spec.angles.ankle_flexion =
+      p.ankle.SampleSeries(spec.duration_s, frame_rate_hz);
+  spec.pelvis_dx = p.pelvis_dx.SampleSeries(spec.duration_s, frame_rate_hz);
+  spec.pelvis_dz = p.pelvis_dz.SampleSeries(spec.duration_s, frame_rate_hz);
+  MOCEMG_RETURN_NOT_OK(spec.angles.Validate());
+  return spec;
+}
+
+}  // namespace mocemg

@@ -1,0 +1,97 @@
+/// \file motion_classes.h
+/// \brief The motion vocabulary of the synthetic test bed. Mirrors the
+/// paper's experimental procedure: participants performing instructed
+/// motions ("raise arm", "throw ball", …) with natural trial-to-trial
+/// variation, analyzed separately for the right hand and the right leg.
+///
+/// Every generator returns per-joint angle series at the capture rate,
+/// already perturbed by a TrialVariation so that no two trials are
+/// identical: amplitudes, speeds, onset phases, and resting postures all
+/// vary, and rhythmic classes vary in cycle frequency and phase.
+
+#ifndef MOCEMG_SYNTH_MOTION_CLASSES_H_
+#define MOCEMG_SYNTH_MOTION_CLASSES_H_
+
+#include <string>
+#include <vector>
+
+#include "synth/kinematics.h"
+#include "util/random.h"
+#include "util/result.h"
+
+namespace mocemg {
+
+/// \brief Right-hand motion classes (the paper names raise-arm and
+/// throw-ball explicitly; the rest round out a realistic instruction set).
+enum class HandMotionClass : int {
+  kRaiseArm = 0,
+  kThrowBall,
+  kWave,
+  kPunch,
+  kDrink,
+  kPushDoor,
+  kNumClasses,
+};
+
+/// \brief Right-leg motion classes.
+enum class LegMotionClass : int {
+  kWalk = 0,
+  kKick,
+  kSquat,
+  kStepUp,
+  kToeTap,
+  kNumClasses,
+};
+
+const char* HandMotionClassName(HandMotionClass cls);
+const char* LegMotionClassName(LegMotionClass cls);
+size_t NumHandClasses();
+size_t NumLegClasses();
+
+/// \brief Per-trial perturbation sampled once per captured motion.
+struct TrialVariation {
+  /// Multiplies movement amplitudes about the rest posture.
+  double amplitude_scale = 1.0;
+  /// Multiplies the duration (slower/faster executions).
+  double time_scale = 1.0;
+  /// Onset delay before the instructed movement begins (s).
+  double onset_delay_s = 0.0;
+  /// Resting-posture offset added to every joint (rad).
+  double posture_offset_rad = 0.0;
+  /// Frequency scale for rhythmic classes.
+  double rhythm_scale = 1.0;
+};
+
+/// \brief Draws a natural trial variation (moderate, class-independent).
+TrialVariation SampleTrialVariation(Rng* rng);
+
+/// \brief A generated hand trial: angle series plus the trial's nominal
+/// duration (pelvis stays in place for hand motions).
+struct HandMotionSpec {
+  ArmAngleSeries angles;
+  double duration_s = 0.0;
+};
+
+/// \brief A generated leg trial: angle series plus optional pelvis
+/// translation tracks (walking progresses forward, step-up raises the
+/// body) — global effects the local transform must cancel.
+struct LegMotionSpec {
+  LegAngleSeries angles;
+  std::vector<double> pelvis_dx;
+  std::vector<double> pelvis_dz;
+  double duration_s = 0.0;
+};
+
+/// \brief Generates one right-hand trial of the given class.
+Result<HandMotionSpec> GenerateHandMotion(HandMotionClass cls,
+                                          const TrialVariation& variation,
+                                          double frame_rate_hz, Rng* rng);
+
+/// \brief Generates one right-leg trial of the given class.
+Result<LegMotionSpec> GenerateLegMotion(LegMotionClass cls,
+                                        const TrialVariation& variation,
+                                        double frame_rate_hz, Rng* rng);
+
+}  // namespace mocemg
+
+#endif  // MOCEMG_SYNTH_MOTION_CLASSES_H_

@@ -1,0 +1,166 @@
+#include "synth/muscle_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "synth/profiles.h"
+#include "util/macros.h"
+
+namespace mocemg {
+namespace {
+
+// Signed torque proxy for one joint angle series. Positive values drive
+// the "positive-direction" muscle (e.g. flexor), negative the antagonist.
+std::vector<double> TorqueProxy(const std::vector<double>& theta,
+                                double rate_hz,
+                                const MuscleModelOptions& opt,
+                                double gravity_sign) {
+  const std::vector<double> omega = Differentiate(theta, rate_hz);
+  const std::vector<double> alpha = Differentiate(omega, rate_hz);
+  std::vector<double> tau(theta.size());
+  for (size_t i = 0; i < theta.size(); ++i) {
+    tau[i] = opt.inertial_gain * alpha[i] + opt.viscous_gain * omega[i] +
+             opt.gravity_gain * gravity_sign * std::sin(theta[i]);
+  }
+  return tau;
+}
+
+// First-order low-pass (excitation→activation dynamics).
+void Smooth(std::vector<double>* a, double rate_hz, double tau_s) {
+  if (a->empty() || tau_s <= 0.0) return;
+  const double alpha = 1.0 / (1.0 + tau_s * rate_hz);
+  double state = (*a)[0];
+  for (double& v : *a) {
+    state += alpha * (v - state);
+    v = state;
+  }
+}
+
+// Agonist/antagonist activation pair from one torque proxy.
+struct ActivationPair {
+  std::vector<double> agonist;     // fires on positive torque
+  std::vector<double> antagonist;  // fires on negative torque
+};
+
+ActivationPair SplitActivation(const std::vector<double>& tau,
+                               double rate_hz,
+                               const MuscleModelOptions& opt, Rng* rng) {
+  ActivationPair pair;
+  const size_t n = tau.size();
+  pair.agonist.resize(n);
+  pair.antagonist.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    const double pos = std::max(tau[i], 0.0);
+    const double neg = std::max(-tau[i], 0.0);
+    pair.agonist[i] = pos + opt.co_contraction * neg + opt.tonic_level;
+    pair.antagonist[i] = neg + opt.co_contraction * pos + opt.tonic_level;
+  }
+  Smooth(&pair.agonist, rate_hz, opt.smoothing_tau_s);
+  Smooth(&pair.antagonist, rate_hz, opt.smoothing_tau_s);
+  // Per-trial multiplicative gain (electrode placement, impedance,
+  // fatigue) — independent per muscle.
+  const double g1 = std::exp(rng->Gaussian(0.0, opt.trial_gain_sigma));
+  const double g2 = std::exp(rng->Gaussian(0.0, opt.trial_gain_sigma));
+  for (size_t i = 0; i < n; ++i) {
+    pair.agonist[i] = std::clamp(pair.agonist[i] * g1, 0.0, 1.0);
+    pair.antagonist[i] = std::clamp(pair.antagonist[i] * g2, 0.0, 1.0);
+  }
+  return pair;
+}
+
+Status ValidateInputs(size_t frames, double frame_rate_hz,
+                      const Rng* rng) {
+  if (rng == nullptr) return Status::InvalidArgument("null rng");
+  if (frames == 0) return Status::InvalidArgument("empty angle series");
+  if (frame_rate_hz <= 0.0) {
+    return Status::InvalidArgument("frame rate must be positive");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::vector<MuscleActivation>> ComputeArmActivations(
+    const ArmAngleSeries& angles, double frame_rate_hz,
+    const MuscleModelOptions& options, Rng* rng) {
+  MOCEMG_RETURN_NOT_OK(angles.Validate());
+  MOCEMG_RETURN_NOT_OK(
+      ValidateInputs(angles.num_frames(), frame_rate_hz, rng));
+
+  // Elbow: biceps = flexor (positive), triceps = extensor. Gravity loads
+  // the flexor when the forearm is horizontal — the sin(θ) posture term
+  // with positive sign approximates the forearm-weight moment. Biceps
+  // also assists shoulder elevation a little.
+  std::vector<double> elbow_tau = TorqueProxy(
+      angles.elbow_flexion, frame_rate_hz, options, /*gravity_sign=*/1.0);
+  const std::vector<double> shoulder_tau =
+      TorqueProxy(angles.shoulder_elevation, frame_rate_hz, options, 1.0);
+  for (size_t i = 0; i < elbow_tau.size(); ++i) {
+    elbow_tau[i] += 0.25 * std::max(shoulder_tau[i], 0.0);
+  }
+  ActivationPair elbow =
+      SplitActivation(elbow_tau, frame_rate_hz, options, rng);
+
+  // Wrist: lower forearm (flexors) on positive wrist torque, upper
+  // forearm (extensors) on negative. Forearm muscles also stabilize the
+  // wrist whenever the elbow moves fast (grip/brace), so a fraction of
+  // the absolute elbow torque leaks into both.
+  std::vector<double> wrist_tau = TorqueProxy(
+      angles.wrist_flexion, frame_rate_hz, options, /*gravity_sign=*/0.4);
+  std::vector<double> brace(wrist_tau.size());
+  for (size_t i = 0; i < wrist_tau.size(); ++i) {
+    brace[i] = 0.30 * std::fabs(elbow_tau[i]);
+  }
+  std::vector<double> wrist_flex_drive(wrist_tau.size());
+  std::vector<double> wrist_ext_drive(wrist_tau.size());
+  for (size_t i = 0; i < wrist_tau.size(); ++i) {
+    wrist_flex_drive[i] = wrist_tau[i] + brace[i];
+    wrist_ext_drive[i] = -wrist_tau[i] + brace[i];
+  }
+  ActivationPair wrist_flex =
+      SplitActivation(wrist_flex_drive, frame_rate_hz, options, rng);
+  ActivationPair wrist_ext =
+      SplitActivation(wrist_ext_drive, frame_rate_hz, options, rng);
+
+  std::vector<MuscleActivation> out;
+  out.push_back({Muscle::kBiceps, std::move(elbow.agonist)});
+  out.push_back({Muscle::kTriceps, std::move(elbow.antagonist)});
+  out.push_back({Muscle::kUpperForearm, std::move(wrist_ext.agonist)});
+  out.push_back({Muscle::kLowerForearm, std::move(wrist_flex.agonist)});
+  return out;
+}
+
+Result<std::vector<MuscleActivation>> ComputeLegActivations(
+    const LegAngleSeries& angles, double frame_rate_hz,
+    const MuscleModelOptions& options, Rng* rng) {
+  MOCEMG_RETURN_NOT_OK(angles.Validate());
+  MOCEMG_RETURN_NOT_OK(
+      ValidateInputs(angles.num_frames(), frame_rate_hz, rng));
+
+  // Ankle: tibialis anterior (front shin) dorsiflexes (positive θa),
+  // gastrocnemius (back shin) plantarflexes. The gastrocnemius also
+  // fires with knee/hip extension effort (push-off, squat rise), which
+  // the knee torque's negative side approximates.
+  std::vector<double> ankle_tau = TorqueProxy(
+      angles.ankle_flexion, frame_rate_hz, options, /*gravity_sign=*/0.6);
+  const std::vector<double> knee_tau =
+      TorqueProxy(angles.knee_flexion, frame_rate_hz, options, 0.8);
+  std::vector<double> front_drive(ankle_tau.size());
+  std::vector<double> back_drive(ankle_tau.size());
+  for (size_t i = 0; i < ankle_tau.size(); ++i) {
+    front_drive[i] = ankle_tau[i];
+    back_drive[i] = -ankle_tau[i] + 0.35 * std::max(-knee_tau[i], 0.0) +
+                    0.20 * std::max(knee_tau[i], 0.0);
+  }
+  ActivationPair front =
+      SplitActivation(front_drive, frame_rate_hz, options, rng);
+  ActivationPair back =
+      SplitActivation(back_drive, frame_rate_hz, options, rng);
+
+  std::vector<MuscleActivation> out;
+  out.push_back({Muscle::kFrontShin, std::move(front.agonist)});
+  out.push_back({Muscle::kBackShin, std::move(back.agonist)});
+  return out;
+}
+
+}  // namespace mocemg

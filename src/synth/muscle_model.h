@@ -1,0 +1,70 @@
+/// \file muscle_model.h
+/// \brief Muscle activation model: turns joint kinematics into per-muscle
+/// neural-drive envelopes in [0, 1].
+///
+/// The drive for each muscle is a torque proxy around its joint —
+/// inertial (∝ angular acceleration), viscous (∝ velocity), and
+/// gravitational (∝ a posture term) components — half-wave rectified on
+/// the muscle's action side (flexor vs extensor), plus a co-contraction
+/// floor and a tonic baseline. This captures the physiologically salient
+/// facts the paper leans on: EMG reflects internal dynamics that are only
+/// loosely coupled to the external trajectory, so two kinematically
+/// similar trials can carry visibly different EMG. The per-trial gain
+/// jitter below (electrode placement, skin impedance, fatigue) widens
+/// that dissociation further.
+
+#ifndef MOCEMG_SYNTH_MUSCLE_MODEL_H_
+#define MOCEMG_SYNTH_MUSCLE_MODEL_H_
+
+#include <vector>
+
+#include "emg/muscle.h"
+#include "synth/kinematics.h"
+#include "util/random.h"
+#include "util/result.h"
+
+namespace mocemg {
+
+/// \brief Activation-model coefficients. Defaults produce plausible
+/// surface-EMG envelopes for the motion vocabulary in motion_classes.h.
+struct MuscleModelOptions {
+  /// Inertial drive weight (per rad/s²).
+  double inertial_gain = 0.035;
+  /// Viscous drive weight (per rad/s).
+  double viscous_gain = 0.16;
+  /// Gravity/posture drive weight.
+  double gravity_gain = 0.30;
+  /// Co-contraction: fraction of the antagonist's drive mirrored into
+  /// this muscle.
+  double co_contraction = 0.15;
+  /// Tonic (resting) activation floor.
+  double tonic_level = 0.04;
+  /// Activation low-pass time constant (s) — muscle excitation dynamics.
+  double smoothing_tau_s = 0.06;
+  /// Std-dev of the per-trial multiplicative gain jitter (lognormal-ish).
+  double trial_gain_sigma = 0.25;
+};
+
+/// \brief One muscle's activation envelope, same rate/length as the
+/// driving angle series.
+struct MuscleActivation {
+  Muscle muscle;
+  std::vector<double> activation;  ///< in [0, 1]
+};
+
+/// \brief Activations of the four right-arm muscles (biceps, triceps,
+/// upper forearm, lower forearm — the paper's electrode set) for an arm
+/// trial.
+Result<std::vector<MuscleActivation>> ComputeArmActivations(
+    const ArmAngleSeries& angles, double frame_rate_hz,
+    const MuscleModelOptions& options, Rng* rng);
+
+/// \brief Activations of the two right-leg muscles (front shin / tibialis
+/// anterior, back shin / gastrocnemius) for a leg trial.
+Result<std::vector<MuscleActivation>> ComputeLegActivations(
+    const LegAngleSeries& angles, double frame_rate_hz,
+    const MuscleModelOptions& options, Rng* rng);
+
+}  // namespace mocemg
+
+#endif  // MOCEMG_SYNTH_MUSCLE_MODEL_H_

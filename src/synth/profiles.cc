@@ -1,0 +1,100 @@
+#include "synth/profiles.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace mocemg {
+
+KeyframeProfile::KeyframeProfile(std::vector<Keyframe> keys)
+    : keys_(std::move(keys)) {
+  MOCEMG_CHECK(std::is_sorted(keys_.begin(), keys_.end(),
+                              [](const Keyframe& a, const Keyframe& b) {
+                                return a.time_s < b.time_s;
+                              }))
+      << "keyframes must be time-ordered";
+}
+
+double KeyframeProfile::Sample(double t) const {
+  if (keys_.empty()) return 0.0;
+  if (t <= keys_.front().time_s) return keys_.front().value;
+  if (t >= keys_.back().time_s) return keys_.back().value;
+  // Find the segment containing t.
+  size_t hi = 1;
+  while (keys_[hi].time_s < t) ++hi;
+  const Keyframe& a = keys_[hi - 1];
+  const Keyframe& b = keys_[hi];
+  const double span = b.time_s - a.time_s;
+  if (span <= 0.0) return b.value;
+  const double tau = (t - a.time_s) / span;
+  const double s = tau * tau * tau * (10.0 + tau * (-15.0 + 6.0 * tau));
+  return a.value + (b.value - a.value) * s;
+}
+
+std::vector<double> KeyframeProfile::SampleSeries(double duration_s,
+                                                  double rate_hz) const {
+  const size_t n = static_cast<size_t>(std::lround(duration_s * rate_hz));
+  std::vector<double> out(n);
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = Sample(static_cast<double>(i) / rate_hz);
+  }
+  return out;
+}
+
+void KeyframeProfile::ScaleTime(double factor) {
+  for (auto& k : keys_) k.time_s *= factor;
+}
+
+void KeyframeProfile::ScaleValues(double factor, double pivot) {
+  for (auto& k : keys_) k.value = pivot + (k.value - pivot) * factor;
+}
+
+void KeyframeProfile::OffsetValues(double delta) {
+  for (auto& k : keys_) k.value += delta;
+}
+
+double Oscillation::Sample(double t) const {
+  if (t < t_on_s || t > t_off_s) return 0.0;
+  double env = 1.0;
+  if (ramp_s > 0.0) {
+    if (t < t_on_s + ramp_s) {
+      env = 0.5 * (1.0 - std::cos(M_PI * (t - t_on_s) / ramp_s));
+    } else if (t > t_off_s - ramp_s) {
+      env = 0.5 * (1.0 - std::cos(M_PI * (t_off_s - t) / ramp_s));
+    }
+  }
+  return env * amplitude *
+         std::sin(2.0 * M_PI * frequency_hz * (t - t_on_s) + phase_rad);
+}
+
+double JointProfile::Sample(double t) const {
+  double v = base_.Sample(t);
+  for (const auto& o : overlays_) v += o.Sample(t);
+  return v;
+}
+
+std::vector<double> JointProfile::SampleSeries(double duration_s,
+                                               double rate_hz) const {
+  const size_t n = static_cast<size_t>(std::lround(duration_s * rate_hz));
+  std::vector<double> out(n);
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = Sample(static_cast<double>(i) / rate_hz);
+  }
+  return out;
+}
+
+std::vector<double> Differentiate(const std::vector<double>& series,
+                                  double rate_hz) {
+  const size_t n = series.size();
+  std::vector<double> out(n, 0.0);
+  if (n < 2) return out;
+  out[0] = (series[1] - series[0]) * rate_hz;
+  out[n - 1] = (series[n - 1] - series[n - 2]) * rate_hz;
+  for (size_t i = 1; i + 1 < n; ++i) {
+    out[i] = (series[i + 1] - series[i - 1]) * rate_hz * 0.5;
+  }
+  return out;
+}
+
+}  // namespace mocemg

@@ -1,0 +1,100 @@
+/// \file profiles.h
+/// \brief Joint-angle trajectory primitives for the motion synthesizer.
+///
+/// Human point-to-point limb movements are well described by minimum-jerk
+/// profiles (smooth position, zero velocity/acceleration at the
+/// endpoints); rhythmic movements by windowed oscillations. A motion
+/// class in this library is a set of per-joint keyframe profiles plus
+/// optional oscillation overlays; trial-to-trial variation perturbs the
+/// keyframes, which is exactly the "semantically similar motions with
+/// large variations" structure the paper's fuzzy approach targets.
+
+#ifndef MOCEMG_SYNTH_PROFILES_H_
+#define MOCEMG_SYNTH_PROFILES_H_
+
+#include <vector>
+
+#include "util/result.h"
+
+namespace mocemg {
+
+/// \brief One (time, angle) anchor of a profile.
+struct Keyframe {
+  double time_s = 0.0;
+  double value = 0.0;
+};
+
+/// \brief Piecewise minimum-jerk interpolation through keyframes: within
+/// each segment the value follows a + (b−a)·(10τ³ − 15τ⁴ + 6τ⁵); before
+/// the first/after the last keyframe the value is held.
+class KeyframeProfile {
+ public:
+  KeyframeProfile() = default;
+  explicit KeyframeProfile(std::vector<Keyframe> keys);
+
+  /// \brief Value at time t (seconds).
+  double Sample(double t) const;
+
+  /// \brief Samples [0, duration) at `rate_hz` into a series.
+  std::vector<double> SampleSeries(double duration_s, double rate_hz) const;
+
+  /// \brief Uniformly scales all keyframe times (speed variation).
+  void ScaleTime(double factor);
+
+  /// \brief Uniformly scales all keyframe values about `pivot`.
+  void ScaleValues(double factor, double pivot = 0.0);
+
+  /// \brief Shifts all keyframe values.
+  void OffsetValues(double delta);
+
+  const std::vector<Keyframe>& keyframes() const { return keys_; }
+  double end_time() const { return keys_.empty() ? 0.0 : keys_.back().time_s; }
+
+ private:
+  std::vector<Keyframe> keys_;
+};
+
+/// \brief A windowed sinusoid a·sin(2πf·(t−t_on) + φ) active on
+/// [t_on, t_off], with smooth cosine ramps of `ramp_s` at both ends so the
+/// overlay never injects jerk discontinuities.
+struct Oscillation {
+  double amplitude = 0.0;
+  double frequency_hz = 1.0;
+  double phase_rad = 0.0;
+  double t_on_s = 0.0;
+  double t_off_s = 1e9;
+  double ramp_s = 0.15;
+
+  double Sample(double t) const;
+};
+
+/// \brief A complete single-joint trajectory: keyframed base plus
+/// oscillation overlays.
+class JointProfile {
+ public:
+  JointProfile() = default;
+  explicit JointProfile(KeyframeProfile base) : base_(std::move(base)) {}
+
+  void AddOscillation(const Oscillation& osc) { overlays_.push_back(osc); }
+
+  double Sample(double t) const;
+  std::vector<double> SampleSeries(double duration_s, double rate_hz) const;
+
+  KeyframeProfile& base() { return base_; }
+  const KeyframeProfile& base() const { return base_; }
+  std::vector<Oscillation>& overlays() { return overlays_; }
+
+ private:
+  KeyframeProfile base_;
+  std::vector<Oscillation> overlays_;
+};
+
+/// \brief Central differences (forward/backward at edges) of a uniformly
+/// sampled series; used for angular velocity/acceleration in the muscle
+/// model. Returns a same-length series.
+std::vector<double> Differentiate(const std::vector<double>& series,
+                                  double rate_hz);
+
+}  // namespace mocemg
+
+#endif  // MOCEMG_SYNTH_PROFILES_H_

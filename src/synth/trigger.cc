@@ -1,0 +1,49 @@
+#include "synth/trigger.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mocemg {
+
+TriggerEvent FireTrigger(const TriggerOptions& options, Rng* rng) {
+  TriggerEvent ev;
+  double mocap = options.mocap_latency_ms;
+  double emg = options.emg_latency_ms;
+  if (rng != nullptr && options.jitter_ms > 0.0) {
+    mocap += rng->Gaussian(0.0, options.jitter_ms);
+    emg += rng->Gaussian(0.0, options.jitter_ms);
+  }
+  ev.mocap_start_s = std::max(0.0, mocap / 1000.0);
+  ev.emg_start_s = std::max(0.0, emg / 1000.0);
+  return ev;
+}
+
+Result<MotionSequence> ApplyStartLatency(const MotionSequence& motion,
+                                         double latency_s) {
+  if (latency_s < 0.0) {
+    return Status::InvalidArgument("latency must be >= 0");
+  }
+  const size_t drop = static_cast<size_t>(
+      std::lround(latency_s * motion.frame_rate_hz()));
+  if (drop >= motion.num_frames()) {
+    return Status::InvalidArgument(
+        "latency swallows the whole motion capture");
+  }
+  return motion.FrameSlice(drop, motion.num_frames());
+}
+
+Result<EmgRecording> ApplyStartLatency(const EmgRecording& recording,
+                                       double latency_s) {
+  if (latency_s < 0.0) {
+    return Status::InvalidArgument("latency must be >= 0");
+  }
+  const size_t drop = static_cast<size_t>(
+      std::lround(latency_s * recording.sample_rate_hz()));
+  if (drop >= recording.num_samples()) {
+    return Status::InvalidArgument(
+        "latency swallows the whole EMG recording");
+  }
+  return recording.SampleSlice(drop, recording.num_samples());
+}
+
+}  // namespace mocemg

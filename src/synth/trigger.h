@@ -1,0 +1,47 @@
+/// \file trigger.h
+/// \brief Simulation of the paper's hardware synchronization (its Figure
+/// 5): a Delsys Trigger Module on the workstation's parallel port starts
+/// the Vicon and Myomonitor acquisitions simultaneously. Here the trigger
+/// is modelled as per-device start latencies; zero latency reproduces the
+/// paper's synchronized rig, and non-zero values let the ablation bench
+/// (abl6) measure what the hardware trigger is worth.
+
+#ifndef MOCEMG_SYNTH_TRIGGER_H_
+#define MOCEMG_SYNTH_TRIGGER_H_
+
+#include "emg/emg_recording.h"
+#include "mocap/motion_sequence.h"
+#include "util/random.h"
+#include "util/result.h"
+
+namespace mocemg {
+
+/// \brief Trigger-module timing model.
+struct TriggerOptions {
+  /// Deterministic device start latencies after the trigger edge (ms).
+  double mocap_latency_ms = 0.0;
+  double emg_latency_ms = 0.0;
+  /// Per-trial Gaussian jitter std added to each latency (ms).
+  double jitter_ms = 0.0;
+};
+
+/// \brief The realized start times of one trial's two acquisitions,
+/// relative to the physical start of the motion (s, clamped >= 0).
+struct TriggerEvent {
+  double mocap_start_s = 0.0;
+  double emg_start_s = 0.0;
+};
+
+/// \brief Samples a trial's realized latencies.
+TriggerEvent FireTrigger(const TriggerOptions& options, Rng* rng);
+
+/// \brief A device that starts `latency_s` late misses the first
+/// `latency_s` of the physical event: drops the leading frames.
+Result<MotionSequence> ApplyStartLatency(const MotionSequence& motion,
+                                         double latency_s);
+Result<EmgRecording> ApplyStartLatency(const EmgRecording& recording,
+                                       double latency_s);
+
+}  // namespace mocemg
+
+#endif  // MOCEMG_SYNTH_TRIGGER_H_

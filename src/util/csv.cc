@@ -1,0 +1,182 @@
+#include "util/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/macros.h"
+#include "util/string_util.h"
+
+namespace mocemg {
+namespace {
+
+// Splits one physical CSV line into fields, honoring double-quote
+// escaping. Quoted fields may contain the delimiter and doubled quotes.
+Result<std::vector<std::string>> SplitCsvLine(const std::string& line,
+                                              char delim, size_t line_no) {
+  std::vector<std::string> fields;
+  std::string cur;
+  bool in_quotes = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cur.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cur.push_back(c);
+      }
+    } else {
+      if (c == '"' && cur.empty()) {
+        in_quotes = true;
+      } else if (c == delim) {
+        fields.push_back(std::move(cur));
+        cur.clear();
+      } else {
+        cur.push_back(c);
+      }
+    }
+  }
+  if (in_quotes) {
+    return Status::ParseError("unterminated quote on line " +
+                              std::to_string(line_no));
+  }
+  fields.push_back(std::move(cur));
+  return fields;
+}
+
+}  // namespace
+
+Result<CsvTable> CsvTable::FromString(const std::string& text,
+                                      const CsvOptions& options) {
+  CsvTable table;
+  std::istringstream in(text);
+  std::string line;
+  size_t line_no = 0;
+  bool header_done = !options.has_header;
+  size_t expected_fields = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    std::string_view trimmed = Trim(line);
+    if (trimmed.empty()) continue;
+    if (trimmed.front() == options.comment_char) continue;
+    MOCEMG_ASSIGN_OR_RETURN(
+        std::vector<std::string> fields,
+        SplitCsvLine(line, options.delimiter, line_no));
+    if (!header_done) {
+      table.header_ = std::move(fields);
+      expected_fields = table.header_.size();
+      header_done = true;
+      continue;
+    }
+    if (expected_fields == 0) expected_fields = fields.size();
+    if (!options.allow_ragged_rows && fields.size() != expected_fields) {
+      return Status::ParseError(
+          "row on line " + std::to_string(line_no) + " has " +
+          std::to_string(fields.size()) + " fields, expected " +
+          std::to_string(expected_fields));
+    }
+    table.rows_.push_back(std::move(fields));
+  }
+  return table;
+}
+
+Result<CsvTable> CsvTable::FromFile(const std::string& path,
+                                    const CsvOptions& options) {
+  MOCEMG_ASSIGN_OR_RETURN(std::string text, ReadFileToString(path));
+  auto result = FromString(text, options);
+  if (!result.ok()) {
+    return result.status().WithContext("while parsing '" + path + "'");
+  }
+  return result;
+}
+
+Result<size_t> CsvTable::ColumnIndex(const std::string& name) const {
+  for (size_t i = 0; i < header_.size(); ++i) {
+    if (header_[i] == name) return i;
+  }
+  return Status::NotFound("no column named '" + name + "'");
+}
+
+Result<std::vector<std::vector<double>>> CsvTable::ToNumeric() const {
+  std::vector<std::vector<double>> out;
+  out.reserve(rows_.size());
+  for (size_t r = 0; r < rows_.size(); ++r) {
+    std::vector<double> row;
+    row.reserve(rows_[r].size());
+    for (size_t c = 0; c < rows_[r].size(); ++c) {
+      auto v = ParseDouble(rows_[r][c]);
+      if (!v.ok()) {
+        return v.status().WithContext("row " + std::to_string(r) +
+                                      ", column " + std::to_string(c));
+      }
+      row.push_back(*v);
+    }
+    out.push_back(std::move(row));
+  }
+  return out;
+}
+
+void CsvWriter::WriteRow(const std::vector<std::string>& cells) {
+  for (size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) buffer_.push_back(delimiter_);
+    const std::string& cell = cells[i];
+    bool needs_quote =
+        cell.find(delimiter_) != std::string::npos ||
+        cell.find('"') != std::string::npos ||
+        cell.find('\n') != std::string::npos;
+    if (needs_quote) {
+      buffer_.push_back('"');
+      for (char c : cell) {
+        if (c == '"') buffer_.push_back('"');
+        buffer_.push_back(c);
+      }
+      buffer_.push_back('"');
+    } else {
+      buffer_.append(cell);
+    }
+  }
+  buffer_.push_back('\n');
+}
+
+void CsvWriter::WriteNumericRow(const std::vector<double>& cells,
+                                int precision) {
+  std::vector<std::string> strs;
+  strs.reserve(cells.size());
+  for (double v : cells) strs.push_back(FormatDouble(v, precision));
+  WriteRow(strs);
+}
+
+void CsvWriter::WriteComment(const std::string& text) {
+  buffer_.append("# ");
+  buffer_.append(text);
+  buffer_.push_back('\n');
+}
+
+Status CsvWriter::ToFile(const std::string& path) const {
+  return WriteStringToFile(path, buffer_);
+}
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open '" + path + "' for reading");
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  if (in.bad()) return Status::IOError("read failure on '" + path + "'");
+  return ss.str();
+}
+
+Status WriteStringToFile(const std::string& path,
+                         const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IOError("cannot open '" + path + "' for writing");
+  out.write(content.data(), static_cast<std::streamsize>(content.size()));
+  if (!out) return Status::IOError("write failure on '" + path + "'");
+  return Status::OK();
+}
+
+}  // namespace mocemg

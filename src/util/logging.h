@@ -1,0 +1,78 @@
+/// \file logging.h
+/// \brief Minimal leveled logging plus CHECK-style invariant assertions.
+
+#ifndef MOCEMG_UTIL_LOGGING_H_
+#define MOCEMG_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace mocemg {
+
+/// \brief Severity of a log record.
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kFatal = 4,
+};
+
+/// \brief Global minimum level; records below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// \brief Accumulates one log record and emits it on destruction.
+/// kFatal aborts the process after emitting.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// \brief Swallows a disabled log statement's stream expression.
+/// operator& binds looser than operator<<, so the whole streamed chain
+/// evaluates before being voided (the glog idiom).
+class Voidify {
+ public:
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace internal
+}  // namespace mocemg
+
+#define MOCEMG_LOG(level)                                               \
+  (::mocemg::LogLevel::level < ::mocemg::GetLogLevel())                 \
+      ? (void)0                                                         \
+      : ::mocemg::internal::Voidify() &                                 \
+            ::mocemg::internal::LogMessage(::mocemg::LogLevel::level,   \
+                                           __FILE__, __LINE__)          \
+                .stream()
+
+/// Hard invariant: aborts with a message when violated, in all build
+/// modes. Use for programmer errors that cannot be expressed as Status.
+#define MOCEMG_CHECK(cond)                                             \
+  while (!(cond))                                                      \
+  ::mocemg::internal::LogMessage(::mocemg::LogLevel::kFatal, __FILE__, \
+                                 __LINE__)                             \
+      .stream()                                                        \
+      << "Check failed: " #cond " "
+
+#define MOCEMG_CHECK_OK(status_expr)                    \
+  do {                                                  \
+    ::mocemg::Status _st = (status_expr);               \
+    MOCEMG_CHECK(_st.ok()) << _st.ToString();           \
+  } while (false)
+
+#endif  // MOCEMG_UTIL_LOGGING_H_

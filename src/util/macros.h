@@ -1,0 +1,32 @@
+/// \file macros.h
+/// \brief Control-flow helpers for Status/Result propagation.
+
+#ifndef MOCEMG_UTIL_MACROS_H_
+#define MOCEMG_UTIL_MACROS_H_
+
+#include "util/status.h"
+
+/// Evaluates a Status expression and returns it from the enclosing
+/// function if it is not OK.
+#define MOCEMG_RETURN_NOT_OK(expr)                \
+  do {                                            \
+    ::mocemg::Status _st = (expr);                \
+    if (!_st.ok()) return _st;                    \
+  } while (false)
+
+#define MOCEMG_CONCAT_IMPL(x, y) x##y
+#define MOCEMG_CONCAT(x, y) MOCEMG_CONCAT_IMPL(x, y)
+
+/// Evaluates a Result<T> expression; on error returns its status from the
+/// enclosing function, otherwise moves the value into `lhs` (which may be
+/// a declaration, e.g. `MOCEMG_ASSIGN_OR_RETURN(auto m, LoadMatrix(p));`).
+#define MOCEMG_ASSIGN_OR_RETURN(lhs, rexpr)                            \
+  MOCEMG_ASSIGN_OR_RETURN_IMPL(                                        \
+      MOCEMG_CONCAT(_mocemg_result_, __LINE__), lhs, rexpr)
+
+#define MOCEMG_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                 \
+  if (!tmp.ok()) return tmp.status();                 \
+  lhs = std::move(tmp).ValueOrDie()
+
+#endif  // MOCEMG_UTIL_MACROS_H_

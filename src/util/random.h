@@ -1,0 +1,89 @@
+/// \file random.h
+/// \brief Deterministic, seedable pseudo-random number generation.
+///
+/// All stochastic components of the library (synthetic capture rig, FCM
+/// initialization, evaluation shuffles) draw from Rng so that every
+/// experiment is reproducible from a single printed 64-bit seed. The
+/// generator is xoshiro256** seeded through SplitMix64, both hand-rolled
+/// so results are identical across standard libraries and platforms
+/// (std::mt19937 distributions are not portable across implementations).
+
+#ifndef MOCEMG_UTIL_RANDOM_H_
+#define MOCEMG_UTIL_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace mocemg {
+
+/// \brief SplitMix64: stateless mixing function used to expand a user seed
+/// into the xoshiro256** state. Also usable as a fast standalone generator.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  /// \brief Next 64-bit value.
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+/// \brief xoshiro256** generator with portable distribution helpers.
+class Rng {
+ public:
+  /// Seeds the full 256-bit state from `seed` via SplitMix64.
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// \brief Uniform 64-bit value.
+  uint64_t NextUint64();
+
+  /// \brief Uniform double in [0, 1).
+  double NextDouble();
+
+  /// \brief Uniform double in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  /// \brief Uniform integer in [0, n). n must be > 0.
+  uint64_t NextBelow(uint64_t n);
+
+  /// \brief Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// \brief Standard normal via Box–Muller (cached second deviate).
+  double NextGaussian();
+
+  /// \brief Normal with the given mean and standard deviation.
+  double Gaussian(double mean, double stddev);
+
+  /// \brief Bernoulli trial with success probability p.
+  bool NextBool(double p = 0.5);
+
+  /// \brief In-place Fisher–Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    if (v->empty()) return;
+    for (size_t i = v->size() - 1; i > 0; --i) {
+      size_t j = static_cast<size_t>(NextBelow(i + 1));
+      std::swap((*v)[i], (*v)[j]);
+    }
+  }
+
+  /// \brief Derives an independent child generator (for per-trial streams).
+  Rng Fork();
+
+ private:
+  uint64_t s_[4];
+  bool has_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace mocemg
+
+#endif  // MOCEMG_UTIL_RANDOM_H_

@@ -1,0 +1,80 @@
+/// \file result.h
+/// \brief Result<T>: a Status plus a value on success (Arrow-style).
+
+#ifndef MOCEMG_UTIL_RESULT_H_
+#define MOCEMG_UTIL_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "util/status.h"
+
+namespace mocemg {
+
+/// \brief Holds either a value of type T or a non-OK Status.
+///
+/// Construction from a value yields an OK result; construction from a
+/// non-OK Status yields an error result. Constructing from an OK Status
+/// is a programming error (asserted in debug builds, degraded to an
+/// Unknown error otherwise).
+template <typename T>
+class Result {
+ public:
+  /// Constructs an error result from a non-OK status.
+  Result(Status status)  // NOLINT(google-explicit-constructor)
+      : status_(std::move(status)) {
+    assert(!status_.ok() && "Result constructed from OK status");
+    if (status_.ok()) {
+      status_ = Status::Unknown("Result constructed from OK status");
+    }
+  }
+
+  /// Constructs an OK result holding `value`.
+  Result(T value)  // NOLINT(google-explicit-constructor)
+      : status_(Status::OK()), value_(std::move(value)) {}
+
+  Result(const Result&) = default;
+  Result(Result&&) noexcept = default;
+  Result& operator=(const Result&) = default;
+  Result& operator=(Result&&) noexcept = default;
+
+  /// \brief True iff a value is held.
+  bool ok() const { return status_.ok(); }
+
+  /// \brief The status (OK when a value is held).
+  const Status& status() const { return status_; }
+
+  /// \brief Access to the held value; must only be called when ok().
+  const T& ValueOrDie() const& {
+    assert(ok() && "ValueOrDie on errored Result");
+    return *value_;
+  }
+  T& ValueOrDie() & {
+    assert(ok() && "ValueOrDie on errored Result");
+    return *value_;
+  }
+  T&& ValueOrDie() && {
+    assert(ok() && "ValueOrDie on errored Result");
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  T&& operator*() && { return std::move(*this).ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+  /// \brief Moves the value out, or returns `fallback` if errored.
+  T ValueOr(T fallback) && {
+    return ok() ? std::move(*value_) : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace mocemg
+
+#endif  // MOCEMG_UTIL_RESULT_H_

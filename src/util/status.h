@@ -1,0 +1,155 @@
+/// \file status.h
+/// \brief Arrow/RocksDB-style Status object used as the error-handling
+/// currency across the whole library. No exceptions cross public API
+/// boundaries; every fallible operation returns a Status or Result<T>.
+
+#ifndef MOCEMG_UTIL_STATUS_H_
+#define MOCEMG_UTIL_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace mocemg {
+
+/// \brief Machine-readable error category carried by a Status.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kOutOfRange = 2,
+  kIOError = 3,
+  kParseError = 4,
+  kNotImplemented = 5,
+  kAlreadyExists = 6,
+  kNotFound = 7,
+  kFailedPrecondition = 8,
+  kNumericalError = 9,
+  kUnknown = 10,
+};
+
+/// \brief Returns a stable human-readable name for a StatusCode.
+const char* StatusCodeToString(StatusCode code);
+
+/// \brief Result of a fallible operation: either OK or a code plus message.
+///
+/// The OK state is represented with a null payload so that `Status::OK()`
+/// is trivially cheap to construct, copy, and test (a single pointer).
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() noexcept : state_(nullptr) {}
+  ~Status() { delete state_; }
+
+  Status(const Status& other)
+      : state_(other.state_ ? new State(*other.state_) : nullptr) {}
+  Status& operator=(const Status& other) {
+    if (this != &other) {
+      delete state_;
+      state_ = other.state_ ? new State(*other.state_) : nullptr;
+    }
+    return *this;
+  }
+  Status(Status&& other) noexcept : state_(other.state_) {
+    other.state_ = nullptr;
+  }
+  Status& operator=(Status&& other) noexcept {
+    std::swap(state_, other.state_);
+    return *this;
+  }
+
+  /// \brief Returns an OK status.
+  static Status OK() { return Status(); }
+
+  /// \brief Returns an error status with the given code and message.
+  static Status FromCode(StatusCode code, std::string msg) {
+    return Status(code, std::move(msg));
+  }
+
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status NumericalError(std::string msg) {
+    return Status(StatusCode::kNumericalError, std::move(msg));
+  }
+  static Status Unknown(std::string msg) {
+    return Status(StatusCode::kUnknown, std::move(msg));
+  }
+
+  /// \brief True iff the status is OK.
+  bool ok() const { return state_ == nullptr; }
+
+  /// \brief The status code (kOk when ok()).
+  StatusCode code() const {
+    return state_ ? state_->code : StatusCode::kOk;
+  }
+
+  /// \brief The error message; empty when ok().
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return state_ ? state_->msg : kEmpty;
+  }
+
+  bool IsInvalidArgument() const {
+    return code() == StatusCode::kInvalidArgument;
+  }
+  bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
+  bool IsIOError() const { return code() == StatusCode::kIOError; }
+  bool IsParseError() const { return code() == StatusCode::kParseError; }
+  bool IsNotImplemented() const {
+    return code() == StatusCode::kNotImplemented;
+  }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsFailedPrecondition() const {
+    return code() == StatusCode::kFailedPrecondition;
+  }
+  bool IsNumericalError() const {
+    return code() == StatusCode::kNumericalError;
+  }
+
+  /// \brief "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  /// \brief Prepends context to the message of a non-OK status; returns the
+  /// status unchanged when OK. Used to build error traces while unwinding.
+  Status WithContext(const std::string& context) const;
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string msg;
+  };
+
+  Status(StatusCode code, std::string msg)
+      : state_(new State{code, std::move(msg)}) {}
+
+  State* state_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+}  // namespace mocemg
+
+#endif  // MOCEMG_UTIL_STATUS_H_

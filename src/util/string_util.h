@@ -1,0 +1,42 @@
+/// \file string_util.h
+/// \brief Small string helpers shared by the hand-rolled parsers.
+
+#ifndef MOCEMG_UTIL_STRING_UTIL_H_
+#define MOCEMG_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/result.h"
+
+namespace mocemg {
+
+/// \brief Splits `input` on `delim`, keeping empty fields.
+std::vector<std::string> Split(std::string_view input, char delim);
+
+/// \brief Removes leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+/// \brief True iff `s` begins with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// \brief Case-insensitive ASCII equality.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// \brief Strict double parser: the whole trimmed token must be consumed.
+Result<double> ParseDouble(std::string_view token);
+
+/// \brief Strict integer parser: the whole trimmed token must be consumed.
+Result<int64_t> ParseInt(std::string_view token);
+
+/// \brief Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view sep);
+
+/// \brief printf-style double formatting with fixed precision.
+std::string FormatDouble(double value, int precision = 6);
+
+}  // namespace mocemg
+
+#endif  // MOCEMG_UTIL_STRING_UTIL_H_

@@ -1,0 +1,172 @@
+#include "cluster/gustafson_kessel.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cluster/fcm.h"
+#include "linalg/vector_ops.h"
+#include "util/random.h"
+
+namespace mocemg {
+namespace {
+
+// Two elongated (anisotropic) clusters that spherical FCM struggles
+// with: long axis 10x the short axis, separated along y.
+Matrix MakeEllipses(size_t per_blob, uint64_t seed) {
+  Rng rng(seed);
+  Matrix points(2 * per_blob, 2);
+  for (size_t b = 0; b < 2; ++b) {
+    const double cy = b == 0 ? 0.0 : 6.0;
+    for (size_t i = 0; i < per_blob; ++i) {
+      points(b * per_blob + i, 0) = rng.Gaussian(0.0, 5.0);   // long axis
+      points(b * per_blob + i, 1) = cy + rng.Gaussian(0.0, 0.5);
+    }
+  }
+  return points;
+}
+
+TEST(GkTest, Validations) {
+  GkOptions opts;
+  EXPECT_FALSE(FitGustafsonKessel(Matrix(), opts).ok());
+  opts.num_clusters = 0;
+  EXPECT_FALSE(FitGustafsonKessel(MakeEllipses(10, 1), opts).ok());
+  opts.num_clusters = 2;
+  opts.fuzziness = 1.0;
+  EXPECT_FALSE(FitGustafsonKessel(MakeEllipses(10, 1), opts).ok());
+  opts.fuzziness = 2.0;
+  opts.regularization = 2.0;
+  EXPECT_FALSE(FitGustafsonKessel(MakeEllipses(10, 1), opts).ok());
+}
+
+TEST(GkTest, MembershipRowsSumToOne) {
+  GkOptions opts;
+  opts.num_clusters = 2;
+  auto model = FitGustafsonKessel(MakeEllipses(40, 2), opts);
+  ASSERT_TRUE(model.ok()) << model.status();
+  for (size_t k = 0; k < model->memberships.rows(); ++k) {
+    double sum = 0.0;
+    for (size_t i = 0; i < 2; ++i) sum += model->memberships(k, i);
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST(GkTest, SeparatesElongatedClusters) {
+  Matrix points = MakeEllipses(60, 3);
+  GkOptions opts;
+  opts.num_clusters = 2;
+  opts.seed = 5;
+  auto model = FitGustafsonKessel(points, opts);
+  ASSERT_TRUE(model.ok());
+  // Count points whose winning cluster matches their generating blob
+  // (up to cluster relabeling).
+  size_t agree = 0;
+  for (size_t k = 0; k < points.rows(); ++k) {
+    const size_t truth = k < 60 ? 0 : 1;
+    const size_t won =
+        model->memberships(k, 0) > model->memberships(k, 1) ? 0 : 1;
+    if (won == truth) ++agree;
+  }
+  const size_t accuracy = std::max(agree, points.rows() - agree);
+  EXPECT_GT(accuracy, points.rows() * 9 / 10);
+}
+
+TEST(GkTest, NormMatricesReflectAnisotropy) {
+  Matrix points = MakeEllipses(80, 4);
+  GkOptions opts;
+  opts.num_clusters = 2;
+  auto model = FitGustafsonKessel(points, opts);
+  ASSERT_TRUE(model.ok());
+  // The x axis (σ = 5) is the cheap direction: A(0,0) << A(1,1).
+  for (size_t i = 0; i < 2; ++i) {
+    Matrix a = model->NormMatrix(i);
+    EXPECT_LT(a(0, 0) * 5.0, a(1, 1));
+  }
+}
+
+TEST(GkTest, DistanceUsesAdaptiveNorm) {
+  Matrix points = MakeEllipses(80, 5);
+  GkOptions opts;
+  opts.num_clusters = 2;
+  auto model = FitGustafsonKessel(points, opts);
+  ASSERT_TRUE(model.ok());
+  // Which cluster center has smaller y (the 0-ish one)?
+  const size_t low = model->centers(0, 1) < model->centers(1, 1) ? 0 : 1;
+  // A point far along the long axis of the low cluster must be GK-closer
+  // to it than a point the same Euclidean distance away along y.
+  const std::vector<double> along_x = {8.0, model->centers(low, 1)};
+  const std::vector<double> along_y = {model->centers(low, 0),
+                                       model->centers(low, 1) + 8.0};
+  auto dx = model->SquaredDistanceTo(low, along_x);
+  auto dy = model->SquaredDistanceTo(low, along_y);
+  ASSERT_TRUE(dx.ok());
+  ASSERT_TRUE(dy.ok());
+  EXPECT_LT(*dx, *dy);
+}
+
+TEST(GkTest, OutOfSampleMembershipCrispNearCenter) {
+  Matrix points = MakeEllipses(50, 6);
+  GkOptions opts;
+  opts.num_clusters = 2;
+  auto model = FitGustafsonKessel(points, opts);
+  ASSERT_TRUE(model.ok());
+  auto u = model->Membership(model->centers.Row(0));
+  ASSERT_TRUE(u.ok());
+  EXPECT_GT((*u)[0], 0.99);
+  EXPECT_FALSE(model->Membership({1.0}).ok());
+  EXPECT_FALSE(model->Membership(model->centers.Row(0), 1.0).ok());
+}
+
+TEST(GkTest, ObjectiveDecreases) {
+  GkOptions opts;
+  opts.num_clusters = 3;
+  auto model = FitGustafsonKessel(MakeEllipses(40, 7), opts);
+  ASSERT_TRUE(model.ok());
+  for (size_t i = 1; i < model->objective_history.size(); ++i) {
+    EXPECT_LE(model->objective_history[i],
+              model->objective_history[i - 1] * 1.02);
+  }
+}
+
+TEST(GkTest, DeterministicForSeed) {
+  Matrix points = MakeEllipses(30, 8);
+  GkOptions opts;
+  opts.num_clusters = 2;
+  opts.seed = 99;
+  auto a = FitGustafsonKessel(points, opts);
+  auto b = FitGustafsonKessel(points, opts);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE(a->centers.AllClose(b->centers, 0.0));
+}
+
+TEST(GkTest, BeatsSphericalFcmOnAnisotropicData) {
+  // The motivating property: on strongly elongated clusters GK's
+  // adaptive norm should match-or-beat spherical FCM's assignment
+  // accuracy.
+  Matrix points = MakeEllipses(60, 9);
+  auto truth_accuracy = [&](const Matrix& memberships) {
+    size_t agree = 0;
+    for (size_t k = 0; k < points.rows(); ++k) {
+      const size_t truth = k < 60 ? 0 : 1;
+      const size_t won = memberships(k, 0) > memberships(k, 1) ? 0 : 1;
+      if (won == truth) ++agree;
+    }
+    return std::max(agree, points.rows() - agree);
+  };
+  GkOptions gk;
+  gk.num_clusters = 2;
+  gk.seed = 3;
+  auto gk_model = FitGustafsonKessel(points, gk);
+  ASSERT_TRUE(gk_model.ok());
+  FcmOptions fcm;
+  fcm.num_clusters = 2;
+  fcm.seed = 3;
+  auto fcm_model = FitFcm(points, fcm);
+  ASSERT_TRUE(fcm_model.ok());
+  EXPECT_GE(truth_accuracy(gk_model->memberships) + 2,
+            truth_accuracy(fcm_model->memberships));
+}
+
+}  // namespace
+}  // namespace mocemg

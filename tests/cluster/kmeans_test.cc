@@ -1,0 +1,132 @@
+#include "cluster/kmeans.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/vector_ops.h"
+#include "util/random.h"
+
+namespace mocemg {
+namespace {
+
+Matrix MakeBlobs(size_t per_blob, uint64_t seed) {
+  Rng rng(seed);
+  const double centers[3][2] = {{0.0, 0.0}, {8.0, 0.0}, {0.0, 8.0}};
+  Matrix points(3 * per_blob, 2);
+  for (size_t b = 0; b < 3; ++b) {
+    for (size_t i = 0; i < per_blob; ++i) {
+      points(b * per_blob + i, 0) = centers[b][0] + rng.Gaussian(0, 0.4);
+      points(b * per_blob + i, 1) = centers[b][1] + rng.Gaussian(0, 0.4);
+    }
+  }
+  return points;
+}
+
+TEST(KmeansTest, Validations) {
+  Matrix pts = MakeBlobs(5, 1);
+  KmeansOptions opts;
+  opts.num_clusters = 0;
+  EXPECT_FALSE(FitKmeans(pts, opts).ok());
+  opts.num_clusters = 1000;
+  EXPECT_FALSE(FitKmeans(pts, opts).ok());
+  EXPECT_FALSE(FitKmeans(Matrix(), KmeansOptions{}).ok());
+}
+
+TEST(KmeansTest, FindsBlobCenters) {
+  Matrix pts = MakeBlobs(40, 2);
+  KmeansOptions opts;
+  opts.num_clusters = 3;
+  opts.restarts = 3;
+  auto model = FitKmeans(pts, opts);
+  ASSERT_TRUE(model.ok());
+  const double truth[3][2] = {{0, 0}, {8, 0}, {0, 8}};
+  for (const auto& t : truth) {
+    double best = 1e9;
+    for (size_t i = 0; i < 3; ++i) {
+      best = std::min(
+          best, EuclideanDistance({t[0], t[1]}, model->centers.Row(i)));
+    }
+    EXPECT_LT(best, 0.8);
+  }
+}
+
+TEST(KmeansTest, AssignmentsPointToNearestCenter) {
+  Matrix pts = MakeBlobs(20, 3);
+  KmeansOptions opts;
+  opts.num_clusters = 3;
+  auto model = FitKmeans(pts, opts);
+  ASSERT_TRUE(model.ok());
+  for (size_t k = 0; k < pts.rows(); ++k) {
+    const auto p = pts.Row(k);
+    double assigned =
+        SquaredDistance(p, model->centers.Row(model->assignments[k]));
+    for (size_t i = 0; i < 3; ++i) {
+      EXPECT_LE(assigned,
+                SquaredDistance(p, model->centers.Row(i)) + 1e-9);
+    }
+  }
+}
+
+TEST(KmeansTest, InertiaIsSumOfAssignedDistances) {
+  Matrix pts = MakeBlobs(15, 4);
+  KmeansOptions opts;
+  opts.num_clusters = 3;
+  auto model = FitKmeans(pts, opts);
+  ASSERT_TRUE(model.ok());
+  double sum = 0.0;
+  for (size_t k = 0; k < pts.rows(); ++k) {
+    sum += SquaredDistance(pts.Row(k),
+                           model->centers.Row(model->assignments[k]));
+  }
+  EXPECT_NEAR(model->inertia, sum, 1e-6);
+}
+
+TEST(KmeansTest, MoreRestartsNeverWorse) {
+  Matrix pts = MakeBlobs(30, 5);
+  KmeansOptions one;
+  one.num_clusters = 3;
+  one.restarts = 1;
+  one.seed = 9;
+  KmeansOptions many = one;
+  many.restarts = 8;
+  auto a = FitKmeans(pts, one);
+  auto b = FitKmeans(pts, many);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_LE(b->inertia, a->inertia + 1e-9);
+}
+
+TEST(KmeansTest, DeterministicForSeed) {
+  Matrix pts = MakeBlobs(20, 6);
+  KmeansOptions opts;
+  opts.num_clusters = 3;
+  opts.seed = 77;
+  auto a = FitKmeans(pts, opts);
+  auto b = FitKmeans(pts, opts);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE(a->centers.AllClose(b->centers, 0.0));
+  EXPECT_EQ(a->assignments, b->assignments);
+}
+
+TEST(KmeansTest, KEqualsNPutsCenterOnEachPoint) {
+  Matrix pts{{0.0, 0.0}, {5.0, 0.0}, {0.0, 5.0}};
+  KmeansOptions opts;
+  opts.num_clusters = 3;
+  opts.restarts = 5;
+  auto model = FitKmeans(pts, opts);
+  ASSERT_TRUE(model.ok());
+  EXPECT_NEAR(model->inertia, 0.0, 1e-12);
+}
+
+TEST(NearestCenterTest, PicksClosest) {
+  Matrix centers{{0.0, 0.0}, {10.0, 0.0}};
+  EXPECT_EQ(*NearestCenter(centers, {1.0, 0.0}), 0u);
+  EXPECT_EQ(*NearestCenter(centers, {9.0, 0.0}), 1u);
+  EXPECT_FALSE(NearestCenter(centers, {1.0}).ok());
+  EXPECT_FALSE(NearestCenter(Matrix(), {1.0}).ok());
+}
+
+}  // namespace
+}  // namespace mocemg

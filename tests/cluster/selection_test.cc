@@ -1,0 +1,100 @@
+#include "cluster/selection.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace mocemg {
+namespace {
+
+// k well-separated blobs in 2-D.
+Matrix MakeBlobs(size_t k, size_t per_blob, uint64_t seed) {
+  Rng rng(seed);
+  Matrix points(k * per_blob, 2);
+  for (size_t b = 0; b < k; ++b) {
+    const double cx = static_cast<double>(b % 3) * 12.0;
+    const double cy = static_cast<double>(b / 3) * 12.0;
+    for (size_t i = 0; i < per_blob; ++i) {
+      points(b * per_blob + i, 0) = cx + rng.Gaussian(0, 0.6);
+      points(b * per_blob + i, 1) = cy + rng.Gaussian(0, 0.6);
+    }
+  }
+  return points;
+}
+
+TEST(SelectionTest, Validations) {
+  SelectionOptions opts;
+  EXPECT_FALSE(SelectClusterCount(Matrix(), opts).ok());
+  opts.candidates = {};
+  EXPECT_FALSE(SelectClusterCount(MakeBlobs(3, 10, 1), opts).ok());
+  // All candidates infeasible (c > n).
+  opts.candidates = {100};
+  EXPECT_FALSE(SelectClusterCount(MakeBlobs(3, 5, 1), opts).ok());
+}
+
+TEST(SelectionTest, XieBeniRecoversTrueBlobCount) {
+  Matrix points = MakeBlobs(4, 40, 2);
+  SelectionOptions opts;
+  opts.candidates = {2, 3, 4, 5, 6, 8};
+  opts.fcm.seed = 7;
+  opts.fcm.restarts = 2;
+  auto result = SelectClusterCount(points, opts);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->recommended_clusters, 4u);
+}
+
+TEST(SelectionTest, ScoresReportedForAllFeasibleCandidates) {
+  Matrix points = MakeBlobs(3, 20, 3);
+  SelectionOptions opts;
+  opts.candidates = {2, 3, 5, 1000};
+  auto result = SelectClusterCount(points, opts);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->scores.size(), 3u);  // 1000 skipped
+  for (const auto& s : result->scores) {
+    EXPECT_GT(s.partition_coefficient, 0.0);
+    EXPECT_LE(s.partition_coefficient, 1.0);
+    EXPECT_GE(s.partition_entropy, 0.0);
+    EXPECT_GE(s.objective, 0.0);
+  }
+}
+
+TEST(SelectionTest, ObjectiveDecreasesWithMoreClusters) {
+  Matrix points = MakeBlobs(4, 30, 4);
+  SelectionOptions opts;
+  opts.candidates = {2, 4, 8, 16};
+  opts.fcm.restarts = 2;
+  auto result = SelectClusterCount(points, opts);
+  ASSERT_TRUE(result.ok());
+  for (size_t i = 1; i < result->scores.size(); ++i) {
+    EXPECT_LT(result->scores[i].objective,
+              result->scores[i - 1].objective * 1.05);
+  }
+}
+
+TEST(SelectionTest, AlternativeCriteria) {
+  Matrix points = MakeBlobs(3, 30, 5);
+  for (SelectionCriterion criterion :
+       {SelectionCriterion::kXieBeni,
+        SelectionCriterion::kPartitionCoefficient,
+        SelectionCriterion::kPartitionEntropy}) {
+    SelectionOptions opts;
+    opts.candidates = {2, 3, 4, 6};
+    opts.criterion = criterion;
+    opts.fcm.restarts = 2;
+    auto result = SelectClusterCount(points, opts);
+    ASSERT_TRUE(result.ok()) << SelectionCriterionName(criterion);
+    EXPECT_GE(result->recommended_clusters, 2u);
+    EXPECT_LE(result->recommended_clusters, 6u);
+  }
+}
+
+TEST(SelectionTest, CriterionNames) {
+  EXPECT_STREQ(SelectionCriterionName(SelectionCriterion::kXieBeni),
+               "xie_beni");
+  EXPECT_STREQ(
+      SelectionCriterionName(SelectionCriterion::kPartitionEntropy),
+      "partition_entropy");
+}
+
+}  // namespace
+}  // namespace mocemg

@@ -1,0 +1,91 @@
+#include "cluster/validity.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/random.h"
+
+namespace mocemg {
+namespace {
+
+Matrix MakeBlobs(size_t per_blob, double spread, uint64_t seed) {
+  Rng rng(seed);
+  const double centers[2][2] = {{0.0, 0.0}, {10.0, 0.0}};
+  Matrix points(2 * per_blob, 2);
+  for (size_t b = 0; b < 2; ++b) {
+    for (size_t i = 0; i < per_blob; ++i) {
+      points(b * per_blob + i, 0) =
+          centers[b][0] + rng.Gaussian(0, spread);
+      points(b * per_blob + i, 1) =
+          centers[b][1] + rng.Gaussian(0, spread);
+    }
+  }
+  return points;
+}
+
+FcmModel Fit(const Matrix& pts, size_t c) {
+  FcmOptions opts;
+  opts.num_clusters = c;
+  opts.restarts = 2;
+  return *FitFcm(pts, opts);
+}
+
+TEST(ValidityTest, PartitionCoefficientBounds) {
+  Matrix pts = MakeBlobs(30, 0.5, 1);
+  FcmModel model = Fit(pts, 2);
+  auto pc = PartitionCoefficient(model);
+  ASSERT_TRUE(pc.ok());
+  EXPECT_GT(*pc, 0.5);  // > 1/c
+  EXPECT_LE(*pc, 1.0);
+}
+
+TEST(ValidityTest, CrisperDataHasHigherPc) {
+  FcmModel tight = Fit(MakeBlobs(30, 0.3, 2), 2);
+  FcmModel loose = Fit(MakeBlobs(30, 3.0, 2), 2);
+  EXPECT_GT(*PartitionCoefficient(tight), *PartitionCoefficient(loose));
+}
+
+TEST(ValidityTest, PartitionEntropyBounds) {
+  Matrix pts = MakeBlobs(30, 0.5, 3);
+  FcmModel model = Fit(pts, 2);
+  auto pe = PartitionEntropy(model);
+  ASSERT_TRUE(pe.ok());
+  EXPECT_GE(*pe, 0.0);
+  EXPECT_LT(*pe, std::log(2.0));
+}
+
+TEST(ValidityTest, CrisperDataHasLowerEntropy) {
+  FcmModel tight = Fit(MakeBlobs(30, 0.3, 4), 2);
+  FcmModel loose = Fit(MakeBlobs(30, 3.0, 4), 2);
+  EXPECT_LT(*PartitionEntropy(tight), *PartitionEntropy(loose));
+}
+
+TEST(ValidityTest, XieBeniLowerForWellSeparatedData) {
+  Matrix tight_pts = MakeBlobs(30, 0.3, 5);
+  Matrix loose_pts = MakeBlobs(30, 3.0, 5);
+  FcmModel tight = Fit(tight_pts, 2);
+  FcmModel loose = Fit(loose_pts, 2);
+  auto xb_tight = XieBeniIndex(tight, tight_pts);
+  auto xb_loose = XieBeniIndex(loose, loose_pts);
+  ASSERT_TRUE(xb_tight.ok());
+  ASSERT_TRUE(xb_loose.ok());
+  EXPECT_LT(*xb_tight, *xb_loose);
+}
+
+TEST(ValidityTest, XieBeniValidations) {
+  Matrix pts = MakeBlobs(10, 0.5, 6);
+  FcmModel model = Fit(pts, 2);
+  EXPECT_FALSE(XieBeniIndex(model, Matrix()).ok());
+  FcmModel single = Fit(pts, 1);
+  EXPECT_FALSE(XieBeniIndex(single, pts).ok());
+}
+
+TEST(ValidityTest, EmptyModelFails) {
+  FcmModel empty;
+  EXPECT_FALSE(PartitionCoefficient(empty).ok());
+  EXPECT_FALSE(PartitionEntropy(empty).ok());
+}
+
+}  // namespace
+}  // namespace mocemg

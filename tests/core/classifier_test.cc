@@ -1,0 +1,164 @@
+#include "core/classifier.h"
+
+#include <gtest/gtest.h>
+
+#include "eval/protocols.h"
+#include "synth/dataset.h"
+
+namespace mocemg {
+namespace {
+
+// Shared fixture data: a small hand dataset (6 classes × 3 trials),
+// generated once — dataset synthesis dominates the test's runtime.
+class ClassifierTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    DatasetOptions opts;
+    opts.limb = Limb::kRightHand;
+    opts.trials_per_class = 3;
+    opts.seed = 2024;
+    motions_ = new std::vector<LabeledMotion>(
+        ToLabeledMotions(*GenerateDataset(opts)));
+  }
+  static void TearDownTestSuite() {
+    delete motions_;
+    motions_ = nullptr;
+  }
+
+  static ClassifierOptions DefaultOptions() {
+    ClassifierOptions opts;
+    opts.fcm.num_clusters = 8;
+    opts.fcm.seed = 5;
+    opts.features.window_ms = 100.0;
+    return opts;
+  }
+
+  static std::vector<LabeledMotion>* motions_;
+};
+
+std::vector<LabeledMotion>* ClassifierTest::motions_ = nullptr;
+
+TEST_F(ClassifierTest, TrainRejectsEmpty) {
+  EXPECT_FALSE(MotionClassifier::Train({}, DefaultOptions()).ok());
+}
+
+TEST_F(ClassifierTest, TrainProducesFinalFeatures) {
+  auto clf = MotionClassifier::Train(*motions_, DefaultOptions());
+  ASSERT_TRUE(clf.ok()) << clf.status();
+  EXPECT_EQ(clf->num_motions(), motions_->size());
+  // 2c-length final features (Eq. 5–8).
+  EXPECT_EQ(clf->final_features().cols(), 16u);
+  EXPECT_EQ(clf->codebook().num_clusters(), 8u);
+  // All features in [0, 1] with min ≤ max per cluster.
+  for (size_t i = 0; i < clf->final_features().rows(); ++i) {
+    for (size_t c = 0; c < 8; ++c) {
+      const double lo = clf->final_features()(i, 2 * c);
+      const double hi = clf->final_features()(i, 2 * c + 1);
+      EXPECT_GE(lo, 0.0);
+      EXPECT_LE(hi, 1.0);
+      EXPECT_LE(lo, hi);
+    }
+  }
+}
+
+TEST_F(ClassifierTest, FeaturizeMatchesTrainingRepresentation) {
+  auto clf = MotionClassifier::Train(*motions_, DefaultOptions());
+  ASSERT_TRUE(clf.ok());
+  // Featurizing a training motion must land exactly on its stored final
+  // feature (same pipeline, same codebook).
+  const LabeledMotion& m = (*motions_)[0];
+  auto f = clf->Featurize(m.mocap, m.emg);
+  ASSERT_TRUE(f.ok()) << f.status();
+  const auto stored = clf->final_features().Row(0);
+  ASSERT_EQ(f->size(), stored.size());
+  for (size_t i = 0; i < stored.size(); ++i) {
+    EXPECT_NEAR((*f)[i], stored[i], 1e-9);
+  }
+}
+
+TEST_F(ClassifierTest, TrainingMotionsClassifyToOwnLabels) {
+  auto clf = MotionClassifier::Train(*motions_, DefaultOptions());
+  ASSERT_TRUE(clf.ok());
+  size_t correct = 0;
+  for (const auto& m : *motions_) {
+    auto label = clf->Classify(m.mocap, m.emg);
+    ASSERT_TRUE(label.ok());
+    if (*label == m.label) ++correct;
+  }
+  // Resubstitution accuracy must be essentially perfect.
+  EXPECT_GE(correct, motions_->size() - 1);
+}
+
+TEST_F(ClassifierTest, NearestNeighborsOrderedAndBounded) {
+  auto clf = MotionClassifier::Train(*motions_, DefaultOptions());
+  ASSERT_TRUE(clf.ok());
+  const LabeledMotion& m = (*motions_)[4];
+  auto f = clf->Featurize(m.mocap, m.emg);
+  ASSERT_TRUE(f.ok());
+  auto nn = clf->NearestNeighbors(*f, 5);
+  ASSERT_TRUE(nn.ok());
+  ASSERT_EQ(nn->size(), 5u);
+  for (size_t i = 1; i < nn->size(); ++i) {
+    EXPECT_LE((*nn)[i - 1].distance, (*nn)[i].distance);
+  }
+  // Self is the closest match.
+  EXPECT_EQ((*nn)[0].index, 4u);
+  // k larger than the database clamps.
+  auto all = clf->NearestNeighbors(*f, 1000);
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->size(), motions_->size());
+  EXPECT_FALSE(clf->NearestNeighbors(*f, 0).ok());
+  EXPECT_FALSE(clf->NearestNeighbors({1.0, 2.0}, 3).ok());
+}
+
+TEST_F(ClassifierTest, UntrainedClassifierFails) {
+  MotionClassifier clf;
+  const LabeledMotion& m = (*motions_)[0];
+  EXPECT_FALSE(clf.Featurize(m.mocap, m.emg).ok());
+  EXPECT_FALSE(clf.NearestNeighbors({1.0}, 1).ok());
+}
+
+TEST_F(ClassifierTest, HardClusterAblationHasCFeatures) {
+  ClassifierOptions opts = DefaultOptions();
+  opts.cluster_method = ClusterMethod::kKmeansHard;
+  auto clf = MotionClassifier::Train(*motions_, opts);
+  ASSERT_TRUE(clf.ok()) << clf.status();
+  EXPECT_EQ(clf->final_features().cols(), 8u);
+  const LabeledMotion& m = (*motions_)[0];
+  auto f = clf->Featurize(m.mocap, m.emg);
+  ASSERT_TRUE(f.ok());
+  double sum = 0.0;
+  for (double v : *f) sum += v;
+  EXPECT_NEAR(sum, 1.0, 1e-9);  // vote fractions
+}
+
+TEST_F(ClassifierTest, NormalizationOffStillTrains) {
+  ClassifierOptions opts = DefaultOptions();
+  opts.normalize_features = false;
+  auto clf = MotionClassifier::Train(*motions_, opts);
+  ASSERT_TRUE(clf.ok()) << clf.status();
+  EXPECT_EQ(clf->num_motions(), motions_->size());
+}
+
+TEST_F(ClassifierTest, EmgOnlyAndMocapOnlyPipelines) {
+  for (bool use_emg : {true, false}) {
+    ClassifierOptions opts = DefaultOptions();
+    opts.features.use_emg = use_emg;
+    opts.features.use_mocap = !use_emg;
+    auto clf = MotionClassifier::Train(*motions_, opts);
+    ASSERT_TRUE(clf.ok()) << clf.status();
+    const LabeledMotion& m = (*motions_)[0];
+    EXPECT_TRUE(clf->Classify(m.mocap, m.emg).ok());
+  }
+}
+
+TEST_F(ClassifierTest, DeterministicAcrossRuns) {
+  auto a = MotionClassifier::Train(*motions_, DefaultOptions());
+  auto b = MotionClassifier::Train(*motions_, DefaultOptions());
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE(a->final_features().AllClose(b->final_features(), 0.0));
+}
+
+}  // namespace
+}  // namespace mocemg

@@ -1,0 +1,182 @@
+#include "core/codebook.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/random.h"
+
+namespace mocemg {
+namespace {
+
+Matrix MakeBlobs(size_t per_blob, uint64_t seed) {
+  Rng rng(seed);
+  const double centers[3][2] = {{0.0, 0.0}, {10.0, 0.0}, {0.0, 10.0}};
+  Matrix points(3 * per_blob, 2);
+  for (size_t b = 0; b < 3; ++b) {
+    for (size_t i = 0; i < per_blob; ++i) {
+      points(b * per_blob + i, 0) = centers[b][0] + rng.Gaussian(0, 0.5);
+      points(b * per_blob + i, 1) = centers[b][1] + rng.Gaussian(0, 0.5);
+    }
+  }
+  return points;
+}
+
+FcmCodebook TrainBook(size_t c, uint64_t seed = 3) {
+  FcmOptions opts;
+  opts.num_clusters = c;
+  opts.seed = seed;
+  return *FcmCodebook::Train(MakeBlobs(30, seed), opts);
+}
+
+TEST(FcmCodebookTest, TrainProducesCenters) {
+  FcmCodebook book = TrainBook(3);
+  EXPECT_EQ(book.num_clusters(), 3u);
+  EXPECT_EQ(book.dimension(), 2u);
+  EXPECT_DOUBLE_EQ(book.fuzziness(), 2.0);
+}
+
+TEST(FcmCodebookTest, FromCentersValidations) {
+  EXPECT_FALSE(FcmCodebook::FromCenters(Matrix(), 2.0).ok());
+  EXPECT_FALSE(FcmCodebook::FromCenters(Matrix(2, 2, 1.0), 1.0).ok());
+  EXPECT_TRUE(FcmCodebook::FromCenters(Matrix(2, 2, 1.0), 2.0).ok());
+}
+
+TEST(FcmCodebookTest, MembershipSumsToOne) {
+  FcmCodebook book = TrainBook(3);
+  auto u = book.Membership({1.0, 1.0});
+  ASSERT_TRUE(u.ok());
+  double sum = 0.0;
+  for (double v : *u) sum += v;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(FcmCodebookTest, MembershipMatrixShape) {
+  FcmCodebook book = TrainBook(3);
+  Matrix pts = MakeBlobs(5, 99);
+  auto u = book.MembershipMatrix(pts);
+  ASSERT_TRUE(u.ok());
+  EXPECT_EQ(u->rows(), pts.rows());
+  EXPECT_EQ(u->cols(), 3u);
+  EXPECT_FALSE(book.MembershipMatrix(Matrix(2, 5)).ok());
+}
+
+TEST(FinalMotionFeatureTest, LengthIsTwiceClusters) {
+  // Figure 4: feature layout [min_i, max_i] per cluster.
+  Matrix memberships(4, 3);
+  memberships.SetRow(0, {0.7, 0.2, 0.1});
+  memberships.SetRow(1, {0.5, 0.3, 0.2});
+  memberships.SetRow(2, {0.1, 0.8, 0.1});
+  memberships.SetRow(3, {0.2, 0.1, 0.7});
+  auto f = FinalMotionFeature(memberships);
+  ASSERT_TRUE(f.ok());
+  ASSERT_EQ(f->size(), 6u);
+  // Cluster 0 won windows 0 (0.7) and 1 (0.5): min 0.5, max 0.7.
+  EXPECT_DOUBLE_EQ((*f)[0], 0.5);
+  EXPECT_DOUBLE_EQ((*f)[1], 0.7);
+  // Cluster 1 won window 2 only: min = max = 0.8.
+  EXPECT_DOUBLE_EQ((*f)[2], 0.8);
+  EXPECT_DOUBLE_EQ((*f)[3], 0.8);
+  // Cluster 2 won window 3 only.
+  EXPECT_DOUBLE_EQ((*f)[4], 0.7);
+  EXPECT_DOUBLE_EQ((*f)[5], 0.7);
+}
+
+TEST(FinalMotionFeatureTest, UnvisitedClustersAreZero) {
+  Matrix memberships(2, 4);
+  memberships.SetRow(0, {0.9, 0.05, 0.03, 0.02});
+  memberships.SetRow(1, {0.8, 0.1, 0.05, 0.05});
+  auto f = FinalMotionFeature(memberships);
+  ASSERT_TRUE(f.ok());
+  // Clusters 1-3 won nothing → (0, 0), as in Figure 4's flat segments.
+  for (size_t i = 2; i < 8; ++i) EXPECT_DOUBLE_EQ((*f)[i], 0.0);
+}
+
+TEST(FinalMotionFeatureTest, MinNeverExceedsMax) {
+  Rng rng(5);
+  for (int trial = 0; trial < 20; ++trial) {
+    Matrix memberships(10, 5);
+    for (size_t w = 0; w < 10; ++w) {
+      double sum = 0.0;
+      std::vector<double> row(5);
+      for (auto& v : row) {
+        v = rng.NextDouble() + 1e-6;
+        sum += v;
+      }
+      for (auto& v : row) v /= sum;
+      memberships.SetRow(w, row);
+    }
+    auto f = FinalMotionFeature(memberships);
+    ASSERT_TRUE(f.ok());
+    for (size_t c = 0; c < 5; ++c) {
+      EXPECT_LE((*f)[2 * c], (*f)[2 * c + 1]);
+      EXPECT_GE((*f)[2 * c], 0.0);
+      EXPECT_LE((*f)[2 * c + 1], 1.0);
+    }
+  }
+}
+
+TEST(FinalMotionFeatureTest, EmptyInputFails) {
+  EXPECT_FALSE(FinalMotionFeature(Matrix()).ok());
+}
+
+TEST(FinalMotionFeatureTest, SingleWindowMotion) {
+  Matrix memberships(1, 2);
+  memberships.SetRow(0, {0.6, 0.4});
+  auto f = FinalMotionFeature(memberships);
+  ASSERT_TRUE(f.ok());
+  EXPECT_DOUBLE_EQ((*f)[0], 0.6);
+  EXPECT_DOUBLE_EQ((*f)[1], 0.6);
+  EXPECT_DOUBLE_EQ((*f)[2], 0.0);
+  EXPECT_DOUBLE_EQ((*f)[3], 0.0);
+}
+
+TEST(HardAssignmentFeatureTest, VotesSumToOne) {
+  Matrix centers{{0.0, 0.0}, {10.0, 0.0}};
+  Matrix pts(4, 2);
+  pts.SetRow(0, {0.1, 0.0});
+  pts.SetRow(1, {0.2, 0.1});
+  pts.SetRow(2, {9.9, 0.0});
+  pts.SetRow(3, {-0.1, 0.0});
+  auto f = HardAssignmentFeature(centers, pts);
+  ASSERT_TRUE(f.ok());
+  EXPECT_DOUBLE_EQ((*f)[0], 0.75);
+  EXPECT_DOUBLE_EQ((*f)[1], 0.25);
+  EXPECT_FALSE(HardAssignmentFeature(centers, Matrix()).ok());
+}
+
+TEST(FcmCodebookTest, SimilarMotionsHaveSimilarFinalFeatures) {
+  // The separability property the paper relies on: two motions whose
+  // windows sample the same clusters end with nearby final vectors.
+  FcmCodebook book = TrainBook(3, 8);
+  Rng rng(8);
+  auto windows_near = [&](double cx, double cy, uint64_t seed) {
+    Rng local(seed);
+    Matrix w(6, 2);
+    for (size_t i = 0; i < 6; ++i) {
+      w(i, 0) = cx + local.Gaussian(0, 0.3);
+      w(i, 1) = cy + local.Gaussian(0, 0.3);
+    }
+    return w;
+  };
+  (void)rng;
+  auto fa = FinalMotionFeature(
+      *book.MembershipMatrix(windows_near(0.0, 0.0, 1)));
+  auto fb = FinalMotionFeature(
+      *book.MembershipMatrix(windows_near(0.0, 0.0, 2)));
+  auto fc = FinalMotionFeature(
+      *book.MembershipMatrix(windows_near(10.0, 0.0, 3)));
+  ASSERT_TRUE(fa.ok());
+  ASSERT_TRUE(fb.ok());
+  ASSERT_TRUE(fc.ok());
+  double same = 0.0;
+  double diff = 0.0;
+  for (size_t i = 0; i < fa->size(); ++i) {
+    same += ((*fa)[i] - (*fb)[i]) * ((*fa)[i] - (*fb)[i]);
+    diff += ((*fa)[i] - (*fc)[i]) * ((*fa)[i] - (*fc)[i]);
+  }
+  EXPECT_LT(same, diff);
+}
+
+}  // namespace
+}  // namespace mocemg

@@ -1,0 +1,130 @@
+#include "core/mocap_features.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/vector_ops.h"
+#include "util/random.h"
+
+namespace mocemg {
+namespace {
+
+Matrix LineWindow(size_t frames, double dx, double dy, double dz) {
+  Matrix w(frames, 3);
+  for (size_t f = 0; f < frames; ++f) {
+    w(f, 0) = dx * static_cast<double>(f);
+    w(f, 1) = dy * static_cast<double>(f);
+    w(f, 2) = dz * static_cast<double>(f);
+  }
+  return w;
+}
+
+TEST(WeightedSvdFeatureTest, Validations) {
+  EXPECT_FALSE(WeightedSvdFeature(Matrix(5, 2)).ok());
+  EXPECT_FALSE(WeightedSvdFeature(Matrix(0, 3)).ok());
+}
+
+TEST(WeightedSvdFeatureTest, StationaryOriginIsZero) {
+  auto f = WeightedSvdFeature(Matrix(12, 3));
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ(*f, std::vector<double>(3, 0.0));
+}
+
+TEST(WeightedSvdFeatureTest, PureLineMotionPointsAlongLine) {
+  // Rank-1 window: σ2 = σ3 = 0, so the feature is exactly v1, the motion
+  // direction (up to the sign convention).
+  auto f = WeightedSvdFeature(LineWindow(12, 3.0, 0.0, 0.0));
+  ASSERT_TRUE(f.ok());
+  EXPECT_NEAR(std::fabs((*f)[0]), 1.0, 1e-9);
+  EXPECT_NEAR((*f)[1], 0.0, 1e-9);
+  EXPECT_NEAR((*f)[2], 0.0, 1e-9);
+}
+
+TEST(WeightedSvdFeatureTest, WeightsSumToOneBoundsNorm) {
+  // ‖f‖ = ‖Σ ŵ_i v_i‖ ≤ Σ ŵ_i = 1 for orthonormal v_i.
+  Rng rng(1);
+  for (int trial = 0; trial < 20; ++trial) {
+    Matrix w(10, 3);
+    for (size_t r = 0; r < 10; ++r) {
+      for (size_t c = 0; c < 3; ++c) w(r, c) = rng.Gaussian(0, 100.0);
+    }
+    auto f = WeightedSvdFeature(w);
+    ASSERT_TRUE(f.ok());
+    EXPECT_LE(Norm2(*f), 1.0 + 1e-9);
+  }
+}
+
+TEST(WeightedSvdFeatureTest, ScaleInvariantDirectionSensitive) {
+  // Doubling the amplitude leaves singular-value *ratios* and singular
+  // vectors unchanged → identical feature (geometric similarity, not
+  // magnitude).
+  Matrix base = LineWindow(12, 1.0, 2.0, 0.5);
+  Matrix scaled = base;
+  scaled.Scale(2.0);
+  auto fa = WeightedSvdFeature(base);
+  auto fb = WeightedSvdFeature(scaled);
+  ASSERT_TRUE(fa.ok());
+  ASSERT_TRUE(fb.ok());
+  for (size_t i = 0; i < 3; ++i) EXPECT_NEAR((*fa)[i], (*fb)[i], 1e-9);
+  // A differently directed motion gives a different feature.
+  auto fc = WeightedSvdFeature(LineWindow(12, 0.0, 0.0, 1.0));
+  ASSERT_TRUE(fc.ok());
+  EXPECT_GT(EuclideanDistance(*fa, *fc), 0.1);
+}
+
+TEST(WeightedSvdFeatureTest, SimilarWindowsGiveCloseFeatures) {
+  Rng rng(2);
+  Matrix a = LineWindow(12, 2.0, 1.0, 0.0);
+  Matrix b = a;
+  for (size_t r = 0; r < b.rows(); ++r) {
+    for (size_t c = 0; c < 3; ++c) b(r, c) += rng.Gaussian(0.0, 0.05);
+  }
+  auto fa = WeightedSvdFeature(a);
+  auto fb = WeightedSvdFeature(b);
+  ASSERT_TRUE(fa.ok());
+  ASSERT_TRUE(fb.ok());
+  EXPECT_LT(EuclideanDistance(*fa, *fb), 0.15);
+}
+
+TEST(ExtractMocapFeatureTest, MeanPositionBaseline) {
+  Matrix w(4, 3);
+  for (size_t f = 0; f < 4; ++f) w(f, 0) = 1000.0;
+  auto feat =
+      ExtractMocapFeature(MocapFeatureKind::kMeanPosition, w);
+  ASSERT_TRUE(feat.ok());
+  EXPECT_NEAR((*feat)[0], 1.0, 1e-12);  // mm → O(1) scaling
+  EXPECT_NEAR((*feat)[1], 0.0, 1e-12);
+}
+
+TEST(ExtractMocapFeatureTest, DisplacementBaseline) {
+  auto feat = ExtractMocapFeature(MocapFeatureKind::kDisplacement,
+                                  LineWindow(11, 100.0, 0.0, -50.0));
+  ASSERT_TRUE(feat.ok());
+  EXPECT_NEAR((*feat)[0], 1.0, 1e-12);   // 10 frames × 100 mm / 1000
+  EXPECT_NEAR((*feat)[2], -0.5, 1e-12);
+}
+
+TEST(ExtractMocapFeatureTest, AllKindsReturnLengthThree) {
+  Matrix w = LineWindow(8, 1.0, 1.0, 1.0);
+  for (MocapFeatureKind kind :
+       {MocapFeatureKind::kWeightedSvd, MocapFeatureKind::kMeanPosition,
+        MocapFeatureKind::kDisplacement}) {
+    auto f = ExtractMocapFeature(kind, w);
+    ASSERT_TRUE(f.ok()) << MocapFeatureKindName(kind);
+    EXPECT_EQ(f->size(), 3u);
+  }
+}
+
+TEST(ExtractMocapFeatureTest, SingleFrameWindow) {
+  Matrix w(1, 3);
+  w(0, 0) = 5.0;
+  for (MocapFeatureKind kind :
+       {MocapFeatureKind::kWeightedSvd, MocapFeatureKind::kMeanPosition,
+        MocapFeatureKind::kDisplacement}) {
+    EXPECT_TRUE(ExtractMocapFeature(kind, w).ok());
+  }
+}
+
+}  // namespace
+}  // namespace mocemg

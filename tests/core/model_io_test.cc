@@ -1,0 +1,143 @@
+#include "core/model_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "eval/protocols.h"
+#include "synth/dataset.h"
+
+namespace mocemg {
+namespace {
+
+class ModelIoTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    DatasetOptions opts;
+    opts.limb = Limb::kRightHand;
+    opts.trials_per_class = 3;
+    opts.seed = 4242;
+    motions_ = new std::vector<LabeledMotion>(
+        ToLabeledMotions(*GenerateDataset(opts)));
+    ClassifierOptions copts;
+    copts.fcm.num_clusters = 8;
+    copts.fcm.seed = 17;
+    trained_ = new MotionClassifier(
+        *MotionClassifier::Train(*motions_, copts));
+  }
+  static void TearDownTestSuite() {
+    delete motions_;
+    delete trained_;
+    motions_ = nullptr;
+    trained_ = nullptr;
+  }
+  static std::vector<LabeledMotion>* motions_;
+  static MotionClassifier* trained_;
+};
+
+std::vector<LabeledMotion>* ModelIoTest::motions_ = nullptr;
+MotionClassifier* ModelIoTest::trained_ = nullptr;
+
+TEST_F(ModelIoTest, SerializeRejectsUntrained) {
+  MotionClassifier empty;
+  EXPECT_FALSE(SerializeClassifier(empty).ok());
+}
+
+TEST_F(ModelIoTest, RoundTripPreservesModelShape) {
+  auto text = SerializeClassifier(*trained_);
+  ASSERT_TRUE(text.ok()) << text.status();
+  auto loaded = DeserializeClassifier(*text);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->num_motions(), trained_->num_motions());
+  EXPECT_EQ(loaded->codebook().num_clusters(),
+            trained_->codebook().num_clusters());
+  EXPECT_EQ(loaded->codebook().dimension(),
+            trained_->codebook().dimension());
+  EXPECT_EQ(loaded->labels(), trained_->labels());
+  EXPECT_EQ(loaded->label_names(), trained_->label_names());
+  EXPECT_TRUE(loaded->final_features().AllClose(
+      trained_->final_features(), 1e-10));
+}
+
+TEST_F(ModelIoTest, LoadedModelFeaturizesIdentically) {
+  auto text = SerializeClassifier(*trained_);
+  ASSERT_TRUE(text.ok());
+  auto loaded = DeserializeClassifier(*text);
+  ASSERT_TRUE(loaded.ok());
+  for (size_t i = 0; i < motions_->size(); i += 5) {
+    const LabeledMotion& m = (*motions_)[i];
+    auto a = trained_->Featurize(m.mocap, m.emg);
+    auto b = loaded->Featurize(m.mocap, m.emg);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok()) << b.status();
+    ASSERT_EQ(a->size(), b->size());
+    for (size_t j = 0; j < a->size(); ++j) {
+      EXPECT_NEAR((*a)[j], (*b)[j], 1e-9);
+    }
+    auto la = trained_->Classify(m.mocap, m.emg);
+    auto lb = loaded->Classify(m.mocap, m.emg);
+    ASSERT_TRUE(la.ok());
+    ASSERT_TRUE(lb.ok());
+    EXPECT_EQ(*la, *lb);
+  }
+}
+
+TEST_F(ModelIoTest, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/model_io_test.model";
+  ASSERT_TRUE(SaveClassifier(*trained_, path).ok());
+  auto loaded = LoadClassifier(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->num_motions(), trained_->num_motions());
+  std::remove(path.c_str());
+}
+
+TEST_F(ModelIoTest, RejectsBadMagic) {
+  EXPECT_FALSE(DeserializeClassifier("NOTAMODEL\n").ok());
+}
+
+TEST_F(ModelIoTest, RejectsTruncation) {
+  auto text = SerializeClassifier(*trained_);
+  ASSERT_TRUE(text.ok());
+  // Chop the model at 60 %: must fail cleanly, not crash.
+  auto truncated = text->substr(0, text->size() * 3 / 5);
+  auto loaded = DeserializeClassifier(truncated);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_TRUE(loaded.status().IsParseError());
+}
+
+TEST_F(ModelIoTest, RejectsCorruptedNumbers) {
+  auto text = SerializeClassifier(*trained_);
+  ASSERT_TRUE(text.ok());
+  std::string corrupted = *text;
+  const size_t pos = corrupted.find("center\t");
+  ASSERT_NE(pos, std::string::npos);
+  corrupted.replace(pos + 7, 3, "xyz");
+  EXPECT_FALSE(DeserializeClassifier(corrupted).ok());
+}
+
+TEST_F(ModelIoTest, RoundTripOfHardClusterModel) {
+  ClassifierOptions copts;
+  copts.fcm.num_clusters = 6;
+  copts.cluster_method = ClusterMethod::kKmeansHard;
+  auto clf = MotionClassifier::Train(*motions_, copts);
+  ASSERT_TRUE(clf.ok());
+  auto text = SerializeClassifier(*clf);
+  ASSERT_TRUE(text.ok());
+  auto loaded = DeserializeClassifier(*text);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  const LabeledMotion& m = (*motions_)[0];
+  auto a = clf->Featurize(m.mocap, m.emg);
+  auto b = loaded->Featurize(m.mocap, m.emg);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (size_t j = 0; j < a->size(); ++j) {
+    EXPECT_NEAR((*a)[j], (*b)[j], 1e-9);
+  }
+}
+
+TEST_F(ModelIoTest, MissingModelFileFails) {
+  EXPECT_FALSE(LoadClassifier("/no/such/model.file").ok());
+}
+
+}  // namespace
+}  // namespace mocemg

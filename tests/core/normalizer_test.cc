@@ -1,0 +1,130 @@
+#include "core/normalizer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/random.h"
+
+namespace mocemg {
+namespace {
+
+TEST(NormalizerTest, FitRejectsEmpty) {
+  EXPECT_FALSE(Normalizer::Fit(Matrix()).ok());
+}
+
+TEST(NormalizerTest, TransformedDataIsStandardized) {
+  Rng rng(1);
+  Matrix pts(500, 2);
+  for (size_t i = 0; i < 500; ++i) {
+    pts(i, 0) = rng.Gaussian(5.0, 3.0);
+    pts(i, 1) = rng.Gaussian(-2.0, 1e-5);  // volt-scale dimension
+  }
+  auto norm = Normalizer::Fit(pts);
+  ASSERT_TRUE(norm.ok());
+  auto out = norm->Transform(pts);
+  ASSERT_TRUE(out.ok());
+  for (size_t j = 0; j < 2; ++j) {
+    double mean = 0.0;
+    for (size_t i = 0; i < 500; ++i) mean += (*out)(i, j);
+    mean /= 500.0;
+    double var = 0.0;
+    for (size_t i = 0; i < 500; ++i) {
+      var += ((*out)(i, j) - mean) * ((*out)(i, j) - mean);
+    }
+    var /= 500.0;
+    EXPECT_NEAR(mean, 0.0, 1e-9);
+    EXPECT_NEAR(var, 1.0, 1e-9);
+  }
+}
+
+TEST(NormalizerTest, EqualizesMismatchedScales) {
+  // The exact failure mode the paper's pipeline silently hits: EMG
+  // dimensions at 1e-5 vs mocap at O(1). After z-scoring, both
+  // contribute comparably to Euclidean distances.
+  Rng rng(2);
+  Matrix pts(200, 2);
+  for (size_t i = 0; i < 200; ++i) {
+    pts(i, 0) = rng.Gaussian(0.0, 1e-5);
+    pts(i, 1) = rng.Gaussian(0.0, 1.0);
+  }
+  auto norm = Normalizer::Fit(pts);
+  ASSERT_TRUE(norm.ok());
+  auto out = norm->Transform(pts);
+  ASSERT_TRUE(out.ok());
+  double spread0 = 0.0;
+  double spread1 = 0.0;
+  for (size_t i = 0; i < 200; ++i) {
+    spread0 += (*out)(i, 0) * (*out)(i, 0);
+    spread1 += (*out)(i, 1) * (*out)(i, 1);
+  }
+  EXPECT_NEAR(spread0 / spread1, 1.0, 0.01);
+}
+
+TEST(NormalizerTest, ZeroVarianceDimensionPassesThrough) {
+  Matrix pts(10, 2);
+  for (size_t i = 0; i < 10; ++i) {
+    pts(i, 0) = 7.0;  // constant
+    pts(i, 1) = static_cast<double>(i);
+  }
+  auto norm = Normalizer::Fit(pts);
+  ASSERT_TRUE(norm.ok());
+  auto out = norm->Transform(pts);
+  ASSERT_TRUE(out.ok());
+  for (size_t i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ((*out)(i, 0), 0.0);  // centered, σ = 1 fallback
+    EXPECT_TRUE(std::isfinite((*out)(i, 1)));
+  }
+}
+
+TEST(NormalizerTest, IdentityIsNoop) {
+  Normalizer id = Normalizer::Identity(3);
+  std::vector<double> p{1.0, -2.0, 5.0};
+  std::vector<double> orig = p;
+  ASSERT_TRUE(id.TransformInPlace(&p).ok());
+  EXPECT_EQ(p, orig);
+}
+
+TEST(NormalizerTest, InverseRoundTrip) {
+  Rng rng(3);
+  Matrix pts(50, 3);
+  for (size_t i = 0; i < 50; ++i) {
+    for (size_t j = 0; j < 3; ++j) pts(i, j) = rng.Gaussian(2.0, 4.0);
+  }
+  auto norm = Normalizer::Fit(pts);
+  ASSERT_TRUE(norm.ok());
+  std::vector<double> p = pts.Row(7);
+  std::vector<double> orig = p;
+  ASSERT_TRUE(norm->TransformInPlace(&p).ok());
+  ASSERT_TRUE(norm->InverseInPlace(&p).ok());
+  for (size_t j = 0; j < 3; ++j) EXPECT_NEAR(p[j], orig[j], 1e-10);
+}
+
+TEST(NormalizerTest, DimensionMismatchRejected) {
+  auto norm = Normalizer::Fit(Matrix(5, 2, 1.0));
+  ASSERT_TRUE(norm.ok());
+  EXPECT_FALSE(norm->Transform(Matrix(5, 3)).ok());
+  std::vector<double> p{1.0};
+  EXPECT_FALSE(norm->TransformInPlace(&p).ok());
+  EXPECT_FALSE(norm->TransformInPlace(nullptr).ok());
+}
+
+TEST(NormalizerTest, QueryUsesTrainingStatistics) {
+  // Transforming a new point uses the *fitted* μ/σ, not the query's.
+  Matrix pts(4, 1);
+  pts(0, 0) = 0.0;
+  pts(1, 0) = 2.0;
+  pts(2, 0) = 4.0;
+  pts(3, 0) = 6.0;  // μ = 3, σ = √5
+  auto norm = Normalizer::Fit(pts);
+  ASSERT_TRUE(norm.ok());
+  std::vector<double> q{3.0};
+  ASSERT_TRUE(norm->TransformInPlace(&q).ok());
+  EXPECT_NEAR(q[0], 0.0, 1e-12);
+  q = {3.0 + std::sqrt(5.0)};
+  ASSERT_TRUE(norm->TransformInPlace(&q).ok());
+  EXPECT_NEAR(q[0], 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace mocemg

@@ -1,0 +1,197 @@
+#include "core/streaming.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "emg/acquisition.h"
+#include "eval/protocols.h"
+#include "synth/dataset.h"
+
+namespace mocemg {
+namespace {
+
+class StreamingTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    DatasetOptions opts;
+    opts.limb = Limb::kRightHand;
+    opts.trials_per_class = 4;
+    opts.seed = 909;
+    data_ = new std::vector<CapturedMotion>(*GenerateDataset(opts));
+    std::vector<LabeledMotion> train;
+    for (const auto& m : *data_) {
+      LabeledMotion lm;
+      lm.mocap = m.mocap;
+      lm.emg = m.emg_raw;
+      lm.label = m.class_id;
+      lm.label_name = m.class_name;
+      train.push_back(std::move(lm));
+    }
+    ClassifierOptions copts;
+    copts.fcm.num_clusters = 10;
+    copts.fcm.seed = 3;
+    model_ = new MotionClassifier(*MotionClassifier::Train(train, copts));
+  }
+  static void TearDownTestSuite() {
+    delete data_;
+    delete model_;
+    data_ = nullptr;
+    model_ = nullptr;
+  }
+
+  /// Streams one capture (conditioning its EMG first) into `streamer`.
+  static void StreamCapture(const CapturedMotion& m,
+                            StreamingClassifier* streamer) {
+    auto conditioned = ConditionRecording(m.emg_raw);
+    ASSERT_TRUE(conditioned.ok());
+    const size_t frames =
+        std::min(m.mocap.num_frames(), conditioned->num_samples());
+    std::vector<double> emg_frame(conditioned->num_channels());
+    for (size_t f = 0; f < frames; ++f) {
+      std::vector<double> marker_frame(3 * m.mocap.num_markers());
+      for (size_t k = 0; k < marker_frame.size(); ++k) {
+        marker_frame[k] = m.mocap.positions()(f, k);
+      }
+      for (size_t c = 0; c < emg_frame.size(); ++c) {
+        emg_frame[c] = conditioned->channel(c)[f];
+      }
+      ASSERT_TRUE(streamer->PushFrame(marker_frame, emg_frame).ok());
+    }
+  }
+
+  static StreamingClassifier MakeStreamer() {
+    StreamingOptions sopts;
+    return *StreamingClassifier::Create(model_, /*num_markers=*/5,
+                                        /*pelvis_index=*/0,
+                                        /*num_emg_channels=*/4, sopts);
+  }
+
+  static std::vector<CapturedMotion>* data_;
+  static MotionClassifier* model_;
+};
+
+std::vector<CapturedMotion>* StreamingTest::data_ = nullptr;
+MotionClassifier* StreamingTest::model_ = nullptr;
+
+TEST_F(StreamingTest, CreateValidations) {
+  StreamingOptions sopts;
+  EXPECT_FALSE(StreamingClassifier::Create(nullptr, 5, 0, 4, sopts).ok());
+  MotionClassifier untrained;
+  EXPECT_FALSE(
+      StreamingClassifier::Create(&untrained, 5, 0, 4, sopts).ok());
+  // Wrong layout → dimension mismatch with the trained normalizer.
+  EXPECT_FALSE(StreamingClassifier::Create(model_, 3, 0, 4, sopts).ok());
+  EXPECT_FALSE(StreamingClassifier::Create(model_, 5, 0, 2, sopts).ok());
+  EXPECT_FALSE(StreamingClassifier::Create(model_, 5, 9, 4, sopts).ok());
+  sopts.frame_rate_hz = 0.0;
+  EXPECT_FALSE(StreamingClassifier::Create(model_, 5, 0, 4, sopts).ok());
+}
+
+TEST_F(StreamingTest, PushFrameValidations) {
+  StreamingClassifier s = MakeStreamer();
+  EXPECT_FALSE(s.PushFrame({1.0}, std::vector<double>(4, 0.0)).ok());
+  EXPECT_FALSE(
+      s.PushFrame(std::vector<double>(15, 0.0), {1.0}).ok());
+  std::vector<double> bad(15, 0.0);
+  bad[3] = std::nan("");
+  EXPECT_FALSE(s.PushFrame(bad, std::vector<double>(4, 0.0)).ok());
+}
+
+TEST_F(StreamingTest, NoDecisionBeforeEnoughWindows) {
+  StreamingClassifier s = MakeStreamer();
+  EXPECT_FALSE(s.CurrentDecision().ok());
+  EXPECT_FALSE(s.CurrentFinalFeature().ok());
+}
+
+TEST_F(StreamingTest, WindowCountMatchesFrames) {
+  StreamingClassifier s = MakeStreamer();
+  // Model default: 100 ms windows, non-overlapping → 12 frames each.
+  std::vector<double> markers(15, 0.0);
+  markers[5] = 100.0;  // some non-degenerate geometry
+  std::vector<double> emg(4, 1e-5);
+  for (int f = 0; f < 50; ++f) {
+    ASSERT_TRUE(s.PushFrame(markers, emg).ok());
+  }
+  EXPECT_EQ(s.windows_completed(), 4u);  // 50 / 12
+  EXPECT_EQ(s.frames_pushed(), 50u);
+}
+
+TEST_F(StreamingTest, StreamedDecisionMatchesBatchOnFullMotion) {
+  size_t agree = 0;
+  size_t total = 0;
+  for (size_t i = 0; i < data_->size(); i += 3) {
+    const CapturedMotion& m = (*data_)[i];
+    auto batch = model_->Classify(m.mocap, m.emg_raw);
+    ASSERT_TRUE(batch.ok());
+    StreamingClassifier s = MakeStreamer();
+    StreamCapture(m, &s);
+    auto streamed = s.CurrentDecision();
+    ASSERT_TRUE(streamed.ok()) << streamed.status();
+    ++total;
+    if (*streamed == *batch) ++agree;
+  }
+  // Streaming skips the batch pipeline's right-aligned tail window, so
+  // occasional disagreement is possible; it must be rare.
+  EXPECT_GE(agree * 10, total * 8) << agree << "/" << total;
+}
+
+TEST_F(StreamingTest, FinalFeatureHasModelShape) {
+  StreamingClassifier s = MakeStreamer();
+  StreamCapture((*data_)[0], &s);
+  auto feature = s.CurrentFinalFeature();
+  ASSERT_TRUE(feature.ok());
+  EXPECT_EQ(feature->size(), 2 * model_->codebook().num_clusters());
+  for (size_t c = 0; c < model_->codebook().num_clusters(); ++c) {
+    EXPECT_LE((*feature)[2 * c], (*feature)[2 * c + 1]);
+    EXPECT_GE((*feature)[2 * c], 0.0);
+    EXPECT_LE((*feature)[2 * c + 1], 1.0);
+  }
+}
+
+TEST_F(StreamingTest, DecisionSharpensOverTime) {
+  // Matches should be available incrementally and the top-1 distance
+  // should not blow up as evidence accumulates.
+  const CapturedMotion& m = (*data_)[4];
+  auto conditioned = ConditionRecording(m.emg_raw);
+  ASSERT_TRUE(conditioned.ok());
+  StreamingClassifier s = MakeStreamer();
+  const size_t frames =
+      std::min(m.mocap.num_frames(), conditioned->num_samples());
+  std::vector<double> last_top1;
+  for (size_t f = 0; f < frames; ++f) {
+    std::vector<double> marker_frame(15);
+    for (size_t k = 0; k < 15; ++k) {
+      marker_frame[k] = m.mocap.positions()(f, k);
+    }
+    std::vector<double> emg_frame(4);
+    for (size_t c = 0; c < 4; ++c) {
+      emg_frame[c] = conditioned->channel(c)[f];
+    }
+    ASSERT_TRUE(s.PushFrame(marker_frame, emg_frame).ok());
+    if (s.windows_completed() >= 2 && f + 1 == frames / 2) {
+      auto mid = s.CurrentMatches(3);
+      ASSERT_TRUE(mid.ok());
+      EXPECT_EQ(mid->size(), 3u);
+    }
+  }
+  auto final_matches = s.CurrentMatches(1);
+  ASSERT_TRUE(final_matches.ok());
+  EXPECT_GE((*final_matches)[0].distance, 0.0);
+}
+
+TEST_F(StreamingTest, ResetClearsState) {
+  StreamingClassifier s = MakeStreamer();
+  StreamCapture((*data_)[0], &s);
+  EXPECT_GT(s.windows_completed(), 0u);
+  s.Reset();
+  EXPECT_EQ(s.windows_completed(), 0u);
+  EXPECT_EQ(s.frames_pushed(), 0u);
+  EXPECT_FALSE(s.CurrentFinalFeature().ok());
+  // Usable again after reset.
+  StreamCapture((*data_)[1], &s);
+  EXPECT_GT(s.windows_completed(), 0u);
+}
+
+}  // namespace
+}  // namespace mocemg

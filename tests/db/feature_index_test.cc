@@ -1,0 +1,121 @@
+#include "db/feature_index.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace mocemg {
+namespace {
+
+MotionDatabase MakeDb(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  MotionDatabase db;
+  for (size_t i = 0; i < n; ++i) {
+    MotionRecord r;
+    r.name = "m" + std::to_string(i);
+    r.label = i % 4;
+    r.label_name = "class" + std::to_string(r.label);
+    // Clustered structure so partition pruning has something to prune.
+    const double cx = static_cast<double>(i % 4) * 20.0;
+    r.feature = {cx + rng.Gaussian(0, 1.0), rng.Gaussian(0, 1.0),
+                 rng.Gaussian(0, 1.0)};
+    EXPECT_TRUE(db.Insert(std::move(r)).ok());
+  }
+  return db;
+}
+
+TEST(FeatureIndexTest, BuildValidations) {
+  EXPECT_FALSE(FeatureIndex::Build(nullptr).ok());
+  MotionDatabase empty;
+  EXPECT_FALSE(FeatureIndex::Build(&empty).ok());
+}
+
+TEST(FeatureIndexTest, ResultsMatchLinearScanExactly) {
+  MotionDatabase db = MakeDb(200, 7);
+  auto index = FeatureIndex::Build(&db);
+  ASSERT_TRUE(index.ok()) << index.status();
+  Rng rng(8);
+  for (int q = 0; q < 50; ++q) {
+    std::vector<double> query = {rng.Uniform(-5.0, 65.0),
+                                 rng.Gaussian(0, 2.0),
+                                 rng.Gaussian(0, 2.0)};
+    auto linear = db.NearestNeighbors(query, 5);
+    auto indexed = index->NearestNeighbors(query, 5);
+    ASSERT_TRUE(linear.ok());
+    ASSERT_TRUE(indexed.ok());
+    ASSERT_EQ(linear->size(), indexed->size());
+    for (size_t i = 0; i < linear->size(); ++i) {
+      EXPECT_EQ((*linear)[i].record_index, (*indexed)[i].record_index);
+      EXPECT_NEAR((*linear)[i].distance, (*indexed)[i].distance, 1e-12);
+    }
+  }
+}
+
+TEST(FeatureIndexTest, PruningActuallyHappens) {
+  MotionDatabase db = MakeDb(400, 9);
+  FeatureIndexOptions opts;
+  opts.num_partitions = 8;
+  auto index = FeatureIndex::Build(&db, opts);
+  ASSERT_TRUE(index.ok());
+  IndexQueryStats stats;
+  // A query deep inside one cluster prunes distant partitions.
+  auto hits = index->NearestNeighbors({0.0, 0.0, 0.0}, 3, &stats);
+  ASSERT_TRUE(hits.ok());
+  EXPECT_GT(stats.partitions_pruned, 0u);
+  EXPECT_LT(stats.distance_computations, db.size() + 8);
+}
+
+TEST(FeatureIndexTest, KLargerThanDatabase) {
+  MotionDatabase db = MakeDb(10, 10);
+  auto index = FeatureIndex::Build(&db);
+  ASSERT_TRUE(index.ok());
+  auto hits = index->NearestNeighbors({0.0, 0.0, 0.0}, 100);
+  ASSERT_TRUE(hits.ok());
+  EXPECT_EQ(hits->size(), 10u);
+}
+
+TEST(FeatureIndexTest, QueryValidations) {
+  MotionDatabase db = MakeDb(20, 11);
+  auto index = FeatureIndex::Build(&db);
+  ASSERT_TRUE(index.ok());
+  EXPECT_FALSE(index->NearestNeighbors({1.0}, 3).ok());
+  EXPECT_FALSE(index->NearestNeighbors({1.0, 2.0, 3.0}, 0).ok());
+  FeatureIndex unbuilt;
+  EXPECT_FALSE(unbuilt.NearestNeighbors({1.0}, 1).ok());
+}
+
+TEST(FeatureIndexTest, AutoPartitionCountIsSqrtN) {
+  MotionDatabase db = MakeDb(100, 12);
+  auto index = FeatureIndex::Build(&db);
+  ASSERT_TRUE(index.ok());
+  EXPECT_GE(index->num_partitions(), 5u);
+  EXPECT_LE(index->num_partitions(), 10u);
+}
+
+TEST(FeatureIndexTest, SingletonDatabase) {
+  MotionDatabase db = MakeDb(1, 13);
+  auto index = FeatureIndex::Build(&db);
+  ASSERT_TRUE(index.ok());
+  auto hits = index->NearestNeighbors(db.record(0).feature, 1);
+  ASSERT_TRUE(hits.ok());
+  ASSERT_EQ(hits->size(), 1u);
+  EXPECT_EQ((*hits)[0].record_index, 0u);
+}
+
+TEST(FeatureIndexTest, RebuildAfterInsert) {
+  MotionDatabase db = MakeDb(50, 14);
+  auto index = FeatureIndex::Build(&db);
+  ASSERT_TRUE(index.ok());
+  MotionRecord extra;
+  extra.name = "new";
+  extra.label = 0;
+  extra.feature = {100.0, 100.0, 100.0};
+  ASSERT_TRUE(db.Insert(extra).ok());
+  ASSERT_TRUE(index->Rebuild().ok());
+  auto hits = index->NearestNeighbors({100.0, 100.0, 100.0}, 1);
+  ASSERT_TRUE(hits.ok());
+  EXPECT_EQ(db.record((*hits)[0].record_index).name, "new");
+}
+
+}  // namespace
+}  // namespace mocemg

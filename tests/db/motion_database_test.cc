@@ -1,0 +1,109 @@
+#include "db/motion_database.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "util/csv.h"
+
+namespace mocemg {
+namespace {
+
+MotionRecord Rec(const std::string& name, size_t label,
+                 std::vector<double> f) {
+  MotionRecord r;
+  r.name = name;
+  r.label = label;
+  r.label_name = "class" + std::to_string(label);
+  r.feature = std::move(f);
+  return r;
+}
+
+MotionDatabase MakeDb() {
+  MotionDatabase db;
+  EXPECT_TRUE(db.Insert(Rec("a0", 0, {0.0, 0.0})).ok());
+  EXPECT_TRUE(db.Insert(Rec("a1", 0, {0.1, 0.1})).ok());
+  EXPECT_TRUE(db.Insert(Rec("b0", 1, {5.0, 5.0})).ok());
+  EXPECT_TRUE(db.Insert(Rec("b1", 1, {5.1, 4.9})).ok());
+  EXPECT_TRUE(db.Insert(Rec("c0", 2, {-5.0, 5.0})).ok());
+  return db;
+}
+
+TEST(MotionDatabaseTest, InsertValidations) {
+  MotionDatabase db;
+  EXPECT_FALSE(db.Insert(Rec("x", 0, {})).ok());
+  EXPECT_TRUE(db.Insert(Rec("x", 0, {1.0, 2.0})).ok());
+  EXPECT_FALSE(db.Insert(Rec("y", 0, {1.0})).ok());  // dim mismatch
+  EXPECT_EQ(db.size(), 1u);
+  EXPECT_EQ(db.feature_dimension(), 2u);
+}
+
+TEST(MotionDatabaseTest, NearestNeighborsExactOrder) {
+  MotionDatabase db = MakeDb();
+  auto hits = db.NearestNeighbors({0.06, 0.06}, 3);
+  ASSERT_TRUE(hits.ok());
+  ASSERT_EQ(hits->size(), 3u);
+  EXPECT_EQ(db.record((*hits)[0].record_index).name, "a1");
+  EXPECT_EQ(db.record((*hits)[1].record_index).name, "a0");
+  EXPECT_LE((*hits)[0].distance, (*hits)[1].distance);
+  EXPECT_LE((*hits)[1].distance, (*hits)[2].distance);
+}
+
+TEST(MotionDatabaseTest, KnnClampsToSize) {
+  MotionDatabase db = MakeDb();
+  auto hits = db.NearestNeighbors({0.0, 0.0}, 100);
+  ASSERT_TRUE(hits.ok());
+  EXPECT_EQ(hits->size(), 5u);
+}
+
+TEST(MotionDatabaseTest, QueryValidations) {
+  MotionDatabase db = MakeDb();
+  EXPECT_FALSE(db.NearestNeighbors({1.0}, 3).ok());
+  EXPECT_FALSE(db.NearestNeighbors({1.0, 2.0}, 0).ok());
+  MotionDatabase empty;
+  EXPECT_FALSE(empty.NearestNeighbors({1.0}, 1).ok());
+}
+
+TEST(MotionDatabaseTest, ClassifyByVoteMajority) {
+  MotionDatabase db = MakeDb();
+  // Near the class-0 pair: 2 of 3 votes are class 0.
+  auto label = db.ClassifyByVote({0.0, 0.5}, 3);
+  ASSERT_TRUE(label.ok());
+  EXPECT_EQ(*label, 0u);
+}
+
+TEST(MotionDatabaseTest, ClassifyByVoteK1IsNearestLabel) {
+  MotionDatabase db = MakeDb();
+  EXPECT_EQ(*db.ClassifyByVote({5.0, 5.0}, 1), 1u);
+  EXPECT_EQ(*db.ClassifyByVote({-4.0, 4.5}, 1), 2u);
+}
+
+TEST(MotionDatabaseTest, CsvRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/motion_db_test.csv";
+  MotionDatabase db = MakeDb();
+  ASSERT_TRUE(db.SaveCsv(path).ok());
+  auto loaded = MotionDatabase::LoadCsv(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  ASSERT_EQ(loaded->size(), db.size());
+  for (size_t i = 0; i < db.size(); ++i) {
+    EXPECT_EQ(loaded->record(i).name, db.record(i).name);
+    EXPECT_EQ(loaded->record(i).label, db.record(i).label);
+    ASSERT_EQ(loaded->record(i).feature.size(),
+              db.record(i).feature.size());
+    for (size_t j = 0; j < db.feature_dimension(); ++j) {
+      EXPECT_NEAR(loaded->record(i).feature[j], db.record(i).feature[j],
+                  1e-9);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(MotionDatabaseTest, LoadRejectsMalformed) {
+  const std::string path = ::testing::TempDir() + "/motion_db_bad.csv";
+  ASSERT_TRUE(WriteStringToFile(path, "name,label\nx,0\n").ok());
+  EXPECT_FALSE(MotionDatabase::LoadCsv(path).ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace mocemg

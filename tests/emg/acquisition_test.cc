@@ -1,0 +1,153 @@
+#include "emg/acquisition.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/random.h"
+
+namespace mocemg {
+namespace {
+
+EmgRecording MakeRawRecording(double fs = 1000.0, double seconds = 2.0) {
+  Rng rng(42);
+  const size_t n = static_cast<size_t>(fs * seconds);
+  std::vector<double> ch(n);
+  for (size_t i = 0; i < n; ++i) {
+    // Band-limited-ish content: 100 Hz tone + noise + DC offset.
+    ch[i] = 1e-5 * std::sin(2.0 * M_PI * 100.0 * i / fs) +
+            2e-6 * rng.NextGaussian() + 5e-6;
+  }
+  return *EmgRecording::Create({Muscle::kBiceps}, {std::move(ch)}, fs);
+}
+
+TEST(AcquisitionTest, OutputRateMatchesOption) {
+  auto out = ConditionRecording(MakeRawRecording());
+  ASSERT_TRUE(out.ok()) << out.status();
+  EXPECT_DOUBLE_EQ(out->sample_rate_hz(), 120.0);
+  // ~2 s at 120 Hz.
+  EXPECT_NEAR(static_cast<double>(out->num_samples()), 240.0, 4.0);
+}
+
+TEST(AcquisitionTest, OutputIsNonNegative) {
+  auto out = ConditionRecording(MakeRawRecording());
+  ASSERT_TRUE(out.ok());
+  for (double v : out->channel(0)) EXPECT_GE(v, 0.0);
+}
+
+TEST(AcquisitionTest, PreservesChannelCountAndLabels) {
+  Rng rng(1);
+  std::vector<double> a(1000);
+  std::vector<double> b(1000);
+  for (size_t i = 0; i < 1000; ++i) {
+    a[i] = rng.Gaussian(0.0, 1e-5);
+    b[i] = rng.Gaussian(0.0, 1e-5);
+  }
+  auto raw = EmgRecording::Create({Muscle::kFrontShin, Muscle::kBackShin},
+                                  {a, b}, 1000.0);
+  ASSERT_TRUE(raw.ok());
+  auto out = ConditionRecording(*raw);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->num_channels(), 2u);
+  EXPECT_EQ(out->muscles()[1], Muscle::kBackShin);
+}
+
+TEST(AcquisitionTest, RemovesDcOffset) {
+  // A pure DC signal is outside the 20–450 Hz band: the conditioned
+  // envelope must be near zero.
+  std::vector<double> dc(2000, 1e-4);
+  auto raw = EmgRecording::Create({Muscle::kBiceps}, {dc}, 1000.0);
+  ASSERT_TRUE(raw.ok());
+  auto out = ConditionRecording(*raw);
+  ASSERT_TRUE(out.ok());
+  double mean = 0.0;
+  // Skip the filter transient at the head.
+  for (size_t i = 60; i < out->num_samples(); ++i) {
+    mean += out->channel(0)[i];
+  }
+  mean /= static_cast<double>(out->num_samples() - 60);
+  EXPECT_LT(mean, 2e-6);
+}
+
+TEST(AcquisitionTest, ActivityScalesEnvelope) {
+  // A strong in-band burst must produce a larger envelope than silence.
+  const double fs = 1000.0;
+  const size_t n = 3000;
+  Rng rng(3);
+  std::vector<double> ch(n, 0.0);
+  for (size_t i = n / 3; i < 2 * n / 3; ++i) {
+    ch[i] = 5e-5 * rng.NextGaussian();
+  }
+  auto raw = EmgRecording::Create({Muscle::kBiceps}, {ch}, fs);
+  ASSERT_TRUE(raw.ok());
+  auto out = ConditionRecording(*raw);
+  ASSERT_TRUE(out.ok());
+  const auto& env = out->channel(0);
+  const size_t m = env.size();
+  double quiet = 0.0;
+  double active = 0.0;
+  for (size_t i = 10; i < m / 4; ++i) quiet += env[i];
+  for (size_t i = 2 * m / 5; i < 3 * m / 5; ++i) active += env[i];
+  quiet /= static_cast<double>(m / 4 - 10);
+  active /= static_cast<double>(3 * m / 5 - 2 * m / 5);
+  EXPECT_GT(active, 5.0 * quiet);
+}
+
+TEST(AcquisitionTest, NotchSuppressesPowerLineHum) {
+  // Same in-band burst, once clean and once with strong 60 Hz hum: the
+  // notched conditioning of the contaminated signal should land close
+  // to the clean envelope, un-notched should not.
+  const double fs = 1000.0;
+  const size_t n = 3000;
+  Rng rng(9);
+  std::vector<double> clean(n);
+  for (size_t i = 0; i < n; ++i) clean[i] = 3e-5 * rng.NextGaussian();
+  std::vector<double> hummed = clean;
+  for (size_t i = 0; i < n; ++i) {
+    hummed[i] += 1e-4 * std::sin(2.0 * M_PI * 60.0 * i / fs);
+  }
+  auto make = [&](const std::vector<double>& ch) {
+    return *EmgRecording::Create({Muscle::kBiceps}, {ch}, fs);
+  };
+  AcquisitionOptions notch;
+  notch.notch_hz = 60.0;
+  auto clean_env = ConditionRecording(make(clean));
+  auto notched_env = ConditionRecording(make(hummed), notch);
+  auto raw_env = ConditionRecording(make(hummed));
+  ASSERT_TRUE(clean_env.ok());
+  ASSERT_TRUE(notched_env.ok());
+  ASSERT_TRUE(raw_env.ok());
+  double err_notched = 0.0;
+  double err_raw = 0.0;
+  const size_t m = clean_env->num_samples();
+  for (size_t i = m / 4; i < 3 * m / 4; ++i) {
+    err_notched += std::fabs(notched_env->channel(0)[i] -
+                             clean_env->channel(0)[i]);
+    err_raw +=
+        std::fabs(raw_env->channel(0)[i] - clean_env->channel(0)[i]);
+  }
+  EXPECT_LT(err_notched, 0.4 * err_raw);
+}
+
+TEST(AcquisitionTest, SkipBandpassOption) {
+  AcquisitionOptions opts;
+  opts.skip_bandpass = true;
+  auto out = ConditionRecording(MakeRawRecording(), opts);
+  ASSERT_TRUE(out.ok());
+  EXPECT_DOUBLE_EQ(out->sample_rate_hz(), 120.0);
+}
+
+TEST(AcquisitionTest, RejectsBandAboveNyquist) {
+  AcquisitionOptions opts;
+  opts.band_high_hz = 600.0;  // above 500 Hz Nyquist of 1 kHz input
+  EXPECT_FALSE(ConditionRecording(MakeRawRecording(), opts).ok());
+}
+
+TEST(AcquisitionTest, RejectsEmptyRecording) {
+  auto raw = EmgRecording::Create({Muscle::kBiceps}, {{}}, 1000.0);
+  ASSERT_TRUE(raw.ok());
+  EXPECT_FALSE(ConditionRecording(*raw).ok());
+}
+
+}  // namespace
+}  // namespace mocemg

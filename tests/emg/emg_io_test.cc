@@ -1,0 +1,75 @@
+#include "emg/emg_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+namespace mocemg {
+namespace {
+
+EmgRecording MakeRecording() {
+  return *EmgRecording::Create(
+      {Muscle::kBiceps, Muscle::kUpperForearm},
+      {{1.5e-5, -2.5e-6, 0.0}, {3.0e-5, 4.0e-5, -1.0e-6}}, 1000.0);
+}
+
+TEST(EmgIoTest, RoundTrip) {
+  EmgRecording original = MakeRecording();
+  const std::string text = WriteEmgCsv(original);
+  auto parsed = ParseEmgCsv(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->num_channels(), 2u);
+  EXPECT_EQ(parsed->num_samples(), 3u);
+  EXPECT_DOUBLE_EQ(parsed->sample_rate_hz(), 1000.0);
+  EXPECT_EQ(parsed->muscles()[1], Muscle::kUpperForearm);
+  for (size_t c = 0; c < 2; ++c) {
+    for (size_t i = 0; i < 3; ++i) {
+      EXPECT_NEAR(parsed->channel(c)[i], original.channel(c)[i], 1e-12);
+    }
+  }
+}
+
+TEST(EmgIoTest, RequiresSampleRateComment) {
+  EXPECT_FALSE(ParseEmgCsv("biceps\n1.0\n").ok());
+}
+
+TEST(EmgIoTest, RejectsUnknownMuscle) {
+  EXPECT_FALSE(
+      ParseEmgCsv("# sample_rate_hz=1000\nquadriceps\n1.0\n").ok());
+}
+
+TEST(EmgIoTest, RejectsNonNumericData) {
+  EXPECT_FALSE(
+      ParseEmgCsv("# sample_rate_hz=1000\nbiceps\nhello\n").ok());
+}
+
+TEST(EmgIoTest, ParsesHandWrittenFile) {
+  const std::string text =
+      "# recorded in lab 3\n"
+      "# sample_rate_hz=500\n"
+      "front_shin,back_shin\n"
+      "1e-5,2e-5\n"
+      "3e-5,4e-5\n";
+  auto parsed = ParseEmgCsv(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_DOUBLE_EQ(parsed->sample_rate_hz(), 500.0);
+  EXPECT_EQ(parsed->num_samples(), 2u);
+  EXPECT_DOUBLE_EQ(parsed->channel(1)[1], 4e-5);
+}
+
+TEST(EmgIoTest, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/emg_io_test.csv";
+  EmgRecording original = MakeRecording();
+  ASSERT_TRUE(WriteEmgCsvFile(original, path).ok());
+  auto loaded = ReadEmgCsvFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->num_samples(), original.num_samples());
+  std::remove(path.c_str());
+}
+
+TEST(EmgIoTest, MissingFileIsError) {
+  EXPECT_FALSE(ReadEmgCsvFile("/no/such/emg.csv").ok());
+}
+
+}  // namespace
+}  // namespace mocemg

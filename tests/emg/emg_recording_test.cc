@@ -1,0 +1,90 @@
+#include "emg/emg_recording.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mocemg {
+namespace {
+
+EmgRecording MakeRecording() {
+  return *EmgRecording::Create(
+      {Muscle::kBiceps, Muscle::kTriceps},
+      {{1.0, 2.0, 3.0, 4.0}, {-1.0, -2.0, -3.0, -4.0}}, 1000.0);
+}
+
+TEST(EmgRecordingTest, CreateValidations) {
+  EXPECT_FALSE(EmgRecording::Create({Muscle::kBiceps}, {{1.0}, {2.0}},
+                                    1000.0)
+                   .ok());
+  EXPECT_FALSE(EmgRecording::Create({Muscle::kBiceps, Muscle::kTriceps},
+                                    {{1.0, 2.0}, {3.0}}, 1000.0)
+                   .ok());
+  EXPECT_FALSE(
+      EmgRecording::Create({Muscle::kBiceps}, {{1.0}}, 0.0).ok());
+}
+
+TEST(EmgRecordingTest, Accessors) {
+  EmgRecording r = MakeRecording();
+  EXPECT_EQ(r.num_channels(), 2u);
+  EXPECT_EQ(r.num_samples(), 4u);
+  EXPECT_DOUBLE_EQ(r.sample_rate_hz(), 1000.0);
+  EXPECT_NEAR(r.duration_seconds(), 0.004, 1e-12);
+  EXPECT_DOUBLE_EQ(r.channel(1)[2], -3.0);
+}
+
+TEST(EmgRecordingTest, ChannelForMuscle) {
+  EmgRecording r = MakeRecording();
+  auto ch = r.ChannelForMuscle(Muscle::kTriceps);
+  ASSERT_TRUE(ch.ok());
+  EXPECT_DOUBLE_EQ((**ch)[0], -1.0);
+  EXPECT_TRUE(
+      r.ChannelForMuscle(Muscle::kFrontShin).status().IsNotFound());
+}
+
+TEST(EmgRecordingTest, IndexOf) {
+  EmgRecording r = MakeRecording();
+  EXPECT_EQ(*r.IndexOf(Muscle::kBiceps), 0u);
+  EXPECT_EQ(*r.IndexOf(Muscle::kTriceps), 1u);
+}
+
+TEST(EmgRecordingTest, SampleSlice) {
+  EmgRecording r = MakeRecording();
+  auto s = r.SampleSlice(1, 3);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->num_samples(), 2u);
+  EXPECT_DOUBLE_EQ(s->channel(0)[0], 2.0);
+  EXPECT_FALSE(r.SampleSlice(3, 1).ok());
+  EXPECT_FALSE(r.SampleSlice(0, 5).ok());
+}
+
+TEST(EmgRecordingTest, ValidateCatchesNaN) {
+  EmgRecording r = MakeRecording();
+  EXPECT_TRUE(r.Validate().ok());
+  r.mutable_channel(0)[1] = std::nan("");
+  EXPECT_TRUE(r.Validate().IsNumericalError());
+}
+
+TEST(MuscleTest, NamesRoundTrip) {
+  for (int i = 0; i < static_cast<int>(Muscle::kNumMuscles); ++i) {
+    const Muscle m = static_cast<Muscle>(i);
+    EXPECT_EQ(*MuscleFromName(MuscleName(m)), m);
+  }
+  EXPECT_TRUE(MuscleFromName("deltoid").status().IsNotFound());
+}
+
+TEST(MuscleTest, LimbMusclesMatchPaper) {
+  // Hand: biceps, triceps, upper forearm, lower forearm.
+  const auto& hand = LimbMuscles(Limb::kRightHand);
+  ASSERT_EQ(hand.size(), 4u);
+  EXPECT_EQ(hand[0], Muscle::kBiceps);
+  EXPECT_EQ(hand[3], Muscle::kLowerForearm);
+  // Leg: front shin, back shin.
+  const auto& leg = LimbMuscles(Limb::kRightLeg);
+  ASSERT_EQ(leg.size(), 2u);
+  EXPECT_EQ(leg[0], Muscle::kFrontShin);
+  EXPECT_EQ(leg[1], Muscle::kBackShin);
+}
+
+}  // namespace
+}  // namespace mocemg

@@ -1,0 +1,163 @@
+#include "emg/features.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/random.h"
+
+namespace mocemg {
+namespace {
+
+TEST(IavTest, MatchesPaperEquationOne) {
+  // IAV_j = Σ |x_k| over the window (Eq. 1).
+  std::vector<double> w{1.0, -2.0, 3.0, -4.0};
+  EXPECT_DOUBLE_EQ(IntegralOfAbsoluteValue(w), 10.0);
+}
+
+TEST(IavTest, EmptyWindowIsZero) {
+  EXPECT_DOUBLE_EQ(IntegralOfAbsoluteValue(nullptr, 0), 0.0);
+}
+
+TEST(IavTest, ScalesLinearlyWithWindowLength) {
+  std::vector<double> a(10, 0.5);
+  std::vector<double> b(20, 0.5);
+  EXPECT_DOUBLE_EQ(IntegralOfAbsoluteValue(b),
+                   2.0 * IntegralOfAbsoluteValue(a));
+}
+
+TEST(MavTest, IsIavOverN) {
+  std::vector<double> w{1.0, -3.0};
+  EXPECT_DOUBLE_EQ(MeanAbsoluteValue(w.data(), 2), 2.0);
+  EXPECT_DOUBLE_EQ(MeanAbsoluteValue(nullptr, 0), 0.0);
+}
+
+TEST(RmsTest, KnownValue) {
+  std::vector<double> w{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(RootMeanSquare(w.data(), 2), std::sqrt(12.5));
+}
+
+TEST(WaveformLengthTest, KnownValue) {
+  std::vector<double> w{0.0, 1.0, -1.0, 0.5};
+  EXPECT_DOUBLE_EQ(WaveformLength(w.data(), 4), 1.0 + 2.0 + 1.5);
+  EXPECT_DOUBLE_EQ(WaveformLength(w.data(), 1), 0.0);
+}
+
+TEST(ZeroCrossingsTest, CountsSignChanges) {
+  std::vector<double> w{1.0, -1.0, 1.0, -1.0};
+  EXPECT_EQ(ZeroCrossings(w.data(), 4), 3u);
+}
+
+TEST(ZeroCrossingsTest, DeadBandSuppressesSmallSwings) {
+  std::vector<double> w{0.01, -0.01, 0.01};
+  EXPECT_EQ(ZeroCrossings(w.data(), 3, 0.1), 0u);
+  EXPECT_EQ(ZeroCrossings(w.data(), 3, 0.0), 2u);
+}
+
+TEST(ZeroCrossingsTest, SineHasTwoPerCycle) {
+  const size_t n = 1000;
+  std::vector<double> w(n);
+  for (size_t i = 0; i < n; ++i) {
+    w[i] = std::sin(2.0 * M_PI * 10.0 * i / 1000.0);
+  }
+  // 10 Hz over 1 s → ~20 crossings.
+  EXPECT_NEAR(static_cast<double>(ZeroCrossings(w.data(), n)), 20.0, 1.0);
+}
+
+TEST(SlopeSignChangesTest, CountsExtrema) {
+  std::vector<double> w{0.0, 1.0, 0.0, 1.0, 0.0};
+  EXPECT_EQ(SlopeSignChanges(w.data(), 5), 3u);
+}
+
+TEST(WillisonAmplitudeTest, Threshold) {
+  std::vector<double> w{0.0, 0.5, 0.6, 2.0};
+  EXPECT_EQ(WillisonAmplitude(w.data(), 4, 0.4), 2u);
+}
+
+TEST(HistogramTest, CountsFallInBins) {
+  std::vector<double> w{0.1, 0.2, 0.9, -5.0, 5.0};
+  auto h = EmgHistogram(w.data(), 5, 4, 0.0, 1.0);
+  ASSERT_TRUE(h.ok());
+  double total = 0.0;
+  for (double c : *h) total += c;
+  EXPECT_DOUBLE_EQ(total, 5.0);  // outliers clamped into edge bins
+  EXPECT_GE((*h)[0], 1.0);       // the -5 clamp
+  EXPECT_GE((*h)[3], 2.0);       // 0.9 and the +5 clamp
+}
+
+TEST(HistogramTest, Validation) {
+  std::vector<double> w{1.0};
+  EXPECT_FALSE(EmgHistogram(w.data(), 1, 0, 0.0, 1.0).ok());
+  EXPECT_FALSE(EmgHistogram(w.data(), 1, 4, 1.0, 1.0).ok());
+}
+
+TEST(BurgArTest, RecoversAr1Coefficient) {
+  // x_k = 0.8 x_{k-1} + e_k.
+  Rng rng(77);
+  const size_t n = 5000;
+  std::vector<double> x(n, 0.0);
+  for (size_t i = 1; i < n; ++i) {
+    x[i] = 0.8 * x[i - 1] + rng.NextGaussian();
+  }
+  auto a = BurgArCoefficients(x.data(), n, 1);
+  ASSERT_TRUE(a.ok());
+  EXPECT_NEAR((*a)[0], 0.8, 0.05);
+}
+
+TEST(BurgArTest, RecoversAr2Signal) {
+  // A damped oscillator: x_k = 1.2 x_{k-1} − 0.72 x_{k-2} + e.
+  Rng rng(78);
+  const size_t n = 8000;
+  std::vector<double> x(n, 0.0);
+  for (size_t i = 2; i < n; ++i) {
+    x[i] = 1.2 * x[i - 1] - 0.72 * x[i - 2] + rng.NextGaussian();
+  }
+  auto a = BurgArCoefficients(x.data(), n, 2);
+  ASSERT_TRUE(a.ok());
+  EXPECT_NEAR((*a)[0], 1.2, 0.08);
+  EXPECT_NEAR((*a)[1], -0.72, 0.08);
+}
+
+TEST(BurgArTest, Validation) {
+  std::vector<double> x{1.0, 2.0};
+  EXPECT_FALSE(BurgArCoefficients(x.data(), 2, 0).ok());
+  EXPECT_FALSE(BurgArCoefficients(x.data(), 2, 2).ok());
+  std::vector<double> zeros(10, 0.0);
+  EXPECT_FALSE(BurgArCoefficients(zeros.data(), 10, 2).ok());
+}
+
+TEST(ExtractEmgFeatureTest, ScalarKindsReturnOneValue) {
+  std::vector<double> w{1.0, -2.0, 3.0};
+  for (EmgFeatureKind kind :
+       {EmgFeatureKind::kIav, EmgFeatureKind::kMav, EmgFeatureKind::kRms,
+        EmgFeatureKind::kWaveformLength,
+        EmgFeatureKind::kZeroCrossings}) {
+    auto f = ExtractEmgFeature(kind, w.data(), w.size());
+    ASSERT_TRUE(f.ok()) << EmgFeatureKindName(kind);
+    EXPECT_EQ(f->size(), 1u);
+  }
+}
+
+TEST(ExtractEmgFeatureTest, Ar4ReturnsFourValues) {
+  Rng rng(79);
+  std::vector<double> w(100);
+  for (double& v : w) v = rng.NextGaussian();
+  auto f = ExtractEmgFeature(EmgFeatureKind::kAr4, w.data(), w.size());
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ(f->size(), 4u);
+}
+
+TEST(ExtractEmgFeatureTest, Ar4DegradesGracefullyOnFlatWindow) {
+  std::vector<double> w(50, 0.0);
+  auto f = ExtractEmgFeature(EmgFeatureKind::kAr4, w.data(), w.size());
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ(*f, std::vector<double>(4, 0.0));
+}
+
+TEST(ExtractEmgFeatureTest, EmptyWindowFails) {
+  EXPECT_FALSE(
+      ExtractEmgFeature(EmgFeatureKind::kIav, nullptr, 0).ok());
+}
+
+}  // namespace
+}  // namespace mocemg

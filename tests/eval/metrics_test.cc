@@ -1,0 +1,85 @@
+#include "eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace mocemg {
+namespace {
+
+TEST(ConfusionMatrixTest, RecordAndCount) {
+  ConfusionMatrix cm(3);
+  ASSERT_TRUE(cm.Record(0, 0).ok());
+  ASSERT_TRUE(cm.Record(0, 1).ok());
+  ASSERT_TRUE(cm.Record(1, 1).ok());
+  ASSERT_TRUE(cm.Record(2, 2).ok());
+  EXPECT_EQ(cm.count(0, 1), 1u);
+  EXPECT_EQ(cm.count(1, 1), 1u);
+  EXPECT_EQ(cm.total(), 4u);
+}
+
+TEST(ConfusionMatrixTest, RejectsOutOfRange) {
+  ConfusionMatrix cm(2);
+  EXPECT_FALSE(cm.Record(2, 0).ok());
+  EXPECT_FALSE(cm.Record(0, 5).ok());
+}
+
+TEST(ConfusionMatrixTest, MisclassificationPercent) {
+  ConfusionMatrix cm(2);
+  // 3 correct, 1 wrong → 25 %.
+  (void)cm.Record(0, 0);
+  (void)cm.Record(0, 0);
+  (void)cm.Record(1, 1);
+  (void)cm.Record(1, 0);
+  EXPECT_DOUBLE_EQ(*cm.MisclassificationPercent(), 25.0);
+  EXPECT_DOUBLE_EQ(*cm.Accuracy(), 0.75);
+}
+
+TEST(ConfusionMatrixTest, EmptyFails) {
+  ConfusionMatrix cm(2);
+  EXPECT_FALSE(cm.MisclassificationPercent().ok());
+}
+
+TEST(ConfusionMatrixTest, PerClassRecall) {
+  ConfusionMatrix cm(3);
+  (void)cm.Record(0, 0);
+  (void)cm.Record(0, 0);
+  (void)cm.Record(0, 1);  // class 0: 2/3
+  (void)cm.Record(1, 1);  // class 1: 1/1
+  auto recall = cm.PerClassRecall();
+  EXPECT_NEAR(recall[0], 2.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(recall[1], 1.0);
+  EXPECT_DOUBLE_EQ(recall[2], 0.0);  // no records
+}
+
+TEST(ConfusionMatrixTest, ToStringUsesNames) {
+  ConfusionMatrix cm(2);
+  (void)cm.Record(0, 1);
+  const std::string s = cm.ToString({"walk", "kick"});
+  EXPECT_NE(s.find("walk"), std::string::npos);
+  EXPECT_NE(s.find("kick"), std::string::npos);
+}
+
+TEST(KnnPrecisionTest, PaperMetric) {
+  // "percentage of returned motions in k which are actually present in
+  // the same group of query motion" — k = 5 throughout the paper.
+  KnnPrecision knn;
+  knn.Record(0, {0, 0, 0, 1, 2});  // 3/5
+  knn.Record(1, {1, 1, 1, 1, 1});  // 5/5
+  ASSERT_EQ(knn.num_queries(), 2u);
+  EXPECT_DOUBLE_EQ(*knn.Percent(), 80.0);
+}
+
+TEST(KnnPrecisionTest, EmptyRetrievalIgnored) {
+  KnnPrecision knn;
+  knn.Record(0, {});
+  EXPECT_EQ(knn.num_queries(), 0u);
+  EXPECT_FALSE(knn.Percent().ok());
+}
+
+TEST(KnnPrecisionTest, AllWrongIsZero) {
+  KnnPrecision knn;
+  knn.Record(0, {1, 2, 3});
+  EXPECT_DOUBLE_EQ(*knn.Percent(), 0.0);
+}
+
+}  // namespace
+}  // namespace mocemg

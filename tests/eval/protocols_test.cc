@@ -1,0 +1,131 @@
+#include "eval/protocols.h"
+
+#include <gtest/gtest.h>
+
+#include "eval/sweep.h"
+
+namespace mocemg {
+namespace {
+
+// A small but classifiable dataset, generated once for the suite.
+class ProtocolsTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    DatasetOptions opts;
+    opts.limb = Limb::kRightLeg;  // 5 classes, 2 EMG channels → cheaper
+    opts.trials_per_class = 4;
+    opts.seed = 31337;
+    motions_ = new std::vector<LabeledMotion>(
+        ToLabeledMotions(*GenerateDataset(opts)));
+  }
+  static void TearDownTestSuite() {
+    delete motions_;
+    motions_ = nullptr;
+  }
+
+  static ClassifierOptions Options() {
+    ClassifierOptions opts;
+    opts.fcm.num_clusters = 8;
+    opts.fcm.seed = 11;
+    opts.features.window_ms = 150.0;
+    return opts;
+  }
+
+  static std::vector<LabeledMotion>* motions_;
+};
+
+std::vector<LabeledMotion>* ProtocolsTest::motions_ = nullptr;
+
+TEST_F(ProtocolsTest, ToLabeledMotionsPreservesLabels) {
+  DatasetOptions opts;
+  opts.limb = Limb::kRightLeg;
+  opts.trials_per_class = 1;
+  opts.seed = 5;
+  auto captured = GenerateDataset(opts);
+  ASSERT_TRUE(captured.ok());
+  auto labeled = ToLabeledMotions(*captured);
+  ASSERT_EQ(labeled.size(), 5u);
+  EXPECT_EQ(labeled[0].label, 0u);
+  EXPECT_EQ(labeled[0].label_name, "walk");
+  EXPECT_GT(labeled[0].mocap.num_frames(), 0u);
+}
+
+TEST_F(ProtocolsTest, CrossValidateProducesAllQueries) {
+  ProtocolOptions protocol;
+  protocol.num_folds = 4;
+  auto result = CrossValidate(*motions_, 5, Options(), protocol);
+  ASSERT_TRUE(result.ok()) << result.status();
+  // Every motion serves exactly once as a query.
+  EXPECT_EQ(result->num_queries, motions_->size());
+  EXPECT_EQ(result->confusion.total(), motions_->size());
+  EXPECT_GE(result->misclassification_percent, 0.0);
+  EXPECT_LE(result->misclassification_percent, 100.0);
+  EXPECT_GE(result->knn_percent, 0.0);
+  EXPECT_LE(result->knn_percent, 100.0);
+}
+
+TEST_F(ProtocolsTest, ClassifiesBetterThanChance) {
+  ProtocolOptions protocol;
+  protocol.num_folds = 4;
+  auto result = CrossValidate(*motions_, 5, Options(), protocol);
+  ASSERT_TRUE(result.ok());
+  // Chance for 5 classes is 80 % error; the pipeline must beat it
+  // decisively even on this tiny dataset.
+  EXPECT_LT(result->misclassification_percent, 60.0);
+  EXPECT_GT(result->knn_percent, 30.0);
+}
+
+TEST_F(ProtocolsTest, Validations) {
+  ProtocolOptions protocol;
+  protocol.num_folds = 1;
+  EXPECT_FALSE(CrossValidate(*motions_, 5, Options(), protocol).ok());
+  protocol.num_folds = 4;
+  EXPECT_FALSE(CrossValidate({}, 5, Options(), protocol).ok());
+  // Labels must fit within num_classes.
+  EXPECT_FALSE(CrossValidate(*motions_, 2, Options(), protocol).ok());
+}
+
+TEST_F(ProtocolsTest, DeterministicForSeed) {
+  ProtocolOptions protocol;
+  protocol.num_folds = 4;
+  auto a = CrossValidate(*motions_, 5, Options(), protocol);
+  auto b = CrossValidate(*motions_, 5, Options(), protocol);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_DOUBLE_EQ(a->misclassification_percent,
+                   b->misclassification_percent);
+  EXPECT_DOUBLE_EQ(a->knn_percent, b->knn_percent);
+}
+
+TEST_F(ProtocolsTest, SweepCoversGridInOrder) {
+  SweepOptions sweep;
+  sweep.window_sizes_ms = {100.0, 200.0};
+  sweep.cluster_counts = {4, 8};
+  sweep.protocol.num_folds = 4;
+  size_t calls = 0;
+  auto points = RunParameterSweep(
+      *motions_, 5, Options(), sweep,
+      [&](size_t done, size_t total, const SweepPoint&) {
+        ++calls;
+        EXPECT_LE(done, total);
+      });
+  ASSERT_TRUE(points.ok()) << points.status();
+  ASSERT_EQ(points->size(), 4u);
+  EXPECT_EQ(calls, 4u);
+  EXPECT_DOUBLE_EQ((*points)[0].window_ms, 100.0);
+  EXPECT_EQ((*points)[0].clusters, 4u);
+  EXPECT_EQ((*points)[1].clusters, 8u);
+  EXPECT_DOUBLE_EQ((*points)[2].window_ms, 200.0);
+  for (const auto& p : *points) {
+    EXPECT_EQ(p.num_queries, motions_->size());
+  }
+}
+
+TEST_F(ProtocolsTest, SweepRejectsEmptyGrid) {
+  SweepOptions sweep;
+  sweep.window_sizes_ms = {};
+  EXPECT_FALSE(RunParameterSweep(*motions_, 5, Options(), sweep).ok());
+}
+
+}  // namespace
+}  // namespace mocemg

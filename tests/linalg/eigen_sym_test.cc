@@ -1,0 +1,128 @@
+#include "linalg/eigen_sym.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/vector_ops.h"
+#include "util/random.h"
+
+namespace mocemg {
+namespace {
+
+TEST(EigenSymTest, RejectsNonSquare) {
+  EXPECT_FALSE(ComputeSymmetricEigen(Matrix(2, 3)).ok());
+}
+
+TEST(EigenSymTest, RejectsAsymmetric) {
+  Matrix m{{1, 2}, {0, 1}};
+  EXPECT_FALSE(ComputeSymmetricEigen(m).ok());
+}
+
+TEST(EigenSymTest, DiagonalMatrix) {
+  Matrix m{{5, 0, 0}, {0, -1, 0}, {0, 0, 2}};
+  auto eig = ComputeSymmetricEigen(m);
+  ASSERT_TRUE(eig.ok());
+  EXPECT_NEAR(eig->eigenvalues[0], 5.0, 1e-12);
+  EXPECT_NEAR(eig->eigenvalues[1], 2.0, 1e-12);
+  EXPECT_NEAR(eig->eigenvalues[2], -1.0, 1e-12);
+}
+
+TEST(EigenSymTest, KnownTwoByTwo) {
+  // Eigenvalues of [[2,1],[1,2]] are 3 and 1.
+  Matrix m{{2, 1}, {1, 2}};
+  auto eig = ComputeSymmetricEigen(m);
+  ASSERT_TRUE(eig.ok());
+  EXPECT_NEAR(eig->eigenvalues[0], 3.0, 1e-12);
+  EXPECT_NEAR(eig->eigenvalues[1], 1.0, 1e-12);
+}
+
+TEST(EigenSymTest, ReconstructsMatrix) {
+  Rng rng(3);
+  Matrix a(5, 5);
+  for (size_t i = 0; i < 5; ++i) {
+    for (size_t j = i; j < 5; ++j) {
+      a(i, j) = rng.Gaussian(0.0, 1.0);
+      a(j, i) = a(i, j);
+    }
+  }
+  auto eig = ComputeSymmetricEigen(a);
+  ASSERT_TRUE(eig.ok());
+  // Q Λ Qᵀ == A.
+  Matrix lambda(5, 5);
+  for (size_t i = 0; i < 5; ++i) lambda(i, i) = eig->eigenvalues[i];
+  auto ql = eig->eigenvectors.Multiply(lambda);
+  ASSERT_TRUE(ql.ok());
+  auto rec = ql->Multiply(eig->eigenvectors.Transposed());
+  ASSERT_TRUE(rec.ok());
+  EXPECT_TRUE(rec->AllClose(a, 1e-9));
+}
+
+TEST(EigenSymTest, EigenvectorsOrthonormal) {
+  Rng rng(4);
+  Matrix a(4, 4);
+  for (size_t i = 0; i < 4; ++i) {
+    for (size_t j = i; j < 4; ++j) {
+      a(i, j) = rng.Gaussian(0.0, 2.0);
+      a(j, i) = a(i, j);
+    }
+  }
+  auto eig = ComputeSymmetricEigen(a);
+  ASSERT_TRUE(eig.ok());
+  for (size_t i = 0; i < 4; ++i) {
+    for (size_t j = 0; j < 4; ++j) {
+      EXPECT_NEAR(Dot(eig->eigenvectors.Column(i),
+                      eig->eigenvectors.Column(j)),
+                  i == j ? 1.0 : 0.0, 1e-10);
+    }
+  }
+}
+
+TEST(EigenSymTest, TraceEqualsEigenvalueSum) {
+  Rng rng(5);
+  Matrix a(6, 6);
+  for (size_t i = 0; i < 6; ++i) {
+    for (size_t j = i; j < 6; ++j) {
+      a(i, j) = rng.Gaussian(0.0, 1.0);
+      a(j, i) = a(i, j);
+    }
+  }
+  auto eig = ComputeSymmetricEigen(a);
+  ASSERT_TRUE(eig.ok());
+  double trace = 0.0;
+  for (size_t i = 0; i < 6; ++i) trace += a(i, i);
+  double sum = 0.0;
+  for (double l : eig->eigenvalues) sum += l;
+  EXPECT_NEAR(trace, sum, 1e-9);
+}
+
+TEST(CovarianceTest, NeedsTwoObservations) {
+  EXPECT_FALSE(CovarianceMatrix(Matrix(1, 3)).ok());
+}
+
+TEST(CovarianceTest, KnownCovariance) {
+  // Two perfectly correlated dimensions.
+  Matrix obs{{0, 0}, {1, 2}, {2, 4}};
+  auto cov = CovarianceMatrix(obs);
+  ASSERT_TRUE(cov.ok());
+  EXPECT_NEAR((*cov)(0, 0), 1.0, 1e-12);
+  EXPECT_NEAR((*cov)(1, 1), 4.0, 1e-12);
+  EXPECT_NEAR((*cov)(0, 1), 2.0, 1e-12);
+  EXPECT_NEAR((*cov)(1, 0), 2.0, 1e-12);
+}
+
+TEST(CovarianceTest, PsdEigenvalues) {
+  Rng rng(6);
+  Matrix obs(30, 4);
+  for (size_t i = 0; i < 30; ++i) {
+    for (size_t j = 0; j < 4; ++j) obs(i, j) = rng.Gaussian(0.0, 1.0);
+  }
+  auto cov = CovarianceMatrix(obs);
+  ASSERT_TRUE(cov.ok());
+  auto eig = ComputeSymmetricEigen(*cov);
+  ASSERT_TRUE(eig.ok());
+  for (double l : eig->eigenvalues) EXPECT_GE(l, -1e-10);
+}
+
+}  // namespace
+}  // namespace mocemg

@@ -1,0 +1,149 @@
+#include "linalg/matrix.h"
+
+#include <gtest/gtest.h>
+
+namespace mocemg {
+namespace {
+
+TEST(MatrixTest, DefaultIsEmpty) {
+  Matrix m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.rows(), 0u);
+  EXPECT_EQ(m.cols(), 0u);
+}
+
+TEST(MatrixTest, FillConstructor) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+}
+
+TEST(MatrixTest, InitializerList) {
+  Matrix m{{1, 2}, {3, 4}};
+  EXPECT_DOUBLE_EQ(m(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+}
+
+TEST(MatrixTest, FromRowsRejectsRagged) {
+  auto ok = Matrix::FromRows({{1, 2}, {3, 4}});
+  EXPECT_TRUE(ok.ok());
+  auto bad = Matrix::FromRows({{1, 2}, {3}});
+  EXPECT_FALSE(bad.ok());
+  EXPECT_TRUE(bad.status().IsInvalidArgument());
+}
+
+TEST(MatrixTest, Identity) {
+  Matrix i = Matrix::Identity(3);
+  EXPECT_DOUBLE_EQ(i(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(i(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(i(2, 2), 1.0);
+}
+
+TEST(MatrixTest, RowAndColumnAccess) {
+  Matrix m{{1, 2, 3}, {4, 5, 6}};
+  EXPECT_EQ(m.Row(1), (std::vector<double>{4, 5, 6}));
+  EXPECT_EQ(m.Column(2), (std::vector<double>{3, 6}));
+}
+
+TEST(MatrixTest, SetRowAndColumn) {
+  Matrix m(2, 2);
+  m.SetRow(0, {1, 2});
+  m.SetColumn(1, {7, 8});
+  EXPECT_DOUBLE_EQ(m(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(m(0, 1), 7.0);
+  EXPECT_DOUBLE_EQ(m(1, 1), 8.0);
+}
+
+TEST(MatrixTest, Slices) {
+  Matrix m{{1, 2, 3}, {4, 5, 6}, {7, 8, 9}};
+  Matrix rows = m.RowSlice(1, 3);
+  EXPECT_EQ(rows.rows(), 2u);
+  EXPECT_DOUBLE_EQ(rows(0, 0), 4.0);
+  Matrix cols = m.ColumnSlice(1, 2);
+  EXPECT_EQ(cols.cols(), 1u);
+  EXPECT_DOUBLE_EQ(cols(2, 0), 8.0);
+}
+
+TEST(MatrixTest, EmptySlices) {
+  Matrix m{{1, 2}, {3, 4}};
+  EXPECT_EQ(m.RowSlice(1, 1).rows(), 0u);
+  EXPECT_EQ(m.ColumnSlice(0, 0).cols(), 0u);
+}
+
+TEST(MatrixTest, Transpose) {
+  Matrix m{{1, 2, 3}, {4, 5, 6}};
+  Matrix t = m.Transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t(2, 1), 6.0);
+}
+
+TEST(MatrixTest, Multiply) {
+  Matrix a{{1, 2}, {3, 4}};
+  Matrix b{{5, 6}, {7, 8}};
+  auto c = a.Multiply(b);
+  ASSERT_TRUE(c.ok());
+  EXPECT_DOUBLE_EQ((*c)(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ((*c)(1, 1), 50.0);
+}
+
+TEST(MatrixTest, MultiplyShapeMismatch) {
+  Matrix a(2, 3);
+  Matrix b(2, 3);
+  EXPECT_FALSE(a.Multiply(b).ok());
+}
+
+TEST(MatrixTest, MultiplyByIdentityIsNoop) {
+  Matrix a{{1, 2}, {3, 4}, {5, 6}};
+  auto c = a.Multiply(Matrix::Identity(2));
+  ASSERT_TRUE(c.ok());
+  EXPECT_TRUE(c->AllClose(a));
+}
+
+TEST(MatrixTest, AddSubtract) {
+  Matrix a{{1, 2}};
+  Matrix b{{3, 5}};
+  EXPECT_DOUBLE_EQ((*a.Add(b))(0, 1), 7.0);
+  EXPECT_DOUBLE_EQ((*b.Subtract(a))(0, 0), 2.0);
+  EXPECT_FALSE(a.Add(Matrix(2, 2)).ok());
+}
+
+TEST(MatrixTest, ScaleAndNorms) {
+  Matrix m{{3, 4}};
+  EXPECT_DOUBLE_EQ(m.FrobeniusNorm(), 5.0);
+  EXPECT_DOUBLE_EQ(m.MaxAbs(), 4.0);
+  m.Scale(2.0);
+  EXPECT_DOUBLE_EQ(m(0, 0), 6.0);
+}
+
+TEST(MatrixTest, AllClose) {
+  Matrix a{{1.0, 2.0}};
+  Matrix b{{1.0 + 1e-13, 2.0}};
+  EXPECT_TRUE(a.AllClose(b, 1e-12));
+  EXPECT_FALSE(a.AllClose(b, 1e-14));
+  EXPECT_FALSE(a.AllClose(Matrix(2, 1)));
+}
+
+TEST(MatrixTest, AppendRows) {
+  Matrix a{{1, 2}};
+  Matrix b{{3, 4}, {5, 6}};
+  ASSERT_TRUE(a.AppendRows(b).ok());
+  EXPECT_EQ(a.rows(), 3u);
+  EXPECT_DOUBLE_EQ(a(2, 1), 6.0);
+  // Appending to empty adopts the shape.
+  Matrix e;
+  ASSERT_TRUE(e.AppendRows(b).ok());
+  EXPECT_EQ(e.rows(), 2u);
+  // Column mismatch rejected.
+  Matrix c(1, 3);
+  EXPECT_FALSE(a.AppendRows(c).ok());
+}
+
+TEST(MatrixTest, ToStringMentionsShape) {
+  Matrix m(2, 2);
+  EXPECT_NE(m.ToString().find("2x2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mocemg

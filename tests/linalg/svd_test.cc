@@ -1,0 +1,219 @@
+#include "linalg/svd.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/eigen_sym.h"
+#include "linalg/vector_ops.h"
+#include "util/random.h"
+
+namespace mocemg {
+namespace {
+
+Matrix RandomMatrix(size_t rows, size_t cols, Rng* rng) {
+  Matrix m(rows, cols);
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < cols; ++c) m(r, c) = rng->Gaussian(0.0, 1.0);
+  }
+  return m;
+}
+
+TEST(SvdTest, EmptyInputFails) {
+  EXPECT_FALSE(ComputeSvd(Matrix()).ok());
+}
+
+TEST(SvdTest, DiagonalMatrixSingularValues) {
+  Matrix m{{3, 0}, {0, 2}};
+  auto svd = ComputeSvd(m);
+  ASSERT_TRUE(svd.ok());
+  ASSERT_EQ(svd->singular_values.size(), 2u);
+  EXPECT_NEAR(svd->singular_values[0], 3.0, 1e-12);
+  EXPECT_NEAR(svd->singular_values[1], 2.0, 1e-12);
+}
+
+TEST(SvdTest, SingularValuesSortedDescending) {
+  Rng rng(5);
+  Matrix m = RandomMatrix(10, 4, &rng);
+  auto svd = ComputeSvd(m);
+  ASSERT_TRUE(svd.ok());
+  for (size_t i = 1; i < svd->singular_values.size(); ++i) {
+    EXPECT_GE(svd->singular_values[i - 1], svd->singular_values[i]);
+  }
+}
+
+TEST(SvdTest, RightSingularVectorsOrthonormal) {
+  Rng rng(6);
+  Matrix m = RandomMatrix(12, 3, &rng);
+  auto svd = ComputeSvd(m);
+  ASSERT_TRUE(svd.ok());
+  for (size_t i = 0; i < 3; ++i) {
+    for (size_t j = 0; j < 3; ++j) {
+      const double dot = Dot(svd->v.Column(i), svd->v.Column(j));
+      EXPECT_NEAR(dot, i == j ? 1.0 : 0.0, 1e-10);
+    }
+  }
+}
+
+TEST(SvdTest, ReconstructionRoundTrip) {
+  Rng rng(7);
+  Matrix m = RandomMatrix(8, 3, &rng);
+  SvdOptions opts;
+  opts.compute_u = true;
+  auto svd = ComputeSvd(m, opts);
+  ASSERT_TRUE(svd.ok());
+  auto rec = ReconstructFromSvd(*svd);
+  ASSERT_TRUE(rec.ok());
+  EXPECT_TRUE(rec->AllClose(m, 1e-9));
+}
+
+TEST(SvdTest, ReconstructionRequiresU) {
+  Rng rng(8);
+  auto svd = ComputeSvd(RandomMatrix(4, 2, &rng));
+  ASSERT_TRUE(svd.ok());
+  EXPECT_FALSE(ReconstructFromSvd(*svd).ok());
+}
+
+TEST(SvdTest, FrobeniusNormEqualsSigmaNorm) {
+  Rng rng(9);
+  Matrix m = RandomMatrix(20, 5, &rng);
+  auto svd = ComputeSvd(m);
+  ASSERT_TRUE(svd.ok());
+  double sq = 0.0;
+  for (double s : svd->singular_values) sq += s * s;
+  EXPECT_NEAR(std::sqrt(sq), m.FrobeniusNorm(), 1e-9);
+}
+
+TEST(SvdTest, AgreesWithEigenOfGram) {
+  Rng rng(10);
+  Matrix m = RandomMatrix(15, 4, &rng);
+  auto svd = ComputeSvd(m);
+  ASSERT_TRUE(svd.ok());
+  auto gram = m.Transposed().Multiply(m);
+  ASSERT_TRUE(gram.ok());
+  auto eig = ComputeSymmetricEigen(*gram);
+  ASSERT_TRUE(eig.ok());
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(svd->singular_values[i],
+                std::sqrt(std::max(0.0, eig->eigenvalues[i])), 1e-8);
+  }
+}
+
+TEST(SvdTest, RankDeficientMatrix) {
+  // Two identical columns → rank 1 in a 2-column matrix.
+  Matrix m(6, 2);
+  for (size_t r = 0; r < 6; ++r) {
+    m(r, 0) = static_cast<double>(r);
+    m(r, 1) = static_cast<double>(r);
+  }
+  auto svd = ComputeSvd(m);
+  ASSERT_TRUE(svd.ok());
+  EXPECT_GT(svd->singular_values[0], 1.0);
+  EXPECT_NEAR(svd->singular_values[1], 0.0, 1e-9);
+}
+
+TEST(SvdTest, ZeroMatrix) {
+  auto svd = ComputeSvd(Matrix(5, 3));
+  ASSERT_TRUE(svd.ok());
+  for (double s : svd->singular_values) EXPECT_DOUBLE_EQ(s, 0.0);
+}
+
+TEST(SvdTest, WideMatrixHandled) {
+  Rng rng(11);
+  Matrix m = RandomMatrix(2, 5, &rng);
+  auto svd = ComputeSvd(m);
+  ASSERT_TRUE(svd.ok());
+  EXPECT_EQ(svd->singular_values.size(), 2u);
+  EXPECT_EQ(svd->v.rows(), 5u);
+  EXPECT_EQ(svd->v.cols(), 2u);
+}
+
+TEST(SvdTest, SignConventionIsDeterministic) {
+  Rng rng(12);
+  Matrix m = RandomMatrix(9, 3, &rng);
+  auto a = ComputeSvd(m);
+  Matrix negated = m;
+  negated.Scale(-1.0);
+  auto b = ComputeSvd(negated);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  // A and −A share singular values and, under the sign convention, the
+  // same right singular vectors.
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(a->singular_values[i], b->singular_values[i], 1e-10);
+  }
+  EXPECT_TRUE(a->v.AllClose(b->v, 1e-9));
+}
+
+TEST(SvdTest, LargestVComponentPositive) {
+  Rng rng(13);
+  Matrix m = RandomMatrix(10, 3, &rng);
+  auto svd = ComputeSvd(m);
+  ASSERT_TRUE(svd.ok());
+  for (size_t i = 0; i < 3; ++i) {
+    const auto v = svd->v.Column(i);
+    double best = 0.0;
+    for (double x : v) {
+      if (std::fabs(x) > std::fabs(best)) best = x;
+    }
+    EXPECT_GT(best, 0.0);
+  }
+}
+
+TEST(SvdTest, SingleColumnMatrix) {
+  Matrix m(4, 1);
+  m(0, 0) = 3.0;
+  m(1, 0) = 4.0;
+  auto svd = ComputeSvd(m);
+  ASSERT_TRUE(svd.ok());
+  EXPECT_NEAR(svd->singular_values[0], 5.0, 1e-12);
+  EXPECT_NEAR(svd->v(0, 0), 1.0, 1e-12);
+}
+
+TEST(SvdTest, SingleRowMatrix) {
+  Matrix m(1, 3);
+  m.SetRow(0, {1.0, 2.0, 2.0});
+  auto svd = ComputeSvd(m);
+  ASSERT_TRUE(svd.ok());
+  EXPECT_NEAR(svd->singular_values[0], 3.0, 1e-12);
+}
+
+// Property sweep: round-trip and orthonormality across shapes.
+class SvdPropertyTest
+    : public ::testing::TestWithParam<std::pair<size_t, size_t>> {};
+
+TEST_P(SvdPropertyTest, RoundTripAndOrthonormality) {
+  const auto [rows, cols] = GetParam();
+  Rng rng(1000 + rows * 31 + cols);
+  Matrix m = RandomMatrix(rows, cols, &rng);
+  SvdOptions opts;
+  opts.compute_u = true;
+  auto svd = ComputeSvd(m, opts);
+  ASSERT_TRUE(svd.ok()) << svd.status();
+  auto rec = ReconstructFromSvd(*svd);
+  ASSERT_TRUE(rec.ok());
+  EXPECT_TRUE(rec->AllClose(m, 1e-8))
+      << "round-trip failed for " << rows << "x" << cols;
+  // U columns orthonormal when full rank (random Gaussian: a.s.).
+  const size_t k = svd->singular_values.size();
+  for (size_t i = 0; i < k; ++i) {
+    for (size_t j = 0; j < k; ++j) {
+      EXPECT_NEAR(Dot(svd->u.Column(i), svd->u.Column(j)),
+                  i == j ? 1.0 : 0.0, 1e-8);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, SvdPropertyTest,
+    ::testing::Values(std::make_pair<size_t, size_t>(3, 3),
+                      std::make_pair<size_t, size_t>(6, 3),
+                      std::make_pair<size_t, size_t>(24, 3),
+                      std::make_pair<size_t, size_t>(5, 5),
+                      std::make_pair<size_t, size_t>(12, 7),
+                      std::make_pair<size_t, size_t>(4, 8),
+                      std::make_pair<size_t, size_t>(50, 2),
+                      std::make_pair<size_t, size_t>(1, 1)));
+
+}  // namespace
+}  // namespace mocemg

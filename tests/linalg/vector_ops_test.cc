@@ -1,0 +1,77 @@
+#include "linalg/vector_ops.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mocemg {
+namespace {
+
+TEST(VectorOpsTest, DotAndNorms) {
+  std::vector<double> a{1, 2, 3};
+  std::vector<double> b{4, -5, 6};
+  EXPECT_DOUBLE_EQ(Dot(a, b), 12.0);
+  EXPECT_DOUBLE_EQ(Norm2({3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(Norm1({-1, 2, -3}), 6.0);
+}
+
+TEST(VectorOpsTest, Distances) {
+  std::vector<double> a{0, 0};
+  std::vector<double> b{3, 4};
+  EXPECT_DOUBLE_EQ(EuclideanDistance(a, b), 5.0);
+  EXPECT_DOUBLE_EQ(SquaredDistance(a, b), 25.0);
+  EXPECT_DOUBLE_EQ(EuclideanDistance(a, a), 0.0);
+}
+
+TEST(VectorOpsTest, Arithmetic) {
+  std::vector<double> a{1, 2};
+  std::vector<double> b{3, 5};
+  EXPECT_EQ(AddVectors(a, b), (std::vector<double>{4, 7}));
+  EXPECT_EQ(SubtractVectors(b, a), (std::vector<double>{2, 3}));
+  EXPECT_EQ(ScaleVector(a, 3.0), (std::vector<double>{3, 6}));
+}
+
+TEST(VectorOpsTest, Axpy) {
+  std::vector<double> a{1, 1};
+  Axpy(2.0, {3, 4}, &a);
+  EXPECT_EQ(a, (std::vector<double>{7, 9}));
+}
+
+TEST(VectorOpsTest, NormalizedUnitLength) {
+  auto n = Normalized({3, 4});
+  EXPECT_NEAR(Norm2(n), 1.0, 1e-15);
+  // Zero vector passes through unchanged.
+  auto z = Normalized({0, 0});
+  EXPECT_EQ(z, (std::vector<double>{0, 0}));
+}
+
+TEST(VectorOpsTest, ConcatenateOrderMatchesPaper) {
+  // EMG features first, then mocap (Section 3.3).
+  auto combined = Concatenate({1, 2}, {3, 4, 5});
+  EXPECT_EQ(combined, (std::vector<double>{1, 2, 3, 4, 5}));
+  EXPECT_EQ(Concatenate({}, {1}).size(), 1u);
+}
+
+TEST(VectorOpsTest, Statistics) {
+  std::vector<double> v{2, 4, 6};
+  EXPECT_DOUBLE_EQ(*Mean(v), 4.0);
+  EXPECT_DOUBLE_EQ(*SampleVariance(v), 4.0);
+  EXPECT_NEAR(PopulationStddev(v), std::sqrt(8.0 / 3.0), 1e-12);
+  EXPECT_FALSE(Mean({}).ok());
+  EXPECT_FALSE(SampleVariance({1}).ok());
+}
+
+TEST(VectorOpsTest, MinMaxArgMax) {
+  std::vector<double> v{3, -1, 7, 2};
+  EXPECT_DOUBLE_EQ(*MinElement(v), -1.0);
+  EXPECT_DOUBLE_EQ(*MaxElement(v), 7.0);
+  EXPECT_EQ(*ArgMax(v), 2u);
+  EXPECT_FALSE(ArgMax({}).ok());
+}
+
+TEST(VectorOpsTest, ArgMaxFirstOfTies) {
+  EXPECT_EQ(*ArgMax({5, 5, 5}), 0u);
+}
+
+}  // namespace
+}  // namespace mocemg

@@ -1,0 +1,125 @@
+#include "mocap/local_transform.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mocemg {
+namespace {
+
+MotionSequence MakeGlobalMotion(double offset_x, double offset_y) {
+  MarkerSet set({Segment::kPelvis, Segment::kClavicle, Segment::kHand});
+  Matrix positions(5, 9);
+  for (size_t f = 0; f < 5; ++f) {
+    const double t = static_cast<double>(f);
+    // Pelvis wanders.
+    positions(f, 0) = offset_x + 2.0 * t;
+    positions(f, 1) = offset_y - t;
+    positions(f, 2) = 1000.0;
+    // Clavicle fixed relative to pelvis.
+    positions(f, 3) = positions(f, 0) + 10.0;
+    positions(f, 4) = positions(f, 1) + 0.0;
+    positions(f, 5) = positions(f, 2) + 550.0;
+    // Hand moves relative to pelvis.
+    positions(f, 6) = positions(f, 0) + 100.0 + 5.0 * t;
+    positions(f, 7) = positions(f, 1) - 200.0;
+    positions(f, 8) = positions(f, 2) + 300.0;
+  }
+  return *MotionSequence::Create(set, std::move(positions), 120.0);
+}
+
+TEST(LocalTransformTest, PelvisBecomesOrigin) {
+  auto local = ToPelvisLocal(MakeGlobalMotion(500.0, -300.0));
+  ASSERT_TRUE(local.ok());
+  for (size_t f = 0; f < local->num_frames(); ++f) {
+    const auto p = local->MarkerPosition(f, 0);
+    EXPECT_DOUBLE_EQ(p[0], 0.0);
+    EXPECT_DOUBLE_EQ(p[1], 0.0);
+    EXPECT_DOUBLE_EQ(p[2], 0.0);
+  }
+}
+
+TEST(LocalTransformTest, RemovesGlobalPlacement) {
+  // The same relative motion captured at two different places must give
+  // identical local coordinates — the paper's motivation for the
+  // transform.
+  auto a = ToPelvisLocal(MakeGlobalMotion(0.0, 0.0));
+  auto b = ToPelvisLocal(MakeGlobalMotion(12345.0, -999.0));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE(a->positions().AllClose(b->positions(), 1e-9));
+}
+
+TEST(LocalTransformTest, RelativeGeometryPreserved) {
+  MotionSequence global = MakeGlobalMotion(50.0, 70.0);
+  auto local = ToPelvisLocal(global);
+  ASSERT_TRUE(local.ok());
+  const auto hand = local->MarkerPosition(2, 2);
+  const auto hand_global = global.MarkerPosition(2, 2);
+  const auto pelvis_global = global.MarkerPosition(2, 0);
+  EXPECT_DOUBLE_EQ(hand[0], hand_global[0] - pelvis_global[0]);
+  EXPECT_DOUBLE_EQ(hand[1], hand_global[1] - pelvis_global[1]);
+  EXPECT_DOUBLE_EQ(hand[2], hand_global[2] - pelvis_global[2]);
+}
+
+TEST(LocalTransformTest, FailsWithoutPelvis) {
+  // MarkerSet always injects the pelvis, so build a motion whose pelvis
+  // column exists; removing it is not expressible — instead verify the
+  // transform succeeds for any MarkerSet-constructed motion.
+  MarkerSet set({Segment::kHand});
+  auto motion = MotionSequence::Create(set, Matrix(3, 6), 120.0);
+  ASSERT_TRUE(motion.ok());
+  EXPECT_TRUE(ToPelvisLocal(*motion).ok());
+}
+
+TEST(LocalTransformTest, HeadingNormalizationAlignsFacingDirections) {
+  // Two captures identical up to a rotation about Z must match after
+  // heading normalization.
+  auto make_rotated = [](double heading) {
+    MarkerSet set({Segment::kPelvis, Segment::kClavicle});
+    Matrix positions(4, 6);
+    const double c = std::cos(heading);
+    const double s = std::sin(heading);
+    for (size_t f = 0; f < 4; ++f) {
+      positions(f, 0) = 0.0;
+      positions(f, 1) = 0.0;
+      positions(f, 2) = 0.0;
+      // Clavicle at (100 + 3t, 40, 20) body-local, rotated by heading.
+      const double x = 100.0 + 3.0 * static_cast<double>(f);
+      const double y = 40.0;
+      positions(f, 3) = c * x - s * y;
+      positions(f, 4) = s * x + c * y;
+      positions(f, 5) = 20.0;
+    }
+    return *MotionSequence::Create(set, std::move(positions), 120.0);
+  };
+  LocalTransformOptions opts;
+  opts.normalize_heading = true;
+  auto a = ToPelvisLocal(make_rotated(0.0), opts);
+  auto b = ToPelvisLocal(make_rotated(2.1), opts);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_TRUE(a->positions().AllClose(b->positions(), 1e-6));
+}
+
+TEST(LocalTransformTest, WithoutHeadingNormalizationRotationsDiffer) {
+  auto make_rotated = [](double heading) {
+    MarkerSet set({Segment::kPelvis, Segment::kClavicle});
+    Matrix positions(2, 6);
+    const double c = std::cos(heading);
+    const double s = std::sin(heading);
+    for (size_t f = 0; f < 2; ++f) {
+      positions(f, 3) = c * 100.0;
+      positions(f, 4) = s * 100.0;
+    }
+    return *MotionSequence::Create(set, std::move(positions), 120.0);
+  };
+  auto a = ToPelvisLocal(make_rotated(0.0));
+  auto b = ToPelvisLocal(make_rotated(1.0));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_FALSE(a->positions().AllClose(b->positions(), 1.0));
+}
+
+}  // namespace
+}  // namespace mocemg

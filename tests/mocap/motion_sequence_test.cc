@@ -1,0 +1,103 @@
+#include "mocap/motion_sequence.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mocemg {
+namespace {
+
+MotionSequence MakeMotion(size_t frames = 10) {
+  MarkerSet set({Segment::kPelvis, Segment::kHand});
+  Matrix positions(frames, 6);
+  for (size_t f = 0; f < frames; ++f) {
+    positions(f, 0) = 1.0 * static_cast<double>(f);  // pelvis x
+    positions(f, 3) = 10.0 + static_cast<double>(f);  // hand x
+    positions(f, 4) = -5.0;                           // hand y
+    positions(f, 5) = 2.0;                            // hand z
+  }
+  return *MotionSequence::Create(set, std::move(positions), 120.0);
+}
+
+TEST(MotionSequenceTest, CreateValidatesShape) {
+  MarkerSet set({Segment::kHand});
+  EXPECT_FALSE(MotionSequence::Create(set, Matrix(5, 5)).ok());
+  EXPECT_TRUE(MotionSequence::Create(set, Matrix(5, 6)).ok());
+  EXPECT_FALSE(MotionSequence::Create(set, Matrix(5, 6), -1.0).ok());
+}
+
+TEST(MotionSequenceTest, BasicAccessors) {
+  MotionSequence m = MakeMotion(24);
+  EXPECT_EQ(m.num_frames(), 24u);
+  EXPECT_EQ(m.num_markers(), 2u);
+  EXPECT_DOUBLE_EQ(m.frame_rate_hz(), 120.0);
+  EXPECT_NEAR(m.duration_seconds(), 0.2, 1e-12);
+}
+
+TEST(MotionSequenceTest, MarkerPositionRoundTrip) {
+  MotionSequence m = MakeMotion();
+  m.SetMarkerPosition(3, 1, {7.0, 8.0, 9.0});
+  auto p = m.MarkerPosition(3, 1);
+  EXPECT_DOUBLE_EQ(p[0], 7.0);
+  EXPECT_DOUBLE_EQ(p[1], 8.0);
+  EXPECT_DOUBLE_EQ(p[2], 9.0);
+}
+
+TEST(MotionSequenceTest, JointMatrixIsPaperShape) {
+  MotionSequence m = MakeMotion(10);
+  auto jm = m.JointMatrix(Segment::kHand);
+  ASSERT_TRUE(jm.ok());
+  EXPECT_EQ(jm->rows(), 10u);
+  EXPECT_EQ(jm->cols(), 3u);
+  EXPECT_DOUBLE_EQ((*jm)(2, 0), 12.0);
+  EXPECT_DOUBLE_EQ((*jm)(2, 1), -5.0);
+}
+
+TEST(MotionSequenceTest, JointMatrixUnknownSegment) {
+  MotionSequence m = MakeMotion();
+  EXPECT_TRUE(m.JointMatrix(Segment::kToe).status().IsNotFound());
+}
+
+TEST(MotionSequenceTest, FrameSlice) {
+  MotionSequence m = MakeMotion(10);
+  auto s = m.FrameSlice(2, 5);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->num_frames(), 3u);
+  EXPECT_DOUBLE_EQ(s->MarkerPosition(0, 0)[0], 2.0);
+  EXPECT_FALSE(m.FrameSlice(5, 2).ok());
+  EXPECT_FALSE(m.FrameSlice(0, 11).ok());
+}
+
+TEST(MotionSequenceTest, SelectSegmentsKeepsPelvis) {
+  MarkerSet set({Segment::kPelvis, Segment::kClavicle, Segment::kHand});
+  Matrix positions(4, 9, 1.0);
+  auto m = MotionSequence::Create(set, std::move(positions), 120.0);
+  ASSERT_TRUE(m.ok());
+  auto subset = m->SelectSegments({Segment::kHand});
+  ASSERT_TRUE(subset.ok());
+  EXPECT_EQ(subset->num_markers(), 2u);
+  EXPECT_EQ(subset->marker_set().segments()[0], Segment::kPelvis);
+  EXPECT_EQ(subset->marker_set().segments()[1], Segment::kHand);
+}
+
+TEST(MotionSequenceTest, SelectMissingSegmentFails) {
+  MotionSequence m = MakeMotion();
+  EXPECT_FALSE(m.SelectSegments({Segment::kToe}).ok());
+}
+
+TEST(MotionSequenceTest, ValidateCatchesNonFinite) {
+  MotionSequence m = MakeMotion();
+  EXPECT_TRUE(m.Validate().ok());
+  m.SetMarkerPosition(0, 0, {std::nan(""), 0.0, 0.0});
+  EXPECT_TRUE(m.Validate().IsNumericalError());
+}
+
+TEST(MotionSequenceTest, ValidateEmptyFails) {
+  MarkerSet set({Segment::kHand});
+  auto m = MotionSequence::Create(set, Matrix(0, 6));
+  ASSERT_TRUE(m.ok());
+  EXPECT_TRUE(m->Validate().IsFailedPrecondition());
+}
+
+}  // namespace
+}  // namespace mocemg

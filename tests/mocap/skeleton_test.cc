@@ -1,0 +1,104 @@
+#include "mocap/skeleton.h"
+
+#include <gtest/gtest.h>
+
+namespace mocemg {
+namespace {
+
+TEST(SkeletonTest, SegmentNamesRoundTrip) {
+  for (int i = 0; i < static_cast<int>(Segment::kNumSegments); ++i) {
+    const Segment s = static_cast<Segment>(i);
+    auto parsed = SegmentFromName(SegmentName(s));
+    ASSERT_TRUE(parsed.ok()) << SegmentName(s);
+    EXPECT_EQ(*parsed, s);
+  }
+}
+
+TEST(SkeletonTest, SegmentFromNameCaseInsensitive) {
+  EXPECT_EQ(*SegmentFromName("PELVIS"), Segment::kPelvis);
+  EXPECT_EQ(*SegmentFromName("Clavicle"), Segment::kClavicle);
+}
+
+TEST(SkeletonTest, UnknownSegmentIsNotFound) {
+  EXPECT_TRUE(SegmentFromName("elbow").status().IsNotFound());
+}
+
+TEST(SkeletonTest, PelvisIsRoot) {
+  EXPECT_EQ(SegmentParent(Segment::kPelvis), Segment::kPelvis);
+}
+
+TEST(SkeletonTest, ArmChainReachesPelvis) {
+  Segment s = Segment::kHand;
+  int hops = 0;
+  while (s != Segment::kPelvis && hops < 10) {
+    s = SegmentParent(s);
+    ++hops;
+  }
+  EXPECT_EQ(s, Segment::kPelvis);
+  EXPECT_EQ(hops, 4);  // hand → radius → humerus → clavicle → pelvis
+}
+
+TEST(SkeletonTest, LegChainReachesPelvis) {
+  Segment s = Segment::kToe;
+  int hops = 0;
+  while (s != Segment::kPelvis && hops < 10) {
+    s = SegmentParent(s);
+    ++hops;
+  }
+  EXPECT_EQ(s, Segment::kPelvis);
+  EXPECT_EQ(hops, 4);  // toe → foot → tibia → femur → pelvis
+}
+
+TEST(SkeletonTest, LimbSegmentsMatchPaper) {
+  // Hand: clavicle, humerus, radius, hand (4 attributes).
+  const auto& hand = LimbSegments(Limb::kRightHand);
+  ASSERT_EQ(hand.size(), 4u);
+  EXPECT_EQ(hand[0], Segment::kClavicle);
+  EXPECT_EQ(hand[3], Segment::kHand);
+  // Leg: tibia, foot, toe (3 attributes).
+  const auto& leg = LimbSegments(Limb::kRightLeg);
+  ASSERT_EQ(leg.size(), 3u);
+  EXPECT_EQ(leg[0], Segment::kTibia);
+  EXPECT_EQ(leg[2], Segment::kToe);
+}
+
+TEST(MarkerSetTest, PelvisAutoPrepended) {
+  MarkerSet set({Segment::kHand});
+  ASSERT_EQ(set.num_markers(), 2u);
+  EXPECT_EQ(set.segments()[0], Segment::kPelvis);
+}
+
+TEST(MarkerSetTest, PelvisNotDuplicated) {
+  MarkerSet set({Segment::kPelvis, Segment::kHand});
+  EXPECT_EQ(set.num_markers(), 2u);
+}
+
+TEST(MarkerSetTest, ForLimbIncludesRootPlusSegments) {
+  MarkerSet hand = MarkerSet::ForLimb(Limb::kRightHand);
+  EXPECT_EQ(hand.num_markers(), 5u);  // pelvis + 4
+  MarkerSet leg = MarkerSet::ForLimb(Limb::kRightLeg);
+  EXPECT_EQ(leg.num_markers(), 4u);  // pelvis + 3
+}
+
+TEST(MarkerSetTest, IndexOf) {
+  MarkerSet set = MarkerSet::ForLimb(Limb::kRightHand);
+  EXPECT_EQ(*set.IndexOf(Segment::kPelvis), 0u);
+  EXPECT_EQ(*set.IndexOf(Segment::kHand), 4u);
+  EXPECT_TRUE(set.IndexOf(Segment::kToe).status().IsNotFound());
+}
+
+TEST(MarkerSetTest, MarkerNames) {
+  MarkerSet set({Segment::kTibia});
+  auto names = set.MarkerNames();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "pelvis");
+  EXPECT_EQ(names[1], "tibia");
+}
+
+TEST(SkeletonTest, LimbNames) {
+  EXPECT_STREQ(LimbName(Limb::kRightHand), "right_hand");
+  EXPECT_STREQ(LimbName(Limb::kRightLeg), "right_leg");
+}
+
+}  // namespace
+}  // namespace mocemg

@@ -1,0 +1,94 @@
+#include "signal/spectral.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mocemg {
+namespace {
+
+std::vector<double> Sine(double freq_hz, double fs, size_t n,
+                         double amp = 1.0) {
+  std::vector<double> v(n);
+  for (size_t i = 0; i < n; ++i) {
+    v[i] = amp * std::sin(2.0 * M_PI * freq_hz * i / fs);
+  }
+  return v;
+}
+
+TEST(GoertzelTest, DetectsPresentFrequency) {
+  auto v = Sine(50.0, 1000.0, 1000);
+  const double at_50 = *GoertzelPower(v, 50.0, 1000.0);
+  const double at_130 = *GoertzelPower(v, 130.0, 1000.0);
+  EXPECT_GT(at_50, 100.0 * at_130);
+}
+
+TEST(GoertzelTest, RejectsOutOfRangeFrequency) {
+  EXPECT_FALSE(GoertzelPower({1.0}, 600.0, 1000.0).ok());
+  EXPECT_FALSE(GoertzelPower({}, 10.0, 1000.0).ok());
+}
+
+TEST(FftTest, RejectsNonPowerOfTwo) {
+  std::vector<std::complex<double>> v(3);
+  EXPECT_FALSE(Fft(&v).ok());
+}
+
+TEST(FftTest, DcSignal) {
+  std::vector<std::complex<double>> v(8, {1.0, 0.0});
+  ASSERT_TRUE(Fft(&v).ok());
+  EXPECT_NEAR(v[0].real(), 8.0, 1e-12);
+  for (size_t k = 1; k < 8; ++k) {
+    EXPECT_NEAR(std::abs(v[k]), 0.0, 1e-12);
+  }
+}
+
+TEST(FftTest, SingleBinSine) {
+  const size_t n = 64;
+  std::vector<std::complex<double>> v(n);
+  for (size_t i = 0; i < n; ++i) {
+    v[i] = std::cos(2.0 * M_PI * 4.0 * i / n);
+  }
+  ASSERT_TRUE(Fft(&v).ok());
+  EXPECT_NEAR(std::abs(v[4]), n / 2.0, 1e-9);
+  EXPECT_NEAR(std::abs(v[n - 4]), n / 2.0, 1e-9);
+  EXPECT_NEAR(std::abs(v[7]), 0.0, 1e-9);
+}
+
+TEST(PeriodogramTest, PeakAtSineFrequency) {
+  auto v = Sine(120.0, 1000.0, 2048);
+  auto psd = Periodogram(v, 1000.0);
+  ASSERT_TRUE(psd.ok());
+  double best_freq = 0.0;
+  double best_power = -1.0;
+  for (const auto& [f, p] : *psd) {
+    if (p > best_power) {
+      best_power = p;
+      best_freq = f;
+    }
+  }
+  EXPECT_NEAR(best_freq, 120.0, 1.0);
+}
+
+TEST(MedianFrequencyTest, PureToneMedianIsTone) {
+  auto v = Sine(80.0, 1000.0, 4096);
+  auto mf = MedianFrequency(v, 1000.0);
+  ASSERT_TRUE(mf.ok());
+  EXPECT_NEAR(*mf, 80.0, 2.0);
+}
+
+TEST(MeanFrequencyTest, TwoTonesAverage) {
+  auto v = Sine(50.0, 1000.0, 4096);
+  auto v2 = Sine(150.0, 1000.0, 4096);
+  for (size_t i = 0; i < v.size(); ++i) v[i] += v2[i];
+  auto mean = MeanFrequency(v, 1000.0);
+  ASSERT_TRUE(mean.ok());
+  EXPECT_NEAR(*mean, 100.0, 5.0);
+}
+
+TEST(SpectralTest, ZeroSignalHasNoMedian) {
+  std::vector<double> v(1024, 0.0);
+  EXPECT_FALSE(MedianFrequency(v, 1000.0).ok());
+}
+
+}  // namespace
+}  // namespace mocemg

@@ -1,0 +1,114 @@
+#include "signal/window.h"
+
+#include <gtest/gtest.h>
+
+namespace mocemg {
+namespace {
+
+TEST(WindowTest, NonOverlappingExactDivision) {
+  auto plan = MakeWindowPlan(120, 12);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->num_windows(), 10u);
+  EXPECT_EQ(plan->spans.front().begin, 0u);
+  EXPECT_EQ(plan->spans.front().end, 12u);
+  EXPECT_EQ(plan->spans.back().end, 120u);
+  for (const auto& s : plan->spans) EXPECT_EQ(s.length(), 12u);
+}
+
+TEST(WindowTest, RejectsZeroWindow) {
+  EXPECT_FALSE(MakeWindowPlan(100, 0).ok());
+}
+
+TEST(WindowTest, RejectsWindowLongerThanSignal) {
+  EXPECT_FALSE(MakeWindowPlan(5, 10).ok());
+}
+
+TEST(WindowTest, SmallRemainderDropped) {
+  // 100 frames, window 12: 8 full windows cover 96, remainder 4 < 6.
+  auto plan = MakeWindowPlan(100, 12);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->num_windows(), 8u);
+  EXPECT_EQ(plan->spans.back().end, 96u);
+}
+
+TEST(WindowTest, LargeRemainderGetsRightAlignedWindow) {
+  // 103 frames, window 12: remainder 7 >= 6 → extra window [91, 103).
+  auto plan = MakeWindowPlan(103, 12);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->num_windows(), 9u);
+  EXPECT_EQ(plan->spans.back().begin, 91u);
+  EXPECT_EQ(plan->spans.back().end, 103u);
+  EXPECT_EQ(plan->spans.back().length(), 12u);
+}
+
+TEST(WindowTest, OverlappingHop) {
+  auto plan = MakeWindowPlan(30, 10, 5);
+  ASSERT_TRUE(plan.ok());
+  // Starts: 0, 5, 10, 15, 20 → 5 full windows; no remainder window
+  // (covered==30).
+  EXPECT_EQ(plan->num_windows(), 5u);
+  EXPECT_EQ(plan->spans[1].begin, 5u);
+}
+
+TEST(WindowTest, AllSpansWithinSignal) {
+  for (size_t frames : {24u, 37u, 100u, 311u}) {
+    for (size_t w : {6u, 12u, 18u, 24u}) {
+      if (w > frames) continue;
+      auto plan = MakeWindowPlan(frames, w);
+      ASSERT_TRUE(plan.ok());
+      for (const auto& s : plan->spans) {
+        EXPECT_LT(s.begin, s.end);
+        EXPECT_LE(s.end, frames);
+        EXPECT_EQ(s.length(), w);
+      }
+    }
+  }
+}
+
+TEST(WindowTest, WindowMsToFramesPaperGrid) {
+  // At 120 Hz: 50 ms → 6 frames, 100 → 12, 150 → 18, 200 → 24.
+  EXPECT_EQ(WindowMsToFrames(50.0, 120.0), 6u);
+  EXPECT_EQ(WindowMsToFrames(100.0, 120.0), 12u);
+  EXPECT_EQ(WindowMsToFrames(150.0, 120.0), 18u);
+  EXPECT_EQ(WindowMsToFrames(200.0, 120.0), 24u);
+}
+
+TEST(WindowTest, WindowMsClampsToOneFrame) {
+  EXPECT_EQ(WindowMsToFrames(1.0, 120.0), 1u);
+}
+
+// Property sweep: the plan must tile the signal without gaps larger than
+// a window and without out-of-range spans.
+class WindowPlanPropertyTest
+    : public ::testing::TestWithParam<std::pair<size_t, size_t>> {};
+
+TEST_P(WindowPlanPropertyTest, CoversPrefixContiguously) {
+  const auto [frames, window] = GetParam();
+  auto plan = MakeWindowPlan(frames, window);
+  ASSERT_TRUE(plan.ok());
+  ASSERT_FALSE(plan->spans.empty());
+  // Non-overlapping spans are contiguous until the optional tail window.
+  for (size_t i = 1; i + 1 < plan->spans.size(); ++i) {
+    EXPECT_EQ(plan->spans[i].begin, plan->spans[i - 1].end);
+  }
+  // Uncovered tail is smaller than one window.
+  size_t covered_end = 0;
+  for (const auto& s : plan->spans) {
+    covered_end = std::max(covered_end, s.end);
+  }
+  EXPECT_LT(frames - covered_end, window);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, WindowPlanPropertyTest,
+    ::testing::Values(std::make_pair<size_t, size_t>(120, 6),
+                      std::make_pair<size_t, size_t>(121, 6),
+                      std::make_pair<size_t, size_t>(125, 6),
+                      std::make_pair<size_t, size_t>(300, 24),
+                      std::make_pair<size_t, size_t>(301, 24),
+                      std::make_pair<size_t, size_t>(317, 24),
+                      std::make_pair<size_t, size_t>(24, 24),
+                      std::make_pair<size_t, size_t>(25, 24)));
+
+}  // namespace
+}  // namespace mocemg

@@ -1,0 +1,132 @@
+#include "synth/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace mocemg {
+namespace {
+
+DatasetOptions SmallOptions(Limb limb) {
+  DatasetOptions opts;
+  opts.limb = limb;
+  opts.trials_per_class = 2;
+  opts.seed = 123;
+  return opts;
+}
+
+TEST(DatasetTest, ClassVocabularies) {
+  EXPECT_EQ(NumClassesForLimb(Limb::kRightHand), 6u);
+  EXPECT_EQ(NumClassesForLimb(Limb::kRightLeg), 5u);
+  EXPECT_STREQ(ClassNameForLimb(Limb::kRightHand, 0), "raise_arm");
+  EXPECT_STREQ(ClassNameForLimb(Limb::kRightLeg, 0), "walk");
+}
+
+TEST(DatasetTest, GeneratesAllClassesAndTrials) {
+  auto data = GenerateDataset(SmallOptions(Limb::kRightHand));
+  ASSERT_TRUE(data.ok()) << data.status();
+  EXPECT_EQ(data->size(), 12u);  // 6 classes × 2 trials
+  std::map<size_t, size_t> per_class;
+  for (const auto& m : *data) ++per_class[m.class_id];
+  EXPECT_EQ(per_class.size(), 6u);
+  for (const auto& [cls, count] : per_class) EXPECT_EQ(count, 2u);
+}
+
+TEST(DatasetTest, HandTrialShape) {
+  auto data = GenerateDataset(SmallOptions(Limb::kRightHand));
+  ASSERT_TRUE(data.ok());
+  const CapturedMotion& m = data->front();
+  // Mocap: pelvis + 4 hand segments at 120 Hz.
+  EXPECT_EQ(m.mocap.num_markers(), 5u);
+  EXPECT_DOUBLE_EQ(m.mocap.frame_rate_hz(), 120.0);
+  EXPECT_TRUE(m.mocap.Validate().ok());
+  // EMG: 4 channels at 1000 Hz, raw (signed).
+  EXPECT_EQ(m.emg_raw.num_channels(), 4u);
+  EXPECT_DOUBLE_EQ(m.emg_raw.sample_rate_hz(), 1000.0);
+  EXPECT_TRUE(m.emg_raw.Validate().ok());
+  // Streams cover the same duration (within resampling slack).
+  EXPECT_NEAR(m.mocap.duration_seconds(), m.emg_raw.duration_seconds(),
+              0.05);
+}
+
+TEST(DatasetTest, LegTrialShape) {
+  auto data = GenerateDataset(SmallOptions(Limb::kRightLeg));
+  ASSERT_TRUE(data.ok());
+  const CapturedMotion& m = data->front();
+  EXPECT_EQ(m.mocap.num_markers(), 4u);  // pelvis + 3
+  EXPECT_EQ(m.emg_raw.num_channels(), 2u);
+}
+
+TEST(DatasetTest, DeterministicForSeed) {
+  auto a = GenerateDataset(SmallOptions(Limb::kRightHand));
+  auto b = GenerateDataset(SmallOptions(Limb::kRightHand));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->size(), b->size());
+  for (size_t i = 0; i < a->size(); ++i) {
+    EXPECT_TRUE((*a)[i].mocap.positions().AllClose(
+        (*b)[i].mocap.positions(), 0.0));
+    EXPECT_EQ((*a)[i].emg_raw.channel(0), (*b)[i].emg_raw.channel(0));
+  }
+}
+
+TEST(DatasetTest, DifferentSeedsDiffer) {
+  DatasetOptions o1 = SmallOptions(Limb::kRightHand);
+  DatasetOptions o2 = o1;
+  o2.seed = 999;
+  auto a = GenerateDataset(o1);
+  auto b = GenerateDataset(o2);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_FALSE((*a)[0].mocap.positions().AllClose(
+      (*b)[0].mocap.positions(), 1.0));
+}
+
+TEST(DatasetTest, TrialsOfSameClassVary) {
+  auto data = GenerateDataset(SmallOptions(Limb::kRightHand));
+  ASSERT_TRUE(data.ok());
+  const auto& t0 = (*data)[0];
+  const auto& t1 = (*data)[1];
+  ASSERT_EQ(t0.class_id, t1.class_id);
+  // Different durations or different trajectories.
+  const bool differ =
+      t0.mocap.num_frames() != t1.mocap.num_frames() ||
+      !t0.mocap.positions().AllClose(t1.mocap.positions(), 1.0);
+  EXPECT_TRUE(differ);
+}
+
+TEST(DatasetTest, SubjectsAssignedRoundRobin) {
+  DatasetOptions opts = SmallOptions(Limb::kRightHand);
+  opts.trials_per_class = 4;
+  opts.num_subjects = 2;
+  auto data = GenerateDataset(opts);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ((*data)[0].subject, 0u);
+  EXPECT_EQ((*data)[1].subject, 1u);
+  EXPECT_EQ((*data)[2].subject, 0u);
+}
+
+TEST(DatasetTest, TriggerJitterShortensStreams) {
+  DatasetOptions opts = SmallOptions(Limb::kRightHand);
+  opts.trigger.emg_latency_ms = 100.0;
+  auto data = GenerateDataset(opts);
+  ASSERT_TRUE(data.ok());
+  const auto& m = data->front();
+  // The EMG misses ~100 ms relative to the mocap.
+  EXPECT_LT(m.emg_raw.duration_seconds() + 0.05,
+            m.mocap.duration_seconds());
+}
+
+TEST(DatasetTest, Validations) {
+  DatasetOptions opts = SmallOptions(Limb::kRightHand);
+  opts.trials_per_class = 0;
+  EXPECT_FALSE(GenerateDataset(opts).ok());
+  opts = SmallOptions(Limb::kRightHand);
+  opts.frame_rate_hz = -1.0;
+  EXPECT_FALSE(GenerateDataset(opts).ok());
+  EXPECT_FALSE(GenerateTrial(SmallOptions(Limb::kRightHand), 99, 0, 1)
+                   .ok());
+}
+
+}  // namespace
+}  // namespace mocemg

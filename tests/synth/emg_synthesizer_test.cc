@@ -1,0 +1,139 @@
+#include "synth/emg_synthesizer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "signal/spectral.h"
+
+namespace mocemg {
+namespace {
+
+std::vector<double> BurstEnvelope(size_t frames) {
+  // Quiet — active — quiet at 120 Hz.
+  std::vector<double> env(frames, 0.02);
+  for (size_t i = frames / 3; i < 2 * frames / 3; ++i) env[i] = 0.8;
+  return env;
+}
+
+double RmsOf(const std::vector<double>& v, size_t begin, size_t end) {
+  double sum = 0.0;
+  for (size_t i = begin; i < end; ++i) sum += v[i] * v[i];
+  return std::sqrt(sum / static_cast<double>(end - begin));
+}
+
+TEST(EmgSynthesizerTest, OutputRateAndLength) {
+  Rng rng(1);
+  auto ch = SynthesizeEmgChannel(BurstEnvelope(240), 120.0,
+                                 EmgSynthOptions{}, &rng);
+  ASSERT_TRUE(ch.ok()) << ch.status();
+  // 2 s at 1000 Hz.
+  EXPECT_NEAR(static_cast<double>(ch->size()), 2000.0, 5.0);
+}
+
+TEST(EmgSynthesizerTest, SignalIsSignedAndMicrovoltScale) {
+  Rng rng(2);
+  auto ch = SynthesizeEmgChannel(BurstEnvelope(240), 120.0,
+                                 EmgSynthOptions{}, &rng);
+  ASSERT_TRUE(ch.ok());
+  bool has_positive = false;
+  bool has_negative = false;
+  double peak = 0.0;
+  for (double v : *ch) {
+    has_positive |= v > 0.0;
+    has_negative |= v < 0.0;
+    peak = std::max(peak, std::fabs(v));
+  }
+  EXPECT_TRUE(has_positive);
+  EXPECT_TRUE(has_negative);
+  // Raw surface EMG: tens to a few hundred microvolts at most.
+  EXPECT_LT(peak, 1e-3);
+  EXPECT_GT(peak, 1e-6);
+}
+
+TEST(EmgSynthesizerTest, ActiveRegionLouderThanQuiet) {
+  Rng rng(3);
+  EmgSynthOptions opts;
+  opts.artifact_rate_hz = 0.0;  // keep the comparison clean
+  auto ch = SynthesizeEmgChannel(BurstEnvelope(360), 120.0, opts, &rng);
+  ASSERT_TRUE(ch.ok());
+  const size_t n = ch->size();
+  const double quiet = RmsOf(*ch, 0, n / 4);
+  const double active = RmsOf(*ch, 2 * n / 5, 3 * n / 5);
+  EXPECT_GT(active, 5.0 * quiet);
+}
+
+TEST(EmgSynthesizerTest, CarrierEnergyInEmgBand) {
+  Rng rng(4);
+  EmgSynthOptions opts;
+  opts.artifact_rate_hz = 0.0;
+  opts.wander_amplitude_v = 0.0;
+  opts.noise_floor_v = 0.0;
+  std::vector<double> full(600, 1.0);  // constant full activation
+  auto ch = SynthesizeEmgChannel(full, 120.0, opts, &rng);
+  ASSERT_TRUE(ch.ok());
+  auto median = MedianFrequency(*ch, opts.sample_rate_hz);
+  ASSERT_TRUE(median.ok());
+  // Surface-EMG median frequency: tens to ~150 Hz.
+  EXPECT_GT(*median, 40.0);
+  EXPECT_LT(*median, 220.0);
+}
+
+TEST(EmgSynthesizerTest, TrialsAreNonStationary) {
+  // Same envelope, same seed family, different trials → different
+  // waveforms (the property the paper stresses).
+  Rng rng_a(5);
+  Rng rng_b(6);
+  EmgSynthOptions opts;
+  auto a = SynthesizeEmgChannel(BurstEnvelope(240), 120.0, opts, &rng_a);
+  auto b = SynthesizeEmgChannel(BurstEnvelope(240), 120.0, opts, &rng_b);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  double diff = 0.0;
+  const size_t n = std::min(a->size(), b->size());
+  for (size_t i = 0; i < n; ++i) diff += std::fabs((*a)[i] - (*b)[i]);
+  EXPECT_GT(diff, 0.0);
+}
+
+TEST(EmgSynthesizerTest, DeterministicForSeed) {
+  Rng rng_a(7);
+  Rng rng_b(7);
+  auto a = SynthesizeEmgChannel(BurstEnvelope(120), 120.0,
+                                EmgSynthOptions{}, &rng_a);
+  auto b = SynthesizeEmgChannel(BurstEnvelope(120), 120.0,
+                                EmgSynthOptions{}, &rng_b);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*a, *b);
+}
+
+TEST(EmgSynthesizerTest, RecordingBundlesChannels) {
+  Rng rng(8);
+  std::vector<MuscleActivation> acts;
+  acts.push_back({Muscle::kBiceps, BurstEnvelope(240)});
+  acts.push_back({Muscle::kTriceps, std::vector<double>(240, 0.05)});
+  auto rec = SynthesizeEmgRecording(acts, 120.0, EmgSynthOptions{}, &rng);
+  ASSERT_TRUE(rec.ok());
+  EXPECT_EQ(rec->num_channels(), 2u);
+  EXPECT_EQ(rec->muscles()[0], Muscle::kBiceps);
+  EXPECT_DOUBLE_EQ(rec->sample_rate_hz(), 1000.0);
+  EXPECT_TRUE(rec->Validate().ok());
+}
+
+TEST(EmgSynthesizerTest, Validations) {
+  Rng rng(9);
+  EXPECT_FALSE(
+      SynthesizeEmgChannel({}, 120.0, EmgSynthOptions{}, &rng).ok());
+  EXPECT_FALSE(SynthesizeEmgChannel({1.0}, 120.0, EmgSynthOptions{},
+                                    nullptr)
+                   .ok());
+  EmgSynthOptions bad;
+  bad.carrier_high_hz = 600.0;  // above Nyquist
+  EXPECT_FALSE(
+      SynthesizeEmgChannel(BurstEnvelope(120), 120.0, bad, &rng).ok());
+  EXPECT_FALSE(
+      SynthesizeEmgRecording({}, 120.0, EmgSynthOptions{}, &rng).ok());
+}
+
+}  // namespace
+}  // namespace mocemg

@@ -1,0 +1,224 @@
+#include "synth/kinematics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mocap/local_transform.h"
+
+namespace mocemg {
+namespace {
+
+ArmAngleSeries RestingArm(size_t frames) {
+  ArmAngleSeries a;
+  a.shoulder_elevation.assign(frames, 0.0);
+  a.shoulder_azimuth.assign(frames, 0.0);
+  a.elbow_flexion.assign(frames, 0.0);
+  a.wrist_flexion.assign(frames, 0.0);
+  return a;
+}
+
+LegAngleSeries StandingLeg(size_t frames) {
+  LegAngleSeries a;
+  a.hip_flexion.assign(frames, 0.0);
+  a.knee_flexion.assign(frames, 0.0);
+  a.ankle_flexion.assign(frames, 0.0);
+  return a;
+}
+
+PlacementOptions NoiselessPlacement() {
+  PlacementOptions p;
+  p.marker_noise_mm = 0.0;
+  p.sway_mm = 0.0;
+  return p;
+}
+
+TEST(ArmKinematicsTest, MarkerSetMatchesPaperHandAttributes) {
+  Rng rng(1);
+  auto seq = SynthesizeArmCapture(RestingArm(10), BodyDimensions{},
+                                  NoiselessPlacement(), &rng);
+  ASSERT_TRUE(seq.ok()) << seq.status();
+  const auto& segments = seq->marker_set().segments();
+  ASSERT_EQ(segments.size(), 5u);
+  EXPECT_EQ(segments[0], Segment::kPelvis);
+  EXPECT_EQ(segments[1], Segment::kClavicle);
+  EXPECT_EQ(segments[4], Segment::kHand);
+  EXPECT_EQ(seq->num_frames(), 10u);
+}
+
+TEST(ArmKinematicsTest, RestingArmHangsDown) {
+  Rng rng(2);
+  BodyDimensions body;
+  auto seq = SynthesizeArmCapture(RestingArm(5), body,
+                                  NoiselessPlacement(), &rng);
+  ASSERT_TRUE(seq.ok());
+  const auto pelvis = seq->MarkerPosition(0, 0);
+  const auto clav = seq->MarkerPosition(0, 1);
+  const auto hand = seq->MarkerPosition(0, 4);
+  // Clavicle above pelvis by the torso height.
+  EXPECT_NEAR(clav[2] - pelvis[2], body.torso_height, 1e-6);
+  // Hand below the shoulder by the full arm length.
+  EXPECT_NEAR(clav[2] - hand[2],
+              body.upper_arm + body.forearm + body.hand, 1e-6);
+  // And horizontally aligned with the shoulder.
+  EXPECT_NEAR(hand[0], clav[0], 1e-6);
+}
+
+TEST(ArmKinematicsTest, SegmentLengthsPreservedUnderMotion) {
+  Rng rng(3);
+  BodyDimensions body;
+  ArmAngleSeries a = RestingArm(50);
+  for (size_t f = 0; f < 50; ++f) {
+    a.shoulder_elevation[f] = 0.03 * static_cast<double>(f);
+    a.elbow_flexion[f] = 0.02 * static_cast<double>(f);
+    a.wrist_flexion[f] = 0.01 * static_cast<double>(f);
+    a.shoulder_azimuth[f] = 0.5 * std::sin(0.1 * f);
+  }
+  auto seq =
+      SynthesizeArmCapture(a, body, NoiselessPlacement(), &rng);
+  ASSERT_TRUE(seq.ok());
+  for (size_t f = 0; f < 50; f += 7) {
+    const auto clav = seq->MarkerPosition(f, 1);
+    const auto elbow = seq->MarkerPosition(f, 2);
+    const auto wrist = seq->MarkerPosition(f, 3);
+    const auto hand = seq->MarkerPosition(f, 4);
+    auto dist = [](const std::array<double, 3>& p,
+                   const std::array<double, 3>& q) {
+      return std::sqrt((p[0] - q[0]) * (p[0] - q[0]) +
+                       (p[1] - q[1]) * (p[1] - q[1]) +
+                       (p[2] - q[2]) * (p[2] - q[2]));
+    };
+    EXPECT_NEAR(dist(clav, elbow), body.upper_arm, 1e-6);
+    EXPECT_NEAR(dist(elbow, wrist), body.forearm, 1e-6);
+    EXPECT_NEAR(dist(wrist, hand), body.hand, 1e-6);
+  }
+}
+
+TEST(ArmKinematicsTest, RaisedArmIsForwardAndUp) {
+  Rng rng(4);
+  ArmAngleSeries a = RestingArm(3);
+  for (auto& v : a.shoulder_elevation) v = M_PI / 2.0;  // horizontal
+  auto seq = SynthesizeArmCapture(a, BodyDimensions{},
+                                  NoiselessPlacement(), &rng);
+  ASSERT_TRUE(seq.ok());
+  const auto clav = seq->MarkerPosition(0, 1);
+  const auto elbow = seq->MarkerPosition(0, 2);
+  EXPECT_NEAR(elbow[2], clav[2], 1e-6);                       // level
+  EXPECT_NEAR(elbow[0] - clav[0], BodyDimensions{}.upper_arm, 1e-6);
+}
+
+TEST(ArmKinematicsTest, HeadingRotationIsRemovedByLocalTransform) {
+  ArmAngleSeries a = RestingArm(20);
+  for (size_t f = 0; f < 20; ++f) {
+    a.shoulder_elevation[f] = 0.05 * static_cast<double>(f);
+  }
+  PlacementOptions p1 = NoiselessPlacement();
+  PlacementOptions p2 = NoiselessPlacement();
+  p2.origin_x = 4000.0;
+  p2.origin_y = -2000.0;
+  Rng r1(5);
+  Rng r2(5);
+  auto s1 = SynthesizeArmCapture(a, BodyDimensions{}, p1, &r1);
+  auto s2 = SynthesizeArmCapture(a, BodyDimensions{}, p2, &r2);
+  ASSERT_TRUE(s1.ok());
+  ASSERT_TRUE(s2.ok());
+  // Different in the lab frame…
+  EXPECT_FALSE(s1->positions().AllClose(s2->positions(), 100.0));
+  // …identical pelvis-local.
+  auto l1 = ToPelvisLocal(*s1);
+  auto l2 = ToPelvisLocal(*s2);
+  ASSERT_TRUE(l1.ok());
+  ASSERT_TRUE(l2.ok());
+  EXPECT_TRUE(l1->positions().AllClose(l2->positions(), 1e-6));
+}
+
+TEST(ArmKinematicsTest, MarkerNoiseHasRequestedScale) {
+  Rng rng(6);
+  PlacementOptions p = NoiselessPlacement();
+  p.marker_noise_mm = 2.0;
+  auto seq = SynthesizeArmCapture(RestingArm(2000), BodyDimensions{}, p,
+                                  &rng);
+  ASSERT_TRUE(seq.ok());
+  // The hand is static, so its x spread is pure noise.
+  double mean = 0.0;
+  for (size_t f = 0; f < 2000; ++f) mean += seq->MarkerPosition(f, 4)[0];
+  mean /= 2000.0;
+  double var = 0.0;
+  for (size_t f = 0; f < 2000; ++f) {
+    const double d = seq->MarkerPosition(f, 4)[0] - mean;
+    var += d * d;
+  }
+  EXPECT_NEAR(std::sqrt(var / 2000.0), 2.0, 0.2);
+}
+
+TEST(ArmKinematicsTest, Validations) {
+  Rng rng(7);
+  ArmAngleSeries bad = RestingArm(5);
+  bad.elbow_flexion.pop_back();
+  EXPECT_FALSE(SynthesizeArmCapture(bad, BodyDimensions{},
+                                    NoiselessPlacement(), &rng)
+                   .ok());
+  EXPECT_FALSE(SynthesizeArmCapture(RestingArm(5), BodyDimensions{},
+                                    NoiselessPlacement(), nullptr)
+                   .ok());
+  PlacementOptions p = NoiselessPlacement();
+  p.pelvis_dx = {1.0, 2.0};  // wrong length
+  EXPECT_FALSE(
+      SynthesizeArmCapture(RestingArm(5), BodyDimensions{}, p, &rng).ok());
+}
+
+TEST(LegKinematicsTest, MarkerSetMatchesPaperLegAttributes) {
+  Rng rng(8);
+  auto seq = SynthesizeLegCapture(StandingLeg(10), BodyDimensions{},
+                                  NoiselessPlacement(), &rng);
+  ASSERT_TRUE(seq.ok());
+  const auto& segments = seq->marker_set().segments();
+  ASSERT_EQ(segments.size(), 4u);
+  EXPECT_EQ(segments[1], Segment::kTibia);
+  EXPECT_EQ(segments[2], Segment::kFoot);
+  EXPECT_EQ(segments[3], Segment::kToe);
+}
+
+TEST(LegKinematicsTest, StandingLegGeometry) {
+  Rng rng(9);
+  BodyDimensions body;
+  auto seq = SynthesizeLegCapture(StandingLeg(3), body,
+                                  NoiselessPlacement(), &rng);
+  ASSERT_TRUE(seq.ok());
+  const auto pelvis = seq->MarkerPosition(0, 0);
+  const auto ankle = seq->MarkerPosition(0, 1);
+  const auto toe = seq->MarkerPosition(0, 3);
+  // Ankle below pelvis by hip drop + thigh + shank.
+  EXPECT_NEAR(pelvis[2] - ankle[2],
+              body.hip_drop + body.thigh + body.shank, 1e-6);
+  // Toe points forward (+x) when standing.
+  EXPECT_NEAR(toe[0] - ankle[0], body.foot + body.toe, 1e-6);
+  EXPECT_NEAR(toe[2], ankle[2], 1e-6);
+}
+
+TEST(LegKinematicsTest, PelvisTranslationTracksApplied) {
+  Rng rng(10);
+  PlacementOptions p = NoiselessPlacement();
+  p.pelvis_dx.assign(5, 0.0);
+  p.pelvis_dz.assign(5, 0.0);
+  for (size_t f = 0; f < 5; ++f) {
+    p.pelvis_dx[f] = 100.0 * static_cast<double>(f);
+  }
+  auto seq = SynthesizeLegCapture(StandingLeg(5), BodyDimensions{}, p,
+                                  &rng);
+  ASSERT_TRUE(seq.ok());
+  EXPECT_NEAR(seq->MarkerPosition(4, 0)[0] - seq->MarkerPosition(0, 0)[0],
+              400.0, 1e-6);
+}
+
+TEST(BodyDimensionsTest, ScalingIsUniform) {
+  BodyDimensions body;
+  BodyDimensions scaled = body.Scaled(1.1);
+  EXPECT_NEAR(scaled.thigh, body.thigh * 1.1, 1e-9);
+  EXPECT_NEAR(scaled.hand, body.hand * 1.1, 1e-9);
+  EXPECT_NEAR(scaled.shoulder_offset_y, body.shoulder_offset_y * 1.1,
+              1e-9);
+}
+
+}  // namespace
+}  // namespace mocemg

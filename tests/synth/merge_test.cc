@@ -1,0 +1,117 @@
+#include "synth/merge.h"
+
+#include <gtest/gtest.h>
+
+#include "core/classifier.h"
+#include "synth/dataset.h"
+
+namespace mocemg {
+namespace {
+
+// Generates synchronized arm + leg rigs for the same "session" seed.
+std::pair<CapturedMotion, CapturedMotion> MakeTwoRigs(uint64_t seed) {
+  DatasetOptions hand;
+  hand.limb = Limb::kRightHand;
+  hand.seed = seed;
+  DatasetOptions leg;
+  leg.limb = Limb::kRightLeg;
+  leg.seed = seed;
+  return {*GenerateTrial(hand, 0, 0, seed),
+          *GenerateTrial(leg, 0, 0, seed)};
+}
+
+TEST(MergeMotionTest, UnionMarkerSetSharedPelvis) {
+  auto [hand, leg] = MakeTwoRigs(1);
+  auto merged = MergeMotionCaptures(hand.mocap, leg.mocap);
+  ASSERT_TRUE(merged.ok()) << merged.status();
+  // pelvis + 4 arm + 3 leg = 8 markers.
+  EXPECT_EQ(merged->num_markers(), 8u);
+  EXPECT_EQ(merged->num_frames(),
+            std::min(hand.mocap.num_frames(), leg.mocap.num_frames()));
+  // Pelvis comes from rig a.
+  const auto pa = hand.mocap.MarkerPosition(3, 0);
+  const auto pm = merged->MarkerPosition(3, 0);
+  EXPECT_DOUBLE_EQ(pa[0], pm[0]);
+  // Leg markers preserved.
+  auto tibia_src = leg.mocap.JointMatrix(Segment::kTibia);
+  auto tibia_merged = merged->JointMatrix(Segment::kTibia);
+  ASSERT_TRUE(tibia_src.ok());
+  ASSERT_TRUE(tibia_merged.ok());
+  EXPECT_DOUBLE_EQ((*tibia_src)(5, 1), (*tibia_merged)(5, 1));
+}
+
+TEST(MergeMotionTest, RejectsDuplicateNonPelvisSegment) {
+  auto [hand, leg] = MakeTwoRigs(2);
+  (void)leg;
+  EXPECT_FALSE(MergeMotionCaptures(hand.mocap, hand.mocap).ok());
+}
+
+TEST(MergeMotionTest, RejectsRateMismatch) {
+  auto [hand, leg] = MakeTwoRigs(3);
+  MarkerSet set({Segment::kTibia});
+  auto slow = MotionSequence::Create(set, Matrix(10, 6, 1.0), 60.0);
+  ASSERT_TRUE(slow.ok());
+  EXPECT_FALSE(MergeMotionCaptures(hand.mocap, *slow).ok());
+}
+
+TEST(MergeEmgTest, ConcatenatesChannels) {
+  auto [hand, leg] = MakeTwoRigs(4);
+  auto merged = MergeEmgRecordings(hand.emg_raw, leg.emg_raw);
+  ASSERT_TRUE(merged.ok()) << merged.status();
+  EXPECT_EQ(merged->num_channels(), 6u);  // 4 arm + 2 leg
+  EXPECT_TRUE(merged->IndexOf(Muscle::kBiceps).ok());
+  EXPECT_TRUE(merged->IndexOf(Muscle::kBackShin).ok());
+  EXPECT_EQ(merged->num_samples(),
+            std::min(hand.emg_raw.num_samples(),
+                     leg.emg_raw.num_samples()));
+}
+
+TEST(MergeEmgTest, RejectsDuplicateMuscle) {
+  auto [hand, leg] = MakeTwoRigs(5);
+  (void)leg;
+  EXPECT_FALSE(MergeEmgRecordings(hand.emg_raw, hand.emg_raw).ok());
+}
+
+TEST(MergeTest, WholeBodyPipelineRuns) {
+  // The paper's flexibility claim: whole-body capture through the
+  // unchanged pipeline. Build a tiny whole-body dataset (2 classes) and
+  // check training + classification work end to end.
+  std::vector<LabeledMotion> motions;
+  for (size_t trial = 0; trial < 3; ++trial) {
+    for (size_t cls = 0; cls < 2; ++cls) {
+      DatasetOptions hand;
+      hand.limb = Limb::kRightHand;
+      hand.seed = 100 + trial;
+      DatasetOptions leg;
+      leg.limb = Limb::kRightLeg;
+      leg.seed = 100 + trial;
+      auto arm = GenerateTrial(hand, cls, trial, 7000 + 10 * trial + cls);
+      auto lower =
+          GenerateTrial(leg, cls, trial, 8000 + 10 * trial + cls);
+      ASSERT_TRUE(arm.ok());
+      ASSERT_TRUE(lower.ok());
+      auto mocap = MergeMotionCaptures(arm->mocap, lower->mocap);
+      auto emg = MergeEmgRecordings(arm->emg_raw, lower->emg_raw);
+      ASSERT_TRUE(mocap.ok());
+      ASSERT_TRUE(emg.ok());
+      LabeledMotion m;
+      m.mocap = std::move(*mocap);
+      m.emg = std::move(*emg);
+      m.label = cls;
+      m.label_name = "combo" + std::to_string(cls);
+      motions.push_back(std::move(m));
+    }
+  }
+  ClassifierOptions opts;
+  opts.fcm.num_clusters = 4;
+  auto clf = MotionClassifier::Train(motions, opts);
+  ASSERT_TRUE(clf.ok()) << clf.status();
+  // 6 EMG + 3·7 mocap = 27-d window features → 8-d final features.
+  EXPECT_EQ(clf->codebook().dimension(), 27u);
+  auto label = clf->Classify(motions[0].mocap, motions[0].emg);
+  ASSERT_TRUE(label.ok());
+  EXPECT_EQ(*label, motions[0].label);
+}
+
+}  // namespace
+}  // namespace mocemg

@@ -1,0 +1,174 @@
+#include "synth/motion_classes.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <string>
+
+namespace mocemg {
+namespace {
+
+TEST(MotionClassesTest, NamesAreDistinct) {
+  std::set<std::string> names;
+  for (size_t i = 0; i < NumHandClasses(); ++i) {
+    names.insert(HandMotionClassName(static_cast<HandMotionClass>(i)));
+  }
+  EXPECT_EQ(names.size(), NumHandClasses());
+  names.clear();
+  for (size_t i = 0; i < NumLegClasses(); ++i) {
+    names.insert(LegMotionClassName(static_cast<LegMotionClass>(i)));
+  }
+  EXPECT_EQ(names.size(), NumLegClasses());
+}
+
+TEST(MotionClassesTest, PaperNamedClassesExist) {
+  // The paper's figures use "Raise Arm" and "Throw Ball".
+  EXPECT_STREQ(HandMotionClassName(HandMotionClass::kRaiseArm),
+               "raise_arm");
+  EXPECT_STREQ(HandMotionClassName(HandMotionClass::kThrowBall),
+               "throw_ball");
+}
+
+TEST(MotionClassesTest, TrialVariationWithinBounds) {
+  Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    TrialVariation v = SampleTrialVariation(&rng);
+    EXPECT_GE(v.amplitude_scale, 0.7);
+    EXPECT_LE(v.amplitude_scale, 1.3);
+    EXPECT_GE(v.time_scale, 0.7);
+    EXPECT_LE(v.time_scale, 1.35);
+    EXPECT_GE(v.onset_delay_s, 0.0);
+    EXPECT_LE(v.onset_delay_s, 0.25);
+    EXPECT_GE(v.rhythm_scale, 0.75);
+    EXPECT_LE(v.rhythm_scale, 1.25);
+  }
+}
+
+TEST(MotionClassesTest, HandMotionsGenerateValidSeries) {
+  Rng rng(2);
+  for (size_t i = 0; i < NumHandClasses(); ++i) {
+    TrialVariation v = SampleTrialVariation(&rng);
+    auto spec = GenerateHandMotion(static_cast<HandMotionClass>(i), v,
+                                   120.0, &rng);
+    ASSERT_TRUE(spec.ok()) << HandMotionClassName(
+        static_cast<HandMotionClass>(i));
+    EXPECT_TRUE(spec->angles.Validate().ok());
+    // 1.5–5 seconds of frames at 120 Hz.
+    EXPECT_GT(spec->angles.num_frames(), 150u);
+    EXPECT_LT(spec->angles.num_frames(), 620u);
+    // Angles stay physiological (|θ| < π).
+    for (double a : spec->angles.elbow_flexion) {
+      EXPECT_LT(std::fabs(a), M_PI);
+    }
+  }
+}
+
+TEST(MotionClassesTest, LegMotionsGenerateValidSeries) {
+  Rng rng(3);
+  for (size_t i = 0; i < NumLegClasses(); ++i) {
+    TrialVariation v = SampleTrialVariation(&rng);
+    auto spec = GenerateLegMotion(static_cast<LegMotionClass>(i), v,
+                                  120.0, &rng);
+    ASSERT_TRUE(spec.ok());
+    EXPECT_TRUE(spec->angles.Validate().ok());
+    EXPECT_EQ(spec->pelvis_dx.size(), spec->angles.num_frames());
+    EXPECT_EQ(spec->pelvis_dz.size(), spec->angles.num_frames());
+  }
+}
+
+TEST(MotionClassesTest, RaiseArmActuallyRaisesTheArm) {
+  Rng rng(4);
+  TrialVariation v;  // defaults: no perturbation
+  auto spec =
+      GenerateHandMotion(HandMotionClass::kRaiseArm, v, 120.0, &rng);
+  ASSERT_TRUE(spec.ok());
+  const auto& elev = spec->angles.shoulder_elevation;
+  const double start = elev.front();
+  const double peak = *std::max_element(elev.begin(), elev.end());
+  EXPECT_GT(peak, start + 1.0);  // raises by over a radian
+}
+
+TEST(MotionClassesTest, WalkOscillatesHip) {
+  Rng rng(5);
+  TrialVariation v;
+  auto spec = GenerateLegMotion(LegMotionClass::kWalk, v, 120.0, &rng);
+  ASSERT_TRUE(spec.ok());
+  const auto& hip = spec->angles.hip_flexion;
+  const double min = *std::min_element(hip.begin(), hip.end());
+  const double max = *std::max_element(hip.begin(), hip.end());
+  EXPECT_GT(max - min, 0.5);  // swings
+  // And progresses forward.
+  EXPECT_GT(spec->pelvis_dx.back(), 1000.0);
+}
+
+TEST(MotionClassesTest, SquatDropsPelvis) {
+  Rng rng(6);
+  TrialVariation v;
+  auto spec = GenerateLegMotion(LegMotionClass::kSquat, v, 120.0, &rng);
+  ASSERT_TRUE(spec.ok());
+  const double lowest = *std::min_element(spec->pelvis_dz.begin(),
+                                          spec->pelvis_dz.end());
+  EXPECT_LT(lowest, -200.0);
+}
+
+TEST(MotionClassesTest, TrialsDifferButShareShape) {
+  Rng rng(7);
+  TrialVariation v1 = SampleTrialVariation(&rng);
+  TrialVariation v2 = SampleTrialVariation(&rng);
+  auto a = GenerateHandMotion(HandMotionClass::kThrowBall, v1, 120.0,
+                              &rng);
+  auto b = GenerateHandMotion(HandMotionClass::kThrowBall, v2, 120.0,
+                              &rng);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  // Different trials are not identical…
+  const size_t n =
+      std::min(a->angles.num_frames(), b->angles.num_frames());
+  double diff = 0.0;
+  for (size_t f = 0; f < n; ++f) {
+    diff += std::fabs(a->angles.elbow_flexion[f] -
+                      b->angles.elbow_flexion[f]);
+  }
+  EXPECT_GT(diff / static_cast<double>(n), 0.01);
+  // …but both show the throw's elbow cock (> 1.2 rad peak).
+  EXPECT_GT(*std::max_element(a->angles.elbow_flexion.begin(),
+                              a->angles.elbow_flexion.end()),
+            1.2);
+  EXPECT_GT(*std::max_element(b->angles.elbow_flexion.begin(),
+                              b->angles.elbow_flexion.end()),
+            1.2);
+}
+
+TEST(MotionClassesTest, TimeScaleStretchesDuration) {
+  Rng rng(8);
+  TrialVariation slow;
+  slow.time_scale = 1.3;
+  TrialVariation fast;
+  fast.time_scale = 0.75;
+  auto a = GenerateHandMotion(HandMotionClass::kDrink, slow, 120.0, &rng);
+  auto b = GenerateHandMotion(HandMotionClass::kDrink, fast, 120.0, &rng);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_GT(a->angles.num_frames(), b->angles.num_frames());
+}
+
+TEST(MotionClassesTest, Validations) {
+  Rng rng(9);
+  TrialVariation v;
+  EXPECT_FALSE(
+      GenerateHandMotion(HandMotionClass::kNumClasses, v, 120.0, &rng)
+          .ok());
+  EXPECT_FALSE(
+      GenerateHandMotion(HandMotionClass::kRaiseArm, v, 0.0, &rng).ok());
+  EXPECT_FALSE(
+      GenerateHandMotion(HandMotionClass::kRaiseArm, v, 120.0, nullptr)
+          .ok());
+  EXPECT_FALSE(
+      GenerateLegMotion(LegMotionClass::kNumClasses, v, 120.0, &rng)
+          .ok());
+}
+
+}  // namespace
+}  // namespace mocemg

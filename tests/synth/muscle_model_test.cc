@@ -1,0 +1,185 @@
+#include "synth/muscle_model.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "synth/motion_classes.h"
+
+namespace mocemg {
+namespace {
+
+double MeanOf(const std::vector<double>& v, size_t begin, size_t end) {
+  double sum = 0.0;
+  for (size_t i = begin; i < end; ++i) sum += v[i];
+  return sum / static_cast<double>(end - begin);
+}
+
+const MuscleActivation* Find(const std::vector<MuscleActivation>& acts,
+                             Muscle m) {
+  for (const auto& a : acts) {
+    if (a.muscle == m) return &a;
+  }
+  return nullptr;
+}
+
+TEST(MuscleModelTest, ArmReturnsPaperElectrodeSet) {
+  ArmAngleSeries angles;
+  angles.shoulder_elevation.assign(120, 0.0);
+  angles.shoulder_azimuth.assign(120, 0.0);
+  angles.elbow_flexion.assign(120, 0.0);
+  angles.wrist_flexion.assign(120, 0.0);
+  Rng rng(1);
+  auto acts = ComputeArmActivations(angles, 120.0, MuscleModelOptions{},
+                                    &rng);
+  ASSERT_TRUE(acts.ok());
+  ASSERT_EQ(acts->size(), 4u);
+  EXPECT_NE(Find(*acts, Muscle::kBiceps), nullptr);
+  EXPECT_NE(Find(*acts, Muscle::kTriceps), nullptr);
+  EXPECT_NE(Find(*acts, Muscle::kUpperForearm), nullptr);
+  EXPECT_NE(Find(*acts, Muscle::kLowerForearm), nullptr);
+  for (const auto& a : *acts) {
+    EXPECT_EQ(a.activation.size(), 120u);
+  }
+}
+
+TEST(MuscleModelTest, ActivationsStayInUnitRange) {
+  Rng rng(2);
+  TrialVariation v;
+  auto spec =
+      GenerateHandMotion(HandMotionClass::kThrowBall, v, 120.0, &rng);
+  ASSERT_TRUE(spec.ok());
+  auto acts = ComputeArmActivations(spec->angles, 120.0,
+                                    MuscleModelOptions{}, &rng);
+  ASSERT_TRUE(acts.ok());
+  for (const auto& a : *acts) {
+    for (double x : a.activation) {
+      EXPECT_GE(x, 0.0);
+      EXPECT_LE(x, 1.0);
+    }
+  }
+}
+
+TEST(MuscleModelTest, ElbowFlexionDrivesBicepsOverTriceps) {
+  // A pure elbow-flexion ramp-up: biceps must out-activate triceps
+  // during the lift.
+  const size_t n = 240;
+  ArmAngleSeries angles;
+  angles.shoulder_elevation.assign(n, 0.0);
+  angles.shoulder_azimuth.assign(n, 0.0);
+  angles.wrist_flexion.assign(n, 0.0);
+  angles.elbow_flexion.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    // Smooth rise 0 → 1.8 rad over 2 s.
+    const double t = static_cast<double>(i) / static_cast<double>(n);
+    angles.elbow_flexion[i] = 1.8 * t * t * (3.0 - 2.0 * t);
+  }
+  MuscleModelOptions opts;
+  opts.trial_gain_sigma = 0.0;  // deterministic comparison
+  Rng rng(3);
+  auto acts = ComputeArmActivations(angles, 120.0, opts, &rng);
+  ASSERT_TRUE(acts.ok());
+  const auto* biceps = Find(*acts, Muscle::kBiceps);
+  const auto* triceps = Find(*acts, Muscle::kTriceps);
+  ASSERT_NE(biceps, nullptr);
+  ASSERT_NE(triceps, nullptr);
+  const double b = MeanOf(biceps->activation, n / 4, 3 * n / 4);
+  const double t = MeanOf(triceps->activation, n / 4, 3 * n / 4);
+  EXPECT_GT(b, 1.5 * t);
+}
+
+TEST(MuscleModelTest, RestIsNearTonicLevel) {
+  const size_t n = 120;
+  ArmAngleSeries angles;
+  angles.shoulder_elevation.assign(n, 0.0);
+  angles.shoulder_azimuth.assign(n, 0.0);
+  angles.elbow_flexion.assign(n, 0.0);
+  angles.wrist_flexion.assign(n, 0.0);
+  MuscleModelOptions opts;
+  opts.trial_gain_sigma = 0.0;
+  Rng rng(4);
+  auto acts = ComputeArmActivations(angles, 120.0, opts, &rng);
+  ASSERT_TRUE(acts.ok());
+  const auto* triceps = Find(*acts, Muscle::kTriceps);
+  EXPECT_LT(MeanOf(triceps->activation, 10, n), 3.0 * opts.tonic_level);
+}
+
+TEST(MuscleModelTest, LegReturnsTwoShinChannels) {
+  LegAngleSeries angles;
+  angles.hip_flexion.assign(100, 0.0);
+  angles.knee_flexion.assign(100, 0.0);
+  angles.ankle_flexion.assign(100, 0.0);
+  Rng rng(5);
+  auto acts = ComputeLegActivations(angles, 120.0, MuscleModelOptions{},
+                                    &rng);
+  ASSERT_TRUE(acts.ok());
+  ASSERT_EQ(acts->size(), 2u);
+  EXPECT_EQ((*acts)[0].muscle, Muscle::kFrontShin);
+  EXPECT_EQ((*acts)[1].muscle, Muscle::kBackShin);
+}
+
+TEST(MuscleModelTest, DorsiflexionDrivesFrontShin) {
+  const size_t n = 240;
+  LegAngleSeries angles;
+  angles.hip_flexion.assign(n, 0.0);
+  angles.knee_flexion.assign(n, 0.0);
+  angles.ankle_flexion.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) / static_cast<double>(n);
+    angles.ankle_flexion[i] = 0.5 * t * t * (3.0 - 2.0 * t);
+  }
+  MuscleModelOptions opts;
+  opts.trial_gain_sigma = 0.0;
+  Rng rng(6);
+  auto acts = ComputeLegActivations(angles, 120.0, opts, &rng);
+  ASSERT_TRUE(acts.ok());
+  const double front = MeanOf((*acts)[0].activation, n / 4, 3 * n / 4);
+  const double back = MeanOf((*acts)[1].activation, n / 4, 3 * n / 4);
+  EXPECT_GT(front, back);
+}
+
+TEST(MuscleModelTest, TrialGainJitterMakesTrialsDiffer) {
+  // The paper: two similar motions need not have similar EMG. Same
+  // kinematics, different trial → different activation scale.
+  const size_t n = 120;
+  ArmAngleSeries angles;
+  angles.shoulder_elevation.assign(n, 0.0);
+  angles.shoulder_azimuth.assign(n, 0.0);
+  angles.wrist_flexion.assign(n, 0.0);
+  angles.elbow_flexion.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    angles.elbow_flexion[i] = std::sin(0.05 * static_cast<double>(i));
+  }
+  Rng rng_a(7);
+  Rng rng_b(8);
+  MuscleModelOptions opts;
+  auto a = ComputeArmActivations(angles, 120.0, opts, &rng_a);
+  auto b = ComputeArmActivations(angles, 120.0, opts, &rng_b);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  const double mean_a = MeanOf(Find(*a, Muscle::kBiceps)->activation, 0, n);
+  const double mean_b = MeanOf(Find(*b, Muscle::kBiceps)->activation, 0, n);
+  EXPECT_GT(std::fabs(mean_a - mean_b) / std::max(mean_a, mean_b), 0.02);
+}
+
+TEST(MuscleModelTest, Validations) {
+  Rng rng(9);
+  ArmAngleSeries empty;
+  EXPECT_FALSE(
+      ComputeArmActivations(empty, 120.0, MuscleModelOptions{}, &rng)
+          .ok());
+  ArmAngleSeries ok;
+  ok.shoulder_elevation.assign(10, 0.0);
+  ok.shoulder_azimuth.assign(10, 0.0);
+  ok.elbow_flexion.assign(10, 0.0);
+  ok.wrist_flexion.assign(10, 0.0);
+  EXPECT_FALSE(
+      ComputeArmActivations(ok, 120.0, MuscleModelOptions{}, nullptr)
+          .ok());
+  EXPECT_FALSE(
+      ComputeArmActivations(ok, 0.0, MuscleModelOptions{}, &rng).ok());
+}
+
+}  // namespace
+}  // namespace mocemg

@@ -1,0 +1,132 @@
+#include "synth/profiles.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mocemg {
+namespace {
+
+TEST(KeyframeProfileTest, HoldsOutsideRange) {
+  KeyframeProfile p({{1.0, 2.0}, {2.0, 5.0}});
+  EXPECT_DOUBLE_EQ(p.Sample(0.0), 2.0);
+  EXPECT_DOUBLE_EQ(p.Sample(10.0), 5.0);
+}
+
+TEST(KeyframeProfileTest, PassesThroughKeyframes) {
+  KeyframeProfile p({{0.0, 1.0}, {1.0, 3.0}, {2.5, -2.0}});
+  EXPECT_DOUBLE_EQ(p.Sample(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(p.Sample(1.0), 3.0);
+  EXPECT_DOUBLE_EQ(p.Sample(2.5), -2.0);
+}
+
+TEST(KeyframeProfileTest, MinJerkMidpointIsHalfway) {
+  // s(0.5) = 10/8 − 15/16 + 6/32 = 0.5 exactly.
+  KeyframeProfile p({{0.0, 0.0}, {2.0, 4.0}});
+  EXPECT_NEAR(p.Sample(1.0), 2.0, 1e-12);
+}
+
+TEST(KeyframeProfileTest, MonotoneBetweenKeyframes) {
+  KeyframeProfile p({{0.0, 0.0}, {1.0, 1.0}});
+  double prev = -1.0;
+  for (double t = 0.0; t <= 1.0; t += 0.01) {
+    const double v = p.Sample(t);
+    EXPECT_GE(v, prev - 1e-12);
+    prev = v;
+  }
+}
+
+TEST(KeyframeProfileTest, ZeroVelocityAtKeyframes) {
+  KeyframeProfile p({{0.0, 0.0}, {1.0, 1.0}});
+  const double eps = 1e-4;
+  EXPECT_NEAR((p.Sample(eps) - p.Sample(0.0)) / eps, 0.0, 1e-3);
+  EXPECT_NEAR((p.Sample(1.0) - p.Sample(1.0 - eps)) / eps, 0.0, 1e-3);
+}
+
+TEST(KeyframeProfileTest, SampleSeriesLengthAndValues) {
+  KeyframeProfile p({{0.0, 0.0}, {1.0, 1.0}});
+  auto series = p.SampleSeries(1.0, 120.0);
+  EXPECT_EQ(series.size(), 120u);
+  EXPECT_DOUBLE_EQ(series[0], 0.0);
+}
+
+TEST(KeyframeProfileTest, Transforms) {
+  KeyframeProfile p({{0.0, 1.0}, {1.0, 3.0}});
+  p.ScaleTime(2.0);
+  EXPECT_DOUBLE_EQ(p.end_time(), 2.0);
+  p.ScaleValues(2.0, 1.0);  // pivot at 1: values 1 → 1, 3 → 5
+  EXPECT_DOUBLE_EQ(p.Sample(2.0), 5.0);
+  p.OffsetValues(0.5);
+  EXPECT_DOUBLE_EQ(p.Sample(0.0), 1.5);
+}
+
+TEST(OscillationTest, ZeroOutsideWindow) {
+  Oscillation o;
+  o.amplitude = 1.0;
+  o.frequency_hz = 2.0;
+  o.t_on_s = 1.0;
+  o.t_off_s = 2.0;
+  EXPECT_DOUBLE_EQ(o.Sample(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(o.Sample(2.5), 0.0);
+}
+
+TEST(OscillationTest, RampsUpSmoothly) {
+  Oscillation o;
+  o.amplitude = 1.0;
+  o.frequency_hz = 10.0;
+  o.t_on_s = 0.0;
+  o.t_off_s = 10.0;
+  o.ramp_s = 0.5;
+  // Immediately after onset the envelope is tiny.
+  EXPECT_LT(std::fabs(o.Sample(0.01)), 0.1);
+  // Mid-window it can reach full amplitude.
+  double peak = 0.0;
+  for (double t = 2.0; t < 3.0; t += 0.001) {
+    peak = std::max(peak, std::fabs(o.Sample(t)));
+  }
+  EXPECT_GT(peak, 0.95);
+}
+
+TEST(JointProfileTest, OverlaysAdd) {
+  JointProfile jp(KeyframeProfile({{0.0, 1.0}}));
+  Oscillation o;
+  o.amplitude = 0.5;
+  o.frequency_hz = 1.0;
+  o.t_on_s = 0.0;
+  o.t_off_s = 100.0;
+  o.ramp_s = 0.0;
+  jp.AddOscillation(o);
+  // At t = 0.25 s the sinusoid is at its peak.
+  EXPECT_NEAR(jp.Sample(0.25), 1.0 + 0.5, 1e-9);
+}
+
+TEST(DifferentiateTest, LinearRampHasConstantSlope) {
+  std::vector<double> ramp(100);
+  for (size_t i = 0; i < 100; ++i) ramp[i] = 0.5 * static_cast<double>(i);
+  auto d = Differentiate(ramp, 10.0);  // slope 0.5 per sample → 5.0 per s
+  for (double v : d) EXPECT_NEAR(v, 5.0, 1e-9);
+}
+
+TEST(DifferentiateTest, SineDerivativeIsCosine) {
+  const double fs = 1000.0;
+  const double f = 2.0;
+  std::vector<double> sine(2000);
+  for (size_t i = 0; i < sine.size(); ++i) {
+    sine[i] = std::sin(2.0 * M_PI * f * i / fs);
+  }
+  auto d = Differentiate(sine, fs);
+  const double expected_amp = 2.0 * M_PI * f;
+  double peak = 0.0;
+  for (size_t i = 100; i + 100 < d.size(); ++i) {
+    peak = std::max(peak, std::fabs(d[i]));
+  }
+  EXPECT_NEAR(peak, expected_amp, 0.01 * expected_amp);
+}
+
+TEST(DifferentiateTest, ShortSeries) {
+  EXPECT_EQ(Differentiate({}, 10.0).size(), 0u);
+  EXPECT_EQ(Differentiate({1.0}, 10.0), std::vector<double>{0.0});
+}
+
+}  // namespace
+}  // namespace mocemg

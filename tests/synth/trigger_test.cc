@@ -1,0 +1,85 @@
+#include "synth/trigger.h"
+
+#include <gtest/gtest.h>
+
+namespace mocemg {
+namespace {
+
+TEST(TriggerTest, DefaultIsPerfectlySynchronized) {
+  TriggerEvent ev = FireTrigger(TriggerOptions{}, nullptr);
+  EXPECT_DOUBLE_EQ(ev.mocap_start_s, 0.0);
+  EXPECT_DOUBLE_EQ(ev.emg_start_s, 0.0);
+}
+
+TEST(TriggerTest, DeterministicLatencies) {
+  TriggerOptions opts;
+  opts.mocap_latency_ms = 10.0;
+  opts.emg_latency_ms = 25.0;
+  TriggerEvent ev = FireTrigger(opts, nullptr);
+  EXPECT_DOUBLE_EQ(ev.mocap_start_s, 0.010);
+  EXPECT_DOUBLE_EQ(ev.emg_start_s, 0.025);
+}
+
+TEST(TriggerTest, JitterVariesAcrossTrials) {
+  TriggerOptions opts;
+  opts.jitter_ms = 5.0;
+  Rng rng(1);
+  TriggerEvent a = FireTrigger(opts, &rng);
+  TriggerEvent b = FireTrigger(opts, &rng);
+  EXPECT_NE(a.emg_start_s, b.emg_start_s);
+}
+
+TEST(TriggerTest, LatencyNeverNegative) {
+  TriggerOptions opts;
+  opts.mocap_latency_ms = 1.0;
+  opts.jitter_ms = 50.0;  // jitter often pushes below zero
+  Rng rng(2);
+  for (int i = 0; i < 100; ++i) {
+    TriggerEvent ev = FireTrigger(opts, &rng);
+    EXPECT_GE(ev.mocap_start_s, 0.0);
+    EXPECT_GE(ev.emg_start_s, 0.0);
+  }
+}
+
+TEST(TriggerTest, MocapLatencyDropsFrames) {
+  MarkerSet set({Segment::kHand});
+  Matrix positions(120, 6);
+  for (size_t f = 0; f < 120; ++f) positions(f, 0) = f;
+  auto motion = MotionSequence::Create(set, std::move(positions), 120.0);
+  ASSERT_TRUE(motion.ok());
+  auto delayed = ApplyStartLatency(*motion, 0.5);  // 60 frames
+  ASSERT_TRUE(delayed.ok());
+  EXPECT_EQ(delayed->num_frames(), 60u);
+  EXPECT_DOUBLE_EQ(delayed->MarkerPosition(0, 0)[0], 60.0);
+}
+
+TEST(TriggerTest, EmgLatencyDropsSamples) {
+  auto rec = EmgRecording::Create(
+      {Muscle::kBiceps}, {{0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0}},
+      1000.0);
+  ASSERT_TRUE(rec.ok());
+  auto delayed = ApplyStartLatency(*rec, 0.003);
+  ASSERT_TRUE(delayed.ok());
+  EXPECT_EQ(delayed->num_samples(), 5u);
+  EXPECT_DOUBLE_EQ(delayed->channel(0)[0], 3.0);
+}
+
+TEST(TriggerTest, LatencyCannotSwallowCapture) {
+  MarkerSet set({Segment::kHand});
+  auto motion = MotionSequence::Create(set, Matrix(10, 6), 120.0);
+  ASSERT_TRUE(motion.ok());
+  EXPECT_FALSE(ApplyStartLatency(*motion, 10.0).ok());
+  EXPECT_FALSE(ApplyStartLatency(*motion, -0.1).ok());
+}
+
+TEST(TriggerTest, ZeroLatencyIsIdentity) {
+  auto rec =
+      EmgRecording::Create({Muscle::kBiceps}, {{1.0, 2.0}}, 1000.0);
+  ASSERT_TRUE(rec.ok());
+  auto same = ApplyStartLatency(*rec, 0.0);
+  ASSERT_TRUE(same.ok());
+  EXPECT_EQ(same->num_samples(), 2u);
+}
+
+}  // namespace
+}  // namespace mocemg

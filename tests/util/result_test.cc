@@ -1,0 +1,84 @@
+#include "util/result.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/macros.h"
+
+namespace mocemg {
+namespace {
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("missing");
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(7);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).ValueOrDie();
+  EXPECT_EQ(*v, 7);
+}
+
+TEST(ResultTest, ArrowOperator) {
+  Result<std::string> r = std::string("hello");
+  EXPECT_EQ(r->size(), 5u);
+}
+
+TEST(ResultTest, ValueOrFallback) {
+  Result<int> ok = 3;
+  Result<int> err = Status::Unknown("x");
+  EXPECT_EQ(std::move(ok).ValueOr(9), 3);
+  EXPECT_EQ(std::move(err).ValueOr(9), 9);
+}
+
+Result<int> Doubler(Result<int> in) {
+  MOCEMG_ASSIGN_OR_RETURN(int v, std::move(in));
+  return 2 * v;
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  EXPECT_EQ(*Doubler(21), 42);
+  Result<int> err = Doubler(Status::IOError("nope"));
+  EXPECT_FALSE(err.ok());
+  EXPECT_TRUE(err.status().IsIOError());
+}
+
+Result<std::vector<double>> MakeVec(bool fail) {
+  if (fail) return Status::InvalidArgument("no");
+  return std::vector<double>{1.0, 2.0};
+}
+
+Result<double> SumVec(bool fail) {
+  MOCEMG_ASSIGN_OR_RETURN(std::vector<double> v, MakeVec(fail));
+  double s = 0.0;
+  for (double x : v) s += x;
+  return s;
+}
+
+TEST(ResultTest, AssignOrReturnWithDeclaration) {
+  EXPECT_DOUBLE_EQ(*SumVec(false), 3.0);
+  EXPECT_TRUE(SumVec(true).status().IsInvalidArgument());
+}
+
+TEST(ResultTest, CopyableResult) {
+  Result<std::vector<int>> a = std::vector<int>{1, 2, 3};
+  Result<std::vector<int>> b = a;
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(b->size(), 3u);
+  EXPECT_EQ(a->size(), 3u);
+}
+
+}  // namespace
+}  // namespace mocemg

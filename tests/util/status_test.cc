@@ -1,0 +1,98 @@
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+#include "util/macros.h"
+
+namespace mocemg {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.message(), "");
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, OkFactory) {
+  EXPECT_TRUE(Status::OK().ok());
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad window");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad window");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad window");
+}
+
+TEST(StatusTest, EveryFactoryMapsToItsCode) {
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+  EXPECT_TRUE(Status::IOError("x").IsIOError());
+  EXPECT_TRUE(Status::ParseError("x").IsParseError());
+  EXPECT_TRUE(Status::NotImplemented("x").IsNotImplemented());
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::FailedPrecondition("x").IsFailedPrecondition());
+  EXPECT_TRUE(Status::NumericalError("x").IsNumericalError());
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::Unknown("x").code(), StatusCode::kUnknown);
+}
+
+TEST(StatusTest, CopySemantics) {
+  Status a = Status::IOError("disk");
+  Status b = a;
+  EXPECT_EQ(b.code(), StatusCode::kIOError);
+  EXPECT_EQ(b.message(), "disk");
+  // The copy is independent.
+  b = Status::OK();
+  EXPECT_TRUE(b.ok());
+  EXPECT_FALSE(a.ok());
+}
+
+TEST(StatusTest, MoveSemantics) {
+  Status a = Status::ParseError("line 3");
+  Status b = std::move(a);
+  EXPECT_EQ(b.message(), "line 3");
+  Status c;
+  c = std::move(b);
+  EXPECT_EQ(c.message(), "line 3");
+}
+
+TEST(StatusTest, SelfAssignment) {
+  Status a = Status::NotFound("gone");
+  a = *&a;
+  EXPECT_EQ(a.message(), "gone");
+}
+
+TEST(StatusTest, WithContextPrepends) {
+  Status s = Status::ParseError("bad token").WithContext("row 7");
+  EXPECT_EQ(s.message(), "row 7: bad token");
+  EXPECT_TRUE(s.IsParseError());
+}
+
+TEST(StatusTest, WithContextOnOkIsNoop) {
+  EXPECT_TRUE(Status::OK().WithContext("anything").ok());
+}
+
+TEST(StatusTest, CodeNames) {
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kNumericalError),
+               "NumericalError");
+}
+
+Status FailsHalfway(bool fail) {
+  MOCEMG_RETURN_NOT_OK(fail ? Status::IOError("inner") : Status::OK());
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnNotOkMacroPropagates) {
+  EXPECT_TRUE(FailsHalfway(false).ok());
+  Status s = FailsHalfway(true);
+  EXPECT_TRUE(s.IsIOError());
+  EXPECT_EQ(s.message(), "inner");
+}
+
+}  // namespace
+}  // namespace mocemg

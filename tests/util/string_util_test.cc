@@ -1,0 +1,82 @@
+#include "util/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace mocemg {
+namespace {
+
+TEST(StringUtilTest, SplitBasic) {
+  auto parts = Split("a,b,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(StringUtilTest, SplitKeepsEmptyFields) {
+  auto parts = Split("a,,c,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(StringUtilTest, SplitSingleToken) {
+  auto parts = Split("alone", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "alone");
+}
+
+TEST(StringUtilTest, TrimWhitespace) {
+  EXPECT_EQ(Trim("  hello \t\n"), "hello");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim("x"), "x");
+}
+
+TEST(StringUtilTest, StartsWith) {
+  EXPECT_TRUE(StartsWith("PathFileType\t4", "PathFileType"));
+  EXPECT_FALSE(StartsWith("Path", "PathFileType"));
+}
+
+TEST(StringUtilTest, EqualsIgnoreCase) {
+  EXPECT_TRUE(EqualsIgnoreCase("Pelvis", "pelvis"));
+  EXPECT_TRUE(EqualsIgnoreCase("MM", "mm"));
+  EXPECT_FALSE(EqualsIgnoreCase("m", "mm"));
+}
+
+TEST(StringUtilTest, ParseDoubleValid) {
+  EXPECT_DOUBLE_EQ(*ParseDouble("3.25"), 3.25);
+  EXPECT_DOUBLE_EQ(*ParseDouble(" -1e-5 "), -1e-5);
+  EXPECT_DOUBLE_EQ(*ParseDouble("0"), 0.0);
+}
+
+TEST(StringUtilTest, ParseDoubleRejectsGarbage) {
+  EXPECT_FALSE(ParseDouble("").ok());
+  EXPECT_FALSE(ParseDouble("abc").ok());
+  EXPECT_FALSE(ParseDouble("1.5x").ok());
+  EXPECT_FALSE(ParseDouble("1.5 2.5").ok());
+}
+
+TEST(StringUtilTest, ParseIntValid) {
+  EXPECT_EQ(*ParseInt("42"), 42);
+  EXPECT_EQ(*ParseInt(" -7 "), -7);
+}
+
+TEST(StringUtilTest, ParseIntRejectsGarbage) {
+  EXPECT_FALSE(ParseInt("").ok());
+  EXPECT_FALSE(ParseInt("3.5").ok());
+  EXPECT_FALSE(ParseInt("12abc").ok());
+}
+
+TEST(StringUtilTest, Join) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"solo"}, ","), "solo");
+}
+
+TEST(StringUtilTest, FormatDouble) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(-0.5, 1), "-0.5");
+}
+
+}  // namespace
+}  // namespace mocemg

@@ -1,0 +1,213 @@
+// mocemg — command-line front end for the library.
+//
+// Subcommands:
+//   train    --manifest <csv> --model <out> [--clusters N] [--window MS]
+//            [--hop MS] [--kmeans] [--no-emg | --no-mocap]
+//   classify --model <file> --trc <file> --emg <file> [--k N]
+//   info     --model <file>
+//
+// The manifest is a CSV with header `trc,emg,label,label_name`; each row
+// names one captured motion: a TRC marker file, an EMG CSV (raw, with a
+// sample_rate_hz comment), its integer class label and class name.
+//
+// Example session:
+//   mocemg_cli train --manifest lab/session1.csv --model hand.model
+//   mocemg_cli classify --model hand.model --trc q.trc --emg q.csv --k 5
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/classifier.h"
+#include "core/model_io.h"
+#include "emg/emg_io.h"
+#include "mocap/trc_io.h"
+#include "util/csv.h"
+#include "util/macros.h"
+#include "util/string_util.h"
+
+using namespace mocemg;
+
+namespace {
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  mocemg_cli train    --manifest <csv> --model <out>\n"
+               "                      [--clusters N] [--window MS] "
+               "[--hop MS] [--kmeans] [--no-emg | --no-mocap]\n"
+               "  mocemg_cli classify --model <file> --trc <file> "
+               "--emg <file> [--k N]\n"
+               "  mocemg_cli info     --model <file>\n");
+  return 2;
+}
+
+/// Pulls `--flag value` pairs out of argv; returns empty for missing.
+class Args {
+ public:
+  Args(int argc, char** argv) {
+    for (int i = 2; i < argc; ++i) tokens_.emplace_back(argv[i]);
+  }
+
+  std::string Get(const std::string& flag,
+                  const std::string& fallback = "") const {
+    for (size_t i = 0; i + 1 < tokens_.size(); ++i) {
+      if (tokens_[i] == flag) return tokens_[i + 1];
+    }
+    return fallback;
+  }
+
+  bool Has(const std::string& flag) const {
+    for (const auto& t : tokens_) {
+      if (t == flag) return true;
+    }
+    return false;
+  }
+
+ private:
+  std::vector<std::string> tokens_;
+};
+
+Result<std::vector<LabeledMotion>> LoadManifest(const std::string& path) {
+  MOCEMG_ASSIGN_OR_RETURN(CsvTable table, CsvTable::FromFile(path));
+  MOCEMG_ASSIGN_OR_RETURN(size_t trc_col, table.ColumnIndex("trc"));
+  MOCEMG_ASSIGN_OR_RETURN(size_t emg_col, table.ColumnIndex("emg"));
+  MOCEMG_ASSIGN_OR_RETURN(size_t label_col, table.ColumnIndex("label"));
+  MOCEMG_ASSIGN_OR_RETURN(size_t name_col,
+                          table.ColumnIndex("label_name"));
+  std::vector<LabeledMotion> motions;
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    const auto& row = table.rows()[r];
+    LabeledMotion m;
+    MOCEMG_ASSIGN_OR_RETURN(m.mocap, ReadTrcFile(row[trc_col]));
+    MOCEMG_ASSIGN_OR_RETURN(m.emg, ReadEmgCsvFile(row[emg_col]));
+    MOCEMG_ASSIGN_OR_RETURN(int64_t label, ParseInt(row[label_col]));
+    m.label = static_cast<size_t>(label);
+    m.label_name = row[name_col];
+    motions.push_back(std::move(m));
+  }
+  if (motions.empty()) {
+    return Status::InvalidArgument("manifest lists no motions");
+  }
+  return motions;
+}
+
+int RunTrain(const Args& args) {
+  const std::string manifest = args.Get("--manifest");
+  const std::string model_path = args.Get("--model");
+  if (manifest.empty() || model_path.empty()) return Usage();
+
+  auto motions = LoadManifest(manifest);
+  if (!motions.ok()) return Fail(motions.status());
+  std::printf("loaded %zu motions from %s\n", motions->size(),
+              manifest.c_str());
+
+  ClassifierOptions options;
+  auto clusters = ParseInt(args.Get("--clusters", "15"));
+  auto window = ParseDouble(args.Get("--window", "100"));
+  auto hop = ParseDouble(args.Get("--hop", "50"));
+  if (!clusters.ok()) return Fail(clusters.status());
+  if (!window.ok()) return Fail(window.status());
+  if (!hop.ok()) return Fail(hop.status());
+  options.fcm.num_clusters = static_cast<size_t>(*clusters);
+  options.features.window_ms = *window;
+  options.features.hop_ms = *hop;
+  if (args.Has("--kmeans")) {
+    options.cluster_method = ClusterMethod::kKmeansHard;
+  }
+  if (args.Has("--no-emg")) options.features.use_emg = false;
+  if (args.Has("--no-mocap")) options.features.use_mocap = false;
+
+  auto clf = MotionClassifier::Train(*motions, options);
+  if (!clf.ok()) return Fail(clf.status());
+  Status save = SaveClassifier(*clf, model_path);
+  if (!save.ok()) return Fail(save);
+  std::printf("trained c=%zu, %zu-d final features; model -> %s\n",
+              clf->codebook().num_clusters(),
+              clf->final_features().cols(), model_path.c_str());
+  return 0;
+}
+
+int RunClassify(const Args& args) {
+  const std::string model_path = args.Get("--model");
+  const std::string trc = args.Get("--trc");
+  const std::string emg = args.Get("--emg");
+  if (model_path.empty() || trc.empty() || emg.empty()) return Usage();
+  auto k = ParseInt(args.Get("--k", "1"));
+  if (!k.ok() || *k < 1) return Usage();
+
+  auto model = LoadClassifier(model_path);
+  if (!model.ok()) return Fail(model.status());
+  auto mocap = ReadTrcFile(trc);
+  if (!mocap.ok()) return Fail(mocap.status());
+  auto recording = ReadEmgCsvFile(emg);
+  if (!recording.ok()) return Fail(recording.status());
+
+  auto feature = model->Featurize(*mocap, *recording);
+  if (!feature.ok()) return Fail(feature.status());
+  auto matches =
+      model->NearestNeighbors(*feature, static_cast<size_t>(*k));
+  if (!matches.ok()) return Fail(matches.status());
+
+  std::printf("prediction: %s (label %zu)\n",
+              model->label_names()[(*matches)[0].index].c_str(),
+              (*matches)[0].label);
+  for (const MotionMatch& m : *matches) {
+    std::printf("  match %-16s label=%zu d=%.4f\n",
+                model->label_names()[m.index].c_str(), m.label,
+                m.distance);
+  }
+  return 0;
+}
+
+int RunInfo(const Args& args) {
+  const std::string model_path = args.Get("--model");
+  if (model_path.empty()) return Usage();
+  auto model = LoadClassifier(model_path);
+  if (!model.ok()) return Fail(model.status());
+  const ClassifierOptions& o = model->options();
+  std::printf("model: %s\n", model_path.c_str());
+  std::printf("  motions:        %zu\n", model->num_motions());
+  std::printf("  clusters:       %zu (m=%.2f, %s)\n",
+              model->codebook().num_clusters(),
+              model->codebook().fuzziness(),
+              o.cluster_method == ClusterMethod::kFuzzyCMeans
+                  ? "fuzzy c-means"
+                  : "k-means hard");
+  std::printf("  window:         %.0f ms (hop %.0f ms)\n",
+              o.features.window_ms, o.features.hop_ms);
+  std::printf("  modalities:     %s%s\n",
+              o.features.use_emg ? "emg " : "",
+              o.features.use_mocap ? "mocap" : "");
+  std::printf("  window dim:     %zu\n", model->codebook().dimension());
+  std::printf("  final dim:      %zu\n", model->final_features().cols());
+  // Class inventory.
+  std::vector<std::string> seen;
+  for (size_t i = 0; i < model->num_motions(); ++i) {
+    const std::string& name = model->label_names()[i];
+    bool dup = false;
+    for (const auto& s : seen) dup |= (s == name);
+    if (!dup) seen.push_back(name);
+  }
+  std::printf("  classes (%zu):", seen.size());
+  for (const auto& s : seen) std::printf(" %s", s.c_str());
+  std::printf("\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const Args args(argc, argv);
+  if (std::strcmp(argv[1], "train") == 0) return RunTrain(args);
+  if (std::strcmp(argv[1], "classify") == 0) return RunClassify(args);
+  if (std::strcmp(argv[1], "info") == 0) return RunInfo(args);
+  return Usage();
+}
