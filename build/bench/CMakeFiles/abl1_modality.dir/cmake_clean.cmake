@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl1_modality.dir/abl1_modality.cpp.o"
+  "CMakeFiles/abl1_modality.dir/abl1_modality.cpp.o.d"
+  "abl1_modality"
+  "abl1_modality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl1_modality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl2_fuzzy_vs_hard.dir/abl2_fuzzy_vs_hard.cpp.o"
+  "CMakeFiles/abl2_fuzzy_vs_hard.dir/abl2_fuzzy_vs_hard.cpp.o.d"
+  "abl2_fuzzy_vs_hard"
+  "abl2_fuzzy_vs_hard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl2_fuzzy_vs_hard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl3_svd_feature.dir/abl3_svd_feature.cpp.o"
+  "CMakeFiles/abl3_svd_feature.dir/abl3_svd_feature.cpp.o.d"
+  "abl3_svd_feature"
+  "abl3_svd_feature.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl3_svd_feature.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl4_normalization.dir/abl4_normalization.cpp.o"
+  "CMakeFiles/abl4_normalization.dir/abl4_normalization.cpp.o.d"
+  "abl4_normalization"
+  "abl4_normalization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl4_normalization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl5_emg_features.dir/abl5_emg_features.cpp.o"
+  "CMakeFiles/abl5_emg_features.dir/abl5_emg_features.cpp.o.d"
+  "abl5_emg_features"
+  "abl5_emg_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl5_emg_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for abl5_emg_features.
+# This may be replaced when dependencies are built.

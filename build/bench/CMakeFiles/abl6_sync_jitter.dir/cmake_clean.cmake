@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl6_sync_jitter.dir/abl6_sync_jitter.cpp.o"
+  "CMakeFiles/abl6_sync_jitter.dir/abl6_sync_jitter.cpp.o.d"
+  "abl6_sync_jitter"
+  "abl6_sync_jitter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl6_sync_jitter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl7_heading.dir/abl7_heading.cpp.o"
+  "CMakeFiles/abl7_heading.dir/abl7_heading.cpp.o.d"
+  "abl7_heading"
+  "abl7_heading.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl7_heading.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl8_cluster_selection.dir/abl8_cluster_selection.cpp.o"
+  "CMakeFiles/abl8_cluster_selection.dir/abl8_cluster_selection.cpp.o.d"
+  "abl8_cluster_selection"
+  "abl8_cluster_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl8_cluster_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_sync_capture.dir/fig2_sync_capture.cpp.o"
+  "CMakeFiles/fig2_sync_capture.dir/fig2_sync_capture.cpp.o.d"
+  "fig2_sync_capture"
+  "fig2_sync_capture.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_sync_capture.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_membership_ranges.dir/fig3_membership_ranges.cpp.o"
+  "CMakeFiles/fig3_membership_ranges.dir/fig3_membership_ranges.cpp.o.d"
+  "fig3_membership_ranges"
+  "fig3_membership_ranges.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_membership_ranges.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_final_features.dir/fig4_final_features.cpp.o"
+  "CMakeFiles/fig4_final_features.dir/fig4_final_features.cpp.o.d"
+  "fig4_final_features"
+  "fig4_final_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_final_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_misclass_hand.dir/fig6_misclass_hand.cpp.o"
+  "CMakeFiles/fig6_misclass_hand.dir/fig6_misclass_hand.cpp.o.d"
+  "fig6_misclass_hand"
+  "fig6_misclass_hand.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_misclass_hand.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

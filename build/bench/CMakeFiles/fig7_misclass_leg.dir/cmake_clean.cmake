@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_misclass_leg.dir/fig7_misclass_leg.cpp.o"
+  "CMakeFiles/fig7_misclass_leg.dir/fig7_misclass_leg.cpp.o.d"
+  "fig7_misclass_leg"
+  "fig7_misclass_leg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_misclass_leg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

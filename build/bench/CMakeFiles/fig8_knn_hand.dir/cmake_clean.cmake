@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_knn_hand.dir/fig8_knn_hand.cpp.o"
+  "CMakeFiles/fig8_knn_hand.dir/fig8_knn_hand.cpp.o.d"
+  "fig8_knn_hand"
+  "fig8_knn_hand.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_knn_hand.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig9_knn_leg.cpp" "bench/CMakeFiles/fig9_knn_leg.dir/fig9_knn_leg.cpp.o" "gcc" "bench/CMakeFiles/fig9_knn_leg.dir/fig9_knn_leg.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mocemg_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/mocemg_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/mocemg_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/mocemg_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/mocemg_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/emg/CMakeFiles/mocemg_emg.dir/DependInfo.cmake"
+  "/root/repo/build/src/mocap/CMakeFiles/mocemg_mocap.dir/DependInfo.cmake"
+  "/root/repo/build/src/signal/CMakeFiles/mocemg_signal.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/mocemg_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mocemg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

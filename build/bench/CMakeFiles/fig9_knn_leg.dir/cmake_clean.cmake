@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_knn_leg.dir/fig9_knn_leg.cpp.o"
+  "CMakeFiles/fig9_knn_leg.dir/fig9_knn_leg.cpp.o.d"
+  "fig9_knn_leg"
+  "fig9_knn_leg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_knn_leg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

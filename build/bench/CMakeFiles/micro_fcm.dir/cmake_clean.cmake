@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_fcm.dir/micro_fcm.cpp.o"
+  "CMakeFiles/micro_fcm.dir/micro_fcm.cpp.o.d"
+  "micro_fcm"
+  "micro_fcm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_fcm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_svd.dir/micro_svd.cpp.o"
+  "CMakeFiles/micro_svd.dir/micro_svd.cpp.o.d"
+  "micro_svd"
+  "micro_svd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_svd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gait_analysis.dir/gait_analysis.cpp.o"
+  "CMakeFiles/gait_analysis.dir/gait_analysis.cpp.o.d"
+  "gait_analysis"
+  "gait_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gait_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/motion_retrieval.dir/motion_retrieval.cpp.o"
+  "CMakeFiles/motion_retrieval.dir/motion_retrieval.cpp.o.d"
+  "motion_retrieval"
+  "motion_retrieval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/motion_retrieval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

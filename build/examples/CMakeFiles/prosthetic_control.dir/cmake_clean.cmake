@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prosthetic_control.dir/prosthetic_control.cpp.o"
+  "CMakeFiles/prosthetic_control.dir/prosthetic_control.cpp.o.d"
+  "prosthetic_control"
+  "prosthetic_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prosthetic_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

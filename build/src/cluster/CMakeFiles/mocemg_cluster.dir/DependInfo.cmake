@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/fcm.cc" "src/cluster/CMakeFiles/mocemg_cluster.dir/fcm.cc.o" "gcc" "src/cluster/CMakeFiles/mocemg_cluster.dir/fcm.cc.o.d"
+  "/root/repo/src/cluster/gustafson_kessel.cc" "src/cluster/CMakeFiles/mocemg_cluster.dir/gustafson_kessel.cc.o" "gcc" "src/cluster/CMakeFiles/mocemg_cluster.dir/gustafson_kessel.cc.o.d"
+  "/root/repo/src/cluster/kmeans.cc" "src/cluster/CMakeFiles/mocemg_cluster.dir/kmeans.cc.o" "gcc" "src/cluster/CMakeFiles/mocemg_cluster.dir/kmeans.cc.o.d"
+  "/root/repo/src/cluster/selection.cc" "src/cluster/CMakeFiles/mocemg_cluster.dir/selection.cc.o" "gcc" "src/cluster/CMakeFiles/mocemg_cluster.dir/selection.cc.o.d"
+  "/root/repo/src/cluster/validity.cc" "src/cluster/CMakeFiles/mocemg_cluster.dir/validity.cc.o" "gcc" "src/cluster/CMakeFiles/mocemg_cluster.dir/validity.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mocemg_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/mocemg_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

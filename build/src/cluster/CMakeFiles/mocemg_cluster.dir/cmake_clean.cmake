@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mocemg_cluster.dir/fcm.cc.o"
+  "CMakeFiles/mocemg_cluster.dir/fcm.cc.o.d"
+  "CMakeFiles/mocemg_cluster.dir/gustafson_kessel.cc.o"
+  "CMakeFiles/mocemg_cluster.dir/gustafson_kessel.cc.o.d"
+  "CMakeFiles/mocemg_cluster.dir/kmeans.cc.o"
+  "CMakeFiles/mocemg_cluster.dir/kmeans.cc.o.d"
+  "CMakeFiles/mocemg_cluster.dir/selection.cc.o"
+  "CMakeFiles/mocemg_cluster.dir/selection.cc.o.d"
+  "CMakeFiles/mocemg_cluster.dir/validity.cc.o"
+  "CMakeFiles/mocemg_cluster.dir/validity.cc.o.d"
+  "libmocemg_cluster.a"
+  "libmocemg_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mocemg_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

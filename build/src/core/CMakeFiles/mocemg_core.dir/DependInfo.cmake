@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/classifier.cc" "src/core/CMakeFiles/mocemg_core.dir/classifier.cc.o" "gcc" "src/core/CMakeFiles/mocemg_core.dir/classifier.cc.o.d"
+  "/root/repo/src/core/codebook.cc" "src/core/CMakeFiles/mocemg_core.dir/codebook.cc.o" "gcc" "src/core/CMakeFiles/mocemg_core.dir/codebook.cc.o.d"
+  "/root/repo/src/core/mocap_features.cc" "src/core/CMakeFiles/mocemg_core.dir/mocap_features.cc.o" "gcc" "src/core/CMakeFiles/mocemg_core.dir/mocap_features.cc.o.d"
+  "/root/repo/src/core/model_io.cc" "src/core/CMakeFiles/mocemg_core.dir/model_io.cc.o" "gcc" "src/core/CMakeFiles/mocemg_core.dir/model_io.cc.o.d"
+  "/root/repo/src/core/normalizer.cc" "src/core/CMakeFiles/mocemg_core.dir/normalizer.cc.o" "gcc" "src/core/CMakeFiles/mocemg_core.dir/normalizer.cc.o.d"
+  "/root/repo/src/core/streaming.cc" "src/core/CMakeFiles/mocemg_core.dir/streaming.cc.o" "gcc" "src/core/CMakeFiles/mocemg_core.dir/streaming.cc.o.d"
+  "/root/repo/src/core/window_features.cc" "src/core/CMakeFiles/mocemg_core.dir/window_features.cc.o" "gcc" "src/core/CMakeFiles/mocemg_core.dir/window_features.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mocemg_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/mocemg_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/signal/CMakeFiles/mocemg_signal.dir/DependInfo.cmake"
+  "/root/repo/build/src/mocap/CMakeFiles/mocemg_mocap.dir/DependInfo.cmake"
+  "/root/repo/build/src/emg/CMakeFiles/mocemg_emg.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/mocemg_cluster.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

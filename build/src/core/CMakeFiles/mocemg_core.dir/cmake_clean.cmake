@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mocemg_core.dir/classifier.cc.o"
+  "CMakeFiles/mocemg_core.dir/classifier.cc.o.d"
+  "CMakeFiles/mocemg_core.dir/codebook.cc.o"
+  "CMakeFiles/mocemg_core.dir/codebook.cc.o.d"
+  "CMakeFiles/mocemg_core.dir/mocap_features.cc.o"
+  "CMakeFiles/mocemg_core.dir/mocap_features.cc.o.d"
+  "CMakeFiles/mocemg_core.dir/model_io.cc.o"
+  "CMakeFiles/mocemg_core.dir/model_io.cc.o.d"
+  "CMakeFiles/mocemg_core.dir/normalizer.cc.o"
+  "CMakeFiles/mocemg_core.dir/normalizer.cc.o.d"
+  "CMakeFiles/mocemg_core.dir/streaming.cc.o"
+  "CMakeFiles/mocemg_core.dir/streaming.cc.o.d"
+  "CMakeFiles/mocemg_core.dir/window_features.cc.o"
+  "CMakeFiles/mocemg_core.dir/window_features.cc.o.d"
+  "libmocemg_core.a"
+  "libmocemg_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mocemg_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

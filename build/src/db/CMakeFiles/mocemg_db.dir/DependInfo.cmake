@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/db/feature_index.cc" "src/db/CMakeFiles/mocemg_db.dir/feature_index.cc.o" "gcc" "src/db/CMakeFiles/mocemg_db.dir/feature_index.cc.o.d"
+  "/root/repo/src/db/motion_database.cc" "src/db/CMakeFiles/mocemg_db.dir/motion_database.cc.o" "gcc" "src/db/CMakeFiles/mocemg_db.dir/motion_database.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mocemg_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/mocemg_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/mocemg_cluster.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

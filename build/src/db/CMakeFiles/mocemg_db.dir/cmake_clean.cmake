@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mocemg_db.dir/feature_index.cc.o"
+  "CMakeFiles/mocemg_db.dir/feature_index.cc.o.d"
+  "CMakeFiles/mocemg_db.dir/motion_database.cc.o"
+  "CMakeFiles/mocemg_db.dir/motion_database.cc.o.d"
+  "libmocemg_db.a"
+  "libmocemg_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mocemg_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/emg/acquisition.cc" "src/emg/CMakeFiles/mocemg_emg.dir/acquisition.cc.o" "gcc" "src/emg/CMakeFiles/mocemg_emg.dir/acquisition.cc.o.d"
+  "/root/repo/src/emg/emg_io.cc" "src/emg/CMakeFiles/mocemg_emg.dir/emg_io.cc.o" "gcc" "src/emg/CMakeFiles/mocemg_emg.dir/emg_io.cc.o.d"
+  "/root/repo/src/emg/emg_recording.cc" "src/emg/CMakeFiles/mocemg_emg.dir/emg_recording.cc.o" "gcc" "src/emg/CMakeFiles/mocemg_emg.dir/emg_recording.cc.o.d"
+  "/root/repo/src/emg/features.cc" "src/emg/CMakeFiles/mocemg_emg.dir/features.cc.o" "gcc" "src/emg/CMakeFiles/mocemg_emg.dir/features.cc.o.d"
+  "/root/repo/src/emg/muscle.cc" "src/emg/CMakeFiles/mocemg_emg.dir/muscle.cc.o" "gcc" "src/emg/CMakeFiles/mocemg_emg.dir/muscle.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mocemg_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/mocap/CMakeFiles/mocemg_mocap.dir/DependInfo.cmake"
+  "/root/repo/build/src/signal/CMakeFiles/mocemg_signal.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/mocemg_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mocemg_emg.dir/acquisition.cc.o"
+  "CMakeFiles/mocemg_emg.dir/acquisition.cc.o.d"
+  "CMakeFiles/mocemg_emg.dir/emg_io.cc.o"
+  "CMakeFiles/mocemg_emg.dir/emg_io.cc.o.d"
+  "CMakeFiles/mocemg_emg.dir/emg_recording.cc.o"
+  "CMakeFiles/mocemg_emg.dir/emg_recording.cc.o.d"
+  "CMakeFiles/mocemg_emg.dir/features.cc.o"
+  "CMakeFiles/mocemg_emg.dir/features.cc.o.d"
+  "CMakeFiles/mocemg_emg.dir/muscle.cc.o"
+  "CMakeFiles/mocemg_emg.dir/muscle.cc.o.d"
+  "libmocemg_emg.a"
+  "libmocemg_emg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mocemg_emg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

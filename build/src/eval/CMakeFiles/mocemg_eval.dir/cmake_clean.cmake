@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mocemg_eval.dir/metrics.cc.o"
+  "CMakeFiles/mocemg_eval.dir/metrics.cc.o.d"
+  "CMakeFiles/mocemg_eval.dir/protocols.cc.o"
+  "CMakeFiles/mocemg_eval.dir/protocols.cc.o.d"
+  "CMakeFiles/mocemg_eval.dir/sweep.cc.o"
+  "CMakeFiles/mocemg_eval.dir/sweep.cc.o.d"
+  "libmocemg_eval.a"
+  "libmocemg_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mocemg_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

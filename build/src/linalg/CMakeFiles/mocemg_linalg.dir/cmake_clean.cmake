@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mocemg_linalg.dir/eigen_sym.cc.o"
+  "CMakeFiles/mocemg_linalg.dir/eigen_sym.cc.o.d"
+  "CMakeFiles/mocemg_linalg.dir/lu.cc.o"
+  "CMakeFiles/mocemg_linalg.dir/lu.cc.o.d"
+  "CMakeFiles/mocemg_linalg.dir/matrix.cc.o"
+  "CMakeFiles/mocemg_linalg.dir/matrix.cc.o.d"
+  "CMakeFiles/mocemg_linalg.dir/svd.cc.o"
+  "CMakeFiles/mocemg_linalg.dir/svd.cc.o.d"
+  "CMakeFiles/mocemg_linalg.dir/vector_ops.cc.o"
+  "CMakeFiles/mocemg_linalg.dir/vector_ops.cc.o.d"
+  "libmocemg_linalg.a"
+  "libmocemg_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mocemg_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mocap/local_transform.cc" "src/mocap/CMakeFiles/mocemg_mocap.dir/local_transform.cc.o" "gcc" "src/mocap/CMakeFiles/mocemg_mocap.dir/local_transform.cc.o.d"
+  "/root/repo/src/mocap/motion_sequence.cc" "src/mocap/CMakeFiles/mocemg_mocap.dir/motion_sequence.cc.o" "gcc" "src/mocap/CMakeFiles/mocemg_mocap.dir/motion_sequence.cc.o.d"
+  "/root/repo/src/mocap/skeleton.cc" "src/mocap/CMakeFiles/mocemg_mocap.dir/skeleton.cc.o" "gcc" "src/mocap/CMakeFiles/mocemg_mocap.dir/skeleton.cc.o.d"
+  "/root/repo/src/mocap/trc_io.cc" "src/mocap/CMakeFiles/mocemg_mocap.dir/trc_io.cc.o" "gcc" "src/mocap/CMakeFiles/mocemg_mocap.dir/trc_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mocemg_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/mocemg_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mocemg_mocap.dir/local_transform.cc.o"
+  "CMakeFiles/mocemg_mocap.dir/local_transform.cc.o.d"
+  "CMakeFiles/mocemg_mocap.dir/motion_sequence.cc.o"
+  "CMakeFiles/mocemg_mocap.dir/motion_sequence.cc.o.d"
+  "CMakeFiles/mocemg_mocap.dir/skeleton.cc.o"
+  "CMakeFiles/mocemg_mocap.dir/skeleton.cc.o.d"
+  "CMakeFiles/mocemg_mocap.dir/trc_io.cc.o"
+  "CMakeFiles/mocemg_mocap.dir/trc_io.cc.o.d"
+  "libmocemg_mocap.a"
+  "libmocemg_mocap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mocemg_mocap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

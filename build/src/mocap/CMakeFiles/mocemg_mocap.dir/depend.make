@@ -1,0 +1,2 @@
+# Empty dependencies file for mocemg_mocap.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/signal/biquad.cc" "src/signal/CMakeFiles/mocemg_signal.dir/biquad.cc.o" "gcc" "src/signal/CMakeFiles/mocemg_signal.dir/biquad.cc.o.d"
+  "/root/repo/src/signal/butterworth.cc" "src/signal/CMakeFiles/mocemg_signal.dir/butterworth.cc.o" "gcc" "src/signal/CMakeFiles/mocemg_signal.dir/butterworth.cc.o.d"
+  "/root/repo/src/signal/rectify.cc" "src/signal/CMakeFiles/mocemg_signal.dir/rectify.cc.o" "gcc" "src/signal/CMakeFiles/mocemg_signal.dir/rectify.cc.o.d"
+  "/root/repo/src/signal/resample.cc" "src/signal/CMakeFiles/mocemg_signal.dir/resample.cc.o" "gcc" "src/signal/CMakeFiles/mocemg_signal.dir/resample.cc.o.d"
+  "/root/repo/src/signal/spectral.cc" "src/signal/CMakeFiles/mocemg_signal.dir/spectral.cc.o" "gcc" "src/signal/CMakeFiles/mocemg_signal.dir/spectral.cc.o.d"
+  "/root/repo/src/signal/window.cc" "src/signal/CMakeFiles/mocemg_signal.dir/window.cc.o" "gcc" "src/signal/CMakeFiles/mocemg_signal.dir/window.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mocemg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mocemg_signal.dir/biquad.cc.o"
+  "CMakeFiles/mocemg_signal.dir/biquad.cc.o.d"
+  "CMakeFiles/mocemg_signal.dir/butterworth.cc.o"
+  "CMakeFiles/mocemg_signal.dir/butterworth.cc.o.d"
+  "CMakeFiles/mocemg_signal.dir/rectify.cc.o"
+  "CMakeFiles/mocemg_signal.dir/rectify.cc.o.d"
+  "CMakeFiles/mocemg_signal.dir/resample.cc.o"
+  "CMakeFiles/mocemg_signal.dir/resample.cc.o.d"
+  "CMakeFiles/mocemg_signal.dir/spectral.cc.o"
+  "CMakeFiles/mocemg_signal.dir/spectral.cc.o.d"
+  "CMakeFiles/mocemg_signal.dir/window.cc.o"
+  "CMakeFiles/mocemg_signal.dir/window.cc.o.d"
+  "libmocemg_signal.a"
+  "libmocemg_signal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mocemg_signal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

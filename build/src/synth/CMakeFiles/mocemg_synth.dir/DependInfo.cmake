@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/synth/dataset.cc" "src/synth/CMakeFiles/mocemg_synth.dir/dataset.cc.o" "gcc" "src/synth/CMakeFiles/mocemg_synth.dir/dataset.cc.o.d"
+  "/root/repo/src/synth/emg_synthesizer.cc" "src/synth/CMakeFiles/mocemg_synth.dir/emg_synthesizer.cc.o" "gcc" "src/synth/CMakeFiles/mocemg_synth.dir/emg_synthesizer.cc.o.d"
+  "/root/repo/src/synth/kinematics.cc" "src/synth/CMakeFiles/mocemg_synth.dir/kinematics.cc.o" "gcc" "src/synth/CMakeFiles/mocemg_synth.dir/kinematics.cc.o.d"
+  "/root/repo/src/synth/merge.cc" "src/synth/CMakeFiles/mocemg_synth.dir/merge.cc.o" "gcc" "src/synth/CMakeFiles/mocemg_synth.dir/merge.cc.o.d"
+  "/root/repo/src/synth/motion_classes.cc" "src/synth/CMakeFiles/mocemg_synth.dir/motion_classes.cc.o" "gcc" "src/synth/CMakeFiles/mocemg_synth.dir/motion_classes.cc.o.d"
+  "/root/repo/src/synth/muscle_model.cc" "src/synth/CMakeFiles/mocemg_synth.dir/muscle_model.cc.o" "gcc" "src/synth/CMakeFiles/mocemg_synth.dir/muscle_model.cc.o.d"
+  "/root/repo/src/synth/profiles.cc" "src/synth/CMakeFiles/mocemg_synth.dir/profiles.cc.o" "gcc" "src/synth/CMakeFiles/mocemg_synth.dir/profiles.cc.o.d"
+  "/root/repo/src/synth/trigger.cc" "src/synth/CMakeFiles/mocemg_synth.dir/trigger.cc.o" "gcc" "src/synth/CMakeFiles/mocemg_synth.dir/trigger.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/mocemg_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/mocemg_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/signal/CMakeFiles/mocemg_signal.dir/DependInfo.cmake"
+  "/root/repo/build/src/mocap/CMakeFiles/mocemg_mocap.dir/DependInfo.cmake"
+  "/root/repo/build/src/emg/CMakeFiles/mocemg_emg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mocemg_synth.dir/dataset.cc.o"
+  "CMakeFiles/mocemg_synth.dir/dataset.cc.o.d"
+  "CMakeFiles/mocemg_synth.dir/emg_synthesizer.cc.o"
+  "CMakeFiles/mocemg_synth.dir/emg_synthesizer.cc.o.d"
+  "CMakeFiles/mocemg_synth.dir/kinematics.cc.o"
+  "CMakeFiles/mocemg_synth.dir/kinematics.cc.o.d"
+  "CMakeFiles/mocemg_synth.dir/merge.cc.o"
+  "CMakeFiles/mocemg_synth.dir/merge.cc.o.d"
+  "CMakeFiles/mocemg_synth.dir/motion_classes.cc.o"
+  "CMakeFiles/mocemg_synth.dir/motion_classes.cc.o.d"
+  "CMakeFiles/mocemg_synth.dir/muscle_model.cc.o"
+  "CMakeFiles/mocemg_synth.dir/muscle_model.cc.o.d"
+  "CMakeFiles/mocemg_synth.dir/profiles.cc.o"
+  "CMakeFiles/mocemg_synth.dir/profiles.cc.o.d"
+  "CMakeFiles/mocemg_synth.dir/trigger.cc.o"
+  "CMakeFiles/mocemg_synth.dir/trigger.cc.o.d"
+  "libmocemg_synth.a"
+  "libmocemg_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mocemg_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

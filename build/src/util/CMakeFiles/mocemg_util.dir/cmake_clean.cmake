@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mocemg_util.dir/csv.cc.o"
+  "CMakeFiles/mocemg_util.dir/csv.cc.o.d"
+  "CMakeFiles/mocemg_util.dir/logging.cc.o"
+  "CMakeFiles/mocemg_util.dir/logging.cc.o.d"
+  "CMakeFiles/mocemg_util.dir/random.cc.o"
+  "CMakeFiles/mocemg_util.dir/random.cc.o.d"
+  "CMakeFiles/mocemg_util.dir/status.cc.o"
+  "CMakeFiles/mocemg_util.dir/status.cc.o.d"
+  "CMakeFiles/mocemg_util.dir/string_util.cc.o"
+  "CMakeFiles/mocemg_util.dir/string_util.cc.o.d"
+  "libmocemg_util.a"
+  "libmocemg_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mocemg_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

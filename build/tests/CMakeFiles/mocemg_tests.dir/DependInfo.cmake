@@ -1,0 +1,79 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cluster/fcm_test.cc" "tests/CMakeFiles/mocemg_tests.dir/cluster/fcm_test.cc.o" "gcc" "tests/CMakeFiles/mocemg_tests.dir/cluster/fcm_test.cc.o.d"
+  "/root/repo/tests/cluster/gustafson_kessel_test.cc" "tests/CMakeFiles/mocemg_tests.dir/cluster/gustafson_kessel_test.cc.o" "gcc" "tests/CMakeFiles/mocemg_tests.dir/cluster/gustafson_kessel_test.cc.o.d"
+  "/root/repo/tests/cluster/kmeans_test.cc" "tests/CMakeFiles/mocemg_tests.dir/cluster/kmeans_test.cc.o" "gcc" "tests/CMakeFiles/mocemg_tests.dir/cluster/kmeans_test.cc.o.d"
+  "/root/repo/tests/cluster/selection_test.cc" "tests/CMakeFiles/mocemg_tests.dir/cluster/selection_test.cc.o" "gcc" "tests/CMakeFiles/mocemg_tests.dir/cluster/selection_test.cc.o.d"
+  "/root/repo/tests/cluster/validity_test.cc" "tests/CMakeFiles/mocemg_tests.dir/cluster/validity_test.cc.o" "gcc" "tests/CMakeFiles/mocemg_tests.dir/cluster/validity_test.cc.o.d"
+  "/root/repo/tests/core/classifier_test.cc" "tests/CMakeFiles/mocemg_tests.dir/core/classifier_test.cc.o" "gcc" "tests/CMakeFiles/mocemg_tests.dir/core/classifier_test.cc.o.d"
+  "/root/repo/tests/core/codebook_test.cc" "tests/CMakeFiles/mocemg_tests.dir/core/codebook_test.cc.o" "gcc" "tests/CMakeFiles/mocemg_tests.dir/core/codebook_test.cc.o.d"
+  "/root/repo/tests/core/mocap_features_test.cc" "tests/CMakeFiles/mocemg_tests.dir/core/mocap_features_test.cc.o" "gcc" "tests/CMakeFiles/mocemg_tests.dir/core/mocap_features_test.cc.o.d"
+  "/root/repo/tests/core/model_io_test.cc" "tests/CMakeFiles/mocemg_tests.dir/core/model_io_test.cc.o" "gcc" "tests/CMakeFiles/mocemg_tests.dir/core/model_io_test.cc.o.d"
+  "/root/repo/tests/core/normalizer_test.cc" "tests/CMakeFiles/mocemg_tests.dir/core/normalizer_test.cc.o" "gcc" "tests/CMakeFiles/mocemg_tests.dir/core/normalizer_test.cc.o.d"
+  "/root/repo/tests/core/streaming_test.cc" "tests/CMakeFiles/mocemg_tests.dir/core/streaming_test.cc.o" "gcc" "tests/CMakeFiles/mocemg_tests.dir/core/streaming_test.cc.o.d"
+  "/root/repo/tests/core/window_features_test.cc" "tests/CMakeFiles/mocemg_tests.dir/core/window_features_test.cc.o" "gcc" "tests/CMakeFiles/mocemg_tests.dir/core/window_features_test.cc.o.d"
+  "/root/repo/tests/db/feature_index_test.cc" "tests/CMakeFiles/mocemg_tests.dir/db/feature_index_test.cc.o" "gcc" "tests/CMakeFiles/mocemg_tests.dir/db/feature_index_test.cc.o.d"
+  "/root/repo/tests/db/motion_database_test.cc" "tests/CMakeFiles/mocemg_tests.dir/db/motion_database_test.cc.o" "gcc" "tests/CMakeFiles/mocemg_tests.dir/db/motion_database_test.cc.o.d"
+  "/root/repo/tests/emg/acquisition_test.cc" "tests/CMakeFiles/mocemg_tests.dir/emg/acquisition_test.cc.o" "gcc" "tests/CMakeFiles/mocemg_tests.dir/emg/acquisition_test.cc.o.d"
+  "/root/repo/tests/emg/emg_io_test.cc" "tests/CMakeFiles/mocemg_tests.dir/emg/emg_io_test.cc.o" "gcc" "tests/CMakeFiles/mocemg_tests.dir/emg/emg_io_test.cc.o.d"
+  "/root/repo/tests/emg/emg_recording_test.cc" "tests/CMakeFiles/mocemg_tests.dir/emg/emg_recording_test.cc.o" "gcc" "tests/CMakeFiles/mocemg_tests.dir/emg/emg_recording_test.cc.o.d"
+  "/root/repo/tests/emg/features_test.cc" "tests/CMakeFiles/mocemg_tests.dir/emg/features_test.cc.o" "gcc" "tests/CMakeFiles/mocemg_tests.dir/emg/features_test.cc.o.d"
+  "/root/repo/tests/eval/metrics_test.cc" "tests/CMakeFiles/mocemg_tests.dir/eval/metrics_test.cc.o" "gcc" "tests/CMakeFiles/mocemg_tests.dir/eval/metrics_test.cc.o.d"
+  "/root/repo/tests/eval/protocols_test.cc" "tests/CMakeFiles/mocemg_tests.dir/eval/protocols_test.cc.o" "gcc" "tests/CMakeFiles/mocemg_tests.dir/eval/protocols_test.cc.o.d"
+  "/root/repo/tests/integration/end_to_end_test.cc" "tests/CMakeFiles/mocemg_tests.dir/integration/end_to_end_test.cc.o" "gcc" "tests/CMakeFiles/mocemg_tests.dir/integration/end_to_end_test.cc.o.d"
+  "/root/repo/tests/integration/parser_robustness_test.cc" "tests/CMakeFiles/mocemg_tests.dir/integration/parser_robustness_test.cc.o" "gcc" "tests/CMakeFiles/mocemg_tests.dir/integration/parser_robustness_test.cc.o.d"
+  "/root/repo/tests/linalg/eigen_sym_test.cc" "tests/CMakeFiles/mocemg_tests.dir/linalg/eigen_sym_test.cc.o" "gcc" "tests/CMakeFiles/mocemg_tests.dir/linalg/eigen_sym_test.cc.o.d"
+  "/root/repo/tests/linalg/lu_test.cc" "tests/CMakeFiles/mocemg_tests.dir/linalg/lu_test.cc.o" "gcc" "tests/CMakeFiles/mocemg_tests.dir/linalg/lu_test.cc.o.d"
+  "/root/repo/tests/linalg/matrix_test.cc" "tests/CMakeFiles/mocemg_tests.dir/linalg/matrix_test.cc.o" "gcc" "tests/CMakeFiles/mocemg_tests.dir/linalg/matrix_test.cc.o.d"
+  "/root/repo/tests/linalg/svd_test.cc" "tests/CMakeFiles/mocemg_tests.dir/linalg/svd_test.cc.o" "gcc" "tests/CMakeFiles/mocemg_tests.dir/linalg/svd_test.cc.o.d"
+  "/root/repo/tests/linalg/vector_ops_test.cc" "tests/CMakeFiles/mocemg_tests.dir/linalg/vector_ops_test.cc.o" "gcc" "tests/CMakeFiles/mocemg_tests.dir/linalg/vector_ops_test.cc.o.d"
+  "/root/repo/tests/mocap/local_transform_test.cc" "tests/CMakeFiles/mocemg_tests.dir/mocap/local_transform_test.cc.o" "gcc" "tests/CMakeFiles/mocemg_tests.dir/mocap/local_transform_test.cc.o.d"
+  "/root/repo/tests/mocap/motion_sequence_test.cc" "tests/CMakeFiles/mocemg_tests.dir/mocap/motion_sequence_test.cc.o" "gcc" "tests/CMakeFiles/mocemg_tests.dir/mocap/motion_sequence_test.cc.o.d"
+  "/root/repo/tests/mocap/skeleton_test.cc" "tests/CMakeFiles/mocemg_tests.dir/mocap/skeleton_test.cc.o" "gcc" "tests/CMakeFiles/mocemg_tests.dir/mocap/skeleton_test.cc.o.d"
+  "/root/repo/tests/mocap/trc_io_test.cc" "tests/CMakeFiles/mocemg_tests.dir/mocap/trc_io_test.cc.o" "gcc" "tests/CMakeFiles/mocemg_tests.dir/mocap/trc_io_test.cc.o.d"
+  "/root/repo/tests/signal/biquad_test.cc" "tests/CMakeFiles/mocemg_tests.dir/signal/biquad_test.cc.o" "gcc" "tests/CMakeFiles/mocemg_tests.dir/signal/biquad_test.cc.o.d"
+  "/root/repo/tests/signal/butterworth_test.cc" "tests/CMakeFiles/mocemg_tests.dir/signal/butterworth_test.cc.o" "gcc" "tests/CMakeFiles/mocemg_tests.dir/signal/butterworth_test.cc.o.d"
+  "/root/repo/tests/signal/rectify_test.cc" "tests/CMakeFiles/mocemg_tests.dir/signal/rectify_test.cc.o" "gcc" "tests/CMakeFiles/mocemg_tests.dir/signal/rectify_test.cc.o.d"
+  "/root/repo/tests/signal/resample_test.cc" "tests/CMakeFiles/mocemg_tests.dir/signal/resample_test.cc.o" "gcc" "tests/CMakeFiles/mocemg_tests.dir/signal/resample_test.cc.o.d"
+  "/root/repo/tests/signal/spectral_test.cc" "tests/CMakeFiles/mocemg_tests.dir/signal/spectral_test.cc.o" "gcc" "tests/CMakeFiles/mocemg_tests.dir/signal/spectral_test.cc.o.d"
+  "/root/repo/tests/signal/window_test.cc" "tests/CMakeFiles/mocemg_tests.dir/signal/window_test.cc.o" "gcc" "tests/CMakeFiles/mocemg_tests.dir/signal/window_test.cc.o.d"
+  "/root/repo/tests/synth/dataset_test.cc" "tests/CMakeFiles/mocemg_tests.dir/synth/dataset_test.cc.o" "gcc" "tests/CMakeFiles/mocemg_tests.dir/synth/dataset_test.cc.o.d"
+  "/root/repo/tests/synth/emg_synthesizer_test.cc" "tests/CMakeFiles/mocemg_tests.dir/synth/emg_synthesizer_test.cc.o" "gcc" "tests/CMakeFiles/mocemg_tests.dir/synth/emg_synthesizer_test.cc.o.d"
+  "/root/repo/tests/synth/kinematics_test.cc" "tests/CMakeFiles/mocemg_tests.dir/synth/kinematics_test.cc.o" "gcc" "tests/CMakeFiles/mocemg_tests.dir/synth/kinematics_test.cc.o.d"
+  "/root/repo/tests/synth/merge_test.cc" "tests/CMakeFiles/mocemg_tests.dir/synth/merge_test.cc.o" "gcc" "tests/CMakeFiles/mocemg_tests.dir/synth/merge_test.cc.o.d"
+  "/root/repo/tests/synth/motion_classes_test.cc" "tests/CMakeFiles/mocemg_tests.dir/synth/motion_classes_test.cc.o" "gcc" "tests/CMakeFiles/mocemg_tests.dir/synth/motion_classes_test.cc.o.d"
+  "/root/repo/tests/synth/muscle_model_test.cc" "tests/CMakeFiles/mocemg_tests.dir/synth/muscle_model_test.cc.o" "gcc" "tests/CMakeFiles/mocemg_tests.dir/synth/muscle_model_test.cc.o.d"
+  "/root/repo/tests/synth/profiles_test.cc" "tests/CMakeFiles/mocemg_tests.dir/synth/profiles_test.cc.o" "gcc" "tests/CMakeFiles/mocemg_tests.dir/synth/profiles_test.cc.o.d"
+  "/root/repo/tests/synth/trigger_test.cc" "tests/CMakeFiles/mocemg_tests.dir/synth/trigger_test.cc.o" "gcc" "tests/CMakeFiles/mocemg_tests.dir/synth/trigger_test.cc.o.d"
+  "/root/repo/tests/util/csv_test.cc" "tests/CMakeFiles/mocemg_tests.dir/util/csv_test.cc.o" "gcc" "tests/CMakeFiles/mocemg_tests.dir/util/csv_test.cc.o.d"
+  "/root/repo/tests/util/logging_test.cc" "tests/CMakeFiles/mocemg_tests.dir/util/logging_test.cc.o" "gcc" "tests/CMakeFiles/mocemg_tests.dir/util/logging_test.cc.o.d"
+  "/root/repo/tests/util/random_test.cc" "tests/CMakeFiles/mocemg_tests.dir/util/random_test.cc.o" "gcc" "tests/CMakeFiles/mocemg_tests.dir/util/random_test.cc.o.d"
+  "/root/repo/tests/util/result_test.cc" "tests/CMakeFiles/mocemg_tests.dir/util/result_test.cc.o" "gcc" "tests/CMakeFiles/mocemg_tests.dir/util/result_test.cc.o.d"
+  "/root/repo/tests/util/status_test.cc" "tests/CMakeFiles/mocemg_tests.dir/util/status_test.cc.o" "gcc" "tests/CMakeFiles/mocemg_tests.dir/util/status_test.cc.o.d"
+  "/root/repo/tests/util/string_util_test.cc" "tests/CMakeFiles/mocemg_tests.dir/util/string_util_test.cc.o" "gcc" "tests/CMakeFiles/mocemg_tests.dir/util/string_util_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mocemg_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/mocemg_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/mocemg_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/mocemg_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/mocemg_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/emg/CMakeFiles/mocemg_emg.dir/DependInfo.cmake"
+  "/root/repo/build/src/mocap/CMakeFiles/mocemg_mocap.dir/DependInfo.cmake"
+  "/root/repo/build/src/signal/CMakeFiles/mocemg_signal.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/mocemg_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mocemg_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mocemg_cli.dir/mocemg_cli.cpp.o"
+  "CMakeFiles/mocemg_cli.dir/mocemg_cli.cpp.o.d"
+  "mocemg_cli"
+  "mocemg_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mocemg_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
