@@ -30,6 +30,17 @@ Status ValidateOptions(const Matrix& points, const FcmOptions& options) {
   if (options.max_iterations == 0 || options.restarts <= 0) {
     return Status::InvalidArgument("iterations and restarts must be >= 1");
   }
+  // A single NaN point poisons every center through the weighted means
+  // and the fit silently degenerates; surface it instead.
+  for (size_t r = 0; r < points.rows(); ++r) {
+    for (size_t c = 0; c < points.cols(); ++c) {
+      if (!std::isfinite(points(r, c))) {
+        return Status::NumericalError(
+            "FCM input contains a non-finite value at point " +
+            std::to_string(r) + ", dimension " + std::to_string(c));
+      }
+    }
+  }
   return Status::OK();
 }
 
@@ -207,6 +218,12 @@ Result<std::vector<double>> EvaluateMembership(
   }
   if (fuzziness <= 1.0) {
     return Status::InvalidArgument("fuzzifier m must be > 1");
+  }
+  for (double v : point) {
+    if (!std::isfinite(v)) {
+      return Status::NumericalError(
+          "membership evaluation on a non-finite point");
+    }
   }
   const size_t c = centers.rows();
   std::vector<double> sq(c);

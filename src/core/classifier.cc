@@ -31,6 +31,18 @@ Result<Matrix> RawWindowPoints(const MotionSequence& mocap,
 
 }  // namespace
 
+const char* ClassifierModeName(ClassifierMode mode) {
+  switch (mode) {
+    case ClassifierMode::kFull:
+      return "full";
+    case ClassifierMode::kMocapOnly:
+      return "mocap_only";
+    case ClassifierMode::kEmgOnly:
+      return "emg_only";
+  }
+  return "unknown";
+}
+
 Result<MotionClassifier> MotionClassifier::Train(
     const std::vector<LabeledMotion>& motions,
     const ClassifierOptions& options) {
@@ -119,6 +131,31 @@ Result<MotionClassifier> MotionClassifier::Train(
     clf.final_features_.SetRow(i, feature);
     clf.labels_.push_back(motions[i].label);
     clf.label_names_.push_back(motions[i].label_name);
+  }
+
+  // 5. Optional modality-fallback sub-models for ClassifyRobust: the
+  // same pipeline restricted to each modality's feature block.
+  if (options.train_fallbacks && options.features.use_emg &&
+      options.features.use_mocap) {
+    ClassifierOptions sub = options;
+    sub.train_fallbacks = false;
+    sub.features.use_emg = false;
+    auto mocap_only = Train(motions, sub);
+    if (!mocap_only.ok()) {
+      return mocap_only.status().WithContext(
+          "while training the mocap-only fallback");
+    }
+    clf.mocap_only_ =
+        std::make_shared<const MotionClassifier>(*std::move(mocap_only));
+    sub.features.use_emg = true;
+    sub.features.use_mocap = false;
+    auto emg_only = Train(motions, sub);
+    if (!emg_only.ok()) {
+      return emg_only.status().WithContext(
+          "while training the EMG-only fallback");
+    }
+    clf.emg_only_ =
+        std::make_shared<const MotionClassifier>(*std::move(emg_only));
   }
   return clf;
 }
@@ -227,6 +264,129 @@ Result<size_t> MotionClassifier::Classify(const MotionSequence& mocap,
   MOCEMG_ASSIGN_OR_RETURN(std::vector<MotionMatch> nn,
                           NearestNeighbors(feature, 1));
   return nn[0].label;
+}
+
+const MotionClassifier* MotionClassifier::submodel(
+    ClassifierMode mode) const {
+  switch (mode) {
+    case ClassifierMode::kFull:
+      return this;
+    case ClassifierMode::kMocapOnly:
+      return mocap_only_.get();
+    case ClassifierMode::kEmgOnly:
+      return emg_only_.get();
+  }
+  return nullptr;
+}
+
+Result<Matrix> MotionClassifier::WindowPointsMasked(
+    const MotionSequence& mocap, const EmgRecording& emg,
+    const ClassifierOptions& options,
+    const std::vector<size_t>* masked_channels) const {
+  MOCEMG_ASSIGN_OR_RETURN(Matrix points,
+                          RawWindowPoints(mocap, emg, options));
+  if (masked_channels != nullptr && !masked_channels->empty() &&
+      options.features.use_emg) {
+    // EMG block leads the feature layout (Section 3.3 append order),
+    // channel-major with a fixed per-channel width.
+    WindowFeatureOptions one_channel = options.features;
+    one_channel.use_mocap = false;
+    const size_t per_channel = WindowFeatureDimension(one_channel, 1, 0);
+    for (size_t c : *masked_channels) {
+      for (size_t d = 0; d < per_channel; ++d) {
+        const size_t col = c * per_channel + d;
+        if (col >= points.cols()) break;
+        // Training mean ⇒ exactly 0 after the z-score transform: the
+        // dead channel neither votes for nor against any cluster.
+        const double neutral = normalizer_.mean()[col];
+        for (size_t r = 0; r < points.rows(); ++r) {
+          points(r, col) = neutral;
+        }
+      }
+    }
+  }
+  return normalizer_.Transform(points);
+}
+
+Result<RobustDecision> MotionClassifier::ClassifyRobust(
+    const MotionSequence& mocap, const EmgRecording& emg,
+    size_t k) const {
+  if (codebook_.num_clusters() == 0) {
+    return Status::FailedPrecondition("classifier is not trained");
+  }
+  if (!options_.features.use_emg || !options_.features.use_mocap) {
+    return Status::FailedPrecondition(
+        "ClassifyRobust needs the integrated (EMG + mocap) pipeline");
+  }
+  const StreamHealth monitor(options_.health);
+  RobustDecision decision;
+  MOCEMG_ASSIGN_OR_RETURN(decision.health, monitor.Assess(mocap, emg));
+
+  // Repair what is repairable before featurizing: occlusion gaps become
+  // finite (interpolated/held) coordinates.
+  MotionSequence repaired;
+  const MotionSequence* mocap_ptr = &mocap;
+  bool mocap_missing = false;
+  for (const auto& m : decision.health.markers) {
+    if (m.missing_frames > 0) mocap_missing = true;
+  }
+  if (mocap_missing) {
+    MOCEMG_ASSIGN_OR_RETURN(
+        repaired, monitor.RepairMocap(mocap, &decision.health));
+    mocap_ptr = &repaired;
+  }
+
+  // Modality fallback policy: an unusable modality is dropped, never
+  // silently guessed around.
+  if (!decision.health.mocap_usable && !decision.health.emg_usable) {
+    return Status::FailedPrecondition(
+        "both modalities unusable: " + decision.health.Summary());
+  }
+  if (!decision.health.emg_usable) {
+    if (mocap_only_ == nullptr) {
+      return Status::FailedPrecondition(
+          "EMG unusable (" + decision.health.Summary() +
+          ") and no mocap-only fallback was trained; set "
+          "ClassifierOptions::train_fallbacks");
+    }
+    decision.mode = ClassifierMode::kMocapOnly;
+  } else if (!decision.health.mocap_usable) {
+    if (emg_only_ == nullptr) {
+      return Status::FailedPrecondition(
+          "mocap unusable (" + decision.health.Summary() +
+          ") and no EMG-only fallback was trained; set "
+          "ClassifierOptions::train_fallbacks");
+    }
+    decision.mode = ClassifierMode::kEmgOnly;
+  }
+  const MotionClassifier* deciding = submodel(decision.mode);
+
+  // Detected hum is repaired in conditioning: notch at the line
+  // frequency the health monitor measured.
+  ClassifierOptions opts = deciding->options_;
+  if (decision.health.hum_detected && opts.features.use_emg &&
+      opts.condition_emg) {
+    opts.acquisition.notch_hz = decision.health.hum_freq_hz;
+  }
+  const std::vector<size_t>* mask =
+      decision.mode == ClassifierMode::kFull &&
+              !decision.health.masked_channels.empty()
+          ? &decision.health.masked_channels
+          : nullptr;
+
+  MOCEMG_ASSIGN_OR_RETURN(
+      Matrix points,
+      deciding->WindowPointsMasked(*mocap_ptr, emg, opts, mask));
+  MOCEMG_ASSIGN_OR_RETURN(std::vector<double> feature,
+                          deciding->FinalFeature(points));
+  MOCEMG_ASSIGN_OR_RETURN(decision.matches,
+                          deciding->NearestNeighbors(feature, k));
+  decision.label = decision.matches[0].label;
+  decision.label_name =
+      deciding->label_names_[decision.matches[0].index];
+  decision.degraded = decision.mode != ClassifierMode::kFull ||
+                      decision.health.any_repair;
+  return decision;
 }
 
 }  // namespace mocemg

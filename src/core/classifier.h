@@ -8,11 +8,13 @@
 #ifndef MOCEMG_CORE_CLASSIFIER_H_
 #define MOCEMG_CORE_CLASSIFIER_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/codebook.h"
 #include "core/normalizer.h"
+#include "core/stream_health.h"
 #include "core/window_features.h"
 #include "emg/acquisition.h"
 #include "util/result.h"
@@ -54,6 +56,12 @@ struct ClassifierOptions {
   /// degenerates toward mocap-only (ablation A4 quantifies it).
   bool balance_modalities = true;
   ClusterMethod cluster_method = ClusterMethod::kFuzzyCMeans;
+  /// Additionally train mocap-only and EMG-only fallback sub-models so
+  /// ClassifyRobust can survive the total loss of one modality. Off by
+  /// default: it triples training cost and most callers never degrade.
+  bool train_fallbacks = false;
+  /// Thresholds for the degraded-capture path (ClassifyRobust).
+  StreamHealthOptions health;
 };
 
 /// \brief A retrieval hit.
@@ -61,6 +69,29 @@ struct MotionMatch {
   size_t index = 0;      ///< position in the training set
   size_t label = 0;
   double distance = 0.0;  ///< Euclidean distance in final-feature space
+};
+
+/// \brief Which feature subspace produced a decision.
+enum class ClassifierMode : int {
+  kFull = 0,       ///< integrated EMG ⊕ mocap features (the paper)
+  kMocapOnly = 1,  ///< EMG unusable → mocap-only fallback sub-model
+  kEmgOnly = 2,    ///< mocap unusable → EMG-only fallback sub-model
+};
+
+/// \brief Stable lower-case name ("full", "mocap_only", "emg_only").
+const char* ClassifierModeName(ClassifierMode mode);
+
+/// \brief A decision from the degraded-capture path, carrying the full
+/// health diagnosis alongside the label.
+struct RobustDecision {
+  size_t label = 0;
+  std::string label_name;
+  ClassifierMode mode = ClassifierMode::kFull;
+  /// True whenever the decision was not made on pristine full-modality
+  /// data — a repair, mask, notch, or modality fallback was involved.
+  bool degraded = false;
+  StreamHealthReport health;
+  std::vector<MotionMatch> matches;  ///< from the deciding sub-model
 };
 
 /// \brief Trained classifier: codebook + normalizer + the database's
@@ -100,6 +131,29 @@ class MotionClassifier {
   Result<size_t> Classify(const MotionSequence& mocap,
                           const EmgRecording& emg) const;
 
+  /// \brief Degradation-aware classification. Assesses stream health,
+  /// repairs what is repairable (bounded marker-gap interpolation, notch
+  /// at a detected hum frequency), masks dead EMG channels to their
+  /// neutral (training-mean) feature values, and — when a whole modality
+  /// is unusable and fallbacks were trained — decides in the healthy
+  /// modality's subspace. Fails with FailedPrecondition when both
+  /// modalities are unusable, or when one is unusable and no fallback
+  /// exists (surfaced, never silently guessed). `k` sets how many
+  /// matches the decision carries.
+  Result<RobustDecision> ClassifyRobust(const MotionSequence& mocap,
+                                        const EmgRecording& emg,
+                                        size_t k = 1) const;
+
+  /// \brief True when the modality-fallback sub-models are available
+  /// (trained with ClassifierOptions::train_fallbacks).
+  bool has_fallbacks() const {
+    return mocap_only_ != nullptr && emg_only_ != nullptr;
+  }
+
+  /// \brief The sub-model deciding in `mode` (`this` for kFull); null if
+  /// that fallback was not trained.
+  const MotionClassifier* submodel(ClassifierMode mode) const;
+
   /// \brief Training-set final features as rows (one per motion).
   const Matrix& final_features() const { return final_features_; }
   const std::vector<size_t>& labels() const { return labels_; }
@@ -116,6 +170,13 @@ class MotionClassifier {
   Result<Matrix> WindowPoints(const MotionSequence& mocap,
                               const EmgRecording& emg) const;
   Result<std::vector<double>> FinalFeature(const Matrix& points) const;
+  /// Like WindowPoints, but with explicit (possibly notch-augmented)
+  /// options and dead EMG channels neutralized to the training mean
+  /// before the z-score transform (so they land at exactly 0).
+  Result<Matrix> WindowPointsMasked(
+      const MotionSequence& mocap, const EmgRecording& emg,
+      const ClassifierOptions& options,
+      const std::vector<size_t>* masked_channels) const;
 
   ClassifierOptions options_;
   Normalizer normalizer_;
@@ -123,6 +184,10 @@ class MotionClassifier {
   Matrix final_features_;
   std::vector<size_t> labels_;
   std::vector<std::string> label_names_;
+  /// Modality-fallback sub-models (shared so the classifier stays
+  /// copyable); null unless trained with train_fallbacks.
+  std::shared_ptr<const MotionClassifier> mocap_only_;
+  std::shared_ptr<const MotionClassifier> emg_only_;
 };
 
 }  // namespace mocemg

@@ -1,0 +1,280 @@
+#include "core/stream_health.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "signal/spectral.h"
+#include "util/macros.h"
+
+namespace mocemg {
+namespace {
+
+// A frame is missing when any of the marker's three coordinates is
+// non-finite (cameras either triangulate a point or don't).
+bool FrameMissing(const MotionSequence& mocap, size_t frame,
+                  size_t marker) {
+  for (size_t k = 0; k < 3; ++k) {
+    if (!std::isfinite(mocap.positions()(frame, 3 * marker + k))) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// Missing runs of one marker as [begin, end) spans.
+std::vector<std::pair<size_t, size_t>> MissingRuns(
+    const MotionSequence& mocap, size_t marker) {
+  std::vector<std::pair<size_t, size_t>> runs;
+  const size_t frames = mocap.num_frames();
+  size_t f = 0;
+  while (f < frames) {
+    if (!FrameMissing(mocap, f, marker)) {
+      ++f;
+      continue;
+    }
+    size_t end = f + 1;
+    while (end < frames && FrameMissing(mocap, end, marker)) ++end;
+    runs.emplace_back(f, end);
+    f = end;
+  }
+  return runs;
+}
+
+}  // namespace
+
+std::string StreamHealthReport::Summary() const {
+  size_t markers_ok = 0;
+  for (const auto& m : markers) markers_ok += m.usable ? 1 : 0;
+  size_t channels_ok = 0;
+  for (const auto& c : channels) channels_ok += c.usable ? 1 : 0;
+  std::ostringstream out;
+  out << "mocap " << markers_ok << "/" << markers.size()
+      << " markers ok (health " << mocap_health << ", "
+      << (mocap_usable ? "usable" : "UNUSABLE") << "); emg " << channels_ok
+      << "/" << channels.size() << " channels ok (health " << emg_health
+      << ", " << (emg_usable ? "usable" : "UNUSABLE") << ")";
+  if (!masked_channels.empty()) {
+    out << "; masked channels:";
+    for (size_t c : masked_channels) out << " " << c;
+  }
+  if (hum_detected) out << "; hum @ " << hum_freq_hz << " Hz";
+  if (any_repair) out << "; repairs applied";
+  return out.str();
+}
+
+MarkerHealth StreamHealth::DiagnoseMarker(const MotionSequence& mocap,
+                                          size_t marker) const {
+  MarkerHealth h;
+  h.marker_index = marker;
+  const size_t frames = mocap.num_frames();
+  for (const auto& [begin, end] : MissingRuns(mocap, marker)) {
+    const size_t len = end - begin;
+    h.missing_frames += len;
+    h.longest_gap = std::max(h.longest_gap, len);
+    if (len <= options_.max_repair_gap_frames) {
+      h.repairable_frames += len;
+    } else {
+      h.unrepaired_frames += len;
+    }
+  }
+  const double missing_fraction =
+      static_cast<double>(h.missing_frames) / static_cast<double>(frames);
+  const double unrepaired_fraction =
+      static_cast<double>(h.unrepaired_frames) /
+      static_cast<double>(frames);
+  h.health = 1.0 - missing_fraction;
+  h.usable = missing_fraction <= options_.max_occlusion_fraction &&
+             unrepaired_fraction <= options_.max_unrepaired_fraction;
+  return h;
+}
+
+Result<std::vector<MarkerHealth>> StreamHealth::AssessMocap(
+    const MotionSequence& mocap) const {
+  if (mocap.num_frames() == 0) {
+    return Status::InvalidArgument("cannot assess an empty motion");
+  }
+  std::vector<MarkerHealth> out;
+  out.reserve(mocap.num_markers());
+  for (size_t m = 0; m < mocap.num_markers(); ++m) {
+    out.push_back(DiagnoseMarker(mocap, m));
+  }
+  return out;
+}
+
+Result<std::vector<ChannelHealth>> StreamHealth::AssessEmg(
+    const EmgRecording& emg) const {
+  if (emg.num_samples() == 0 || emg.num_channels() == 0) {
+    return Status::InvalidArgument("cannot assess an empty recording");
+  }
+  const double fs = emg.sample_rate_hz();
+  const size_t n = emg.num_samples();
+  std::vector<ChannelHealth> out;
+  out.reserve(emg.num_channels());
+  for (size_t c = 0; c < emg.num_channels(); ++c) {
+    const std::vector<double>& x = emg.channel(c);
+    ChannelHealth h;
+    h.channel = c;
+
+    double mean = 0.0;
+    double peak = 0.0;
+    for (double v : x) {
+      if (!std::isfinite(v)) {
+        ++h.non_finite;
+        continue;
+      }
+      mean += v;
+      peak = std::max(peak, std::fabs(v));
+    }
+    const size_t finite = n - h.non_finite;
+    if (finite == 0) {
+      h.flatline = true;
+      h.health = 0.0;
+      h.usable = false;
+      out.push_back(h);
+      continue;
+    }
+    mean /= static_cast<double>(finite);
+    double var = 0.0;
+    double mean_square = 0.0;
+    size_t clipped = 0;
+    for (double v : x) {
+      if (!std::isfinite(v)) continue;
+      var += (v - mean) * (v - mean);
+      mean_square += v * v;
+      if (peak > 0.0 && std::fabs(v) >= 0.98 * peak) ++clipped;
+    }
+    var /= static_cast<double>(finite);
+    mean_square /= static_cast<double>(finite);
+    h.variance = var;
+    h.clip_fraction =
+        static_cast<double>(clipped) / static_cast<double>(finite);
+
+    h.flatline = var < options_.flatline_variance_floor;
+    h.saturated = !h.flatline &&
+                  h.clip_fraction > options_.saturation_clip_fraction_max;
+
+    // Hum share of total power at each probed line frequency. Goertzel
+    // returns |X|²/N ≈ N·A²/4 for a full-scale tone of amplitude A,
+    // whose mean-square share is A²/2 — hence the 2/N normalization.
+    if (!h.flatline && mean_square > 0.0 && h.non_finite == 0) {
+      for (double f : options_.hum_probe_hz) {
+        if (f <= 0.0 || f >= fs / 2.0) continue;
+        auto power = GoertzelPower(x, f, fs);
+        if (!power.ok()) continue;
+        const double ratio = std::min(
+            1.0, 2.0 * *power / (static_cast<double>(n) * mean_square));
+        if (ratio > h.hum_ratio) {
+          h.hum_ratio = ratio;
+          h.hum_freq_hz = f;
+        }
+      }
+      h.hum_contaminated = h.hum_ratio > options_.hum_power_ratio_max;
+    }
+
+    h.usable = h.non_finite == 0 && !h.flatline && !h.saturated;
+    h.health = h.usable ? (h.hum_contaminated ? 1.0 - h.hum_ratio : 1.0)
+                        : 0.0;
+    out.push_back(h);
+  }
+  return out;
+}
+
+Result<StreamHealthReport> StreamHealth::Assess(
+    const MotionSequence& mocap, const EmgRecording& emg) const {
+  StreamHealthReport report;
+  MOCEMG_ASSIGN_OR_RETURN(report.markers, AssessMocap(mocap));
+  MOCEMG_ASSIGN_OR_RETURN(report.channels, AssessEmg(emg));
+
+  report.mocap_health = 1.0;
+  report.mocap_usable = true;
+  for (const auto& m : report.markers) {
+    report.mocap_health = std::min(report.mocap_health, m.health);
+    if (!m.usable) report.mocap_usable = false;
+    if (m.missing_frames > 0) report.any_repair = true;
+  }
+
+  size_t dead = 0;
+  double strongest_hum = 0.0;
+  for (const auto& c : report.channels) {
+    if (!c.usable) ++dead;
+    if (c.hum_contaminated && c.hum_ratio > strongest_hum) {
+      strongest_hum = c.hum_ratio;
+      report.hum_detected = true;
+      report.hum_freq_hz = c.hum_freq_hz;
+      report.any_repair = true;
+    }
+  }
+  const double dead_fraction = static_cast<double>(dead) /
+                               static_cast<double>(report.channels.size());
+  report.emg_health = 1.0 - dead_fraction;
+  report.emg_usable =
+      dead_fraction <= options_.max_masked_channel_fraction;
+  if (report.emg_usable && dead > 0) {
+    for (const auto& c : report.channels) {
+      if (!c.usable) report.masked_channels.push_back(c.channel);
+    }
+    report.any_repair = true;
+  }
+  return report;
+}
+
+Result<MotionSequence> StreamHealth::RepairMocap(
+    const MotionSequence& mocap, StreamHealthReport* report) const {
+  if (mocap.num_frames() == 0) {
+    return Status::InvalidArgument("cannot repair an empty motion");
+  }
+  MotionSequence out = mocap;
+  Matrix& pos = out.mutable_positions();
+  const size_t frames = out.num_frames();
+  bool repaired_any = false;
+
+  for (size_t m = 0; m < out.num_markers(); ++m) {
+    const auto runs = MissingRuns(mocap, m);
+    if (runs.empty()) continue;
+    repaired_any = true;
+    size_t captured = frames;
+    for (const auto& [begin, end] : runs) captured -= end - begin;
+    if (captured == 0) {
+      // Marker never seen: zero-fill (pelvis-relative origin) — usable
+      // is already false in any assessment of this marker.
+      for (size_t f = 0; f < frames; ++f) {
+        for (size_t k = 0; k < 3; ++k) pos(f, 3 * m + k) = 0.0;
+      }
+      continue;
+    }
+    for (const auto& [begin, end] : runs) {
+      const bool has_before = begin > 0;
+      const bool has_after = end < frames;
+      for (size_t k = 0; k < 3; ++k) {
+        const size_t col = 3 * m + k;
+        if (has_before && has_after) {
+          // Linear interpolation across the gap.
+          const double a = pos(begin - 1, col);
+          const double b = pos(end, col);
+          const double span = static_cast<double>(end - (begin - 1));
+          for (size_t f = begin; f < end; ++f) {
+            const double t =
+                static_cast<double>(f - (begin - 1)) / span;
+            pos(f, col) = (1.0 - t) * a + t * b;
+          }
+        } else if (has_before) {
+          for (size_t f = begin; f < end; ++f) {
+            pos(f, col) = pos(begin - 1, col);
+          }
+        } else {  // leading gap: hold the first captured frame
+          for (size_t f = begin; f < end; ++f) {
+            pos(f, col) = pos(end, col);
+          }
+        }
+      }
+    }
+  }
+
+  if (report != nullptr) {
+    if (repaired_any) report->any_repair = true;
+  }
+  return out;
+}
+
+}  // namespace mocemg

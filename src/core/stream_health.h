@@ -1,0 +1,154 @@
+/// \file stream_health.h
+/// \brief Online health assessment and bounded repair of degraded capture
+/// streams. A deployed rig — unlike the paper's pristine 16-camera Vicon
+/// + hardware-triggered Delsys lab — routinely delivers occluded markers
+/// (NaN runs), lifted electrodes (flatlined channels), clipped
+/// amplifiers, and mains-hum contamination. StreamHealth detects these
+/// conditions per marker / per channel, repairs what is repairable
+/// (bounded-gap interpolation for markers; hum is repairable downstream
+/// by a notch filter), and reports per-modality usability so the
+/// classifier can degrade gracefully instead of emitting garbage
+/// (see MotionClassifier::ClassifyRobust).
+///
+/// Policy summary (full rationale in DESIGN.md §Robustness):
+///  - repaired: interior marker gaps ≤ max_repair_gap_frames (linear
+///    interpolation), edge gaps ≤ bound (nearest-frame hold), hum
+///    (notch at the detected line frequency);
+///  - masked:   flatlined / saturated EMG channels (neutralized per
+///    window by the classifier, provided ≤ half the channels are dead);
+///  - surfaced: markers occluded beyond max_occlusion_fraction, gaps
+///    beyond the repair bound, or a majority of dead channels — the
+///    affected modality is flagged unusable and the classifier falls
+///    back to the healthy one.
+
+#ifndef MOCEMG_CORE_STREAM_HEALTH_H_
+#define MOCEMG_CORE_STREAM_HEALTH_H_
+
+#include <string>
+#include <vector>
+
+#include "emg/emg_recording.h"
+#include "mocap/motion_sequence.h"
+#include "util/result.h"
+
+namespace mocemg {
+
+/// \brief Detection thresholds and repair bounds.
+struct StreamHealthOptions {
+  /// Longest marker gap (frames) repaired by interpolation/hold; at the
+  /// default 120 Hz this is 100 ms, comfortably within limb-motion
+  /// coherence time.
+  size_t max_repair_gap_frames = 12;
+  /// A marker missing more than this fraction of frames is unusable even
+  /// if every individual gap is repairable.
+  double max_occlusion_fraction = 0.4;
+  /// Tolerated fraction of frames in gaps beyond the repair bound
+  /// (filled by hold to stay finite, but fabricated).
+  double max_unrepaired_fraction = 0.1;
+  /// Channel variance (V²) below which it is a flatline. Surface EMG at
+  /// rest still shows µV-scale noise (variance ≳ 1e-12 V²).
+  double flatline_variance_floor = 1e-14;
+  /// Fraction of samples at the channel's peak |amplitude| above which
+  /// the channel counts as saturated (a clean stochastic signal touches
+  /// within 2% of its peak only a vanishing fraction of the time).
+  double saturation_clip_fraction_max = 0.1;
+  /// Fraction of total signal power at a probed line frequency above
+  /// which the channel is hum-contaminated.
+  double hum_power_ratio_max = 0.25;
+  /// Line frequencies probed (Hz); both major grids by default.
+  std::vector<double> hum_probe_hz = {50.0, 60.0};
+  /// EMG stays usable (with dead channels masked) while at most this
+  /// fraction of channels is dead; beyond it the modality is unusable.
+  double max_masked_channel_fraction = 0.5;
+};
+
+/// \brief Per-marker occlusion diagnosis.
+struct MarkerHealth {
+  size_t marker_index = 0;
+  size_t missing_frames = 0;    ///< frames with any non-finite coordinate
+  size_t longest_gap = 0;       ///< longest missing run (frames)
+  size_t repairable_frames = 0; ///< missing frames within the repair bound
+  size_t unrepaired_frames = 0; ///< missing frames beyond the bound
+  double health = 1.0;          ///< 1 − missing fraction
+  bool usable = true;
+};
+
+/// \brief Per-channel EMG diagnosis.
+struct ChannelHealth {
+  size_t channel = 0;
+  size_t non_finite = 0;     ///< NaN/inf samples (always fatal)
+  double variance = 0.0;     ///< V²
+  double clip_fraction = 0.0;
+  double hum_ratio = 0.0;    ///< strongest probed line-frequency share
+  double hum_freq_hz = 0.0;  ///< frequency attaining hum_ratio
+  bool flatline = false;
+  bool saturated = false;
+  bool hum_contaminated = false;  ///< repairable (notch), not fatal
+  double health = 1.0;
+  bool usable = true;
+};
+
+/// \brief Joint diagnosis of one synchronized capture.
+struct StreamHealthReport {
+  std::vector<MarkerHealth> markers;
+  std::vector<ChannelHealth> channels;
+  double mocap_health = 1.0;  ///< worst marker health
+  double emg_health = 1.0;    ///< usable-channel fraction
+  bool mocap_usable = true;
+  bool emg_usable = true;
+  /// Dead channels the classifier should neutralize per window (set only
+  /// when emg_usable).
+  std::vector<size_t> masked_channels;
+  /// Hum detected on any channel; repair = notch at `hum_freq_hz`.
+  bool hum_detected = false;
+  double hum_freq_hz = 0.0;
+  /// Any repair (interpolation/hold/mask/notch) was or will be applied.
+  bool any_repair = false;
+
+  /// \brief One-line diagnosis for logs and decision structs.
+  std::string Summary() const;
+};
+
+/// \brief Detector + repairer. Stateless between calls; cheap to
+/// construct per capture or hold per session.
+class StreamHealth {
+ public:
+  StreamHealth() = default;
+  explicit StreamHealth(StreamHealthOptions options)
+      : options_(std::move(options)) {}
+
+  /// \brief Assesses both streams and aggregates modality usability.
+  /// Neither stream is modified. `emg` may be raw or conditioned; the
+  /// detectors are scale-free except the flatline variance floor.
+  Result<StreamHealthReport> Assess(const MotionSequence& mocap,
+                                    const EmgRecording& emg) const;
+
+  /// \brief Per-marker gap diagnosis only.
+  Result<std::vector<MarkerHealth>> AssessMocap(
+      const MotionSequence& mocap) const;
+
+  /// \brief Per-channel diagnosis only.
+  Result<std::vector<ChannelHealth>> AssessEmg(
+      const EmgRecording& emg) const;
+
+  /// \brief Returns a fully finite copy of `mocap`: interior gaps within
+  /// the repair bound are linearly interpolated, edge gaps held at the
+  /// nearest captured frame, and over-bound gaps filled the same way but
+  /// counted as unrepaired (fabricated) data. A marker with no captured
+  /// frame at all is zero-filled. When `report` is non-null its marker
+  /// entries and `any_repair` flag are updated.
+  Result<MotionSequence> RepairMocap(const MotionSequence& mocap,
+                                     StreamHealthReport* report) const;
+
+  const StreamHealthOptions& options() const { return options_; }
+
+ private:
+  MarkerHealth DiagnoseMarker(const MotionSequence& mocap,
+                              size_t marker) const;
+
+  StreamHealthOptions options_;
+};
+
+}  // namespace mocemg
+
+#endif  // MOCEMG_CORE_STREAM_HEALTH_H_

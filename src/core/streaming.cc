@@ -9,6 +9,16 @@
 #include "util/macros.h"
 
 namespace mocemg {
+namespace {
+
+// Per-channel width of the EMG feature block.
+size_t PerChannelWidth(const WindowFeatureOptions& f) {
+  WindowFeatureOptions one_channel = f;
+  one_channel.use_mocap = false;
+  return WindowFeatureDimension(one_channel, 1, 0);
+}
+
+}  // namespace
 
 Result<StreamingClassifier> StreamingClassifier::Create(
     const MotionClassifier* model, size_t num_markers,
@@ -55,12 +65,33 @@ Result<StreamingClassifier> StreamingClassifier::Create(
     s.hop_frames_ = WindowMsToFrames(f.hop_ms, options.frame_rate_hz);
   }
   if (s.hop_frames_ == 0) s.hop_frames_ = s.window_frames_;
-  const size_t c = model->codebook().num_clusters();
-  s.min_per_cluster_.assign(c, 0.0);
-  s.max_per_cluster_.assign(c, 0.0);
-  s.cluster_seen_.assign(c, false);
-  s.votes_.assign(c, 0.0);
+  BindModeState(&s.full_state_, model, ClassifierMode::kFull);
+  if (options.tolerate_faults && model->has_fallbacks()) {
+    BindModeState(&s.mocap_state_, model->submodel(ClassifierMode::kMocapOnly),
+                  ClassifierMode::kMocapOnly);
+    BindModeState(&s.emg_state_, model->submodel(ClassifierMode::kEmgOnly),
+                  ClassifierMode::kEmgOnly);
+  }
+  s.last_pelvis_global_.assign(3, 0.0);
+  s.last_local_.assign(num_markers, std::vector<double>(3, 0.0));
+  s.have_marker_.assign(num_markers, false);
+  s.hold_streak_.assign(num_markers, 0);
+  s.last_emg_.assign(num_emg_channels, 0.0);
+  s.emg_tail_.assign(num_emg_channels, {});
+  s.channel_masked_.assign(num_emg_channels, false);
   return s;
+}
+
+void StreamingClassifier::BindModeState(ModeState* state,
+                                        const MotionClassifier* model,
+                                        ClassifierMode mode) {
+  state->model = model;
+  state->mode = mode;
+  const size_t c = model->codebook().num_clusters();
+  state->min_per_cluster.assign(c, 0.0);
+  state->max_per_cluster.assign(c, 0.0);
+  state->cluster_seen.assign(c, false);
+  state->votes.assign(c, 0.0);
 }
 
 Status StreamingClassifier::PushFrame(
@@ -76,23 +107,108 @@ Status StreamingClassifier::PushFrame(
         "EMG frame has " + std::to_string(emg_envelope.size()) +
         " channels, expected " + std::to_string(num_emg_channels_));
   }
-  for (double v : marker_positions) {
-    if (!std::isfinite(v)) {
-      return Status::NumericalError("non-finite marker coordinate");
+  if (!options_.tolerate_faults) {
+    for (double v : marker_positions) {
+      if (!std::isfinite(v)) {
+        return Status::NumericalError("non-finite marker coordinate");
+      }
+    }
+    for (double v : emg_envelope) {
+      if (!std::isfinite(v)) {
+        return Status::NumericalError("non-finite EMG sample");
+      }
     }
   }
-  // Pelvis-local transform, applied per frame as it arrives.
-  std::vector<double> local(marker_positions);
-  const double px = local[3 * pelvis_index_];
-  const double py = local[3 * pelvis_index_ + 1];
-  const double pz = local[3 * pelvis_index_ + 2];
-  for (size_t m = 0; m < num_markers_; ++m) {
-    local[3 * m] -= px;
-    local[3 * m + 1] -= py;
-    local[3 * m + 2] -= pz;
+
+  bool patched = false;
+
+  // Pelvis first: it anchors the local transform, so a lost pelvis is
+  // held at its last captured global position.
+  std::vector<double> pelvis(3);
+  bool pelvis_missing = false;
+  for (size_t k = 0; k < 3; ++k) {
+    pelvis[k] = marker_positions[3 * pelvis_index_ + k];
+    if (!std::isfinite(pelvis[k])) pelvis_missing = true;
   }
+  if (pelvis_missing) {
+    pelvis = last_pelvis_global_;  // zeros until first capture
+    patched = true;
+    if (++hold_streak_[pelvis_index_] > options_.max_hold_frames) {
+      health_.mocap_degraded = true;
+    }
+  } else {
+    last_pelvis_global_ = pelvis;
+    have_pelvis_ = true;
+    hold_streak_[pelvis_index_] = 0;
+  }
+
+  // Pelvis-local transform, applied per frame as it arrives; occluded
+  // markers are held at their last captured *local* position, freezing
+  // the relative pose rather than fabricating motion.
+  std::vector<double> local(3 * num_markers_, 0.0);
+  for (size_t m = 0; m < num_markers_; ++m) {
+    if (m == pelvis_index_) continue;
+    bool missing = false;
+    for (size_t k = 0; k < 3; ++k) {
+      if (!std::isfinite(marker_positions[3 * m + k])) missing = true;
+    }
+    if (missing) {
+      for (size_t k = 0; k < 3; ++k) local[3 * m + k] = last_local_[m][k];
+      patched = true;
+      if (++hold_streak_[m] > options_.max_hold_frames) {
+        health_.mocap_degraded = true;
+      }
+    } else {
+      for (size_t k = 0; k < 3; ++k) {
+        local[3 * m + k] = marker_positions[3 * m + k] - pelvis[k];
+        last_local_[m][k] = local[3 * m + k];
+      }
+      have_marker_[m] = true;
+      hold_streak_[m] = 0;
+    }
+  }
+
+  // EMG: patch non-finite samples with the last good value and feed the
+  // trailing window the flatline detector evaluates.
+  std::vector<double> emg = emg_envelope;
+  for (size_t c = 0; c < num_emg_channels_; ++c) {
+    if (!std::isfinite(emg[c])) {
+      emg[c] = last_emg_[c];
+      patched = true;
+    } else {
+      last_emg_[c] = emg[c];
+    }
+    if (options_.tolerate_faults && options_.flatline_window_frames > 0) {
+      std::vector<double>& tail = emg_tail_[c];
+      tail.push_back(emg[c]);
+      if (tail.size() > options_.flatline_window_frames) {
+        tail.erase(tail.begin());
+      }
+      if (tail.size() == options_.flatline_window_frames) {
+        double mean = 0.0;
+        for (double v : tail) mean += v;
+        mean /= static_cast<double>(tail.size());
+        double var = 0.0;
+        for (double v : tail) var += (v - mean) * (v - mean);
+        var /= static_cast<double>(tail.size());
+        const bool was_masked = channel_masked_[c];
+        channel_masked_[c] = var < options_.flatline_variance_floor;
+        if (channel_masked_[c] && !was_masked) {
+          ++health_.flatlined_channels;
+        } else if (!channel_masked_[c] && was_masked) {
+          --health_.flatlined_channels;
+        }
+      }
+    }
+  }
+  if (patched) ++health_.frames_patched;
+  health_.markers_held = 0;
+  for (size_t streak : hold_streak_) {
+    if (streak > 0) ++health_.markers_held;
+  }
+
   mocap_buffer_.push_back(std::move(local));
-  emg_buffer_.push_back(emg_envelope);
+  emg_buffer_.push_back(std::move(emg));
   ++frames_pushed_;
 
   while (frames_pushed_ >= next_window_start_ + window_frames_) {
@@ -113,14 +229,51 @@ Status StreamingClassifier::PushFrame(
   return Status::OK();
 }
 
+Status StreamingClassifier::UpdateModeState(
+    ModeState* state, std::vector<double> raw_feature) {
+  MOCEMG_RETURN_NOT_OK(
+      state->model->normalizer().TransformInPlace(&raw_feature));
+  MOCEMG_ASSIGN_OR_RETURN(
+      std::vector<double> u,
+      state->model->codebook().Membership(raw_feature));
+  MOCEMG_ASSIGN_OR_RETURN(size_t winner, ArgMax(u));
+  const double h = u[winner];
+  if (!state->cluster_seen[winner]) {
+    state->cluster_seen[winner] = true;
+    state->min_per_cluster[winner] = h;
+    state->max_per_cluster[winner] = h;
+  } else {
+    state->min_per_cluster[winner] =
+        std::min(state->min_per_cluster[winner], h);
+    state->max_per_cluster[winner] =
+        std::max(state->max_per_cluster[winner], h);
+  }
+  state->votes[winner] += 1.0;
+  return Status::OK();
+}
+
 Status StreamingClassifier::CompleteWindow() {
   const WindowFeatureOptions& f = model_->options().features;
   const size_t offset = next_window_start_ - buffer_start_frame_;
-  std::vector<double> feature;
+
+  // Raw (un-normalized) modality parts of this window's feature point.
+  std::vector<double> emg_part;
+  std::vector<double> mocap_part;
 
   if (f.use_emg) {
+    const size_t per_channel = PerChannelWidth(f);
     std::vector<double> channel(window_frames_);
     for (size_t c = 0; c < num_emg_channels_; ++c) {
+      if (options_.tolerate_faults && channel_masked_[c]) {
+        // Neutralize a flatlined channel: the full model's training mean
+        // z-scores to exactly 0 (fallback sub-models share the same raw
+        // means, fitted on the same pooled windows).
+        for (size_t d = 0; d < per_channel; ++d) {
+          emg_part.push_back(
+              model_->normalizer().mean()[c * per_channel + d]);
+        }
+        continue;
+      }
       for (size_t i = 0; i < window_frames_; ++i) {
         channel[i] = emg_buffer_[offset + i][c];
       }
@@ -128,7 +281,7 @@ Status StreamingClassifier::CompleteWindow() {
           std::vector<double> part,
           ExtractEmgFeature(f.emg_feature, channel.data(),
                             window_frames_));
-      feature.insert(feature.end(), part.begin(), part.end());
+      emg_part.insert(emg_part.end(), part.begin(), part.end());
     }
   }
   if (f.use_mocap) {
@@ -143,47 +296,47 @@ Status StreamingClassifier::CompleteWindow() {
       MOCEMG_ASSIGN_OR_RETURN(
           std::vector<double> part,
           ExtractMocapFeature(f.mocap_feature, joint));
-      feature.insert(feature.end(), part.begin(), part.end());
+      mocap_part.insert(mocap_part.end(), part.begin(), part.end());
     }
   }
 
-  MOCEMG_RETURN_NOT_OK(
-      model_->normalizer().TransformInPlace(&feature));
-  MOCEMG_ASSIGN_OR_RETURN(std::vector<double> u,
-                          model_->codebook().Membership(feature));
-  MOCEMG_ASSIGN_OR_RETURN(size_t winner, ArgMax(u));
-  const double h = u[winner];
-  if (!cluster_seen_[winner]) {
-    cluster_seen_[winner] = true;
-    min_per_cluster_[winner] = h;
-    max_per_cluster_[winner] = h;
-  } else {
-    min_per_cluster_[winner] = std::min(min_per_cluster_[winner], h);
-    max_per_cluster_[winner] = std::max(max_per_cluster_[winner], h);
+  std::vector<double> feature = emg_part;
+  feature.insert(feature.end(), mocap_part.begin(), mocap_part.end());
+  MOCEMG_RETURN_NOT_OK(UpdateModeState(&full_state_, std::move(feature)));
+  if (mocap_state_.model != nullptr) {
+    MOCEMG_RETURN_NOT_OK(UpdateModeState(&mocap_state_, mocap_part));
   }
-  votes_[winner] += 1.0;
+  if (emg_state_.model != nullptr) {
+    MOCEMG_RETURN_NOT_OK(UpdateModeState(&emg_state_, emg_part));
+  }
   ++windows_completed_;
   return Status::OK();
 }
 
-Result<std::vector<double>> StreamingClassifier::CurrentFinalFeature()
-    const {
+Result<std::vector<double>> StreamingClassifier::FinalFeatureFromState(
+    const ModeState& state) const {
   if (windows_completed_ == 0) {
     return Status::FailedPrecondition("no completed windows yet");
   }
-  const size_t c = min_per_cluster_.size();
-  if (model_->options().cluster_method == ClusterMethod::kFuzzyCMeans) {
+  const size_t c = state.min_per_cluster.size();
+  if (state.model->options().cluster_method ==
+      ClusterMethod::kFuzzyCMeans) {
     std::vector<double> feature(2 * c, 0.0);
     for (size_t i = 0; i < c; ++i) {
-      feature[2 * i] = min_per_cluster_[i];
-      feature[2 * i + 1] = max_per_cluster_[i];
+      feature[2 * i] = state.min_per_cluster[i];
+      feature[2 * i + 1] = state.max_per_cluster[i];
     }
     return feature;
   }
-  std::vector<double> feature(votes_);
+  std::vector<double> feature(state.votes);
   const double inv = 1.0 / static_cast<double>(windows_completed_);
   for (double& v : feature) v *= inv;
   return feature;
+}
+
+Result<std::vector<double>> StreamingClassifier::CurrentFinalFeature()
+    const {
+  return FinalFeatureFromState(full_state_);
 }
 
 Result<size_t> StreamingClassifier::CurrentDecision() const {
@@ -204,6 +357,48 @@ Result<std::vector<MotionMatch>> StreamingClassifier::CurrentMatches(
   return model_->NearestNeighbors(feature, k);
 }
 
+Result<StreamingDecision> StreamingClassifier::CurrentRobustDecision()
+    const {
+  if (!options_.tolerate_faults) {
+    return Status::FailedPrecondition(
+        "robust decisions need StreamingOptions::tolerate_faults");
+  }
+  if (windows_completed_ < options_.min_windows_for_decision) {
+    return Status::FailedPrecondition(
+        "only " + std::to_string(windows_completed_) +
+        " windows completed; decision needs " +
+        std::to_string(options_.min_windows_for_decision));
+  }
+  StreamingDecision decision;
+  decision.health = health_;
+
+  // Mode policy mirrors ClassifyRobust: a majority of flatlined channels
+  // drops EMG, a marker held beyond bound drops mocap — provided the
+  // model carries the matching fallback. With both degraded (or no
+  // fallbacks) the full subspace decides, best effort, flagged degraded.
+  const bool emg_unusable =
+      2 * health_.flatlined_channels > num_emg_channels_;
+  const bool mocap_unusable = health_.mocap_degraded;
+  const ModeState* state = &full_state_;
+  if (emg_unusable && !mocap_unusable && mocap_state_.model != nullptr) {
+    state = &mocap_state_;
+  } else if (mocap_unusable && !emg_unusable &&
+             emg_state_.model != nullptr) {
+    state = &emg_state_;
+  }
+  decision.mode = state->mode;
+
+  MOCEMG_ASSIGN_OR_RETURN(std::vector<double> feature,
+                          FinalFeatureFromState(*state));
+  MOCEMG_ASSIGN_OR_RETURN(std::vector<MotionMatch> nn,
+                          state->model->NearestNeighbors(feature, 1));
+  decision.label = nn[0].label;
+  decision.distance = nn[0].distance;
+  decision.degraded =
+      decision.mode != ClassifierMode::kFull || health_.degraded();
+  return decision;
+}
+
 void StreamingClassifier::Reset() {
   mocap_buffer_.clear();
   emg_buffer_.clear();
@@ -211,10 +406,24 @@ void StreamingClassifier::Reset() {
   next_window_start_ = 0;
   buffer_start_frame_ = 0;
   windows_completed_ = 0;
-  std::fill(min_per_cluster_.begin(), min_per_cluster_.end(), 0.0);
-  std::fill(max_per_cluster_.begin(), max_per_cluster_.end(), 0.0);
-  std::fill(cluster_seen_.begin(), cluster_seen_.end(), false);
-  std::fill(votes_.begin(), votes_.end(), 0.0);
+  for (ModeState* state : {&full_state_, &mocap_state_, &emg_state_}) {
+    std::fill(state->min_per_cluster.begin(),
+              state->min_per_cluster.end(), 0.0);
+    std::fill(state->max_per_cluster.begin(),
+              state->max_per_cluster.end(), 0.0);
+    std::fill(state->cluster_seen.begin(), state->cluster_seen.end(),
+              false);
+    std::fill(state->votes.begin(), state->votes.end(), 0.0);
+  }
+  health_ = StreamingHealth{};
+  have_pelvis_ = false;
+  std::fill(last_pelvis_global_.begin(), last_pelvis_global_.end(), 0.0);
+  for (auto& l : last_local_) std::fill(l.begin(), l.end(), 0.0);
+  std::fill(have_marker_.begin(), have_marker_.end(), false);
+  std::fill(hold_streak_.begin(), hold_streak_.end(), 0);
+  std::fill(last_emg_.begin(), last_emg_.end(), 0.0);
+  for (auto& t : emg_tail_) t.clear();
+  std::fill(channel_masked_.begin(), channel_masked_.end(), false);
 }
 
 }  // namespace mocemg

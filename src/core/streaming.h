@@ -32,6 +32,42 @@ struct StreamingOptions {
   double frame_rate_hz = 120.0;
   /// Decisions before this many completed windows are refused.
   size_t min_windows_for_decision = 2;
+  /// Tolerate degraded frames instead of rejecting them: occluded
+  /// (non-finite) markers are held at their last captured pelvis-local
+  /// position, non-finite EMG samples at the last good value, and
+  /// flatlined channels are masked to their neutral feature value. Off
+  /// by default — a strict stream surfaces every bad frame as an error.
+  bool tolerate_faults = false;
+  /// A marker held for more than this many consecutive frames marks the
+  /// mocap stream degraded (sticky until Reset).
+  size_t max_hold_frames = 12;
+  /// Trailing per-channel window (frames) and variance floor for online
+  /// flatline detection on the conditioned EMG envelope.
+  size_t flatline_window_frames = 24;
+  double flatline_variance_floor = 1e-16;
+};
+
+/// \brief Live health counters of a fault-tolerant stream.
+struct StreamingHealth {
+  size_t frames_patched = 0;      ///< frames with any substituted value
+  size_t markers_held = 0;        ///< markers currently holding last-good
+  size_t flatlined_channels = 0;  ///< channels currently masked
+  /// Some marker exceeded max_hold_frames (sticky until Reset).
+  bool mocap_degraded = false;
+  bool emg_degraded() const { return flatlined_channels > 0; }
+  bool degraded() const {
+    return frames_patched > 0 || mocap_degraded || emg_degraded();
+  }
+};
+
+/// \brief A degradation-aware streaming decision.
+struct StreamingDecision {
+  size_t label = 0;
+  ClassifierMode mode = ClassifierMode::kFull;
+  bool degraded = false;
+  double distance = 0.0;  ///< nearest-neighbour distance in the deciding
+                          ///< sub-model's final-feature space
+  StreamingHealth health;
 };
 
 /// \brief Incremental featurizer + classifier over one motion stream.
@@ -70,13 +106,44 @@ class StreamingClassifier {
   /// \brief Current k-NN matches against the model's database.
   Result<std::vector<MotionMatch>> CurrentMatches(size_t k) const;
 
+  /// \brief Degradation-aware decision (requires tolerate_faults).
+  /// Selects the deciding subspace from live health — majority of
+  /// channels flatlined → mocap-only, mocap degraded → EMG-only, when
+  /// the model carries fallbacks — and reports mode, health, and the
+  /// degraded flag alongside the label. With both modalities degraded
+  /// (or no fallbacks trained) it stays in the full subspace, best
+  /// effort, flagged degraded. Fails until min_windows_for_decision.
+  Result<StreamingDecision> CurrentRobustDecision() const;
+
+  /// \brief Live health counters (all zero unless tolerate_faults).
+  const StreamingHealth& health() const { return health_; }
+
   /// \brief Clears stream state for the next motion.
   void Reset();
 
  private:
+  /// Running Eq. 5–8 (or vote) state against one sub-model's codebook.
+  struct ModeState {
+    const MotionClassifier* model = nullptr;
+    ClassifierMode mode = ClassifierMode::kFull;
+    std::vector<double> min_per_cluster;
+    std::vector<double> max_per_cluster;
+    std::vector<bool> cluster_seen;
+    std::vector<double> votes;
+  };
+
   StreamingClassifier() = default;
 
   Status CompleteWindow();
+  static void BindModeState(ModeState* state,
+                            const MotionClassifier* model,
+                            ClassifierMode mode);
+  /// Normalizes `raw_feature` with the state's model, evaluates the
+  /// membership, and folds the winner into the running Eq. 5–8 state.
+  static Status UpdateModeState(ModeState* state,
+                                std::vector<double> raw_feature);
+  Result<std::vector<double>> FinalFeatureFromState(
+      const ModeState& state) const;
 
   const MotionClassifier* model_ = nullptr;
   StreamingOptions options_;
@@ -95,13 +162,23 @@ class StreamingClassifier {
   size_t buffer_start_frame_ = 0;
   size_t windows_completed_ = 0;
 
-  /// Running Eq. 5–8 state: per cluster the min/max winning membership.
-  std::vector<double> min_per_cluster_;
-  std::vector<double> max_per_cluster_;
-  std::vector<bool> cluster_seen_;
-  /// Hard-cluster fallback (vote counts) when the model is a k-means
-  /// ablation model.
-  std::vector<double> votes_;
+  /// Full-model running state, plus per-modality fallback states when
+  /// the model carries fallback sub-models and tolerate_faults is on.
+  ModeState full_state_;
+  ModeState mocap_state_;
+  ModeState emg_state_;
+
+  /// Fault-tolerance state (tolerate_faults only).
+  StreamingHealth health_;
+  std::vector<double> last_pelvis_global_;   ///< last captured pelvis
+  bool have_pelvis_ = false;
+  std::vector<std::vector<double>> last_local_;  ///< per marker, 3 coords
+  std::vector<bool> have_marker_;
+  std::vector<size_t> hold_streak_;
+  std::vector<double> last_emg_;
+  /// Trailing envelope samples per channel for flatline detection.
+  std::vector<std::vector<double>> emg_tail_;
+  std::vector<bool> channel_masked_;
 };
 
 }  // namespace mocemg

@@ -1,6 +1,7 @@
 #include "db/motion_database.h"
 
 #include <algorithm>
+#include <cmath>
 #include <map>
 
 #include "linalg/vector_ops.h"
@@ -13,6 +14,14 @@ namespace mocemg {
 Status MotionDatabase::Insert(MotionRecord record) {
   if (record.feature.empty()) {
     return Status::InvalidArgument("record has empty feature vector");
+  }
+  for (double v : record.feature) {
+    if (!std::isfinite(v)) {
+      return Status::InvalidArgument(
+          "record '" + record.name +
+          "' has a non-finite feature value; a NaN in the index makes "
+          "every later distance comparison undefined");
+    }
   }
   if (records_.empty()) {
     dimension_ = record.feature.size();
@@ -33,6 +42,12 @@ Result<std::vector<QueryHit>> MotionDatabase::NearestNeighbors(
     return Status::InvalidArgument("query dimension mismatch");
   }
   if (k == 0) return Status::InvalidArgument("k must be >= 1");
+  for (double v : query) {
+    if (!std::isfinite(v)) {
+      return Status::InvalidArgument(
+          "query feature contains a non-finite value");
+    }
+  }
   std::vector<QueryHit> hits(records_.size());
   for (size_t i = 0; i < records_.size(); ++i) {
     hits[i].record_index = i;

@@ -1,5 +1,8 @@
 #include "emg/acquisition.h"
 
+#include <algorithm>
+#include <cmath>
+
 #include "signal/butterworth.h"
 #include "signal/rectify.h"
 #include "signal/resample.h"
@@ -14,10 +17,30 @@ Result<EmgRecording> ConditionRecording(const EmgRecording& raw,
     return Status::InvalidArgument("output rate must be positive");
   }
   const double fs = raw.sample_rate_hz();
-  if (!options.skip_bandpass && options.band_high_hz >= fs / 2.0) {
+  if (!options.skip_bandpass) {
+    if (options.band_low_hz < 0.0 ||
+        options.band_low_hz >= options.band_high_hz) {
+      return Status::InvalidArgument(
+          "band-pass edges [" + std::to_string(options.band_low_hz) +
+          ", " + std::to_string(options.band_high_hz) +
+          "] Hz must satisfy 0 <= low < high");
+    }
+    if (options.band_high_hz >= fs / 2.0) {
+      return Status::InvalidArgument(
+          "band-pass upper edge " + std::to_string(options.band_high_hz) +
+          " Hz is at or above the Nyquist frequency " +
+          std::to_string(fs / 2.0) + " Hz of the " + std::to_string(fs) +
+          " Hz raw rate: content there is already aliased and cannot "
+          "be recovered by filtering");
+    }
+  }
+  if (options.notch_hz > 0.0 && options.notch_hz >= fs / 2.0) {
     return Status::InvalidArgument(
-        "band-pass upper edge " + std::to_string(options.band_high_hz) +
-        " Hz must be below Nyquist of the raw rate " + std::to_string(fs));
+        "notch frequency " + std::to_string(options.notch_hz) +
+        " Hz is at or above the Nyquist frequency " +
+        std::to_string(fs / 2.0) +
+        " Hz: power-line hum at that rate aliases to a different "
+        "frequency and the notch would dig into clean signal instead");
   }
 
   std::vector<std::vector<double>> conditioned;
@@ -28,7 +51,29 @@ Result<EmgRecording> ConditionRecording(const EmgRecording& raw,
       MOCEMG_ASSIGN_OR_RETURN(
           BiquadCascade notch,
           DesignNotch(options.notch_hz, options.notch_q, fs));
-      x = notch.ProcessSignal(x);
+      // Warm-start: the notch's startup transient decays with time
+      // constant Q/(π·f0) and would otherwise bleed hum into the first
+      // feature windows. Prepend whole seconds copied from the signal
+      // start — an integer number of hum cycles for any whole-Hz line
+      // frequency, so the hum phase is continuous at the junction and
+      // the resonator state settles on the true phasor.
+      const size_t needed = static_cast<size_t>(
+          4.0 * options.notch_q * fs / (M_PI * options.notch_hz));
+      const size_t block = static_cast<size_t>(std::lround(fs));
+      size_t warm = 0;
+      if (block > 0 && x.size() >= block) {
+        const size_t blocks =
+            std::min((needed + block - 1) / block, x.size() / block);
+        warm = blocks * block;
+      }
+      std::vector<double> padded;
+      padded.reserve(warm + x.size());
+      padded.insert(padded.end(), x.begin(),
+                    x.begin() + static_cast<ptrdiff_t>(warm));
+      padded.insert(padded.end(), x.begin(), x.end());
+      padded = notch.ProcessSignal(padded);
+      x.assign(padded.begin() + static_cast<ptrdiff_t>(warm),
+               padded.end());
     }
     if (!options.skip_bandpass) {
       MOCEMG_ASSIGN_OR_RETURN(

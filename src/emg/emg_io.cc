@@ -1,5 +1,6 @@
 #include "emg/emg_io.h"
 
+#include <cmath>
 #include <sstream>
 
 #include "util/csv.h"
@@ -31,9 +32,10 @@ Result<EmgRecording> ParseEmgCsv(const std::string& text) {
       }
     }
   }
-  if (sample_rate <= 0.0) {
+  if (!std::isfinite(sample_rate) || sample_rate <= 0.0) {
     return Status::ParseError(
-        "EMG CSV must carry a '# sample_rate_hz=<rate>' comment");
+        "EMG CSV must carry a '# sample_rate_hz=<rate>' comment with a "
+        "positive finite rate");
   }
 
   MOCEMG_ASSIGN_OR_RETURN(CsvTable table, CsvTable::FromString(text));
@@ -51,10 +53,19 @@ Result<EmgRecording> ParseEmgCsv(const std::string& text) {
   for (auto& ch : channels) ch.reserve(numeric.size());
   for (size_t r = 0; r < numeric.size(); ++r) {
     if (numeric[r].size() != muscles.size()) {
-      return Status::ParseError("row " + std::to_string(r) +
-                                " width mismatch");
+      return Status::ParseError(
+          "row " + std::to_string(r) + " has " +
+          std::to_string(numeric[r].size()) + " fields, expected " +
+          std::to_string(muscles.size()) + " (truncated recording?)");
     }
     for (size_t c = 0; c < muscles.size(); ++c) {
+      if (!std::isfinite(numeric[r][c])) {
+        return Status::ParseError(
+            "non-finite sample in row " + std::to_string(r) +
+            ", channel '" + table.header()[c] +
+            "'; amplifier faults must be repaired upstream, not "
+            "serialized as NaN");
+      }
       channels[c].push_back(numeric[r][c]);
     }
   }

@@ -32,6 +32,13 @@ Result<SvdResult> ComputeSvd(const Matrix& a, const SvdOptions& options) {
   // are frozen. This is what makes rank-deficient inputs terminate.
   double fro2 = 0.0;
   for (double s : sq) fro2 += s;
+  // NaN/Inf anywhere in A propagates into the Frobenius mass; Jacobi
+  // rotations would then cycle forever without converging, so reject
+  // up front rather than burn max_sweeps and return garbage.
+  if (!std::isfinite(fro2)) {
+    return Status::NumericalError(
+        "SVD input contains non-finite (or overflowing) entries");
+  }
   const double dead_col2 = 1e-28 * fro2;
 
   int sweeps = 0;

@@ -1,5 +1,6 @@
 #include "mocap/trc_io.h"
 
+#include <cmath>
 #include <sstream>
 #include <vector>
 
@@ -49,6 +50,10 @@ Result<MotionSequence> ParseTrc(const std::string& text) {
     const std::string_view val = Trim(vals[i]);
     if (key == "DataRate") {
       MOCEMG_ASSIGN_OR_RETURN(data_rate, ParseDouble(val));
+      if (!std::isfinite(data_rate) || data_rate <= 0.0) {
+        return Status::ParseError("TRC DataRate '" + std::string(val) +
+                                  "' is not a positive finite rate");
+      }
     } else if (key == "NumFrames") {
       MOCEMG_ASSIGN_OR_RETURN(int64_t v, ParseInt(val));
       num_frames = static_cast<size_t>(v);
@@ -98,12 +103,22 @@ Result<MotionSequence> ParseTrc(const std::string& text) {
     const std::vector<std::string> fields = TabFields(line);
     if (fields.size() < 2 + 3 * num_markers) {
       return Status::ParseError(
-          "data row has " + std::to_string(fields.size()) +
-          " fields, expected >= " + std::to_string(2 + 3 * num_markers));
+          "data row " + std::to_string(rows.size() + 1) + " has " +
+          std::to_string(fields.size()) + " fields, expected >= " +
+          std::to_string(2 + 3 * num_markers) +
+          " (truncated capture?)");
     }
     std::vector<double> row(3 * num_markers);
     for (size_t m = 0; m < 3 * num_markers; ++m) {
       MOCEMG_ASSIGN_OR_RETURN(double v, ParseDouble(fields[2 + m]));
+      if (!std::isfinite(v)) {
+        return Status::ParseError(
+            "non-finite coordinate '" +
+            std::string(Trim(fields[2 + m])) + "' in data row " +
+            std::to_string(rows.size() + 1) +
+            "; occluded markers must be repaired upstream, not "
+            "serialized as NaN");
+      }
       row[m] = v * unit_to_mm;
     }
     rows.push_back(std::move(row));

@@ -1,0 +1,248 @@
+#include "synth/fault_injector.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "synth/trigger.h"
+#include "util/macros.h"
+
+namespace mocemg {
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+// Picks `count` distinct indices out of `pool` (shuffled draw).
+std::vector<size_t> PickDistinct(std::vector<size_t> pool, size_t count,
+                                 Rng* rng) {
+  rng->Shuffle(&pool);
+  pool.resize(std::min(count, pool.size()));
+  std::sort(pool.begin(), pool.end());
+  return pool;
+}
+
+// fraction ∈ [0,1] of `n` items, rounded, but at least one when the
+// fraction is positive and the pool is non-empty.
+size_t FractionCount(double fraction, size_t n) {
+  if (fraction <= 0.0 || n == 0) return 0;
+  const size_t count =
+      static_cast<size_t>(std::lround(fraction * static_cast<double>(n)));
+  return std::clamp<size_t>(count, 1, n);
+}
+
+}  // namespace
+
+const char* FaultTypeName(FaultType type) {
+  switch (type) {
+    case FaultType::kMarkerOcclusion:
+      return "marker_occlusion";
+    case FaultType::kChannelDropout:
+      return "channel_dropout";
+    case FaultType::kSaturation:
+      return "saturation";
+    case FaultType::kHumBurst:
+      return "hum_burst";
+    case FaultType::kTriggerSkew:
+      return "trigger_skew";
+    case FaultType::kClockDrift:
+      return "clock_drift";
+  }
+  return "unknown";
+}
+
+FaultInjector::FaultInjector(const FaultInjectorOptions& options)
+    : options_(options), rng_(options.seed) {}
+
+Result<MotionSequence> FaultInjector::CorruptMocap(
+    const MotionSequence& clean) {
+  if (clean.num_frames() == 0) {
+    return Status::InvalidArgument("cannot corrupt an empty motion");
+  }
+  MotionSequence out = clean;
+  if (options_.occlusion_marker_fraction <= 0.0 ||
+      options_.occlusion_fraction <= 0.0) {
+    return out;
+  }
+
+  std::vector<size_t> eligible;
+  for (size_t m = 0; m < clean.num_markers(); ++m) {
+    if (!options_.occlude_pelvis &&
+        clean.marker_set().segments()[m] == Segment::kPelvis) {
+      continue;
+    }
+    eligible.push_back(m);
+  }
+  const std::vector<size_t> victims = PickDistinct(
+      eligible,
+      FractionCount(options_.occlusion_marker_fraction, eligible.size()),
+      &rng_);
+
+  const size_t frames = clean.num_frames();
+  const size_t mean_gap = std::max<size_t>(1, options_.occlusion_mean_gap_frames);
+  for (size_t m : victims) {
+    const size_t target = std::max<size_t>(
+        1, static_cast<size_t>(std::lround(options_.occlusion_fraction *
+                                           static_cast<double>(frames))));
+    size_t occluded = 0;
+    // Bounded attempts: overlapping gaps make progress probabilistic.
+    for (int attempt = 0; attempt < 64 && occluded < target; ++attempt) {
+      const size_t len = std::min<size_t>(
+          frames, 1 + rng_.NextBelow(2 * mean_gap));
+      const size_t begin = rng_.NextBelow(frames - len + 1);
+      size_t fresh = 0;
+      for (size_t f = begin; f < begin + len; ++f) {
+        if (std::isfinite(out.positions()(f, 3 * m))) ++fresh;
+        out.SetMarkerPosition(f, m, {kNaN, kNaN, kNaN});
+      }
+      occluded += fresh;
+      if (fresh > 0) {
+        events_.push_back({FaultType::kMarkerOcclusion, m, begin,
+                           begin + len, static_cast<double>(fresh)});
+      }
+    }
+  }
+  return out;
+}
+
+Result<EmgRecording> FaultInjector::CorruptEmg(const EmgRecording& raw) {
+  if (raw.num_samples() == 0 || raw.num_channels() == 0) {
+    return Status::InvalidArgument("cannot corrupt an empty recording");
+  }
+  std::vector<std::vector<double>> channels;
+  channels.reserve(raw.num_channels());
+  for (size_t c = 0; c < raw.num_channels(); ++c) {
+    channels.push_back(raw.channel(c));
+  }
+  const size_t n = raw.num_samples();
+  const double fs = raw.sample_rate_hz();
+  std::vector<size_t> all(raw.num_channels());
+  std::iota(all.begin(), all.end(), 0);
+
+  // Clock drift first: it stretches genuine signal content, and later
+  // faults (dropout, clipping, hum) happen in the receiver's time base.
+  if (options_.clock_drift_ppm != 0.0) {
+    const double factor = 1.0 + options_.clock_drift_ppm * 1e-6;
+    for (auto& ch : channels) {
+      std::vector<double> warped(n);
+      for (size_t i = 0; i < n; ++i) {
+        const double t = static_cast<double>(i) * factor;
+        const size_t lo = std::min<size_t>(static_cast<size_t>(t), n - 1);
+        const size_t hi = std::min<size_t>(lo + 1, n - 1);
+        const double frac = t - static_cast<double>(lo);
+        warped[i] = (1.0 - frac) * ch[lo] + frac * ch[hi];
+      }
+      ch = std::move(warped);
+    }
+    events_.push_back(
+        {FaultType::kClockDrift, 0, 0, n, options_.clock_drift_ppm});
+  }
+
+  // Hum bursts.
+  for (size_t c : PickDistinct(
+           all, FractionCount(options_.hum_channel_fraction, all.size()),
+           &rng_)) {
+    const size_t mean_burst = std::max<size_t>(
+        1, static_cast<size_t>(
+               std::lround(static_cast<double>(options_.hum_mean_burst_ms) *
+                           fs / 1000.0)));
+    const size_t target = static_cast<size_t>(std::lround(
+        options_.hum_burst_fraction * static_cast<double>(n)));
+    size_t covered = 0;
+    for (int attempt = 0; attempt < 64 && covered < target; ++attempt) {
+      const size_t len =
+          std::min<size_t>(n, 1 + rng_.NextBelow(2 * mean_burst));
+      const size_t begin = rng_.NextBelow(n - len + 1);
+      const double phase = rng_.Uniform(0.0, 2.0 * M_PI);
+      for (size_t i = begin; i < begin + len; ++i) {
+        channels[c][i] +=
+            options_.hum_amplitude_v *
+            std::sin(2.0 * M_PI * options_.hum_freq_hz *
+                         static_cast<double>(i) / fs +
+                     phase);
+      }
+      covered += len;
+      events_.push_back({FaultType::kHumBurst, c, begin, begin + len,
+                         options_.hum_amplitude_v});
+    }
+  }
+
+  // Saturation clipping.
+  for (size_t c : PickDistinct(
+           all,
+           FractionCount(options_.saturation_channel_fraction, all.size()),
+           &rng_)) {
+    double level = options_.saturation_level_v;
+    if (level <= 0.0) {
+      double peak = 0.0;
+      for (double v : channels[c]) peak = std::max(peak, std::fabs(v));
+      level = 0.5 * peak;
+    }
+    if (level <= 0.0) continue;  // silent channel: nothing to clip
+    for (double& v : channels[c]) v = std::clamp(v, -level, level);
+    events_.push_back({FaultType::kSaturation, c, 0, n, level});
+  }
+
+  // Channel dropout last: a dead electrode flatlines whatever else
+  // happened on that channel.
+  for (size_t c : PickDistinct(
+           all,
+           FractionCount(options_.dropout_channel_fraction, all.size()),
+           &rng_)) {
+    std::fill(channels[c].begin(), channels[c].end(),
+              options_.dropout_level_v);
+    events_.push_back(
+        {FaultType::kChannelDropout, c, 0, n, options_.dropout_level_v});
+  }
+
+  return EmgRecording::Create(raw.muscles(), std::move(channels),
+                              raw.sample_rate_hz());
+}
+
+Result<CapturedMotion> FaultInjector::Corrupt(const CapturedMotion& clean) {
+  CapturedMotion out = clean;
+
+  // Trigger skew first, on the clean streams, so all later fault spans
+  // are expressed in the final (delivered) time base.
+  if (options_.trigger_jitter_ms > 0.0) {
+    const double skew_s =
+        rng_.Uniform(-options_.trigger_jitter_ms,
+                     options_.trigger_jitter_ms) /
+        1000.0;
+    if (skew_s > 0.0) {
+      MOCEMG_ASSIGN_OR_RETURN(out.emg_raw,
+                              ApplyStartLatency(out.emg_raw, skew_s));
+      events_.push_back({FaultType::kTriggerSkew, 0, 0,
+                         out.emg_raw.num_samples(), skew_s});
+    } else if (skew_s < 0.0) {
+      MOCEMG_ASSIGN_OR_RETURN(out.mocap,
+                              ApplyStartLatency(out.mocap, -skew_s));
+      events_.push_back({FaultType::kTriggerSkew, 0, 0,
+                         out.mocap.num_frames(), skew_s});
+    }
+  }
+
+  MOCEMG_ASSIGN_OR_RETURN(out.mocap, CorruptMocap(out.mocap));
+  MOCEMG_ASSIGN_OR_RETURN(out.emg_raw, CorruptEmg(out.emg_raw));
+  return out;
+}
+
+FaultInjectorOptions FaultSeverityPreset(double severity, uint64_t seed) {
+  const double s = std::clamp(severity, 0.0, 1.0);
+  FaultInjectorOptions o;
+  o.seed = seed;
+  o.occlusion_marker_fraction = 0.75 * s;
+  o.occlusion_fraction = 0.1 + 0.3 * s;
+  o.occlusion_mean_gap_frames = 4 + static_cast<size_t>(std::lround(8.0 * s));
+  o.dropout_channel_fraction = 0.5 * s;
+  o.saturation_channel_fraction = 0.5 * s;
+  o.saturation_level_v = 0.0;  // auto: half the channel peak
+  o.hum_channel_fraction = s;
+  o.hum_amplitude_v = 2e-4 * s;
+  o.hum_burst_fraction = 0.2 + 0.4 * s;
+  o.trigger_jitter_ms = 40.0 * s;
+  o.clock_drift_ppm = 2000.0 * s;
+  return o;
+}
+
+}  // namespace mocemg

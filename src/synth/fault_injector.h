@@ -1,0 +1,149 @@
+/// \file fault_injector.h
+/// \brief Parameterized, seeded corruption of synthetic captures with the
+/// dominant real-world acquisition failures the paper's pristine lab rig
+/// never sees: per-marker occlusion gaps (NaN runs), EMG channel
+/// dropouts/flatlines, amplifier saturation clipping, 50/60 Hz mains-hum
+/// bursts, and inter-stream trigger jitter / clock drift. The injector is
+/// the test bed for the robustness layer (core/stream_health.h and the
+/// classifier's graceful-degradation path): every fault it plants is one
+/// the health monitor must detect and the pipeline must survive.
+
+#ifndef MOCEMG_SYNTH_FAULT_INJECTOR_H_
+#define MOCEMG_SYNTH_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "emg/emg_recording.h"
+#include "mocap/motion_sequence.h"
+#include "synth/dataset.h"
+#include "util/random.h"
+#include "util/result.h"
+
+namespace mocemg {
+
+/// \brief The fault taxonomy the injector can plant.
+enum class FaultType : int {
+  /// A marker's 3D position is NaN over a run of frames (camera loses
+  /// line of sight).
+  kMarkerOcclusion = 0,
+  /// An EMG channel flatlines at a constant level (electrode lift-off or
+  /// lead break).
+  kChannelDropout = 1,
+  /// An EMG channel's samples are clipped at ±level (amplifier
+  /// saturation).
+  kSaturation = 2,
+  /// A 50/60 Hz sinusoid is added over burst spans (power-line
+  /// interference through a degraded electrode contact).
+  kHumBurst = 3,
+  /// The EMG stream starts early/late relative to mocap (trigger jitter).
+  kTriggerSkew = 4,
+  /// The EMG clock runs fast/slow by a ppm factor while claiming the
+  /// nominal rate (unsynchronized sample clocks).
+  kClockDrift = 5,
+};
+
+/// \brief Stable lower-case name ("marker_occlusion", "hum_burst", …).
+const char* FaultTypeName(FaultType type);
+
+/// \brief One planted fault, for test assertions and bench logs.
+/// `stream_index` is the marker index (mocap faults) or channel index
+/// (EMG faults); `begin`/`end` the affected frame/sample span;
+/// `magnitude` the fault-specific scale (occluded frames, clip level,
+/// hum amplitude, skew seconds, drift ppm).
+struct FaultEvent {
+  FaultType type = FaultType::kMarkerOcclusion;
+  size_t stream_index = 0;
+  size_t begin = 0;
+  size_t end = 0;
+  double magnitude = 0.0;
+};
+
+/// \brief Fault mix and intensities. All probabilities/fractions are in
+/// [0, 1]; a fraction of 0 disables that fault. Every realization is
+/// deterministic in `seed`.
+struct FaultInjectorOptions {
+  uint64_t seed = 20260807;
+
+  /// Fraction of (non-pelvis) markers that suffer occlusion gaps.
+  double occlusion_marker_fraction = 0.0;
+  /// Fraction of an affected marker's frames that end up occluded.
+  double occlusion_fraction = 0.25;
+  /// Mean gap-run length in frames (runs are uniform in [1, 2·mean−1]).
+  size_t occlusion_mean_gap_frames = 6;
+  /// Whether the pelvis marker may be occluded; off by default because
+  /// the pelvis anchors the local transform and its loss downgrades the
+  /// whole mocap stream.
+  bool occlude_pelvis = false;
+
+  /// Fraction of EMG channels that drop out (flatline end-to-end).
+  double dropout_channel_fraction = 0.0;
+  /// Constant level of a dropped channel (volts; 0 = dead-short).
+  double dropout_level_v = 0.0;
+
+  /// Fraction of EMG channels clipped by amplifier saturation.
+  double saturation_channel_fraction = 0.0;
+  /// Clip level (volts). 0 = auto: half the channel's peak |amplitude|,
+  /// guaranteeing visible clipping on any non-silent channel.
+  double saturation_level_v = 0.0;
+
+  /// Fraction of EMG channels contaminated by mains-hum bursts.
+  double hum_channel_fraction = 0.0;
+  /// Hum amplitude (volts) and line frequency (50 or 60 Hz).
+  double hum_amplitude_v = 1e-4;
+  double hum_freq_hz = 50.0;
+  /// Fraction of the record covered by hum bursts (one burst ≈
+  /// `hum_mean_burst_ms` long).
+  double hum_burst_fraction = 0.3;
+  size_t hum_mean_burst_ms = 400;
+
+  /// Trigger skew: per-trial start-time offset between the streams drawn
+  /// uniformly from ±this bound (ms). Positive realizations delay the
+  /// EMG stream, negative the mocap stream.
+  double trigger_jitter_ms = 0.0;
+  /// EMG clock-rate error in parts-per-million; the corrupted recording
+  /// still claims the nominal rate.
+  double clock_drift_ppm = 0.0;
+};
+
+/// \brief Seeded fault generator. One injector corrupts any number of
+/// captures; every planted fault is appended to `events()`.
+class FaultInjector {
+ public:
+  explicit FaultInjector(const FaultInjectorOptions& options);
+
+  /// \brief Returns a copy of `clean` with occlusion gaps planted. The
+  /// result fails MotionSequence::Validate() by design (NaN runs) until
+  /// repaired by StreamHealth.
+  Result<MotionSequence> CorruptMocap(const MotionSequence& clean);
+
+  /// \brief Returns a copy of `raw` with dropout/saturation/hum/drift
+  /// faults planted. Channel count, length, and claimed rate are
+  /// preserved (drift stretches content, not metadata).
+  Result<EmgRecording> CorruptEmg(const EmgRecording& raw);
+
+  /// \brief Corrupts both streams of a captured trial and applies the
+  /// trigger skew between them.
+  Result<CapturedMotion> Corrupt(const CapturedMotion& clean);
+
+  /// \brief Every fault planted so far, in planting order.
+  const std::vector<FaultEvent>& events() const { return events_; }
+  void ClearEvents() { events_.clear(); }
+
+  const FaultInjectorOptions& options() const { return options_; }
+
+ private:
+  FaultInjectorOptions options_;
+  Rng rng_;
+  std::vector<FaultEvent> events_;
+};
+
+/// \brief Preset fault mix for the severity sweep of
+/// bench/abl9_fault_tolerance: severity 0 is pristine, 1 is heavily
+/// degraded (most markers gapped, half the channels dead or clipped, hum
+/// everywhere, multi-frame trigger skew). Clamps severity to [0, 1].
+FaultInjectorOptions FaultSeverityPreset(double severity, uint64_t seed);
+
+}  // namespace mocemg
+
+#endif  // MOCEMG_SYNTH_FAULT_INJECTOR_H_

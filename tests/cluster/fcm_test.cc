@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "linalg/vector_ops.h"
 #include "util/random.h"
@@ -225,6 +226,32 @@ TEST_P(FcmClusterCountTest, PartitionConstraints) {
 
 INSTANTIATE_TEST_SUITE_P(ClusterCounts, FcmClusterCountTest,
                          ::testing::Values(2, 3, 5, 8, 13, 21, 40));
+
+TEST(FcmTest, RejectsNonFinitePoints) {
+  Matrix pts = MakeBlobs(5, 9);
+  pts(7, 1) = std::numeric_limits<double>::quiet_NaN();
+  FcmOptions opts;
+  opts.num_clusters = 3;
+  auto fit = FitFcm(pts, opts);
+  ASSERT_FALSE(fit.ok());
+  EXPECT_TRUE(fit.status().IsNumericalError()) << fit.status();
+
+  pts(7, 1) = std::numeric_limits<double>::infinity();
+  EXPECT_FALSE(FitFcm(pts, opts).ok());
+}
+
+TEST(FcmTest, MembershipRejectsNonFinitePoint) {
+  Matrix pts = MakeBlobs(5, 10);
+  FcmOptions opts;
+  opts.num_clusters = 3;
+  auto fit = FitFcm(pts, opts);
+  ASSERT_TRUE(fit.ok()) << fit.status();
+  auto u = EvaluateMembership(
+      fit->centers, {std::numeric_limits<double>::quiet_NaN(), 0.0},
+      opts.fuzziness);
+  ASSERT_FALSE(u.ok());
+  EXPECT_TRUE(u.status().IsNumericalError()) << u.status();
+}
 
 }  // namespace
 }  // namespace mocemg

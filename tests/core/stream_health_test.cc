@@ -1,0 +1,258 @@
+#include "core/stream_health.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "synth/dataset.h"
+#include "synth/fault_injector.h"
+#include "util/random.h"
+
+namespace mocemg {
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+CapturedMotion HandTrial() {
+  DatasetOptions opts;
+  opts.limb = Limb::kRightHand;
+  opts.trials_per_class = 1;
+  opts.seed = 55;
+  auto data = GenerateDataset(opts);
+  EXPECT_TRUE(data.ok()) << data.status();
+  return data->front();
+}
+
+// A 2-marker (pelvis + hand) constant sequence for precise gap checks.
+MotionSequence TinySequence(size_t frames) {
+  Matrix pos(frames, 6);
+  for (size_t f = 0; f < frames; ++f) {
+    pos(f, 3) = 10.0;
+    pos(f, 4) = static_cast<double>(f);
+    pos(f, 5) = -5.0;
+  }
+  auto seq = MotionSequence::Create(
+      MarkerSet({Segment::kPelvis, Segment::kHand}), std::move(pos));
+  EXPECT_TRUE(seq.ok()) << seq.status();
+  return *seq;
+}
+
+EmgRecording NoisyEmg(size_t channels, size_t samples, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<double>> data(channels);
+  for (auto& ch : data) {
+    ch.resize(samples);
+    for (double& v : ch) v = rng.Gaussian(0.0, 5e-5);
+  }
+  auto emg = EmgRecording::Create(
+      std::vector<Muscle>(channels, Muscle::kBiceps), std::move(data),
+      1000.0);
+  EXPECT_TRUE(emg.ok()) << emg.status();
+  return *emg;
+}
+
+TEST(StreamHealthTest, CleanCaptureIsHealthy) {
+  const CapturedMotion trial = HandTrial();
+  StreamHealth monitor;
+  auto report = monitor.Assess(trial.mocap, trial.emg_raw);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_TRUE(report->mocap_usable);
+  EXPECT_TRUE(report->emg_usable);
+  EXPECT_FALSE(report->any_repair);
+  EXPECT_FALSE(report->hum_detected);
+  EXPECT_TRUE(report->masked_channels.empty());
+  EXPECT_DOUBLE_EQ(report->mocap_health, 1.0);
+  EXPECT_DOUBLE_EQ(report->emg_health, 1.0);
+}
+
+TEST(StreamHealthTest, DetectsOcclusionGaps) {
+  MotionSequence seq = TinySequence(100);
+  // One 5-frame interior gap on the hand marker.
+  for (size_t f = 40; f < 45; ++f) {
+    seq.SetMarkerPosition(f, 1, {kNaN, kNaN, kNaN});
+  }
+  StreamHealth monitor;
+  auto markers = monitor.AssessMocap(seq);
+  ASSERT_TRUE(markers.ok());
+  EXPECT_EQ((*markers)[0].missing_frames, 0u);
+  EXPECT_EQ((*markers)[1].missing_frames, 5u);
+  EXPECT_EQ((*markers)[1].longest_gap, 5u);
+  EXPECT_EQ((*markers)[1].repairable_frames, 5u);
+  EXPECT_EQ((*markers)[1].unrepaired_frames, 0u);
+  EXPECT_TRUE((*markers)[1].usable);
+}
+
+TEST(StreamHealthTest, RepairInterpolatesInteriorGaps) {
+  MotionSequence seq = TinySequence(100);
+  for (size_t f = 40; f < 45; ++f) {
+    seq.SetMarkerPosition(f, 1, {kNaN, kNaN, kNaN});
+  }
+  StreamHealth monitor;
+  StreamHealthReport report;
+  auto repaired = monitor.RepairMocap(seq, &report);
+  ASSERT_TRUE(repaired.ok()) << repaired.status();
+  EXPECT_TRUE(repaired->Validate().ok());
+  EXPECT_TRUE(report.any_repair);
+  // The y coordinate ramps linearly (f), so interpolation is exact.
+  for (size_t f = 40; f < 45; ++f) {
+    EXPECT_NEAR(repaired->positions()(f, 4), static_cast<double>(f),
+                1e-12);
+    EXPECT_NEAR(repaired->positions()(f, 3), 10.0, 1e-12);
+  }
+}
+
+TEST(StreamHealthTest, RepairHoldsEdgeGaps) {
+  MotionSequence seq = TinySequence(50);
+  for (size_t f = 0; f < 4; ++f) {
+    seq.SetMarkerPosition(f, 1, {kNaN, kNaN, kNaN});
+  }
+  for (size_t f = 46; f < 50; ++f) {
+    seq.SetMarkerPosition(f, 1, {kNaN, kNaN, kNaN});
+  }
+  StreamHealth monitor;
+  auto repaired = monitor.RepairMocap(seq, nullptr);
+  ASSERT_TRUE(repaired.ok());
+  EXPECT_TRUE(repaired->Validate().ok());
+  // Leading gap holds the first captured frame (y = 4), trailing the
+  // last captured frame (y = 45).
+  EXPECT_DOUBLE_EQ(repaired->positions()(0, 4), 4.0);
+  EXPECT_DOUBLE_EQ(repaired->positions()(49, 4), 45.0);
+}
+
+TEST(StreamHealthTest, OverOccludedMarkerIsUnusable) {
+  MotionSequence seq = TinySequence(100);
+  // 50% occluded in over-bound runs.
+  for (size_t f = 0; f < 50; ++f) {
+    seq.SetMarkerPosition(f, 1, {kNaN, kNaN, kNaN});
+  }
+  StreamHealth monitor;
+  auto markers = monitor.AssessMocap(seq);
+  ASSERT_TRUE(markers.ok());
+  EXPECT_FALSE((*markers)[1].usable);
+  EXPECT_GT((*markers)[1].unrepaired_frames, 0u);
+
+  EmgRecording emg = NoisyEmg(4, 1000, 3);
+  auto report = monitor.Assess(seq, emg);
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->mocap_usable);
+  EXPECT_TRUE(report->emg_usable);
+}
+
+TEST(StreamHealthTest, DetectsFlatlineAndMasksIt) {
+  const MotionSequence seq = TinySequence(100);
+  EmgRecording emg = NoisyEmg(4, 1000, 4);
+  std::fill(emg.mutable_channel(2).begin(), emg.mutable_channel(2).end(),
+            0.0);
+  StreamHealth monitor;
+  auto report = monitor.Assess(seq, emg);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->channels[2].flatline);
+  EXPECT_FALSE(report->channels[2].usable);
+  EXPECT_TRUE(report->channels[0].usable);
+  EXPECT_TRUE(report->emg_usable);  // 1 of 4 dead → masked, not fatal
+  ASSERT_EQ(report->masked_channels.size(), 1u);
+  EXPECT_EQ(report->masked_channels[0], 2u);
+  EXPECT_TRUE(report->any_repair);
+  EXPECT_DOUBLE_EQ(report->emg_health, 0.75);
+}
+
+TEST(StreamHealthTest, MajorityDeadChannelsDropTheModality) {
+  const MotionSequence seq = TinySequence(100);
+  EmgRecording emg = NoisyEmg(4, 1000, 5);
+  for (size_t c : {0u, 1u, 2u}) {
+    std::fill(emg.mutable_channel(c).begin(),
+              emg.mutable_channel(c).end(), 1e-3);
+  }
+  StreamHealth monitor;
+  auto report = monitor.Assess(seq, emg);
+  ASSERT_TRUE(report.ok());
+  EXPECT_FALSE(report->emg_usable);
+  EXPECT_TRUE(report->masked_channels.empty());
+  EXPECT_TRUE(report->mocap_usable);
+}
+
+TEST(StreamHealthTest, DetectsSaturation) {
+  const MotionSequence seq = TinySequence(100);
+  EmgRecording emg = NoisyEmg(4, 2000, 6);
+  // Clip channel 1 hard at a third of its peak.
+  double peak = 0.0;
+  for (double v : emg.channel(1)) peak = std::max(peak, std::fabs(v));
+  const double level = peak / 3.0;
+  for (double& v : emg.mutable_channel(1)) {
+    v = std::clamp(v, -level, level);
+  }
+  StreamHealth monitor;
+  auto report = monitor.Assess(seq, emg);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->channels[1].saturated);
+  EXPECT_FALSE(report->channels[1].usable);
+  EXPECT_FALSE(report->channels[0].saturated);
+}
+
+TEST(StreamHealthTest, DetectsHumAndReportsItsFrequency) {
+  const MotionSequence seq = TinySequence(100);
+  EmgRecording emg = NoisyEmg(4, 4000, 7);
+  for (size_t i = 0; i < emg.num_samples(); ++i) {
+    emg.mutable_channel(0)[i] +=
+        4e-4 * std::sin(2.0 * M_PI * 60.0 * static_cast<double>(i) /
+                        1000.0);
+  }
+  StreamHealth monitor;
+  auto report = monitor.Assess(seq, emg);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->channels[0].hum_contaminated);
+  EXPECT_DOUBLE_EQ(report->channels[0].hum_freq_hz, 60.0);
+  EXPECT_TRUE(report->hum_detected);
+  EXPECT_DOUBLE_EQ(report->hum_freq_hz, 60.0);
+  // Hum is repairable: the channel stays usable (notch downstream).
+  EXPECT_TRUE(report->channels[0].usable);
+  EXPECT_LT(report->channels[0].health, 1.0);
+  EXPECT_TRUE(report->any_repair);
+}
+
+TEST(StreamHealthTest, NonFiniteEmgSamplesAreFatalForTheChannel) {
+  const MotionSequence seq = TinySequence(100);
+  EmgRecording emg = NoisyEmg(2, 500, 8);
+  emg.mutable_channel(1)[250] = kNaN;
+  StreamHealth monitor;
+  auto report = monitor.Assess(seq, emg);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->channels[1].non_finite, 1u);
+  EXPECT_FALSE(report->channels[1].usable);
+  EXPECT_TRUE(report->channels[0].usable);
+}
+
+TEST(StreamHealthTest, DetectsInjectedFaultMix) {
+  const CapturedMotion trial = HandTrial();
+  FaultInjectorOptions opts;
+  opts.occlusion_marker_fraction = 0.5;
+  opts.occlusion_fraction = 0.2;
+  opts.dropout_channel_fraction = 0.25;
+  FaultInjector injector(opts);
+  auto corrupted = injector.Corrupt(trial);
+  ASSERT_TRUE(corrupted.ok()) << corrupted.status();
+
+  StreamHealth monitor;
+  auto report = monitor.Assess(corrupted->mocap, corrupted->emg_raw);
+  ASSERT_TRUE(report.ok());
+  size_t missing = 0;
+  for (const auto& m : report->markers) missing += m.missing_frames;
+  EXPECT_GT(missing, 0u);
+  size_t flat = 0;
+  for (const auto& c : report->channels) flat += c.flatline ? 1 : 0;
+  EXPECT_EQ(flat, 1u);
+  EXPECT_TRUE(report->any_repair);
+  EXPECT_FALSE(report->Summary().empty());
+}
+
+TEST(StreamHealthTest, RejectsEmptyInputs) {
+  StreamHealth monitor;
+  EXPECT_FALSE(monitor.AssessMocap(MotionSequence()).ok());
+  EXPECT_FALSE(monitor.AssessEmg(EmgRecording()).ok());
+  EXPECT_FALSE(monitor.RepairMocap(MotionSequence(), nullptr).ok());
+}
+
+}  // namespace
+}  // namespace mocemg

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <limits>
 
 #include "util/csv.h"
 
@@ -103,6 +104,19 @@ TEST(MotionDatabaseTest, LoadRejectsMalformed) {
   ASSERT_TRUE(WriteStringToFile(path, "name,label\nx,0\n").ok());
   EXPECT_FALSE(MotionDatabase::LoadCsv(path).ok());
   std::remove(path.c_str());
+}
+
+TEST(MotionDatabaseTest, RejectsNonFiniteFeaturesAndQueries) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  MotionDatabase db;
+  EXPECT_FALSE(db.Insert(Rec("bad", 0, {1.0, nan})).ok());
+  EXPECT_FALSE(db.Insert(Rec("bad", 0, {inf, 0.0})).ok());
+  ASSERT_TRUE(db.Insert(Rec("ok", 0, {1.0, 2.0})).ok());
+  EXPECT_EQ(db.size(), 1u);
+  EXPECT_FALSE(db.NearestNeighbors({nan, 0.0}, 1).ok());
+  EXPECT_FALSE(db.ClassifyByVote({0.0, inf}, 1).ok());
+  EXPECT_TRUE(db.NearestNeighbors({0.0, 0.0}, 1).ok());
 }
 
 }  // namespace

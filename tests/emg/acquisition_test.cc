@@ -140,7 +140,77 @@ TEST(AcquisitionTest, SkipBandpassOption) {
 TEST(AcquisitionTest, RejectsBandAboveNyquist) {
   AcquisitionOptions opts;
   opts.band_high_hz = 600.0;  // above 500 Hz Nyquist of 1 kHz input
+  auto out = ConditionRecording(MakeRawRecording(), opts);
+  ASSERT_FALSE(out.ok());
+  // The error must teach, not just reject: name Nyquist and aliasing.
+  EXPECT_NE(out.status().message().find("Nyquist"), std::string::npos)
+      << out.status();
+  EXPECT_NE(out.status().message().find("alias"), std::string::npos)
+      << out.status();
+}
+
+TEST(AcquisitionTest, RejectsInvertedBandEdges) {
+  AcquisitionOptions opts;
+  opts.band_low_hz = 300.0;
+  opts.band_high_hz = 100.0;
+  auto out = ConditionRecording(MakeRawRecording(), opts);
+  ASSERT_FALSE(out.ok());
+  EXPECT_NE(out.status().message().find("low < high"), std::string::npos)
+      << out.status();
+
+  opts.band_low_hz = -5.0;
+  opts.band_high_hz = 450.0;
   EXPECT_FALSE(ConditionRecording(MakeRawRecording(), opts).ok());
+}
+
+TEST(AcquisitionTest, RejectsNotchAtOrAboveNyquist) {
+  AcquisitionOptions opts;
+  opts.notch_hz = 500.0;  // exactly Nyquist of the 1 kHz input
+  auto out = ConditionRecording(MakeRawRecording(), opts);
+  ASSERT_FALSE(out.ok());
+  EXPECT_NE(out.status().message().find("Nyquist"), std::string::npos)
+      << out.status();
+
+  // A 60 Hz notch on a 100 Hz recording is equally meaningless.
+  opts.notch_hz = 60.0;
+  opts.skip_bandpass = true;
+  EXPECT_FALSE(
+      ConditionRecording(MakeRawRecording(/*fs=*/100.0), opts).ok());
+}
+
+TEST(AcquisitionTest, NotchWarmStartTamesStartupTransient) {
+  // The notch startup transient decays over Q/(π·f0) ≈ 0.19 s; without
+  // the phase-continuous warm start the first windows of a short
+  // recording stay hum-contaminated. Check the HEAD of the envelope
+  // (the part NotchSuppressesPowerLineHum skips) tracks the clean one.
+  const double fs = 1000.0;
+  const size_t n = 3000;
+  Rng rng(17);
+  std::vector<double> clean(n);
+  for (size_t i = 0; i < n; ++i) clean[i] = 3e-5 * rng.NextGaussian();
+  std::vector<double> hummed = clean;
+  for (size_t i = 0; i < n; ++i) {
+    hummed[i] += 4e-4 * std::sin(2.0 * M_PI * 50.0 * i / fs);
+  }
+  auto make = [&](const std::vector<double>& ch) {
+    return *EmgRecording::Create({Muscle::kBiceps}, {ch}, fs);
+  };
+  AcquisitionOptions notch;
+  notch.notch_hz = 50.0;
+  auto clean_env = ConditionRecording(make(clean));
+  auto notched_env = ConditionRecording(make(hummed), notch);
+  ASSERT_TRUE(clean_env.ok());
+  ASSERT_TRUE(notched_env.ok());
+  double clean_head = 0.0;
+  double notched_head = 0.0;
+  const size_t head = clean_env->num_samples() / 4;
+  for (size_t i = 0; i < head; ++i) {
+    clean_head += clean_env->channel(0)[i];
+    notched_head += notched_env->channel(0)[i];
+  }
+  // The hum is 13× the clean RMS; an untamed transient multiplies the
+  // head envelope. Warm-started it stays within 25%.
+  EXPECT_NEAR(notched_head, clean_head, 0.25 * clean_head);
 }
 
 TEST(AcquisitionTest, RejectsEmptyRecording) {

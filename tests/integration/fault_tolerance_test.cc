@@ -1,0 +1,316 @@
+/// Degraded-capture integration: faults planted by the synth injector
+/// must be detected by StreamHealth and survived by the classifier's
+/// graceful-degradation path — repaired, masked, or answered from the
+/// healthy modality's subspace, never silently wrong and never a crash.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "core/classifier.h"
+#include "core/streaming.h"
+#include "emg/acquisition.h"
+#include "eval/protocols.h"
+#include "synth/dataset.h"
+#include "synth/fault_injector.h"
+
+namespace mocemg {
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+// Occludes `marker` in evenly spaced runs of `run_len` frames covering
+// ~`fraction` of the motion.
+void OccludeMarker(MotionSequence* seq, size_t marker, double fraction,
+                   size_t run_len) {
+  const size_t frames = seq->num_frames();
+  const size_t stride =
+      static_cast<size_t>(static_cast<double>(run_len) / fraction);
+  for (size_t start = stride / 2; start + run_len < frames;
+       start += stride) {
+    for (size_t f = start; f < start + run_len; ++f) {
+      seq->SetMarkerPosition(f, marker, {kNaN, kNaN, kNaN});
+    }
+  }
+}
+
+size_t NonPelvisMarker(const MotionSequence& seq) {
+  const auto& segments = seq.marker_set().segments();
+  for (size_t m = 0; m < segments.size(); ++m) {
+    if (segments[m] != Segment::kPelvis) return m;
+  }
+  return 0;
+}
+
+class FaultToleranceTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    DatasetOptions opts;
+    opts.limb = Limb::kRightHand;
+    opts.trials_per_class = 6;
+    opts.seed = 4242;
+    data_ = new std::vector<CapturedMotion>(*GenerateDataset(opts));
+
+    std::vector<LabeledMotion> train;
+    for (const auto& m : *data_) {
+      if (m.trial == 5) continue;  // held out as queries
+      LabeledMotion lm;
+      lm.mocap = m.mocap;
+      lm.emg = m.emg_raw;
+      lm.label = m.class_id;
+      lm.label_name = m.class_name;
+      train.push_back(std::move(lm));
+    }
+    ClassifierOptions copts;
+    copts.fcm.num_clusters = 12;
+    copts.fcm.seed = 99;
+    copts.train_fallbacks = true;
+    model_ = new MotionClassifier(*MotionClassifier::Train(train, copts));
+  }
+  static void TearDownTestSuite() {
+    delete data_;
+    delete model_;
+    data_ = nullptr;
+    model_ = nullptr;
+  }
+
+  static std::vector<const CapturedMotion*> Queries() {
+    std::vector<const CapturedMotion*> queries;
+    for (const auto& m : *data_) {
+      if (m.trial == 5) queries.push_back(&m);
+    }
+    return queries;
+  }
+
+  static std::vector<CapturedMotion>* data_;
+  static MotionClassifier* model_;
+};
+
+std::vector<CapturedMotion>* FaultToleranceTest::data_ = nullptr;
+MotionClassifier* FaultToleranceTest::model_ = nullptr;
+
+TEST_F(FaultToleranceTest, FallbacksAreTrained) {
+  ASSERT_TRUE(model_->has_fallbacks());
+  const MotionClassifier* mocap_only =
+      model_->submodel(ClassifierMode::kMocapOnly);
+  const MotionClassifier* emg_only =
+      model_->submodel(ClassifierMode::kEmgOnly);
+  ASSERT_NE(mocap_only, nullptr);
+  ASSERT_NE(emg_only, nullptr);
+  EXPECT_FALSE(mocap_only->options().features.use_emg);
+  EXPECT_FALSE(emg_only->options().features.use_mocap);
+  EXPECT_EQ(mocap_only->num_motions(), model_->num_motions());
+}
+
+TEST_F(FaultToleranceTest, CleanCaptureIsNotDegraded) {
+  const CapturedMotion* q = Queries().front();
+  auto decision = model_->ClassifyRobust(q->mocap, q->emg_raw);
+  ASSERT_TRUE(decision.ok()) << decision.status();
+  EXPECT_FALSE(decision->degraded);
+  EXPECT_EQ(decision->mode, ClassifierMode::kFull);
+  auto plain = model_->Classify(q->mocap, q->emg_raw);
+  ASSERT_TRUE(plain.ok());
+  EXPECT_EQ(decision->label, *plain);
+}
+
+// The acceptance scenario: one EMG channel flatlined and one marker
+// occluded in 30 % of frames — every query still gets a decision,
+// flagged degraded, with accuracy close to the clean baseline.
+TEST_F(FaultToleranceTest, FlatlineAndOcclusionStillClassify) {
+  size_t clean_correct = 0;
+  size_t degraded_correct = 0;
+  const auto queries = Queries();
+  for (const CapturedMotion* q : queries) {
+    auto clean = model_->Classify(q->mocap, q->emg_raw);
+    ASSERT_TRUE(clean.ok());
+    if (*clean == q->class_id) ++clean_correct;
+
+    MotionSequence mocap = q->mocap;
+    OccludeMarker(&mocap, NonPelvisMarker(mocap), 0.3, 10);
+    EmgRecording emg = q->emg_raw;
+    std::fill(emg.mutable_channel(0).begin(),
+              emg.mutable_channel(0).end(), 0.0);
+
+    auto decision = model_->ClassifyRobust(mocap, emg);
+    ASSERT_TRUE(decision.ok()) << decision.status();
+    EXPECT_TRUE(decision->degraded);
+    EXPECT_EQ(decision->mode, ClassifierMode::kFull);
+    ASSERT_EQ(decision->health.masked_channels.size(), 1u);
+    EXPECT_EQ(decision->health.masked_channels[0], 0u);
+    EXPECT_TRUE(decision->health.any_repair);
+    if (decision->label == q->class_id) ++degraded_correct;
+  }
+  // Within 10 accuracy points of clean on the 6 held-out queries
+  // (deterministic: dataset, training, and faults are all seeded).
+  EXPECT_GE(degraded_correct + 1, clean_correct);
+}
+
+TEST_F(FaultToleranceTest, EmgLossFallsBackToMocapOnly) {
+  const CapturedMotion* q = Queries().front();
+  EmgRecording emg = q->emg_raw;
+  for (size_t c : {0u, 1u, 2u}) {
+    std::fill(emg.mutable_channel(c).begin(),
+              emg.mutable_channel(c).end(), 0.0);
+  }
+  auto decision = model_->ClassifyRobust(q->mocap, emg);
+  ASSERT_TRUE(decision.ok()) << decision.status();
+  EXPECT_EQ(decision->mode, ClassifierMode::kMocapOnly);
+  EXPECT_TRUE(decision->degraded);
+  EXPECT_FALSE(decision->health.emg_usable);
+  EXPECT_EQ(decision->label, q->class_id);
+}
+
+TEST_F(FaultToleranceTest, MocapLossFallsBackToEmgOnly) {
+  const CapturedMotion* q = Queries().front();
+  MotionSequence mocap = q->mocap;
+  for (size_t m = 0; m < mocap.num_markers(); ++m) {
+    if (mocap.marker_set().segments()[m] == Segment::kPelvis) continue;
+    OccludeMarker(&mocap, m, 0.6, 20);
+  }
+  auto decision = model_->ClassifyRobust(mocap, q->emg_raw);
+  ASSERT_TRUE(decision.ok()) << decision.status();
+  EXPECT_EQ(decision->mode, ClassifierMode::kEmgOnly);
+  EXPECT_TRUE(decision->degraded);
+  EXPECT_FALSE(decision->health.mocap_usable);
+}
+
+TEST_F(FaultToleranceTest, BothModalitiesLostIsSurfaced) {
+  const CapturedMotion* q = Queries().front();
+  MotionSequence mocap = q->mocap;
+  for (size_t m = 0; m < mocap.num_markers(); ++m) {
+    if (mocap.marker_set().segments()[m] == Segment::kPelvis) continue;
+    OccludeMarker(&mocap, m, 0.6, 20);
+  }
+  EmgRecording emg = q->emg_raw;
+  for (size_t c = 0; c < emg.num_channels(); ++c) {
+    std::fill(emg.mutable_channel(c).begin(),
+              emg.mutable_channel(c).end(), 0.0);
+  }
+  auto decision = model_->ClassifyRobust(mocap, emg);
+  ASSERT_FALSE(decision.ok());
+  EXPECT_EQ(decision.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(FaultToleranceTest, ModalityLossWithoutFallbacksIsSurfaced) {
+  std::vector<LabeledMotion> train;
+  for (const auto& m : *data_) {
+    if (m.trial >= 2) continue;
+    LabeledMotion lm;
+    lm.mocap = m.mocap;
+    lm.emg = m.emg_raw;
+    lm.label = m.class_id;
+    lm.label_name = m.class_name;
+    train.push_back(std::move(lm));
+  }
+  ClassifierOptions copts;
+  copts.fcm.num_clusters = 8;
+  auto clf = MotionClassifier::Train(train, copts);
+  ASSERT_TRUE(clf.ok());
+  ASSERT_FALSE(clf->has_fallbacks());
+
+  const CapturedMotion* q = Queries().front();
+  EmgRecording emg = q->emg_raw;
+  for (size_t c = 0; c < emg.num_channels(); ++c) {
+    std::fill(emg.mutable_channel(c).begin(),
+              emg.mutable_channel(c).end(), 0.0);
+  }
+  auto decision = clf->ClassifyRobust(q->mocap, emg);
+  ASSERT_FALSE(decision.ok());
+  EXPECT_EQ(decision.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(FaultToleranceTest, HumIsDetectedAndNotchedOut) {
+  const CapturedMotion* q = Queries().front();
+  EmgRecording emg = q->emg_raw;
+  const double fs = emg.sample_rate_hz();
+  for (size_t c = 0; c < emg.num_channels(); ++c) {
+    for (size_t i = 0; i < emg.num_samples(); ++i) {
+      emg.mutable_channel(c)[i] +=
+          4e-4 * std::sin(2.0 * M_PI * 50.0 * static_cast<double>(i) /
+                          fs);
+    }
+  }
+  auto decision = model_->ClassifyRobust(q->mocap, emg);
+  ASSERT_TRUE(decision.ok()) << decision.status();
+  EXPECT_TRUE(decision->health.hum_detected);
+  EXPECT_DOUBLE_EQ(decision->health.hum_freq_hz, 50.0);
+  EXPECT_TRUE(decision->degraded);
+  EXPECT_EQ(decision->mode, ClassifierMode::kFull);
+  // With the notch applied, the decision matches the clean capture's.
+  auto clean = model_->Classify(q->mocap, q->emg_raw);
+  ASSERT_TRUE(clean.ok());
+  EXPECT_EQ(decision->label, *clean);
+}
+
+TEST_F(FaultToleranceTest, InjectedModerateSeverityStillDecides) {
+  FaultInjector injector(FaultSeverityPreset(0.5, 31));
+  for (const CapturedMotion* q : Queries()) {
+    auto corrupted = injector.Corrupt(*q);
+    ASSERT_TRUE(corrupted.ok()) << corrupted.status();
+    auto decision =
+        model_->ClassifyRobust(corrupted->mocap, corrupted->emg_raw);
+    ASSERT_TRUE(decision.ok()) << decision.status();
+  }
+}
+
+TEST_F(FaultToleranceTest, StreamingToleratesFaultsWhenAsked) {
+  const CapturedMotion* q = Queries().front();
+  auto conditioned = ConditionRecording(q->emg_raw);
+  ASSERT_TRUE(conditioned.ok());
+
+  StreamingOptions sopts;
+  sopts.min_windows_for_decision = 2;
+  sopts.tolerate_faults = true;
+  auto streamer = StreamingClassifier::Create(
+      model_, q->mocap.num_markers(), 0, conditioned->num_channels(),
+      sopts);
+  ASSERT_TRUE(streamer.ok()) << streamer.status();
+
+  const size_t frames =
+      std::min(q->mocap.num_frames(), conditioned->num_samples());
+  const size_t occluded_marker = NonPelvisMarker(q->mocap);
+  for (size_t f = 0; f < frames; ++f) {
+    std::vector<double> markers(3 * q->mocap.num_markers());
+    for (size_t j = 0; j < markers.size(); ++j) {
+      markers[j] = q->mocap.positions()(f, j);
+    }
+    // Marker occluded over an interior stretch; channel 0 flatlined
+    // throughout.
+    if (f >= 40 && f < 80) {
+      for (size_t k = 0; k < 3; ++k) {
+        markers[3 * occluded_marker + k] = kNaN;
+      }
+    }
+    std::vector<double> envelope(conditioned->num_channels());
+    for (size_t c = 0; c < envelope.size(); ++c) {
+      envelope[c] = c == 0 ? 0.0 : conditioned->channel(c)[f];
+    }
+    ASSERT_TRUE(streamer->PushFrame(markers, envelope).ok());
+  }
+
+  auto decision = streamer->CurrentRobustDecision();
+  ASSERT_TRUE(decision.ok()) << decision.status();
+  EXPECT_TRUE(decision->degraded);
+  EXPECT_GT(decision->health.frames_patched, 0u);
+  EXPECT_EQ(decision->health.flatlined_channels, 1u);
+  EXPECT_TRUE(decision->health.mocap_degraded);  // 40-frame hold > bound
+}
+
+TEST_F(FaultToleranceTest, StrictStreamingStillRejectsBadFrames) {
+  const CapturedMotion* q = Queries().front();
+  StreamingOptions sopts;  // tolerate_faults off
+  auto streamer = StreamingClassifier::Create(
+      model_, q->mocap.num_markers(), 0, q->emg_raw.num_channels(),
+      sopts);
+  ASSERT_TRUE(streamer.ok());
+  std::vector<double> markers(3 * q->mocap.num_markers(), 0.0);
+  markers[3] = kNaN;
+  const std::vector<double> envelope(q->emg_raw.num_channels(), 0.0);
+  EXPECT_FALSE(streamer->PushFrame(markers, envelope).ok());
+  EXPECT_FALSE(streamer->CurrentRobustDecision().ok());
+}
+
+}  // namespace
+}  // namespace mocemg

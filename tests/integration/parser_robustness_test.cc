@@ -148,6 +148,75 @@ TEST_F(ParserRobustnessTest, DatabaseCsvSurvivesMutations) {
   std::remove(path.c_str());
 }
 
+TEST_F(ParserRobustnessTest, TrcRejectsNonFiniteCoordinates) {
+  for (const char* bad : {"nan", "NaN", "inf", "-inf", "INFINITY"}) {
+    std::string text = *trc_text_;
+    // Replace the first coordinate of the last data row.
+    const size_t row_start = text.rfind('\n', text.size() - 2) + 1;
+    size_t field = text.find('\t', row_start);       // after Frame#
+    field = text.find('\t', field + 1) + 1;          // after Time
+    const size_t field_end = text.find('\t', field);
+    text.replace(field, field_end - field, bad);
+    auto parsed = ParseTrc(text);
+    ASSERT_FALSE(parsed.ok()) << "accepted coordinate '" << bad << "'";
+    EXPECT_NE(parsed.status().message().find("non-finite"),
+              std::string::npos)
+        << parsed.status();
+  }
+}
+
+TEST_F(ParserRobustnessTest, TrcRejectsTruncatedFinalRow) {
+  std::string text = *trc_text_;
+  // Cut the last data row in half (mid-write truncation).
+  const size_t row_start = text.rfind('\n', text.size() - 2) + 1;
+  text.resize(row_start + (text.size() - row_start) / 2);
+  auto parsed = ParseTrc(text);
+  ASSERT_FALSE(parsed.ok());
+  // Either the short row or the frame-count cross-check must fire.
+  EXPECT_TRUE(
+      parsed.status().message().find("truncated") != std::string::npos ||
+      parsed.status().message().find("frames") != std::string::npos)
+      << parsed.status();
+}
+
+TEST_F(ParserRobustnessTest, EmgCsvRejectsNonFiniteSamples) {
+  for (const char* bad : {"nan", "inf", "-inf"}) {
+    std::string text = *emg_text_;
+    const size_t row_start = text.rfind('\n', text.size() - 2) + 1;
+    const size_t field_end = text.find(',', row_start);
+    text.replace(row_start, field_end - row_start, bad);
+    auto parsed = ParseEmgCsv(text);
+    ASSERT_FALSE(parsed.ok()) << "accepted sample '" << bad << "'";
+    EXPECT_NE(parsed.status().message().find("non-finite"),
+              std::string::npos)
+        << parsed.status();
+  }
+}
+
+TEST_F(ParserRobustnessTest, EmgCsvRejectsTruncatedFinalRow) {
+  std::string text = *emg_text_;
+  const size_t row_start = text.rfind('\n', text.size() - 2) + 1;
+  const size_t last_comma = text.rfind(',');
+  ASSERT_GT(last_comma, row_start);
+  text.resize(last_comma);  // drop the final field entirely
+  auto parsed = ParseEmgCsv(text);
+  ASSERT_FALSE(parsed.ok());
+  // The CSV layer reports the short row by line number; either its
+  // width message or the parser's truncation hint must surface.
+  EXPECT_TRUE(
+      parsed.status().message().find("truncated") != std::string::npos ||
+      parsed.status().message().find("fields, expected") !=
+          std::string::npos)
+      << parsed.status();
+}
+
+TEST_F(ParserRobustnessTest, EmgCsvRejectsNonFiniteSampleRate) {
+  auto parsed = ParseEmgCsv("# sample_rate_hz=inf\nbiceps\n1e-5\n");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().message().find("finite"), std::string::npos)
+      << parsed.status();
+}
+
 TEST_F(ParserRobustnessTest, HostileInputsRejectedCleanly) {
   // Deliberately nasty strings through every parser.
   const std::string nasties[] = {

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "linalg/eigen_sym.h"
 #include "linalg/vector_ops.h"
@@ -214,6 +215,19 @@ INSTANTIATE_TEST_SUITE_P(
                       std::make_pair<size_t, size_t>(4, 8),
                       std::make_pair<size_t, size_t>(50, 2),
                       std::make_pair<size_t, size_t>(1, 1)));
+
+TEST(SvdTest, RejectsNonFiniteInput) {
+  Rng rng(77);
+  for (double bad : {std::numeric_limits<double>::quiet_NaN(),
+                     std::numeric_limits<double>::infinity(),
+                     -std::numeric_limits<double>::infinity()}) {
+    Matrix m = RandomMatrix(6, 3, &rng);
+    m(4, 1) = bad;
+    auto svd = ComputeSvd(m);
+    ASSERT_FALSE(svd.ok());
+    EXPECT_TRUE(svd.status().IsNumericalError()) << svd.status();
+  }
+}
 
 }  // namespace
 }  // namespace mocemg

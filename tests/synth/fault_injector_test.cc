@@ -1,0 +1,215 @@
+#include "synth/fault_injector.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "signal/spectral.h"
+
+namespace mocemg {
+namespace {
+
+CapturedMotion HandTrial() {
+  DatasetOptions opts;
+  opts.limb = Limb::kRightHand;
+  opts.trials_per_class = 1;
+  opts.seed = 321;
+  auto data = GenerateDataset(opts);
+  EXPECT_TRUE(data.ok()) << data.status();
+  return data->front();
+}
+
+size_t CountMissingFrames(const MotionSequence& mocap, size_t marker) {
+  size_t missing = 0;
+  for (size_t f = 0; f < mocap.num_frames(); ++f) {
+    if (!std::isfinite(mocap.positions()(f, 3 * marker))) ++missing;
+  }
+  return missing;
+}
+
+size_t CountEvents(const FaultInjector& injector, FaultType type) {
+  size_t n = 0;
+  for (const auto& e : injector.events()) {
+    if (e.type == type) ++n;
+  }
+  return n;
+}
+
+TEST(FaultInjectorTest, OcclusionPlantsNanRunsAndSparesPelvis) {
+  const CapturedMotion trial = HandTrial();
+  FaultInjectorOptions opts;
+  opts.occlusion_marker_fraction = 1.0;
+  opts.occlusion_fraction = 0.2;
+  FaultInjector injector(opts);
+  auto corrupted = injector.CorruptMocap(trial.mocap);
+  ASSERT_TRUE(corrupted.ok()) << corrupted.status();
+
+  size_t pelvis = 0;
+  const auto& segments = trial.mocap.marker_set().segments();
+  for (size_t m = 0; m < segments.size(); ++m) {
+    if (segments[m] == Segment::kPelvis) pelvis = m;
+  }
+  EXPECT_EQ(CountMissingFrames(*corrupted, pelvis), 0u);
+
+  size_t total_missing = 0;
+  for (size_t m = 0; m < corrupted->num_markers(); ++m) {
+    total_missing += CountMissingFrames(*corrupted, m);
+  }
+  EXPECT_GT(total_missing, 0u);
+  // The corrupted stream fails validation by design (NaN runs).
+  EXPECT_FALSE(corrupted->Validate().ok());
+  EXPECT_GT(CountEvents(injector, FaultType::kMarkerOcclusion), 0u);
+}
+
+TEST(FaultInjectorTest, DropoutFlatlinesWholeChannels) {
+  const CapturedMotion trial = HandTrial();
+  FaultInjectorOptions opts;
+  opts.dropout_channel_fraction = 0.5;
+  opts.dropout_level_v = 0.0;
+  FaultInjector injector(opts);
+  auto corrupted = injector.CorruptEmg(trial.emg_raw);
+  ASSERT_TRUE(corrupted.ok()) << corrupted.status();
+
+  const size_t dropped = CountEvents(injector, FaultType::kChannelDropout);
+  EXPECT_EQ(dropped, 2u);  // half of the hand's 4 channels
+  for (const auto& e : injector.events()) {
+    if (e.type != FaultType::kChannelDropout) continue;
+    for (double v : corrupted->channel(e.stream_index)) {
+      ASSERT_EQ(v, 0.0);
+    }
+  }
+}
+
+TEST(FaultInjectorTest, SaturationClipsAtHalfPeak) {
+  const CapturedMotion trial = HandTrial();
+  FaultInjectorOptions opts;
+  opts.saturation_channel_fraction = 1.0;
+  FaultInjector injector(opts);
+  auto corrupted = injector.CorruptEmg(trial.emg_raw);
+  ASSERT_TRUE(corrupted.ok()) << corrupted.status();
+  ASSERT_GT(CountEvents(injector, FaultType::kSaturation), 0u);
+
+  for (const auto& e : injector.events()) {
+    if (e.type != FaultType::kSaturation) continue;
+    double clean_peak = 0.0;
+    for (double v : trial.emg_raw.channel(e.stream_index)) {
+      clean_peak = std::max(clean_peak, std::fabs(v));
+    }
+    EXPECT_NEAR(e.magnitude, 0.5 * clean_peak, 1e-12);
+    size_t at_level = 0;
+    for (double v : corrupted->channel(e.stream_index)) {
+      EXPECT_LE(std::fabs(v), e.magnitude + 1e-15);
+      if (std::fabs(std::fabs(v) - e.magnitude) < 1e-15) ++at_level;
+    }
+    // Clipping pins a visible number of samples to the rail.
+    EXPECT_GT(at_level, corrupted->num_samples() / 1000);
+  }
+}
+
+TEST(FaultInjectorTest, HumBurstRaisesLineFrequencyPower) {
+  const CapturedMotion trial = HandTrial();
+  FaultInjectorOptions opts;
+  opts.hum_channel_fraction = 1.0;
+  opts.hum_amplitude_v = 5e-4;
+  opts.hum_freq_hz = 50.0;
+  opts.hum_burst_fraction = 0.5;
+  FaultInjector injector(opts);
+  auto corrupted = injector.CorruptEmg(trial.emg_raw);
+  ASSERT_TRUE(corrupted.ok()) << corrupted.status();
+  ASSERT_GT(CountEvents(injector, FaultType::kHumBurst), 0u);
+
+  const double fs = trial.emg_raw.sample_rate_hz();
+  for (size_t c = 0; c < corrupted->num_channels(); ++c) {
+    auto clean = GoertzelPower(trial.emg_raw.channel(c), 50.0, fs);
+    auto dirty = GoertzelPower(corrupted->channel(c), 50.0, fs);
+    ASSERT_TRUE(clean.ok() && dirty.ok());
+    EXPECT_GT(*dirty, 10.0 * *clean);
+  }
+}
+
+TEST(FaultInjectorTest, TriggerSkewShortensExactlyOneStream) {
+  const CapturedMotion trial = HandTrial();
+  FaultInjectorOptions opts;
+  opts.trigger_jitter_ms = 50.0;
+  FaultInjector injector(opts);
+  auto corrupted = injector.Corrupt(trial);
+  ASSERT_TRUE(corrupted.ok()) << corrupted.status();
+  ASSERT_EQ(CountEvents(injector, FaultType::kTriggerSkew), 1u);
+
+  const bool emg_shorter =
+      corrupted->emg_raw.num_samples() < trial.emg_raw.num_samples();
+  const bool mocap_shorter =
+      corrupted->mocap.num_frames() < trial.mocap.num_frames();
+  EXPECT_NE(emg_shorter, mocap_shorter);
+}
+
+TEST(FaultInjectorTest, ClockDriftWarpsContentKeepingMetadata) {
+  const CapturedMotion trial = HandTrial();
+  FaultInjectorOptions opts;
+  opts.clock_drift_ppm = 5000.0;
+  FaultInjector injector(opts);
+  auto corrupted = injector.CorruptEmg(trial.emg_raw);
+  ASSERT_TRUE(corrupted.ok()) << corrupted.status();
+  ASSERT_EQ(CountEvents(injector, FaultType::kClockDrift), 1u);
+
+  EXPECT_EQ(corrupted->num_samples(), trial.emg_raw.num_samples());
+  EXPECT_DOUBLE_EQ(corrupted->sample_rate_hz(),
+                   trial.emg_raw.sample_rate_hz());
+  EXPECT_NE(corrupted->channel(0), trial.emg_raw.channel(0));
+}
+
+TEST(FaultInjectorTest, DeterministicInSeed) {
+  const CapturedMotion trial = HandTrial();
+  FaultInjectorOptions opts = FaultSeverityPreset(0.6, 99);
+  FaultInjector a(opts);
+  FaultInjector b(opts);
+  auto ca = a.Corrupt(trial);
+  auto cb = b.Corrupt(trial);
+  ASSERT_TRUE(ca.ok() && cb.ok());
+  EXPECT_EQ(ca->emg_raw.channel(0), cb->emg_raw.channel(0));
+  EXPECT_EQ(ca->mocap.num_frames(), cb->mocap.num_frames());
+  for (size_t f = 0; f < ca->mocap.num_frames(); ++f) {
+    for (size_t j = 0; j < 3 * ca->mocap.num_markers(); ++j) {
+      const double va = ca->mocap.positions()(f, j);
+      const double vb = cb->mocap.positions()(f, j);
+      ASSERT_TRUE((std::isnan(va) && std::isnan(vb)) || va == vb);
+    }
+  }
+
+  opts.seed = 100;
+  FaultInjector c(opts);
+  auto cc = c.Corrupt(trial);
+  ASSERT_TRUE(cc.ok());
+  EXPECT_NE(ca->emg_raw.channel(0), cc->emg_raw.channel(0));
+}
+
+TEST(FaultInjectorTest, ZeroSeverityIsIdentity) {
+  const CapturedMotion trial = HandTrial();
+  FaultInjector injector(FaultSeverityPreset(0.0, 7));
+  auto corrupted = injector.Corrupt(trial);
+  ASSERT_TRUE(corrupted.ok()) << corrupted.status();
+  EXPECT_TRUE(injector.events().empty());
+  EXPECT_TRUE(corrupted->mocap.positions().AllClose(
+      trial.mocap.positions(), 0.0));
+  EXPECT_EQ(corrupted->emg_raw.channel(0), trial.emg_raw.channel(0));
+}
+
+TEST(FaultInjectorTest, FaultTypeNamesAreStable) {
+  EXPECT_STREQ(FaultTypeName(FaultType::kMarkerOcclusion),
+               "marker_occlusion");
+  EXPECT_STREQ(FaultTypeName(FaultType::kChannelDropout),
+               "channel_dropout");
+  EXPECT_STREQ(FaultTypeName(FaultType::kSaturation), "saturation");
+  EXPECT_STREQ(FaultTypeName(FaultType::kHumBurst), "hum_burst");
+  EXPECT_STREQ(FaultTypeName(FaultType::kTriggerSkew), "trigger_skew");
+  EXPECT_STREQ(FaultTypeName(FaultType::kClockDrift), "clock_drift");
+}
+
+TEST(FaultInjectorTest, RejectsEmptyInputs) {
+  FaultInjector injector(FaultInjectorOptions{});
+  EXPECT_FALSE(injector.CorruptMocap(MotionSequence()).ok());
+  EXPECT_FALSE(injector.CorruptEmg(EmgRecording()).ok());
+}
+
+}  // namespace
+}  // namespace mocemg

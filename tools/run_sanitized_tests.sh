@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Configure, build, and run the full test suite under
+# AddressSanitizer + UndefinedBehaviorSanitizer (default) or
+# ThreadSanitizer.
+#
+# Usage: tools/run_sanitized_tests.sh [asan|tsan] [ctest args...]
+set -euo pipefail
+
+preset="${1:-asan}"
+shift || true
+case "$preset" in
+  asan|tsan) ;;
+  *)
+    echo "usage: $0 [asan|tsan] [ctest args...]" >&2
+    exit 2
+    ;;
+esac
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$repo"
+
+cmake --preset "$preset"
+cmake --build --preset "$preset" -j "$(nproc)"
+ctest --preset "$preset" "$@"
