@@ -4,8 +4,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include "core/classifier.h"
 #include "core/window_features.h"
 #include "emg/acquisition.h"
+#include "eval/protocols.h"
 #include "synth/dataset.h"
 #include "util/logging.h"
 
@@ -36,19 +38,54 @@ void BM_ConditionRecording(benchmark::State& state) {
 }
 BENCHMARK(BM_ConditionRecording);
 
+// Args: {window_ms, max_threads} with 0 = hardware thread budget.
 void BM_WindowFeatureExtraction(benchmark::State& state) {
   const CapturedMotion& trial = SharedTrial();
   auto conditioned = ConditionRecording(trial.emg_raw);
   MOCEMG_CHECK_OK(conditioned.status());
   WindowFeatureOptions opts;
   opts.window_ms = static_cast<double>(state.range(0));
+  opts.parallel.max_threads = static_cast<size_t>(state.range(1));
   for (auto _ : state) {
     auto features =
         ExtractWindowFeatures(trial.mocap, *conditioned, opts);
     benchmark::DoNotOptimize(features);
   }
 }
-BENCHMARK(BM_WindowFeatureExtraction)->Arg(50)->Arg(100)->Arg(200);
+BENCHMARK(BM_WindowFeatureExtraction)
+    ->ArgsProduct({{50, 100, 200}, {1, 2, 0 /*=hw*/}});
+
+// Batch classification of a whole dataset, the shape of an evaluation
+// sweep. Arg: max_threads (0 = hardware budget).
+void BM_ClassifyBatch(benchmark::State& state) {
+  static const MotionClassifier* clf = nullptr;
+  static const std::vector<LabeledMotion>* trials = nullptr;
+  if (clf == nullptr) {
+    DatasetOptions lab;
+    lab.limb = Limb::kRightHand;
+    lab.trials_per_class = 3;
+    lab.seed = 91;
+    auto data = GenerateDataset(lab);
+    MOCEMG_CHECK_OK(data.status());
+    trials = new std::vector<LabeledMotion>(
+        ToLabeledMotions(std::move(*data)));
+    ClassifierOptions opts;
+    opts.fcm.num_clusters = 8;
+    auto trained = MotionClassifier::Train(*trials, opts);
+    MOCEMG_CHECK_OK(trained.status());
+    clf = new MotionClassifier(*std::move(trained));
+  }
+  ParallelOptions par;
+  par.max_threads = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    auto labels = clf->ClassifyBatch(*trials, par);
+    MOCEMG_CHECK_OK(labels.status());
+    benchmark::DoNotOptimize(labels->data());
+  }
+  state.SetItemsProcessed(
+      static_cast<int64_t>(state.iterations() * trials->size()));
+}
+BENCHMARK(BM_ClassifyBatch)->Arg(1)->Arg(2)->Arg(0 /*=hw*/);
 
 void BM_TrialSynthesis(benchmark::State& state) {
   DatasetOptions lab;

@@ -1,5 +1,6 @@
 #include "cluster/fcm.h"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 
@@ -109,33 +110,76 @@ Result<Fit> FitOnce(const Matrix& points, const FcmOptions& options,
     MOCEMG_ASSIGN_OR_RETURN(KmeansModel seeded, FitKmeans(points, km));
     init_centers = std::move(seeded.centers);
   }
+  // Initial memberships from the seed centers: each point's row is
+  // independent, so this parallelizes with bit-identical results.
   {
-    std::vector<double> sq(c);
-    for (size_t k = 0; k < n; ++k) {
-      const std::vector<double> p = points.Row(k);
-      for (size_t i = 0; i < c; ++i) {
-        sq[i] = SquaredDistance(p, init_centers.Row(i));
-      }
-      MembershipRow(sq, exponent, u.RowPtr(k));
-    }
+    Status st = ParallelFor(
+        n,
+        [&](size_t begin, size_t end, size_t /*chunk*/) -> Status {
+          std::vector<double> sq(c);
+          for (size_t k = begin; k < end; ++k) {
+            const double* p = points.RowPtr(k);
+            for (size_t i = 0; i < c; ++i) {
+              sq[i] = SquaredDistance(p, init_centers.RowPtr(i), d);
+            }
+            MembershipRow(sq, exponent, u.RowPtr(k));
+          }
+          return Status::OK();
+        },
+        options.parallel);
+    MOCEMG_RETURN_NOT_OK(st);
   }
 
+  // Per-chunk partial accumulators for the M-step and the per-iteration
+  // reductions. The chunk decomposition is a pure function of (n, grain)
+  // — never of the thread count — and partials are combined in ascending
+  // chunk order, so every thread count produces the same bits. Allocated
+  // once, reused every iteration.
+  const size_t num_chunks = ParallelNumChunks(n, options.parallel.grain);
+  std::vector<Matrix> part_centers(num_chunks, Matrix(c, d));
+  std::vector<std::vector<double>> part_weight(
+      num_chunks, std::vector<double>(c, 0.0));
+  std::vector<double> part_objective(num_chunks, 0.0);
+  std::vector<double> part_max_delta(num_chunks, 0.0);
+
   FcmModel model;
-  std::vector<double> sq(c);
-  double prev_objective = std::numeric_limits<double>::infinity();
   size_t iter = 0;
   for (; iter < options.max_iterations; ++iter) {
-    // Center update: c_i = Σ_k u_ik^m x_k / Σ_k u_ik^m.
-    centers = Matrix(c, d);
+    // Center update: c_i = Σ_k u_ik^m x_k / Σ_k u_ik^m, accumulated as
+    // per-chunk partial sums.
+    Status st = ParallelFor(
+        n,
+        [&](size_t begin, size_t end, size_t chunk) -> Status {
+          Matrix& pc = part_centers[chunk];
+          std::vector<double>& pw = part_weight[chunk];
+          std::fill(pc.mutable_data().begin(), pc.mutable_data().end(),
+                    0.0);
+          std::fill(pw.begin(), pw.end(), 0.0);
+          for (size_t k = begin; k < end; ++k) {
+            const double* urow = u.RowPtr(k);
+            const double* prow = points.RowPtr(k);
+            for (size_t i = 0; i < c; ++i) {
+              const double w = std::pow(urow[i], m);
+              pw[i] += w;
+              double* crow = pc.RowPtr(i);
+              for (size_t j = 0; j < d; ++j) crow[j] += w * prow[j];
+            }
+          }
+          return Status::OK();
+        },
+        options.parallel);
+    MOCEMG_RETURN_NOT_OK(st);
+    std::fill(centers.mutable_data().begin(),
+              centers.mutable_data().end(), 0.0);
     std::vector<double> weight(c, 0.0);
-    for (size_t k = 0; k < n; ++k) {
-      const double* urow = u.RowPtr(k);
-      const double* prow = points.RowPtr(k);
+    for (size_t chunk = 0; chunk < num_chunks; ++chunk) {
+      const Matrix& pc = part_centers[chunk];
+      const std::vector<double>& pw = part_weight[chunk];
       for (size_t i = 0; i < c; ++i) {
-        const double w = std::pow(urow[i], m);
-        weight[i] += w;
+        weight[i] += pw[i];
         double* crow = centers.RowPtr(i);
-        for (size_t j = 0; j < d; ++j) crow[j] += w * prow[j];
+        const double* prow = pc.RowPtr(i);
+        for (size_t j = 0; j < d; ++j) crow[j] += prow[j];
       }
     }
     for (size_t i = 0; i < c; ++i) {
@@ -149,31 +193,48 @@ Result<Fit> FitOnce(const Matrix& points, const FcmOptions& options,
       }
     }
 
-    // Membership update + objective + convergence check.
+    // Membership update + objective + convergence check. Rows of U are
+    // written disjointly; the objective is an ordered per-chunk sum and
+    // max_delta an (order-insensitive) max.
+    st = ParallelFor(
+        n,
+        [&](size_t begin, size_t end, size_t chunk) -> Status {
+          std::vector<double> sq(c);
+          std::vector<double> new_row(c);
+          double objective = 0.0;
+          double max_delta = 0.0;
+          for (size_t k = begin; k < end; ++k) {
+            const double* p = points.RowPtr(k);
+            for (size_t i = 0; i < c; ++i) {
+              sq[i] = SquaredDistance(p, centers.RowPtr(i), d);
+            }
+            MembershipRow(sq, exponent, new_row.data());
+            double* urow = u.RowPtr(k);
+            for (size_t i = 0; i < c; ++i) {
+              max_delta =
+                  std::max(max_delta, std::fabs(new_row[i] - urow[i]));
+              urow[i] = new_row[i];
+              objective += std::pow(new_row[i], m) * sq[i];
+            }
+          }
+          part_objective[chunk] = objective;
+          part_max_delta[chunk] = max_delta;
+          return Status::OK();
+        },
+        options.parallel);
+    MOCEMG_RETURN_NOT_OK(st);
     double objective = 0.0;
     double max_delta = 0.0;
-    for (size_t k = 0; k < n; ++k) {
-      const std::vector<double> p = points.Row(k);
-      for (size_t i = 0; i < c; ++i) {
-        sq[i] = SquaredDistance(p, centers.Row(i));
-      }
-      std::vector<double> new_row(c);
-      MembershipRow(sq, exponent, new_row.data());
-      double* urow = u.RowPtr(k);
-      for (size_t i = 0; i < c; ++i) {
-        max_delta = std::max(max_delta, std::fabs(new_row[i] - urow[i]));
-        urow[i] = new_row[i];
-        objective += std::pow(new_row[i], m) * sq[i];
-      }
+    for (size_t chunk = 0; chunk < num_chunks; ++chunk) {
+      objective += part_objective[chunk];
+      max_delta = std::max(max_delta, part_max_delta[chunk]);
     }
     model.objective_history.push_back(objective);
     if (max_delta < options.epsilon) {
       ++iter;
       break;
     }
-    prev_objective = objective;
   }
-  (void)prev_objective;
 
   model.centers = std::move(centers);
   model.memberships = std::move(u);

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "linalg/matrix.h"
+#include "util/parallel.h"
 #include "util/result.h"
 
 namespace mocemg {
@@ -44,6 +45,11 @@ struct FcmOptions {
   FcmInit init = FcmInit::kKmeansPlusPlus;
   /// Independent restarts; the fit with the lowest final objective wins.
   int restarts = 1;
+  /// Point-level parallelism for the membership (E) and center-
+  /// accumulation (M) steps. Per-chunk partial sums are combined in a
+  /// fixed chunk order, so fits — and therefore restarts — are
+  /// bit-identical for every max_threads.
+  ParallelOptions parallel;
 };
 
 /// \brief A fitted fuzzy c-means model.

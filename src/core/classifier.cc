@@ -52,21 +52,40 @@ Result<MotionClassifier> MotionClassifier::Train(
   MotionClassifier clf;
   clf.options_ = options;
 
-  // 1. Window features for every motion; remember per-motion row spans.
+  // 1. Window features for every motion, in parallel over motions (the
+  // window-level parallelism inside ExtractWindowFeatures runs inline
+  // when nested here). Each motion's matrix lands in its own slot; the
+  // pooled matrix is assembled serially in motion order afterwards, so
+  // the row layout — and everything downstream — is independent of the
+  // thread count.
+  std::vector<Matrix> per_motion(motions.size());
+  {
+    Status st = ParallelFor(
+        motions.size(),
+        [&](size_t begin, size_t end, size_t /*chunk*/) -> Status {
+          for (size_t i = begin; i < end; ++i) {
+            auto points =
+                RawWindowPoints(motions[i].mocap, motions[i].emg, options);
+            if (!points.ok()) {
+              return points.status().WithContext(
+                  "while featurizing motion " + std::to_string(i) + " ('" +
+                  motions[i].label_name + "')");
+            }
+            per_motion[i] = *std::move(points);
+          }
+          return Status::OK();
+        },
+        options.parallel);
+    MOCEMG_RETURN_NOT_OK(st);
+  }
   Matrix all_points;
   std::vector<std::pair<size_t, size_t>> spans;
   spans.reserve(motions.size());
   for (size_t i = 0; i < motions.size(); ++i) {
-    auto points =
-        RawWindowPoints(motions[i].mocap, motions[i].emg, options);
-    if (!points.ok()) {
-      return points.status().WithContext("while featurizing motion " +
-                                         std::to_string(i) + " ('" +
-                                         motions[i].label_name + "')");
-    }
     const size_t begin = all_points.rows();
-    MOCEMG_RETURN_NOT_OK(all_points.AppendRows(*points));
+    MOCEMG_RETURN_NOT_OK(all_points.AppendRows(per_motion[i]));
     spans.emplace_back(begin, all_points.rows());
+    per_motion[i] = Matrix();  // release as we go; pooled copy suffices
   }
 
   // 2. Normalize over the pooled window points.
@@ -123,14 +142,33 @@ Result<MotionClassifier> MotionClassifier::Train(
           ? 2 * clf.codebook_.num_clusters()
           : clf.codebook_.num_clusters();
   clf.final_features_ = Matrix(motions.size(), feature_len);
-  for (size_t i = 0; i < motions.size(); ++i) {
-    const Matrix points =
-        normalized.RowSlice(spans[i].first, spans[i].second);
-    MOCEMG_ASSIGN_OR_RETURN(std::vector<double> feature,
-                            clf.FinalFeature(points));
-    clf.final_features_.SetRow(i, feature);
-    clf.labels_.push_back(motions[i].label);
-    clf.label_names_.push_back(motions[i].label_name);
+  {
+    // Membership evaluation against the fixed codebook is read-only and
+    // each motion writes its own final-feature row.
+    Status st = ParallelFor(
+        motions.size(),
+        [&](size_t begin, size_t end, size_t /*chunk*/) -> Status {
+          for (size_t i = begin; i < end; ++i) {
+            const Matrix points =
+                normalized.RowSlice(spans[i].first, spans[i].second);
+            auto feature = clf.FinalFeature(points);
+            if (!feature.ok()) {
+              return feature.status().WithContext(
+                  "while building the final feature of motion " +
+                  std::to_string(i));
+            }
+            clf.final_features_.SetRow(i, *feature);
+          }
+          return Status::OK();
+        },
+        options.parallel);
+    MOCEMG_RETURN_NOT_OK(st);
+  }
+  clf.labels_.reserve(motions.size());
+  clf.label_names_.reserve(motions.size());
+  for (const LabeledMotion& motion : motions) {
+    clf.labels_.push_back(motion.label);
+    clf.label_names_.push_back(motion.label_name);
   }
 
   // 5. Optional modality-fallback sub-models for ClassifyRobust: the
@@ -264,6 +302,31 @@ Result<size_t> MotionClassifier::Classify(const MotionSequence& mocap,
   MOCEMG_ASSIGN_OR_RETURN(std::vector<MotionMatch> nn,
                           NearestNeighbors(feature, 1));
   return nn[0].label;
+}
+
+Result<std::vector<size_t>> MotionClassifier::ClassifyBatch(
+    const std::vector<LabeledMotion>& trials,
+    const ParallelOptions& parallel) const {
+  if (codebook_.num_clusters() == 0) {
+    return Status::FailedPrecondition("classifier is not trained");
+  }
+  std::vector<size_t> labels(trials.size(), 0);
+  Status st = ParallelFor(
+      trials.size(),
+      [&](size_t begin, size_t end, size_t /*chunk*/) -> Status {
+        for (size_t i = begin; i < end; ++i) {
+          auto label = Classify(trials[i].mocap, trials[i].emg);
+          if (!label.ok()) {
+            return label.status().WithContext(
+                "while classifying batch trial " + std::to_string(i));
+          }
+          labels[i] = *label;
+        }
+        return Status::OK();
+      },
+      parallel);
+  MOCEMG_RETURN_NOT_OK(st);
+  return labels;
 }
 
 const MotionClassifier* MotionClassifier::submodel(

@@ -62,6 +62,12 @@ struct ClassifierOptions {
   bool train_fallbacks = false;
   /// Thresholds for the degraded-capture path (ClassifyRobust).
   StreamHealthOptions health;
+  /// Trial-level parallelism for Train's featurization pass and the
+  /// final-feature pass. Window-level (features.parallel) and FCM
+  /// (fcm.parallel) parallelism nest under it and automatically run
+  /// inline inside a parallel region. Trained models are bit-identical
+  /// for every max_threads.
+  ParallelOptions parallel;
 };
 
 /// \brief A retrieval hit.
@@ -130,6 +136,17 @@ class MotionClassifier {
   /// \brief Classifies a capture by its nearest neighbour's label.
   Result<size_t> Classify(const MotionSequence& mocap,
                           const EmgRecording& emg) const;
+
+  /// \brief Classifies a batch of captures, parallelized over trials
+  /// (the shape of training/eval sweeps). `trials[i].label` is ignored;
+  /// element i of the result equals Classify(trials[i].mocap,
+  /// trials[i].emg) exactly — the classifier is immutable during the
+  /// batch, so results are bit-identical at any thread count. On
+  /// failure, returns the failing trial's error with its index in the
+  /// message (lowest failing index among executed chunks).
+  Result<std::vector<size_t>> ClassifyBatch(
+      const std::vector<LabeledMotion>& trials,
+      const ParallelOptions& parallel = {}) const;
 
   /// \brief Degradation-aware classification. Assesses stream health,
   /// repairs what is repairable (bounded marker-gap interpolation, notch

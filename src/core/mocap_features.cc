@@ -4,6 +4,34 @@
 #include "util/macros.h"
 
 namespace mocemg {
+namespace {
+
+// The weighted-SVD feature (Eq. 2–3) on pre-validated input, writing
+// into `out` (length 3) with all intermediates in `scratch`.
+Status WeightedSvdFeatureInto(const Matrix& joint_window,
+                              MocapFeatureScratch* scratch, double* out) {
+  MOCEMG_RETURN_NOT_OK(
+      ComputeSvdInto(joint_window, {}, &scratch->svd, &scratch->svd_result));
+  const SvdResult& svd = scratch->svd_result;
+
+  double sigma_sum = 0.0;
+  for (double s : svd.singular_values) sigma_sum += s;
+  out[0] = out[1] = out[2] = 0.0;
+  if (sigma_sum <= 0.0) return Status::OK();  // stationary at the origin
+
+  // f = Σ_i ŵ_i v_i with ŵ_i = σ_i / Σσ (Eq. 3). With windows shorter
+  // than 3 frames fewer singular pairs exist; the sum simply runs over
+  // the available ones.
+  for (size_t i = 0; i < svd.singular_values.size(); ++i) {
+    const double w = svd.singular_values[i] / sigma_sum;
+    for (size_t j = 0; j < 3; ++j) {
+      out[j] += w * svd.v(j, i);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
 
 const char* MocapFeatureKindName(MocapFeatureKind kind) {
   switch (kind) {
@@ -26,55 +54,51 @@ Result<std::vector<double>> WeightedSvdFeature(const Matrix& joint_window) {
   if (joint_window.rows() == 0) {
     return Status::InvalidArgument("empty joint window");
   }
-  MOCEMG_ASSIGN_OR_RETURN(SvdResult svd, ComputeSvd(joint_window));
-
-  double sigma_sum = 0.0;
-  for (double s : svd.singular_values) sigma_sum += s;
+  MocapFeatureScratch scratch;
   std::vector<double> feature(3, 0.0);
-  if (sigma_sum <= 0.0) return feature;  // stationary at the origin
-
-  // f = Σ_i ŵ_i v_i with ŵ_i = σ_i / Σσ (Eq. 3). With windows shorter
-  // than 3 frames fewer singular pairs exist; the sum simply runs over
-  // the available ones.
-  for (size_t i = 0; i < svd.singular_values.size(); ++i) {
-    const double w = svd.singular_values[i] / sigma_sum;
-    for (size_t j = 0; j < 3; ++j) {
-      feature[j] += w * svd.v(j, i);
-    }
-  }
+  MOCEMG_RETURN_NOT_OK(
+      WeightedSvdFeatureInto(joint_window, &scratch, feature.data()));
   return feature;
 }
 
-Result<std::vector<double>> ExtractMocapFeature(MocapFeatureKind kind,
-                                                const Matrix& joint_window) {
+Status ExtractMocapFeatureInto(MocapFeatureKind kind,
+                               const Matrix& joint_window,
+                               MocapFeatureScratch* scratch, double* out) {
   if (joint_window.cols() != 3 || joint_window.rows() == 0) {
     return Status::InvalidArgument("joint window must be w x 3, w >= 1");
   }
   switch (kind) {
     case MocapFeatureKind::kWeightedSvd:
-      return WeightedSvdFeature(joint_window);
+      return WeightedSvdFeatureInto(joint_window, scratch, out);
     case MocapFeatureKind::kMeanPosition: {
-      std::vector<double> f(3, 0.0);
+      out[0] = out[1] = out[2] = 0.0;
       for (size_t r = 0; r < joint_window.rows(); ++r) {
-        for (size_t c = 0; c < 3; ++c) f[c] += joint_window(r, c);
+        for (size_t c = 0; c < 3; ++c) out[c] += joint_window(r, c);
       }
       const double inv = 1.0 / static_cast<double>(joint_window.rows());
-      for (double& v : f) v *= inv;
       // Positions are mm-scale; bring to O(1) like the SVD feature so the
       // ablation compares feature *content*, not numeric range.
-      for (double& v : f) v /= 1000.0;
-      return f;
+      for (size_t c = 0; c < 3; ++c) out[c] = out[c] * inv / 1000.0;
+      return Status::OK();
     }
     case MocapFeatureKind::kDisplacement: {
       const size_t last = joint_window.rows() - 1;
-      std::vector<double> f(3);
       for (size_t c = 0; c < 3; ++c) {
-        f[c] = (joint_window(last, c) - joint_window(0, c)) / 1000.0;
+        out[c] = (joint_window(last, c) - joint_window(0, c)) / 1000.0;
       }
-      return f;
+      return Status::OK();
     }
   }
   return Status::InvalidArgument("unknown mocap feature kind");
+}
+
+Result<std::vector<double>> ExtractMocapFeature(MocapFeatureKind kind,
+                                                const Matrix& joint_window) {
+  MocapFeatureScratch scratch;
+  std::vector<double> feature(3, 0.0);
+  MOCEMG_RETURN_NOT_OK(
+      ExtractMocapFeatureInto(kind, joint_window, &scratch, feature.data()));
+  return feature;
 }
 
 }  // namespace mocemg

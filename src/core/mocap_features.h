@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "linalg/matrix.h"
+#include "linalg/svd.h"
 #include "util/result.h"
 
 namespace mocemg {
@@ -38,6 +39,20 @@ Result<std::vector<double>> WeightedSvdFeature(const Matrix& joint_window);
 /// \brief Computes the selected per-joint feature (always length 3).
 Result<std::vector<double>> ExtractMocapFeature(MocapFeatureKind kind,
                                                 const Matrix& joint_window);
+
+/// \brief Reusable workspace for ExtractMocapFeatureInto: the SVD
+/// scratch plus the decomposition result buffers, both recycled across
+/// same-shape windows (the per-window extraction loop).
+struct MocapFeatureScratch {
+  SvdScratch svd;
+  SvdResult svd_result;
+};
+
+/// \brief Allocation-free variant for the window loop: writes the
+/// 3-vector into `out`. Identical values to ExtractMocapFeature.
+Status ExtractMocapFeatureInto(MocapFeatureKind kind,
+                               const Matrix& joint_window,
+                               MocapFeatureScratch* scratch, double* out);
 
 }  // namespace mocemg
 

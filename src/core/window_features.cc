@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 
 #include "linalg/vector_ops.h"
 #include "util/macros.h"
@@ -12,9 +13,7 @@ size_t WindowFeatureDimension(const WindowFeatureOptions& options,
                               size_t emg_channels, size_t mocap_segments) {
   size_t dim = 0;
   if (options.use_emg) {
-    const size_t per_channel =
-        options.emg_feature == EmgFeatureKind::kAr4 ? 4 : 1;
-    dim += per_channel * emg_channels;
+    dim += EmgFeatureWidth(options.emg_feature) * emg_channels;
   }
   if (options.use_mocap) dim += 3 * mocap_segments;
   return dim;
@@ -26,6 +25,20 @@ Result<WindowFeatureMatrix> ExtractWindowFeatures(
   if (!options.use_emg && !options.use_mocap) {
     return Status::InvalidArgument(
         "at least one modality must be enabled");
+  }
+  // Reject malformed segmentation parameters here with messages naming
+  // the option fields; WindowMsToFrames clamps to >= 1 frame, so a
+  // negative window_ms would otherwise silently become a 1-frame window
+  // and MakeWindowPlan would never see anything wrong.
+  if (!(options.window_ms > 0.0)) {
+    return Status::InvalidArgument(
+        "window_ms must be positive, got " +
+        std::to_string(options.window_ms));
+  }
+  if (options.hop_ms < 0.0) {
+    return Status::InvalidArgument(
+        "hop_ms must be non-negative, got " +
+        std::to_string(options.hop_ms));
   }
   MOCEMG_RETURN_NOT_OK(mocap.Validate());
   if (options.use_emg) {
@@ -50,6 +63,15 @@ Result<WindowFeatureMatrix> ExtractWindowFeatures(
   if (options.hop_ms > 0.0) {
     hop_frames = WindowMsToFrames(options.hop_ms, mocap.frame_rate_hz());
   }
+  // hop_frames == 0 is the documented non-overlapping default; resolve
+  // it explicitly so the plan below always advances.
+  if (hop_frames == 0) hop_frames = window_frames;
+  if (window_frames == 0 || hop_frames == 0) {
+    return Status::InvalidArgument(
+        "window/hop resolve to zero frames (window_ms=" +
+        std::to_string(options.window_ms) +
+        ", hop_ms=" + std::to_string(options.hop_ms) + ")");
+  }
   MOCEMG_ASSIGN_OR_RETURN(
       WindowPlan plan,
       MakeWindowPlan(frames, window_frames, hop_frames));
@@ -69,37 +91,68 @@ Result<WindowFeatureMatrix> ExtractWindowFeatures(
     }
   }
 
+  // Hoist everything loop-invariant out of the window loop: the full
+  // per-segment joint tracks (previously re-copied once per window) and
+  // the per-channel EMG sample pointers.
+  std::vector<Matrix> joints;
+  joints.reserve(feature_segments.size());
+  for (Segment s : feature_segments) {
+    MOCEMG_ASSIGN_OR_RETURN(Matrix joint, local.JointMatrix(s));
+    joints.push_back(std::move(joint));
+  }
+  const size_t num_channels = options.use_emg ? emg.num_channels() : 0;
+  std::vector<const double*> channel_ptrs(num_channels, nullptr);
+  for (size_t c = 0; c < num_channels; ++c) {
+    channel_ptrs[c] = emg.channel(c).data();
+  }
+  const size_t emg_width =
+      options.use_emg ? EmgFeatureWidth(options.emg_feature) : 0;
+
   const size_t dim = WindowFeatureDimension(
-      options, options.use_emg ? emg.num_channels() : 0,
-      feature_segments.size());
+      options, num_channels, feature_segments.size());
   Matrix points(plan.num_windows(), dim);
 
-  for (size_t w = 0; w < plan.num_windows(); ++w) {
-    const WindowSpan span = plan.spans[w];
-    std::vector<double> row;
-    row.reserve(dim);
-    if (options.use_emg) {
-      for (size_t c = 0; c < emg.num_channels(); ++c) {
-        const std::vector<double>& ch = emg.channel(c);
-        MOCEMG_ASSIGN_OR_RETURN(
-            std::vector<double> f,
-            ExtractEmgFeature(options.emg_feature, ch.data() + span.begin,
-                              span.length()));
-        row.insert(row.end(), f.begin(), f.end());
-      }
-    }
-    if (options.use_mocap) {
-      for (Segment s : feature_segments) {
-        MOCEMG_ASSIGN_OR_RETURN(Matrix joint, local.JointMatrix(s));
-        const Matrix window = joint.RowSlice(span.begin, span.end);
-        MOCEMG_ASSIGN_OR_RETURN(
-            std::vector<double> f,
-            ExtractMocapFeature(options.mocap_feature, window));
-        row.insert(row.end(), f.begin(), f.end());
-      }
-    }
-    points.SetRow(w, row);
-  }
+  // Each window fills its own row of `points`; rows are disjoint, so
+  // windows parallelize with bit-identical results at any thread count.
+  // Scratch (SVD workspace + the w×3 window copy) is per chunk.
+  Status st = ParallelFor(
+      plan.num_windows(),
+      [&](size_t begin, size_t end, size_t /*chunk*/) -> Status {
+        MocapFeatureScratch mocap_scratch;
+        Matrix window(window_frames, 3);
+        for (size_t w = begin; w < end; ++w) {
+          const WindowSpan span = plan.spans[w];
+          double* row = points.RowPtr(w);
+          size_t col = 0;
+          for (size_t c = 0; c < num_channels; ++c) {
+            MOCEMG_RETURN_NOT_OK(ExtractEmgFeatureInto(
+                options.emg_feature, channel_ptrs[c] + span.begin,
+                span.length(), row + col));
+            col += emg_width;
+          }
+          if (options.use_mocap) {
+            // Every plan span is full window length today; guard the
+            // scratch shape anyway so a future partial-window plan
+            // cannot silently read stale rows.
+            if (window.rows() != span.length()) {
+              window = Matrix(span.length(), 3);
+            }
+            for (const Matrix& joint : joints) {
+              // The w×3 slice of a row-major frames×3 track is one
+              // contiguous block.
+              std::memcpy(window.RowPtr(0), joint.RowPtr(span.begin),
+                          span.length() * 3 * sizeof(double));
+              MOCEMG_RETURN_NOT_OK(ExtractMocapFeatureInto(
+                  options.mocap_feature, window, &mocap_scratch,
+                  row + col));
+              col += 3;
+            }
+          }
+        }
+        return Status::OK();
+      },
+      options.parallel);
+  MOCEMG_RETURN_NOT_OK(st);
 
   WindowFeatureMatrix out;
   out.points = std::move(points);

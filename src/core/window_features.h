@@ -16,6 +16,7 @@
 #include "mocap/local_transform.h"
 #include "mocap/motion_sequence.h"
 #include "signal/window.h"
+#include "util/parallel.h"
 #include "util/result.h"
 
 namespace mocemg {
@@ -40,6 +41,9 @@ struct WindowFeatureOptions {
   MocapFeatureKind mocap_feature = MocapFeatureKind::kWeightedSvd;
   /// Pelvis-local transform options (applied to the mocap stream).
   LocalTransformOptions local_transform;
+  /// Window-level parallelism. Results are bit-identical for every
+  /// max_threads (each window computes its feature row independently).
+  ParallelOptions parallel;
 };
 
 /// \brief One motion's window features: points × dims matrix plus the

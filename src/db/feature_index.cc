@@ -50,13 +50,28 @@ Status FeatureIndex::Rebuild() {
   for (size_t i = 0; i < p; ++i) {
     partitions_[i].reference = model.centers.Row(i);
   }
+  // Record→reference distances are the expensive part of the rebuild;
+  // compute them in parallel (independent per record), then do the
+  // cheap assignment bookkeeping serially so record_indices stay in
+  // ascending record order regardless of thread count.
+  std::vector<double> ref_dist(n, 0.0);
+  Status st = ParallelFor(
+      n,
+      [&](size_t begin, size_t end, size_t /*chunk*/) -> Status {
+        for (size_t k = begin; k < end; ++k) {
+          const Partition& part = partitions_[model.assignments[k]];
+          ref_dist[k] = EuclideanDistance(
+              database_->record(k).feature.data(), part.reference.data(),
+              d);
+        }
+        return Status::OK();
+      },
+      options_.parallel);
+  MOCEMG_RETURN_NOT_OK(st);
   for (size_t k = 0; k < n; ++k) {
     Partition& part = partitions_[model.assignments[k]];
     part.record_indices.push_back(k);
-    part.radius =
-        std::max(part.radius,
-                 EuclideanDistance(database_->record(k).feature,
-                                   part.reference));
+    part.radius = std::max(part.radius, ref_dist[k]);
   }
   // Drop empty partitions (k-means can strand one on tiny databases).
   partitions_.erase(
@@ -78,36 +93,45 @@ Result<std::vector<QueryHit>> FeatureIndex::NearestNeighbors(
     return Status::InvalidArgument("query dimension mismatch");
   }
   if (k == 0) return Status::InvalidArgument("k must be >= 1");
+  const size_t dim = query.size();
   IndexQueryStats local;
 
-  // Distance to each partition reference; visit closest-first.
+  // Distance to each partition reference; visit closest-first. The
+  // triangle-inequality prune needs true distances here, so these few
+  // sqrts stay.
   std::vector<std::pair<double, size_t>> order(partitions_.size());
   for (size_t i = 0; i < partitions_.size(); ++i) {
-    order[i] = {EuclideanDistance(query, partitions_[i].reference), i};
+    order[i] = {
+        EuclideanDistance(query.data(), partitions_[i].reference.data(),
+                          dim),
+        i};
     ++local.distance_computations;
   }
   std::sort(order.begin(), order.end());
 
+  // Candidates are kept and compared in *squared* distance space — the
+  // per-record sqrt of the scan is deferred to the k reported hits.
   std::vector<QueryHit> best;  // kept sorted ascending, size <= k
-  auto kth_distance = [&]() {
-    return best.size() < k ? std::numeric_limits<double>::infinity()
-                           : best.back().distance;
-  };
+  best.reserve(k + 1);
+  const double inf = std::numeric_limits<double>::infinity();
+  auto kth_sq = [&]() { return best.size() < k ? inf : best.back().distance; };
   for (const auto& [ref_dist, pi] : order) {
     const Partition& part = partitions_[pi];
     // Triangle inequality: every record r in the partition satisfies
-    // d(q, r) >= d(q, ref) − radius.
-    if (ref_dist - part.radius > kth_distance()) {
+    // d(q, r) >= d(q, ref) − radius (true distances; compare against
+    // the k-th best via one sqrt per partition, not per record).
+    const double kth = kth_sq();
+    if (kth < inf && ref_dist - part.radius > std::sqrt(kth)) {
       ++local.partitions_pruned;
       continue;
     }
     ++local.partitions_visited;
     for (size_t idx : part.record_indices) {
-      const double dist =
-          EuclideanDistance(query, database_->record(idx).feature);
+      const double sq = SquaredDistance(
+          query.data(), database_->record(idx).feature.data(), dim);
       ++local.distance_computations;
-      if (dist < kth_distance() || best.size() < k) {
-        QueryHit hit{idx, dist};
+      if (sq < kth_sq() || best.size() < k) {
+        QueryHit hit{idx, sq};
         auto pos = std::upper_bound(
             best.begin(), best.end(), hit,
             [](const QueryHit& a, const QueryHit& b) {
@@ -118,8 +142,45 @@ Result<std::vector<QueryHit>> FeatureIndex::NearestNeighbors(
       }
     }
   }
+  for (QueryHit& hit : best) hit.distance = std::sqrt(hit.distance);
   if (stats != nullptr) *stats = local;
   return best;
+}
+
+Result<std::vector<std::vector<QueryHit>>>
+FeatureIndex::BatchNearestNeighbors(
+    const std::vector<std::vector<double>>& queries, size_t k,
+    IndexQueryStats* stats) const {
+  std::vector<std::vector<QueryHit>> results(queries.size());
+  std::vector<IndexQueryStats> per_query(
+      stats != nullptr ? queries.size() : 0);
+  Status st = ParallelFor(
+      queries.size(),
+      [&](size_t begin, size_t end, size_t /*chunk*/) -> Status {
+        for (size_t q = begin; q < end; ++q) {
+          auto hits = NearestNeighbors(
+              queries[q], k,
+              stats != nullptr ? &per_query[q] : nullptr);
+          if (!hits.ok()) {
+            return hits.status().WithContext(
+                "while answering batch query " + std::to_string(q));
+          }
+          results[q] = std::move(*hits);
+        }
+        return Status::OK();
+      },
+      options_.parallel);
+  MOCEMG_RETURN_NOT_OK(st);
+  if (stats != nullptr) {
+    IndexQueryStats total;
+    for (const IndexQueryStats& s : per_query) {
+      total.distance_computations += s.distance_computations;
+      total.partitions_visited += s.partitions_visited;
+      total.partitions_pruned += s.partitions_pruned;
+    }
+    *stats = total;
+  }
+  return results;
 }
 
 }  // namespace mocemg

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "db/motion_database.h"
+#include "util/parallel.h"
 #include "util/result.h"
 
 namespace mocemg {
@@ -26,6 +27,10 @@ struct FeatureIndexOptions {
   /// Number of k-means partitions; 0 = auto (≈ √N, at least 1).
   size_t num_partitions = 0;
   uint64_t seed = 17;
+  /// Parallelism for Rebuild's per-record distance pass and for
+  /// BatchNearestNeighbors. Queries are read-only over the built index,
+  /// so results are bit-identical at any thread count.
+  ParallelOptions parallel;
 };
 
 /// \brief Query-time statistics (filled per query).
@@ -50,8 +55,21 @@ class FeatureIndex {
   Status Rebuild();
 
   /// \brief Exact kNN; identical results to the database's linear scan.
+  ///
+  /// Record distances are compared in squared space (one sqrt per
+  /// reported hit instead of one per scanned record); the triangle-
+  /// inequality partition prune still operates on true distances.
   Result<std::vector<QueryHit>> NearestNeighbors(
       const std::vector<double>& query, size_t k,
+      IndexQueryStats* stats = nullptr) const;
+
+  /// \brief kNN for a batch of queries, parallelized over queries with
+  /// the options' ParallelOptions. Element i equals
+  /// NearestNeighbors(queries[i], k) exactly; `stats`, when given, is
+  /// the sum over all queries. The index is immutable during queries,
+  /// so the batch is safe and deterministic at any thread count.
+  Result<std::vector<std::vector<QueryHit>>> BatchNearestNeighbors(
+      const std::vector<std::vector<double>>& queries, size_t k,
       IndexQueryStats* stats = nullptr) const;
 
   size_t num_partitions() const { return partitions_.size(); }

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/macros.h"
+
 namespace mocemg {
 
 double IntegralOfAbsoluteValue(const double* samples, size_t n) {
@@ -146,33 +148,53 @@ const char* EmgFeatureKindName(EmgFeatureKind kind) {
   return "?";
 }
 
-Result<std::vector<double>> ExtractEmgFeature(EmgFeatureKind kind,
-                                              const double* samples,
-                                              size_t n) {
+size_t EmgFeatureWidth(EmgFeatureKind kind) {
+  return kind == EmgFeatureKind::kAr4 ? 4 : 1;
+}
+
+Status ExtractEmgFeatureInto(EmgFeatureKind kind, const double* samples,
+                             size_t n, double* out) {
   if (n == 0) return Status::InvalidArgument("empty feature window");
   switch (kind) {
     case EmgFeatureKind::kIav:
-      return std::vector<double>{IntegralOfAbsoluteValue(samples, n)};
+      out[0] = IntegralOfAbsoluteValue(samples, n);
+      return Status::OK();
     case EmgFeatureKind::kMav:
-      return std::vector<double>{MeanAbsoluteValue(samples, n)};
+      out[0] = MeanAbsoluteValue(samples, n);
+      return Status::OK();
     case EmgFeatureKind::kRms:
-      return std::vector<double>{RootMeanSquare(samples, n)};
+      out[0] = RootMeanSquare(samples, n);
+      return Status::OK();
     case EmgFeatureKind::kWaveformLength:
-      return std::vector<double>{WaveformLength(samples, n)};
+      out[0] = WaveformLength(samples, n);
+      return Status::OK();
     case EmgFeatureKind::kZeroCrossings:
-      return std::vector<double>{
-          static_cast<double>(ZeroCrossings(samples, n))};
+      out[0] = static_cast<double>(ZeroCrossings(samples, n));
+      return Status::OK();
     case EmgFeatureKind::kAr4: {
+      // Burg allocates its recursion buffers; AR(4) is an ablation
+      // path, not the paper default, so it stays off the zero-alloc
+      // fast path.
       auto ar = BurgArCoefficients(samples, n, 4);
       if (!ar.ok()) {
         // Flat windows (e.g. rest periods of rectified EMG) carry no AR
         // structure; degrade to zeros rather than failing the pipeline.
-        return std::vector<double>(4, 0.0);
+        std::fill(out, out + 4, 0.0);
+        return Status::OK();
       }
-      return ar;
+      std::copy(ar->begin(), ar->end(), out);
+      return Status::OK();
     }
   }
   return Status::InvalidArgument("unknown EMG feature kind");
+}
+
+Result<std::vector<double>> ExtractEmgFeature(EmgFeatureKind kind,
+                                              const double* samples,
+                                              size_t n) {
+  std::vector<double> out(EmgFeatureWidth(kind), 0.0);
+  MOCEMG_RETURN_NOT_OK(ExtractEmgFeatureInto(kind, samples, n, out.data()));
+  return out;
 }
 
 }  // namespace mocemg

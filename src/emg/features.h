@@ -71,11 +71,21 @@ enum class EmgFeatureKind : int {
 
 const char* EmgFeatureKindName(EmgFeatureKind kind);
 
+/// \brief Number of values ExtractEmgFeature produces per channel
+/// window (1 for the scalar features, 4 for AR(4)).
+size_t EmgFeatureWidth(EmgFeatureKind kind);
+
 /// \brief Extracts the chosen feature(s) for one channel window; scalar
 /// features return one value, AR(4) returns four.
 Result<std::vector<double>> ExtractEmgFeature(EmgFeatureKind kind,
                                               const double* samples,
                                               size_t n);
+
+/// \brief Allocation-free variant for hot loops: writes exactly
+/// EmgFeatureWidth(kind) values into `out`. Identical values to
+/// ExtractEmgFeature.
+Status ExtractEmgFeatureInto(EmgFeatureKind kind, const double* samples,
+                             size_t n, double* out);
 
 }  // namespace mocemg
 

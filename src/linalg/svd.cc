@@ -4,9 +4,22 @@
 #include <cmath>
 #include <numeric>
 
-namespace mocemg {
+#include "util/macros.h"
 
-Result<SvdResult> ComputeSvd(const Matrix& a, const SvdOptions& options) {
+namespace mocemg {
+namespace {
+
+// Reshapes `m` to rows×cols without preserving contents, reusing the
+// existing allocation when the element count already matches.
+void ReshapeDirty(Matrix* m, size_t rows, size_t cols) {
+  if (m->rows() == rows && m->cols() == cols) return;
+  *m = Matrix(rows, cols);
+}
+
+}  // namespace
+
+Status ComputeSvdInto(const Matrix& a, const SvdOptions& options,
+                      SvdScratch* scratch, SvdResult* out) {
   if (a.empty()) return Status::InvalidArgument("SVD of empty matrix");
   const size_t m = a.rows();
   const size_t n = a.cols();
@@ -14,12 +27,18 @@ Result<SvdResult> ComputeSvd(const Matrix& a, const SvdOptions& options) {
 
   // Work matrix B starts as A; one-sided Jacobi orthogonalizes its
   // columns while accumulating the rotations into V, so that at
-  // convergence B = U·Σ and A = B·Vᵀ.
-  Matrix b = a;
-  Matrix v = Matrix::Identity(n);
+  // convergence B = U·Σ and A = B·Vᵀ. The copy assignment reuses the
+  // scratch allocation when the shape repeats (the w×3 hot case).
+  Matrix& b = scratch->b;
+  b = a;
+  Matrix& v = scratch->v;
+  ReshapeDirty(&v, n, n);
+  std::fill(v.mutable_data().begin(), v.mutable_data().end(), 0.0);
+  for (size_t i = 0; i < n; ++i) v(i, i) = 1.0;
 
   // Column squared-norms, maintained incrementally.
-  std::vector<double> sq(n, 0.0);
+  std::vector<double>& sq = scratch->sq;
+  sq.assign(n, 0.0);
   for (size_t j = 0; j < n; ++j) {
     double s = 0.0;
     for (size_t i = 0; i < m; ++i) s += b(i, j) * b(i, j);
@@ -101,22 +120,29 @@ Result<SvdResult> ComputeSvd(const Matrix& a, const SvdOptions& options) {
   }
 
   // Column norms of B are the singular values; sort descending.
-  std::vector<double> sigma(n);
+  std::vector<double>& sigma = scratch->sigma;
+  sigma.assign(n, 0.0);
   for (size_t j = 0; j < n; ++j) {
     double s = 0.0;
     for (size_t i = 0; i < m; ++i) s += b(i, j) * b(i, j);
     sigma[j] = std::sqrt(s);
   }
-  std::vector<size_t> order(n);
+  std::vector<size_t>& order = scratch->order;
+  order.resize(n);
   std::iota(order.begin(), order.end(), size_t{0});
   std::stable_sort(order.begin(), order.end(),
                    [&](size_t x, size_t y) { return sigma[x] > sigma[y]; });
 
-  SvdResult out;
-  out.sweeps = sweeps;
-  out.singular_values.resize(rank_bound);
-  out.v = Matrix(n, rank_bound);
-  if (options.compute_u) out.u = Matrix(m, rank_bound);
+  out->sweeps = sweeps;
+  out->singular_values.resize(rank_bound);
+  ReshapeDirty(&out->v, n, rank_bound);
+  if (options.compute_u) {
+    ReshapeDirty(&out->u, m, rank_bound);
+    std::fill(out->u.mutable_data().begin(), out->u.mutable_data().end(),
+              0.0);
+  } else if (!out->u.empty()) {
+    out->u = Matrix();
+  }
   for (size_t k = 0; k < rank_bound; ++k) {
     const size_t j = order[k];
     double sign = 1.0;
@@ -128,16 +154,21 @@ Result<SvdResult> ComputeSvd(const Matrix& a, const SvdOptions& options) {
       }
       if (best < 0.0) sign = -1.0;
     }
-    out.singular_values[k] = sigma[j];
-    for (size_t i = 0; i < n; ++i) out.v(i, k) = sign * v(i, j);
-    if (options.compute_u) {
-      if (sigma[j] > 0.0) {
-        const double inv = sign / sigma[j];
-        for (size_t i = 0; i < m; ++i) out.u(i, k) = inv * b(i, j);
-      }
+    out->singular_values[k] = sigma[j];
+    for (size_t i = 0; i < n; ++i) out->v(i, k) = sign * v(i, j);
+    if (options.compute_u && sigma[j] > 0.0) {
+      const double inv = sign / sigma[j];
+      for (size_t i = 0; i < m; ++i) out->u(i, k) = inv * b(i, j);
       // sigma == 0: U column left as zero (undefined direction).
     }
   }
+  return Status::OK();
+}
+
+Result<SvdResult> ComputeSvd(const Matrix& a, const SvdOptions& options) {
+  SvdScratch scratch;
+  SvdResult out;
+  MOCEMG_RETURN_NOT_OK(ComputeSvdInto(a, options, &scratch, &out));
   return out;
 }
 

@@ -58,6 +58,24 @@ struct SvdResult {
 /// iteration does not converge within max_sweeps.
 Result<SvdResult> ComputeSvd(const Matrix& a, const SvdOptions& options = {});
 
+/// \brief Reusable workspace for ComputeSvdInto. A default-constructed
+/// scratch works for any shape; buffers grow on first use and are
+/// reused (no allocation) across repeated same-shape decompositions —
+/// the per-window w×3 case of the feature extractor.
+struct SvdScratch {
+  Matrix b;                    ///< work copy of A (columns orthogonalized)
+  Matrix v;                    ///< accumulated rotations (n × n)
+  std::vector<double> sq;      ///< column squared norms
+  std::vector<double> sigma;   ///< unsorted singular values
+  std::vector<size_t> order;   ///< descending sort permutation
+};
+
+/// \brief Allocation-free variant of ComputeSvd: uses `scratch` for all
+/// intermediate storage and writes into `out`, reusing its buffers when
+/// shapes match the previous call. Identical results to ComputeSvd.
+Status ComputeSvdInto(const Matrix& a, const SvdOptions& options,
+                      SvdScratch* scratch, SvdResult* out);
+
 /// \brief Reconstructs U·diag(σ)·Vᵀ from an SvdResult that carries U;
 /// test utility for round-trip verification.
 Result<Matrix> ReconstructFromSvd(const SvdResult& svd);

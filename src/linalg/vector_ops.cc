@@ -30,12 +30,20 @@ double EuclideanDistance(const std::vector<double>& a,
 double SquaredDistance(const std::vector<double>& a,
                        const std::vector<double>& b) {
   MOCEMG_CHECK(a.size() == b.size()) << "distance size mismatch";
+  return SquaredDistance(a.data(), b.data(), a.size());
+}
+
+double SquaredDistance(const double* a, const double* b, size_t n) {
   double sum = 0.0;
-  for (size_t i = 0; i < a.size(); ++i) {
+  for (size_t i = 0; i < n; ++i) {
     const double d = a[i] - b[i];
     sum += d * d;
   }
   return sum;
+}
+
+double EuclideanDistance(const double* a, const double* b, size_t n) {
+  return std::sqrt(SquaredDistance(a, b, n));
 }
 
 std::vector<double> AddVectors(const std::vector<double>& a,

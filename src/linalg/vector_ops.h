@@ -30,6 +30,11 @@ double EuclideanDistance(const std::vector<double>& a,
 double SquaredDistance(const std::vector<double>& a,
                        const std::vector<double>& b);
 
+/// \brief Pointer variants for allocation-free inner loops (FCM E/M
+/// steps, kNN scans) where rows live inside a Matrix.
+double SquaredDistance(const double* a, const double* b, size_t n);
+double EuclideanDistance(const double* a, const double* b, size_t n);
+
 /// \brief a + b element-wise.
 std::vector<double> AddVectors(const std::vector<double>& a,
                                const std::vector<double>& b);

@@ -1,0 +1,230 @@
+#include "util/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <deque>
+#include <mutex>
+#include <thread>
+
+namespace mocemg {
+namespace {
+
+// True while this thread is executing chunks of some ParallelFor; a
+// nested call then runs inline instead of re-entering the pool (which
+// could otherwise deadlock when every worker blocks on a child call).
+thread_local bool tls_in_parallel_region = false;
+
+size_t HardwareThreads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<size_t>(hw);
+}
+
+// Lazily created shared pool. Worker count is fixed at creation: enough
+// for the machine, with a floor of 2 so multi-threaded code paths (and
+// TSan) are exercised even on single-core containers, and a cap to keep
+// pathological MOCEMG_THREADS values from spawning thousands of threads.
+class ThreadPool {
+ public:
+  static ThreadPool& Shared() {
+    static ThreadPool pool;
+    return pool;
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  void Submit(std::function<void()> task) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      tasks_.push_back(std::move(task));
+    }
+    wake_.notify_one();
+  }
+
+ private:
+  ThreadPool() {
+    const size_t workers = std::min<size_t>(
+        64, std::max<size_t>(2, std::max(DefaultMaxThreads(),
+                                         HardwareThreads()) -
+                                    1));
+    threads_.reserve(workers);
+    for (size_t i = 0; i < workers; ++i) {
+      threads_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    wake_.notify_all();
+    for (std::thread& t : threads_) t.join();
+  }
+
+  void WorkerLoop() {
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        wake_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+        if (stop_ && tasks_.empty()) return;
+        task = std::move(tasks_.front());
+        tasks_.pop_front();
+      }
+      task();
+    }
+  }
+
+  std::mutex mu_;
+  std::condition_variable wake_;
+  std::deque<std::function<void()>> tasks_;
+  std::vector<std::thread> threads_;
+  bool stop_ = false;
+};
+
+// Shared state of one parallel loop; runners decrement `pending` as they
+// finish and the issuing thread waits for zero.
+struct LoopState {
+  const ParallelChunkBody* body = nullptr;
+  size_t n = 0;
+  size_t num_chunks = 0;
+  size_t num_runners = 0;
+  std::atomic<bool> cancel{false};
+  // One slot per chunk; each slot is written by exactly one runner
+  // (static chunk -> runner assignment), so no two threads touch the
+  // same slot. Publication to the issuing thread happens-before via the
+  // completion mutex.
+  std::vector<Status> statuses;
+
+  std::mutex mu;
+  std::condition_variable done;
+  size_t pending = 0;
+};
+
+// Runner r processes chunks r, r+T, r+2T, … in order. On the first
+// failure it records the status in the chunk's slot and raises the
+// cancellation flag; other runners skip chunks they have not started.
+void RunChunks(LoopState* state, size_t runner) {
+  const bool was_in_region = tls_in_parallel_region;
+  tls_in_parallel_region = true;
+  for (size_t c = runner; c < state->num_chunks;
+       c += state->num_runners) {
+    if (state->cancel.load(std::memory_order_relaxed)) break;
+    const auto [begin, end] =
+        ParallelChunkBounds(state->n, state->num_chunks, c);
+    Status st = (*state->body)(begin, end, c);
+    if (!st.ok()) {
+      state->statuses[c] = std::move(st);
+      state->cancel.store(true, std::memory_order_relaxed);
+      break;
+    }
+  }
+  tls_in_parallel_region = was_in_region;
+  {
+    // Notify while still holding the mutex: LoopState lives on the
+    // issuing thread's stack and is destroyed as soon as that thread
+    // observes pending == 0. Signalling after unlocking would let the
+    // waiter wake, see the count, and destroy the condition variable
+    // while this thread is still inside notify_one.
+    std::lock_guard<std::mutex> lock(state->mu);
+    --state->pending;
+    if (state->pending == 0) state->done.notify_one();
+  }
+}
+
+size_t ParseEnvThreads() {
+  const char* v = std::getenv("MOCEMG_THREADS");
+  if (v == nullptr || *v == '\0') return 0;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(v, &end, 10);
+  if (end == v || parsed == 0ULL) return 0;  // unset / invalid: auto
+  return static_cast<size_t>(std::min<unsigned long long>(parsed, 4096));
+}
+
+}  // namespace
+
+size_t DefaultMaxThreads() {
+  static const size_t resolved = [] {
+    const size_t env = ParseEnvThreads();
+    return env > 0 ? env : HardwareThreads();
+  }();
+  return resolved;
+}
+
+size_t ParallelNumChunks(size_t n, size_t grain) {
+  if (n == 0) return 0;
+  if (grain == 0) {
+    // Up to 64 chunks: enough slack for good load balance on any
+    // machine this targets while keeping per-chunk scratch and the
+    // ordered combine step cheap. Fixed (not thread-derived) by design.
+    return std::min<size_t>(n, 64);
+  }
+  return (n + grain - 1) / grain;
+}
+
+std::pair<size_t, size_t> ParallelChunkBounds(size_t n, size_t num_chunks,
+                                              size_t chunk) {
+  // Balanced split: the first n % num_chunks chunks get one extra item.
+  const size_t base = n / num_chunks;
+  const size_t extra = n % num_chunks;
+  const size_t begin =
+      chunk * base + std::min(chunk, extra);
+  const size_t length = base + (chunk < extra ? 1 : 0);
+  return {begin, begin + length};
+}
+
+Status ParallelFor(size_t n, const ParallelChunkBody& body,
+                   const ParallelOptions& options) {
+  if (n == 0) return Status::OK();
+  const size_t num_chunks = ParallelNumChunks(n, options.grain);
+  const size_t budget =
+      options.max_threads > 0 ? options.max_threads : DefaultMaxThreads();
+  const size_t runners = std::min(budget, num_chunks);
+
+  if (runners <= 1 || tls_in_parallel_region) {
+    // Inline serial execution over the *same* chunk decomposition, in
+    // ascending chunk order — bit-identical to the parallel path for
+    // any chunk-local arithmetic and any ordered reduction above it.
+    const bool was_in_region = tls_in_parallel_region;
+    tls_in_parallel_region = true;
+    Status result = Status::OK();
+    for (size_t c = 0; c < num_chunks; ++c) {
+      const auto [begin, end] = ParallelChunkBounds(n, num_chunks, c);
+      Status st = body(begin, end, c);
+      if (!st.ok()) {
+        result = std::move(st);
+        break;
+      }
+    }
+    tls_in_parallel_region = was_in_region;
+    return result;
+  }
+
+  LoopState state;
+  state.body = &body;
+  state.n = n;
+  state.num_chunks = num_chunks;
+  state.num_runners = runners;
+  state.statuses.assign(num_chunks, Status::OK());
+  state.pending = runners;
+
+  ThreadPool& pool = ThreadPool::Shared();
+  for (size_t r = 1; r < runners; ++r) {
+    pool.Submit([&state, r] { RunChunks(&state, r); });
+  }
+  RunChunks(&state, 0);
+  {
+    std::unique_lock<std::mutex> lock(state.mu);
+    state.done.wait(lock, [&state] { return state.pending == 0; });
+  }
+
+  for (size_t c = 0; c < num_chunks; ++c) {
+    if (!state.statuses[c].ok()) return std::move(state.statuses[c]);
+  }
+  return Status::OK();
+}
+
+}  // namespace mocemg

@@ -1,0 +1,117 @@
+/// \file parallel.h
+/// \brief Shared-pool data parallelism for the library's hot loops:
+/// per-window featurization, the FCM E/M steps, batch kNN, and batch
+/// classification are all embarrassingly parallel over windows, points,
+/// queries, and trials.
+///
+/// Design contract (what makes results *bit-identical* at any thread
+/// count):
+///
+///  1. The iteration range [0, n) is split into chunks by a pure
+///     function of (n, grain) only — never of the thread count
+///     (ParallelNumChunks / ParallelChunkBounds). Threads merely decide
+///     *who* runs a chunk, not *what* a chunk is.
+///  2. ParallelReduce combines per-chunk partial results in ascending
+///     chunk order, serially, after all chunks finish. Floating-point
+///     sums therefore associate identically whether 1 or 64 threads ran.
+///  3. `max_threads == 1` executes the same chunk decomposition inline
+///     on the calling thread, chunk 0 first — provably the same
+///     arithmetic as the parallel path.
+///
+/// Error handling is Status-first: the body returns Status per chunk,
+/// the first failure (lowest chunk index among chunks that ran) wins and
+/// cancels chunks that have not started yet.
+///
+/// Nested calls are safe: a ParallelFor issued from inside a parallel
+/// region runs inline on that worker (no pool re-entry, no deadlock).
+///
+/// Thread budget resolution: ParallelOptions::max_threads when > 0,
+/// else the MOCEMG_THREADS environment variable when set and > 0, else
+/// std::thread::hardware_concurrency(). The shared pool is lazily
+/// created on first parallel use and torn down at process exit.
+
+#ifndef MOCEMG_UTIL_PARALLEL_H_
+#define MOCEMG_UTIL_PARALLEL_H_
+
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "util/result.h"
+
+namespace mocemg {
+
+/// \brief Per-call parallelism knobs. The default (all zeros) means
+/// "use the process-wide thread budget with automatic chunking".
+struct ParallelOptions {
+  /// Worker cap for this call. 0 = auto (MOCEMG_THREADS env override,
+  /// else hardware concurrency); 1 = inline serial execution.
+  size_t max_threads = 0;
+  /// Minimum items per chunk; 0 = auto. Chunking depends only on the
+  /// range length and this value, never on max_threads — that is what
+  /// keeps reductions bit-identical across thread counts.
+  size_t grain = 0;
+};
+
+/// \brief The resolved default thread budget: MOCEMG_THREADS when set
+/// to a positive integer, otherwise hardware concurrency (>= 1).
+/// Read once and cached; changing the env var mid-process has no effect.
+size_t DefaultMaxThreads();
+
+/// \brief Number of chunks [0, n) is split into under `grain`. Pure in
+/// (n, grain); callers that preallocate per-chunk scratch or partials
+/// index them with the `chunk` argument of the body.
+size_t ParallelNumChunks(size_t n, size_t grain);
+
+/// \brief Half-open bounds of `chunk` (< ParallelNumChunks(n, grain)).
+std::pair<size_t, size_t> ParallelChunkBounds(size_t n, size_t num_chunks,
+                                              size_t chunk);
+
+/// \brief Chunk body: process [begin, end), identified by `chunk`.
+using ParallelChunkBody =
+    std::function<Status(size_t begin, size_t end, size_t chunk)>;
+
+/// \brief Runs `body` over the chunk decomposition of [0, n).
+///
+/// Chunks are statically assigned to runners (runner r takes chunks
+/// r, r+T, r+2T, …) so the work placement is deterministic. Returns OK
+/// when every chunk succeeded; otherwise the Status of the failed chunk
+/// with the lowest index among those that executed. Chunks not yet
+/// started when a failure is observed are skipped.
+Status ParallelFor(size_t n, const ParallelChunkBody& body,
+                   const ParallelOptions& options = {});
+
+/// \brief Map-reduce over the chunk decomposition of [0, n).
+///
+/// `map` produces one partial per chunk (Result<T>(begin, end, chunk));
+/// `combine` folds partials into the accumulator *in ascending chunk
+/// order* on the calling thread (void(T* acc, T&& partial)). The fixed
+/// combine order is the bit-identity guarantee for floating-point sums.
+template <typename T, typename MapFn, typename CombineFn>
+Result<T> ParallelReduce(size_t n, T init, const MapFn& map,
+                         const CombineFn& combine,
+                         const ParallelOptions& options = {}) {
+  const size_t chunks = ParallelNumChunks(n, options.grain);
+  std::vector<std::optional<T>> partials(chunks);
+  Status st = ParallelFor(
+      n,
+      [&](size_t begin, size_t end, size_t chunk) -> Status {
+        Result<T> partial = map(begin, end, chunk);
+        if (!partial.ok()) return partial.status();
+        partials[chunk] = std::move(partial).ValueOrDie();
+        return Status::OK();
+      },
+      options);
+  if (!st.ok()) return st;
+  T acc = std::move(init);
+  for (size_t c = 0; c < chunks; ++c) {
+    combine(&acc, std::move(*partials[c]));
+  }
+  return acc;
+}
+
+}  // namespace mocemg
+
+#endif  // MOCEMG_UTIL_PARALLEL_H_

@@ -52,6 +52,37 @@ TEST(WindowFeaturesTest, DimensionFormula) {
   EXPECT_EQ(WindowFeatureDimension(opts, 4, 4), 16u);
 }
 
+TEST(WindowFeaturesTest, RejectsNonPositiveWindowMs) {
+  Capture cap = MakeCapture(120);
+  WindowFeatureOptions opts;
+  opts.window_ms = -100.0;
+  auto out = ExtractWindowFeatures(cap.mocap, cap.emg, opts);
+  ASSERT_FALSE(out.ok());
+  EXPECT_TRUE(out.status().IsInvalidArgument());
+  // The message must name the offending field: WindowMsToFrames clamps
+  // to one frame, so without this check a negative window would quietly
+  // produce 1-frame windows.
+  EXPECT_NE(out.status().message().find("window_ms"), std::string::npos)
+      << out.status();
+
+  opts.window_ms = 0.0;
+  out = ExtractWindowFeatures(cap.mocap, cap.emg, opts);
+  ASSERT_FALSE(out.ok());
+  EXPECT_TRUE(out.status().IsInvalidArgument());
+}
+
+TEST(WindowFeaturesTest, RejectsNegativeHopMs) {
+  Capture cap = MakeCapture(120);
+  WindowFeatureOptions opts;
+  opts.window_ms = 100.0;
+  opts.hop_ms = -10.0;
+  auto out = ExtractWindowFeatures(cap.mocap, cap.emg, opts);
+  ASSERT_FALSE(out.ok());
+  EXPECT_TRUE(out.status().IsInvalidArgument());
+  EXPECT_NE(out.status().message().find("hop_ms"), std::string::npos)
+      << out.status();
+}
+
 TEST(WindowFeaturesTest, ProducesExpectedShape) {
   Capture cap = MakeCapture(120);
   WindowFeatureOptions opts;

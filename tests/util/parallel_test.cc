@@ -1,0 +1,222 @@
+#include "util/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <vector>
+
+#include "util/random.h"
+
+namespace mocemg {
+namespace {
+
+TEST(ParallelChunkingTest, IsPureInRangeAndGrain) {
+  // Auto grain: min(n, 64) chunks, independent of any thread setting.
+  EXPECT_EQ(ParallelNumChunks(0, 0), 0u);
+  EXPECT_EQ(ParallelNumChunks(1, 0), 1u);
+  EXPECT_EQ(ParallelNumChunks(63, 0), 63u);
+  EXPECT_EQ(ParallelNumChunks(64, 0), 64u);
+  EXPECT_EQ(ParallelNumChunks(100000, 0), 64u);
+  // Explicit grain: at most ceil(n / grain) chunks, each >= grain items
+  // (except possibly by balancing), never more chunks than items.
+  EXPECT_EQ(ParallelNumChunks(100, 100), 1u);
+  EXPECT_EQ(ParallelNumChunks(100, 10), 10u);
+  EXPECT_EQ(ParallelNumChunks(5, 1), 5u);
+}
+
+TEST(ParallelChunkingTest, BoundsPartitionTheRangeContiguously) {
+  for (size_t n : {1u, 7u, 63u, 64u, 65u, 1000u, 4097u}) {
+    const size_t chunks = ParallelNumChunks(n, 0);
+    size_t expected_begin = 0;
+    for (size_t c = 0; c < chunks; ++c) {
+      const auto [begin, end] = ParallelChunkBounds(n, chunks, c);
+      EXPECT_EQ(begin, expected_begin) << "n=" << n << " chunk=" << c;
+      EXPECT_GT(end, begin);
+      expected_begin = end;
+    }
+    EXPECT_EQ(expected_begin, n);
+  }
+}
+
+TEST(ParallelForTest, EmptyRangeNeverInvokesBody) {
+  bool ran = false;
+  Status st = ParallelFor(0, [&](size_t, size_t, size_t) -> Status {
+    ran = true;
+    return Status::OK();
+  });
+  EXPECT_TRUE(st.ok());
+  EXPECT_FALSE(ran);
+}
+
+TEST(ParallelForTest, SerialFallbackVisitsChunksInAscendingOrder) {
+  ParallelOptions serial;
+  serial.max_threads = 1;
+  std::vector<size_t> visited;
+  Status st = ParallelFor(
+      1000,
+      [&](size_t /*begin*/, size_t /*end*/, size_t chunk) -> Status {
+        visited.push_back(chunk);
+        return Status::OK();
+      },
+      serial);
+  ASSERT_TRUE(st.ok());
+  ASSERT_EQ(visited.size(), ParallelNumChunks(1000, 0));
+  for (size_t i = 0; i < visited.size(); ++i) EXPECT_EQ(visited[i], i);
+}
+
+TEST(ParallelForTest, EveryIndexProcessedExactlyOnceWhenThreaded) {
+  ParallelOptions opts;
+  opts.max_threads = 8;
+  const size_t n = 12345;
+  std::vector<std::atomic<int>> count(n);
+  for (auto& c : count) c.store(0);
+  Status st = ParallelFor(
+      n,
+      [&](size_t begin, size_t end, size_t /*chunk*/) -> Status {
+        for (size_t i = begin; i < end; ++i) count[i].fetch_add(1);
+        return Status::OK();
+      },
+      opts);
+  ASSERT_TRUE(st.ok());
+  for (size_t i = 0; i < n; ++i) EXPECT_EQ(count[i].load(), 1) << i;
+}
+
+TEST(ParallelForTest, SerialErrorShortCircuitsLaterChunks) {
+  ParallelOptions serial;
+  serial.max_threads = 1;
+  size_t chunks_run = 0;
+  Status st = ParallelFor(
+      1000,
+      [&](size_t, size_t, size_t chunk) -> Status {
+        ++chunks_run;
+        if (chunk == 3) {
+          return Status::InvalidArgument("chunk 3 failed");
+        }
+        return Status::OK();
+      },
+      serial);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.message(), "chunk 3 failed");
+  // Chunks 0..3 ran; everything after the failure was skipped.
+  EXPECT_EQ(chunks_run, 4u);
+}
+
+TEST(ParallelForTest, LowestExecutedFailureWinsWhenThreaded) {
+  ParallelOptions opts;
+  opts.max_threads = 8;
+  // Every chunk fails. Which chunks execute depends on how fast the
+  // cancellation flag propagates (even chunk 0 can be skipped if
+  // another runner fails first), but among those that DID execute the
+  // lowest-index failure must be the one reported.
+  const size_t kN = 10000;
+  const size_t kChunks = ParallelNumChunks(kN, 0);
+  std::vector<std::atomic<bool>> executed(kChunks);
+  Status st = ParallelFor(
+      kN,
+      [&](size_t, size_t, size_t chunk) -> Status {
+        executed[chunk].store(true);
+        return Status::InvalidArgument("fail " + std::to_string(chunk));
+      },
+      opts);
+  EXPECT_FALSE(st.ok());
+  size_t lowest = kChunks;
+  for (size_t c = 0; c < kChunks; ++c) {
+    if (executed[c].load()) {
+      lowest = c;
+      break;
+    }
+  }
+  ASSERT_LT(lowest, kChunks);
+  EXPECT_EQ(st.message(), "fail " + std::to_string(lowest));
+}
+
+TEST(ParallelForTest, NestedCallsRunInlineWithoutDeadlock) {
+  ParallelOptions opts;
+  opts.max_threads = 4;
+  std::atomic<long long> total{0};
+  Status st = ParallelFor(
+      64,
+      [&](size_t begin, size_t end, size_t /*chunk*/) -> Status {
+        for (size_t i = begin; i < end; ++i) {
+          long long inner = 0;
+          // The nested call must execute inline on this worker — a pool
+          // re-entry here could deadlock with every worker waiting.
+          Status nested = ParallelFor(
+              100,
+              [&](size_t b, size_t e, size_t) -> Status {
+                for (size_t j = b; j < e; ++j) {
+                  inner += static_cast<long long>(j);
+                }
+                return Status::OK();
+              },
+              opts);
+          if (!nested.ok()) return nested;
+          total.fetch_add(inner);
+        }
+        return Status::OK();
+      },
+      opts);
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(total.load(), 64LL * (99LL * 100LL / 2LL));
+}
+
+TEST(ParallelReduceTest, SumMatchesSerialAndPropagatesErrors) {
+  const size_t n = 777;
+  auto map = [](size_t begin, size_t end, size_t) -> Result<long long> {
+    long long s = 0;
+    for (size_t i = begin; i < end; ++i) s += static_cast<long long>(i);
+    return s;
+  };
+  auto combine = [](long long* acc, long long&& partial) {
+    *acc += partial;
+  };
+  auto sum = ParallelReduce<long long>(n, 0, map, combine);
+  ASSERT_TRUE(sum.ok());
+  EXPECT_EQ(*sum, static_cast<long long>(n) * (n - 1) / 2);
+
+  auto bad = ParallelReduce<long long>(
+      n, 0,
+      [](size_t, size_t, size_t chunk) -> Result<long long> {
+        if (chunk == 0) return Status::NumericalError("bad chunk");
+        return 0LL;
+      },
+      combine);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().message(), "bad chunk");
+}
+
+TEST(ParallelReduceTest, FloatingPointSumIsBitIdenticalAcrossThreadCounts) {
+  // A float sum whose value depends on association order: identical bits
+  // across thread counts proves the fixed chunk-order combine.
+  const size_t n = 50000;
+  Rng rng(123);
+  std::vector<double> values(n);
+  for (double& v : values) v = rng.NextDouble() * 1e6 - 5e5;
+
+  auto run = [&](size_t threads) {
+    ParallelOptions opts;
+    opts.max_threads = threads;
+    auto sum = ParallelReduce<double>(
+        n, 0.0,
+        [&](size_t begin, size_t end, size_t) -> Result<double> {
+          double s = 0.0;
+          for (size_t i = begin; i < end; ++i) s += values[i];
+          return s;
+        },
+        [](double* acc, double&& partial) { *acc += partial; }, opts);
+    EXPECT_TRUE(sum.ok());
+    return *sum;
+  };
+  const double serial = run(1);
+  EXPECT_EQ(serial, run(2));
+  EXPECT_EQ(serial, run(8));
+}
+
+TEST(ParallelOptionsTest, DefaultBudgetIsAtLeastOne) {
+  EXPECT_GE(DefaultMaxThreads(), 1u);
+}
+
+}  // namespace
+}  // namespace mocemg

@@ -22,3 +22,13 @@ cd "$repo"
 cmake --preset "$preset"
 cmake --build --preset "$preset" -j "$(nproc)"
 ctest --preset "$preset" "$@"
+
+if [[ "$preset" == "tsan" ]]; then
+  # Second pass over the parallel substrate with a forced 8-thread
+  # budget: on a small machine the auto budget can resolve to one
+  # worker, and tsan would then certify what was effectively a serial
+  # execution. The determinism tests double as the data-race proof for
+  # every parallelized stage (featurization, FCM, batch kNN/classify).
+  echo "== tsan: parallel substrate again under MOCEMG_THREADS=8 =="
+  MOCEMG_THREADS=8 ctest --preset tsan -R 'Parallel' --output-on-failure
+fi
