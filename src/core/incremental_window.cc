@@ -1,0 +1,162 @@
+#include "core/incremental_window.h"
+
+#include <cmath>
+
+namespace mocemg {
+namespace {
+
+// Perturbation budget for clustered eigenvalues: a backward error of
+// ε·λmax rotates the (i, j) eigenplane by ~ε·λmax/(λᵢ−λⱼ), and that
+// rotation enters the Eq. 3 sum scaled by the pair's larger weight
+// σᵢ/Σσ ≤ σᵢ/σmax. Requiring λᵢ−λⱼ ≥ kRelativeGapFloor·λmax·(σᵢ/σmax)
+// keeps the feature error below ~ε/kRelativeGapFloor ≈ 1e-11 for the
+// ε ≈ 1e-14 the refresh cadence guarantees.
+constexpr double kRelativeGapFloor = 1e-3;
+
+// Guard relief for a freshly recomputed Gram (see the header): the
+// accumulation round-off of a ≤ 32-row window is ~10× below the slide
+// drift the floors above budget for, so the gap floor relaxes by that
+// ratio and the condition floor by its square.
+constexpr double kFreshGapRelief = 1e-1;
+constexpr double kFreshConditionRelief = 1e-2;
+
+// The sign convention keys on the largest-|·| component of each vᵢ;
+// below this relative margin over the runner-up, independent round-off
+// (exact vs Gram path) can legitimately pick different components and
+// flip the column, so the guard sends the window to the exact path.
+constexpr double kSignMarginFloor = 1e-6;
+
+}  // namespace
+
+const char* FeaturizationModeName(FeaturizationMode mode) {
+  switch (mode) {
+    case FeaturizationMode::kExact:
+      return "exact";
+    case FeaturizationMode::kIncremental:
+      return "incremental";
+    case FeaturizationMode::kAuto:
+      return "auto";
+  }
+  return "?";
+}
+
+FeaturizationMode ResolveFeaturizationMode(FeaturizationMode mode,
+                                           size_t window_frames,
+                                           size_t hop_frames) {
+  if (mode != FeaturizationMode::kAuto) return mode;
+  return hop_frames < window_frames ? FeaturizationMode::kIncremental
+                                    : FeaturizationMode::kExact;
+}
+
+void JointGramState::Reset() {
+  for (double& g : g_) g = 0.0;
+  has_warm_ = false;
+}
+
+void JointGramState::AddRow(const double* xyz) {
+  const double x = xyz[0];
+  const double y = xyz[1];
+  const double z = xyz[2];
+  g_[0] += x * x;
+  g_[1] += x * y;
+  g_[2] += x * z;
+  g_[3] += y * y;
+  g_[4] += y * z;
+  g_[5] += z * z;
+}
+
+void JointGramState::RemoveRow(const double* xyz) {
+  const double x = xyz[0];
+  const double y = xyz[1];
+  const double z = xyz[2];
+  g_[0] -= x * x;
+  g_[1] -= x * y;
+  g_[2] -= x * z;
+  g_[3] -= y * y;
+  g_[4] -= y * z;
+  g_[5] -= z * z;
+}
+
+void JointGramState::Refresh(const double* rows, size_t w) {
+  // Zeroes only the accumulator: a refresh recomputes the same (or an
+  // adjacent) window, so a cached warm basis stays a good seed for the
+  // next solve. Reset() is the full clear.
+  for (double& g : g_) g = 0.0;
+  for (size_t i = 0; i < w; ++i) AddRow(rows + 3 * i);
+}
+
+void JointGramState::Slide(const double* track, size_t old_begin,
+                           size_t old_end, size_t new_begin,
+                           size_t new_end) {
+  if (new_begin >= old_end) {
+    Refresh(track + 3 * new_begin, new_end - new_begin);
+    return;
+  }
+  for (size_t i = old_begin; i < new_begin; ++i) RemoveRow(track + 3 * i);
+  for (size_t i = old_end; i < new_end; ++i) AddRow(track + 3 * i);
+}
+
+bool JointGramState::WeightedSvdFeature(double condition_floor,
+                                        double* out3, bool fresh) {
+  GramSvd3Task task;
+  FillTask(&task);
+  task.status = ComputeSvdFromGram3(task.gram, task.warm_v, task.out);
+  return FinishSolve(task, condition_floor, out3, fresh);
+}
+
+void JointGramState::FillTask(GramSvd3Task* task) {
+  task->gram = g_;
+  task->warm_v = has_warm_ ? warm_v_ : nullptr;
+  task->out = &eig_;
+}
+
+bool JointGramState::FinishSolve(const GramSvd3Task& task,
+                                 double condition_floor, double* out3,
+                                 bool fresh) {
+  if (!task.status.ok()) {
+    has_warm_ = false;
+    return false;
+  }
+  const GramSvd3& eig = *task.out;
+  for (int i = 0; i < 9; ++i) warm_v_[i] = eig.v[i];
+  has_warm_ = true;
+  if (eig.sigma[0] <= 0.0) {
+    // Stationary joint at the local origin: zero feature, exactly the
+    // exact path's degenerate-window convention.
+    out3[0] = 0.0;
+    out3[1] = 0.0;
+    out3[2] = 0.0;
+    return true;
+  }
+  const double l0 = eig.lambda[0];
+  const double l1 = eig.lambda[1] > 0.0 ? eig.lambda[1] : 0.0;
+  const double l2 = eig.lambda[2] > 0.0 ? eig.lambda[2] : 0.0;
+  // (a) Conditioning floor: the Gram path only carries half the digits
+  // of the one-sided SVD, so a spread past the floor is noise here.
+  if (l2 < (fresh ? kFreshConditionRelief * condition_floor
+                  : condition_floor) *
+               l0) {
+    return false;
+  }
+  // (b) Clustered eigenvalues (weighted gap — see kRelativeGapFloor).
+  const double gap_unit = (fresh ? kFreshGapRelief * kRelativeGapFloor
+                                 : kRelativeGapFloor) *
+                          l0 / eig.sigma[0];
+  if (l0 - l1 < gap_unit * eig.sigma[0]) return false;
+  if (l1 - l2 < gap_unit * eig.sigma[1]) return false;
+  if (l0 - l2 < gap_unit * eig.sigma[0]) return false;
+  // (c) Ambiguous sign convention.
+  if (eig.sign_margin < kSignMarginFloor) return false;
+
+  const double sum = eig.sigma[0] + eig.sigma[1] + eig.sigma[2];
+  for (int i = 0; i < 3; ++i) {
+    double f = 0.0;
+    for (int k = 0; k < 3; ++k) {
+      f += (eig.sigma[k] / sum) * eig.v[3 * i + k];
+    }
+    out3[i] = f;
+  }
+  return true;
+}
+
+}  // namespace mocemg

@@ -1,0 +1,146 @@
+/// \file incremental_window.h
+/// \brief Incremental sliding-window featurization: O(hop) per window
+/// instead of O(window).
+///
+/// Consecutive windows share `window − hop` frames, and both window
+/// features the paper uses are functions of streaming-updatable
+/// statistics:
+///
+///  - The weighted-SVD joint feature (Eq. 2–3) depends on the w×3
+///    window A only through its 3×3 Gram matrix G = AᵀA (σᵢ² and vᵢ are
+///    G's eigenpairs). JointGramState maintains G under rank-1 row
+///    add/remove as the window slides and obtains (σᵢ, vᵢ) from the
+///    allocation-free 3×3 eigensolver in linalg/gram_svd.h.
+///  - The scalar EMG features (Eq. 1 and the Hudgins family) are plain
+///    running sums — see EmgWindowSums in emg/features.h.
+///
+/// Numerical contract (property-tested at 1e-10 relative tolerance, see
+/// DESIGN.md §9): the incremental path may differ from the exact path
+/// only by float round-off, bounded by two mechanisms. A periodic exact
+/// refresh every K windows (WindowFeatureOptions::gram_refresh_interval)
+/// caps accumulated add/remove drift, and a per-window conditioning
+/// guard falls back to the exact Jacobi SVD whenever the Gram spectrum
+/// cannot support the tolerance: the Gram matrix squares the condition
+/// number, so small or tightly-clustered eigenvalues lose digits the
+/// one-sided path keeps. The guard triggers on (a) λmin/λmax below
+/// WindowFeatureOptions::gram_condition_floor, (b) an eigenvalue pair
+/// closer than its perturbation-theory error budget (clustered
+/// eigenvalues make the eigenbasis — and hence the Eq. 3 sum — wander),
+/// and (c) a numerically ambiguous sign convention (two components of a
+/// singular vector tied in magnitude). Fallbacks recompute that
+/// joint-window exactly, so degenerate inputs (constant joints,
+/// rank-deficient windows) produce byte-identical results to the exact
+/// path.
+///
+/// Determinism contract: all state updates are sequential per chunk and
+/// chunk decomposition is a pure function of (num_windows, grain)
+/// (util/parallel.h), so batch extraction is bit-identical at every
+/// thread count; a fixed featurization mode changes results only within
+/// the round-off bound above.
+
+#ifndef MOCEMG_CORE_INCREMENTAL_WINDOW_H_
+#define MOCEMG_CORE_INCREMENTAL_WINDOW_H_
+
+#include <cstddef>
+
+#include "linalg/gram_svd.h"
+#include "util/status.h"
+
+namespace mocemg {
+
+/// \brief Which featurization engine ExtractWindowFeatures and
+/// StreamingClassifier use. A performance knob, not a model parameter:
+/// it is not serialized with trained models and any mode may classify
+/// with any model.
+enum class FeaturizationMode : int {
+  /// Recompute every window from scratch (the reference path).
+  kExact = 0,
+  /// Slide per-joint Gram matrices and per-channel running sums.
+  kIncremental = 1,
+  /// Pick incremental exactly when consecutive windows overlap
+  /// (hop < window); with disjoint windows nothing carries over, so
+  /// exact is both the fast and the simple choice.
+  kAuto = 2,
+};
+
+const char* FeaturizationModeName(FeaturizationMode mode);
+
+/// \brief Resolves kAuto for a concrete window/hop geometry; kExact and
+/// kIncremental pass through.
+FeaturizationMode ResolveFeaturizationMode(FeaturizationMode mode,
+                                           size_t window_frames,
+                                           size_t hop_frames);
+
+/// \brief The 3×3 Gram matrix G = AᵀA of one joint's current w×3
+/// window, maintained under row insertion and removal in O(1) per row.
+class JointGramState {
+ public:
+  /// Clears to the empty window (G = 0).
+  void Reset();
+
+  /// Adds / removes the contribution of one frame's local position
+  /// `xyz` (3 doubles). Removal must only be applied to rows previously
+  /// added; the symmetric update costs 6 multiplies either way.
+  void AddRow(const double* xyz);
+  void RemoveRow(const double* xyz);
+
+  /// Exact recomputation from `w` contiguous rows (row-major w×3) —
+  /// the drift-bounding refresh and the seed for a run's first window.
+  void Refresh(const double* rows, size_t w);
+
+  /// Slides from window rows [old_begin, old_end) to
+  /// [new_begin, new_end) of the row-major track whose row i starts at
+  /// `track + 3*i`. Requires forward motion; disjoint spans degrade to
+  /// Refresh over the new span.
+  void Slide(const double* track, size_t old_begin, size_t old_end,
+             size_t new_begin, size_t new_end);
+
+  /// Computes the Eq. 3 weighted-SVD feature from the maintained Gram
+  /// matrix into `out3` and returns true, or returns false when the
+  /// conditioning guard demands the exact path (see the file comment;
+  /// `condition_floor` is WindowFeatureOptions::gram_condition_floor).
+  /// An all-zero spectrum emits the zero vector (the documented
+  /// stationary-joint convention), matching the exact path.
+  ///
+  /// `fresh` declares that the state was recomputed from the window
+  /// rows (Refresh) rather than slid into place. A fresh Gram carries
+  /// only the w-term accumulation round-off (≈ 2e-15 relative) instead
+  /// of the up-to-K-slides drift the guard budgets for (≈ 1e-14), so
+  /// the spectrum guards relax by that error ratio: the gap floor drops
+  /// 10× and the condition floor 100× (the condition-floor error bound
+  /// scales with √(λ0/λ2), hence the square). Callers use this to retry
+  /// a guard rejection after an exact refresh before paying the full
+  /// one-sided SVD.
+  /// Not const: each solve caches its eigenbasis to warm-start the
+  /// next one — the window slides one hop between calls, so the basis
+  /// barely rotates and most Jacobi rotations are skipped (see
+  /// ComputeSvdFromGram3's warm-started overload).
+  bool WeightedSvdFeature(double condition_floor, double* out3,
+                          bool fresh = false);
+
+  /// Split form of WeightedSvdFeature for solving several joints'
+  /// eigenproblems together: FillTask points `task` at this state's
+  /// Gram matrix, warm basis, and result slot; after
+  /// ComputeSvdFromGram3Many runs the tasks (interleaving the serial
+  /// rotation chains of independent joints), FinishSolve applies the
+  /// same guard chain, warm-basis caching, and feature emission as
+  /// WeightedSvdFeature. FillTask → Many → FinishSolve is bit-identical
+  /// to WeightedSvdFeature per joint; on a guard rejection `out3` is
+  /// left untouched for the exact path to fill.
+  void FillTask(GramSvd3Task* task);
+  bool FinishSolve(const GramSvd3Task& task, double condition_floor,
+                   double* out3, bool fresh = false);
+
+  /// The packed symmetric Gram [xx, xy, xz, yy, yz, zz].
+  const double* packed() const { return g_; }
+
+ private:
+  double g_[6] = {0.0, 0.0, 0.0, 0.0, 0.0, 0.0};
+  double warm_v_[9] = {0.0};
+  GramSvd3 eig_;
+  bool has_warm_ = false;
+};
+
+}  // namespace mocemg
+
+#endif  // MOCEMG_CORE_INCREMENTAL_WINDOW_H_

@@ -60,11 +60,32 @@ Result<StreamingClassifier> StreamingClassifier::Create(
   s.pelvis_index_ = pelvis_index;
   s.num_emg_channels_ = num_emg_channels;
   s.window_frames_ = WindowMsToFrames(f.window_ms, options.frame_rate_hz);
-  s.hop_frames_ = f.hop_frames;
-  if (f.hop_ms > 0.0) {
-    s.hop_frames_ = WindowMsToFrames(f.hop_ms, options.frame_rate_hz);
+  // Shared hop resolution (hop_ms precedence + conflict rejection),
+  // identical to the batch extractor's.
+  MOCEMG_ASSIGN_OR_RETURN(
+      s.hop_frames_,
+      ResolveHopFrames(f, options.frame_rate_hz, s.window_frames_));
+  // Featurization engine: the stream option overrides the model's, and
+  // streaming restricts incremental to overlapping windows — with
+  // hop >= window nothing carries over between windows.
+  const FeaturizationMode requested =
+      options.featurization_mode.value_or(f.featurization_mode);
+  if (s.hop_frames_ < s.window_frames_ &&
+      ResolveFeaturizationMode(requested, s.window_frames_,
+                               s.hop_frames_) ==
+          FeaturizationMode::kIncremental) {
+    if (f.use_emg && EmgFeatureSupportsIncremental(f.emg_feature)) {
+      s.emg_mode_ = FeaturizationMode::kIncremental;
+    }
+    if (f.use_mocap &&
+        f.mocap_feature == MocapFeatureKind::kWeightedSvd) {
+      s.mocap_mode_ = FeaturizationMode::kIncremental;
+    }
   }
-  if (s.hop_frames_ == 0) s.hop_frames_ = s.window_frames_;
+  s.gram_refresh_interval_ = std::max<size_t>(f.gram_refresh_interval, 1);
+  s.gram_condition_floor_ = f.gram_condition_floor;
+  s.emg_sums_.assign(num_emg_channels, EmgWindowSums{});
+  s.joint_grams_.assign(num_markers, JointGramState{});
   BindModeState(&s.full_state_, model, ClassifierMode::kFull);
   if (options.tolerate_faults && model->has_fallbacks()) {
     BindModeState(&s.mocap_state_, model->submodel(ClassifierMode::kMocapOnly),
@@ -211,9 +232,42 @@ Status StreamingClassifier::PushFrame(
   emg_buffer_.push_back(std::move(emg));
   ++frames_pushed_;
 
+  // O(1) incremental-state update for the arriving frame. The state
+  // covers [next_window_start_, frames_pushed_); with overlapping hops
+  // (the only geometry the incremental modes resolve to) every arriving
+  // frame is at or past the next window start.
+  const size_t frame_index = frames_pushed_ - 1;
+  if (frame_index >= next_window_start_) {
+    if (mocap_mode_ == FeaturizationMode::kIncremental) {
+      const std::vector<double>& row = mocap_buffer_.back();
+      for (size_t m = 0; m < num_markers_; ++m) {
+        if (m == pelvis_index_) continue;
+        joint_grams_[m].AddRow(&row[3 * m]);
+      }
+    }
+    if (emg_mode_ == FeaturizationMode::kIncremental) {
+      const std::vector<double>& cur = emg_buffer_.back();
+      if (frame_index > next_window_start_) {
+        const std::vector<double>& prev =
+            emg_buffer_[emg_buffer_.size() - 2];
+        for (size_t c = 0; c < num_emg_channels_; ++c) {
+          emg_sums_[c].AddTailSample(cur[c], prev[c]);
+        }
+      } else {
+        for (size_t c = 0; c < num_emg_channels_; ++c) {
+          emg_sums_[c].AddTailSample(cur[c]);
+        }
+      }
+    }
+  }
+
   while (frames_pushed_ >= next_window_start_ + window_frames_) {
     MOCEMG_RETURN_NOT_OK(CompleteWindow());
+    const size_t old_start = next_window_start_;
     next_window_start_ += hop_frames_;
+    // Drop the hopped-over frames from the incremental state before the
+    // buffer trim below discards their rows.
+    RebaseIncrementalState(old_start);
     // Trim consumed prefix.
     const size_t drop = next_window_start_ - buffer_start_frame_;
     if (drop > 0 && drop <= mocap_buffer_.size()) {
@@ -256,6 +310,17 @@ Status StreamingClassifier::CompleteWindow() {
   const WindowFeatureOptions& f = model_->options().features;
   const size_t offset = next_window_start_ - buffer_start_frame_;
 
+  // Periodic exact reseed of the incremental state, bounding the float
+  // drift of the per-frame add/remove updates (same cadence contract as
+  // the batch extractor; see incremental_window.h).
+  if ((emg_mode_ == FeaturizationMode::kIncremental ||
+       mocap_mode_ == FeaturizationMode::kIncremental) &&
+      windows_since_refresh_ >= gram_refresh_interval_) {
+    RefreshIncrementalState(offset);
+    windows_since_refresh_ = 0;
+  }
+  ++windows_since_refresh_;
+
   // Raw (un-normalized) modality parts of this window's feature point.
   std::vector<double> emg_part;
   std::vector<double> mocap_part;
@@ -274,6 +339,15 @@ Status StreamingClassifier::CompleteWindow() {
         }
         continue;
       }
+      if (emg_mode_ == FeaturizationMode::kIncremental) {
+        // All incremental EMG kinds are width 1 (AR(4) is excluded by
+        // EmgFeatureSupportsIncremental).
+        double value = 0.0;
+        MOCEMG_RETURN_NOT_OK(
+            emg_sums_[c].Emit(f.emg_feature, window_frames_, &value));
+        emg_part.push_back(value);
+        continue;
+      }
       for (size_t i = 0; i < window_frames_; ++i) {
         channel[i] = emg_buffer_[offset + i][c];
       }
@@ -286,8 +360,48 @@ Status StreamingClassifier::CompleteWindow() {
   }
   if (f.use_mocap) {
     Matrix joint(window_frames_, 3);
+    // The state is fresh (pure in-order accumulation, no slide drift)
+    // on the first window after Create/Reset and on every cadence
+    // reseed, which both leave the counter at 1 here.
+    const bool state_fresh = windows_since_refresh_ == 1;
+    if (mocap_mode_ == FeaturizationMode::kIncremental) {
+      // Batch the non-pelvis eigensolves into one call so the joints'
+      // independent rotation chains interleave (same pattern as the
+      // batch extractor, see ComputeSvdFromGram3Many).
+      gram_tasks_.clear();
+      for (size_t m = 0; m < num_markers_; ++m) {
+        if (m == pelvis_index_) continue;
+        gram_tasks_.emplace_back();
+        joint_grams_[m].FillTask(&gram_tasks_.back());
+      }
+      ComputeSvdFromGram3Many(gram_tasks_.data(), gram_tasks_.size());
+    }
+    size_t task_index = 0;
     for (size_t m = 0; m < num_markers_; ++m) {
       if (m == pelvis_index_) continue;
+      if (mocap_mode_ == FeaturizationMode::kIncremental) {
+        double feature[3];
+        bool fast = joint_grams_[m].FinishSolve(
+            gram_tasks_[task_index++], gram_condition_floor_, feature,
+            state_fresh);
+        if (!fast && !state_fresh) {
+          // Retry at the fresh-state floors after recomputing this
+          // joint's Gram over the completing window (same two-tier
+          // policy as the batch extractor, see incremental_window.h).
+          joint_grams_[m].Reset();
+          for (size_t i = 0; i < window_frames_; ++i) {
+            joint_grams_[m].AddRow(&mocap_buffer_[offset + i][3 * m]);
+          }
+          fast = joint_grams_[m].WeightedSvdFeature(
+              gram_condition_floor_, feature, /*fresh=*/true);
+        }
+        if (fast) {
+          mocap_part.insert(mocap_part.end(), feature, feature + 3);
+          continue;
+        }
+        // Conditioning guard tripped: recompute this joint-window on
+        // the exact path below.
+      }
       for (size_t i = 0; i < window_frames_; ++i) {
         joint(i, 0) = mocap_buffer_[offset + i][3 * m];
         joint(i, 1) = mocap_buffer_[offset + i][3 * m + 1];
@@ -311,6 +425,71 @@ Status StreamingClassifier::CompleteWindow() {
   }
   ++windows_completed_;
   return Status::OK();
+}
+
+void StreamingClassifier::RebaseIncrementalState(size_t old_start) {
+  if (emg_mode_ != FeaturizationMode::kIncremental &&
+      mocap_mode_ != FeaturizationMode::kIncremental) {
+    return;
+  }
+  // The incremental modes only run with hop < window, so the advanced
+  // start stays strictly inside the pushed frames and every removed
+  // frame (and its successor, for the pair terms) is still buffered.
+  for (size_t frame = old_start; frame < next_window_start_; ++frame) {
+    const size_t off = frame - buffer_start_frame_;
+    if (mocap_mode_ == FeaturizationMode::kIncremental) {
+      const std::vector<double>& row = mocap_buffer_[off];
+      for (size_t m = 0; m < num_markers_; ++m) {
+        if (m == pelvis_index_) continue;
+        joint_grams_[m].RemoveRow(&row[3 * m]);
+      }
+    }
+    if (emg_mode_ == FeaturizationMode::kIncremental) {
+      const std::vector<double>& cur = emg_buffer_[off];
+      const std::vector<double>& next = emg_buffer_[off + 1];
+      for (size_t c = 0; c < num_emg_channels_; ++c) {
+        emg_sums_[c].RemoveHeadSample(cur[c], next[c]);
+      }
+    }
+  }
+}
+
+void StreamingClassifier::RefreshIncrementalState(size_t offset) {
+  // The state covers exactly the completing window (completion fires on
+  // the frame that fills it), so a full recomputation over
+  // [offset, offset + window) reseeds it with the same frame order a
+  // fresh run would use.
+  if (mocap_mode_ == FeaturizationMode::kIncremental) {
+    for (size_t m = 0; m < num_markers_; ++m) {
+      if (m == pelvis_index_) continue;
+      joint_grams_[m].Reset();
+    }
+    for (size_t i = 0; i < window_frames_; ++i) {
+      const std::vector<double>& row = mocap_buffer_[offset + i];
+      for (size_t m = 0; m < num_markers_; ++m) {
+        if (m == pelvis_index_) continue;
+        joint_grams_[m].AddRow(&row[3 * m]);
+      }
+    }
+  }
+  if (emg_mode_ == FeaturizationMode::kIncremental) {
+    for (size_t c = 0; c < num_emg_channels_; ++c) {
+      emg_sums_[c].Reset();
+    }
+    for (size_t i = 0; i < window_frames_; ++i) {
+      const std::vector<double>& cur = emg_buffer_[offset + i];
+      if (i > 0) {
+        const std::vector<double>& prev = emg_buffer_[offset + i - 1];
+        for (size_t c = 0; c < num_emg_channels_; ++c) {
+          emg_sums_[c].AddTailSample(cur[c], prev[c]);
+        }
+      } else {
+        for (size_t c = 0; c < num_emg_channels_; ++c) {
+          emg_sums_[c].AddTailSample(cur[c]);
+        }
+      }
+    }
+  }
 }
 
 Result<std::vector<double>> StreamingClassifier::FinalFeatureFromState(
@@ -406,6 +585,9 @@ void StreamingClassifier::Reset() {
   next_window_start_ = 0;
   buffer_start_frame_ = 0;
   windows_completed_ = 0;
+  for (EmgWindowSums& sums : emg_sums_) sums.Reset();
+  for (JointGramState& gram : joint_grams_) gram.Reset();
+  windows_since_refresh_ = 0;
   for (ModeState* state : {&full_state_, &mocap_state_, &emg_state_}) {
     std::fill(state->min_per_cluster.begin(),
               state->min_per_cluster.end(), 0.0);

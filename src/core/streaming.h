@@ -19,9 +19,12 @@
 #ifndef MOCEMG_CORE_STREAMING_H_
 #define MOCEMG_CORE_STREAMING_H_
 
+#include <optional>
 #include <vector>
 
 #include "core/classifier.h"
+#include "core/incremental_window.h"
+#include "emg/features.h"
 #include "util/result.h"
 
 namespace mocemg {
@@ -45,6 +48,17 @@ struct StreamingOptions {
   /// flatline detection on the conditioned EMG envelope.
   size_t flatline_window_frames = 24;
   double flatline_variance_floor = 1e-16;
+  /// Featurization engine for the per-frame path; unset uses the
+  /// model's WindowFeatureOptions::featurization_mode (a runtime knob,
+  /// so overriding it per stream is always model-compatible). On the
+  /// incremental path each arriving frame updates per-joint Gram
+  /// matrices and per-channel running sums in O(1), making window
+  /// completion O(joints + channels) instead of O(window·(joints +
+  /// channels)) — constant-latency online classification. Streaming
+  /// runs incremental only when windows overlap (hop < window); with
+  /// disjoint windows nothing carries over and exact is used
+  /// regardless of the requested mode.
+  std::optional<FeaturizationMode> featurization_mode;
 };
 
 /// \brief Live health counters of a fault-tolerant stream.
@@ -135,6 +149,13 @@ class StreamingClassifier {
   StreamingClassifier() = default;
 
   Status CompleteWindow();
+  /// Removes frames [old_start, next_window_start_) from the
+  /// incremental state when the window start advances (called before
+  /// the buffer trim — it reads the dropped rows).
+  void RebaseIncrementalState(size_t old_start);
+  /// Exact recomputation of the incremental state from the buffered
+  /// window at `offset` — the periodic drift-bounding refresh.
+  void RefreshIncrementalState(size_t offset);
   static void BindModeState(ModeState* state,
                             const MotionClassifier* model,
                             ClassifierMode mode);
@@ -152,6 +173,22 @@ class StreamingClassifier {
   size_t num_emg_channels_ = 0;
   size_t window_frames_ = 0;
   size_t hop_frames_ = 0;
+
+  /// Resolved featurization engine per modality (kAuto never stored)
+  /// and its numerical knobs, taken from the model's feature options.
+  FeaturizationMode emg_mode_ = FeaturizationMode::kExact;
+  FeaturizationMode mocap_mode_ = FeaturizationMode::kExact;
+  size_t gram_refresh_interval_ = 16;
+  double gram_condition_floor_ = 1e-6;
+  /// Incremental per-frame state: one running-sums block per EMG
+  /// channel, one Gram matrix per marker (the pelvis entry is unused).
+  /// Both cover exactly the frames [next_window_start_, frames_pushed_).
+  std::vector<EmgWindowSums> emg_sums_;
+  std::vector<JointGramState> joint_grams_;
+  /// Scratch for batching the non-pelvis joints' eigensolves into one
+  /// ComputeSvdFromGram3Many call per completed window.
+  std::vector<GramSvd3Task> gram_tasks_;
+  size_t windows_since_refresh_ = 0;
 
   /// Ring buffers of the last `window_frames_` pelvis-local marker rows
   /// and EMG rows (stored linearly; trimmed on hop).

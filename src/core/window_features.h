@@ -8,6 +8,7 @@
 
 #include <vector>
 
+#include "core/incremental_window.h"
 #include "core/mocap_features.h"
 #include "emg/acquisition.h"
 #include "emg/emg_recording.h"
@@ -26,13 +27,19 @@ namespace mocemg {
 struct WindowFeatureOptions {
   /// Window size in ms; the paper sweeps 50–200.
   double window_ms = 100.0;
-  /// Sliding-window hop in ms; takes precedence over hop_frames when
-  /// positive. A fixed hop (e.g. 50 ms) keeps the number of windows per
-  /// motion independent of the window size, so growing the window adds
-  /// context instead of shrinking the feature set — the "sliding window
-  /// approach" of the paper's Section 1.
+  /// Sliding-window hop in ms. Precedence: a positive hop_ms wins over
+  /// hop_frames (it is rate-independent, so the same options serve
+  /// captures at different frame rates). Setting BOTH to non-default
+  /// values is accepted only when they resolve to the same frame count
+  /// at the capture's rate; a conflicting pair is rejected with an
+  /// error naming the two fields (see ResolveHopFrames). A fixed hop
+  /// (e.g. 50 ms) keeps the number of windows per motion independent of
+  /// the window size, so growing the window adds context instead of
+  /// shrinking the feature set — the "sliding window approach" of the
+  /// paper's Section 1.
   double hop_ms = 0.0;
-  /// Hop in frames; 0 = non-overlapping (hop = window).
+  /// Hop in frames; 0 = non-overlapping (hop = window). Overridden by a
+  /// positive hop_ms (see above).
   size_t hop_frames = 0;
   /// Modality toggles (ablation A1: EMG-only / mocap-only / combined).
   bool use_emg = true;
@@ -42,8 +49,75 @@ struct WindowFeatureOptions {
   /// Pelvis-local transform options (applied to the mocap stream).
   LocalTransformOptions local_transform;
   /// Window-level parallelism. Results are bit-identical for every
-  /// max_threads (each window computes its feature row independently).
+  /// max_threads (each window computes its feature row independently on
+  /// the exact path; the incremental path gives every chunk its own
+  /// sliding state seeded by an exact recomputation, and chunking is a
+  /// pure function of (num_windows, grain) — see DESIGN.md §9). When
+  /// grain is 0 and an incremental engine is active, the extractor uses
+  /// an effective grain of max(gram_refresh_interval, 16) instead of
+  /// the generic 64-chunk split: tiny chunks would turn almost every
+  /// window into a chunk-seed recomputation and erase the O(hop)
+  /// advantage. Set grain explicitly to override.
   ParallelOptions parallel;
+  /// Featurization engine (see core/incremental_window.h): kExact
+  /// recomputes every window from scratch; kIncremental slides per-joint
+  /// Gram matrices and per-channel running EMG sums so a window costs
+  /// O(hop) instead of O(window); kAuto (the default) picks incremental
+  /// exactly when windows overlap (hop < window). Feature kinds without
+  /// an incremental form (AR(4) EMG, the non-SVD mocap baselines) keep
+  /// the exact path regardless. Incremental results match exact within
+  /// the round-off bound documented in incremental_window.h
+  /// (property-tested at 1e-10 relative) and stay bit-identical at
+  /// every thread count for a fixed mode. A runtime performance knob:
+  /// not serialized with trained models.
+  FeaturizationMode featurization_mode = FeaturizationMode::kAuto;
+  /// Incremental path only: exact state refresh cadence in windows,
+  /// bounding accumulated add/remove float drift. 0 behaves as 1
+  /// (refresh every window).
+  size_t gram_refresh_interval = 16;
+  /// Incremental path only: fall back to the exact Jacobi SVD for a
+  /// joint-window whose Gram eigenvalue ratio λmin/λmax is below this
+  /// floor — the Gram matrix squares the condition number, so such
+  /// spectra carry fewer correct digits than the tolerance contract
+  /// needs.
+  double gram_condition_floor = 1e-6;
+};
+
+/// \brief Resolves the effective hop in frames at `frame_rate_hz`,
+/// enforcing the documented precedence: positive hop_ms wins over
+/// hop_frames; both set and disagreeing at this rate is rejected with
+/// kInvalidArgument naming the fields; 0/0 resolves to `window_frames`
+/// (non-overlapping).
+Result<size_t> ResolveHopFrames(const WindowFeatureOptions& options,
+                                double frame_rate_hz,
+                                size_t window_frames);
+
+/// \brief Per-extraction accounting, filled when the caller passes a
+/// stats out-param to ExtractWindowFeatures: how much of each stream the
+/// work-on-the-overlap policy dropped, and which engine ran.
+struct WindowFeatureStats {
+  /// Trailing frames/samples dropped because the synchronized streams
+  /// differ in length (the overlap is used). A warning is logged when
+  /// either stream loses more than ~5% of itself.
+  size_t mocap_frames_dropped = 0;
+  size_t emg_samples_dropped = 0;
+  /// Overlap length actually featurized, and windows produced.
+  size_t frames_used = 0;
+  size_t num_windows = 0;
+  /// Engine each modality resolved to (kAuto never appears here).
+  FeaturizationMode emg_mode = FeaturizationMode::kExact;
+  FeaturizationMode mocap_mode = FeaturizationMode::kExact;
+  /// Incremental-mocap path counters, per joint-window: fast Gram
+  /// emissions, conditioning-guard fallbacks to the exact SVD, and (per
+  /// window) exact Gram refreshes. A guard rejection of a slid Gram
+  /// first refreshes the state and retries at the fresh-state floors
+  /// (counted in gram_fresh_retries, see incremental_window.h); it
+  /// lands in gram_fast_windows when the retry passes and in
+  /// gram_fallback_windows when the window still needs the exact SVD.
+  size_t gram_fast_windows = 0;
+  size_t gram_fallback_windows = 0;
+  size_t gram_refreshes = 0;
+  size_t gram_fresh_retries = 0;
 };
 
 /// \brief One motion's window features: points × dims matrix plus the
@@ -58,11 +132,14 @@ struct WindowFeatureMatrix {
 /// `mocap` is the *global* capture (the local transform is applied
 /// here); `emg` must already be conditioned to the mocap frame rate (see
 /// ConditionRecording). Frame counts may differ by capture-edge effects;
-/// the overlap is used. Fails if the overlap is shorter than one window,
-/// if rates mismatch, or if an enabled modality is empty.
+/// the overlap is used (pass `stats` to see how much was dropped; a
+/// warning is logged when a stream loses more than ~5% of itself). Fails
+/// if the overlap is shorter than one window, if rates mismatch, or if
+/// an enabled modality is empty.
 Result<WindowFeatureMatrix> ExtractWindowFeatures(
     const MotionSequence& mocap, const EmgRecording& emg,
-    const WindowFeatureOptions& options);
+    const WindowFeatureOptions& options,
+    WindowFeatureStats* stats = nullptr);
 
 /// \brief Feature dimensionality the options produce for a given number
 /// of EMG channels and (non-pelvis) mocap segments.

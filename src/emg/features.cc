@@ -197,4 +197,117 @@ Result<std::vector<double>> ExtractEmgFeature(EmgFeatureKind kind,
   return out;
 }
 
+bool EmgFeatureSupportsIncremental(EmgFeatureKind kind) {
+  return kind != EmgFeatureKind::kAr4;
+}
+
+namespace {
+
+// The exact predicate ZeroCrossings applies at threshold 0 (the value
+// ExtractEmgFeatureInto uses): a strict sign change whose swing is a
+// comparable number. Mirrored here so add and remove cancel exactly.
+inline bool PairCrossesZero(double a, double b) {
+  const bool sign_change = (b > 0.0 && a < 0.0) || (b < 0.0 && a > 0.0);
+  return sign_change && std::fabs(b - a) >= 0.0;
+}
+
+}  // namespace
+
+void EmgWindowSums::Reset() {
+  sum_abs = 0.0;
+  sum_sq = 0.0;
+  waveform_length = 0.0;
+  zero_crossings = 0;
+}
+
+void EmgWindowSums::AddTailSample(double x) {
+  sum_abs += std::fabs(x);
+  sum_sq += x * x;
+}
+
+void EmgWindowSums::AddTailSample(double x, double prev) {
+  AddTailSample(x);
+  waveform_length += std::fabs(x - prev);
+  if (PairCrossesZero(prev, x)) ++zero_crossings;
+}
+
+void EmgWindowSums::RemoveHeadSample(double x, double next) {
+  sum_abs -= std::fabs(x);
+  sum_sq -= x * x;
+  waveform_length -= std::fabs(next - x);
+  if (PairCrossesZero(x, next)) --zero_crossings;
+}
+
+void EmgWindowSums::Recompute(const double* samples, size_t begin,
+                              size_t end) {
+  Reset();
+  for (size_t i = begin; i < end; ++i) {
+    if (i > begin) {
+      AddTailSample(samples[i], samples[i - 1]);
+    } else {
+      AddTailSample(samples[i]);
+    }
+  }
+}
+
+void EmgWindowSums::Slide(const double* samples, size_t old_begin,
+                          size_t old_end, size_t new_begin,
+                          size_t new_end) {
+  if (new_begin >= old_end) {
+    // Disjoint windows (hop >= window): nothing carries over.
+    Recompute(samples, new_begin, new_end);
+    return;
+  }
+  // Scalars: the old window owns [old_begin, old_end), the new one
+  // [new_begin, new_end); with overlap the difference is two ranges.
+  for (size_t i = old_begin; i < new_begin; ++i) {
+    sum_abs -= std::fabs(samples[i]);
+    sum_sq -= samples[i] * samples[i];
+  }
+  for (size_t i = old_end; i < new_end; ++i) {
+    sum_abs += std::fabs(samples[i]);
+    sum_sq += samples[i] * samples[i];
+  }
+  // Pairs (i−1, i): owned for i in (begin, end), so the leaving set is
+  // i in [old_begin+1, new_begin+1) and the entering set is
+  // i in [max(old_end, new_begin+1), new_end).
+  for (size_t i = old_begin + 1; i < new_begin + 1; ++i) {
+    waveform_length -= std::fabs(samples[i] - samples[i - 1]);
+    if (PairCrossesZero(samples[i - 1], samples[i])) --zero_crossings;
+  }
+  for (size_t i = std::max(old_end, new_begin + 1); i < new_end; ++i) {
+    waveform_length += std::fabs(samples[i] - samples[i - 1]);
+    if (PairCrossesZero(samples[i - 1], samples[i])) ++zero_crossings;
+  }
+}
+
+Status EmgWindowSums::Emit(EmgFeatureKind kind, size_t n,
+                           double* out) const {
+  if (n == 0) return Status::InvalidArgument("empty feature window");
+  switch (kind) {
+    case EmgFeatureKind::kIav:
+      out[0] = sum_abs;
+      return Status::OK();
+    case EmgFeatureKind::kMav:
+      out[0] = sum_abs / static_cast<double>(n);
+      return Status::OK();
+    case EmgFeatureKind::kRms:
+      // Removal round-off can drive a near-zero running Σx² a hair
+      // negative; clamp so the sqrt stays real.
+      out[0] = std::sqrt(std::max(sum_sq, 0.0) / static_cast<double>(n));
+      return Status::OK();
+    case EmgFeatureKind::kWaveformLength:
+      out[0] = waveform_length;
+      return Status::OK();
+    case EmgFeatureKind::kZeroCrossings:
+      out[0] = static_cast<double>(zero_crossings);
+      return Status::OK();
+    case EmgFeatureKind::kAr4:
+      break;
+  }
+  return Status::InvalidArgument(
+      std::string("no incremental form for EMG feature '") +
+      EmgFeatureKindName(kind) + "'");
+}
+
 }  // namespace mocemg

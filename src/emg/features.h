@@ -87,6 +87,62 @@ Result<std::vector<double>> ExtractEmgFeature(EmgFeatureKind kind,
 Status ExtractEmgFeatureInto(EmgFeatureKind kind, const double* samples,
                              size_t n, double* out);
 
+/// \brief True for kinds EmgWindowSums can emit — every scalar
+/// time-domain feature. AR(4) has no O(hop) update (Burg's recursion is
+/// inherently whole-window) and keeps the exact path.
+bool EmgFeatureSupportsIncremental(EmgFeatureKind kind);
+
+/// \brief O(hop) sliding-window state for the scalar time-domain
+/// features: running Σ|x|, Σx², Σ|Δx| and the sign-change count over
+/// one channel's current window. Sliding updates touch only the samples
+/// (and sample pairs) entering or leaving the window, so IAV, MAV, RMS,
+/// waveform length, and zero crossings update in O(hop) instead of
+/// O(window). The zero-crossing count is integer-exact; the float sums
+/// accumulate round-off relative to a fresh pass, which callers bound
+/// with a periodic Recompute (see core/incremental_window.h for the
+/// drift contract).
+///
+/// Pair bookkeeping convention: the window [begin, end) owns the
+/// consecutive-sample pairs (i−1, i) for i in (begin, end) — exactly
+/// the pairs WaveformLength and ZeroCrossings visit.
+struct EmgWindowSums {
+  double sum_abs = 0.0;
+  double sum_sq = 0.0;
+  double waveform_length = 0.0;
+  size_t zero_crossings = 0;
+
+  void Reset();
+
+  /// Exact recomputation over samples[begin, end) — the drift-bounding
+  /// refresh and the seed for the first window of a run.
+  void Recompute(const double* samples, size_t begin, size_t end);
+
+  /// Slides from window [old_begin, old_end) to [new_begin, new_end)
+  /// over the same sample stream, removing and adding only the
+  /// difference. Requires forward motion (new_begin >= old_begin,
+  /// new_end >= old_end); callers handle disjoint windows by calling
+  /// Recompute instead (Slide degrades to exactly that internally when
+  /// the spans do not overlap).
+  void Slide(const double* samples, size_t old_begin, size_t old_end,
+             size_t new_begin, size_t new_end);
+
+  /// Appends sample x at the tail of the window. The two-argument form
+  /// also adds the (prev, x) pair; the one-argument form is for the
+  /// very first sample of the window (no pair yet). Streaming callers
+  /// (core/streaming.h) use these as frames arrive.
+  void AddTailSample(double x);
+  void AddTailSample(double x, double prev);
+
+  /// Removes the head sample x and its (x, next) pair — the inverse of
+  /// the tail pushes, applied when the window start advances by one.
+  void RemoveHeadSample(double x, double next);
+
+  /// Writes the EmgFeatureWidth(kind) value(s) of the maintained window
+  /// (of length n) into `out`. Fails with kInvalidArgument for kinds
+  /// without an incremental form (see EmgFeatureSupportsIncremental).
+  Status Emit(EmgFeatureKind kind, size_t n, double* out) const;
+};
+
 }  // namespace mocemg
 
 #endif  // MOCEMG_EMG_FEATURES_H_

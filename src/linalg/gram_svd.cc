@@ -1,0 +1,256 @@
+#include "linalg/gram_svd.h"
+
+#include <cmath>
+
+namespace mocemg {
+namespace {
+
+// Off-diagonal Frobenius norm below this fraction of the largest |entry|
+// counts as diagonal. Jacobi converges quadratically, so the tail from
+// 1e-8·scale to here is one or two rotations; the tight threshold buys
+// eigenvector residuals small enough for the 1e-10 feature-equivalence
+// contract in core/incremental_window.h.
+constexpr double kOffDiagTol = 1e-15;
+// Classical (largest-pivot) Jacobi annihilates the biggest of the three
+// off-diagonals per rotation and needs ~6-8 rotations cold, 1-3 warm;
+// anything near this cap means the input was garbage (callers then fall
+// back to the exact path).
+constexpr int kMaxRotations = 24;
+
+// Iteration state of one solve, factored out so ComputeSvdFromGram3Many
+// can step two solves in lockstep (their rotation chains are
+// independent, so the out-of-order core overlaps the sqrt/divide
+// latencies that dominate a lone solve). The matrix stays symmetric
+// under the two-sided rotations, so only the diagonal (d) and the upper
+// off-diagonals (o) are carried.
+struct Jacobi3 {
+  double d0, d1, d2, o01, o02, o12;
+  double q[3][3];
+  double scale = 0.0;
+  double tol2 = 0.0;
+  int rotations = 0;
+  bool active = false;
+  bool bad_input = false;
+
+  void Init(const double gram[6], const double* warm_v) {
+    for (int i = 0; i < 6; ++i) {
+      // Per-entry check: a NaN would slip past a max-based scale test
+      // because every NaN comparison is false.
+      if (!std::isfinite(gram[i])) {
+        bad_input = true;
+        return;
+      }
+      const double m = std::fabs(gram[i]);
+      if (m > scale) scale = m;
+    }
+    d0 = gram[0];
+    d1 = gram[3];
+    d2 = gram[5];
+    o01 = gram[1];
+    o02 = gram[2];
+    o12 = gram[4];
+    for (int i = 0; i < 3; ++i) {
+      for (int k = 0; k < 3; ++k) {
+        q[i][k] = i == k ? 1.0 : 0.0;
+      }
+    }
+    if (warm_v != nullptr) {
+      // Pre-rotate to the warm basis: W = VᵀGV, accumulating from
+      // Q = V. t = G·V first (full symmetric G from the packed
+      // entries), then the upper triangle of VᵀT; symmetrized by
+      // construction since only one copy of each off-diagonal is kept.
+      const double g[3][3] = {{gram[0], gram[1], gram[2]},
+                              {gram[1], gram[3], gram[4]},
+                              {gram[2], gram[4], gram[5]}};
+      double t[3][3];
+      for (int i = 0; i < 3; ++i) {
+        for (int k = 0; k < 3; ++k) {
+          t[i][k] = g[i][0] * warm_v[k] + g[i][1] * warm_v[3 + k] +
+                    g[i][2] * warm_v[6 + k];
+        }
+      }
+      const auto vtav = [&](int a, int b) {
+        return warm_v[a] * t[0][b] + warm_v[3 + a] * t[1][b] +
+               warm_v[6 + a] * t[2][b];
+      };
+      d0 = vtav(0, 0);
+      d1 = vtav(1, 1);
+      d2 = vtav(2, 2);
+      o01 = vtav(0, 1);
+      o02 = vtav(0, 2);
+      o12 = vtav(1, 2);
+      for (int i = 0; i < 3; ++i) {
+        for (int k = 0; k < 3; ++k) {
+          q[i][k] = warm_v[3 * i + k];
+        }
+      }
+    }
+    tol2 = (kOffDiagTol * scale) * (kOffDiagTol * scale);
+    active = scale > 0.0;
+  }
+
+  // Annihilates the (p, r) off-diagonal `opr` by the two-sided rotation
+  // Jᵀ W J. Rutishauser's symmetric update: the 2×2 block collapses to
+  // d_p − t·a_pq / d_r + t·a_pq, and only the two couplings to the
+  // third axis (`opk`, `ork`) rotate.
+  void Rotate(double* dp, double* dr, double* opr, double* opk,
+              double* ork, int p, int r) {
+    const double apq = *opr;
+    const double h = *dr - *dp;
+    // Inner rotation via the hypotenuse u = √(h² + 4a²):
+    //   t = tan φ = 2a·sign(h)/(|h| + u),  c = cos φ = √((u + |h|)/2u)
+    // (the same branch the textbook θ-form picks — multiply its t by
+    // 2|a|/2|a| to see it). After u, the t and c chains are
+    // independent, so the two divides and the second sqrt overlap
+    // instead of forming one five-deep divide/sqrt dependency chain.
+    const double habs = std::fabs(h);
+    const double u = std::sqrt(h * h + 4.0 * apq * apq);
+    const double t = (h >= 0.0 ? 2.0 * apq : -2.0 * apq) / (habs + u);
+    const double c = std::sqrt((u + habs) / (2.0 * u));
+    const double s = c * t;
+    *dp -= t * apq;
+    *dr += t * apq;
+    *opr = 0.0;
+    const double pk = *opk;
+    const double rk = *ork;
+    *opk = c * pk - s * rk;
+    *ork = s * pk + c * rk;
+    for (int i = 0; i < 3; ++i) {
+      const double qip = q[i][p];
+      const double qir = q[i][r];
+      q[i][p] = c * qip - s * qir;
+      q[i][r] = s * qip + c * qir;
+    }
+  }
+
+  // One convergence check plus at most one rotation; clears `active`
+  // once converged or at the rotation cap (Finish then rejects the
+  // latter via the residual check).
+  void Step() {
+    const double s01 = o01 * o01;
+    const double s02 = o02 * o02;
+    const double s12 = o12 * o12;
+    if (s01 + s02 + s12 <= tol2 || rotations == kMaxRotations) {
+      active = false;
+      return;
+    }
+    // Classical pivoting: annihilate the largest off-diagonal. The
+    // sqrt/divide chain dominates a rotation, so converging in the
+    // fewest rotations beats a fixed cyclic sweep; the pivot choice
+    // (ties to the earlier pair) is a pure function of the values, so
+    // results stay bit-reproducible. Checking convergence before every
+    // rotation lets a warm-started solve — off-norm already at drift
+    // level — finish after one.
+    if (s01 >= s02 && s01 >= s12) {
+      Rotate(&d0, &d1, &o01, &o02, &o12, 0, 1);
+    } else if (s02 >= s12) {
+      Rotate(&d0, &d2, &o02, &o01, &o12, 0, 2);
+    } else {
+      Rotate(&d1, &d2, &o12, &o01, &o02, 1, 2);
+    }
+    ++rotations;
+  }
+
+  Status Finish(GramSvd3* out) const {
+    if (bad_input) {
+      return Status::NumericalError(
+          "Gram matrix contains non-finite entries");
+    }
+    if (scale > 0.0) {
+      const double off2 = o01 * o01 + o02 * o02 + o12 * o12;
+      const double residual_tol = 1e-11 * scale;
+      if (off2 > residual_tol * residual_tol) {
+        return Status::NumericalError(
+            "3x3 Jacobi eigensolver did not converge");
+      }
+    }
+
+    // Stable descending sort of the three eigenpairs (insertion order
+    // on indices keeps ties in diagonal order, mirroring the
+    // stable_sort in linalg/svd.cc).
+    int order[3] = {0, 1, 2};
+    const double evals[3] = {d0, d1, d2};
+    for (int i = 1; i < 3; ++i) {
+      const int oi = order[i];
+      int j = i;
+      while (j > 0 && evals[oi] > evals[order[j - 1]]) {
+        order[j] = order[j - 1];
+        --j;
+      }
+      order[j] = oi;
+    }
+
+    out->sweeps = rotations;
+    out->sign_margin = 1.0;
+    for (int k = 0; k < 3; ++k) {
+      const int j = order[k];
+      const double lambda = evals[j];
+      out->lambda[k] = lambda;
+      out->sigma[k] = lambda > 0.0 ? std::sqrt(lambda) : 0.0;
+      // Sign fix exactly as linalg/svd.cc: scan components in index
+      // order, strict > keeps the earliest maximum, flip if that entry
+      // < 0. The runner-up magnitude feeds sign_margin so callers can
+      // detect when the convention sat on a knife edge.
+      double best = 0.0;
+      double second = 0.0;
+      for (int i = 0; i < 3; ++i) {
+        const double e = q[i][j];
+        if (std::fabs(e) > std::fabs(best)) {
+          second = std::fabs(best);
+          best = e;
+        } else if (std::fabs(e) > second) {
+          second = std::fabs(e);
+        }
+      }
+      const double sign = best < 0.0 ? -1.0 : 1.0;
+      const double margin =
+          std::fabs(best) > 0.0
+              ? (std::fabs(best) - second) / std::fabs(best)
+              : 0.0;
+      if (margin < out->sign_margin) out->sign_margin = margin;
+      for (int i = 0; i < 3; ++i) out->v[3 * i + k] = sign * q[i][j];
+    }
+    return Status::OK();
+  }
+};
+
+}  // namespace
+
+Status ComputeSvdFromGram3(const double gram[6], GramSvd3* out) {
+  return ComputeSvdFromGram3(gram, nullptr, out);
+}
+
+Status ComputeSvdFromGram3(const double gram[6], const double warm_v[9],
+                           GramSvd3* out) {
+  Jacobi3 j;
+  j.Init(gram, warm_v);
+  while (j.active) j.Step();
+  return j.Finish(out);
+}
+
+void ComputeSvdFromGram3Many(GramSvd3Task* tasks, size_t n) {
+  size_t i = 0;
+  for (; i + 1 < n; i += 2) {
+    Jacobi3 a;
+    Jacobi3 b;
+    a.Init(tasks[i].gram, tasks[i].warm_v);
+    b.Init(tasks[i + 1].gram, tasks[i + 1].warm_v);
+    // Lockstep: each pass advances whichever solves are still active.
+    // The chains never read each other's state, so each one performs
+    // the exact operation sequence a solo solve would.
+    while (a.active || b.active) {
+      if (a.active) a.Step();
+      if (b.active) b.Step();
+    }
+    tasks[i].status = a.Finish(tasks[i].out);
+    tasks[i + 1].status = b.Finish(tasks[i + 1].out);
+  }
+  if (i < n) {
+    Jacobi3 a;
+    a.Init(tasks[i].gram, tasks[i].warm_v);
+    while (a.active) a.Step();
+    tasks[i].status = a.Finish(tasks[i].out);
+  }
+}
+
+}  // namespace mocemg

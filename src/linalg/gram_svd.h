@@ -1,0 +1,96 @@
+/// \file gram_svd.h
+/// \brief Fixed-size 3×3 Gram-matrix eigensolver: the fast path behind
+/// incremental window featurization (core/incremental_window.h).
+///
+/// For a w×3 window A the weighted-SVD feature (Eq. 3) needs only the
+/// singular values and right singular vectors, and those are exactly the
+/// eigenpairs of the 3×3 Gram matrix G = AᵀA: G = V·Σ²·Vᵀ. G can be
+/// maintained under row insertion/removal in O(1) per row, so sliding a
+/// window costs O(hop) instead of the O(w·sweeps) one-sided Jacobi in
+/// linalg/svd.h. The price is conditioning: forming G squares the
+/// condition number, so σᵢ/σmax below ~1e-8 (λᵢ/λmax below ~1e-16) is
+/// pure noise here while the one-sided path still resolves it. Callers
+/// are expected to guard on the returned eigenvalue spread and fall
+/// back to ComputeSvdInto — see JointGramState::WeightedSvdFeature.
+///
+/// Unlike linalg/eigen_sym.h this solver never allocates: it works on
+/// fixed arrays and is safe to call per window per joint inside
+/// ParallelFor bodies.
+
+#ifndef MOCEMG_LINALG_GRAM_SVD_H_
+#define MOCEMG_LINALG_GRAM_SVD_H_
+
+#include <cstddef>
+
+#include "util/status.h"
+
+namespace mocemg {
+
+/// \brief Eigen-decomposition of a 3×3 Gram matrix, presented in the
+/// same shape and conventions as the SVD it replaces.
+struct GramSvd3 {
+  /// Singular values sqrt(max(λₖ, 0)) in descending order. Tiny negative
+  /// eigenvalues (round-off from rank-1 downdates) clamp to zero.
+  double sigma[3] = {0.0, 0.0, 0.0};
+  /// Eigenvalues of G in descending order (λₖ = σₖ²), kept unclamped so
+  /// callers can see downdate round-off when deciding to fall back.
+  double lambda[3] = {0.0, 0.0, 0.0};
+  /// Right singular vectors as columns: v[3*i + k] is component i of
+  /// vector k, sign-fixed exactly like SvdOptions::fix_signs (the
+  /// largest-|·| component of each column made positive, first such
+  /// component winning ties).
+  double v[9] = {1.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 1.0};
+  /// Smallest relative margin, over the three columns, between the
+  /// largest and second-largest |component| — the quantity the sign
+  /// convention keys on. When this is ~0 the documented sign choice is
+  /// numerically ambiguous and an independently-rounded solver (the
+  /// exact Jacobi path) may legitimately flip the column; callers that
+  /// need cross-path agreement should fall back below a small floor.
+  double sign_margin = 1.0;
+  /// Two-sided Jacobi rotations applied (largest-pivot order).
+  int sweeps = 0;
+};
+
+/// \brief Computes σₖ and sign-fixed right singular vectors of any A
+/// with AᵀA == gram, via cyclic two-sided Jacobi on the 3×3 symmetric
+/// matrix. `gram` is packed as [xx, xy, xz, yy, yz, zz].
+///
+/// Allocation-free. Fails with kNumericalError on non-finite input or
+/// (never observed for symmetric 3×3) non-convergence; callers treat
+/// any failure as "use the exact path".
+Status ComputeSvdFromGram3(const double gram[6], GramSvd3* out);
+
+/// \brief Warm-started variant: `warm_v` (layout of GramSvd3::v, must
+/// be orthogonal — e.g. the `v` of a previous solve) pre-rotates the
+/// problem to VᵀGV before sweeping. When the Gram matrix changed little
+/// since the basis was computed — a window slid by one hop, or a
+/// drift-removing refresh of the same window — the pre-rotated matrix
+/// is already near diagonal and most rotations (the sqrt/divide chains
+/// that dominate a 3×3 sweep) are skipped. Converges to the same
+/// tolerance as the cold start; only round-off-level bits differ.
+Status ComputeSvdFromGram3(const double gram[6], const double warm_v[9],
+                           GramSvd3* out);
+
+/// \brief One independent eigenproblem for ComputeSvdFromGram3Many.
+/// `gram` and `out` are required; `warm_v` is the optional warm basis
+/// of the warm-started overload. `status` is written by the solver.
+struct GramSvd3Task {
+  const double* gram = nullptr;
+  const double* warm_v = nullptr;
+  GramSvd3* out = nullptr;
+  Status status;
+};
+
+/// \brief Solves `n` independent Gram eigenproblems, interleaving their
+/// Jacobi iterations two at a time. A 3×3 rotation is one serial
+/// sqrt/divide dependency chain (~tens of cycles of latency for a
+/// handful of instructions), so a lone solve leaves the core mostly
+/// idle; stepping two independent solves in lockstep overlaps their
+/// chains and nearly doubles throughput. Each task performs exactly the
+/// arithmetic the solo overloads would — results are bit-identical to
+/// calling ComputeSvdFromGram3 per task, in any grouping.
+void ComputeSvdFromGram3Many(GramSvd3Task* tasks, size_t n);
+
+}  // namespace mocemg
+
+#endif  // MOCEMG_LINALG_GRAM_SVD_H_

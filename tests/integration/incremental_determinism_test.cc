@@ -1,0 +1,123 @@
+/// Bit-identity of the incremental featurization engine across thread
+/// counts: each chunk owns its sliding state, seeded by an exact
+/// recomputation at the chunk's first window, and chunk decomposition is
+/// a pure function of (num_windows, grain) — so the thread count must
+/// never show up in the bits. The suite name contains "Parallel" on
+/// purpose: tools/run_sanitized_tests.sh re-runs `-R 'Parallel'` under
+/// tsan with MOCEMG_THREADS=8, which makes these the data-race proof
+/// for the per-chunk state too.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/incremental_window.h"
+#include "core/window_features.h"
+#include "emg/acquisition.h"
+#include "synth/dataset.h"
+
+namespace mocemg {
+namespace {
+
+const std::vector<size_t> kThreadCounts = {1, 2, 8};
+
+class IncrementalParallelDeterminismTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    DatasetOptions opts;
+    opts.limb = Limb::kRightHand;
+    opts.trials_per_class = 2;
+    opts.seed = 321;
+    auto data = GenerateDataset(opts);
+    ASSERT_TRUE(data.ok()) << data.status();
+    const CapturedMotion& m = (*data)[0];
+    mocap_ = new MotionSequence(m.mocap);
+    AcquisitionOptions acq;
+    acq.output_rate_hz = m.mocap.frame_rate_hz();
+    auto emg = ConditionRecording(m.emg_raw, acq);
+    ASSERT_TRUE(emg.ok()) << emg.status();
+    emg_ = new EmgRecording(*emg);
+  }
+  static void TearDownTestSuite() {
+    delete mocap_;
+    delete emg_;
+    mocap_ = nullptr;
+    emg_ = nullptr;
+  }
+
+  /// Extracts at every thread count and asserts the result (and the
+  /// extraction stats) are bit-identical to the default-threads run.
+  static void ExpectThreadInvariant(const WindowFeatureOptions& base) {
+    WindowFeatureStats ref_stats;
+    auto reference =
+        ExtractWindowFeatures(*mocap_, *emg_, base, &ref_stats);
+    ASSERT_TRUE(reference.ok()) << reference.status();
+    for (size_t threads : kThreadCounts) {
+      WindowFeatureOptions opts = base;
+      opts.parallel.max_threads = threads;
+      WindowFeatureStats stats;
+      auto features = ExtractWindowFeatures(*mocap_, *emg_, opts, &stats);
+      ASSERT_TRUE(features.ok()) << features.status();
+      const auto& da = reference->points.data();
+      const auto& db = features->points.data();
+      ASSERT_EQ(da.size(), db.size());
+      for (size_t i = 0; i < da.size(); ++i) {
+        // ASSERT_EQ on doubles is exact comparison — bit identity.
+        ASSERT_EQ(da[i], db[i])
+            << "threads=" << threads << " flat index " << i;
+      }
+      // The per-chunk Gram counters are part of the contract too:
+      // chunking (and therefore refresh/fallback placement) must not
+      // depend on the thread count.
+      EXPECT_EQ(stats.gram_fast_windows, ref_stats.gram_fast_windows);
+      EXPECT_EQ(stats.gram_fallback_windows,
+                ref_stats.gram_fallback_windows);
+      EXPECT_EQ(stats.gram_refreshes, ref_stats.gram_refreshes);
+    }
+  }
+
+  static MotionSequence* mocap_;
+  static EmgRecording* emg_;
+};
+
+MotionSequence* IncrementalParallelDeterminismTest::mocap_ = nullptr;
+EmgRecording* IncrementalParallelDeterminismTest::emg_ = nullptr;
+
+TEST_F(IncrementalParallelDeterminismTest, IncrementalBitIdentical) {
+  WindowFeatureOptions opts;
+  opts.window_ms = 100.0;
+  opts.hop_frames = 2;
+  opts.featurization_mode = FeaturizationMode::kIncremental;
+  ExpectThreadInvariant(opts);
+}
+
+TEST_F(IncrementalParallelDeterminismTest, AutoModeBitIdentical) {
+  WindowFeatureOptions opts;
+  opts.window_ms = 100.0;
+  opts.hop_ms = 25.0;
+  opts.featurization_mode = FeaturizationMode::kAuto;
+  ExpectThreadInvariant(opts);
+}
+
+TEST_F(IncrementalParallelDeterminismTest,
+       RefreshCadenceOneBitIdentical) {
+  // Refresh every window: maximal exact-reseed traffic, still invariant.
+  WindowFeatureOptions opts;
+  opts.window_ms = 100.0;
+  opts.hop_frames = 3;
+  opts.featurization_mode = FeaturizationMode::kIncremental;
+  opts.gram_refresh_interval = 1;
+  ExpectThreadInvariant(opts);
+}
+
+TEST_F(IncrementalParallelDeterminismTest, ExactModeStillBitIdentical) {
+  // The pre-existing guarantee must survive the engine split.
+  WindowFeatureOptions opts;
+  opts.window_ms = 100.0;
+  opts.hop_frames = 2;
+  opts.featurization_mode = FeaturizationMode::kExact;
+  ExpectThreadInvariant(opts);
+}
+
+}  // namespace
+}  // namespace mocemg

@@ -1,0 +1,210 @@
+#include "linalg/gram_svd.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "linalg/matrix.h"
+#include "linalg/svd.h"
+#include "util/random.h"
+
+namespace mocemg {
+namespace {
+
+/// Packs AᵀA of a w×3 matrix as [xx, xy, xz, yy, yz, zz].
+void PackGram(const Matrix& a, double gram[6]) {
+  for (int i = 0; i < 6; ++i) gram[i] = 0.0;
+  for (size_t r = 0; r < a.rows(); ++r) {
+    const double x = a(r, 0);
+    const double y = a(r, 1);
+    const double z = a(r, 2);
+    gram[0] += x * x;
+    gram[1] += x * y;
+    gram[2] += x * z;
+    gram[3] += y * y;
+    gram[4] += y * z;
+    gram[5] += z * z;
+  }
+}
+
+Matrix RandomWindow(size_t w, Rng* rng, double scale = 10.0) {
+  Matrix a(w, 3);
+  for (double& v : a.mutable_data()) v = rng->Uniform(-scale, scale);
+  return a;
+}
+
+TEST(GramSvdTest, MatchesOneSidedSvdOnRandomWindows) {
+  Rng rng(42);
+  for (size_t w : {4u, 12u, 24u, 60u}) {
+    for (int trial = 0; trial < 20; ++trial) {
+      Matrix a = RandomWindow(w, &rng);
+      double gram[6];
+      PackGram(a, gram);
+      GramSvd3 eig;
+      ASSERT_TRUE(ComputeSvdFromGram3(gram, &eig).ok());
+      auto svd = ComputeSvd(a);
+      ASSERT_TRUE(svd.ok()) << svd.status();
+      // Random windows are generically well conditioned, so the Gram
+      // path must agree to far better than the 1e-10 feature contract.
+      const double s0 = svd->singular_values[0];
+      for (int k = 0; k < 3; ++k) {
+        EXPECT_NEAR(eig.sigma[k], svd->singular_values[k], 1e-9 * s0)
+            << "w=" << w << " trial=" << trial << " k=" << k;
+        for (int i = 0; i < 3; ++i) {
+          EXPECT_NEAR(eig.v[3 * i + k], svd->v(i, k), 1e-8)
+              << "w=" << w << " trial=" << trial << " v(" << i << ","
+              << k << ")";
+        }
+      }
+    }
+  }
+}
+
+TEST(GramSvdTest, SignConventionMatchesSvd) {
+  // The largest-|·| component of each returned vector must be positive
+  // (the convention svd.cc documents), so both paths pick one sign.
+  Rng rng(7);
+  for (int trial = 0; trial < 50; ++trial) {
+    Matrix a = RandomWindow(16, &rng);
+    double gram[6];
+    PackGram(a, gram);
+    GramSvd3 eig;
+    ASSERT_TRUE(ComputeSvdFromGram3(gram, &eig).ok());
+    for (int k = 0; k < 3; ++k) {
+      int best = 0;
+      for (int i = 1; i < 3; ++i) {
+        if (std::fabs(eig.v[3 * i + k]) >
+            std::fabs(eig.v[3 * best + k])) {
+          best = i;
+        }
+      }
+      EXPECT_GT(eig.v[3 * best + k], 0.0) << "column " << k;
+    }
+  }
+}
+
+TEST(GramSvdTest, ReconstructsTheGramMatrix) {
+  // V·diag(λ)·Vᵀ must reproduce G: eigenvalues and vectors agree as a
+  // pair even when individual columns rotate within clusters.
+  Rng rng(99);
+  Matrix a = RandomWindow(30, &rng);
+  double gram[6];
+  PackGram(a, gram);
+  GramSvd3 eig;
+  ASSERT_TRUE(ComputeSvdFromGram3(gram, &eig).ok());
+  const int idx[3][3] = {{0, 1, 2}, {1, 3, 4}, {2, 4, 5}};
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) {
+      double rec = 0.0;
+      for (int k = 0; k < 3; ++k) {
+        rec += eig.lambda[k] * eig.v[3 * i + k] * eig.v[3 * j + k];
+      }
+      EXPECT_NEAR(rec, gram[idx[i][j]], 1e-10 * eig.lambda[0]);
+    }
+  }
+}
+
+TEST(GramSvdTest, ZeroGramGivesZeroSigmaIdentityVectors) {
+  const double gram[6] = {0.0, 0.0, 0.0, 0.0, 0.0, 0.0};
+  GramSvd3 eig;
+  ASSERT_TRUE(ComputeSvdFromGram3(gram, &eig).ok());
+  for (int k = 0; k < 3; ++k) {
+    EXPECT_EQ(eig.sigma[k], 0.0);
+    EXPECT_EQ(eig.lambda[k], 0.0);
+  }
+  for (int i = 0; i < 3; ++i) {
+    for (int k = 0; k < 3; ++k) {
+      EXPECT_EQ(eig.v[3 * i + k], i == k ? 1.0 : 0.0);
+    }
+  }
+}
+
+TEST(GramSvdTest, TinyNegativeEigenvaluesClampSigmaNotLambda) {
+  // A slightly-indefinite matrix, as rank-1 downdates can produce:
+  // sigma clamps at zero, lambda keeps the signed value for guards.
+  const double eps = -1e-30;
+  const double gram[6] = {1.0, 0.0, 0.0, eps, 0.0, eps};
+  GramSvd3 eig;
+  ASSERT_TRUE(ComputeSvdFromGram3(gram, &eig).ok());
+  EXPECT_NEAR(eig.sigma[0], 1.0, 1e-14);
+  EXPECT_EQ(eig.sigma[1], 0.0);
+  EXPECT_EQ(eig.sigma[2], 0.0);
+  EXPECT_LE(eig.lambda[1], 0.0);
+  EXPECT_LE(eig.lambda[2], 0.0);
+}
+
+TEST(GramSvdTest, RankOneWindow) {
+  // Every row along one direction: σ1 = σ2 = 0 and v0 is ± that
+  // direction with the largest component positive.
+  Matrix a(10, 3);
+  for (size_t r = 0; r < 10; ++r) {
+    const double t = static_cast<double>(r + 1);
+    a(r, 0) = -2.0 * t;
+    a(r, 1) = 1.0 * t;
+    a(r, 2) = 2.0 * t;
+  }
+  double gram[6];
+  PackGram(a, gram);
+  GramSvd3 eig;
+  ASSERT_TRUE(ComputeSvdFromGram3(gram, &eig).ok());
+  EXPECT_GT(eig.sigma[0], 0.0);
+  // Gram-entry round-off of ε·λ0 surfaces as √ε·σ0 after the sqrt, so
+  // the zero singular values are only clean to ~1e-8 relative — exactly
+  // the squared-conditioning loss the guard in incremental_window.cc
+  // falls back on.
+  EXPECT_NEAR(eig.sigma[1], 0.0, 1e-7 * eig.sigma[0]);
+  EXPECT_NEAR(eig.sigma[2], 0.0, 1e-7 * eig.sigma[0]);
+  // Direction (−2, 1, 2)/3 with |−2/3| largest → flipped positive.
+  EXPECT_NEAR(eig.v[0], 2.0 / 3.0, 1e-10);
+  EXPECT_NEAR(eig.v[3], -1.0 / 3.0, 1e-10);
+  EXPECT_NEAR(eig.v[6], -2.0 / 3.0, 1e-10);
+}
+
+TEST(GramSvdTest, TiedComponentsReportSmallSignMargin) {
+  // Rows along (1, 1, 0): the sign convention's top two |components|
+  // tie, so the margin must collapse (the caller's cue to fall back).
+  Matrix a(8, 3);
+  for (size_t r = 0; r < 8; ++r) {
+    const double t = static_cast<double>(r + 1);
+    a(r, 0) = t;
+    a(r, 1) = t;
+    a(r, 2) = 0.0;
+  }
+  double gram[6];
+  PackGram(a, gram);
+  GramSvd3 eig;
+  ASSERT_TRUE(ComputeSvdFromGram3(gram, &eig).ok());
+  EXPECT_LT(eig.sign_margin, 1e-10);
+
+  // A generic window has a clearly separated top component.
+  Rng rng(5);
+  Matrix b = RandomWindow(8, &rng);
+  PackGram(b, gram);
+  ASSERT_TRUE(ComputeSvdFromGram3(gram, &eig).ok());
+  EXPECT_GT(eig.sign_margin, 1e-6);
+}
+
+TEST(GramSvdTest, NonFiniteInputFails) {
+  double gram[6] = {1.0, 0.0, 0.0, 1.0, 0.0, 1.0};
+  gram[3] = std::numeric_limits<double>::quiet_NaN();
+  GramSvd3 eig;
+  EXPECT_FALSE(ComputeSvdFromGram3(gram, &eig).ok());
+  gram[3] = std::numeric_limits<double>::infinity();
+  EXPECT_FALSE(ComputeSvdFromGram3(gram, &eig).ok());
+}
+
+TEST(GramSvdTest, DiagonalGramIsExact) {
+  const double gram[6] = {9.0, 0.0, 0.0, 4.0, 0.0, 1.0};
+  GramSvd3 eig;
+  ASSERT_TRUE(ComputeSvdFromGram3(gram, &eig).ok());
+  EXPECT_DOUBLE_EQ(eig.sigma[0], 3.0);
+  EXPECT_DOUBLE_EQ(eig.sigma[1], 2.0);
+  EXPECT_DOUBLE_EQ(eig.sigma[2], 1.0);
+  EXPECT_DOUBLE_EQ(eig.v[0], 1.0);  // e₀, e₁, e₂ in order
+  EXPECT_DOUBLE_EQ(eig.v[4], 1.0);
+  EXPECT_DOUBLE_EQ(eig.v[8], 1.0);
+}
+
+}  // namespace
+}  // namespace mocemg

@@ -1,15 +1,21 @@
 #!/usr/bin/env bash
 # Build the release tree, run the microbenchmark suite, and merge the
-# results into BENCH_pr2.json at the repo root.
+# results into BENCH_pr2.json / BENCH_pr3.json at the repo root.
 #
-# Usage: tools/run_benchmarks.sh [--update]
+# Usage: tools/run_benchmarks.sh [--update] [--quick]
 #
-#   (no flag)  run and COMPARE against the committed BENCH_pr2.json:
-#              exits non-zero if any benchmark regressed by more than
-#              20% (ns/op), and prints the serial-vs-pre-PR table the
-#              <=5% serial-regression criterion is judged on.
-#   --update   additionally rewrite BENCH_pr2.json with this run's
-#              numbers (the pre_pr section is carried forward).
+#   (no flag)  run and COMPARE against the committed BENCH_pr2.json and
+#              BENCH_pr3.json: exits non-zero if any benchmark regressed
+#              by more than 20% (ns/op), and prints the serial-vs-pre-PR
+#              table the <=5% serial-regression criterion is judged on.
+#   --update   additionally rewrite BENCH_pr2.json / BENCH_pr3.json with
+#              this run's numbers (the pre_pr section is carried
+#              forward).
+#   --quick    smoke mode for CI: a single pass with reduced measurement
+#              time, printing medians only — no regression gate, no
+#              serial table, never writes. Proves the suite builds and
+#              runs without paying full measurement cost (the per-binary
+#              equivalent is `ctest -L bench-smoke`).
 #
 # The pre_pr baselines were measured at the commit before the parallel
 # substrate landed, same harness, same flags; they are embedded in
@@ -22,18 +28,31 @@
 set -euo pipefail
 
 update=0
-if [[ "${1:-}" == "--update" ]]; then
-  update=1
-  shift || true
+quick=0
+for arg in "$@"; do
+  case "$arg" in
+    --update) update=1 ;;
+    --quick) quick=1 ;;
+    *)
+      echo "usage: $0 [--update] [--quick]" >&2
+      exit 2
+      ;;
+  esac
+done
+if [[ "$update" == 1 && "$quick" == 1 ]]; then
+  echo "--quick never writes; drop one of --update/--quick" >&2
+  exit 2
 fi
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
 cd "$repo"
 
+suite="micro_pipeline micro_db micro_fcm micro_svd micro_parallel \
+micro_incremental"
+
 cmake --preset release >/dev/null
-cmake --build --preset release -j "$(nproc)" \
-  --target micro_pipeline micro_db micro_fcm micro_svd micro_parallel \
-  >/dev/null
+# shellcheck disable=SC2086
+cmake --build --preset release -j "$(nproc)" --target $suite >/dev/null
 
 out="build/bench_json"
 mkdir -p "$out"
@@ -47,29 +66,44 @@ rm -f "$out"/*.json
 # Spreading the samples across the suite duration lets the median (and
 # the cv used to decide gating) see that drift.
 prepr_dir="${MOCEMG_BENCH_PREPR_DIR:-}"
-for i in 1 2 3; do
-  for b in micro_pipeline micro_db micro_fcm micro_svd micro_parallel; do
+passes="1 2 3"
+min_time=0.1
+if [[ "$quick" == 1 ]]; then
+  passes="1"
+  min_time=0.01
+fi
+for i in $passes; do
+  for b in $suite; do
     echo "== pass $i: $b ==" >&2
     "./build/bench/$b" \
       --benchmark_format=json \
-      --benchmark_min_time=0.1 \
+      --benchmark_min_time="$min_time" \
       >"$out/${b}_pass$i.json"
     if [[ -n "$prepr_dir" && -x "$prepr_dir/$b" ]]; then
       echo "== pass $i: $b (pre-PR) ==" >&2
       "$prepr_dir/$b" \
         --benchmark_format=json \
-        --benchmark_min_time=0.1 \
+        --benchmark_min_time="$min_time" \
         >"$out/${b}_prepr_pass$i.json"
     fi
   done
 done
 
-MOCEMG_BENCH_UPDATE="$update" python3 - "$out" <<'PYEOF'
+MOCEMG_BENCH_UPDATE="$update" MOCEMG_BENCH_QUICK="$quick" \
+  python3 - "$out" <<'PYEOF'
 import json, os, statistics, sys
 
 out_dir = sys.argv[1]
 update = os.environ.get("MOCEMG_BENCH_UPDATE") == "1"
+quick = os.environ.get("MOCEMG_BENCH_QUICK") == "1"
 bench_path = "BENCH_pr2.json"
+bench3_path = "BENCH_pr3.json"
+
+# micro_incremental families live in BENCH_pr3.json, not BENCH_pr2.json:
+# the pr2 file keeps its original scope (parallel substrate + serial
+# allocation diet) so its gate history stays comparable.
+PR3_PREFIXES = ("BM_BatchFeaturization", "BM_StreamingPushFrame",
+                "BM_ExactWindowSvd", "BM_GramEigensolve")
 
 # ns/op at the parent of this PR (release build, same harness,
 # median of 3 runs interleaved with post-change runs on the same host
@@ -159,10 +193,56 @@ for name, entry in results.items():
         entry["speedup_vs_1t"] = round(
             results[base]["ns_per_op"] / entry["ns_per_op"], 3)
 
+# --- paired exact-vs-incremental speedups (BENCH_pr3.json) ---
+#
+# The two modes of each family ran inside the same binary seconds
+# apart, so the per-pass ratio exact/incremental cancels pass-level
+# host load; the reported speedup is the median of those paired ratios.
+pair_groups = {}
+for name, vals in samples.items():
+    if not name.startswith(PR3_PREFIXES):
+        continue
+    parts = name.split("/")
+    if parts[-1] not in ("0", "1"):
+        continue
+    pair_groups.setdefault("/".join(parts[:-1]), {})[parts[-1]] = vals
+speedups = {}
+for base, modes in sorted(pair_groups.items()):
+    exact, inc = modes.get("0"), modes.get("1")
+    if not exact or not inc or len(exact) != len(inc):
+        continue
+    ratios = [e / i for e, i in zip(exact, inc)]
+    mean = statistics.fmean(ratios)
+    speedups[base] = {
+        "exact_ns_per_op": round(statistics.median(exact), 1),
+        "incremental_ns_per_op": round(statistics.median(inc), 1),
+        "speedup": round(statistics.median(ratios), 3),
+        "cv": round(statistics.pstdev(ratios) / mean if mean > 0
+                    else 0.0, 3),
+    }
+if speedups:
+    print("exact vs incremental (paired per-pass ratios; "
+          "speedup > 1 means incremental is faster):")
+    for base, s in speedups.items():
+        print(f"  {base:38s} {s['exact_ns_per_op']:12.0f} -> "
+              f"{s['incremental_ns_per_op']:12.0f}  "
+              f"x{s['speedup']:.2f}")
+
+if quick:
+    print("\nquick mode: single-pass medians (no gate, nothing "
+          "written):")
+    for name in sorted(results):
+        print(f"  {name:46s} {results[name]['ns_per_op']:14.1f} ns/op")
+    sys.exit(0)
+
 committed = None
 if os.path.exists(bench_path):
     with open(bench_path) as f:
         committed = json.load(f)
+committed3 = None
+if os.path.exists(bench3_path):
+    with open(bench3_path) as f:
+        committed3 = json.load(f)
 
 if pre_samples:
     # Pre-PR binaries ran inside the same passes as the current ones:
@@ -224,14 +304,16 @@ for pre_name, pre_ns in sorted(pre_pr.items()):
 print(f"  worst stable ratio: x{worst_serial:.3f} "
       f"({'OK' if worst_serial <= 1.05 else 'ABOVE the 5% criterion'})")
 
-# --- regression gate vs the committed BENCH_pr2.json ---
+# --- regression gate vs the committed BENCH_pr2.json / BENCH_pr3.json ---
 failures = []
 noisy_skips = []
-if committed:
-    for name, old in committed.get("benchmarks", {}).items():
+for path, doc_ in ((bench_path, committed), (bench3_path, committed3)):
+    if not doc_:
+        continue
+    for name, old in doc_.get("benchmarks", {}).items():
         now = results.get(name)
         if now is None:
-            failures.append(f"{name}: present in BENCH_pr2.json but "
+            failures.append(f"{name}: present in {path} but "
                             f"missing from this run")
             continue
         ratio = now["ns_per_op"] / old["ns_per_op"]
@@ -246,6 +328,10 @@ if committed:
                 failures.append(line)
 
 cpus = len(os.sched_getaffinity(0))
+results2 = {n: e for n, e in results.items()
+            if not n.startswith(PR3_PREFIXES)}
+results3 = {n: e for n, e in results.items()
+            if n.startswith(PR3_PREFIXES)}
 doc = {
     "schema": "mocemg-bench-pr2",
     "host": {
@@ -256,28 +342,47 @@ doc = {
                 "diet measured against pre_pr.",
     },
     "pre_pr": pre_pr,
-    "benchmarks": results,
+    "benchmarks": results2,
     "serial_vs_pre_pr": serial_section,
+}
+doc3 = {
+    "schema": "mocemg-bench-pr3",
+    "host": {
+        "cpus_online": cpus,
+        "note": "paired_speedups divide per-pass exact by incremental "
+                "runs of the same binary, so host load cancels; "
+                "speedup > 1 means the incremental engine is faster. "
+                "Batch rows are serial (max_threads=1); streaming rows "
+                "measure one PushFrame on the 100 ms / 25 ms hop "
+                "geometry.",
+    },
+    "benchmarks": results3,
+    "paired_speedups": speedups,
 }
 
 if update:
     with open(bench_path, "w") as f:
         json.dump(doc, f, indent=2, sort_keys=True)
         f.write("\n")
-    print(f"\nwrote {bench_path} ({len(results)} benchmarks, "
+    print(f"\nwrote {bench_path} ({len(results2)} benchmarks, "
           f"cpus_online={cpus})")
+    with open(bench3_path, "w") as f:
+        json.dump(doc3, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"wrote {bench3_path} ({len(results3)} benchmarks, "
+          f"{len(speedups)} paired speedups)")
 
 if noisy_skips:
-    print("\nslower than BENCH_pr2.json but too noisy to gate:")
+    print("\nslower than the committed baseline but too noisy to gate:")
     for line in noisy_skips:
         print(f"  {line}")
 if failures:
-    print("\nBENCHMARK REGRESSION (>20% vs committed BENCH_pr2.json):",
-          file=sys.stderr)
+    print("\nBENCHMARK REGRESSION (>20% vs committed "
+          "BENCH_pr2.json/BENCH_pr3.json):", file=sys.stderr)
     for f_ in failures:
         print(f"  {f_}", file=sys.stderr)
     sys.exit(1)
-print("\nno benchmark regressed more than 20% vs BENCH_pr2.json"
-      if committed else
-      "\nno committed BENCH_pr2.json yet - run with --update to create it")
+print("\nno benchmark regressed more than 20% vs the committed baselines"
+      if (committed or committed3) else
+      "\nno committed baselines yet - run with --update to create them")
 PYEOF
