@@ -69,6 +69,26 @@ void BM_IndexedKnn(benchmark::State& state) {
 }
 BENCHMARK(BM_IndexedKnn)->Arg(100)->Arg(1000)->Arg(10000);
 
+// Dimension sweep at fixed n: the paper-typical final-feature width
+// (2c = 30) up to 8x wider, where the SoA dot-form scan's advantage
+// over pointer-chased AoS rows grows with the row length. Reported in
+// BENCH_pr4.json alongside the paired kernel-vs-scalar families of
+// micro_distance.
+void BM_IndexedKnnDim(benchmark::State& state) {
+  const size_t dim = static_cast<size_t>(state.range(0));
+  const size_t n = 4000;
+  MotionDatabase db = MakeDb(n, dim, 3);
+  auto index = FeatureIndex::Build(&db);
+  MOCEMG_CHECK_OK(index.status());
+  const auto query = MakeQuery(dim, 4);
+  for (auto _ : state) {
+    auto hits = index->NearestNeighbors(query, 5);
+    benchmark::DoNotOptimize(hits);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * n));
+}
+BENCHMARK(BM_IndexedKnnDim)->Arg(30)->Arg(64)->Arg(128)->Arg(240);
+
 void BM_IndexBuild(benchmark::State& state) {
   const size_t n = static_cast<size_t>(state.range(0));
   MotionDatabase db = MakeDb(n, 30, 3);

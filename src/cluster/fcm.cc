@@ -6,11 +6,24 @@
 
 #include "cluster/kmeans.h"
 #include "linalg/vector_ops.h"
+#include "util/distance_kernels.h"
 #include "util/macros.h"
 #include "util/random.h"
 
 namespace mocemg {
 namespace {
+
+// Point tile for the E-step's blocked distance kernel: a tile's
+// point-to-center distances land in one scratch block so the center
+// rows stream once per tile, not once per point. Tiling never changes
+// bits (each pair's accumulation is self-contained in the kernel).
+constexpr size_t kEstepTile = 32;
+
+// u^m, with the paper's m = 2 special-cased to a multiply: pow()
+// otherwise dominates the M-step accumulation at small dimensions.
+inline double FuzzyWeight(double u, double m) {
+  return m == 2.0 ? u * u : std::pow(u, m);
+}
 
 Status ValidateOptions(const Matrix& points, const FcmOptions& options) {
   if (points.rows() == 0 || points.cols() == 0) {
@@ -48,9 +61,8 @@ Status ValidateOptions(const Matrix& points, const FcmOptions& options) {
 // Membership update for one point given squared distances to all
 // centers: u_i = 1 / Σ_j (d_i/d_j)^(2/(m−1)) computed stably via the
 // reciprocal-power form. Points coinciding with centers get crisp rows.
-void MembershipRow(const std::vector<double>& sq_dists, double exponent,
+void MembershipRow(const double* sq_dists, size_t c, double exponent,
                    double* row) {
-  const size_t c = sq_dists.size();
   // Exact hits: distribute crisp membership over coincident centers.
   size_t zero_count = 0;
   for (size_t i = 0; i < c; ++i) {
@@ -64,10 +76,20 @@ void MembershipRow(const std::vector<double>& sq_dists, double exponent,
     return;
   }
   // u_i ∝ d_i^(−1/(m−1)) on squared distances (so exponent = 1/(m−1)).
+  // The paper's m = 2 means exponent = 1: a plain reciprocal — skip the
+  // pow() call, which otherwise dominates the row (IEEE pow(x, 1) == x
+  // exactly, so the fast path is bit-identical).
   double sum = 0.0;
-  for (size_t i = 0; i < c; ++i) {
-    row[i] = std::pow(1.0 / sq_dists[i], exponent);
-    sum += row[i];
+  if (exponent == 1.0) {
+    for (size_t i = 0; i < c; ++i) {
+      row[i] = 1.0 / sq_dists[i];
+      sum += row[i];
+    }
+  } else {
+    for (size_t i = 0; i < c; ++i) {
+      row[i] = std::pow(1.0 / sq_dists[i], exponent);
+      sum += row[i];
+    }
   }
   for (size_t i = 0; i < c; ++i) row[i] /= sum;
 }
@@ -116,13 +138,16 @@ Result<Fit> FitOnce(const Matrix& points, const FcmOptions& options,
     Status st = ParallelFor(
         n,
         [&](size_t begin, size_t end, size_t /*chunk*/) -> Status {
-          std::vector<double> sq(c);
-          for (size_t k = begin; k < end; ++k) {
-            const double* p = points.RowPtr(k);
-            for (size_t i = 0; i < c; ++i) {
-              sq[i] = SquaredDistance(p, init_centers.RowPtr(i), d);
+          std::vector<double> sq(kEstepTile * c);
+          for (size_t k0 = begin; k0 < end; k0 += kEstepTile) {
+            const size_t tile = std::min(kEstepTile, end - k0);
+            SquaredL2ManyToMany(points.RowPtr(k0), tile,
+                                init_centers.RowPtr(0), c, d, sq.data(),
+                                c);
+            for (size_t t = 0; t < tile; ++t) {
+              MembershipRow(sq.data() + t * c, c, exponent,
+                            u.RowPtr(k0 + t));
             }
-            MembershipRow(sq, exponent, u.RowPtr(k));
           }
           return Status::OK();
         },
@@ -159,7 +184,7 @@ Result<Fit> FitOnce(const Matrix& points, const FcmOptions& options,
             const double* urow = u.RowPtr(k);
             const double* prow = points.RowPtr(k);
             for (size_t i = 0; i < c; ++i) {
-              const double w = std::pow(urow[i], m);
+              const double w = FuzzyWeight(urow[i], m);
               pw[i] += w;
               double* crow = pc.RowPtr(i);
               for (size_t j = 0; j < d; ++j) crow[j] += w * prow[j];
@@ -199,22 +224,24 @@ Result<Fit> FitOnce(const Matrix& points, const FcmOptions& options,
     st = ParallelFor(
         n,
         [&](size_t begin, size_t end, size_t chunk) -> Status {
-          std::vector<double> sq(c);
+          std::vector<double> sq(kEstepTile * c);
           std::vector<double> new_row(c);
           double objective = 0.0;
           double max_delta = 0.0;
-          for (size_t k = begin; k < end; ++k) {
-            const double* p = points.RowPtr(k);
-            for (size_t i = 0; i < c; ++i) {
-              sq[i] = SquaredDistance(p, centers.RowPtr(i), d);
-            }
-            MembershipRow(sq, exponent, new_row.data());
-            double* urow = u.RowPtr(k);
-            for (size_t i = 0; i < c; ++i) {
-              max_delta =
-                  std::max(max_delta, std::fabs(new_row[i] - urow[i]));
-              urow[i] = new_row[i];
-              objective += std::pow(new_row[i], m) * sq[i];
+          for (size_t k0 = begin; k0 < end; k0 += kEstepTile) {
+            const size_t tile = std::min(kEstepTile, end - k0);
+            SquaredL2ManyToMany(points.RowPtr(k0), tile,
+                                centers.RowPtr(0), c, d, sq.data(), c);
+            for (size_t t = 0; t < tile; ++t) {
+              const double* sq_row = sq.data() + t * c;
+              MembershipRow(sq_row, c, exponent, new_row.data());
+              double* urow = u.RowPtr(k0 + t);
+              for (size_t i = 0; i < c; ++i) {
+                max_delta =
+                    std::max(max_delta, std::fabs(new_row[i] - urow[i]));
+                urow[i] = new_row[i];
+                objective += FuzzyWeight(new_row[i], m) * sq_row[i];
+              }
             }
           }
           part_objective[chunk] = objective;
@@ -288,12 +315,49 @@ Result<std::vector<double>> EvaluateMembership(
   }
   const size_t c = centers.rows();
   std::vector<double> sq(c);
-  for (size_t i = 0; i < c; ++i) {
-    sq[i] = SquaredDistance(point, centers.Row(i));
-  }
+  SquaredL2OneToMany(point.data(), centers.RowPtr(0), c, centers.cols(),
+                     sq.data());
   std::vector<double> row(c);
-  MembershipRow(sq, 1.0 / (fuzziness - 1.0), row.data());
+  MembershipRow(sq.data(), c, 1.0 / (fuzziness - 1.0), row.data());
   return row;
+}
+
+Result<Matrix> EvaluateMembershipBatch(const Matrix& centers,
+                                       const Matrix& points,
+                                       double fuzziness) {
+  if (centers.rows() == 0) {
+    return Status::InvalidArgument("no cluster centers");
+  }
+  if (points.cols() != centers.cols()) {
+    return Status::InvalidArgument(
+        "points dimension " + std::to_string(points.cols()) +
+        " does not match center dimension " +
+        std::to_string(centers.cols()));
+  }
+  if (fuzziness <= 1.0) {
+    return Status::InvalidArgument("fuzzifier m must be > 1");
+  }
+  for (double v : points.data()) {
+    if (!std::isfinite(v)) {
+      return Status::NumericalError(
+          "membership evaluation on a non-finite point");
+    }
+  }
+  const size_t n = points.rows();
+  const size_t c = centers.rows();
+  const size_t d = centers.cols();
+  const double exponent = 1.0 / (fuzziness - 1.0);
+  Matrix out(n, c);
+  std::vector<double> sq(kEstepTile * c);
+  for (size_t k0 = 0; k0 < n; k0 += kEstepTile) {
+    const size_t tile = std::min(kEstepTile, n - k0);
+    SquaredL2ManyToMany(points.RowPtr(k0), tile, centers.RowPtr(0), c, d,
+                        sq.data(), c);
+    for (size_t t = 0; t < tile; ++t) {
+      MembershipRow(sq.data() + t * c, c, exponent, out.RowPtr(k0 + t));
+    }
+  }
+  return out;
 }
 
 }  // namespace mocemg

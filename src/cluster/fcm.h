@@ -77,6 +77,15 @@ Result<std::vector<double>> EvaluateMembership(const Matrix& centers,
                                                const std::vector<double>& point,
                                                double fuzziness = 2.0);
 
+/// \brief Eq. 9 membership for a whole matrix of row-points at once
+/// (the classifier's per-window evaluation path). Row k is bit-identical
+/// to EvaluateMembership(centers, points.Row(k), fuzziness): the batch
+/// runs the blocked distance kernel over point tiles, and per-pair
+/// kernel arithmetic does not depend on the tiling.
+Result<Matrix> EvaluateMembershipBatch(const Matrix& centers,
+                                       const Matrix& points,
+                                       double fuzziness = 2.0);
+
 }  // namespace mocemg
 
 #endif  // MOCEMG_CLUSTER_FCM_H_

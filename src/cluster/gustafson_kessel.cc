@@ -6,6 +6,7 @@
 #include "cluster/kmeans.h"
 #include "linalg/lu.h"
 #include "linalg/vector_ops.h"
+#include "util/distance_kernels.h"
 #include "util/macros.h"
 #include "util/random.h"
 
@@ -111,10 +112,8 @@ Result<GkModel> FitGustafsonKessel(const Matrix& points,
   {
     std::vector<double> sq(c);
     for (size_t k = 0; k < n; ++k) {
-      const std::vector<double> p = points.Row(k);
-      for (size_t i = 0; i < c; ++i) {
-        sq[i] = SquaredDistance(p, centers.Row(i));
-      }
+      SquaredL2OneToMany(points.RowPtr(k), centers.RowPtr(0), c, d,
+                         sq.data());
       MembershipRow(sq, exponent, u.RowPtr(k));
     }
   }
@@ -126,7 +125,7 @@ Result<GkModel> FitGustafsonKessel(const Matrix& points,
     for (size_t k = 0; k < n; ++k) Axpy(1.0, points.Row(k), &mean);
     for (double& v : mean) v /= static_cast<double>(n);
     for (size_t k = 0; k < n; ++k) {
-      total_var += SquaredDistance(points.Row(k), mean);
+      total_var += SquaredL2(points.RowPtr(k), mean.data(), d);
     }
     total_var /= static_cast<double>(n) * static_cast<double>(d);
     if (total_var <= 0.0) total_var = 1.0;

@@ -4,11 +4,17 @@
 #include <limits>
 
 #include "linalg/vector_ops.h"
+#include "util/distance_kernels.h"
 #include "util/macros.h"
 #include "util/random.h"
 
 namespace mocemg {
 namespace {
+
+// Point tile for the blocked assignment kernel: distances of a tile of
+// points to all centers land in one scratch block, so the center rows
+// are streamed once per tile instead of once per point.
+constexpr size_t kAssignTile = 32;
 
 // k-means++ seeding: first center uniform, subsequent centers sampled
 // proportionally to squared distance from the nearest chosen center.
@@ -21,9 +27,9 @@ Matrix SeedCenters(const Matrix& points, size_t c, Rng* rng) {
   centers.SetRow(0, points.Row(first));
   for (size_t i = 1; i < c; ++i) {
     double total = 0.0;
-    const std::vector<double> prev = centers.Row(i - 1);
+    const double* prev = centers.RowPtr(i - 1);
     for (size_t k = 0; k < n; ++k) {
-      const double sq = SquaredDistance(points.Row(k), prev);
+      const double sq = SquaredL2(points.RowPtr(k), prev, d);
       if (sq < min_sq[k]) min_sq[k] = sq;
       total += min_sq[k];
     }
@@ -61,22 +67,29 @@ Fit FitOnce(const Matrix& points, const KmeansOptions& options,
 
   size_t iter = 0;
   double inertia = 0.0;
+  std::vector<double> tile_sq(kAssignTile * c);
   for (; iter < options.max_iterations; ++iter) {
-    // Assignment step.
+    // Assignment step: blocked many-to-many kernel over point tiles,
+    // then a scalar argmin per point. Per-pair bits match the pair
+    // kernel, so the tiling never changes the assignment.
     inertia = 0.0;
-    for (size_t k = 0; k < n; ++k) {
-      const std::vector<double> p = points.Row(k);
-      double best = std::numeric_limits<double>::infinity();
-      size_t arg = 0;
-      for (size_t i = 0; i < c; ++i) {
-        const double sq = SquaredDistance(p, centers.Row(i));
-        if (sq < best) {
-          best = sq;
-          arg = i;
+    for (size_t k0 = 0; k0 < n; k0 += kAssignTile) {
+      const size_t tile = std::min(kAssignTile, n - k0);
+      SquaredL2ManyToMany(points.RowPtr(k0), tile, centers.RowPtr(0), c,
+                          d, tile_sq.data(), c);
+      for (size_t t = 0; t < tile; ++t) {
+        const double* sq_row = tile_sq.data() + t * c;
+        double best = sq_row[0];
+        size_t arg = 0;
+        for (size_t i = 1; i < c; ++i) {
+          if (sq_row[i] < best) {
+            best = sq_row[i];
+            arg = i;
+          }
         }
+        assign[k0 + t] = arg;
+        inertia += best;
       }
-      assign[k] = arg;
-      inertia += best;
     }
     // Update step.
     Matrix next(c, d);
@@ -98,7 +111,7 @@ Fit FitOnce(const Matrix& points, const KmeansOptions& options,
           crow[j] /= static_cast<double>(counts[i]);
         }
       }
-      movement += EuclideanDistance(next.Row(i), centers.Row(i));
+      movement += std::sqrt(SquaredL2(next.RowPtr(i), centers.RowPtr(i), d));
     }
     centers = std::move(next);
     if (movement < options.tolerance) {
@@ -153,12 +166,14 @@ Result<size_t> NearestCenter(const Matrix& centers,
   if (point.size() != centers.cols()) {
     return Status::InvalidArgument("dimension mismatch");
   }
-  double best = std::numeric_limits<double>::infinity();
+  std::vector<double> sq(centers.rows());
+  SquaredL2OneToMany(point.data(), centers.RowPtr(0), centers.rows(),
+                     centers.cols(), sq.data());
+  double best = sq[0];
   size_t arg = 0;
-  for (size_t i = 0; i < centers.rows(); ++i) {
-    const double sq = SquaredDistance(point, centers.Row(i));
-    if (sq < best) {
-      best = sq;
+  for (size_t i = 1; i < centers.rows(); ++i) {
+    if (sq[i] < best) {
+      best = sq[i];
       arg = i;
     }
   }

@@ -5,6 +5,7 @@
 
 #include "cluster/kmeans.h"
 #include "linalg/vector_ops.h"
+#include "util/distance_kernels.h"
 #include "util/macros.h"
 
 namespace mocemg {
@@ -277,12 +278,18 @@ Result<std::vector<MotionMatch>> MotionClassifier::NearestNeighbors(
         std::to_string(final_features_.cols()));
   }
   if (k == 0) return Status::InvalidArgument("k must be >= 1");
-  std::vector<MotionMatch> matches(final_features_.rows());
-  for (size_t i = 0; i < final_features_.rows(); ++i) {
+  // final_features_ is row-major contiguous: one packed kernel call for
+  // all squared distances, then a squared-space partial sort (sqrt is
+  // monotone) with the sqrt deferred to the k reported matches.
+  const size_t n = final_features_.rows();
+  std::vector<double> sq(n);
+  SquaredL2OneToMany(final_feature.data(), final_features_.RowPtr(0), n,
+                     final_features_.cols(), sq.data());
+  std::vector<MotionMatch> matches(n);
+  for (size_t i = 0; i < n; ++i) {
     matches[i].index = i;
     matches[i].label = labels_[i];
-    matches[i].distance =
-        EuclideanDistance(final_feature, final_features_.Row(i));
+    matches[i].distance = sq[i];
   }
   const size_t kk = std::min(k, matches.size());
   std::partial_sort(matches.begin(),
@@ -292,6 +299,9 @@ Result<std::vector<MotionMatch>> MotionClassifier::NearestNeighbors(
                       return a.distance < b.distance;
                     });
   matches.resize(kk);
+  for (MotionMatch& match : matches) {
+    match.distance = std::sqrt(match.distance);
+  }
   return matches;
 }
 

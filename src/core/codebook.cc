@@ -1,6 +1,8 @@
 #include "core/codebook.h"
 
-#include "cluster/kmeans.h"
+#include <algorithm>
+
+#include "util/distance_kernels.h"
 #include "util/macros.h"
 
 namespace mocemg {
@@ -40,13 +42,7 @@ Result<Matrix> FcmCodebook::MembershipMatrix(const Matrix& points) const {
         " does not match codebook dimension " +
         std::to_string(dimension()));
   }
-  Matrix out(points.rows(), num_clusters());
-  for (size_t i = 0; i < points.rows(); ++i) {
-    MOCEMG_ASSIGN_OR_RETURN(std::vector<double> row,
-                            Membership(points.Row(i)));
-    out.SetRow(i, row);
-  }
-  return out;
+  return EvaluateMembershipBatch(centers_, points, fuzziness_);
 }
 
 Result<std::vector<double>> FinalMotionFeature(const Matrix& memberships) {
@@ -92,11 +88,36 @@ Result<std::vector<double>> HardAssignmentFeature(const Matrix& centers,
   if (points.rows() == 0) {
     return Status::InvalidArgument("no window points");
   }
-  std::vector<double> votes(centers.rows(), 0.0);
-  for (size_t i = 0; i < points.rows(); ++i) {
-    MOCEMG_ASSIGN_OR_RETURN(size_t arg,
-                            NearestCenter(centers, points.Row(i)));
-    votes[arg] += 1.0;
+  if (centers.rows() == 0) {
+    return Status::InvalidArgument("no centers");
+  }
+  if (points.cols() != centers.cols()) {
+    return Status::InvalidArgument("dimension mismatch");
+  }
+  // Blocked assignment: distances of a tile of windows to all centers in
+  // one kernel call, then a scalar argmin per window (first minimum wins,
+  // matching NearestCenter).
+  constexpr size_t kVoteTile = 32;
+  const size_t c = centers.rows();
+  const size_t d = centers.cols();
+  std::vector<double> votes(c, 0.0);
+  std::vector<double> tile_sq(kVoteTile * c);
+  for (size_t i0 = 0; i0 < points.rows(); i0 += kVoteTile) {
+    const size_t tile = std::min(kVoteTile, points.rows() - i0);
+    SquaredL2ManyToMany(points.RowPtr(i0), tile, centers.RowPtr(0), c, d,
+                        tile_sq.data(), c);
+    for (size_t t = 0; t < tile; ++t) {
+      const double* sq_row = tile_sq.data() + t * c;
+      double best = sq_row[0];
+      size_t arg = 0;
+      for (size_t i = 1; i < c; ++i) {
+        if (sq_row[i] < best) {
+          best = sq_row[i];
+          arg = i;
+        }
+      }
+      votes[arg] += 1.0;
+    }
   }
   const double inv = 1.0 / static_cast<double>(points.rows());
   for (double& v : votes) v *= inv;

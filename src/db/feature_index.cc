@@ -2,11 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <limits>
 #include <numeric>
 
 #include "cluster/kmeans.h"
-#include "linalg/vector_ops.h"
+#include "util/distance_kernels.h"
 #include "util/macros.h"
 
 namespace mocemg {
@@ -37,32 +38,33 @@ Status FeatureIndex::Rebuild() {
   }
   p = std::min(p, n);
 
+  // The database's packed block is already the row-major points layout
+  // k-means wants; copy it wholesale instead of row by row.
   Matrix points(n, d);
-  for (size_t i = 0; i < n; ++i) {
-    points.SetRow(i, database_->record(i).feature);
-  }
+  points.mutable_data() = database_->packed_features();
   KmeansOptions km;
   km.num_clusters = p;
   km.seed = options_.seed;
   MOCEMG_ASSIGN_OR_RETURN(KmeansModel model, FitKmeans(points, km));
 
   partitions_.assign(p, Partition{});
-  for (size_t i = 0; i < p; ++i) {
-    partitions_[i].reference = model.centers.Row(i);
-  }
-  // Record→reference distances are the expensive part of the rebuild;
-  // compute them in parallel (independent per record), then do the
-  // cheap assignment bookkeeping serially so record_indices stay in
-  // ascending record order regardless of thread count.
-  std::vector<double> ref_dist(n, 0.0);
+  references_ = std::move(model.centers);
+  // Record→reference distances (the expensive part of the rebuild) and
+  // record norms, in parallel — independent per record. Assignment
+  // bookkeeping and SoA packing run serially afterwards so each
+  // partition's rows stay in ascending record order regardless of
+  // thread count.
+  const double* packed = database_->packed_features().data();
+  std::vector<double> ref_sq(n, 0.0);
+  std::vector<double> norm_sq(n, 0.0);
   Status st = ParallelFor(
       n,
       [&](size_t begin, size_t end, size_t /*chunk*/) -> Status {
         for (size_t k = begin; k < end; ++k) {
-          const Partition& part = partitions_[model.assignments[k]];
-          ref_dist[k] = EuclideanDistance(
-              database_->record(k).feature.data(), part.reference.data(),
-              d);
+          const double* row = packed + k * d;
+          ref_sq[k] =
+              SquaredL2(row, references_.RowPtr(model.assignments[k]), d);
+          norm_sq[k] = SquaredNorm(row, d);
         }
         return Status::OK();
       },
@@ -71,21 +73,50 @@ Status FeatureIndex::Rebuild() {
   for (size_t k = 0; k < n; ++k) {
     Partition& part = partitions_[model.assignments[k]];
     part.record_indices.push_back(k);
-    part.radius = std::max(part.radius, ref_dist[k]);
+    part.radius_sq = std::max(part.radius_sq, ref_sq[k]);
+    part.max_norm_sq = std::max(part.max_norm_sq, norm_sq[k]);
   }
-  // Drop empty partitions (k-means can strand one on tiny databases).
-  partitions_.erase(
-      std::remove_if(partitions_.begin(), partitions_.end(),
-                     [](const Partition& part) {
-                       return part.record_indices.empty();
-                     }),
-      partitions_.end());
+  // Pack each partition's SoA block (and norms) in member order.
+  for (size_t i = 0; i < p; ++i) {
+    Partition& part = partitions_[i];
+    part.radius = std::sqrt(part.radius_sq);
+    part.block.resize(part.size() * d);
+    part.norms_sq.resize(part.size());
+    for (size_t j = 0; j < part.size(); ++j) {
+      const size_t rec = part.record_indices[j];
+      std::memcpy(part.block.data() + j * d, packed + rec * d,
+                  d * sizeof(double));
+      part.norms_sq[j] = norm_sq[rec];
+    }
+  }
+  // Drop empty partitions (k-means can strand one on tiny databases),
+  // keeping references_ aligned with the survivors.
+  Matrix kept_refs(0, d);
+  std::vector<Partition> kept;
+  kept.reserve(p);
+  max_partition_size_ = 0;
+  for (size_t i = 0; i < p; ++i) {
+    if (partitions_[i].record_indices.empty()) continue;
+    MOCEMG_RETURN_NOT_OK(kept_refs.AppendRows(references_.RowSlice(i, i + 1)));
+    max_partition_size_ =
+        std::max(max_partition_size_, partitions_[i].size());
+    kept.push_back(std::move(partitions_[i]));
+  }
+  partitions_ = std::move(kept);
+  references_ = std::move(kept_refs);
   return Status::OK();
 }
 
 Result<std::vector<QueryHit>> FeatureIndex::NearestNeighbors(
     const std::vector<double>& query, size_t k,
     IndexQueryStats* stats) const {
+  Scratch scratch;
+  return NearestNeighborsImpl(query, k, stats, &scratch);
+}
+
+Result<std::vector<QueryHit>> FeatureIndex::NearestNeighborsImpl(
+    const std::vector<double>& query, size_t k, IndexQueryStats* stats,
+    Scratch* scratch) const {
   if (database_ == nullptr || partitions_.empty()) {
     return Status::FailedPrecondition("index is not built");
   }
@@ -94,44 +125,66 @@ Result<std::vector<QueryHit>> FeatureIndex::NearestNeighbors(
   }
   if (k == 0) return Status::InvalidArgument("k must be >= 1");
   const size_t dim = query.size();
+  const size_t p = partitions_.size();
   IndexQueryStats local;
 
-  // Distance to each partition reference; visit closest-first. The
-  // triangle-inequality prune needs true distances here, so these few
-  // sqrts stay.
-  std::vector<std::pair<double, size_t>> order(partitions_.size());
-  for (size_t i = 0; i < partitions_.size(); ++i) {
-    order[i] = {
-        EuclideanDistance(query.data(), partitions_[i].reference.data(),
-                          dim),
-        i};
-    ++local.distance_computations;
+  // Squared distance to each partition reference; visit closest-first
+  // (the squared ordering equals the true-distance ordering). One
+  // packed kernel call over the reference block, zero sqrts.
+  scratch->ref_sq.resize(p);
+  SquaredL2OneToMany(query.data(), references_.RowPtr(0), p, dim,
+                     scratch->ref_sq.data());
+  local.distance_computations += p;
+  scratch->order.resize(p);
+  for (size_t i = 0; i < p; ++i) {
+    scratch->order[i] = {scratch->ref_sq[i], i};
   }
-  std::sort(order.begin(), order.end());
+  std::sort(scratch->order.begin(), scratch->order.end());
 
+  const double q_sq = SquaredNorm(query.data(), dim);
+  scratch->dist.resize(max_partition_size_);
   // Candidates are kept and compared in *squared* distance space — the
   // per-record sqrt of the scan is deferred to the k reported hits.
-  std::vector<QueryHit> best;  // kept sorted ascending, size <= k
+  std::vector<QueryHit>& best = scratch->best;  // sorted asc, size <= k
+  best.clear();
   best.reserve(k + 1);
   const double inf = std::numeric_limits<double>::infinity();
   auto kth_sq = [&]() { return best.size() < k ? inf : best.back().distance; };
-  for (const auto& [ref_dist, pi] : order) {
+  for (const auto& [ref_sq_dist, pi] : scratch->order) {
     const Partition& part = partitions_[pi];
     // Triangle inequality: every record r in the partition satisfies
-    // d(q, r) >= d(q, ref) − radius (true distances; compare against
-    // the k-th best via one sqrt per partition, not per record).
+    // d(q, r) >= d(q, ref) − radius. Evaluated sqrt-free by squaring
+    // twice with sign handling: with b = d²(q, ref), r² = radius²,
+    // t² = kth, the prune condition √b − r > t (t, r >= 0) is
+    // equivalent to  b − r² − t² > 0  ∧  (b − r² − t²)² > 4·r²·t².
     const double kth = kth_sq();
-    if (kth < inf && ref_dist - part.radius > std::sqrt(kth)) {
-      ++local.partitions_pruned;
-      continue;
+    if (kth < inf) {
+      const double gap = ref_sq_dist - part.radius_sq - kth;
+      if (gap > 0.0 && gap * gap > 4.0 * part.radius_sq * kth) {
+        ++local.partitions_pruned;
+        continue;
+      }
     }
     ++local.partitions_visited;
-    for (size_t idx : part.record_indices) {
-      const double sq = SquaredDistance(
-          query.data(), database_->record(idx).feature.data(), dim);
-      ++local.distance_computations;
+    // Dot-form scan of the packed block: ~2/3 of the difference form's
+    // inner-loop work thanks to the precomputed row norms. The form is
+    // approximate, so any row within the kernel error bound of the
+    // current k-th best is re-checked with the exact pair kernel —
+    // reported hits are bit-identical to the linear scan.
+    const size_t rows = part.size();
+    SquaredL2DotOneToMany(query.data(), q_sq, part.block.data(),
+                          part.norms_sq.data(), rows, dim,
+                          scratch->dist.data());
+    local.distance_computations += rows;
+    const double margin = DotFormErrorBound(dim, q_sq, part.max_norm_sq);
+    for (size_t j = 0; j < rows; ++j) {
+      if (best.size() >= k && scratch->dist[j] > kth_sq() + margin) {
+        continue;
+      }
+      const double sq =
+          SquaredL2(query.data(), part.block.data() + j * dim, dim);
       if (sq < kth_sq() || best.size() < k) {
-        QueryHit hit{idx, sq};
+        QueryHit hit{part.record_indices[j], sq};
         auto pos = std::upper_bound(
             best.begin(), best.end(), hit,
             [](const QueryHit& a, const QueryHit& b) {
@@ -142,9 +195,10 @@ Result<std::vector<QueryHit>> FeatureIndex::NearestNeighbors(
       }
     }
   }
-  for (QueryHit& hit : best) hit.distance = std::sqrt(hit.distance);
+  std::vector<QueryHit> out(best.begin(), best.end());
+  for (QueryHit& hit : out) hit.distance = std::sqrt(hit.distance);
   if (stats != nullptr) *stats = local;
-  return best;
+  return out;
 }
 
 Result<std::vector<std::vector<QueryHit>>>
@@ -152,31 +206,46 @@ FeatureIndex::BatchNearestNeighbors(
     const std::vector<std::vector<double>>& queries, size_t k,
     IndexQueryStats* stats) const {
   std::vector<std::vector<QueryHit>> results(queries.size());
-  std::vector<IndexQueryStats> per_query(
-      stats != nullptr ? queries.size() : 0);
+  // Stats are accumulated per chunk (scratch is also per chunk) and
+  // combined in ascending chunk order afterwards — the same fixed-order
+  // combine contract as every other parallel reduction (DESIGN.md §8.1).
+  const size_t num_chunks =
+      ParallelNumChunks(queries.size(), options_.parallel.grain);
+  std::vector<IndexQueryStats> per_chunk(
+      stats != nullptr ? num_chunks : 0);
   Status st = ParallelFor(
       queries.size(),
-      [&](size_t begin, size_t end, size_t /*chunk*/) -> Status {
+      [&](size_t begin, size_t end, size_t chunk) -> Status {
+        Scratch scratch;
+        IndexQueryStats chunk_stats;
         for (size_t q = begin; q < end; ++q) {
-          auto hits = NearestNeighbors(
-              queries[q], k,
-              stats != nullptr ? &per_query[q] : nullptr);
+          IndexQueryStats query_stats;
+          auto hits = NearestNeighborsImpl(
+              queries[q], k, stats != nullptr ? &query_stats : nullptr,
+              &scratch);
           if (!hits.ok()) {
             return hits.status().WithContext(
                 "while answering batch query " + std::to_string(q));
           }
           results[q] = std::move(*hits);
+          if (stats != nullptr) {
+            chunk_stats.distance_computations +=
+                query_stats.distance_computations;
+            chunk_stats.partitions_visited += query_stats.partitions_visited;
+            chunk_stats.partitions_pruned += query_stats.partitions_pruned;
+          }
         }
+        if (stats != nullptr) per_chunk[chunk] = chunk_stats;
         return Status::OK();
       },
       options_.parallel);
   MOCEMG_RETURN_NOT_OK(st);
   if (stats != nullptr) {
     IndexQueryStats total;
-    for (const IndexQueryStats& s : per_query) {
-      total.distance_computations += s.distance_computations;
-      total.partitions_visited += s.partitions_visited;
-      total.partitions_pruned += s.partitions_pruned;
+    for (size_t chunk = 0; chunk < num_chunks; ++chunk) {
+      total.distance_computations += per_chunk[chunk].distance_computations;
+      total.partitions_visited += per_chunk[chunk].partitions_visited;
+      total.partitions_pruned += per_chunk[chunk].partitions_pruned;
     }
     *stats = total;
   }

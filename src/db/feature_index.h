@@ -4,11 +4,16 @@
 /// paper points to for fast searching (its refs [14]/[13]).
 ///
 /// Construction partitions the records with k-means; each partition keeps
-/// its reference point (centroid) and covering radius. A query visits
-/// partitions in ascending distance-to-reference order and prunes any
-/// partition whose triangle-inequality lower bound d(q, ref) − radius
-/// exceeds the current k-th best distance. Results are exact; the win is
-/// the fraction of distance computations avoided (reported for the bench).
+/// its reference point (centroid), covering radius, and — since the SoA
+/// rework (DESIGN.md §10.3) — a contiguous row-major copy of its member
+/// records plus their squared norms, so a query scans one packed block
+/// with the dot-product-form distance kernel instead of pointer-chasing
+/// record indices into the database. A query visits partitions in
+/// ascending distance-to-reference order and prunes any partition whose
+/// triangle-inequality lower bound d(q, ref) − radius exceeds the current
+/// k-th best distance (evaluated entirely in squared space — no sqrt).
+/// Results are exact; the win is the fraction of distance computations
+/// avoided (reported for the bench).
 
 #ifndef MOCEMG_DB_FEATURE_INDEX_H_
 #define MOCEMG_DB_FEATURE_INDEX_H_
@@ -17,6 +22,7 @@
 #include <vector>
 
 #include "db/motion_database.h"
+#include "linalg/matrix.h"
 #include "util/parallel.h"
 #include "util/result.h"
 
@@ -40,9 +46,9 @@ struct IndexQueryStats {
   size_t partitions_pruned = 0;
 };
 
-/// \brief Exact cluster-pruned kNN index. The index references the
-/// database it was built from; rebuilding after inserts is the caller's
-/// responsibility (Rebuild()).
+/// \brief Exact cluster-pruned kNN index. The index copies each
+/// partition's features into its own packed block at Build/Rebuild;
+/// rebuilding after inserts is the caller's responsibility (Rebuild()).
 class FeatureIndex {
  public:
   FeatureIndex() = default;
@@ -51,14 +57,19 @@ class FeatureIndex {
   static Result<FeatureIndex> Build(const MotionDatabase* database,
                                     const FeatureIndexOptions& options = {});
 
-  /// \brief Rebuilds over the database's current records.
+  /// \brief Rebuilds over the database's current records (repacks every
+  /// partition block and its norms from the database's packed features).
   Status Rebuild();
 
   /// \brief Exact kNN; identical results to the database's linear scan.
   ///
-  /// Record distances are compared in squared space (one sqrt per
-  /// reported hit instead of one per scanned record); the triangle-
-  /// inequality partition prune still operates on true distances.
+  /// The partition scan runs the dot-product-form kernel over the
+  /// packed block; candidates inside the kernel's error bound of the
+  /// current k-th best are re-checked with the exact difference-form
+  /// kernel, so the reported hits (indices and distances) are
+  /// bit-identical to the linear scan's. The triangle-inequality prune
+  /// is evaluated in squared space, so the only sqrts in a query are
+  /// the k reported hit distances.
   Result<std::vector<QueryHit>> NearestNeighbors(
       const std::vector<double>& query, size_t k,
       IndexQueryStats* stats = nullptr) const;
@@ -66,8 +77,8 @@ class FeatureIndex {
   /// \brief kNN for a batch of queries, parallelized over queries with
   /// the options' ParallelOptions. Element i equals
   /// NearestNeighbors(queries[i], k) exactly; `stats`, when given, is
-  /// the sum over all queries. The index is immutable during queries,
-  /// so the batch is safe and deterministic at any thread count.
+  /// accumulated per chunk and combined in ascending chunk order, so it
+  /// (like the hits) is identical at every thread count.
   Result<std::vector<std::vector<QueryHit>>> BatchNearestNeighbors(
       const std::vector<std::vector<double>>& queries, size_t k,
       IndexQueryStats* stats = nullptr) const;
@@ -76,14 +87,38 @@ class FeatureIndex {
 
  private:
   struct Partition {
-    std::vector<double> reference;
-    double radius = 0.0;
+    double radius = 0.0;      ///< covering radius (true distance)
+    double radius_sq = 0.0;   ///< radius², for the sqrt-free prune
+    double max_norm_sq = 0.0; ///< max ‖record‖² in the block (error bound)
+    /// Member records, ascending database order.
     std::vector<size_t> record_indices;
+    /// SoA: the members' features packed row-major (size × dim), and
+    /// their squared norms for the dot-product-form scan.
+    std::vector<double> block;
+    std::vector<double> norms_sq;
+
+    size_t size() const { return record_indices.size(); }
   };
+
+  /// Per-query scratch, reused across a batch chunk.
+  struct Scratch {
+    std::vector<double> ref_sq;   ///< squared distance to each reference
+    std::vector<std::pair<double, size_t>> order;
+    std::vector<double> dist;     ///< per-partition scan buffer
+    std::vector<QueryHit> best;
+  };
+
+  Result<std::vector<QueryHit>> NearestNeighborsImpl(
+      const std::vector<double>& query, size_t k, IndexQueryStats* stats,
+      Scratch* scratch) const;
 
   const MotionDatabase* database_ = nullptr;
   FeatureIndexOptions options_;
   std::vector<Partition> partitions_;
+  /// Partition references packed row-major (num_partitions × dim) so
+  /// the visit-order pass is one one-to-many kernel call.
+  Matrix references_;
+  size_t max_partition_size_ = 0;
 };
 
 }  // namespace mocemg

@@ -6,6 +6,7 @@
 
 #include "linalg/vector_ops.h"
 #include "util/csv.h"
+#include "util/distance_kernels.h"
 #include "util/macros.h"
 #include "util/string_util.h"
 
@@ -31,6 +32,8 @@ Status MotionDatabase::Insert(MotionRecord record) {
         " does not match database dimension " +
         std::to_string(dimension_));
   }
+  packed_.insert(packed_.end(), record.feature.begin(),
+                 record.feature.end());
   records_.push_back(std::move(record));
   return Status::OK();
 }
@@ -48,10 +51,16 @@ Result<std::vector<QueryHit>> MotionDatabase::NearestNeighbors(
           "query feature contains a non-finite value");
     }
   }
+  // One pass of the packed one-to-many kernel over the SoA block, then
+  // select in squared space (sqrt is monotone, so the order is the
+  // same) and take the root only for the k reported hits.
+  std::vector<double> sq(records_.size());
+  SquaredL2OneToMany(query.data(), packed_.data(), records_.size(),
+                     dimension_, sq.data());
   std::vector<QueryHit> hits(records_.size());
   for (size_t i = 0; i < records_.size(); ++i) {
     hits[i].record_index = i;
-    hits[i].distance = EuclideanDistance(query, records_[i].feature);
+    hits[i].distance = sq[i];
   }
   const size_t kk = std::min(k, hits.size());
   std::partial_sort(hits.begin(), hits.begin() + static_cast<ptrdiff_t>(kk),
@@ -59,6 +68,7 @@ Result<std::vector<QueryHit>> MotionDatabase::NearestNeighbors(
                       return a.distance < b.distance;
                     });
   hits.resize(kk);
+  for (QueryHit& hit : hits) hit.distance = std::sqrt(hit.distance);
   return hits;
 }
 

@@ -47,6 +47,17 @@ class MotionDatabase {
   const MotionRecord& record(size_t i) const { return records_[i]; }
   const std::vector<MotionRecord>& records() const { return records_; }
 
+  /// \brief All features as one contiguous row-major block (size() ×
+  /// feature_dimension(), record order). Maintained on Insert so the
+  /// linear scan and index builds run the packed distance kernels
+  /// instead of pointer-chasing per-record vectors.
+  const std::vector<double>& packed_features() const { return packed_; }
+
+  /// \brief Pointer to record i's feature row inside the packed block.
+  const double* packed_row(size_t i) const {
+    return packed_.data() + i * dimension_;
+  }
+
   /// \brief Exact k nearest neighbours by Euclidean distance in
   /// final-feature space, ascending.
   Result<std::vector<QueryHit>> NearestNeighbors(
@@ -63,6 +74,10 @@ class MotionDatabase {
 
  private:
   std::vector<MotionRecord> records_;
+  /// Row-major SoA mirror of the records' features (records_ stays the
+  /// source of truth for names/labels; features are duplicated here so
+  /// scans stream one contiguous block).
+  std::vector<double> packed_;
   size_t dimension_ = 0;
 };
 

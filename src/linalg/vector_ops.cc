@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/distance_kernels.h"
 #include "util/logging.h"
 
 namespace mocemg {
@@ -34,12 +35,7 @@ double SquaredDistance(const std::vector<double>& a,
 }
 
 double SquaredDistance(const double* a, const double* b, size_t n) {
-  double sum = 0.0;
-  for (size_t i = 0; i < n; ++i) {
-    const double d = a[i] - b[i];
-    sum += d * d;
-  }
-  return sum;
+  return SquaredL2(a, b, n);
 }
 
 double EuclideanDistance(const double* a, const double* b, size_t n) {

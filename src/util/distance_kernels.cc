@@ -1,0 +1,66 @@
+#include "util/distance_kernels.h"
+
+#include <algorithm>
+#include <cfloat>
+
+namespace mocemg {
+namespace {
+
+// Row-tile size for the blocked many-to-many kernel: a tile of rows is
+// kept hot across the whole query batch. 256 rows × 64 dims × 8 bytes
+// = 128 KiB worst case at the dimensionalities this library sees —
+// L2-resident everywhere; at the paper-typical 16–30 dims a tile fits
+// comfortably in L1+L2. The tile size never changes per-pair bits
+// (each pair's accumulation is self-contained), only cache behaviour.
+constexpr size_t kRowTile = 256;
+
+}  // namespace
+
+void SquaredL2OneToMany(const double* query, const double* block,
+                        size_t rows, size_t d, double* out) {
+  for (size_t r = 0; r < rows; ++r) {
+    out[r] = SquaredL2(query, block + r * d, d);
+  }
+}
+
+void SquaredL2DotOneToMany(const double* query, double query_sq,
+                           const double* block, const double* norms_sq,
+                           size_t rows, size_t d, double* out) {
+  for (size_t r = 0; r < rows; ++r) {
+    out[r] =
+        query_sq + norms_sq[r] - 2.0 * DotProduct(query, block + r * d, d);
+  }
+}
+
+void SquaredL2ManyToMany(const double* queries, size_t num_queries,
+                         const double* block, size_t rows, size_t d,
+                         double* out, size_t out_stride) {
+  for (size_t r0 = 0; r0 < rows; r0 += kRowTile) {
+    const size_t r1 = std::min(rows, r0 + kRowTile);
+    for (size_t q = 0; q < num_queries; ++q) {
+      const double* qp = queries + q * d;
+      double* op = out + q * out_stride;
+      for (size_t r = r0; r < r1; ++r) {
+        op[r] = SquaredL2(qp, block + r * d, d);
+      }
+    }
+  }
+}
+
+void RowSquaredNorms(const double* block, size_t rows, size_t d,
+                     double* out) {
+  for (size_t r = 0; r < rows; ++r) {
+    out[r] = SquaredNorm(block + r * d, d);
+  }
+}
+
+double DotFormErrorBound(size_t d, double query_sq, double max_norm_sq) {
+  // |fl(dot) − dot| <= γ_d·‖q‖‖r‖ <= γ_d·(q² + r²)/2 with γ_d ≈ d·u,
+  // u = ε/2; the norm terms carry γ_d relative error and the final
+  // three-term combination a few more ulps. 4·d·ε·(q² + r²) covers the
+  // sum of all of it with a >2× margin (DESIGN.md §10.2).
+  return 4.0 * static_cast<double>(d) * DBL_EPSILON *
+         (query_sq + max_norm_sq);
+}
+
+}  // namespace mocemg

@@ -1,0 +1,137 @@
+/// \file distance_kernels.h
+/// \brief Allocation-free squared-L2 / dot-product kernels shared by
+/// every retrieval and clustering hot loop (kNN scans, k-means
+/// assignment, the FCM/GK membership steps).
+///
+/// Three shapes:
+///
+///  - **pair**       — one (x, y) distance (`SquaredL2`, `DotProduct`),
+///  - **one-to-many** — one query against a packed row-major block
+///    (`SquaredL2OneToMany`, `SquaredL2DotOneToMany`),
+///  - **many-to-many** — a query batch against a block, tiled over the
+///    block rows so a tile stays L1/L2-resident across the whole query
+///    batch (`SquaredL2ManyToMany`).
+///
+/// Arithmetic contract (the determinism guarantee everything downstream
+/// leans on): every kernel computes each (x, y) pair with **4
+/// independent accumulators** over the dimensions — lane j sums the
+/// dimensions i with i ≡ j (mod 4) of the unrolled body, the <= 3
+/// remainder dimensions land in lanes 0..2 in order, and the lanes
+/// combine as `(a0 + a1) + (a2 + a3)`. The combine order is fixed, so a
+/// pair's result is bit-identical whether it was computed by the pair
+/// kernel, inside a one-to-many row, or inside any tile of the blocked
+/// kernel — and therefore identical at every thread count and tile
+/// size. The independent lanes are also exactly what lets the compiler
+/// auto-vectorize (SSE2 portably; FMA/AVX under the `MOCEMG_NATIVE_ARCH`
+/// CMake knob) without arch-specific intrinsics.
+///
+/// The dot-product form `d²(q, r) = ‖q‖² + ‖r‖² − 2⟨q, r⟩` (fed by
+/// per-row norms precomputed at index build) trades the subtraction out
+/// of the inner loop but rounds differently from the difference form;
+/// `SquaredL2DotOneToMany` is therefore *approximate* and callers that
+/// need exactness re-check candidates within `DotFormErrorBound` using
+/// the exact pair kernel (see DESIGN.md §10.2 for the bound's
+/// derivation).
+///
+/// Non-finite inputs propagate exactly as in a scalar loop: any NaN
+/// coordinate (or an Inf − Inf difference) yields NaN, otherwise an Inf
+/// coordinate yields +Inf.
+
+#ifndef MOCEMG_UTIL_DISTANCE_KERNELS_H_
+#define MOCEMG_UTIL_DISTANCE_KERNELS_H_
+
+#include <cstddef>
+
+namespace mocemg {
+
+/// \brief Squared Euclidean distance ‖x − y‖² over d dimensions.
+inline double SquaredL2(const double* x, const double* y, size_t d) {
+  double a0 = 0.0, a1 = 0.0, a2 = 0.0, a3 = 0.0;
+  size_t i = 0;
+  for (; i + 4 <= d; i += 4) {
+    const double d0 = x[i] - y[i];
+    const double d1 = x[i + 1] - y[i + 1];
+    const double d2 = x[i + 2] - y[i + 2];
+    const double d3 = x[i + 3] - y[i + 3];
+    a0 += d0 * d0;
+    a1 += d1 * d1;
+    a2 += d2 * d2;
+    a3 += d3 * d3;
+  }
+  // Remainder dimensions fill lanes 0..2 in order (fixed, so the
+  // combine below is a pure function of the inputs).
+  if (i < d) {
+    const double d0 = x[i] - y[i];
+    a0 += d0 * d0;
+  }
+  if (i + 1 < d) {
+    const double d1 = x[i + 1] - y[i + 1];
+    a1 += d1 * d1;
+  }
+  if (i + 2 < d) {
+    const double d2 = x[i + 2] - y[i + 2];
+    a2 += d2 * d2;
+  }
+  return (a0 + a1) + (a2 + a3);
+}
+
+/// \brief Dot product ⟨x, y⟩ with the same 4-lane accumulation order.
+inline double DotProduct(const double* x, const double* y, size_t d) {
+  double a0 = 0.0, a1 = 0.0, a2 = 0.0, a3 = 0.0;
+  size_t i = 0;
+  for (; i + 4 <= d; i += 4) {
+    a0 += x[i] * y[i];
+    a1 += x[i + 1] * y[i + 1];
+    a2 += x[i + 2] * y[i + 2];
+    a3 += x[i + 3] * y[i + 3];
+  }
+  if (i < d) a0 += x[i] * y[i];
+  if (i + 1 < d) a1 += x[i + 1] * y[i + 1];
+  if (i + 2 < d) a2 += x[i + 2] * y[i + 2];
+  return (a0 + a1) + (a2 + a3);
+}
+
+/// \brief Squared L2 norm ‖x‖² = ⟨x, x⟩ (same bits as DotProduct(x, x)).
+inline double SquaredNorm(const double* x, size_t d) {
+  return DotProduct(x, x, d);
+}
+
+/// \brief out[r] = ‖query − block_row_r‖² for each of the `rows` packed
+/// row-major rows (row stride = d). Each out[r] is bit-identical to
+/// `SquaredL2(query, block + r*d, d)`.
+void SquaredL2OneToMany(const double* query, const double* block,
+                        size_t rows, size_t d, double* out);
+
+/// \brief Dot-product-form scan: out[r] = query_sq + norms_sq[r] −
+/// 2⟨query, block_row_r⟩, with `query_sq = SquaredNorm(query, d)` and
+/// `norms_sq[r] = SquaredNorm(block + r*d, d)` precomputed by the
+/// caller. Cheaper than the difference form (no per-dimension subtract)
+/// but **approximate**: it differs from `SquaredL2` by at most
+/// `DotFormErrorBound(d, query_sq, max_r norms_sq[r])`. Negative
+/// results (possible for near-coincident points) are NOT clamped.
+void SquaredL2DotOneToMany(const double* query, double query_sq,
+                           const double* block, const double* norms_sq,
+                           size_t rows, size_t d, double* out);
+
+/// \brief Blocked many-to-many: out[q * out_stride + r] =
+/// ‖query_q − block_row_r‖² for q < num_queries, r < rows. The block is
+/// processed in row tiles sized for L1/L2 so each tile is streamed once
+/// per query batch, not once per query. Per-pair bits equal the pair
+/// kernel regardless of the tiling. `queries` is packed row-major with
+/// stride d; `out_stride >= rows`.
+void SquaredL2ManyToMany(const double* queries, size_t num_queries,
+                         const double* block, size_t rows, size_t d,
+                         double* out, size_t out_stride);
+
+/// \brief out[r] = ‖block_row_r‖², bit-identical to SquaredNorm per row.
+void RowSquaredNorms(const double* block, size_t rows, size_t d,
+                     double* out);
+
+/// \brief Conservative bound on |dot-form − difference-form| for one
+/// pair: 4·d·ε·(query_sq + max_norm_sq), with ε = 2⁻⁵² (see DESIGN.md
+/// §10.2). Valid for any row whose squared norm is <= max_norm_sq.
+double DotFormErrorBound(size_t d, double query_sq, double max_norm_sq);
+
+}  // namespace mocemg
+
+#endif  // MOCEMG_UTIL_DISTANCE_KERNELS_H_

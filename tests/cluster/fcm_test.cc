@@ -177,6 +177,47 @@ TEST(EvaluateMembershipTest, Validations) {
   EXPECT_FALSE(EvaluateMembership(Matrix(), {1.0}).ok());
 }
 
+TEST(EvaluateMembershipTest, BatchRowsBitIdenticalToSingleEvaluation) {
+  // The batch path runs the blocked many-to-many kernel over point
+  // tiles; per-pair kernel bits do not depend on the tiling, so each
+  // row must equal the one-point evaluation exactly. Dimensions cover
+  // every 4-way unroll remainder.
+  Rng rng(77);
+  for (size_t d : {1, 2, 3, 4, 5, 7, 18, 33}) {
+    Matrix centers(4, d);
+    for (size_t i = 0; i < centers.rows(); ++i) {
+      for (size_t j = 0; j < d; ++j) {
+        centers(i, j) = rng.Gaussian(0, 5.0);
+      }
+    }
+    Matrix points(70, d);  // > one E-step tile
+    for (size_t k = 0; k < points.rows(); ++k) {
+      for (size_t j = 0; j < d; ++j) points(k, j) = rng.Gaussian(0, 5.0);
+    }
+    for (double m : {1.7, 2.0}) {
+      auto batch = EvaluateMembershipBatch(centers, points, m);
+      ASSERT_TRUE(batch.ok()) << batch.status();
+      for (size_t k = 0; k < points.rows(); ++k) {
+        auto single = EvaluateMembership(centers, points.Row(k), m);
+        ASSERT_TRUE(single.ok());
+        for (size_t i = 0; i < centers.rows(); ++i) {
+          EXPECT_EQ((*batch)(k, i), (*single)[i])
+              << "dim " << d << " m " << m << " point " << k;
+        }
+      }
+    }
+  }
+}
+
+TEST(EvaluateMembershipTest, BatchValidations) {
+  Matrix centers{{0.0, 0.0}};
+  EXPECT_FALSE(EvaluateMembershipBatch(centers, Matrix(2, 3)).ok());
+  EXPECT_FALSE(EvaluateMembershipBatch(centers, Matrix(2, 2), 1.0).ok());
+  Matrix bad(1, 2);
+  bad(0, 0) = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_FALSE(EvaluateMembershipBatch(centers, bad).ok());
+}
+
 TEST(EvaluateMembershipTest, TrainingMembershipsConsistentWithEq9) {
   // At convergence the model's U rows equal Eq. 9 evaluated against its
   // centers — the property that makes database and query features

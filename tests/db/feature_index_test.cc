@@ -51,6 +51,103 @@ TEST(FeatureIndexTest, ResultsMatchLinearScanExactly) {
   }
 }
 
+// Higher-dimensional clustered database exercising the SoA dot-form
+// scan with non-trivial unroll remainders.
+MotionDatabase MakeDbDim(size_t n, size_t dim, uint64_t seed) {
+  Rng rng(seed);
+  MotionDatabase db;
+  for (size_t i = 0; i < n; ++i) {
+    MotionRecord r;
+    r.name = "m" + std::to_string(i);
+    r.label = i % 4;
+    r.label_name = "class" + std::to_string(r.label);
+    r.feature.resize(dim);
+    const double cx = static_cast<double>(i % 4) * 20.0;
+    for (size_t j = 0; j < dim; ++j) {
+      r.feature[j] = (j == 0 ? cx : 0.0) + rng.Gaussian(0, 1.0);
+    }
+    EXPECT_TRUE(db.Insert(std::move(r)).ok());
+  }
+  return db;
+}
+
+// The dot-form scan is approximate, but candidates within the error
+// bound are re-checked with the exact pair kernel — so the index must be
+// *bit-identical* to the linear scan, not merely close, at every
+// dimension (each 4-way unroll remainder included).
+TEST(FeatureIndexTest, ResultsBitIdenticalToLinearScanAcrossDims) {
+  for (size_t dim : {5, 16, 30, 33, 67}) {
+    MotionDatabase db = MakeDbDim(150, dim, 40 + dim);
+    auto index = FeatureIndex::Build(&db);
+    ASSERT_TRUE(index.ok()) << index.status();
+    Rng rng(50 + dim);
+    for (int q = 0; q < 20; ++q) {
+      std::vector<double> query(dim);
+      for (size_t j = 0; j < dim; ++j) {
+        query[j] = (j == 0 ? rng.Uniform(-5.0, 65.0)
+                           : rng.Gaussian(0, 2.0));
+      }
+      auto linear = db.NearestNeighbors(query, 5);
+      auto indexed = index->NearestNeighbors(query, 5);
+      ASSERT_TRUE(linear.ok());
+      ASSERT_TRUE(indexed.ok());
+      ASSERT_EQ(linear->size(), indexed->size());
+      for (size_t i = 0; i < linear->size(); ++i) {
+        EXPECT_EQ((*linear)[i].record_index, (*indexed)[i].record_index)
+            << "dim " << dim << " query " << q << " rank " << i;
+        EXPECT_EQ((*linear)[i].distance, (*indexed)[i].distance)
+            << "dim " << dim << " query " << q << " rank " << i;
+      }
+    }
+  }
+}
+
+// Batch answers — and the accumulated IndexQueryStats — must not depend
+// on the thread count: per-chunk stats are combined in ascending chunk
+// order (DESIGN.md §8.1). The name keeps this test in the tsan
+// multi-thread rerun.
+TEST(FeatureIndexTest, ParallelBatchBitIdenticalAcrossThreadCounts) {
+  MotionDatabase db = MakeDbDim(300, 17, 60);
+  std::vector<std::vector<double>> queries;
+  Rng rng(61);
+  for (int q = 0; q < 64; ++q) {
+    std::vector<double> query(17);
+    for (double& v : query) v = rng.Gaussian(10.0, 15.0);
+    queries.push_back(std::move(query));
+  }
+  std::vector<std::vector<std::vector<QueryHit>>> all_results;
+  std::vector<IndexQueryStats> all_stats;
+  for (size_t threads : {1, 2, 8}) {
+    FeatureIndexOptions opts;
+    opts.parallel.max_threads = threads;
+    auto index = FeatureIndex::Build(&db, opts);
+    ASSERT_TRUE(index.ok()) << index.status();
+    IndexQueryStats stats;
+    auto results = index->BatchNearestNeighbors(queries, 4, &stats);
+    ASSERT_TRUE(results.ok()) << results.status();
+    all_results.push_back(*std::move(results));
+    all_stats.push_back(stats);
+  }
+  for (size_t v = 1; v < all_results.size(); ++v) {
+    ASSERT_EQ(all_results[v].size(), all_results[0].size());
+    for (size_t q = 0; q < all_results[0].size(); ++q) {
+      ASSERT_EQ(all_results[v][q].size(), all_results[0][q].size());
+      for (size_t i = 0; i < all_results[0][q].size(); ++i) {
+        EXPECT_EQ(all_results[v][q][i].record_index,
+                  all_results[0][q][i].record_index);
+        EXPECT_EQ(all_results[v][q][i].distance,
+                  all_results[0][q][i].distance);
+      }
+    }
+    EXPECT_EQ(all_stats[v].distance_computations,
+              all_stats[0].distance_computations);
+    EXPECT_EQ(all_stats[v].partitions_visited,
+              all_stats[0].partitions_visited);
+    EXPECT_EQ(all_stats[v].partitions_pruned,
+              all_stats[0].partitions_pruned);
+  }
+}
+
 TEST(FeatureIndexTest, PruningActuallyHappens) {
   MotionDatabase db = MakeDb(400, 9);
   FeatureIndexOptions opts;

@@ -1,0 +1,220 @@
+#include "util/distance_kernels.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "util/random.h"
+
+namespace mocemg {
+namespace {
+
+// The documented accumulation order, restated independently of the
+// header: four lanes over dims stepping 4, remainder dims filling lanes
+// 0..2 in order, combined as (a0 + a1) + (a2 + a3). Bit-equality against
+// this reference pins the kernel's arithmetic contract.
+double PairReference(const double* x, const double* y, size_t d) {
+  double a0 = 0.0, a1 = 0.0, a2 = 0.0, a3 = 0.0;
+  size_t i = 0;
+  for (; i + 4 <= d; i += 4) {
+    const double d0 = x[i] - y[i];
+    const double d1 = x[i + 1] - y[i + 1];
+    const double d2 = x[i + 2] - y[i + 2];
+    const double d3 = x[i + 3] - y[i + 3];
+    a0 += d0 * d0;
+    a1 += d1 * d1;
+    a2 += d2 * d2;
+    a3 += d3 * d3;
+  }
+  if (i < d) {
+    const double d0 = x[i] - y[i];
+    a0 += d0 * d0;
+  }
+  if (i + 1 < d) {
+    const double d1 = x[i + 1] - y[i + 1];
+    a1 += d1 * d1;
+  }
+  if (i + 2 < d) {
+    const double d2 = x[i + 2] - y[i + 2];
+    a2 += d2 * d2;
+  }
+  return (a0 + a1) + (a2 + a3);
+}
+
+// Plain sequential scalar loop — the pre-kernel arithmetic. The 4-lane
+// kernel reassociates, so agreement is tolerance-based, not bitwise.
+double ScalarReference(const double* x, const double* y, size_t d) {
+  double sum = 0.0;
+  for (size_t i = 0; i < d; ++i) {
+    const double diff = x[i] - y[i];
+    sum += diff * diff;
+  }
+  return sum;
+}
+
+std::vector<double> RandomVector(size_t d, Rng* rng) {
+  std::vector<double> v(d);
+  for (double& x : v) x = rng->Gaussian(0.0, 3.0);
+  return v;
+}
+
+// Every dim 1..67 covers each 4-way unroll remainder (0..3) many times
+// over, plus the d < 4 edge where the main loop never runs.
+constexpr size_t kMaxDim = 67;
+
+TEST(DistanceKernelsTest, PairMatchesDocumentedOrderBitExactly) {
+  Rng rng(21);
+  for (size_t d = 1; d <= kMaxDim; ++d) {
+    const std::vector<double> x = RandomVector(d, &rng);
+    const std::vector<double> y = RandomVector(d, &rng);
+    const double got = SquaredL2(x.data(), y.data(), d);
+    const double want = PairReference(x.data(), y.data(), d);
+    EXPECT_EQ(got, want) << "dim " << d;
+  }
+}
+
+TEST(DistanceKernelsTest, PairMatchesScalarWithinTolerance) {
+  Rng rng(22);
+  for (size_t d = 1; d <= kMaxDim; ++d) {
+    const std::vector<double> x = RandomVector(d, &rng);
+    const std::vector<double> y = RandomVector(d, &rng);
+    const double got = SquaredL2(x.data(), y.data(), d);
+    const double want = ScalarReference(x.data(), y.data(), d);
+    EXPECT_NEAR(got, want, 1e-10 * (1.0 + want)) << "dim " << d;
+  }
+}
+
+TEST(DistanceKernelsTest, OneToManyRowsMatchPairKernelBitExactly) {
+  Rng rng(23);
+  for (size_t d = 1; d <= kMaxDim; ++d) {
+    const size_t rows = 1 + (d * 7) % 13;
+    const std::vector<double> q = RandomVector(d, &rng);
+    const std::vector<double> block = RandomVector(rows * d, &rng);
+    std::vector<double> out(rows);
+    SquaredL2OneToMany(q.data(), block.data(), rows, d, out.data());
+    for (size_t r = 0; r < rows; ++r) {
+      EXPECT_EQ(out[r], SquaredL2(q.data(), block.data() + r * d, d))
+          << "dim " << d << " row " << r;
+    }
+  }
+}
+
+TEST(DistanceKernelsTest, ManyToManyMatchesPairKernelBitExactly) {
+  Rng rng(24);
+  // Enough rows to cross the internal row tile at small dims, and odd
+  // strides via out_stride == rows.
+  for (size_t d : {1, 2, 3, 4, 5, 7, 16, 33, 67}) {
+    const size_t nq = 5;
+    const size_t rows = 300;  // > kernel row tile
+    const std::vector<double> queries = RandomVector(nq * d, &rng);
+    const std::vector<double> block = RandomVector(rows * d, &rng);
+    std::vector<double> out(nq * rows);
+    SquaredL2ManyToMany(queries.data(), nq, block.data(), rows, d,
+                        out.data(), rows);
+    for (size_t q = 0; q < nq; ++q) {
+      for (size_t r = 0; r < rows; ++r) {
+        EXPECT_EQ(out[q * rows + r],
+                  SquaredL2(queries.data() + q * d,
+                            block.data() + r * d, d))
+            << "dim " << d << " query " << q << " row " << r;
+      }
+    }
+  }
+}
+
+TEST(DistanceKernelsTest, RowSquaredNormsMatchSquaredNormBitExactly) {
+  Rng rng(25);
+  for (size_t d = 1; d <= kMaxDim; ++d) {
+    const size_t rows = 1 + (d * 5) % 9;
+    const std::vector<double> block = RandomVector(rows * d, &rng);
+    std::vector<double> norms(rows);
+    RowSquaredNorms(block.data(), rows, d, norms.data());
+    for (size_t r = 0; r < rows; ++r) {
+      EXPECT_EQ(norms[r], SquaredNorm(block.data() + r * d, d))
+          << "dim " << d << " row " << r;
+    }
+  }
+}
+
+TEST(DistanceKernelsTest, DotFormWithinDocumentedErrorBound) {
+  Rng rng(26);
+  for (size_t d = 1; d <= kMaxDim; ++d) {
+    const size_t rows = 16;
+    const std::vector<double> q = RandomVector(d, &rng);
+    const std::vector<double> block = RandomVector(rows * d, &rng);
+    std::vector<double> norms(rows);
+    RowSquaredNorms(block.data(), rows, d, norms.data());
+    const double q_sq = SquaredNorm(q.data(), d);
+    double max_norm_sq = 0.0;
+    for (double n : norms) max_norm_sq = std::max(max_norm_sq, n);
+    std::vector<double> dot_form(rows);
+    SquaredL2DotOneToMany(q.data(), q_sq, block.data(), norms.data(),
+                          rows, d, dot_form.data());
+    const double bound = DotFormErrorBound(d, q_sq, max_norm_sq);
+    for (size_t r = 0; r < rows; ++r) {
+      const double exact = SquaredL2(q.data(), block.data() + r * d, d);
+      EXPECT_LE(std::fabs(dot_form[r] - exact), bound)
+          << "dim " << d << " row " << r;
+    }
+  }
+}
+
+TEST(DistanceKernelsTest, NanPropagatesLikeScalarLoop) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  Rng rng(27);
+  for (size_t d : {1, 3, 4, 5, 8, 11}) {
+    for (size_t pos = 0; pos < d; ++pos) {
+      std::vector<double> x = RandomVector(d, &rng);
+      const std::vector<double> y = RandomVector(d, &rng);
+      x[pos] = nan;
+      const double scalar = ScalarReference(x.data(), y.data(), d);
+      const double kernel = SquaredL2(x.data(), y.data(), d);
+      EXPECT_TRUE(std::isnan(scalar));
+      EXPECT_TRUE(std::isnan(kernel))
+          << "dim " << d << " nan at " << pos;
+      std::vector<double> out(1);
+      SquaredL2OneToMany(x.data(), y.data(), 1, d, out.data());
+      EXPECT_TRUE(std::isnan(out[0]));
+    }
+  }
+}
+
+TEST(DistanceKernelsTest, InfPropagatesLikeScalarLoop) {
+  const double inf = std::numeric_limits<double>::infinity();
+  Rng rng(28);
+  for (size_t d : {1, 2, 4, 6, 9}) {
+    for (size_t pos = 0; pos < d; ++pos) {
+      std::vector<double> x = RandomVector(d, &rng);
+      const std::vector<double> y = RandomVector(d, &rng);
+      x[pos] = inf;
+      const double scalar = ScalarReference(x.data(), y.data(), d);
+      const double kernel = SquaredL2(x.data(), y.data(), d);
+      EXPECT_EQ(scalar, inf);
+      EXPECT_EQ(kernel, inf) << "dim " << d << " inf at " << pos;
+    }
+  }
+}
+
+TEST(DistanceKernelsTest, OpposedInfinitiesYieldNanLikeScalarLoop) {
+  // Inf − Inf inside the difference is NaN in both formulations.
+  const double inf = std::numeric_limits<double>::infinity();
+  std::vector<double> x = {inf, 1.0, 2.0, 3.0, 4.0};
+  std::vector<double> y = {inf, 0.0, 0.0, 0.0, 0.0};
+  const double scalar = ScalarReference(x.data(), y.data(), x.size());
+  const double kernel = SquaredL2(x.data(), y.data(), x.size());
+  EXPECT_TRUE(std::isnan(scalar));
+  EXPECT_TRUE(std::isnan(kernel));
+}
+
+TEST(DistanceKernelsTest, ZeroDimensionIsZero) {
+  const double x = 1.0, y = 2.0;
+  EXPECT_EQ(SquaredL2(&x, &y, 0), 0.0);
+  EXPECT_EQ(SquaredNorm(&x, 0), 0.0);
+  EXPECT_EQ(DotProduct(&x, &y, 0), 0.0);
+}
+
+}  // namespace
+}  // namespace mocemg

@@ -1,16 +1,18 @@
 #!/usr/bin/env bash
 # Build the release tree, run the microbenchmark suite, and merge the
-# results into BENCH_pr2.json / BENCH_pr3.json at the repo root.
+# results into BENCH_pr2.json / BENCH_pr3.json / BENCH_pr4.json at the
+# repo root.
 #
 # Usage: tools/run_benchmarks.sh [--update] [--quick]
 #
-#   (no flag)  run and COMPARE against the committed BENCH_pr2.json and
-#              BENCH_pr3.json: exits non-zero if any benchmark regressed
-#              by more than 20% (ns/op), and prints the serial-vs-pre-PR
-#              table the <=5% serial-regression criterion is judged on.
-#   --update   additionally rewrite BENCH_pr2.json / BENCH_pr3.json with
-#              this run's numbers (the pre_pr section is carried
-#              forward).
+#   (no flag)  run and COMPARE against the committed BENCH_pr2.json,
+#              BENCH_pr3.json, and BENCH_pr4.json: exits non-zero if any
+#              benchmark regressed by more than 20% (ns/op), and prints
+#              the serial-vs-pre-PR table the <=5% serial-regression
+#              criterion is judged on.
+#   --update   additionally rewrite BENCH_pr2.json / BENCH_pr3.json /
+#              BENCH_pr4.json with this run's numbers (the pre_pr
+#              section is carried forward).
 #   --quick    smoke mode for CI: a single pass with reduced measurement
 #              time, printing medians only — no regression gate, no
 #              serial table, never writes. Proves the suite builds and
@@ -47,8 +49,8 @@ fi
 repo="$(cd "$(dirname "$0")/.." && pwd)"
 cd "$repo"
 
-suite="micro_pipeline micro_db micro_fcm micro_svd micro_parallel \
-micro_incremental"
+suite="micro_pipeline micro_db micro_distance micro_fcm micro_svd \
+micro_parallel micro_incremental"
 
 cmake --preset release >/dev/null
 # shellcheck disable=SC2086
@@ -98,12 +100,17 @@ update = os.environ.get("MOCEMG_BENCH_UPDATE") == "1"
 quick = os.environ.get("MOCEMG_BENCH_QUICK") == "1"
 bench_path = "BENCH_pr2.json"
 bench3_path = "BENCH_pr3.json"
+bench4_path = "BENCH_pr4.json"
 
 # micro_incremental families live in BENCH_pr3.json, not BENCH_pr2.json:
 # the pr2 file keeps its original scope (parallel substrate + serial
-# allocation diet) so its gate history stays comparable.
+# allocation diet) so its gate history stays comparable. The distance-
+# kernel families (micro_distance, paired scalar-vs-kernel, plus the
+# micro_db dimension sweep) live in BENCH_pr4.json for the same reason.
 PR3_PREFIXES = ("BM_BatchFeaturization", "BM_StreamingPushFrame",
                 "BM_ExactWindowSvd", "BM_GramEigensolve")
+PR4_PREFIXES = ("BM_KnnScan", "BM_IndexedScan", "BM_FcmEstep",
+                "BM_IndexedKnnDim")
 
 # ns/op at the parent of this PR (release build, same harness,
 # median of 3 runs interleaved with post-change runs on the same host
@@ -193,40 +200,56 @@ for name, entry in results.items():
         entry["speedup_vs_1t"] = round(
             results[base]["ns_per_op"] / entry["ns_per_op"], 3)
 
-# --- paired exact-vs-incremental speedups (BENCH_pr3.json) ---
+# --- paired mode-0-vs-mode-1 speedups (BENCH_pr3/pr4.json) ---
 #
 # The two modes of each family ran inside the same binary seconds
-# apart, so the per-pass ratio exact/incremental cancels pass-level
-# host load; the reported speedup is the median of those paired ratios.
-pair_groups = {}
-for name, vals in samples.items():
-    if not name.startswith(PR3_PREFIXES):
-        continue
-    parts = name.split("/")
-    if parts[-1] not in ("0", "1"):
-        continue
-    pair_groups.setdefault("/".join(parts[:-1]), {})[parts[-1]] = vals
-speedups = {}
-for base, modes in sorted(pair_groups.items()):
-    exact, inc = modes.get("0"), modes.get("1")
-    if not exact or not inc or len(exact) != len(inc):
-        continue
-    ratios = [e / i for e, i in zip(exact, inc)]
-    mean = statistics.fmean(ratios)
-    speedups[base] = {
-        "exact_ns_per_op": round(statistics.median(exact), 1),
-        "incremental_ns_per_op": round(statistics.median(inc), 1),
-        "speedup": round(statistics.median(ratios), 3),
-        "cv": round(statistics.pstdev(ratios) / mean if mean > 0
-                    else 0.0, 3),
-    }
-if speedups:
-    print("exact vs incremental (paired per-pass ratios; "
-          "speedup > 1 means incremental is faster):")
-    for base, s in speedups.items():
-        print(f"  {base:38s} {s['exact_ns_per_op']:12.0f} -> "
-              f"{s['incremental_ns_per_op']:12.0f}  "
-              f"x{s['speedup']:.2f}")
+# apart, so the per-pass ratio baseline/optimized cancels pass-level
+# host load; the reported speedup is the median of those paired
+# ratios. PR3 pairs exact vs incremental featurization; PR4 pairs the
+# seed scalar/AoS paths vs the distance-kernel paths.
+def paired_speedups(prefixes, base_key, new_key):
+    pair_groups = {}
+    for name, vals in samples.items():
+        if not name.startswith(prefixes):
+            continue
+        parts = name.split("/")
+        if parts[-1] not in ("0", "1"):
+            continue
+        pair_groups.setdefault("/".join(parts[:-1]), {})[parts[-1]] = vals
+    out = {}
+    for base, modes in sorted(pair_groups.items()):
+        baseline, new = modes.get("0"), modes.get("1")
+        if not baseline or not new or len(baseline) != len(new):
+            continue
+        ratios = [b / v for b, v in zip(baseline, new)]
+        mean = statistics.fmean(ratios)
+        out[base] = {
+            base_key: round(statistics.median(baseline), 1),
+            new_key: round(statistics.median(new), 1),
+            "speedup": round(statistics.median(ratios), 3),
+            "cv": round(statistics.pstdev(ratios) / mean if mean > 0
+                        else 0.0, 3),
+        }
+    return out
+
+def print_speedups(title, speedup_map, base_key, new_key):
+    if not speedup_map:
+        return
+    print(title)
+    for base, s in speedup_map.items():
+        print(f"  {base:38s} {s[base_key]:12.0f} -> "
+              f"{s[new_key]:12.0f}  x{s['speedup']:.2f}")
+
+speedups = paired_speedups(PR3_PREFIXES, "exact_ns_per_op",
+                           "incremental_ns_per_op")
+print_speedups("exact vs incremental (paired per-pass ratios; "
+               "speedup > 1 means incremental is faster):",
+               speedups, "exact_ns_per_op", "incremental_ns_per_op")
+speedups4 = paired_speedups(PR4_PREFIXES, "scalar_ns_per_op",
+                            "kernel_ns_per_op")
+print_speedups("scalar vs distance-kernel (paired per-pass ratios; "
+               "speedup > 1 means the kernel path is faster):",
+               speedups4, "scalar_ns_per_op", "kernel_ns_per_op")
 
 if quick:
     print("\nquick mode: single-pass medians (no gate, nothing "
@@ -243,6 +266,10 @@ committed3 = None
 if os.path.exists(bench3_path):
     with open(bench3_path) as f:
         committed3 = json.load(f)
+committed4 = None
+if os.path.exists(bench4_path):
+    with open(bench4_path) as f:
+        committed4 = json.load(f)
 
 if pre_samples:
     # Pre-PR binaries ran inside the same passes as the current ones:
@@ -307,7 +334,8 @@ print(f"  worst stable ratio: x{worst_serial:.3f} "
 # --- regression gate vs the committed BENCH_pr2.json / BENCH_pr3.json ---
 failures = []
 noisy_skips = []
-for path, doc_ in ((bench_path, committed), (bench3_path, committed3)):
+for path, doc_ in ((bench_path, committed), (bench3_path, committed3),
+                   (bench4_path, committed4)):
     if not doc_:
         continue
     for name, old in doc_.get("benchmarks", {}).items():
@@ -329,9 +357,11 @@ for path, doc_ in ((bench_path, committed), (bench3_path, committed3)):
 
 cpus = len(os.sched_getaffinity(0))
 results2 = {n: e for n, e in results.items()
-            if not n.startswith(PR3_PREFIXES)}
+            if not n.startswith(PR3_PREFIXES + PR4_PREFIXES)}
 results3 = {n: e for n, e in results.items()
             if n.startswith(PR3_PREFIXES)}
+results4 = {n: e for n, e in results.items()
+            if n.startswith(PR4_PREFIXES)}
 doc = {
     "schema": "mocemg-bench-pr2",
     "host": {
@@ -344,6 +374,20 @@ doc = {
     "pre_pr": pre_pr,
     "benchmarks": results2,
     "serial_vs_pre_pr": serial_section,
+}
+doc4 = {
+    "schema": "mocemg-bench-pr4",
+    "host": {
+        "cpus_online": cpus,
+        "note": "paired_speedups divide per-pass mode-0 (seed scalar/"
+                "AoS replica) by mode-1 (distance-kernel path) runs of "
+                "the same binary, so host load cancels; speedup > 1 "
+                "means the kernel path is faster. All rows are serial "
+                "and measured on the portable (non -march=native) "
+                "build.",
+    },
+    "benchmarks": results4,
+    "paired_speedups": speedups4,
 }
 doc3 = {
     "schema": "mocemg-bench-pr3",
@@ -371,6 +415,11 @@ if update:
         f.write("\n")
     print(f"wrote {bench3_path} ({len(results3)} benchmarks, "
           f"{len(speedups)} paired speedups)")
+    with open(bench4_path, "w") as f:
+        json.dump(doc4, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"wrote {bench4_path} ({len(results4)} benchmarks, "
+          f"{len(speedups4)} paired speedups)")
 
 if noisy_skips:
     print("\nslower than the committed baseline but too noisy to gate:")
@@ -383,6 +432,6 @@ if failures:
         print(f"  {f_}", file=sys.stderr)
     sys.exit(1)
 print("\nno benchmark regressed more than 20% vs the committed baselines"
-      if (committed or committed3) else
+      if (committed or committed3 or committed4) else
       "\nno committed baselines yet - run with --update to create them")
 PYEOF
