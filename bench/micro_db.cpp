@@ -4,6 +4,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <map>
+
 #include "db/feature_index.h"
 #include "db/motion_database.h"
 #include "util/logging.h"
@@ -88,6 +90,43 @@ void BM_IndexedKnnDim(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * n));
 }
 BENCHMARK(BM_IndexedKnnDim)->Arg(30)->Arg(64)->Arg(128)->Arg(240);
+
+// Paired quantized-tier family (BENCH_pr5.json): mode 0 scans with the
+// PR 4 dot-form path alone (quantized_scan off), mode 1 adds the int8
+// coarse tier. Same binary, same pass, so the per-pass ratio cancels
+// host load. The partition count is pinned low (8 over 20000 records,
+// ~2500 rows each) so the in-partition scan — the stage the coarse
+// tier accelerates — dominates per-query time; with the √N default the
+// reference pass and partition-level triangle prune leave almost no
+// scan work to measure. The dimension sweep covers the paper's
+// final-feature width up to 4x wider, where the 1-byte/dim coarse scan
+// saves the most memory traffic.
+void BM_QuantIndexedKnnDim(benchmark::State& state) {
+  const size_t dim = static_cast<size_t>(state.range(0));
+  const bool quantized = state.range(1) == 1;
+  const size_t n = 20000;
+  static std::map<size_t, MotionDatabase>* dbs =
+      new std::map<size_t, MotionDatabase>();
+  if (dbs->find(dim) == dbs->end()) {
+    dbs->emplace(dim, MakeDb(n, dim, 3));
+  }
+  const MotionDatabase& db = dbs->at(dim);
+  FeatureIndexOptions opts;
+  opts.num_partitions = 8;
+  opts.quantized_scan = quantized;
+  auto index = FeatureIndex::Build(&db, opts);
+  MOCEMG_CHECK_OK(index.status());
+  const auto query = MakeQuery(dim, 4);
+  for (auto _ : state) {
+    auto hits = index->NearestNeighbors(query, 5);
+    benchmark::DoNotOptimize(hits);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * n));
+}
+BENCHMARK(BM_QuantIndexedKnnDim)
+    ->Args({30, 0})->Args({30, 1})
+    ->Args({64, 0})->Args({64, 1})
+    ->Args({128, 0})->Args({128, 1});
 
 void BM_IndexBuild(benchmark::State& state) {
   const size_t n = static_cast<size_t>(state.range(0));

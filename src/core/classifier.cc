@@ -4,9 +4,11 @@
 #include <cmath>
 
 #include "cluster/kmeans.h"
+#include "db/query_server.h"
 #include "linalg/vector_ops.h"
 #include "util/distance_kernels.h"
 #include "util/macros.h"
+#include "util/top_k.h"
 
 namespace mocemg {
 namespace {
@@ -174,6 +176,7 @@ Result<MotionClassifier> MotionClassifier::Train(
 
   // 5. Optional modality-fallback sub-models for ClassifyRobust: the
   // same pipeline restricted to each modality's feature block.
+  clf.BuildFinalDatabase();
   if (options.train_fallbacks && options.features.use_emg &&
       options.features.use_mocap) {
     ClassifierOptions sub = options;
@@ -237,7 +240,25 @@ Result<MotionClassifier> MotionClassifier::FromParts(
   clf.final_features_ = std::move(final_features);
   clf.labels_ = std::move(labels);
   clf.label_names_ = std::move(label_names);
+  clf.BuildFinalDatabase();
   return clf;
+}
+
+void MotionClassifier::BuildFinalDatabase() {
+  auto db = std::make_shared<MotionDatabase>();
+  for (size_t i = 0; i < final_features_.rows(); ++i) {
+    MotionRecord rec;
+    rec.name = label_names_[i] + "/" + std::to_string(i);
+    rec.label = labels_[i];
+    rec.label_name = label_names_[i];
+    const double* row = final_features_.RowPtr(i);
+    rec.feature.assign(row, row + final_features_.cols());
+    if (!db->Insert(std::move(rec)).ok()) {
+      final_db_.reset();
+      return;
+    }
+  }
+  final_db_ = std::move(db);
 }
 
 Result<Matrix> MotionClassifier::WindowPoints(
@@ -279,28 +300,24 @@ Result<std::vector<MotionMatch>> MotionClassifier::NearestNeighbors(
   }
   if (k == 0) return Status::InvalidArgument("k must be >= 1");
   // final_features_ is row-major contiguous: one packed kernel call for
-  // all squared distances, then a squared-space partial sort (sqrt is
-  // monotone) with the sqrt deferred to the k reported matches.
+  // all squared distances, then a squared-space bounded top-k (sqrt is
+  // monotone) with the sqrt deferred to the k reported matches. Ties
+  // resolve toward the smaller training index (top_k.h), the same rule
+  // as every kNN path in db/, so the retrieval and serving layers
+  // agree bitwise with this one.
   const size_t n = final_features_.rows();
   std::vector<double> sq(n);
   SquaredL2OneToMany(final_feature.data(), final_features_.RowPtr(0), n,
                      final_features_.cols(), sq.data());
-  std::vector<MotionMatch> matches(n);
-  for (size_t i = 0; i < n; ++i) {
-    matches[i].index = i;
-    matches[i].label = labels_[i];
-    matches[i].distance = sq[i];
-  }
-  const size_t kk = std::min(k, matches.size());
-  std::partial_sort(matches.begin(),
-                    matches.begin() + static_cast<ptrdiff_t>(kk),
-                    matches.end(),
-                    [](const MotionMatch& a, const MotionMatch& b) {
-                      return a.distance < b.distance;
-                    });
-  matches.resize(kk);
-  for (MotionMatch& match : matches) {
-    match.distance = std::sqrt(match.distance);
+  BoundedTopK top(std::min(k, n));
+  for (size_t i = 0; i < n; ++i) top.Push(sq[i], i);
+  std::vector<TopKEntry> entries;
+  top.ExtractSorted(&entries);
+  std::vector<MotionMatch> matches(entries.size());
+  for (size_t i = 0; i < entries.size(); ++i) {
+    matches[i].index = entries[i].second;
+    matches[i].label = labels_[entries[i].second];
+    matches[i].distance = std::sqrt(entries[i].first);
   }
   return matches;
 }
@@ -320,22 +337,47 @@ Result<std::vector<size_t>> MotionClassifier::ClassifyBatch(
   if (codebook_.num_clusters() == 0) {
     return Status::FailedPrecondition("classifier is not trained");
   }
-  std::vector<size_t> labels(trials.size(), 0);
+  // Stage 1: featurize every trial in parallel (the dominant cost —
+  // conditioning, windowing, membership evaluation).
+  std::vector<std::vector<double>> features(trials.size());
   Status st = ParallelFor(
       trials.size(),
       [&](size_t begin, size_t end, size_t /*chunk*/) -> Status {
         for (size_t i = begin; i < end; ++i) {
-          auto label = Classify(trials[i].mocap, trials[i].emg);
-          if (!label.ok()) {
-            return label.status().WithContext(
+          auto feature = Featurize(trials[i].mocap, trials[i].emg);
+          if (!feature.ok()) {
+            return feature.status().WithContext(
                 "while classifying batch trial " + std::to_string(i));
           }
-          labels[i] = *label;
+          features[i] = *std::move(feature);
         }
         return Status::OK();
       },
       parallel);
   MOCEMG_RETURN_NOT_OK(st);
+
+  // Stage 2: one batched retrieval through the query server — the
+  // whole batch streams the final-feature block in tiles instead of
+  // running num_trials independent one-to-many sweeps, and repeated
+  // trials coalesce/hit the cache. Classify() is nearest-neighbour
+  // (k = 1), and a one-hit vote is that hit's label, so each element
+  // matches Classify's decision bit-for-bit. Any serving problem
+  // falls back to the per-trial path rather than failing the batch.
+  if (final_db_ != nullptr) {
+    QueryServerOptions srv;
+    srv.parallel = parallel;
+    auto server = QueryServer::Create(final_db_.get(), nullptr, srv);
+    if (server.ok()) {
+      auto labels = server->ClassifyBatch(features, 1);
+      if (labels.ok()) return *std::move(labels);
+    }
+  }
+  std::vector<size_t> labels(trials.size(), 0);
+  for (size_t i = 0; i < trials.size(); ++i) {
+    MOCEMG_ASSIGN_OR_RETURN(std::vector<MotionMatch> nn,
+                            NearestNeighbors(features[i], 1));
+    labels[i] = nn[0].label;
+  }
   return labels;
 }
 

@@ -16,6 +16,7 @@
 #include "core/normalizer.h"
 #include "core/stream_health.h"
 #include "core/window_features.h"
+#include "db/motion_database.h"
 #include "emg/acquisition.h"
 #include "util/result.h"
 
@@ -137,13 +138,18 @@ class MotionClassifier {
   Result<size_t> Classify(const MotionSequence& mocap,
                           const EmgRecording& emg) const;
 
-  /// \brief Classifies a batch of captures, parallelized over trials
-  /// (the shape of training/eval sweeps). `trials[i].label` is ignored;
-  /// element i of the result equals Classify(trials[i].mocap,
-  /// trials[i].emg) exactly — the classifier is immutable during the
-  /// batch, so results are bit-identical at any thread count. On
-  /// failure, returns the failing trial's error with its index in the
-  /// message (lowest failing index among executed chunks).
+  /// \brief Classifies a batch of captures: a parallel featurization
+  /// pass over the trials, then one batched retrieval through a
+  /// QueryServer over the final-feature database (blocked many-to-many
+  /// kernels instead of num_trials one-to-many sweeps). Falls back to
+  /// per-trial Classify when the final database is unavailable.
+  /// `trials[i].label` is ignored; element i of the result equals
+  /// Classify(trials[i].mocap, trials[i].emg) exactly — the batched
+  /// kernels and the per-pair kernels agree bitwise and both paths
+  /// break distance ties toward the smaller training index — so
+  /// results are bit-identical at any thread count. On failure,
+  /// returns the failing trial's error with its index in the message
+  /// (lowest failing index among executed chunks).
   Result<std::vector<size_t>> ClassifyBatch(
       const std::vector<LabeledMotion>& trials,
       const ParallelOptions& parallel = {}) const;
@@ -171,6 +177,14 @@ class MotionClassifier {
   /// that fallback was not trained.
   const MotionClassifier* submodel(ClassifierMode mode) const;
 
+  /// \brief The training set's final features as a MotionDatabase —
+  /// the retrieval-side view of this classifier (record i holds final
+  /// feature row i with labels_[i]). Built once at Train/FromParts;
+  /// null only if that build failed (batch classification then uses
+  /// the per-trial path). Callers use it to build a FeatureIndex or a
+  /// QueryServer over the trained model.
+  const MotionDatabase* final_database() const { return final_db_.get(); }
+
   /// \brief Training-set final features as rows (one per motion).
   const Matrix& final_features() const { return final_features_; }
   const std::vector<size_t>& labels() const { return labels_; }
@@ -194,6 +208,9 @@ class MotionClassifier {
       const MotionSequence& mocap, const EmgRecording& emg,
       const ClassifierOptions& options,
       const std::vector<size_t>* masked_channels) const;
+  /// Populates final_db_ from final_features_/labels_; clears it on
+  /// any insert failure (best-effort — the per-trial path still works).
+  void BuildFinalDatabase();
 
   ClassifierOptions options_;
   Normalizer normalizer_;
@@ -205,6 +222,9 @@ class MotionClassifier {
   /// copyable); null unless trained with train_fallbacks.
   std::shared_ptr<const MotionClassifier> mocap_only_;
   std::shared_ptr<const MotionClassifier> emg_only_;
+  /// Retrieval-side view of final_features_ (shared so the classifier
+  /// stays copyable; immutable after construction).
+  std::shared_ptr<const MotionDatabase> final_db_;
 };
 
 }  // namespace mocemg

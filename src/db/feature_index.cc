@@ -1,6 +1,7 @@
 #include "db/feature_index.h"
 
 #include <algorithm>
+#include <cfloat>
 #include <cmath>
 #include <cstring>
 #include <limits>
@@ -9,6 +10,7 @@
 #include "cluster/kmeans.h"
 #include "util/distance_kernels.h"
 #include "util/macros.h"
+#include "util/quant_kernels.h"
 
 namespace mocemg {
 
@@ -89,6 +91,49 @@ Status FeatureIndex::Rebuild() {
       part.norms_sq[j] = norm_sq[rec];
     }
   }
+  // Quantized tier: code each big-enough partition on its own int8
+  // grid and *measure* the worst reconstruction error — the provable
+  // prune leans on this number, not on an analytic half-step bound, so
+  // heavy-tailed columns can only cost pruning power, not correctness.
+  // The integer coarse distance Σ(qc − c)² must fit uint32:
+  // d · 255² < 2³². Any realistic feature width is far below the gate.
+  const bool quantizable = options_.quantized_scan && d <= 60000;
+  if (quantizable) {
+    std::vector<double> decoded(d);
+    for (size_t i = 0; i < p; ++i) {
+      Partition& part = partitions_[i];
+      const size_t rows = part.size();
+      if (rows == 0 || rows < options_.quantized_min_rows) continue;
+      part.quant_offsets.resize(d);
+      part.quant_codes.resize(rows * d);
+      ComputeQuantGrid(part.block.data(), rows, d,
+                       part.quant_offsets.data(), &part.quant_scale);
+      QuantizeRows(part.block.data(), rows, d, part.quant_offsets.data(),
+                   part.quant_scale, part.quant_codes.data());
+      // Squared-norm bound over the whole grid bounding box (any
+      // reconstruction — of a row or of a clamped query — lies inside
+      // it); feeds the slack's magnitude argument.
+      double box_sq = 0.0;
+      for (size_t j = 0; j < d; ++j) {
+        const double lo = part.quant_offsets[j];
+        const double hi = lo + 255.0 * part.quant_scale;
+        box_sq += std::max(lo * lo, hi * hi);
+      }
+      part.quant_box_sq = box_sq;
+      double max_err = 0.0;
+      for (size_t r = 0; r < rows; ++r) {
+        DequantizeRow(part.quant_codes.data() + r * d, d,
+                      part.quant_offsets.data(), part.quant_scale,
+                      decoded.data());
+        max_err = std::max(
+            max_err, SquaredL2(part.block.data() + r * d, decoded.data(), d));
+      }
+      // Inflate the measured error by the build-side accumulation
+      // slack so ‖r − r̃‖² (exact real value) is provably covered.
+      part.quant_err_sq =
+          max_err + QuantScanSlack(d, part.max_norm_sq, box_sq);
+    }
+  }
   // Drop empty partitions (k-means can strand one on tiny databases),
   // keeping references_ aligned with the survivors.
   Matrix kept_refs(0, d);
@@ -104,6 +149,7 @@ Status FeatureIndex::Rebuild() {
   }
   partitions_ = std::move(kept);
   references_ = std::move(kept_refs);
+  built_epoch_ = database_->epoch();
   return Status::OK();
 }
 
@@ -120,10 +166,23 @@ Result<std::vector<QueryHit>> FeatureIndex::NearestNeighborsImpl(
   if (database_ == nullptr || partitions_.empty()) {
     return Status::FailedPrecondition("index is not built");
   }
+  if (database_->epoch() != built_epoch_) {
+    return Status::FailedPrecondition(
+        "index is stale: the database mutated (epoch " +
+        std::to_string(database_->epoch()) + ") after the index was "
+        "built (epoch " + std::to_string(built_epoch_) +
+        "); call Rebuild()");
+  }
   if (query.size() != database_->feature_dimension()) {
     return Status::InvalidArgument("query dimension mismatch");
   }
   if (k == 0) return Status::InvalidArgument("k must be >= 1");
+  for (double v : query) {
+    if (!std::isfinite(v)) {
+      return Status::InvalidArgument(
+          "query feature contains a non-finite value");
+    }
+  }
   const size_t dim = query.size();
   const size_t p = partitions_.size();
   IndexQueryStats local;
@@ -145,11 +204,10 @@ Result<std::vector<QueryHit>> FeatureIndex::NearestNeighborsImpl(
   scratch->dist.resize(max_partition_size_);
   // Candidates are kept and compared in *squared* distance space — the
   // per-record sqrt of the scan is deferred to the k reported hits.
-  std::vector<QueryHit>& best = scratch->best;  // sorted asc, size <= k
-  best.clear();
-  best.reserve(k + 1);
-  const double inf = std::numeric_limits<double>::infinity();
-  auto kth_sq = [&]() { return best.size() < k ? inf : best.back().distance; };
+  // The heap breaks distance ties toward the smaller record index,
+  // the same rule as the linear scan (top_k.h).
+  BoundedTopK& top = scratch->top;
+  top.Reset(std::min(k, database_->size()));
   for (const auto& [ref_sq_dist, pi] : scratch->order) {
     const Partition& part = partitions_[pi];
     // Triangle inequality: every record r in the partition satisfies
@@ -157,7 +215,8 @@ Result<std::vector<QueryHit>> FeatureIndex::NearestNeighborsImpl(
     // twice with sign handling: with b = d²(q, ref), r² = radius²,
     // t² = kth, the prune condition √b − r > t (t, r >= 0) is
     // equivalent to  b − r² − t² > 0  ∧  (b − r² − t²)² > 4·r²·t².
-    const double kth = kth_sq();
+    const double kth = top.worst();
+    const double inf = std::numeric_limits<double>::infinity();
     if (kth < inf) {
       const double gap = ref_sq_dist - part.radius_sq - kth;
       if (gap > 0.0 && gap * gap > 4.0 * part.radius_sq * kth) {
@@ -166,37 +225,128 @@ Result<std::vector<QueryHit>> FeatureIndex::NearestNeighborsImpl(
       }
     }
     ++local.partitions_visited;
+    const size_t rows = part.size();
+    if (part.quantized()) {
+      // Coarse tier. The prune needs a k-th best to compare against,
+      // so first seed the heap with exact evaluations (only the very
+      // first visited partition ever does this), then score the
+      // remaining rows with the exact-integer code distance
+      // D = Σ(qc − c)² and discard rows provably outside the k-th
+      // best via the two-hop triangle inequality
+      //   ‖q − r‖ ≥ scale·√D − ‖q − q̃‖ − ‖r − r̃‖
+      // (q̃, r̃ the grid reconstructions; scale·√D = ‖q̃ − r̃‖ exactly
+      // in real arithmetic since the grid step is uniform). All
+      // floating-point roundings live in per-partition *scalars*:
+      // the residual and the k-th best are inflated by the §11.2
+      // slack, the stored error was inflated at build, and the
+      // integer threshold T gets a final relative margin — so the
+      // per-row test `D > T` can only under-prune, never drop a row
+      // the exact kernels might still rank into the top k.
+      size_t start = 0;
+      while (!top.full() && start < rows) {
+        const double sq =
+            SquaredL2(query.data(), part.block.data() + start * dim, dim);
+        ++local.distance_computations;
+        top.Push(sq, part.record_indices[start]);
+        ++start;
+      }
+      if (start >= rows) continue;
+      // Clamp the query onto the partition's grid box, dimension by
+      // dimension. For an out-of-box dimension the box edge q'_j lies
+      // between q_j and every row value, so
+      //   (q_j − r_j)² >= (q_j − q'_j)² + (q'_j − r_j)²
+      // and summing gives ‖q − r‖² >= out² + ‖q' − r‖²: the out-of-box
+      // energy is a certified additive term common to every row, and
+      // the integer bound only has to separate the in-box part —
+      // where the grid residual ‖q' − q̃‖ is at most half a step per
+      // dimension instead of the full clamp distance.
+      scratch->qclamp.resize(dim);
+      scratch->qcodes.resize(dim);
+      scratch->decoded.resize(dim);
+      const double s = part.quant_scale;
+      for (size_t j = 0; j < dim; ++j) {
+        const double lo = part.quant_offsets[j];
+        const double hi = lo + 255.0 * s;
+        scratch->qclamp[j] = std::clamp(query[j], lo, hi);
+      }
+      const double out_sq =
+          SquaredL2(query.data(), scratch->qclamp.data(), dim);
+      QuantizeQuery(scratch->qclamp.data(), dim,
+                    part.quant_offsets.data(), s,
+                    scratch->qcodes.data());
+      DequantizeRow(scratch->qcodes.data(), dim,
+                    part.quant_offsets.data(), s,
+                    scratch->decoded.data());
+      const double q_res_sq =
+          SquaredL2(scratch->qclamp.data(), scratch->decoded.data(), dim);
+      const double slack =
+          QuantScanSlack(dim, q_sq, std::max(part.max_norm_sq,
+                                             part.quant_box_sq));
+      const double q_res = std::sqrt(q_res_sq + slack);
+      const double err = std::sqrt(part.quant_err_sq);
+      scratch->ssd.resize(max_partition_size_);
+      QuantizedSsdOneToMany(scratch->qcodes.data(),
+                            part.quant_codes.data() + start * dim,
+                            rows - start, dim, scratch->ssd.data());
+      local.coarse_computations += rows - start;
+      // Integer prune threshold, recomputed only when the k-th best
+      // moves: with t_rem = √max(0, kth + 2·slack − out²) the
+      // remaining in-box budget, prune iff
+      // scale·√D − q_res − err > t_rem, i.e. D > T. The 1e-9 relative
+      // inflation dominates every ε-level rounding in computing T
+      // itself (the slack terms already cover the kernel-evaluated
+      // quantities' accumulation error).
+      double last_worst = -1.0;
+      double threshold = -1.0;
+      for (size_t j = start; j < rows; ++j) {
+        const double worst = top.worst();
+        if (worst != last_worst) {
+          last_worst = worst;
+          if (s > 0.0) {
+            const double t_rem = std::sqrt(
+                std::max(0.0, worst + 2.0 * slack - out_sq));
+            const double rhs = t_rem + q_res + err;
+            threshold = (rhs / s) * (rhs / s) * (1.0 + 1e-9);
+          } else {
+            threshold = std::numeric_limits<double>::infinity();
+          }
+        }
+        if (static_cast<double>(scratch->ssd[j - start]) > threshold) {
+          ++local.coarse_pruned;
+          continue;
+        }
+        const double sq =
+            SquaredL2(query.data(), part.block.data() + j * dim, dim);
+        ++local.distance_computations;
+        top.Push(sq, part.record_indices[j]);
+      }
+      continue;
+    }
     // Dot-form scan of the packed block: ~2/3 of the difference form's
     // inner-loop work thanks to the precomputed row norms. The form is
     // approximate, so any row within the kernel error bound of the
     // current k-th best is re-checked with the exact pair kernel —
     // reported hits are bit-identical to the linear scan.
-    const size_t rows = part.size();
     SquaredL2DotOneToMany(query.data(), q_sq, part.block.data(),
                           part.norms_sq.data(), rows, dim,
                           scratch->dist.data());
     local.distance_computations += rows;
     const double margin = DotFormErrorBound(dim, q_sq, part.max_norm_sq);
     for (size_t j = 0; j < rows; ++j) {
-      if (best.size() >= k && scratch->dist[j] > kth_sq() + margin) {
+      if (top.full() && scratch->dist[j] > top.worst() + margin) {
         continue;
       }
       const double sq =
           SquaredL2(query.data(), part.block.data() + j * dim, dim);
-      if (sq < kth_sq() || best.size() < k) {
-        QueryHit hit{part.record_indices[j], sq};
-        auto pos = std::upper_bound(
-            best.begin(), best.end(), hit,
-            [](const QueryHit& a, const QueryHit& b) {
-              return a.distance < b.distance;
-            });
-        best.insert(pos, hit);
-        if (best.size() > k) best.pop_back();
-      }
+      top.Push(sq, part.record_indices[j]);
     }
   }
-  std::vector<QueryHit> out(best.begin(), best.end());
-  for (QueryHit& hit : out) hit.distance = std::sqrt(hit.distance);
+  top.ExtractSorted(&scratch->entries);
+  std::vector<QueryHit> out(scratch->entries.size());
+  for (size_t i = 0; i < scratch->entries.size(); ++i) {
+    out[i].record_index = scratch->entries[i].second;
+    out[i].distance = std::sqrt(scratch->entries[i].first);
+  }
   if (stats != nullptr) *stats = local;
   return out;
 }
@@ -204,13 +354,17 @@ Result<std::vector<QueryHit>> FeatureIndex::NearestNeighborsImpl(
 Result<std::vector<std::vector<QueryHit>>>
 FeatureIndex::BatchNearestNeighbors(
     const std::vector<std::vector<double>>& queries, size_t k,
-    IndexQueryStats* stats) const {
+    IndexQueryStats* stats,
+    const ParallelOptions* parallel_override) const {
   std::vector<std::vector<QueryHit>> results(queries.size());
+  const ParallelOptions& parallel =
+      parallel_override != nullptr ? *parallel_override
+                                   : options_.parallel;
   // Stats are accumulated per chunk (scratch is also per chunk) and
   // combined in ascending chunk order afterwards — the same fixed-order
   // combine contract as every other parallel reduction (DESIGN.md §8.1).
   const size_t num_chunks =
-      ParallelNumChunks(queries.size(), options_.parallel.grain);
+      ParallelNumChunks(queries.size(), parallel.grain);
   std::vector<IndexQueryStats> per_chunk(
       stats != nullptr ? num_chunks : 0);
   Status st = ParallelFor(
@@ -233,12 +387,15 @@ FeatureIndex::BatchNearestNeighbors(
                 query_stats.distance_computations;
             chunk_stats.partitions_visited += query_stats.partitions_visited;
             chunk_stats.partitions_pruned += query_stats.partitions_pruned;
+            chunk_stats.coarse_computations +=
+                query_stats.coarse_computations;
+            chunk_stats.coarse_pruned += query_stats.coarse_pruned;
           }
         }
         if (stats != nullptr) per_chunk[chunk] = chunk_stats;
         return Status::OK();
       },
-      options_.parallel);
+      parallel);
   MOCEMG_RETURN_NOT_OK(st);
   if (stats != nullptr) {
     IndexQueryStats total;
@@ -246,6 +403,8 @@ FeatureIndex::BatchNearestNeighbors(
       total.distance_computations += per_chunk[chunk].distance_computations;
       total.partitions_visited += per_chunk[chunk].partitions_visited;
       total.partitions_pruned += per_chunk[chunk].partitions_pruned;
+      total.coarse_computations += per_chunk[chunk].coarse_computations;
+      total.coarse_pruned += per_chunk[chunk].coarse_pruned;
     }
     *stats = total;
   }

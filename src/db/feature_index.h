@@ -4,16 +4,25 @@
 /// paper points to for fast searching (its refs [14]/[13]).
 ///
 /// Construction partitions the records with k-means; each partition keeps
-/// its reference point (centroid), covering radius, and — since the SoA
-/// rework (DESIGN.md §10.3) — a contiguous row-major copy of its member
-/// records plus their squared norms, so a query scans one packed block
-/// with the dot-product-form distance kernel instead of pointer-chasing
-/// record indices into the database. A query visits partitions in
-/// ascending distance-to-reference order and prunes any partition whose
-/// triangle-inequality lower bound d(q, ref) − radius exceeds the current
-/// k-th best distance (evaluated entirely in squared space — no sqrt).
-/// Results are exact; the win is the fraction of distance computations
-/// avoided (reported for the bench).
+/// its reference point (centroid), covering radius, a contiguous
+/// row-major copy of its member records plus their squared norms
+/// (DESIGN.md §10.3), and — since the quantized tier (§11) — int8
+/// per-dimension affine codes of the same rows with a measured
+/// reconstruction-error bound. A query visits partitions in ascending
+/// distance-to-reference order, prunes whole partitions with the
+/// triangle-inequality bound d(q, ref) − radius, and inside a surviving
+/// partition runs a two-tier scan: an exact-integer coarse pass over
+/// the int8 codes (1 byte/dim of memory traffic instead of 8, int32
+/// arithmetic instead of doubles) discards every record whose
+/// *provable* distance lower bound exceeds the current k-th best, and
+/// only the survivors are re-ranked with the exact full-precision
+/// kernels. Results are bit-identical to the linear scan — the coarse
+/// tier only ever changes how much full-precision work is done, never
+/// which hits are reported.
+///
+/// Staleness: the index records the database epoch it was built
+/// against; once the database mutates (Insert/UpdateFeature), queries
+/// fail with FailedPrecondition until Rebuild().
 
 #ifndef MOCEMG_DB_FEATURE_INDEX_H_
 #define MOCEMG_DB_FEATURE_INDEX_H_
@@ -25,6 +34,7 @@
 #include "linalg/matrix.h"
 #include "util/parallel.h"
 #include "util/result.h"
+#include "util/top_k.h"
 
 namespace mocemg {
 
@@ -33,6 +43,20 @@ struct FeatureIndexOptions {
   /// Number of k-means partitions; 0 = auto (≈ √N, at least 1).
   size_t num_partitions = 0;
   uint64_t seed = 17;
+  /// Two-tier scan: build int8 codes at Rebuild and use the coarse
+  /// pass to prune records before the exact re-rank. Results are
+  /// bit-identical either way; OFF skips the codes entirely and scans
+  /// with the PR 4 dot-form + refine path alone.
+  bool quantized_scan = true;
+  /// Partitions with fewer rows than this are scanned directly with
+  /// the dot-form kernel: the coarse pass carries a fixed per-partition
+  /// cost (query clamp + encode + residual measurement + threshold
+  /// math), and below a few hundred rows that overhead exceeds the
+  /// full-precision work it could save — measured on the √N-partition
+  /// default layout, where ~100-row partitions ran ~1.3x slower with
+  /// codes than without. Pure build-time property, so scan behaviour
+  /// stays deterministic.
+  size_t quantized_min_rows = 256;
   /// Parallelism for Rebuild's per-record distance pass and for
   /// BatchNearestNeighbors. Queries are read-only over the built index,
   /// so results are bit-identical at any thread count.
@@ -41,9 +65,16 @@ struct FeatureIndexOptions {
 
 /// \brief Query-time statistics (filled per query).
 struct IndexQueryStats {
+  /// Full-precision distance evaluations (partition references + exact
+  /// scans + coarse-survivor re-ranks). The coarse-tier win is this
+  /// number shrinking relative to the records visited.
   size_t distance_computations = 0;
   size_t partitions_visited = 0;
   size_t partitions_pruned = 0;
+  /// Records scored by the int8 coarse pass (1 byte/dim traffic).
+  size_t coarse_computations = 0;
+  /// Records the coarse bound discarded without exact evaluation.
+  size_t coarse_pruned = 0;
 };
 
 /// \brief Exact cluster-pruned kNN index. The index copies each
@@ -58,32 +89,41 @@ class FeatureIndex {
                                     const FeatureIndexOptions& options = {});
 
   /// \brief Rebuilds over the database's current records (repacks every
-  /// partition block and its norms from the database's packed features).
+  /// partition block, its norms, and its quantized codes from the
+  /// database's packed features) and adopts the database's current
+  /// epoch.
   Status Rebuild();
 
   /// \brief Exact kNN; identical results to the database's linear scan.
   ///
-  /// The partition scan runs the dot-product-form kernel over the
-  /// packed block; candidates inside the kernel's error bound of the
-  /// current k-th best are re-checked with the exact difference-form
-  /// kernel, so the reported hits (indices and distances) are
-  /// bit-identical to the linear scan's. The triangle-inequality prune
-  /// is evaluated in squared space, so the only sqrts in a query are
-  /// the k reported hit distances.
+  /// The coarse int8 pass (when enabled) prunes records whose
+  /// triangle-inequality lower bound — inflated by the §11.2 error
+  /// slack — provably exceeds the current k-th best; every survivor is
+  /// evaluated with the exact kernels, so the reported hits (indices
+  /// and distances, ties broken toward the smaller record index) are
+  /// bit-identical to the linear scan's. Fails with FailedPrecondition
+  /// when the database has mutated since the last Rebuild.
   Result<std::vector<QueryHit>> NearestNeighbors(
       const std::vector<double>& query, size_t k,
       IndexQueryStats* stats = nullptr) const;
 
-  /// \brief kNN for a batch of queries, parallelized over queries with
-  /// the options' ParallelOptions. Element i equals
-  /// NearestNeighbors(queries[i], k) exactly; `stats`, when given, is
-  /// accumulated per chunk and combined in ascending chunk order, so it
-  /// (like the hits) is identical at every thread count.
+  /// \brief kNN for a batch of queries, parallelized over queries.
+  /// Element i equals NearestNeighbors(queries[i], k) exactly;
+  /// `stats`, when given, is accumulated per chunk and combined in
+  /// ascending chunk order, so it (like the hits) is identical at
+  /// every thread count. `parallel_override`, when non-null, replaces
+  /// the build options' ParallelOptions for this call (the query
+  /// server passes its own budget through here).
   Result<std::vector<std::vector<QueryHit>>> BatchNearestNeighbors(
       const std::vector<std::vector<double>>& queries, size_t k,
-      IndexQueryStats* stats = nullptr) const;
+      IndexQueryStats* stats = nullptr,
+      const ParallelOptions* parallel_override = nullptr) const;
 
   size_t num_partitions() const { return partitions_.size(); }
+
+  /// \brief The database epoch this index was built against; queries
+  /// require database->epoch() to still equal it.
+  uint64_t built_epoch() const { return built_epoch_; }
 
  private:
   struct Partition {
@@ -96,8 +136,20 @@ class FeatureIndex {
     /// their squared norms for the dot-product-form scan.
     std::vector<double> block;
     std::vector<double> norms_sq;
+    /// Quantized tier (empty when disabled or below quantized_min_rows):
+    /// per-dimension offsets + uniform scale of the affine grid and the
+    /// members' int8 codes, plus the partition's worst measured
+    /// reconstruction error ‖r − r̃‖² (inflated by the build-side
+    /// slack) and the grid bounding box's squared-norm bound — the two
+    /// scalars the provable integer prune leans on.
+    std::vector<double> quant_offsets;
+    std::vector<uint8_t> quant_codes;
+    double quant_scale = 0.0;
+    double quant_err_sq = 0.0;
+    double quant_box_sq = 0.0;
 
     size_t size() const { return record_indices.size(); }
+    bool quantized() const { return !quant_codes.empty(); }
   };
 
   /// Per-query scratch, reused across a batch chunk.
@@ -105,7 +157,12 @@ class FeatureIndex {
     std::vector<double> ref_sq;   ///< squared distance to each reference
     std::vector<std::pair<double, size_t>> order;
     std::vector<double> dist;     ///< per-partition scan buffer
-    std::vector<QueryHit> best;
+    std::vector<double> qclamp;   ///< query clamped into the grid box
+    std::vector<uint8_t> qcodes;  ///< query coded on a partition's grid
+    std::vector<double> decoded;  ///< q̃, for the residual measurement
+    std::vector<uint32_t> ssd;    ///< integer coarse distances
+    BoundedTopK top;
+    std::vector<TopKEntry> entries;
   };
 
   Result<std::vector<QueryHit>> NearestNeighborsImpl(
@@ -119,6 +176,7 @@ class FeatureIndex {
   /// the visit-order pass is one one-to-many kernel call.
   Matrix references_;
   size_t max_partition_size_ = 0;
+  uint64_t built_epoch_ = 0;
 };
 
 }  // namespace mocemg

@@ -9,6 +9,7 @@
 #include "util/distance_kernels.h"
 #include "util/macros.h"
 #include "util/string_util.h"
+#include "util/top_k.h"
 
 namespace mocemg {
 
@@ -35,6 +36,35 @@ Status MotionDatabase::Insert(MotionRecord record) {
   packed_.insert(packed_.end(), record.feature.begin(),
                  record.feature.end());
   records_.push_back(std::move(record));
+  ++epoch_;
+  return Status::OK();
+}
+
+Status MotionDatabase::UpdateFeature(size_t index,
+                                     const std::vector<double>& feature) {
+  if (index >= records_.size()) {
+    return Status::OutOfRange("record index " + std::to_string(index) +
+                              " out of range (database has " +
+                              std::to_string(records_.size()) +
+                              " records)");
+  }
+  if (feature.size() != dimension_) {
+    return Status::InvalidArgument(
+        "feature dimension " + std::to_string(feature.size()) +
+        " does not match database dimension " +
+        std::to_string(dimension_));
+  }
+  for (double v : feature) {
+    if (!std::isfinite(v)) {
+      return Status::InvalidArgument(
+          "updated feature for record '" + records_[index].name +
+          "' has a non-finite value");
+    }
+  }
+  records_[index].feature = feature;
+  std::copy(feature.begin(), feature.end(),
+            packed_.begin() + static_cast<ptrdiff_t>(index * dimension_));
+  ++epoch_;
   return Status::OK();
 }
 
@@ -53,22 +83,24 @@ Result<std::vector<QueryHit>> MotionDatabase::NearestNeighbors(
   }
   // One pass of the packed one-to-many kernel over the SoA block, then
   // select in squared space (sqrt is monotone, so the order is the
-  // same) and take the root only for the k reported hits.
+  // same) with a bounded k-entry max-heap — O(n log k) and k live
+  // entries instead of materializing and partially sorting all n.
+  // Ties resolve toward the smaller record index (top_k.h), the same
+  // rule as every other kNN path. sqrt only for the k reported hits.
   std::vector<double> sq(records_.size());
   SquaredL2OneToMany(query.data(), packed_.data(), records_.size(),
                      dimension_, sq.data());
-  std::vector<QueryHit> hits(records_.size());
+  BoundedTopK top(std::min(k, records_.size()));
   for (size_t i = 0; i < records_.size(); ++i) {
-    hits[i].record_index = i;
-    hits[i].distance = sq[i];
+    top.Push(sq[i], i);
   }
-  const size_t kk = std::min(k, hits.size());
-  std::partial_sort(hits.begin(), hits.begin() + static_cast<ptrdiff_t>(kk),
-                    hits.end(), [](const QueryHit& a, const QueryHit& b) {
-                      return a.distance < b.distance;
-                    });
-  hits.resize(kk);
-  for (QueryHit& hit : hits) hit.distance = std::sqrt(hit.distance);
+  std::vector<TopKEntry> entries;
+  top.ExtractSorted(&entries);
+  std::vector<QueryHit> hits(entries.size());
+  for (size_t i = 0; i < entries.size(); ++i) {
+    hits[i].record_index = entries[i].second;
+    hits[i].distance = std::sqrt(entries[i].first);
+  }
   return hits;
 }
 
@@ -76,6 +108,19 @@ Result<size_t> MotionDatabase::ClassifyByVote(
     const std::vector<double>& query, size_t k) const {
   MOCEMG_ASSIGN_OR_RETURN(std::vector<QueryHit> hits,
                           NearestNeighbors(query, k));
+  return VoteAmongHits(hits);
+}
+
+Result<size_t> MotionDatabase::VoteAmongHits(
+    const std::vector<QueryHit>& hits) const {
+  if (hits.empty()) {
+    return Status::InvalidArgument("no hits to vote among");
+  }
+  for (const QueryHit& h : hits) {
+    if (h.record_index >= records_.size()) {
+      return Status::OutOfRange("hit record index out of range");
+    }
+  }
   std::map<size_t, size_t> votes;
   for (const QueryHit& h : hits) {
     ++votes[records_[h.record_index].label];

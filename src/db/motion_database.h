@@ -9,6 +9,7 @@
 #ifndef MOCEMG_DB_MOTION_DATABASE_H_
 #define MOCEMG_DB_MOTION_DATABASE_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -41,6 +42,19 @@ class MotionDatabase {
   /// dimension, later mismatches fail.
   Status Insert(MotionRecord record);
 
+  /// \brief Replaces record `index`'s feature vector, keeping the
+  /// packed mirror in sync (both are written under one epoch bump, so
+  /// the mirror can never go stale relative to the records). Same
+  /// validation as Insert: finite values, matching dimension.
+  Status UpdateFeature(size_t index, const std::vector<double>& feature);
+
+  /// \brief Mutation epoch: incremented by every Insert and
+  /// UpdateFeature. Derived structures (FeatureIndex, QueryServer
+  /// cache entries) record the epoch they were built against and treat
+  /// any mismatch as staleness — the index fails queries with a
+  /// Status until Rebuild, the cache simply stops hitting.
+  uint64_t epoch() const { return epoch_; }
+
   size_t size() const { return records_.size(); }
   bool empty() const { return records_.empty(); }
   size_t feature_dimension() const { return dimension_; }
@@ -68,6 +82,13 @@ class MotionDatabase {
   Result<size_t> ClassifyByVote(const std::vector<double>& query,
                                 size_t k) const;
 
+  /// \brief The vote half of ClassifyByVote over already-computed
+  /// hits (ascending by distance): majority label, ties resolved
+  /// toward the closer neighbour's label. Shared with the query
+  /// server so a cached hit list classifies identically to a fresh
+  /// scan. `hits` must be non-empty with valid record indices.
+  Result<size_t> VoteAmongHits(const std::vector<QueryHit>& hits) const;
+
   /// \brief CSV persistence: name,label,label_name,f0,f1,…
   Status SaveCsv(const std::string& path) const;
   static Result<MotionDatabase> LoadCsv(const std::string& path);
@@ -79,6 +100,7 @@ class MotionDatabase {
   /// scans stream one contiguous block).
   std::vector<double> packed_;
   size_t dimension_ = 0;
+  uint64_t epoch_ = 0;
 };
 
 }  // namespace mocemg

@@ -1,0 +1,597 @@
+#include "db/query_server.h"
+
+#include <algorithm>
+#include <cmath>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <list>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+
+#include "util/distance_kernels.h"
+#include "util/macros.h"
+#include "util/top_k.h"
+
+namespace mocemg {
+namespace {
+
+/// Seeded FNV-1a-style hash over the key bytes: the query's doubles
+/// (verbatim bit patterns), then k, then the epoch. The seed replaces
+/// the offset basis so two servers with different seeds place the same
+/// keys in different buckets.
+uint64_t HashKey(uint64_t seed, const std::vector<double>& query, size_t k,
+                 uint64_t epoch) {
+  uint64_t h = seed ^ 0xcbf29ce484222325ULL;
+  auto mix = [&h](uint64_t v) {
+    h ^= v;
+    h *= 0x100000001b3ULL;
+    h ^= h >> 29;
+  };
+  for (double d : query) {
+    uint64_t bits;
+    std::memcpy(&bits, &d, sizeof(bits));
+    mix(bits);
+  }
+  mix(static_cast<uint64_t>(k));
+  mix(epoch);
+  return h;
+}
+
+void AccumulateIndexStats(IndexQueryStats* acc, const IndexQueryStats& s) {
+  acc->distance_computations += s.distance_computations;
+  acc->partitions_visited += s.partitions_visited;
+  acc->partitions_pruned += s.partitions_pruned;
+  acc->coarse_computations += s.coarse_computations;
+  acc->coarse_pruned += s.coarse_pruned;
+}
+
+}  // namespace
+
+struct QueryServer::Impl {
+  const MotionDatabase* db = nullptr;
+  const FeatureIndex* index = nullptr;
+  QueryServerOptions opts;
+
+  mutable std::mutex mu;
+  std::condition_variable cv_work;  ///< queue became non-empty / stopping
+  std::condition_variable cv_done;  ///< some outcomes became ready
+
+  struct Request {
+    bool classify = false;
+    std::vector<double> query;
+    size_t k = 1;
+    uint64_t ticket = 0;
+  };
+  struct Outcome {
+    bool ready = false;
+    bool classify = false;
+    Status status;
+    std::vector<QueryHit> hits;
+    size_t label = 0;
+  };
+  struct CacheEntry {
+    uint64_t hash = 0;
+    uint64_t epoch = 0;
+    size_t k = 0;
+    std::vector<double> query;
+    std::vector<QueryHit> hits;
+  };
+
+  std::deque<Request> queue;
+  std::unordered_map<uint64_t, Outcome> outcomes;
+  uint64_t next_ticket = 1;
+  QueryServerStats counters;
+
+  /// FIFO cache: list front = oldest entry; the multimap resolves a
+  /// seeded hash to its entries (full key compared on lookup, so a
+  /// hash collision can never serve the wrong result).
+  std::list<CacheEntry> cache_fifo;
+  std::unordered_multimap<uint64_t, std::list<CacheEntry>::iterator>
+      cache_map;
+
+  std::thread worker;
+  bool running = false;
+  bool stopping = false;
+
+  Result<uint64_t> Submit(bool classify, std::vector<double> query,
+                          size_t k);
+  Status ServeBatch(size_t* served_out);
+  Status ExactBatch(const std::vector<const std::vector<double>*>& queries,
+                    size_t k,
+                    std::vector<std::vector<QueryHit>*> hit_sinks) const;
+  const CacheEntry* FindCached(uint64_t hash,
+                               const std::vector<double>& query, size_t k,
+                               uint64_t epoch) const;
+  void InsertCached(CacheEntry entry);
+  Result<Outcome> Take(uint64_t ticket, bool classify);
+  void WorkerLoop();
+};
+
+Result<uint64_t> QueryServer::Impl::Submit(bool classify,
+                                           std::vector<double> query,
+                                           size_t k) {
+  if (query.size() != db->feature_dimension()) {
+    return Status::InvalidArgument(
+        "query dimension " + std::to_string(query.size()) +
+        " does not match database dimension " +
+        std::to_string(db->feature_dimension()));
+  }
+  for (double v : query) {
+    if (!std::isfinite(v)) {
+      return Status::InvalidArgument(
+          "query feature contains a non-finite value");
+    }
+  }
+  if (k == 0) return Status::InvalidArgument("k must be >= 1");
+  std::unique_lock<std::mutex> lock(mu);
+  if (queue.size() >= opts.max_queue) {
+    ++counters.rejected;
+    return Status::OutOfRange(
+        "admission queue full (" + std::to_string(opts.max_queue) +
+        " requests waiting); retry after draining");
+  }
+  const uint64_t ticket = next_ticket++;
+  Request req;
+  req.classify = classify;
+  req.query = std::move(query);
+  req.k = k;
+  req.ticket = ticket;
+  queue.push_back(std::move(req));
+  Outcome& out = outcomes[ticket];
+  out.classify = classify;
+  ++counters.submitted;
+  lock.unlock();
+  cv_work.notify_one();
+  return ticket;
+}
+
+const QueryServer::Impl::CacheEntry* QueryServer::Impl::FindCached(
+    uint64_t hash, const std::vector<double>& query, size_t k,
+    uint64_t epoch) const {
+  auto [begin, end] = cache_map.equal_range(hash);
+  for (auto it = begin; it != end; ++it) {
+    const CacheEntry& e = *it->second;
+    if (e.epoch == epoch && e.k == k && e.query == query) return &e;
+  }
+  return nullptr;
+}
+
+void QueryServer::Impl::InsertCached(CacheEntry entry) {
+  while (cache_fifo.size() >= opts.cache_capacity) {
+    const CacheEntry& oldest = cache_fifo.front();
+    auto [begin, end] = cache_map.equal_range(oldest.hash);
+    for (auto it = begin; it != end; ++it) {
+      if (it->second == cache_fifo.begin()) {
+        cache_map.erase(it);
+        break;
+      }
+    }
+    cache_fifo.pop_front();
+    ++counters.evictions;
+  }
+  cache_fifo.push_back(std::move(entry));
+  auto it = std::prev(cache_fifo.end());
+  cache_map.emplace(it->hash, it);
+}
+
+Status QueryServer::Impl::ExactBatch(
+    const std::vector<const std::vector<double>*>& queries, size_t k,
+    std::vector<std::vector<QueryHit>*> hit_sinks) const {
+  // Blocked many-to-many sweep over the database's packed mirror: the
+  // whole micro-batch streams each block tile once (distance_kernels
+  // §10), then a per-query bounded top-k selection in squared space.
+  // Per-pair bits equal the pair kernel's, and the (distance, index)
+  // tie-break matches the linear scan, so element i is bit-identical
+  // to db->NearestNeighbors(*queries[i], k).
+  const size_t nq = queries.size();
+  const size_t n = db->size();
+  const size_t d = db->feature_dimension();
+  const size_t kk = std::min(k, n);
+  std::vector<double> qbuf(nq * d);
+  for (size_t i = 0; i < nq; ++i) {
+    std::memcpy(qbuf.data() + i * d, queries[i]->data(),
+                d * sizeof(double));
+  }
+  std::vector<double> sq(nq * n);
+  SquaredL2ManyToMany(qbuf.data(), nq, db->packed_features().data(), n, d,
+                      sq.data(), n);
+  return ParallelFor(
+      nq,
+      [&](size_t begin, size_t end, size_t /*chunk*/) -> Status {
+        BoundedTopK top;
+        std::vector<TopKEntry> entries;
+        for (size_t q = begin; q < end; ++q) {
+          const double* row = sq.data() + q * n;
+          top.Reset(kk);
+          for (size_t i = 0; i < n; ++i) top.Push(row[i], i);
+          top.ExtractSorted(&entries);
+          std::vector<QueryHit>& hits = *hit_sinks[q];
+          hits.resize(entries.size());
+          for (size_t i = 0; i < entries.size(); ++i) {
+            hits[i].record_index = entries[i].second;
+            hits[i].distance = std::sqrt(entries[i].first);
+          }
+        }
+        return Status::OK();
+      },
+      opts.parallel);
+}
+
+Status QueryServer::Impl::ServeBatch(size_t* served_out) {
+  // --- batch formation + cache lookups, under the lock -------------
+  std::vector<Request> batch;
+  const size_t nb_cap = opts.max_batch;
+  const uint64_t epoch = db->epoch();
+  struct Plan {
+    uint64_t hash = 0;
+    bool from_cache = false;
+    std::vector<QueryHit> cached;  ///< filled when from_cache
+    size_t eval_slot = 0;          ///< index into uniq when !from_cache
+  };
+  std::vector<Plan> plan;
+  std::vector<size_t> uniq;  ///< batch positions evaluated (first of dupes)
+  uint64_t n_hits = 0, n_miss = 0, n_coal = 0;
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    while (!queue.empty() && batch.size() < nb_cap) {
+      batch.push_back(std::move(queue.front()));
+      queue.pop_front();
+    }
+    if (batch.empty()) {
+      if (served_out != nullptr) *served_out = 0;
+      return Status::OK();
+    }
+    plan.resize(batch.size());
+    for (size_t i = 0; i < batch.size(); ++i) {
+      const Request& req = batch[i];
+      Plan& pl = plan[i];
+      pl.hash = HashKey(opts.cache_seed, req.query, req.k, epoch);
+      if (opts.cache_capacity > 0) {
+        const CacheEntry* hit =
+            FindCached(pl.hash, req.query, req.k, epoch);
+        if (hit != nullptr) {
+          pl.from_cache = true;
+          pl.cached = hit->hits;
+          ++n_hits;
+          continue;
+        }
+      }
+      ++n_miss;
+      // Coalesce duplicates inside the batch onto one evaluation.
+      bool coalesced = false;
+      for (size_t u = 0; u < uniq.size(); ++u) {
+        const Request& first = batch[uniq[u]];
+        if (first.k == req.k && first.query == req.query) {
+          pl.eval_slot = u;
+          coalesced = true;
+          ++n_coal;
+          break;
+        }
+      }
+      if (!coalesced) {
+        pl.eval_slot = uniq.size();
+        uniq.push_back(i);
+      }
+    }
+  }
+
+  // --- evaluation, outside the lock --------------------------------
+  const bool use_index = index != nullptr && index->num_partitions() > 0 &&
+                         index->built_epoch() == epoch;
+  std::vector<std::vector<QueryHit>> eval_hits(uniq.size());
+  IndexQueryStats agg;
+  Status eval_status = Status::OK();
+  if (!uniq.empty()) {
+    // Requests may carry different k; group the unique evaluations by
+    // k so each group is one batched kernel call. std::map keeps the
+    // group order deterministic.
+    std::map<size_t, std::vector<size_t>> by_k;
+    for (size_t u = 0; u < uniq.size(); ++u) {
+      by_k[batch[uniq[u]].k].push_back(u);
+    }
+    for (const auto& [k, slots] : by_k) {
+      if (use_index) {
+        std::vector<std::vector<double>> queries(slots.size());
+        for (size_t s = 0; s < slots.size(); ++s) {
+          queries[s] = batch[uniq[slots[s]]].query;
+        }
+        IndexQueryStats st;
+        auto hits = index->BatchNearestNeighbors(queries, k, &st,
+                                                 &opts.parallel);
+        if (!hits.ok()) {
+          eval_status = hits.status().WithContext("query server batch");
+          break;
+        }
+        AccumulateIndexStats(&agg, st);
+        for (size_t s = 0; s < slots.size(); ++s) {
+          eval_hits[slots[s]] = std::move((*hits)[s]);
+        }
+      } else {
+        std::vector<const std::vector<double>*> queries(slots.size());
+        std::vector<std::vector<QueryHit>*> sinks(slots.size());
+        for (size_t s = 0; s < slots.size(); ++s) {
+          queries[s] = &batch[uniq[slots[s]]].query;
+          sinks[s] = &eval_hits[slots[s]];
+        }
+        Status st = ExactBatch(queries, k, std::move(sinks));
+        if (!st.ok()) {
+          eval_status = st.WithContext("query server batch");
+          break;
+        }
+      }
+    }
+  }
+
+  // --- commit: cache inserts + outcome fulfilment, under the lock --
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    counters.served += batch.size();
+    ++counters.batches;
+    counters.cache_hits += n_hits;
+    counters.cache_misses += n_miss;
+    counters.coalesced += n_coal;
+    if (use_index) AccumulateIndexStats(&counters.index_stats, agg);
+    if (eval_status.ok() && opts.cache_capacity > 0) {
+      for (size_t u = 0; u < uniq.size(); ++u) {
+        const Request& req = batch[uniq[u]];
+        CacheEntry entry;
+        entry.hash = plan[uniq[u]].hash;
+        entry.epoch = epoch;
+        entry.k = req.k;
+        entry.query = req.query;
+        entry.hits = eval_hits[u];
+        InsertCached(std::move(entry));
+      }
+    }
+    for (size_t i = 0; i < batch.size(); ++i) {
+      auto it = outcomes.find(batch[i].ticket);
+      if (it == outcomes.end()) continue;  // ticket abandoned
+      Outcome& out = it->second;
+      if (!eval_status.ok() && !plan[i].from_cache) {
+        out.status = eval_status;
+      } else {
+        const std::vector<QueryHit>& hits =
+            plan[i].from_cache ? plan[i].cached
+                               : eval_hits[plan[i].eval_slot];
+        if (out.classify) {
+          auto label = db->VoteAmongHits(hits);
+          if (!label.ok()) {
+            out.status = label.status();
+          } else {
+            out.label = *label;
+          }
+        } else {
+          out.hits = hits;
+        }
+      }
+      out.ready = true;
+    }
+  }
+  cv_done.notify_all();
+  if (served_out != nullptr) *served_out = batch.size();
+  return eval_status;
+}
+
+Result<QueryServer::Impl::Outcome> QueryServer::Impl::Take(uint64_t ticket,
+                                                           bool classify) {
+  std::unique_lock<std::mutex> lock(mu);
+  auto it = outcomes.find(ticket);
+  if (it == outcomes.end()) {
+    return Status::NotFound("unknown or already-taken ticket " +
+                            std::to_string(ticket));
+  }
+  if (it->second.classify != classify) {
+    return Status::InvalidArgument(
+        classify ? "ticket belongs to a kNN request"
+                 : "ticket belongs to a classify request");
+  }
+  while (!it->second.ready) {
+    if (running) {
+      cv_done.wait(lock);
+    } else {
+      // No worker: serve inline until this ticket's batch has run.
+      lock.unlock();
+      size_t served = 0;
+      Status st = ServeBatch(&served);
+      lock.lock();
+      it = outcomes.find(ticket);
+      if (it == outcomes.end()) {
+        return Status::NotFound("ticket lost while serving inline");
+      }
+      if (!st.ok() && !it->second.ready) return st;
+      if (served == 0 && !it->second.ready) {
+        return Status::Unknown(
+            "ticket never served: queue drained without it");
+      }
+    }
+    it = outcomes.find(ticket);
+    if (it == outcomes.end()) {
+      return Status::NotFound("ticket taken concurrently");
+    }
+  }
+  Outcome out = std::move(it->second);
+  outcomes.erase(it);
+  if (!out.status.ok()) return out.status;
+  return out;
+}
+
+void QueryServer::Impl::WorkerLoop() {
+  while (true) {
+    {
+      std::unique_lock<std::mutex> lock(mu);
+      cv_work.wait(lock, [&] { return stopping || !queue.empty(); });
+      if (queue.empty() && stopping) return;
+    }
+    // Per-request failures are recorded in the outcomes; the worker
+    // itself keeps serving.
+    size_t served = 0;
+    (void)ServeBatch(&served);
+  }
+}
+
+QueryServer::QueryServer(std::unique_ptr<Impl> impl)
+    : impl_(std::move(impl)) {}
+QueryServer::QueryServer(QueryServer&&) noexcept = default;
+QueryServer& QueryServer::operator=(QueryServer&&) noexcept = default;
+
+QueryServer::~QueryServer() {
+  if (impl_ != nullptr) Stop();
+}
+
+Result<QueryServer> QueryServer::Create(const MotionDatabase* database,
+                                        const FeatureIndex* index,
+                                        const QueryServerOptions& options) {
+  if (database == nullptr) {
+    return Status::InvalidArgument("null database");
+  }
+  if (database->empty()) {
+    return Status::FailedPrecondition("database is empty");
+  }
+  if (options.max_queue == 0) {
+    return Status::InvalidArgument("max_queue must be >= 1");
+  }
+  if (options.max_batch == 0) {
+    return Status::InvalidArgument("max_batch must be >= 1");
+  }
+  auto impl = std::make_unique<Impl>();
+  impl->db = database;
+  impl->index = index;
+  impl->opts = options;
+  return QueryServer(std::move(impl));
+}
+
+Result<uint64_t> QueryServer::SubmitNearestNeighbors(
+    std::vector<double> query, size_t k) {
+  return impl_->Submit(false, std::move(query), k);
+}
+
+Result<uint64_t> QueryServer::SubmitClassify(std::vector<double> query,
+                                             size_t k) {
+  return impl_->Submit(true, std::move(query), k);
+}
+
+Status QueryServer::DrainOnce(size_t* served_out) {
+  return impl_->ServeBatch(served_out);
+}
+
+Status QueryServer::Drain() {
+  size_t served = 0;
+  do {
+    MOCEMG_RETURN_NOT_OK(impl_->ServeBatch(&served));
+  } while (served > 0);
+  return Status::OK();
+}
+
+Result<std::vector<QueryHit>> QueryServer::TakeHits(uint64_t ticket) {
+  MOCEMG_ASSIGN_OR_RETURN(Impl::Outcome out, impl_->Take(ticket, false));
+  return std::move(out.hits);
+}
+
+Result<size_t> QueryServer::TakeLabel(uint64_t ticket) {
+  MOCEMG_ASSIGN_OR_RETURN(Impl::Outcome out, impl_->Take(ticket, true));
+  return out.label;
+}
+
+Result<std::vector<QueryHit>> QueryServer::NearestNeighbors(
+    const std::vector<double>& query, size_t k) {
+  MOCEMG_ASSIGN_OR_RETURN(uint64_t ticket,
+                          SubmitNearestNeighbors(query, k));
+  return TakeHits(ticket);
+}
+
+Result<size_t> QueryServer::Classify(const std::vector<double>& query,
+                                     size_t k) {
+  MOCEMG_ASSIGN_OR_RETURN(uint64_t ticket, SubmitClassify(query, k));
+  return TakeLabel(ticket);
+}
+
+namespace {
+
+/// Shared submit-all / take-all pump for the batch conveniences:
+/// admission rejections are handled with backpressure — take the
+/// oldest outstanding result (which blocks until its batch is served,
+/// freeing queue space) and retry.
+template <typename SubmitFn, typename TakeFn, typename ResultT>
+Status PumpBatch(size_t n, const SubmitFn& submit, const TakeFn& take,
+                 std::vector<ResultT>* results) {
+  std::vector<uint64_t> tickets(n, 0);
+  results->resize(n);
+  size_t taken = 0;
+  for (size_t i = 0; i < n; ++i) {
+    for (;;) {
+      auto ticket = submit(i);
+      if (ticket.ok()) {
+        tickets[i] = *ticket;
+        break;
+      }
+      if (ticket.status().code() != StatusCode::kOutOfRange ||
+          taken >= i) {
+        return ticket.status();
+      }
+      MOCEMG_ASSIGN_OR_RETURN((*results)[taken], take(tickets[taken]));
+      ++taken;
+    }
+  }
+  for (; taken < n; ++taken) {
+    MOCEMG_ASSIGN_OR_RETURN((*results)[taken], take(tickets[taken]));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::vector<std::vector<QueryHit>>>
+QueryServer::NearestNeighborsBatch(
+    const std::vector<std::vector<double>>& queries, size_t k) {
+  std::vector<std::vector<QueryHit>> results;
+  MOCEMG_RETURN_NOT_OK(PumpBatch(
+      queries.size(),
+      [&](size_t i) { return SubmitNearestNeighbors(queries[i], k); },
+      [&](uint64_t t) { return TakeHits(t); }, &results));
+  return results;
+}
+
+Result<std::vector<size_t>> QueryServer::ClassifyBatch(
+    const std::vector<std::vector<double>>& queries, size_t k) {
+  std::vector<size_t> results;
+  MOCEMG_RETURN_NOT_OK(PumpBatch(
+      queries.size(),
+      [&](size_t i) { return SubmitClassify(queries[i], k); },
+      [&](uint64_t t) { return TakeLabel(t); }, &results));
+  return results;
+}
+
+Status QueryServer::Start() {
+  std::unique_lock<std::mutex> lock(impl_->mu);
+  if (impl_->running) return Status::OK();
+  impl_->stopping = false;
+  impl_->running = true;
+  impl_->worker = std::thread([impl = impl_.get()] { impl->WorkerLoop(); });
+  return Status::OK();
+}
+
+void QueryServer::Stop() {
+  {
+    std::unique_lock<std::mutex> lock(impl_->mu);
+    if (!impl_->running) return;
+    impl_->stopping = true;
+  }
+  impl_->cv_work.notify_all();
+  impl_->worker.join();
+  {
+    std::unique_lock<std::mutex> lock(impl_->mu);
+    impl_->running = false;
+    impl_->stopping = false;
+  }
+}
+
+QueryServerStats QueryServer::stats() const {
+  std::unique_lock<std::mutex> lock(impl_->mu);
+  return impl_->counters;
+}
+
+}  // namespace mocemg

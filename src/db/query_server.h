@@ -1,0 +1,171 @@
+/// \file query_server.h
+/// \brief Batched query-serving front end over a MotionDatabase and an
+/// optional FeatureIndex: the production-facing path for the paper's
+/// Section 4 retrieval step.
+///
+/// Three mechanisms (DESIGN.md §11.3):
+///
+///  - **Bounded admission**: Submit* enqueues a request and returns a
+///    ticket; once `max_queue` requests are waiting, further submits
+///    are rejected with OutOfRange instead of growing the queue
+///    without bound.
+///  - **Deterministic micro-batching**: requests are served in strict
+///    admission (FIFO) order, up to `max_batch` at a time. A batch's
+///    unique cache-miss queries are evaluated together — through the
+///    index's batch path when it is fresh, otherwise through one
+///    blocked many-to-many kernel sweep over the database — and
+///    duplicate queries inside a batch coalesce onto one evaluation.
+///    Batch composition is a pure function of admission order, and the
+///    kernels are bit-identical at any thread count, so the same
+///    request sequence produces the same results *and the same
+///    cache-hit counts* at MOCEMG_THREADS=1/2/8.
+///  - **Seeded, invalidation-correct result cache**: hit lists are
+///    cached keyed by (query bytes, k, database epoch) under a seeded
+///    hash, with FIFO eviction at `cache_capacity` entries. The epoch
+///    in the key makes invalidation structural — after any database
+///    mutation the epoch moves and stale entries can never match
+///    again; they age out of the FIFO ring.
+///
+/// Results are always bit-identical to a fresh exact linear scan:
+/// the index tier is exact (feature_index.h), the blocked fallback
+/// uses the same kernels and tie-break as MotionDatabase, and cached
+/// entries are only ever served for the exact (bytes, k, epoch) they
+/// were computed under.
+///
+/// Threading: Submit/Take are safe from any thread. Serving happens
+/// either inline (Drain/DrainOnce, or lazily inside Take when no
+/// worker is running) or on the background worker started with
+/// Start(). Mutating the database or index concurrently with serving
+/// is NOT synchronized here — quiesce the server first, as the epoch
+/// guard turns unsynchronized mutation into query failures, not
+/// corruption.
+
+#ifndef MOCEMG_DB_QUERY_SERVER_H_
+#define MOCEMG_DB_QUERY_SERVER_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "db/feature_index.h"
+#include "db/motion_database.h"
+#include "util/parallel.h"
+#include "util/result.h"
+
+namespace mocemg {
+
+/// \brief Serving configuration.
+struct QueryServerOptions {
+  /// Admission bound: submits beyond this many waiting requests are
+  /// rejected with OutOfRange. Must be >= 1.
+  size_t max_queue = 1024;
+  /// Micro-batch cap: one drain serves at most this many requests.
+  /// Must be >= 1.
+  size_t max_batch = 64;
+  /// Result-cache capacity in entries; 0 disables caching (duplicate
+  /// queries inside one batch still coalesce).
+  size_t cache_capacity = 4096;
+  /// Seed for the cache's byte hash (key layout is stable; the seed
+  /// decorrelates bucket placement between server instances).
+  uint64_t cache_seed = 0x9E3779B97F4A7C15ULL;
+  /// Thread budget for batch evaluation (passed through to the index
+  /// batch path / the blocked fallback's per-query selection).
+  ParallelOptions parallel;
+};
+
+/// \brief Monotonic serving counters (a consistent snapshot via stats()).
+struct QueryServerStats {
+  uint64_t submitted = 0;    ///< requests admitted to the queue
+  uint64_t rejected = 0;     ///< submits refused by the admission bound
+  uint64_t served = 0;       ///< requests fulfilled
+  uint64_t batches = 0;      ///< micro-batches executed
+  uint64_t cache_hits = 0;   ///< requests answered from the cache
+  uint64_t cache_misses = 0; ///< requests that needed evaluation
+  uint64_t coalesced = 0;    ///< duplicate in-batch requests folded away
+  uint64_t evictions = 0;    ///< cache entries dropped by the FIFO bound
+  /// Aggregated index statistics over all index-served batches (zero
+  /// when serving through the exact fallback).
+  IndexQueryStats index_stats;
+};
+
+/// \brief Batched kNN / classification server. Movable, not copyable.
+class QueryServer {
+ public:
+  QueryServer() = default;
+  ~QueryServer();
+  QueryServer(QueryServer&&) noexcept;
+  QueryServer& operator=(QueryServer&&) noexcept;
+
+  /// \brief Creates a server over `database`, serving through `index`
+  /// whenever it is non-null and fresh (matching epoch) and falling
+  /// back to the exact blocked scan otherwise. Both pointers must
+  /// outlive the server.
+  static Result<QueryServer> Create(const MotionDatabase* database,
+                                    const FeatureIndex* index = nullptr,
+                                    const QueryServerOptions& options = {});
+
+  /// \brief Enqueues a kNN request; returns its ticket, or OutOfRange
+  /// when the admission queue is full. The query is validated here
+  /// (dimension, finiteness, k >= 1) so serving cannot fail per-request.
+  Result<uint64_t> SubmitNearestNeighbors(std::vector<double> query,
+                                          size_t k);
+
+  /// \brief Enqueues a classify-by-vote request over the k nearest
+  /// neighbours; same admission and validation rules.
+  Result<uint64_t> SubmitClassify(std::vector<double> query, size_t k);
+
+  /// \brief Serves one micro-batch (up to max_batch requests) in
+  /// admission order. `served_out`, when given, receives the number of
+  /// requests fulfilled (0 when the queue was empty).
+  Status DrainOnce(size_t* served_out = nullptr);
+
+  /// \brief Serves micro-batches until the queue is empty.
+  Status Drain();
+
+  /// \brief Blocks until the ticket's kNN result is ready and returns
+  /// it (serving inline when no background worker is running). A
+  /// ticket can be taken exactly once.
+  Result<std::vector<QueryHit>> TakeHits(uint64_t ticket);
+
+  /// \brief Blocks until the ticket's classification is ready.
+  Result<size_t> TakeLabel(uint64_t ticket);
+
+  /// \brief Synchronous single kNN request through the full admission
+  /// → batch → cache path.
+  Result<std::vector<QueryHit>> NearestNeighbors(
+      const std::vector<double>& query, size_t k);
+
+  /// \brief Synchronous single classification request.
+  Result<size_t> Classify(const std::vector<double>& query, size_t k);
+
+  /// \brief Submits the whole set, serves it in deterministic
+  /// micro-batches, and returns results in input order. Element i is
+  /// bit-identical to database->NearestNeighbors(queries[i], k).
+  Result<std::vector<std::vector<QueryHit>>> NearestNeighborsBatch(
+      const std::vector<std::vector<double>>& queries, size_t k);
+
+  /// \brief Batched classification: element i is the vote among
+  /// queries[i]'s k nearest neighbours.
+  Result<std::vector<size_t>> ClassifyBatch(
+      const std::vector<std::vector<double>>& queries, size_t k);
+
+  /// \brief Starts the background worker that drains the queue as
+  /// requests arrive. Idempotent.
+  Status Start();
+
+  /// \brief Stops the worker after it drains the remaining queue.
+  /// No-op when not started.
+  void Stop();
+
+  /// \brief Consistent snapshot of the serving counters.
+  QueryServerStats stats() const;
+
+ private:
+  struct Impl;
+  explicit QueryServer(std::unique_ptr<Impl> impl);
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace mocemg
+
+#endif  // MOCEMG_DB_QUERY_SERVER_H_

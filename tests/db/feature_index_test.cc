@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 #include "util/random.h"
 
 namespace mocemg {
@@ -197,6 +200,175 @@ TEST(FeatureIndexTest, SingletonDatabase) {
   ASSERT_TRUE(hits.ok());
   ASSERT_EQ(hits->size(), 1u);
   EXPECT_EQ((*hits)[0].record_index, 0u);
+}
+
+// Satellite 1 regression: the index's packed mirror of the database
+// must never be read stale. Any mutation after Build — Insert or
+// UpdateFeature — moves the epoch, and queries fail with a Status
+// until Rebuild instead of silently scanning outdated blocks.
+TEST(FeatureIndexTest, StaleAfterMutationFailsUntilRebuild) {
+  MotionDatabase db = MakeDb(80, 21);
+  auto index = FeatureIndex::Build(&db);
+  ASSERT_TRUE(index.ok());
+  ASSERT_TRUE(index->NearestNeighbors({0.0, 0.0, 0.0}, 3).ok());
+
+  ASSERT_TRUE(db.UpdateFeature(5, {100.0, 100.0, 100.0}).ok());
+  auto stale = index->NearestNeighbors({100.0, 100.0, 100.0}, 1);
+  ASSERT_FALSE(stale.ok());
+  EXPECT_EQ(stale.status().code(), StatusCode::kFailedPrecondition);
+  auto stale_batch = index->BatchNearestNeighbors({{0.0, 0.0, 0.0}}, 1);
+  ASSERT_FALSE(stale_batch.ok());
+  EXPECT_EQ(stale_batch.status().code(),
+            StatusCode::kFailedPrecondition);
+
+  ASSERT_TRUE(index->Rebuild().ok());
+  EXPECT_EQ(index->built_epoch(), db.epoch());
+  auto hits = index->NearestNeighbors({100.0, 100.0, 100.0}, 1);
+  ASSERT_TRUE(hits.ok());
+  EXPECT_EQ((*hits)[0].record_index, 5u);
+  EXPECT_EQ((*hits)[0].distance, 0.0);
+
+  MotionRecord extra;
+  extra.name = "late";
+  extra.label = 0;
+  extra.feature = {-50.0, 0.0, 0.0};
+  ASSERT_TRUE(db.Insert(std::move(extra)).ok());
+  EXPECT_FALSE(index->NearestNeighbors({0.0, 0.0, 0.0}, 1).ok());
+}
+
+// The coarse tier must actually prune full-precision work on clustered
+// data — that is the whole point of the int8 codes.
+TEST(FeatureIndexTest, CoarseTierPrunesExactEvaluations) {
+  MotionDatabase db = MakeDbDim(2000, 32, 70);
+  FeatureIndexOptions opts;
+  opts.num_partitions = 4;  // fat partitions: little triangle pruning
+  auto index = FeatureIndex::Build(&db, opts);
+  ASSERT_TRUE(index.ok());
+  Rng rng(71);
+  IndexQueryStats stats;
+  for (int q = 0; q < 10; ++q) {
+    std::vector<double> query(32);
+    for (size_t j = 0; j < query.size(); ++j) {
+      query[j] = (j == 0 ? rng.Uniform(-5.0, 65.0) : rng.Gaussian(0, 2.0));
+    }
+    auto hits = index->NearestNeighbors(query, 5, &stats);
+    ASSERT_TRUE(hits.ok());
+    EXPECT_GT(stats.coarse_pruned, 0u) << "query " << q;
+    EXPECT_LT(stats.distance_computations,
+              stats.coarse_computations / 2 + 64)
+        << "query " << q
+        << ": coarse tier should discard most of the partition";
+    auto linear = db.NearestNeighbors(query, 5);
+    ASSERT_TRUE(linear.ok());
+    for (size_t i = 0; i < linear->size(); ++i) {
+      EXPECT_EQ((*hits)[i].record_index, (*linear)[i].record_index);
+      EXPECT_EQ((*hits)[i].distance, (*linear)[i].distance);
+    }
+  }
+}
+
+// Satellite 3: randomized property test that the quantized bound never
+// prunes a true top-k neighbour. Dimensions 1..128 sweep every unroll
+// remainder; the adversarial geometry puts large fractions of the
+// records at near-identical distances (differences far below the
+// quantization error), so any unsound bound WOULD reorder or drop
+// hits. quantized_min_rows = 1 forces codes onto every partition.
+TEST(FeatureIndexTest, QuantizedPruneNeverDropsTrueNeighbors) {
+  for (size_t dim : {1, 2, 3, 5, 16, 31, 64, 128}) {
+    Rng rng(90 + dim);
+    MotionDatabase db;
+    const size_t n = 160;
+    for (size_t i = 0; i < n; ++i) {
+      MotionRecord r;
+      r.name = "m" + std::to_string(i);
+      r.label = i % 3;
+      r.label_name = "c";
+      r.feature.resize(dim);
+      if (i % 2 == 0) {
+        // Near-tie shell: unit-ish direction scaled to radius 10, then
+        // jitter ~1e-13 — thousands of ULPs below the int8 grid step.
+        double norm_sq = 0.0;
+        for (size_t j = 0; j < dim; ++j) {
+          r.feature[j] = rng.Gaussian(0, 1.0);
+          norm_sq += r.feature[j] * r.feature[j];
+        }
+        const double scale =
+            10.0 / std::sqrt(std::max(norm_sq, 1e-300));
+        for (size_t j = 0; j < dim; ++j) {
+          r.feature[j] = r.feature[j] * scale + rng.Gaussian(0, 1e-13);
+        }
+      } else {
+        // Background spread, including coordinates of wildly different
+        // magnitude to stress the per-dimension affine grid.
+        for (size_t j = 0; j < dim; ++j) {
+          r.feature[j] = rng.Gaussian(0, (j % 2) ? 100.0 : 0.01);
+        }
+      }
+      ASSERT_TRUE(db.Insert(std::move(r)).ok());
+    }
+    FeatureIndexOptions opts;
+    opts.quantized_min_rows = 1;
+    opts.num_partitions = 4;
+    auto index = FeatureIndex::Build(&db, opts);
+    ASSERT_TRUE(index.ok()) << index.status();
+    for (int q = 0; q < 25; ++q) {
+      std::vector<double> query(dim, 0.0);
+      if (q % 3 == 1) {
+        for (double& v : query) v = rng.Gaussian(0, 5.0);
+      } else if (q % 3 == 2) {
+        // On the shell itself: everything is a near-tie.
+        const size_t src = static_cast<size_t>(q) % n;
+        query = db.record(src - src % 2).feature;
+      }
+      const size_t k = 1 + static_cast<size_t>(q) % 9;
+      auto linear = db.NearestNeighbors(query, k);
+      auto indexed = index->NearestNeighbors(query, k);
+      ASSERT_TRUE(linear.ok());
+      ASSERT_TRUE(indexed.ok()) << indexed.status();
+      ASSERT_EQ(linear->size(), indexed->size());
+      for (size_t i = 0; i < linear->size(); ++i) {
+        ASSERT_EQ((*linear)[i].record_index, (*indexed)[i].record_index)
+            << "dim " << dim << " query " << q << " rank " << i
+            << ": a true neighbour was pruned or reordered";
+        ASSERT_EQ((*linear)[i].distance, (*indexed)[i].distance)
+            << "dim " << dim << " query " << q << " rank " << i;
+      }
+    }
+    // Non-finite queries are rejected up front, never scanned.
+    std::vector<double> bad(dim, 0.0);
+    bad[0] = std::numeric_limits<double>::quiet_NaN();
+    EXPECT_FALSE(index->NearestNeighbors(bad, 1).ok());
+    bad[0] = std::numeric_limits<double>::infinity();
+    EXPECT_FALSE(index->NearestNeighbors(bad, 1).ok());
+  }
+}
+
+// quantized_scan = false must give the same bits through the dot-form
+// path alone (the coarse tier is a pure work optimization).
+TEST(FeatureIndexTest, QuantizedOffMatchesQuantizedOn) {
+  MotionDatabase db = MakeDbDim(300, 33, 80);
+  FeatureIndexOptions on;
+  on.quantized_min_rows = 1;
+  FeatureIndexOptions off;
+  off.quantized_scan = false;
+  auto index_on = FeatureIndex::Build(&db, on);
+  auto index_off = FeatureIndex::Build(&db, off);
+  ASSERT_TRUE(index_on.ok());
+  ASSERT_TRUE(index_off.ok());
+  Rng rng(81);
+  for (int q = 0; q < 20; ++q) {
+    std::vector<double> query(33);
+    for (double& v : query) v = rng.Gaussian(10.0, 15.0);
+    auto a = index_on->NearestNeighbors(query, 6);
+    auto b = index_off->NearestNeighbors(query, 6);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    ASSERT_EQ(a->size(), b->size());
+    for (size_t i = 0; i < a->size(); ++i) {
+      EXPECT_EQ((*a)[i].record_index, (*b)[i].record_index);
+      EXPECT_EQ((*a)[i].distance, (*b)[i].distance);
+    }
+  }
 }
 
 TEST(FeatureIndexTest, RebuildAfterInsert) {

@@ -79,6 +79,45 @@ TEST(MotionDatabaseTest, ClassifyByVoteK1IsNearestLabel) {
   EXPECT_EQ(*db.ClassifyByVote({-4.0, 4.5}, 1), 2u);
 }
 
+TEST(MotionDatabaseTest, UpdateFeatureValidations) {
+  MotionDatabase db = MakeDb();
+  EXPECT_FALSE(db.UpdateFeature(99, {1.0, 1.0}).ok());
+  EXPECT_FALSE(db.UpdateFeature(0, {1.0}).ok());
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_FALSE(db.UpdateFeature(0, {nan, 0.0}).ok());
+  EXPECT_TRUE(db.UpdateFeature(0, {9.0, 9.0}).ok());
+}
+
+// The packed SoA mirror must track UpdateFeature exactly — the scan
+// reads only the mirror, so a stale mirror would silently return the
+// old neighbour.
+TEST(MotionDatabaseTest, UpdateFeatureKeepsPackedMirrorInSync) {
+  MotionDatabase db = MakeDb();
+  ASSERT_TRUE(db.UpdateFeature(4, {50.0, 50.0}).ok());
+  EXPECT_EQ(db.record(4).feature[0], 50.0);
+  EXPECT_EQ(db.packed_row(4)[0], 50.0);
+  EXPECT_EQ(db.packed_row(4)[1], 50.0);
+  auto hits = db.NearestNeighbors({50.0, 50.0}, 1);
+  ASSERT_TRUE(hits.ok());
+  EXPECT_EQ((*hits)[0].record_index, 4u);
+  EXPECT_EQ((*hits)[0].distance, 0.0);
+}
+
+TEST(MotionDatabaseTest, EpochAdvancesOnEveryMutation) {
+  MotionDatabase db;
+  EXPECT_EQ(db.epoch(), 0u);
+  ASSERT_TRUE(db.Insert(Rec("a", 0, {1.0, 2.0})).ok());
+  EXPECT_EQ(db.epoch(), 1u);
+  ASSERT_TRUE(db.Insert(Rec("b", 0, {3.0, 4.0})).ok());
+  EXPECT_EQ(db.epoch(), 2u);
+  // Failed mutations leave the epoch alone.
+  EXPECT_FALSE(db.Insert(Rec("bad", 0, {1.0})).ok());
+  EXPECT_FALSE(db.UpdateFeature(9, {1.0, 1.0}).ok());
+  EXPECT_EQ(db.epoch(), 2u);
+  ASSERT_TRUE(db.UpdateFeature(0, {5.0, 6.0}).ok());
+  EXPECT_EQ(db.epoch(), 3u);
+}
+
 TEST(MotionDatabaseTest, CsvRoundTrip) {
   const std::string path = ::testing::TempDir() + "/motion_db_test.csv";
   MotionDatabase db = MakeDb();

@@ -1,0 +1,368 @@
+#include "db/query_server.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "util/random.h"
+
+namespace mocemg {
+namespace {
+
+MotionDatabase MakeDb(size_t n, size_t dim, uint64_t seed) {
+  Rng rng(seed);
+  MotionDatabase db;
+  for (size_t i = 0; i < n; ++i) {
+    MotionRecord r;
+    r.name = "m" + std::to_string(i);
+    r.label = i % 4;
+    r.label_name = "class" + std::to_string(r.label);
+    r.feature.resize(dim);
+    const double cx = static_cast<double>(i % 4) * 20.0;
+    for (size_t j = 0; j < dim; ++j) {
+      r.feature[j] = (j == 0 ? cx : 0.0) + rng.Gaussian(0, 1.0);
+    }
+    EXPECT_TRUE(db.Insert(std::move(r)).ok());
+  }
+  return db;
+}
+
+std::vector<std::vector<double>> MakeQueries(size_t n, size_t dim,
+                                             uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<double>> queries(n);
+  for (auto& q : queries) {
+    q.resize(dim);
+    for (double& v : q) v = rng.Gaussian(10.0, 15.0);
+  }
+  return queries;
+}
+
+void ExpectHitsEqual(const std::vector<QueryHit>& a,
+                     const std::vector<QueryHit>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].record_index, b[i].record_index);
+    EXPECT_EQ(a[i].distance, b[i].distance);
+  }
+}
+
+TEST(QueryServerTest, CreateValidations) {
+  EXPECT_FALSE(QueryServer::Create(nullptr).ok());
+  MotionDatabase empty;
+  EXPECT_FALSE(QueryServer::Create(&empty).ok());
+  MotionDatabase db = MakeDb(10, 3, 1);
+  QueryServerOptions bad;
+  bad.max_queue = 0;
+  EXPECT_FALSE(QueryServer::Create(&db, nullptr, bad).ok());
+  bad = QueryServerOptions{};
+  bad.max_batch = 0;
+  EXPECT_FALSE(QueryServer::Create(&db, nullptr, bad).ok());
+  EXPECT_TRUE(QueryServer::Create(&db).ok());
+}
+
+TEST(QueryServerTest, SubmitValidations) {
+  MotionDatabase db = MakeDb(10, 3, 2);
+  auto server = QueryServer::Create(&db);
+  ASSERT_TRUE(server.ok());
+  EXPECT_FALSE(server->SubmitNearestNeighbors({1.0}, 1).ok());
+  EXPECT_FALSE(
+      server->SubmitNearestNeighbors({1.0, 2.0, 3.0}, 0).ok());
+  const double nan = std::nan("");
+  EXPECT_FALSE(
+      server->SubmitNearestNeighbors({nan, 0.0, 0.0}, 1).ok());
+  EXPECT_TRUE(server->SubmitNearestNeighbors({1.0, 2.0, 3.0}, 1).ok());
+}
+
+// The served results — through the exact blocked fallback — must be
+// bit-identical to the database's linear scan, per element.
+TEST(QueryServerTest, ExactFallbackBitIdenticalToLinearScan) {
+  MotionDatabase db = MakeDb(200, 17, 3);
+  auto server = QueryServer::Create(&db);
+  ASSERT_TRUE(server.ok());
+  const auto queries = MakeQueries(40, 17, 4);
+  auto batch = server->NearestNeighborsBatch(queries, 5);
+  ASSERT_TRUE(batch.ok()) << batch.status();
+  ASSERT_EQ(batch->size(), queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    auto linear = db.NearestNeighbors(queries[i], 5);
+    ASSERT_TRUE(linear.ok());
+    ExpectHitsEqual((*batch)[i], *linear);
+  }
+}
+
+// Served through a fresh index the answers are the same bits again —
+// the quantized coarse tier and the server batching change only the
+// work done, never the hits.
+TEST(QueryServerTest, IndexPathBitIdenticalToLinearScan) {
+  MotionDatabase db = MakeDb(300, 17, 5);
+  auto index = FeatureIndex::Build(&db);
+  ASSERT_TRUE(index.ok());
+  auto server = QueryServer::Create(&db, &*index);
+  ASSERT_TRUE(server.ok());
+  const auto queries = MakeQueries(40, 17, 6);
+  auto batch = server->NearestNeighborsBatch(queries, 5);
+  ASSERT_TRUE(batch.ok()) << batch.status();
+  const QueryServerStats stats = server->stats();
+  EXPECT_GT(stats.index_stats.partitions_visited, 0u)
+      << "expected the fresh index to serve the batch";
+  for (size_t i = 0; i < queries.size(); ++i) {
+    auto linear = db.NearestNeighbors(queries[i], 5);
+    ASSERT_TRUE(linear.ok());
+    ExpectHitsEqual((*batch)[i], *linear);
+  }
+}
+
+TEST(QueryServerTest, AdmissionBoundRejectsWithOutOfRange) {
+  MotionDatabase db = MakeDb(20, 3, 7);
+  QueryServerOptions opts;
+  opts.max_queue = 4;
+  auto server = QueryServer::Create(&db, nullptr, opts);
+  ASSERT_TRUE(server.ok());
+  const std::vector<double> q = {1.0, 2.0, 3.0};
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(server->SubmitNearestNeighbors(q, 1).ok());
+  }
+  auto rejected = server->SubmitNearestNeighbors(q, 1);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(server->stats().rejected, 1u);
+  ASSERT_TRUE(server->Drain().ok());
+  // Space freed: admission works again.
+  EXPECT_TRUE(server->SubmitNearestNeighbors(q, 1).ok());
+}
+
+// The batch conveniences must survive request sets far larger than the
+// admission queue (backpressure, not failure).
+TEST(QueryServerTest, BatchLargerThanQueueBackpressures) {
+  MotionDatabase db = MakeDb(50, 5, 8);
+  QueryServerOptions opts;
+  opts.max_queue = 3;
+  opts.max_batch = 2;
+  auto server = QueryServer::Create(&db, nullptr, opts);
+  ASSERT_TRUE(server.ok());
+  const auto queries = MakeQueries(20, 5, 9);
+  auto batch = server->NearestNeighborsBatch(queries, 2);
+  ASSERT_TRUE(batch.ok()) << batch.status();
+  ASSERT_EQ(batch->size(), queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    auto linear = db.NearestNeighbors(queries[i], 2);
+    ASSERT_TRUE(linear.ok());
+    ExpectHitsEqual((*batch)[i], *linear);
+  }
+  // Rejections happened internally (the queue is 3 deep) but were
+  // absorbed by backpressure, never surfaced to the caller.
+  EXPECT_EQ(server->stats().served, queries.size());
+}
+
+TEST(QueryServerTest, RepeatedQueriesHitTheCache) {
+  MotionDatabase db = MakeDb(100, 5, 10);
+  auto server = QueryServer::Create(&db);
+  ASSERT_TRUE(server.ok());
+  const auto queries = MakeQueries(4, 5, 11);
+  ASSERT_TRUE(server->NearestNeighborsBatch(queries, 3).ok());
+  EXPECT_EQ(server->stats().cache_hits, 0u);
+  EXPECT_EQ(server->stats().cache_misses, 4u);
+  auto again = server->NearestNeighborsBatch(queries, 3);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(server->stats().cache_hits, 4u);
+  EXPECT_EQ(server->stats().cache_misses, 4u);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    auto linear = db.NearestNeighbors(queries[i], 3);
+    ASSERT_TRUE(linear.ok());
+    ExpectHitsEqual((*again)[i], *linear);
+  }
+  // Different k is a different key.
+  ASSERT_TRUE(server->NearestNeighborsBatch(queries, 4).ok());
+  EXPECT_EQ(server->stats().cache_hits, 4u);
+  EXPECT_EQ(server->stats().cache_misses, 8u);
+}
+
+// Database mutation moves the epoch: cached entries keyed under the
+// old epoch can never match again, and re-serving reflects the new
+// feature values.
+TEST(QueryServerTest, CacheInvalidatedByEpochOnMutation) {
+  MotionDatabase db = MakeDb(50, 3, 12);
+  auto server = QueryServer::Create(&db);
+  ASSERT_TRUE(server.ok());
+  const std::vector<double> q = {0.0, 0.0, 0.0};
+  auto before = server->NearestNeighbors(q, 1);
+  ASSERT_TRUE(before.ok());
+  // Move some record onto the query point; the cached answer is stale.
+  ASSERT_TRUE(db.UpdateFeature(7, {0.0, 0.0, 0.0}).ok());
+  auto after = server->NearestNeighbors(q, 1);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(server->stats().cache_hits, 0u)
+      << "epoch moved, the old entry must not match";
+  EXPECT_EQ((*after)[0].record_index, 7u);
+  EXPECT_EQ((*after)[0].distance, 0.0);
+}
+
+// A stale index must not be consulted: the server falls back to the
+// exact scan (correct answers, zero index stats deltas).
+TEST(QueryServerTest, StaleIndexFallsBackToExactScan) {
+  MotionDatabase db = MakeDb(100, 5, 13);
+  auto index = FeatureIndex::Build(&db);
+  ASSERT_TRUE(index.ok());
+  auto server = QueryServer::Create(&db, &*index);
+  ASSERT_TRUE(server.ok());
+  ASSERT_TRUE(db.UpdateFeature(0, db.record(1).feature).ok());
+  const auto queries = MakeQueries(8, 5, 14);
+  auto batch = server->NearestNeighborsBatch(queries, 3);
+  ASSERT_TRUE(batch.ok()) << batch.status();
+  EXPECT_EQ(server->stats().index_stats.partitions_visited, 0u)
+      << "stale index must not serve";
+  for (size_t i = 0; i < queries.size(); ++i) {
+    auto linear = db.NearestNeighbors(queries[i], 3);
+    ASSERT_TRUE(linear.ok());
+    ExpectHitsEqual((*batch)[i], *linear);
+  }
+}
+
+TEST(QueryServerTest, DuplicateQueriesInOneBatchCoalesce) {
+  MotionDatabase db = MakeDb(60, 3, 15);
+  QueryServerOptions opts;
+  opts.cache_capacity = 0;  // isolate coalescing from caching
+  auto server = QueryServer::Create(&db, nullptr, opts);
+  ASSERT_TRUE(server.ok());
+  const std::vector<double> q = {1.0, 2.0, 3.0};
+  std::vector<uint64_t> tickets;
+  for (int i = 0; i < 6; ++i) {
+    auto t = server->SubmitNearestNeighbors(q, 2);
+    ASSERT_TRUE(t.ok());
+    tickets.push_back(*t);
+  }
+  ASSERT_TRUE(server->Drain().ok());
+  const QueryServerStats stats = server->stats();
+  EXPECT_EQ(stats.batches, 1u);
+  EXPECT_EQ(stats.coalesced, 5u);
+  auto linear = db.NearestNeighbors(q, 2);
+  ASSERT_TRUE(linear.ok());
+  for (uint64_t t : tickets) {
+    auto hits = server->TakeHits(t);
+    ASSERT_TRUE(hits.ok());
+    ExpectHitsEqual(*hits, *linear);
+  }
+  // A ticket can be taken exactly once.
+  EXPECT_FALSE(server->TakeHits(tickets[0]).ok());
+}
+
+TEST(QueryServerTest, CacheEvictionRespectsCapacity) {
+  MotionDatabase db = MakeDb(40, 4, 16);
+  QueryServerOptions opts;
+  opts.cache_capacity = 3;
+  auto server = QueryServer::Create(&db, nullptr, opts);
+  ASSERT_TRUE(server.ok());
+  const auto queries = MakeQueries(10, 4, 17);
+  ASSERT_TRUE(server->NearestNeighborsBatch(queries, 1).ok());
+  const QueryServerStats stats = server->stats();
+  EXPECT_EQ(stats.cache_misses, 10u);
+  EXPECT_EQ(stats.evictions, 7u);
+  // The most recent 3 still hit; the oldest was evicted.
+  ASSERT_TRUE(server->NearestNeighbors(queries[9], 1).ok());
+  EXPECT_EQ(server->stats().cache_hits, 1u);
+  ASSERT_TRUE(server->NearestNeighbors(queries[0], 1).ok());
+  EXPECT_EQ(server->stats().cache_hits, 1u);
+}
+
+TEST(QueryServerTest, ClassifyMatchesDatabaseVote) {
+  MotionDatabase db = MakeDb(120, 5, 18);
+  auto index = FeatureIndex::Build(&db);
+  ASSERT_TRUE(index.ok());
+  auto server = QueryServer::Create(&db, &*index);
+  ASSERT_TRUE(server.ok());
+  const auto queries = MakeQueries(25, 5, 19);
+  auto labels = server->ClassifyBatch(queries, 5);
+  ASSERT_TRUE(labels.ok()) << labels.status();
+  for (size_t i = 0; i < queries.size(); ++i) {
+    auto want = db.ClassifyByVote(queries[i], 5);
+    ASSERT_TRUE(want.ok());
+    EXPECT_EQ((*labels)[i], *want) << "query " << i;
+  }
+}
+
+// Satellite 4: the same request sequence must produce bit-identical
+// results AND identical cache-hit counts at every thread budget. The
+// "Parallel" in the name keeps this test in the tsan multi-thread
+// rerun (tools/run_sanitized_tests.sh).
+TEST(QueryServerTest, ParallelServingBitIdenticalAcrossThreadCounts) {
+  MotionDatabase db = MakeDb(250, 17, 20);
+  auto index = FeatureIndex::Build(&db);
+  ASSERT_TRUE(index.ok());
+  // A request mix with repeats (cache hits), in-batch duplicates
+  // (coalescing), and two distinct k values (k-grouping).
+  auto queries = MakeQueries(30, 17, 21);
+  for (int i = 0; i < 10; ++i) queries.push_back(queries[i % 5]);
+  std::vector<std::vector<std::vector<QueryHit>>> all_results;
+  std::vector<QueryServerStats> all_stats;
+  for (size_t threads : {1, 2, 8}) {
+    QueryServerOptions opts;
+    opts.max_batch = 16;
+    opts.parallel.max_threads = threads;
+    auto server = QueryServer::Create(&db, &*index, opts);
+    ASSERT_TRUE(server.ok());
+    std::vector<uint64_t> tickets;
+    for (const auto& q : queries) {
+      auto t = server->SubmitNearestNeighbors(q, (tickets.size() % 2)
+                                                     ? size_t{3}
+                                                     : size_t{7});
+      ASSERT_TRUE(t.ok());
+      tickets.push_back(*t);
+    }
+    ASSERT_TRUE(server->Drain().ok());
+    std::vector<std::vector<QueryHit>> results;
+    for (uint64_t t : tickets) {
+      auto hits = server->TakeHits(t);
+      ASSERT_TRUE(hits.ok());
+      results.push_back(*std::move(hits));
+    }
+    all_results.push_back(std::move(results));
+    all_stats.push_back(server->stats());
+  }
+  for (size_t v = 1; v < all_results.size(); ++v) {
+    ASSERT_EQ(all_results[v].size(), all_results[0].size());
+    for (size_t i = 0; i < all_results[0].size(); ++i) {
+      ExpectHitsEqual(all_results[v][i], all_results[0][i]);
+    }
+    EXPECT_EQ(all_stats[v].cache_hits, all_stats[0].cache_hits);
+    EXPECT_EQ(all_stats[v].cache_misses, all_stats[0].cache_misses);
+    EXPECT_EQ(all_stats[v].coalesced, all_stats[0].coalesced);
+    EXPECT_EQ(all_stats[v].batches, all_stats[0].batches);
+  }
+  EXPECT_GT(all_stats[0].cache_hits, 0u) << "mix should exercise the cache";
+}
+
+// Background worker + concurrent submitters: every synchronous request
+// still gets the linear scan's exact bits. (tsan covers the locking in
+// the multi-thread rerun; the name keeps it in that pass.)
+TEST(QueryServerTest, ParallelWorkerServesConcurrentClients) {
+  MotionDatabase db = MakeDb(150, 9, 22);
+  auto server = QueryServer::Create(&db);
+  ASSERT_TRUE(server.ok());
+  ASSERT_TRUE(server->Start().ok());
+  const auto queries = MakeQueries(24, 9, 23);
+  std::vector<std::vector<QueryHit>> got(queries.size());
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 3; ++c) {
+    clients.emplace_back([&, c] {
+      for (size_t i = static_cast<size_t>(c); i < queries.size(); i += 3) {
+        auto hits = server->NearestNeighbors(queries[i], 4);
+        ASSERT_TRUE(hits.ok());
+        got[i] = *std::move(hits);
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  server->Stop();
+  for (size_t i = 0; i < queries.size(); ++i) {
+    auto linear = db.NearestNeighbors(queries[i], 4);
+    ASSERT_TRUE(linear.ok());
+    ExpectHitsEqual(got[i], *linear);
+  }
+  EXPECT_EQ(server->stats().served, queries.size());
+}
+
+}  // namespace
+}  // namespace mocemg

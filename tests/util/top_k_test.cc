@@ -1,0 +1,118 @@
+#include "util/top_k.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/random.h"
+
+namespace mocemg {
+namespace {
+
+// Reference: sort all entries by (distance, index) and keep the first k.
+std::vector<TopKEntry> SortedReference(std::vector<TopKEntry> entries,
+                                       size_t k) {
+  std::sort(entries.begin(), entries.end());
+  if (entries.size() > k) entries.resize(k);
+  return entries;
+}
+
+TEST(BoundedTopKTest, EmptyAndSingle) {
+  BoundedTopK top(3);
+  EXPECT_EQ(top.size(), 0u);
+  EXPECT_FALSE(top.full());
+  std::vector<TopKEntry> out;
+  top.ExtractSorted(&out);
+  EXPECT_TRUE(out.empty());
+
+  top.Reset(1);
+  top.Push(2.0, 7);
+  EXPECT_TRUE(top.full());
+  EXPECT_EQ(top.worst(), 2.0);
+  top.Push(1.0, 9);
+  top.ExtractSorted(&out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], TopKEntry(1.0, 9));
+}
+
+TEST(BoundedTopKTest, WorstIsInfinityUntilFull) {
+  BoundedTopK top(2);
+  EXPECT_GT(top.worst(), 1e300);
+  top.Push(5.0, 0);
+  EXPECT_GT(top.worst(), 1e300);
+  top.Push(3.0, 1);
+  EXPECT_EQ(top.worst(), 5.0);
+}
+
+// The heap must agree with the sorted reference exactly — same
+// distances, same indices, same order — for every (n, k) shape,
+// including k > n and heavy ties.
+TEST(BoundedTopKTest, MatchesSortedReferenceRandomized) {
+  Rng rng(1234);
+  BoundedTopK top;
+  std::vector<TopKEntry> got;
+  for (int trial = 0; trial < 200; ++trial) {
+    const size_t n = 1 + static_cast<size_t>(rng.Uniform(0.0, 60.0));
+    const size_t k = 1 + static_cast<size_t>(rng.Uniform(0.0, 12.0));
+    std::vector<TopKEntry> entries;
+    entries.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      // Coarse quantization forces many exact distance ties, so the
+      // (distance, index) tie-break is exercised constantly.
+      const double d =
+          std::floor(rng.Uniform(0.0, 8.0)) / 4.0;
+      entries.emplace_back(d, i);
+    }
+    top.Reset(k);
+    for (const TopKEntry& e : entries) top.Push(e.first, e.second);
+    top.ExtractSorted(&got);
+    const std::vector<TopKEntry> want = SortedReference(entries, k);
+    ASSERT_EQ(got.size(), want.size()) << "trial " << trial;
+    for (size_t i = 0; i < want.size(); ++i) {
+      EXPECT_EQ(got[i].first, want[i].first)
+          << "trial " << trial << " rank " << i;
+      EXPECT_EQ(got[i].second, want[i].second)
+          << "trial " << trial << " rank " << i;
+    }
+  }
+}
+
+TEST(BoundedTopKTest, TiesResolveTowardSmallerIndex) {
+  BoundedTopK top(2);
+  top.Push(1.0, 5);
+  top.Push(1.0, 2);
+  top.Push(1.0, 9);  // tie with the current worst → rejected (index 9 > 5)
+  std::vector<TopKEntry> out;
+  top.ExtractSorted(&out);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], TopKEntry(1.0, 2));
+  EXPECT_EQ(out[1], TopKEntry(1.0, 5));
+
+  // Same distances pushed in the opposite order select the same set.
+  top.Reset(2);
+  top.Push(1.0, 9);
+  top.Push(1.0, 2);
+  top.Push(1.0, 5);
+  top.ExtractSorted(&out);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], TopKEntry(1.0, 2));
+  EXPECT_EQ(out[1], TopKEntry(1.0, 5));
+}
+
+TEST(BoundedTopKTest, ResetReusesStorage) {
+  BoundedTopK top(4);
+  for (size_t i = 0; i < 10; ++i) top.Push(double(10 - i), i);
+  top.Reset(2);
+  EXPECT_EQ(top.size(), 0u);
+  top.Push(3.0, 0);
+  top.Push(1.0, 1);
+  std::vector<TopKEntry> out;
+  top.ExtractSorted(&out);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], TopKEntry(1.0, 1));
+}
+
+}  // namespace
+}  // namespace mocemg

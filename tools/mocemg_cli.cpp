@@ -5,6 +5,8 @@
 //            [--hop MS] [--kmeans] [--no-emg | --no-mocap]
 //   classify --model <file> --trc <file> --emg <file> [--k N]
 //   info     --model <file>
+//   serve-bench [--records N] [--dim D] [--queries Q] [--unique U]
+//               [--k K] [--batch B] [--threads 1,2,8] [--seed S] [--json]
 //
 // The manifest is a CSV with header `trc,emg,label,label_name`; each row
 // names one captured motion: a TRC marker file, an EMG CSV (raw, with a
@@ -14,6 +16,8 @@
 //   mocemg_cli train --manifest lab/session1.csv --model hand.model
 //   mocemg_cli classify --model hand.model --trc q.trc --emg q.csv --k 5
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -21,10 +25,15 @@
 
 #include "core/classifier.h"
 #include "core/model_io.h"
+#include "db/feature_index.h"
+#include "db/motion_database.h"
+#include "db/query_server.h"
 #include "emg/emg_io.h"
 #include "mocap/trc_io.h"
 #include "util/csv.h"
+#include "util/logging.h"
 #include "util/macros.h"
+#include "util/random.h"
 #include "util/string_util.h"
 
 using namespace mocemg;
@@ -44,7 +53,11 @@ int Usage() {
                "[--hop MS] [--kmeans] [--no-emg | --no-mocap]\n"
                "  mocemg_cli classify --model <file> --trc <file> "
                "--emg <file> [--k N]\n"
-               "  mocemg_cli info     --model <file>\n");
+               "  mocemg_cli info     --model <file>\n"
+               "  mocemg_cli serve-bench [--records N] [--dim D] "
+               "[--queries Q] [--unique U]\n"
+               "                      [--k K] [--batch B] "
+               "[--threads 1,2,8] [--seed S] [--json]\n");
   return 2;
 }
 
@@ -201,6 +214,280 @@ int RunInfo(const Args& args) {
   return 0;
 }
 
+// --- serve-bench: synthetic serving-throughput measurement ------------
+//
+// Builds a clustered synthetic database, then measures the same query
+// stream three ways: per-request linear scan, per-request quantized
+// index, and the batched QueryServer (index + cache) at each requested
+// thread budget. The served results are checked bit-identical to the
+// per-request scan before any number is reported. run_benchmarks.sh
+// consumes the --json form for BENCH_pr5.json's "serving" section.
+
+using BenchClock = std::chrono::steady_clock;
+
+double SecondsSince(BenchClock::time_point t0) {
+  return std::chrono::duration<double>(BenchClock::now() - t0).count();
+}
+
+MotionDatabase MakeServeDb(size_t n, size_t dim, uint64_t seed) {
+  Rng rng(seed);
+  MotionDatabase db;
+  for (size_t i = 0; i < n; ++i) {
+    MotionRecord r;
+    r.name = "m" + std::to_string(i);
+    r.label = i % 8;
+    std::vector<double> f(dim, 0.0);
+    Rng cls(seed ^ (r.label * 0x9E37ULL));
+    for (int k = 0; k < 4; ++k) {
+      f[cls.NextBelow(dim)] = 0.4 + 0.5 * rng.NextDouble();
+    }
+    r.feature = std::move(f);
+    MOCEMG_CHECK_OK(db.Insert(std::move(r)));
+  }
+  return db;
+}
+
+/// `total` requests drawn round-robin from `unique` distinct vectors —
+/// the repeat structure the result cache exists for.
+std::vector<std::vector<double>> MakeServeWorkload(size_t total,
+                                                   size_t unique,
+                                                   size_t dim,
+                                                   uint64_t seed) {
+  std::vector<std::vector<double>> uniq(unique);
+  for (size_t i = 0; i < unique; ++i) {
+    Rng rng(seed + i);
+    std::vector<double> q(dim, 0.0);
+    for (int k = 0; k < 4; ++k) q[rng.NextBelow(dim)] = rng.NextDouble();
+    uniq[i] = std::move(q);
+  }
+  std::vector<std::vector<double>> workload(total);
+  for (size_t i = 0; i < total; ++i) workload[i] = uniq[i % unique];
+  return workload;
+}
+
+double PercentileUs(std::vector<double> latencies_s, double pct) {
+  if (latencies_s.empty()) return 0.0;
+  std::sort(latencies_s.begin(), latencies_s.end());
+  size_t idx = static_cast<size_t>(pct / 100.0 *
+                                   double(latencies_s.size()));
+  if (idx >= latencies_s.size()) idx = latencies_s.size() - 1;
+  return latencies_s[idx] * 1e6;
+}
+
+struct ServeModeResult {
+  double qps = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+};
+
+ServeModeResult SummarizeMode(const std::vector<double>& latencies_s,
+                              double elapsed_s) {
+  ServeModeResult r;
+  r.qps = elapsed_s > 0.0 ? double(latencies_s.size()) / elapsed_s : 0.0;
+  r.p50_us = PercentileUs(latencies_s, 50.0);
+  r.p99_us = PercentileUs(latencies_s, 99.0);
+  return r;
+}
+
+bool SameHits(const std::vector<QueryHit>& a,
+              const std::vector<QueryHit>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].record_index != b[i].record_index) return false;
+    if (a[i].distance != b[i].distance) return false;
+  }
+  return true;
+}
+
+int RunServeBench(const Args& args) {
+  auto records = ParseInt(args.Get("--records", "20000"));
+  auto dim = ParseInt(args.Get("--dim", "64"));
+  auto queries = ParseInt(args.Get("--queries", "512"));
+  auto unique = ParseInt(args.Get("--unique", "64"));
+  auto k = ParseInt(args.Get("--k", "5"));
+  auto batch = ParseInt(args.Get("--batch", "64"));
+  auto seed = ParseInt(args.Get("--seed", "7"));
+  if (!records.ok() || !dim.ok() || !queries.ok() || !unique.ok() ||
+      !k.ok() || !batch.ok() || !seed.ok()) {
+    return Usage();
+  }
+  if (*records < 1 || *dim < 1 || *queries < 1 || *unique < 1 ||
+      *k < 1 || *batch < 1) {
+    return Usage();
+  }
+  std::vector<size_t> threads;
+  {
+    const std::string spec = args.Get("--threads", "1,2,8");
+    size_t pos = 0;
+    while (pos < spec.size()) {
+      size_t comma = spec.find(',', pos);
+      if (comma == std::string::npos) comma = spec.size();
+      auto t = ParseInt(spec.substr(pos, comma - pos));
+      if (!t.ok() || *t < 1) return Usage();
+      threads.push_back(static_cast<size_t>(*t));
+      pos = comma + 1;
+    }
+    if (threads.empty()) return Usage();
+  }
+  const bool json = args.Has("--json");
+
+  const MotionDatabase db = MakeServeDb(
+      static_cast<size_t>(*records), static_cast<size_t>(*dim),
+      static_cast<uint64_t>(*seed));
+  auto index = FeatureIndex::Build(&db);
+  if (!index.ok()) return Fail(index.status());
+  const auto workload = MakeServeWorkload(
+      static_cast<size_t>(*queries), static_cast<size_t>(*unique),
+      static_cast<size_t>(*dim), static_cast<uint64_t>(*seed) + 1000);
+  const size_t kk = static_cast<size_t>(*k);
+
+  // Reference answers (also the warm-up for the scan mode).
+  std::vector<std::vector<QueryHit>> expected(workload.size());
+  for (size_t i = 0; i < workload.size(); ++i) {
+    auto hits = db.NearestNeighbors(workload[i], kk);
+    if (!hits.ok()) return Fail(hits.status());
+    expected[i] = *std::move(hits);
+  }
+
+  // Mode 1: per-request exact linear scan.
+  std::vector<double> lat(workload.size());
+  auto t0 = BenchClock::now();
+  for (size_t i = 0; i < workload.size(); ++i) {
+    auto q0 = BenchClock::now();
+    auto hits = db.NearestNeighbors(workload[i], kk);
+    lat[i] = SecondsSince(q0);
+    if (!hits.ok()) return Fail(hits.status());
+  }
+  const ServeModeResult exact = SummarizeMode(lat, SecondsSince(t0));
+
+  // Mode 2: per-request quantized index (no batching, no cache).
+  t0 = BenchClock::now();
+  for (size_t i = 0; i < workload.size(); ++i) {
+    auto q0 = BenchClock::now();
+    auto hits = index->NearestNeighbors(workload[i], kk);
+    lat[i] = SecondsSince(q0);
+    if (!hits.ok()) return Fail(hits.status());
+    if (!SameHits(*hits, expected[i])) {
+      return Fail(Status::Unknown(
+          "indexed results diverged from the linear scan"));
+    }
+  }
+  const ServeModeResult indexed = SummarizeMode(lat, SecondsSince(t0));
+
+  // Mode 3: the batched server, one run per thread budget. Requests
+  // are submitted in admission windows of --batch and served by
+  // DrainOnce, so a request's latency includes its wait for the
+  // micro-batch — the tradeoff batching makes for throughput.
+  struct ServedRow {
+    size_t threads = 0;
+    ServeModeResult mode;
+    QueryServerStats stats;
+  };
+  std::vector<ServedRow> served_rows;
+  for (size_t t : threads) {
+    QueryServerOptions opts;
+    opts.max_batch = static_cast<size_t>(*batch);
+    opts.max_queue = workload.size() + 1;
+    opts.parallel.max_threads = t;
+    auto server = QueryServer::Create(&db, &*index, opts);
+    if (!server.ok()) return Fail(server.status());
+
+    std::vector<uint64_t> tickets(workload.size());
+    std::vector<BenchClock::time_point> submitted(workload.size());
+    t0 = BenchClock::now();
+    size_t next = 0;
+    while (next < workload.size()) {
+      const size_t window_end =
+          std::min(workload.size(), next + static_cast<size_t>(*batch));
+      const size_t window_begin = next;
+      for (; next < window_end; ++next) {
+        submitted[next] = BenchClock::now();
+        auto ticket =
+            server->SubmitNearestNeighbors(workload[next], kk);
+        if (!ticket.ok()) return Fail(ticket.status());
+        tickets[next] = *ticket;
+      }
+      Status drained = server->DrainOnce();
+      if (!drained.ok()) return Fail(drained);
+      for (size_t i = window_begin; i < window_end; ++i) {
+        auto hits = server->TakeHits(tickets[i]);
+        if (!hits.ok()) return Fail(hits.status());
+        lat[i] = std::chrono::duration<double>(BenchClock::now() -
+                                               submitted[i])
+                     .count();
+        if (!SameHits(*hits, expected[i])) {
+          return Fail(Status::Unknown(
+              "served results diverged from the linear scan"));
+        }
+      }
+    }
+    ServedRow row;
+    row.threads = t;
+    row.mode = SummarizeMode(lat, SecondsSince(t0));
+    row.stats = server->stats();
+    served_rows.push_back(row);
+  }
+
+  if (json) {
+    std::printf("{\n");
+    std::printf("  \"records\": %lld, \"dim\": %lld, \"queries\": %zu,"
+                " \"unique\": %lld, \"k\": %zu, \"batch\": %lld,\n",
+                static_cast<long long>(*records),
+                static_cast<long long>(*dim), workload.size(),
+                static_cast<long long>(*unique), kk,
+                static_cast<long long>(*batch));
+    std::printf("  \"bit_identical\": true,\n");
+    std::printf("  \"exact_scan\": {\"qps\": %.1f, \"p50_us\": %.1f, "
+                "\"p99_us\": %.1f},\n",
+                exact.qps, exact.p50_us, exact.p99_us);
+    std::printf("  \"indexed\": {\"qps\": %.1f, \"p50_us\": %.1f, "
+                "\"p99_us\": %.1f},\n",
+                indexed.qps, indexed.p50_us, indexed.p99_us);
+    std::printf("  \"served\": [\n");
+    for (size_t i = 0; i < served_rows.size(); ++i) {
+      const ServedRow& r = served_rows[i];
+      std::printf("    {\"threads\": %zu, \"qps\": %.1f, "
+                  "\"p50_us\": %.1f, \"p99_us\": %.1f, "
+                  "\"qps_vs_exact_scan\": %.3f, "
+                  "\"cache_hits\": %llu, \"cache_misses\": %llu, "
+                  "\"coalesced\": %llu}%s\n",
+                  r.threads, r.mode.qps, r.mode.p50_us, r.mode.p99_us,
+                  exact.qps > 0.0 ? r.mode.qps / exact.qps : 0.0,
+                  static_cast<unsigned long long>(r.stats.cache_hits),
+                  static_cast<unsigned long long>(r.stats.cache_misses),
+                  static_cast<unsigned long long>(r.stats.coalesced),
+                  i + 1 < served_rows.size() ? "," : "");
+    }
+    std::printf("  ]\n}\n");
+    return 0;
+  }
+
+  std::printf("serve-bench: %lld records x %lld dims, %zu queries "
+              "(%lld unique), k=%zu, batch=%lld\n",
+              static_cast<long long>(*records),
+              static_cast<long long>(*dim), workload.size(),
+              static_cast<long long>(*unique), kk,
+              static_cast<long long>(*batch));
+  std::printf("  %-22s %10s %12s %12s\n", "mode", "qps", "p50 (us)",
+              "p99 (us)");
+  std::printf("  %-22s %10.0f %12.1f %12.1f\n", "exact scan/request",
+              exact.qps, exact.p50_us, exact.p99_us);
+  std::printf("  %-22s %10.0f %12.1f %12.1f\n", "index/request",
+              indexed.qps, indexed.p50_us, indexed.p99_us);
+  for (const ServedRow& r : served_rows) {
+    char label[32];
+    std::snprintf(label, sizeof label, "served (%zu threads)",
+                  r.threads);
+    std::printf("  %-22s %10.0f %12.1f %12.1f   x%.2f vs scan, "
+                "%llu cache hits\n",
+                label, r.mode.qps, r.mode.p50_us, r.mode.p99_us,
+                exact.qps > 0.0 ? r.mode.qps / exact.qps : 0.0,
+                static_cast<unsigned long long>(r.stats.cache_hits));
+  }
+  std::printf("  (all modes returned bit-identical results)\n");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -209,5 +496,7 @@ int main(int argc, char** argv) {
   if (std::strcmp(argv[1], "train") == 0) return RunTrain(args);
   if (std::strcmp(argv[1], "classify") == 0) return RunClassify(args);
   if (std::strcmp(argv[1], "info") == 0) return RunInfo(args);
+  if (std::strcmp(argv[1], "serve-bench") == 0)
+    return RunServeBench(args);
   return Usage();
 }

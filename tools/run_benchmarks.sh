@@ -1,18 +1,21 @@
 #!/usr/bin/env bash
 # Build the release tree, run the microbenchmark suite, and merge the
-# results into BENCH_pr2.json / BENCH_pr3.json / BENCH_pr4.json at the
-# repo root.
+# results into BENCH_pr2.json / BENCH_pr3.json / BENCH_pr4.json /
+# BENCH_pr5.json at the repo root. The pr5 file additionally embeds a
+# "serving" section measured by `mocemg_cli serve-bench --json` (QPS and
+# p50/p99 latency for per-request exact scan, per-request index, and the
+# batched QueryServer at 1/2/8 evaluation threads).
 #
 # Usage: tools/run_benchmarks.sh [--update] [--quick]
 #
 #   (no flag)  run and COMPARE against the committed BENCH_pr2.json,
-#              BENCH_pr3.json, and BENCH_pr4.json: exits non-zero if any
-#              benchmark regressed by more than 20% (ns/op), and prints
-#              the serial-vs-pre-PR table the <=5% serial-regression
-#              criterion is judged on.
+#              BENCH_pr3.json, BENCH_pr4.json, and BENCH_pr5.json: exits
+#              non-zero if any benchmark regressed by more than 20%
+#              (ns/op), and prints the serial-vs-pre-PR table the <=5%
+#              serial-regression criterion is judged on.
 #   --update   additionally rewrite BENCH_pr2.json / BENCH_pr3.json /
-#              BENCH_pr4.json with this run's numbers (the pre_pr
-#              section is carried forward).
+#              BENCH_pr4.json / BENCH_pr5.json with this run's numbers
+#              (the pre_pr section is carried forward).
 #   --quick    smoke mode for CI: a single pass with reduced measurement
 #              time, printing medians only — no regression gate, no
 #              serial table, never writes. Proves the suite builds and
@@ -50,11 +53,12 @@ repo="$(cd "$(dirname "$0")/.." && pwd)"
 cd "$repo"
 
 suite="micro_pipeline micro_db micro_distance micro_fcm micro_svd \
-micro_parallel micro_incremental"
+micro_parallel micro_incremental micro_serving"
 
 cmake --preset release >/dev/null
 # shellcheck disable=SC2086
-cmake --build --preset release -j "$(nproc)" --target $suite >/dev/null
+cmake --build --preset release -j "$(nproc)" --target $suite mocemg_cli \
+  >/dev/null
 
 out="build/bench_json"
 mkdir -p "$out"
@@ -91,6 +95,18 @@ for i in $passes; do
   done
 done
 
+# One serve-bench run per invocation: its headline ratio
+# (qps_vs_exact_scan) is measured within the one process, so it is
+# already self-paired against host load the way the /0-vs-/1 families
+# are. Quick mode shrinks the synthetic load to smoke-test scale.
+serve_args=(--json)
+if [[ "$quick" == 1 ]]; then
+  serve_args+=(--records 2000 --queries 64 --unique 16)
+fi
+echo "== serve-bench ==" >&2
+./build/tools/mocemg_cli serve-bench "${serve_args[@]}" \
+  >"$out/serving.json"
+
 MOCEMG_BENCH_UPDATE="$update" MOCEMG_BENCH_QUICK="$quick" \
   python3 - "$out" <<'PYEOF'
 import json, os, statistics, sys
@@ -101,6 +117,7 @@ quick = os.environ.get("MOCEMG_BENCH_QUICK") == "1"
 bench_path = "BENCH_pr2.json"
 bench3_path = "BENCH_pr3.json"
 bench4_path = "BENCH_pr4.json"
+bench5_path = "BENCH_pr5.json"
 
 # micro_incremental families live in BENCH_pr3.json, not BENCH_pr2.json:
 # the pr2 file keeps its original scope (parallel substrate + serial
@@ -111,6 +128,11 @@ PR3_PREFIXES = ("BM_BatchFeaturization", "BM_StreamingPushFrame",
                 "BM_ExactWindowSvd", "BM_GramEigensolve")
 PR4_PREFIXES = ("BM_KnnScan", "BM_IndexedScan", "BM_FcmEstep",
                 "BM_IndexedKnnDim")
+# The quantized-tier and serving families (PR 5) pair mode 0 (exact
+# dot-form scan / per-request loop) against mode 1 (int8 coarse tier /
+# batched QueryServer) and live in BENCH_pr5.json together with the
+# serve-bench "serving" section.
+PR5_PREFIXES = ("BM_QuantIndexedKnnDim", "BM_ServedKnn")
 
 # ns/op at the parent of this PR (release build, same harness,
 # median of 3 runs interleaved with post-change runs on the same host
@@ -153,11 +175,17 @@ UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
 # by 30%+. The cv (stddev/mean) across passes decides what is gated.
 CV_STABLE = 0.10
 
+serving = None
+serving_path = os.path.join(out_dir, "serving.json")
+if os.path.exists(serving_path):
+    with open(serving_path) as f:
+        serving = json.load(f)
+
 samples = {}
 items = {}
 pre_samples = {}
 for fname in sorted(os.listdir(out_dir)):
-    if not fname.endswith(".json"):
+    if not fname.endswith(".json") or fname == "serving.json":
         continue
     is_prepr = "_prepr_" in fname
     with open(os.path.join(out_dir, fname)) as f:
@@ -250,6 +278,23 @@ speedups4 = paired_speedups(PR4_PREFIXES, "scalar_ns_per_op",
 print_speedups("scalar vs distance-kernel (paired per-pass ratios; "
                "speedup > 1 means the kernel path is faster):",
                speedups4, "scalar_ns_per_op", "kernel_ns_per_op")
+speedups5 = paired_speedups(PR5_PREFIXES, "baseline_ns_per_op",
+                            "optimized_ns_per_op")
+print_speedups("exact vs quantized/served (paired per-pass ratios; "
+               "speedup > 1 means the two-tier/served path is faster):",
+               speedups5, "baseline_ns_per_op", "optimized_ns_per_op")
+if serving:
+    print("serving (mocemg_cli serve-bench, "
+          f"{serving['records']}x{serving['dim']}):")
+    print(f"  exact scan/request  {serving['exact_scan']['qps']:10.0f}"
+          " qps")
+    print(f"  index/request       {serving['indexed']['qps']:10.0f}"
+          " qps")
+    for row in serving.get("served", []):
+        print(f"  served ({row['threads']} threads)   "
+              f"{row['qps']:10.0f} qps  "
+              f"x{row['qps_vs_exact_scan']:.2f} vs scan  "
+              f"p50 {row['p50_us']:.0f}us p99 {row['p99_us']:.0f}us")
 
 if quick:
     print("\nquick mode: single-pass medians (no gate, nothing "
@@ -270,6 +315,10 @@ committed4 = None
 if os.path.exists(bench4_path):
     with open(bench4_path) as f:
         committed4 = json.load(f)
+committed5 = None
+if os.path.exists(bench5_path):
+    with open(bench5_path) as f:
+        committed5 = json.load(f)
 
 if pre_samples:
     # Pre-PR binaries ran inside the same passes as the current ones:
@@ -335,7 +384,7 @@ print(f"  worst stable ratio: x{worst_serial:.3f} "
 failures = []
 noisy_skips = []
 for path, doc_ in ((bench_path, committed), (bench3_path, committed3),
-                   (bench4_path, committed4)):
+                   (bench4_path, committed4), (bench5_path, committed5)):
     if not doc_:
         continue
     for name, old in doc_.get("benchmarks", {}).items():
@@ -357,11 +406,14 @@ for path, doc_ in ((bench_path, committed), (bench3_path, committed3),
 
 cpus = len(os.sched_getaffinity(0))
 results2 = {n: e for n, e in results.items()
-            if not n.startswith(PR3_PREFIXES + PR4_PREFIXES)}
+            if not n.startswith(PR3_PREFIXES + PR4_PREFIXES +
+                                PR5_PREFIXES)}
 results3 = {n: e for n, e in results.items()
             if n.startswith(PR3_PREFIXES)}
 results4 = {n: e for n, e in results.items()
             if n.startswith(PR4_PREFIXES)}
+results5 = {n: e for n, e in results.items()
+            if n.startswith(PR5_PREFIXES)}
 doc = {
     "schema": "mocemg-bench-pr2",
     "host": {
@@ -388,6 +440,23 @@ doc4 = {
     },
     "benchmarks": results4,
     "paired_speedups": speedups4,
+}
+doc5 = {
+    "schema": "mocemg-bench-pr5",
+    "host": {
+        "cpus_online": cpus,
+        "note": "paired_speedups divide per-pass mode-0 (exact dot-form "
+                "scan / per-request loop) by mode-1 (int8 coarse tier / "
+                "batched QueryServer) runs of the same binary, so host "
+                "load cancels. The serving section comes from one "
+                "mocemg_cli serve-bench process; its qps_vs_exact_scan "
+                "ratios are likewise in-process pairs. Served results "
+                "are verified bit-identical to the linear scan before "
+                "any number is reported.",
+    },
+    "benchmarks": results5,
+    "paired_speedups": speedups5,
+    "serving": serving,
 }
 doc3 = {
     "schema": "mocemg-bench-pr3",
@@ -420,6 +489,12 @@ if update:
         f.write("\n")
     print(f"wrote {bench4_path} ({len(results4)} benchmarks, "
           f"{len(speedups4)} paired speedups)")
+    with open(bench5_path, "w") as f:
+        json.dump(doc5, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"wrote {bench5_path} ({len(results5)} benchmarks, "
+          f"{len(speedups5)} paired speedups, "
+          f"{'with' if serving else 'WITHOUT'} serving section)")
 
 if noisy_skips:
     print("\nslower than the committed baseline but too noisy to gate:")
@@ -432,6 +507,6 @@ if failures:
         print(f"  {f_}", file=sys.stderr)
     sys.exit(1)
 print("\nno benchmark regressed more than 20% vs the committed baselines"
-      if (committed or committed3 or committed4) else
+      if (committed or committed3 or committed4 or committed5) else
       "\nno committed baselines yet - run with --update to create them")
 PYEOF
