@@ -10,6 +10,17 @@
 //                              query repeats, with the cache ON — the
 //                              steady-state hot-working-set regime the
 //                              result cache is for.
+//   BM_ServedKnnRobust/<mode>  mode 0: PR 5 serving path, no robustness
+//                                      features configured.
+//                              mode 1: the same path with the §12
+//                                      robustness machinery armed but
+//                                      never firing (deadline far in the
+//                                      future, watermark above any
+//                                      reachable depth) — measures the
+//                                      overhead of deadline stamping,
+//                                      expiry sweeps, and the watermark
+//                                      check on the non-degraded fast
+//                                      path (BENCH_pr6.json, < 5%).
 //
 // Results are bit-identical between the modes by construction (the
 // server's contract); the families measure only how fast the same
@@ -130,6 +141,36 @@ void BM_ServedKnnCached(benchmark::State& state) {
   ServeWorkload(state, *workload, /*cache_capacity=*/4096);
 }
 BENCHMARK(BM_ServedKnnCached)->Arg(0)->Arg(1);
+
+// Robustness-armed vs plain serving over the identical workload. Both
+// modes run the server; mode 1 additionally stamps deadlines, sweeps
+// for expiry at batch formation, and evaluates the degradation
+// watermark — none of which fire (the deadline is an hour, the
+// watermark is far above the queue's reach), so the pair isolates the
+// pure bookkeeping overhead of the robustness layer.
+void BM_ServedKnnRobust(benchmark::State& state) {
+  static const auto* workload =
+      new std::vector<std::vector<double>>(MakeQueries(64, kDim, 303));
+  const bool robust = state.range(0) == 1;
+  QueryServerOptions opts;
+  opts.max_batch = 64;
+  opts.cache_capacity = 0;
+  opts.parallel.max_threads = 1;
+  if (robust) {
+    opts.default_deadline_us = 3600ULL * 1000 * 1000;  // never expires
+    opts.degrade_watermark = opts.max_queue;           // never reached
+  }
+  auto server = QueryServer::Create(&SharedDb(), &SharedIndex(), opts);
+  MOCEMG_CHECK_OK(server.status());
+  for (auto _ : state) {
+    auto hits = server->NearestNeighborsBatch(*workload, kK);
+    benchmark::DoNotOptimize(hits);
+    MOCEMG_CHECK_OK(hits.status());
+  }
+  state.SetItemsProcessed(
+      static_cast<int64_t>(state.iterations() * workload->size()));
+}
+BENCHMARK(BM_ServedKnnRobust)->Arg(0)->Arg(1);
 
 }  // namespace
 }  // namespace mocemg

@@ -351,6 +351,108 @@ Result<std::vector<QueryHit>> FeatureIndex::NearestNeighborsImpl(
   return out;
 }
 
+Result<std::vector<QueryHit>> FeatureIndex::CoarseNearestNeighbors(
+    const std::vector<double>& query, size_t k, double* error_bound,
+    IndexQueryStats* stats) const {
+  if (database_ == nullptr || partitions_.empty()) {
+    return Status::FailedPrecondition("index is not built");
+  }
+  if (database_->epoch() != built_epoch_) {
+    return Status::FailedPrecondition(
+        "index is stale: the database mutated after the index was "
+        "built; call Rebuild()");
+  }
+  if (query.size() != database_->feature_dimension()) {
+    return Status::InvalidArgument("query dimension mismatch");
+  }
+  if (k == 0) return Status::InvalidArgument("k must be >= 1");
+  for (double v : query) {
+    if (!std::isfinite(v)) {
+      return Status::InvalidArgument(
+          "query feature contains a non-finite value");
+    }
+  }
+  const size_t dim = query.size();
+  IndexQueryStats local;
+  const double q_sq = SquaredNorm(query.data(), dim);
+
+  // Degraded mode trades the exact re-rank for bounded error: every
+  // quantized partition is scored with the integer code distance only.
+  // For a reported estimate est = out + s·√D the true distance obeys
+  //   true ≤ ‖q − q'‖ + ‖q' − q̃‖ + ‖q̃ − r̃‖ + ‖r̃ − r‖
+  //        ≤ out + q_res + s·√D + err            = est + (q_res + err)
+  //   true ≥ ‖q' − r‖ ≥ ‖q̃ − r̃‖ − ‖q' − q̃‖ − ‖r − r̃‖
+  //        ≥ s·√D − q_res − err                  = est − out − (q_res + err)
+  // so |est − true| ≤ out + q_res + err, and the per-query certified
+  // bound is the max of that scalar over the quantized partitions
+  // visited (q_res and err already carry the §11.2 slack inflation).
+  // Unquantized partitions are scanned with the dot-form kernel, whose
+  // squared-space error margin adds √margin to the bound.
+  double bound = 0.0;
+  BoundedTopK top(std::min(k, database_->size()));
+  std::vector<double> qclamp(dim), decoded(dim), dist;
+  std::vector<uint8_t> qcodes(dim);
+  std::vector<uint32_t> ssd;
+  for (size_t pi = 0; pi < partitions_.size(); ++pi) {
+    const Partition& part = partitions_[pi];
+    const size_t rows = part.size();
+    ++local.partitions_visited;
+    if (part.quantized() && part.quant_scale > 0.0) {
+      const double s = part.quant_scale;
+      for (size_t j = 0; j < dim; ++j) {
+        const double lo = part.quant_offsets[j];
+        const double hi = lo + 255.0 * s;
+        qclamp[j] = std::clamp(query[j], lo, hi);
+      }
+      const double out_sq = SquaredL2(query.data(), qclamp.data(), dim);
+      QuantizeQuery(qclamp.data(), dim, part.quant_offsets.data(), s,
+                    qcodes.data());
+      DequantizeRow(qcodes.data(), dim, part.quant_offsets.data(), s,
+                    decoded.data());
+      const double q_res_sq =
+          SquaredL2(qclamp.data(), decoded.data(), dim);
+      const double slack = QuantScanSlack(
+          dim, q_sq, std::max(part.max_norm_sq, part.quant_box_sq));
+      const double q_res = std::sqrt(q_res_sq + slack);
+      const double err = std::sqrt(part.quant_err_sq);
+      const double out = std::sqrt(out_sq);
+      ssd.resize(rows);
+      QuantizedSsdOneToMany(qcodes.data(), part.quant_codes.data(), rows,
+                            dim, ssd.data());
+      local.coarse_computations += rows;
+      for (size_t j = 0; j < rows; ++j) {
+        const double est =
+            out + s * std::sqrt(static_cast<double>(ssd[j]));
+        top.Push(est, part.record_indices[j]);
+      }
+      bound = std::max(bound, out + q_res + err);
+    } else {
+      // Small/unquantized partition: dot-form scan, no exact re-check.
+      dist.resize(rows);
+      SquaredL2DotOneToMany(query.data(), q_sq, part.block.data(),
+                            part.norms_sq.data(), rows, dim, dist.data());
+      local.distance_computations += rows;
+      const double margin =
+          DotFormErrorBound(dim, q_sq, part.max_norm_sq);
+      for (size_t j = 0; j < rows; ++j) {
+        top.Push(std::sqrt(std::max(0.0, dist[j])),
+                 part.record_indices[j]);
+      }
+      bound = std::max(bound, std::sqrt(margin));
+    }
+  }
+  std::vector<TopKEntry> entries;
+  top.ExtractSorted(&entries);
+  std::vector<QueryHit> out(entries.size());
+  for (size_t i = 0; i < entries.size(); ++i) {
+    out[i].record_index = entries[i].second;
+    out[i].distance = entries[i].first;  // already in distance space
+  }
+  if (error_bound != nullptr) *error_bound = bound;
+  if (stats != nullptr) *stats = local;
+  return out;
+}
+
 Result<std::vector<std::vector<QueryHit>>>
 FeatureIndex::BatchNearestNeighbors(
     const std::vector<std::vector<double>>& queries, size_t k,

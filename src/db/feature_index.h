@@ -77,6 +77,8 @@ struct IndexQueryStats {
   size_t coarse_pruned = 0;
 };
 
+class IndexSnapshotCodec;
+
 /// \brief Exact cluster-pruned kNN index. The index copies each
 /// partition's features into its own packed block at Build/Rebuild;
 /// rebuilding after inserts is the caller's responsibility (Rebuild()).
@@ -119,13 +121,53 @@ class FeatureIndex {
       IndexQueryStats* stats = nullptr,
       const ParallelOptions* parallel_override = nullptr) const;
 
+  /// \brief Approximate kNN answered from the int8 coarse tier alone —
+  /// the query server's degraded mode under overload (DESIGN.md §12.2).
+  ///
+  /// Quantized partitions are scored with the integer code distance
+  /// only (1 byte/dim of traffic, no exact re-rank); a hit's reported
+  /// distance is the estimate `out + scale·√D` (out = the query's
+  /// certified out-of-box energy for that partition's grid). Partitions
+  /// without codes (below quantized_min_rows) are scanned with the
+  /// cheap dot-form kernel instead. `error_bound`, when non-null,
+  /// receives a certified absolute bound B such that every reported
+  /// hit's true distance lies within [estimate − B, estimate + B]
+  /// (derivation in DESIGN.md §12.2; B includes the §11.2 float slack).
+  /// Deterministic: partitions are visited in index order with the
+  /// usual (distance, index) tie-break, so the same query yields the
+  /// same degraded answer on every replay. Fails with
+  /// FailedPrecondition when the index is stale, exactly like the
+  /// exact path.
+  Result<std::vector<QueryHit>> CoarseNearestNeighbors(
+      const std::vector<double>& query, size_t k,
+      double* error_bound = nullptr,
+      IndexQueryStats* stats = nullptr) const;
+
   size_t num_partitions() const { return partitions_.size(); }
+
+  /// \brief True when at least one partition carries int8 codes — the
+  /// precondition for CoarseNearestNeighbors giving any speedup and
+  /// for the query server's degraded mode.
+  bool has_quantized_tier() const {
+    for (const Partition& p : partitions_) {
+      if (p.quantized()) return true;
+    }
+    return false;
+  }
 
   /// \brief The database epoch this index was built against; queries
   /// require database->epoch() to still equal it.
   uint64_t built_epoch() const { return built_epoch_; }
 
+  /// \brief The options the index was built with (snapshots persist
+  /// them so a reloaded index rebuilds identically).
+  const FeatureIndexOptions& options() const { return options_; }
+
  private:
+  /// The snapshot codec (db/index_snapshot.cc) serializes and restores
+  /// the private representation verbatim.
+  friend class IndexSnapshotCodec;
+
   struct Partition {
     double radius = 0.0;      ///< covering radius (true distance)
     double radius_sq = 0.0;   ///< radius², for the sqrt-free prune

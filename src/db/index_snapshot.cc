@@ -1,0 +1,372 @@
+#include "db/index_snapshot.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "util/csv.h"
+#include "util/logging.h"
+#include "util/macros.h"
+
+namespace mocemg {
+namespace {
+
+// Snapshot header: magic+version tag, payload byte count (detects
+// truncation), FNV-1a64 checksum of the payload (detects corruption).
+// The newline in the magic catches CRLF-mangling transfers early, the
+// trailing "1" is the format version.
+constexpr char kMagic[] = "MOCEMGIX1\n";
+constexpr size_t kMagicLen = sizeof(kMagic) - 1;
+
+uint64_t Fnv1a64(const char* data, size_t n) {
+  uint64_t h = 14695981039346656037ULL;
+  for (size_t i = 0; i < n; ++i) {
+    h ^= static_cast<unsigned char>(data[i]);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+// --- little-endian primitive encoding -------------------------------
+
+void PutU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void PutDouble(std::string* out, double v) {
+  uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(out, bits);
+}
+
+void PutDoubles(std::string* out, const std::vector<double>& v) {
+  PutU64(out, v.size());
+  for (double d : v) PutDouble(out, d);
+}
+
+void PutIndices(std::string* out, const std::vector<size_t>& v) {
+  PutU64(out, v.size());
+  for (size_t i : v) PutU64(out, i);
+}
+
+void PutBytes(std::string* out, const std::vector<uint8_t>& v) {
+  PutU64(out, v.size());
+  out->append(reinterpret_cast<const char*>(v.data()), v.size());
+}
+
+/// Bounds-checked cursor over the payload; every read fails with
+/// ParseError instead of walking off the end, so a payload that lies
+/// about its internal sizes (yet passes the checksum because it was
+/// *written* that way) still cannot crash the loader.
+class Reader {
+ public:
+  Reader(const char* data, size_t size) : data_(data), size_(size) {}
+
+  Result<uint64_t> U64() {
+    if (size_ - pos_ < 8) {
+      return Status::ParseError("index snapshot payload ended mid-field");
+    }
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<uint64_t>(
+               static_cast<unsigned char>(data_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 8;
+    return v;
+  }
+
+  Result<double> Double() {
+    MOCEMG_ASSIGN_OR_RETURN(uint64_t bits, U64());
+    double v = 0.0;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+
+  Result<std::vector<double>> Doubles(uint64_t max_elems) {
+    MOCEMG_ASSIGN_OR_RETURN(uint64_t n, U64());
+    if (n > max_elems || size_ - pos_ < n * 8) {
+      return Status::ParseError("index snapshot double array overruns payload");
+    }
+    std::vector<double> v(n);
+    for (uint64_t i = 0; i < n; ++i) {
+      MOCEMG_ASSIGN_OR_RETURN(v[i], Double());
+    }
+    return v;
+  }
+
+  Result<std::vector<size_t>> Indices(uint64_t max_elems) {
+    MOCEMG_ASSIGN_OR_RETURN(uint64_t n, U64());
+    if (n > max_elems || size_ - pos_ < n * 8) {
+      return Status::ParseError("index snapshot index array overruns payload");
+    }
+    std::vector<size_t> v(n);
+    for (uint64_t i = 0; i < n; ++i) {
+      MOCEMG_ASSIGN_OR_RETURN(uint64_t x, U64());
+      v[i] = static_cast<size_t>(x);
+    }
+    return v;
+  }
+
+  Result<std::vector<uint8_t>> Bytes(uint64_t max_elems) {
+    MOCEMG_ASSIGN_OR_RETURN(uint64_t n, U64());
+    if (n > max_elems || size_ - pos_ < n) {
+      return Status::ParseError("index snapshot byte array overruns payload");
+    }
+    std::vector<uint8_t> v(n);
+    std::memcpy(v.data(), data_ + pos_, n);
+    pos_ += n;
+    return v;
+  }
+
+  bool exhausted() const { return pos_ == size_; }
+
+ private:
+  const char* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+/// Friend of FeatureIndex: reads and writes the private representation
+/// field-for-field so a restored index is bit-identical to the saved
+/// one (same partitions, same blocks, same quantized grids, same
+/// epoch).
+class IndexSnapshotCodec {
+ public:
+  static std::string Serialize(const FeatureIndex& index) {
+    std::string p;
+    PutU64(&p, index.built_epoch_);
+    PutU64(&p, index.database_ ? index.database_->feature_dimension() : 0);
+    PutU64(&p, index.max_partition_size_);
+    // Build options, so a reloaded index Rebuild()s identically.
+    PutU64(&p, index.options_.num_partitions);
+    PutU64(&p, index.options_.seed);
+    PutU64(&p, index.options_.quantized_scan ? 1 : 0);
+    PutU64(&p, index.options_.quantized_min_rows);
+    PutU64(&p, index.options_.parallel.max_threads);
+    PutU64(&p, index.options_.parallel.grain);
+    // Packed references.
+    PutU64(&p, index.references_.rows());
+    PutU64(&p, index.references_.cols());
+    PutDoubles(&p, index.references_.data());
+    // Partitions, in index order.
+    PutU64(&p, index.partitions_.size());
+    for (const FeatureIndex::Partition& part : index.partitions_) {
+      PutDouble(&p, part.radius);
+      PutDouble(&p, part.radius_sq);
+      PutDouble(&p, part.max_norm_sq);
+      PutDouble(&p, part.quant_scale);
+      PutDouble(&p, part.quant_err_sq);
+      PutDouble(&p, part.quant_box_sq);
+      PutIndices(&p, part.record_indices);
+      PutDoubles(&p, part.block);
+      PutDoubles(&p, part.norms_sq);
+      PutDoubles(&p, part.quant_offsets);
+      PutBytes(&p, part.quant_codes);
+    }
+    return p;
+  }
+
+  static Result<FeatureIndex> Deserialize(const char* payload, size_t size,
+                                          const MotionDatabase* database) {
+    Reader r(payload, size);
+    FeatureIndex index;
+    index.database_ = database;
+    MOCEMG_ASSIGN_OR_RETURN(uint64_t epoch, r.U64());
+    index.built_epoch_ = epoch;
+    MOCEMG_ASSIGN_OR_RETURN(uint64_t dim, r.U64());
+    if (dim != database->feature_dimension()) {
+      return Status::ParseError(
+          "index snapshot dimension " + std::to_string(dim) +
+          " does not match database dimension " +
+          std::to_string(database->feature_dimension()));
+    }
+    MOCEMG_ASSIGN_OR_RETURN(uint64_t max_part, r.U64());
+    index.max_partition_size_ = static_cast<size_t>(max_part);
+    MOCEMG_ASSIGN_OR_RETURN(uint64_t num_parts_opt, r.U64());
+    index.options_.num_partitions = static_cast<size_t>(num_parts_opt);
+    MOCEMG_ASSIGN_OR_RETURN(index.options_.seed, r.U64());
+    MOCEMG_ASSIGN_OR_RETURN(uint64_t qscan, r.U64());
+    index.options_.quantized_scan = qscan != 0;
+    MOCEMG_ASSIGN_OR_RETURN(uint64_t qmin, r.U64());
+    index.options_.quantized_min_rows = static_cast<size_t>(qmin);
+    MOCEMG_ASSIGN_OR_RETURN(uint64_t threads, r.U64());
+    index.options_.parallel.max_threads = static_cast<size_t>(threads);
+    MOCEMG_ASSIGN_OR_RETURN(uint64_t grain, r.U64());
+    index.options_.parallel.grain = static_cast<size_t>(grain);
+
+    MOCEMG_ASSIGN_OR_RETURN(uint64_t ref_rows, r.U64());
+    MOCEMG_ASSIGN_OR_RETURN(uint64_t ref_cols, r.U64());
+    // Every count below is sanity-capped against what the database and
+    // dimension admit, so a crafted-size payload is rejected rather
+    // than allocating unbounded memory.
+    const uint64_t n_records = database->size();
+    if (ref_cols != dim || ref_rows > n_records + 1) {
+      return Status::ParseError("index snapshot references shape invalid");
+    }
+    MOCEMG_ASSIGN_OR_RETURN(std::vector<double> refs,
+                            r.Doubles(ref_rows * ref_cols));
+    if (refs.size() != ref_rows * ref_cols) {
+      return Status::ParseError("index snapshot references size mismatch");
+    }
+    index.references_ = Matrix(static_cast<size_t>(ref_rows),
+                               static_cast<size_t>(ref_cols));
+    index.references_.mutable_data() = std::move(refs);
+
+    MOCEMG_ASSIGN_OR_RETURN(uint64_t num_partitions, r.U64());
+    if (num_partitions != ref_rows) {
+      return Status::ParseError(
+          "index snapshot partition count does not match references");
+    }
+    index.partitions_.resize(static_cast<size_t>(num_partitions));
+    for (FeatureIndex::Partition& part : index.partitions_) {
+      MOCEMG_ASSIGN_OR_RETURN(part.radius, r.Double());
+      MOCEMG_ASSIGN_OR_RETURN(part.radius_sq, r.Double());
+      MOCEMG_ASSIGN_OR_RETURN(part.max_norm_sq, r.Double());
+      MOCEMG_ASSIGN_OR_RETURN(part.quant_scale, r.Double());
+      MOCEMG_ASSIGN_OR_RETURN(part.quant_err_sq, r.Double());
+      MOCEMG_ASSIGN_OR_RETURN(part.quant_box_sq, r.Double());
+      MOCEMG_ASSIGN_OR_RETURN(part.record_indices, r.Indices(n_records));
+      const uint64_t n = part.record_indices.size();
+      for (size_t idx : part.record_indices) {
+        if (idx >= n_records) {
+          return Status::ParseError(
+              "index snapshot record index " + std::to_string(idx) +
+              " out of range for database of size " +
+              std::to_string(n_records));
+        }
+      }
+      MOCEMG_ASSIGN_OR_RETURN(part.block, r.Doubles(n * dim));
+      if (part.block.size() != n * dim) {
+        return Status::ParseError("index snapshot block size mismatch");
+      }
+      MOCEMG_ASSIGN_OR_RETURN(part.norms_sq, r.Doubles(n));
+      if (part.norms_sq.size() != n) {
+        return Status::ParseError("index snapshot norms size mismatch");
+      }
+      MOCEMG_ASSIGN_OR_RETURN(part.quant_offsets, r.Doubles(dim));
+      MOCEMG_ASSIGN_OR_RETURN(part.quant_codes, r.Bytes(n * dim));
+      if (!part.quant_codes.empty() &&
+          (part.quant_codes.size() != n * dim ||
+           part.quant_offsets.size() != dim)) {
+        return Status::ParseError("index snapshot quantized tier malformed");
+      }
+    }
+    if (!r.exhausted()) {
+      return Status::ParseError("index snapshot has trailing bytes");
+    }
+    return index;
+  }
+};
+
+Result<std::string> SerializeFeatureIndex(const FeatureIndex& index) {
+  if (index.num_partitions() == 0) {
+    return Status::FailedPrecondition(
+        "cannot snapshot an index that has not been built");
+  }
+  std::string payload = IndexSnapshotCodec::Serialize(index);
+  std::string out;
+  out.reserve(kMagicLen + 16 + payload.size());
+  out.append(kMagic, kMagicLen);
+  PutU64(&out, payload.size());
+  PutU64(&out, Fnv1a64(payload.data(), payload.size()));
+  out += payload;
+  return out;
+}
+
+Result<FeatureIndex> DeserializeFeatureIndex(
+    const std::string& bytes, const MotionDatabase* database) {
+  if (database == nullptr) {
+    return Status::InvalidArgument("database must not be null");
+  }
+  if (bytes.size() < kMagicLen + 16) {
+    return Status::ParseError("index snapshot shorter than its header");
+  }
+  if (bytes.compare(0, kMagicLen, kMagic, kMagicLen) != 0) {
+    return Status::ParseError(
+        "index snapshot magic/version mismatch (expected MOCEMGIX1)");
+  }
+  Reader header(bytes.data() + kMagicLen, 16);
+  MOCEMG_ASSIGN_OR_RETURN(uint64_t payload_size, header.U64());
+  MOCEMG_ASSIGN_OR_RETURN(uint64_t checksum, header.U64());
+  const size_t have = bytes.size() - kMagicLen - 16;
+  if (have != payload_size) {
+    return Status::ParseError(
+        "index snapshot truncated: header promises " +
+        std::to_string(payload_size) + " payload bytes, file has " +
+        std::to_string(have));
+  }
+  const char* payload = bytes.data() + kMagicLen + 16;
+  const uint64_t actual = Fnv1a64(payload, payload_size);
+  if (actual != checksum) {
+    return Status::ParseError(
+        "index snapshot checksum mismatch (stored " +
+        std::to_string(checksum) + ", computed " + std::to_string(actual) +
+        "): file is corrupted");
+  }
+  return IndexSnapshotCodec::Deserialize(payload, payload_size, database);
+}
+
+Status SaveFeatureIndex(const FeatureIndex& index, const std::string& path) {
+  MOCEMG_ASSIGN_OR_RETURN(std::string bytes, SerializeFeatureIndex(index));
+  // Write-then-rename: the incomplete state only ever exists under the
+  // temporary name, so a crash between the two steps leaves the
+  // previous snapshot at `path` untouched.
+  const std::string tmp = path + ".tmp";
+  MOCEMG_RETURN_NOT_OK(WriteStringToFile(tmp, bytes));
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IOError("failed to rename " + tmp + " to " + path);
+  }
+  return Status::OK();
+}
+
+Result<FeatureIndex> LoadFeatureIndex(const std::string& path,
+                                      const MotionDatabase* database) {
+  MOCEMG_ASSIGN_OR_RETURN(std::string bytes, ReadFileToString(path));
+  Result<FeatureIndex> index = DeserializeFeatureIndex(bytes, database);
+  if (!index.ok()) {
+    return index.status().WithContext("loading index snapshot " + path);
+  }
+  return index;
+}
+
+Result<FeatureIndex> LoadOrRebuildFeatureIndex(
+    const std::string& path, const MotionDatabase* database,
+    const FeatureIndexOptions& rebuild_options,
+    IndexSnapshotLoadInfo* info) {
+  if (database == nullptr) {
+    return Status::InvalidArgument("database must not be null");
+  }
+  IndexSnapshotLoadInfo local;
+  IndexSnapshotLoadInfo* out = info ? info : &local;
+  *out = IndexSnapshotLoadInfo{};
+
+  Result<FeatureIndex> loaded = LoadFeatureIndex(path, database);
+  if (loaded.ok()) {
+    if (loaded->built_epoch() == database->epoch()) {
+      out->loaded_from_snapshot = true;
+      return loaded;
+    }
+    out->fallback_reason =
+        "snapshot built at epoch " + std::to_string(loaded->built_epoch()) +
+        " but database is at epoch " + std::to_string(database->epoch());
+  } else {
+    out->fallback_reason = loaded.status().ToString();
+  }
+  MOCEMG_LOG(kWarning) << "index snapshot " << path
+                       << " unusable, rebuilding from database: "
+                       << out->fallback_reason;
+  MOCEMG_ASSIGN_OR_RETURN(FeatureIndex rebuilt,
+                          FeatureIndex::Build(database, rebuild_options));
+  out->rebuilt = true;
+  return rebuilt;
+}
+
+}  // namespace mocemg

@@ -12,6 +12,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "db/serving_faults.h"
 #include "util/distance_kernels.h"
 #include "util/macros.h"
 #include "util/top_k.h"
@@ -60,15 +61,25 @@ struct QueryServer::Impl {
   std::condition_variable cv_work;  ///< queue became non-empty / stopping
   std::condition_variable cv_done;  ///< some outcomes became ready
 
+  /// Resolved time source (opts.clock or the system clock).
+  const Clock* clock = nullptr;
+  /// EWMA of per-request drain time in microseconds (integer, α=1/2);
+  /// feeds the retry_after_us hint. 0 until the first batch commits.
+  uint64_t drain_ewma_us = 0;
+
   struct Request {
     bool classify = false;
     std::vector<double> query;
     size_t k = 1;
     uint64_t ticket = 0;
+    /// Absolute expiry on the server clock; 0 = never expires.
+    uint64_t deadline_at_us = 0;
   };
   struct Outcome {
     bool ready = false;
     bool classify = false;
+    bool degraded = false;
+    double error_bound = 0.0;
     Status status;
     std::vector<QueryHit> hits;
     size_t label = 0;
@@ -98,7 +109,7 @@ struct QueryServer::Impl {
   bool stopping = false;
 
   Result<uint64_t> Submit(bool classify, std::vector<double> query,
-                          size_t k);
+                          size_t k, uint64_t deadline_us);
   Status ServeBatch(size_t* served_out);
   Status ExactBatch(const std::vector<const std::vector<double>*>& queries,
                     size_t k,
@@ -107,13 +118,14 @@ struct QueryServer::Impl {
                                const std::vector<double>& query, size_t k,
                                uint64_t epoch) const;
   void InsertCached(CacheEntry entry);
-  Result<Outcome> Take(uint64_t ticket, bool classify);
+  /// expect: 0 = kNN ticket, 1 = classify ticket, -1 = either kind.
+  Result<Outcome> Take(uint64_t ticket, int expect);
   void WorkerLoop();
 };
 
 Result<uint64_t> QueryServer::Impl::Submit(bool classify,
                                            std::vector<double> query,
-                                           size_t k) {
+                                           size_t k, uint64_t deadline_us) {
   if (query.size() != db->feature_dimension()) {
     return Status::InvalidArgument(
         "query dimension " + std::to_string(query.size()) +
@@ -127,12 +139,23 @@ Result<uint64_t> QueryServer::Impl::Submit(bool classify,
     }
   }
   if (k == 0) return Status::InvalidArgument("k must be >= 1");
+  if (k > db->size()) {
+    return Status::InvalidArgument(
+        "k=" + std::to_string(k) + " exceeds database size " +
+        std::to_string(db->size()));
+  }
+  if (deadline_us == 0) deadline_us = opts.default_deadline_us;
   std::unique_lock<std::mutex> lock(mu);
   if (queue.size() >= opts.max_queue) {
     ++counters.rejected;
+    // Shed with a hint: with `queue.size()` requests ahead and the
+    // EWMA per-request drain time, a slot should free after roughly
+    // (depth + 1) × ewma — monotone in depth, tracks serving speed.
+    const uint64_t per_req = drain_ewma_us > 0 ? drain_ewma_us : 1;
+    const uint64_t hint = (queue.size() + 1) * per_req;
     return Status::OutOfRange(
         "admission queue full (" + std::to_string(opts.max_queue) +
-        " requests waiting); retry after draining");
+        " requests waiting); retry_after_us=" + std::to_string(hint));
   }
   const uint64_t ticket = next_ticket++;
   Request req;
@@ -140,10 +163,16 @@ Result<uint64_t> QueryServer::Impl::Submit(bool classify,
   req.query = std::move(query);
   req.k = k;
   req.ticket = ticket;
+  if (deadline_us > 0) {
+    req.deadline_at_us = clock->NowMicros() + deadline_us;
+  }
   queue.push_back(std::move(req));
   Outcome& out = outcomes[ticket];
   out.classify = classify;
   ++counters.submitted;
+  if (queue.size() > counters.queue_high_water) {
+    counters.queue_high_water = queue.size();
+  }
   lock.unlock();
   cv_work.notify_one();
   return ticket;
@@ -222,7 +251,7 @@ Status QueryServer::Impl::ExactBatch(
 }
 
 Status QueryServer::Impl::ServeBatch(size_t* served_out) {
-  // --- batch formation + cache lookups, under the lock -------------
+  // --- expiry sweep + batch formation + cache lookups, under lock --
   std::vector<Request> batch;
   const size_t nb_cap = opts.max_batch;
   const uint64_t epoch = db->epoch();
@@ -234,16 +263,59 @@ Status QueryServer::Impl::ServeBatch(size_t* served_out) {
   };
   std::vector<Plan> plan;
   std::vector<size_t> uniq;  ///< batch positions evaluated (first of dupes)
-  uint64_t n_hits = 0, n_miss = 0, n_coal = 0;
+  uint64_t n_hits = 0, n_miss = 0, n_coal = 0, n_expired = 0;
+  bool degraded_batch = false;
+  Status fault_status = Status::OK();
+  // Degradation needs a fresh index carrying the int8 tier; without
+  // one the exact path serves under any load.
+  const bool coarse_capable = index != nullptr &&
+                              index->num_partitions() > 0 &&
+                              index->built_epoch() == epoch &&
+                              index->has_quantized_tier();
   {
     std::unique_lock<std::mutex> lock(mu);
+    // Expiry sweep: fail every overdue request wherever it sits in the
+    // queue. An expired request is shed whole — it never occupies a
+    // batch slot and is never answered with work done past its budget.
+    if (!queue.empty()) {
+      const uint64_t now = clock->NowMicros();
+      std::deque<Request> keep;
+      for (Request& req : queue) {
+        if (req.deadline_at_us != 0 && now >= req.deadline_at_us) {
+          auto it = outcomes.find(req.ticket);
+          if (it != outcomes.end()) {
+            it->second.status = Status::DeadlineExceeded(
+                "request deadline elapsed while waiting (ticket " +
+                std::to_string(req.ticket) + ")");
+            it->second.ready = true;
+          }
+          ++n_expired;
+        } else {
+          keep.push_back(std::move(req));
+        }
+      }
+      queue.swap(keep);
+      counters.expired += n_expired;
+    }
+    // Degradation trigger: a pure function of post-sweep queue depth,
+    // so a replayed request sequence degrades identically at any
+    // thread count (DESIGN.md §12.2).
+    degraded_batch = coarse_capable && opts.degrade_watermark > 0 &&
+                     queue.size() >= opts.degrade_watermark;
     while (!queue.empty() && batch.size() < nb_cap) {
       batch.push_back(std::move(queue.front()));
       queue.pop_front();
     }
     if (batch.empty()) {
       if (served_out != nullptr) *served_out = 0;
+      lock.unlock();
+      if (n_expired > 0) cv_done.notify_all();
       return Status::OK();
+    }
+    // Fault draws happen under the formation lock: draw order equals
+    // batch order, so one seed fixes the whole fault tape.
+    if (opts.faults != nullptr) {
+      fault_status = opts.faults->OnBatchFormed(batch.size());
     }
     plan.resize(batch.size());
     for (size_t i = 0; i < batch.size(); ++i) {
@@ -283,9 +355,27 @@ Status QueryServer::Impl::ServeBatch(size_t* served_out) {
   const bool use_index = index != nullptr && index->num_partitions() > 0 &&
                          index->built_epoch() == epoch;
   std::vector<std::vector<QueryHit>> eval_hits(uniq.size());
+  std::vector<double> eval_bounds(uniq.size(), 0.0);
   IndexQueryStats agg;
-  Status eval_status = Status::OK();
-  if (!uniq.empty()) {
+  Status eval_status = fault_status;
+  const uint64_t t0 = clock->NowMicros();
+  if (!uniq.empty() && eval_status.ok() && degraded_batch) {
+    // Degraded mode: answer from the coarse tier alone, one query at a
+    // time in slot order (deterministic, and already ~an order of
+    // magnitude cheaper than the exact path it replaces).
+    for (size_t u = 0; u < uniq.size(); ++u) {
+      const Request& req = batch[uniq[u]];
+      IndexQueryStats st;
+      auto hits = index->CoarseNearestNeighbors(req.query, req.k,
+                                                &eval_bounds[u], &st);
+      if (!hits.ok()) {
+        eval_status = hits.status().WithContext("query server degraded batch");
+        break;
+      }
+      AccumulateIndexStats(&agg, st);
+      eval_hits[u] = std::move(*hits);
+    }
+  } else if (!uniq.empty() && eval_status.ok()) {
     // Requests may carry different k; group the unique evaluations by
     // k so each group is one batched kernel call. std::map keeps the
     // group order deterministic.
@@ -334,8 +424,19 @@ Status QueryServer::Impl::ServeBatch(size_t* served_out) {
     counters.cache_hits += n_hits;
     counters.cache_misses += n_miss;
     counters.coalesced += n_coal;
-    if (use_index) AccumulateIndexStats(&counters.index_stats, agg);
-    if (eval_status.ok() && opts.cache_capacity > 0) {
+    if (degraded_batch) ++counters.degraded_batches;
+    if (use_index || degraded_batch) {
+      AccumulateIndexStats(&counters.index_stats, agg);
+    }
+    // Drain-rate EWMA (integer, α=1/2): feeds the retry_after hint.
+    const uint64_t t1 = clock->NowMicros();
+    const uint64_t per_req =
+        std::max<uint64_t>(1, (t1 - t0) / batch.size());
+    drain_ewma_us =
+        drain_ewma_us == 0 ? per_req : (drain_ewma_us + per_req) / 2;
+    // Degraded answers are never cached: a later cache hit would serve
+    // the approximation after pressure cleared.
+    if (eval_status.ok() && opts.cache_capacity > 0 && !degraded_batch) {
       for (size_t u = 0; u < uniq.size(); ++u) {
         const Request& req = batch[uniq[u]];
         CacheEntry entry;
@@ -357,6 +458,12 @@ Status QueryServer::Impl::ServeBatch(size_t* served_out) {
         const std::vector<QueryHit>& hits =
             plan[i].from_cache ? plan[i].cached
                                : eval_hits[plan[i].eval_slot];
+        // Cache hits are exact answers even inside a degraded batch.
+        if (!plan[i].from_cache && degraded_batch) {
+          out.degraded = true;
+          out.error_bound = eval_bounds[plan[i].eval_slot];
+          ++counters.degraded;
+        }
         if (out.classify) {
           auto label = db->VoteAmongHits(hits);
           if (!label.ok()) {
@@ -377,17 +484,17 @@ Status QueryServer::Impl::ServeBatch(size_t* served_out) {
 }
 
 Result<QueryServer::Impl::Outcome> QueryServer::Impl::Take(uint64_t ticket,
-                                                           bool classify) {
+                                                           int expect) {
   std::unique_lock<std::mutex> lock(mu);
   auto it = outcomes.find(ticket);
   if (it == outcomes.end()) {
     return Status::NotFound("unknown or already-taken ticket " +
                             std::to_string(ticket));
   }
-  if (it->second.classify != classify) {
+  if (expect >= 0 && it->second.classify != (expect == 1)) {
     return Status::InvalidArgument(
-        classify ? "ticket belongs to a kNN request"
-                 : "ticket belongs to a classify request");
+        expect == 1 ? "ticket belongs to a kNN request"
+                    : "ticket belongs to a classify request");
   }
   while (!it->second.ready) {
     if (running) {
@@ -457,21 +564,39 @@ Result<QueryServer> QueryServer::Create(const MotionDatabase* database,
   if (options.max_batch == 0) {
     return Status::InvalidArgument("max_batch must be >= 1");
   }
+  if (options.degrade_watermark > options.max_queue) {
+    return Status::InvalidArgument(
+        "degrade_watermark (" + std::to_string(options.degrade_watermark) +
+        ") exceeds max_queue (" + std::to_string(options.max_queue) +
+        "); it could never fire");
+  }
   auto impl = std::make_unique<Impl>();
   impl->db = database;
   impl->index = index;
   impl->opts = options;
+  impl->clock = options.clock != nullptr ? options.clock : SystemClock();
   return QueryServer(std::move(impl));
 }
 
 Result<uint64_t> QueryServer::SubmitNearestNeighbors(
     std::vector<double> query, size_t k) {
-  return impl_->Submit(false, std::move(query), k);
+  return impl_->Submit(false, std::move(query), k, 0);
+}
+
+Result<uint64_t> QueryServer::SubmitNearestNeighbors(
+    std::vector<double> query, size_t k, uint64_t deadline_us) {
+  return impl_->Submit(false, std::move(query), k, deadline_us);
 }
 
 Result<uint64_t> QueryServer::SubmitClassify(std::vector<double> query,
                                              size_t k) {
-  return impl_->Submit(true, std::move(query), k);
+  return impl_->Submit(true, std::move(query), k, 0);
+}
+
+Result<uint64_t> QueryServer::SubmitClassify(std::vector<double> query,
+                                             size_t k,
+                                             uint64_t deadline_us) {
+  return impl_->Submit(true, std::move(query), k, deadline_us);
 }
 
 Status QueryServer::DrainOnce(size_t* served_out) {
@@ -487,13 +612,23 @@ Status QueryServer::Drain() {
 }
 
 Result<std::vector<QueryHit>> QueryServer::TakeHits(uint64_t ticket) {
-  MOCEMG_ASSIGN_OR_RETURN(Impl::Outcome out, impl_->Take(ticket, false));
+  MOCEMG_ASSIGN_OR_RETURN(Impl::Outcome out, impl_->Take(ticket, 0));
   return std::move(out.hits);
 }
 
 Result<size_t> QueryServer::TakeLabel(uint64_t ticket) {
-  MOCEMG_ASSIGN_OR_RETURN(Impl::Outcome out, impl_->Take(ticket, true));
+  MOCEMG_ASSIGN_OR_RETURN(Impl::Outcome out, impl_->Take(ticket, 1));
   return out.label;
+}
+
+Result<ServedAnswer> QueryServer::TakeAnswer(uint64_t ticket) {
+  MOCEMG_ASSIGN_OR_RETURN(Impl::Outcome out, impl_->Take(ticket, -1));
+  ServedAnswer answer;
+  answer.degraded = out.degraded;
+  answer.error_bound = out.error_bound;
+  answer.hits = std::move(out.hits);
+  answer.label = out.label;
+  return answer;
 }
 
 Result<std::vector<QueryHit>> QueryServer::NearestNeighbors(
@@ -589,9 +724,80 @@ void QueryServer::Stop() {
   }
 }
 
+void QueryServer::NoteSnapshotLoad(bool loaded_from_snapshot) {
+  std::unique_lock<std::mutex> lock(impl_->mu);
+  ++impl_->counters.snapshot_loads;
+  if (!loaded_from_snapshot) ++impl_->counters.snapshot_fallbacks;
+}
+
 QueryServerStats QueryServer::stats() const {
   std::unique_lock<std::mutex> lock(impl_->mu);
   return impl_->counters;
+}
+
+uint64_t RetryAfterMicros(const Status& status) {
+  static const char kTag[] = "retry_after_us=";
+  const std::string& msg = status.message();
+  const size_t at = msg.find(kTag);
+  if (at == std::string::npos) return 0;
+  uint64_t value = 0;
+  for (size_t i = at + sizeof(kTag) - 1; i < msg.size(); ++i) {
+    const char c = msg[i];
+    if (c < '0' || c > '9') break;
+    value = value * 10 + static_cast<uint64_t>(c - '0');
+  }
+  return value;
+}
+
+JitteredBackoff::JitteredBackoff(const BackoffOptions& options)
+    : opts_(options), rng_(options.seed), base_us_(options.initial_us) {}
+
+uint64_t JitteredBackoff::NextDelayUs() {
+  const double base = static_cast<double>(base_us_);
+  const double jitter = opts_.jitter;
+  // Uniform in [base·(1−j), base·(1+j)], at least 1µs so a sleep
+  // always happens and the schedule stays strictly ordered.
+  const double lo = base * (1.0 - jitter);
+  const double hi = base * (1.0 + jitter);
+  const double drawn = jitter > 0.0 ? rng_.Uniform(lo, hi) : base;
+  const double next = base * opts_.multiplier;
+  base_us_ = next >= static_cast<double>(opts_.max_us)
+                 ? opts_.max_us
+                 : static_cast<uint64_t>(next);
+  const double clamped = std::min(
+      std::max(drawn, 1.0), static_cast<double>(opts_.max_us));
+  return static_cast<uint64_t>(clamped);
+}
+
+void JitteredBackoff::Reset() { base_us_ = opts_.initial_us; }
+
+Result<uint64_t> SubmitWithBackoff(QueryServer* server,
+                                   std::vector<double> query, size_t k,
+                                   bool classify,
+                                   const BackoffOptions& backoff,
+                                   const Clock* clock) {
+  if (server == nullptr) {
+    return Status::InvalidArgument("null server");
+  }
+  if (clock == nullptr) clock = SystemClock();
+  JitteredBackoff schedule(backoff);
+  Status last = Status::OK();
+  const size_t attempts = std::max<size_t>(1, backoff.max_attempts);
+  for (size_t attempt = 0; attempt < attempts; ++attempt) {
+    Result<uint64_t> ticket =
+        classify ? server->SubmitClassify(query, k)
+                 : server->SubmitNearestNeighbors(query, k);
+    if (ticket.ok()) return ticket;
+    if (!ticket.status().IsOutOfRange()) return ticket.status();
+    last = ticket.status();
+    if (attempt + 1 == attempts) break;
+    // Honour whichever is larger: the client's own schedule or the
+    // server's observed-drain-rate hint.
+    const uint64_t delay =
+        std::max(schedule.NextDelayUs(), RetryAfterMicros(last));
+    clock->SleepMicros(delay);
+  }
+  return last;
 }
 
 }  // namespace mocemg

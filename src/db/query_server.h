@@ -3,12 +3,14 @@
 /// optional FeatureIndex: the production-facing path for the paper's
 /// Section 4 retrieval step.
 ///
-/// Three mechanisms (DESIGN.md §11.3):
+/// Serving mechanisms (DESIGN.md §11.3):
 ///
 ///  - **Bounded admission**: Submit* enqueues a request and returns a
 ///    ticket; once `max_queue` requests are waiting, further submits
 ///    are rejected with OutOfRange instead of growing the queue
-///    without bound.
+///    without bound. Rejections carry a computed `retry_after_us=N`
+///    hint (see RetryAfterMicros) derived from the observed drain
+///    rate, so clients back off proportionally to real pressure.
 ///  - **Deterministic micro-batching**: requests are served in strict
 ///    admission (FIFO) order, up to `max_batch` at a time. A batch's
 ///    unique cache-miss queries are evaluated together — through the
@@ -26,11 +28,37 @@
 ///    mutation the epoch moves and stale entries can never match
 ///    again; they age out of the FIFO ring.
 ///
-/// Results are always bit-identical to a fresh exact linear scan:
-/// the index tier is exact (feature_index.h), the blocked fallback
-/// uses the same kernels and tie-break as MotionDatabase, and cached
-/// entries are only ever served for the exact (bytes, k, epoch) they
-/// were computed under.
+/// Robustness mechanisms (DESIGN.md §12):
+///
+///  - **Deadlines**: every request carries a deadline budget (explicit
+///    per submit, or `default_deadline_us`). At each batch formation
+///    the queue is swept and overdue requests fail with
+///    DeadlineExceeded — a request is answered in full or shed whole,
+///    never served a stale answer after its budget elapsed. Time flows
+///    through the Clock seam (`options.clock`), so tests drive expiry
+///    with a FakeClock instead of racing the scheduler.
+///  - **Deterministic graceful degradation**: when the number of
+///    waiting requests at batch formation (after the expiry sweep,
+///    before extraction) reaches `degrade_watermark`, the batch's
+///    cache misses are answered from the index's int8 coarse tier
+///    alone (FeatureIndex::CoarseNearestNeighbors) — roughly an order
+///    of magnitude less full-precision work — tagged `degraded=true`
+///    with a certified error bound on every distance. The trigger is a
+///    pure function of queue state, so a replayed request sequence
+///    degrades identically at any thread count. Degraded results are
+///    never cached; when pressure clears the server falls back to the
+///    full exact path on its own.
+///  - **Fault injection seam**: `options.faults`, when set, is
+///    consulted once per formed batch (under the formation lock, so
+///    the fault tape is deterministic) and can stall the worker, skew
+///    the clock, or fail the batch with Unavailable (serving_faults.h).
+///
+/// Exact-mode results are always bit-identical to a fresh exact linear
+/// scan: the index tier is exact (feature_index.h), the blocked
+/// fallback uses the same kernels and tie-break as MotionDatabase, and
+/// cached entries are only ever served for the exact (bytes, k, epoch)
+/// they were computed under. Degraded-mode results are approximate but
+/// certified: each carries a bound B with |reported − true| <= B.
 ///
 /// Threading: Submit/Take are safe from any thread. Serving happens
 /// either inline (Drain/DrainOnce, or lazily inside Take when no
@@ -49,10 +77,14 @@
 
 #include "db/feature_index.h"
 #include "db/motion_database.h"
+#include "util/clock.h"
 #include "util/parallel.h"
+#include "util/random.h"
 #include "util/result.h"
 
 namespace mocemg {
+
+class ServingFaultInjector;
 
 /// \brief Serving configuration.
 struct QueryServerOptions {
@@ -71,21 +103,64 @@ struct QueryServerOptions {
   /// Thread budget for batch evaluation (passed through to the index
   /// batch path / the blocked fallback's per-query selection).
   ParallelOptions parallel;
+  /// Time source for deadlines, drain-rate measurement, and backoff.
+  /// nullptr = SystemClock(). Must outlive the server.
+  const Clock* clock = nullptr;
+  /// Deadline budget, in microseconds, applied to submits that do not
+  /// carry their own. 0 = requests never expire.
+  uint64_t default_deadline_us = 0;
+  /// Degraded-mode trigger: when this many requests are waiting at
+  /// batch formation, cache misses are answered from the coarse tier
+  /// (needs a fresh index with a quantized tier; otherwise the exact
+  /// path serves as usual). 0 disables degradation. Must be
+  /// <= max_queue — a watermark above the admission bound could never
+  /// fire.
+  size_t degrade_watermark = 0;
+  /// Fault injection seam for tests and the abl10 bench; nullptr in
+  /// production. Must outlive the server.
+  ServingFaultInjector* faults = nullptr;
 };
 
 /// \brief Monotonic serving counters (a consistent snapshot via stats()).
 struct QueryServerStats {
   uint64_t submitted = 0;    ///< requests admitted to the queue
-  uint64_t rejected = 0;     ///< submits refused by the admission bound
-  uint64_t served = 0;       ///< requests fulfilled
+  /// Submits refused by the admission bound — the load-shedding
+  /// counter; each rejection carried a retry_after_us hint.
+  uint64_t rejected = 0;
+  uint64_t served = 0;       ///< requests fulfilled with an answer
   uint64_t batches = 0;      ///< micro-batches executed
   uint64_t cache_hits = 0;   ///< requests answered from the cache
   uint64_t cache_misses = 0; ///< requests that needed evaluation
   uint64_t coalesced = 0;    ///< duplicate in-batch requests folded away
   uint64_t evictions = 0;    ///< cache entries dropped by the FIFO bound
+  /// Requests failed with DeadlineExceeded by the expiry sweep.
+  uint64_t expired = 0;
+  /// Requests answered from the coarse tier (tagged degraded=true).
+  uint64_t degraded = 0;
+  /// Micro-batches that ran in degraded mode.
+  uint64_t degraded_batches = 0;
+  /// Most requests ever waiting at once (updated at admission).
+  uint64_t queue_high_water = 0;
+  /// Index snapshot loads reported via NoteSnapshotLoad.
+  uint64_t snapshot_loads = 0;
+  /// Snapshot loads that fell back to a rebuild.
+  uint64_t snapshot_fallbacks = 0;
   /// Aggregated index statistics over all index-served batches (zero
   /// when serving through the exact fallback).
   IndexQueryStats index_stats;
+};
+
+/// \brief A served result with its degradation provenance. Exact
+/// answers have degraded=false and error_bound=0; degraded answers
+/// carry the certified bound B: every hit's true distance lies within
+/// [hit.distance − B, hit.distance + B].
+struct ServedAnswer {
+  bool degraded = false;
+  double error_bound = 0.0;
+  /// Filled for kNN requests; empty for classify requests.
+  std::vector<QueryHit> hits;
+  /// Filled for classify requests.
+  size_t label = 0;
 };
 
 /// \brief Batched kNN / classification server. Movable, not copyable.
@@ -105,18 +180,26 @@ class QueryServer {
                                     const QueryServerOptions& options = {});
 
   /// \brief Enqueues a kNN request; returns its ticket, or OutOfRange
-  /// when the admission queue is full. The query is validated here
-  /// (dimension, finiteness, k >= 1) so serving cannot fail per-request.
+  /// when the admission queue is full (message carries a
+  /// retry_after_us hint). The query is validated here (dimension,
+  /// finiteness, 1 <= k <= database size) so serving cannot fail
+  /// per-request. `deadline_us`, when non-zero, overrides
+  /// options.default_deadline_us as this request's budget from now.
   Result<uint64_t> SubmitNearestNeighbors(std::vector<double> query,
                                           size_t k);
+  Result<uint64_t> SubmitNearestNeighbors(std::vector<double> query,
+                                          size_t k, uint64_t deadline_us);
 
   /// \brief Enqueues a classify-by-vote request over the k nearest
-  /// neighbours; same admission and validation rules.
+  /// neighbours; same admission, validation, and deadline rules.
   Result<uint64_t> SubmitClassify(std::vector<double> query, size_t k);
+  Result<uint64_t> SubmitClassify(std::vector<double> query, size_t k,
+                                  uint64_t deadline_us);
 
   /// \brief Serves one micro-batch (up to max_batch requests) in
   /// admission order. `served_out`, when given, receives the number of
-  /// requests fulfilled (0 when the queue was empty).
+  /// requests fulfilled (0 when the queue was empty; expired requests
+  /// do not count — they were shed, not served).
   Status DrainOnce(size_t* served_out = nullptr);
 
   /// \brief Serves micro-batches until the queue is empty.
@@ -124,11 +207,17 @@ class QueryServer {
 
   /// \brief Blocks until the ticket's kNN result is ready and returns
   /// it (serving inline when no background worker is running). A
-  /// ticket can be taken exactly once.
+  /// ticket can be taken exactly once. Degraded answers are returned
+  /// like exact ones — use TakeAnswer to see the tag and bound.
   Result<std::vector<QueryHit>> TakeHits(uint64_t ticket);
 
   /// \brief Blocks until the ticket's classification is ready.
   Result<size_t> TakeLabel(uint64_t ticket);
+
+  /// \brief Blocks until the ticket is ready and returns the full
+  /// answer with its degradation tag and certified error bound.
+  /// Works for both kNN and classify tickets.
+  Result<ServedAnswer> TakeAnswer(uint64_t ticket);
 
   /// \brief Synchronous single kNN request through the full admission
   /// → batch → cache path.
@@ -157,6 +246,11 @@ class QueryServer {
   /// No-op when not started.
   void Stop();
 
+  /// \brief Records an index-snapshot load attempt in the serving
+  /// counters (the boot path calls this with
+  /// IndexSnapshotLoadInfo::loaded_from_snapshot).
+  void NoteSnapshotLoad(bool loaded_from_snapshot);
+
   /// \brief Consistent snapshot of the serving counters.
   QueryServerStats stats() const;
 
@@ -165,6 +259,56 @@ class QueryServer {
   explicit QueryServer(std::unique_ptr<Impl> impl);
   std::unique_ptr<Impl> impl_;
 };
+
+/// \brief Extracts the `retry_after_us=N` hint from an admission
+/// rejection's message; 0 when the status carries none. The hint is
+/// (waiting requests + 1) × the EWMA per-request drain time, so it
+/// grows monotonically with queue depth and tracks real serving speed.
+uint64_t RetryAfterMicros(const Status& status);
+
+/// \brief Client-side backoff policy for SubmitWithBackoff.
+struct BackoffOptions {
+  /// First retry delay; doubles (×multiplier) per attempt up to max_us.
+  uint64_t initial_us = 1000;
+  uint64_t max_us = 1000000;
+  double multiplier = 2.0;
+  /// Uniform jitter fraction: the delay is drawn from
+  /// [base·(1−jitter), base·(1+jitter)] with a seeded Rng, so
+  /// synchronized clients de-synchronize deterministically.
+  double jitter = 0.2;
+  uint64_t seed = 1;
+  /// Total submit attempts before giving up with the last rejection.
+  size_t max_attempts = 8;
+};
+
+/// \brief Seeded exponential backoff with uniform jitter. The delay
+/// sequence is a pure function of (options, seed) — tests assert it.
+class JitteredBackoff {
+ public:
+  explicit JitteredBackoff(const BackoffOptions& options);
+
+  /// \brief Next delay in microseconds (advances the schedule).
+  uint64_t NextDelayUs();
+
+  /// \brief Restarts the schedule (the jitter stream continues).
+  void Reset();
+
+ private:
+  BackoffOptions opts_;
+  Rng rng_;
+  uint64_t base_us_ = 0;
+};
+
+/// \brief Submits with retry: on an admission rejection, sleeps for
+/// max(jittered backoff delay, the server's retry_after_us hint) on
+/// `clock` (nullptr = the system clock; tests pass a FakeClock so the
+/// loop runs instantly) and tries again, up to
+/// backoff.max_attempts. Non-OutOfRange errors propagate immediately.
+Result<uint64_t> SubmitWithBackoff(QueryServer* server,
+                                   std::vector<double> query, size_t k,
+                                   bool classify = false,
+                                   const BackoffOptions& backoff = {},
+                                   const Clock* clock = nullptr);
 
 }  // namespace mocemg
 

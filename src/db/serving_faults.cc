@@ -1,0 +1,103 @@
+#include "db/serving_faults.h"
+
+#include <fstream>
+
+#include "util/csv.h"
+#include "util/macros.h"
+
+namespace mocemg {
+
+const char* ServingFaultTypeName(ServingFaultType type) {
+  switch (type) {
+    case ServingFaultType::kSlowBatch:
+      return "slow_batch";
+    case ServingFaultType::kEvalFailure:
+      return "eval_failure";
+    case ServingFaultType::kClockSkew:
+      return "clock_skew";
+    case ServingFaultType::kSnapshotBitFlip:
+      return "snapshot_bit_flip";
+    case ServingFaultType::kSnapshotTruncation:
+      return "snapshot_truncation";
+  }
+  return "invalid";
+}
+
+ServingFaultInjector::ServingFaultInjector(const ServingFaultOptions& options,
+                                           FakeClock* fake_clock)
+    : options_(options), fake_clock_(fake_clock), rng_(options.seed) {}
+
+Status ServingFaultInjector::OnBatchFormed(size_t batch_size) {
+  (void)batch_size;
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t batch = batches_++;
+  // Fixed draw order (stall, failure, skew): three Bernoulli draws per
+  // batch regardless of outcome, so the fault tape for a seed is the
+  // same no matter which probabilities a test sets to zero.
+  const bool stall = rng_.NextBool(options_.slow_batch_probability);
+  const bool fail = rng_.NextBool(options_.eval_failure_probability);
+  const bool skew = rng_.NextBool(options_.clock_skew_probability);
+  if (stall && options_.slow_batch_stall_us > 0) {
+    events_.push_back({ServingFaultType::kSlowBatch, batch,
+                       options_.slow_batch_stall_us});
+    if (fake_clock_ != nullptr) {
+      fake_clock_->Advance(options_.slow_batch_stall_us);
+    } else {
+      SystemClock()->SleepMicros(options_.slow_batch_stall_us);
+    }
+  }
+  if (skew && options_.clock_skew_us > 0 && fake_clock_ != nullptr) {
+    events_.push_back(
+        {ServingFaultType::kClockSkew, batch, options_.clock_skew_us});
+    fake_clock_->Advance(options_.clock_skew_us);
+  }
+  if (fail) {
+    events_.push_back({ServingFaultType::kEvalFailure, batch, 0});
+    return Status::Unavailable("injected evaluation failure at batch " +
+                               std::to_string(batch));
+  }
+  return Status::OK();
+}
+
+Status ServingFaultInjector::CorruptSnapshotBitFlip(const std::string& path) {
+  MOCEMG_ASSIGN_OR_RETURN(std::string bytes, ReadFileToString(path));
+  if (bytes.empty()) {
+    return Status::InvalidArgument("cannot bit-flip an empty file: " + path);
+  }
+  // Skip the 10-byte magic so the flip lands in length/checksum/payload
+  // — the detection we want to test, not the version check.
+  const size_t lo = bytes.size() > 10 ? 10 : 0;
+  uint64_t offset = 0;
+  uint64_t bit = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    offset = lo + rng_.NextBelow(bytes.size() - lo);
+    bit = rng_.NextBelow(8);
+    events_.push_back({ServingFaultType::kSnapshotBitFlip, 0, offset});
+  }
+  bytes[offset] = static_cast<char>(
+      static_cast<unsigned char>(bytes[offset]) ^ (1u << bit));
+  return WriteStringToFile(path, bytes);
+}
+
+Status ServingFaultInjector::CorruptSnapshotTruncate(const std::string& path) {
+  MOCEMG_ASSIGN_OR_RETURN(std::string bytes, ReadFileToString(path));
+  const size_t keep = bytes.size() / 2;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    events_.push_back({ServingFaultType::kSnapshotTruncation, 0, keep});
+  }
+  return WriteStringToFile(path, bytes.substr(0, keep));
+}
+
+std::vector<ServingFaultEvent> ServingFaultInjector::events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+void ServingFaultInjector::ClearEvents() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+}
+
+}  // namespace mocemg

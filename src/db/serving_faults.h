@@ -1,0 +1,118 @@
+/// \file serving_faults.h
+/// \brief Seeded fault injection for the serving path (DESIGN.md §12.4).
+///
+/// The robustness machinery in query_server.h — deadline sweeps,
+/// load shedding, degraded mode, snapshot recovery — only earns trust
+/// if it is exercised under the failures it exists for. This injector
+/// manufactures those failures deterministically: slow batches (the
+/// worker stalls mid-evaluation, driving queue depth up and deadlines
+/// past), transient evaluation errors (a batch fails with Unavailable
+/// and every request in it sees the error), clock skew (time jumps
+/// forward between batches), and snapshot file corruption (targeted
+/// bit-flips and truncation for the recovery tests).
+///
+/// Determinism contract: all draws come from one seeded Rng guarded by
+/// a mutex, and the query server calls OnBatchFormed under its batch-
+/// formation lock — so draw order equals batch order, which is itself
+/// deterministic (FIFO formation). The same seed therefore produces
+/// the same fault sequence at every thread count, which is what lets
+/// the abl10 stress test assert identical shed/degraded/served counts
+/// across runs. Mirrors the dataset-side synth/fault_injector.h idiom:
+/// options in, event log out.
+
+#ifndef MOCEMG_DB_SERVING_FAULTS_H_
+#define MOCEMG_DB_SERVING_FAULTS_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/clock.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace mocemg {
+
+/// \brief Kinds of serving faults the injector can produce.
+enum class ServingFaultType : int {
+  /// The worker stalls for slow_batch_stall_us before evaluating.
+  kSlowBatch = 0,
+  /// Batch evaluation fails; every request in it gets Unavailable.
+  kEvalFailure = 1,
+  /// The clock jumps forward by clock_skew_us before the batch runs.
+  kClockSkew = 2,
+  /// A snapshot file had one bit flipped (explicit call, not drawn).
+  kSnapshotBitFlip = 3,
+  /// A snapshot file was truncated (explicit call, not drawn).
+  kSnapshotTruncation = 4,
+};
+
+/// \brief Stable human-readable name for a fault type.
+const char* ServingFaultTypeName(ServingFaultType type);
+
+/// \brief One injected fault, recorded in draw order.
+struct ServingFaultEvent {
+  ServingFaultType type = ServingFaultType::kSlowBatch;
+  /// Batch ordinal for drawn faults (0-based), 0 for file corruption.
+  uint64_t batch = 0;
+  /// Stall/skew magnitude in microseconds; byte offset for bit flips;
+  /// resulting size for truncation.
+  uint64_t magnitude = 0;
+};
+
+/// \brief Injection probabilities and magnitudes. Probabilities are
+/// evaluated independently per batch, in the fixed order slow-batch,
+/// eval-failure, clock-skew, so one seed fully determines the fault
+/// tape regardless of which probabilities are zero.
+struct ServingFaultOptions {
+  uint64_t seed = 99;
+  double slow_batch_probability = 0.0;
+  uint64_t slow_batch_stall_us = 0;
+  double eval_failure_probability = 0.0;
+  double clock_skew_probability = 0.0;
+  uint64_t clock_skew_us = 0;
+};
+
+/// \brief Deterministic serving-fault source. Thread-safe; the query
+/// server calls OnBatchFormed under its formation lock so the draw
+/// sequence is the batch sequence.
+class ServingFaultInjector {
+ public:
+  /// `fake_clock`, when given, absorbs stalls and skew as Advance()
+  /// calls instead of real sleeps — the stress tests simulate seconds
+  /// of overload in microseconds of wall time. When null, stalls are
+  /// real SleepMicros on the system clock (skew is skipped: real time
+  /// cannot be skipped forward).
+  explicit ServingFaultInjector(const ServingFaultOptions& options,
+                                FakeClock* fake_clock = nullptr);
+
+  /// \brief Called by the server once per formed batch, under the
+  /// formation lock. Applies stall/skew side effects, then returns
+  /// OK or Unavailable (the injected evaluation failure).
+  Status OnBatchFormed(size_t batch_size);
+
+  /// \brief Flips one pseudo-randomly chosen bit in the file at
+  /// `path` (never inside the magic, so the checksum — not the
+  /// version check — is what must catch it).
+  Status CorruptSnapshotBitFlip(const std::string& path);
+
+  /// \brief Truncates the file at `path` to half its size.
+  Status CorruptSnapshotTruncate(const std::string& path);
+
+  /// \brief Every fault injected so far, in draw order.
+  std::vector<ServingFaultEvent> events() const;
+  void ClearEvents();
+
+ private:
+  ServingFaultOptions options_;
+  FakeClock* fake_clock_;
+  mutable std::mutex mu_;
+  Rng rng_;
+  uint64_t batches_ = 0;
+  std::vector<ServingFaultEvent> events_;
+};
+
+}  // namespace mocemg
+
+#endif  // MOCEMG_DB_SERVING_FAULTS_H_

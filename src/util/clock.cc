@@ -1,0 +1,31 @@
+#include "util/clock.h"
+
+#include <chrono>
+#include <thread>
+
+namespace mocemg {
+namespace {
+
+class SteadyClock : public Clock {
+ public:
+  uint64_t NowMicros() const override {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  }
+
+  void SleepMicros(uint64_t micros) const override {
+    if (micros == 0) return;
+    std::this_thread::sleep_for(std::chrono::microseconds(micros));
+  }
+};
+
+}  // namespace
+
+const Clock* SystemClock() {
+  static const SteadyClock* clock = new SteadyClock();
+  return clock;
+}
+
+}  // namespace mocemg

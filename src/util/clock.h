@@ -1,0 +1,76 @@
+/// \file clock.h
+/// \brief Monotonic time seam for the serving layer.
+///
+/// Everything time-dependent in the query server — deadline budgets,
+/// expiry sweeps, drain-rate measurement, retry-after hints, backoff
+/// sleeps — reads time through this interface instead of calling
+/// std::chrono directly. Production uses SystemClock() (a
+/// steady_clock-backed singleton); tests and the serving fault
+/// injector substitute a FakeClock whose time only moves when the test
+/// advances it, which is what makes deadline/shedding behaviour a
+/// deterministic, replayable function of the request/fault schedule
+/// instead of a race against the host scheduler.
+///
+/// The contract is monotonic microseconds from an arbitrary origin:
+/// two NowMicros() values from the same clock are comparable, values
+/// from different clocks are not. Implementations must be safe to call
+/// from any thread.
+
+#ifndef MOCEMG_UTIL_CLOCK_H_
+#define MOCEMG_UTIL_CLOCK_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace mocemg {
+
+/// \brief Monotonic clock interface (microseconds since an arbitrary
+/// origin). Thread-safe.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// \brief Current monotonic time in microseconds. Never decreases.
+  virtual uint64_t NowMicros() const = 0;
+
+  /// \brief Blocks the caller for `micros`. A FakeClock advances its
+  /// own time instead of blocking, so backoff loops driven by a fake
+  /// clock run at test speed.
+  virtual void SleepMicros(uint64_t micros) const = 0;
+};
+
+/// \brief The process-wide steady_clock-backed Clock. Never null; the
+/// singleton lives for the process lifetime.
+const Clock* SystemClock();
+
+/// \brief Manually-advanced clock for tests and fault injection.
+/// NowMicros starts at `start_micros` and moves only via Advance /
+/// SleepMicros. All methods are thread-safe (single atomic counter).
+class FakeClock : public Clock {
+ public:
+  explicit FakeClock(uint64_t start_micros = 0)
+      : now_micros_(start_micros) {}
+
+  uint64_t NowMicros() const override {
+    return now_micros_.load(std::memory_order_acquire);
+  }
+
+  /// \brief Advancing is the only way fake time moves.
+  void Advance(uint64_t micros) {
+    now_micros_.fetch_add(micros, std::memory_order_acq_rel);
+  }
+
+  /// \brief "Sleeping" on a fake clock just advances it — a backoff
+  /// loop under test completes instantly but still observes the exact
+  /// timestamps a real sleep would have produced.
+  void SleepMicros(uint64_t micros) const override {
+    now_micros_.fetch_add(micros, std::memory_order_acq_rel);
+  }
+
+ private:
+  mutable std::atomic<uint64_t> now_micros_;
+};
+
+}  // namespace mocemg
+
+#endif  // MOCEMG_UTIL_CLOCK_H_

@@ -26,6 +26,10 @@ const char* StatusCodeToString(StatusCode code) {
       return "NumericalError";
     case StatusCode::kUnknown:
       return "Unknown";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
   }
   return "InvalidCode";
 }

@@ -25,6 +25,12 @@ enum class StatusCode : int {
   kFailedPrecondition = 8,
   kNumericalError = 9,
   kUnknown = 10,
+  /// A request's deadline budget elapsed before it was served; the
+  /// work was shed, never half-done (query_server.h expiry sweeps).
+  kDeadlineExceeded = 11,
+  /// A transient serving failure worth retrying (injected evaluation
+  /// faults, overload conditions that are expected to clear).
+  kUnavailable = 12,
 };
 
 /// \brief Returns a stable human-readable name for a StatusCode.
@@ -95,6 +101,12 @@ class Status {
   static Status Unknown(std::string msg) {
     return Status(StatusCode::kUnknown, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   /// \brief True iff the status is OK.
   bool ok() const { return state_ == nullptr; }
@@ -126,6 +138,10 @@ class Status {
   bool IsNumericalError() const {
     return code() == StatusCode::kNumericalError;
   }
+  bool IsDeadlineExceeded() const {
+    return code() == StatusCode::kDeadlineExceeded;
+  }
+  bool IsUnavailable() const { return code() == StatusCode::kUnavailable; }
 
   /// \brief "OK" or "<CodeName>: <message>".
   std::string ToString() const;

@@ -1,0 +1,232 @@
+#include "db/index_snapshot.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <vector>
+
+#include "db/serving_faults.h"
+#include "util/csv.h"
+#include "util/random.h"
+
+namespace mocemg {
+namespace {
+
+MotionDatabase MakeDb(size_t n, size_t dim, uint64_t seed) {
+  Rng rng(seed);
+  MotionDatabase db;
+  for (size_t i = 0; i < n; ++i) {
+    MotionRecord r;
+    r.name = "m" + std::to_string(i);
+    r.label = i % 4;
+    r.label_name = "class" + std::to_string(r.label);
+    r.feature.resize(dim);
+    const double cx = static_cast<double>(i % 4) * 20.0;
+    for (size_t j = 0; j < dim; ++j) {
+      r.feature[j] = (j == 0 ? cx : 0.0) + rng.Gaussian(0, 1.0);
+    }
+    EXPECT_TRUE(db.Insert(std::move(r)).ok());
+  }
+  return db;
+}
+
+/// Small partitions still get int8 codes, so the snapshot covers the
+/// quantized tier at test scale.
+FeatureIndexOptions QuantizedOptions() {
+  FeatureIndexOptions opts;
+  opts.num_partitions = 4;
+  opts.quantized_min_rows = 1;
+  return opts;
+}
+
+std::vector<std::vector<double>> MakeQueries(size_t n, size_t dim,
+                                             uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<double>> queries(n);
+  for (auto& q : queries) {
+    q.resize(dim);
+    for (double& v : q) v = rng.Gaussian(10.0, 15.0);
+  }
+  return queries;
+}
+
+void ExpectHitsEqual(const std::vector<QueryHit>& a,
+                     const std::vector<QueryHit>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].record_index, b[i].record_index);
+    EXPECT_EQ(a[i].distance, b[i].distance);
+  }
+}
+
+TEST(IndexSnapshotTest, SerializeRequiresBuiltIndex) {
+  FeatureIndex empty;
+  EXPECT_FALSE(SerializeFeatureIndex(empty).ok());
+}
+
+// The round trip must be bit-exact: a reloaded index re-serializes to
+// the same bytes, and answers queries — exact AND coarse — with the
+// same bits as the original.
+TEST(IndexSnapshotTest, RoundTripBitIdentity) {
+  MotionDatabase db = MakeDb(120, 9, 31);
+  auto index = FeatureIndex::Build(&db, QuantizedOptions());
+  ASSERT_TRUE(index.ok());
+  ASSERT_TRUE(index->has_quantized_tier());
+
+  auto bytes = SerializeFeatureIndex(*index);
+  ASSERT_TRUE(bytes.ok());
+  auto loaded = DeserializeFeatureIndex(*bytes, &db);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->built_epoch(), index->built_epoch());
+  EXPECT_EQ(loaded->num_partitions(), index->num_partitions());
+  EXPECT_TRUE(loaded->has_quantized_tier());
+
+  auto again = SerializeFeatureIndex(*loaded);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(*bytes, *again) << "reload must re-serialize byte-for-byte";
+
+  for (const auto& q : MakeQueries(12, 9, 32)) {
+    auto a = index->NearestNeighbors(q, 5);
+    auto b = loaded->NearestNeighbors(q, 5);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    ExpectHitsEqual(*a, *b);
+    double bound_a = 0.0, bound_b = 0.0;
+    auto ca = index->CoarseNearestNeighbors(q, 5, &bound_a);
+    auto cb = loaded->CoarseNearestNeighbors(q, 5, &bound_b);
+    ASSERT_TRUE(ca.ok());
+    ASSERT_TRUE(cb.ok());
+    ExpectHitsEqual(*ca, *cb);
+    EXPECT_EQ(bound_a, bound_b);
+  }
+}
+
+TEST(IndexSnapshotTest, SaveCommitsAtomicallyAndLoads) {
+  MotionDatabase db = MakeDb(80, 5, 33);
+  auto index = FeatureIndex::Build(&db, QuantizedOptions());
+  ASSERT_TRUE(index.ok());
+  const std::string path = ::testing::TempDir() + "/idx_snapshot.bin";
+  ASSERT_TRUE(SaveFeatureIndex(*index, path).ok());
+  // The temporary staging file must be gone after the commit.
+  EXPECT_FALSE(ReadFileToString(path + ".tmp").ok());
+  auto loaded = LoadFeatureIndex(path, &db);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->built_epoch(), db.epoch());
+  std::remove(path.c_str());
+}
+
+TEST(IndexSnapshotTest, BitFlipCorruptionDetectedAndRecovered) {
+  MotionDatabase db = MakeDb(90, 6, 34);
+  auto index = FeatureIndex::Build(&db, QuantizedOptions());
+  ASSERT_TRUE(index.ok());
+  const std::string path = ::testing::TempDir() + "/idx_bitflip.bin";
+  ASSERT_TRUE(SaveFeatureIndex(*index, path).ok());
+
+  ServingFaultInjector injector(ServingFaultOptions{});
+  ASSERT_TRUE(injector.CorruptSnapshotBitFlip(path).ok());
+  ASSERT_EQ(injector.events().size(), 1u);
+  EXPECT_EQ(injector.events()[0].type, ServingFaultType::kSnapshotBitFlip);
+
+  auto direct = LoadFeatureIndex(path, &db);
+  ASSERT_FALSE(direct.ok());
+  EXPECT_EQ(direct.status().code(), StatusCode::kParseError)
+      << direct.status();
+
+  // The recovery path degrades to a rebuild, never to wrong answers.
+  IndexSnapshotLoadInfo info;
+  auto recovered =
+      LoadOrRebuildFeatureIndex(path, &db, QuantizedOptions(), &info);
+  ASSERT_TRUE(recovered.ok()) << recovered.status();
+  EXPECT_FALSE(info.loaded_from_snapshot);
+  EXPECT_TRUE(info.rebuilt);
+  EXPECT_FALSE(info.fallback_reason.empty());
+  EXPECT_EQ(recovered->built_epoch(), db.epoch());
+  for (const auto& q : MakeQueries(6, 6, 35)) {
+    auto a = recovered->NearestNeighbors(q, 3);
+    auto b = db.NearestNeighbors(q, 3);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    ExpectHitsEqual(*a, *b);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(IndexSnapshotTest, TruncationDetectedAndRecovered) {
+  MotionDatabase db = MakeDb(70, 4, 36);
+  auto index = FeatureIndex::Build(&db, QuantizedOptions());
+  ASSERT_TRUE(index.ok());
+  const std::string path = ::testing::TempDir() + "/idx_trunc.bin";
+  ASSERT_TRUE(SaveFeatureIndex(*index, path).ok());
+
+  ServingFaultInjector injector(ServingFaultOptions{});
+  ASSERT_TRUE(injector.CorruptSnapshotTruncate(path).ok());
+
+  auto direct = LoadFeatureIndex(path, &db);
+  ASSERT_FALSE(direct.ok());
+  EXPECT_EQ(direct.status().code(), StatusCode::kParseError)
+      << direct.status();
+  EXPECT_NE(direct.status().message().find("truncated"), std::string::npos)
+      << "truncation should be reported distinctly: " << direct.status();
+
+  IndexSnapshotLoadInfo info;
+  auto recovered =
+      LoadOrRebuildFeatureIndex(path, &db, QuantizedOptions(), &info);
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_TRUE(info.rebuilt);
+  std::remove(path.c_str());
+}
+
+TEST(IndexSnapshotTest, MissingFileFallsBackToRebuild) {
+  MotionDatabase db = MakeDb(30, 3, 37);
+  IndexSnapshotLoadInfo info;
+  auto recovered = LoadOrRebuildFeatureIndex(
+      ::testing::TempDir() + "/idx_does_not_exist.bin", &db,
+      QuantizedOptions(), &info);
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_FALSE(info.loaded_from_snapshot);
+  EXPECT_TRUE(info.rebuilt);
+}
+
+// A snapshot from an older database epoch must not serve silently —
+// the recovery path rebuilds against the current epoch.
+TEST(IndexSnapshotTest, StaleEpochTriggersRebuild) {
+  MotionDatabase db = MakeDb(60, 4, 38);
+  auto index = FeatureIndex::Build(&db, QuantizedOptions());
+  ASSERT_TRUE(index.ok());
+  const std::string path = ::testing::TempDir() + "/idx_stale.bin";
+  ASSERT_TRUE(SaveFeatureIndex(*index, path).ok());
+  ASSERT_TRUE(db.UpdateFeature(0, db.record(1).feature).ok());
+
+  IndexSnapshotLoadInfo info;
+  auto recovered =
+      LoadOrRebuildFeatureIndex(path, &db, QuantizedOptions(), &info);
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_FALSE(info.loaded_from_snapshot);
+  EXPECT_TRUE(info.rebuilt);
+  EXPECT_NE(info.fallback_reason.find("epoch"), std::string::npos);
+  EXPECT_EQ(recovered->built_epoch(), db.epoch());
+  std::remove(path.c_str());
+}
+
+TEST(IndexSnapshotTest, DimensionMismatchRejected) {
+  MotionDatabase db = MakeDb(40, 5, 39);
+  auto index = FeatureIndex::Build(&db, QuantizedOptions());
+  ASSERT_TRUE(index.ok());
+  auto bytes = SerializeFeatureIndex(*index);
+  ASSERT_TRUE(bytes.ok());
+  MotionDatabase other = MakeDb(40, 7, 40);
+  auto loaded = DeserializeFeatureIndex(*bytes, &other);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kParseError);
+}
+
+TEST(IndexSnapshotTest, GarbageAndShortFilesRejected) {
+  MotionDatabase db = MakeDb(20, 3, 41);
+  EXPECT_FALSE(DeserializeFeatureIndex("", &db).ok());
+  EXPECT_FALSE(DeserializeFeatureIndex("not a snapshot", &db).ok());
+  std::string wrong_magic(64, '\0');
+  EXPECT_FALSE(DeserializeFeatureIndex(wrong_magic, &db).ok());
+}
+
+}  // namespace
+}  // namespace mocemg

@@ -2,10 +2,14 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "db/serving_faults.h"
+#include "util/clock.h"
 #include "util/random.h"
 
 namespace mocemg {
@@ -362,6 +366,560 @@ TEST(QueryServerTest, ParallelWorkerServesConcurrentClients) {
     ExpectHitsEqual(got[i], *linear);
   }
   EXPECT_EQ(server->stats().served, queries.size());
+}
+
+// ---------------------------------------------------------------------
+// Robustness layer (DESIGN.md §12): deadlines, shedding, degradation,
+// backoff, fault injection.
+// ---------------------------------------------------------------------
+
+/// Index options that force the int8 tier on at test scale (the
+/// default quantized_min_rows=256 would leave √N-sized partitions
+/// unquantized and degradation could never fire).
+FeatureIndexOptions QuantizedIndexOptions() {
+  FeatureIndexOptions opts;
+  opts.num_partitions = 4;
+  opts.quantized_min_rows = 1;
+  return opts;
+}
+
+double TrueDistance(const MotionDatabase& db, const std::vector<double>& q,
+                    size_t record) {
+  const std::vector<double>& f = db.record(record).feature;
+  double acc = 0.0;
+  for (size_t j = 0; j < q.size(); ++j) {
+    const double d = q[j] - f[j];
+    acc += d * d;
+  }
+  return std::sqrt(acc);
+}
+
+TEST(QueryServerTest, CreateRejectsWatermarkAboveMaxQueue) {
+  MotionDatabase db = MakeDb(10, 3, 50);
+  QueryServerOptions opts;
+  opts.max_queue = 8;
+  opts.degrade_watermark = 9;
+  auto bad = QueryServer::Create(&db, nullptr, opts);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+  opts.degrade_watermark = 8;
+  EXPECT_TRUE(QueryServer::Create(&db, nullptr, opts).ok());
+}
+
+TEST(QueryServerTest, SubmitRejectsKLargerThanDatabase) {
+  MotionDatabase db = MakeDb(10, 3, 51);
+  auto server = QueryServer::Create(&db);
+  ASSERT_TRUE(server.ok());
+  auto too_big = server->SubmitNearestNeighbors({1.0, 2.0, 3.0}, 11);
+  ASSERT_FALSE(too_big.ok());
+  EXPECT_EQ(too_big.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(server->SubmitNearestNeighbors({1.0, 2.0, 3.0}, 10).ok());
+}
+
+// Expiry sweep semantics: only overdue requests fail, with
+// DeadlineExceeded; still-live requests are served in their original
+// FIFO order, and expired requests never occupy batch slots.
+TEST(QueryServerTest, DeadlineExpiryShedsOnlyOverdueRequests) {
+  MotionDatabase db = MakeDb(60, 4, 52);
+  FakeClock clock;
+  QueryServerOptions opts;
+  opts.clock = &clock;
+  opts.max_batch = 8;
+  auto server = QueryServer::Create(&db, nullptr, opts);
+  ASSERT_TRUE(server.ok());
+  const auto queries = MakeQueries(6, 4, 53);
+  // Alternate short (100µs) and long (1s) budgets.
+  std::vector<uint64_t> tickets;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    auto t = server->SubmitNearestNeighbors(
+        queries[i], 2, (i % 2 == 0) ? uint64_t{100} : uint64_t{1000000});
+    ASSERT_TRUE(t.ok());
+    tickets.push_back(*t);
+  }
+  clock.Advance(500);  // past the short budgets, inside the long ones
+  ASSERT_TRUE(server->Drain().ok());
+  const QueryServerStats stats = server->stats();
+  EXPECT_EQ(stats.expired, 3u);
+  EXPECT_EQ(stats.served, 3u);
+  for (size_t i = 0; i < tickets.size(); ++i) {
+    auto hits = server->TakeHits(tickets[i]);
+    if (i % 2 == 0) {
+      ASSERT_FALSE(hits.ok()) << "short-budget request " << i;
+      EXPECT_EQ(hits.status().code(), StatusCode::kDeadlineExceeded);
+    } else {
+      ASSERT_TRUE(hits.ok()) << hits.status();
+      auto linear = db.NearestNeighbors(queries[i], 2);
+      ASSERT_TRUE(linear.ok());
+      ExpectHitsEqual(*hits, *linear);
+    }
+  }
+}
+
+// default_deadline_us applies to submits without an explicit budget.
+TEST(QueryServerTest, DefaultDeadlineAppliesToPlainSubmits) {
+  MotionDatabase db = MakeDb(30, 3, 54);
+  FakeClock clock;
+  QueryServerOptions opts;
+  opts.clock = &clock;
+  opts.default_deadline_us = 1000;
+  auto server = QueryServer::Create(&db, nullptr, opts);
+  ASSERT_TRUE(server.ok());
+  auto t = server->SubmitNearestNeighbors({1.0, 2.0, 3.0}, 1);
+  ASSERT_TRUE(t.ok());
+  clock.Advance(1000);
+  ASSERT_TRUE(server->Drain().ok());
+  auto hits = server->TakeHits(*t);
+  ASSERT_FALSE(hits.ok());
+  EXPECT_EQ(hits.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(server->stats().expired, 1u);
+}
+
+TEST(QueryServerTest, RetryAfterHintParsesAndGrowsWithQueueDepth) {
+  // Parser corners first.
+  EXPECT_EQ(RetryAfterMicros(Status::OK()), 0u);
+  EXPECT_EQ(RetryAfterMicros(Status::OutOfRange("queue full")), 0u);
+  EXPECT_EQ(RetryAfterMicros(Status::OutOfRange("retry_after_us=1234")),
+            1234u);
+  EXPECT_EQ(
+      RetryAfterMicros(Status::OutOfRange("full; retry_after_us=77 now")),
+      77u);
+
+  // The hint is (depth + 1) × EWMA drain time: a deeper queue at
+  // rejection time must produce a larger hint.
+  MotionDatabase db = MakeDb(20, 3, 55);
+  FakeClock clock;
+  const std::vector<double> q = {1.0, 2.0, 3.0};
+  std::vector<uint64_t> hints;
+  for (size_t max_queue : {2, 6, 11}) {
+    QueryServerOptions opts;
+    opts.clock = &clock;
+    opts.max_queue = max_queue;
+    auto server = QueryServer::Create(&db, nullptr, opts);
+    ASSERT_TRUE(server.ok());
+    for (size_t i = 0; i < max_queue; ++i) {
+      ASSERT_TRUE(server->SubmitNearestNeighbors(q, 1).ok());
+    }
+    auto rejected = server->SubmitNearestNeighbors(q, 1);
+    ASSERT_FALSE(rejected.ok());
+    ASSERT_TRUE(rejected.status().IsOutOfRange());
+    const uint64_t hint = RetryAfterMicros(rejected.status());
+    EXPECT_GT(hint, 0u);
+    hints.push_back(hint);
+  }
+  EXPECT_LT(hints[0], hints[1]);
+  EXPECT_LT(hints[1], hints[2]);
+}
+
+// Watermark degradation end to end: while the queue is at or above the
+// watermark the batches answer from the coarse tier (tagged, bounded),
+// and once pressure clears the remaining batches are exact again — all
+// within one deterministic drain.
+TEST(QueryServerTest, WatermarkDegradesAndRecoversDeterministically) {
+  MotionDatabase db = MakeDb(200, 9, 56);
+  auto index = FeatureIndex::Build(&db, QuantizedIndexOptions());
+  ASSERT_TRUE(index.ok());
+  ASSERT_TRUE(index->has_quantized_tier());
+  const auto queries = MakeQueries(24, 9, 57);
+
+  QueryServerOptions opts;
+  opts.max_batch = 4;
+  opts.degrade_watermark = 12;
+  auto server = QueryServer::Create(&db, &*index, opts);
+  ASSERT_TRUE(server.ok());
+  std::vector<uint64_t> tickets;
+  for (const auto& q : queries) {
+    auto t = server->SubmitNearestNeighbors(q, 3);
+    ASSERT_TRUE(t.ok());
+    tickets.push_back(*t);
+  }
+  ASSERT_TRUE(server->Drain().ok());
+  const QueryServerStats stats = server->stats();
+  // Depth at formation: 24, 20, 16, 12 (degraded) then 8, 4 (exact).
+  EXPECT_EQ(stats.degraded_batches, 4u);
+  EXPECT_EQ(stats.degraded, 16u);
+  EXPECT_EQ(stats.served, 24u);
+
+  for (size_t i = 0; i < tickets.size(); ++i) {
+    auto answer = server->TakeAnswer(tickets[i]);
+    ASSERT_TRUE(answer.ok()) << answer.status();
+    auto linear = db.NearestNeighbors(queries[i], 3);
+    ASSERT_TRUE(linear.ok());
+    if (i < 16) {
+      EXPECT_TRUE(answer->degraded) << "request " << i;
+      EXPECT_GT(answer->error_bound, 0.0);
+      // Certified bound: every reported distance is within B of that
+      // record's true distance.
+      for (const QueryHit& hit : answer->hits) {
+        const double truth = TrueDistance(db, queries[i], hit.record_index);
+        EXPECT_LE(std::abs(hit.distance - truth),
+                  answer->error_bound + 1e-9)
+            << "request " << i << " record " << hit.record_index;
+      }
+    } else {
+      EXPECT_FALSE(answer->degraded) << "request " << i;
+      EXPECT_EQ(answer->error_bound, 0.0);
+      ExpectHitsEqual(answer->hits, *linear);
+    }
+  }
+}
+
+// Degraded answers must never poison the cache: re-asking the same
+// query under no pressure gets the exact answer, not a cached
+// approximation.
+TEST(QueryServerTest, DegradedAnswersAreNotCached) {
+  MotionDatabase db = MakeDb(150, 5, 58);
+  auto index = FeatureIndex::Build(&db, QuantizedIndexOptions());
+  ASSERT_TRUE(index.ok());
+  const auto queries = MakeQueries(8, 5, 59);
+
+  QueryServerOptions opts;
+  opts.max_batch = 8;
+  opts.degrade_watermark = 8;
+  auto server = QueryServer::Create(&db, &*index, opts);
+  ASSERT_TRUE(server.ok());
+  std::vector<uint64_t> tickets;
+  for (const auto& q : queries) {
+    auto t = server->SubmitNearestNeighbors(q, 2);
+    ASSERT_TRUE(t.ok());
+    tickets.push_back(*t);
+  }
+  ASSERT_TRUE(server->Drain().ok());
+  ASSERT_EQ(server->stats().degraded, 8u);
+  for (uint64_t t : tickets) ASSERT_TRUE(server->TakeHits(t).ok());
+
+  // Pressure cleared: the same queries must be evaluated afresh.
+  for (const auto& q : queries) {
+    auto hits = server->NearestNeighbors(q, 2);
+    ASSERT_TRUE(hits.ok());
+    auto linear = db.NearestNeighbors(q, 2);
+    ASSERT_TRUE(linear.ok());
+    ExpectHitsEqual(*hits, *linear);
+  }
+  EXPECT_EQ(server->stats().cache_hits, 0u)
+      << "degraded batch results must not have been cached";
+}
+
+// Satellite 4, tsan-joined by name: the degradation pattern — which
+// batches degrade, which requests are tagged, the exact bits of every
+// answer — is identical at every kernel-thread budget.
+TEST(QueryServerTest, ParallelDegradationIdenticalAcrossThreadCounts) {
+  MotionDatabase db = MakeDb(220, 9, 60);
+  auto index = FeatureIndex::Build(&db, QuantizedIndexOptions());
+  ASSERT_TRUE(index.ok());
+  const auto queries = MakeQueries(30, 9, 61);
+  std::vector<std::vector<std::pair<bool, std::vector<QueryHit>>>> runs;
+  std::vector<QueryServerStats> run_stats;
+  for (size_t threads : {1, 2, 8}) {
+    QueryServerOptions opts;
+    opts.max_batch = 5;
+    opts.degrade_watermark = 15;
+    opts.parallel.max_threads = threads;
+    auto server = QueryServer::Create(&db, &*index, opts);
+    ASSERT_TRUE(server.ok());
+    std::vector<uint64_t> tickets;
+    for (const auto& q : queries) {
+      auto t = server->SubmitNearestNeighbors(q, 4);
+      ASSERT_TRUE(t.ok());
+      tickets.push_back(*t);
+    }
+    ASSERT_TRUE(server->Drain().ok());
+    std::vector<std::pair<bool, std::vector<QueryHit>>> outcomes;
+    for (uint64_t t : tickets) {
+      auto answer = server->TakeAnswer(t);
+      ASSERT_TRUE(answer.ok());
+      outcomes.emplace_back(answer->degraded, std::move(answer->hits));
+    }
+    runs.push_back(std::move(outcomes));
+    run_stats.push_back(server->stats());
+  }
+  for (size_t v = 1; v < runs.size(); ++v) {
+    ASSERT_EQ(runs[v].size(), runs[0].size());
+    for (size_t i = 0; i < runs[0].size(); ++i) {
+      EXPECT_EQ(runs[v][i].first, runs[0][i].first) << "request " << i;
+      ExpectHitsEqual(runs[v][i].second, runs[0][i].second);
+    }
+    EXPECT_EQ(run_stats[v].degraded, run_stats[0].degraded);
+    EXPECT_EQ(run_stats[v].degraded_batches, run_stats[0].degraded_batches);
+    EXPECT_EQ(run_stats[v].batches, run_stats[0].batches);
+  }
+  EXPECT_GT(run_stats[0].degraded, 0u);
+  EXPECT_LT(run_stats[0].degraded, queries.size())
+      << "the mix should cover both degraded and exact batches";
+}
+
+TEST(QueryServerTest, BackoffScheduleIsSeededAndBounded) {
+  BackoffOptions opts;
+  opts.initial_us = 1000;
+  opts.max_us = 16000;
+  opts.multiplier = 2.0;
+  opts.jitter = 0.2;
+  opts.seed = 42;
+  JitteredBackoff a(opts);
+  JitteredBackoff b(opts);
+  uint64_t prev_base = 0;
+  for (int i = 0; i < 8; ++i) {
+    const uint64_t da = a.NextDelayUs();
+    const uint64_t db2 = b.NextDelayUs();
+    EXPECT_EQ(da, db2) << "same seed, same schedule (draw " << i << ")";
+    // Within ±jitter of the exponential base, clamped at max_us.
+    const double base = std::min<double>(
+        1000.0 * std::pow(2.0, i), static_cast<double>(opts.max_us));
+    EXPECT_GE(static_cast<double>(da), base * 0.8 - 1.0);
+    EXPECT_LE(static_cast<double>(da), base * 1.2 + 1.0);
+    prev_base = da;
+  }
+  (void)prev_base;
+  // Different seed, different jitter draws.
+  BackoffOptions other = opts;
+  other.seed = 43;
+  JitteredBackoff c(other);
+  JitteredBackoff d(opts);
+  int diffs = 0;
+  for (int i = 0; i < 8; ++i) {
+    if (c.NextDelayUs() != d.NextDelayUs()) ++diffs;
+  }
+  EXPECT_GT(diffs, 0);
+}
+
+// A full server that never drains: SubmitWithBackoff must sleep at
+// least the server's retry_after hint between attempts (on the fake
+// clock) and surface the final rejection.
+TEST(QueryServerTest, SubmitWithBackoffHonorsRetryAfterHint) {
+  MotionDatabase db = MakeDb(20, 3, 62);
+  FakeClock clock;
+  QueryServerOptions opts;
+  opts.clock = &clock;
+  opts.max_queue = 4;
+  auto server = QueryServer::Create(&db, nullptr, opts);
+  ASSERT_TRUE(server.ok());
+  const std::vector<double> q = {1.0, 2.0, 3.0};
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(server->SubmitNearestNeighbors(q, 1).ok());
+  }
+  auto probe = server->SubmitNearestNeighbors(q, 1);
+  ASSERT_FALSE(probe.ok());
+  const uint64_t hint = RetryAfterMicros(probe.status());
+  ASSERT_GT(hint, 0u);
+
+  BackoffOptions backoff;
+  backoff.initial_us = 1;  // make the hint the binding constraint
+  backoff.max_us = 2;
+  backoff.max_attempts = 4;
+  const uint64_t before = clock.NowMicros();
+  auto result = SubmitWithBackoff(&*server, q, 1, false, backoff, &clock);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsOutOfRange());
+  // Three sleeps (between four attempts), each >= the hint.
+  EXPECT_GE(clock.NowMicros() - before, 3 * hint);
+  EXPECT_EQ(server->stats().rejected, 1u + 4u);
+}
+
+TEST(QueryServerTest, SubmitWithBackoffSucceedsOnceQueueDrains) {
+  MotionDatabase db = MakeDb(40, 3, 63);
+  QueryServerOptions opts;
+  opts.max_queue = 2;
+  auto server = QueryServer::Create(&db, nullptr, opts);
+  ASSERT_TRUE(server.ok());
+  ASSERT_TRUE(server->Start().ok());
+  const std::vector<double> q = {1.0, 2.0, 3.0};
+  // With the worker draining, a burst beyond the queue bound succeeds
+  // through retries.
+  std::vector<uint64_t> tickets;
+  for (int i = 0; i < 10; ++i) {
+    BackoffOptions backoff;
+    backoff.initial_us = 100;
+    backoff.max_attempts = 50;
+    auto t = SubmitWithBackoff(&*server, q, 2, false, backoff);
+    ASSERT_TRUE(t.ok()) << t.status();
+    tickets.push_back(*t);
+  }
+  for (uint64_t t : tickets) {
+    ASSERT_TRUE(server->TakeHits(t).ok());
+  }
+  server->Stop();
+}
+
+TEST(QueryServerTest, NoteSnapshotLoadFeedsCounters) {
+  MotionDatabase db = MakeDb(10, 3, 64);
+  auto server = QueryServer::Create(&db);
+  ASSERT_TRUE(server.ok());
+  server->NoteSnapshotLoad(true);
+  server->NoteSnapshotLoad(false);
+  const QueryServerStats stats = server->stats();
+  EXPECT_EQ(stats.snapshot_loads, 2u);
+  EXPECT_EQ(stats.snapshot_fallbacks, 1u);
+}
+
+TEST(QueryServerTest, QueueHighWaterTracksPeakDepth) {
+  MotionDatabase db = MakeDb(20, 3, 65);
+  auto server = QueryServer::Create(&db);
+  ASSERT_TRUE(server.ok());
+  const std::vector<double> q = {1.0, 2.0, 3.0};
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(server->SubmitNearestNeighbors(q, 1).ok());
+  }
+  ASSERT_TRUE(server->Drain().ok());
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_TRUE(server->SubmitNearestNeighbors(q, 1).ok());
+  }
+  ASSERT_TRUE(server->Drain().ok());
+  EXPECT_EQ(server->stats().queue_high_water, 5u);
+}
+
+// The PR 6 acceptance test: a stress run under injected slow batches,
+// evaluation failures, clock skew, deadlines, and the degradation
+// watermark must produce the SAME outcome for every request — shed /
+// degraded / exact / failed, with identical bits — on every rerun and
+// at every thread budget. ("ServingFault" in the name joins the tsan
+// multi-thread rerun.)
+TEST(QueryServerTest, ServingFaultInjectedStressDeterministic) {
+  MotionDatabase db = MakeDb(240, 9, 66);
+  auto index = FeatureIndex::Build(&db, QuantizedIndexOptions());
+  ASSERT_TRUE(index.ok());
+  auto queries = MakeQueries(48, 9, 67);
+  for (int i = 0; i < 12; ++i) queries.push_back(queries[i % 6]);
+
+  struct RunResult {
+    std::vector<std::string> outcomes;  ///< per-ticket signature
+    QueryServerStats stats;
+  };
+  auto run = [&](size_t threads) -> RunResult {
+    FakeClock clock;
+    ServingFaultOptions fopts;
+    fopts.seed = 7;
+    fopts.slow_batch_probability = 0.5;
+    fopts.slow_batch_stall_us = 2000;
+    fopts.eval_failure_probability = 0.15;
+    fopts.clock_skew_probability = 0.1;
+    fopts.clock_skew_us = 500;
+    ServingFaultInjector injector(fopts, &clock);
+    QueryServerOptions opts;
+    opts.clock = &clock;
+    opts.max_batch = 4;
+    opts.degrade_watermark = 24;
+    opts.default_deadline_us = 9000;
+    opts.faults = &injector;
+    opts.parallel.max_threads = threads;
+    auto server = QueryServer::Create(&db, &*index, opts);
+    EXPECT_TRUE(server.ok());
+    std::vector<uint64_t> tickets;
+    for (const auto& q : queries) {
+      auto t = server->SubmitNearestNeighbors(q, 3);
+      EXPECT_TRUE(t.ok());
+      tickets.push_back(*t);
+    }
+    // Drain through the faults: batch failures surface per ticket,
+    // the pump keeps going.
+    size_t served = 0;
+    do {
+      (void)server->DrainOnce(&served);
+    } while (served > 0);
+    RunResult result;
+    for (uint64_t t : tickets) {
+      auto answer = server->TakeAnswer(t);
+      std::string sig;
+      if (!answer.ok()) {
+        sig = std::string("err:") +
+              StatusCodeToString(answer.status().code());
+      } else {
+        sig = answer->degraded ? "degraded:" : "exact:";
+        for (const QueryHit& hit : answer->hits) {
+          sig += std::to_string(hit.record_index) + "@" +
+                 std::to_string(hit.distance) + ";";
+        }
+      }
+      result.outcomes.push_back(std::move(sig));
+    }
+    result.stats = server->stats();
+    return result;
+  };
+
+  const RunResult base = run(1);
+  const RunResult rerun = run(1);
+  const RunResult mt2 = run(2);
+  const RunResult mt8 = run(8);
+
+  // The stress must actually exercise every mechanism.
+  uint64_t n_expired = 0, n_failed = 0;
+  for (const std::string& sig : base.outcomes) {
+    if (sig == "err:DeadlineExceeded") ++n_expired;
+    if (sig == "err:Unavailable") ++n_failed;
+  }
+  EXPECT_GT(n_expired, 0u) << "stalls should push requests past deadline";
+  EXPECT_GT(n_failed, 0u) << "eval failures should surface";
+  EXPECT_GT(base.stats.degraded, 0u) << "watermark should fire";
+  EXPECT_EQ(base.stats.expired, n_expired);
+
+  for (const RunResult* other : {&rerun, &mt2, &mt8}) {
+    ASSERT_EQ(other->outcomes.size(), base.outcomes.size());
+    for (size_t i = 0; i < base.outcomes.size(); ++i) {
+      EXPECT_EQ(other->outcomes[i], base.outcomes[i]) << "request " << i;
+    }
+    EXPECT_EQ(other->stats.served, base.stats.served);
+    EXPECT_EQ(other->stats.expired, base.stats.expired);
+    EXPECT_EQ(other->stats.degraded, base.stats.degraded);
+    EXPECT_EQ(other->stats.degraded_batches, base.stats.degraded_batches);
+    EXPECT_EQ(other->stats.batches, base.stats.batches);
+    EXPECT_EQ(other->stats.rejected, base.stats.rejected);
+  }
+}
+
+// Concurrent Start()/Submit/Take with live fault injection: the locks
+// and condition variables must hold up under stalls and batch
+// failures (this is the asan/tsan target; both "Parallel" and
+// "ServingFault" keep it in the multi-thread rerun).
+TEST(QueryServerTest, ParallelServingFaultInjectedClientsSurvive) {
+  MotionDatabase db = MakeDb(150, 5, 68);
+  auto index = FeatureIndex::Build(&db, QuantizedIndexOptions());
+  ASSERT_TRUE(index.ok());
+  ServingFaultOptions fopts;
+  fopts.seed = 11;
+  fopts.slow_batch_probability = 0.3;
+  fopts.slow_batch_stall_us = 500;  // real sleeps: no fake clock here
+  fopts.eval_failure_probability = 0.2;
+  ServingFaultInjector injector(fopts);
+  QueryServerOptions opts;
+  opts.max_queue = 16;
+  opts.max_batch = 4;
+  opts.degrade_watermark = 8;
+  opts.faults = &injector;
+  auto server = QueryServer::Create(&db, &*index, opts);
+  ASSERT_TRUE(server.ok());
+  ASSERT_TRUE(server->Start().ok());
+  const auto queries = MakeQueries(30, 5, 69);
+  std::atomic<int> ok_count{0}, fail_count{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 3; ++c) {
+    clients.emplace_back([&, c] {
+      for (size_t i = static_cast<size_t>(c); i < queries.size(); i += 3) {
+        BackoffOptions backoff;
+        backoff.initial_us = 200;
+        backoff.max_attempts = 100;
+        backoff.seed = 100 + i;
+        auto t = SubmitWithBackoff(&*server, queries[i], 3, false, backoff);
+        if (!t.ok()) {
+          ++fail_count;
+          continue;
+        }
+        auto answer = server->TakeAnswer(*t);
+        if (answer.ok()) {
+          ++ok_count;
+        } else {
+          // Injected failures surface as Unavailable; nothing else may.
+          EXPECT_TRUE(answer.status().IsUnavailable()) << answer.status();
+          ++fail_count;
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  server->Stop();
+  EXPECT_EQ(ok_count + fail_count, 30);
+  EXPECT_GT(ok_count.load(), 0);
+  const QueryServerStats stats = server->stats();
+  // Conservation: every admitted request was either answered (served,
+  // possibly with an injected failure) or shed by a deadline sweep.
+  EXPECT_EQ(stats.served + stats.expired, stats.submitted);
 }
 
 }  // namespace

@@ -1,0 +1,55 @@
+#include "util/clock.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace mocemg {
+namespace {
+
+TEST(ClockTest, SystemClockIsMonotonic) {
+  const Clock* clock = SystemClock();
+  ASSERT_NE(clock, nullptr);
+  const uint64_t a = clock->NowMicros();
+  const uint64_t b = clock->NowMicros();
+  EXPECT_GE(b, a);
+}
+
+TEST(ClockTest, SystemClockSleepAdvancesTime) {
+  const Clock* clock = SystemClock();
+  const uint64_t before = clock->NowMicros();
+  clock->SleepMicros(2000);
+  EXPECT_GE(clock->NowMicros() - before, 2000u);
+}
+
+TEST(ClockTest, FakeClockOnlyMovesWhenAdvanced) {
+  FakeClock clock(100);
+  EXPECT_EQ(clock.NowMicros(), 100u);
+  EXPECT_EQ(clock.NowMicros(), 100u);
+  clock.Advance(50);
+  EXPECT_EQ(clock.NowMicros(), 150u);
+}
+
+// SleepMicros on a fake clock advances fake time instead of blocking,
+// so a backoff loop under test observes real timestamps instantly.
+TEST(ClockTest, FakeClockSleepAdvancesInsteadOfBlocking) {
+  FakeClock clock;
+  clock.SleepMicros(1000000);  // one fake "second", no real wait
+  EXPECT_EQ(clock.NowMicros(), 1000000u);
+}
+
+TEST(ClockTest, FakeClockAdvanceIsThreadSafe) {
+  FakeClock clock;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&clock] {
+      for (int i = 0; i < 1000; ++i) clock.Advance(1);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(clock.NowMicros(), 4000u);
+}
+
+}  // namespace
+}  // namespace mocemg

@@ -7,6 +7,7 @@
 //   info     --model <file>
 //   serve-bench [--records N] [--dim D] [--queries Q] [--unique U]
 //               [--k K] [--batch B] [--threads 1,2,8] [--seed S] [--json]
+//               [--deadline-us N] [--watermark N] [--snapshot <path>]
 //
 // The manifest is a CSV with header `trc,emg,label,label_name`; each row
 // names one captured motion: a TRC marker file, an EMG CSV (raw, with a
@@ -26,6 +27,7 @@
 #include "core/classifier.h"
 #include "core/model_io.h"
 #include "db/feature_index.h"
+#include "db/index_snapshot.h"
 #include "db/motion_database.h"
 #include "db/query_server.h"
 #include "emg/emg_io.h"
@@ -57,7 +59,9 @@ int Usage() {
                "  mocemg_cli serve-bench [--records N] [--dim D] "
                "[--queries Q] [--unique U]\n"
                "                      [--k K] [--batch B] "
-               "[--threads 1,2,8] [--seed S] [--json]\n");
+               "[--threads 1,2,8] [--seed S] [--json]\n"
+               "                      [--deadline-us N] [--watermark N] "
+               "[--snapshot <path>]\n");
   return 2;
 }
 
@@ -307,12 +311,16 @@ int RunServeBench(const Args& args) {
   auto k = ParseInt(args.Get("--k", "5"));
   auto batch = ParseInt(args.Get("--batch", "64"));
   auto seed = ParseInt(args.Get("--seed", "7"));
+  auto deadline_us = ParseInt(args.Get("--deadline-us", "0"));
+  auto watermark = ParseInt(args.Get("--watermark", "0"));
+  const std::string snapshot_path = args.Get("--snapshot", "");
   if (!records.ok() || !dim.ok() || !queries.ok() || !unique.ok() ||
-      !k.ok() || !batch.ok() || !seed.ok()) {
+      !k.ok() || !batch.ok() || !seed.ok() || !deadline_us.ok() ||
+      !watermark.ok()) {
     return Usage();
   }
   if (*records < 1 || *dim < 1 || *queries < 1 || *unique < 1 ||
-      *k < 1 || *batch < 1) {
+      *k < 1 || *batch < 1 || *deadline_us < 0 || *watermark < 0) {
     return Usage();
   }
   std::vector<size_t> threads;
@@ -334,8 +342,29 @@ int RunServeBench(const Args& args) {
   const MotionDatabase db = MakeServeDb(
       static_cast<size_t>(*records), static_cast<size_t>(*dim),
       static_cast<uint64_t>(*seed));
-  auto index = FeatureIndex::Build(&db);
+  FeatureIndexOptions iopts;
+  if (*watermark > 0) {
+    // Degraded mode answers from the int8 tier, so force codes on even
+    // for the small partitions a √N layout produces at bench scale.
+    iopts.quantized_min_rows = 1;
+  }
+  auto index = FeatureIndex::Build(&db, iopts);
   if (!index.ok()) return Fail(index.status());
+
+  // --snapshot: exercise the crash-safe persistence path — save the
+  // built index, reload it (with corruption-checked validation), and
+  // serve from the reloaded copy.
+  IndexSnapshotLoadInfo snap_info;
+  bool used_snapshot = false;
+  if (!snapshot_path.empty()) {
+    Status saved = SaveFeatureIndex(*index, snapshot_path);
+    if (!saved.ok()) return Fail(saved);
+    auto reloaded =
+        LoadOrRebuildFeatureIndex(snapshot_path, &db, iopts, &snap_info);
+    if (!reloaded.ok()) return Fail(reloaded.status());
+    *index = *std::move(reloaded);
+    used_snapshot = true;
+  }
   const auto workload = MakeServeWorkload(
       static_cast<size_t>(*queries), static_cast<size_t>(*unique),
       static_cast<size_t>(*dim), static_cast<uint64_t>(*seed) + 1000);
@@ -382,6 +411,8 @@ int RunServeBench(const Args& args) {
     size_t threads = 0;
     ServeModeResult mode;
     QueryServerStats stats;
+    uint64_t degraded_taken = 0;
+    uint64_t expired_taken = 0;
   };
   std::vector<ServedRow> served_rows;
   for (size_t t : threads) {
@@ -389,9 +420,15 @@ int RunServeBench(const Args& args) {
     opts.max_batch = static_cast<size_t>(*batch);
     opts.max_queue = workload.size() + 1;
     opts.parallel.max_threads = t;
+    opts.default_deadline_us = static_cast<uint64_t>(*deadline_us);
+    opts.degrade_watermark = static_cast<size_t>(*watermark);
     auto server = QueryServer::Create(&db, &*index, opts);
     if (!server.ok()) return Fail(server.status());
+    if (used_snapshot) {
+      server->NoteSnapshotLoad(snap_info.loaded_from_snapshot);
+    }
 
+    ServedRow row;
     std::vector<uint64_t> tickets(workload.size());
     std::vector<BenchClock::time_point> submitted(workload.size());
     t0 = BenchClock::now();
@@ -410,18 +447,29 @@ int RunServeBench(const Args& args) {
       Status drained = server->DrainOnce();
       if (!drained.ok()) return Fail(drained);
       for (size_t i = window_begin; i < window_end; ++i) {
-        auto hits = server->TakeHits(tickets[i]);
-        if (!hits.ok()) return Fail(hits.status());
+        auto answer = server->TakeAnswer(tickets[i]);
         lat[i] = std::chrono::duration<double>(BenchClock::now() -
                                                submitted[i])
                      .count();
-        if (!SameHits(*hits, expected[i])) {
+        if (!answer.ok()) {
+          // Deadline sheds are an expected outcome under --deadline-us;
+          // anything else is a real failure.
+          if (answer.status().IsDeadlineExceeded()) {
+            ++row.expired_taken;
+            continue;
+          }
+          return Fail(answer.status());
+        }
+        if (answer->degraded) {
+          ++row.degraded_taken;
+          continue;  // approximate by contract; not bit-checked
+        }
+        if (!SameHits(answer->hits, expected[i])) {
           return Fail(Status::Unknown(
               "served results diverged from the linear scan"));
         }
       }
     }
-    ServedRow row;
     row.threads = t;
     row.mode = SummarizeMode(lat, SecondsSince(t0));
     row.stats = server->stats();
@@ -437,6 +485,11 @@ int RunServeBench(const Args& args) {
                 static_cast<long long>(*unique), kk,
                 static_cast<long long>(*batch));
     std::printf("  \"bit_identical\": true,\n");
+    if (used_snapshot) {
+      std::printf("  \"snapshot\": {\"loaded\": %s, \"rebuilt\": %s},\n",
+                  snap_info.loaded_from_snapshot ? "true" : "false",
+                  snap_info.rebuilt ? "true" : "false");
+    }
     std::printf("  \"exact_scan\": {\"qps\": %.1f, \"p50_us\": %.1f, "
                 "\"p99_us\": %.1f},\n",
                 exact.qps, exact.p50_us, exact.p99_us);
@@ -450,12 +503,21 @@ int RunServeBench(const Args& args) {
                   "\"p50_us\": %.1f, \"p99_us\": %.1f, "
                   "\"qps_vs_exact_scan\": %.3f, "
                   "\"cache_hits\": %llu, \"cache_misses\": %llu, "
-                  "\"coalesced\": %llu}%s\n",
+                  "\"coalesced\": %llu, "
+                  "\"expired\": %llu, \"degraded\": %llu, "
+                  "\"queue_high_water\": %llu, "
+                  "\"snapshot_loads\": %llu, "
+                  "\"snapshot_fallbacks\": %llu}%s\n",
                   r.threads, r.mode.qps, r.mode.p50_us, r.mode.p99_us,
                   exact.qps > 0.0 ? r.mode.qps / exact.qps : 0.0,
                   static_cast<unsigned long long>(r.stats.cache_hits),
                   static_cast<unsigned long long>(r.stats.cache_misses),
                   static_cast<unsigned long long>(r.stats.coalesced),
+                  static_cast<unsigned long long>(r.stats.expired),
+                  static_cast<unsigned long long>(r.stats.degraded),
+                  static_cast<unsigned long long>(r.stats.queue_high_water),
+                  static_cast<unsigned long long>(r.stats.snapshot_loads),
+                  static_cast<unsigned long long>(r.stats.snapshot_fallbacks),
                   i + 1 < served_rows.size() ? "," : "");
     }
     std::printf("  ]\n}\n");
@@ -483,8 +545,23 @@ int RunServeBench(const Args& args) {
                 label, r.mode.qps, r.mode.p50_us, r.mode.p99_us,
                 exact.qps > 0.0 ? r.mode.qps / exact.qps : 0.0,
                 static_cast<unsigned long long>(r.stats.cache_hits));
+    if (r.stats.expired > 0 || r.stats.degraded > 0 ||
+        *watermark > 0 || *deadline_us > 0) {
+      std::printf("  %-22s expired=%llu degraded=%llu "
+                  "queue_high_water=%llu\n", "",
+                  static_cast<unsigned long long>(r.stats.expired),
+                  static_cast<unsigned long long>(r.stats.degraded),
+                  static_cast<unsigned long long>(r.stats.queue_high_water));
+    }
   }
-  std::printf("  (all modes returned bit-identical results)\n");
+  if (used_snapshot) {
+    std::printf("  snapshot: %s\n",
+                snap_info.loaded_from_snapshot
+                    ? "served from reloaded on-disk index"
+                    : ("rebuilt (" + snap_info.fallback_reason + ")").c_str());
+  }
+  std::printf("  (all exact-mode answers were bit-identical; degraded "
+              "answers carry certified error bounds)\n");
   return 0;
 }
 

@@ -28,7 +28,10 @@ if [[ "$preset" == "tsan" ]]; then
   # budget: on a small machine the auto budget can resolve to one
   # worker, and tsan would then certify what was effectively a serial
   # execution. The determinism tests double as the data-race proof for
-  # every parallelized stage (featurization, FCM, batch kNN/classify).
+  # every parallelized stage (featurization, FCM, batch kNN/classify),
+  # and the fault-injected serving tests exercise concurrent clients
+  # against stalls, injected failures, and deadline sheds.
   echo "== tsan: parallel substrate again under MOCEMG_THREADS=8 =="
-  MOCEMG_THREADS=8 ctest --preset tsan -R 'Parallel' --output-on-failure
+  MOCEMG_THREADS=8 ctest --preset tsan -R 'Parallel|ServingFault' \
+    --output-on-failure
 fi
