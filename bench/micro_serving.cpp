@@ -21,6 +21,17 @@
 //                                      expiry sweeps, and the watermark
 //                                      check on the non-degraded fast
 //                                      path (BENCH_pr6.json, < 5%).
+//   BM_ShardedKnn/<S>          scatter-gather batch kNN at S shards, one
+//                              thread — the fan-out overhead sweep
+//                              (BENCH_pr7.json).
+//   BM_ServedKnnSharded/<mode> mode 0: single-index server; mode 1: 4
+//                              shards + 2-deep wave pipeline (annotated,
+//                              not gated, on 1-CPU hosts).
+//   BM_ServedKnnMutate/<mode>  mutate-then-serve passes. mode 0: stale
+//                              index → exact fallback + full cache loss.
+//                              mode 1: ApplyUpdate + shard-aware
+//                              revalidation keeps the untouched shards'
+//                              cache entries (BENCH_pr7.json).
 //
 // Results are bit-identical between the modes by construction (the
 // server's contract); the families measure only how fast the same
@@ -33,6 +44,7 @@
 #include "db/feature_index.h"
 #include "db/motion_database.h"
 #include "db/query_server.h"
+#include "db/sharded_index.h"
 #include "util/logging.h"
 #include "util/random.h"
 
@@ -141,6 +153,156 @@ void BM_ServedKnnCached(benchmark::State& state) {
   ServeWorkload(state, *workload, /*cache_capacity=*/4096);
 }
 BENCHMARK(BM_ServedKnnCached)->Arg(0)->Arg(1);
+
+// Scatter-gather through a ShardedFeatureIndex at S shards, single
+// thread: measures the pure cost of per-shard heaps + fixed-order
+// merge relative to the one-shard scan (S=1). The answers are
+// bit-identical at every S; with one worker the fan-out is overhead,
+// and the sweep quantifies it. On multi-core hosts the shards scan
+// concurrently and the sweep turns into the speedup curve.
+void BM_ShardedKnn(benchmark::State& state) {
+  static const auto* workload =
+      new std::vector<std::vector<double>>(MakeQueries(64, kDim, 404));
+  const size_t shards = static_cast<size_t>(state.range(0));
+  ShardedIndexOptions sopts;
+  sopts.num_shards = shards;
+  sopts.index.parallel.max_threads = 1;
+  auto index = ShardedFeatureIndex::Build(&SharedDb(), sopts);
+  MOCEMG_CHECK_OK(index.status());
+  for (auto _ : state) {
+    auto hits = index->BatchNearestNeighbors(*workload, kK);
+    benchmark::DoNotOptimize(hits);
+    MOCEMG_CHECK_OK(hits.status());
+  }
+  state.SetItemsProcessed(
+      static_cast<int64_t>(state.iterations() * workload->size()));
+}
+BENCHMARK(BM_ShardedKnn)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+// Single-index serving vs 4-shard serving with a 2-deep wave pipeline,
+// identical workload and answers. With one CPU online the pipeline
+// cannot overlap stages and the pair measures scatter-gather overhead;
+// run_benchmarks.sh annotates (does not gate) the ratio accordingly.
+void BM_ServedKnnSharded(benchmark::State& state) {
+  static const auto* workload =
+      new std::vector<std::vector<double>>(MakeQueries(64, kDim, 505));
+  const bool sharded = state.range(0) == 1;
+  QueryServerOptions opts;
+  opts.max_batch = 16;
+  opts.cache_capacity = 0;
+  opts.parallel.max_threads = 1;
+  if (sharded) {
+    static const ShardedFeatureIndex* index = [] {
+      ShardedIndexOptions sopts;
+      sopts.num_shards = 4;
+      sopts.index.parallel.max_threads = 1;
+      auto built = ShardedFeatureIndex::Build(&SharedDb(), sopts);
+      MOCEMG_CHECK_OK(built.status());
+      return new ShardedFeatureIndex(std::move(*built));
+    }();
+    opts.pipeline_depth = 2;
+    auto server = QueryServer::Create(&SharedDb(), index, opts);
+    MOCEMG_CHECK_OK(server.status());
+    for (auto _ : state) {
+      auto hits = server->NearestNeighborsBatch(*workload, kK);
+      benchmark::DoNotOptimize(hits);
+      MOCEMG_CHECK_OK(hits.status());
+    }
+  } else {
+    auto server = QueryServer::Create(&SharedDb(), &SharedIndex(), opts);
+    MOCEMG_CHECK_OK(server.status());
+    for (auto _ : state) {
+      auto hits = server->NearestNeighborsBatch(*workload, kK);
+      benchmark::DoNotOptimize(hits);
+      MOCEMG_CHECK_OK(hits.status());
+    }
+  }
+  state.SetItemsProcessed(
+      static_cast<int64_t>(state.iterations() * workload->size()));
+}
+BENCHMARK(BM_ServedKnnSharded)->Arg(0)->Arg(1);
+
+// The mutate-while-serving regime the sharded cache key exists for:
+// each pass mutates one record, then serves a hot working set of
+// queries whose answers live mostly in OTHER shards.
+//
+//   mode 0: plain-index server. The mutation leaves the index stale —
+//           every request falls back to the exact scan and the whole
+//           result cache invalidates on the epoch bump.
+//   mode 1: 4-shard server with ApplyUpdate absorbed between passes —
+//           the index stays fresh, and only cache entries that
+//           provably depended on the mutated shard re-evaluate; the
+//           rest revalidate in place.
+//
+// The mutation alternates between two values so every pass does the
+// same work and the pair stays deterministic.
+void BM_ServedKnnMutate(benchmark::State& state) {
+  const bool sharded = state.range(0) == 1;
+  constexpr size_t kMutated = 7;
+  // Per-mode database: mutations must not leak across modes.
+  static MotionDatabase* dbs[2] = {nullptr, nullptr};
+  MotionDatabase*& db = dbs[sharded ? 1 : 0];
+  if (db == nullptr) db = new MotionDatabase(MakeDb(kRecords, kDim, 11));
+  // Hot working set: perturbed copies of stored records, so each
+  // query's neighbours sit tightly in one partition and the
+  // revalidation certificate has small radii to certify against.
+  static const auto* workload = [] {
+    auto* w = new std::vector<std::vector<double>>();
+    const MotionDatabase& seed_db = SharedDb();
+    for (size_t i = 0; i < 48; ++i) {
+      std::vector<double> q = seed_db.record((i * 37 + 1) % kRecords).feature;
+      q[(i * 5) % kDim] += 0.01;
+      w->push_back(std::move(q));
+    }
+    return w;
+  }();
+  QueryServerOptions opts;
+  opts.max_batch = 16;
+  opts.cache_capacity = 4096;
+  opts.parallel.max_threads = 1;
+
+  std::vector<double> base = db->record(kMutated).feature;
+  std::vector<double> alt = base;
+  alt[1] += 0.1;
+  bool flip = false;
+
+  if (sharded) {
+    ShardedIndexOptions sopts;
+    sopts.num_shards = 4;
+    sopts.index.parallel.max_threads = 1;
+    auto built = ShardedFeatureIndex::Build(db, sopts);
+    MOCEMG_CHECK_OK(built.status());
+    ShardedFeatureIndex index(std::move(*built));
+    auto server = QueryServer::Create(db, &index, opts);
+    MOCEMG_CHECK_OK(server.status());
+    for (auto _ : state) {
+      MOCEMG_CHECK_OK(
+          db->UpdateFeature(kMutated, (flip = !flip) ? alt : base));
+      // The inline serve path is synchronous — nothing is in flight,
+      // so the in-place ApplyUpdate is quiesced by construction.
+      MOCEMG_CHECK_OK(index.ApplyUpdate(kMutated));
+      auto hits = server->NearestNeighborsBatch(*workload, kK);
+      benchmark::DoNotOptimize(hits);
+      MOCEMG_CHECK_OK(hits.status());
+    }
+  } else {
+    auto built = FeatureIndex::Build(db);
+    MOCEMG_CHECK_OK(built.status());
+    FeatureIndex index(std::move(*built));
+    auto server = QueryServer::Create(db, &index, opts);
+    MOCEMG_CHECK_OK(server.status());
+    for (auto _ : state) {
+      MOCEMG_CHECK_OK(
+          db->UpdateFeature(kMutated, (flip = !flip) ? alt : base));
+      auto hits = server->NearestNeighborsBatch(*workload, kK);
+      benchmark::DoNotOptimize(hits);
+      MOCEMG_CHECK_OK(hits.status());
+    }
+  }
+  state.SetItemsProcessed(
+      static_cast<int64_t>(state.iterations() * workload->size()));
+}
+BENCHMARK(BM_ServedKnnMutate)->Arg(0)->Arg(1);
 
 // Robustness-armed vs plain serving over the identical workload. Both
 // modes run the server; mode 1 additionally stamps deadlines, sweeps

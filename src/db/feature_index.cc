@@ -14,25 +14,14 @@
 
 namespace mocemg {
 
-Result<FeatureIndex> FeatureIndex::Build(
-    const MotionDatabase* database, const FeatureIndexOptions& options) {
-  if (database == nullptr) {
-    return Status::InvalidArgument("null database");
-  }
-  FeatureIndex index;
-  index.database_ = database;
-  index.options_ = options;
-  MOCEMG_RETURN_NOT_OK(index.Rebuild());
-  return index;
-}
-
-Status FeatureIndex::Rebuild() {
-  if (database_ == nullptr || database_->empty()) {
+Result<IndexLayout> ComputeIndexLayout(const MotionDatabase& database,
+                                       const FeatureIndexOptions& options) {
+  if (database.empty()) {
     return Status::FailedPrecondition("database is empty");
   }
-  const size_t n = database_->size();
-  const size_t d = database_->feature_dimension();
-  size_t p = options_.num_partitions;
+  const size_t n = database.size();
+  const size_t d = database.feature_dimension();
+  size_t p = options.num_partitions;
   if (p == 0) {
     p = std::max<size_t>(
         1, static_cast<size_t>(std::lround(std::sqrt(
@@ -43,149 +32,180 @@ Status FeatureIndex::Rebuild() {
   // The database's packed block is already the row-major points layout
   // k-means wants; copy it wholesale instead of row by row.
   Matrix points(n, d);
-  points.mutable_data() = database_->packed_features();
+  points.mutable_data() = database.packed_features();
   KmeansOptions km;
   km.num_clusters = p;
-  km.seed = options_.seed;
+  km.seed = options.seed;
   MOCEMG_ASSIGN_OR_RETURN(KmeansModel model, FitKmeans(points, km));
 
-  partitions_.assign(p, Partition{});
-  references_ = std::move(model.centers);
-  // Record→reference distances (the expensive part of the rebuild) and
-  // record norms, in parallel — independent per record. Assignment
-  // bookkeeping and SoA packing run serially afterwards so each
-  // partition's rows stay in ascending record order regardless of
-  // thread count.
-  const double* packed = database_->packed_features().data();
-  std::vector<double> ref_sq(n, 0.0);
-  std::vector<double> norm_sq(n, 0.0);
-  Status st = ParallelFor(
-      n,
-      [&](size_t begin, size_t end, size_t /*chunk*/) -> Status {
-        for (size_t k = begin; k < end; ++k) {
-          const double* row = packed + k * d;
-          ref_sq[k] =
-              SquaredL2(row, references_.RowPtr(model.assignments[k]), d);
-          norm_sq[k] = SquaredNorm(row, d);
-        }
-        return Status::OK();
-      },
-      options_.parallel);
-  MOCEMG_RETURN_NOT_OK(st);
+  std::vector<std::vector<size_t>> members(p);
   for (size_t k = 0; k < n; ++k) {
-    Partition& part = partitions_[model.assignments[k]];
-    part.record_indices.push_back(k);
-    part.radius_sq = std::max(part.radius_sq, ref_sq[k]);
-    part.max_norm_sq = std::max(part.max_norm_sq, norm_sq[k]);
+    members[model.assignments[k]].push_back(k);
   }
-  // Pack each partition's SoA block (and norms) in member order.
+  // Drop empty partitions (k-means can strand one on tiny databases),
+  // keeping the references aligned with the survivors.
+  IndexLayout layout;
+  layout.references = Matrix(0, d);
+  layout.members.reserve(p);
   for (size_t i = 0; i < p; ++i) {
-    Partition& part = partitions_[i];
-    part.radius = std::sqrt(part.radius_sq);
-    part.block.resize(part.size() * d);
-    part.norms_sq.resize(part.size());
-    for (size_t j = 0; j < part.size(); ++j) {
-      const size_t rec = part.record_indices[j];
-      std::memcpy(part.block.data() + j * d, packed + rec * d,
-                  d * sizeof(double));
-      part.norms_sq[j] = norm_sq[rec];
-    }
+    if (members[i].empty()) continue;
+    MOCEMG_RETURN_NOT_OK(
+        layout.references.AppendRows(model.centers.RowSlice(i, i + 1)));
+    layout.members.push_back(std::move(members[i]));
   }
-  // Quantized tier: code each big-enough partition on its own int8
-  // grid and *measure* the worst reconstruction error — the provable
-  // prune leans on this number, not on an analytic half-step bound, so
+  return layout;
+}
+
+void IndexPartitionSet::FillPartition(const double* packed, size_t dim,
+                                      const double* reference,
+                                      const FeatureIndexOptions& options,
+                                      Partition* part) {
+  const size_t rows = part->size();
+  part->radius_sq = 0.0;
+  part->max_norm_sq = 0.0;
+  part->block.resize(rows * dim);
+  part->norms_sq.resize(rows);
+  for (size_t j = 0; j < rows; ++j) {
+    const size_t rec = part->record_indices[j];
+    const double* row = packed + rec * dim;
+    part->radius_sq =
+        std::max(part->radius_sq, SquaredL2(row, reference, dim));
+    const double norm_sq = SquaredNorm(row, dim);
+    part->max_norm_sq = std::max(part->max_norm_sq, norm_sq);
+    std::memcpy(part->block.data() + j * dim, row, dim * sizeof(double));
+    part->norms_sq[j] = norm_sq;
+  }
+  part->radius = std::sqrt(part->radius_sq);
+  // Quantized tier: code the partition on its own int8 grid and
+  // *measure* the worst reconstruction error — the provable prune
+  // leans on this number, not on an analytic half-step bound, so
   // heavy-tailed columns can only cost pruning power, not correctness.
   // The integer coarse distance Σ(qc − c)² must fit uint32:
   // d · 255² < 2³². Any realistic feature width is far below the gate.
-  const bool quantizable = options_.quantized_scan && d <= 60000;
-  if (quantizable) {
-    std::vector<double> decoded(d);
-    for (size_t i = 0; i < p; ++i) {
-      Partition& part = partitions_[i];
-      const size_t rows = part.size();
-      if (rows == 0 || rows < options_.quantized_min_rows) continue;
-      part.quant_offsets.resize(d);
-      part.quant_codes.resize(rows * d);
-      ComputeQuantGrid(part.block.data(), rows, d,
-                       part.quant_offsets.data(), &part.quant_scale);
-      QuantizeRows(part.block.data(), rows, d, part.quant_offsets.data(),
-                   part.quant_scale, part.quant_codes.data());
-      // Squared-norm bound over the whole grid bounding box (any
-      // reconstruction — of a row or of a clamped query — lies inside
-      // it); feeds the slack's magnitude argument.
-      double box_sq = 0.0;
-      for (size_t j = 0; j < d; ++j) {
-        const double lo = part.quant_offsets[j];
-        const double hi = lo + 255.0 * part.quant_scale;
-        box_sq += std::max(lo * lo, hi * hi);
+  part->quant_offsets.clear();
+  part->quant_codes.clear();
+  part->quant_scale = 0.0;
+  part->quant_err_sq = 0.0;
+  part->quant_box_sq = 0.0;
+  const bool quantizable = options.quantized_scan && dim <= 60000;
+  if (!quantizable || rows == 0 || rows < options.quantized_min_rows) {
+    return;
+  }
+  part->quant_offsets.resize(dim);
+  part->quant_codes.resize(rows * dim);
+  ComputeQuantGrid(part->block.data(), rows, dim,
+                   part->quant_offsets.data(), &part->quant_scale);
+  QuantizeRows(part->block.data(), rows, dim, part->quant_offsets.data(),
+               part->quant_scale, part->quant_codes.data());
+  // Squared-norm bound over the whole grid bounding box (any
+  // reconstruction — of a row or of a clamped query — lies inside
+  // it); feeds the slack's magnitude argument.
+  double box_sq = 0.0;
+  for (size_t j = 0; j < dim; ++j) {
+    const double lo = part->quant_offsets[j];
+    const double hi = lo + 255.0 * part->quant_scale;
+    box_sq += std::max(lo * lo, hi * hi);
+  }
+  part->quant_box_sq = box_sq;
+  std::vector<double> decoded(dim);
+  double max_err = 0.0;
+  for (size_t r = 0; r < rows; ++r) {
+    DequantizeRow(part->quant_codes.data() + r * dim, dim,
+                  part->quant_offsets.data(), part->quant_scale,
+                  decoded.data());
+    max_err = std::max(
+        max_err, SquaredL2(part->block.data() + r * dim, decoded.data(), dim));
+  }
+  // Inflate the measured error by the build-side accumulation slack so
+  // ‖r − r̃‖² (exact real value) is provably covered.
+  part->quant_err_sq =
+      max_err + QuantScanSlack(dim, part->max_norm_sq, box_sq);
+}
+
+void IndexPartitionSet::RefreshDerived() {
+  max_partition_size_ = 0;
+  num_rows_ = 0;
+  for (const Partition& part : partitions_) {
+    max_partition_size_ = std::max(max_partition_size_, part.size());
+    num_rows_ += part.size();
+  }
+}
+
+Status IndexPartitionSet::Pack(const MotionDatabase& database,
+                               const Matrix& references,
+                               const std::vector<std::vector<size_t>>& members,
+                               const FeatureIndexOptions& options) {
+  const size_t n = database.size();
+  const size_t d = database.feature_dimension();
+  if (references.rows() != members.size() ||
+      (members.size() > 0 && references.cols() != d)) {
+    return Status::InvalidArgument("layout shape mismatch");
+  }
+  for (const auto& list : members) {
+    if (list.empty()) {
+      return Status::InvalidArgument("empty partition in layout");
+    }
+    for (size_t j = 0; j < list.size(); ++j) {
+      if (list[j] >= n || (j > 0 && list[j] <= list[j - 1])) {
+        return Status::InvalidArgument(
+            "partition members must be ascending record indices");
       }
-      part.quant_box_sq = box_sq;
-      double max_err = 0.0;
-      for (size_t r = 0; r < rows; ++r) {
-        DequantizeRow(part.quant_codes.data() + r * d, d,
-                      part.quant_offsets.data(), part.quant_scale,
-                      decoded.data());
-        max_err = std::max(
-            max_err, SquaredL2(part.block.data() + r * d, decoded.data(), d));
-      }
-      // Inflate the measured error by the build-side accumulation
-      // slack so ‖r − r̃‖² (exact real value) is provably covered.
-      part.quant_err_sq =
-          max_err + QuantScanSlack(d, part.max_norm_sq, box_sq);
     }
   }
-  // Drop empty partitions (k-means can strand one on tiny databases),
-  // keeping references_ aligned with the survivors.
-  Matrix kept_refs(0, d);
-  std::vector<Partition> kept;
-  kept.reserve(p);
-  max_partition_size_ = 0;
-  for (size_t i = 0; i < p; ++i) {
-    if (partitions_[i].record_indices.empty()) continue;
-    MOCEMG_RETURN_NOT_OK(kept_refs.AppendRows(references_.RowSlice(i, i + 1)));
-    max_partition_size_ =
-        std::max(max_partition_size_, partitions_[i].size());
-    kept.push_back(std::move(partitions_[i]));
+  references_ = references;
+  partitions_.assign(members.size(), Partition{});
+  for (size_t i = 0; i < members.size(); ++i) {
+    partitions_[i].record_indices = members[i];
   }
-  partitions_ = std::move(kept);
-  references_ = std::move(kept_refs);
-  built_epoch_ = database_->epoch();
+  // Partitions fill independently (radius, block, norms, codes are pure
+  // functions of the partition's own rows), so the packing pass
+  // parallelizes per partition with bit-identical results at any
+  // thread count.
+  const double* packed = database.packed_features().data();
+  ParallelOptions per_partition = options.parallel;
+  per_partition.grain = 1;
+  Status st = ParallelFor(
+      partitions_.size(),
+      [&](size_t begin, size_t end, size_t /*chunk*/) -> Status {
+        for (size_t i = begin; i < end; ++i) {
+          FillPartition(packed, d, references_.RowPtr(i), options,
+                        &partitions_[i]);
+        }
+        return Status::OK();
+      },
+      per_partition);
+  MOCEMG_RETURN_NOT_OK(st);
+  RefreshDerived();
   return Status::OK();
 }
 
-Result<std::vector<QueryHit>> FeatureIndex::NearestNeighbors(
-    const std::vector<double>& query, size_t k,
-    IndexQueryStats* stats) const {
-  Scratch scratch;
-  return NearestNeighborsImpl(query, k, stats, &scratch);
+Status IndexPartitionSet::RefreshPartition(const MotionDatabase& database,
+                                           size_t partition,
+                                           const FeatureIndexOptions& options) {
+  if (partition >= partitions_.size()) {
+    return Status::InvalidArgument("partition out of range");
+  }
+  const size_t d = database.feature_dimension();
+  Partition& part = partitions_[partition];
+  if (!part.record_indices.empty() &&
+      part.record_indices.back() >= database.size()) {
+    return Status::FailedPrecondition(
+        "partition references records beyond the database");
+  }
+  FillPartition(database.packed_features().data(), d,
+                references_.RowPtr(partition), options, &part);
+  RefreshDerived();
+  return Status::OK();
 }
 
-Result<std::vector<QueryHit>> FeatureIndex::NearestNeighborsImpl(
-    const std::vector<double>& query, size_t k, IndexQueryStats* stats,
-    Scratch* scratch) const {
-  if (database_ == nullptr || partitions_.empty()) {
-    return Status::FailedPrecondition("index is not built");
-  }
-  if (database_->epoch() != built_epoch_) {
-    return Status::FailedPrecondition(
-        "index is stale: the database mutated (epoch " +
-        std::to_string(database_->epoch()) + ") after the index was "
-        "built (epoch " + std::to_string(built_epoch_) +
-        "); call Rebuild()");
-  }
-  if (query.size() != database_->feature_dimension()) {
-    return Status::InvalidArgument("query dimension mismatch");
-  }
-  if (k == 0) return Status::InvalidArgument("k must be >= 1");
-  for (double v : query) {
-    if (!std::isfinite(v)) {
-      return Status::InvalidArgument(
-          "query feature contains a non-finite value");
-    }
-  }
+void IndexPartitionSet::ScanExact(const std::vector<double>& query,
+                                  double q_sq, BoundedTopK* top,
+                                  Scratch* scratch,
+                                  IndexQueryStats* stats) const {
   const size_t dim = query.size();
   const size_t p = partitions_.size();
-  IndexQueryStats local;
+  if (p == 0) return;
+  IndexQueryStats& local = *stats;
 
   // Squared distance to each partition reference; visit closest-first
   // (the squared ordering equals the true-distance ordering). One
@@ -200,14 +220,11 @@ Result<std::vector<QueryHit>> FeatureIndex::NearestNeighborsImpl(
   }
   std::sort(scratch->order.begin(), scratch->order.end());
 
-  const double q_sq = SquaredNorm(query.data(), dim);
   scratch->dist.resize(max_partition_size_);
   // Candidates are kept and compared in *squared* distance space — the
   // per-record sqrt of the scan is deferred to the k reported hits.
   // The heap breaks distance ties toward the smaller record index,
   // the same rule as the linear scan (top_k.h).
-  BoundedTopK& top = scratch->top;
-  top.Reset(std::min(k, database_->size()));
   for (const auto& [ref_sq_dist, pi] : scratch->order) {
     const Partition& part = partitions_[pi];
     // Triangle inequality: every record r in the partition satisfies
@@ -215,7 +232,7 @@ Result<std::vector<QueryHit>> FeatureIndex::NearestNeighborsImpl(
     // twice with sign handling: with b = d²(q, ref), r² = radius²,
     // t² = kth, the prune condition √b − r > t (t, r >= 0) is
     // equivalent to  b − r² − t² > 0  ∧  (b − r² − t²)² > 4·r²·t².
-    const double kth = top.worst();
+    const double kth = top->worst();
     const double inf = std::numeric_limits<double>::infinity();
     if (kth < inf) {
       const double gap = ref_sq_dist - part.radius_sq - kth;
@@ -243,11 +260,11 @@ Result<std::vector<QueryHit>> FeatureIndex::NearestNeighborsImpl(
       // per-row test `D > T` can only under-prune, never drop a row
       // the exact kernels might still rank into the top k.
       size_t start = 0;
-      while (!top.full() && start < rows) {
+      while (!top->full() && start < rows) {
         const double sq =
             SquaredL2(query.data(), part.block.data() + start * dim, dim);
         ++local.distance_computations;
-        top.Push(sq, part.record_indices[start]);
+        top->Push(sq, part.record_indices[start]);
         ++start;
       }
       if (start >= rows) continue;
@@ -299,7 +316,7 @@ Result<std::vector<QueryHit>> FeatureIndex::NearestNeighborsImpl(
       double last_worst = -1.0;
       double threshold = -1.0;
       for (size_t j = start; j < rows; ++j) {
-        const double worst = top.worst();
+        const double worst = top->worst();
         if (worst != last_worst) {
           last_worst = worst;
           if (s > 0.0) {
@@ -318,7 +335,7 @@ Result<std::vector<QueryHit>> FeatureIndex::NearestNeighborsImpl(
         const double sq =
             SquaredL2(query.data(), part.block.data() + j * dim, dim);
         ++local.distance_computations;
-        top.Push(sq, part.record_indices[j]);
+        top->Push(sq, part.record_indices[j]);
       }
       continue;
     }
@@ -333,48 +350,22 @@ Result<std::vector<QueryHit>> FeatureIndex::NearestNeighborsImpl(
     local.distance_computations += rows;
     const double margin = DotFormErrorBound(dim, q_sq, part.max_norm_sq);
     for (size_t j = 0; j < rows; ++j) {
-      if (top.full() && scratch->dist[j] > top.worst() + margin) {
+      if (top->full() && scratch->dist[j] > top->worst() + margin) {
         continue;
       }
       const double sq =
           SquaredL2(query.data(), part.block.data() + j * dim, dim);
-      top.Push(sq, part.record_indices[j]);
+      top->Push(sq, part.record_indices[j]);
     }
   }
-  top.ExtractSorted(&scratch->entries);
-  std::vector<QueryHit> out(scratch->entries.size());
-  for (size_t i = 0; i < scratch->entries.size(); ++i) {
-    out[i].record_index = scratch->entries[i].second;
-    out[i].distance = std::sqrt(scratch->entries[i].first);
-  }
-  if (stats != nullptr) *stats = local;
-  return out;
 }
 
-Result<std::vector<QueryHit>> FeatureIndex::CoarseNearestNeighbors(
-    const std::vector<double>& query, size_t k, double* error_bound,
-    IndexQueryStats* stats) const {
-  if (database_ == nullptr || partitions_.empty()) {
-    return Status::FailedPrecondition("index is not built");
-  }
-  if (database_->epoch() != built_epoch_) {
-    return Status::FailedPrecondition(
-        "index is stale: the database mutated after the index was "
-        "built; call Rebuild()");
-  }
-  if (query.size() != database_->feature_dimension()) {
-    return Status::InvalidArgument("query dimension mismatch");
-  }
-  if (k == 0) return Status::InvalidArgument("k must be >= 1");
-  for (double v : query) {
-    if (!std::isfinite(v)) {
-      return Status::InvalidArgument(
-          "query feature contains a non-finite value");
-    }
-  }
+void IndexPartitionSet::ScanCoarse(const std::vector<double>& query,
+                                   double q_sq, BoundedTopK* top,
+                                   double* bound,
+                                   IndexQueryStats* stats) const {
   const size_t dim = query.size();
-  IndexQueryStats local;
-  const double q_sq = SquaredNorm(query.data(), dim);
+  IndexQueryStats& local = *stats;
 
   // Degraded mode trades the exact re-rank for bounded error: every
   // quantized partition is scored with the integer code distance only.
@@ -387,9 +378,10 @@ Result<std::vector<QueryHit>> FeatureIndex::CoarseNearestNeighbors(
   // bound is the max of that scalar over the quantized partitions
   // visited (q_res and err already carry the §11.2 slack inflation).
   // Unquantized partitions are scanned with the dot-form kernel, whose
-  // squared-space error margin adds √margin to the bound.
-  double bound = 0.0;
-  BoundedTopK top(std::min(k, database_->size()));
+  // squared-space error margin adds √margin to the bound. Every
+  // quantity here is a pure function of the partition that owns the
+  // rows, so scanning the same partitions split across sets (shards)
+  // pushes the same estimates and raises the same bound.
   std::vector<double> qclamp(dim), decoded(dim), dist;
   std::vector<uint8_t> qcodes(dim);
   std::vector<uint32_t> ssd;
@@ -423,9 +415,9 @@ Result<std::vector<QueryHit>> FeatureIndex::CoarseNearestNeighbors(
       for (size_t j = 0; j < rows; ++j) {
         const double est =
             out + s * std::sqrt(static_cast<double>(ssd[j]));
-        top.Push(est, part.record_indices[j]);
+        top->Push(est, part.record_indices[j]);
       }
-      bound = std::max(bound, out + q_res + err);
+      *bound = std::max(*bound, out + q_res + err);
     } else {
       // Small/unquantized partition: dot-form scan, no exact re-check.
       dist.resize(rows);
@@ -435,12 +427,130 @@ Result<std::vector<QueryHit>> FeatureIndex::CoarseNearestNeighbors(
       const double margin =
           DotFormErrorBound(dim, q_sq, part.max_norm_sq);
       for (size_t j = 0; j < rows; ++j) {
-        top.Push(std::sqrt(std::max(0.0, dist[j])),
-                 part.record_indices[j]);
+        top->Push(std::sqrt(std::max(0.0, dist[j])),
+                  part.record_indices[j]);
       }
-      bound = std::max(bound, std::sqrt(margin));
+      *bound = std::max(*bound, std::sqrt(margin));
     }
   }
+}
+
+bool IndexPartitionSet::AllBeyond(const std::vector<double>& query,
+                                  double kth) const {
+  if (!(kth >= 0.0) || !std::isfinite(kth)) return false;
+  const size_t dim = query.size();
+  // Inflate kth² so floating-point rounding in the sqrt'd cached
+  // distance can only make the test *harder* to pass — a false "all
+  // beyond" would serve a wrong cached answer, a false "not beyond"
+  // only costs a cache miss.
+  const double kth_sq = kth * kth * (1.0 + 1e-9);
+  for (size_t pi = 0; pi < partitions_.size(); ++pi) {
+    const Partition& part = partitions_[pi];
+    const double ref_sq_dist =
+        SquaredL2(query.data(), references_.RowPtr(pi), dim);
+    const double gap = ref_sq_dist - part.radius_sq - kth_sq;
+    if (!(gap > 0.0 && gap * gap > 4.0 * part.radius_sq * kth_sq)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Result<FeatureIndex> FeatureIndex::Build(
+    const MotionDatabase* database, const FeatureIndexOptions& options) {
+  if (database == nullptr) {
+    return Status::InvalidArgument("null database");
+  }
+  FeatureIndex index;
+  index.database_ = database;
+  index.options_ = options;
+  MOCEMG_RETURN_NOT_OK(index.Rebuild());
+  return index;
+}
+
+Status FeatureIndex::Rebuild() {
+  if (database_ == nullptr || database_->empty()) {
+    return Status::FailedPrecondition("database is empty");
+  }
+  MOCEMG_ASSIGN_OR_RETURN(IndexLayout layout,
+                          ComputeIndexLayout(*database_, options_));
+  MOCEMG_RETURN_NOT_OK(
+      set_.Pack(*database_, layout.references, layout.members, options_));
+  built_epoch_ = database_->epoch();
+  return Status::OK();
+}
+
+Result<std::vector<QueryHit>> FeatureIndex::NearestNeighbors(
+    const std::vector<double>& query, size_t k,
+    IndexQueryStats* stats) const {
+  Scratch scratch;
+  return NearestNeighborsImpl(query, k, stats, &scratch);
+}
+
+Result<std::vector<QueryHit>> FeatureIndex::NearestNeighborsImpl(
+    const std::vector<double>& query, size_t k, IndexQueryStats* stats,
+    Scratch* scratch) const {
+  if (database_ == nullptr || set_.num_partitions() == 0) {
+    return Status::FailedPrecondition("index is not built");
+  }
+  if (database_->epoch() != built_epoch_) {
+    return Status::FailedPrecondition(
+        "index is stale: the database mutated (epoch " +
+        std::to_string(database_->epoch()) + ") after the index was "
+        "built (epoch " + std::to_string(built_epoch_) +
+        "); call Rebuild()");
+  }
+  if (query.size() != database_->feature_dimension()) {
+    return Status::InvalidArgument("query dimension mismatch");
+  }
+  if (k == 0) return Status::InvalidArgument("k must be >= 1");
+  for (double v : query) {
+    if (!std::isfinite(v)) {
+      return Status::InvalidArgument(
+          "query feature contains a non-finite value");
+    }
+  }
+  IndexQueryStats local;
+  const double q_sq = SquaredNorm(query.data(), query.size());
+  BoundedTopK& top = scratch->top;
+  top.Reset(std::min(k, database_->size()));
+  set_.ScanExact(query, q_sq, &top, scratch, &local);
+  top.ExtractSorted(&scratch->entries);
+  std::vector<QueryHit> out(scratch->entries.size());
+  for (size_t i = 0; i < scratch->entries.size(); ++i) {
+    out[i].record_index = scratch->entries[i].second;
+    out[i].distance = std::sqrt(scratch->entries[i].first);
+  }
+  if (stats != nullptr) *stats = local;
+  return out;
+}
+
+Result<std::vector<QueryHit>> FeatureIndex::CoarseNearestNeighbors(
+    const std::vector<double>& query, size_t k, double* error_bound,
+    IndexQueryStats* stats) const {
+  if (database_ == nullptr || set_.num_partitions() == 0) {
+    return Status::FailedPrecondition("index is not built");
+  }
+  if (database_->epoch() != built_epoch_) {
+    return Status::FailedPrecondition(
+        "index is stale: the database mutated after the index was "
+        "built; call Rebuild()");
+  }
+  if (query.size() != database_->feature_dimension()) {
+    return Status::InvalidArgument("query dimension mismatch");
+  }
+  if (k == 0) return Status::InvalidArgument("k must be >= 1");
+  for (double v : query) {
+    if (!std::isfinite(v)) {
+      return Status::InvalidArgument(
+          "query feature contains a non-finite value");
+    }
+  }
+  IndexQueryStats local;
+  const double q_sq = SquaredNorm(query.data(), query.size());
+  double bound = 0.0;
+  BoundedTopK top(std::min(k, database_->size()));
+  set_.ScanCoarse(query, q_sq, &top, &bound, &local);
   std::vector<TopKEntry> entries;
   top.ExtractSorted(&entries);
   std::vector<QueryHit> out(entries.size());

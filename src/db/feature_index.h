@@ -20,6 +20,18 @@
 /// tier only ever changes how much full-precision work is done, never
 /// which hits are reported.
 ///
+/// Since the sharded serving layer (§13) the partition machinery is
+/// split in two: ComputeIndexLayout runs the k-means and produces the
+/// global partition layout (references + memberships), and
+/// IndexPartitionSet packs and scans an arbitrary subset of those
+/// partitions. FeatureIndex is the single-set composition;
+/// ShardedFeatureIndex (sharded_index.h) distributes the same global
+/// layout across N sets. Because every per-record quantity (exact
+/// distance, coarse estimate, prune bound) is a pure function of the
+/// partition that owns the record, regrouping partitions into shards
+/// cannot change any reported hit — that is the §13 bit-identity
+/// argument.
+///
 /// Staleness: the index records the database epoch it was built
 /// against; once the database mutates (Insert/UpdateFeature), queries
 /// fail with FailedPrecondition until Rebuild().
@@ -57,7 +69,7 @@ struct FeatureIndexOptions {
   /// codes than without. Pure build-time property, so scan behaviour
   /// stays deterministic.
   size_t quantized_min_rows = 256;
-  /// Parallelism for Rebuild's per-record distance pass and for
+  /// Parallelism for Rebuild's per-partition packing pass and for
   /// BatchNearestNeighbors. Queries are read-only over the built index,
   /// so results are bit-identical at any thread count.
   ParallelOptions parallel;
@@ -78,6 +90,148 @@ struct IndexQueryStats {
 };
 
 class IndexSnapshotCodec;
+
+/// \brief The global partition layout: k-means references plus each
+/// partition's member records (ascending database order). Empty
+/// partitions are already dropped. Both the single index and every
+/// shard pack from the same layout, which is what makes sharded
+/// results bit-identical to the single scan.
+struct IndexLayout {
+  /// Partition references packed row-major (num_partitions × dim).
+  Matrix references;
+  /// members[i] = the records of partition i, ascending.
+  std::vector<std::vector<size_t>> members;
+};
+
+/// \brief Runs the seeded k-means over the database's packed features
+/// and returns the partition layout. `options.num_partitions` == 0
+/// picks ≈ √N; empty partitions (k-means can strand one on tiny
+/// databases) are dropped. Deterministic in (database bytes, options).
+Result<IndexLayout> ComputeIndexLayout(const MotionDatabase& database,
+                                       const FeatureIndexOptions& options);
+
+/// \brief A packed, scannable set of partitions — the storage + scan
+/// engine behind FeatureIndex (one set holding every partition) and
+/// ShardedFeatureIndex (one set per shard holding a subset). Scans
+/// accumulate into a caller-owned BoundedTopK so per-set results can
+/// be merged in fixed order with the usual (distance, index)
+/// tie-break.
+class IndexPartitionSet {
+ public:
+  struct Partition {
+    double radius = 0.0;      ///< covering radius (true distance)
+    double radius_sq = 0.0;   ///< radius², for the sqrt-free prune
+    double max_norm_sq = 0.0; ///< max ‖record‖² in the block (error bound)
+    /// Member records, ascending database order.
+    std::vector<size_t> record_indices;
+    /// SoA: the members' features packed row-major (size × dim), and
+    /// their squared norms for the dot-product-form scan.
+    std::vector<double> block;
+    std::vector<double> norms_sq;
+    /// Quantized tier (empty when disabled or below quantized_min_rows):
+    /// per-dimension offsets + uniform scale of the affine grid and the
+    /// members' int8 codes, plus the partition's worst measured
+    /// reconstruction error ‖r − r̃‖² (inflated by the build-side
+    /// slack) and the grid bounding box's squared-norm bound — the two
+    /// scalars the provable integer prune leans on.
+    std::vector<double> quant_offsets;
+    std::vector<uint8_t> quant_codes;
+    double quant_scale = 0.0;
+    double quant_err_sq = 0.0;
+    double quant_box_sq = 0.0;
+
+    size_t size() const { return record_indices.size(); }
+    bool quantized() const { return !quant_codes.empty(); }
+  };
+
+  /// Per-query scratch, reused across a batch chunk.
+  struct Scratch {
+    std::vector<double> ref_sq;   ///< squared distance to each reference
+    std::vector<std::pair<double, size_t>> order;
+    std::vector<double> dist;     ///< per-partition scan buffer
+    std::vector<double> qclamp;   ///< query clamped into the grid box
+    std::vector<uint8_t> qcodes;  ///< query coded on a partition's grid
+    std::vector<double> decoded;  ///< q̃, for the residual measurement
+    std::vector<uint32_t> ssd;    ///< integer coarse distances
+    BoundedTopK top;
+    std::vector<TopKEntry> entries;
+  };
+
+  /// \brief Packs the given partitions from the database's current
+  /// packed features: per-partition radius, SoA block, squared norms,
+  /// and (when options allow) the int8 quantized tier. `references`
+  /// row i and `members[i]` describe partition i; every member list
+  /// must be non-empty and ascending. Partitions pack independently in
+  /// parallel; every stored quantity is a pure function of the
+  /// partition's own rows, so the packed bytes are identical at any
+  /// thread count.
+  Status Pack(const MotionDatabase& database, const Matrix& references,
+              const std::vector<std::vector<size_t>>& members,
+              const FeatureIndexOptions& options);
+
+  /// \brief Re-derives one partition's block, norms, radius, and codes
+  /// from the database's *current* rows (membership unchanged) — the
+  /// O(partition) refresh behind ShardedFeatureIndex::ApplyUpdate.
+  Status RefreshPartition(const MotionDatabase& database, size_t partition,
+                          const FeatureIndexOptions& options);
+
+  /// \brief Exact scan of every partition in the set into `top`
+  /// (squared-distance space). Visits partitions in ascending
+  /// distance-to-reference order with the triangle-inequality prune;
+  /// the caller owns Reset()ing the heap. Stats are accumulated (+=).
+  void ScanExact(const std::vector<double>& query, double q_sq,
+                 BoundedTopK* top, Scratch* scratch,
+                 IndexQueryStats* stats) const;
+
+  /// \brief Coarse-tier scan of every partition in the set into `top`
+  /// (true-distance estimates, DESIGN.md §12.2). `bound` is raised
+  /// (max) to cover every estimate pushed here; the caller seeds it
+  /// with 0 and takes the max across sets. Stats are accumulated (+=).
+  void ScanCoarse(const std::vector<double>& query, double q_sq,
+                  BoundedTopK* top, double* bound,
+                  IndexQueryStats* stats) const;
+
+  /// \brief True when *every* partition in the set provably contains
+  /// no record closer than `kth` (true-distance space) to the query —
+  /// the same sqrt-free triangle-inequality test the exact scan
+  /// prunes with, evaluated with a conservative inflation of kth so
+  /// rounding can only weaken the claim, never fake it. Used by the
+  /// serving cache to revalidate entries against a mutated shard.
+  bool AllBeyond(const std::vector<double>& query, double kth) const;
+
+  size_t num_partitions() const { return partitions_.size(); }
+  /// Total records across the set's partitions.
+  size_t num_rows() const { return num_rows_; }
+  size_t max_partition_size() const { return max_partition_size_; }
+  bool has_quantized_tier() const {
+    for (const Partition& p : partitions_) {
+      if (p.quantized()) return true;
+    }
+    return false;
+  }
+  const Matrix& references() const { return references_; }
+  const std::vector<Partition>& partitions() const { return partitions_; }
+
+ private:
+  /// The snapshot codec (db/index_snapshot.cc) serializes and restores
+  /// the private representation verbatim.
+  friend class IndexSnapshotCodec;
+
+  /// Fills everything but record_indices (already set) for one
+  /// partition from the database's packed rows.
+  void FillPartition(const double* packed, size_t dim,
+                     const double* reference,
+                     const FeatureIndexOptions& options, Partition* part);
+  /// Recomputes num_rows_ / max_partition_size_ after (re)packing.
+  void RefreshDerived();
+
+  std::vector<Partition> partitions_;
+  /// Partition references packed row-major (num_partitions × dim) so
+  /// the visit-order pass is one one-to-many kernel call.
+  Matrix references_;
+  size_t max_partition_size_ = 0;
+  size_t num_rows_ = 0;
+};
 
 /// \brief Exact cluster-pruned kNN index. The index copies each
 /// partition's features into its own packed block at Build/Rebuild;
@@ -143,17 +297,12 @@ class FeatureIndex {
       double* error_bound = nullptr,
       IndexQueryStats* stats = nullptr) const;
 
-  size_t num_partitions() const { return partitions_.size(); }
+  size_t num_partitions() const { return set_.num_partitions(); }
 
   /// \brief True when at least one partition carries int8 codes — the
   /// precondition for CoarseNearestNeighbors giving any speedup and
   /// for the query server's degraded mode.
-  bool has_quantized_tier() const {
-    for (const Partition& p : partitions_) {
-      if (p.quantized()) return true;
-    }
-    return false;
-  }
+  bool has_quantized_tier() const { return set_.has_quantized_tier(); }
 
   /// \brief The database epoch this index was built against; queries
   /// require database->epoch() to still equal it.
@@ -168,44 +317,7 @@ class FeatureIndex {
   /// the private representation verbatim.
   friend class IndexSnapshotCodec;
 
-  struct Partition {
-    double radius = 0.0;      ///< covering radius (true distance)
-    double radius_sq = 0.0;   ///< radius², for the sqrt-free prune
-    double max_norm_sq = 0.0; ///< max ‖record‖² in the block (error bound)
-    /// Member records, ascending database order.
-    std::vector<size_t> record_indices;
-    /// SoA: the members' features packed row-major (size × dim), and
-    /// their squared norms for the dot-product-form scan.
-    std::vector<double> block;
-    std::vector<double> norms_sq;
-    /// Quantized tier (empty when disabled or below quantized_min_rows):
-    /// per-dimension offsets + uniform scale of the affine grid and the
-    /// members' int8 codes, plus the partition's worst measured
-    /// reconstruction error ‖r − r̃‖² (inflated by the build-side
-    /// slack) and the grid bounding box's squared-norm bound — the two
-    /// scalars the provable integer prune leans on.
-    std::vector<double> quant_offsets;
-    std::vector<uint8_t> quant_codes;
-    double quant_scale = 0.0;
-    double quant_err_sq = 0.0;
-    double quant_box_sq = 0.0;
-
-    size_t size() const { return record_indices.size(); }
-    bool quantized() const { return !quant_codes.empty(); }
-  };
-
-  /// Per-query scratch, reused across a batch chunk.
-  struct Scratch {
-    std::vector<double> ref_sq;   ///< squared distance to each reference
-    std::vector<std::pair<double, size_t>> order;
-    std::vector<double> dist;     ///< per-partition scan buffer
-    std::vector<double> qclamp;   ///< query clamped into the grid box
-    std::vector<uint8_t> qcodes;  ///< query coded on a partition's grid
-    std::vector<double> decoded;  ///< q̃, for the residual measurement
-    std::vector<uint32_t> ssd;    ///< integer coarse distances
-    BoundedTopK top;
-    std::vector<TopKEntry> entries;
-  };
+  using Scratch = IndexPartitionSet::Scratch;
 
   Result<std::vector<QueryHit>> NearestNeighborsImpl(
       const std::vector<double>& query, size_t k, IndexQueryStats* stats,
@@ -213,11 +325,7 @@ class FeatureIndex {
 
   const MotionDatabase* database_ = nullptr;
   FeatureIndexOptions options_;
-  std::vector<Partition> partitions_;
-  /// Partition references packed row-major (num_partitions × dim) so
-  /// the visit-order pass is one one-to-many kernel call.
-  Matrix references_;
-  size_t max_partition_size_ = 0;
+  IndexPartitionSet set_;
   uint64_t built_epoch_ = 0;
 };
 

@@ -30,10 +30,13 @@
 #ifndef MOCEMG_DB_INDEX_SNAPSHOT_H_
 #define MOCEMG_DB_INDEX_SNAPSHOT_H_
 
+#include <cstddef>
 #include <string>
+#include <vector>
 
 #include "db/feature_index.h"
 #include "db/motion_database.h"
+#include "db/sharded_index.h"
 #include "util/result.h"
 
 namespace mocemg {
@@ -83,6 +86,62 @@ Result<FeatureIndex> LoadOrRebuildFeatureIndex(
     const std::string& path, const MotionDatabase* database,
     const FeatureIndexOptions& rebuild_options = {},
     IndexSnapshotLoadInfo* info = nullptr);
+
+// --- sharded snapshots (DESIGN.md §13.4) ----------------------------
+//
+// A ShardedFeatureIndex persists as a checksummed *manifest* at `path`
+// ("MOCEMGSM1") plus one checksummed file per shard at
+// `path + ".shard<i>"` ("MOCEMGSH1"). The manifest carries everything
+// needed to repack any shard without re-running k-means: the applied
+// and per-shard epochs, the build options, the global partition
+// references, every record's owning partition, and each shard file's
+// expected (size, checksum) digest — so a shard file from a different
+// save generation is rejected exactly like a corrupted one. Saves
+// write the shard files first and commit the manifest last, each with
+// the atomic tmp+rename protocol: a crash mid-save leaves the old
+// manifest in charge, and any shard files it no longer matches fail
+// digest validation and repack at load.
+
+/// \brief How a LoadOrRebuildShardedFeatureIndex call obtained its
+/// index.
+struct ShardedSnapshotLoadInfo {
+  /// True when the manifest and every shard loaded and validated.
+  bool loaded_from_snapshot = false;
+  /// True when the whole index was rebuilt from the database (manifest
+  /// unusable, shape mismatch, or stale epoch).
+  bool rebuilt = false;
+  /// Shards that failed validation and were repacked from the
+  /// manifest's layout (k-means NOT re-run; empty on a clean load).
+  std::vector<size_t> rebuilt_shards;
+  /// Human-readable reason for the first fallback taken (empty on a
+  /// clean load).
+  std::string fallback_reason;
+};
+
+/// \brief Writes the manifest + per-shard files atomically (shards
+/// first, manifest last). Fails with FailedPrecondition when the index
+/// is not built.
+Status SaveShardedFeatureIndex(const ShardedFeatureIndex& index,
+                               const std::string& path);
+
+/// \brief Strict load: the manifest and every shard file must
+/// validate (magic, length, checksum, manifest digest, epochs,
+/// membership). The loaded index keeps the snapshot's epochs; if the
+/// database has mutated past them, queries fail with
+/// FailedPrecondition exactly as after any other mutation.
+Result<ShardedFeatureIndex> LoadShardedFeatureIndex(
+    const std::string& path, const MotionDatabase* database);
+
+/// \brief Boot-time recovery with *partial* rebuild: a valid, fresh
+/// manifest with some corrupted/missing shard files repacks only the
+/// failing shards from the manifest's layout (identical bytes to the
+/// lost shards, since packing is a pure function of the layout and
+/// the database rows). An unusable or stale manifest falls back to a
+/// full Build with `rebuild_options`.
+Result<ShardedFeatureIndex> LoadOrRebuildShardedFeatureIndex(
+    const std::string& path, const MotionDatabase* database,
+    const ShardedIndexOptions& rebuild_options = {},
+    ShardedSnapshotLoadInfo* info = nullptr);
 
 }  // namespace mocemg
 

@@ -13,6 +13,7 @@
 #include <utility>
 
 #include "db/serving_faults.h"
+#include "db/sharded_index.h"
 #include "util/distance_kernels.h"
 #include "util/macros.h"
 #include "util/top_k.h"
@@ -21,11 +22,13 @@ namespace mocemg {
 namespace {
 
 /// Seeded FNV-1a-style hash over the key bytes: the query's doubles
-/// (verbatim bit patterns), then k, then the epoch. The seed replaces
-/// the offset basis so two servers with different seeds place the same
-/// keys in different buckets.
-uint64_t HashKey(uint64_t seed, const std::vector<double>& query, size_t k,
-                 uint64_t epoch) {
+/// (verbatim bit patterns), then k. The seed replaces the offset basis
+/// so two servers with different seeds place the same keys in
+/// different buckets. Validity under mutation is NOT part of the key —
+/// each entry carries the epochs it was computed under and is
+/// revalidated (or erased) at lookup.
+uint64_t HashKey(uint64_t seed, const std::vector<double>& query,
+                 size_t k) {
   uint64_t h = seed ^ 0xcbf29ce484222325ULL;
   auto mix = [&h](uint64_t v) {
     h ^= v;
@@ -38,7 +41,6 @@ uint64_t HashKey(uint64_t seed, const std::vector<double>& query, size_t k,
     mix(bits);
   }
   mix(static_cast<uint64_t>(k));
-  mix(epoch);
   return h;
 }
 
@@ -55,17 +57,28 @@ void AccumulateIndexStats(IndexQueryStats* acc, const IndexQueryStats& s) {
 struct QueryServer::Impl {
   const MotionDatabase* db = nullptr;
   const FeatureIndex* index = nullptr;
+  const ShardedFeatureIndex* sharded = nullptr;
   QueryServerOptions opts;
 
   mutable std::mutex mu;
   std::condition_variable cv_work;  ///< queue became non-empty / stopping
   std::condition_variable cv_done;  ///< some outcomes became ready
+  /// Index-swap rendezvous: SwapIndex waits here for in-flight batch
+  /// evaluations to commit; batch formation waits here for a pending
+  /// swap to finish.
+  std::condition_variable cv_swap;
 
   /// Resolved time source (opts.clock or the system clock).
   const Clock* clock = nullptr;
   /// EWMA of per-request drain time in microseconds (integer, α=1/2);
   /// feeds the retry_after_us hint. 0 until the first batch commits.
   uint64_t drain_ewma_us = 0;
+
+  /// Micro-batches formed but not yet committed (their evaluation may
+  /// be running outside the lock). SwapIndex quiesces on this.
+  size_t inflight = 0;
+  /// Pending SwapIndex calls; batch formation holds off while > 0.
+  size_t swapping = 0;
 
   struct Request {
     bool classify = false;
@@ -86,10 +99,55 @@ struct QueryServer::Impl {
   };
   struct CacheEntry {
     uint64_t hash = 0;
-    uint64_t epoch = 0;
     size_t k = 0;
     std::vector<double> query;
     std::vector<QueryHit> hits;
+    /// Database epoch the hits were computed (or last revalidated) at.
+    uint64_t db_epoch = 0;
+    /// Per-shard epochs at store time when the entry was served
+    /// through a ShardedFeatureIndex; empty otherwise. The lookup-time
+    /// revalidation walks exactly the shards whose epoch moved.
+    std::vector<uint64_t> shard_epochs;
+    /// The entry's k-th (worst) hit distance — the radius the
+    /// ShardAllBeyond certificate must clear for a mutated shard.
+    double kth = 0.0;
+  };
+
+  /// One micro-batch moving through the form → evaluate → commit
+  /// pipeline. Formation and commit run under the lock; evaluation
+  /// touches only the flight itself and the index captured into it,
+  /// so the flights of one wave evaluate concurrently.
+  struct Flight {
+    enum Mode { kExact, kIndex, kSharded };
+    Mode mode = kExact;
+    const FeatureIndex* via_index = nullptr;
+    const ShardedFeatureIndex* via_sharded = nullptr;
+    uint64_t epoch = 0;
+    bool degraded = false;
+    bool formed = false;  ///< counted in `inflight`; must commit
+    uint64_t n_expired = 0;
+    Status fault_status;
+    std::vector<Request> batch;
+    struct Plan {
+      uint64_t hash = 0;
+      bool from_cache = false;
+      std::vector<QueryHit> cached;  ///< filled when from_cache
+      size_t eval_slot = 0;          ///< index into uniq when !from_cache
+    };
+    std::vector<Plan> plan;
+    std::vector<size_t> uniq;  ///< batch positions evaluated (first of dupes)
+    uint64_t n_hits = 0, n_miss = 0, n_coal = 0;
+    /// Shard-epoch vector snapshot at formation (sharded mode);
+    /// stamped into every cache entry this flight stores.
+    std::vector<uint64_t> shard_epochs;
+    // --- evaluation outputs ---
+    std::vector<std::vector<QueryHit>> eval_hits;
+    std::vector<double> eval_bounds;
+    IndexQueryStats agg;
+    std::vector<IndexQueryStats> per_shard;
+    std::vector<uint64_t> shard_scans;
+    Status eval_status;
+    uint64_t t0 = 0, t1 = 0;
   };
 
   std::deque<Request> queue;
@@ -110,14 +168,45 @@ struct QueryServer::Impl {
 
   Result<uint64_t> Submit(bool classify, std::vector<double> query,
                           size_t k, uint64_t deadline_us);
-  Status ServeBatch(size_t* served_out);
+  /// Forms one micro-batch under the lock: expiry sweep, serving-mode
+  /// capture, watermark, extraction, fault draw, cache lookups with
+  /// revalidation, in-batch coalescing. Returns false when no batch
+  /// was formed (empty queue, or a swap is pending and `may_wait` is
+  /// false — callers holding uncommitted flights must not block, or
+  /// the swap could never quiesce).
+  bool FormFlight(Flight* f, bool may_wait);
+  /// Evaluates a formed flight's unique misses outside the lock.
+  void EvaluateFlight(Flight* f) const;
+  /// Commits a flight under the lock in wave order: counters, EWMA,
+  /// cache inserts, outcome fulfilment, inflight release.
+  Status CommitFlight(Flight* f);
+  /// One wave: form up to pipeline_depth flights, evaluate them
+  /// concurrently, commit in formation order.
+  Status ServeWave(size_t* served_out);
   Status ExactBatch(const std::vector<const std::vector<double>*>& queries,
                     size_t k,
                     std::vector<std::vector<QueryHit>*> hit_sinks) const;
-  const CacheEntry* FindCached(uint64_t hash,
-                               const std::vector<double>& query, size_t k,
-                               uint64_t epoch) const;
+  /// Cache lookup with validity check. An entry stored at the current
+  /// epoch hits directly. After a mutation, an entry can survive only
+  /// through the sharded revalidation certificate (`shx` non-null =
+  /// serving through a fresh sharded index): for every shard whose
+  /// epoch moved, no cached hit may live in it and the shard must
+  /// prove all its records lie strictly beyond the entry's k-th
+  /// distance. Invalid entries are erased and attributed to the first
+  /// failing shard.
+  bool LookupCache(uint64_t hash, const std::vector<double>& query,
+                   size_t k, uint64_t epoch,
+                   const ShardedFeatureIndex* shx,
+                   std::vector<QueryHit>* hits_out);
   void InsertCached(CacheEntry entry);
+  void EnsureShardStats(size_t num_shards);
+  /// Folds a scatter-gather evaluation's per-shard stats into the
+  /// flight, counting `scans_per_shard` per-(query, shard) scan tasks
+  /// against every shard.
+  static void AddPerShard(Flight* f,
+                          const std::vector<IndexQueryStats>& per_shard,
+                          uint64_t scans_per_shard);
+  Status Swap(const FeatureIndex* fi, const ShardedFeatureIndex* si);
   /// expect: 0 = kNN ticket, 1 = classify ticket, -1 = either kind.
   Result<Outcome> Take(uint64_t ticket, int expect);
   void WorkerLoop();
@@ -178,22 +267,77 @@ Result<uint64_t> QueryServer::Impl::Submit(bool classify,
   return ticket;
 }
 
-const QueryServer::Impl::CacheEntry* QueryServer::Impl::FindCached(
-    uint64_t hash, const std::vector<double>& query, size_t k,
-    uint64_t epoch) const {
+bool QueryServer::Impl::LookupCache(uint64_t hash,
+                                    const std::vector<double>& query,
+                                    size_t k, uint64_t epoch,
+                                    const ShardedFeatureIndex* shx,
+                                    std::vector<QueryHit>* hits_out) {
   auto [begin, end] = cache_map.equal_range(hash);
   for (auto it = begin; it != end; ++it) {
-    const CacheEntry& e = *it->second;
-    if (e.epoch == epoch && e.k == k && e.query == query) return &e;
+    CacheEntry& e = *it->second;
+    if (e.k != k || e.query != query) continue;
+    if (e.db_epoch == epoch) {
+      *hits_out = e.hits;
+      return true;
+    }
+    // The database mutated since the entry was stored. Without a
+    // fresh sharded index there is no certificate to keep it alive.
+    if (shx != nullptr && e.shard_epochs.size() == shx->num_shards()) {
+      const std::vector<uint64_t>& cur = shx->shard_epochs();
+      bool valid = true;
+      size_t bad_shard = cur.size();
+      for (size_t s = 0; s < cur.size(); ++s) {
+        if (e.shard_epochs[s] == cur[s]) continue;
+        // Shard s mutated: the entry survives only if none of its
+        // hits live in s and s certifies that every record it now
+        // holds lies strictly beyond the entry's k-th distance (so
+        // nothing in s could have entered the top-k).
+        bool depends = e.hits.size() < e.k;
+        for (const QueryHit& h : e.hits) {
+          if (depends) break;
+          auto owner = shx->ShardOfRecord(h.record_index);
+          depends = !owner.ok() || *owner == s;
+        }
+        if (depends || !shx->ShardAllBeyond(s, query, e.kth)) {
+          valid = false;
+          bad_shard = s;
+          break;
+        }
+      }
+      if (valid) {
+        e.db_epoch = epoch;
+        e.shard_epochs = cur;
+        ++counters.cache_revalidations;
+        *hits_out = e.hits;
+        return true;
+      }
+      EnsureShardStats(cur.size());
+      ++counters.shard_stats[bad_shard].cache_invalidations;
+    }
+    cache_fifo.erase(it->second);
+    cache_map.erase(it);
+    return false;
   }
-  return nullptr;
+  return false;
 }
 
 void QueryServer::Impl::InsertCached(CacheEntry entry) {
+  // Replace any existing entry for the same (query, k): with validity
+  // out of the key, a re-evaluated query would otherwise accumulate
+  // duplicates.
+  auto [begin, end] = cache_map.equal_range(entry.hash);
+  for (auto it = begin; it != end; ++it) {
+    const CacheEntry& e = *it->second;
+    if (e.k == entry.k && e.query == entry.query) {
+      cache_fifo.erase(it->second);
+      cache_map.erase(it);
+      break;
+    }
+  }
   while (cache_fifo.size() >= opts.cache_capacity) {
     const CacheEntry& oldest = cache_fifo.front();
-    auto [begin, end] = cache_map.equal_range(oldest.hash);
-    for (auto it = begin; it != end; ++it) {
+    auto [obegin, oend] = cache_map.equal_range(oldest.hash);
+    for (auto it = obegin; it != oend; ++it) {
       if (it->second == cache_fifo.begin()) {
         cache_map.erase(it);
         break;
@@ -205,6 +349,12 @@ void QueryServer::Impl::InsertCached(CacheEntry entry) {
   cache_fifo.push_back(std::move(entry));
   auto it = std::prev(cache_fifo.end());
   cache_map.emplace(it->hash, it);
+}
+
+void QueryServer::Impl::EnsureShardStats(size_t num_shards) {
+  if (counters.shard_stats.size() < num_shards) {
+    counters.shard_stats.resize(num_shards);
+  }
 }
 
 Status QueryServer::Impl::ExactBatch(
@@ -250,162 +400,215 @@ Status QueryServer::Impl::ExactBatch(
       opts.parallel);
 }
 
-Status QueryServer::Impl::ServeBatch(size_t* served_out) {
-  // --- expiry sweep + batch formation + cache lookups, under lock --
-  std::vector<Request> batch;
-  const size_t nb_cap = opts.max_batch;
+bool QueryServer::Impl::FormFlight(Flight* f, bool may_wait) {
+  std::unique_lock<std::mutex> lock(mu);
+  if (swapping > 0) {
+    // A swap is quiescing. A caller with uncommitted flights must not
+    // block here — the swap waits on those very commits.
+    if (!may_wait) return false;
+    cv_swap.wait(lock, [&] { return swapping == 0; });
+  }
   const uint64_t epoch = db->epoch();
-  struct Plan {
-    uint64_t hash = 0;
-    bool from_cache = false;
-    std::vector<QueryHit> cached;  ///< filled when from_cache
-    size_t eval_slot = 0;          ///< index into uniq when !from_cache
-  };
-  std::vector<Plan> plan;
-  std::vector<size_t> uniq;  ///< batch positions evaluated (first of dupes)
-  uint64_t n_hits = 0, n_miss = 0, n_coal = 0, n_expired = 0;
-  bool degraded_batch = false;
-  Status fault_status = Status::OK();
-  // Degradation needs a fresh index carrying the int8 tier; without
-  // one the exact path serves under any load.
-  const bool coarse_capable = index != nullptr &&
-                              index->num_partitions() > 0 &&
-                              index->built_epoch() == epoch &&
-                              index->has_quantized_tier();
-  {
-    std::unique_lock<std::mutex> lock(mu);
-    // Expiry sweep: fail every overdue request wherever it sits in the
-    // queue. An expired request is shed whole — it never occupies a
-    // batch slot and is never answered with work done past its budget.
-    if (!queue.empty()) {
-      const uint64_t now = clock->NowMicros();
-      std::deque<Request> keep;
-      for (Request& req : queue) {
-        if (req.deadline_at_us != 0 && now >= req.deadline_at_us) {
-          auto it = outcomes.find(req.ticket);
-          if (it != outcomes.end()) {
-            it->second.status = Status::DeadlineExceeded(
-                "request deadline elapsed while waiting (ticket " +
-                std::to_string(req.ticket) + ")");
-            it->second.ready = true;
-          }
-          ++n_expired;
-        } else {
-          keep.push_back(std::move(req));
+  f->epoch = epoch;
+  f->fault_status = Status::OK();
+  // Expiry sweep: fail every overdue request wherever it sits in the
+  // queue. An expired request is shed whole — it never occupies a
+  // batch slot and is never answered with work done past its budget.
+  if (!queue.empty()) {
+    const uint64_t now = clock->NowMicros();
+    std::deque<Request> keep;
+    for (Request& req : queue) {
+      if (req.deadline_at_us != 0 && now >= req.deadline_at_us) {
+        auto it = outcomes.find(req.ticket);
+        if (it != outcomes.end()) {
+          it->second.status = Status::DeadlineExceeded(
+              "request deadline elapsed while waiting (ticket " +
+              std::to_string(req.ticket) + ")");
+          it->second.ready = true;
         }
+        ++f->n_expired;
+      } else {
+        keep.push_back(std::move(req));
       }
-      queue.swap(keep);
-      counters.expired += n_expired;
     }
-    // Degradation trigger: a pure function of post-sweep queue depth,
-    // so a replayed request sequence degrades identically at any
-    // thread count (DESIGN.md §12.2).
-    degraded_batch = coarse_capable && opts.degrade_watermark > 0 &&
-                     queue.size() >= opts.degrade_watermark;
-    while (!queue.empty() && batch.size() < nb_cap) {
-      batch.push_back(std::move(queue.front()));
-      queue.pop_front();
+    queue.swap(keep);
+    counters.expired += f->n_expired;
+  }
+  // Serving-mode capture: the flight evaluates wholly through the
+  // index installed NOW — a later SwapIndex cannot tear it (the swap
+  // waits for this flight to commit). A fresh sharded index wins; a
+  // fresh plain index is next; otherwise the exact blocked fallback.
+  if (sharded != nullptr && sharded->num_partitions() > 0 &&
+      sharded->applied_epoch() == epoch) {
+    f->mode = Flight::kSharded;
+    f->via_sharded = sharded;
+  } else if (index != nullptr && index->num_partitions() > 0 &&
+             index->built_epoch() == epoch) {
+    f->mode = Flight::kIndex;
+    f->via_index = index;
+  } else {
+    f->mode = Flight::kExact;
+  }
+  // Degradation needs a coarse tier on the serving index; without one
+  // the exact path serves under any load.
+  const bool coarse_capable =
+      (f->mode == Flight::kSharded &&
+       f->via_sharded->has_quantized_tier()) ||
+      (f->mode == Flight::kIndex && f->via_index->has_quantized_tier());
+  // Degradation trigger: a pure function of post-sweep queue depth,
+  // so a replayed request sequence degrades identically at any
+  // thread count and pipeline depth (DESIGN.md §12.2).
+  f->degraded = coarse_capable && opts.degrade_watermark > 0 &&
+                queue.size() >= opts.degrade_watermark;
+  while (!queue.empty() && f->batch.size() < opts.max_batch) {
+    f->batch.push_back(std::move(queue.front()));
+    queue.pop_front();
+  }
+  if (f->batch.empty()) return false;
+  // Fault draws happen under the formation lock: draw order equals
+  // batch order, so one seed fixes the whole fault tape.
+  if (opts.faults != nullptr) {
+    f->fault_status = opts.faults->OnBatchFormed(f->batch.size());
+  }
+  if (f->mode == Flight::kSharded) {
+    f->shard_epochs = f->via_sharded->shard_epochs();
+  }
+  const ShardedFeatureIndex* shx =
+      f->mode == Flight::kSharded ? f->via_sharded : nullptr;
+  f->plan.resize(f->batch.size());
+  for (size_t i = 0; i < f->batch.size(); ++i) {
+    const Request& req = f->batch[i];
+    Flight::Plan& pl = f->plan[i];
+    pl.hash = HashKey(opts.cache_seed, req.query, req.k);
+    if (opts.cache_capacity > 0 &&
+        LookupCache(pl.hash, req.query, req.k, epoch, shx, &pl.cached)) {
+      pl.from_cache = true;
+      ++f->n_hits;
+      continue;
     }
-    if (batch.empty()) {
-      if (served_out != nullptr) *served_out = 0;
-      lock.unlock();
-      if (n_expired > 0) cv_done.notify_all();
-      return Status::OK();
-    }
-    // Fault draws happen under the formation lock: draw order equals
-    // batch order, so one seed fixes the whole fault tape.
-    if (opts.faults != nullptr) {
-      fault_status = opts.faults->OnBatchFormed(batch.size());
-    }
-    plan.resize(batch.size());
-    for (size_t i = 0; i < batch.size(); ++i) {
-      const Request& req = batch[i];
-      Plan& pl = plan[i];
-      pl.hash = HashKey(opts.cache_seed, req.query, req.k, epoch);
-      if (opts.cache_capacity > 0) {
-        const CacheEntry* hit =
-            FindCached(pl.hash, req.query, req.k, epoch);
-        if (hit != nullptr) {
-          pl.from_cache = true;
-          pl.cached = hit->hits;
-          ++n_hits;
-          continue;
-        }
+    ++f->n_miss;
+    // Coalesce duplicates inside the batch onto one evaluation.
+    bool coalesced = false;
+    for (size_t u = 0; u < f->uniq.size(); ++u) {
+      const Request& first = f->batch[f->uniq[u]];
+      if (first.k == req.k && first.query == req.query) {
+        pl.eval_slot = u;
+        coalesced = true;
+        ++f->n_coal;
+        break;
       }
-      ++n_miss;
-      // Coalesce duplicates inside the batch onto one evaluation.
-      bool coalesced = false;
-      for (size_t u = 0; u < uniq.size(); ++u) {
-        const Request& first = batch[uniq[u]];
-        if (first.k == req.k && first.query == req.query) {
-          pl.eval_slot = u;
-          coalesced = true;
-          ++n_coal;
-          break;
-        }
-      }
-      if (!coalesced) {
-        pl.eval_slot = uniq.size();
-        uniq.push_back(i);
-      }
+    }
+    if (!coalesced) {
+      pl.eval_slot = f->uniq.size();
+      f->uniq.push_back(i);
     }
   }
+  f->formed = true;
+  ++inflight;
+  return true;
+}
 
-  // --- evaluation, outside the lock --------------------------------
-  const bool use_index = index != nullptr && index->num_partitions() > 0 &&
-                         index->built_epoch() == epoch;
-  std::vector<std::vector<QueryHit>> eval_hits(uniq.size());
-  std::vector<double> eval_bounds(uniq.size(), 0.0);
-  IndexQueryStats agg;
-  Status eval_status = fault_status;
-  const uint64_t t0 = clock->NowMicros();
-  if (!uniq.empty() && eval_status.ok() && degraded_batch) {
+void QueryServer::Impl::AddPerShard(
+    Flight* f, const std::vector<IndexQueryStats>& per_shard,
+    uint64_t scans_per_shard) {
+  if (f->per_shard.size() < per_shard.size()) {
+    f->per_shard.resize(per_shard.size());
+  }
+  if (f->shard_scans.size() < per_shard.size()) {
+    f->shard_scans.resize(per_shard.size(), 0);
+  }
+  for (size_t s = 0; s < per_shard.size(); ++s) {
+    AccumulateIndexStats(&f->per_shard[s], per_shard[s]);
+    f->shard_scans[s] += scans_per_shard;
+  }
+}
+
+void QueryServer::Impl::EvaluateFlight(Flight* f) const {
+  Status eval_status = f->fault_status;
+  const size_t nu = f->uniq.size();
+  f->eval_hits.resize(nu);
+  f->eval_bounds.assign(nu, 0.0);
+  f->t0 = clock->NowMicros();
+  if (nu > 0 && eval_status.ok() && f->degraded) {
     // Degraded mode: answer from the coarse tier alone, one query at a
     // time in slot order (deterministic, and already ~an order of
     // magnitude cheaper than the exact path it replaces).
-    for (size_t u = 0; u < uniq.size(); ++u) {
-      const Request& req = batch[uniq[u]];
+    for (size_t u = 0; u < nu; ++u) {
+      const Request& req = f->batch[f->uniq[u]];
       IndexQueryStats st;
-      auto hits = index->CoarseNearestNeighbors(req.query, req.k,
-                                                &eval_bounds[u], &st);
-      if (!hits.ok()) {
-        eval_status = hits.status().WithContext("query server degraded batch");
-        break;
+      if (f->mode == Flight::kSharded) {
+        std::vector<IndexQueryStats> ps;
+        auto hits = f->via_sharded->CoarseNearestNeighbors(
+            req.query, req.k, &f->eval_bounds[u], &st, &ps);
+        if (!hits.ok()) {
+          eval_status =
+              hits.status().WithContext("query server degraded batch");
+          break;
+        }
+        AddPerShard(f, ps, 1);
+        AccumulateIndexStats(&f->agg, st);
+        f->eval_hits[u] = std::move(*hits);
+      } else {
+        auto hits = f->via_index->CoarseNearestNeighbors(
+            req.query, req.k, &f->eval_bounds[u], &st);
+        if (!hits.ok()) {
+          eval_status =
+              hits.status().WithContext("query server degraded batch");
+          break;
+        }
+        AccumulateIndexStats(&f->agg, st);
+        f->eval_hits[u] = std::move(*hits);
       }
-      AccumulateIndexStats(&agg, st);
-      eval_hits[u] = std::move(*hits);
     }
-  } else if (!uniq.empty() && eval_status.ok()) {
+  } else if (nu > 0 && eval_status.ok()) {
     // Requests may carry different k; group the unique evaluations by
     // k so each group is one batched kernel call. std::map keeps the
     // group order deterministic.
     std::map<size_t, std::vector<size_t>> by_k;
-    for (size_t u = 0; u < uniq.size(); ++u) {
-      by_k[batch[uniq[u]].k].push_back(u);
+    for (size_t u = 0; u < nu; ++u) {
+      by_k[f->batch[f->uniq[u]].k].push_back(u);
     }
     for (const auto& [k, slots] : by_k) {
-      if (use_index) {
+      if (f->mode == Flight::kSharded) {
         std::vector<std::vector<double>> queries(slots.size());
         for (size_t s = 0; s < slots.size(); ++s) {
-          queries[s] = batch[uniq[slots[s]]].query;
+          queries[s] = f->batch[f->uniq[slots[s]]].query;
         }
         IndexQueryStats st;
-        auto hits = index->BatchNearestNeighbors(queries, k, &st,
-                                                 &opts.parallel);
+        std::vector<IndexQueryStats> ps;
+        auto hits = f->via_sharded->BatchNearestNeighbors(
+            queries, k, &st, &ps, &opts.parallel);
         if (!hits.ok()) {
           eval_status = hits.status().WithContext("query server batch");
           break;
         }
-        AccumulateIndexStats(&agg, st);
+        AccumulateIndexStats(&f->agg, st);
+        AddPerShard(f, ps, slots.size());
         for (size_t s = 0; s < slots.size(); ++s) {
-          eval_hits[slots[s]] = std::move((*hits)[s]);
+          f->eval_hits[slots[s]] = std::move((*hits)[s]);
+        }
+      } else if (f->mode == Flight::kIndex) {
+        std::vector<std::vector<double>> queries(slots.size());
+        for (size_t s = 0; s < slots.size(); ++s) {
+          queries[s] = f->batch[f->uniq[slots[s]]].query;
+        }
+        IndexQueryStats st;
+        auto hits = f->via_index->BatchNearestNeighbors(queries, k, &st,
+                                                        &opts.parallel);
+        if (!hits.ok()) {
+          eval_status = hits.status().WithContext("query server batch");
+          break;
+        }
+        AccumulateIndexStats(&f->agg, st);
+        for (size_t s = 0; s < slots.size(); ++s) {
+          f->eval_hits[slots[s]] = std::move((*hits)[s]);
         }
       } else {
         std::vector<const std::vector<double>*> queries(slots.size());
         std::vector<std::vector<QueryHit>*> sinks(slots.size());
         for (size_t s = 0; s < slots.size(); ++s) {
-          queries[s] = &batch[uniq[slots[s]]].query;
-          sinks[s] = &eval_hits[slots[s]];
+          queries[s] = &f->batch[f->uniq[slots[s]]].query;
+          sinks[s] = &f->eval_hits[slots[s]];
         }
         Status st = ExactBatch(queries, k, std::move(sinks));
         if (!st.ok()) {
@@ -415,53 +618,68 @@ Status QueryServer::Impl::ServeBatch(size_t* served_out) {
       }
     }
   }
+  f->t1 = clock->NowMicros();
+  f->eval_status = eval_status;
+}
 
-  // --- commit: cache inserts + outcome fulfilment, under the lock --
+Status QueryServer::Impl::CommitFlight(Flight* f) {
   {
     std::unique_lock<std::mutex> lock(mu);
-    counters.served += batch.size();
+    if (f->formed) --inflight;
+    counters.served += f->batch.size();
     ++counters.batches;
-    counters.cache_hits += n_hits;
-    counters.cache_misses += n_miss;
-    counters.coalesced += n_coal;
-    if (degraded_batch) ++counters.degraded_batches;
-    if (use_index || degraded_batch) {
-      AccumulateIndexStats(&counters.index_stats, agg);
+    counters.cache_hits += f->n_hits;
+    counters.cache_misses += f->n_miss;
+    counters.coalesced += f->n_coal;
+    if (f->degraded) ++counters.degraded_batches;
+    if (f->mode != Flight::kExact) {
+      AccumulateIndexStats(&counters.index_stats, f->agg);
+    }
+    if (f->mode == Flight::kSharded) {
+      EnsureShardStats(f->via_sharded->num_shards());
+      for (size_t s = 0; s < f->per_shard.size(); ++s) {
+        ShardServeStats& ss = counters.shard_stats[s];
+        ss.scans += f->shard_scans[s];
+        ss.distance_computations += f->per_shard[s].distance_computations;
+        ss.coarse_computations += f->per_shard[s].coarse_computations;
+        ss.coarse_pruned += f->per_shard[s].coarse_pruned;
+      }
     }
     // Drain-rate EWMA (integer, α=1/2): feeds the retry_after hint.
-    const uint64_t t1 = clock->NowMicros();
     const uint64_t per_req =
-        std::max<uint64_t>(1, (t1 - t0) / batch.size());
+        std::max<uint64_t>(1, (f->t1 - f->t0) / f->batch.size());
     drain_ewma_us =
         drain_ewma_us == 0 ? per_req : (drain_ewma_us + per_req) / 2;
     // Degraded answers are never cached: a later cache hit would serve
     // the approximation after pressure cleared.
-    if (eval_status.ok() && opts.cache_capacity > 0 && !degraded_batch) {
-      for (size_t u = 0; u < uniq.size(); ++u) {
-        const Request& req = batch[uniq[u]];
+    if (f->eval_status.ok() && opts.cache_capacity > 0 && !f->degraded) {
+      for (size_t u = 0; u < f->uniq.size(); ++u) {
+        const Request& req = f->batch[f->uniq[u]];
         CacheEntry entry;
-        entry.hash = plan[uniq[u]].hash;
-        entry.epoch = epoch;
+        entry.hash = f->plan[f->uniq[u]].hash;
         entry.k = req.k;
         entry.query = req.query;
-        entry.hits = eval_hits[u];
+        entry.hits = f->eval_hits[u];
+        entry.db_epoch = f->epoch;
+        entry.shard_epochs = f->shard_epochs;
+        entry.kth = entry.hits.empty() ? 0.0 : entry.hits.back().distance;
         InsertCached(std::move(entry));
       }
     }
-    for (size_t i = 0; i < batch.size(); ++i) {
-      auto it = outcomes.find(batch[i].ticket);
+    for (size_t i = 0; i < f->batch.size(); ++i) {
+      auto it = outcomes.find(f->batch[i].ticket);
       if (it == outcomes.end()) continue;  // ticket abandoned
       Outcome& out = it->second;
-      if (!eval_status.ok() && !plan[i].from_cache) {
-        out.status = eval_status;
+      if (!f->eval_status.ok() && !f->plan[i].from_cache) {
+        out.status = f->eval_status;
       } else {
         const std::vector<QueryHit>& hits =
-            plan[i].from_cache ? plan[i].cached
-                               : eval_hits[plan[i].eval_slot];
+            f->plan[i].from_cache ? f->plan[i].cached
+                                  : f->eval_hits[f->plan[i].eval_slot];
         // Cache hits are exact answers even inside a degraded batch.
-        if (!plan[i].from_cache && degraded_batch) {
+        if (!f->plan[i].from_cache && f->degraded) {
           out.degraded = true;
-          out.error_bound = eval_bounds[plan[i].eval_slot];
+          out.error_bound = f->eval_bounds[f->plan[i].eval_slot];
           ++counters.degraded;
         }
         if (out.classify) {
@@ -479,8 +697,72 @@ Status QueryServer::Impl::ServeBatch(size_t* served_out) {
     }
   }
   cv_done.notify_all();
-  if (served_out != nullptr) *served_out = batch.size();
-  return eval_status;
+  cv_swap.notify_all();
+  return f->eval_status;
+}
+
+Status QueryServer::Impl::ServeWave(size_t* served_out) {
+  const size_t depth = std::max<size_t>(1, opts.pipeline_depth);
+  std::vector<Flight> flights;
+  flights.reserve(depth);
+  bool any_expired = false;
+  for (size_t i = 0; i < depth; ++i) {
+    Flight f;
+    // Only the first formation may wait out a pending swap: once this
+    // wave holds an uncommitted flight, blocking would deadlock the
+    // swap's quiesce.
+    const bool formed = FormFlight(&f, /*may_wait=*/flights.empty());
+    any_expired = any_expired || f.n_expired > 0;
+    if (!formed) break;
+    flights.push_back(std::move(f));
+  }
+  if (flights.empty()) {
+    if (served_out != nullptr) *served_out = 0;
+    if (any_expired) cv_done.notify_all();
+    return Status::OK();
+  }
+  if (flights.size() == 1) {
+    EvaluateFlight(&flights[0]);
+  } else {
+    // Overlap the wave's evaluation stages on the thread pool. Each
+    // flight is evaluated whole (grain 1); index-internal ParallelFor
+    // calls nest inline, so the thread budget applies at flight level.
+    ParallelOptions wave = opts.parallel;
+    wave.grain = 1;
+    (void)ParallelFor(
+        flights.size(),
+        [&](size_t begin, size_t end, size_t /*chunk*/) -> Status {
+          for (size_t i = begin; i < end; ++i) {
+            EvaluateFlight(&flights[i]);
+          }
+          return Status::OK();
+        },
+        wave);
+  }
+  size_t served = 0;
+  Status status = Status::OK();
+  for (Flight& f : flights) {
+    Status st = CommitFlight(&f);
+    if (status.ok() && !st.ok()) status = st;
+    served += f.batch.size();
+  }
+  if (served_out != nullptr) *served_out = served;
+  if (any_expired) cv_done.notify_all();
+  return status;
+}
+
+Status QueryServer::Impl::Swap(const FeatureIndex* fi,
+                               const ShardedFeatureIndex* si) {
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    ++swapping;
+    cv_swap.wait(lock, [&] { return inflight == 0; });
+    index = fi;
+    sharded = si;
+    --swapping;
+  }
+  cv_swap.notify_all();
+  return Status::OK();
 }
 
 Result<QueryServer::Impl::Outcome> QueryServer::Impl::Take(uint64_t ticket,
@@ -500,10 +782,10 @@ Result<QueryServer::Impl::Outcome> QueryServer::Impl::Take(uint64_t ticket,
     if (running) {
       cv_done.wait(lock);
     } else {
-      // No worker: serve inline until this ticket's batch has run.
+      // No worker: serve inline until this ticket's wave has run.
       lock.unlock();
       size_t served = 0;
-      Status st = ServeBatch(&served);
+      Status st = ServeWave(&served);
       lock.lock();
       it = outcomes.find(ticket);
       if (it == outcomes.end()) {
@@ -536,7 +818,7 @@ void QueryServer::Impl::WorkerLoop() {
     // Per-request failures are recorded in the outcomes; the worker
     // itself keeps serving.
     size_t served = 0;
-    (void)ServeBatch(&served);
+    (void)ServeWave(&served);
   }
 }
 
@@ -549,9 +831,10 @@ QueryServer::~QueryServer() {
   if (impl_ != nullptr) Stop();
 }
 
-Result<QueryServer> QueryServer::Create(const MotionDatabase* database,
-                                        const FeatureIndex* index,
-                                        const QueryServerOptions& options) {
+namespace {
+
+Status ValidateServerOptions(const MotionDatabase* database,
+                             const QueryServerOptions& options) {
   if (database == nullptr) {
     return Status::InvalidArgument("null database");
   }
@@ -564,18 +847,58 @@ Result<QueryServer> QueryServer::Create(const MotionDatabase* database,
   if (options.max_batch == 0) {
     return Status::InvalidArgument("max_batch must be >= 1");
   }
+  if (options.pipeline_depth == 0) {
+    return Status::InvalidArgument("pipeline_depth must be >= 1");
+  }
   if (options.degrade_watermark > options.max_queue) {
     return Status::InvalidArgument(
         "degrade_watermark (" + std::to_string(options.degrade_watermark) +
         ") exceeds max_queue (" + std::to_string(options.max_queue) +
         "); it could never fire");
   }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<QueryServer> QueryServer::Create(const MotionDatabase* database,
+                                        const FeatureIndex* index,
+                                        const QueryServerOptions& options) {
+  MOCEMG_RETURN_NOT_OK(ValidateServerOptions(database, options));
   auto impl = std::make_unique<Impl>();
   impl->db = database;
   impl->index = index;
   impl->opts = options;
   impl->clock = options.clock != nullptr ? options.clock : SystemClock();
   return QueryServer(std::move(impl));
+}
+
+Result<QueryServer> QueryServer::Create(const MotionDatabase* database,
+                                        const ShardedFeatureIndex* index,
+                                        const QueryServerOptions& options) {
+  MOCEMG_RETURN_NOT_OK(ValidateServerOptions(database, options));
+  if (index != nullptr && index->database() != database) {
+    return Status::InvalidArgument(
+        "sharded index is not built over the server's database");
+  }
+  auto impl = std::make_unique<Impl>();
+  impl->db = database;
+  impl->sharded = index;
+  impl->opts = options;
+  impl->clock = options.clock != nullptr ? options.clock : SystemClock();
+  return QueryServer(std::move(impl));
+}
+
+Status QueryServer::SwapIndex(const FeatureIndex* index) {
+  return impl_->Swap(index, nullptr);
+}
+
+Status QueryServer::SwapIndex(const ShardedFeatureIndex* index) {
+  if (index != nullptr && index->database() != impl_->db) {
+    return Status::InvalidArgument(
+        "sharded index is not built over the server's database");
+  }
+  return impl_->Swap(nullptr, index);
 }
 
 Result<uint64_t> QueryServer::SubmitNearestNeighbors(
@@ -600,13 +923,13 @@ Result<uint64_t> QueryServer::SubmitClassify(std::vector<double> query,
 }
 
 Status QueryServer::DrainOnce(size_t* served_out) {
-  return impl_->ServeBatch(served_out);
+  return impl_->ServeWave(served_out);
 }
 
 Status QueryServer::Drain() {
   size_t served = 0;
   do {
-    MOCEMG_RETURN_NOT_OK(impl_->ServeBatch(&served));
+    MOCEMG_RETURN_NOT_OK(impl_->ServeWave(&served));
   } while (served > 0);
   return Status::OK();
 }

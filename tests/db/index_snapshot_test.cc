@@ -228,5 +228,214 @@ TEST(IndexSnapshotTest, GarbageAndShortFilesRejected) {
   EXPECT_FALSE(DeserializeFeatureIndex(wrong_magic, &db).ok());
 }
 
+ShardedIndexOptions QuantizedShardedOptions(size_t shards) {
+  ShardedIndexOptions opts;
+  opts.index = QuantizedOptions();
+  opts.num_shards = shards;
+  return opts;
+}
+
+void ExpectShardedAnswersEqual(const ShardedFeatureIndex& a,
+                               const ShardedFeatureIndex& b,
+                               size_t dim, uint64_t seed) {
+  for (const auto& q : MakeQueries(10, dim, seed)) {
+    auto ha = a.NearestNeighbors(q, 5);
+    auto hb = b.NearestNeighbors(q, 5);
+    ASSERT_TRUE(ha.ok());
+    ASSERT_TRUE(hb.ok());
+    ExpectHitsEqual(*ha, *hb);
+    double bound_a = 0.0, bound_b = 0.0;
+    auto ca = a.CoarseNearestNeighbors(q, 5, &bound_a);
+    auto cb = b.CoarseNearestNeighbors(q, 5, &bound_b);
+    ASSERT_TRUE(ca.ok());
+    ASSERT_TRUE(cb.ok());
+    ExpectHitsEqual(*ca, *cb);
+    EXPECT_EQ(bound_a, bound_b);
+  }
+}
+
+TEST(ShardedSnapshotTest, SaveRequiresBuiltIndex) {
+  ShardedFeatureIndex empty;
+  EXPECT_FALSE(
+      SaveShardedFeatureIndex(empty, ::testing::TempDir() + "/sh_nope")
+          .ok());
+}
+
+TEST(ShardedSnapshotTest, RoundTripBitIdentity) {
+  MotionDatabase db = MakeDb(150, 8, 42);
+  auto index = ShardedFeatureIndex::Build(&db, QuantizedShardedOptions(3));
+  ASSERT_TRUE(index.ok());
+  ASSERT_TRUE(index->has_quantized_tier());
+  const std::string path = ::testing::TempDir() + "/sh_roundtrip";
+  ASSERT_TRUE(SaveShardedFeatureIndex(*index, path).ok());
+
+  auto loaded = LoadShardedFeatureIndex(path, &db);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->num_shards(), index->num_shards());
+  EXPECT_EQ(loaded->num_partitions(), index->num_partitions());
+  EXPECT_EQ(loaded->applied_epoch(), index->applied_epoch());
+  EXPECT_EQ(loaded->shard_epochs(), index->shard_epochs());
+  ExpectShardedAnswersEqual(*index, *loaded, 8, 43);
+
+  std::remove(path.c_str());
+  for (size_t s = 0; s < 3; ++s) {
+    std::remove((path + ".shard" + std::to_string(s)).c_str());
+  }
+}
+
+// One corrupted shard file repacks only that shard — the manifest
+// carries the layout, so k-means is not re-run and the other shards
+// load untouched.
+TEST(ShardedSnapshotTest, SingleShardCorruptionRepacksOnlyThatShard) {
+  MotionDatabase db = MakeDb(140, 7, 44);
+  auto index = ShardedFeatureIndex::Build(&db, QuantizedShardedOptions(3));
+  ASSERT_TRUE(index.ok());
+  const std::string path = ::testing::TempDir() + "/sh_oneshard";
+  ASSERT_TRUE(SaveShardedFeatureIndex(*index, path).ok());
+
+  ServingFaultInjector injector(ServingFaultOptions{});
+  ASSERT_TRUE(injector.CorruptSnapshotBitFlip(path + ".shard1").ok());
+
+  // Strict load refuses the damaged generation outright.
+  EXPECT_FALSE(LoadShardedFeatureIndex(path, &db).ok());
+
+  ShardedSnapshotLoadInfo info;
+  auto recovered = LoadOrRebuildShardedFeatureIndex(
+      path, &db, QuantizedShardedOptions(3), &info);
+  ASSERT_TRUE(recovered.ok()) << recovered.status();
+  EXPECT_FALSE(info.loaded_from_snapshot);
+  EXPECT_FALSE(info.rebuilt) << "a shard repack is not a full rebuild";
+  ASSERT_EQ(info.rebuilt_shards.size(), 1u);
+  EXPECT_EQ(info.rebuilt_shards[0], 1u);
+  EXPECT_FALSE(info.fallback_reason.empty());
+  ExpectShardedAnswersEqual(*index, *recovered, 7, 45);
+
+  std::remove(path.c_str());
+  for (size_t s = 0; s < 3; ++s) {
+    std::remove((path + ".shard" + std::to_string(s)).c_str());
+  }
+}
+
+TEST(ShardedSnapshotTest, MissingShardFileRepacked) {
+  MotionDatabase db = MakeDb(100, 6, 46);
+  auto index = ShardedFeatureIndex::Build(&db, QuantizedShardedOptions(2));
+  ASSERT_TRUE(index.ok());
+  const std::string path = ::testing::TempDir() + "/sh_missing";
+  ASSERT_TRUE(SaveShardedFeatureIndex(*index, path).ok());
+  ASSERT_EQ(std::remove((path + ".shard0").c_str()), 0);
+
+  ShardedSnapshotLoadInfo info;
+  auto recovered = LoadOrRebuildShardedFeatureIndex(
+      path, &db, QuantizedShardedOptions(2), &info);
+  ASSERT_TRUE(recovered.ok()) << recovered.status();
+  EXPECT_FALSE(info.rebuilt);
+  ASSERT_EQ(info.rebuilt_shards.size(), 1u);
+  EXPECT_EQ(info.rebuilt_shards[0], 0u);
+  ExpectShardedAnswersEqual(*index, *recovered, 6, 47);
+
+  std::remove(path.c_str());
+  std::remove((path + ".shard1").c_str());
+}
+
+// An unusable manifest can't vouch for any shard file: the whole
+// index rebuilds from the database.
+TEST(ShardedSnapshotTest, ManifestCorruptionTriggersFullRebuild) {
+  MotionDatabase db = MakeDb(110, 6, 48);
+  auto index = ShardedFeatureIndex::Build(&db, QuantizedShardedOptions(3));
+  ASSERT_TRUE(index.ok());
+  const std::string path = ::testing::TempDir() + "/sh_manifest";
+  ASSERT_TRUE(SaveShardedFeatureIndex(*index, path).ok());
+
+  ServingFaultInjector injector(ServingFaultOptions{});
+  ASSERT_TRUE(injector.CorruptSnapshotTruncate(path).ok());
+
+  ShardedSnapshotLoadInfo info;
+  auto recovered = LoadOrRebuildShardedFeatureIndex(
+      path, &db, QuantizedShardedOptions(3), &info);
+  ASSERT_TRUE(recovered.ok()) << recovered.status();
+  EXPECT_FALSE(info.loaded_from_snapshot);
+  EXPECT_TRUE(info.rebuilt);
+  EXPECT_TRUE(info.rebuilt_shards.empty());
+  EXPECT_FALSE(info.fallback_reason.empty());
+  ExpectShardedAnswersEqual(*index, *recovered, 6, 49);
+
+  std::remove(path.c_str());
+  for (size_t s = 0; s < 3; ++s) {
+    std::remove((path + ".shard" + std::to_string(s)).c_str());
+  }
+}
+
+// A manifest from an older database epoch must not serve silently.
+TEST(ShardedSnapshotTest, StaleEpochTriggersFullRebuild) {
+  MotionDatabase db = MakeDb(90, 5, 50);
+  auto index = ShardedFeatureIndex::Build(&db, QuantizedShardedOptions(2));
+  ASSERT_TRUE(index.ok());
+  const std::string path = ::testing::TempDir() + "/sh_stale";
+  ASSERT_TRUE(SaveShardedFeatureIndex(*index, path).ok());
+  ASSERT_TRUE(db.UpdateFeature(0, db.record(1).feature).ok());
+
+  ShardedSnapshotLoadInfo info;
+  auto recovered = LoadOrRebuildShardedFeatureIndex(
+      path, &db, QuantizedShardedOptions(2), &info);
+  ASSERT_TRUE(recovered.ok()) << recovered.status();
+  EXPECT_TRUE(info.rebuilt);
+  EXPECT_NE(info.fallback_reason.find("epoch"), std::string::npos)
+      << info.fallback_reason;
+  EXPECT_EQ(recovered->applied_epoch(), db.epoch());
+  for (const auto& q : MakeQueries(6, 5, 51)) {
+    auto a = recovered->NearestNeighbors(q, 3);
+    auto b = db.NearestNeighbors(q, 3);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    ExpectHitsEqual(*a, *b);
+  }
+
+  std::remove(path.c_str());
+  for (size_t s = 0; s < 2; ++s) {
+    std::remove((path + ".shard" + std::to_string(s)).c_str());
+  }
+}
+
+// A shard file swapped in from a different save generation carries a
+// valid checksum of its own, but the manifest's digest disowns it.
+TEST(ShardedSnapshotTest, CrossGenerationShardFileRejected) {
+  MotionDatabase db = MakeDb(120, 6, 52);
+  auto index = ShardedFeatureIndex::Build(&db, QuantizedShardedOptions(2));
+  ASSERT_TRUE(index.ok());
+  const std::string path_a = ::testing::TempDir() + "/sh_gen_a";
+  const std::string path_b = ::testing::TempDir() + "/sh_gen_b";
+  ASSERT_TRUE(SaveShardedFeatureIndex(*index, path_a).ok());
+  // A second generation over a mutated database: same shapes, but the
+  // mutated record's owning shard packs to new bytes.
+  ASSERT_TRUE(db.UpdateFeature(3, db.record(4).feature).ok());
+  ASSERT_TRUE(index->ApplyUpdate(3).ok());
+  ASSERT_TRUE(SaveShardedFeatureIndex(*index, path_b).ok());
+  auto owner = index->ShardOfRecord(3);
+  ASSERT_TRUE(owner.ok());
+  const std::string spliced =
+      ".shard" + std::to_string(*owner);
+  // Splice generation A's copy of that shard under B's manifest.
+  auto old_shard = ReadFileToString(path_a + spliced);
+  ASSERT_TRUE(old_shard.ok());
+  ASSERT_TRUE(WriteStringToFile(path_b + spliced, *old_shard).ok());
+
+  EXPECT_FALSE(LoadShardedFeatureIndex(path_b, &db).ok());
+  ShardedSnapshotLoadInfo info;
+  auto recovered = LoadOrRebuildShardedFeatureIndex(
+      path_b, &db, QuantizedShardedOptions(2), &info);
+  ASSERT_TRUE(recovered.ok()) << recovered.status();
+  EXPECT_FALSE(info.rebuilt);
+  ASSERT_EQ(info.rebuilt_shards.size(), 1u);
+  EXPECT_EQ(info.rebuilt_shards[0], *owner);
+  ExpectShardedAnswersEqual(*index, *recovered, 6, 53);
+
+  for (const std::string& p : {path_a, path_b}) {
+    std::remove(p.c_str());
+    for (size_t s = 0; s < 2; ++s) {
+      std::remove((p + ".shard" + std::to_string(s)).c_str());
+    }
+  }
+}
+
 }  // namespace
 }  // namespace mocemg

@@ -9,11 +9,16 @@
 #include <vector>
 
 #include "db/serving_faults.h"
+#include "db/sharded_index.h"
 #include "util/clock.h"
 #include "util/random.h"
 
 namespace mocemg {
 namespace {
+
+/// Typed null so Create/SwapIndex overloads resolve to the plain-index
+/// flavor.
+constexpr const FeatureIndex* kNoIndex = nullptr;
 
 MotionDatabase MakeDb(size_t n, size_t dim, uint64_t seed) {
   Rng rng(seed);
@@ -60,10 +65,10 @@ TEST(QueryServerTest, CreateValidations) {
   MotionDatabase db = MakeDb(10, 3, 1);
   QueryServerOptions bad;
   bad.max_queue = 0;
-  EXPECT_FALSE(QueryServer::Create(&db, nullptr, bad).ok());
+  EXPECT_FALSE(QueryServer::Create(&db, kNoIndex, bad).ok());
   bad = QueryServerOptions{};
   bad.max_batch = 0;
-  EXPECT_FALSE(QueryServer::Create(&db, nullptr, bad).ok());
+  EXPECT_FALSE(QueryServer::Create(&db, kNoIndex, bad).ok());
   EXPECT_TRUE(QueryServer::Create(&db).ok());
 }
 
@@ -123,7 +128,7 @@ TEST(QueryServerTest, AdmissionBoundRejectsWithOutOfRange) {
   MotionDatabase db = MakeDb(20, 3, 7);
   QueryServerOptions opts;
   opts.max_queue = 4;
-  auto server = QueryServer::Create(&db, nullptr, opts);
+  auto server = QueryServer::Create(&db, kNoIndex, opts);
   ASSERT_TRUE(server.ok());
   const std::vector<double> q = {1.0, 2.0, 3.0};
   for (int i = 0; i < 4; ++i) {
@@ -145,7 +150,7 @@ TEST(QueryServerTest, BatchLargerThanQueueBackpressures) {
   QueryServerOptions opts;
   opts.max_queue = 3;
   opts.max_batch = 2;
-  auto server = QueryServer::Create(&db, nullptr, opts);
+  auto server = QueryServer::Create(&db, kNoIndex, opts);
   ASSERT_TRUE(server.ok());
   const auto queries = MakeQueries(20, 5, 9);
   auto batch = server->NearestNeighborsBatch(queries, 2);
@@ -229,7 +234,7 @@ TEST(QueryServerTest, DuplicateQueriesInOneBatchCoalesce) {
   MotionDatabase db = MakeDb(60, 3, 15);
   QueryServerOptions opts;
   opts.cache_capacity = 0;  // isolate coalescing from caching
-  auto server = QueryServer::Create(&db, nullptr, opts);
+  auto server = QueryServer::Create(&db, kNoIndex, opts);
   ASSERT_TRUE(server.ok());
   const std::vector<double> q = {1.0, 2.0, 3.0};
   std::vector<uint64_t> tickets;
@@ -257,7 +262,7 @@ TEST(QueryServerTest, CacheEvictionRespectsCapacity) {
   MotionDatabase db = MakeDb(40, 4, 16);
   QueryServerOptions opts;
   opts.cache_capacity = 3;
-  auto server = QueryServer::Create(&db, nullptr, opts);
+  auto server = QueryServer::Create(&db, kNoIndex, opts);
   ASSERT_TRUE(server.ok());
   const auto queries = MakeQueries(10, 4, 17);
   ASSERT_TRUE(server->NearestNeighborsBatch(queries, 1).ok());
@@ -399,11 +404,11 @@ TEST(QueryServerTest, CreateRejectsWatermarkAboveMaxQueue) {
   QueryServerOptions opts;
   opts.max_queue = 8;
   opts.degrade_watermark = 9;
-  auto bad = QueryServer::Create(&db, nullptr, opts);
+  auto bad = QueryServer::Create(&db, kNoIndex, opts);
   ASSERT_FALSE(bad.ok());
   EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
   opts.degrade_watermark = 8;
-  EXPECT_TRUE(QueryServer::Create(&db, nullptr, opts).ok());
+  EXPECT_TRUE(QueryServer::Create(&db, kNoIndex, opts).ok());
 }
 
 TEST(QueryServerTest, SubmitRejectsKLargerThanDatabase) {
@@ -425,7 +430,7 @@ TEST(QueryServerTest, DeadlineExpiryShedsOnlyOverdueRequests) {
   QueryServerOptions opts;
   opts.clock = &clock;
   opts.max_batch = 8;
-  auto server = QueryServer::Create(&db, nullptr, opts);
+  auto server = QueryServer::Create(&db, kNoIndex, opts);
   ASSERT_TRUE(server.ok());
   const auto queries = MakeQueries(6, 4, 53);
   // Alternate short (100µs) and long (1s) budgets.
@@ -462,7 +467,7 @@ TEST(QueryServerTest, DefaultDeadlineAppliesToPlainSubmits) {
   QueryServerOptions opts;
   opts.clock = &clock;
   opts.default_deadline_us = 1000;
-  auto server = QueryServer::Create(&db, nullptr, opts);
+  auto server = QueryServer::Create(&db, kNoIndex, opts);
   ASSERT_TRUE(server.ok());
   auto t = server->SubmitNearestNeighbors({1.0, 2.0, 3.0}, 1);
   ASSERT_TRUE(t.ok());
@@ -494,7 +499,7 @@ TEST(QueryServerTest, RetryAfterHintParsesAndGrowsWithQueueDepth) {
     QueryServerOptions opts;
     opts.clock = &clock;
     opts.max_queue = max_queue;
-    auto server = QueryServer::Create(&db, nullptr, opts);
+    auto server = QueryServer::Create(&db, kNoIndex, opts);
     ASSERT_TRUE(server.ok());
     for (size_t i = 0; i < max_queue; ++i) {
       ASSERT_TRUE(server->SubmitNearestNeighbors(q, 1).ok());
@@ -690,7 +695,7 @@ TEST(QueryServerTest, SubmitWithBackoffHonorsRetryAfterHint) {
   QueryServerOptions opts;
   opts.clock = &clock;
   opts.max_queue = 4;
-  auto server = QueryServer::Create(&db, nullptr, opts);
+  auto server = QueryServer::Create(&db, kNoIndex, opts);
   ASSERT_TRUE(server.ok());
   const std::vector<double> q = {1.0, 2.0, 3.0};
   for (int i = 0; i < 4; ++i) {
@@ -718,7 +723,7 @@ TEST(QueryServerTest, SubmitWithBackoffSucceedsOnceQueueDrains) {
   MotionDatabase db = MakeDb(40, 3, 63);
   QueryServerOptions opts;
   opts.max_queue = 2;
-  auto server = QueryServer::Create(&db, nullptr, opts);
+  auto server = QueryServer::Create(&db, kNoIndex, opts);
   ASSERT_TRUE(server.ok());
   ASSERT_TRUE(server->Start().ok());
   const std::vector<double> q = {1.0, 2.0, 3.0};
@@ -920,6 +925,452 @@ TEST(QueryServerTest, ParallelServingFaultInjectedClientsSurvive) {
   // Conservation: every admitted request was either answered (served,
   // possibly with an injected failure) or shed by a deadline sweep.
   EXPECT_EQ(stats.served + stats.expired, stats.submitted);
+}
+
+TEST(QueryServerTest, CreateRejectsZeroPipelineDepth) {
+  MotionDatabase db = MakeDb(10, 3, 70);
+  QueryServerOptions opts;
+  opts.pipeline_depth = 0;
+  EXPECT_FALSE(QueryServer::Create(&db, kNoIndex, opts).ok());
+}
+
+TEST(QueryServerTest, ShardedServingBitIdenticalToLinearScan) {
+  const size_t kDim = 7;
+  MotionDatabase db = MakeDb(220, kDim, 71);
+  ShardedIndexOptions sopts;
+  sopts.num_shards = 3;
+  auto index = ShardedFeatureIndex::Build(&db, sopts);
+  ASSERT_TRUE(index.ok()) << index.status();
+  QueryServerOptions opts;
+  opts.max_batch = 8;
+  auto server = QueryServer::Create(&db, &*index, opts);
+  ASSERT_TRUE(server.ok()) << server.status();
+  const auto queries = MakeQueries(24, kDim, 72);
+  auto got = server->NearestNeighborsBatch(queries, 5);
+  ASSERT_TRUE(got.ok()) << got.status();
+  for (size_t i = 0; i < queries.size(); ++i) {
+    auto linear = db.NearestNeighbors(queries[i], 5);
+    ASSERT_TRUE(linear.ok());
+    ExpectHitsEqual(*linear, (*got)[i]);
+  }
+  // The per-shard counters must be populated, deterministic, and sum
+  // to the aggregate.
+  const QueryServerStats stats = server->stats();
+  ASSERT_EQ(stats.shard_stats.size(), index->num_shards());
+  uint64_t scans = 0, dists = 0;
+  for (const ShardServeStats& ss : stats.shard_stats) {
+    EXPECT_GT(ss.scans, 0u);
+    scans += ss.scans;
+    dists += ss.distance_computations;
+  }
+  EXPECT_EQ(scans, stats.cache_misses * index->num_shards() -
+                       stats.coalesced * index->num_shards());
+  EXPECT_EQ(dists, stats.index_stats.distance_computations);
+}
+
+// The same sharded workload must produce identical per-shard counters
+// at every thread count: stats are folded in fixed (query, shard)
+// order at commit.
+TEST(QueryServerTest, ParallelShardedStatsDeterministicAcrossThreads) {
+  const size_t kDim = 7;
+  MotionDatabase db = MakeDb(220, kDim, 73);
+  const auto queries = MakeQueries(24, kDim, 74);
+  auto run = [&](size_t threads) -> QueryServerStats {
+    ShardedIndexOptions sopts;
+    sopts.num_shards = 3;
+    sopts.index.parallel.max_threads = threads;
+    auto index = ShardedFeatureIndex::Build(&db, sopts);
+    EXPECT_TRUE(index.ok());
+    QueryServerOptions opts;
+    opts.max_batch = 8;
+    opts.parallel.max_threads = threads;
+    auto server = QueryServer::Create(&db, &*index, opts);
+    EXPECT_TRUE(server.ok());
+    auto got = server->NearestNeighborsBatch(queries, 5);
+    EXPECT_TRUE(got.ok());
+    return server->stats();
+  };
+  const QueryServerStats base = run(1);
+  for (size_t threads : {2, 8}) {
+    const QueryServerStats other = run(threads);
+    ASSERT_EQ(other.shard_stats.size(), base.shard_stats.size());
+    for (size_t s = 0; s < base.shard_stats.size(); ++s) {
+      EXPECT_EQ(other.shard_stats[s].scans, base.shard_stats[s].scans);
+      EXPECT_EQ(other.shard_stats[s].distance_computations,
+                base.shard_stats[s].distance_computations);
+      EXPECT_EQ(other.shard_stats[s].coarse_computations,
+                base.shard_stats[s].coarse_computations);
+      EXPECT_EQ(other.shard_stats[s].coarse_pruned,
+                base.shard_stats[s].coarse_pruned);
+    }
+  }
+}
+
+// Pipelined waves must answer every request with the same bits as the
+// one-batch-at-a-time schedule. (Cache-hit counts may legitimately
+// differ — batches of one wave cannot see each other's inserts — so
+// only answers and batch structure are compared.)
+TEST(QueryServerTest, PipelinedServingIdenticalAcrossDepths) {
+  const size_t kDim = 6;
+  MotionDatabase db = MakeDb(200, kDim, 75);
+  auto queries = MakeQueries(36, kDim, 76);
+  for (int i = 0; i < 8; ++i) queries.push_back(queries[i]);  // dupes
+  auto run = [&](size_t depth) {
+    ShardedIndexOptions sopts;
+    sopts.num_shards = 3;
+    auto index = ShardedFeatureIndex::Build(&db, sopts);
+    EXPECT_TRUE(index.ok());
+    QueryServerOptions opts;
+    opts.max_batch = 4;
+    opts.pipeline_depth = depth;
+    auto server = QueryServer::Create(&db, &*index, opts);
+    EXPECT_TRUE(server.ok());
+    std::vector<uint64_t> tickets;
+    for (const auto& q : queries) {
+      auto t = server->SubmitNearestNeighbors(q, 5);
+      EXPECT_TRUE(t.ok());
+      tickets.push_back(*t);
+    }
+    EXPECT_TRUE(server->Drain().ok());
+    std::vector<std::vector<QueryHit>> answers;
+    for (uint64_t t : tickets) {
+      auto hits = server->TakeHits(t);
+      EXPECT_TRUE(hits.ok());
+      answers.push_back(*hits);
+    }
+    return std::make_pair(std::move(answers), server->stats());
+  };
+  const auto base = run(1);
+  for (size_t depth : {2, 4}) {
+    const auto other = run(depth);
+    ASSERT_EQ(other.first.size(), base.first.size());
+    for (size_t i = 0; i < base.first.size(); ++i) {
+      ExpectHitsEqual(base.first[i], other.first[i]);
+    }
+    EXPECT_EQ(other.second.served, base.second.served);
+    EXPECT_EQ(other.second.batches, base.second.batches);
+    EXPECT_EQ(other.second.expired, base.second.expired);
+  }
+  // And the depth-1 answers themselves are exact.
+  for (size_t i = 0; i < queries.size(); ++i) {
+    auto linear = db.NearestNeighbors(queries[i], 5);
+    ASSERT_TRUE(linear.ok());
+    ExpectHitsEqual(*linear, base.first[i]);
+  }
+}
+
+// A mutation to one shard must invalidate only the cache entries that
+// provably depended on it. Two well-separated clusters land in two
+// partitions (and with 2 shards, one partition per shard): a query
+// into cluster A stays a cache hit across a mutation in cluster B,
+// and misses after a mutation in cluster A.
+TEST(QueryServerTest, ShardedCacheSurvivesOtherShardMutation) {
+  const size_t kDim = 5;
+  MotionDatabase db;
+  {
+    Rng rng(97);
+    for (size_t i = 0; i < 80; ++i) {
+      MotionRecord r;
+      const size_t cluster = i % 2;
+      r.name = "m" + std::to_string(i);
+      r.label = cluster;
+      r.label_name = "class" + std::to_string(cluster);
+      r.feature.resize(kDim);
+      const double cx = cluster == 0 ? 0.0 : 1000.0;
+      for (size_t j = 0; j < kDim; ++j) {
+        r.feature[j] = (j == 0 ? cx : 0.0) + rng.Gaussian(0, 1.0);
+      }
+      ASSERT_TRUE(db.Insert(std::move(r)).ok());
+    }
+  }
+  ShardedIndexOptions sopts;
+  sopts.index.num_partitions = 2;
+  sopts.num_shards = 2;
+  auto index = ShardedFeatureIndex::Build(&db, sopts);
+  ASSERT_TRUE(index.ok()) << index.status();
+  auto shard_a = index->ShardOfRecord(0);  // cluster 0
+  auto shard_b = index->ShardOfRecord(1);  // cluster 1
+  ASSERT_TRUE(shard_a.ok());
+  ASSERT_TRUE(shard_b.ok());
+  ASSERT_NE(*shard_a, *shard_b)
+      << "test construction requires one cluster per shard";
+  auto server = QueryServer::Create(&db, &*index, QueryServerOptions{});
+  ASSERT_TRUE(server.ok());
+  // Query inside cluster 0; all its hits live in shard A.
+  std::vector<double> q = db.record(0).feature;
+  q[1] += 0.25;
+  auto first = server->NearestNeighbors(q, 3);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(server->stats().cache_misses, 1u);
+  // Mutate a cluster-1 record (stays near its centroid) and absorb it.
+  std::vector<double> moved = db.record(1).feature;
+  moved[2] += 0.5;
+  ASSERT_TRUE(db.UpdateFeature(1, moved).ok());
+  ASSERT_TRUE(index->ApplyUpdate(1).ok());
+  // The entry revalidates: shard B moved, but no hit lives there and
+  // every cluster-1 record is provably ~1000 away from q.
+  auto second = server->NearestNeighbors(q, 3);
+  ASSERT_TRUE(second.ok());
+  ExpectHitsEqual(*first, *second);
+  {
+    const QueryServerStats stats = server->stats();
+    EXPECT_EQ(stats.cache_hits, 1u);
+    EXPECT_EQ(stats.cache_misses, 1u);
+    EXPECT_EQ(stats.cache_revalidations, 1u);
+    ASSERT_EQ(stats.shard_stats.size(), 2u);
+    EXPECT_EQ(stats.shard_stats[*shard_a].cache_invalidations, 0u);
+    EXPECT_EQ(stats.shard_stats[*shard_b].cache_invalidations, 0u);
+  }
+  // Now mutate the query's own nearest neighbour: the entry's shard-A
+  // dependency breaks and the next lookup must re-evaluate.
+  std::vector<double> pulled = db.record(0).feature;
+  pulled[1] += 5.0;
+  ASSERT_TRUE(db.UpdateFeature(0, pulled).ok());
+  ASSERT_TRUE(index->ApplyUpdate(0).ok());
+  auto third = server->NearestNeighbors(q, 3);
+  ASSERT_TRUE(third.ok());
+  auto linear = db.NearestNeighbors(q, 3);
+  ASSERT_TRUE(linear.ok());
+  ExpectHitsEqual(*linear, *third);
+  {
+    const QueryServerStats stats = server->stats();
+    EXPECT_EQ(stats.cache_hits, 1u);
+    EXPECT_EQ(stats.cache_misses, 2u);
+    EXPECT_EQ(stats.cache_revalidations, 1u);
+    EXPECT_EQ(stats.shard_stats[*shard_a].cache_invalidations, 1u);
+    EXPECT_EQ(stats.shard_stats[*shard_b].cache_invalidations, 0u);
+  }
+}
+
+// Degraded (watermark) serving through the sharded index must be
+// bit-identical to the single-index coarse path at every shard count.
+TEST(QueryServerTest, ShardedWatermarkDegradedIdenticalAcrossShardCounts) {
+  const size_t kDim = 9;
+  MotionDatabase db = MakeDb(240, kDim, 77);
+  const auto queries = MakeQueries(16, kDim, 78);
+  auto run = [&](size_t shards) {
+    ShardedIndexOptions sopts;
+    sopts.index = QuantizedIndexOptions();
+    sopts.num_shards = shards;
+    auto index = ShardedFeatureIndex::Build(&db, sopts);
+    EXPECT_TRUE(index.ok());
+    EXPECT_TRUE(index->has_quantized_tier());
+    QueryServerOptions opts;
+    opts.max_batch = 4;
+    opts.degrade_watermark = 8;
+    auto server = QueryServer::Create(&db, &*index, opts);
+    EXPECT_TRUE(server.ok());
+    std::vector<uint64_t> tickets;
+    for (const auto& q : queries) {
+      auto t = server->SubmitNearestNeighbors(q, 3);
+      EXPECT_TRUE(t.ok());
+      tickets.push_back(*t);
+    }
+    EXPECT_TRUE(server->Drain().ok());
+    std::vector<std::string> sigs;
+    size_t degraded = 0;
+    for (uint64_t t : tickets) {
+      auto answer = server->TakeAnswer(t);
+      EXPECT_TRUE(answer.ok());
+      std::string sig = answer->degraded ? "degraded:" : "exact:";
+      sig += std::to_string(answer->error_bound) + "|";
+      for (const QueryHit& hit : answer->hits) {
+        sig += std::to_string(hit.record_index) + "@" +
+               std::to_string(hit.distance) + ";";
+      }
+      if (answer->degraded) ++degraded;
+      sigs.push_back(std::move(sig));
+    }
+    EXPECT_GT(degraded, 0u) << "watermark should fire";
+    return sigs;
+  };
+  const auto base = run(1);
+  for (size_t shards : {3, 8}) {
+    const auto other = run(shards);
+    ASSERT_EQ(other.size(), base.size());
+    for (size_t i = 0; i < base.size(); ++i) {
+      EXPECT_EQ(other[i], base[i]) << "request " << i;
+    }
+  }
+}
+
+// SwapIndex under a live worker with racing submitters: every answer
+// must equal the linear scan no matter which index (plain, sharded,
+// none) happened to serve it — a torn swap would corrupt bits or
+// crash under tsan.
+TEST(QueryServerTest, ParallelSwapIndexConcurrentSubmitsNeverTorn) {
+  const size_t kDim = 6;
+  MotionDatabase db = MakeDb(180, kDim, 79);
+  auto plain = FeatureIndex::Build(&db);
+  ASSERT_TRUE(plain.ok());
+  ShardedIndexOptions sopts;
+  sopts.num_shards = 3;
+  auto sharded = ShardedFeatureIndex::Build(&db, sopts);
+  ASSERT_TRUE(sharded.ok());
+  const auto queries = MakeQueries(60, kDim, 80);
+  std::vector<std::vector<QueryHit>> expected(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    auto linear = db.NearestNeighbors(queries[i], 4);
+    ASSERT_TRUE(linear.ok());
+    expected[i] = *linear;
+  }
+  QueryServerOptions opts;
+  opts.max_batch = 4;
+  opts.cache_capacity = 0;  // force every request through evaluation
+  opts.pipeline_depth = 2;
+  auto server = QueryServer::Create(&db, &*plain, opts);
+  ASSERT_TRUE(server.ok());
+  ASSERT_TRUE(server->Start().ok());
+  std::atomic<bool> done{false};
+  std::thread swapper([&] {
+    size_t round = 0;
+    while (!done.load()) {
+      switch (round++ % 3) {
+        case 0:
+          EXPECT_TRUE(server->SwapIndex(&*sharded).ok());
+          break;
+        case 1:
+          EXPECT_TRUE(
+              server->SwapIndex(static_cast<const FeatureIndex*>(nullptr))
+                  .ok());
+          break;
+        default:
+          EXPECT_TRUE(server->SwapIndex(&*plain).ok());
+          break;
+      }
+    }
+  });
+  std::vector<std::thread> clients;
+  std::atomic<int> served{0};
+  for (int c = 0; c < 2; ++c) {
+    clients.emplace_back([&, c] {
+      for (size_t i = static_cast<size_t>(c); i < queries.size(); i += 2) {
+        BackoffOptions backoff;
+        backoff.initial_us = 100;
+        backoff.max_attempts = 200;
+        backoff.seed = 300 + i;
+        auto t = SubmitWithBackoff(&*server, queries[i], 4, false, backoff);
+        ASSERT_TRUE(t.ok()) << t.status();
+        auto hits = server->TakeHits(*t);
+        ASSERT_TRUE(hits.ok()) << hits.status();
+        ExpectHitsEqual(expected[i], *hits);
+        ++served;
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  done.store(true);
+  swapper.join();
+  server->Stop();
+  EXPECT_EQ(served.load(), static_cast<int>(queries.size()));
+}
+
+// The full fault gauntlet served through the sharded scatter-gather
+// path: outcome signatures must be identical across thread counts AND
+// pipeline depths (the fault tape, deadline sweeps, and watermark all
+// key off formation order, which waves preserve).
+TEST(QueryServerTest, ServingFaultInjectedShardedStressDeterministic) {
+  MotionDatabase db = MakeDb(240, 9, 81);
+  ShardedIndexOptions sopts;
+  sopts.index = QuantizedIndexOptions();
+  sopts.num_shards = 3;
+  auto index = ShardedFeatureIndex::Build(&db, sopts);
+  ASSERT_TRUE(index.ok());
+  auto queries = MakeQueries(48, 9, 82);
+  for (int i = 0; i < 12; ++i) queries.push_back(queries[i % 6]);
+
+  struct RunResult {
+    std::vector<std::string> outcomes;
+    QueryServerStats stats;
+  };
+  auto run = [&](size_t threads, size_t depth) -> RunResult {
+    FakeClock clock;
+    ServingFaultOptions fopts;
+    fopts.seed = 7;
+    fopts.slow_batch_probability = 0.5;
+    fopts.slow_batch_stall_us = 2000;
+    fopts.eval_failure_probability = 0.15;
+    fopts.clock_skew_probability = 0.1;
+    fopts.clock_skew_us = 500;
+    ServingFaultInjector injector(fopts, &clock);
+    QueryServerOptions opts;
+    opts.clock = &clock;
+    opts.max_batch = 4;
+    opts.degrade_watermark = 24;
+    opts.default_deadline_us = 9000;
+    opts.faults = &injector;
+    opts.parallel.max_threads = threads;
+    opts.pipeline_depth = depth;
+    auto server = QueryServer::Create(&db, &*index, opts);
+    EXPECT_TRUE(server.ok());
+    std::vector<uint64_t> tickets;
+    for (const auto& q : queries) {
+      auto t = server->SubmitNearestNeighbors(q, 3);
+      EXPECT_TRUE(t.ok());
+      tickets.push_back(*t);
+    }
+    size_t served = 0;
+    do {
+      (void)server->DrainOnce(&served);
+    } while (served > 0);
+    RunResult result;
+    for (uint64_t t : tickets) {
+      auto answer = server->TakeAnswer(t);
+      std::string sig;
+      if (!answer.ok()) {
+        sig = std::string("err:") +
+              StatusCodeToString(answer.status().code());
+      } else {
+        sig = answer->degraded ? "degraded:" : "exact:";
+        for (const QueryHit& hit : answer->hits) {
+          sig += std::to_string(hit.record_index) + "@" +
+                 std::to_string(hit.distance) + ";";
+        }
+      }
+      result.outcomes.push_back(std::move(sig));
+    }
+    result.stats = server->stats();
+    return result;
+  };
+
+  const RunResult base = run(1, 1);
+  const RunResult mt2 = run(2, 1);
+  const RunResult mt8 = run(8, 1);
+  const RunResult piped = run(8, 2);
+
+  uint64_t n_expired = 0, n_failed = 0;
+  for (const std::string& sig : base.outcomes) {
+    if (sig == "err:DeadlineExceeded") ++n_expired;
+    if (sig == "err:Unavailable") ++n_failed;
+  }
+  EXPECT_GT(n_expired, 0u) << "stalls should push requests past deadline";
+  EXPECT_GT(n_failed, 0u) << "eval failures should surface";
+  EXPECT_GT(base.stats.degraded, 0u) << "watermark should fire";
+  ASSERT_EQ(base.stats.shard_stats.size(), 3u);
+
+  for (const RunResult* other : {&mt2, &mt8, &piped}) {
+    ASSERT_EQ(other->outcomes.size(), base.outcomes.size());
+    for (size_t i = 0; i < base.outcomes.size(); ++i) {
+      EXPECT_EQ(other->outcomes[i], base.outcomes[i]) << "request " << i;
+    }
+    EXPECT_EQ(other->stats.served, base.stats.served);
+    EXPECT_EQ(other->stats.expired, base.stats.expired);
+    EXPECT_EQ(other->stats.degraded, base.stats.degraded);
+    EXPECT_EQ(other->stats.batches, base.stats.batches);
+  }
+  // Same-schedule runs agree on every per-shard counter too.
+  for (const RunResult* other : {&mt2, &mt8}) {
+    ASSERT_EQ(other->stats.shard_stats.size(),
+              base.stats.shard_stats.size());
+    for (size_t s = 0; s < base.stats.shard_stats.size(); ++s) {
+      EXPECT_EQ(other->stats.shard_stats[s].scans,
+                base.stats.shard_stats[s].scans);
+      EXPECT_EQ(other->stats.shard_stats[s].distance_computations,
+                base.stats.shard_stats[s].distance_computations);
+      EXPECT_EQ(other->stats.shard_stats[s].coarse_computations,
+                base.stats.shard_stats[s].coarse_computations);
+    }
+  }
 }
 
 }  // namespace

@@ -8,6 +8,7 @@
 //   serve-bench [--records N] [--dim D] [--queries Q] [--unique U]
 //               [--k K] [--batch B] [--threads 1,2,8] [--seed S] [--json]
 //               [--deadline-us N] [--watermark N] [--snapshot <path>]
+//               [--shards N] [--pipeline D]
 //
 // The manifest is a CSV with header `trc,emg,label,label_name`; each row
 // names one captured motion: a TRC marker file, an EMG CSV (raw, with a
@@ -21,6 +22,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -30,6 +32,7 @@
 #include "db/index_snapshot.h"
 #include "db/motion_database.h"
 #include "db/query_server.h"
+#include "db/sharded_index.h"
 #include "emg/emg_io.h"
 #include "mocap/trc_io.h"
 #include "util/csv.h"
@@ -61,7 +64,8 @@ int Usage() {
                "                      [--k K] [--batch B] "
                "[--threads 1,2,8] [--seed S] [--json]\n"
                "                      [--deadline-us N] [--watermark N] "
-               "[--snapshot <path>]\n");
+               "[--snapshot <path>]\n"
+               "                      [--shards N] [--pipeline D]\n");
   return 2;
 }
 
@@ -313,16 +317,22 @@ int RunServeBench(const Args& args) {
   auto seed = ParseInt(args.Get("--seed", "7"));
   auto deadline_us = ParseInt(args.Get("--deadline-us", "0"));
   auto watermark = ParseInt(args.Get("--watermark", "0"));
+  auto shards = ParseInt(args.Get("--shards", "0"));
+  auto pipeline = ParseInt(args.Get("--pipeline", "1"));
   const std::string snapshot_path = args.Get("--snapshot", "");
   if (!records.ok() || !dim.ok() || !queries.ok() || !unique.ok() ||
       !k.ok() || !batch.ok() || !seed.ok() || !deadline_us.ok() ||
-      !watermark.ok()) {
+      !watermark.ok() || !shards.ok() || !pipeline.ok()) {
     return Usage();
   }
   if (*records < 1 || *dim < 1 || *queries < 1 || *unique < 1 ||
-      *k < 1 || *batch < 1 || *deadline_us < 0 || *watermark < 0) {
+      *k < 1 || *batch < 1 || *deadline_us < 0 || *watermark < 0 ||
+      *shards < 0 || *pipeline < 1) {
     return Usage();
   }
+  // --shards 0 serves through the single FeatureIndex; N >= 1 serves
+  // through an N-shard scatter-gather index (identical answers).
+  const bool sharded_mode = *shards > 0;
   std::vector<size_t> threads;
   {
     const std::string spec = args.Get("--threads", "1,2,8");
@@ -348,21 +358,53 @@ int RunServeBench(const Args& args) {
     // for the small partitions a √N layout produces at bench scale.
     iopts.quantized_min_rows = 1;
   }
-  auto index = FeatureIndex::Build(&db, iopts);
-  if (!index.ok()) return Fail(index.status());
+  std::unique_ptr<FeatureIndex> index;
+  std::unique_ptr<ShardedFeatureIndex> sharded;
+  if (sharded_mode) {
+    ShardedIndexOptions sopts;
+    sopts.index = iopts;
+    sopts.num_shards = static_cast<size_t>(*shards);
+    auto built = ShardedFeatureIndex::Build(&db, sopts);
+    if (!built.ok()) return Fail(built.status());
+    sharded =
+        std::make_unique<ShardedFeatureIndex>(std::move(*built));
+  } else {
+    auto built = FeatureIndex::Build(&db, iopts);
+    if (!built.ok()) return Fail(built.status());
+    index = std::make_unique<FeatureIndex>(std::move(*built));
+  }
 
   // --snapshot: exercise the crash-safe persistence path — save the
   // built index, reload it (with corruption-checked validation), and
-  // serve from the reloaded copy.
-  IndexSnapshotLoadInfo snap_info;
+  // serve from the reloaded copy. In sharded mode this is the
+  // manifest-plus-shard-files protocol with per-shard repack.
   bool used_snapshot = false;
+  bool snap_loaded = false, snap_rebuilt = false;
   if (!snapshot_path.empty()) {
-    Status saved = SaveFeatureIndex(*index, snapshot_path);
-    if (!saved.ok()) return Fail(saved);
-    auto reloaded =
-        LoadOrRebuildFeatureIndex(snapshot_path, &db, iopts, &snap_info);
-    if (!reloaded.ok()) return Fail(reloaded.status());
-    *index = *std::move(reloaded);
+    if (sharded_mode) {
+      Status saved = SaveShardedFeatureIndex(*sharded, snapshot_path);
+      if (!saved.ok()) return Fail(saved);
+      ShardedSnapshotLoadInfo sinfo;
+      ShardedIndexOptions sopts;
+      sopts.index = iopts;
+      sopts.num_shards = static_cast<size_t>(*shards);
+      auto reloaded = LoadOrRebuildShardedFeatureIndex(
+          snapshot_path, &db, sopts, &sinfo);
+      if (!reloaded.ok()) return Fail(reloaded.status());
+      *sharded = *std::move(reloaded);
+      snap_loaded = sinfo.loaded_from_snapshot;
+      snap_rebuilt = sinfo.rebuilt;
+    } else {
+      Status saved = SaveFeatureIndex(*index, snapshot_path);
+      if (!saved.ok()) return Fail(saved);
+      IndexSnapshotLoadInfo info;
+      auto reloaded =
+          LoadOrRebuildFeatureIndex(snapshot_path, &db, iopts, &info);
+      if (!reloaded.ok()) return Fail(reloaded.status());
+      *index = *std::move(reloaded);
+      snap_loaded = info.loaded_from_snapshot;
+      snap_rebuilt = info.rebuilt;
+    }
     used_snapshot = true;
   }
   const auto workload = MakeServeWorkload(
@@ -389,11 +431,14 @@ int RunServeBench(const Args& args) {
   }
   const ServeModeResult exact = SummarizeMode(lat, SecondsSince(t0));
 
-  // Mode 2: per-request quantized index (no batching, no cache).
+  // Mode 2: per-request quantized index (no batching, no cache);
+  // sharded mode scatter-gathers the same per-request answers.
   t0 = BenchClock::now();
   for (size_t i = 0; i < workload.size(); ++i) {
     auto q0 = BenchClock::now();
-    auto hits = index->NearestNeighbors(workload[i], kk);
+    auto hits = sharded_mode
+                    ? sharded->NearestNeighbors(workload[i], kk)
+                    : index->NearestNeighbors(workload[i], kk);
     lat[i] = SecondsSince(q0);
     if (!hits.ok()) return Fail(hits.status());
     if (!SameHits(*hits, expected[i])) {
@@ -422,10 +467,13 @@ int RunServeBench(const Args& args) {
     opts.parallel.max_threads = t;
     opts.default_deadline_us = static_cast<uint64_t>(*deadline_us);
     opts.degrade_watermark = static_cast<size_t>(*watermark);
-    auto server = QueryServer::Create(&db, &*index, opts);
+    opts.pipeline_depth = static_cast<size_t>(*pipeline);
+    auto server = sharded_mode
+                      ? QueryServer::Create(&db, sharded.get(), opts)
+                      : QueryServer::Create(&db, index.get(), opts);
     if (!server.ok()) return Fail(server.status());
     if (used_snapshot) {
-      server->NoteSnapshotLoad(snap_info.loaded_from_snapshot);
+      server->NoteSnapshotLoad(snap_loaded);
     }
 
     ServedRow row;
@@ -485,10 +533,13 @@ int RunServeBench(const Args& args) {
                 static_cast<long long>(*unique), kk,
                 static_cast<long long>(*batch));
     std::printf("  \"bit_identical\": true,\n");
+    std::printf("  \"shards\": %lld, \"pipeline\": %lld,\n",
+                static_cast<long long>(*shards),
+                static_cast<long long>(*pipeline));
     if (used_snapshot) {
       std::printf("  \"snapshot\": {\"loaded\": %s, \"rebuilt\": %s},\n",
-                  snap_info.loaded_from_snapshot ? "true" : "false",
-                  snap_info.rebuilt ? "true" : "false");
+                  snap_loaded ? "true" : "false",
+                  snap_rebuilt ? "true" : "false");
     }
     std::printf("  \"exact_scan\": {\"qps\": %.1f, \"p50_us\": %.1f, "
                 "\"p99_us\": %.1f},\n",
@@ -507,7 +558,7 @@ int RunServeBench(const Args& args) {
                   "\"expired\": %llu, \"degraded\": %llu, "
                   "\"queue_high_water\": %llu, "
                   "\"snapshot_loads\": %llu, "
-                  "\"snapshot_fallbacks\": %llu}%s\n",
+                  "\"snapshot_fallbacks\": %llu",
                   r.threads, r.mode.qps, r.mode.p50_us, r.mode.p99_us,
                   exact.qps > 0.0 ? r.mode.qps / exact.qps : 0.0,
                   static_cast<unsigned long long>(r.stats.cache_hits),
@@ -517,8 +568,29 @@ int RunServeBench(const Args& args) {
                   static_cast<unsigned long long>(r.stats.degraded),
                   static_cast<unsigned long long>(r.stats.queue_high_water),
                   static_cast<unsigned long long>(r.stats.snapshot_loads),
-                  static_cast<unsigned long long>(r.stats.snapshot_fallbacks),
-                  i + 1 < served_rows.size() ? "," : "");
+                  static_cast<unsigned long long>(r.stats.snapshot_fallbacks));
+      if (!r.stats.shard_stats.empty()) {
+        std::printf(", \"shard_stats\": [");
+        for (size_t s = 0; s < r.stats.shard_stats.size(); ++s) {
+          const ShardServeStats& ss = r.stats.shard_stats[s];
+          std::printf("%s{\"shard\": %zu, \"scans\": %llu, "
+                      "\"distance_computations\": %llu, "
+                      "\"coarse_computations\": %llu, "
+                      "\"coarse_pruned\": %llu, "
+                      "\"cache_invalidations\": %llu}",
+                      s > 0 ? ", " : "", s,
+                      static_cast<unsigned long long>(ss.scans),
+                      static_cast<unsigned long long>(
+                          ss.distance_computations),
+                      static_cast<unsigned long long>(
+                          ss.coarse_computations),
+                      static_cast<unsigned long long>(ss.coarse_pruned),
+                      static_cast<unsigned long long>(
+                          ss.cache_invalidations));
+        }
+        std::printf("]");
+      }
+      std::printf("}%s\n", i + 1 < served_rows.size() ? "," : "");
     }
     std::printf("  ]\n}\n");
     return 0;
@@ -530,6 +602,11 @@ int RunServeBench(const Args& args) {
               static_cast<long long>(*dim), workload.size(),
               static_cast<long long>(*unique), kk,
               static_cast<long long>(*batch));
+  if (sharded_mode) {
+    std::printf("  serving through %lld shards, pipeline depth %lld\n",
+                static_cast<long long>(*shards),
+                static_cast<long long>(*pipeline));
+  }
   std::printf("  %-22s %10s %12s %12s\n", "mode", "qps", "p50 (us)",
               "p99 (us)");
   std::printf("  %-22s %10.0f %12.1f %12.1f\n", "exact scan/request",
@@ -553,12 +630,27 @@ int RunServeBench(const Args& args) {
                   static_cast<unsigned long long>(r.stats.degraded),
                   static_cast<unsigned long long>(r.stats.queue_high_water));
     }
+    for (size_t s = 0; s < r.stats.shard_stats.size(); ++s) {
+      const ShardServeStats& ss = r.stats.shard_stats[s];
+      const uint64_t coarse_seen =
+          ss.coarse_computations + ss.coarse_pruned;
+      std::printf("  %-22s shard %zu: scans=%llu dist=%llu "
+                  "coarse_prune=%.0f%% cache_inval=%llu\n", "", s,
+                  static_cast<unsigned long long>(ss.scans),
+                  static_cast<unsigned long long>(
+                      ss.distance_computations),
+                  coarse_seen > 0
+                      ? 100.0 * double(ss.coarse_pruned) /
+                            double(coarse_seen)
+                      : 0.0,
+                  static_cast<unsigned long long>(
+                      ss.cache_invalidations));
+    }
   }
   if (used_snapshot) {
     std::printf("  snapshot: %s\n",
-                snap_info.loaded_from_snapshot
-                    ? "served from reloaded on-disk index"
-                    : ("rebuilt (" + snap_info.fallback_reason + ")").c_str());
+                snap_loaded ? "served from reloaded on-disk index"
+                            : "rebuilt or repacked from the database");
   }
   std::printf("  (all exact-mode answers were bit-identical; degraded "
               "answers carry certified error bounds)\n");

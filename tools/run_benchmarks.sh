@@ -1,15 +1,21 @@
 #!/usr/bin/env bash
 # Build the release tree, run the microbenchmark suite, and merge the
 # results into BENCH_pr2.json / BENCH_pr3.json / BENCH_pr4.json /
-# BENCH_pr5.json / BENCH_pr6.json at the repo root. The pr5 file
-# additionally embeds a "serving" section measured by `mocemg_cli
-# serve-bench --json` (QPS and p50/p99 latency for per-request exact
-# scan, per-request index, and the batched QueryServer at 1/2/8
-# evaluation threads). The pr6 file holds the robustness-overhead pair
-# (BM_ServedKnnRobust): mode 0 is the PR 5 serving path, mode 1 the
-# same path with deadlines + watermark armed but never firing; the
-# run FAILS if the armed path is more than 5% slower on a stable
-# measurement.
+# BENCH_pr5.json / BENCH_pr6.json / BENCH_pr7.json at the repo root.
+# The pr5 file additionally embeds a "serving" section measured by
+# `mocemg_cli serve-bench --json` (QPS and p50/p99 latency for
+# per-request exact scan, per-request index, and the batched
+# QueryServer at 1/2/8 evaluation threads). The pr6 file holds the
+# robustness-overhead pair (BM_ServedKnnRobust): mode 0 is the PR 5
+# serving path, mode 1 the same path with deadlines + watermark armed
+# but never firing; the run FAILS if the armed path is more than 5%
+# slower on a stable measurement. The pr7 file holds the sharded
+# scatter-gather families: the BM_ShardedKnn shard-count sweep, the
+# single-vs-sharded serving pair, the mutate-while-serving pair
+# (whose stable win — shard-aware cache revalidation — IS gated), and
+# a second serve-bench run at --shards 4 --pipeline 2. Pipeline-
+# overlap ratios are annotated, not gated, when cpus_online is too
+# low to overlap anything.
 #
 # Usage: tools/run_benchmarks.sh [--update] [--quick]
 #
@@ -114,6 +120,10 @@ fi
 echo "== serve-bench ==" >&2
 ./build/tools/mocemg_cli serve-bench "${serve_args[@]}" \
   >"$out/serving.json"
+echo "== serve-bench (sharded) ==" >&2
+./build/tools/mocemg_cli serve-bench "${serve_args[@]}" \
+  --shards 4 --pipeline 2 \
+  >"$out/serving_sharded.json"
 
 MOCEMG_BENCH_UPDATE="$update" MOCEMG_BENCH_QUICK="$quick" \
   python3 - "$out" <<'PYEOF'
@@ -127,6 +137,7 @@ bench3_path = "BENCH_pr3.json"
 bench4_path = "BENCH_pr4.json"
 bench5_path = "BENCH_pr5.json"
 bench6_path = "BENCH_pr6.json"
+bench7_path = "BENCH_pr7.json"
 
 # micro_incremental families live in BENCH_pr3.json, not BENCH_pr2.json:
 # the pr2 file keeps its original scope (parallel substrate + serial
@@ -148,6 +159,12 @@ PR5_PREFIXES = ("BM_QuantIndexedKnnDim", "BM_ServedKnn")
 # "BM_ServedKnnRobust" also matches the "BM_ServedKnn" PR5 prefix, so
 # PR6 names are carved out of the PR5 buckets explicitly below.
 PR6_PREFIXES = ("BM_ServedKnnRobust",)
+# The sharded scatter-gather families (PR 7): the shard-count fan-out
+# sweep, single-vs-sharded serving, and the mutate-while-serving pair.
+# The two BM_ServedKnn* names also match the PR5 prefix and are carved
+# out of its buckets below, like PR6.
+PR7_PREFIXES = ("BM_ShardedKnn", "BM_ServedKnnSharded",
+                "BM_ServedKnnMutate")
 
 # ns/op at the parent of this PR (release build, same harness,
 # median of 3 runs interleaved with post-change runs on the same host
@@ -195,6 +212,11 @@ serving_path = os.path.join(out_dir, "serving.json")
 if os.path.exists(serving_path):
     with open(serving_path) as f:
         serving = json.load(f)
+serving_sharded = None
+serving_sharded_path = os.path.join(out_dir, "serving_sharded.json")
+if os.path.exists(serving_sharded_path):
+    with open(serving_sharded_path) as f:
+        serving_sharded = json.load(f)
 
 samples = {}
 items = {}
@@ -266,10 +288,16 @@ def paired_speedups(prefixes, base_key, new_key):
             continue
         ratios = [b / v for b, v in zip(baseline, new)]
         mean = statistics.fmean(ratios)
+        # min/max over the per-pass ratios: a magnitude claim needs a
+        # small cv, but a win/no-win claim only needs every pass to
+        # land on the same side of 1.0 — gates below use min_ratio for
+        # that directional test.
         out[base] = {
             base_key: round(statistics.median(baseline), 1),
             new_key: round(statistics.median(new), 1),
             "speedup": round(statistics.median(ratios), 3),
+            "min_ratio": round(min(ratios), 3),
+            "max_ratio": round(max(ratios), 3),
             "cv": round(statistics.pstdev(ratios) / mean if mean > 0
                         else 0.0, 3),
         }
@@ -297,8 +325,10 @@ speedups5 = paired_speedups(PR5_PREFIXES, "baseline_ns_per_op",
                             "optimized_ns_per_op")
 speedups6 = {k: v for k, v in speedups5.items()
              if k.startswith(PR6_PREFIXES)}
+speedups7 = {k: v for k, v in speedups5.items()
+             if k.startswith(PR7_PREFIXES)}
 speedups5 = {k: v for k, v in speedups5.items()
-             if not k.startswith(PR6_PREFIXES)}
+             if not k.startswith(PR6_PREFIXES + PR7_PREFIXES)}
 print_speedups("exact vs quantized/served (paired per-pass ratios; "
                "speedup > 1 means the two-tier/served path is faster):",
                speedups5, "baseline_ns_per_op", "optimized_ns_per_op")
@@ -306,6 +336,12 @@ print_speedups("plain vs robustness-armed serving (paired per-pass "
                "ratios; speedup < 1 means the armed path is slower — "
                "must stay above 0.95):",
                speedups6, "baseline_ns_per_op", "optimized_ns_per_op")
+print_speedups("single-index vs sharded serving (paired per-pass "
+               "ratios; BM_ServedKnnMutate > 1 is the shard-aware "
+               "cache-revalidation win and is gated; "
+               "BM_ServedKnnSharded measures fan-out + pipeline and "
+               "is annotated only on low-cpu hosts):",
+               speedups7, "baseline_ns_per_op", "optimized_ns_per_op")
 if serving:
     print("serving (mocemg_cli serve-bench, "
           f"{serving['records']}x{serving['dim']}):")
@@ -314,6 +350,15 @@ if serving:
     print(f"  index/request       {serving['indexed']['qps']:10.0f}"
           " qps")
     for row in serving.get("served", []):
+        print(f"  served ({row['threads']} threads)   "
+              f"{row['qps']:10.0f} qps  "
+              f"x{row['qps_vs_exact_scan']:.2f} vs scan  "
+              f"p50 {row['p50_us']:.0f}us p99 {row['p99_us']:.0f}us")
+if serving_sharded:
+    print(f"sharded serving (serve-bench --shards "
+          f"{serving_sharded.get('shards')} --pipeline "
+          f"{serving_sharded.get('pipeline')}):")
+    for row in serving_sharded.get("served", []):
         print(f"  served ({row['threads']} threads)   "
               f"{row['qps']:10.0f} qps  "
               f"x{row['qps_vs_exact_scan']:.2f} vs scan  "
@@ -346,6 +391,10 @@ committed6 = None
 if os.path.exists(bench6_path):
     with open(bench6_path) as f:
         committed6 = json.load(f)
+committed7 = None
+if os.path.exists(bench7_path):
+    with open(bench7_path) as f:
+        committed7 = json.load(f)
 
 if pre_samples:
     # Pre-PR binaries ran inside the same passes as the current ones:
@@ -412,7 +461,7 @@ failures = []
 noisy_skips = []
 for path, doc_ in ((bench_path, committed), (bench3_path, committed3),
                    (bench4_path, committed4), (bench5_path, committed5),
-                   (bench6_path, committed6)):
+                   (bench6_path, committed6), (bench7_path, committed7)):
     if not doc_:
         continue
     for name, old in doc_.get("benchmarks", {}).items():
@@ -435,16 +484,18 @@ for path, doc_ in ((bench_path, committed), (bench3_path, committed3),
 cpus = len(os.sched_getaffinity(0))
 results2 = {n: e for n, e in results.items()
             if not n.startswith(PR3_PREFIXES + PR4_PREFIXES +
-                                PR5_PREFIXES)}
+                                PR5_PREFIXES + PR7_PREFIXES)}
 results3 = {n: e for n, e in results.items()
             if n.startswith(PR3_PREFIXES)}
 results4 = {n: e for n, e in results.items()
             if n.startswith(PR4_PREFIXES)}
 results5 = {n: e for n, e in results.items()
             if n.startswith(PR5_PREFIXES) and
-            not n.startswith(PR6_PREFIXES)}
+            not n.startswith(PR6_PREFIXES + PR7_PREFIXES)}
 results6 = {n: e for n, e in results.items()
             if n.startswith(PR6_PREFIXES)}
+results7 = {n: e for n, e in results.items()
+            if n.startswith(PR7_PREFIXES)}
 
 # --- robustness-overhead check (the <5% non-degraded criterion) ---
 #
@@ -474,6 +525,57 @@ for base, s in speedups6.items():
     else:
         print(f"robustness overhead {base}: x{s['speedup']:.3f} "
               f"NOISY (cv={s['cv']:.2f}) — not gated")
+
+# --- sharded serving checks (PR 7) ---
+#
+# BM_ServedKnnMutate is the family the sharded cache key exists for:
+# its stable paired ratio (stale-index full-invalidation serving vs
+# ApplyUpdate + shard-aware revalidation) must be a win, and IS gated.
+# BM_ServedKnnSharded measures scatter-gather fan-out plus the wave
+# pipeline; on a host with too few CPUs the pipeline cannot overlap
+# stages and sharding is pure overhead, so that ratio is annotated,
+# never gated.
+sharded_check = {}
+for base, s in speedups7.items():
+    stable = s["cv"] <= CV_STABLE
+    # Magnitude can be noisy while the win itself is unambiguous: if
+    # the slowest pass still beat the baseline by 20%+, every sample
+    # agrees on direction and the win/loss gate may fire either way.
+    directional_win = s.get("min_ratio", 0.0) >= 1.2
+    directional_loss = s.get("max_ratio", float("inf")) < 1.0
+    is_mutate = base.startswith("BM_ServedKnnMutate")
+    ok = True
+    if is_mutate and (directional_loss or (stable and s["speedup"] < 1.0)):
+        ok = False
+        failures.append(
+            f"{base}: shard-aware cache revalidation lost to full "
+            f"invalidation (x{s['speedup']:.3f} < x1.0, "
+            f"cv={s['cv']:.2f})")
+    sharded_check[base] = {
+        "speedup": s["speedup"],
+        "min_ratio": s.get("min_ratio"),
+        "max_ratio": s.get("max_ratio"),
+        "cv": s["cv"],
+        "stable": stable,
+        "directional_win": directional_win,
+        "gated": is_mutate,
+        "ok": ok,
+    }
+    if is_mutate:
+        label = "mutate-while-serving win"
+    else:
+        label = "sharded fan-out/pipeline ratio"
+    note = ""
+    if not stable and directional_win:
+        note = (f" WIN in every pass (worst x{s['min_ratio']:.2f}); "
+                f"magnitude noisy (cv={s['cv']:.2f})")
+    elif not stable:
+        note = f" NOISY (cv={s['cv']:.2f}) — not gated"
+    elif not is_mutate and cpus < 2:
+        note = (f" (annotation only: cpus_online={cpus} cannot "
+                "overlap pipeline stages, so fan-out overhead "
+                "dominates)")
+    print(f"{label} {base}: x{s['speedup']:.3f}{note}")
 doc = {
     "schema": "mocemg-bench-pr2",
     "host": {
@@ -533,6 +635,27 @@ doc6 = {
     "paired_speedups": speedups6,
     "robust_overhead_check": robust_check,
 }
+doc7 = {
+    "schema": "mocemg-bench-pr7",
+    "host": {
+        "cpus_online": cpus,
+        "note": "BM_ShardedKnn sweeps shard count at one thread (the "
+                "fan-out overhead curve; on multi-core hosts it becomes "
+                "the scaling curve). BM_ServedKnnSharded pairs the "
+                "single-index server against 4 shards + a 2-deep wave "
+                "pipeline and is annotated, not gated, when cpus_online "
+                "is too low to overlap stages. BM_ServedKnnMutate pairs "
+                "stale-index serving (exact fallback + full cache loss "
+                "per mutation) against ApplyUpdate + shard-aware cache "
+                "revalidation; its stable win is gated. The "
+                "serving_sharded section is a second serve-bench run at "
+                "--shards 4 --pipeline 2 with per-shard counters.",
+    },
+    "benchmarks": results7,
+    "paired_speedups": speedups7,
+    "sharded_serving_check": sharded_check,
+    "serving_sharded": serving_sharded,
+}
 doc3 = {
     "schema": "mocemg-bench-pr3",
     "host": {
@@ -575,6 +698,13 @@ if update:
         f.write("\n")
     print(f"wrote {bench6_path} ({len(results6)} benchmarks, "
           f"{len(speedups6)} paired speedups)")
+    with open(bench7_path, "w") as f:
+        json.dump(doc7, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"wrote {bench7_path} ({len(results7)} benchmarks, "
+          f"{len(speedups7)} paired speedups, "
+          f"{'with' if serving_sharded else 'WITHOUT'} sharded serving "
+          f"section)")
 
 if noisy_skips:
     print("\nslower than the committed baseline but too noisy to gate:")

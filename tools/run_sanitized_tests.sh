@@ -29,9 +29,11 @@ if [[ "$preset" == "tsan" ]]; then
   # worker, and tsan would then certify what was effectively a serial
   # execution. The determinism tests double as the data-race proof for
   # every parallelized stage (featurization, FCM, batch kNN/classify),
-  # and the fault-injected serving tests exercise concurrent clients
-  # against stalls, injected failures, and deadline sheds.
+  # the fault-injected serving tests exercise concurrent clients
+  # against stalls, injected failures, and deadline sheds, and the
+  # sharded tests cover scatter-gather fan-out plus index swaps under
+  # racing submitters.
   echo "== tsan: parallel substrate again under MOCEMG_THREADS=8 =="
-  MOCEMG_THREADS=8 ctest --preset tsan -R 'Parallel|ServingFault' \
+  MOCEMG_THREADS=8 ctest --preset tsan -R 'Parallel|ServingFault|Sharded' \
     --output-on-failure
 fi
