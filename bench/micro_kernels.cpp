@@ -1,0 +1,134 @@
+// Microbenchmarks: the runtime-dispatched SIMD kernel backends against
+// the scalar reference table. Each family takes a trailing mode arg
+// (0 = the scalar table called directly — i.e. the previous
+// auto-vectorized build, since kernels_scalar.cc compiles with the
+// project's default flags — and 1 = the dispatched table, the widest
+// backend this CPU can run) so both modes run inside one binary
+// seconds apart and tools/run_benchmarks.sh can report paired per-pass
+// ratios that cancel host load. Both sides drive the identical loop
+// through a KernelOps pointer; only the table differs.
+//
+// Bit-exactness means the two modes return identical outputs — the
+// ratio is pure wall-clock, never a quality trade.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "util/kernel_dispatch.h"
+#include "util/logging.h"
+#include "util/quant_kernels.h"
+#include "util/random.h"
+
+namespace mocemg {
+namespace {
+
+const KernelOps* OpsForMode(int64_t mode) {
+  const KernelOps* ops =
+      GetKernelOps(mode == 1 ? KernelBackend::kAuto : KernelBackend::kScalar);
+  MOCEMG_CHECK(ops != nullptr);
+  return ops;
+}
+
+std::vector<double> GaussianVec(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> v(n);
+  for (double& x : v) x = rng.Gaussian(0.0, 1.0);
+  return v;
+}
+
+std::vector<uint8_t> ByteVec(size_t n, uint32_t lo_bits, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<uint8_t> v(n);
+  for (uint8_t& x : v) {
+    x = static_cast<uint8_t>(rng.NextBelow(uint64_t{1} << lo_bits));
+  }
+  return v;
+}
+
+// Args: {dim, mode}. The int8 coarse scan: one query's codes against a
+// partition block of rows, exact int32 SSDs out.
+void BM_SsdOneToMany(benchmark::State& state) {
+  const size_t dim = static_cast<size_t>(state.range(0));
+  const KernelOps* ops = OpsForMode(state.range(1));
+  const size_t rows = 4096;
+  const auto qc = ByteVec(dim, 8, 11);
+  const auto codes = ByteVec(rows * dim, 8, 12);
+  std::vector<uint32_t> out(rows);
+  for (auto _ : state) {
+    ops->ssd8_one_to_many(qc.data(), codes.data(), rows, dim, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * rows));
+  state.SetBytesProcessed(
+      static_cast<int64_t>(state.iterations() * rows * dim));
+}
+BENCHMARK(BM_SsdOneToMany)->ArgsProduct({{16, 30, 64, 128, 240}, {0, 1}});
+
+// Args: {dim, mode}. The blocked many-to-many coarse sweep a batched
+// degraded drain performs: Q queries against the same row block.
+void BM_SsdBlocked(benchmark::State& state) {
+  const size_t dim = static_cast<size_t>(state.range(0));
+  const KernelOps* ops = OpsForMode(state.range(1));
+  const size_t rows = 1024;
+  const size_t num_queries = 16;
+  const auto qc = ByteVec(num_queries * dim, 8, 13);
+  const auto codes = ByteVec(rows * dim, 8, 14);
+  std::vector<uint32_t> out(num_queries * rows);
+  for (auto _ : state) {
+    for (size_t q = 0; q < num_queries; ++q) {
+      ops->ssd8_one_to_many(qc.data() + q * dim, codes.data(), rows, dim,
+                            out.data() + q * rows);
+    }
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(
+      static_cast<int64_t>(state.iterations() * num_queries * rows));
+}
+BENCHMARK(BM_SsdBlocked)->ArgsProduct({{30, 64, 128}, {0, 1}});
+
+// Args: {dim, mode}. The 4-bit nibble-packed variant: half the bytes
+// per row of BM_SsdOneToMany at the same logical dim.
+void BM_Ssd4OneToMany(benchmark::State& state) {
+  const size_t dim = static_cast<size_t>(state.range(0));
+  const KernelOps* ops = OpsForMode(state.range(1));
+  const size_t rows = 4096;
+  const size_t stride = PackedNibbleStride(dim);
+  const auto qn = ByteVec(dim, 4, 15);
+  const auto rn = ByteVec(rows * dim, 4, 16);
+  std::vector<uint8_t> qp(stride), rp(rows * stride);
+  PackNibbleRows(qn.data(), 1, dim, qp.data());
+  PackNibbleRows(rn.data(), rows, dim, rp.data());
+  std::vector<uint32_t> out(rows);
+  for (auto _ : state) {
+    ops->ssd4_one_to_many(qp.data(), rp.data(), rows, dim, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * rows));
+  state.SetBytesProcessed(
+      static_cast<int64_t>(state.iterations() * rows * stride));
+}
+BENCHMARK(BM_Ssd4OneToMany)->ArgsProduct({{16, 30, 64, 128, 240}, {0, 1}});
+
+// Args: {dim, mode}. The double one-to-many partition scan (exact
+// tier) — the 4-lane contract means both modes emit identical bits.
+void BM_L2OneToMany(benchmark::State& state) {
+  const size_t dim = static_cast<size_t>(state.range(0));
+  const KernelOps* ops = OpsForMode(state.range(1));
+  const size_t rows = 2048;
+  const auto query = GaussianVec(dim, 21);
+  const auto block = GaussianVec(rows * dim, 22);
+  std::vector<double> out(rows);
+  for (auto _ : state) {
+    ops->l2_one_to_many(query.data(), block.data(), rows, dim, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * rows));
+}
+BENCHMARK(BM_L2OneToMany)->ArgsProduct({{30, 64, 128, 240}, {0, 1}});
+
+}  // namespace
+}  // namespace mocemg
+
+BENCHMARK_MAIN();

@@ -69,57 +69,71 @@ void IndexPartitionSet::FillPartition(const double* packed, size_t dim,
     const size_t rec = part->record_indices[j];
     const double* row = packed + rec * dim;
     part->radius_sq =
-        std::max(part->radius_sq, SquaredL2(row, reference, dim));
+        std::max(part->radius_sq, SquaredL2Dispatched(row, reference, dim));
     const double norm_sq = SquaredNorm(row, dim);
     part->max_norm_sq = std::max(part->max_norm_sq, norm_sq);
     std::memcpy(part->block.data() + j * dim, row, dim * sizeof(double));
     part->norms_sq[j] = norm_sq;
   }
   part->radius = std::sqrt(part->radius_sq);
-  // Quantized tier: code the partition on its own int8 grid and
-  // *measure* the worst reconstruction error — the provable prune
-  // leans on this number, not on an analytic half-step bound, so
-  // heavy-tailed columns can only cost pruning power, not correctness.
-  // The integer coarse distance Σ(qc − c)² must fit uint32:
-  // d · 255² < 2³². Any realistic feature width is far below the gate.
+  // Quantized tier: code the partition on its own integer grid (8-bit
+  // or nibble-packed 4-bit per options.quant_bits) and *measure* the
+  // worst reconstruction error — the provable prune leans on this
+  // number, not on an analytic half-step bound, so heavy-tailed
+  // columns can only cost pruning power, not correctness. The integer
+  // coarse distance Σ(qc − c)² must fit uint32: d · 255² < 2³² (the
+  // 4-bit grid's 15² bound is even further from the gate). Any
+  // realistic feature width is far below it.
   part->quant_offsets.clear();
   part->quant_codes.clear();
   part->quant_scale = 0.0;
   part->quant_err_sq = 0.0;
   part->quant_box_sq = 0.0;
+  part->quant_bits = static_cast<uint8_t>(options.quant_bits);
   const bool quantizable = options.quantized_scan && dim <= 60000;
   if (!quantizable || rows == 0 || rows < options.quantized_min_rows) {
     return;
   }
+  const uint32_t levels = part->quant_bits == 4 ? 15u : 255u;
   part->quant_offsets.resize(dim);
-  part->quant_codes.resize(rows * dim);
   ComputeQuantGrid(part->block.data(), rows, dim,
-                   part->quant_offsets.data(), &part->quant_scale);
+                   part->quant_offsets.data(), &part->quant_scale, levels);
+  // Codes are produced unpacked (one byte per dim) for the error
+  // measurement, then nibble-packed for storage when 4-bit.
+  std::vector<uint8_t> unpacked(rows * dim);
   QuantizeRows(part->block.data(), rows, dim, part->quant_offsets.data(),
-               part->quant_scale, part->quant_codes.data());
+               part->quant_scale, unpacked.data(), levels);
   // Squared-norm bound over the whole grid bounding box (any
   // reconstruction — of a row or of a clamped query — lies inside
   // it); feeds the slack's magnitude argument.
   double box_sq = 0.0;
   for (size_t j = 0; j < dim; ++j) {
     const double lo = part->quant_offsets[j];
-    const double hi = lo + 255.0 * part->quant_scale;
+    const double hi =
+        lo + static_cast<double>(levels) * part->quant_scale;
     box_sq += std::max(lo * lo, hi * hi);
   }
   part->quant_box_sq = box_sq;
   std::vector<double> decoded(dim);
   double max_err = 0.0;
   for (size_t r = 0; r < rows; ++r) {
-    DequantizeRow(part->quant_codes.data() + r * dim, dim,
+    DequantizeRow(unpacked.data() + r * dim, dim,
                   part->quant_offsets.data(), part->quant_scale,
                   decoded.data());
-    max_err = std::max(
-        max_err, SquaredL2(part->block.data() + r * dim, decoded.data(), dim));
+    max_err = std::max(max_err,
+                       SquaredL2Dispatched(part->block.data() + r * dim,
+                                           decoded.data(), dim));
   }
   // Inflate the measured error by the build-side accumulation slack so
   // ‖r − r̃‖² (exact real value) is provably covered.
   part->quant_err_sq =
       max_err + QuantScanSlack(dim, part->max_norm_sq, box_sq);
+  if (part->quant_bits == 4) {
+    part->quant_codes.resize(rows * PackedNibbleStride(dim));
+    PackNibbleRows(unpacked.data(), rows, dim, part->quant_codes.data());
+  } else {
+    part->quant_codes = std::move(unpacked);
+  }
 }
 
 void IndexPartitionSet::RefreshDerived() {
@@ -137,6 +151,11 @@ Status IndexPartitionSet::Pack(const MotionDatabase& database,
                                const FeatureIndexOptions& options) {
   const size_t n = database.size();
   const size_t d = database.feature_dimension();
+  if (options.quant_bits != 8 && options.quant_bits != 4) {
+    return Status::InvalidArgument(
+        "quant_bits must be 8 or 4, got " +
+        std::to_string(options.quant_bits));
+  }
   if (references.rows() != members.size() ||
       (members.size() > 0 && references.cols() != d)) {
     return Status::InvalidArgument("layout shape mismatch");
@@ -261,8 +280,8 @@ void IndexPartitionSet::ScanExact(const std::vector<double>& query,
       // the exact kernels might still rank into the top k.
       size_t start = 0;
       while (!top->full() && start < rows) {
-        const double sq =
-            SquaredL2(query.data(), part.block.data() + start * dim, dim);
+        const double sq = SquaredL2Dispatched(
+            query.data(), part.block.data() + start * dim, dim);
         ++local.distance_computations;
         top->Push(sq, part.record_indices[start]);
         ++start;
@@ -281,30 +300,41 @@ void IndexPartitionSet::ScanExact(const std::vector<double>& query,
       scratch->qcodes.resize(dim);
       scratch->decoded.resize(dim);
       const double s = part.quant_scale;
+      const double levels = part.quant_levels();
       for (size_t j = 0; j < dim; ++j) {
         const double lo = part.quant_offsets[j];
-        const double hi = lo + 255.0 * s;
+        const double hi = lo + levels * s;
         scratch->qclamp[j] = std::clamp(query[j], lo, hi);
       }
       const double out_sq =
-          SquaredL2(query.data(), scratch->qclamp.data(), dim);
+          SquaredL2Dispatched(query.data(), scratch->qclamp.data(), dim);
       QuantizeQuery(scratch->qclamp.data(), dim,
-                    part.quant_offsets.data(), s,
-                    scratch->qcodes.data());
+                    part.quant_offsets.data(), s, scratch->qcodes.data(),
+                    static_cast<uint32_t>(levels));
       DequantizeRow(scratch->qcodes.data(), dim,
                     part.quant_offsets.data(), s,
                     scratch->decoded.data());
-      const double q_res_sq =
-          SquaredL2(scratch->qclamp.data(), scratch->decoded.data(), dim);
+      const double q_res_sq = SquaredL2Dispatched(
+          scratch->qclamp.data(), scratch->decoded.data(), dim);
       const double slack =
           QuantScanSlack(dim, q_sq, std::max(part.max_norm_sq,
                                              part.quant_box_sq));
       const double q_res = std::sqrt(q_res_sq + slack);
       const double err = std::sqrt(part.quant_err_sq);
       scratch->ssd.resize(max_partition_size_);
-      QuantizedSsdOneToMany(scratch->qcodes.data(),
-                            part.quant_codes.data() + start * dim,
-                            rows - start, dim, scratch->ssd.data());
+      if (part.quant_bits == 4) {
+        const size_t stride = part.code_stride(dim);
+        scratch->qpacked.resize(stride);
+        PackNibbleRows(scratch->qcodes.data(), 1, dim,
+                       scratch->qpacked.data());
+        Quantized4SsdOneToMany(scratch->qpacked.data(),
+                               part.quant_codes.data() + start * stride,
+                               rows - start, dim, scratch->ssd.data());
+      } else {
+        QuantizedSsdOneToMany(scratch->qcodes.data(),
+                              part.quant_codes.data() + start * dim,
+                              rows - start, dim, scratch->ssd.data());
+      }
       local.coarse_computations += rows - start;
       // Integer prune threshold, recomputed only when the k-th best
       // moves: with t_rem = √max(0, kth + 2·slack − out²) the
@@ -332,8 +362,8 @@ void IndexPartitionSet::ScanExact(const std::vector<double>& query,
           ++local.coarse_pruned;
           continue;
         }
-        const double sq =
-            SquaredL2(query.data(), part.block.data() + j * dim, dim);
+        const double sq = SquaredL2Dispatched(
+            query.data(), part.block.data() + j * dim, dim);
         ++local.distance_computations;
         top->Push(sq, part.record_indices[j]);
       }
@@ -353,8 +383,8 @@ void IndexPartitionSet::ScanExact(const std::vector<double>& query,
       if (top->full() && scratch->dist[j] > top->worst() + margin) {
         continue;
       }
-      const double sq =
-          SquaredL2(query.data(), part.block.data() + j * dim, dim);
+      const double sq = SquaredL2Dispatched(
+          query.data(), part.block.data() + j * dim, dim);
       top->Push(sq, part.record_indices[j]);
     }
   }
@@ -383,7 +413,7 @@ void IndexPartitionSet::ScanCoarse(const std::vector<double>& query,
   // rows, so scanning the same partitions split across sets (shards)
   // pushes the same estimates and raises the same bound.
   std::vector<double> qclamp(dim), decoded(dim), dist;
-  std::vector<uint8_t> qcodes(dim);
+  std::vector<uint8_t> qcodes(dim), qpacked;
   std::vector<uint32_t> ssd;
   for (size_t pi = 0; pi < partitions_.size(); ++pi) {
     const Partition& part = partitions_[pi];
@@ -391,26 +421,35 @@ void IndexPartitionSet::ScanCoarse(const std::vector<double>& query,
     ++local.partitions_visited;
     if (part.quantized() && part.quant_scale > 0.0) {
       const double s = part.quant_scale;
+      const double levels = part.quant_levels();
       for (size_t j = 0; j < dim; ++j) {
         const double lo = part.quant_offsets[j];
-        const double hi = lo + 255.0 * s;
+        const double hi = lo + levels * s;
         qclamp[j] = std::clamp(query[j], lo, hi);
       }
-      const double out_sq = SquaredL2(query.data(), qclamp.data(), dim);
+      const double out_sq =
+          SquaredL2Dispatched(query.data(), qclamp.data(), dim);
       QuantizeQuery(qclamp.data(), dim, part.quant_offsets.data(), s,
-                    qcodes.data());
+                    qcodes.data(), static_cast<uint32_t>(levels));
       DequantizeRow(qcodes.data(), dim, part.quant_offsets.data(), s,
                     decoded.data());
       const double q_res_sq =
-          SquaredL2(qclamp.data(), decoded.data(), dim);
+          SquaredL2Dispatched(qclamp.data(), decoded.data(), dim);
       const double slack = QuantScanSlack(
           dim, q_sq, std::max(part.max_norm_sq, part.quant_box_sq));
       const double q_res = std::sqrt(q_res_sq + slack);
       const double err = std::sqrt(part.quant_err_sq);
       const double out = std::sqrt(out_sq);
       ssd.resize(rows);
-      QuantizedSsdOneToMany(qcodes.data(), part.quant_codes.data(), rows,
-                            dim, ssd.data());
+      if (part.quant_bits == 4) {
+        qpacked.resize(part.code_stride(dim));
+        PackNibbleRows(qcodes.data(), 1, dim, qpacked.data());
+        Quantized4SsdOneToMany(qpacked.data(), part.quant_codes.data(),
+                               rows, dim, ssd.data());
+      } else {
+        QuantizedSsdOneToMany(qcodes.data(), part.quant_codes.data(), rows,
+                              dim, ssd.data());
+      }
       local.coarse_computations += rows;
       for (size_t j = 0; j < rows; ++j) {
         const double est =
@@ -447,7 +486,7 @@ bool IndexPartitionSet::AllBeyond(const std::vector<double>& query,
   for (size_t pi = 0; pi < partitions_.size(); ++pi) {
     const Partition& part = partitions_[pi];
     const double ref_sq_dist =
-        SquaredL2(query.data(), references_.RowPtr(pi), dim);
+        SquaredL2Dispatched(query.data(), references_.RowPtr(pi), dim);
     const double gap = ref_sq_dist - part.radius_sq - kth_sq;
     if (!(gap > 0.0 && gap * gap > 4.0 * part.radius_sq * kth_sq)) {
       return false;

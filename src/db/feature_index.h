@@ -60,6 +60,13 @@ struct FeatureIndexOptions {
   /// bit-identical either way; OFF skips the codes entirely and scans
   /// with the PR 4 dot-form + refine path alone.
   bool quantized_scan = true;
+  /// Coarse-code width: 8 (one byte per dim, 256-level grid) or 4
+  /// (nibble-packed two dims per byte, 16-level grid — half the coarse
+  /// memory traffic, a 17× coarser grid so spread partitions prune
+  /// less). Exact results are bit-identical at either width; only the
+  /// coarse pruning power and CoarseNearestNeighbors' certified error
+  /// bound change. Any other value fails Build/Pack.
+  size_t quant_bits = 8;
   /// Partitions with fewer rows than this are scanned directly with
   /// the dot-form kernel: the coarse pass carries a fixed per-partition
   /// cost (query clamp + encode + residual measurement + threshold
@@ -130,18 +137,28 @@ class IndexPartitionSet {
     std::vector<double> norms_sq;
     /// Quantized tier (empty when disabled or below quantized_min_rows):
     /// per-dimension offsets + uniform scale of the affine grid and the
-    /// members' int8 codes, plus the partition's worst measured
+    /// members' integer codes, plus the partition's worst measured
     /// reconstruction error ‖r − r̃‖² (inflated by the build-side
     /// slack) and the grid bounding box's squared-norm bound — the two
-    /// scalars the provable integer prune leans on.
+    /// scalars the provable integer prune leans on. `quant_bits` is the
+    /// code width: 8 → quant_codes is rows × dim bytes; 4 →
+    /// nibble-packed rows × PackedNibbleStride(dim) bytes
+    /// (quant_kernels.h).
     std::vector<double> quant_offsets;
     std::vector<uint8_t> quant_codes;
     double quant_scale = 0.0;
     double quant_err_sq = 0.0;
     double quant_box_sq = 0.0;
+    uint8_t quant_bits = 8;
 
     size_t size() const { return record_indices.size(); }
     bool quantized() const { return !quant_codes.empty(); }
+    /// Top code of the grid (255 or 15).
+    double quant_levels() const { return quant_bits == 4 ? 15.0 : 255.0; }
+    /// Bytes per coded row (dim or ⌈dim/2⌉).
+    size_t code_stride(size_t dim) const {
+      return quant_bits == 4 ? (dim + 1) / 2 : dim;
+    }
   };
 
   /// Per-query scratch, reused across a batch chunk.
@@ -151,6 +168,7 @@ class IndexPartitionSet {
     std::vector<double> dist;     ///< per-partition scan buffer
     std::vector<double> qclamp;   ///< query clamped into the grid box
     std::vector<uint8_t> qcodes;  ///< query coded on a partition's grid
+    std::vector<uint8_t> qpacked; ///< nibble-packed qcodes (4-bit tier)
     std::vector<double> decoded;  ///< q̃, for the residual measurement
     std::vector<uint32_t> ssd;    ///< integer coarse distances
     BoundedTopK top;

@@ -9,6 +9,7 @@
 #include "util/csv.h"
 #include "util/logging.h"
 #include "util/macros.h"
+#include "util/quant_kernels.h"
 
 namespace mocemg {
 namespace {
@@ -16,13 +17,16 @@ namespace {
 // Snapshot header: magic+version tag, payload byte count (detects
 // truncation), FNV-1a64 checksum of the payload (detects corruption).
 // The newline in the magic catches CRLF-mangling transfers early, the
-// trailing "1" is the format version.
-constexpr char kMagic[] = "MOCEMGIX1\n";
+// trailing digit is the format version. Version 2 added the quantized
+// code width (8- or 4-bit packed) to the options block and to every
+// partition; version-1 files are rejected by the magic check rather
+// than misread, since their partitions carry no width field.
+constexpr char kMagic[] = "MOCEMGIX2\n";
 constexpr size_t kMagicLen = sizeof(kMagic) - 1;
 // Sharded snapshots: one manifest + one file per shard, same
 // header discipline per file.
-constexpr char kManifestMagic[] = "MOCEMGSM1\n";
-constexpr char kShardMagic[] = "MOCEMGSH1\n";
+constexpr char kManifestMagic[] = "MOCEMGSM2\n";
+constexpr char kShardMagic[] = "MOCEMGSH2\n";
 constexpr size_t kShardMagicLen = sizeof(kShardMagic) - 1;
 constexpr size_t kManifestMagicLen = sizeof(kManifestMagic) - 1;
 
@@ -233,6 +237,7 @@ class IndexSnapshotCodec {
     PutDouble(p, part.quant_scale);
     PutDouble(p, part.quant_err_sq);
     PutDouble(p, part.quant_box_sq);
+    PutU64(p, part.quant_bits);
     PutIndices(p, part.record_indices);
     PutDoubles(p, part.block);
     PutDoubles(p, part.norms_sq);
@@ -248,6 +253,13 @@ class IndexSnapshotCodec {
     MOCEMG_ASSIGN_OR_RETURN(part->quant_scale, r->Double());
     MOCEMG_ASSIGN_OR_RETURN(part->quant_err_sq, r->Double());
     MOCEMG_ASSIGN_OR_RETURN(part->quant_box_sq, r->Double());
+    MOCEMG_ASSIGN_OR_RETURN(uint64_t quant_bits, r->U64());
+    if (quant_bits != 8 && quant_bits != 4) {
+      return Status::ParseError(
+          "index snapshot partition carries quantized code width " +
+          std::to_string(quant_bits) + " bits; this reader supports 8 or 4");
+    }
+    part->quant_bits = static_cast<uint8_t>(quant_bits);
     MOCEMG_ASSIGN_OR_RETURN(part->record_indices, r->Indices(n_records));
     const uint64_t n = part->record_indices.size();
     for (size_t idx : part->record_indices) {
@@ -268,10 +280,21 @@ class IndexSnapshotCodec {
     }
     MOCEMG_ASSIGN_OR_RETURN(part->quant_offsets, r->Doubles(dim));
     MOCEMG_ASSIGN_OR_RETURN(part->quant_codes, r->Bytes(n * dim));
+    // The code array must match the declared width exactly: n*dim bytes
+    // at 8 bits, n*ceil(dim/2) nibble-packed bytes at 4 bits. A payload
+    // whose width field and code bytes disagree is rejected here rather
+    // than mis-scanned later.
+    const uint64_t expect_codes =
+        part->quant_bits == 4 ? n * PackedNibbleStride(static_cast<size_t>(dim))
+                              : n * dim;
     if (!part->quant_codes.empty() &&
-        (part->quant_codes.size() != n * dim ||
+        (part->quant_codes.size() != expect_codes ||
          part->quant_offsets.size() != dim)) {
-      return Status::ParseError("index snapshot quantized tier malformed");
+      return Status::ParseError(
+          "index snapshot quantized tier malformed: " +
+          std::to_string(part->quant_codes.size()) + " code bytes but " +
+          std::to_string(quant_bits) + "-bit width implies " +
+          std::to_string(expect_codes));
     }
     return Status::OK();
   }
@@ -286,6 +309,7 @@ class IndexSnapshotCodec {
     PutU64(&p, index.options_.seed);
     PutU64(&p, index.options_.quantized_scan ? 1 : 0);
     PutU64(&p, index.options_.quantized_min_rows);
+    PutU64(&p, index.options_.quant_bits);
     PutU64(&p, index.options_.parallel.max_threads);
     PutU64(&p, index.options_.parallel.grain);
     // Packed references.
@@ -323,6 +347,13 @@ class IndexSnapshotCodec {
     index.options_.quantized_scan = qscan != 0;
     MOCEMG_ASSIGN_OR_RETURN(uint64_t qmin, r.U64());
     index.options_.quantized_min_rows = static_cast<size_t>(qmin);
+    MOCEMG_ASSIGN_OR_RETURN(uint64_t qbits, r.U64());
+    if (qbits != 8 && qbits != 4) {
+      return Status::ParseError(
+          "index snapshot options carry quantized code width " +
+          std::to_string(qbits) + " bits; this reader supports 8 or 4");
+    }
+    index.options_.quant_bits = static_cast<size_t>(qbits);
     MOCEMG_ASSIGN_OR_RETURN(uint64_t threads, r.U64());
     index.options_.parallel.max_threads = static_cast<size_t>(threads);
     MOCEMG_ASSIGN_OR_RETURN(uint64_t grain, r.U64());
@@ -393,6 +424,7 @@ class IndexSnapshotCodec {
     PutU64(&p, index.options_.index.seed);
     PutU64(&p, index.options_.index.quantized_scan ? 1 : 0);
     PutU64(&p, index.options_.index.quantized_min_rows);
+    PutU64(&p, index.options_.index.quant_bits);
     PutU64(&p, index.options_.index.parallel.max_threads);
     PutU64(&p, index.options_.index.parallel.grain);
     PutU64(&p, index.options_.num_shards);
@@ -442,6 +474,13 @@ class IndexSnapshotCodec {
     m.options.index.quantized_scan = qscan != 0;
     MOCEMG_ASSIGN_OR_RETURN(uint64_t qmin, r.U64());
     m.options.index.quantized_min_rows = static_cast<size_t>(qmin);
+    MOCEMG_ASSIGN_OR_RETURN(uint64_t qbits, r.U64());
+    if (qbits != 8 && qbits != 4) {
+      return Status::ParseError(
+          "sharded index manifest carries quantized code width " +
+          std::to_string(qbits) + " bits; this reader supports 8 or 4");
+    }
+    m.options.index.quant_bits = static_cast<size_t>(qbits);
     MOCEMG_ASSIGN_OR_RETURN(uint64_t threads, r.U64());
     m.options.index.parallel.max_threads = static_cast<size_t>(threads);
     MOCEMG_ASSIGN_OR_RETURN(uint64_t grain, r.U64());
@@ -646,7 +685,9 @@ Result<FeatureIndex> DeserializeFeatureIndex(
   }
   if (bytes.compare(0, kMagicLen, kMagic, kMagicLen) != 0) {
     return Status::ParseError(
-        "index snapshot magic/version mismatch (expected MOCEMGIX1)");
+        "index snapshot magic/version mismatch (expected MOCEMGIX2; "
+        "version-1 snapshots predate the quantized code width field and "
+        "must be regenerated)");
   }
   Reader header(bytes.data() + kMagicLen, 16);
   MOCEMG_ASSIGN_OR_RETURN(uint64_t payload_size, header.U64());

@@ -5,13 +5,14 @@
 /// rebuild (k-means + SoA packing + quantization); losing it to a
 /// process restart turns every crash into a cold-start storm. This
 /// module serializes the full index representation — SoA partition
-/// blocks, norms, the int8 quantized tier, references, build options,
-/// and the database epoch it was built against — to a versioned,
-/// checksummed binary snapshot, and restores it bit-identically: a
-/// loaded index answers every query with exactly the bytes the saved
-/// one would have produced.
+/// blocks, norms, the quantized tier (int8 or 4-bit nibble-packed,
+/// with its code width recorded per partition), references, build
+/// options, and the database epoch it was built against — to a
+/// versioned, checksummed binary snapshot, and restores it
+/// bit-identically: a loaded index answers every query with exactly
+/// the bytes the saved one would have produced.
 ///
-/// Format ("MOCEMGIX1", little-endian, DESIGN.md §12.3): a fixed
+/// Format ("MOCEMGIX2", little-endian, DESIGN.md §12.3): a fixed
 /// header carrying the magic, the payload byte count, and an FNV-1a64
 /// checksum of the payload, then the payload itself. Truncation is
 /// caught by the length check, any in-place corruption by the
@@ -90,8 +91,8 @@ Result<FeatureIndex> LoadOrRebuildFeatureIndex(
 // --- sharded snapshots (DESIGN.md §13.4) ----------------------------
 //
 // A ShardedFeatureIndex persists as a checksummed *manifest* at `path`
-// ("MOCEMGSM1") plus one checksummed file per shard at
-// `path + ".shard<i>"` ("MOCEMGSH1"). The manifest carries everything
+// ("MOCEMGSM2") plus one checksummed file per shard at
+// `path + ".shard<i>"` ("MOCEMGSH2"). The manifest carries everything
 // needed to repack any shard without re-running k-means: the applied
 // and per-shard epochs, the build options, the global partition
 // references, every record's owning partition, and each shard file's

@@ -15,6 +15,7 @@
 #include "db/serving_faults.h"
 #include "db/sharded_index.h"
 #include "util/distance_kernels.h"
+#include "util/kernel_dispatch.h"
 #include "util/macros.h"
 #include "util/top_k.h"
 
@@ -1055,7 +1056,11 @@ void QueryServer::NoteSnapshotLoad(bool loaded_from_snapshot) {
 
 QueryServerStats QueryServer::stats() const {
   std::unique_lock<std::mutex> lock(impl_->mu);
-  return impl_->counters;
+  QueryServerStats out = impl_->counters;
+  const KernelDispatchInfo kinfo = GetKernelDispatchInfo();
+  out.kernel_backend = kinfo.active;
+  out.cpu_features = kinfo.cpu_features;
+  return out;
 }
 
 uint64_t RetryAfterMicros(const Status& status) {

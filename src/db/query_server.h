@@ -94,6 +94,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "db/feature_index.h"
@@ -196,6 +197,12 @@ struct QueryServerStats {
   /// Cache entries kept alive across a shard mutation by the per-shard
   /// revalidation certificate (sharded serving only).
   uint64_t cache_revalidations = 0;
+  /// Kernel backend every distance evaluation dispatched to
+  /// ("scalar", "avx2", "avx512" or "neon"; kernel_dispatch.h). Filled
+  /// at stats() time, so it reflects the backend active right now.
+  std::string kernel_backend;
+  /// Comma-separated CPU SIMD feature flags detected at startup.
+  std::string cpu_features;
   /// Aggregated index statistics over all index-served batches (zero
   /// when serving through the exact fallback).
   IndexQueryStats index_stats;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cfloat>
 
+#include "util/kernel_dispatch.h"
+
 namespace mocemg {
 namespace {
 
@@ -16,42 +18,46 @@ constexpr size_t kRowTile = 256;
 
 }  // namespace
 
+// The row-shaped entry points route through the runtime-dispatched
+// backend table (kernel_dispatch.h). Every backend is bit-identical to
+// the scalar reference, so callers observe only a throughput change.
+
+double SquaredL2Dispatched(const double* x, const double* y, size_t d) {
+  return internal::ActiveKernelOps().squared_l2_pair(x, y, d);
+}
+
+double DotProductDispatched(const double* x, const double* y, size_t d) {
+  return internal::ActiveKernelOps().dot_pair(x, y, d);
+}
+
 void SquaredL2OneToMany(const double* query, const double* block,
                         size_t rows, size_t d, double* out) {
-  for (size_t r = 0; r < rows; ++r) {
-    out[r] = SquaredL2(query, block + r * d, d);
-  }
+  internal::ActiveKernelOps().l2_one_to_many(query, block, rows, d, out);
 }
 
 void SquaredL2DotOneToMany(const double* query, double query_sq,
                            const double* block, const double* norms_sq,
                            size_t rows, size_t d, double* out) {
-  for (size_t r = 0; r < rows; ++r) {
-    out[r] =
-        query_sq + norms_sq[r] - 2.0 * DotProduct(query, block + r * d, d);
-  }
+  internal::ActiveKernelOps().l2dot_one_to_many(query, query_sq, block,
+                                                norms_sq, rows, d, out);
 }
 
 void SquaredL2ManyToMany(const double* queries, size_t num_queries,
                          const double* block, size_t rows, size_t d,
                          double* out, size_t out_stride) {
+  const KernelOps& ops = internal::ActiveKernelOps();
   for (size_t r0 = 0; r0 < rows; r0 += kRowTile) {
-    const size_t r1 = std::min(rows, r0 + kRowTile);
+    const size_t tile = std::min(rows - r0, kRowTile);
     for (size_t q = 0; q < num_queries; ++q) {
-      const double* qp = queries + q * d;
-      double* op = out + q * out_stride;
-      for (size_t r = r0; r < r1; ++r) {
-        op[r] = SquaredL2(qp, block + r * d, d);
-      }
+      ops.l2_one_to_many(queries + q * d, block + r0 * d, tile, d,
+                         out + q * out_stride + r0);
     }
   }
 }
 
 void RowSquaredNorms(const double* block, size_t rows, size_t d,
                      double* out) {
-  for (size_t r = 0; r < rows; ++r) {
-    out[r] = SquaredNorm(block + r * d, d);
-  }
+  internal::ActiveKernelOps().row_norms(block, rows, d, out);
 }
 
 double DotFormErrorBound(size_t d, double query_sq, double max_norm_sq) {

@@ -21,9 +21,11 @@
 /// pair's result is bit-identical whether it was computed by the pair
 /// kernel, inside a one-to-many row, or inside any tile of the blocked
 /// kernel — and therefore identical at every thread count and tile
-/// size. The independent lanes are also exactly what lets the compiler
-/// auto-vectorize (SSE2 portably; FMA/AVX under the `MOCEMG_NATIVE_ARCH`
-/// CMake knob) without arch-specific intrinsics.
+/// size. The row-shaped entry points below route through the
+/// runtime-dispatched SIMD backends (kernel_dispatch.h), each of which
+/// reproduces this 4-lane contract bit-for-bit; the inline kernels in
+/// this header are the portable scalar *reference* the backends are
+/// tested against (and what non-SIMD CPUs run).
 ///
 /// The dot-product form `d²(q, r) = ‖q‖² + ‖r‖² − 2⟨q, r⟩` (fed by
 /// per-row norms precomputed at index build) trades the subtraction out
@@ -95,6 +97,14 @@ inline double DotProduct(const double* x, const double* y, size_t d) {
 inline double SquaredNorm(const double* x, size_t d) {
   return DotProduct(x, x, d);
 }
+
+/// \brief Pair kernels routed through the runtime-dispatched SIMD
+/// backend (kernel_dispatch.h). Bit-identical to the inline reference
+/// above on every backend; use these in hot per-pair loops (re-rank,
+/// residual measurement) where d is large enough to amortize the
+/// indirect call, and the inline forms everywhere else.
+double SquaredL2Dispatched(const double* x, const double* y, size_t d);
+double DotProductDispatched(const double* x, const double* y, size_t d);
 
 /// \brief out[r] = ‖query − block_row_r‖² for each of the `rows` packed
 /// row-major rows (row stride = d). Each out[r] is bit-identical to

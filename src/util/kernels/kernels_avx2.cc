@@ -1,0 +1,252 @@
+/// \file kernels_avx2.cc
+/// \brief AVX2 backend. This TU is compiled with `-mavx2
+/// -ffp-contract=off` (see src/util/CMakeLists.txt) and must only be
+/// reached through runtime dispatch on CPUs with AVX2.
+///
+/// Bit-exactness strategy (kernel_dispatch.h): the double kernels keep
+/// ONE 4-wide ymm accumulator whose lanes are exactly the scalar
+/// reference's a0..a3 — each main-loop step is a vector multiply then a
+/// vector add (never FMA: fused rounding would change bits), the <= 3
+/// remainder dims are handled on the extracted lanes with the scalar
+/// code, and the lanes combine as (a0 + a1) + (a2 + a3). Every lane
+/// performs the same IEEE ops in the same order as the scalar loop, so
+/// the result is bit-identical for every input, NaN/Inf included.
+///
+/// The integer coarse kernels are exact whatever the evaluation order:
+/// |q − c| via max_epu8/min_epu8, widened to i16 and squared pairwise
+/// into i32 lanes with pmaddwd (the widening-MAC class; vpdpbusd is
+/// unusable here because |q − c| can exceed the signed-byte range), or
+/// vpmaddubsw directly on 4-bit nibble diffs (<= 15, so the u8 × s8
+/// product is safe). Per-i32-lane sums stay below 2^31 for d up to the
+/// index build gate (60000), and the true total is < 2^32, so the
+/// uint32 result equals the scalar reference exactly.
+
+#if defined(__x86_64__) || defined(__i386__)
+
+#include <immintrin.h>
+
+#include "util/kernels/kernel_backend.h"
+
+namespace mocemg {
+namespace internal {
+namespace {
+
+// ---------------------------------------------------------------------
+// double kernels: 4-lane contract on one ymm accumulator.
+
+inline double CombineTail(__m256d acc, const double* x, const double* y,
+                          size_t i, size_t d, bool squared) {
+  alignas(32) double a[4];
+  _mm256_store_pd(a, acc);
+  if (squared) {
+    if (i < d) {
+      const double d0 = x[i] - y[i];
+      a[0] += d0 * d0;
+    }
+    if (i + 1 < d) {
+      const double d1 = x[i + 1] - y[i + 1];
+      a[1] += d1 * d1;
+    }
+    if (i + 2 < d) {
+      const double d2 = x[i + 2] - y[i + 2];
+      a[2] += d2 * d2;
+    }
+  } else {
+    if (i < d) a[0] += x[i] * y[i];
+    if (i + 1 < d) a[1] += x[i + 1] * y[i + 1];
+    if (i + 2 < d) a[2] += x[i + 2] * y[i + 2];
+  }
+  return (a[0] + a[1]) + (a[2] + a[3]);
+}
+
+double Avx2SquaredL2Pair(const double* x, const double* y, size_t d) {
+  __m256d acc = _mm256_setzero_pd();
+  size_t i = 0;
+  for (; i + 4 <= d; i += 4) {
+    const __m256d diff =
+        _mm256_sub_pd(_mm256_loadu_pd(x + i), _mm256_loadu_pd(y + i));
+    acc = _mm256_add_pd(acc, _mm256_mul_pd(diff, diff));
+  }
+  return CombineTail(acc, x, y, i, d, /*squared=*/true);
+}
+
+double Avx2DotPair(const double* x, const double* y, size_t d) {
+  __m256d acc = _mm256_setzero_pd();
+  size_t i = 0;
+  for (; i + 4 <= d; i += 4) {
+    acc = _mm256_add_pd(
+        acc, _mm256_mul_pd(_mm256_loadu_pd(x + i), _mm256_loadu_pd(y + i)));
+  }
+  return CombineTail(acc, x, y, i, d, /*squared=*/false);
+}
+
+void Avx2L2OneToMany(const double* query, const double* block, size_t rows,
+                     size_t d, double* out) {
+  for (size_t r = 0; r < rows; ++r) {
+    out[r] = Avx2SquaredL2Pair(query, block + r * d, d);
+  }
+}
+
+void Avx2L2DotOneToMany(const double* query, double query_sq,
+                        const double* block, const double* norms_sq,
+                        size_t rows, size_t d, double* out) {
+  for (size_t r = 0; r < rows; ++r) {
+    out[r] =
+        query_sq + norms_sq[r] - 2.0 * Avx2DotPair(query, block + r * d, d);
+  }
+}
+
+void Avx2RowNorms(const double* block, size_t rows, size_t d, double* out) {
+  for (size_t r = 0; r < rows; ++r) {
+    const double* row = block + r * d;
+    out[r] = Avx2DotPair(row, row, d);
+  }
+}
+
+// ---------------------------------------------------------------------
+// int8 coarse kernel.
+
+inline uint32_t HorizontalSumU32(__m128i v) {
+  v = _mm_add_epi32(v, _mm_shuffle_epi32(v, _MM_SHUFFLE(1, 0, 3, 2)));
+  v = _mm_add_epi32(v, _mm_shuffle_epi32(v, _MM_SHUFFLE(2, 3, 0, 1)));
+  return static_cast<uint32_t>(_mm_cvtsi128_si32(v));
+}
+
+inline uint32_t Ssd8Row(const uint8_t* q, const uint8_t* c, size_t d) {
+  const __m256i zero256 = _mm256_setzero_si256();
+  __m256i acc256 = zero256;
+  size_t j = 0;
+  for (; j + 32 <= d; j += 32) {
+    const __m256i vq =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(q + j));
+    const __m256i vc =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(c + j));
+    const __m256i ad =
+        _mm256_sub_epi8(_mm256_max_epu8(vq, vc), _mm256_min_epu8(vq, vc));
+    const __m256i lo = _mm256_unpacklo_epi8(ad, zero256);
+    const __m256i hi = _mm256_unpackhi_epi8(ad, zero256);
+    acc256 = _mm256_add_epi32(acc256, _mm256_madd_epi16(lo, lo));
+    acc256 = _mm256_add_epi32(acc256, _mm256_madd_epi16(hi, hi));
+  }
+  __m128i acc = _mm_add_epi32(_mm256_castsi256_si128(acc256),
+                              _mm256_extracti128_si256(acc256, 1));
+  if (j + 16 <= d) {
+    const __m128i zero = _mm_setzero_si128();
+    const __m128i vq =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(q + j));
+    const __m128i vc =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(c + j));
+    const __m128i ad =
+        _mm_sub_epi8(_mm_max_epu8(vq, vc), _mm_min_epu8(vq, vc));
+    const __m128i lo = _mm_unpacklo_epi8(ad, zero);
+    const __m128i hi = _mm_unpackhi_epi8(ad, zero);
+    acc = _mm_add_epi32(acc, _mm_madd_epi16(lo, lo));
+    acc = _mm_add_epi32(acc, _mm_madd_epi16(hi, hi));
+    j += 16;
+  }
+  uint32_t sum = HorizontalSumU32(acc);
+  for (; j < d; ++j) {
+    const int32_t diff =
+        static_cast<int32_t>(q[j]) - static_cast<int32_t>(c[j]);
+    sum += static_cast<uint32_t>(diff * diff);
+  }
+  return sum;
+}
+
+void Avx2Ssd8OneToMany(const uint8_t* qcodes, const uint8_t* codes,
+                       size_t rows, size_t d, uint32_t* out) {
+  for (size_t r = 0; r < rows; ++r) {
+    out[r] = Ssd8Row(qcodes, codes + r * d, d);
+  }
+}
+
+// ---------------------------------------------------------------------
+// int4 (nibble-packed) coarse kernel. `bytes` packed bytes hold 2*bytes
+// nibble dims; an odd-d pad nibble is 0 on both sides and adds 0.
+
+inline uint32_t Ssd4Row(const uint8_t* q, const uint8_t* c, size_t bytes) {
+  const __m256i mask = _mm256_set1_epi8(0x0F);
+  const __m256i ones = _mm256_set1_epi16(1);
+  __m256i acc256 = _mm256_setzero_si256();
+  size_t b = 0;
+  for (; b + 32 <= bytes; b += 32) {
+    const __m256i vq =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(q + b));
+    const __m256i vc =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(c + b));
+    const __m256i qlo = _mm256_and_si256(vq, mask);
+    const __m256i clo = _mm256_and_si256(vc, mask);
+    const __m256i qhi = _mm256_and_si256(_mm256_srli_epi16(vq, 4), mask);
+    const __m256i chi = _mm256_and_si256(_mm256_srli_epi16(vc, 4), mask);
+    const __m256i adlo =
+        _mm256_sub_epi8(_mm256_max_epu8(qlo, clo), _mm256_min_epu8(qlo, clo));
+    const __m256i adhi =
+        _mm256_sub_epi8(_mm256_max_epu8(qhi, chi), _mm256_min_epu8(qhi, chi));
+    // Nibble diffs are <= 15, so vpmaddubsw's u8 x s8 pairwise product
+    // (<= 2 * 225 per i16 lane) cannot overflow; summing the lo and hi
+    // halves stays <= 900, still exact in i16.
+    const __m256i p = _mm256_add_epi16(_mm256_maddubs_epi16(adlo, adlo),
+                                       _mm256_maddubs_epi16(adhi, adhi));
+    acc256 = _mm256_add_epi32(acc256, _mm256_madd_epi16(p, ones));
+  }
+  __m128i acc = _mm_add_epi32(_mm256_castsi256_si128(acc256),
+                              _mm256_extracti128_si256(acc256, 1));
+  if (b + 16 <= bytes) {
+    const __m128i mask128 = _mm_set1_epi8(0x0F);
+    const __m128i ones128 = _mm_set1_epi16(1);
+    const __m128i vq =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(q + b));
+    const __m128i vc =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(c + b));
+    const __m128i qlo = _mm_and_si128(vq, mask128);
+    const __m128i clo = _mm_and_si128(vc, mask128);
+    const __m128i qhi = _mm_and_si128(_mm_srli_epi16(vq, 4), mask128);
+    const __m128i chi = _mm_and_si128(_mm_srli_epi16(vc, 4), mask128);
+    const __m128i adlo =
+        _mm_sub_epi8(_mm_max_epu8(qlo, clo), _mm_min_epu8(qlo, clo));
+    const __m128i adhi =
+        _mm_sub_epi8(_mm_max_epu8(qhi, chi), _mm_min_epu8(qhi, chi));
+    const __m128i p = _mm_add_epi16(_mm_maddubs_epi16(adlo, adlo),
+                                    _mm_maddubs_epi16(adhi, adhi));
+    acc = _mm_add_epi32(acc, _mm_madd_epi16(p, ones128));
+    b += 16;
+  }
+  uint32_t sum = HorizontalSumU32(acc);
+  for (; b < bytes; ++b) {
+    const int32_t dlo = static_cast<int32_t>(q[b] & 0x0F) -
+                        static_cast<int32_t>(c[b] & 0x0F);
+    const int32_t dhi =
+        static_cast<int32_t>(q[b] >> 4) - static_cast<int32_t>(c[b] >> 4);
+    sum += static_cast<uint32_t>(dlo * dlo + dhi * dhi);
+  }
+  return sum;
+}
+
+void Avx2Ssd4OneToMany(const uint8_t* qpacked, const uint8_t* packed,
+                       size_t rows, size_t d, uint32_t* out) {
+  const size_t bytes = (d + 1) / 2;
+  for (size_t r = 0; r < rows; ++r) {
+    out[r] = Ssd4Row(qpacked, packed + r * bytes, bytes);
+  }
+}
+
+}  // namespace
+
+const KernelOps& Avx2KernelOps() {
+  static const KernelOps ops = {
+      "avx2",
+      Avx2SquaredL2Pair,
+      Avx2DotPair,
+      Avx2L2OneToMany,
+      Avx2L2DotOneToMany,
+      Avx2RowNorms,
+      Avx2Ssd8OneToMany,
+      Avx2Ssd4OneToMany,
+  };
+  return ops;
+}
+
+}  // namespace internal
+}  // namespace mocemg
+
+#endif  // x86

@@ -1,0 +1,453 @@
+/// \file kernels_avx512.cc
+/// \brief AVX-512 backend (F+BW+VL). Compiled with `-mavx512f
+/// -mavx512bw -mavx512vl -ffp-contract=off`; reached only through
+/// runtime dispatch on CPUs with all three feature bits.
+///
+/// Bit-exactness (kernel_dispatch.h): the double kernels still keep ONE
+/// 4-wide accumulator — a 512-bit load covers 8 dims per iteration, but
+/// its two 4-dim halves are added into the accumulator *sequentially*
+/// (low half first), which is exactly the order the scalar reference's
+/// lanes see (lane j sums dims i+j then i+4+j). Multiply then add,
+/// never FMA. Integer kernels widen |q − c| with pmaddwd into i32 lanes
+/// exactly as the AVX2 backend, just 64 bytes per step; all horizontal
+/// reductions use vector adds (defined wraparound) so the uint32 result
+/// is exact for totals < 2^32 (guaranteed by the d <= 60000 build
+/// gate). VNNI's vpdpbusd is unusable (|q − c| exceeds signed-byte
+/// range); pmaddwd is the widening-MAC class used instead, so the
+/// backend needs no VNNI feature bit and covers more CPUs.
+
+#if defined(__x86_64__) || defined(__i386__)
+
+#include <immintrin.h>
+
+#include "util/kernels/kernel_backend.h"
+
+namespace mocemg {
+namespace internal {
+namespace {
+
+// ---------------------------------------------------------------------
+// double kernels: 4-lane contract, 8 dims per 512-bit load.
+
+inline double CombineTail(__m256d acc, const double* x, const double* y,
+                          size_t i, size_t d, bool squared) {
+  alignas(32) double a[4];
+  _mm256_store_pd(a, acc);
+  if (squared) {
+    if (i < d) {
+      const double d0 = x[i] - y[i];
+      a[0] += d0 * d0;
+    }
+    if (i + 1 < d) {
+      const double d1 = x[i + 1] - y[i + 1];
+      a[1] += d1 * d1;
+    }
+    if (i + 2 < d) {
+      const double d2 = x[i + 2] - y[i + 2];
+      a[2] += d2 * d2;
+    }
+  } else {
+    if (i < d) a[0] += x[i] * y[i];
+    if (i + 1 < d) a[1] += x[i + 1] * y[i + 1];
+    if (i + 2 < d) a[2] += x[i + 2] * y[i + 2];
+  }
+  return (a[0] + a[1]) + (a[2] + a[3]);
+}
+
+double Avx512SquaredL2Pair(const double* x, const double* y, size_t d) {
+  __m256d acc = _mm256_setzero_pd();
+  size_t i = 0;
+  for (; i + 8 <= d; i += 8) {
+    const __m512d diff =
+        _mm512_sub_pd(_mm512_loadu_pd(x + i), _mm512_loadu_pd(y + i));
+    const __m512d sq = _mm512_mul_pd(diff, diff);
+    // Low half first, then high: lane j accumulates dim i+j, then dim
+    // i+4+j — the scalar reference's exact per-lane order.
+    acc = _mm256_add_pd(acc, _mm512_castpd512_pd256(sq));
+    acc = _mm256_add_pd(acc, _mm512_extractf64x4_pd(sq, 1));
+  }
+  if (i + 4 <= d) {
+    const __m256d diff =
+        _mm256_sub_pd(_mm256_loadu_pd(x + i), _mm256_loadu_pd(y + i));
+    acc = _mm256_add_pd(acc, _mm256_mul_pd(diff, diff));
+    i += 4;
+  }
+  return CombineTail(acc, x, y, i, d, /*squared=*/true);
+}
+
+double Avx512DotPair(const double* x, const double* y, size_t d) {
+  __m256d acc = _mm256_setzero_pd();
+  size_t i = 0;
+  for (; i + 8 <= d; i += 8) {
+    const __m512d prod =
+        _mm512_mul_pd(_mm512_loadu_pd(x + i), _mm512_loadu_pd(y + i));
+    acc = _mm256_add_pd(acc, _mm512_castpd512_pd256(prod));
+    acc = _mm256_add_pd(acc, _mm512_extractf64x4_pd(prod, 1));
+  }
+  if (i + 4 <= d) {
+    acc = _mm256_add_pd(
+        acc, _mm256_mul_pd(_mm256_loadu_pd(x + i), _mm256_loadu_pd(y + i)));
+    i += 4;
+  }
+  return CombineTail(acc, x, y, i, d, /*squared=*/false);
+}
+
+void Avx512L2OneToMany(const double* query, const double* block,
+                       size_t rows, size_t d, double* out) {
+  for (size_t r = 0; r < rows; ++r) {
+    out[r] = Avx512SquaredL2Pair(query, block + r * d, d);
+  }
+}
+
+void Avx512L2DotOneToMany(const double* query, double query_sq,
+                          const double* block, const double* norms_sq,
+                          size_t rows, size_t d, double* out) {
+  for (size_t r = 0; r < rows; ++r) {
+    out[r] = query_sq + norms_sq[r] -
+             2.0 * Avx512DotPair(query, block + r * d, d);
+  }
+}
+
+void Avx512RowNorms(const double* block, size_t rows, size_t d,
+                    double* out) {
+  for (size_t r = 0; r < rows; ++r) {
+    const double* row = block + r * d;
+    out[r] = Avx512DotPair(row, row, d);
+  }
+}
+
+// ---------------------------------------------------------------------
+// integer coarse kernels.
+
+inline uint32_t HorizontalSumU32(__m128i v) {
+  v = _mm_add_epi32(v, _mm_shuffle_epi32(v, _MM_SHUFFLE(1, 0, 3, 2)));
+  v = _mm_add_epi32(v, _mm_shuffle_epi32(v, _MM_SHUFFLE(2, 3, 0, 1)));
+  return static_cast<uint32_t>(_mm_cvtsi128_si32(v));
+}
+
+inline __m128i Reduce512To128(__m512i v) {
+  const __m256i half = _mm256_add_epi32(_mm512_castsi512_si256(v),
+                                        _mm512_extracti64x4_epi64(v, 1));
+  return _mm_add_epi32(_mm256_castsi256_si128(half),
+                       _mm256_extracti128_si256(half, 1));
+}
+
+// Small-dimension path (d < 64): per-row work is a couple of 128-bit
+// blocks, so the 512-bit reduction plus a scalar remainder loop would
+// dominate — at d = 16..30 that made the wide kernel ~1.6x slower than
+// the auto-vectorized scalar loop. Instead: 128-bit blocks only, the
+// d % 16 tail as ONE maskz byte load (BW+VL), and rows in groups of 4
+// so 4 independent accumulators reduce with three phaddd instead of a
+// shuffle chain per row. Integer sums are exact at any width and
+// order, so this is bit-identical to the scalar reference.
+
+inline __m128i Ssd8AccSmall(const uint8_t* q, const uint8_t* c, size_t d,
+                            __mmask16 tail) {
+  const __m128i zero = _mm_setzero_si128();
+  __m128i acc = zero;
+  size_t j = 0;
+  for (; j + 16 <= d; j += 16) {
+    const __m128i vq =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(q + j));
+    const __m128i vc =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(c + j));
+    const __m128i ad =
+        _mm_sub_epi8(_mm_max_epu8(vq, vc), _mm_min_epu8(vq, vc));
+    const __m128i lo = _mm_unpacklo_epi8(ad, zero);
+    const __m128i hi = _mm_unpackhi_epi8(ad, zero);
+    acc = _mm_add_epi32(acc, _mm_madd_epi16(lo, lo));
+    acc = _mm_add_epi32(acc, _mm_madd_epi16(hi, hi));
+  }
+  if (tail) {
+    const __m128i vq = _mm_maskz_loadu_epi8(tail, q + j);
+    const __m128i vc = _mm_maskz_loadu_epi8(tail, c + j);
+    const __m128i ad =
+        _mm_sub_epi8(_mm_max_epu8(vq, vc), _mm_min_epu8(vq, vc));
+    const __m128i lo = _mm_unpacklo_epi8(ad, zero);
+    const __m128i hi = _mm_unpackhi_epi8(ad, zero);
+    acc = _mm_add_epi32(acc, _mm_madd_epi16(lo, lo));
+    acc = _mm_add_epi32(acc, _mm_madd_epi16(hi, hi));
+  }
+  return acc;
+}
+
+inline void Ssd8SmallDim(const uint8_t* qcodes, const uint8_t* codes,
+                         size_t rows, size_t d, uint32_t* out) {
+  const __mmask16 tail =
+      static_cast<__mmask16>((1u << (d % 16)) - 1u);
+  size_t r = 0;
+  for (; r + 4 <= rows; r += 4) {
+    const uint8_t* c = codes + r * d;
+    const __m128i a0 = Ssd8AccSmall(qcodes, c, d, tail);
+    const __m128i a1 = Ssd8AccSmall(qcodes, c + d, d, tail);
+    const __m128i a2 = Ssd8AccSmall(qcodes, c + 2 * d, d, tail);
+    const __m128i a3 = Ssd8AccSmall(qcodes, c + 3 * d, d, tail);
+    const __m128i sums = _mm_hadd_epi32(_mm_hadd_epi32(a0, a1),
+                                        _mm_hadd_epi32(a2, a3));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + r), sums);
+  }
+  for (; r < rows; ++r) {
+    out[r] = HorizontalSumU32(Ssd8AccSmall(qcodes, codes + r * d, d, tail));
+  }
+}
+
+inline uint32_t Ssd8Row(const uint8_t* q, const uint8_t* c, size_t d) {
+  const __m512i zero512 = _mm512_setzero_si512();
+  __m512i acc512 = zero512;
+  size_t j = 0;
+  for (; j + 64 <= d; j += 64) {
+    const __m512i vq =
+        _mm512_loadu_si512(reinterpret_cast<const void*>(q + j));
+    const __m512i vc =
+        _mm512_loadu_si512(reinterpret_cast<const void*>(c + j));
+    const __m512i ad =
+        _mm512_sub_epi8(_mm512_max_epu8(vq, vc), _mm512_min_epu8(vq, vc));
+    const __m512i lo = _mm512_unpacklo_epi8(ad, zero512);
+    const __m512i hi = _mm512_unpackhi_epi8(ad, zero512);
+    acc512 = _mm512_add_epi32(acc512, _mm512_madd_epi16(lo, lo));
+    acc512 = _mm512_add_epi32(acc512, _mm512_madd_epi16(hi, hi));
+  }
+  __m128i acc = Reduce512To128(acc512);
+  if (j + 32 <= d) {
+    const __m256i zero = _mm256_setzero_si256();
+    const __m256i vq =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(q + j));
+    const __m256i vc =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(c + j));
+    const __m256i ad =
+        _mm256_sub_epi8(_mm256_max_epu8(vq, vc), _mm256_min_epu8(vq, vc));
+    const __m256i lo = _mm256_unpacklo_epi8(ad, zero);
+    const __m256i hi = _mm256_unpackhi_epi8(ad, zero);
+    const __m256i part = _mm256_add_epi32(_mm256_madd_epi16(lo, lo),
+                                          _mm256_madd_epi16(hi, hi));
+    acc = _mm_add_epi32(acc, _mm_add_epi32(_mm256_castsi256_si128(part),
+                                           _mm256_extracti128_si256(part, 1)));
+    j += 32;
+  }
+  if (j + 16 <= d) {
+    const __m128i zero = _mm_setzero_si128();
+    const __m128i vq =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(q + j));
+    const __m128i vc =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(c + j));
+    const __m128i ad =
+        _mm_sub_epi8(_mm_max_epu8(vq, vc), _mm_min_epu8(vq, vc));
+    const __m128i lo = _mm_unpacklo_epi8(ad, zero);
+    const __m128i hi = _mm_unpackhi_epi8(ad, zero);
+    acc = _mm_add_epi32(acc, _mm_madd_epi16(lo, lo));
+    acc = _mm_add_epi32(acc, _mm_madd_epi16(hi, hi));
+    j += 16;
+  }
+  if (j < d) {
+    const __mmask16 tail =
+        static_cast<__mmask16>((1u << (d - j)) - 1u);
+    const __m128i zero = _mm_setzero_si128();
+    const __m128i vq = _mm_maskz_loadu_epi8(tail, q + j);
+    const __m128i vc = _mm_maskz_loadu_epi8(tail, c + j);
+    const __m128i ad =
+        _mm_sub_epi8(_mm_max_epu8(vq, vc), _mm_min_epu8(vq, vc));
+    const __m128i lo = _mm_unpacklo_epi8(ad, zero);
+    const __m128i hi = _mm_unpackhi_epi8(ad, zero);
+    acc = _mm_add_epi32(acc, _mm_madd_epi16(lo, lo));
+    acc = _mm_add_epi32(acc, _mm_madd_epi16(hi, hi));
+  }
+  return HorizontalSumU32(acc);
+}
+
+void Avx512Ssd8OneToMany(const uint8_t* qcodes, const uint8_t* codes,
+                         size_t rows, size_t d, uint32_t* out) {
+  if (d < 64) {
+    Ssd8SmallDim(qcodes, codes, rows, d, out);
+    return;
+  }
+  for (size_t r = 0; r < rows; ++r) {
+    out[r] = Ssd8Row(qcodes, codes + r * d, d);
+  }
+}
+
+// Same small-input treatment for the nibble kernel: below 32 packed
+// bytes (d < 63) the 256/512-bit blocks never run, so use 128-bit
+// blocks with a maskz tail and 4-row phaddd reduction. Masked-off
+// bytes read as 0 on both sides, so their nibble diffs contribute 0.
+
+inline __m128i Ssd4AccSmall(const uint8_t* q, const uint8_t* c, size_t bytes,
+                            __mmask16 tail) {
+  const __m128i mask = _mm_set1_epi8(0x0F);
+  const __m128i ones = _mm_set1_epi16(1);
+  __m128i acc = _mm_setzero_si128();
+  size_t b = 0;
+  for (; b + 16 <= bytes; b += 16) {
+    const __m128i vq =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(q + b));
+    const __m128i vc =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(c + b));
+    const __m128i qlo = _mm_and_si128(vq, mask);
+    const __m128i clo = _mm_and_si128(vc, mask);
+    const __m128i qhi = _mm_and_si128(_mm_srli_epi16(vq, 4), mask);
+    const __m128i chi = _mm_and_si128(_mm_srli_epi16(vc, 4), mask);
+    const __m128i adlo =
+        _mm_sub_epi8(_mm_max_epu8(qlo, clo), _mm_min_epu8(qlo, clo));
+    const __m128i adhi =
+        _mm_sub_epi8(_mm_max_epu8(qhi, chi), _mm_min_epu8(qhi, chi));
+    const __m128i p = _mm_add_epi16(_mm_maddubs_epi16(adlo, adlo),
+                                    _mm_maddubs_epi16(adhi, adhi));
+    acc = _mm_add_epi32(acc, _mm_madd_epi16(p, ones));
+  }
+  if (tail) {
+    const __m128i vq = _mm_maskz_loadu_epi8(tail, q + b);
+    const __m128i vc = _mm_maskz_loadu_epi8(tail, c + b);
+    const __m128i qlo = _mm_and_si128(vq, mask);
+    const __m128i clo = _mm_and_si128(vc, mask);
+    const __m128i qhi = _mm_and_si128(_mm_srli_epi16(vq, 4), mask);
+    const __m128i chi = _mm_and_si128(_mm_srli_epi16(vc, 4), mask);
+    const __m128i adlo =
+        _mm_sub_epi8(_mm_max_epu8(qlo, clo), _mm_min_epu8(qlo, clo));
+    const __m128i adhi =
+        _mm_sub_epi8(_mm_max_epu8(qhi, chi), _mm_min_epu8(qhi, chi));
+    const __m128i p = _mm_add_epi16(_mm_maddubs_epi16(adlo, adlo),
+                                    _mm_maddubs_epi16(adhi, adhi));
+    acc = _mm_add_epi32(acc, _mm_madd_epi16(p, ones));
+  }
+  return acc;
+}
+
+inline void Ssd4SmallDim(const uint8_t* qpacked, const uint8_t* packed,
+                         size_t rows, size_t bytes, uint32_t* out) {
+  const __mmask16 tail =
+      static_cast<__mmask16>((1u << (bytes % 16)) - 1u);
+  size_t r = 0;
+  for (; r + 4 <= rows; r += 4) {
+    const uint8_t* c = packed + r * bytes;
+    const __m128i a0 = Ssd4AccSmall(qpacked, c, bytes, tail);
+    const __m128i a1 = Ssd4AccSmall(qpacked, c + bytes, bytes, tail);
+    const __m128i a2 = Ssd4AccSmall(qpacked, c + 2 * bytes, bytes, tail);
+    const __m128i a3 = Ssd4AccSmall(qpacked, c + 3 * bytes, bytes, tail);
+    const __m128i sums = _mm_hadd_epi32(_mm_hadd_epi32(a0, a1),
+                                        _mm_hadd_epi32(a2, a3));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + r), sums);
+  }
+  for (; r < rows; ++r) {
+    out[r] =
+        HorizontalSumU32(Ssd4AccSmall(qpacked, packed + r * bytes, bytes, tail));
+  }
+}
+
+inline uint32_t Ssd4Row(const uint8_t* q, const uint8_t* c, size_t bytes) {
+  const __m512i mask512 = _mm512_set1_epi8(0x0F);
+  const __m512i ones512 = _mm512_set1_epi16(1);
+  __m512i acc512 = _mm512_setzero_si512();
+  size_t b = 0;
+  for (; b + 64 <= bytes; b += 64) {
+    const __m512i vq =
+        _mm512_loadu_si512(reinterpret_cast<const void*>(q + b));
+    const __m512i vc =
+        _mm512_loadu_si512(reinterpret_cast<const void*>(c + b));
+    const __m512i qlo = _mm512_and_si512(vq, mask512);
+    const __m512i clo = _mm512_and_si512(vc, mask512);
+    const __m512i qhi = _mm512_and_si512(_mm512_srli_epi16(vq, 4), mask512);
+    const __m512i chi = _mm512_and_si512(_mm512_srli_epi16(vc, 4), mask512);
+    const __m512i adlo =
+        _mm512_sub_epi8(_mm512_max_epu8(qlo, clo), _mm512_min_epu8(qlo, clo));
+    const __m512i adhi =
+        _mm512_sub_epi8(_mm512_max_epu8(qhi, chi), _mm512_min_epu8(qhi, chi));
+    const __m512i p = _mm512_add_epi16(_mm512_maddubs_epi16(adlo, adlo),
+                                       _mm512_maddubs_epi16(adhi, adhi));
+    acc512 = _mm512_add_epi32(acc512, _mm512_madd_epi16(p, ones512));
+  }
+  __m128i acc = Reduce512To128(acc512);
+  if (b + 32 <= bytes) {
+    const __m256i mask = _mm256_set1_epi8(0x0F);
+    const __m256i ones = _mm256_set1_epi16(1);
+    const __m256i vq =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(q + b));
+    const __m256i vc =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(c + b));
+    const __m256i qlo = _mm256_and_si256(vq, mask);
+    const __m256i clo = _mm256_and_si256(vc, mask);
+    const __m256i qhi = _mm256_and_si256(_mm256_srli_epi16(vq, 4), mask);
+    const __m256i chi = _mm256_and_si256(_mm256_srli_epi16(vc, 4), mask);
+    const __m256i adlo =
+        _mm256_sub_epi8(_mm256_max_epu8(qlo, clo), _mm256_min_epu8(qlo, clo));
+    const __m256i adhi =
+        _mm256_sub_epi8(_mm256_max_epu8(qhi, chi), _mm256_min_epu8(qhi, chi));
+    const __m256i p = _mm256_add_epi16(_mm256_maddubs_epi16(adlo, adlo),
+                                       _mm256_maddubs_epi16(adhi, adhi));
+    const __m256i part = _mm256_madd_epi16(p, ones);
+    acc = _mm_add_epi32(acc, _mm_add_epi32(_mm256_castsi256_si128(part),
+                                           _mm256_extracti128_si256(part, 1)));
+    b += 32;
+  }
+  if (b + 16 <= bytes) {
+    const __m128i mask = _mm_set1_epi8(0x0F);
+    const __m128i ones = _mm_set1_epi16(1);
+    const __m128i vq =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(q + b));
+    const __m128i vc =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(c + b));
+    const __m128i qlo = _mm_and_si128(vq, mask);
+    const __m128i clo = _mm_and_si128(vc, mask);
+    const __m128i qhi = _mm_and_si128(_mm_srli_epi16(vq, 4), mask);
+    const __m128i chi = _mm_and_si128(_mm_srli_epi16(vc, 4), mask);
+    const __m128i adlo =
+        _mm_sub_epi8(_mm_max_epu8(qlo, clo), _mm_min_epu8(qlo, clo));
+    const __m128i adhi =
+        _mm_sub_epi8(_mm_max_epu8(qhi, chi), _mm_min_epu8(qhi, chi));
+    const __m128i p = _mm_add_epi16(_mm_maddubs_epi16(adlo, adlo),
+                                    _mm_maddubs_epi16(adhi, adhi));
+    acc = _mm_add_epi32(acc, _mm_madd_epi16(p, ones));
+    b += 16;
+  }
+  if (b < bytes) {
+    const __mmask16 tail =
+        static_cast<__mmask16>((1u << (bytes - b)) - 1u);
+    const __m128i mask = _mm_set1_epi8(0x0F);
+    const __m128i ones = _mm_set1_epi16(1);
+    const __m128i vq = _mm_maskz_loadu_epi8(tail, q + b);
+    const __m128i vc = _mm_maskz_loadu_epi8(tail, c + b);
+    const __m128i qlo = _mm_and_si128(vq, mask);
+    const __m128i clo = _mm_and_si128(vc, mask);
+    const __m128i qhi = _mm_and_si128(_mm_srli_epi16(vq, 4), mask);
+    const __m128i chi = _mm_and_si128(_mm_srli_epi16(vc, 4), mask);
+    const __m128i adlo =
+        _mm_sub_epi8(_mm_max_epu8(qlo, clo), _mm_min_epu8(qlo, clo));
+    const __m128i adhi =
+        _mm_sub_epi8(_mm_max_epu8(qhi, chi), _mm_min_epu8(qhi, chi));
+    const __m128i p = _mm_add_epi16(_mm_maddubs_epi16(adlo, adlo),
+                                    _mm_maddubs_epi16(adhi, adhi));
+    acc = _mm_add_epi32(acc, _mm_madd_epi16(p, ones));
+  }
+  return HorizontalSumU32(acc);
+}
+
+void Avx512Ssd4OneToMany(const uint8_t* qpacked, const uint8_t* packed,
+                         size_t rows, size_t d, uint32_t* out) {
+  const size_t bytes = (d + 1) / 2;
+  if (bytes < 32) {
+    Ssd4SmallDim(qpacked, packed, rows, bytes, out);
+    return;
+  }
+  for (size_t r = 0; r < rows; ++r) {
+    out[r] = Ssd4Row(qpacked, packed + r * bytes, bytes);
+  }
+}
+
+}  // namespace
+
+const KernelOps& Avx512KernelOps() {
+  static const KernelOps ops = {
+      "avx512",
+      Avx512SquaredL2Pair,
+      Avx512DotPair,
+      Avx512L2OneToMany,
+      Avx512L2DotOneToMany,
+      Avx512RowNorms,
+      Avx512Ssd8OneToMany,
+      Avx512Ssd4OneToMany,
+  };
+  return ops;
+}
+
+}  // namespace internal
+}  // namespace mocemg
+
+#endif  // x86

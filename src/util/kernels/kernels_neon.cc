@@ -1,0 +1,194 @@
+/// \file kernels_neon.cc
+/// \brief aarch64 Advanced SIMD backend. NEON is baseline on aarch64 so
+/// this TU needs no extra target flags (beyond -ffp-contract=off); the
+/// int8 kernel upgrades to the udot (dot-product) instruction when the
+/// compiler baseline carries __ARM_FEATURE_DOTPROD.
+///
+/// Bit-exactness (kernel_dispatch.h): the double kernels keep the
+/// 4-lane contract as a *pair* of 2-wide accumulators — acc01 holds the
+/// scalar reference's lanes a0/a1 and acc23 holds a2/a3, each updated
+/// with a separate multiply then add (never vfma), remainder dims
+/// handled on the extracted lanes with the scalar code, lanes combined
+/// as (a0 + a1) + (a2 + a3). The integer kernels are exact: |q − c| via
+/// vabd, squared through the widening multiply (vmull_u8 →
+/// pairwise-accumulate) or udot, all in uint32 arithmetic.
+
+#if defined(__aarch64__)
+
+#include <arm_neon.h>
+
+#include "util/kernels/kernel_backend.h"
+
+namespace mocemg {
+namespace internal {
+namespace {
+
+// ---------------------------------------------------------------------
+// double kernels: lanes a0/a1 in acc01, a2/a3 in acc23.
+
+inline double CombineTail(float64x2_t acc01, float64x2_t acc23,
+                          const double* x, const double* y, size_t i,
+                          size_t d, bool squared) {
+  double a0 = vgetq_lane_f64(acc01, 0);
+  double a1 = vgetq_lane_f64(acc01, 1);
+  double a2 = vgetq_lane_f64(acc23, 0);
+  double a3 = vgetq_lane_f64(acc23, 1);
+  if (squared) {
+    if (i < d) {
+      const double d0 = x[i] - y[i];
+      a0 += d0 * d0;
+    }
+    if (i + 1 < d) {
+      const double d1 = x[i + 1] - y[i + 1];
+      a1 += d1 * d1;
+    }
+    if (i + 2 < d) {
+      const double d2 = x[i + 2] - y[i + 2];
+      a2 += d2 * d2;
+    }
+  } else {
+    if (i < d) a0 += x[i] * y[i];
+    if (i + 1 < d) a1 += x[i + 1] * y[i + 1];
+    if (i + 2 < d) a2 += x[i + 2] * y[i + 2];
+  }
+  return (a0 + a1) + (a2 + a3);
+}
+
+double NeonSquaredL2Pair(const double* x, const double* y, size_t d) {
+  float64x2_t acc01 = vdupq_n_f64(0.0);
+  float64x2_t acc23 = vdupq_n_f64(0.0);
+  size_t i = 0;
+  for (; i + 4 <= d; i += 4) {
+    const float64x2_t d01 = vsubq_f64(vld1q_f64(x + i), vld1q_f64(y + i));
+    const float64x2_t d23 =
+        vsubq_f64(vld1q_f64(x + i + 2), vld1q_f64(y + i + 2));
+    acc01 = vaddq_f64(acc01, vmulq_f64(d01, d01));
+    acc23 = vaddq_f64(acc23, vmulq_f64(d23, d23));
+  }
+  return CombineTail(acc01, acc23, x, y, i, d, /*squared=*/true);
+}
+
+double NeonDotPair(const double* x, const double* y, size_t d) {
+  float64x2_t acc01 = vdupq_n_f64(0.0);
+  float64x2_t acc23 = vdupq_n_f64(0.0);
+  size_t i = 0;
+  for (; i + 4 <= d; i += 4) {
+    acc01 = vaddq_f64(acc01, vmulq_f64(vld1q_f64(x + i), vld1q_f64(y + i)));
+    acc23 = vaddq_f64(
+        acc23, vmulq_f64(vld1q_f64(x + i + 2), vld1q_f64(y + i + 2)));
+  }
+  return CombineTail(acc01, acc23, x, y, i, d, /*squared=*/false);
+}
+
+void NeonL2OneToMany(const double* query, const double* block, size_t rows,
+                     size_t d, double* out) {
+  for (size_t r = 0; r < rows; ++r) {
+    out[r] = NeonSquaredL2Pair(query, block + r * d, d);
+  }
+}
+
+void NeonL2DotOneToMany(const double* query, double query_sq,
+                        const double* block, const double* norms_sq,
+                        size_t rows, size_t d, double* out) {
+  for (size_t r = 0; r < rows; ++r) {
+    out[r] =
+        query_sq + norms_sq[r] - 2.0 * NeonDotPair(query, block + r * d, d);
+  }
+}
+
+void NeonRowNorms(const double* block, size_t rows, size_t d, double* out) {
+  for (size_t r = 0; r < rows; ++r) {
+    const double* row = block + r * d;
+    out[r] = NeonDotPair(row, row, d);
+  }
+}
+
+// ---------------------------------------------------------------------
+// integer coarse kernels.
+
+inline uint32x4_t AddSquares(uint32x4_t acc, uint8x16_t ad) {
+#if defined(__ARM_FEATURE_DOTPROD)
+  return vdotq_u32(acc, ad, ad);
+#else
+  const uint16x8_t lo = vmull_u8(vget_low_u8(ad), vget_low_u8(ad));
+  const uint16x8_t hi = vmull_u8(vget_high_u8(ad), vget_high_u8(ad));
+  return vpadalq_u16(vpadalq_u16(acc, lo), hi);
+#endif
+}
+
+inline uint32_t Ssd8Row(const uint8_t* q, const uint8_t* c, size_t d) {
+  uint32x4_t acc = vdupq_n_u32(0);
+  size_t j = 0;
+  for (; j + 16 <= d; j += 16) {
+    const uint8x16_t ad = vabdq_u8(vld1q_u8(q + j), vld1q_u8(c + j));
+    acc = AddSquares(acc, ad);
+  }
+  uint32_t sum = vaddvq_u32(acc);
+  for (; j < d; ++j) {
+    const int32_t diff =
+        static_cast<int32_t>(q[j]) - static_cast<int32_t>(c[j]);
+    sum += static_cast<uint32_t>(diff * diff);
+  }
+  return sum;
+}
+
+void NeonSsd8OneToMany(const uint8_t* qcodes, const uint8_t* codes,
+                       size_t rows, size_t d, uint32_t* out) {
+  for (size_t r = 0; r < rows; ++r) {
+    out[r] = Ssd8Row(qcodes, codes + r * d, d);
+  }
+}
+
+inline uint32_t Ssd4Row(const uint8_t* q, const uint8_t* c, size_t bytes) {
+  const uint8x16_t mask = vdupq_n_u8(0x0F);
+  uint32x4_t acc = vdupq_n_u32(0);
+  size_t b = 0;
+  for (; b + 16 <= bytes; b += 16) {
+    const uint8x16_t vq = vld1q_u8(q + b);
+    const uint8x16_t vc = vld1q_u8(c + b);
+    const uint8x16_t adlo =
+        vabdq_u8(vandq_u8(vq, mask), vandq_u8(vc, mask));
+    const uint8x16_t adhi =
+        vabdq_u8(vshrq_n_u8(vq, 4), vshrq_n_u8(vc, 4));
+    acc = AddSquares(acc, adlo);
+    acc = AddSquares(acc, adhi);
+  }
+  uint32_t sum = vaddvq_u32(acc);
+  for (; b < bytes; ++b) {
+    const int32_t dlo = static_cast<int32_t>(q[b] & 0x0F) -
+                        static_cast<int32_t>(c[b] & 0x0F);
+    const int32_t dhi =
+        static_cast<int32_t>(q[b] >> 4) - static_cast<int32_t>(c[b] >> 4);
+    sum += static_cast<uint32_t>(dlo * dlo + dhi * dhi);
+  }
+  return sum;
+}
+
+void NeonSsd4OneToMany(const uint8_t* qpacked, const uint8_t* packed,
+                       size_t rows, size_t d, uint32_t* out) {
+  const size_t bytes = (d + 1) / 2;
+  for (size_t r = 0; r < rows; ++r) {
+    out[r] = Ssd4Row(qpacked, packed + r * bytes, bytes);
+  }
+}
+
+}  // namespace
+
+const KernelOps& NeonKernelOps() {
+  static const KernelOps ops = {
+      "neon",
+      NeonSquaredL2Pair,
+      NeonDotPair,
+      NeonL2OneToMany,
+      NeonL2DotOneToMany,
+      NeonRowNorms,
+      NeonSsd8OneToMany,
+      NeonSsd4OneToMany,
+  };
+  return ops;
+}
+
+}  // namespace internal
+}  // namespace mocemg
+
+#endif  // __aarch64__

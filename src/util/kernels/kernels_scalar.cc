@@ -1,0 +1,101 @@
+/// \file kernels_scalar.cc
+/// \brief Portable reference backend. Compiled with the project's
+/// default flags only (no target-specific options), so this TU *is*
+/// the "current auto-vectorized build" that the SIMD backends are
+/// benchmarked against and bit-compared to.
+
+#include "util/distance_kernels.h"
+#include "util/kernels/kernel_backend.h"
+
+namespace mocemg {
+namespace internal {
+namespace {
+
+double ScalarSquaredL2Pair(const double* x, const double* y, size_t d) {
+  return SquaredL2(x, y, d);
+}
+
+double ScalarDotPair(const double* x, const double* y, size_t d) {
+  return DotProduct(x, y, d);
+}
+
+void ScalarL2OneToMany(const double* query, const double* block,
+                       size_t rows, size_t d, double* out) {
+  for (size_t r = 0; r < rows; ++r) {
+    out[r] = SquaredL2(query, block + r * d, d);
+  }
+}
+
+void ScalarL2DotOneToMany(const double* query, double query_sq,
+                          const double* block, const double* norms_sq,
+                          size_t rows, size_t d, double* out) {
+  for (size_t r = 0; r < rows; ++r) {
+    out[r] =
+        query_sq + norms_sq[r] - 2.0 * DotProduct(query, block + r * d, d);
+  }
+}
+
+void ScalarRowNorms(const double* block, size_t rows, size_t d,
+                    double* out) {
+  for (size_t r = 0; r < rows; ++r) {
+    out[r] = SquaredNorm(block + r * d, d);
+  }
+}
+
+void ScalarSsd8OneToMany(const uint8_t* qcodes, const uint8_t* codes,
+                         size_t rows, size_t d, uint32_t* out) {
+  // Exact int32 accumulation; the shape (byte loads widened to i16,
+  // multiply-accumulated to i32) is what the vectorizer turns into
+  // pmaddwd-class code even in this portable TU.
+  for (size_t r = 0; r < rows; ++r) {
+    const uint8_t* c = codes + r * d;
+    uint32_t acc = 0;
+    for (size_t j = 0; j < d; ++j) {
+      const int32_t diff =
+          static_cast<int32_t>(qcodes[j]) - static_cast<int32_t>(c[j]);
+      acc += static_cast<uint32_t>(diff * diff);
+    }
+    out[r] = acc;
+  }
+}
+
+void ScalarSsd4OneToMany(const uint8_t* qpacked, const uint8_t* packed,
+                         size_t rows, size_t d, uint32_t* out) {
+  // Nibble-packed codes: dim 2b in the low nibble of byte b, dim 2b+1
+  // in the high nibble; when d is odd the final high nibble is 0 in
+  // both the query and every row (quant_kernels.h PackNibbleRows), so
+  // the uniform per-byte loop contributes 0 for the pad and the sum is
+  // exact over the real dims.
+  const size_t bytes = (d + 1) / 2;
+  for (size_t r = 0; r < rows; ++r) {
+    const uint8_t* c = packed + r * bytes;
+    uint32_t acc = 0;
+    for (size_t b = 0; b < bytes; ++b) {
+      const int32_t dlo = static_cast<int32_t>(qpacked[b] & 0x0F) -
+                          static_cast<int32_t>(c[b] & 0x0F);
+      const int32_t dhi = static_cast<int32_t>(qpacked[b] >> 4) -
+                          static_cast<int32_t>(c[b] >> 4);
+      acc += static_cast<uint32_t>(dlo * dlo + dhi * dhi);
+    }
+    out[r] = acc;
+  }
+}
+
+}  // namespace
+
+const KernelOps& ScalarKernelOps() {
+  static const KernelOps ops = {
+      "scalar",
+      ScalarSquaredL2Pair,
+      ScalarDotPair,
+      ScalarL2OneToMany,
+      ScalarL2DotOneToMany,
+      ScalarRowNorms,
+      ScalarSsd8OneToMany,
+      ScalarSsd4OneToMany,
+  };
+  return ops;
+}
+
+}  // namespace internal
+}  // namespace mocemg

@@ -4,10 +4,12 @@
 #include <cfloat>
 #include <cmath>
 
+#include "util/kernel_dispatch.h"
+
 namespace mocemg {
 
 void ComputeQuantGrid(const double* block, size_t rows, size_t d,
-                      double* offsets, double* scale) {
+                      double* offsets, double* scale, uint32_t levels) {
   double max_range = 0.0;
   for (size_t j = 0; j < d; ++j) offsets[j] = block[j];
   // First pass: column minima.
@@ -24,34 +26,38 @@ void ComputeQuantGrid(const double* block, size_t rows, size_t d,
       max_range = std::max(max_range, row[j] - offsets[j]);
     }
   }
-  *scale = max_range / 255.0;
+  *scale = max_range / static_cast<double>(levels);
 }
 
 namespace {
 
-inline uint8_t EncodeValue(double value, double offset, double scale) {
+inline uint8_t EncodeValue(double value, double offset, double scale,
+                           double levels) {
   if (scale <= 0.0) return 0;
   const double t = std::nearbyint((value - offset) / scale);
-  return static_cast<uint8_t>(std::clamp(t, 0.0, 255.0));
+  return static_cast<uint8_t>(std::clamp(t, 0.0, levels));
 }
 
 }  // namespace
 
 void QuantizeRows(const double* block, size_t rows, size_t d,
-                  const double* offsets, double scale, uint8_t* codes) {
+                  const double* offsets, double scale, uint8_t* codes,
+                  uint32_t levels) {
+  const double lmax = static_cast<double>(levels);
   for (size_t r = 0; r < rows; ++r) {
     const double* row = block + r * d;
     uint8_t* out = codes + r * d;
     for (size_t j = 0; j < d; ++j) {
-      out[j] = EncodeValue(row[j], offsets[j], scale);
+      out[j] = EncodeValue(row[j], offsets[j], scale, lmax);
     }
   }
 }
 
 void QuantizeQuery(const double* query, size_t d, const double* offsets,
-                   double scale, uint8_t* qcodes) {
+                   double scale, uint8_t* qcodes, uint32_t levels) {
+  const double lmax = static_cast<double>(levels);
   for (size_t j = 0; j < d; ++j) {
-    qcodes[j] = EncodeValue(query[j], offsets[j], scale);
+    qcodes[j] = EncodeValue(query[j], offsets[j], scale, lmax);
   }
 }
 
@@ -62,21 +68,55 @@ void DequantizeRow(const uint8_t* codes, size_t d, const double* offsets,
   }
 }
 
+void PackNibbleRows(const uint8_t* codes, size_t rows, size_t d,
+                    uint8_t* packed) {
+  const size_t stride = PackedNibbleStride(d);
+  for (size_t r = 0; r < rows; ++r) {
+    const uint8_t* in = codes + r * d;
+    uint8_t* out = packed + r * stride;
+    for (size_t b = 0; b < stride; ++b) {
+      const uint8_t lo = static_cast<uint8_t>(in[2 * b] & 0x0F);
+      const uint8_t hi = (2 * b + 1 < d)
+                             ? static_cast<uint8_t>(in[2 * b + 1] & 0x0F)
+                             : uint8_t{0};
+      out[b] = static_cast<uint8_t>(lo | (hi << 4));
+    }
+  }
+}
+
+void UnpackNibbleRow(const uint8_t* packed, size_t d, uint8_t* codes) {
+  for (size_t j = 0; j < d; ++j) {
+    const uint8_t byte = packed[j / 2];
+    codes[j] = (j % 2 == 0) ? static_cast<uint8_t>(byte & 0x0F)
+                            : static_cast<uint8_t>(byte >> 4);
+  }
+}
+
 void QuantizedSsdOneToMany(const uint8_t* qcodes, const uint8_t* codes,
                            size_t rows, size_t d, uint32_t* out) {
-  // Plain int32 accumulation: exact (no rounding, no lane contract
-  // needed — integer addition is associative) and shaped for the
-  // vectorizer (byte loads widened to i16, multiply-accumulated to
-  // i32).
-  for (size_t r = 0; r < rows; ++r) {
-    const uint8_t* c = codes + r * d;
-    uint32_t acc = 0;
-    for (size_t j = 0; j < d; ++j) {
-      const int32_t diff = static_cast<int32_t>(qcodes[j]) -
-                           static_cast<int32_t>(c[j]);
-      acc += static_cast<uint32_t>(diff * diff);
+  internal::ActiveKernelOps().ssd8_one_to_many(qcodes, codes, rows, d, out);
+}
+
+void Quantized4SsdOneToMany(const uint8_t* qpacked, const uint8_t* packed,
+                            size_t rows, size_t d, uint32_t* out) {
+  internal::ActiveKernelOps().ssd4_one_to_many(qpacked, packed, rows, d,
+                                               out);
+}
+
+void QuantizedSsdManyToMany(const uint8_t* qcodes, size_t num_queries,
+                            const uint8_t* codes, size_t rows, size_t d,
+                            uint32_t* out, size_t out_stride) {
+  // 1024 rows × 64 dims = 64 KiB of codes per tile — L2-resident, and
+  // streamed once per query batch instead of once per query. Tiling
+  // cannot change results (integer sums are exact at any order).
+  constexpr size_t kCodeRowTile = 1024;
+  const KernelOps& ops = internal::ActiveKernelOps();
+  for (size_t r0 = 0; r0 < rows; r0 += kCodeRowTile) {
+    const size_t tile = std::min(rows - r0, kCodeRowTile);
+    for (size_t q = 0; q < num_queries; ++q) {
+      ops.ssd8_one_to_many(qcodes + q * d, codes + r0 * d, tile, d,
+                           out + q * out_stride + r0);
     }
-    out[r] = acc;
   }
 }
 

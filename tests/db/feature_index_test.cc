@@ -5,6 +5,7 @@
 #include <cmath>
 #include <limits>
 
+#include "util/distance_kernels.h"
 #include "util/random.h"
 
 namespace mocemg {
@@ -367,6 +368,89 @@ TEST(FeatureIndexTest, QuantizedOffMatchesQuantizedOn) {
     for (size_t i = 0; i < a->size(); ++i) {
       EXPECT_EQ((*a)[i].record_index, (*b)[i].record_index);
       EXPECT_EQ((*a)[i].distance, (*b)[i].distance);
+    }
+  }
+}
+
+// The code width is a coarse-tier implementation detail: 4-bit codes
+// must give exactly the linear scan's answers (and therefore exactly
+// the 8-bit index's answers) — the weaker grid only weakens pruning.
+TEST(FeatureIndexTest, FourBitResultsBitIdenticalToLinearAndEightBit) {
+  for (size_t dim : {1, 2, 5, 16, 33, 67}) {
+    MotionDatabase db = MakeDbDim(200, dim, 100 + dim);
+    FeatureIndexOptions opts8;
+    opts8.quantized_min_rows = 1;
+    opts8.num_partitions = 4;
+    FeatureIndexOptions opts4 = opts8;
+    opts4.quant_bits = 4;
+    auto index8 = FeatureIndex::Build(&db, opts8);
+    auto index4 = FeatureIndex::Build(&db, opts4);
+    ASSERT_TRUE(index8.ok()) << index8.status();
+    ASSERT_TRUE(index4.ok()) << index4.status();
+    EXPECT_TRUE(index4->has_quantized_tier());
+    Rng rng(110 + dim);
+    for (int q = 0; q < 20; ++q) {
+      std::vector<double> query(dim);
+      for (size_t j = 0; j < dim; ++j) {
+        query[j] = (j == 0 ? rng.Uniform(-5.0, 65.0)
+                           : rng.Gaussian(0, 2.0));
+      }
+      auto linear = db.NearestNeighbors(query, 5);
+      auto h8 = index8->NearestNeighbors(query, 5);
+      auto h4 = index4->NearestNeighbors(query, 5);
+      ASSERT_TRUE(linear.ok());
+      ASSERT_TRUE(h8.ok());
+      ASSERT_TRUE(h4.ok());
+      ASSERT_EQ(linear->size(), h4->size());
+      for (size_t i = 0; i < linear->size(); ++i) {
+        EXPECT_EQ((*linear)[i].record_index, (*h4)[i].record_index)
+            << "dim " << dim << " query " << q << " rank " << i;
+        EXPECT_EQ((*linear)[i].distance, (*h4)[i].distance)
+            << "dim " << dim << " query " << q << " rank " << i;
+        EXPECT_EQ((*h8)[i].record_index, (*h4)[i].record_index);
+        EXPECT_EQ((*h8)[i].distance, (*h4)[i].distance);
+      }
+    }
+  }
+}
+
+TEST(FeatureIndexTest, InvalidQuantBitsRejected) {
+  MotionDatabase db = MakeDb(50, 120);
+  for (size_t bits : {0, 1, 2, 3, 5, 7, 16}) {
+    FeatureIndexOptions opts;
+    opts.quant_bits = bits;
+    auto index = FeatureIndex::Build(&db, opts);
+    ASSERT_FALSE(index.ok()) << "quant_bits " << bits;
+    EXPECT_EQ(index.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+// The degraded coarse path's certified bound must hold at 4 bits too —
+// the coarser grid widens B, it never invalidates it.
+TEST(FeatureIndexTest, FourBitCoarseErrorBoundHolds) {
+  MotionDatabase db = MakeDbDim(600, 24, 130);
+  FeatureIndexOptions opts;
+  opts.quant_bits = 4;
+  opts.quantized_min_rows = 1;
+  opts.num_partitions = 6;
+  auto index = FeatureIndex::Build(&db, opts);
+  ASSERT_TRUE(index.ok()) << index.status();
+  ASSERT_TRUE(index->has_quantized_tier());
+  Rng rng(131);
+  for (int q = 0; q < 25; ++q) {
+    std::vector<double> query(24);
+    for (size_t j = 0; j < query.size(); ++j) {
+      query[j] = (j == 0 ? rng.Uniform(-5.0, 65.0) : rng.Gaussian(0, 2.0));
+    }
+    double bound = -1.0;
+    auto hits = index->CoarseNearestNeighbors(query, 5, &bound);
+    ASSERT_TRUE(hits.ok()) << hits.status();
+    EXPECT_GE(bound, 0.0);
+    for (const QueryHit& h : *hits) {
+      const double truth = std::sqrt(SquaredL2(
+          query.data(), db.record(h.record_index).feature.data(), 24));
+      EXPECT_LE(std::abs(h.distance - truth), bound)
+          << "query " << q << " record " << h.record_index;
     }
   }
 }

@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "db/serving_faults.h"
@@ -226,6 +228,118 @@ TEST(IndexSnapshotTest, GarbageAndShortFilesRejected) {
   EXPECT_FALSE(DeserializeFeatureIndex("not a snapshot", &db).ok());
   std::string wrong_magic(64, '\0');
   EXPECT_FALSE(DeserializeFeatureIndex(wrong_magic, &db).ok());
+}
+
+// A 4-bit index round-trips with its code width intact: the reloaded
+// index reports quant_bits = 4, re-serializes byte-for-byte, and
+// answers — exact AND coarse, with the certified bound — bit-identically.
+TEST(IndexSnapshotTest, FourBitRoundTripPreservesCodeWidth) {
+  MotionDatabase db = MakeDb(120, 9, 55);
+  FeatureIndexOptions opts = QuantizedOptions();
+  opts.quant_bits = 4;
+  auto index = FeatureIndex::Build(&db, opts);
+  ASSERT_TRUE(index.ok()) << index.status();
+  ASSERT_TRUE(index->has_quantized_tier());
+
+  auto bytes = SerializeFeatureIndex(*index);
+  ASSERT_TRUE(bytes.ok());
+  auto loaded = DeserializeFeatureIndex(*bytes, &db);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->options().quant_bits, 4u);
+  EXPECT_TRUE(loaded->has_quantized_tier());
+  auto again = SerializeFeatureIndex(*loaded);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(*bytes, *again);
+
+  for (const auto& q : MakeQueries(10, 9, 56)) {
+    auto a = index->NearestNeighbors(q, 5);
+    auto b = loaded->NearestNeighbors(q, 5);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    ExpectHitsEqual(*a, *b);
+    double bound_a = 0.0, bound_b = 0.0;
+    auto ca = index->CoarseNearestNeighbors(q, 5, &bound_a);
+    auto cb = loaded->CoarseNearestNeighbors(q, 5, &bound_b);
+    ASSERT_TRUE(ca.ok());
+    ASSERT_TRUE(cb.ok());
+    ExpectHitsEqual(*ca, *cb);
+    EXPECT_EQ(bound_a, bound_b);
+  }
+}
+
+// Version-1 snapshots predate the code-width field; the reader must
+// refuse them by magic, with a message that says why.
+TEST(IndexSnapshotTest, VersionOneMagicRejected) {
+  MotionDatabase db = MakeDb(60, 5, 57);
+  auto index = FeatureIndex::Build(&db, QuantizedOptions());
+  ASSERT_TRUE(index.ok());
+  auto bytes = SerializeFeatureIndex(*index);
+  ASSERT_TRUE(bytes.ok());
+  std::string v1 = *bytes;
+  ASSERT_EQ(v1.compare(0, 10, "MOCEMGIX2\n"), 0);
+  v1.replace(0, 10, "MOCEMGIX1\n");
+  auto loaded = DeserializeFeatureIndex(v1, &db);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kParseError);
+  EXPECT_NE(loaded.status().message().find("MOCEMGIX2"), std::string::npos)
+      << loaded.status();
+}
+
+// A stored width that disagrees with the partition's code array must be
+// rejected even when the checksum is valid — i.e. the width is part of
+// the validated structure, not advisory. We forge the mismatch by
+// flipping u64 fields holding 4 to 8 and recomputing the FNV-1a64
+// payload checksum; the edit that hits a partition's quant_bits makes
+// the 4-bit code array the wrong size for an 8-bit width.
+TEST(IndexSnapshotTest, CodeWidthMismatchRejected) {
+  MotionDatabase db = MakeDb(60, 5, 58);  // odd dim: 4-bit stride differs
+  FeatureIndexOptions opts = QuantizedOptions();
+  opts.quant_bits = 4;
+  opts.num_partitions = 1;
+  auto index = FeatureIndex::Build(&db, opts);
+  ASSERT_TRUE(index.ok()) << index.status();
+  ASSERT_TRUE(index->has_quantized_tier());
+  auto bytes = SerializeFeatureIndex(*index);
+  ASSERT_TRUE(bytes.ok());
+
+  const size_t kMagicLen = 10;
+  const size_t payload_off = kMagicLen + 16;  // size + checksum
+  ASSERT_GT(bytes->size(), payload_off);
+  auto fnv = [](const char* data, size_t n) {
+    uint64_t h = 14695981039346656037ull;
+    for (size_t i = 0; i < n; ++i) {
+      h ^= static_cast<unsigned char>(data[i]);
+      h *= 1099511628211ull;
+    }
+    return h;
+  };
+  auto put_u64 = [](std::string* s, size_t off, uint64_t v) {
+    for (size_t i = 0; i < 8; ++i) {
+      (*s)[off + i] = static_cast<char>((v >> (8 * i)) & 0xff);
+    }
+  };
+  bool width_rejected = false;
+  for (size_t off = payload_off; off + 8 <= bytes->size(); ++off) {
+    uint64_t v = 0;
+    for (size_t i = 0; i < 8; ++i) {
+      v |= uint64_t(static_cast<unsigned char>((*bytes)[off + i]))
+           << (8 * i);
+    }
+    if (v != 4) continue;
+    std::string forged = *bytes;
+    put_u64(&forged, off, 8);
+    put_u64(&forged, kMagicLen + 8,
+            fnv(forged.data() + payload_off, forged.size() - payload_off));
+    auto loaded = DeserializeFeatureIndex(forged, &db);
+    if (loaded.ok()) continue;  // e.g. the rebuild-options copy of the width
+    if (loaded.status().message().find("width implies") !=
+        std::string::npos) {
+      EXPECT_EQ(loaded.status().code(), StatusCode::kParseError);
+      width_rejected = true;
+    }
+  }
+  EXPECT_TRUE(width_rejected)
+      << "no forged width mismatch was rejected by the size validation";
 }
 
 ShardedIndexOptions QuantizedShardedOptions(size_t shards) {

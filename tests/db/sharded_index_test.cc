@@ -187,6 +187,46 @@ TEST(ShardedIndexTest, CoarseBitIdenticalAcrossShardCounts) {
   }
 }
 
+// The 4-bit coarse tier shards exactly like the 8-bit one: exact kNN
+// stays bit-identical to the linear scan and the single index at every
+// shard count, and the degraded coarse answers + certified bound
+// regroup identically.
+TEST(ShardedIndexTest, FourBitShardedMatchesSingleIndex) {
+  const size_t kDim = 9;
+  MotionDatabase db = MakeDb(300, kDim, 91);
+  FeatureIndexOptions fopts;
+  fopts.quant_bits = 4;
+  fopts.quantized_min_rows = 1;
+  auto single = FeatureIndex::Build(&db, fopts);
+  ASSERT_TRUE(single.ok()) << single.status();
+  ASSERT_TRUE(single->has_quantized_tier());
+  const auto queries = MakeQueries(15, kDim, 92);
+  for (size_t shards : {1, 2, 3, 8}) {
+    ShardedIndexOptions sopts;
+    sopts.index = fopts;
+    sopts.num_shards = shards;
+    auto index = ShardedFeatureIndex::Build(&db, sopts);
+    ASSERT_TRUE(index.ok()) << index.status();
+    for (const auto& q : queries) {
+      auto linear = db.NearestNeighbors(q, 5);
+      auto viaSingle = single->NearestNeighbors(q, 5);
+      auto viaShards = index->NearestNeighbors(q, 5);
+      ASSERT_TRUE(linear.ok());
+      ASSERT_TRUE(viaSingle.ok());
+      ASSERT_TRUE(viaShards.ok()) << viaShards.status();
+      ExpectHitsIdentical(*linear, *viaShards);
+      ExpectHitsIdentical(*viaSingle, *viaShards);
+      double bound_single = 0.0, bound_sharded = 0.0;
+      auto ref = single->CoarseNearestNeighbors(q, 5, &bound_single);
+      auto got = index->CoarseNearestNeighbors(q, 5, &bound_sharded);
+      ASSERT_TRUE(ref.ok()) << ref.status();
+      ASSERT_TRUE(got.ok()) << got.status();
+      ExpectHitsIdentical(*ref, *got);
+      EXPECT_EQ(bound_single, bound_sharded);
+    }
+  }
+}
+
 TEST(ShardedIndexTest, QueryValidations) {
   MotionDatabase db = MakeDb(100, 4, 51);
   auto index = ShardedFeatureIndex::Build(&db);

@@ -1,0 +1,278 @@
+#include "util/kernel_dispatch.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "util/quant_kernels.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace mocemg {
+namespace {
+
+// Every dim 1..67 covers each unroll remainder of every backend's
+// vector width (2, 4, 8 doubles; 16/32/64 bytes) many times over, plus
+// the sub-width edge where the main loop never runs.
+constexpr size_t kMaxDim = 67;
+
+// Restores the auto-detected backend when a test that forces one exits.
+struct ScopedAutoBackend {
+  ~ScopedAutoBackend() {
+    EXPECT_TRUE(SetKernelBackend(KernelBackend::kAuto).ok());
+  }
+};
+
+bool BitsEqual(double a, double b) {
+  uint64_t ua, ub;
+  std::memcpy(&ua, &a, sizeof(ua));
+  std::memcpy(&ub, &b, sizeof(ub));
+  return ua == ub;
+}
+
+bool Contains(const std::vector<KernelBackend>& v, KernelBackend b) {
+  return std::find(v.begin(), v.end(), b) != v.end();
+}
+
+std::vector<double> RandomVector(size_t n, Rng* rng) {
+  std::vector<double> v(n);
+  for (double& x : v) x = rng->Gaussian(0.0, 3.0);
+  return v;
+}
+
+std::vector<uint8_t> RandomCodes(size_t n, uint32_t levels, Rng* rng) {
+  std::vector<uint8_t> v(n);
+  for (uint8_t& x : v) {
+    x = static_cast<uint8_t>(rng->NextBelow(levels + 1));
+  }
+  return v;
+}
+
+TEST(KernelDispatchTest, NamesParseRoundTrip) {
+  for (KernelBackend b :
+       {KernelBackend::kAuto, KernelBackend::kScalar, KernelBackend::kAvx2,
+        KernelBackend::kAvx512, KernelBackend::kNeon}) {
+    auto parsed = ParseKernelBackend(KernelBackendName(b));
+    ASSERT_TRUE(parsed.ok()) << KernelBackendName(b);
+    EXPECT_EQ(*parsed, b);
+  }
+  EXPECT_FALSE(ParseKernelBackend("").ok());
+  EXPECT_FALSE(ParseKernelBackend("sse9").ok());
+  EXPECT_FALSE(ParseKernelBackend("AVX2 ").ok());
+}
+
+TEST(KernelDispatchTest, DispatchInfoInvariants) {
+  // Scalar is always compiled and always usable, detection never
+  // resolves to auto, and the active backend is one the CPU can run.
+  const std::vector<KernelBackend> compiled = CompiledKernelBackends();
+  const std::vector<KernelBackend> usable = UsableKernelBackends();
+  EXPECT_TRUE(Contains(compiled, KernelBackend::kScalar));
+  EXPECT_TRUE(Contains(usable, KernelBackend::kScalar));
+  for (KernelBackend b : usable) EXPECT_TRUE(Contains(compiled, b));
+  EXPECT_FALSE(Contains(compiled, KernelBackend::kAuto));
+  const KernelBackend active = ActiveKernelBackend();
+  EXPECT_NE(active, KernelBackend::kAuto);
+  EXPECT_TRUE(Contains(usable, active));
+
+  const KernelDispatchInfo info = GetKernelDispatchInfo();
+  EXPECT_EQ(info.active, KernelBackendName(active));
+  EXPECT_NE(info.compiled.find("scalar"), std::string::npos);
+  EXPECT_NE(info.usable.find("scalar"), std::string::npos);
+  EXPECT_FALSE(info.cpu_features.empty());
+}
+
+TEST(KernelDispatchTest, OpsTableLookup) {
+  // Every usable backend exposes a fully populated table; kAuto aliases
+  // the active one; backends the CPU/build cannot run return nullptr.
+  const KernelOps* auto_ops = GetKernelOps(KernelBackend::kAuto);
+  ASSERT_NE(auto_ops, nullptr);
+  EXPECT_STREQ(auto_ops->name, KernelBackendName(ActiveKernelBackend()));
+  const std::vector<KernelBackend> usable = UsableKernelBackends();
+  for (KernelBackend b :
+       {KernelBackend::kScalar, KernelBackend::kAvx2, KernelBackend::kAvx512,
+        KernelBackend::kNeon}) {
+    const KernelOps* ops = GetKernelOps(b);
+    if (!Contains(usable, b)) {
+      EXPECT_EQ(ops, nullptr) << KernelBackendName(b);
+      continue;
+    }
+    ASSERT_NE(ops, nullptr) << KernelBackendName(b);
+    EXPECT_STREQ(ops->name, KernelBackendName(b));
+    EXPECT_NE(ops->squared_l2_pair, nullptr);
+    EXPECT_NE(ops->dot_pair, nullptr);
+    EXPECT_NE(ops->l2_one_to_many, nullptr);
+    EXPECT_NE(ops->l2dot_one_to_many, nullptr);
+    EXPECT_NE(ops->row_norms, nullptr);
+    EXPECT_NE(ops->ssd8_one_to_many, nullptr);
+    EXPECT_NE(ops->ssd4_one_to_many, nullptr);
+  }
+}
+
+TEST(KernelDispatchTest, ForcingUnusableBackendFailsCleanly) {
+  ScopedAutoBackend restore;
+  const KernelBackend before = ActiveKernelBackend();
+  const std::vector<KernelBackend> usable = UsableKernelBackends();
+  for (KernelBackend b :
+       {KernelBackend::kAvx2, KernelBackend::kAvx512, KernelBackend::kNeon}) {
+    if (Contains(usable, b)) continue;
+    const Status s = SetKernelBackend(b);
+    EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition)
+        << KernelBackendName(b);
+    // The active table is unchanged on error.
+    EXPECT_EQ(ActiveKernelBackend(), before);
+  }
+}
+
+TEST(KernelDispatchTest, ForcingScalarTakesEffect) {
+  ScopedAutoBackend restore;
+  ASSERT_TRUE(SetKernelBackend(KernelBackend::kScalar).ok());
+  EXPECT_EQ(ActiveKernelBackend(), KernelBackend::kScalar);
+  EXPECT_STREQ(internal::ActiveKernelOps().name, "scalar");
+  const KernelDispatchInfo info = GetKernelDispatchInfo();
+  EXPECT_EQ(info.active, "scalar");
+}
+
+// The tentpole contract: every backend the CPU can run reproduces the
+// scalar reference bit-for-bit on every op, every dim 1..67, and
+// varying row counts. Any divergence here means switching backends
+// could change a kNN result or pruning decision.
+TEST(KernelDispatchTest, AllUsableBackendsMatchScalarBitExactly) {
+  const KernelOps* ref = GetKernelOps(KernelBackend::kScalar);
+  ASSERT_NE(ref, nullptr);
+  Rng rng(31);
+  for (KernelBackend b : UsableKernelBackends()) {
+    if (b == KernelBackend::kScalar) continue;
+    const KernelOps* ops = GetKernelOps(b);
+    ASSERT_NE(ops, nullptr);
+    for (size_t d = 1; d <= kMaxDim; ++d) {
+      const size_t rows = 1 + (d * 7) % 13;
+      const std::vector<double> q = RandomVector(d, &rng);
+      const std::vector<double> block = RandomVector(rows * d, &rng);
+
+      EXPECT_TRUE(BitsEqual(ops->squared_l2_pair(q.data(), block.data(), d),
+                            ref->squared_l2_pair(q.data(), block.data(), d)))
+          << ops->name << " squared_l2_pair dim " << d;
+      EXPECT_TRUE(BitsEqual(ops->dot_pair(q.data(), block.data(), d),
+                            ref->dot_pair(q.data(), block.data(), d)))
+          << ops->name << " dot_pair dim " << d;
+
+      std::vector<double> got(rows), want(rows);
+      ops->l2_one_to_many(q.data(), block.data(), rows, d, got.data());
+      ref->l2_one_to_many(q.data(), block.data(), rows, d, want.data());
+      for (size_t r = 0; r < rows; ++r) {
+        EXPECT_TRUE(BitsEqual(got[r], want[r]))
+            << ops->name << " l2_one_to_many dim " << d << " row " << r;
+      }
+
+      std::vector<double> got_norms(rows), want_norms(rows);
+      ops->row_norms(block.data(), rows, d, got_norms.data());
+      ref->row_norms(block.data(), rows, d, want_norms.data());
+      for (size_t r = 0; r < rows; ++r) {
+        EXPECT_TRUE(BitsEqual(got_norms[r], want_norms[r]))
+            << ops->name << " row_norms dim " << d << " row " << r;
+      }
+
+      const double q_sq = ref->dot_pair(q.data(), q.data(), d);
+      ops->l2dot_one_to_many(q.data(), q_sq, block.data(), want_norms.data(),
+                             rows, d, got.data());
+      ref->l2dot_one_to_many(q.data(), q_sq, block.data(), want_norms.data(),
+                             rows, d, want.data());
+      for (size_t r = 0; r < rows; ++r) {
+        EXPECT_TRUE(BitsEqual(got[r], want[r]))
+            << ops->name << " l2dot_one_to_many dim " << d << " row " << r;
+      }
+
+      const std::vector<uint8_t> qc = RandomCodes(d, 255, &rng);
+      const std::vector<uint8_t> codes = RandomCodes(rows * d, 255, &rng);
+      std::vector<uint32_t> got_ssd(rows), want_ssd(rows);
+      ops->ssd8_one_to_many(qc.data(), codes.data(), rows, d, got_ssd.data());
+      ref->ssd8_one_to_many(qc.data(), codes.data(), rows, d,
+                            want_ssd.data());
+      EXPECT_EQ(got_ssd, want_ssd) << ops->name << " ssd8 dim " << d;
+
+      const size_t stride = PackedNibbleStride(d);
+      const std::vector<uint8_t> qn = RandomCodes(d, 15, &rng);
+      const std::vector<uint8_t> rn = RandomCodes(rows * d, 15, &rng);
+      std::vector<uint8_t> qp(stride), rp(rows * stride);
+      PackNibbleRows(qn.data(), 1, d, qp.data());
+      PackNibbleRows(rn.data(), rows, d, rp.data());
+      ops->ssd4_one_to_many(qp.data(), rp.data(), rows, d, got_ssd.data());
+      ref->ssd4_one_to_many(qp.data(), rp.data(), rows, d, want_ssd.data());
+      EXPECT_EQ(got_ssd, want_ssd) << ops->name << " ssd4 dim " << d;
+    }
+  }
+}
+
+// NaN and Inf must flow through every backend the way the scalar
+// reference flows them — a backend that flushed or reordered specials
+// could turn a poisoned row into a plausible distance.
+TEST(KernelDispatchTest, SpecialValuesPropagateOnEveryBackend) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  Rng rng(32);
+  for (KernelBackend b : UsableKernelBackends()) {
+    const KernelOps* ops = GetKernelOps(b);
+    ASSERT_NE(ops, nullptr);
+    for (size_t d : {1, 3, 4, 5, 8, 11, 19}) {
+      for (size_t pos = 0; pos < d; ++pos) {
+        std::vector<double> x = RandomVector(d, &rng);
+        const std::vector<double> y = RandomVector(d, &rng);
+        x[pos] = nan;
+        EXPECT_TRUE(std::isnan(ops->squared_l2_pair(x.data(), y.data(), d)))
+            << ops->name << " dim " << d << " nan at " << pos;
+        double out = 0.0;
+        ops->l2_one_to_many(x.data(), y.data(), 1, d, &out);
+        EXPECT_TRUE(std::isnan(out))
+            << ops->name << " dim " << d << " nan at " << pos;
+        x[pos] = inf;
+        EXPECT_EQ(ops->squared_l2_pair(x.data(), y.data(), d), inf)
+            << ops->name << " dim " << d << " inf at " << pos;
+      }
+    }
+    // Inf − Inf inside the difference is NaN on every backend.
+    const std::vector<double> x = {inf, 1.0, 2.0, 3.0, 4.0};
+    const std::vector<double> y = {inf, 0.0, 0.0, 0.0, 0.0};
+    EXPECT_TRUE(std::isnan(ops->squared_l2_pair(x.data(), y.data(), 5)))
+        << ops->name;
+  }
+}
+
+// The packed 4-bit scan equals the unpacked integer reference —
+// including odd dims, where the pad nibble must contribute exactly 0.
+TEST(KernelDispatchTest, Ssd4MatchesUnpackedReferenceOnEveryBackend) {
+  Rng rng(33);
+  for (KernelBackend b : UsableKernelBackends()) {
+    const KernelOps* ops = GetKernelOps(b);
+    ASSERT_NE(ops, nullptr);
+    for (size_t d = 1; d <= kMaxDim; ++d) {
+      const size_t rows = 1 + (d * 5) % 11;
+      const size_t stride = PackedNibbleStride(d);
+      const std::vector<uint8_t> qn = RandomCodes(d, 15, &rng);
+      const std::vector<uint8_t> rn = RandomCodes(rows * d, 15, &rng);
+      std::vector<uint8_t> qp(stride), rp(rows * stride);
+      PackNibbleRows(qn.data(), 1, d, qp.data());
+      PackNibbleRows(rn.data(), rows, d, rp.data());
+      std::vector<uint32_t> got(rows);
+      ops->ssd4_one_to_many(qp.data(), rp.data(), rows, d, got.data());
+      for (size_t r = 0; r < rows; ++r) {
+        uint32_t want = 0;
+        for (size_t j = 0; j < d; ++j) {
+          const int32_t diff =
+              int32_t(qn[j]) - int32_t(rn[r * d + j]);
+          want += uint32_t(diff * diff);
+        }
+        EXPECT_EQ(got[r], want)
+            << ops->name << " dim " << d << " row " << r;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mocemg

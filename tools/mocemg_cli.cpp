@@ -8,7 +8,14 @@
 //   serve-bench [--records N] [--dim D] [--queries Q] [--unique U]
 //               [--k K] [--batch B] [--threads 1,2,8] [--seed S] [--json]
 //               [--deadline-us N] [--watermark N] [--snapshot <path>]
-//               [--shards N] [--pipeline D]
+//               [--shards N] [--pipeline D] [--bits 8|4]
+//   kernel-info [--json]       dispatch report + backend equivalence gate
+//   coarse-bench [--records N] [--dim D] [--queries Q] [--k K]
+//               [--seed S] [--json]   8-bit vs 4-bit coarse-tier A/B
+//
+// Every subcommand accepts --kernel {auto,scalar,avx2,avx512,neon} to
+// force the SIMD kernel backend (same semantics as MOCEMG_KERNEL, but
+// forcing an unusable backend is a hard error here).
 //
 // The manifest is a CSV with header `trc,emg,label,label_name`; each row
 // names one captured motion: a TRC marker file, an EMG CSV (raw, with a
@@ -20,6 +27,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <memory>
@@ -36,8 +44,10 @@
 #include "emg/emg_io.h"
 #include "mocap/trc_io.h"
 #include "util/csv.h"
+#include "util/kernel_dispatch.h"
 #include "util/logging.h"
 #include "util/macros.h"
+#include "util/quant_kernels.h"
 #include "util/random.h"
 #include "util/string_util.h"
 
@@ -65,7 +75,13 @@ int Usage() {
                "[--threads 1,2,8] [--seed S] [--json]\n"
                "                      [--deadline-us N] [--watermark N] "
                "[--snapshot <path>]\n"
-               "                      [--shards N] [--pipeline D]\n");
+               "                      [--shards N] [--pipeline D] "
+               "[--bits 8|4]\n"
+               "  mocemg_cli kernel-info [--json]\n"
+               "  mocemg_cli coarse-bench [--records N] [--dim D] "
+               "[--queries Q] [--k K]\n"
+               "                      [--seed S] [--json]\n"
+               "  (any subcommand) --kernel auto|scalar|avx2|avx512|neon\n");
   return 2;
 }
 
@@ -319,15 +335,16 @@ int RunServeBench(const Args& args) {
   auto watermark = ParseInt(args.Get("--watermark", "0"));
   auto shards = ParseInt(args.Get("--shards", "0"));
   auto pipeline = ParseInt(args.Get("--pipeline", "1"));
+  auto bits = ParseInt(args.Get("--bits", "8"));
   const std::string snapshot_path = args.Get("--snapshot", "");
   if (!records.ok() || !dim.ok() || !queries.ok() || !unique.ok() ||
       !k.ok() || !batch.ok() || !seed.ok() || !deadline_us.ok() ||
-      !watermark.ok() || !shards.ok() || !pipeline.ok()) {
+      !watermark.ok() || !shards.ok() || !pipeline.ok() || !bits.ok()) {
     return Usage();
   }
   if (*records < 1 || *dim < 1 || *queries < 1 || *unique < 1 ||
       *k < 1 || *batch < 1 || *deadline_us < 0 || *watermark < 0 ||
-      *shards < 0 || *pipeline < 1) {
+      *shards < 0 || *pipeline < 1 || (*bits != 8 && *bits != 4)) {
     return Usage();
   }
   // --shards 0 serves through the single FeatureIndex; N >= 1 serves
@@ -353,6 +370,7 @@ int RunServeBench(const Args& args) {
       static_cast<size_t>(*records), static_cast<size_t>(*dim),
       static_cast<uint64_t>(*seed));
   FeatureIndexOptions iopts;
+  iopts.quant_bits = static_cast<size_t>(*bits);
   if (*watermark > 0) {
     // Degraded mode answers from the int8 tier, so force codes on even
     // for the small partitions a √N layout produces at bench scale.
@@ -533,9 +551,14 @@ int RunServeBench(const Args& args) {
                 static_cast<long long>(*unique), kk,
                 static_cast<long long>(*batch));
     std::printf("  \"bit_identical\": true,\n");
-    std::printf("  \"shards\": %lld, \"pipeline\": %lld,\n",
+    std::printf("  \"shards\": %lld, \"pipeline\": %lld, "
+                "\"quant_bits\": %lld,\n",
                 static_cast<long long>(*shards),
-                static_cast<long long>(*pipeline));
+                static_cast<long long>(*pipeline),
+                static_cast<long long>(*bits));
+    const KernelDispatchInfo kinfo = GetKernelDispatchInfo();
+    std::printf("  \"kernel_backend\": \"%s\", \"cpu_features\": \"%s\",\n",
+                kinfo.active.c_str(), kinfo.cpu_features.c_str());
     if (used_snapshot) {
       std::printf("  \"snapshot\": {\"loaded\": %s, \"rebuilt\": %s},\n",
                   snap_loaded ? "true" : "false",
@@ -602,6 +625,12 @@ int RunServeBench(const Args& args) {
               static_cast<long long>(*dim), workload.size(),
               static_cast<long long>(*unique), kk,
               static_cast<long long>(*batch));
+  {
+    const KernelDispatchInfo kinfo = GetKernelDispatchInfo();
+    std::printf("  kernel backend %s (%lld-bit coarse codes; cpu: %s)\n",
+                kinfo.active.c_str(), static_cast<long long>(*bits),
+                kinfo.cpu_features.c_str());
+  }
   if (sharded_mode) {
     std::printf("  serving through %lld shards, pipeline depth %lld\n",
                 static_cast<long long>(*shards),
@@ -657,15 +686,290 @@ int RunServeBench(const Args& args) {
   return 0;
 }
 
+// --- kernel-info: dispatch report + backend equivalence gate ----------
+//
+// Prints which SIMD backend the dispatcher picked (and why it could),
+// then verifies every CPU-usable backend against the scalar reference
+// across dims 1..67 for all seven table entries — the same bit-
+// exactness contract the unit tests enforce, exercised on the actual
+// production binary and CPU. Exits 1 on any mismatch, so CI can gate
+// on `mocemg_cli kernel-info`. run_benchmarks.sh embeds the --json
+// form as BENCH_pr8.json host metadata.
+
+bool BitsEqual(double a, double b) {
+  uint64_t ab = 0, bb = 0;
+  std::memcpy(&ab, &a, sizeof(ab));
+  std::memcpy(&bb, &b, sizeof(bb));
+  return ab == bb;
+}
+
+Status VerifyKernelEquivalence() {
+  const KernelOps* ref = GetKernelOps(KernelBackend::kScalar);
+  if (ref == nullptr) {
+    return Status::Unknown("scalar kernel backend missing");
+  }
+  for (const KernelBackend backend : UsableKernelBackends()) {
+    if (backend == KernelBackend::kScalar) continue;
+    const KernelOps* ops = GetKernelOps(backend);
+    if (ops == nullptr) {
+      return Status::Unknown(
+          std::string("usable backend has no ops table: ") +
+          KernelBackendName(backend));
+    }
+    const size_t rows = 7;
+    for (size_t d = 1; d <= 67; ++d) {
+      Rng rng(0xC0FFEE ^ (d * 131 + static_cast<size_t>(backend)));
+      std::vector<double> x(d), block(rows * d), norms(rows);
+      for (double& v : x) v = rng.Gaussian(0.0, 1.0);
+      for (double& v : block) v = rng.Gaussian(0.0, 1.0);
+      ref->row_norms(block.data(), rows, d, norms.data());
+      const double x_sq = ref->squared_l2_pair(
+          x.data(), std::vector<double>(d, 0.0).data(), d);
+      std::vector<uint8_t> qc(d), codes(rows * d);
+      for (auto& v : qc) v = static_cast<uint8_t>(rng.NextBelow(256));
+      for (auto& v : codes) v = static_cast<uint8_t>(rng.NextBelow(256));
+      const size_t stride = PackedNibbleStride(d);
+      std::vector<uint8_t> qn(d), rn(rows * d);
+      for (auto& v : qn) v = static_cast<uint8_t>(rng.NextBelow(16));
+      for (auto& v : rn) v = static_cast<uint8_t>(rng.NextBelow(16));
+      std::vector<uint8_t> qp(stride), rp(rows * stride);
+      PackNibbleRows(qn.data(), 1, d, qp.data());
+      PackNibbleRows(rn.data(), rows, d, rp.data());
+
+      const auto fail = [&](const char* op) {
+        return Status::Unknown(
+            std::string("kernel backend ") + KernelBackendName(backend) +
+            " diverges from scalar on " + op + " at dim " +
+            std::to_string(d));
+      };
+      for (size_t r = 0; r < rows; ++r) {
+        const double* y = block.data() + r * d;
+        if (!BitsEqual(ref->squared_l2_pair(x.data(), y, d),
+                       ops->squared_l2_pair(x.data(), y, d))) {
+          return fail("squared_l2_pair");
+        }
+        if (!BitsEqual(ref->dot_pair(x.data(), y, d),
+                       ops->dot_pair(x.data(), y, d))) {
+          return fail("dot_pair");
+        }
+      }
+      std::vector<double> want(rows), got(rows);
+      ref->l2_one_to_many(x.data(), block.data(), rows, d, want.data());
+      ops->l2_one_to_many(x.data(), block.data(), rows, d, got.data());
+      for (size_t r = 0; r < rows; ++r) {
+        if (!BitsEqual(want[r], got[r])) return fail("l2_one_to_many");
+      }
+      ref->l2dot_one_to_many(x.data(), x_sq, block.data(), norms.data(),
+                             rows, d, want.data());
+      ops->l2dot_one_to_many(x.data(), x_sq, block.data(), norms.data(),
+                             rows, d, got.data());
+      for (size_t r = 0; r < rows; ++r) {
+        if (!BitsEqual(want[r], got[r])) return fail("l2dot_one_to_many");
+      }
+      ref->row_norms(block.data(), rows, d, want.data());
+      ops->row_norms(block.data(), rows, d, got.data());
+      for (size_t r = 0; r < rows; ++r) {
+        if (!BitsEqual(want[r], got[r])) return fail("row_norms");
+      }
+      std::vector<uint32_t> wanti(rows), goti(rows);
+      ref->ssd8_one_to_many(qc.data(), codes.data(), rows, d,
+                            wanti.data());
+      ops->ssd8_one_to_many(qc.data(), codes.data(), rows, d,
+                            goti.data());
+      if (wanti != goti) return fail("ssd8_one_to_many");
+      ref->ssd4_one_to_many(qp.data(), rp.data(), rows, d, wanti.data());
+      ops->ssd4_one_to_many(qp.data(), rp.data(), rows, d, goti.data());
+      if (wanti != goti) return fail("ssd4_one_to_many");
+    }
+  }
+  return Status::OK();
+}
+
+int RunKernelInfo(const Args& args) {
+  const bool json = args.Has("--json");
+  const KernelDispatchInfo info = GetKernelDispatchInfo();
+  const Status equiv = VerifyKernelEquivalence();
+  if (json) {
+    std::printf("{\n");
+    std::printf("  \"active\": \"%s\",\n", info.active.c_str());
+    std::printf("  \"compiled\": \"%s\",\n", info.compiled.c_str());
+    std::printf("  \"usable\": \"%s\",\n", info.usable.c_str());
+    std::printf("  \"cpu_features\": \"%s\",\n", info.cpu_features.c_str());
+    std::printf("  \"env_override\": %s,\n",
+                info.env_override ? "true" : "false");
+    std::printf("  \"equivalence_ok\": %s\n}\n",
+                equiv.ok() ? "true" : "false");
+  } else {
+    std::printf("kernel dispatch:\n");
+    std::printf("  active:       %s%s\n", info.active.c_str(),
+                info.env_override ? " (MOCEMG_KERNEL override)" : "");
+    std::printf("  compiled:     %s\n", info.compiled.c_str());
+    std::printf("  usable:       %s\n", info.usable.c_str());
+    std::printf("  cpu features: %s\n", info.cpu_features.c_str());
+    std::printf("  equivalence:  %s\n",
+                equiv.ok() ? "every usable backend bit-identical to scalar "
+                             "(dims 1..67, all 7 ops)"
+                           : equiv.ToString().c_str());
+  }
+  return equiv.ok() ? 0 : 1;
+}
+
+// --- coarse-bench: 8-bit vs 4-bit coarse tier A/B ---------------------
+//
+// Builds the same index at both code widths, checks the exact path is
+// bit-identical to the linear scan at both, then measures the coarse
+// tier alone: queries/s, recall@k of the certified estimates against
+// the true kNN, mean certified error bound, and coarse bytes per
+// record. run_benchmarks.sh stores the --json form as BENCH_pr8.json's
+// "four_bit" section.
+
+int RunCoarseBench(const Args& args) {
+  auto records = ParseInt(args.Get("--records", "20000"));
+  auto dim = ParseInt(args.Get("--dim", "64"));
+  auto queries = ParseInt(args.Get("--queries", "256"));
+  auto k = ParseInt(args.Get("--k", "5"));
+  auto seed = ParseInt(args.Get("--seed", "7"));
+  if (!records.ok() || !dim.ok() || !queries.ok() || !k.ok() ||
+      !seed.ok()) {
+    return Usage();
+  }
+  if (*records < 1 || *dim < 1 || *queries < 1 || *k < 1) return Usage();
+  const bool json = args.Has("--json");
+
+  const MotionDatabase db = MakeServeDb(
+      static_cast<size_t>(*records), static_cast<size_t>(*dim),
+      static_cast<uint64_t>(*seed));
+  const auto workload = MakeServeWorkload(
+      static_cast<size_t>(*queries), static_cast<size_t>(*queries),
+      static_cast<size_t>(*dim), static_cast<uint64_t>(*seed) + 1000);
+  const size_t kk = static_cast<size_t>(*k);
+
+  std::vector<std::vector<QueryHit>> expected(workload.size());
+  for (size_t i = 0; i < workload.size(); ++i) {
+    auto hits = db.NearestNeighbors(workload[i], kk);
+    if (!hits.ok()) return Fail(hits.status());
+    expected[i] = *std::move(hits);
+  }
+
+  struct WidthRow {
+    size_t bits = 0;
+    size_t bytes_per_record = 0;
+    double coarse_qps = 0.0;
+    double exact_qps = 0.0;
+    double recall = 0.0;
+    double mean_bound = 0.0;
+  };
+  std::vector<WidthRow> out_rows;
+  for (const size_t bits : {size_t{8}, size_t{4}}) {
+    FeatureIndexOptions iopts;
+    iopts.quant_bits = bits;
+    iopts.quantized_min_rows = 1;  // code every partition at bench scale
+    auto index = FeatureIndex::Build(&db, iopts);
+    if (!index.ok()) return Fail(index.status());
+
+    WidthRow row;
+    row.bits = bits;
+    row.bytes_per_record =
+        bits == 4 ? PackedNibbleStride(static_cast<size_t>(*dim))
+                  : static_cast<size_t>(*dim);
+
+    // Exact path must stay bit-identical at any width.
+    auto t0 = BenchClock::now();
+    for (size_t i = 0; i < workload.size(); ++i) {
+      auto hits = index->NearestNeighbors(workload[i], kk);
+      if (!hits.ok()) return Fail(hits.status());
+      if (!SameHits(*hits, expected[i])) {
+        return Fail(Status::Unknown(
+            std::to_string(bits) +
+            "-bit indexed results diverged from the linear scan"));
+      }
+    }
+    row.exact_qps = double(workload.size()) / SecondsSince(t0);
+
+    size_t found = 0;
+    double bound_sum = 0.0;
+    t0 = BenchClock::now();
+    for (size_t i = 0; i < workload.size(); ++i) {
+      double bound = 0.0;
+      auto hits = index->CoarseNearestNeighbors(workload[i], kk, &bound);
+      if (!hits.ok()) return Fail(hits.status());
+      bound_sum += bound;
+      for (const QueryHit& h : *hits) {
+        for (const QueryHit& e : expected[i]) {
+          if (h.record_index == e.record_index) {
+            ++found;
+            break;
+          }
+        }
+      }
+    }
+    row.coarse_qps = double(workload.size()) / SecondsSince(t0);
+    row.recall = double(found) / double(workload.size() * kk);
+    row.mean_bound = bound_sum / double(workload.size());
+    out_rows.push_back(row);
+  }
+
+  const KernelDispatchInfo kinfo = GetKernelDispatchInfo();
+  if (json) {
+    std::printf("{\n");
+    std::printf("  \"records\": %lld, \"dim\": %lld, \"queries\": %zu, "
+                "\"k\": %zu,\n",
+                static_cast<long long>(*records),
+                static_cast<long long>(*dim), workload.size(), kk);
+    std::printf("  \"kernel_backend\": \"%s\",\n", kinfo.active.c_str());
+    for (size_t i = 0; i < out_rows.size(); ++i) {
+      const WidthRow& r = out_rows[i];
+      std::printf("  \"%s\": {\"bits\": %zu, \"bytes_per_record\": %zu, "
+                  "\"coarse_qps\": %.1f, \"exact_qps\": %.1f, "
+                  "\"recall_at_k\": %.4f, \"mean_error_bound\": %.6f, "
+                  "\"exact_bit_identical\": true}%s\n",
+                  r.bits == 8 ? "eight_bit" : "four_bit", r.bits,
+                  r.bytes_per_record, r.coarse_qps, r.exact_qps, r.recall,
+                  r.mean_bound, i + 1 < out_rows.size() ? "," : "");
+    }
+    std::printf("}\n");
+    return 0;
+  }
+  std::printf("coarse-bench: %lld records x %lld dims, %zu queries, "
+              "k=%zu, kernel %s\n",
+              static_cast<long long>(*records),
+              static_cast<long long>(*dim), workload.size(), kk,
+              kinfo.active.c_str());
+  std::printf("  %-6s %16s %12s %12s %10s %12s\n", "bits", "bytes/record",
+              "coarse qps", "exact qps", "recall@k", "mean bound");
+  for (const WidthRow& r : out_rows) {
+    std::printf("  %-6zu %16zu %12.0f %12.0f %10.4f %12.4f\n", r.bits,
+                r.bytes_per_record, r.coarse_qps, r.exact_qps, r.recall,
+                r.mean_bound);
+  }
+  std::printf("  (exact kNN answers were bit-identical to the linear scan "
+              "at both widths)\n");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) return Usage();
   const Args args(argc, argv);
+  // --kernel: force the SIMD backend before any kernel runs. Unlike the
+  // MOCEMG_KERNEL env override (warning + auto), an explicit flag
+  // naming an unusable backend is a hard error.
+  const std::string kernel = args.Get("--kernel");
+  if (!kernel.empty()) {
+    auto backend = ParseKernelBackend(kernel);
+    if (!backend.ok()) return Usage();
+    Status set = SetKernelBackend(*backend);
+    if (!set.ok()) return Fail(set);
+  }
   if (std::strcmp(argv[1], "train") == 0) return RunTrain(args);
   if (std::strcmp(argv[1], "classify") == 0) return RunClassify(args);
   if (std::strcmp(argv[1], "info") == 0) return RunInfo(args);
   if (std::strcmp(argv[1], "serve-bench") == 0)
     return RunServeBench(args);
+  if (std::strcmp(argv[1], "kernel-info") == 0)
+    return RunKernelInfo(args);
+  if (std::strcmp(argv[1], "coarse-bench") == 0)
+    return RunCoarseBench(args);
   return Usage();
 }

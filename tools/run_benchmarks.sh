@@ -67,7 +67,7 @@ repo="$(cd "$(dirname "$0")/.." && pwd)"
 cd "$repo"
 
 suite="micro_pipeline micro_db micro_distance micro_fcm micro_svd \
-micro_parallel micro_incremental micro_serving"
+micro_parallel micro_incremental micro_serving micro_kernels"
 
 cmake --preset release >/dev/null
 # shellcheck disable=SC2086
@@ -125,6 +125,20 @@ echo "== serve-bench (sharded) ==" >&2
   --shards 4 --pipeline 2 \
   >"$out/serving_sharded.json"
 
+# PR 8 host metadata + A/B sections. kernel-info doubles as the
+# bit-exactness gate: it exits 1 if any usable SIMD backend diverges
+# from the scalar reference on this CPU. coarse-bench measures the
+# 8-bit vs 4-bit coarse tier (bytes/record, recall, certified bounds).
+echo "== kernel-info ==" >&2
+./build/tools/mocemg_cli kernel-info --json >"$out/kernel_info.json"
+coarse_args=(--json)
+if [[ "$quick" == 1 ]]; then
+  coarse_args+=(--records 2000 --queries 64)
+fi
+echo "== coarse-bench ==" >&2
+./build/tools/mocemg_cli coarse-bench "${coarse_args[@]}" \
+  >"$out/coarse.json"
+
 MOCEMG_BENCH_UPDATE="$update" MOCEMG_BENCH_QUICK="$quick" \
   python3 - "$out" <<'PYEOF'
 import json, os, statistics, sys
@@ -138,6 +152,7 @@ bench4_path = "BENCH_pr4.json"
 bench5_path = "BENCH_pr5.json"
 bench6_path = "BENCH_pr6.json"
 bench7_path = "BENCH_pr7.json"
+bench8_path = "BENCH_pr8.json"
 
 # micro_incremental families live in BENCH_pr3.json, not BENCH_pr2.json:
 # the pr2 file keeps its original scope (parallel substrate + serial
@@ -165,6 +180,14 @@ PR6_PREFIXES = ("BM_ServedKnnRobust",)
 # out of its buckets below, like PR6.
 PR7_PREFIXES = ("BM_ShardedKnn", "BM_ServedKnnSharded",
                 "BM_ServedKnnMutate")
+# The SIMD-dispatch families (PR 8) pair mode 0 (the scalar reference
+# table called directly — the previous auto-vectorized build) against
+# mode 1 (the runtime-dispatched widest backend). The int8 families'
+# wins are gated directionally; the double families depend on how well
+# the auto-vectorizer already did and are annotated only.
+PR8_PREFIXES = ("BM_SsdOneToMany", "BM_SsdBlocked", "BM_Ssd4OneToMany",
+                "BM_L2OneToMany")
+PR8_GATED_PREFIXES = ("BM_SsdOneToMany", "BM_SsdBlocked")
 
 # ns/op at the parent of this PR (release build, same harness,
 # median of 3 runs interleaved with post-change runs on the same host
@@ -217,6 +240,16 @@ serving_sharded_path = os.path.join(out_dir, "serving_sharded.json")
 if os.path.exists(serving_sharded_path):
     with open(serving_sharded_path) as f:
         serving_sharded = json.load(f)
+kernel_info = None
+kernel_info_path = os.path.join(out_dir, "kernel_info.json")
+if os.path.exists(kernel_info_path):
+    with open(kernel_info_path) as f:
+        kernel_info = json.load(f)
+coarse = None
+coarse_path = os.path.join(out_dir, "coarse.json")
+if os.path.exists(coarse_path):
+    with open(coarse_path) as f:
+        coarse = json.load(f)
 
 samples = {}
 items = {}
@@ -342,6 +375,24 @@ print_speedups("single-index vs sharded serving (paired per-pass "
                "BM_ServedKnnSharded measures fan-out + pipeline and "
                "is annotated only on low-cpu hosts):",
                speedups7, "baseline_ns_per_op", "optimized_ns_per_op")
+speedups8 = paired_speedups(PR8_PREFIXES, "scalar_ns_per_op",
+                            "dispatched_ns_per_op")
+print_speedups("scalar table vs dispatched SIMD backend (paired "
+               "per-pass ratios; speedup > 1 means the dispatched "
+               "backend is faster; outputs are bit-identical):",
+               speedups8, "scalar_ns_per_op", "dispatched_ns_per_op")
+if kernel_info:
+    print(f"kernel dispatch: active={kernel_info.get('active')} "
+          f"usable={kernel_info.get('usable')} "
+          f"equivalence_ok={kernel_info.get('equivalence_ok')}")
+if coarse:
+    for key in ("eight_bit", "four_bit"):
+        row = coarse.get(key)
+        if row:
+            print(f"coarse tier {row['bits']}-bit: "
+                  f"{row['bytes_per_record']} bytes/record, "
+                  f"recall@k {row['recall_at_k']:.3f}, "
+                  f"{row['coarse_qps']:.0f} coarse qps")
 if serving:
     print("serving (mocemg_cli serve-bench, "
           f"{serving['records']}x{serving['dim']}):")
@@ -395,6 +446,10 @@ committed7 = None
 if os.path.exists(bench7_path):
     with open(bench7_path) as f:
         committed7 = json.load(f)
+committed8 = None
+if os.path.exists(bench8_path):
+    with open(bench8_path) as f:
+        committed8 = json.load(f)
 
 if pre_samples:
     # Pre-PR binaries ran inside the same passes as the current ones:
@@ -461,7 +516,8 @@ failures = []
 noisy_skips = []
 for path, doc_ in ((bench_path, committed), (bench3_path, committed3),
                    (bench4_path, committed4), (bench5_path, committed5),
-                   (bench6_path, committed6), (bench7_path, committed7)):
+                   (bench6_path, committed6), (bench7_path, committed7),
+                   (bench8_path, committed8)):
     if not doc_:
         continue
     for name, old in doc_.get("benchmarks", {}).items():
@@ -484,7 +540,8 @@ for path, doc_ in ((bench_path, committed), (bench3_path, committed3),
 cpus = len(os.sched_getaffinity(0))
 results2 = {n: e for n, e in results.items()
             if not n.startswith(PR3_PREFIXES + PR4_PREFIXES +
-                                PR5_PREFIXES + PR7_PREFIXES)}
+                                PR5_PREFIXES + PR7_PREFIXES +
+                                PR8_PREFIXES)}
 results3 = {n: e for n, e in results.items()
             if n.startswith(PR3_PREFIXES)}
 results4 = {n: e for n, e in results.items()
@@ -496,6 +553,8 @@ results6 = {n: e for n, e in results.items()
             if n.startswith(PR6_PREFIXES)}
 results7 = {n: e for n, e in results.items()
             if n.startswith(PR7_PREFIXES)}
+results8 = {n: e for n, e in results.items()
+            if n.startswith(PR8_PREFIXES)}
 
 # --- robustness-overhead check (the <5% non-degraded criterion) ---
 #
@@ -576,6 +635,40 @@ for base, s in speedups7.items():
                 "overlap pipeline stages, so fan-out overhead "
                 "dominates)")
     print(f"{label} {base}: x{s['speedup']:.3f}{note}")
+
+# --- SIMD dispatch checks (PR 8) ---
+#
+# kernel-info already gated bit-exactness (the script would have died
+# on its non-zero exit). Here the int8 coarse families must not LOSE
+# to the scalar table: a directional loss (every pass slower) or a
+# stable ratio below 1.0 on a gated family fails the run. The double
+# families are annotated only — on hosts where the auto-vectorizer
+# already emits wide code their ratio is legitimately near 1.0.
+dispatch_check = {}
+for base, s in speedups8.items():
+    stable = s["cv"] <= CV_STABLE
+    directional_win = s.get("min_ratio", 0.0) >= 1.0
+    directional_loss = s.get("max_ratio", float("inf")) < 1.0
+    gated = base.startswith(PR8_GATED_PREFIXES)
+    ok = True
+    if gated and (directional_loss or (stable and s["speedup"] < 1.0)):
+        ok = False
+        failures.append(
+            f"{base}: dispatched SIMD backend lost to the scalar table "
+            f"(x{s['speedup']:.3f} < x1.0, cv={s['cv']:.2f})")
+    dispatch_check[base] = {
+        "speedup": s["speedup"],
+        "min_ratio": s.get("min_ratio"),
+        "max_ratio": s.get("max_ratio"),
+        "cv": s["cv"],
+        "stable": stable,
+        "directional_win": directional_win,
+        "gated": gated,
+        "ok": ok,
+    }
+if kernel_info is not None and not kernel_info.get("equivalence_ok"):
+    failures.append("kernel-info reported a backend/scalar divergence")
+
 doc = {
     "schema": "mocemg-bench-pr2",
     "host": {
@@ -656,6 +749,29 @@ doc7 = {
     "sharded_serving_check": sharded_check,
     "serving_sharded": serving_sharded,
 }
+doc8 = {
+    "schema": "mocemg-bench-pr8",
+    "host": {
+        "cpus_online": cpus,
+        "kernel": kernel_info,
+        "note": "paired_speedups divide per-pass mode-0 (the scalar "
+                "reference table called directly, i.e. the previous "
+                "auto-vectorized build) by mode-1 (the runtime-"
+                "dispatched widest SIMD backend) runs of the same "
+                "binary, so host load cancels; outputs are verified "
+                "bit-identical by kernel-info and the unit tests "
+                "before any number is reported. The int8 families "
+                "(BM_SsdOneToMany, BM_SsdBlocked) are gated "
+                "directionally; the double families are annotated. "
+                "The four_bit section pairs the 8-bit and 4-bit "
+                "coarse tiers at identical exact answers.",
+    },
+    "benchmarks": results8,
+    "paired_speedups": speedups8,
+    "dispatch_check": dispatch_check,
+    "eight_bit": coarse.get("eight_bit") if coarse else None,
+    "four_bit": coarse.get("four_bit") if coarse else None,
+}
 doc3 = {
     "schema": "mocemg-bench-pr3",
     "host": {
@@ -705,6 +821,12 @@ if update:
           f"{len(speedups7)} paired speedups, "
           f"{'with' if serving_sharded else 'WITHOUT'} sharded serving "
           f"section)")
+    with open(bench8_path, "w") as f:
+        json.dump(doc8, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"wrote {bench8_path} ({len(results8)} benchmarks, "
+          f"{len(speedups8)} paired speedups, "
+          f"{'with' if coarse else 'WITHOUT'} four_bit section)")
 
 if noisy_skips:
     print("\nslower than the committed baseline but too noisy to gate:")

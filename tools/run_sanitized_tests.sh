@@ -23,6 +23,19 @@ cmake --preset "$preset"
 cmake --build --preset "$preset" -j "$(nproc)"
 ctest --preset "$preset" "$@"
 
+# Kernel-backend rerun matrix: the main pass above runs under the
+# dispatched default (widest SIMD backend this CPU supports). Re-run
+# the kernel and index suites with the backend pinned to the scalar
+# reference and then explicitly to the dispatched best, so both sides
+# of the bit-exactness contract get sanitizer coverage — the scalar
+# fallback path is otherwise dead code on machines with AVX2/AVX-512.
+for kern in scalar auto; do
+  echo "== $preset: kernel/index suites under MOCEMG_KERNEL=$kern =="
+  MOCEMG_KERNEL="$kern" ctest --preset "$preset" \
+    -R 'Kernel|Quant|Distance|FeatureIndex|Sharded|Snapshot' \
+    --output-on-failure
+done
+
 if [[ "$preset" == "tsan" ]]; then
   # Second pass over the parallel substrate with a forced 8-thread
   # budget: on a small machine the auto budget can resolve to one
