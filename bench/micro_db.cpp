@@ -128,6 +128,42 @@ BENCHMARK(BM_QuantIndexedKnnDim)
     ->Args({64, 0})->Args({64, 1})
     ->Args({128, 0})->Args({128, 1});
 
+// Paired fp32-exact-tier family (BENCH_pr9.json): mode 0 answers
+// through the f64 dot-form scan, mode 1 through the certified fp32
+// mirror scan with error-bound-gated double refine. Same binary, same
+// pass, identical (bit-for-bit) answers — the ratio is the end-to-end
+// indexed-kNN win from halving scan bandwidth. Quantization stays off
+// on both sides so the exact tier is the stage measured, and the
+// partition count is pinned low so the in-partition scan dominates.
+void BM_IndexedKnnF32(benchmark::State& state) {
+  const size_t dim = static_cast<size_t>(state.range(0));
+  const bool f32 = state.range(1) == 1;
+  const size_t n = 20000;
+  static std::map<size_t, MotionDatabase>* dbs =
+      new std::map<size_t, MotionDatabase>();
+  if (dbs->find(dim) == dbs->end()) {
+    dbs->emplace(dim, MakeDb(n, dim, 5));
+  }
+  const MotionDatabase& db = dbs->at(dim);
+  FeatureIndexOptions opts;
+  opts.num_partitions = 8;
+  opts.quantized_scan = false;
+  opts.exact_precision = f32 ? ExactPrecision::kF32 : ExactPrecision::kF64;
+  auto index = FeatureIndex::Build(&db, opts);
+  MOCEMG_CHECK_OK(index.status());
+  const auto query = MakeQuery(dim, 6);
+  for (auto _ : state) {
+    auto hits = index->NearestNeighbors(query, 5);
+    benchmark::DoNotOptimize(hits);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * n));
+}
+BENCHMARK(BM_IndexedKnnF32)
+    ->Args({30, 0})->Args({30, 1})
+    ->Args({64, 0})->Args({64, 1})
+    ->Args({128, 0})->Args({128, 1})
+    ->Args({240, 0})->Args({240, 1});
+
 void BM_IndexBuild(benchmark::State& state) {
   const size_t n = static_cast<size_t>(state.range(0));
   MotionDatabase db = MakeDb(n, 30, 3);

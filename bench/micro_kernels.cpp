@@ -128,6 +128,75 @@ void BM_L2OneToMany(benchmark::State& state) {
 }
 BENCHMARK(BM_L2OneToMany)->ArgsProduct({{30, 64, 128, 240}, {0, 1}});
 
+std::vector<float> GaussianVecF(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> v(n);
+  for (float& x : v) x = static_cast<float>(rng.Gaussian(0.0, 1.0));
+  return v;
+}
+
+// Args: {dim, mode}. The fp32 mirror scan at the heart of the f32
+// exact tier: same dims and row count as BM_L2OneToMany, so the
+// fp32-vs-f64 kernel ratio the PR9 gate wants is this family against
+// that one at matching {dim, mode}.
+void BM_L2F32OneToMany(benchmark::State& state) {
+  const size_t dim = static_cast<size_t>(state.range(0));
+  const KernelOps* ops = OpsForMode(state.range(1));
+  const size_t rows = 2048;
+  const auto query = GaussianVecF(dim, 21);
+  const auto block = GaussianVecF(rows * dim, 22);
+  std::vector<float> out(rows);
+  for (auto _ : state) {
+    ops->l2_f32_one_to_many(query.data(), block.data(), rows, dim,
+                            out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * rows));
+}
+BENCHMARK(BM_L2F32OneToMany)->ArgsProduct({{30, 64, 128, 240}, {0, 1}});
+
+// Args: {dim, mode}. The dot-form fp32 scan the index actually runs
+// (precomputed row norms, one dot per row).
+void BM_L2DotF32OneToMany(benchmark::State& state) {
+  const size_t dim = static_cast<size_t>(state.range(0));
+  const KernelOps* ops = OpsForMode(state.range(1));
+  const size_t rows = 2048;
+  const auto query = GaussianVecF(dim, 23);
+  const auto block = GaussianVecF(rows * dim, 24);
+  std::vector<float> norms(rows), out(rows);
+  ops->row_norms_f32(block.data(), rows, dim, norms.data());
+  float q_sq = 0.0f;
+  ops->row_norms_f32(query.data(), 1, dim, &q_sq);
+  for (auto _ : state) {
+    ops->l2dot_f32_one_to_many(query.data(), q_sq, block.data(),
+                               norms.data(), rows, dim, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * rows));
+}
+BENCHMARK(BM_L2DotF32OneToMany)->ArgsProduct({{30, 64, 128, 240}, {0, 1}});
+
+// Args: {dim, mode}. The dot-form f64 scan, for the direct paired
+// fp32-vs-f64 comparison on the formulation the index uses.
+void BM_L2DotF64OneToMany(benchmark::State& state) {
+  const size_t dim = static_cast<size_t>(state.range(0));
+  const KernelOps* ops = OpsForMode(state.range(1));
+  const size_t rows = 2048;
+  const auto query = GaussianVec(dim, 23);
+  const auto block = GaussianVec(rows * dim, 24);
+  std::vector<double> norms(rows), out(rows);
+  ops->row_norms(block.data(), rows, dim, norms.data());
+  double q_sq = 0.0;
+  ops->row_norms(query.data(), 1, dim, &q_sq);
+  for (auto _ : state) {
+    ops->l2dot_one_to_many(query.data(), q_sq, block.data(), norms.data(),
+                           rows, dim, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations() * rows));
+}
+BENCHMARK(BM_L2DotF64OneToMany)->ArgsProduct({{30, 64, 128, 240}, {0, 1}});
+
 }  // namespace
 }  // namespace mocemg
 

@@ -3,16 +3,73 @@
 #include <algorithm>
 #include <cfloat>
 #include <cmath>
+#include <cstdlib>
 #include <cstring>
 #include <limits>
 #include <numeric>
 
 #include "cluster/kmeans.h"
 #include "util/distance_kernels.h"
+#include "util/logging.h"
 #include "util/macros.h"
 #include "util/quant_kernels.h"
 
 namespace mocemg {
+namespace {
+
+// fp32 overflow gate for the mirror tier (DESIGN.md §15.3): a
+// partition is mirrored only when its max ‖r‖² stays below this, and a
+// query uses a partition's mirror only when q² + max ‖r‖² does too.
+// Element magnitudes are then < 1e15 (f64→f32 conversion stays finite
+// and defined) and every fp32 partial sum stays below ~5e29 ≪ FLT_MAX,
+// so the mirror scan can produce no Inf and — NaN-free inputs being
+// guaranteed upstream — no NaN.
+constexpr double kF32TierNormGate = 1e30;
+
+// MOCEMG_EXACT_PRECISION, read once at first resolution.
+ExactPrecision EnvExactPrecision() {
+  static const ExactPrecision value = [] {
+    const char* env = std::getenv("MOCEMG_EXACT_PRECISION");
+    if (env == nullptr || env[0] == '\0') return ExactPrecision::kF64;
+    const Result<ExactPrecision> parsed = ParseExactPrecision(env);
+    if (!parsed.ok() ||
+        parsed.ValueOrDie() == ExactPrecision::kDefault) {
+      MOCEMG_LOG(kWarning)
+          << "MOCEMG_EXACT_PRECISION=" << env
+          << " is not f64/f32; using f64";
+      return ExactPrecision::kF64;
+    }
+    return parsed.ValueOrDie();
+  }();
+  return value;
+}
+
+}  // namespace
+
+const char* ExactPrecisionName(ExactPrecision precision) {
+  switch (precision) {
+    case ExactPrecision::kDefault:
+      return "default";
+    case ExactPrecision::kF64:
+      return "f64";
+    case ExactPrecision::kF32:
+      return "f32";
+  }
+  return "unknown";
+}
+
+Result<ExactPrecision> ParseExactPrecision(const std::string& name) {
+  if (name == "default") return ExactPrecision::kDefault;
+  if (name == "f64" || name == "double") return ExactPrecision::kF64;
+  if (name == "f32" || name == "float") return ExactPrecision::kF32;
+  return Status::InvalidArgument(
+      "unknown exact precision \"" + name + "\" (want f64 or f32)");
+}
+
+ExactPrecision ResolveExactPrecision(ExactPrecision precision) {
+  return precision == ExactPrecision::kDefault ? EnvExactPrecision()
+                                               : precision;
+}
 
 Result<IndexLayout> ComputeIndexLayout(const MotionDatabase& database,
                                        const FeatureIndexOptions& options) {
@@ -76,6 +133,35 @@ void IndexPartitionSet::FillPartition(const double* packed, size_t dim,
     part->norms_sq[j] = norm_sq;
   }
   part->radius = std::sqrt(part->radius_sq);
+  // fp32 mirror tier (DESIGN.md §15): partitions the quantized tier
+  // will *not* code get a float32 copy of the block plus fp32 row
+  // norms, so the exact scan can run the cheaper fp32 dot-form kernel
+  // and re-evaluate in double only the rows inside the certified fp32
+  // error bound. The pack-time norm gate keeps every f64→f32
+  // conversion finite (and defined behaviour); mirror_max_abs feeds
+  // the subnormal term of Float32DotFormErrorBound.
+  part->block_f32.clear();
+  part->norms_f32.clear();
+  part->mirror_max_abs = 0.0;
+  const bool coded = options.quantized_scan && dim <= 60000 &&
+                     rows > 0 && rows >= options.quantized_min_rows;
+  if (!coded && rows > 0 &&
+      ResolveExactPrecision(options.exact_precision) ==
+          ExactPrecision::kF32 &&
+      part->max_norm_sq < kF32TierNormGate) {
+    double max_abs = 0.0;
+    for (size_t j = 0; j < rows * dim; ++j) {
+      max_abs = std::max(max_abs, std::fabs(part->block[j]));
+    }
+    part->mirror_max_abs = max_abs;
+    part->block_f32.resize(rows * dim);
+    for (size_t j = 0; j < rows * dim; ++j) {
+      part->block_f32[j] = static_cast<float>(part->block[j]);
+    }
+    part->norms_f32.resize(rows);
+    RowSquaredNormsF32(part->block_f32.data(), rows, dim,
+                       part->norms_f32.data());
+  }
   // Quantized tier: code the partition on its own integer grid (8-bit
   // or nibble-packed 4-bit per options.quant_bits) and *measure* the
   // worst reconstruction error — the provable prune leans on this
@@ -240,6 +326,11 @@ void IndexPartitionSet::ScanExact(const std::vector<double>& query,
   std::sort(scratch->order.begin(), scratch->order.end());
 
   scratch->dist.resize(max_partition_size_);
+  // The fp32 query copy is refilled lazily per ScanExact call — the
+  // scratch is reused across the queries of a batch chunk, so a
+  // size-based check would wrongly keep the previous query's floats.
+  bool qf32_ready = false;
+  float q_sq_f32 = 0.0f;
   // Candidates are kept and compared in *squared* distance space — the
   // per-record sqrt of the scan is deferred to the k reported hits.
   // The heap breaks distance ties toward the smaller record index,
@@ -364,6 +455,45 @@ void IndexPartitionSet::ScanExact(const std::vector<double>& query,
         }
         const double sq = SquaredL2Dispatched(
             query.data(), part.block.data() + j * dim, dim);
+        ++local.distance_computations;
+        top->Push(sq, part.record_indices[j]);
+      }
+      continue;
+    }
+    if (part.mirrored() && q_sq + part.max_norm_sq < kF32TierNormGate) {
+      // fp32 tier: scan the float mirror with the fp32 dot-form
+      // kernel, then re-evaluate through the double pair kernel every
+      // row within the certified bound of the current k-th best. The
+      // margin covers |ssd_f32 − ssd_f64| plus the f64 dot-form error,
+      // so a pruned row provably cannot belong to the final top k —
+      // reported hits stay bit-identical to the f64 path (§15.2). A
+      // NaN fp32 score compares false against the threshold and falls
+      // through to the double re-check, which is always safe.
+      if (!qf32_ready) {
+        scratch->query_f32.resize(dim);
+        for (size_t j = 0; j < dim; ++j) {
+          scratch->query_f32[j] = static_cast<float>(query[j]);
+        }
+        q_sq_f32 = SquaredNormF32(scratch->query_f32.data(), dim);
+        qf32_ready = true;
+      }
+      scratch->dist_f32.resize(max_partition_size_);
+      SquaredL2DotF32OneToMany(scratch->query_f32.data(), q_sq_f32,
+                               part.block_f32.data(),
+                               part.norms_f32.data(), rows, dim,
+                               scratch->dist_f32.data());
+      local.f32_scans += rows;
+      const double margin = Float32DotFormErrorBound(
+          dim, q_sq, part.max_norm_sq, part.mirror_max_abs);
+      for (size_t j = 0; j < rows; ++j) {
+        if (top->full() &&
+            static_cast<double>(scratch->dist_f32[j]) >
+                top->worst() + margin) {
+          continue;
+        }
+        const double sq = SquaredL2Dispatched(
+            query.data(), part.block.data() + j * dim, dim);
+        ++local.f32_refined;
         ++local.distance_computations;
         top->Push(sq, part.record_indices[j]);
       }
@@ -511,6 +641,10 @@ Status FeatureIndex::Rebuild() {
   if (database_ == nullptr || database_->empty()) {
     return Status::FailedPrecondition("database is empty");
   }
+  // Resolve the precision once per build and store the concrete value
+  // back, so snapshots and later refreshes see f64/f32, never
+  // "default" (env precedence: env < options < CLI, DESIGN.md §15.4).
+  options_.exact_precision = ResolveExactPrecision(options_.exact_precision);
   MOCEMG_ASSIGN_OR_RETURN(IndexLayout layout,
                           ComputeIndexLayout(*database_, options_));
   MOCEMG_RETURN_NOT_OK(
@@ -641,6 +775,8 @@ FeatureIndex::BatchNearestNeighbors(
             chunk_stats.coarse_computations +=
                 query_stats.coarse_computations;
             chunk_stats.coarse_pruned += query_stats.coarse_pruned;
+            chunk_stats.f32_scans += query_stats.f32_scans;
+            chunk_stats.f32_refined += query_stats.f32_refined;
           }
         }
         if (stats != nullptr) per_chunk[chunk] = chunk_stats;
@@ -656,6 +792,8 @@ FeatureIndex::BatchNearestNeighbors(
       total.partitions_pruned += per_chunk[chunk].partitions_pruned;
       total.coarse_computations += per_chunk[chunk].coarse_computations;
       total.coarse_pruned += per_chunk[chunk].coarse_pruned;
+      total.f32_scans += per_chunk[chunk].f32_scans;
+      total.f32_refined += per_chunk[chunk].f32_refined;
     }
     *stats = total;
   }

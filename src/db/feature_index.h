@@ -40,6 +40,7 @@
 #define MOCEMG_DB_FEATURE_INDEX_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "db/motion_database.h"
@@ -49,6 +50,34 @@
 #include "util/top_k.h"
 
 namespace mocemg {
+
+/// \brief Storage precision of the exact-scan tier (DESIGN.md §15).
+/// f32 packs a float32 mirror of every partition's SoA block next to
+/// the double block: the dot-form scan streams 4 bytes/dim instead of
+/// 8 and doubles the SIMD lane count, and every candidate within the
+/// certified `Float32DotFormErrorBound` margin of the k-th best is
+/// re-evaluated through the double kernels — reported hits stay
+/// bit-identical to the f64 path (and the linear scan) on every
+/// backend, shard count, and thread count. kDefault resolves through
+/// the MOCEMG_EXACT_PRECISION env ("f64"/"f32"; unset or invalid →
+/// f64, invalid warns once); an explicit option always wins over the
+/// env, and the CLI --exact-precision flag wins over both.
+enum class ExactPrecision : uint8_t {
+  kDefault = 0,  ///< resolve via MOCEMG_EXACT_PRECISION, else f64
+  kF64 = 1,      ///< double-only exact scan (the historical behaviour)
+  kF32 = 2,      ///< float32 mirror scan + error-bound-gated f64 refine
+};
+
+/// \brief Stable lowercase name ("default", "f64", "f32").
+const char* ExactPrecisionName(ExactPrecision precision);
+
+/// \brief Parses "f64"/"f32"/"default" (as accepted by the env/CLI).
+Result<ExactPrecision> ParseExactPrecision(const std::string& name);
+
+/// \brief Resolves kDefault against MOCEMG_EXACT_PRECISION (read once;
+/// unset or unparsable → kF64 with a one-time warning on bad values).
+/// Non-default inputs pass through unchanged.
+ExactPrecision ResolveExactPrecision(ExactPrecision precision);
 
 /// \brief Index construction parameters.
 struct FeatureIndexOptions {
@@ -76,6 +105,11 @@ struct FeatureIndexOptions {
   /// codes than without. Pure build-time property, so scan behaviour
   /// stays deterministic.
   size_t quantized_min_rows = 256;
+  /// Exact-tier storage precision (see ExactPrecision above). Resolved
+  /// (env applied) at Build/Rebuild and stored back, so snapshots and
+  /// RefreshPartition see the concrete choice, not kDefault. Results
+  /// are bit-identical at either precision; only bandwidth changes.
+  ExactPrecision exact_precision = ExactPrecision::kDefault;
   /// Parallelism for Rebuild's per-partition packing pass and for
   /// BatchNearestNeighbors. Queries are read-only over the built index,
   /// so results are bit-identical at any thread count.
@@ -94,6 +128,13 @@ struct IndexQueryStats {
   size_t coarse_computations = 0;
   /// Records the coarse bound discarded without exact evaluation.
   size_t coarse_pruned = 0;
+  /// Records scored through the float32 mirror (4 bytes/dim traffic
+  /// instead of 8). Zero unless the index packed mirrors (f32 tier).
+  size_t f32_scans = 0;
+  /// f32-scanned records whose fp32 distance fell within the certified
+  /// margin of the k-th best and were re-evaluated in double. The f32
+  /// tier's win is f32_refined staying a small fraction of f32_scans.
+  size_t f32_refined = 0;
 };
 
 class IndexSnapshotCodec;
@@ -150,9 +191,20 @@ class IndexPartitionSet {
     double quant_err_sq = 0.0;
     double quant_box_sq = 0.0;
     uint8_t quant_bits = 8;
+    /// float32 mirror of `block` + fp32 row norms (packed only when
+    /// the resolved exact_precision is f32): the dot-form scan streams
+    /// these at half the bytes/dim, with candidates near the k-th best
+    /// re-ranked through `block`. `mirror_max_abs` is the largest
+    /// element magnitude in the block, measured at pack time — the
+    /// per-dim magnitude bound the float-precision error bound's
+    /// subnormal term and the overflow gate lean on.
+    std::vector<float> block_f32;
+    std::vector<float> norms_f32;
+    double mirror_max_abs = 0.0;
 
     size_t size() const { return record_indices.size(); }
     bool quantized() const { return !quant_codes.empty(); }
+    bool mirrored() const { return !block_f32.empty(); }
     /// Top code of the grid (255 or 15).
     double quant_levels() const { return quant_bits == 4 ? 15.0 : 255.0; }
     /// Bytes per coded row (dim or ⌈dim/2⌉).
@@ -171,6 +223,8 @@ class IndexPartitionSet {
     std::vector<uint8_t> qpacked; ///< nibble-packed qcodes (4-bit tier)
     std::vector<double> decoded;  ///< q̃, for the residual measurement
     std::vector<uint32_t> ssd;    ///< integer coarse distances
+    std::vector<float> query_f32; ///< fp32 copy of the query (f32 tier)
+    std::vector<float> dist_f32;  ///< fp32 dot-form scan buffer
     BoundedTopK top;
     std::vector<TopKEntry> entries;
   };

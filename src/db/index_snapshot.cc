@@ -17,18 +17,30 @@ namespace {
 // Snapshot header: magic+version tag, payload byte count (detects
 // truncation), FNV-1a64 checksum of the payload (detects corruption).
 // The newline in the magic catches CRLF-mangling transfers early, the
-// trailing digit is the format version. Version 2 added the quantized
-// code width (8- or 4-bit packed) to the options block and to every
-// partition; version-1 files are rejected by the magic check rather
-// than misread, since their partitions carry no width field.
-constexpr char kMagic[] = "MOCEMGIX2\n";
+// digit at offset 8 is the format version. Version 2 added the
+// quantized code width (8- or 4-bit packed) to the options block and
+// to every partition. Version 3 added the resolved exact-scan
+// precision to the options block and the fp32 mirror (float block,
+// float row norms, max |element|) to every partition; version-2 files
+// are still read (their partitions simply carry no mirror and load
+// with exact_precision=f64), version-1 files are rejected with the
+// detected version named. Writers always emit version 3.
+constexpr char kMagic[] = "MOCEMGIX3\n";
 constexpr size_t kMagicLen = sizeof(kMagic) - 1;
 // Sharded snapshots: one manifest + one file per shard, same
 // header discipline per file.
-constexpr char kManifestMagic[] = "MOCEMGSM2\n";
-constexpr char kShardMagic[] = "MOCEMGSH2\n";
+constexpr char kManifestMagic[] = "MOCEMGSM3\n";
+constexpr char kShardMagic[] = "MOCEMGSH3\n";
 constexpr size_t kShardMagicLen = sizeof(kShardMagic) - 1;
 constexpr size_t kManifestMagicLen = sizeof(kManifestMagic) - 1;
+// 8-byte family prefixes (magic minus version digit and newline), for
+// version-aware unframing.
+constexpr char kMagicPrefix[] = "MOCEMGIX";
+constexpr char kManifestPrefix[] = "MOCEMGSM";
+constexpr char kShardPrefix[] = "MOCEMGSH";
+constexpr size_t kPrefixLen = 8;
+constexpr int kMinReadVersion = 2;
+constexpr int kWriteVersion = 3;
 
 uint64_t Fnv1a64(const char* data, size_t n) {
   uint64_t h = 14695981039346656037ULL;
@@ -66,6 +78,17 @@ void PutIndices(std::string* out, const std::vector<size_t>& v) {
 void PutBytes(std::string* out, const std::vector<uint8_t>& v) {
   PutU64(out, v.size());
   out->append(reinterpret_cast<const char*>(v.data()), v.size());
+}
+
+void PutFloats(std::string* out, const std::vector<float>& v) {
+  PutU64(out, v.size());
+  for (float f : v) {
+    uint32_t bits = 0;
+    std::memcpy(&bits, &f, sizeof(bits));
+    for (int i = 0; i < 4; ++i) {
+      out->push_back(static_cast<char>((bits >> (8 * i)) & 0xff));
+    }
+  }
 }
 
 /// Bounds-checked cursor over the payload; every read fails with
@@ -122,13 +145,37 @@ class Reader {
     return v;
   }
 
+  Result<std::vector<float>> Floats(uint64_t max_elems) {
+    MOCEMG_ASSIGN_OR_RETURN(uint64_t n, U64());
+    if (n > max_elems || size_ - pos_ < n * 4) {
+      return Status::ParseError(
+          "index snapshot float array overruns payload");
+    }
+    std::vector<float> v(n);
+    for (uint64_t i = 0; i < n; ++i) {
+      uint32_t bits = 0;
+      for (int b = 0; b < 4; ++b) {
+        bits |= static_cast<uint32_t>(
+                    static_cast<unsigned char>(data_[pos_ + b]))
+                << (8 * b);
+      }
+      pos_ += 4;
+      std::memcpy(&v[i], &bits, sizeof(bits));
+    }
+    return v;
+  }
+
   Result<std::vector<uint8_t>> Bytes(uint64_t max_elems) {
     MOCEMG_ASSIGN_OR_RETURN(uint64_t n, U64());
     if (n > max_elems || size_ - pos_ < n) {
       return Status::ParseError("index snapshot byte array overruns payload");
     }
     std::vector<uint8_t> v(n);
-    std::memcpy(v.data(), data_ + pos_, n);
+    if (n > 0) {
+      // An empty vector's data() may be null, which memcpy's nonnull
+      // contract forbids even at length 0.
+      std::memcpy(v.data(), data_ + pos_, n);
+    }
     pos_ += n;
     return v;
   }
@@ -154,37 +201,75 @@ std::string FrameSnapshot(const char* magic, size_t magic_len,
   return out;
 }
 
-/// Validates the header of `bytes` against `magic` and returns the
-/// (payload pointer, payload size) window. `what` names the file kind
-/// in error messages.
-Result<std::pair<const char*, uint64_t>> UnframeSnapshot(
-    const std::string& bytes, const char* magic, size_t magic_len,
-    const char* what) {
-  if (bytes.size() < magic_len + 16) {
+/// A validated snapshot frame: the format version the file declared
+/// plus its checksummed payload window.
+struct FramedPayload {
+  int version = 0;
+  const char* payload = nullptr;
+  uint64_t size = 0;
+};
+
+/// Validates the header of `bytes` against the 8-byte family `prefix`
+/// and returns the declared version plus the payload window. The
+/// version digit is parsed even on rejection, so an old or future file
+/// fails with its *detected* version named (and a regeneration hint)
+/// instead of an opaque magic mismatch. `what` names the file kind in
+/// error messages.
+Result<FramedPayload> UnframeSnapshot(const std::string& bytes,
+                                      const char* prefix,
+                                      const char* what) {
+  if (bytes.size() < kMagicLen + 16) {
     return Status::ParseError(std::string(what) +
                               " shorter than its header");
   }
-  if (bytes.compare(0, magic_len, magic, magic_len) != 0) {
+  if (bytes.compare(0, kPrefixLen, prefix, kPrefixLen) != 0 ||
+      bytes[kPrefixLen + 1] != '\n') {
     return Status::ParseError(std::string(what) +
-                              " magic/version mismatch");
+                              " magic/version mismatch (expected " +
+                              std::string(prefix) +
+                              static_cast<char>('0' + kWriteVersion) +
+                              ")");
   }
-  Reader header(bytes.data() + magic_len, 16);
+  const char version_digit = bytes[kPrefixLen];
+  if (version_digit < '0' || version_digit > '9') {
+    return Status::ParseError(std::string(what) +
+                              " magic/version mismatch (expected " +
+                              std::string(prefix) +
+                              static_cast<char>('0' + kWriteVersion) +
+                              ")");
+  }
+  const int version = version_digit - '0';
+  if (version < kMinReadVersion || version > kWriteVersion) {
+    return Status::ParseError(
+        std::string(what) + " is container version " +
+        std::to_string(version) + "; this reader supports versions " +
+        std::to_string(kMinReadVersion) + ".." +
+        std::to_string(kWriteVersion) +
+        " — regenerate the snapshot by re-saving the index");
+  }
+  Reader header(bytes.data() + kMagicLen, 16);
   MOCEMG_ASSIGN_OR_RETURN(uint64_t payload_size, header.U64());
   MOCEMG_ASSIGN_OR_RETURN(uint64_t checksum, header.U64());
-  const size_t have = bytes.size() - magic_len - 16;
+  const size_t have = bytes.size() - kMagicLen - 16;
   if (have != payload_size) {
     return Status::ParseError(
         std::string(what) + " truncated: header promises " +
         std::to_string(payload_size) + " payload bytes, file has " +
         std::to_string(have));
   }
-  const char* payload = bytes.data() + magic_len + 16;
+  const char* payload = bytes.data() + kMagicLen + 16;
   const uint64_t actual = Fnv1a64(payload, payload_size);
   if (actual != checksum) {
-    return Status::ParseError(std::string(what) +
-                              " checksum mismatch: file is corrupted");
+    return Status::ParseError(
+        std::string(what) + " checksum mismatch (stored " +
+        std::to_string(checksum) + ", computed " + std::to_string(actual) +
+        "): file is corrupted");
   }
-  return std::make_pair(payload, payload_size);
+  FramedPayload out;
+  out.version = version;
+  out.payload = payload;
+  out.size = payload_size;
+  return out;
 }
 
 /// Atomic write: temporary sibling + rename, the SaveFeatureIndex
@@ -243,9 +328,15 @@ class IndexSnapshotCodec {
     PutDoubles(p, part.norms_sq);
     PutDoubles(p, part.quant_offsets);
     PutBytes(p, part.quant_codes);
+    // Version 3: the fp32 mirror (empty when the partition is coded,
+    // the precision is f64, or the norm gate rejected it).
+    PutDouble(p, part.mirror_max_abs);
+    PutFloats(p, part.block_f32);
+    PutFloats(p, part.norms_f32);
   }
 
-  static Status ReadPartition(Reader* r, uint64_t n_records, uint64_t dim,
+  static Status ReadPartition(Reader* r, int version, uint64_t n_records,
+                              uint64_t dim,
                               IndexPartitionSet::Partition* part) {
     MOCEMG_ASSIGN_OR_RETURN(part->radius, r->Double());
     MOCEMG_ASSIGN_OR_RETURN(part->radius_sq, r->Double());
@@ -296,6 +387,29 @@ class IndexSnapshotCodec {
           std::to_string(quant_bits) + "-bit width implies " +
           std::to_string(expect_codes));
     }
+    // Version-2 partitions predate the fp32 mirror; leave it empty
+    // (the loaded index behaves exactly like an f64 build).
+    part->mirror_max_abs = 0.0;
+    part->block_f32.clear();
+    part->norms_f32.clear();
+    if (version >= 3) {
+      MOCEMG_ASSIGN_OR_RETURN(part->mirror_max_abs, r->Double());
+      MOCEMG_ASSIGN_OR_RETURN(part->block_f32, r->Floats(n * dim));
+      MOCEMG_ASSIGN_OR_RETURN(part->norms_f32, r->Floats(n));
+      // The mirror is all-or-nothing per partition: a float block of
+      // any size other than rows×dim (or a norms array that disagrees)
+      // would mis-index the fp32 scan, so reject it here.
+      if (part->block_f32.empty() ? !part->norms_f32.empty()
+                                  : (part->block_f32.size() != n * dim ||
+                                     part->norms_f32.size() != n)) {
+        return Status::ParseError(
+            "index snapshot fp32 mirror malformed: " +
+            std::to_string(part->block_f32.size()) + " floats and " +
+            std::to_string(part->norms_f32.size()) + " norms for " +
+            std::to_string(n) + " rows of dimension " +
+            std::to_string(dim));
+      }
+    }
     return Status::OK();
   }
 
@@ -310,6 +424,9 @@ class IndexSnapshotCodec {
     PutU64(&p, index.options_.quantized_scan ? 1 : 0);
     PutU64(&p, index.options_.quantized_min_rows);
     PutU64(&p, index.options_.quant_bits);
+    // Version 3: the *resolved* exact-scan precision (Rebuild stores a
+    // concrete f64/f32 back into the options before packing).
+    PutU64(&p, static_cast<uint64_t>(index.options_.exact_precision));
     PutU64(&p, index.options_.parallel.max_threads);
     PutU64(&p, index.options_.parallel.grain);
     // Packed references.
@@ -325,6 +442,7 @@ class IndexSnapshotCodec {
   }
 
   static Result<FeatureIndex> Deserialize(const char* payload, size_t size,
+                                          int version,
                                           const MotionDatabase* database) {
     Reader r(payload, size);
     FeatureIndex index;
@@ -354,6 +472,24 @@ class IndexSnapshotCodec {
           std::to_string(qbits) + " bits; this reader supports 8 or 4");
     }
     index.options_.quant_bits = static_cast<size_t>(qbits);
+    if (version >= 3) {
+      MOCEMG_ASSIGN_OR_RETURN(uint64_t precision, r.U64());
+      if (precision != static_cast<uint64_t>(ExactPrecision::kF64) &&
+          precision != static_cast<uint64_t>(ExactPrecision::kF32)) {
+        return Status::ParseError(
+            "index snapshot options carry exact precision tag " +
+            std::to_string(precision) + "; this reader supports f64 (1) "
+            "or f32 (2)");
+      }
+      index.options_.exact_precision =
+          static_cast<ExactPrecision>(precision);
+    } else {
+      // Version-2 snapshots predate the fp32 tier and carry no
+      // mirrors: they load as concrete f64 regardless of the
+      // environment, so behavior is a property of the file, not of
+      // where it is opened.
+      index.options_.exact_precision = ExactPrecision::kF64;
+    }
     MOCEMG_ASSIGN_OR_RETURN(uint64_t threads, r.U64());
     index.options_.parallel.max_threads = static_cast<size_t>(threads);
     MOCEMG_ASSIGN_OR_RETURN(uint64_t grain, r.U64());
@@ -384,7 +520,8 @@ class IndexSnapshotCodec {
     }
     index.set_.partitions_.resize(static_cast<size_t>(num_partitions));
     for (IndexPartitionSet::Partition& part : index.set_.partitions_) {
-      MOCEMG_RETURN_NOT_OK(ReadPartition(&r, n_records, dim, &part));
+      MOCEMG_RETURN_NOT_OK(
+          ReadPartition(&r, version, n_records, dim, &part));
     }
     if (!r.exhausted()) {
       return Status::ParseError("index snapshot has trailing bytes");
@@ -425,6 +562,8 @@ class IndexSnapshotCodec {
     PutU64(&p, index.options_.index.quantized_scan ? 1 : 0);
     PutU64(&p, index.options_.index.quantized_min_rows);
     PutU64(&p, index.options_.index.quant_bits);
+    PutU64(&p,
+           static_cast<uint64_t>(index.options_.index.exact_precision));
     PutU64(&p, index.options_.index.parallel.max_threads);
     PutU64(&p, index.options_.index.parallel.grain);
     PutU64(&p, index.options_.num_shards);
@@ -445,7 +584,8 @@ class IndexSnapshotCodec {
   }
 
   static Result<ShardedManifest> ParseManifest(
-      const char* payload, size_t size, const MotionDatabase* database) {
+      const char* payload, size_t size, int version,
+      const MotionDatabase* database) {
     Reader r(payload, size);
     ShardedManifest m;
     MOCEMG_ASSIGN_OR_RETURN(m.applied_epoch, r.U64());
@@ -481,6 +621,20 @@ class IndexSnapshotCodec {
           std::to_string(qbits) + " bits; this reader supports 8 or 4");
     }
     m.options.index.quant_bits = static_cast<size_t>(qbits);
+    if (version >= 3) {
+      MOCEMG_ASSIGN_OR_RETURN(uint64_t precision, r.U64());
+      if (precision != static_cast<uint64_t>(ExactPrecision::kF64) &&
+          precision != static_cast<uint64_t>(ExactPrecision::kF32)) {
+        return Status::ParseError(
+            "sharded index manifest carries exact precision tag " +
+            std::to_string(precision) + "; this reader supports f64 (1) "
+            "or f32 (2)");
+      }
+      m.options.index.exact_precision =
+          static_cast<ExactPrecision>(precision);
+    } else {
+      m.options.index.exact_precision = ExactPrecision::kF64;
+    }
     MOCEMG_ASSIGN_OR_RETURN(uint64_t threads, r.U64());
     m.options.index.parallel.max_threads = static_cast<size_t>(threads);
     MOCEMG_ASSIGN_OR_RETURN(uint64_t grain, r.U64());
@@ -546,17 +700,18 @@ class IndexSnapshotCodec {
       IndexPartitionSet* set) {
     MOCEMG_ASSIGN_OR_RETURN(std::string bytes, ReadFileToString(path));
     MOCEMG_ASSIGN_OR_RETURN(
-        auto window,
-        UnframeSnapshot(bytes, kShardMagic, kShardMagicLen,
-                        "shard snapshot"));
-    const auto& [payload, payload_size] = window;
-    if (payload_size != m.digests[shard].first ||
-        Fnv1a64(payload, payload_size) != m.digests[shard].second) {
+        FramedPayload window,
+        UnframeSnapshot(bytes, kShardPrefix, "shard snapshot"));
+    // The digest covers the payload bytes, mirror blocks included — a
+    // shard file from another save generation (or another container
+    // version) fails here before any of its fields are trusted.
+    if (window.size != m.digests[shard].first ||
+        Fnv1a64(window.payload, window.size) != m.digests[shard].second) {
       return Status::ParseError(
           "shard snapshot does not match the manifest's digest (stale "
           "or cross-generation file)");
     }
-    Reader r(payload, payload_size);
+    Reader r(window.payload, window.size);
     MOCEMG_ASSIGN_OR_RETURN(uint64_t id, r.U64());
     if (id != shard) {
       return Status::ParseError("shard snapshot carries the wrong shard id");
@@ -576,7 +731,8 @@ class IndexSnapshotCodec {
         static_cast<size_t>(num_local));
     for (size_t i = 0; i < parts.size(); ++i) {
       MOCEMG_RETURN_NOT_OK(
-          ReadPartition(&r, m.n_records, m.dim, &parts[i]));
+          ReadPartition(&r, window.version, m.n_records, m.dim,
+                        &parts[i]));
       if (parts[i].record_indices != shard_members[i]) {
         return Status::ParseError(
             "shard snapshot membership does not match the manifest "
@@ -675,39 +831,30 @@ Result<std::string> SerializeFeatureIndex(const FeatureIndex& index) {
   return out;
 }
 
-Result<FeatureIndex> DeserializeFeatureIndex(
-    const std::string& bytes, const MotionDatabase* database) {
+namespace {
+
+/// Shared by DeserializeFeatureIndex and LoadFeatureIndex: unframe,
+/// deserialize, and report the container version the file declared so
+/// path-aware callers can log the v2→v3 regeneration hint.
+Result<FeatureIndex> DeserializeFeatureIndexDetecting(
+    const std::string& bytes, const MotionDatabase* database,
+    int* detected_version) {
   if (database == nullptr) {
     return Status::InvalidArgument("database must not be null");
   }
-  if (bytes.size() < kMagicLen + 16) {
-    return Status::ParseError("index snapshot shorter than its header");
-  }
-  if (bytes.compare(0, kMagicLen, kMagic, kMagicLen) != 0) {
-    return Status::ParseError(
-        "index snapshot magic/version mismatch (expected MOCEMGIX2; "
-        "version-1 snapshots predate the quantized code width field and "
-        "must be regenerated)");
-  }
-  Reader header(bytes.data() + kMagicLen, 16);
-  MOCEMG_ASSIGN_OR_RETURN(uint64_t payload_size, header.U64());
-  MOCEMG_ASSIGN_OR_RETURN(uint64_t checksum, header.U64());
-  const size_t have = bytes.size() - kMagicLen - 16;
-  if (have != payload_size) {
-    return Status::ParseError(
-        "index snapshot truncated: header promises " +
-        std::to_string(payload_size) + " payload bytes, file has " +
-        std::to_string(have));
-  }
-  const char* payload = bytes.data() + kMagicLen + 16;
-  const uint64_t actual = Fnv1a64(payload, payload_size);
-  if (actual != checksum) {
-    return Status::ParseError(
-        "index snapshot checksum mismatch (stored " +
-        std::to_string(checksum) + ", computed " + std::to_string(actual) +
-        "): file is corrupted");
-  }
-  return IndexSnapshotCodec::Deserialize(payload, payload_size, database);
+  MOCEMG_ASSIGN_OR_RETURN(
+      FramedPayload window,
+      UnframeSnapshot(bytes, kMagicPrefix, "index snapshot"));
+  if (detected_version != nullptr) *detected_version = window.version;
+  return IndexSnapshotCodec::Deserialize(window.payload, window.size,
+                                         window.version, database);
+}
+
+}  // namespace
+
+Result<FeatureIndex> DeserializeFeatureIndex(
+    const std::string& bytes, const MotionDatabase* database) {
+  return DeserializeFeatureIndexDetecting(bytes, database, nullptr);
 }
 
 Status SaveFeatureIndex(const FeatureIndex& index, const std::string& path) {
@@ -727,9 +874,18 @@ Status SaveFeatureIndex(const FeatureIndex& index, const std::string& path) {
 Result<FeatureIndex> LoadFeatureIndex(const std::string& path,
                                       const MotionDatabase* database) {
   MOCEMG_ASSIGN_OR_RETURN(std::string bytes, ReadFileToString(path));
-  Result<FeatureIndex> index = DeserializeFeatureIndex(bytes, database);
+  int version = 0;
+  Result<FeatureIndex> index =
+      DeserializeFeatureIndexDetecting(bytes, database, &version);
   if (!index.ok()) {
     return index.status().WithContext("loading index snapshot " + path);
+  }
+  if (version < kWriteVersion) {
+    MOCEMG_LOG(kWarning)
+        << "index snapshot " << path << " is container version "
+        << version << " (pre-fp32-mirror); loaded with "
+        << "exact_precision=f64 — re-save it to regenerate a version-"
+        << kWriteVersion << " snapshot and enable the fp32 exact tier";
   }
   return index;
 }
@@ -797,14 +953,21 @@ Result<ShardedFeatureIndex> LoadShardedFeatureIndex(
     return Status::InvalidArgument("database must not be null");
   }
   MOCEMG_ASSIGN_OR_RETURN(std::string bytes, ReadFileToString(path));
-  auto window = UnframeSnapshot(bytes, kManifestMagic, kManifestMagicLen,
-                                "sharded index manifest");
+  auto window =
+      UnframeSnapshot(bytes, kManifestPrefix, "sharded index manifest");
   if (!window.ok()) {
     return window.status().WithContext("loading sharded index manifest " +
                                        path);
   }
+  if (window->version < kWriteVersion) {
+    MOCEMG_LOG(kWarning)
+        << "sharded index manifest " << path << " is container version "
+        << window->version << " (pre-fp32-mirror); loaded with "
+        << "exact_precision=f64 — re-save it to regenerate version-"
+        << kWriteVersion << " files and enable the fp32 exact tier";
+  }
   auto manifest = IndexSnapshotCodec::ParseManifest(
-      window->first, window->second, database);
+      window->payload, window->size, window->version, database);
   if (!manifest.ok()) {
     return manifest.status().WithContext("loading sharded index manifest " +
                                          path);
@@ -831,13 +994,21 @@ Result<ShardedFeatureIndex> LoadOrRebuildShardedFeatureIndex(
   Result<ShardedFeatureIndex> attempt = [&]() -> Result<ShardedFeatureIndex> {
     MOCEMG_ASSIGN_OR_RETURN(std::string bytes, ReadFileToString(path));
     MOCEMG_ASSIGN_OR_RETURN(
-        auto window, UnframeSnapshot(bytes, kManifestMagic,
-                                     kManifestMagicLen,
-                                     "sharded index manifest"));
+        FramedPayload window,
+        UnframeSnapshot(bytes, kManifestPrefix,
+                        "sharded index manifest"));
+    if (window.version < kWriteVersion) {
+      MOCEMG_LOG(kWarning)
+          << "sharded index manifest " << path
+          << " is container version " << window.version
+          << " (pre-fp32-mirror); loaded with exact_precision=f64 — "
+          << "re-save it to regenerate version-" << kWriteVersion
+          << " files and enable the fp32 exact tier";
+    }
     MOCEMG_ASSIGN_OR_RETURN(
         ShardedManifest manifest,
-        IndexSnapshotCodec::ParseManifest(window.first, window.second,
-                                          database));
+        IndexSnapshotCodec::ParseManifest(window.payload, window.size,
+                                          window.version, database));
     if (manifest.applied_epoch != database->epoch()) {
       return Status::FailedPrecondition(
           "manifest applied epoch " +

@@ -51,6 +51,8 @@ void AccumulateIndexStats(IndexQueryStats* acc, const IndexQueryStats& s) {
   acc->partitions_pruned += s.partitions_pruned;
   acc->coarse_computations += s.coarse_computations;
   acc->coarse_pruned += s.coarse_pruned;
+  acc->f32_scans += s.f32_scans;
+  acc->f32_refined += s.f32_refined;
 }
 
 }  // namespace

@@ -28,6 +28,10 @@ Status ShardedFeatureIndex::Rebuild() {
   if (database_ == nullptr || database_->empty()) {
     return Status::FailedPrecondition("database is empty");
   }
+  // Same resolve-and-store contract as FeatureIndex::Rebuild: shards
+  // pack (and snapshots persist) a concrete f64/f32, never "default".
+  options_.index.exact_precision =
+      ResolveExactPrecision(options_.index.exact_precision);
   MOCEMG_ASSIGN_OR_RETURN(IndexLayout layout,
                           ComputeIndexLayout(*database_, options_.index));
   const size_t num_parts = layout.members.size();
@@ -153,6 +157,8 @@ Result<std::vector<QueryHit>> ShardedFeatureIndex::NearestNeighbors(
       total.partitions_pruned += s.partitions_pruned;
       total.coarse_computations += s.coarse_computations;
       total.coarse_pruned += s.coarse_pruned;
+      total.f32_scans += s.f32_scans;
+      total.f32_refined += s.f32_refined;
     }
     *stats = total;
   }
@@ -236,11 +242,15 @@ ShardedFeatureIndex::BatchNearestNeighbors(
       total.partitions_pruned += cs.partitions_pruned;
       total.coarse_computations += cs.coarse_computations;
       total.coarse_pruned += cs.coarse_pruned;
+      total.f32_scans += cs.f32_scans;
+      total.f32_refined += cs.f32_refined;
       bs.distance_computations += cs.distance_computations;
       bs.partitions_visited += cs.partitions_visited;
       bs.partitions_pruned += cs.partitions_pruned;
       bs.coarse_computations += cs.coarse_computations;
       bs.coarse_pruned += cs.coarse_pruned;
+      bs.f32_scans += cs.f32_scans;
+      bs.f32_refined += cs.f32_refined;
     }
     if (stats != nullptr) *stats = total;
     if (per_shard != nullptr) *per_shard = std::move(by_shard);
@@ -287,6 +297,8 @@ Result<std::vector<QueryHit>> ShardedFeatureIndex::CoarseNearestNeighbors(
       total.partitions_pruned += s.partitions_pruned;
       total.coarse_computations += s.coarse_computations;
       total.coarse_pruned += s.coarse_pruned;
+      total.f32_scans += s.f32_scans;
+      total.f32_refined += s.f32_refined;
     }
     *stats = total;
   }

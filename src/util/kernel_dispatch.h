@@ -20,9 +20,10 @@
 /// (including NaN/Inf propagation): the double kernels implement the
 /// exact 4-lane accumulation order of distance_kernels.h (one 4-wide
 /// vector accumulator, multiply then add — never FMA — with scalar
-/// remainder handling in the same lanes), and the integer coarse
-/// kernels are exact by construction (int32 sums of squared byte
-/// diffs are associative). Switching backends can therefore never
+/// remainder handling in the same lanes), the float32 mirror kernels
+/// implement the identical 4-lane order at fp32 precision, and the
+/// integer coarse kernels are exact by construction (int32 sums of
+/// squared byte diffs are associative). Switching backends can never
 /// change a kNN result, a pruning decision, or a clustering iterate —
 /// only the wall-clock. The contract is enforced by
 /// tests/util/kernel_dispatch_test.cc across dims 1–67 for every
@@ -59,7 +60,11 @@ enum class KernelBackend : int {
 /// non-null and honour the contracts of distance_kernels.h /
 /// quant_kernels.h; `ssd4_one_to_many` scans 4-bit nibble-packed codes
 /// (row stride ⌈d/2⌉ bytes, dim 2j in the low nibble — see
-/// quant_kernels.h).
+/// quant_kernels.h). The `*_f32*` entries scan the float32 SoA mirror
+/// of the exact tier: fp32 accumulation with the same literal 4-lane
+/// order (bit-exact across backends like the double family), plus one
+/// fp64-accumulate variant (`l2dot_f32d_one_to_many`) used by the
+/// float-precision error-bound analysis and its tests.
 struct KernelOps {
   const char* name;
   double (*squared_l2_pair)(const double* x, const double* y, size_t d);
@@ -75,6 +80,17 @@ struct KernelOps {
                            size_t rows, size_t d, uint32_t* out);
   void (*ssd4_one_to_many)(const uint8_t* qpacked, const uint8_t* packed,
                            size_t rows, size_t d, uint32_t* out);
+  void (*l2_f32_one_to_many)(const float* query, const float* block,
+                             size_t rows, size_t d, float* out);
+  void (*l2dot_f32_one_to_many)(const float* query, float query_sq,
+                                const float* block, const float* norms_sq,
+                                size_t rows, size_t d, float* out);
+  void (*row_norms_f32)(const float* block, size_t rows, size_t d,
+                        float* out);
+  void (*l2dot_f32d_one_to_many)(const float* query, double query_sq,
+                                 const float* block,
+                                 const double* norms_sq, size_t rows,
+                                 size_t d, double* out);
 };
 
 /// \brief Stable lowercase name ("auto", "scalar", "avx2", ...).

@@ -104,6 +104,133 @@ void Avx2RowNorms(const double* block, size_t rows, size_t d, double* out) {
 }
 
 // ---------------------------------------------------------------------
+// float32 mirror kernels: the same ONE-4-wide-accumulator contract at
+// fp32. A 256-bit step covers 8 floats; adding its low xmm then its
+// high xmm into the accumulator reproduces the scalar loop exactly
+// (lane j sums dim i+j, then dim i+4+j) — the trick the AVX-512 double
+// kernels use for their 8-dim steps.
+
+inline float CombineTailF32(__m128 acc, const float* x, const float* y,
+                            size_t i, size_t d, bool squared) {
+  alignas(16) float a[4];
+  _mm_store_ps(a, acc);
+  if (squared) {
+    if (i < d) {
+      const float d0 = x[i] - y[i];
+      a[0] += d0 * d0;
+    }
+    if (i + 1 < d) {
+      const float d1 = x[i + 1] - y[i + 1];
+      a[1] += d1 * d1;
+    }
+    if (i + 2 < d) {
+      const float d2 = x[i + 2] - y[i + 2];
+      a[2] += d2 * d2;
+    }
+  } else {
+    if (i < d) a[0] += x[i] * y[i];
+    if (i + 1 < d) a[1] += x[i + 1] * y[i + 1];
+    if (i + 2 < d) a[2] += x[i + 2] * y[i + 2];
+  }
+  return (a[0] + a[1]) + (a[2] + a[3]);
+}
+
+inline float Avx2SquaredL2PairF32(const float* x, const float* y,
+                                  size_t d) {
+  __m128 acc = _mm_setzero_ps();
+  size_t i = 0;
+  for (; i + 8 <= d; i += 8) {
+    const __m256 diff =
+        _mm256_sub_ps(_mm256_loadu_ps(x + i), _mm256_loadu_ps(y + i));
+    const __m256 sq = _mm256_mul_ps(diff, diff);
+    acc = _mm_add_ps(acc, _mm256_castps256_ps128(sq));
+    acc = _mm_add_ps(acc, _mm256_extractf128_ps(sq, 1));
+  }
+  if (i + 4 <= d) {
+    const __m128 diff =
+        _mm_sub_ps(_mm_loadu_ps(x + i), _mm_loadu_ps(y + i));
+    acc = _mm_add_ps(acc, _mm_mul_ps(diff, diff));
+    i += 4;
+  }
+  return CombineTailF32(acc, x, y, i, d, /*squared=*/true);
+}
+
+inline float Avx2DotPairF32(const float* x, const float* y, size_t d) {
+  __m128 acc = _mm_setzero_ps();
+  size_t i = 0;
+  for (; i + 8 <= d; i += 8) {
+    const __m256 p =
+        _mm256_mul_ps(_mm256_loadu_ps(x + i), _mm256_loadu_ps(y + i));
+    acc = _mm_add_ps(acc, _mm256_castps256_ps128(p));
+    acc = _mm_add_ps(acc, _mm256_extractf128_ps(p, 1));
+  }
+  if (i + 4 <= d) {
+    acc = _mm_add_ps(acc,
+                     _mm_mul_ps(_mm_loadu_ps(x + i), _mm_loadu_ps(y + i)));
+    i += 4;
+  }
+  return CombineTailF32(acc, x, y, i, d, /*squared=*/false);
+}
+
+// fp64-accumulate over fp32 inputs: widen 4 floats to 4 doubles
+// (exact) and run the double contract.
+inline double Avx2DotPairF32ToF64(const float* x, const float* y,
+                                  size_t d) {
+  __m256d acc = _mm256_setzero_pd();
+  size_t i = 0;
+  for (; i + 4 <= d; i += 4) {
+    const __m256d vx = _mm256_cvtps_pd(_mm_loadu_ps(x + i));
+    const __m256d vy = _mm256_cvtps_pd(_mm_loadu_ps(y + i));
+    acc = _mm256_add_pd(acc, _mm256_mul_pd(vx, vy));
+  }
+  alignas(32) double a[4];
+  _mm256_store_pd(a, acc);
+  if (i < d) {
+    a[0] += static_cast<double>(x[i]) * static_cast<double>(y[i]);
+  }
+  if (i + 1 < d) {
+    a[1] += static_cast<double>(x[i + 1]) * static_cast<double>(y[i + 1]);
+  }
+  if (i + 2 < d) {
+    a[2] += static_cast<double>(x[i + 2]) * static_cast<double>(y[i + 2]);
+  }
+  return (a[0] + a[1]) + (a[2] + a[3]);
+}
+
+void Avx2L2F32OneToMany(const float* query, const float* block,
+                        size_t rows, size_t d, float* out) {
+  for (size_t r = 0; r < rows; ++r) {
+    out[r] = Avx2SquaredL2PairF32(query, block + r * d, d);
+  }
+}
+
+void Avx2L2DotF32OneToMany(const float* query, float query_sq,
+                           const float* block, const float* norms_sq,
+                           size_t rows, size_t d, float* out) {
+  for (size_t r = 0; r < rows; ++r) {
+    out[r] = query_sq + norms_sq[r] -
+             2.0f * Avx2DotPairF32(query, block + r * d, d);
+  }
+}
+
+void Avx2RowNormsF32(const float* block, size_t rows, size_t d,
+                     float* out) {
+  for (size_t r = 0; r < rows; ++r) {
+    const float* row = block + r * d;
+    out[r] = Avx2DotPairF32(row, row, d);
+  }
+}
+
+void Avx2L2DotF32F64OneToMany(const float* query, double query_sq,
+                              const float* block, const double* norms_sq,
+                              size_t rows, size_t d, double* out) {
+  for (size_t r = 0; r < rows; ++r) {
+    out[r] = query_sq + norms_sq[r] -
+             2.0 * Avx2DotPairF32ToF64(query, block + r * d, d);
+  }
+}
+
+// ---------------------------------------------------------------------
 // int8 coarse kernel.
 
 inline uint32_t HorizontalSumU32(__m128i v) {
@@ -242,6 +369,10 @@ const KernelOps& Avx2KernelOps() {
       Avx2RowNorms,
       Avx2Ssd8OneToMany,
       Avx2Ssd4OneToMany,
+      Avx2L2F32OneToMany,
+      Avx2L2DotF32OneToMany,
+      Avx2RowNormsF32,
+      Avx2L2DotF32F64OneToMany,
   };
   return ops;
 }

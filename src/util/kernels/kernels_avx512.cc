@@ -117,6 +117,144 @@ void Avx512RowNorms(const double* block, size_t rows, size_t d,
 }
 
 // ---------------------------------------------------------------------
+// float32 mirror kernels: ONE 4-wide xmm accumulator; a 512-bit load
+// covers 16 floats whose four 4-dim chunks are added sequentially
+// (chunk 0 first) — lane j therefore accumulates dims i+j, i+4+j,
+// i+8+j, i+12+j in the scalar reference's exact order. Multiply then
+// add, never FMA.
+
+inline float CombineTailF32(__m128 acc, const float* x, const float* y,
+                            size_t i, size_t d, bool squared) {
+  alignas(16) float a[4];
+  _mm_store_ps(a, acc);
+  if (squared) {
+    if (i < d) {
+      const float d0 = x[i] - y[i];
+      a[0] += d0 * d0;
+    }
+    if (i + 1 < d) {
+      const float d1 = x[i + 1] - y[i + 1];
+      a[1] += d1 * d1;
+    }
+    if (i + 2 < d) {
+      const float d2 = x[i + 2] - y[i + 2];
+      a[2] += d2 * d2;
+    }
+  } else {
+    if (i < d) a[0] += x[i] * y[i];
+    if (i + 1 < d) a[1] += x[i + 1] * y[i + 1];
+    if (i + 2 < d) a[2] += x[i + 2] * y[i + 2];
+  }
+  return (a[0] + a[1]) + (a[2] + a[3]);
+}
+
+inline __m128 AddChunksSequential(__m128 acc, __m512 wide) {
+  acc = _mm_add_ps(acc, _mm512_castps512_ps128(wide));
+  acc = _mm_add_ps(acc, _mm512_extractf32x4_ps(wide, 1));
+  acc = _mm_add_ps(acc, _mm512_extractf32x4_ps(wide, 2));
+  acc = _mm_add_ps(acc, _mm512_extractf32x4_ps(wide, 3));
+  return acc;
+}
+
+inline float Avx512SquaredL2PairF32(const float* x, const float* y,
+                                    size_t d) {
+  __m128 acc = _mm_setzero_ps();
+  size_t i = 0;
+  for (; i + 16 <= d; i += 16) {
+    const __m512 diff =
+        _mm512_sub_ps(_mm512_loadu_ps(x + i), _mm512_loadu_ps(y + i));
+    acc = AddChunksSequential(acc, _mm512_mul_ps(diff, diff));
+  }
+  for (; i + 4 <= d; i += 4) {
+    const __m128 diff =
+        _mm_sub_ps(_mm_loadu_ps(x + i), _mm_loadu_ps(y + i));
+    acc = _mm_add_ps(acc, _mm_mul_ps(diff, diff));
+  }
+  return CombineTailF32(acc, x, y, i, d, /*squared=*/true);
+}
+
+inline float Avx512DotPairF32(const float* x, const float* y, size_t d) {
+  __m128 acc = _mm_setzero_ps();
+  size_t i = 0;
+  for (; i + 16 <= d; i += 16) {
+    acc = AddChunksSequential(
+        acc, _mm512_mul_ps(_mm512_loadu_ps(x + i), _mm512_loadu_ps(y + i)));
+  }
+  for (; i + 4 <= d; i += 4) {
+    acc = _mm_add_ps(acc,
+                     _mm_mul_ps(_mm_loadu_ps(x + i), _mm_loadu_ps(y + i)));
+  }
+  return CombineTailF32(acc, x, y, i, d, /*squared=*/false);
+}
+
+// fp64-accumulate over fp32 inputs: widen 8 floats to a 512-bit double
+// vector (exact), then the double kernel's sequential-halves order.
+inline double Avx512DotPairF32ToF64(const float* x, const float* y,
+                                    size_t d) {
+  __m256d acc = _mm256_setzero_pd();
+  size_t i = 0;
+  for (; i + 8 <= d; i += 8) {
+    const __m512d vx = _mm512_cvtps_pd(_mm256_loadu_ps(x + i));
+    const __m512d vy = _mm512_cvtps_pd(_mm256_loadu_ps(y + i));
+    const __m512d prod = _mm512_mul_pd(vx, vy);
+    acc = _mm256_add_pd(acc, _mm512_castpd512_pd256(prod));
+    acc = _mm256_add_pd(acc, _mm512_extractf64x4_pd(prod, 1));
+  }
+  if (i + 4 <= d) {
+    const __m256d vx = _mm256_cvtps_pd(_mm_loadu_ps(x + i));
+    const __m256d vy = _mm256_cvtps_pd(_mm_loadu_ps(y + i));
+    acc = _mm256_add_pd(acc, _mm256_mul_pd(vx, vy));
+    i += 4;
+  }
+  alignas(32) double a[4];
+  _mm256_store_pd(a, acc);
+  if (i < d) {
+    a[0] += static_cast<double>(x[i]) * static_cast<double>(y[i]);
+  }
+  if (i + 1 < d) {
+    a[1] += static_cast<double>(x[i + 1]) * static_cast<double>(y[i + 1]);
+  }
+  if (i + 2 < d) {
+    a[2] += static_cast<double>(x[i + 2]) * static_cast<double>(y[i + 2]);
+  }
+  return (a[0] + a[1]) + (a[2] + a[3]);
+}
+
+void Avx512L2F32OneToMany(const float* query, const float* block,
+                          size_t rows, size_t d, float* out) {
+  for (size_t r = 0; r < rows; ++r) {
+    out[r] = Avx512SquaredL2PairF32(query, block + r * d, d);
+  }
+}
+
+void Avx512L2DotF32OneToMany(const float* query, float query_sq,
+                             const float* block, const float* norms_sq,
+                             size_t rows, size_t d, float* out) {
+  for (size_t r = 0; r < rows; ++r) {
+    out[r] = query_sq + norms_sq[r] -
+             2.0f * Avx512DotPairF32(query, block + r * d, d);
+  }
+}
+
+void Avx512RowNormsF32(const float* block, size_t rows, size_t d,
+                       float* out) {
+  for (size_t r = 0; r < rows; ++r) {
+    const float* row = block + r * d;
+    out[r] = Avx512DotPairF32(row, row, d);
+  }
+}
+
+void Avx512L2DotF32F64OneToMany(const float* query, double query_sq,
+                                const float* block,
+                                const double* norms_sq, size_t rows,
+                                size_t d, double* out) {
+  for (size_t r = 0; r < rows; ++r) {
+    out[r] = query_sq + norms_sq[r] -
+             2.0 * Avx512DotPairF32ToF64(query, block + r * d, d);
+  }
+}
+
+// ---------------------------------------------------------------------
 // integer coarse kernels.
 
 inline uint32_t HorizontalSumU32(__m128i v) {
@@ -443,6 +581,10 @@ const KernelOps& Avx512KernelOps() {
       Avx512RowNorms,
       Avx512Ssd8OneToMany,
       Avx512Ssd4OneToMany,
+      Avx512L2F32OneToMany,
+      Avx512L2DotF32OneToMany,
+      Avx512RowNormsF32,
+      Avx512L2DotF32F64OneToMany,
   };
   return ops;
 }

@@ -104,6 +104,123 @@ void NeonRowNorms(const double* block, size_t rows, size_t d, double* out) {
 }
 
 // ---------------------------------------------------------------------
+// float32 mirror kernels: one float32x4_t accumulator IS the scalar
+// reference's four lanes; multiply then add (never vfma), remainder
+// dims on the extracted lanes.
+
+inline float CombineTailF32(float32x4_t acc, const float* x,
+                            const float* y, size_t i, size_t d,
+                            bool squared) {
+  float a0 = vgetq_lane_f32(acc, 0);
+  float a1 = vgetq_lane_f32(acc, 1);
+  float a2 = vgetq_lane_f32(acc, 2);
+  float a3 = vgetq_lane_f32(acc, 3);
+  if (squared) {
+    if (i < d) {
+      const float d0 = x[i] - y[i];
+      a0 += d0 * d0;
+    }
+    if (i + 1 < d) {
+      const float d1 = x[i + 1] - y[i + 1];
+      a1 += d1 * d1;
+    }
+    if (i + 2 < d) {
+      const float d2 = x[i + 2] - y[i + 2];
+      a2 += d2 * d2;
+    }
+  } else {
+    if (i < d) a0 += x[i] * y[i];
+    if (i + 1 < d) a1 += x[i + 1] * y[i + 1];
+    if (i + 2 < d) a2 += x[i + 2] * y[i + 2];
+  }
+  return (a0 + a1) + (a2 + a3);
+}
+
+inline float NeonSquaredL2PairF32(const float* x, const float* y,
+                                  size_t d) {
+  float32x4_t acc = vdupq_n_f32(0.0f);
+  size_t i = 0;
+  for (; i + 4 <= d; i += 4) {
+    const float32x4_t diff = vsubq_f32(vld1q_f32(x + i), vld1q_f32(y + i));
+    acc = vaddq_f32(acc, vmulq_f32(diff, diff));
+  }
+  return CombineTailF32(acc, x, y, i, d, /*squared=*/true);
+}
+
+inline float NeonDotPairF32(const float* x, const float* y, size_t d) {
+  float32x4_t acc = vdupq_n_f32(0.0f);
+  size_t i = 0;
+  for (; i + 4 <= d; i += 4) {
+    acc = vaddq_f32(acc, vmulq_f32(vld1q_f32(x + i), vld1q_f32(y + i)));
+  }
+  return CombineTailF32(acc, x, y, i, d, /*squared=*/false);
+}
+
+// fp64-accumulate over fp32 inputs: widen each float32x4 half to
+// float64x2 (exact) and run the double kernel's acc01/acc23 shape.
+inline double NeonDotPairF32ToF64(const float* x, const float* y,
+                                  size_t d) {
+  float64x2_t acc01 = vdupq_n_f64(0.0);
+  float64x2_t acc23 = vdupq_n_f64(0.0);
+  size_t i = 0;
+  for (; i + 4 <= d; i += 4) {
+    const float32x4_t vx = vld1q_f32(x + i);
+    const float32x4_t vy = vld1q_f32(y + i);
+    const float64x2_t x01 = vcvt_f64_f32(vget_low_f32(vx));
+    const float64x2_t y01 = vcvt_f64_f32(vget_low_f32(vy));
+    const float64x2_t x23 = vcvt_high_f64_f32(vx);
+    const float64x2_t y23 = vcvt_high_f64_f32(vy);
+    acc01 = vaddq_f64(acc01, vmulq_f64(x01, y01));
+    acc23 = vaddq_f64(acc23, vmulq_f64(x23, y23));
+  }
+  double a0 = vgetq_lane_f64(acc01, 0);
+  double a1 = vgetq_lane_f64(acc01, 1);
+  double a2 = vgetq_lane_f64(acc23, 0);
+  double a3 = vgetq_lane_f64(acc23, 1);
+  if (i < d) a0 += static_cast<double>(x[i]) * static_cast<double>(y[i]);
+  if (i + 1 < d) {
+    a1 += static_cast<double>(x[i + 1]) * static_cast<double>(y[i + 1]);
+  }
+  if (i + 2 < d) {
+    a2 += static_cast<double>(x[i + 2]) * static_cast<double>(y[i + 2]);
+  }
+  return (a0 + a1) + (a2 + a3);
+}
+
+void NeonL2F32OneToMany(const float* query, const float* block,
+                        size_t rows, size_t d, float* out) {
+  for (size_t r = 0; r < rows; ++r) {
+    out[r] = NeonSquaredL2PairF32(query, block + r * d, d);
+  }
+}
+
+void NeonL2DotF32OneToMany(const float* query, float query_sq,
+                           const float* block, const float* norms_sq,
+                           size_t rows, size_t d, float* out) {
+  for (size_t r = 0; r < rows; ++r) {
+    out[r] = query_sq + norms_sq[r] -
+             2.0f * NeonDotPairF32(query, block + r * d, d);
+  }
+}
+
+void NeonRowNormsF32(const float* block, size_t rows, size_t d,
+                     float* out) {
+  for (size_t r = 0; r < rows; ++r) {
+    const float* row = block + r * d;
+    out[r] = NeonDotPairF32(row, row, d);
+  }
+}
+
+void NeonL2DotF32F64OneToMany(const float* query, double query_sq,
+                              const float* block, const double* norms_sq,
+                              size_t rows, size_t d, double* out) {
+  for (size_t r = 0; r < rows; ++r) {
+    out[r] = query_sq + norms_sq[r] -
+             2.0 * NeonDotPairF32ToF64(query, block + r * d, d);
+  }
+}
+
+// ---------------------------------------------------------------------
 // integer coarse kernels.
 
 inline uint32x4_t AddSquares(uint32x4_t acc, uint8x16_t ad) {
@@ -184,6 +301,10 @@ const KernelOps& NeonKernelOps() {
       NeonRowNorms,
       NeonSsd8OneToMany,
       NeonSsd4OneToMany,
+      NeonL2F32OneToMany,
+      NeonL2DotF32OneToMany,
+      NeonRowNormsF32,
+      NeonL2DotF32F64OneToMany,
   };
   return ops;
 }

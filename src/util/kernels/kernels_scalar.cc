@@ -42,6 +42,44 @@ void ScalarRowNorms(const double* block, size_t rows, size_t d,
   }
 }
 
+// float32 mirror family: the inline fp32 reference kernels applied per
+// row. The dot-form combine is written once here — (query_sq +
+// norms_sq[r]) − 2·dot, left to right — and every SIMD backend
+// reproduces it literally.
+
+void ScalarL2F32OneToMany(const float* query, const float* block,
+                          size_t rows, size_t d, float* out) {
+  for (size_t r = 0; r < rows; ++r) {
+    out[r] = SquaredL2F32(query, block + r * d, d);
+  }
+}
+
+void ScalarL2DotF32OneToMany(const float* query, float query_sq,
+                             const float* block, const float* norms_sq,
+                             size_t rows, size_t d, float* out) {
+  for (size_t r = 0; r < rows; ++r) {
+    out[r] = query_sq + norms_sq[r] -
+             2.0f * DotProductF32(query, block + r * d, d);
+  }
+}
+
+void ScalarRowNormsF32(const float* block, size_t rows, size_t d,
+                       float* out) {
+  for (size_t r = 0; r < rows; ++r) {
+    out[r] = SquaredNormF32(block + r * d, d);
+  }
+}
+
+void ScalarL2DotF32F64OneToMany(const float* query, double query_sq,
+                                const float* block,
+                                const double* norms_sq, size_t rows,
+                                size_t d, double* out) {
+  for (size_t r = 0; r < rows; ++r) {
+    out[r] = query_sq + norms_sq[r] -
+             2.0 * DotProductF32ToF64(query, block + r * d, d);
+  }
+}
+
 void ScalarSsd8OneToMany(const uint8_t* qcodes, const uint8_t* codes,
                          size_t rows, size_t d, uint32_t* out) {
   // Exact int32 accumulation; the shape (byte loads widened to i16,
@@ -93,6 +131,10 @@ const KernelOps& ScalarKernelOps() {
       ScalarRowNorms,
       ScalarSsd8OneToMany,
       ScalarSsd4OneToMany,
+      ScalarL2F32OneToMany,
+      ScalarL2DotF32OneToMany,
+      ScalarRowNormsF32,
+      ScalarL2DotF32F64OneToMany,
   };
   return ops;
 }

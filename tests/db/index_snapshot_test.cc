@@ -41,6 +41,90 @@ FeatureIndexOptions QuantizedOptions() {
   return opts;
 }
 
+/// Mirrored fp32 options: quantization off, so every partition carries
+/// the version-3 fp32 mirror instead of int8 codes.
+FeatureIndexOptions F32Options() {
+  FeatureIndexOptions opts;
+  opts.num_partitions = 4;
+  opts.quantized_scan = false;
+  opts.exact_precision = ExactPrecision::kF32;
+  return opts;
+}
+
+uint64_t TestFnv(const char* data, size_t n) {
+  uint64_t h = 14695981039346656037ull;
+  for (size_t i = 0; i < n; ++i) {
+    h ^= static_cast<unsigned char>(data[i]);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+/// Frames `payload` under the given 10-byte magic with a consistent
+/// length + checksum header, so parse attempts reach the payload
+/// readers instead of failing at the frame.
+std::string TestFrame(const std::string& magic, const char* payload,
+                      size_t n) {
+  std::string out = magic;
+  uint64_t fields[2] = {n, TestFnv(payload, n)};
+  for (uint64_t v : fields) {
+    for (int i = 0; i < 8; ++i) {
+      out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+    }
+  }
+  out.append(payload, n);
+  return out;
+}
+
+/// Down-converts a freshly serialized version-3 index snapshot to a
+/// genuine version-2 file: drops the options' exact-precision field
+/// and every partition's mirror block (max-abs + two float arrays),
+/// rewrites the magic, and re-frames with a fresh length + checksum.
+/// Mirrors the documented v2 layout so read-compat is tested against
+/// real old bytes, not against the current writer.
+std::string DownConvertToV2(const std::string& v3) {
+  const size_t kHeader = 10 + 16;  // magic + size + checksum
+  const char* p = v3.data() + kHeader;
+  const size_t size = v3.size() - kHeader;
+  size_t pos = 0;
+  auto u64_at = [&](size_t at) {
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<uint64_t>(static_cast<unsigned char>(p[at + i]))
+           << (8 * i);
+    }
+    return v;
+  };
+  std::string out;
+  auto copy = [&](size_t n) {
+    out.append(p + pos, n);
+    pos += n;
+  };
+  auto skip = [&](size_t n) { pos += n; };
+  // epoch, dim, max_partition_size, num_partitions, seed,
+  // quantized_scan, quantized_min_rows, quant_bits.
+  copy(8 * 8);
+  skip(8);      // exact_precision: the field version 3 added
+  copy(8 * 2);  // max_threads, grain
+  copy(8 * 2);  // references rows, cols
+  copy(8 + u64_at(pos) * 8);  // references data
+  const uint64_t nparts = u64_at(pos);
+  copy(8);
+  for (uint64_t i = 0; i < nparts; ++i) {
+    copy(8 * 7);                // six doubles + quant_bits
+    copy(8 + u64_at(pos) * 8);  // record_indices
+    copy(8 + u64_at(pos) * 8);  // block
+    copy(8 + u64_at(pos) * 8);  // norms_sq
+    copy(8 + u64_at(pos) * 8);  // quant_offsets
+    copy(8 + u64_at(pos));      // quant_codes
+    skip(8);                    // mirror_max_abs: version 3
+    skip(8 + u64_at(pos) * 4);  // block_f32: version 3
+    skip(8 + u64_at(pos) * 4);  // norms_f32: version 3
+  }
+  EXPECT_EQ(pos, size) << "v3 payload walk desynchronized";
+  return TestFrame("MOCEMGIX2\n", out.data(), out.size());
+}
+
 std::vector<std::vector<double>> MakeQueries(size_t n, size_t dim,
                                              uint64_t seed) {
   Rng rng(seed);
@@ -268,7 +352,8 @@ TEST(IndexSnapshotTest, FourBitRoundTripPreservesCodeWidth) {
 }
 
 // Version-1 snapshots predate the code-width field; the reader must
-// refuse them by magic, with a message that says why.
+// refuse them with the *detected* version named and the supported
+// range, so the operator knows to regenerate rather than debug.
 TEST(IndexSnapshotTest, VersionOneMagicRejected) {
   MotionDatabase db = MakeDb(60, 5, 57);
   auto index = FeatureIndex::Build(&db, QuantizedOptions());
@@ -276,12 +361,35 @@ TEST(IndexSnapshotTest, VersionOneMagicRejected) {
   auto bytes = SerializeFeatureIndex(*index);
   ASSERT_TRUE(bytes.ok());
   std::string v1 = *bytes;
-  ASSERT_EQ(v1.compare(0, 10, "MOCEMGIX2\n"), 0);
+  ASSERT_EQ(v1.compare(0, 10, "MOCEMGIX3\n"), 0);
   v1.replace(0, 10, "MOCEMGIX1\n");
   auto loaded = DeserializeFeatureIndex(v1, &db);
   ASSERT_FALSE(loaded.ok());
   EXPECT_EQ(loaded.status().code(), StatusCode::kParseError);
-  EXPECT_NE(loaded.status().message().find("MOCEMGIX2"), std::string::npos)
+  EXPECT_NE(loaded.status().message().find("container version 1"),
+            std::string::npos)
+      << loaded.status();
+  EXPECT_NE(loaded.status().message().find("2..3"), std::string::npos)
+      << loaded.status();
+}
+
+// A snapshot from a *newer* writer is refused the same way — named
+// version, supported range, regeneration hint — never mis-parsed.
+TEST(IndexSnapshotTest, FutureVersionRejectedWithDetectedVersion) {
+  MotionDatabase db = MakeDb(40, 4, 59);
+  auto index = FeatureIndex::Build(&db, QuantizedOptions());
+  ASSERT_TRUE(index.ok());
+  auto bytes = SerializeFeatureIndex(*index);
+  ASSERT_TRUE(bytes.ok());
+  std::string v4 = *bytes;
+  v4.replace(0, 10, "MOCEMGIX4\n");
+  auto loaded = DeserializeFeatureIndex(v4, &db);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kParseError);
+  EXPECT_NE(loaded.status().message().find("container version 4"),
+            std::string::npos)
+      << loaded.status();
+  EXPECT_NE(loaded.status().message().find("regenerate"), std::string::npos)
       << loaded.status();
 }
 
@@ -342,6 +450,183 @@ TEST(IndexSnapshotTest, CodeWidthMismatchRejected) {
       << "no forged width mismatch was rejected by the size validation";
 }
 
+// A version-3 snapshot of an fp32-tier index round-trips everything:
+// the resolved precision, the mirrors (the reload re-serializes
+// byte-for-byte, mirror blocks included), and the reload still scans
+// through the fp32 tier — with answers bit-identical to the original.
+TEST(IndexSnapshotTest, F32MirrorRoundTripBitIdentity) {
+  MotionDatabase db = MakeDb(120, 9, 60);
+  auto index = FeatureIndex::Build(&db, F32Options());
+  ASSERT_TRUE(index.ok()) << index.status();
+  EXPECT_EQ(index->options().exact_precision, ExactPrecision::kF32);
+
+  auto bytes = SerializeFeatureIndex(*index);
+  ASSERT_TRUE(bytes.ok());
+  EXPECT_EQ(bytes->compare(0, 10, "MOCEMGIX3\n"), 0);
+  auto loaded = DeserializeFeatureIndex(*bytes, &db);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->options().exact_precision, ExactPrecision::kF32);
+  auto again = SerializeFeatureIndex(*loaded);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(*bytes, *again)
+      << "reload must re-serialize byte-for-byte, mirrors included";
+
+  IndexQueryStats orig_stats, load_stats;
+  for (const auto& q : MakeQueries(12, 9, 61)) {
+    auto a = index->NearestNeighbors(q, 5, &orig_stats);
+    auto b = loaded->NearestNeighbors(q, 5, &load_stats);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    ExpectHitsEqual(*a, *b);
+  }
+  EXPECT_GT(orig_stats.f32_scans, 0u) << "fp32 tier never engaged";
+  EXPECT_EQ(load_stats.f32_scans, orig_stats.f32_scans);
+  EXPECT_EQ(load_stats.f32_refined, orig_stats.f32_refined);
+}
+
+// Down-converted version-2 bytes (no precision field, no mirrors)
+// still load: as concrete f64, answering bit-identically to an f64
+// build, and re-saving upgrades them to a valid version-3 snapshot.
+TEST(IndexSnapshotTest, VersionTwoReadCompatLoadsAsF64) {
+  MotionDatabase db = MakeDb(110, 7, 62);
+  FeatureIndexOptions opts = QuantizedOptions();
+  opts.exact_precision = ExactPrecision::kF64;
+  auto index = FeatureIndex::Build(&db, opts);
+  ASSERT_TRUE(index.ok());
+  auto bytes = SerializeFeatureIndex(*index);
+  ASSERT_TRUE(bytes.ok());
+
+  const std::string v2 = DownConvertToV2(*bytes);
+  auto loaded = DeserializeFeatureIndex(v2, &db);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->options().exact_precision, ExactPrecision::kF64);
+  IndexQueryStats stats;
+  for (const auto& q : MakeQueries(10, 7, 63)) {
+    auto a = index->NearestNeighbors(q, 5);
+    auto b = loaded->NearestNeighbors(q, 5, &stats);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    ExpectHitsEqual(*a, *b);
+  }
+  EXPECT_EQ(stats.f32_scans, 0u) << "a v2 load must carry no mirrors";
+
+  // Re-saving the loaded index writes current-version bytes.
+  auto upgraded = SerializeFeatureIndex(*loaded);
+  ASSERT_TRUE(upgraded.ok());
+  EXPECT_EQ(upgraded->compare(0, 10, "MOCEMGIX3\n"), 0);
+  EXPECT_TRUE(DeserializeFeatureIndex(*upgraded, &db).ok());
+  // And matches what the v3 writer produced for the same index.
+  EXPECT_EQ(*upgraded, *bytes);
+}
+
+// A v2 file whose quantization is off must also load (its partitions
+// end right after the empty code array).
+TEST(IndexSnapshotTest, VersionTwoReadCompatUnquantized) {
+  MotionDatabase db = MakeDb(80, 5, 64);
+  FeatureIndexOptions opts;
+  opts.num_partitions = 3;
+  opts.quantized_scan = false;
+  auto index = FeatureIndex::Build(&db, opts);
+  ASSERT_TRUE(index.ok());
+  auto bytes = SerializeFeatureIndex(*index);
+  ASSERT_TRUE(bytes.ok());
+  auto loaded = DeserializeFeatureIndex(DownConvertToV2(*bytes), &db);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  for (const auto& q : MakeQueries(6, 5, 65)) {
+    auto a = index->NearestNeighbors(q, 3);
+    auto b = loaded->NearestNeighbors(q, 3);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    ExpectHitsEqual(*a, *b);
+  }
+}
+
+/// Cuts `snapshot`'s payload to every possible length and re-frames
+/// each cut with a consistent header, so the parse reaches the payload
+/// readers; every cut must fail with ParseError — classified, in
+/// bounds (the asan run enforces no over-read), never accepted.
+void SweepPayloadTruncations(const std::string& snapshot,
+                             const MotionDatabase& db) {
+  const size_t kHeader = 10 + 16;
+  ASSERT_GT(snapshot.size(), kHeader);
+  const std::string magic = snapshot.substr(0, 10);
+  const char* payload = snapshot.data() + kHeader;
+  const size_t payload_size = snapshot.size() - kHeader;
+  for (size_t cut = 0; cut < payload_size; ++cut) {
+    const std::string forged = TestFrame(magic, payload, cut);
+    auto loaded = DeserializeFeatureIndex(forged, &db);
+    ASSERT_FALSE(loaded.ok()) << "cut at payload byte " << cut
+                              << " of " << payload_size << " accepted";
+    ASSERT_EQ(loaded.status().code(), StatusCode::kParseError)
+        << "cut at payload byte " << cut << ": " << loaded.status();
+  }
+  // Raw file prefixes (no re-framing) exercise the header-level
+  // classification: too short for a header, then length mismatch.
+  for (size_t cut : {size_t{0}, size_t{5}, size_t{10}, size_t{25},
+                     kHeader, snapshot.size() - 1}) {
+    auto loaded = DeserializeFeatureIndex(snapshot.substr(0, cut), &db);
+    ASSERT_FALSE(loaded.ok()) << "raw prefix of " << cut << " accepted";
+  }
+}
+
+// Every truncation point of a version-3 snapshot — options block,
+// partition headers, double blocks, and the mirror blocks new in v3 —
+// is rejected as ParseError without reading out of bounds.
+TEST(IndexSnapshotTest, TruncationSweepVersionThree) {
+  MotionDatabase db = MakeDb(40, 4, 66);
+  FeatureIndexOptions opts = F32Options();
+  opts.num_partitions = 2;
+  auto index = FeatureIndex::Build(&db, opts);
+  ASSERT_TRUE(index.ok());
+  auto bytes = SerializeFeatureIndex(*index);
+  ASSERT_TRUE(bytes.ok());
+  SweepPayloadTruncations(*bytes, db);
+}
+
+// The same sweep over genuine version-2 bytes: the compat path's
+// readers are held to the same bounds discipline.
+TEST(IndexSnapshotTest, TruncationSweepVersionTwo) {
+  MotionDatabase db = MakeDb(40, 4, 67);
+  FeatureIndexOptions opts = QuantizedOptions();
+  opts.num_partitions = 2;
+  auto index = FeatureIndex::Build(&db, opts);
+  ASSERT_TRUE(index.ok());
+  auto bytes = SerializeFeatureIndex(*index);
+  ASSERT_TRUE(bytes.ok());
+  SweepPayloadTruncations(DownConvertToV2(*bytes), db);
+}
+
+// A forged mirror inside an otherwise valid, checksummed v3 payload —
+// float block sized for every row but a norms array that disagrees —
+// must be rejected by the all-or-nothing mirror check, not scanned.
+TEST(IndexSnapshotTest, ForgedMirrorCountRejected) {
+  MotionDatabase db = MakeDb(30, 3, 68);
+  FeatureIndexOptions opts = F32Options();
+  opts.num_partitions = 1;
+  auto index = FeatureIndex::Build(&db, opts);
+  ASSERT_TRUE(index.ok());
+  auto bytes = SerializeFeatureIndex(*index);
+  ASSERT_TRUE(bytes.ok());
+  const size_t kHeader = 10 + 16;
+  const char* payload = bytes->data() + kHeader;
+  const size_t payload_size = bytes->size() - kHeader;
+  // The final field of the payload is norms_f32: count u64 + 30
+  // floats. Flip its count to 7 and drop the excess floats.
+  const size_t count_off = payload_size - 8 - 30 * 4;
+  std::string forged(payload, count_off);
+  for (int i = 0; i < 8; ++i) {
+    forged.push_back(static_cast<char>(i == 0 ? 7 : 0));
+  }
+  forged.append(payload + count_off + 8, 7 * 4);
+  auto loaded = DeserializeFeatureIndex(
+      TestFrame("MOCEMGIX3\n", forged.data(), forged.size()), &db);
+  ASSERT_FALSE(loaded.ok()) << "forged mirror accepted";
+  EXPECT_EQ(loaded.status().code(), StatusCode::kParseError);
+  EXPECT_NE(loaded.status().message().find("mirror malformed"),
+            std::string::npos)
+      << loaded.status();
+}
+
 ShardedIndexOptions QuantizedShardedOptions(size_t shards) {
   ShardedIndexOptions opts;
   opts.index = QuantizedOptions();
@@ -393,6 +678,76 @@ TEST(ShardedSnapshotTest, RoundTripBitIdentity) {
 
   std::remove(path.c_str());
   for (size_t s = 0; s < 3; ++s) {
+    std::remove((path + ".shard" + std::to_string(s)).c_str());
+  }
+}
+
+// The sharded save/load cycle preserves the fp32 tier: the reloaded
+// shards carry their mirrors (the digest covers them), the precision
+// survives in the manifest, and answers stay bit-identical — with the
+// fp32 tier demonstrably engaged on both sides.
+TEST(ShardedSnapshotTest, F32RoundTripBitIdentity) {
+  MotionDatabase db = MakeDb(150, 8, 70);
+  ShardedIndexOptions opts;
+  opts.index = F32Options();
+  opts.num_shards = 3;
+  auto index = ShardedFeatureIndex::Build(&db, opts);
+  ASSERT_TRUE(index.ok()) << index.status();
+  const std::string path = ::testing::TempDir() + "/sh_f32";
+  ASSERT_TRUE(SaveShardedFeatureIndex(*index, path).ok());
+
+  auto loaded = LoadShardedFeatureIndex(path, &db);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded->options().index.exact_precision, ExactPrecision::kF32);
+  IndexQueryStats orig_stats, load_stats;
+  for (const auto& q : MakeQueries(10, 8, 71)) {
+    auto a = index->NearestNeighbors(q, 5, &orig_stats);
+    auto b = loaded->NearestNeighbors(q, 5, &load_stats);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    ExpectHitsEqual(*a, *b);
+  }
+  EXPECT_GT(orig_stats.f32_scans, 0u) << "fp32 tier never engaged";
+  EXPECT_EQ(load_stats.f32_scans, orig_stats.f32_scans);
+  EXPECT_EQ(load_stats.f32_refined, orig_stats.f32_refined);
+
+  std::remove(path.c_str());
+  for (size_t s = 0; s < 3; ++s) {
+    std::remove((path + ".shard" + std::to_string(s)).c_str());
+  }
+}
+
+// Payload truncations of the manifest — re-framed so the header is
+// consistent and the parse reaches the field readers — are always
+// rejected; the strict loader never assembles an index from them.
+TEST(ShardedSnapshotTest, ManifestTruncationSweepRejected) {
+  MotionDatabase db = MakeDb(60, 4, 72);
+  ShardedIndexOptions opts;
+  opts.index = F32Options();
+  opts.index.num_partitions = 2;
+  opts.num_shards = 2;
+  auto index = ShardedFeatureIndex::Build(&db, opts);
+  ASSERT_TRUE(index.ok()) << index.status();
+  const std::string path = ::testing::TempDir() + "/sh_trunc_sweep";
+  ASSERT_TRUE(SaveShardedFeatureIndex(*index, path).ok());
+  auto manifest = ReadFileToString(path);
+  ASSERT_TRUE(manifest.ok());
+  const size_t kHeader = 10 + 16;
+  const char* payload = manifest->data() + kHeader;
+  const size_t payload_size = manifest->size() - kHeader;
+  // Stride 8 keeps the file-per-cut I/O bounded while still landing on
+  // every u64 field boundary; the tail is swept byte-by-byte to hit
+  // the digest block's interior.
+  for (size_t cut = 0; cut < payload_size;
+       cut += (payload_size - cut <= 40 ? 1 : 8)) {
+    const std::string forged =
+        TestFrame(manifest->substr(0, 10), payload, cut);
+    ASSERT_TRUE(WriteStringToFile(path, forged).ok());
+    EXPECT_FALSE(LoadShardedFeatureIndex(path, &db).ok())
+        << "manifest cut at payload byte " << cut << " accepted";
+  }
+  std::remove(path.c_str());
+  for (size_t s = 0; s < 2; ++s) {
     std::remove((path + ".shard" + std::to_string(s)).c_str());
   }
 }

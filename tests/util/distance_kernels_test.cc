@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <cstring>
 #include <limits>
@@ -214,6 +215,94 @@ TEST(DistanceKernelsTest, ZeroDimensionIsZero) {
   EXPECT_EQ(SquaredL2(&x, &y, 0), 0.0);
   EXPECT_EQ(SquaredNorm(&x, 0), 0.0);
   EXPECT_EQ(DotProduct(&x, &y, 0), 0.0);
+}
+
+// The certification at the heart of the fp32 tier: for rows admitted
+// by the norm gate, the fp32 dot-form distance never strays from the
+// exact double distance by more than Float32DotFormErrorBound. Swept
+// over every dim 1..67 and scales from 1e-6 to 1e6, plus mixed-scale
+// rows — the regimes where fp32 cancellation is worst.
+TEST(DistanceKernelsTest, Float32DotFormErrorBoundIsConservative) {
+  Rng rng(40);
+  for (size_t d = 1; d <= 67; ++d) {
+    for (double scale : {1e-6, 1.0, 1e6}) {
+      const size_t rows = 1 + (d * 5) % 9;
+      std::vector<double> q(d), block(rows * d);
+      for (double& v : q) v = rng.Gaussian(0.0, scale);
+      for (size_t i = 0; i < block.size(); ++i) {
+        // Mixed per-element scales stress cancellation.
+        block[i] = rng.Gaussian(0.0, (i % 3 == 0) ? scale : scale * 1e-3);
+      }
+      std::vector<float> qf(d), blockf(rows * d);
+      for (size_t i = 0; i < d; ++i) qf[i] = static_cast<float>(q[i]);
+      for (size_t i = 0; i < block.size(); ++i) {
+        blockf[i] = static_cast<float>(block[i]);
+      }
+      std::vector<float> norms_f32(rows), dist_f32(rows);
+      RowSquaredNormsF32(blockf.data(), rows, d, norms_f32.data());
+      const float q_sq_f32 = SquaredNormF32(qf.data(), d);
+      SquaredL2DotF32OneToMany(qf.data(), q_sq_f32, blockf.data(),
+                               norms_f32.data(), rows, d, dist_f32.data());
+      const double q_sq = SquaredNorm(q.data(), d);
+      double max_norm_sq = 0.0, max_abs = 0.0;
+      for (size_t r = 0; r < rows; ++r) {
+        max_norm_sq =
+            std::max(max_norm_sq, SquaredNorm(block.data() + r * d, d));
+      }
+      for (double v : block) max_abs = std::max(max_abs, std::fabs(v));
+      const double bound =
+          Float32DotFormErrorBound(d, q_sq, max_norm_sq, max_abs);
+      ASSERT_GT(bound, 0.0);
+      for (size_t r = 0; r < rows; ++r) {
+        const double exact = SquaredL2(q.data(), block.data() + r * d, d);
+        EXPECT_LE(std::fabs(static_cast<double>(dist_f32[r]) - exact),
+                  bound)
+            << "dim " << d << " scale " << scale << " row " << r;
+      }
+    }
+  }
+}
+
+// Subnormal and near-gate magnitudes: the bound's λ terms must absorb
+// flush-to-zero-scale values, and the largest magnitudes the pack gate
+// admits must not overflow the bound into NaN.
+TEST(DistanceKernelsTest, Float32ErrorBoundHandlesExtremes) {
+  const double kTiny = 1e-30;    // narrows to fp32 subnormal territory
+  const double kLarge = 1e14;    // norms_sq ~1e28, inside the 1e30 gate
+  for (size_t d : {1, 2, 3, 4, 7, 16, 33}) {
+    std::vector<double> q(d), row(d);
+    for (size_t i = 0; i < d; ++i) {
+      q[i] = (i % 2 == 0) ? kTiny : kLarge / std::sqrt(double(d));
+      row[i] = (i % 2 == 0) ? -kLarge / std::sqrt(double(d)) : kTiny;
+    }
+    std::vector<float> qf(d), rowf(d);
+    for (size_t i = 0; i < d; ++i) {
+      qf[i] = static_cast<float>(q[i]);
+      rowf[i] = static_cast<float>(row[i]);
+    }
+    float norm_f32 = 0.0f, dist_f32 = 0.0f;
+    RowSquaredNormsF32(rowf.data(), 1, d, &norm_f32);
+    SquaredL2DotF32OneToMany(qf.data(), SquaredNormF32(qf.data(), d),
+                             rowf.data(), &norm_f32, 1, d, &dist_f32);
+    const double q_sq = SquaredNorm(q.data(), d);
+    const double norm_sq = SquaredNorm(row.data(), d);
+    double max_abs = 0.0;
+    for (double v : row) max_abs = std::max(max_abs, std::fabs(v));
+    const double bound =
+        Float32DotFormErrorBound(d, q_sq, norm_sq, max_abs);
+    ASSERT_TRUE(std::isfinite(bound)) << "dim " << d;
+    const double exact = SquaredL2(q.data(), row.data(), d);
+    EXPECT_LE(std::fabs(static_cast<double>(dist_f32) - exact), bound)
+        << "dim " << d;
+  }
+}
+
+TEST(DistanceKernelsTest, F32ZeroDimensionIsZero) {
+  const float x = 1.0f, y = 2.0f;
+  EXPECT_EQ(SquaredL2F32(&x, &y, 0), 0.0f);
+  EXPECT_EQ(SquaredNormF32(&x, 0), 0.0f);
+  EXPECT_EQ(DotProductF32(&x, &y, 0), 0.0f);
+  EXPECT_EQ(DotProductF32ToF64(&x, &y, 0), 0.0);
 }
 
 }  // namespace

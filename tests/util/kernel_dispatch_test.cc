@@ -36,6 +36,13 @@ bool BitsEqual(double a, double b) {
   return ua == ub;
 }
 
+bool BitsEqualF(float a, float b) {
+  uint32_t ua, ub;
+  std::memcpy(&ua, &a, sizeof(ua));
+  std::memcpy(&ub, &b, sizeof(ub));
+  return ua == ub;
+}
+
 bool Contains(const std::vector<KernelBackend>& v, KernelBackend b) {
   return std::find(v.begin(), v.end(), b) != v.end();
 }
@@ -111,6 +118,10 @@ TEST(KernelDispatchTest, OpsTableLookup) {
     EXPECT_NE(ops->row_norms, nullptr);
     EXPECT_NE(ops->ssd8_one_to_many, nullptr);
     EXPECT_NE(ops->ssd4_one_to_many, nullptr);
+    EXPECT_NE(ops->l2_f32_one_to_many, nullptr);
+    EXPECT_NE(ops->l2dot_f32_one_to_many, nullptr);
+    EXPECT_NE(ops->row_norms_f32, nullptr);
+    EXPECT_NE(ops->l2dot_f32d_one_to_many, nullptr);
   }
 }
 
@@ -205,6 +216,101 @@ TEST(KernelDispatchTest, AllUsableBackendsMatchScalarBitExactly) {
       ops->ssd4_one_to_many(qp.data(), rp.data(), rows, d, got_ssd.data());
       ref->ssd4_one_to_many(qp.data(), rp.data(), rows, d, want_ssd.data());
       EXPECT_EQ(got_ssd, want_ssd) << ops->name << " ssd4 dim " << d;
+    }
+  }
+}
+
+// The fp32 tier inherits the same contract: every usable backend's
+// fp32 ops — the fp32-accumulate scans, the row norms, and the
+// fp64-accumulate variant — reproduce scalar bit-for-bit on every dim
+// 1..67. Divergence here would break the certified refine gate, whose
+// error bound assumes one specific rounding sequence.
+TEST(KernelDispatchTest, F32OpsMatchScalarBitExactlyOnEveryBackend) {
+  const KernelOps* ref = GetKernelOps(KernelBackend::kScalar);
+  ASSERT_NE(ref, nullptr);
+  Rng rng(34);
+  for (KernelBackend b : UsableKernelBackends()) {
+    if (b == KernelBackend::kScalar) continue;
+    const KernelOps* ops = GetKernelOps(b);
+    ASSERT_NE(ops, nullptr);
+    for (size_t d = 1; d <= kMaxDim; ++d) {
+      const size_t rows = 1 + (d * 7) % 13;
+      std::vector<float> q(d), block(rows * d);
+      for (float& x : q) x = static_cast<float>(rng.Gaussian(0.0, 3.0));
+      for (float& x : block) x = static_cast<float>(rng.Gaussian(0.0, 3.0));
+
+      std::vector<float> got(rows), want(rows);
+      ops->l2_f32_one_to_many(q.data(), block.data(), rows, d, got.data());
+      ref->l2_f32_one_to_many(q.data(), block.data(), rows, d, want.data());
+      for (size_t r = 0; r < rows; ++r) {
+        EXPECT_TRUE(BitsEqualF(got[r], want[r]))
+            << ops->name << " l2_f32_one_to_many dim " << d << " row " << r;
+      }
+
+      std::vector<float> got_norms(rows), want_norms(rows);
+      ops->row_norms_f32(block.data(), rows, d, got_norms.data());
+      ref->row_norms_f32(block.data(), rows, d, want_norms.data());
+      for (size_t r = 0; r < rows; ++r) {
+        EXPECT_TRUE(BitsEqualF(got_norms[r], want_norms[r]))
+            << ops->name << " row_norms_f32 dim " << d << " row " << r;
+      }
+
+      float q_sq = 0.0f;
+      ref->row_norms_f32(q.data(), 1, d, &q_sq);
+      ops->l2dot_f32_one_to_many(q.data(), q_sq, block.data(),
+                                 want_norms.data(), rows, d, got.data());
+      ref->l2dot_f32_one_to_many(q.data(), q_sq, block.data(),
+                                 want_norms.data(), rows, d, want.data());
+      for (size_t r = 0; r < rows; ++r) {
+        EXPECT_TRUE(BitsEqualF(got[r], want[r]))
+            << ops->name << " l2dot_f32_one_to_many dim " << d << " row "
+            << r;
+      }
+
+      // The fp64-accumulate variant takes double norms and returns
+      // double distances from float inputs.
+      const std::vector<double> block64(block.begin(), block.end());
+      std::vector<double> norms64(rows), got64(rows), want64(rows);
+      ref->row_norms(block64.data(), rows, d, norms64.data());
+      const double q_sq64 = static_cast<double>(q_sq);
+      ops->l2dot_f32d_one_to_many(q.data(), q_sq64, block.data(),
+                                  norms64.data(), rows, d, got64.data());
+      ref->l2dot_f32d_one_to_many(q.data(), q_sq64, block.data(),
+                                  norms64.data(), rows, d, want64.data());
+      for (size_t r = 0; r < rows; ++r) {
+        EXPECT_TRUE(BitsEqual(got64[r], want64[r]))
+            << ops->name << " l2dot_f32d_one_to_many dim " << d << " row "
+            << r;
+      }
+    }
+  }
+}
+
+// fp32 specials flow identically too: a NaN or Inf element must
+// surface in the fp32 scan result on every backend, so the refine
+// gate's NaN-compares-false fallback re-checks the row in double.
+TEST(KernelDispatchTest, F32SpecialValuesPropagateOnEveryBackend) {
+  const float nan = std::numeric_limits<float>::quiet_NaN();
+  const float inf = std::numeric_limits<float>::infinity();
+  Rng rng(35);
+  for (KernelBackend b : UsableKernelBackends()) {
+    const KernelOps* ops = GetKernelOps(b);
+    ASSERT_NE(ops, nullptr);
+    for (size_t d : {1, 3, 4, 5, 8, 11, 19}) {
+      for (size_t pos = 0; pos < d; ++pos) {
+        std::vector<float> x(d), y(d);
+        for (float& v : x) v = static_cast<float>(rng.Gaussian(0.0, 3.0));
+        for (float& v : y) v = static_cast<float>(rng.Gaussian(0.0, 3.0));
+        x[pos] = nan;
+        float out = 0.0f;
+        ops->l2_f32_one_to_many(x.data(), y.data(), 1, d, &out);
+        EXPECT_TRUE(std::isnan(out))
+            << ops->name << " dim " << d << " nan at " << pos;
+        x[pos] = inf;
+        ops->l2_f32_one_to_many(x.data(), y.data(), 1, d, &out);
+        EXPECT_EQ(out, inf) << ops->name << " dim " << d << " inf at "
+                            << pos;
+      }
     }
   }
 }

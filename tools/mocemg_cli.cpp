@@ -15,7 +15,9 @@
 //
 // Every subcommand accepts --kernel {auto,scalar,avx2,avx512,neon} to
 // force the SIMD kernel backend (same semantics as MOCEMG_KERNEL, but
-// forcing an unusable backend is a hard error here).
+// forcing an unusable backend is a hard error here), and
+// --exact-precision {f64,f32} to pick the exact-scan tier (overrides
+// MOCEMG_EXACT_PRECISION; an unknown name is a hard error).
 //
 // The manifest is a CSV with header `trc,emg,label,label_name`; each row
 // names one captured motion: a TRC marker file, an EMG CSV (raw, with a
@@ -81,9 +83,14 @@ int Usage() {
                "  mocemg_cli coarse-bench [--records N] [--dim D] "
                "[--queries Q] [--k K]\n"
                "                      [--seed S] [--json]\n"
-               "  (any subcommand) --kernel auto|scalar|avx2|avx512|neon\n");
+               "  (any subcommand) --kernel auto|scalar|avx2|avx512|neon\n"
+               "  (any subcommand) --exact-precision f64|f32\n");
   return 2;
 }
+
+/// Resolved from --exact-precision in main(); kDefault defers to
+/// MOCEMG_EXACT_PRECISION and then f64 (env < options < CLI).
+ExactPrecision g_cli_exact_precision = ExactPrecision::kDefault;
 
 /// Pulls `--flag value` pairs out of argv; returns empty for missing.
 class Args {
@@ -371,6 +378,7 @@ int RunServeBench(const Args& args) {
       static_cast<uint64_t>(*seed));
   FeatureIndexOptions iopts;
   iopts.quant_bits = static_cast<size_t>(*bits);
+  iopts.exact_precision = g_cli_exact_precision;
   if (*watermark > 0) {
     // Degraded mode answers from the int8 tier, so force codes on even
     // for the small partitions a √N layout produces at bench scale.
@@ -559,6 +567,9 @@ int RunServeBench(const Args& args) {
     const KernelDispatchInfo kinfo = GetKernelDispatchInfo();
     std::printf("  \"kernel_backend\": \"%s\", \"cpu_features\": \"%s\",\n",
                 kinfo.active.c_str(), kinfo.cpu_features.c_str());
+    std::printf("  \"exact_precision\": \"%s\",\n",
+                ExactPrecisionName(
+                    ResolveExactPrecision(iopts.exact_precision)));
     if (used_snapshot) {
       std::printf("  \"snapshot\": {\"loaded\": %s, \"rebuilt\": %s},\n",
                   snap_loaded ? "true" : "false",
@@ -592,6 +603,14 @@ int RunServeBench(const Args& args) {
                   static_cast<unsigned long long>(r.stats.queue_high_water),
                   static_cast<unsigned long long>(r.stats.snapshot_loads),
                   static_cast<unsigned long long>(r.stats.snapshot_fallbacks));
+      const IndexQueryStats& ist = r.stats.index_stats;
+      std::printf(", \"f32_scans\": %llu, \"f32_refined\": %llu, "
+                  "\"f32_refine_rate\": %.6f",
+                  static_cast<unsigned long long>(ist.f32_scans),
+                  static_cast<unsigned long long>(ist.f32_refined),
+                  ist.f32_scans > 0
+                      ? double(ist.f32_refined) / double(ist.f32_scans)
+                      : 0.0);
       if (!r.stats.shard_stats.empty()) {
         std::printf(", \"shard_stats\": [");
         for (size_t s = 0; s < r.stats.shard_stats.size(); ++s) {
@@ -630,6 +649,9 @@ int RunServeBench(const Args& args) {
     std::printf("  kernel backend %s (%lld-bit coarse codes; cpu: %s)\n",
                 kinfo.active.c_str(), static_cast<long long>(*bits),
                 kinfo.cpu_features.c_str());
+    std::printf("  exact precision %s\n",
+                ExactPrecisionName(
+                    ResolveExactPrecision(iopts.exact_precision)));
   }
   if (sharded_mode) {
     std::printf("  serving through %lld shards, pipeline depth %lld\n",
@@ -651,6 +673,14 @@ int RunServeBench(const Args& args) {
                 label, r.mode.qps, r.mode.p50_us, r.mode.p99_us,
                 exact.qps > 0.0 ? r.mode.qps / exact.qps : 0.0,
                 static_cast<unsigned long long>(r.stats.cache_hits));
+    if (r.stats.index_stats.f32_scans > 0) {
+      const IndexQueryStats& ist = r.stats.index_stats;
+      std::printf("  %-22s f32_scans=%llu f32_refined=%llu "
+                  "refine_rate=%.4f\n", "",
+                  static_cast<unsigned long long>(ist.f32_scans),
+                  static_cast<unsigned long long>(ist.f32_refined),
+                  double(ist.f32_refined) / double(ist.f32_scans));
+    }
     if (r.stats.expired > 0 || r.stats.degraded > 0 ||
         *watermark > 0 || *deadline_us > 0) {
       std::printf("  %-22s expired=%llu degraded=%llu "
@@ -690,17 +720,46 @@ int RunServeBench(const Args& args) {
 //
 // Prints which SIMD backend the dispatcher picked (and why it could),
 // then verifies every CPU-usable backend against the scalar reference
-// across dims 1..67 for all seven table entries — the same bit-
-// exactness contract the unit tests enforce, exercised on the actual
-// production binary and CPU. Exits 1 on any mismatch, so CI can gate
-// on `mocemg_cli kernel-info`. run_benchmarks.sh embeds the --json
-// form as BENCH_pr8.json host metadata.
+// across dims 1..67 for all eleven table entries (seven f64/int ops
+// plus the four fp32-mirror ops) — the same bit-exactness contract the
+// unit tests enforce, exercised on the actual production binary and
+// CPU. Also reports per-op backend coverage; a compiled backend with a
+// missing (null) table entry fails the gate. Exits 1 on any mismatch
+// or hole, so CI can gate on `mocemg_cli kernel-info`.
+// run_benchmarks.sh embeds the --json form as BENCH_pr9.json host
+// metadata.
 
 bool BitsEqual(double a, double b) {
   uint64_t ab = 0, bb = 0;
   std::memcpy(&ab, &a, sizeof(ab));
   std::memcpy(&bb, &b, sizeof(bb));
   return ab == bb;
+}
+
+bool BitsEqualF(float a, float b) {
+  uint32_t ab = 0, bb = 0;
+  std::memcpy(&ab, &a, sizeof(ab));
+  std::memcpy(&bb, &b, sizeof(bb));
+  return ab == bb;
+}
+
+/// Every KernelOps entry with its field name, for coverage reporting.
+std::vector<std::pair<const char*, bool>> NamedOpPresence(
+    const KernelOps* ops) {
+  return {
+      {"squared_l2_pair", ops->squared_l2_pair != nullptr},
+      {"dot_pair", ops->dot_pair != nullptr},
+      {"l2_one_to_many", ops->l2_one_to_many != nullptr},
+      {"l2dot_one_to_many", ops->l2dot_one_to_many != nullptr},
+      {"row_norms", ops->row_norms != nullptr},
+      {"ssd8_one_to_many", ops->ssd8_one_to_many != nullptr},
+      {"ssd4_one_to_many", ops->ssd4_one_to_many != nullptr},
+      {"l2_f32_one_to_many", ops->l2_f32_one_to_many != nullptr},
+      {"l2dot_f32_one_to_many", ops->l2dot_f32_one_to_many != nullptr},
+      {"row_norms_f32", ops->row_norms_f32 != nullptr},
+      {"l2dot_f32d_one_to_many",
+       ops->l2dot_f32d_one_to_many != nullptr},
+  };
 }
 
 Status VerifyKernelEquivalence() {
@@ -780,15 +839,96 @@ Status VerifyKernelEquivalence() {
       ref->ssd4_one_to_many(qp.data(), rp.data(), rows, d, wanti.data());
       ops->ssd4_one_to_many(qp.data(), rp.data(), rows, d, goti.data());
       if (wanti != goti) return fail("ssd4_one_to_many");
+      // fp32-mirror ops: same fixtures narrowed to float, compared at
+      // the fp32 bit level (and at the f64 bit level for the
+      // fp64-accumulate variant).
+      std::vector<float> xf(d), blockf(rows * d), normsf(rows);
+      for (size_t i = 0; i < d; ++i) {
+        xf[i] = static_cast<float>(x[i]);
+      }
+      for (size_t i = 0; i < rows * d; ++i) {
+        blockf[i] = static_cast<float>(block[i]);
+      }
+      ref->row_norms_f32(blockf.data(), rows, d, normsf.data());
+      float xf_sq = 0.0f;
+      ref->row_norms_f32(xf.data(), 1, d, &xf_sq);
+      std::vector<float> wantf(rows), gotf(rows);
+      ref->l2_f32_one_to_many(xf.data(), blockf.data(), rows, d,
+                              wantf.data());
+      ops->l2_f32_one_to_many(xf.data(), blockf.data(), rows, d,
+                              gotf.data());
+      for (size_t r = 0; r < rows; ++r) {
+        if (!BitsEqualF(wantf[r], gotf[r])) {
+          return fail("l2_f32_one_to_many");
+        }
+      }
+      ref->l2dot_f32_one_to_many(xf.data(), xf_sq, blockf.data(),
+                                 normsf.data(), rows, d, wantf.data());
+      ops->l2dot_f32_one_to_many(xf.data(), xf_sq, blockf.data(),
+                                 normsf.data(), rows, d, gotf.data());
+      for (size_t r = 0; r < rows; ++r) {
+        if (!BitsEqualF(wantf[r], gotf[r])) {
+          return fail("l2dot_f32_one_to_many");
+        }
+      }
+      ref->row_norms_f32(blockf.data(), rows, d, wantf.data());
+      ops->row_norms_f32(blockf.data(), rows, d, gotf.data());
+      for (size_t r = 0; r < rows; ++r) {
+        if (!BitsEqualF(wantf[r], gotf[r])) return fail("row_norms_f32");
+      }
+      ref->l2dot_f32d_one_to_many(xf.data(), x_sq, blockf.data(),
+                                  norms.data(), rows, d, want.data());
+      ops->l2dot_f32d_one_to_many(xf.data(), x_sq, blockf.data(),
+                                  norms.data(), rows, d, got.data());
+      for (size_t r = 0; r < rows; ++r) {
+        if (!BitsEqual(want[r], got[r])) {
+          return fail("l2dot_f32d_one_to_many");
+        }
+      }
     }
   }
   return Status::OK();
 }
 
+/// Per-op backend coverage over every compiled backend: any null table
+/// entry is a packaging bug worth failing CI for. Returns the coverage
+/// lines to print and flags holes via the status.
+Status VerifyOpCoverage(std::vector<std::string>* lines) {
+  Status holes = Status::OK();
+  for (const KernelBackend backend : CompiledKernelBackends()) {
+    const KernelOps* ops = GetKernelOps(backend);
+    if (ops == nullptr) {
+      return Status::Unknown(
+          std::string("compiled backend has no ops table: ") +
+          KernelBackendName(backend));
+    }
+    std::string missing;
+    for (const auto& [name, present] : NamedOpPresence(ops)) {
+      if (!present) {
+        missing += missing.empty() ? name : (std::string(", ") + name);
+      }
+    }
+    std::string line = std::string(KernelBackendName(backend)) + ": ";
+    if (missing.empty()) {
+      line += "all 11 ops";
+    } else {
+      line += "MISSING " + missing;
+      holes = Status::Unknown(
+          std::string("backend ") + KernelBackendName(backend) +
+          " is missing ops: " + missing);
+    }
+    lines->push_back(std::move(line));
+  }
+  return holes;
+}
+
 int RunKernelInfo(const Args& args) {
   const bool json = args.Has("--json");
   const KernelDispatchInfo info = GetKernelDispatchInfo();
-  const Status equiv = VerifyKernelEquivalence();
+  std::vector<std::string> coverage;
+  const Status holes = VerifyOpCoverage(&coverage);
+  const Status equiv =
+      holes.ok() ? VerifyKernelEquivalence() : holes;
   if (json) {
     std::printf("{\n");
     std::printf("  \"active\": \"%s\",\n", info.active.c_str());
@@ -797,6 +937,13 @@ int RunKernelInfo(const Args& args) {
     std::printf("  \"cpu_features\": \"%s\",\n", info.cpu_features.c_str());
     std::printf("  \"env_override\": %s,\n",
                 info.env_override ? "true" : "false");
+    std::printf("  \"op_coverage\": [");
+    for (size_t i = 0; i < coverage.size(); ++i) {
+      std::printf("%s\"%s\"", i > 0 ? ", " : "", coverage[i].c_str());
+    }
+    std::printf("],\n");
+    std::printf("  \"op_coverage_ok\": %s,\n",
+                holes.ok() ? "true" : "false");
     std::printf("  \"equivalence_ok\": %s\n}\n",
                 equiv.ok() ? "true" : "false");
   } else {
@@ -806,9 +953,13 @@ int RunKernelInfo(const Args& args) {
     std::printf("  compiled:     %s\n", info.compiled.c_str());
     std::printf("  usable:       %s\n", info.usable.c_str());
     std::printf("  cpu features: %s\n", info.cpu_features.c_str());
+    std::printf("  op coverage:\n");
+    for (const std::string& line : coverage) {
+      std::printf("    %s\n", line.c_str());
+    }
     std::printf("  equivalence:  %s\n",
                 equiv.ok() ? "every usable backend bit-identical to scalar "
-                             "(dims 1..67, all 7 ops)"
+                             "(dims 1..67, all 11 ops)"
                            : equiv.ToString().c_str());
   }
   return equiv.ok() ? 0 : 1;
@@ -863,6 +1014,7 @@ int RunCoarseBench(const Args& args) {
   for (const size_t bits : {size_t{8}, size_t{4}}) {
     FeatureIndexOptions iopts;
     iopts.quant_bits = bits;
+    iopts.exact_precision = g_cli_exact_precision;
     iopts.quantized_min_rows = 1;  // code every partition at bench scale
     auto index = FeatureIndex::Build(&db, iopts);
     if (!index.ok()) return Fail(index.status());
@@ -961,6 +1113,15 @@ int main(int argc, char** argv) {
     if (!backend.ok()) return Usage();
     Status set = SetKernelBackend(*backend);
     if (!set.ok()) return Fail(set);
+  }
+  // --exact-precision: pick the exact-scan tier for the subcommands
+  // that build indexes. Like --kernel, an unknown name is a hard error
+  // rather than the env override's warn-and-default.
+  const std::string precision = args.Get("--exact-precision");
+  if (!precision.empty()) {
+    auto parsed = ParseExactPrecision(precision);
+    if (!parsed.ok()) return Fail(parsed.status());
+    g_cli_exact_precision = *parsed;
   }
   if (std::strcmp(argv[1], "train") == 0) return RunTrain(args);
   if (std::strcmp(argv[1], "classify") == 0) return RunClassify(args);

@@ -15,7 +15,13 @@
 # (whose stable win — shard-aware cache revalidation — IS gated), and
 # a second serve-bench run at --shards 4 --pipeline 2. Pipeline-
 # overlap ratios are annotated, not gated, when cpus_online is too
-# low to overlap anything.
+# low to overlap anything. The pr8 file holds the scalar-vs-dispatched
+# SIMD kernel pairs plus the 8-bit/4-bit coarse-tier A/B. The pr9 file
+# holds the certified fp32 exact-tier families: cross-family
+# fp32-vs-f64 kernel ratios (the dispatched rows carry a gated 1.4x
+# claim on SIMD hosts; recorded-only on 1-cpu or scalar hosts), the
+# end-to-end BM_IndexedKnnF32 pair, and a third serve-bench run at
+# --exact-precision f32 whose rows carry the refine-rate counters.
 #
 # Usage: tools/run_benchmarks.sh [--update] [--quick]
 #
@@ -124,6 +130,14 @@ echo "== serve-bench (sharded) ==" >&2
 ./build/tools/mocemg_cli serve-bench "${serve_args[@]}" \
   --shards 4 --pipeline 2 \
   >"$out/serving_sharded.json"
+# PR 9: the same serve-bench load through the certified fp32 exact
+# tier. Its JSON rows carry f32_scans / f32_refined / f32_refine_rate;
+# answers are verified bit-identical in-process before any number is
+# emitted.
+echo "== serve-bench (fp32 exact tier) ==" >&2
+./build/tools/mocemg_cli serve-bench "${serve_args[@]}" \
+  --exact-precision f32 \
+  >"$out/serving_f32.json"
 
 # PR 8 host metadata + A/B sections. kernel-info doubles as the
 # bit-exactness gate: it exits 1 if any usable SIMD backend diverges
@@ -153,6 +167,7 @@ bench5_path = "BENCH_pr5.json"
 bench6_path = "BENCH_pr6.json"
 bench7_path = "BENCH_pr7.json"
 bench8_path = "BENCH_pr8.json"
+bench9_path = "BENCH_pr9.json"
 
 # micro_incremental families live in BENCH_pr3.json, not BENCH_pr2.json:
 # the pr2 file keeps its original scope (parallel substrate + serial
@@ -188,6 +203,16 @@ PR7_PREFIXES = ("BM_ShardedKnn", "BM_ServedKnnSharded",
 PR8_PREFIXES = ("BM_SsdOneToMany", "BM_SsdBlocked", "BM_Ssd4OneToMany",
                 "BM_L2OneToMany")
 PR8_GATED_PREFIXES = ("BM_SsdOneToMany", "BM_SsdBlocked")
+# The fp32 exact-tier families (PR 9). The kernel families carry the
+# usual {dim, mode} scalar-vs-dispatched pairing; the fp32-vs-f64
+# ratio is computed ACROSS families at mode 1 (dispatched) — each
+# pass ran both families seconds apart, so the quotient still cancels
+# host load. BM_IndexedKnnF32 pairs mode 0 (f64 exact scan) against
+# mode 1 (fp32 mirror scan + certified double refine) end to end.
+# NOTE: "BM_L2OneToMany" (PR 8) is a proper prefix of none of these;
+# keep it that way — the buckets are prefix-matched.
+PR9_PREFIXES = ("BM_L2F32OneToMany", "BM_L2DotF32OneToMany",
+                "BM_L2DotF64OneToMany", "BM_IndexedKnnF32")
 
 # ns/op at the parent of this PR (release build, same harness,
 # median of 3 runs interleaved with post-change runs on the same host
@@ -240,6 +265,11 @@ serving_sharded_path = os.path.join(out_dir, "serving_sharded.json")
 if os.path.exists(serving_sharded_path):
     with open(serving_sharded_path) as f:
         serving_sharded = json.load(f)
+serving_f32 = None
+serving_f32_path = os.path.join(out_dir, "serving_f32.json")
+if os.path.exists(serving_f32_path):
+    with open(serving_f32_path) as f:
+        serving_f32 = json.load(f)
 kernel_info = None
 kernel_info_path = os.path.join(out_dir, "kernel_info.json")
 if os.path.exists(kernel_info_path):
@@ -381,6 +411,57 @@ print_speedups("scalar table vs dispatched SIMD backend (paired "
                "per-pass ratios; speedup > 1 means the dispatched "
                "backend is faster; outputs are bit-identical):",
                speedups8, "scalar_ns_per_op", "dispatched_ns_per_op")
+
+# --- fp32 exact-tier pairings (BENCH_pr9.json) ---
+#
+# Two pairings. (a) Cross-family, same {dim, mode}: the f64 family
+# over its fp32 mirror family. Both families ran inside the same pass
+# of the same binary seconds apart, so the per-pass quotient cancels
+# host load exactly like the mode pairs do. (b) BM_IndexedKnnF32 is a
+# plain mode pair: mode 0 answers through the f64 scan, mode 1 through
+# the fp32 mirror + certified refine — identical bit-for-bit answers,
+# so the ratio is pure wall-clock.
+def cross_family_speedups(base_prefix, new_prefix):
+    out = {}
+    for name, vals in sorted(samples.items()):
+        if not name.startswith(new_prefix + "/"):
+            continue
+        base_vals = samples.get(base_prefix + name[len(new_prefix):])
+        if not base_vals or len(base_vals) != len(vals):
+            continue
+        ratios = [b / v for b, v in zip(base_vals, vals)]
+        mean = statistics.fmean(ratios)
+        out[name] = {
+            "f64_ns_per_op": round(statistics.median(base_vals), 1),
+            "f32_ns_per_op": round(statistics.median(vals), 1),
+            "speedup": round(statistics.median(ratios), 3),
+            "min_ratio": round(min(ratios), 3),
+            "max_ratio": round(max(ratios), 3),
+            "cv": round(statistics.pstdev(ratios) / mean if mean > 0
+                        else 0.0, 3),
+        }
+    return out
+
+f32_kernel_pairs = {}
+f32_kernel_pairs.update(
+    cross_family_speedups("BM_L2OneToMany", "BM_L2F32OneToMany"))
+f32_kernel_pairs.update(
+    cross_family_speedups("BM_L2DotF64OneToMany", "BM_L2DotF32OneToMany"))
+if f32_kernel_pairs:
+    print("f64 vs fp32 kernel (cross-family paired per-pass ratios; "
+          "speedup > 1 means the fp32 kernel is faster; /1 rows are "
+          "the dispatched backend and carry the 1.4x claim):")
+    for base, s in f32_kernel_pairs.items():
+        print(f"  {base:38s} {s['f64_ns_per_op']:12.0f} -> "
+              f"{s['f32_ns_per_op']:12.0f}  x{s['speedup']:.2f}")
+speedups9 = paired_speedups(("BM_IndexedKnnF32",), "f64_ns_per_op",
+                            "f32_ns_per_op")
+print_speedups("f64 vs fp32 exact tier, end-to-end indexed kNN "
+               "(paired per-pass ratios; answers are bit-identical):",
+               speedups9, "f64_ns_per_op", "f32_ns_per_op")
+speedups9_dispatch = paired_speedups(
+    ("BM_L2F32OneToMany", "BM_L2DotF32OneToMany", "BM_L2DotF64OneToMany"),
+    "scalar_ns_per_op", "dispatched_ns_per_op")
 if kernel_info:
     print(f"kernel dispatch: active={kernel_info.get('active')} "
           f"usable={kernel_info.get('usable')} "
@@ -414,6 +495,15 @@ if serving_sharded:
               f"{row['qps']:10.0f} qps  "
               f"x{row['qps_vs_exact_scan']:.2f} vs scan  "
               f"p50 {row['p50_us']:.0f}us p99 {row['p99_us']:.0f}us")
+if serving_f32:
+    print("fp32 exact-tier serving (serve-bench --exact-precision "
+          "f32; answers bit-identical to the f64 scan):")
+    for row in serving_f32.get("served", []):
+        rate = row.get("f32_refine_rate", 0.0)
+        print(f"  served ({row['threads']} threads)   "
+              f"{row['qps']:10.0f} qps  "
+              f"x{row['qps_vs_exact_scan']:.2f} vs scan  "
+              f"refine rate {rate:.4f}")
 
 if quick:
     print("\nquick mode: single-pass medians (no gate, nothing "
@@ -450,6 +540,10 @@ committed8 = None
 if os.path.exists(bench8_path):
     with open(bench8_path) as f:
         committed8 = json.load(f)
+committed9 = None
+if os.path.exists(bench9_path):
+    with open(bench9_path) as f:
+        committed9 = json.load(f)
 
 if pre_samples:
     # Pre-PR binaries ran inside the same passes as the current ones:
@@ -517,7 +611,7 @@ noisy_skips = []
 for path, doc_ in ((bench_path, committed), (bench3_path, committed3),
                    (bench4_path, committed4), (bench5_path, committed5),
                    (bench6_path, committed6), (bench7_path, committed7),
-                   (bench8_path, committed8)):
+                   (bench8_path, committed8), (bench9_path, committed9)):
     if not doc_:
         continue
     for name, old in doc_.get("benchmarks", {}).items():
@@ -541,7 +635,7 @@ cpus = len(os.sched_getaffinity(0))
 results2 = {n: e for n, e in results.items()
             if not n.startswith(PR3_PREFIXES + PR4_PREFIXES +
                                 PR5_PREFIXES + PR7_PREFIXES +
-                                PR8_PREFIXES)}
+                                PR8_PREFIXES + PR9_PREFIXES)}
 results3 = {n: e for n, e in results.items()
             if n.startswith(PR3_PREFIXES)}
 results4 = {n: e for n, e in results.items()
@@ -555,6 +649,8 @@ results7 = {n: e for n, e in results.items()
             if n.startswith(PR7_PREFIXES)}
 results8 = {n: e for n, e in results.items()
             if n.startswith(PR8_PREFIXES)}
+results9 = {n: e for n, e in results.items()
+            if n.startswith(PR9_PREFIXES)}
 
 # --- robustness-overhead check (the <5% non-degraded criterion) ---
 #
@@ -668,6 +764,104 @@ for base, s in speedups8.items():
     }
 if kernel_info is not None and not kernel_info.get("equivalence_ok"):
     failures.append("kernel-info reported a backend/scalar divergence")
+if kernel_info is not None and kernel_info.get("op_coverage_ok") is False:
+    failures.append("kernel-info reported a backend with missing ops")
+
+# --- fp32 exact-tier checks (PR 9) ---
+#
+# The tier's perf claim has two halves, both gated only on hosts that
+# can exhibit them: a real SIMD backend is active AND there is more
+# than one CPU online (the "SIMD host" condition — on 1-cpu or
+# scalar-only hosts every ratio is recorded but nothing is gated).
+#   (a) Kernel claim: the dispatched (/1) fp32-vs-f64 cross-family
+#       ratio must reach 1.4x somewhere in the dim sweep — half the
+#       bytes per row should buy at least that once rows stream from
+#       memory — and no dispatched pair may lose directionally.
+#   (b) End-to-end claim: BM_IndexedKnnF32 must show an indexed-kNN
+#       win at some dim, and may not lose at the bandwidth-bound dims
+#       (>= 64). The narrow dim-30 row is annotated only: there the
+#       scan is a small fraction of per-query time, so its ratio says
+#       little about the tier.
+f32_simd_host = bool(kernel_info) and \
+    kernel_info.get("active") not in (None, "scalar")
+f32_gated = f32_simd_host and cpus >= 2
+f32_check = {}
+best_kernel_win = 0.0
+for base, s in sorted(f32_kernel_pairs.items()):
+    stable = s["cv"] <= CV_STABLE
+    dispatched = base.endswith("/1")
+    directional_loss = s["max_ratio"] < 1.0
+    ok = True
+    if f32_gated and dispatched and \
+            (directional_loss or (stable and s["speedup"] < 1.0)):
+        ok = False
+        failures.append(
+            f"{base}: fp32 kernel lost to its f64 counterpart "
+            f"(x{s['speedup']:.3f} < x1.0, cv={s['cv']:.2f})")
+    if dispatched and (stable or s["min_ratio"] >= 1.0):
+        best_kernel_win = max(best_kernel_win, s["speedup"])
+    f32_check[base] = {
+        "speedup": s["speedup"],
+        "min_ratio": s["min_ratio"],
+        "max_ratio": s["max_ratio"],
+        "cv": s["cv"],
+        "stable": stable,
+        "gated": bool(f32_gated and dispatched),
+        "ok": ok,
+    }
+if f32_gated and f32_kernel_pairs:
+    if best_kernel_win >= 1.4:
+        print(f"fp32 kernel claim: best dispatched fp32-vs-f64 win "
+              f"x{best_kernel_win:.2f} (>= x1.4)")
+    elif best_kernel_win > 0.0:
+        failures.append(
+            f"fp32 kernel claim: best dispatched fp32-vs-f64 win is "
+            f"x{best_kernel_win:.2f}, below the 1.4x claim on a SIMD "
+            f"host (active={kernel_info.get('active')})")
+    else:
+        print("fp32 kernel claim: all dispatched pairs too noisy to "
+              "judge — not gated")
+elif f32_kernel_pairs:
+    print(f"fp32 kernel claim recorded only (simd_host="
+          f"{f32_simd_host}, cpus_online={cpus})")
+best_e2e_win = 0.0
+for base, s in sorted(speedups9.items()):
+    stable = s["cv"] <= CV_STABLE
+    directional_loss = s["max_ratio"] < 1.0
+    dim = int(base.split("/")[1])
+    bandwidth_bound = dim >= 64
+    ok = True
+    if f32_gated and bandwidth_bound and \
+            (directional_loss or (stable and s["speedup"] < 1.0)):
+        ok = False
+        failures.append(
+            f"{base}: fp32 exact tier lost to the f64 scan end to end "
+            f"(x{s['speedup']:.3f} < x1.0, cv={s['cv']:.2f})")
+    if stable or s["min_ratio"] >= 1.0:
+        best_e2e_win = max(best_e2e_win, s["speedup"])
+    f32_check[base] = {
+        "speedup": s["speedup"],
+        "min_ratio": s["min_ratio"],
+        "max_ratio": s["max_ratio"],
+        "cv": s["cv"],
+        "stable": stable,
+        "gated": bool(f32_gated and bandwidth_bound),
+        "ok": ok,
+    }
+if f32_gated and speedups9:
+    if best_e2e_win > 1.0:
+        print(f"fp32 end-to-end claim: best indexed-kNN win "
+              f"x{best_e2e_win:.2f}")
+    elif best_e2e_win > 0.0:
+        failures.append(
+            f"fp32 end-to-end claim: no indexed-kNN improvement on a "
+            f"SIMD host (best stable x{best_e2e_win:.2f})")
+    else:
+        print("fp32 end-to-end claim: all pairs too noisy to judge — "
+              "not gated")
+elif speedups9:
+    print(f"fp32 end-to-end claim recorded only (simd_host="
+          f"{f32_simd_host}, cpus_online={cpus})")
 
 doc = {
     "schema": "mocemg-bench-pr2",
@@ -772,6 +966,33 @@ doc8 = {
     "eight_bit": coarse.get("eight_bit") if coarse else None,
     "four_bit": coarse.get("four_bit") if coarse else None,
 }
+doc9 = {
+    "schema": "mocemg-bench-pr9",
+    "host": {
+        "cpus_online": cpus,
+        "kernel": kernel_info,
+        "note": "fp32_vs_f64_kernel divides per-pass f64-family runs "
+                "by the matching fp32-family runs at the same {dim, "
+                "mode} (cross-family, same binary, same pass, so host "
+                "load cancels); /1 rows are the dispatched backend and "
+                "carry the gated 1.4x kernel claim on SIMD hosts. "
+                "indexed_knn_f32_vs_f64 pairs mode 0 (f64 exact scan) "
+                "against mode 1 (fp32 mirror scan + error-bound-gated "
+                "double refine) end to end; answers are bit-identical "
+                "by construction and by test, so every ratio is pure "
+                "wall-clock. On 1-cpu or scalar-only hosts all ratios "
+                "are recorded but not gated. The serving_f32 section "
+                "is a serve-bench run at --exact-precision f32; its "
+                "rows carry the f32_scans / f32_refined / "
+                "f32_refine_rate counters.",
+    },
+    "benchmarks": results9,
+    "fp32_vs_f64_kernel": f32_kernel_pairs,
+    "indexed_knn_f32_vs_f64": speedups9,
+    "dispatch_pairs": speedups9_dispatch,
+    "f32_check": f32_check,
+    "serving_f32": serving_f32,
+}
 doc3 = {
     "schema": "mocemg-bench-pr3",
     "host": {
@@ -827,6 +1048,13 @@ if update:
     print(f"wrote {bench8_path} ({len(results8)} benchmarks, "
           f"{len(speedups8)} paired speedups, "
           f"{'with' if coarse else 'WITHOUT'} four_bit section)")
+    with open(bench9_path, "w") as f:
+        json.dump(doc9, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"wrote {bench9_path} ({len(results9)} benchmarks, "
+          f"{len(f32_kernel_pairs)} fp32-vs-f64 kernel pairs, "
+          f"{'with' if serving_f32 else 'WITHOUT'} serving_f32 "
+          f"section)")
 
 if noisy_skips:
     print("\nslower than the committed baseline but too noisy to gate:")

@@ -36,6 +36,23 @@ for kern in scalar auto; do
     --output-on-failure
 done
 
+# fp32 exact-tier rerun matrix: the same suites again with the
+# default exact precision forced to the fp32 mirror tier, crossed
+# with both kernel backends. Tests that build with explicit options
+# are unaffected (options beat the env default, §15.4); tests that
+# build with defaults now route their scans through the mirror +
+# refine path, so the bound arithmetic, the norm gate, and the
+# refine's double re-evaluation all get sanitizer coverage on both
+# the scalar and the dispatched kernels.
+for kern in scalar auto; do
+  echo "== $preset: kernel/index suites under" \
+    "MOCEMG_EXACT_PRECISION=f32 MOCEMG_KERNEL=$kern =="
+  MOCEMG_EXACT_PRECISION=f32 MOCEMG_KERNEL="$kern" \
+    ctest --preset "$preset" \
+    -R 'Kernel|Quant|Distance|FeatureIndex|Sharded|Snapshot' \
+    --output-on-failure
+done
+
 if [[ "$preset" == "tsan" ]]; then
   # Second pass over the parallel substrate with a forced 8-thread
   # budget: on a small machine the auto budget can resolve to one
