@@ -26,6 +26,55 @@ namespace {
 // guaranteed upstream — no NaN.
 constexpr double kF32TierNormGate = 1e30;
 
+// Query-block scan knobs (DESIGN.md §16). kDefaultQueryBlock is the
+// auto block size for the batch entry points; kBlockRowSlab caps one
+// visit group's per-tier kernel output at g × slab entries, so block
+// scratch stays bounded on huge partitions. Both are pure performance
+// knobs: every per-(query, row) quantity is bit-identical at any
+// value, because each pair's kernel accumulation is self-contained and
+// every gate either evolves per-row within one query (coarse) or is
+// frozen at partition entry (dot-form tiers).
+constexpr size_t kDefaultQueryBlock = 32;
+constexpr size_t kBlockRowSlab = 4096;
+
+// Second prune stage for the dot-form tiers' frozen-gate survivors
+// (DESIGN.md §16.3). With |dist − true| <= margin for every scored
+// row, at least k candidates have a true distance no greater than
+// kthC + margin, where kthC is the k-th smallest candidate dot-form
+// distance — and they all reach the same heap as any other candidate
+// from this partition. A candidate with dist > kthC + 2·margin
+// therefore provably cannot make the final top k, no matter what the
+// heap held at partition entry; without this stage an entry-time gate
+// alone refines the entire first partition of every query (empty
+// heap → infinite threshold). The threshold is a pure function of the
+// candidate distances, so the solo and block scans shrink identical
+// survivor sets. NaN distances are kept — they must reach the exact
+// re-check — and sit out of the order statistic.
+void SelfGateCandidates(size_t k, double margin,
+                        std::vector<uint32_t>* ridx,
+                        std::vector<double>* cand,
+                        std::vector<double>* sort_tmp) {
+  if (k == 0 || ridx->size() <= k) return;
+  sort_tmp->clear();
+  for (const double d : *cand) {
+    if (!std::isnan(d)) sort_tmp->push_back(d);
+  }
+  if (sort_tmp->size() < k) return;
+  std::nth_element(sort_tmp->begin(), sort_tmp->begin() + (k - 1),
+                   sort_tmp->end());
+  const double thresh = (*sort_tmp)[k - 1] + 2.0 * margin;
+  size_t w = 0;
+  for (size_t i = 0; i < ridx->size(); ++i) {
+    if (!((*cand)[i] > thresh)) {
+      (*ridx)[w] = (*ridx)[i];
+      (*cand)[w] = (*cand)[i];
+      ++w;
+    }
+  }
+  ridx->resize(w);
+  cand->resize(w);
+}
+
 // MOCEMG_EXACT_PRECISION, read once at first resolution.
 ExactPrecision EnvExactPrecision() {
   static const ExactPrecision value = [] {
@@ -303,6 +352,149 @@ Status IndexPartitionSet::RefreshPartition(const MotionDatabase& database,
   return Status::OK();
 }
 
+IndexPartitionSet::CoarsePrep IndexPartitionSet::PrepCoarse(
+    const double* query, double q_sq, size_t dim, const Partition& part,
+    Scratch* scratch) const {
+  // Clamp the query onto the partition's grid box, dimension by
+  // dimension. For an out-of-box dimension the box edge q'_j lies
+  // between q_j and every row value, so
+  //   (q_j − r_j)² >= (q_j − q'_j)² + (q'_j − r_j)²
+  // and summing gives ‖q − r‖² >= out² + ‖q' − r‖²: the out-of-box
+  // energy is a certified additive term common to every row, and the
+  // integer bound only has to separate the in-box part — where the
+  // grid residual ‖q' − q̃‖ is at most half a step per dimension
+  // instead of the full clamp distance.
+  scratch->qclamp.resize(dim);
+  scratch->qcodes.resize(dim);
+  scratch->decoded.resize(dim);
+  const double s = part.quant_scale;
+  const double levels = part.quant_levels();
+  for (size_t j = 0; j < dim; ++j) {
+    const double lo = part.quant_offsets[j];
+    const double hi = lo + levels * s;
+    scratch->qclamp[j] = std::clamp(query[j], lo, hi);
+  }
+  CoarsePrep prep;
+  prep.out_sq = SquaredL2Dispatched(query, scratch->qclamp.data(), dim);
+  QuantizeQuery(scratch->qclamp.data(), dim, part.quant_offsets.data(), s,
+                scratch->qcodes.data(), static_cast<uint32_t>(levels));
+  DequantizeRow(scratch->qcodes.data(), dim, part.quant_offsets.data(), s,
+                scratch->decoded.data());
+  const double q_res_sq = SquaredL2Dispatched(scratch->qclamp.data(),
+                                              scratch->decoded.data(), dim);
+  prep.slack = QuantScanSlack(
+      dim, q_sq, std::max(part.max_norm_sq, part.quant_box_sq));
+  prep.q_res = std::sqrt(q_res_sq + prep.slack);
+  prep.err = std::sqrt(part.quant_err_sq);
+  return prep;
+}
+
+void IndexPartitionSet::SelectCoarse(const double* query, size_t dim,
+                                     const Partition& part,
+                                     size_t row_begin, size_t row_end,
+                                     const uint32_t* ssd,
+                                     const CoarsePrep& prep,
+                                     BoundedTopK* top,
+                                     IndexQueryStats* stats) const {
+  // Integer prune threshold, recomputed only when the k-th best
+  // moves: with t_rem = √max(0, kth + 2·slack − out²) the remaining
+  // in-box budget, prune iff scale·√D − q_res − err > t_rem, i.e.
+  // D > T. The 1e-9 relative inflation dominates every ε-level
+  // rounding in computing T itself (the slack terms already cover the
+  // kernel-evaluated quantities' accumulation error). The threshold
+  // cache resets per call, but T is a pure function of (worst,
+  // partition scalars), so splitting a partition's rows across calls
+  // (the query-block path scans in row slabs) changes no decision.
+  const double s = part.quant_scale;
+  double last_worst = -1.0;
+  double threshold = -1.0;
+  for (size_t j = row_begin; j < row_end; ++j) {
+    const double worst = top->worst();
+    if (worst != last_worst) {
+      last_worst = worst;
+      if (s > 0.0) {
+        const double t_rem = std::sqrt(
+            std::max(0.0, worst + 2.0 * prep.slack - prep.out_sq));
+        const double rhs = t_rem + prep.q_res + prep.err;
+        threshold = (rhs / s) * (rhs / s) * (1.0 + 1e-9);
+      } else {
+        threshold = std::numeric_limits<double>::infinity();
+      }
+    }
+    if (static_cast<double>(ssd[j - row_begin]) > threshold) {
+      ++stats->coarse_pruned;
+      continue;
+    }
+    const double sq =
+        SquaredL2Dispatched(query, part.block.data() + j * dim, dim);
+    ++stats->distance_computations;
+    top->Push(sq, part.record_indices[j]);
+  }
+}
+
+void IndexPartitionSet::VisitCoarse(const double* query, double q_sq,
+                                    size_t dim, const Partition& part,
+                                    BoundedTopK* top, Scratch* scratch,
+                                    IndexQueryStats* stats) const {
+  // Coarse tier. The prune needs a k-th best to compare against, so
+  // first seed the heap with exact evaluations (only the very first
+  // visited partition ever does this), then score the remaining rows
+  // with the exact-integer code distance D = Σ(qc − c)² and discard
+  // rows provably outside the k-th best via the two-hop triangle
+  // inequality
+  //   ‖q − r‖ ≥ scale·√D − ‖q − q̃‖ − ‖r − r̃‖
+  // (q̃, r̃ the grid reconstructions; scale·√D = ‖q̃ − r̃‖ exactly in
+  // real arithmetic since the grid step is uniform). All
+  // floating-point roundings live in per-partition *scalars*: the
+  // residual and the k-th best are inflated by the §11.2 slack, the
+  // stored error was inflated at build, and the integer threshold T
+  // gets a final relative margin — so the per-row test `D > T` can
+  // only under-prune, never drop a row the exact kernels might still
+  // rank into the top k.
+  const size_t rows = part.size();
+  size_t start = 0;
+  while (!top->full() && start < rows) {
+    const double sq =
+        SquaredL2Dispatched(query, part.block.data() + start * dim, dim);
+    ++stats->distance_computations;
+    top->Push(sq, part.record_indices[start]);
+    ++start;
+  }
+  if (start >= rows) return;
+  const CoarsePrep prep = PrepCoarse(query, q_sq, dim, part, scratch);
+  scratch->ssd.resize(max_partition_size_);
+  if (part.quant_bits == 4) {
+    const size_t stride = part.code_stride(dim);
+    scratch->qpacked.resize(stride);
+    PackNibbleRows(scratch->qcodes.data(), 1, dim, scratch->qpacked.data());
+    Quantized4SsdOneToMany(scratch->qpacked.data(),
+                           part.quant_codes.data() + start * stride,
+                           rows - start, dim, scratch->ssd.data());
+  } else {
+    QuantizedSsdOneToMany(scratch->qcodes.data(),
+                          part.quant_codes.data() + start * dim,
+                          rows - start, dim, scratch->ssd.data());
+  }
+  stats->coarse_computations += rows - start;
+  SelectCoarse(query, dim, part, start, rows, scratch->ssd.data(), prep,
+               top, stats);
+}
+
+void IndexPartitionSet::RefinePush(const double* query, size_t dim,
+                                   const Partition& part,
+                                   const std::vector<uint32_t>& ridx,
+                                   std::vector<double>* rdist,
+                                   BoundedTopK* top) const {
+  const size_t n = ridx.size();
+  if (n == 0) return;
+  rdist->resize(n);
+  SquaredL2Gather(query, part.block.data(), ridx.data(), n, dim,
+                  rdist->data());
+  for (size_t i = 0; i < n; ++i) {
+    top->Push((*rdist)[i], part.record_indices[ridx[i]]);
+  }
+}
+
 void IndexPartitionSet::ScanExact(const std::vector<double>& query,
                                   double q_sq, BoundedTopK* top,
                                   Scratch* scratch,
@@ -354,121 +546,29 @@ void IndexPartitionSet::ScanExact(const std::vector<double>& query,
     ++local.partitions_visited;
     const size_t rows = part.size();
     if (part.quantized()) {
-      // Coarse tier. The prune needs a k-th best to compare against,
-      // so first seed the heap with exact evaluations (only the very
-      // first visited partition ever does this), then score the
-      // remaining rows with the exact-integer code distance
-      // D = Σ(qc − c)² and discard rows provably outside the k-th
-      // best via the two-hop triangle inequality
-      //   ‖q − r‖ ≥ scale·√D − ‖q − q̃‖ − ‖r − r̃‖
-      // (q̃, r̃ the grid reconstructions; scale·√D = ‖q̃ − r̃‖ exactly
-      // in real arithmetic since the grid step is uniform). All
-      // floating-point roundings live in per-partition *scalars*:
-      // the residual and the k-th best are inflated by the §11.2
-      // slack, the stored error was inflated at build, and the
-      // integer threshold T gets a final relative margin — so the
-      // per-row test `D > T` can only under-prune, never drop a row
-      // the exact kernels might still rank into the top k.
-      size_t start = 0;
-      while (!top->full() && start < rows) {
-        const double sq = SquaredL2Dispatched(
-            query.data(), part.block.data() + start * dim, dim);
-        ++local.distance_computations;
-        top->Push(sq, part.record_indices[start]);
-        ++start;
-      }
-      if (start >= rows) continue;
-      // Clamp the query onto the partition's grid box, dimension by
-      // dimension. For an out-of-box dimension the box edge q'_j lies
-      // between q_j and every row value, so
-      //   (q_j − r_j)² >= (q_j − q'_j)² + (q'_j − r_j)²
-      // and summing gives ‖q − r‖² >= out² + ‖q' − r‖²: the out-of-box
-      // energy is a certified additive term common to every row, and
-      // the integer bound only has to separate the in-box part —
-      // where the grid residual ‖q' − q̃‖ is at most half a step per
-      // dimension instead of the full clamp distance.
-      scratch->qclamp.resize(dim);
-      scratch->qcodes.resize(dim);
-      scratch->decoded.resize(dim);
-      const double s = part.quant_scale;
-      const double levels = part.quant_levels();
-      for (size_t j = 0; j < dim; ++j) {
-        const double lo = part.quant_offsets[j];
-        const double hi = lo + levels * s;
-        scratch->qclamp[j] = std::clamp(query[j], lo, hi);
-      }
-      const double out_sq =
-          SquaredL2Dispatched(query.data(), scratch->qclamp.data(), dim);
-      QuantizeQuery(scratch->qclamp.data(), dim,
-                    part.quant_offsets.data(), s, scratch->qcodes.data(),
-                    static_cast<uint32_t>(levels));
-      DequantizeRow(scratch->qcodes.data(), dim,
-                    part.quant_offsets.data(), s,
-                    scratch->decoded.data());
-      const double q_res_sq = SquaredL2Dispatched(
-          scratch->qclamp.data(), scratch->decoded.data(), dim);
-      const double slack =
-          QuantScanSlack(dim, q_sq, std::max(part.max_norm_sq,
-                                             part.quant_box_sq));
-      const double q_res = std::sqrt(q_res_sq + slack);
-      const double err = std::sqrt(part.quant_err_sq);
-      scratch->ssd.resize(max_partition_size_);
-      if (part.quant_bits == 4) {
-        const size_t stride = part.code_stride(dim);
-        scratch->qpacked.resize(stride);
-        PackNibbleRows(scratch->qcodes.data(), 1, dim,
-                       scratch->qpacked.data());
-        Quantized4SsdOneToMany(scratch->qpacked.data(),
-                               part.quant_codes.data() + start * stride,
-                               rows - start, dim, scratch->ssd.data());
-      } else {
-        QuantizedSsdOneToMany(scratch->qcodes.data(),
-                              part.quant_codes.data() + start * dim,
-                              rows - start, dim, scratch->ssd.data());
-      }
-      local.coarse_computations += rows - start;
-      // Integer prune threshold, recomputed only when the k-th best
-      // moves: with t_rem = √max(0, kth + 2·slack − out²) the
-      // remaining in-box budget, prune iff
-      // scale·√D − q_res − err > t_rem, i.e. D > T. The 1e-9 relative
-      // inflation dominates every ε-level rounding in computing T
-      // itself (the slack terms already cover the kernel-evaluated
-      // quantities' accumulation error).
-      double last_worst = -1.0;
-      double threshold = -1.0;
-      for (size_t j = start; j < rows; ++j) {
-        const double worst = top->worst();
-        if (worst != last_worst) {
-          last_worst = worst;
-          if (s > 0.0) {
-            const double t_rem = std::sqrt(
-                std::max(0.0, worst + 2.0 * slack - out_sq));
-            const double rhs = t_rem + q_res + err;
-            threshold = (rhs / s) * (rhs / s) * (1.0 + 1e-9);
-          } else {
-            threshold = std::numeric_limits<double>::infinity();
-          }
-        }
-        if (static_cast<double>(scratch->ssd[j - start]) > threshold) {
-          ++local.coarse_pruned;
-          continue;
-        }
-        const double sq = SquaredL2Dispatched(
-            query.data(), part.block.data() + j * dim, dim);
-        ++local.distance_computations;
-        top->Push(sq, part.record_indices[j]);
-      }
+      VisitCoarse(query.data(), q_sq, dim, part, top, scratch, &local);
       continue;
     }
     if (part.mirrored() && q_sq + part.max_norm_sq < kF32TierNormGate) {
       // fp32 tier: scan the float mirror with the fp32 dot-form
-      // kernel, then re-evaluate through the double pair kernel every
-      // row within the certified bound of the current k-th best. The
-      // margin covers |ssd_f32 − ssd_f64| plus the f64 dot-form error,
-      // so a pruned row provably cannot belong to the final top k —
-      // reported hits stay bit-identical to the f64 path (§15.2). A
-      // NaN fp32 score compares false against the threshold and falls
-      // through to the double re-check, which is always safe.
+      // kernel, then re-evaluate through the double kernels every row
+      // within the certified bound of the k-th best *at partition
+      // entry*. The entry-time worst can only shrink while the
+      // partition's rows are processed, so gating on it is a
+      // conservative superset of gating on the evolving worst: a
+      // pruned row provably cannot belong to the final top k (the
+      // margin covers |ssd_f32 − ssd_f64| plus the f64 dot-form
+      // error, §15.2) and reported hits stay bit-identical to the f64
+      // path. Freezing the gate makes the survivor set independent of
+      // push order, which lets the refine run as one blocked gather
+      // kernel call here and in the query-block scan — with identical
+      // survivor sets (and so identical f32_refined counts) in both;
+      // the §16.3 self-gate then shrinks the survivors using the
+      // partition's own k-th smallest score, which recovers the
+      // evolving gate's refine economy (the entry gate alone refines
+      // the whole first partition of every query). A NaN fp32 score
+      // compares false against both thresholds and falls through to
+      // the double re-check, which is always safe.
       if (!qf32_ready) {
         scratch->query_f32.resize(dim);
         for (size_t j = 0; j < dim; ++j) {
@@ -485,38 +585,52 @@ void IndexPartitionSet::ScanExact(const std::vector<double>& query,
       local.f32_scans += rows;
       const double margin = Float32DotFormErrorBound(
           dim, q_sq, part.max_norm_sq, part.mirror_max_abs);
+      const bool entry_full = top->full();
+      const double entry_worst = top->worst();
+      scratch->ridx.clear();
+      scratch->cand.clear();
       for (size_t j = 0; j < rows; ++j) {
-        if (top->full() &&
-            static_cast<double>(scratch->dist_f32[j]) >
-                top->worst() + margin) {
+        const double dj = static_cast<double>(scratch->dist_f32[j]);
+        if (entry_full && dj > entry_worst + margin) {
           continue;
         }
-        const double sq = SquaredL2Dispatched(
-            query.data(), part.block.data() + j * dim, dim);
-        ++local.f32_refined;
-        ++local.distance_computations;
-        top->Push(sq, part.record_indices[j]);
+        scratch->ridx.push_back(static_cast<uint32_t>(j));
+        scratch->cand.push_back(dj);
       }
+      SelfGateCandidates(top->k(), margin, &scratch->ridx,
+                         &scratch->cand, &scratch->cand_sort);
+      local.f32_refined += scratch->ridx.size();
+      local.distance_computations += scratch->ridx.size();
+      RefinePush(query.data(), dim, part, scratch->ridx, &scratch->rdist,
+                 top);
       continue;
     }
     // Dot-form scan of the packed block: ~2/3 of the difference form's
     // inner-loop work thanks to the precomputed row norms. The form is
     // approximate, so any row within the kernel error bound of the
-    // current k-th best is re-checked with the exact pair kernel —
+    // k-th best at partition entry is re-checked with the exact
+    // kernels (same frozen-gate argument as the fp32 tier above) —
     // reported hits are bit-identical to the linear scan.
     SquaredL2DotOneToMany(query.data(), q_sq, part.block.data(),
                           part.norms_sq.data(), rows, dim,
                           scratch->dist.data());
     local.distance_computations += rows;
     const double margin = DotFormErrorBound(dim, q_sq, part.max_norm_sq);
+    const bool entry_full = top->full();
+    const double entry_worst = top->worst();
+    scratch->ridx.clear();
+    scratch->cand.clear();
     for (size_t j = 0; j < rows; ++j) {
-      if (top->full() && scratch->dist[j] > top->worst() + margin) {
+      if (entry_full && scratch->dist[j] > entry_worst + margin) {
         continue;
       }
-      const double sq = SquaredL2Dispatched(
-          query.data(), part.block.data() + j * dim, dim);
-      top->Push(sq, part.record_indices[j]);
+      scratch->ridx.push_back(static_cast<uint32_t>(j));
+      scratch->cand.push_back(scratch->dist[j]);
     }
+    SelfGateCandidates(top->k(), margin, &scratch->ridx, &scratch->cand,
+                       &scratch->cand_sort);
+    RefinePush(query.data(), dim, part, scratch->ridx, &scratch->rdist,
+               top);
   }
 }
 
@@ -604,6 +718,388 @@ void IndexPartitionSet::ScanCoarse(const std::vector<double>& query,
   }
 }
 
+void IndexPartitionSet::ScanExactBlock(const double* queries,
+                                       const double* query_sqs,
+                                       size_t num_queries, size_t dim,
+                                       BoundedTopK* tops,
+                                       BlockScratch* bs,
+                                       IndexQueryStats* stats) const {
+  const size_t p = partitions_.size();
+  const size_t b = num_queries;
+  if (p == 0 || b == 0) return;
+  IndexQueryStats& local = *stats;
+
+  // Reference pass for the whole block: one blocked many-to-many call
+  // instead of b one-to-many calls; per-pair bits are identical by the
+  // kernel contract, so each query's visit order matches ScanExact's.
+  bs->ref_sq.resize(b * p);
+  SquaredL2ManyToMany(queries, b, references_.RowPtr(0), p, dim,
+                      bs->ref_sq.data(), p);
+  local.distance_computations += b * p;
+  bs->order.resize(b * p);
+  for (size_t q = 0; q < b; ++q) {
+    auto* ord = bs->order.data() + q * p;
+    for (size_t i = 0; i < p; ++i) ord[i] = {bs->ref_sq[q * p + i], i};
+    std::sort(ord, ord + p);
+  }
+  bs->cursor.assign(b, 0);
+  bs->active.assign(b, 1);
+  // fp32 query mirrors are refilled lazily per call, exactly like the
+  // per-query path's scratch (the block scratch is reused across the
+  // blocks of a batch chunk).
+  bs->qf32_ready.assign(b, 0);
+  bs->query_f32.resize(b * dim);
+  bs->q_sq_f32.resize(b);
+  if (bs->group_ridx.size() < b) bs->group_ridx.resize(b);
+  if (bs->group_cand.size() < b) bs->group_cand.resize(b);
+
+  // Lockstep rounds (DESIGN.md §16.1): each round, every still-active
+  // query walks its own partition order — applying the same
+  // triangle-inequality prune as ScanExact against its own current
+  // k-th best — until it either selects one partition to visit or
+  // exhausts the order. The round's visits are then grouped by
+  // partition so one many-to-many kernel call per tier serves every
+  // query visiting that partition. Because a query's prune decisions
+  // and pushes depend only on its own heap, and that heap sees exactly
+  // the ScanExact sequence of partition visits and row pushes, every
+  // query's hits and stat contributions are bit-identical to scanning
+  // it alone — at any block size and group composition.
+  const double inf = std::numeric_limits<double>::infinity();
+  while (true) {
+    bs->visits.clear();
+    for (size_t q = 0; q < b; ++q) {
+      if (!bs->active[q]) continue;
+      BoundedTopK* top = &tops[q];
+      bool selected = false;
+      while (bs->cursor[q] < p) {
+        const auto& step = bs->order[q * p + bs->cursor[q]];
+        const double ref_sq_dist = step.first;
+        const size_t pi = step.second;
+        const double kth = top->worst();
+        if (kth < inf) {
+          const Partition& part = partitions_[pi];
+          const double gap = ref_sq_dist - part.radius_sq - kth;
+          if (gap > 0.0 && gap * gap > 4.0 * part.radius_sq * kth) {
+            ++local.partitions_pruned;
+            ++bs->cursor[q];
+            continue;
+          }
+        }
+        ++local.partitions_visited;
+        bs->visits.emplace_back(pi, q);
+        ++bs->cursor[q];
+        selected = true;
+        break;
+      }
+      if (!selected) bs->active[q] = 0;
+    }
+    if (bs->visits.empty()) break;
+    // Visits were produced in ascending q; regroup as (partition, q)
+    // runs. The grouping order is irrelevant to results (queries have
+    // independent heaps) but kept deterministic anyway.
+    std::sort(bs->visits.begin(), bs->visits.end());
+    size_t v0 = 0;
+    while (v0 < bs->visits.size()) {
+      const size_t pi = bs->visits[v0].first;
+      size_t v1 = v0;
+      while (v1 < bs->visits.size() && bs->visits[v1].first == pi) ++v1;
+      const Partition& part = partitions_[pi];
+      const size_t rows = part.size();
+      if (part.quantized()) {
+        // Coarse tier. A query whose heap is not yet full at entry
+        // needs the seed loop, whose pushes interleave with its own
+        // integer scan — run the per-query visit for those (at most
+        // the block's first visited partitions); full-heap queries
+        // share one blocked integer scan over all rows and then run
+        // the same evolving-threshold decision loop on their own ssd
+        // rows.
+        bs->group_members.clear();
+        for (size_t v = v0; v < v1; ++v) {
+          const size_t q = bs->visits[v].second;
+          if (!tops[q].full()) {
+            VisitCoarse(queries + q * dim, query_sqs[q], dim, part,
+                        &tops[q], &bs->solo, &local);
+          } else {
+            bs->group_members.push_back(q);
+          }
+        }
+        const size_t g = bs->group_members.size();
+        if (g > 0) {
+          const size_t stride = part.code_stride(dim);
+          bs->group_qcodes.resize(g * stride);
+          bs->group_prep.resize(g);
+          for (size_t m = 0; m < g; ++m) {
+            const size_t q = bs->group_members[m];
+            bs->group_prep[m] = PrepCoarse(queries + q * dim,
+                                           query_sqs[q], dim, part,
+                                           &bs->solo);
+            if (part.quant_bits == 4) {
+              PackNibbleRows(bs->solo.qcodes.data(), 1, dim,
+                             bs->group_qcodes.data() + m * stride);
+            } else {
+              std::memcpy(bs->group_qcodes.data() + m * stride,
+                          bs->solo.qcodes.data(), dim);
+            }
+            local.coarse_computations += rows;
+          }
+          bs->group_ssd.resize(g * kBlockRowSlab);
+          for (size_t r0 = 0; r0 < rows; r0 += kBlockRowSlab) {
+            const size_t slab = std::min(rows - r0, kBlockRowSlab);
+            if (part.quant_bits == 4) {
+              Quantized4SsdManyToMany(
+                  bs->group_qcodes.data(), g,
+                  part.quant_codes.data() + r0 * stride, slab, dim,
+                  bs->group_ssd.data(), kBlockRowSlab);
+            } else {
+              QuantizedSsdManyToMany(
+                  bs->group_qcodes.data(), g,
+                  part.quant_codes.data() + r0 * dim, slab, dim,
+                  bs->group_ssd.data(), kBlockRowSlab);
+            }
+            for (size_t m = 0; m < g; ++m) {
+              const size_t q = bs->group_members[m];
+              SelectCoarse(queries + q * dim, dim, part, r0, r0 + slab,
+                           bs->group_ssd.data() + m * kBlockRowSlab,
+                           bs->group_prep[m], &tops[q], &local);
+            }
+          }
+        }
+        v0 = v1;
+        continue;
+      }
+      // Dot-form tiers. The fp32 norm gate is per query, so a mirrored
+      // partition's group can split between the fp32 and f64 scans.
+      bs->group_members.clear();
+      bs->group_members_f64.clear();
+      for (size_t v = v0; v < v1; ++v) {
+        const size_t q = bs->visits[v].second;
+        if (part.mirrored() &&
+            query_sqs[q] + part.max_norm_sq < kF32TierNormGate) {
+          bs->group_members.push_back(q);
+        } else {
+          bs->group_members_f64.push_back(q);
+        }
+      }
+      const size_t g32 = bs->group_members.size();
+      if (g32 > 0) {
+        // fp32 tier: frozen entry gates (captured per member before
+        // any of the group's pushes — each member's heap is untouched
+        // by the others, so this equals ScanExact's entry state),
+        // survivors collected per member across row slabs, shrunk by
+        // the §16.3 self-gate (a pure function of the candidate
+        // distances, so the set matches ScanExact's exactly), then
+        // one blocked gather refine per member.
+        bs->group_qf32.resize(g32 * dim);
+        bs->group_qsq32.resize(g32);
+        bs->group_margin.resize(g32);
+        bs->group_worst.resize(g32);
+        bs->group_full.resize(g32);
+        for (size_t m = 0; m < g32; ++m) {
+          const size_t q = bs->group_members[m];
+          if (!bs->qf32_ready[q]) {
+            float* qf = bs->query_f32.data() + q * dim;
+            const double* qd = queries + q * dim;
+            for (size_t j = 0; j < dim; ++j) {
+              qf[j] = static_cast<float>(qd[j]);
+            }
+            bs->q_sq_f32[q] = SquaredNormF32(qf, dim);
+            bs->qf32_ready[q] = 1;
+          }
+          std::memcpy(bs->group_qf32.data() + m * dim,
+                      bs->query_f32.data() + q * dim,
+                      dim * sizeof(float));
+          bs->group_qsq32[m] = bs->q_sq_f32[q];
+          bs->group_margin[m] = Float32DotFormErrorBound(
+              dim, query_sqs[q], part.max_norm_sq, part.mirror_max_abs);
+          bs->group_full[m] = tops[q].full() ? 1 : 0;
+          bs->group_worst[m] = tops[q].worst();
+          bs->group_ridx[m].clear();
+          bs->group_cand[m].clear();
+        }
+        bs->group_dist32.resize(g32 * kBlockRowSlab);
+        for (size_t r0 = 0; r0 < rows; r0 += kBlockRowSlab) {
+          const size_t slab = std::min(rows - r0, kBlockRowSlab);
+          SquaredL2DotF32ManyToMany(
+              bs->group_qf32.data(), bs->group_qsq32.data(), g32,
+              part.block_f32.data() + r0 * dim,
+              part.norms_f32.data() + r0, slab, dim,
+              bs->group_dist32.data(), kBlockRowSlab);
+          for (size_t m = 0; m < g32; ++m) {
+            const float* row = bs->group_dist32.data() + m * kBlockRowSlab;
+            for (size_t j = 0; j < slab; ++j) {
+              const double dj = static_cast<double>(row[j]);
+              if (bs->group_full[m] &&
+                  dj > bs->group_worst[m] + bs->group_margin[m]) {
+                continue;
+              }
+              bs->group_ridx[m].push_back(
+                  static_cast<uint32_t>(r0 + j));
+              bs->group_cand[m].push_back(dj);
+            }
+          }
+        }
+        for (size_t m = 0; m < g32; ++m) {
+          const size_t q = bs->group_members[m];
+          SelfGateCandidates(tops[q].k(), bs->group_margin[m],
+                             &bs->group_ridx[m], &bs->group_cand[m],
+                             &bs->solo.cand_sort);
+          local.f32_scans += rows;
+          local.f32_refined += bs->group_ridx[m].size();
+          local.distance_computations += bs->group_ridx[m].size();
+          RefinePush(queries + q * dim, dim, part, bs->group_ridx[m],
+                     &bs->solo.rdist, &tops[q]);
+        }
+      }
+      const size_t g64 = bs->group_members_f64.size();
+      if (g64 > 0) {
+        // f64 dot-form tier: same frozen-gate + self-gate + gather
+        // shape at full precision.
+        bs->group_q.resize(g64 * dim);
+        bs->group_qsq.resize(g64);
+        bs->group_margin.resize(g64);
+        bs->group_worst.resize(g64);
+        bs->group_full.resize(g64);
+        for (size_t m = 0; m < g64; ++m) {
+          const size_t q = bs->group_members_f64[m];
+          std::memcpy(bs->group_q.data() + m * dim, queries + q * dim,
+                      dim * sizeof(double));
+          bs->group_qsq[m] = query_sqs[q];
+          bs->group_margin[m] =
+              DotFormErrorBound(dim, query_sqs[q], part.max_norm_sq);
+          bs->group_full[m] = tops[q].full() ? 1 : 0;
+          bs->group_worst[m] = tops[q].worst();
+          bs->group_ridx[m].clear();
+          bs->group_cand[m].clear();
+        }
+        bs->group_dist.resize(g64 * kBlockRowSlab);
+        for (size_t r0 = 0; r0 < rows; r0 += kBlockRowSlab) {
+          const size_t slab = std::min(rows - r0, kBlockRowSlab);
+          SquaredL2DotManyToMany(
+              bs->group_q.data(), bs->group_qsq.data(), g64,
+              part.block.data() + r0 * dim, part.norms_sq.data() + r0,
+              slab, dim, bs->group_dist.data(), kBlockRowSlab);
+          for (size_t m = 0; m < g64; ++m) {
+            const double* row = bs->group_dist.data() + m * kBlockRowSlab;
+            for (size_t j = 0; j < slab; ++j) {
+              if (bs->group_full[m] &&
+                  row[j] > bs->group_worst[m] + bs->group_margin[m]) {
+                continue;
+              }
+              bs->group_ridx[m].push_back(
+                  static_cast<uint32_t>(r0 + j));
+              bs->group_cand[m].push_back(row[j]);
+            }
+          }
+        }
+        for (size_t m = 0; m < g64; ++m) {
+          const size_t q = bs->group_members_f64[m];
+          SelfGateCandidates(tops[q].k(), bs->group_margin[m],
+                             &bs->group_ridx[m], &bs->group_cand[m],
+                             &bs->solo.cand_sort);
+          local.distance_computations += rows;
+          RefinePush(queries + q * dim, dim, part, bs->group_ridx[m],
+                     &bs->solo.rdist, &tops[q]);
+        }
+      }
+      v0 = v1;
+    }
+  }
+}
+
+void IndexPartitionSet::ScanCoarseBlock(const double* queries,
+                                        const double* query_sqs,
+                                        size_t num_queries, size_t dim,
+                                        BoundedTopK* tops, double* bounds,
+                                        BlockScratch* bs,
+                                        IndexQueryStats* stats) const {
+  const size_t b = num_queries;
+  if (b == 0) return;
+  IndexQueryStats& local = *stats;
+  // The coarse scan has no cross-row decision state (every row of
+  // every partition is scored and pushed unconditionally), so blocking
+  // is pure kernel grouping: per partition, prep each query once, run
+  // the blocked integer (or dot-form) scan over row slabs, and push
+  // each query's estimates in row order — value-for-value what
+  // ScanCoarse pushes, so hits, bounds, and stats match it exactly.
+  for (size_t pi = 0; pi < partitions_.size(); ++pi) {
+    const Partition& part = partitions_[pi];
+    const size_t rows = part.size();
+    local.partitions_visited += b;
+    if (part.quantized() && part.quant_scale > 0.0) {
+      const double s = part.quant_scale;
+      const size_t stride = part.code_stride(dim);
+      bs->group_qcodes.resize(b * stride);
+      bs->group_prep.resize(b);
+      for (size_t q = 0; q < b; ++q) {
+        bs->group_prep[q] = PrepCoarse(queries + q * dim, query_sqs[q],
+                                       dim, part, &bs->solo);
+        if (part.quant_bits == 4) {
+          PackNibbleRows(bs->solo.qcodes.data(), 1, dim,
+                         bs->group_qcodes.data() + q * stride);
+        } else {
+          std::memcpy(bs->group_qcodes.data() + q * stride,
+                      bs->solo.qcodes.data(), dim);
+        }
+      }
+      bs->group_ssd.resize(b * kBlockRowSlab);
+      for (size_t r0 = 0; r0 < rows; r0 += kBlockRowSlab) {
+        const size_t slab = std::min(rows - r0, kBlockRowSlab);
+        if (part.quant_bits == 4) {
+          Quantized4SsdManyToMany(bs->group_qcodes.data(), b,
+                                  part.quant_codes.data() + r0 * stride,
+                                  slab, dim, bs->group_ssd.data(),
+                                  kBlockRowSlab);
+        } else {
+          QuantizedSsdManyToMany(bs->group_qcodes.data(), b,
+                                 part.quant_codes.data() + r0 * dim,
+                                 slab, dim, bs->group_ssd.data(),
+                                 kBlockRowSlab);
+        }
+        for (size_t q = 0; q < b; ++q) {
+          const double out = std::sqrt(bs->group_prep[q].out_sq);
+          const uint32_t* row = bs->group_ssd.data() + q * kBlockRowSlab;
+          for (size_t j = 0; j < slab; ++j) {
+            const double est =
+                out + s * std::sqrt(static_cast<double>(row[j]));
+            tops[q].Push(est, part.record_indices[r0 + j]);
+          }
+        }
+      }
+      for (size_t q = 0; q < b; ++q) {
+        const CoarsePrep& prep = bs->group_prep[q];
+        bounds[q] = std::max(
+            bounds[q], std::sqrt(prep.out_sq) + prep.q_res + prep.err);
+        local.coarse_computations += rows;
+      }
+    } else {
+      // Small/unquantized partition: blocked dot-form scan, no exact
+      // re-check. The block's queries are already packed row-major, so
+      // the kernel consumes them directly.
+      bs->group_dist.resize(b * kBlockRowSlab);
+      for (size_t r0 = 0; r0 < rows; r0 += kBlockRowSlab) {
+        const size_t slab = std::min(rows - r0, kBlockRowSlab);
+        SquaredL2DotManyToMany(queries, query_sqs, b,
+                               part.block.data() + r0 * dim,
+                               part.norms_sq.data() + r0, slab, dim,
+                               bs->group_dist.data(), kBlockRowSlab);
+        for (size_t q = 0; q < b; ++q) {
+          const double* row = bs->group_dist.data() + q * kBlockRowSlab;
+          for (size_t j = 0; j < slab; ++j) {
+            tops[q].Push(std::sqrt(std::max(0.0, row[j])),
+                         part.record_indices[r0 + j]);
+          }
+        }
+      }
+      for (size_t q = 0; q < b; ++q) {
+        const double margin =
+            DotFormErrorBound(dim, query_sqs[q], part.max_norm_sq);
+        bounds[q] = std::max(bounds[q], std::sqrt(margin));
+        local.distance_computations += rows;
+      }
+    }
+  }
+}
+
 bool IndexPartitionSet::AllBeyond(const std::vector<double>& query,
                                   double kth) const {
   if (!(kth >= 0.0) || !std::isfinite(kth)) return false;
@@ -660,9 +1156,8 @@ Result<std::vector<QueryHit>> FeatureIndex::NearestNeighbors(
   return NearestNeighborsImpl(query, k, stats, &scratch);
 }
 
-Result<std::vector<QueryHit>> FeatureIndex::NearestNeighborsImpl(
-    const std::vector<double>& query, size_t k, IndexQueryStats* stats,
-    Scratch* scratch) const {
+Status FeatureIndex::ValidateQuery(const std::vector<double>& query,
+                                   size_t k) const {
   if (database_ == nullptr || set_.num_partitions() == 0) {
     return Status::FailedPrecondition("index is not built");
   }
@@ -683,6 +1178,13 @@ Result<std::vector<QueryHit>> FeatureIndex::NearestNeighborsImpl(
           "query feature contains a non-finite value");
     }
   }
+  return Status::OK();
+}
+
+Result<std::vector<QueryHit>> FeatureIndex::NearestNeighborsImpl(
+    const std::vector<double>& query, size_t k, IndexQueryStats* stats,
+    Scratch* scratch) const {
+  MOCEMG_RETURN_NOT_OK(ValidateQuery(query, k));
   IndexQueryStats local;
   const double q_sq = SquaredNorm(query.data(), query.size());
   BoundedTopK& top = scratch->top;
@@ -701,24 +1203,7 @@ Result<std::vector<QueryHit>> FeatureIndex::NearestNeighborsImpl(
 Result<std::vector<QueryHit>> FeatureIndex::CoarseNearestNeighbors(
     const std::vector<double>& query, size_t k, double* error_bound,
     IndexQueryStats* stats) const {
-  if (database_ == nullptr || set_.num_partitions() == 0) {
-    return Status::FailedPrecondition("index is not built");
-  }
-  if (database_->epoch() != built_epoch_) {
-    return Status::FailedPrecondition(
-        "index is stale: the database mutated after the index was "
-        "built; call Rebuild()");
-  }
-  if (query.size() != database_->feature_dimension()) {
-    return Status::InvalidArgument("query dimension mismatch");
-  }
-  if (k == 0) return Status::InvalidArgument("k must be >= 1");
-  for (double v : query) {
-    if (!std::isfinite(v)) {
-      return Status::InvalidArgument(
-          "query feature contains a non-finite value");
-    }
-  }
+  MOCEMG_RETURN_NOT_OK(ValidateQuery(query, k));
   IndexQueryStats local;
   const double q_sq = SquaredNorm(query.data(), query.size());
   double bound = 0.0;
@@ -736,67 +1221,188 @@ Result<std::vector<QueryHit>> FeatureIndex::CoarseNearestNeighbors(
   return out;
 }
 
+namespace {
+
+void AccumulateStats(const IndexQueryStats& from, IndexQueryStats* into) {
+  into->distance_computations += from.distance_computations;
+  into->partitions_visited += from.partitions_visited;
+  into->partitions_pruned += from.partitions_pruned;
+  into->coarse_computations += from.coarse_computations;
+  into->coarse_pruned += from.coarse_pruned;
+  into->f32_scans += from.f32_scans;
+  into->f32_refined += from.f32_refined;
+}
+
+}  // namespace
+
 Result<std::vector<std::vector<QueryHit>>>
 FeatureIndex::BatchNearestNeighbors(
     const std::vector<std::vector<double>>& queries, size_t k,
     IndexQueryStats* stats,
     const ParallelOptions* parallel_override) const {
   std::vector<std::vector<QueryHit>> results(queries.size());
+  if (queries.empty()) {
+    if (stats != nullptr) *stats = IndexQueryStats{};
+    return results;
+  }
+  // Validate up front, so an invalid query is reported identically at
+  // every thread count and block size (the lowest offending query
+  // index wins, matching the per-query path's ascending order).
+  for (size_t q = 0; q < queries.size(); ++q) {
+    Status st = ValidateQuery(queries[q], k);
+    if (!st.ok()) {
+      return st.WithContext("while answering batch query " +
+                            std::to_string(q));
+    }
+  }
   const ParallelOptions& parallel =
       parallel_override != nullptr ? *parallel_override
                                    : options_.parallel;
-  // Stats are accumulated per chunk (scratch is also per chunk) and
-  // combined in ascending chunk order afterwards — the same fixed-order
-  // combine contract as every other parallel reduction (DESIGN.md §8.1).
-  const size_t num_chunks =
-      ParallelNumChunks(queries.size(), parallel.grain);
+  const size_t dim = database_->feature_dimension();
+  const size_t heap_k = std::min(k, database_->size());
+  // The batch is cut into fixed consecutive query blocks — a pure
+  // function of (query count, query_block), independent of the thread
+  // chunking — and each block runs the lockstep many-to-many scan.
+  size_t qb = options_.query_block != 0 ? options_.query_block
+                                        : kDefaultQueryBlock;
+  qb = std::max<size_t>(1, std::min(qb, queries.size()));
+  const size_t num_blocks = (queries.size() + qb - 1) / qb;
+  // Threads chunk over blocks (grain 1: one block already bundles qb
+  // queries of work). Stats are accumulated per chunk (scratch is also
+  // per chunk) and combined in ascending chunk order afterwards — the
+  // same fixed-order combine contract as every other parallel
+  // reduction (DESIGN.md §8.1); block totals are integer sums, so the
+  // grouping cannot change the result.
+  ParallelOptions block_parallel = parallel;
+  block_parallel.grain = 1;
+  const size_t num_chunks = ParallelNumChunks(num_blocks, 1);
   std::vector<IndexQueryStats> per_chunk(
       stats != nullptr ? num_chunks : 0);
   Status st = ParallelFor(
-      queries.size(),
+      num_blocks,
       [&](size_t begin, size_t end, size_t chunk) -> Status {
-        Scratch scratch;
+        BlockScratch bs;
+        std::vector<BoundedTopK> tops(qb);
         IndexQueryStats chunk_stats;
-        for (size_t q = begin; q < end; ++q) {
-          IndexQueryStats query_stats;
-          auto hits = NearestNeighborsImpl(
-              queries[q], k, stats != nullptr ? &query_stats : nullptr,
-              &scratch);
-          if (!hits.ok()) {
-            return hits.status().WithContext(
-                "while answering batch query " + std::to_string(q));
+        for (size_t blk = begin; blk < end; ++blk) {
+          const size_t q0 = blk * qb;
+          const size_t bq = std::min(qb, queries.size() - q0);
+          bs.queries.resize(bq * dim);
+          bs.query_sqs.resize(bq);
+          for (size_t i = 0; i < bq; ++i) {
+            std::memcpy(bs.queries.data() + i * dim,
+                        queries[q0 + i].data(), dim * sizeof(double));
+            bs.query_sqs[i] = SquaredNorm(queries[q0 + i].data(), dim);
+            tops[i].Reset(heap_k);
           }
-          results[q] = std::move(*hits);
-          if (stats != nullptr) {
-            chunk_stats.distance_computations +=
-                query_stats.distance_computations;
-            chunk_stats.partitions_visited += query_stats.partitions_visited;
-            chunk_stats.partitions_pruned += query_stats.partitions_pruned;
-            chunk_stats.coarse_computations +=
-                query_stats.coarse_computations;
-            chunk_stats.coarse_pruned += query_stats.coarse_pruned;
-            chunk_stats.f32_scans += query_stats.f32_scans;
-            chunk_stats.f32_refined += query_stats.f32_refined;
+          set_.ScanExactBlock(bs.queries.data(), bs.query_sqs.data(), bq,
+                              dim, tops.data(), &bs, &chunk_stats);
+          for (size_t i = 0; i < bq; ++i) {
+            tops[i].ExtractSorted(&bs.solo.entries);
+            std::vector<QueryHit>& out = results[q0 + i];
+            out.resize(bs.solo.entries.size());
+            for (size_t h = 0; h < out.size(); ++h) {
+              out[h].record_index = bs.solo.entries[h].second;
+              out[h].distance = std::sqrt(bs.solo.entries[h].first);
+            }
           }
         }
         if (stats != nullptr) per_chunk[chunk] = chunk_stats;
         return Status::OK();
       },
-      parallel);
+      block_parallel);
   MOCEMG_RETURN_NOT_OK(st);
   if (stats != nullptr) {
     IndexQueryStats total;
     for (size_t chunk = 0; chunk < num_chunks; ++chunk) {
-      total.distance_computations += per_chunk[chunk].distance_computations;
-      total.partitions_visited += per_chunk[chunk].partitions_visited;
-      total.partitions_pruned += per_chunk[chunk].partitions_pruned;
-      total.coarse_computations += per_chunk[chunk].coarse_computations;
-      total.coarse_pruned += per_chunk[chunk].coarse_pruned;
-      total.f32_scans += per_chunk[chunk].f32_scans;
-      total.f32_refined += per_chunk[chunk].f32_refined;
+      AccumulateStats(per_chunk[chunk], &total);
     }
     *stats = total;
   }
+  return results;
+}
+
+Result<std::vector<std::vector<QueryHit>>>
+FeatureIndex::BatchCoarseNearestNeighbors(
+    const std::vector<std::vector<double>>& queries, size_t k,
+    std::vector<double>* error_bounds, IndexQueryStats* stats,
+    const ParallelOptions* parallel_override) const {
+  std::vector<std::vector<QueryHit>> results(queries.size());
+  if (error_bounds != nullptr) {
+    error_bounds->assign(queries.size(), 0.0);
+  }
+  if (queries.empty()) {
+    if (stats != nullptr) *stats = IndexQueryStats{};
+    return results;
+  }
+  // Same preconditions (and messages) as CoarseNearestNeighbors, with
+  // the batch-query context the exact batch path adds.
+  for (size_t q = 0; q < queries.size(); ++q) {
+    Status st = ValidateQuery(queries[q], k);
+    if (!st.ok()) {
+      return st.WithContext("while answering batch query " +
+                            std::to_string(q));
+    }
+  }
+  const ParallelOptions& parallel =
+      parallel_override != nullptr ? *parallel_override
+                                   : options_.parallel;
+  const size_t dim = database_->feature_dimension();
+  const size_t heap_k = std::min(k, database_->size());
+  size_t qb = options_.query_block != 0 ? options_.query_block
+                                        : kDefaultQueryBlock;
+  qb = std::max<size_t>(1, std::min(qb, queries.size()));
+  const size_t num_blocks = (queries.size() + qb - 1) / qb;
+  ParallelOptions block_parallel = parallel;
+  block_parallel.grain = 1;
+  const size_t num_chunks = ParallelNumChunks(num_blocks, 1);
+  std::vector<IndexQueryStats> per_chunk(
+      stats != nullptr ? num_chunks : 0);
+  std::vector<double> bounds(queries.size(), 0.0);
+  Status st = ParallelFor(
+      num_blocks,
+      [&](size_t begin, size_t end, size_t chunk) -> Status {
+        BlockScratch bs;
+        std::vector<BoundedTopK> tops(qb);
+        IndexQueryStats chunk_stats;
+        for (size_t blk = begin; blk < end; ++blk) {
+          const size_t q0 = blk * qb;
+          const size_t bq = std::min(qb, queries.size() - q0);
+          bs.queries.resize(bq * dim);
+          bs.query_sqs.resize(bq);
+          for (size_t i = 0; i < bq; ++i) {
+            std::memcpy(bs.queries.data() + i * dim,
+                        queries[q0 + i].data(), dim * sizeof(double));
+            bs.query_sqs[i] = SquaredNorm(queries[q0 + i].data(), dim);
+            tops[i].Reset(heap_k);
+          }
+          set_.ScanCoarseBlock(bs.queries.data(), bs.query_sqs.data(), bq,
+                               dim, tops.data(), bounds.data() + q0, &bs,
+                               &chunk_stats);
+          for (size_t i = 0; i < bq; ++i) {
+            tops[i].ExtractSorted(&bs.solo.entries);
+            std::vector<QueryHit>& out = results[q0 + i];
+            out.resize(bs.solo.entries.size());
+            for (size_t h = 0; h < out.size(); ++h) {
+              out[h].record_index = bs.solo.entries[h].second;
+              // Coarse estimates are already in distance space.
+              out[h].distance = bs.solo.entries[h].first;
+            }
+          }
+        }
+        if (stats != nullptr) per_chunk[chunk] = chunk_stats;
+        return Status::OK();
+      },
+      block_parallel);
+  MOCEMG_RETURN_NOT_OK(st);
+  if (stats != nullptr) {
+    IndexQueryStats total;
+    for (size_t chunk = 0; chunk < num_chunks; ++chunk) {
+      AccumulateStats(per_chunk[chunk], &total);
+    }
+    *stats = total;
+  }
+  if (error_bounds != nullptr) *error_bounds = std::move(bounds);
   return results;
 }
 

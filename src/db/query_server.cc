@@ -533,34 +533,43 @@ void QueryServer::Impl::EvaluateFlight(Flight* f) const {
   f->eval_bounds.assign(nu, 0.0);
   f->t0 = clock->NowMicros();
   if (nu > 0 && eval_status.ok() && f->degraded) {
-    // Degraded mode: answer from the coarse tier alone, one query at a
-    // time in slot order (deterministic, and already ~an order of
-    // magnitude cheaper than the exact path it replaces).
+    // Degraded mode: answer from the coarse tier alone. The unique
+    // evaluations are grouped by k (std::map: deterministic order) and
+    // each group drains through ONE blocked coarse scan — the same
+    // query-block engine as the exact path (DESIGN.md §16), which is
+    // per-query bit-identical to CoarseNearestNeighbors, so every
+    // answer and error bound matches the former per-query loop.
+    std::map<size_t, std::vector<size_t>> by_k;
     for (size_t u = 0; u < nu; ++u) {
-      const Request& req = f->batch[f->uniq[u]];
+      by_k[f->batch[f->uniq[u]].k].push_back(u);
+    }
+    for (const auto& [k, slots] : by_k) {
+      std::vector<std::vector<double>> queries(slots.size());
+      for (size_t s = 0; s < slots.size(); ++s) {
+        queries[s] = f->batch[f->uniq[slots[s]]].query;
+      }
       IndexQueryStats st;
+      std::vector<double> bounds;
+      Result<std::vector<std::vector<QueryHit>>> hits(
+          std::vector<std::vector<QueryHit>>{});
       if (f->mode == Flight::kSharded) {
         std::vector<IndexQueryStats> ps;
-        auto hits = f->via_sharded->CoarseNearestNeighbors(
-            req.query, req.k, &f->eval_bounds[u], &st, &ps);
-        if (!hits.ok()) {
-          eval_status =
-              hits.status().WithContext("query server degraded batch");
-          break;
-        }
-        AddPerShard(f, ps, 1);
-        AccumulateIndexStats(&f->agg, st);
-        f->eval_hits[u] = std::move(*hits);
+        hits = f->via_sharded->BatchCoarseNearestNeighbors(
+            queries, k, &bounds, &st, &ps, &opts.parallel);
+        if (hits.ok()) AddPerShard(f, ps, slots.size());
       } else {
-        auto hits = f->via_index->CoarseNearestNeighbors(
-            req.query, req.k, &f->eval_bounds[u], &st);
-        if (!hits.ok()) {
-          eval_status =
-              hits.status().WithContext("query server degraded batch");
-          break;
-        }
-        AccumulateIndexStats(&f->agg, st);
-        f->eval_hits[u] = std::move(*hits);
+        hits = f->via_index->BatchCoarseNearestNeighbors(
+            queries, k, &bounds, &st, &opts.parallel);
+      }
+      if (!hits.ok()) {
+        eval_status =
+            hits.status().WithContext("query server degraded batch");
+        break;
+      }
+      AccumulateIndexStats(&f->agg, st);
+      for (size_t s = 0; s < slots.size(); ++s) {
+        f->eval_hits[slots[s]] = std::move((*hits)[s]);
+        f->eval_bounds[slots[s]] = bounds[s];
       }
     }
   } else if (nu > 0 && eval_status.ok()) {
@@ -631,6 +640,16 @@ Status QueryServer::Impl::CommitFlight(Flight* f) {
     if (f->formed) --inflight;
     counters.served += f->batch.size();
     ++counters.batches;
+    // Micro-batch size histogram: bucket 0 = size 1, bucket b >= 1 =
+    // sizes (2^(b-1), 2^b]. bucket(n) = ceil(log2(n)).
+    {
+      size_t bucket = 0;
+      for (size_t n = f->batch.size() - 1; n > 0; n >>= 1) ++bucket;
+      if (counters.batch_size_hist.size() <= bucket) {
+        counters.batch_size_hist.resize(bucket + 1, 0);
+      }
+      ++counters.batch_size_hist[bucket];
+    }
     counters.cache_hits += f->n_hits;
     counters.cache_misses += f->n_miss;
     counters.coalesced += f->n_coal;

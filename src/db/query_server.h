@@ -56,8 +56,11 @@
 ///    waiting requests at batch formation (after the expiry sweep,
 ///    before extraction) reaches `degrade_watermark`, the batch's
 ///    cache misses are answered from the index's int8 coarse tier
-///    alone (FeatureIndex::CoarseNearestNeighbors) — roughly an order
-///    of magnitude less full-precision work — tagged `degraded=true`
+///    alone, grouped by k and drained through the blocked coarse scan
+///    ((Sharded)FeatureIndex::BatchCoarseNearestNeighbors, DESIGN.md
+///    §16) — roughly an order of magnitude less full-precision work
+///    per query, one many-to-many kernel pass per group instead of a
+///    per-query loop — tagged `degraded=true`
 ///    with a certified error bound on every distance. The trigger is a
 ///    pure function of queue state, so a replayed request sequence
 ///    degrades identically at any thread count. Degraded results are
@@ -188,6 +191,13 @@ struct QueryServerStats {
   uint64_t degraded = 0;
   /// Micro-batches that ran in degraded mode.
   uint64_t degraded_batches = 0;
+  /// Micro-batch size histogram in power-of-two buckets: bucket 0
+  /// counts batches of exactly one request, bucket b >= 1 counts
+  /// batches of (2^(b-1), 2^b] requests. Sized to the highest
+  /// occupied bucket + 1 (empty until the first batch commits).
+  /// Together with `batches` this shows how well micro-batching is
+  /// amortizing the blocked many-to-many scan (DESIGN.md §16).
+  std::vector<uint64_t> batch_size_hist;
   /// Most requests ever waiting at once (updated at admission).
   uint64_t queue_high_water = 0;
   /// Index snapshot loads reported via NoteSnapshotLoad.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <cstring>
 #include <limits>
 #include <string>
 
@@ -11,6 +12,25 @@
 #include "util/top_k.h"
 
 namespace mocemg {
+namespace {
+
+// Auto query-block size for the sharded batch grid — matches the
+// single-index default (feature_index.cc) so a 1-shard sharded index
+// forms literally the same blocks as FeatureIndex.
+constexpr size_t kDefaultShardQueryBlock = 32;
+
+void AccumulateShardStats(const IndexQueryStats& from,
+                          IndexQueryStats* into) {
+  into->distance_computations += from.distance_computations;
+  into->partitions_visited += from.partitions_visited;
+  into->partitions_pruned += from.partitions_pruned;
+  into->coarse_computations += from.coarse_computations;
+  into->coarse_pruned += from.coarse_pruned;
+  into->f32_scans += from.f32_scans;
+  into->f32_refined += from.f32_refined;
+}
+
+}  // namespace
 
 Result<ShardedFeatureIndex> ShardedFeatureIndex::Build(
     const MotionDatabase* database, const ShardedIndexOptions& options) {
@@ -181,35 +201,54 @@ ShardedFeatureIndex::BatchNearestNeighbors(
   const size_t num_shards = shards_.size();
   const size_t nq = queries.size();
   const size_t kk = std::min(k, database_->size());
+  const size_t dim = database_->feature_dimension();
   const ParallelOptions& parallel =
       parallel_override != nullptr ? *parallel_override
                                    : options_.index.parallel;
-  // Scatter: one task per (query, shard) cell, flattened query-major.
-  // Every cell's scan is independent and writes only its own slot, so
-  // the grid parallelizes freely; the per-query gather below runs in
-  // fixed shard order, keeping results and stats thread-invariant.
-  const size_t cells = nq * num_shards;
-  std::vector<std::vector<TopKEntry>> lists(cells);
+  // Scatter: one task per (query-block × shard) cell. The batch is cut
+  // into fixed consecutive query blocks — a pure function of (query
+  // count, query_block), independent of the thread chunking — and each
+  // cell runs one shard's lockstep block scan into per-query heaps.
+  // Every cell writes only its own (query, shard) list slots, so the
+  // grid parallelizes freely; the per-query gather below runs in fixed
+  // shard order, keeping results and stats thread-invariant.
+  size_t qb = options_.index.query_block != 0 ? options_.index.query_block
+                                              : kDefaultShardQueryBlock;
+  qb = std::max<size_t>(1, std::min(qb, std::max<size_t>(nq, 1)));
+  const size_t num_blocks = (nq + qb - 1) / qb;
+  const size_t cells = num_blocks * num_shards;
+  std::vector<std::vector<TopKEntry>> lists(nq * num_shards);
   std::vector<IndexQueryStats> cell_stats(cells);
+  std::vector<double> packed(nq * dim);
   std::vector<double> q_sq(nq);
   for (size_t q = 0; q < nq; ++q) {
+    std::memcpy(packed.data() + q * dim, queries[q].data(),
+                dim * sizeof(double));
     q_sq[q] = SquaredNorm(queries[q].data(), queries[q].size());
   }
+  ParallelOptions cell_parallel = parallel;
+  cell_parallel.grain = 1;
   Status st = ParallelFor(
       cells,
       [&](size_t begin, size_t end, size_t /*chunk*/) -> Status {
-        IndexPartitionSet::Scratch scratch;
+        IndexPartitionSet::BlockScratch bs;
+        std::vector<BoundedTopK> tops(qb);
         for (size_t cell = begin; cell < end; ++cell) {
-          const size_t q = cell / num_shards;
+          const size_t blk = cell / num_shards;
           const size_t s = cell % num_shards;
-          scratch.top.Reset(kk);
-          shards_[s].ScanExact(queries[q], q_sq[q], &scratch.top, &scratch,
-                               &cell_stats[cell]);
-          scratch.top.ExtractSorted(&lists[cell]);
+          const size_t q0 = blk * qb;
+          const size_t bq = std::min(qb, nq - q0);
+          for (size_t i = 0; i < bq; ++i) tops[i].Reset(kk);
+          shards_[s].ScanExactBlock(packed.data() + q0 * dim,
+                                    q_sq.data() + q0, bq, dim, tops.data(),
+                                    &bs, &cell_stats[cell]);
+          for (size_t i = 0; i < bq; ++i) {
+            tops[i].ExtractSorted(&lists[(q0 + i) * num_shards + s]);
+          }
         }
         return Status::OK();
       },
-      parallel);
+      cell_parallel);
   MOCEMG_RETURN_NOT_OK(st);
   // Gather: merge each query's shard lists in shard order.
   std::vector<std::vector<QueryHit>> results(nq);
@@ -229,28 +268,117 @@ ShardedFeatureIndex::BatchNearestNeighbors(
       results[q][i].distance = std::sqrt(entries[i].first);
     }
   }
-  // Stats fold in fixed (query, shard) order — identical at any
-  // thread count.
+  // Stats fold in fixed (block, shard) cell order — identical at any
+  // thread count, and (all counters being integer sums of per-query
+  // contributions) identical to the per-query fold at any block size.
   if (stats != nullptr || per_shard != nullptr) {
     IndexQueryStats total;
     std::vector<IndexQueryStats> by_shard(num_shards);
     for (size_t cell = 0; cell < cells; ++cell) {
-      const IndexQueryStats& cs = cell_stats[cell];
-      IndexQueryStats& bs = by_shard[cell % num_shards];
-      total.distance_computations += cs.distance_computations;
-      total.partitions_visited += cs.partitions_visited;
-      total.partitions_pruned += cs.partitions_pruned;
-      total.coarse_computations += cs.coarse_computations;
-      total.coarse_pruned += cs.coarse_pruned;
-      total.f32_scans += cs.f32_scans;
-      total.f32_refined += cs.f32_refined;
-      bs.distance_computations += cs.distance_computations;
-      bs.partitions_visited += cs.partitions_visited;
-      bs.partitions_pruned += cs.partitions_pruned;
-      bs.coarse_computations += cs.coarse_computations;
-      bs.coarse_pruned += cs.coarse_pruned;
-      bs.f32_scans += cs.f32_scans;
-      bs.f32_refined += cs.f32_refined;
+      AccumulateShardStats(cell_stats[cell], &total);
+      AccumulateShardStats(cell_stats[cell], &by_shard[cell % num_shards]);
+    }
+    if (stats != nullptr) *stats = total;
+    if (per_shard != nullptr) *per_shard = std::move(by_shard);
+  }
+  return results;
+}
+
+Result<std::vector<std::vector<QueryHit>>>
+ShardedFeatureIndex::BatchCoarseNearestNeighbors(
+    const std::vector<std::vector<double>>& queries, size_t k,
+    std::vector<double>* error_bounds, IndexQueryStats* stats,
+    std::vector<IndexQueryStats>* per_shard,
+    const ParallelOptions* parallel_override) const {
+  for (size_t q = 0; q < queries.size(); ++q) {
+    Status st = ValidateQuery(queries[q], k);
+    if (!st.ok()) {
+      return st.WithContext("while answering batch query " +
+                            std::to_string(q));
+    }
+  }
+  const size_t num_shards = shards_.size();
+  const size_t nq = queries.size();
+  const size_t kk = std::min(k, database_->size());
+  const size_t dim = database_->feature_dimension();
+  const ParallelOptions& parallel =
+      parallel_override != nullptr ? *parallel_override
+                                   : options_.index.parallel;
+  size_t qb = options_.index.query_block != 0 ? options_.index.query_block
+                                              : kDefaultShardQueryBlock;
+  qb = std::max<size_t>(1, std::min(qb, std::max<size_t>(nq, 1)));
+  const size_t num_blocks = (nq + qb - 1) / qb;
+  const size_t cells = num_blocks * num_shards;
+  std::vector<std::vector<TopKEntry>> lists(nq * num_shards);
+  std::vector<IndexQueryStats> cell_stats(cells);
+  // Per-(query, shard) certified bounds, shard-major so each cell's
+  // query-block slice is contiguous; the per-query bound maxes across
+  // shards afterwards, exactly like the per-query scatter-gather.
+  std::vector<double> shard_bounds(num_shards * nq, 0.0);
+  std::vector<double> packed(nq * dim);
+  std::vector<double> q_sq(nq);
+  for (size_t q = 0; q < nq; ++q) {
+    std::memcpy(packed.data() + q * dim, queries[q].data(),
+                dim * sizeof(double));
+    q_sq[q] = SquaredNorm(queries[q].data(), queries[q].size());
+  }
+  ParallelOptions cell_parallel = parallel;
+  cell_parallel.grain = 1;
+  Status st = ParallelFor(
+      cells,
+      [&](size_t begin, size_t end, size_t /*chunk*/) -> Status {
+        IndexPartitionSet::BlockScratch bs;
+        std::vector<BoundedTopK> tops(qb);
+        for (size_t cell = begin; cell < end; ++cell) {
+          const size_t blk = cell / num_shards;
+          const size_t s = cell % num_shards;
+          const size_t q0 = blk * qb;
+          const size_t bq = std::min(qb, nq - q0);
+          for (size_t i = 0; i < bq; ++i) tops[i].Reset(kk);
+          shards_[s].ScanCoarseBlock(packed.data() + q0 * dim,
+                                     q_sq.data() + q0, bq, dim,
+                                     tops.data(),
+                                     shard_bounds.data() + s * nq + q0,
+                                     &bs, &cell_stats[cell]);
+          for (size_t i = 0; i < bq; ++i) {
+            tops[i].ExtractSorted(&lists[(q0 + i) * num_shards + s]);
+          }
+        }
+        return Status::OK();
+      },
+      cell_parallel);
+  MOCEMG_RETURN_NOT_OK(st);
+  std::vector<std::vector<QueryHit>> results(nq);
+  if (error_bounds != nullptr) error_bounds->assign(nq, 0.0);
+  std::vector<std::vector<TopKEntry>> row(num_shards);
+  BoundedTopK merged;
+  std::vector<TopKEntry> entries;
+  for (size_t q = 0; q < nq; ++q) {
+    for (size_t s = 0; s < num_shards; ++s) {
+      row[s] = std::move(lists[q * num_shards + s]);
+    }
+    merged.Reset(kk);
+    MergeSortedTopK(row, &merged);
+    merged.ExtractSorted(&entries);
+    results[q].resize(entries.size());
+    for (size_t i = 0; i < entries.size(); ++i) {
+      results[q][i].record_index = entries[i].second;
+      results[q][i].distance = entries[i].first;  // distance space
+    }
+    if (error_bounds != nullptr) {
+      double bound = 0.0;
+      for (size_t s = 0; s < num_shards; ++s) {
+        bound = std::max(bound, shard_bounds[s * nq + q]);
+      }
+      (*error_bounds)[q] = bound;
+    }
+  }
+  if (stats != nullptr || per_shard != nullptr) {
+    IndexQueryStats total;
+    std::vector<IndexQueryStats> by_shard(num_shards);
+    for (size_t cell = 0; cell < cells; ++cell) {
+      AccumulateShardStats(cell_stats[cell], &total);
+      AccumulateShardStats(cell_stats[cell], &by_shard[cell % num_shards]);
     }
     if (stats != nullptr) *stats = total;
     if (per_shard != nullptr) *per_shard = std::move(by_shard);

@@ -56,6 +56,22 @@ void SquaredL2ManyToMany(const double* queries, size_t num_queries,
   }
 }
 
+void SquaredL2DotManyToMany(const double* queries, const double* query_sqs,
+                            size_t num_queries, const double* block,
+                            const double* norms_sq, size_t rows, size_t d,
+                            double* out, size_t out_stride) {
+  internal::ActiveKernelOps().l2dot_many_to_many(
+      queries, query_sqs, num_queries, block, norms_sq, rows, d, out,
+      out_stride);
+}
+
+void SquaredL2Gather(const double* query, const double* block,
+                     const uint32_t* row_indices, size_t n, size_t d,
+                     double* out) {
+  internal::ActiveKernelOps().l2_gather(query, block, row_indices, n, d,
+                                        out);
+}
+
 void RowSquaredNorms(const double* block, size_t rows, size_t d,
                      double* out) {
   internal::ActiveKernelOps().row_norms(block, rows, d, out);
@@ -100,6 +116,16 @@ void SquaredL2F32ManyToMany(const float* queries, size_t num_queries,
                              out + q * out_stride + r0);
     }
   }
+}
+
+void SquaredL2DotF32ManyToMany(const float* queries,
+                               const float* query_sqs, size_t num_queries,
+                               const float* block, const float* norms_sq,
+                               size_t rows, size_t d, float* out,
+                               size_t out_stride) {
+  internal::ActiveKernelOps().l2dot_f32_many_to_many(
+      queries, query_sqs, num_queries, block, norms_sq, rows, d, out,
+      out_stride);
 }
 
 double DotFormErrorBound(size_t d, double query_sq, double max_norm_sq) {

@@ -43,6 +43,7 @@
 #define MOCEMG_UTIL_DISTANCE_KERNELS_H_
 
 #include <cstddef>
+#include <cstdint>
 
 namespace mocemg {
 
@@ -210,6 +211,26 @@ void SquaredL2ManyToMany(const double* queries, size_t num_queries,
                          const double* block, size_t rows, size_t d,
                          double* out, size_t out_stride);
 
+/// \brief Blocked dot-form many-to-many: out[q * out_stride + r] =
+/// query_sqs[q] + norms_sq[r] − 2⟨query_q, block_row_r⟩. Each
+/// (query, row) pair is bit-identical to the corresponding
+/// `SquaredL2DotOneToMany` output on every backend — the backends tile
+/// rows for cache residency and interleave independent pairs for ILP,
+/// neither of which can change per-pair bits. Same approximation
+/// caveat as the one-to-many dot form.
+void SquaredL2DotManyToMany(const double* queries, const double* query_sqs,
+                            size_t num_queries, const double* block,
+                            const double* norms_sq, size_t rows, size_t d,
+                            double* out, size_t out_stride);
+
+/// \brief out[i] = SquaredL2(query, block + row_indices[i]*d, d) for a
+/// gathered index list — the blocked refine kernel the fp32 tier and
+/// the f64 dot-form re-check use to batch their unseparable rows.
+/// Bit-identical per index to the exact pair kernel.
+void SquaredL2Gather(const double* query, const double* block,
+                     const uint32_t* row_indices, size_t n, size_t d,
+                     double* out);
+
 /// \brief out[r] = ‖block_row_r‖², bit-identical to SquaredNorm per row.
 void RowSquaredNorms(const double* block, size_t rows, size_t d,
                      double* out);
@@ -246,6 +267,14 @@ void RowSquaredNormsF32(const float* block, size_t rows, size_t d,
 void SquaredL2F32ManyToMany(const float* queries, size_t num_queries,
                             const float* block, size_t rows, size_t d,
                             float* out, size_t out_stride);
+
+/// \brief Blocked fp32 dot-form many-to-many; per-pair bits equal
+/// `SquaredL2DotF32OneToMany` on every backend.
+void SquaredL2DotF32ManyToMany(const float* queries,
+                               const float* query_sqs, size_t num_queries,
+                               const float* block, const float* norms_sq,
+                               size_t rows, size_t d, float* out,
+                               size_t out_stride);
 
 /// \brief Conservative bound on |fp32 dot-form scan − fp64
 /// difference-form| for one pair scanned through the float32 mirror:

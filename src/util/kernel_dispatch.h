@@ -65,6 +65,17 @@ enum class KernelBackend : int {
 /// order (bit-exact across backends like the double family), plus one
 /// fp64-accumulate variant (`l2dot_f32d_one_to_many`) used by the
 /// float-precision error-bound analysis and its tests.
+///
+/// The `*_many_to_many` entries evaluate a whole query block against a
+/// row block, writing `out[q * out_stride + r]`. Each (query, row) pair
+/// is REQUIRED to produce the exact bits of the corresponding
+/// one-to-many entry on that pair — implementations may tile for cache
+/// residency and interleave several independent pairs to break the
+/// per-pair accumulator latency chain, but every pair keeps its own
+/// self-contained 4-lane accumulator, so loop order can never change a
+/// result. `l2_gather` evaluates `squared_l2_pair` at a gathered index
+/// list (the fp32 tier's f64 refine and the f64 dot-form re-check use
+/// it to batch their unseparable rows); same per-pair contract.
 struct KernelOps {
   const char* name;
   double (*squared_l2_pair)(const double* x, const double* y, size_t d);
@@ -91,6 +102,24 @@ struct KernelOps {
                                  const float* block,
                                  const double* norms_sq, size_t rows,
                                  size_t d, double* out);
+  void (*l2dot_many_to_many)(const double* queries, const double* query_sqs,
+                             size_t num_queries, const double* block,
+                             const double* norms_sq, size_t rows, size_t d,
+                             double* out, size_t out_stride);
+  void (*l2dot_f32_many_to_many)(const float* queries,
+                                 const float* query_sqs, size_t num_queries,
+                                 const float* block, const float* norms_sq,
+                                 size_t rows, size_t d, float* out,
+                                 size_t out_stride);
+  void (*l2_gather)(const double* query, const double* block,
+                    const uint32_t* row_indices, size_t n, size_t d,
+                    double* out);
+  void (*ssd8_many_to_many)(const uint8_t* qcodes, size_t num_queries,
+                            const uint8_t* codes, size_t rows, size_t d,
+                            uint32_t* out, size_t out_stride);
+  void (*ssd4_many_to_many)(const uint8_t* qpacked, size_t num_queries,
+                            const uint8_t* packed, size_t rows, size_t d,
+                            uint32_t* out, size_t out_stride);
 };
 
 /// \brief Stable lowercase name ("auto", "scalar", "avx2", ...).

@@ -25,6 +25,8 @@
 
 #include <immintrin.h>
 
+#include <algorithm>
+
 #include "util/kernels/kernel_backend.h"
 
 namespace mocemg {
@@ -357,6 +359,206 @@ void Avx2Ssd4OneToMany(const uint8_t* qpacked, const uint8_t* packed,
   }
 }
 
+// ---------------------------------------------------------------------
+// block (many-to-many) family. The one-to-many kernels above are
+// latency-bound: one accumulator per pair means every 4-dim step waits
+// on the previous vector add. Here 4 independent (query, row) pairs are
+// kept in flight — 4 accumulator chains sharing one query load — which
+// hides the add latency and roughly quadruples kernel throughput. Each
+// chain performs the pair kernel's exact op sequence (multiply then
+// add, same tail handling), so every pair is bit-identical to the
+// one-to-many path whatever the grouping. Rows are tiled so a tile
+// streamed from memory stays L2-resident across all queries.
+
+inline void Avx2Dot4Rows(const double* x, const double* y0,
+                         const double* y1, const double* y2,
+                         const double* y3, size_t d, double* out) {
+  __m256d a0 = _mm256_setzero_pd();
+  __m256d a1 = _mm256_setzero_pd();
+  __m256d a2 = _mm256_setzero_pd();
+  __m256d a3 = _mm256_setzero_pd();
+  size_t i = 0;
+  for (; i + 4 <= d; i += 4) {
+    const __m256d vx = _mm256_loadu_pd(x + i);
+    a0 = _mm256_add_pd(a0, _mm256_mul_pd(vx, _mm256_loadu_pd(y0 + i)));
+    a1 = _mm256_add_pd(a1, _mm256_mul_pd(vx, _mm256_loadu_pd(y1 + i)));
+    a2 = _mm256_add_pd(a2, _mm256_mul_pd(vx, _mm256_loadu_pd(y2 + i)));
+    a3 = _mm256_add_pd(a3, _mm256_mul_pd(vx, _mm256_loadu_pd(y3 + i)));
+  }
+  out[0] = CombineTail(a0, x, y0, i, d, /*squared=*/false);
+  out[1] = CombineTail(a1, x, y1, i, d, /*squared=*/false);
+  out[2] = CombineTail(a2, x, y2, i, d, /*squared=*/false);
+  out[3] = CombineTail(a3, x, y3, i, d, /*squared=*/false);
+}
+
+inline void Avx2SquaredL24Rows(const double* x, const double* y0,
+                               const double* y1, const double* y2,
+                               const double* y3, size_t d, double* out) {
+  __m256d a0 = _mm256_setzero_pd();
+  __m256d a1 = _mm256_setzero_pd();
+  __m256d a2 = _mm256_setzero_pd();
+  __m256d a3 = _mm256_setzero_pd();
+  size_t i = 0;
+  for (; i + 4 <= d; i += 4) {
+    const __m256d vx = _mm256_loadu_pd(x + i);
+    const __m256d d0 = _mm256_sub_pd(vx, _mm256_loadu_pd(y0 + i));
+    const __m256d d1 = _mm256_sub_pd(vx, _mm256_loadu_pd(y1 + i));
+    const __m256d d2 = _mm256_sub_pd(vx, _mm256_loadu_pd(y2 + i));
+    const __m256d d3 = _mm256_sub_pd(vx, _mm256_loadu_pd(y3 + i));
+    a0 = _mm256_add_pd(a0, _mm256_mul_pd(d0, d0));
+    a1 = _mm256_add_pd(a1, _mm256_mul_pd(d1, d1));
+    a2 = _mm256_add_pd(a2, _mm256_mul_pd(d2, d2));
+    a3 = _mm256_add_pd(a3, _mm256_mul_pd(d3, d3));
+  }
+  out[0] = CombineTail(a0, x, y0, i, d, /*squared=*/true);
+  out[1] = CombineTail(a1, x, y1, i, d, /*squared=*/true);
+  out[2] = CombineTail(a2, x, y2, i, d, /*squared=*/true);
+  out[3] = CombineTail(a3, x, y3, i, d, /*squared=*/true);
+}
+
+inline void Avx2DotF324Rows(const float* x, const float* y0,
+                            const float* y1, const float* y2,
+                            const float* y3, size_t d, float* out) {
+  __m128 a0 = _mm_setzero_ps();
+  __m128 a1 = _mm_setzero_ps();
+  __m128 a2 = _mm_setzero_ps();
+  __m128 a3 = _mm_setzero_ps();
+  size_t i = 0;
+  for (; i + 8 <= d; i += 8) {
+    const __m256 vx = _mm256_loadu_ps(x + i);
+    const __m256 p0 = _mm256_mul_ps(vx, _mm256_loadu_ps(y0 + i));
+    const __m256 p1 = _mm256_mul_ps(vx, _mm256_loadu_ps(y1 + i));
+    const __m256 p2 = _mm256_mul_ps(vx, _mm256_loadu_ps(y2 + i));
+    const __m256 p3 = _mm256_mul_ps(vx, _mm256_loadu_ps(y3 + i));
+    a0 = _mm_add_ps(a0, _mm256_castps256_ps128(p0));
+    a0 = _mm_add_ps(a0, _mm256_extractf128_ps(p0, 1));
+    a1 = _mm_add_ps(a1, _mm256_castps256_ps128(p1));
+    a1 = _mm_add_ps(a1, _mm256_extractf128_ps(p1, 1));
+    a2 = _mm_add_ps(a2, _mm256_castps256_ps128(p2));
+    a2 = _mm_add_ps(a2, _mm256_extractf128_ps(p2, 1));
+    a3 = _mm_add_ps(a3, _mm256_castps256_ps128(p3));
+    a3 = _mm_add_ps(a3, _mm256_extractf128_ps(p3, 1));
+  }
+  if (i + 4 <= d) {
+    const __m128 vx = _mm_loadu_ps(x + i);
+    a0 = _mm_add_ps(a0, _mm_mul_ps(vx, _mm_loadu_ps(y0 + i)));
+    a1 = _mm_add_ps(a1, _mm_mul_ps(vx, _mm_loadu_ps(y1 + i)));
+    a2 = _mm_add_ps(a2, _mm_mul_ps(vx, _mm_loadu_ps(y2 + i)));
+    a3 = _mm_add_ps(a3, _mm_mul_ps(vx, _mm_loadu_ps(y3 + i)));
+    i += 4;
+  }
+  out[0] = CombineTailF32(a0, x, y0, i, d, /*squared=*/false);
+  out[1] = CombineTailF32(a1, x, y1, i, d, /*squared=*/false);
+  out[2] = CombineTailF32(a2, x, y2, i, d, /*squared=*/false);
+  out[3] = CombineTailF32(a3, x, y3, i, d, /*squared=*/false);
+}
+
+constexpr size_t kMtmRowTile = 64;
+
+void Avx2L2DotManyToMany(const double* queries, const double* query_sqs,
+                         size_t num_queries, const double* block,
+                         const double* norms_sq, size_t rows, size_t d,
+                         double* out, size_t out_stride) {
+  for (size_t r0 = 0; r0 < rows; r0 += kMtmRowTile) {
+    const size_t rend = r0 + std::min(rows - r0, kMtmRowTile);
+    for (size_t q = 0; q < num_queries; ++q) {
+      const double* query = queries + q * d;
+      const double query_sq = query_sqs[q];
+      double* orow = out + q * out_stride;
+      size_t r = r0;
+      for (; r + 4 <= rend; r += 4) {
+        double dots[4];
+        Avx2Dot4Rows(query, block + r * d, block + (r + 1) * d,
+                     block + (r + 2) * d, block + (r + 3) * d, d, dots);
+        orow[r] = query_sq + norms_sq[r] - 2.0 * dots[0];
+        orow[r + 1] = query_sq + norms_sq[r + 1] - 2.0 * dots[1];
+        orow[r + 2] = query_sq + norms_sq[r + 2] - 2.0 * dots[2];
+        orow[r + 3] = query_sq + norms_sq[r + 3] - 2.0 * dots[3];
+      }
+      for (; r < rend; ++r) {
+        orow[r] = query_sq + norms_sq[r] -
+                  2.0 * Avx2DotPair(query, block + r * d, d);
+      }
+    }
+  }
+}
+
+void Avx2L2DotF32ManyToMany(const float* queries, const float* query_sqs,
+                            size_t num_queries, const float* block,
+                            const float* norms_sq, size_t rows, size_t d,
+                            float* out, size_t out_stride) {
+  for (size_t r0 = 0; r0 < rows; r0 += kMtmRowTile) {
+    const size_t rend = r0 + std::min(rows - r0, kMtmRowTile);
+    for (size_t q = 0; q < num_queries; ++q) {
+      const float* query = queries + q * d;
+      const float query_sq = query_sqs[q];
+      float* orow = out + q * out_stride;
+      size_t r = r0;
+      for (; r + 4 <= rend; r += 4) {
+        float dots[4];
+        Avx2DotF324Rows(query, block + r * d, block + (r + 1) * d,
+                        block + (r + 2) * d, block + (r + 3) * d, d, dots);
+        orow[r] = query_sq + norms_sq[r] - 2.0f * dots[0];
+        orow[r + 1] = query_sq + norms_sq[r + 1] - 2.0f * dots[1];
+        orow[r + 2] = query_sq + norms_sq[r + 2] - 2.0f * dots[2];
+        orow[r + 3] = query_sq + norms_sq[r + 3] - 2.0f * dots[3];
+      }
+      for (; r < rend; ++r) {
+        orow[r] = query_sq + norms_sq[r] -
+                  2.0f * Avx2DotPairF32(query, block + r * d, d);
+      }
+    }
+  }
+}
+
+void Avx2L2Gather(const double* query, const double* block,
+                  const uint32_t* row_indices, size_t n, size_t d,
+                  double* out) {
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    Avx2SquaredL24Rows(query,
+                       block + static_cast<size_t>(row_indices[i]) * d,
+                       block + static_cast<size_t>(row_indices[i + 1]) * d,
+                       block + static_cast<size_t>(row_indices[i + 2]) * d,
+                       block + static_cast<size_t>(row_indices[i + 3]) * d,
+                       d, out + i);
+  }
+  for (; i < n; ++i) {
+    out[i] = Avx2SquaredL2Pair(
+        query, block + static_cast<size_t>(row_indices[i]) * d, d);
+  }
+}
+
+// Integer sums are exact at any order, so the code-block variants just
+// tile the one-to-many kernels for cache residency (64 KiB of codes per
+// tile at d = 64), streaming each tile once per query block.
+void Avx2Ssd8ManyToMany(const uint8_t* qcodes, size_t num_queries,
+                        const uint8_t* codes, size_t rows, size_t d,
+                        uint32_t* out, size_t out_stride) {
+  constexpr size_t kCodeRowTile = 1024;
+  for (size_t r0 = 0; r0 < rows; r0 += kCodeRowTile) {
+    const size_t tile = std::min(rows - r0, kCodeRowTile);
+    for (size_t q = 0; q < num_queries; ++q) {
+      Avx2Ssd8OneToMany(qcodes + q * d, codes + r0 * d, tile, d,
+                        out + q * out_stride + r0);
+    }
+  }
+}
+
+void Avx2Ssd4ManyToMany(const uint8_t* qpacked, size_t num_queries,
+                        const uint8_t* packed, size_t rows, size_t d,
+                        uint32_t* out, size_t out_stride) {
+  const size_t bytes = (d + 1) / 2;
+  constexpr size_t kCodeRowTile = 1024;
+  for (size_t r0 = 0; r0 < rows; r0 += kCodeRowTile) {
+    const size_t tile = std::min(rows - r0, kCodeRowTile);
+    for (size_t q = 0; q < num_queries; ++q) {
+      Avx2Ssd4OneToMany(qpacked + q * bytes, packed + r0 * bytes, tile, d,
+                        out + q * out_stride + r0);
+    }
+  }
+}
+
 }  // namespace
 
 const KernelOps& Avx2KernelOps() {
@@ -373,6 +575,11 @@ const KernelOps& Avx2KernelOps() {
       Avx2L2DotF32OneToMany,
       Avx2RowNormsF32,
       Avx2L2DotF32F64OneToMany,
+      Avx2L2DotManyToMany,
+      Avx2L2DotF32ManyToMany,
+      Avx2L2Gather,
+      Avx2Ssd8ManyToMany,
+      Avx2Ssd4ManyToMany,
   };
   return ops;
 }

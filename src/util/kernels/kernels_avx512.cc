@@ -20,6 +20,8 @@
 
 #include <immintrin.h>
 
+#include <algorithm>
+
 #include "util/kernels/kernel_backend.h"
 
 namespace mocemg {
@@ -569,6 +571,234 @@ void Avx512Ssd4OneToMany(const uint8_t* qpacked, const uint8_t* packed,
   }
 }
 
+// ---------------------------------------------------------------------
+// block (many-to-many) family: 4 independent (query, row) accumulator
+// chains in flight per step, sharing one query load, to hide the
+// vector-add latency the one-to-many kernels serialize on. Each chain
+// is the pair kernel's exact op sequence (sequential 4-dim halves of
+// each 512-bit product, multiply then add, same tails), so every pair
+// stays bit-identical to the one-to-many path; rows are tiled so one
+// streamed tile serves the whole query block.
+
+inline void Avx512Dot4Rows(const double* x, const double* y0,
+                           const double* y1, const double* y2,
+                           const double* y3, size_t d, double* out) {
+  __m256d a0 = _mm256_setzero_pd();
+  __m256d a1 = _mm256_setzero_pd();
+  __m256d a2 = _mm256_setzero_pd();
+  __m256d a3 = _mm256_setzero_pd();
+  size_t i = 0;
+  for (; i + 8 <= d; i += 8) {
+    const __m512d vx = _mm512_loadu_pd(x + i);
+    const __m512d p0 = _mm512_mul_pd(vx, _mm512_loadu_pd(y0 + i));
+    const __m512d p1 = _mm512_mul_pd(vx, _mm512_loadu_pd(y1 + i));
+    const __m512d p2 = _mm512_mul_pd(vx, _mm512_loadu_pd(y2 + i));
+    const __m512d p3 = _mm512_mul_pd(vx, _mm512_loadu_pd(y3 + i));
+    a0 = _mm256_add_pd(a0, _mm512_castpd512_pd256(p0));
+    a0 = _mm256_add_pd(a0, _mm512_extractf64x4_pd(p0, 1));
+    a1 = _mm256_add_pd(a1, _mm512_castpd512_pd256(p1));
+    a1 = _mm256_add_pd(a1, _mm512_extractf64x4_pd(p1, 1));
+    a2 = _mm256_add_pd(a2, _mm512_castpd512_pd256(p2));
+    a2 = _mm256_add_pd(a2, _mm512_extractf64x4_pd(p2, 1));
+    a3 = _mm256_add_pd(a3, _mm512_castpd512_pd256(p3));
+    a3 = _mm256_add_pd(a3, _mm512_extractf64x4_pd(p3, 1));
+  }
+  if (i + 4 <= d) {
+    const __m256d vx = _mm256_loadu_pd(x + i);
+    a0 = _mm256_add_pd(a0, _mm256_mul_pd(vx, _mm256_loadu_pd(y0 + i)));
+    a1 = _mm256_add_pd(a1, _mm256_mul_pd(vx, _mm256_loadu_pd(y1 + i)));
+    a2 = _mm256_add_pd(a2, _mm256_mul_pd(vx, _mm256_loadu_pd(y2 + i)));
+    a3 = _mm256_add_pd(a3, _mm256_mul_pd(vx, _mm256_loadu_pd(y3 + i)));
+    i += 4;
+  }
+  out[0] = CombineTail(a0, x, y0, i, d, /*squared=*/false);
+  out[1] = CombineTail(a1, x, y1, i, d, /*squared=*/false);
+  out[2] = CombineTail(a2, x, y2, i, d, /*squared=*/false);
+  out[3] = CombineTail(a3, x, y3, i, d, /*squared=*/false);
+}
+
+inline void Avx512SquaredL24Rows(const double* x, const double* y0,
+                                 const double* y1, const double* y2,
+                                 const double* y3, size_t d, double* out) {
+  __m256d a0 = _mm256_setzero_pd();
+  __m256d a1 = _mm256_setzero_pd();
+  __m256d a2 = _mm256_setzero_pd();
+  __m256d a3 = _mm256_setzero_pd();
+  size_t i = 0;
+  for (; i + 8 <= d; i += 8) {
+    const __m512d vx = _mm512_loadu_pd(x + i);
+    const __m512d d0 = _mm512_sub_pd(vx, _mm512_loadu_pd(y0 + i));
+    const __m512d d1 = _mm512_sub_pd(vx, _mm512_loadu_pd(y1 + i));
+    const __m512d d2 = _mm512_sub_pd(vx, _mm512_loadu_pd(y2 + i));
+    const __m512d d3 = _mm512_sub_pd(vx, _mm512_loadu_pd(y3 + i));
+    const __m512d p0 = _mm512_mul_pd(d0, d0);
+    const __m512d p1 = _mm512_mul_pd(d1, d1);
+    const __m512d p2 = _mm512_mul_pd(d2, d2);
+    const __m512d p3 = _mm512_mul_pd(d3, d3);
+    a0 = _mm256_add_pd(a0, _mm512_castpd512_pd256(p0));
+    a0 = _mm256_add_pd(a0, _mm512_extractf64x4_pd(p0, 1));
+    a1 = _mm256_add_pd(a1, _mm512_castpd512_pd256(p1));
+    a1 = _mm256_add_pd(a1, _mm512_extractf64x4_pd(p1, 1));
+    a2 = _mm256_add_pd(a2, _mm512_castpd512_pd256(p2));
+    a2 = _mm256_add_pd(a2, _mm512_extractf64x4_pd(p2, 1));
+    a3 = _mm256_add_pd(a3, _mm512_castpd512_pd256(p3));
+    a3 = _mm256_add_pd(a3, _mm512_extractf64x4_pd(p3, 1));
+  }
+  if (i + 4 <= d) {
+    const __m256d vx = _mm256_loadu_pd(x + i);
+    const __m256d d0 = _mm256_sub_pd(vx, _mm256_loadu_pd(y0 + i));
+    const __m256d d1 = _mm256_sub_pd(vx, _mm256_loadu_pd(y1 + i));
+    const __m256d d2 = _mm256_sub_pd(vx, _mm256_loadu_pd(y2 + i));
+    const __m256d d3 = _mm256_sub_pd(vx, _mm256_loadu_pd(y3 + i));
+    a0 = _mm256_add_pd(a0, _mm256_mul_pd(d0, d0));
+    a1 = _mm256_add_pd(a1, _mm256_mul_pd(d1, d1));
+    a2 = _mm256_add_pd(a2, _mm256_mul_pd(d2, d2));
+    a3 = _mm256_add_pd(a3, _mm256_mul_pd(d3, d3));
+    i += 4;
+  }
+  out[0] = CombineTail(a0, x, y0, i, d, /*squared=*/true);
+  out[1] = CombineTail(a1, x, y1, i, d, /*squared=*/true);
+  out[2] = CombineTail(a2, x, y2, i, d, /*squared=*/true);
+  out[3] = CombineTail(a3, x, y3, i, d, /*squared=*/true);
+}
+
+inline void Avx512DotF324Rows(const float* x, const float* y0,
+                              const float* y1, const float* y2,
+                              const float* y3, size_t d, float* out) {
+  __m128 a0 = _mm_setzero_ps();
+  __m128 a1 = _mm_setzero_ps();
+  __m128 a2 = _mm_setzero_ps();
+  __m128 a3 = _mm_setzero_ps();
+  size_t i = 0;
+  for (; i + 16 <= d; i += 16) {
+    const __m512 vx = _mm512_loadu_ps(x + i);
+    a0 = AddChunksSequential(a0,
+                             _mm512_mul_ps(vx, _mm512_loadu_ps(y0 + i)));
+    a1 = AddChunksSequential(a1,
+                             _mm512_mul_ps(vx, _mm512_loadu_ps(y1 + i)));
+    a2 = AddChunksSequential(a2,
+                             _mm512_mul_ps(vx, _mm512_loadu_ps(y2 + i)));
+    a3 = AddChunksSequential(a3,
+                             _mm512_mul_ps(vx, _mm512_loadu_ps(y3 + i)));
+  }
+  for (; i + 4 <= d; i += 4) {
+    const __m128 vx = _mm_loadu_ps(x + i);
+    a0 = _mm_add_ps(a0, _mm_mul_ps(vx, _mm_loadu_ps(y0 + i)));
+    a1 = _mm_add_ps(a1, _mm_mul_ps(vx, _mm_loadu_ps(y1 + i)));
+    a2 = _mm_add_ps(a2, _mm_mul_ps(vx, _mm_loadu_ps(y2 + i)));
+    a3 = _mm_add_ps(a3, _mm_mul_ps(vx, _mm_loadu_ps(y3 + i)));
+  }
+  out[0] = CombineTailF32(a0, x, y0, i, d, /*squared=*/false);
+  out[1] = CombineTailF32(a1, x, y1, i, d, /*squared=*/false);
+  out[2] = CombineTailF32(a2, x, y2, i, d, /*squared=*/false);
+  out[3] = CombineTailF32(a3, x, y3, i, d, /*squared=*/false);
+}
+
+constexpr size_t kMtmRowTile = 64;
+
+void Avx512L2DotManyToMany(const double* queries, const double* query_sqs,
+                           size_t num_queries, const double* block,
+                           const double* norms_sq, size_t rows, size_t d,
+                           double* out, size_t out_stride) {
+  for (size_t r0 = 0; r0 < rows; r0 += kMtmRowTile) {
+    const size_t rend = r0 + std::min(rows - r0, kMtmRowTile);
+    for (size_t q = 0; q < num_queries; ++q) {
+      const double* query = queries + q * d;
+      const double query_sq = query_sqs[q];
+      double* orow = out + q * out_stride;
+      size_t r = r0;
+      for (; r + 4 <= rend; r += 4) {
+        double dots[4];
+        Avx512Dot4Rows(query, block + r * d, block + (r + 1) * d,
+                       block + (r + 2) * d, block + (r + 3) * d, d, dots);
+        orow[r] = query_sq + norms_sq[r] - 2.0 * dots[0];
+        orow[r + 1] = query_sq + norms_sq[r + 1] - 2.0 * dots[1];
+        orow[r + 2] = query_sq + norms_sq[r + 2] - 2.0 * dots[2];
+        orow[r + 3] = query_sq + norms_sq[r + 3] - 2.0 * dots[3];
+      }
+      for (; r < rend; ++r) {
+        orow[r] = query_sq + norms_sq[r] -
+                  2.0 * Avx512DotPair(query, block + r * d, d);
+      }
+    }
+  }
+}
+
+void Avx512L2DotF32ManyToMany(const float* queries, const float* query_sqs,
+                              size_t num_queries, const float* block,
+                              const float* norms_sq, size_t rows, size_t d,
+                              float* out, size_t out_stride) {
+  for (size_t r0 = 0; r0 < rows; r0 += kMtmRowTile) {
+    const size_t rend = r0 + std::min(rows - r0, kMtmRowTile);
+    for (size_t q = 0; q < num_queries; ++q) {
+      const float* query = queries + q * d;
+      const float query_sq = query_sqs[q];
+      float* orow = out + q * out_stride;
+      size_t r = r0;
+      for (; r + 4 <= rend; r += 4) {
+        float dots[4];
+        Avx512DotF324Rows(query, block + r * d, block + (r + 1) * d,
+                          block + (r + 2) * d, block + (r + 3) * d, d,
+                          dots);
+        orow[r] = query_sq + norms_sq[r] - 2.0f * dots[0];
+        orow[r + 1] = query_sq + norms_sq[r + 1] - 2.0f * dots[1];
+        orow[r + 2] = query_sq + norms_sq[r + 2] - 2.0f * dots[2];
+        orow[r + 3] = query_sq + norms_sq[r + 3] - 2.0f * dots[3];
+      }
+      for (; r < rend; ++r) {
+        orow[r] = query_sq + norms_sq[r] -
+                  2.0f * Avx512DotPairF32(query, block + r * d, d);
+      }
+    }
+  }
+}
+
+void Avx512L2Gather(const double* query, const double* block,
+                    const uint32_t* row_indices, size_t n, size_t d,
+                    double* out) {
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    Avx512SquaredL24Rows(
+        query, block + static_cast<size_t>(row_indices[i]) * d,
+        block + static_cast<size_t>(row_indices[i + 1]) * d,
+        block + static_cast<size_t>(row_indices[i + 2]) * d,
+        block + static_cast<size_t>(row_indices[i + 3]) * d, d, out + i);
+  }
+  for (; i < n; ++i) {
+    out[i] = Avx512SquaredL2Pair(
+        query, block + static_cast<size_t>(row_indices[i]) * d, d);
+  }
+}
+
+// Integer sums are exact at any order; tile the one-to-many kernels so
+// a code tile streamed once serves every query in the block.
+void Avx512Ssd8ManyToMany(const uint8_t* qcodes, size_t num_queries,
+                          const uint8_t* codes, size_t rows, size_t d,
+                          uint32_t* out, size_t out_stride) {
+  constexpr size_t kCodeRowTile = 1024;
+  for (size_t r0 = 0; r0 < rows; r0 += kCodeRowTile) {
+    const size_t tile = std::min(rows - r0, kCodeRowTile);
+    for (size_t q = 0; q < num_queries; ++q) {
+      Avx512Ssd8OneToMany(qcodes + q * d, codes + r0 * d, tile, d,
+                          out + q * out_stride + r0);
+    }
+  }
+}
+
+void Avx512Ssd4ManyToMany(const uint8_t* qpacked, size_t num_queries,
+                          const uint8_t* packed, size_t rows, size_t d,
+                          uint32_t* out, size_t out_stride) {
+  const size_t bytes = (d + 1) / 2;
+  constexpr size_t kCodeRowTile = 1024;
+  for (size_t r0 = 0; r0 < rows; r0 += kCodeRowTile) {
+    const size_t tile = std::min(rows - r0, kCodeRowTile);
+    for (size_t q = 0; q < num_queries; ++q) {
+      Avx512Ssd4OneToMany(qpacked + q * bytes, packed + r0 * bytes, tile, d,
+                          out + q * out_stride + r0);
+    }
+  }
+}
+
 }  // namespace
 
 const KernelOps& Avx512KernelOps() {
@@ -585,6 +815,11 @@ const KernelOps& Avx512KernelOps() {
       Avx512L2DotF32OneToMany,
       Avx512RowNormsF32,
       Avx512L2DotF32F64OneToMany,
+      Avx512L2DotManyToMany,
+      Avx512L2DotF32ManyToMany,
+      Avx512L2Gather,
+      Avx512Ssd8ManyToMany,
+      Avx512Ssd4ManyToMany,
   };
   return ops;
 }

@@ -4,6 +4,8 @@
 /// the "current auto-vectorized build" that the SIMD backends are
 /// benchmarked against and bit-compared to.
 
+#include <algorithm>
+
 #include "util/distance_kernels.h"
 #include "util/kernels/kernel_backend.h"
 
@@ -119,6 +121,86 @@ void ScalarSsd4OneToMany(const uint8_t* qpacked, const uint8_t* packed,
   }
 }
 
+// Block (many-to-many) family: per pair these are exactly the
+// one-to-many entries above, tiled over rows so a row tile streamed
+// from memory is reused by every query while L2-resident. Tiling and
+// loop order cannot change bits — each pair's accumulation is
+// self-contained.
+
+constexpr size_t kScalarRowTile = 64;
+
+void ScalarL2DotManyToMany(const double* queries, const double* query_sqs,
+                           size_t num_queries, const double* block,
+                           const double* norms_sq, size_t rows, size_t d,
+                           double* out, size_t out_stride) {
+  for (size_t r0 = 0; r0 < rows; r0 += kScalarRowTile) {
+    const size_t rend = r0 + std::min(rows - r0, kScalarRowTile);
+    for (size_t q = 0; q < num_queries; ++q) {
+      const double* query = queries + q * d;
+      const double query_sq = query_sqs[q];
+      double* orow = out + q * out_stride;
+      for (size_t r = r0; r < rend; ++r) {
+        orow[r] =
+            query_sq + norms_sq[r] - 2.0 * DotProduct(query, block + r * d, d);
+      }
+    }
+  }
+}
+
+void ScalarL2DotF32ManyToMany(const float* queries, const float* query_sqs,
+                              size_t num_queries, const float* block,
+                              const float* norms_sq, size_t rows, size_t d,
+                              float* out, size_t out_stride) {
+  for (size_t r0 = 0; r0 < rows; r0 += kScalarRowTile) {
+    const size_t rend = r0 + std::min(rows - r0, kScalarRowTile);
+    for (size_t q = 0; q < num_queries; ++q) {
+      const float* query = queries + q * d;
+      const float query_sq = query_sqs[q];
+      float* orow = out + q * out_stride;
+      for (size_t r = r0; r < rend; ++r) {
+        orow[r] = query_sq + norms_sq[r] -
+                  2.0f * DotProductF32(query, block + r * d, d);
+      }
+    }
+  }
+}
+
+void ScalarL2Gather(const double* query, const double* block,
+                    const uint32_t* row_indices, size_t n, size_t d,
+                    double* out) {
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = SquaredL2(query, block + static_cast<size_t>(row_indices[i]) * d,
+                       d);
+  }
+}
+
+void ScalarSsd8ManyToMany(const uint8_t* qcodes, size_t num_queries,
+                          const uint8_t* codes, size_t rows, size_t d,
+                          uint32_t* out, size_t out_stride) {
+  constexpr size_t kCodeRowTile = 1024;
+  for (size_t r0 = 0; r0 < rows; r0 += kCodeRowTile) {
+    const size_t tile = std::min(rows - r0, kCodeRowTile);
+    for (size_t q = 0; q < num_queries; ++q) {
+      ScalarSsd8OneToMany(qcodes + q * d, codes + r0 * d, tile, d,
+                          out + q * out_stride + r0);
+    }
+  }
+}
+
+void ScalarSsd4ManyToMany(const uint8_t* qpacked, size_t num_queries,
+                          const uint8_t* packed, size_t rows, size_t d,
+                          uint32_t* out, size_t out_stride) {
+  const size_t bytes = (d + 1) / 2;
+  constexpr size_t kCodeRowTile = 1024;
+  for (size_t r0 = 0; r0 < rows; r0 += kCodeRowTile) {
+    const size_t tile = std::min(rows - r0, kCodeRowTile);
+    for (size_t q = 0; q < num_queries; ++q) {
+      ScalarSsd4OneToMany(qpacked + q * bytes, packed + r0 * bytes, tile, d,
+                          out + q * out_stride + r0);
+    }
+  }
+}
+
 }  // namespace
 
 const KernelOps& ScalarKernelOps() {
@@ -135,6 +217,11 @@ const KernelOps& ScalarKernelOps() {
       ScalarL2DotF32OneToMany,
       ScalarRowNormsF32,
       ScalarL2DotF32F64OneToMany,
+      ScalarL2DotManyToMany,
+      ScalarL2DotF32ManyToMany,
+      ScalarL2Gather,
+      ScalarSsd8ManyToMany,
+      ScalarSsd4ManyToMany,
   };
   return ops;
 }

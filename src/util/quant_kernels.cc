@@ -106,18 +106,16 @@ void Quantized4SsdOneToMany(const uint8_t* qpacked, const uint8_t* packed,
 void QuantizedSsdManyToMany(const uint8_t* qcodes, size_t num_queries,
                             const uint8_t* codes, size_t rows, size_t d,
                             uint32_t* out, size_t out_stride) {
-  // 1024 rows × 64 dims = 64 KiB of codes per tile — L2-resident, and
-  // streamed once per query batch instead of once per query. Tiling
-  // cannot change results (integer sums are exact at any order).
-  constexpr size_t kCodeRowTile = 1024;
-  const KernelOps& ops = internal::ActiveKernelOps();
-  for (size_t r0 = 0; r0 < rows; r0 += kCodeRowTile) {
-    const size_t tile = std::min(rows - r0, kCodeRowTile);
-    for (size_t q = 0; q < num_queries; ++q) {
-      ops.ssd8_one_to_many(qcodes + q * d, codes + r0 * d, tile, d,
-                           out + q * out_stride + r0);
-    }
-  }
+  internal::ActiveKernelOps().ssd8_many_to_many(qcodes, num_queries, codes,
+                                                rows, d, out, out_stride);
+}
+
+void Quantized4SsdManyToMany(const uint8_t* qpacked, size_t num_queries,
+                             const uint8_t* packed, size_t rows, size_t d,
+                             uint32_t* out, size_t out_stride) {
+  internal::ActiveKernelOps().ssd4_many_to_many(qpacked, num_queries,
+                                                packed, rows, d, out,
+                                                out_stride);
 }
 
 double QuantScanSlack(size_t d, double a_sq, double b_sq) {

@@ -39,6 +39,7 @@ class BoundedTopK {
   }
 
   size_t size() const { return heap_.size(); }
+  size_t k() const { return k_; }
   bool full() const { return heap_.size() >= k_; }
 
   /// \brief The current k-th best distance: +inf until the heap is

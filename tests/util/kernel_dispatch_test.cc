@@ -122,6 +122,11 @@ TEST(KernelDispatchTest, OpsTableLookup) {
     EXPECT_NE(ops->l2dot_f32_one_to_many, nullptr);
     EXPECT_NE(ops->row_norms_f32, nullptr);
     EXPECT_NE(ops->l2dot_f32d_one_to_many, nullptr);
+    EXPECT_NE(ops->l2dot_many_to_many, nullptr);
+    EXPECT_NE(ops->l2dot_f32_many_to_many, nullptr);
+    EXPECT_NE(ops->l2_gather, nullptr);
+    EXPECT_NE(ops->ssd8_many_to_many, nullptr);
+    EXPECT_NE(ops->ssd4_many_to_many, nullptr);
   }
 }
 
@@ -346,6 +351,125 @@ TEST(KernelDispatchTest, SpecialValuesPropagateOnEveryBackend) {
     const std::vector<double> y = {inf, 0.0, 0.0, 0.0, 0.0};
     EXPECT_TRUE(std::isnan(ops->squared_l2_pair(x.data(), y.data(), 5)))
         << ops->name;
+  }
+}
+
+// The many-to-many / gather block ops: every (query, row) pair on
+// every usable backend must produce the exact bits of the
+// corresponding one-to-many (or pair) op — the contract the blocked
+// query-block scan (DESIGN.md §16) builds its bit-identity on. The
+// out_stride exceeds `rows` so stride handling is exercised, and the
+// padding lanes must be left untouched.
+TEST(KernelDispatchTest, ManyToManyOpsMatchOneToManyBitExactly) {
+  Rng rng(36);
+  for (KernelBackend b : UsableKernelBackends()) {
+    const KernelOps* ops = GetKernelOps(b);
+    ASSERT_NE(ops, nullptr);
+    for (size_t d = 1; d <= kMaxDim; d += (d < 12 ? 1 : 7)) {
+      const size_t rows = 1 + (d * 7) % 13;
+      const size_t nq = 1 + (d * 3) % 6;
+      const size_t stride = rows + 3;  // force out_stride > rows
+      const std::vector<double> queries = RandomVector(nq * d, &rng);
+      const std::vector<double> block = RandomVector(rows * d, &rng);
+      std::vector<double> norms(rows), q_sqs(nq);
+      ops->row_norms(block.data(), rows, d, norms.data());
+      ops->row_norms(queries.data(), nq, d, q_sqs.data());
+
+      // f64 dot-form block vs per-query one-to-many.
+      const double pad = -7.25;
+      std::vector<double> got(nq * stride, pad), want(rows);
+      ops->l2dot_many_to_many(queries.data(), q_sqs.data(), nq, block.data(),
+                              norms.data(), rows, d, got.data(), stride);
+      for (size_t q = 0; q < nq; ++q) {
+        ops->l2dot_one_to_many(queries.data() + q * d, q_sqs[q],
+                               block.data(), norms.data(), rows, d,
+                               want.data());
+        for (size_t r = 0; r < rows; ++r) {
+          EXPECT_TRUE(BitsEqual(got[q * stride + r], want[r]))
+              << ops->name << " l2dot_many_to_many dim " << d << " q " << q
+              << " row " << r;
+        }
+        for (size_t r = rows; r < stride; ++r) {
+          EXPECT_EQ(got[q * stride + r], pad)
+              << ops->name << " stride padding clobbered";
+        }
+      }
+
+      // Gather vs squared_l2_pair at a shuffled index list.
+      std::vector<uint32_t> idx;
+      for (size_t r = 0; r < rows; ++r) {
+        if ((r * 5 + d) % 3 != 0) idx.push_back(uint32_t(rows - 1 - r));
+      }
+      if (idx.empty()) idx.push_back(0);
+      std::vector<double> gout(idx.size());
+      ops->l2_gather(queries.data(), block.data(), idx.data(), idx.size(),
+                     d, gout.data());
+      for (size_t i = 0; i < idx.size(); ++i) {
+        EXPECT_TRUE(BitsEqual(
+            gout[i], ops->squared_l2_pair(
+                         queries.data(), block.data() + idx[i] * d, d)))
+            << ops->name << " l2_gather dim " << d << " i " << i;
+      }
+
+      // f32 dot-form block vs per-query one-to-many.
+      std::vector<float> qf(nq * d), bf(rows * d);
+      for (size_t i = 0; i < qf.size(); ++i) {
+        qf[i] = static_cast<float>(queries[i]);
+      }
+      for (size_t i = 0; i < bf.size(); ++i) {
+        bf[i] = static_cast<float>(block[i]);
+      }
+      std::vector<float> nf(rows), qsf(nq);
+      ops->row_norms_f32(bf.data(), rows, d, nf.data());
+      ops->row_norms_f32(qf.data(), nq, d, qsf.data());
+      std::vector<float> got_f(nq * stride, -7.25f), want_f(rows);
+      ops->l2dot_f32_many_to_many(qf.data(), qsf.data(), nq, bf.data(),
+                                  nf.data(), rows, d, got_f.data(), stride);
+      for (size_t q = 0; q < nq; ++q) {
+        ops->l2dot_f32_one_to_many(qf.data() + q * d, qsf[q], bf.data(),
+                                   nf.data(), rows, d, want_f.data());
+        for (size_t r = 0; r < rows; ++r) {
+          EXPECT_TRUE(BitsEqualF(got_f[q * stride + r], want_f[r]))
+              << ops->name << " l2dot_f32_many_to_many dim " << d << " q "
+              << q << " row " << r;
+        }
+      }
+
+      // int8 / packed int4 block SSD vs per-query one-to-many.
+      const std::vector<uint8_t> qc = RandomCodes(nq * d, 255, &rng);
+      const std::vector<uint8_t> codes = RandomCodes(rows * d, 255, &rng);
+      std::vector<uint32_t> got_ssd(nq * stride, 0xDEADu), want_ssd(rows);
+      ops->ssd8_many_to_many(qc.data(), nq, codes.data(), rows, d,
+                             got_ssd.data(), stride);
+      for (size_t q = 0; q < nq; ++q) {
+        ops->ssd8_one_to_many(qc.data() + q * d, codes.data(), rows, d,
+                              want_ssd.data());
+        for (size_t r = 0; r < rows; ++r) {
+          EXPECT_EQ(got_ssd[q * stride + r], want_ssd[r])
+              << ops->name << " ssd8_many_to_many dim " << d << " q " << q
+              << " row " << r;
+        }
+      }
+
+      const size_t nib = PackedNibbleStride(d);
+      const std::vector<uint8_t> qn = RandomCodes(nq * d, 15, &rng);
+      const std::vector<uint8_t> rn = RandomCodes(rows * d, 15, &rng);
+      std::vector<uint8_t> qp(nq * nib), rp(rows * nib);
+      PackNibbleRows(qn.data(), nq, d, qp.data());
+      PackNibbleRows(rn.data(), rows, d, rp.data());
+      std::fill(got_ssd.begin(), got_ssd.end(), 0xDEADu);
+      ops->ssd4_many_to_many(qp.data(), nq, rp.data(), rows, d,
+                             got_ssd.data(), stride);
+      for (size_t q = 0; q < nq; ++q) {
+        ops->ssd4_one_to_many(qp.data() + q * nib, rp.data(), rows, d,
+                              want_ssd.data());
+        for (size_t r = 0; r < rows; ++r) {
+          EXPECT_EQ(got_ssd[q * stride + r], want_ssd[r])
+              << ops->name << " ssd4_many_to_many dim " << d << " q " << q
+              << " row " << r;
+        }
+      }
+    }
   }
 }
 

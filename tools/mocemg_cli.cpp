@@ -484,6 +484,7 @@ int RunServeBench(const Args& args) {
     QueryServerStats stats;
     uint64_t degraded_taken = 0;
     uint64_t expired_taken = 0;
+    double wall_s = 0.0;
   };
   std::vector<ServedRow> served_rows;
   for (size_t t : threads) {
@@ -545,7 +546,8 @@ int RunServeBench(const Args& args) {
       }
     }
     row.threads = t;
-    row.mode = SummarizeMode(lat, SecondsSince(t0));
+    row.wall_s = SecondsSince(t0);
+    row.mode = SummarizeMode(lat, row.wall_s);
     row.stats = server->stats();
     served_rows.push_back(row);
   }
@@ -611,6 +613,26 @@ int RunServeBench(const Args& args) {
                   ist.f32_scans > 0
                       ? double(ist.f32_refined) / double(ist.f32_scans)
                       : 0.0);
+      // Per-tier throughput over this run's wall clock: rows scored
+      // by the f64 exact tier (full-precision distance evaluations),
+      // the fp32 mirror tier, and the int8/int4 coarse tier. Shows
+      // where the scan work landed and how fast each tier moved.
+      const double wall = r.wall_s > 0.0 ? r.wall_s : 1.0;
+      std::printf(
+          ", \"tier_throughput\": {\"exact_f64_rows_per_s\": %.1f, "
+          "\"exact_f32_rows_per_s\": %.1f, \"coarse_rows_per_s\": %.1f}",
+          double(ist.distance_computations) / wall,
+          double(ist.f32_scans) / wall,
+          double(ist.coarse_computations) / wall);
+      // Micro-batch size histogram: bucket 0 = size 1, bucket b >= 1
+      // = sizes (2^(b-1), 2^b] (query_server.h).
+      std::printf(", \"batch_size_hist\": [");
+      for (size_t b = 0; b < r.stats.batch_size_hist.size(); ++b) {
+        std::printf("%s%llu", b > 0 ? ", " : "",
+                    static_cast<unsigned long long>(
+                        r.stats.batch_size_hist[b]));
+      }
+      std::printf("]");
       if (!r.stats.shard_stats.empty()) {
         std::printf(", \"shard_stats\": [");
         for (size_t s = 0; s < r.stats.shard_stats.size(); ++s) {
@@ -720,10 +742,11 @@ int RunServeBench(const Args& args) {
 //
 // Prints which SIMD backend the dispatcher picked (and why it could),
 // then verifies every CPU-usable backend against the scalar reference
-// across dims 1..67 for all eleven table entries (seven f64/int ops
-// plus the four fp32-mirror ops) — the same bit-exactness contract the
-// unit tests enforce, exercised on the actual production binary and
-// CPU. Also reports per-op backend coverage; a compiled backend with a
+// across dims 1..67 for all sixteen table entries (seven f64/int ops,
+// four fp32-mirror ops, and the five query-block many-to-many/gather
+// ops, exercised with out_stride > rows) — the same bit-exactness
+// contract the unit tests enforce, exercised on the actual production
+// binary and CPU. Also reports per-op backend coverage; a compiled backend with a
 // missing (null) table entry fails the gate. Exits 1 on any mismatch
 // or hole, so CI can gate on `mocemg_cli kernel-info`.
 // run_benchmarks.sh embeds the --json form as BENCH_pr9.json host
@@ -759,6 +782,12 @@ std::vector<std::pair<const char*, bool>> NamedOpPresence(
       {"row_norms_f32", ops->row_norms_f32 != nullptr},
       {"l2dot_f32d_one_to_many",
        ops->l2dot_f32d_one_to_many != nullptr},
+      {"l2dot_many_to_many", ops->l2dot_many_to_many != nullptr},
+      {"l2dot_f32_many_to_many",
+       ops->l2dot_f32_many_to_many != nullptr},
+      {"l2_gather", ops->l2_gather != nullptr},
+      {"ssd8_many_to_many", ops->ssd8_many_to_many != nullptr},
+      {"ssd4_many_to_many", ops->ssd4_many_to_many != nullptr},
   };
 }
 
@@ -885,6 +914,89 @@ Status VerifyKernelEquivalence() {
           return fail("l2dot_f32d_one_to_many");
         }
       }
+      // Query-block many-to-many ops: the whole block must reproduce
+      // the one-to-many scalar answer per (query, row) pair, with an
+      // out_stride wider than the row count so stride handling is
+      // exercised (DESIGN.md §16).
+      const size_t nq = 3;
+      const size_t ostride = rows + 2;
+      std::vector<double> qs(nq * d), q_sqs(nq);
+      for (double& v : qs) v = rng.Gaussian(0.0, 1.0);
+      ref->row_norms(qs.data(), nq, d, q_sqs.data());
+      std::vector<double> wantm(rows), gotm(nq * ostride);
+      ops->l2dot_many_to_many(qs.data(), q_sqs.data(), nq, block.data(),
+                              norms.data(), rows, d, gotm.data(), ostride);
+      for (size_t q = 0; q < nq; ++q) {
+        ref->l2dot_one_to_many(qs.data() + q * d, q_sqs[q], block.data(),
+                               norms.data(), rows, d, wantm.data());
+        for (size_t r = 0; r < rows; ++r) {
+          if (!BitsEqual(wantm[r], gotm[q * ostride + r])) {
+            return fail("l2dot_many_to_many");
+          }
+        }
+      }
+      std::vector<uint32_t> ridx;
+      for (size_t r = 0; r < rows; ++r) {
+        if ((r + d) % 2 == 0) ridx.push_back(static_cast<uint32_t>(r));
+      }
+      if (ridx.empty()) ridx.push_back(0);
+      std::vector<double> gathered(ridx.size());
+      ops->l2_gather(x.data(), block.data(), ridx.data(), ridx.size(), d,
+                     gathered.data());
+      for (size_t i = 0; i < ridx.size(); ++i) {
+        if (!BitsEqual(gathered[i],
+                       ref->squared_l2_pair(
+                           x.data(), block.data() + ridx[i] * d, d))) {
+          return fail("l2_gather");
+        }
+      }
+      std::vector<float> qsf32(nq * d), qsq32(nq);
+      for (size_t i = 0; i < nq * d; ++i) {
+        qsf32[i] = static_cast<float>(qs[i]);
+      }
+      ref->row_norms_f32(qsf32.data(), nq, d, qsq32.data());
+      std::vector<float> wantmf(rows), gotmf(nq * ostride);
+      ops->l2dot_f32_many_to_many(qsf32.data(), qsq32.data(), nq,
+                                  blockf.data(), normsf.data(), rows, d,
+                                  gotmf.data(), ostride);
+      for (size_t q = 0; q < nq; ++q) {
+        ref->l2dot_f32_one_to_many(qsf32.data() + q * d, qsq32[q],
+                                   blockf.data(), normsf.data(), rows, d,
+                                   wantmf.data());
+        for (size_t r = 0; r < rows; ++r) {
+          if (!BitsEqualF(wantmf[r], gotmf[q * ostride + r])) {
+            return fail("l2dot_f32_many_to_many");
+          }
+        }
+      }
+      std::vector<uint8_t> qcm(nq * d);
+      for (auto& v : qcm) v = static_cast<uint8_t>(rng.NextBelow(256));
+      std::vector<uint32_t> wantim(rows), gotim(nq * ostride);
+      ops->ssd8_many_to_many(qcm.data(), nq, codes.data(), rows, d,
+                             gotim.data(), ostride);
+      for (size_t q = 0; q < nq; ++q) {
+        ref->ssd8_one_to_many(qcm.data() + q * d, codes.data(), rows, d,
+                              wantim.data());
+        for (size_t r = 0; r < rows; ++r) {
+          if (wantim[r] != gotim[q * ostride + r]) {
+            return fail("ssd8_many_to_many");
+          }
+        }
+      }
+      std::vector<uint8_t> qnm(nq * d), qpm(nq * stride);
+      for (auto& v : qnm) v = static_cast<uint8_t>(rng.NextBelow(16));
+      PackNibbleRows(qnm.data(), nq, d, qpm.data());
+      ops->ssd4_many_to_many(qpm.data(), nq, rp.data(), rows, d,
+                             gotim.data(), ostride);
+      for (size_t q = 0; q < nq; ++q) {
+        ref->ssd4_one_to_many(qpm.data() + q * stride, rp.data(), rows, d,
+                              wantim.data());
+        for (size_t r = 0; r < rows; ++r) {
+          if (wantim[r] != gotim[q * ostride + r]) {
+            return fail("ssd4_many_to_many");
+          }
+        }
+      }
     }
   }
   return Status::OK();
@@ -910,7 +1022,7 @@ Status VerifyOpCoverage(std::vector<std::string>* lines) {
     }
     std::string line = std::string(KernelBackendName(backend)) + ": ";
     if (missing.empty()) {
-      line += "all 11 ops";
+      line += "all 16 ops";
     } else {
       line += "MISSING " + missing;
       holes = Status::Unknown(
@@ -959,7 +1071,7 @@ int RunKernelInfo(const Args& args) {
     }
     std::printf("  equivalence:  %s\n",
                 equiv.ok() ? "every usable backend bit-identical to scalar "
-                             "(dims 1..67, all 11 ops)"
+                             "(dims 1..67, all 16 ops)"
                            : equiv.ToString().c_str());
   }
   return equiv.ok() ? 0 : 1;

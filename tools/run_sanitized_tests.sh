@@ -29,10 +29,13 @@ ctest --preset "$preset" "$@"
 # reference and then explicitly to the dispatched best, so both sides
 # of the bit-exactness contract get sanitizer coverage — the scalar
 # fallback path is otherwise dead code on machines with AVX2/AVX-512.
+# QueryBlock is the §16 query-block grid: together with the fp32 loop
+# below, the blocked many-to-many scan path gets sanitizer coverage
+# under MOCEMG_KERNEL={scalar,auto} x MOCEMG_EXACT_PRECISION={f64,f32}.
 for kern in scalar auto; do
   echo "== $preset: kernel/index suites under MOCEMG_KERNEL=$kern =="
   MOCEMG_KERNEL="$kern" ctest --preset "$preset" \
-    -R 'Kernel|Quant|Distance|FeatureIndex|Sharded|Snapshot' \
+    -R 'Kernel|Quant|Distance|FeatureIndex|Sharded|Snapshot|QueryBlock' \
     --output-on-failure
 done
 
@@ -49,7 +52,7 @@ for kern in scalar auto; do
     "MOCEMG_EXACT_PRECISION=f32 MOCEMG_KERNEL=$kern =="
   MOCEMG_EXACT_PRECISION=f32 MOCEMG_KERNEL="$kern" \
     ctest --preset "$preset" \
-    -R 'Kernel|Quant|Distance|FeatureIndex|Sharded|Snapshot' \
+    -R 'Kernel|Quant|Distance|FeatureIndex|Sharded|Snapshot|QueryBlock' \
     --output-on-failure
 done
 
